@@ -1,0 +1,344 @@
+//! GraphFuzzer reimplementation (Luo et al., ICSE 2021), per §6.1.
+//!
+//! GraphFuzzer wires operators from a block corpus at random and restores
+//! validity *syntactically*: mismatched tensor shapes are aligned by
+//! **slicing** (stride 1) and **padding**, and shape-changing operators are
+//! instantiated with shape-preserving attributes (e.g. `Conv2d` with
+//! kernel/stride 1). Consequently its graphs are biased toward
+//! slice/pad glue (the `M1` pattern of Listing 1), never contain
+//! broadcasting, strided slices, reshapes or scalars, and explore almost
+//! no attribute space. The paper reimplemented GraphFuzzer the same way
+//! (its code is not public); this module follows that description.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use nnsmith_difftest::{TestCase, TestCaseSource};
+use nnsmith_graph::{Graph, NodeKind, TensorType, ValueRef};
+use nnsmith_ops::{random_bindings, BinaryKind, Op, UnaryKind};
+use nnsmith_solver::IntExpr;
+use nnsmith_tensor::DType;
+
+/// Configuration for the GraphFuzzer generator.
+#[derive(Debug, Clone)]
+pub struct GraphFuzzerConfig {
+    /// Operators per generated model.
+    pub target_ops: usize,
+    /// Tensor dtype palette (GraphFuzzer supports both float widths).
+    pub dtypes: Vec<DType>,
+}
+
+impl Default for GraphFuzzerConfig {
+    fn default() -> Self {
+        GraphFuzzerConfig {
+            target_ops: 10,
+            dtypes: vec![DType::F32, DType::F64],
+        }
+    }
+}
+
+/// The GraphFuzzer-style generator.
+#[derive(Debug)]
+pub struct GraphFuzzer<R: Rng> {
+    rng: R,
+    config: GraphFuzzerConfig,
+}
+
+impl<R: Rng> GraphFuzzer<R> {
+    /// Creates the generator.
+    pub fn new(rng: R, config: GraphFuzzerConfig) -> Self {
+        GraphFuzzer { rng, config }
+    }
+
+    fn dims_of(g: &Graph<Op>, v: ValueRef) -> Vec<usize> {
+        g.value_type(v).concrete_dims().expect("concrete")
+    }
+
+    /// Aligns `v` (shape `from`) to shape `to` by slicing larger dims
+    /// (stride 1) and zero-padding smaller ones — the M1-style glue.
+    fn align(
+        g: &mut Graph<Op>,
+        mut v: ValueRef,
+        to: &[usize],
+    ) -> ValueRef {
+        let from = Self::dims_of(g, v);
+        debug_assert_eq!(from.len(), to.len());
+        let dtype = g.value_type(v).dtype;
+        // Slice down dims that are too large.
+        if from.iter().zip(to).any(|(f, t)| f > t) {
+            let starts = vec![IntExpr::Const(0); from.len()];
+            let ends: Vec<IntExpr> = from
+                .iter()
+                .zip(to)
+                .map(|(&f, &t)| IntExpr::Const(f.min(t) as i64))
+                .collect();
+            let steps = vec![1i64; from.len()];
+            let mid: Vec<i64> = from.iter().zip(to).map(|(&f, &t)| f.min(t) as i64).collect();
+            let node = g.add_node(
+                NodeKind::Operator(Op::Slice {
+                    starts,
+                    ends,
+                    steps,
+                }),
+                vec![v],
+                vec![TensorType::concrete(dtype, &mid)],
+            );
+            v = ValueRef::output0(node);
+        }
+        // Pad up dims that are too small.
+        let cur = Self::dims_of(g, v);
+        if cur.iter().zip(to).any(|(c, t)| c < t) {
+            let pads: Vec<(IntExpr, IntExpr)> = cur
+                .iter()
+                .zip(to)
+                .map(|(&c, &t)| {
+                    (IntExpr::Const(0), IntExpr::Const(t as i64 - c as i64))
+                })
+                .collect();
+            let target: Vec<i64> = to.iter().map(|&t| t as i64).collect();
+            let node = g.add_node(
+                NodeKind::Operator(Op::Pad {
+                    pads,
+                    kind: nnsmith_ops::PadKind::Constant,
+                }),
+                vec![v],
+                vec![TensorType::concrete(dtype, &target)],
+            );
+            v = ValueRef::output0(node);
+        }
+        v
+    }
+
+    fn generate(&mut self) -> Graph<Op> {
+        let mut g: Graph<Op> = Graph::new();
+        let dtype = *self.config.dtypes.choose(&mut self.rng).expect("nonempty");
+        // GraphFuzzer uses fixed-rank featuremap-style tensors.
+        let base_shape: Vec<usize> = vec![
+            1,
+            *[2usize, 3, 4].choose(&mut self.rng).expect("nonempty"),
+            *[8usize, 12, 16].choose(&mut self.rng).expect("nonempty"),
+            *[8usize, 12, 16].choose(&mut self.rng).expect("nonempty"),
+        ];
+        let dims_i: Vec<i64> = base_shape.iter().map(|&d| d as i64).collect();
+        let input = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(dtype, &dims_i)],
+        );
+        let mut pool: Vec<ValueRef> = vec![ValueRef::output0(input)];
+        // A second input with different spatial dims, so cross-input binary
+        // operators need the slice/pad alignment glue.
+        let alt_shape: Vec<i64> = vec![
+            1,
+            base_shape[1] as i64,
+            *[6i64, 10, 14].choose(&mut self.rng).expect("nonempty"),
+            *[6i64, 10, 14].choose(&mut self.rng).expect("nonempty"),
+        ];
+        let input2 = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(dtype, &alt_shape)],
+        );
+        pool.push(ValueRef::output0(input2));
+
+        for _ in 0..self.config.target_ops {
+            let choice = self.rng.gen_range(0..6);
+            let a = *pool.choose(&mut self.rng).expect("nonempty");
+            match choice {
+                // Shape-preserving unary (incl. the Clip that pairs with
+                // ReLU for the known ortsim fusion bug).
+                0 | 1 => {
+                    let kind = *[
+                        UnaryKind::Relu,
+                        UnaryKind::Sigmoid,
+                        UnaryKind::Tanh,
+                        UnaryKind::Sin,
+                        UnaryKind::Abs,
+                        UnaryKind::LeakyRelu,
+                    ]
+                    .choose(&mut self.rng)
+                    .expect("nonempty");
+                    let t = g.value_type(a).clone();
+                    let n = g.add_node(NodeKind::Operator(Op::Unary(kind)), vec![a], vec![t]);
+                    pool.push(ValueRef::output0(n));
+                }
+                // Clip (element-wise, shape-preserving).
+                2 => {
+                    let t = g.value_type(a).clone();
+                    let n = g.add_node(
+                        NodeKind::Operator(Op::Clip { lo: -1, hi: 1 }),
+                        vec![a],
+                        vec![t],
+                    );
+                    pool.push(ValueRef::output0(n));
+                }
+                // Binary with slice/pad shape alignment (NO broadcasting).
+                3 => {
+                    let b = *pool.choose(&mut self.rng).expect("nonempty");
+                    if g.value_type(b).dtype != g.value_type(a).dtype {
+                        continue;
+                    }
+                    let to = Self::dims_of(&g, a);
+                    let b = Self::align(&mut g, b, &to);
+                    let kind = *[BinaryKind::Add, BinaryKind::Mul, BinaryKind::Sub]
+                        .choose(&mut self.rng)
+                        .expect("nonempty");
+                    let t = g.value_type(a).clone();
+                    let n = g.add_node(
+                        NodeKind::Operator(Op::Binary(kind)),
+                        vec![a, b],
+                        vec![t],
+                    );
+                    pool.push(ValueRef::output0(n));
+                }
+                // Shape-preserving Conv2d instance: kernel 1, stride 1,
+                // pad 0 (the attribute restriction of §6.1).
+                4 => {
+                    let dims = Self::dims_of(&g, a);
+                    if dims.len() != 4 {
+                        continue;
+                    }
+                    let c = dims[1];
+                    let w = g.add_node(
+                        NodeKind::Weight,
+                        vec![],
+                        vec![TensorType::concrete(
+                            g.value_type(a).dtype,
+                            &[c as i64, c as i64, 1, 1],
+                        )],
+                    );
+                    let bias = g.add_node(
+                        NodeKind::Weight,
+                        vec![],
+                        vec![TensorType::concrete(g.value_type(a).dtype, &[c as i64])],
+                    );
+                    let t = g.value_type(a).clone();
+                    let n = g.add_node(
+                        NodeKind::Operator(Op::Conv2d {
+                            in_channels: IntExpr::Const(c as i64),
+                            out_channels: IntExpr::Const(c as i64),
+                            kh: IntExpr::Const(1),
+                            kw: IntExpr::Const(1),
+                            stride: IntExpr::Const(1),
+                            padding: IntExpr::Const(0),
+                            dilation: IntExpr::Const(1),
+                        }),
+                        vec![a, ValueRef::output0(w), ValueRef::output0(bias)],
+                        vec![t],
+                    );
+                    pool.push(ValueRef::output0(n));
+                }
+                // Shape-preserving pooling instance: kernel/stride 1.
+                _ => {
+                    let dims = Self::dims_of(&g, a);
+                    if dims.len() != 4 {
+                        continue;
+                    }
+                    let t = g.value_type(a).clone();
+                    let n = g.add_node(
+                        NodeKind::Operator(Op::MaxPool2d {
+                            kh: IntExpr::Const(1),
+                            kw: IntExpr::Const(1),
+                            stride: IntExpr::Const(1),
+                            padding: IntExpr::Const(0),
+                        }),
+                        vec![a],
+                        vec![t],
+                    );
+                    pool.push(ValueRef::output0(n));
+                }
+            }
+        }
+        g
+    }
+}
+
+impl<R: Rng> TestCaseSource for GraphFuzzer<R> {
+    fn name(&self) -> &str {
+        "GraphFuzzer"
+    }
+
+    fn next_case(&mut self) -> Option<TestCase> {
+        let graph = self.generate();
+        debug_assert!(graph.validate().is_ok());
+        let bindings = random_bindings(&graph, -3.0, 3.0, &mut self.rng).ok()?;
+        Some(TestCase::from_bindings(graph, bindings))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_models_are_valid_and_runnable() {
+        let mut gf = GraphFuzzer::new(StdRng::seed_from_u64(0), GraphFuzzerConfig::default());
+        for _ in 0..20 {
+            let case = gf.next_case().unwrap();
+            assert!(case.graph.validate().is_ok());
+            assert!(
+                nnsmith_ops::execute(&case.graph, &case.all_bindings()).is_ok()
+            );
+        }
+    }
+
+    #[test]
+    fn slices_always_have_stride_one() {
+        // The property that makes GraphFuzzer miss the TVM layout bug
+        // (§5.4): its alignment slices never use a stride > 1.
+        let mut gf = GraphFuzzer::new(StdRng::seed_from_u64(1), GraphFuzzerConfig::default());
+        let mut saw_slice = false;
+        for _ in 0..50 {
+            let case = gf.next_case().unwrap();
+            for id in case.graph.operators() {
+                if let Some(Op::Slice { steps, .. }) =
+                    case.graph.node(id).kind.as_operator()
+                {
+                    saw_slice = true;
+                    assert!(steps.iter().all(|&s| s == 1));
+                }
+            }
+        }
+        assert!(saw_slice, "alignment should have produced slices");
+    }
+
+    #[test]
+    fn convs_are_shape_preserving_instances() {
+        let mut gf = GraphFuzzer::new(StdRng::seed_from_u64(2), GraphFuzzerConfig::default());
+        for _ in 0..30 {
+            let case = gf.next_case().unwrap();
+            for id in case.graph.operators() {
+                if let Some(Op::Conv2d { kh, kw, stride, .. }) =
+                    case.graph.node(id).kind.as_operator()
+                {
+                    assert_eq!(kh.as_const(), Some(1));
+                    assert_eq!(kw.as_const(), Some(1));
+                    assert_eq!(stride.as_const(), Some(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_broadcasting_or_scalars() {
+        let mut gf = GraphFuzzer::new(StdRng::seed_from_u64(3), GraphFuzzerConfig::default());
+        for _ in 0..30 {
+            let case = gf.next_case().unwrap();
+            for id in case.graph.operators() {
+                let node = case.graph.node(id);
+                // Binary inputs always share a shape (aligned, not
+                // broadcast).
+                if matches!(node.kind.as_operator(), Some(Op::Binary(_))) {
+                    let a = case.graph.value_type(node.inputs[0]);
+                    let b = case.graph.value_type(node.inputs[1]);
+                    assert_eq!(a.concrete_shape(), b.concrete_shape());
+                }
+                for v in &node.inputs {
+                    assert!(case.graph.value_type(*v).rank() > 0, "no scalars");
+                }
+            }
+        }
+    }
+}

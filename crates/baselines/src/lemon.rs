@@ -1,0 +1,369 @@
+//! LEMON reimplementation (Wang et al., ESEC/FSE 2020), per §6.1.
+//!
+//! LEMON mutates *pre-trained real-world models* and, to guarantee
+//! validity without constraint reasoning, only applies mutations built
+//! from **shape-preserving unary operators**: inserting such a layer on an
+//! edge, deleting one, or duplicating one. It cannot introduce
+//! non-shape-preserving operators (no new Conv2d, no broadcasting, no
+//! reshape) and uses no input search. This reimplementation seeds the
+//! mutator with small fixed CNN/MLP models (the "pre-trained model zoo")
+//! and applies the same mutation space.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use nnsmith_difftest::{TestCase, TestCaseSource};
+use nnsmith_graph::{Graph, NodeId, NodeKind, TensorType, ValueRef};
+use nnsmith_ops::{random_bindings, Op, UnaryKind};
+use nnsmith_solver::IntExpr;
+use nnsmith_tensor::DType;
+
+/// Shape-preserving unary operators LEMON may insert.
+const SAFE_UNARY: [UnaryKind; 8] = [
+    UnaryKind::Relu,
+    UnaryKind::LeakyRelu,
+    UnaryKind::Sigmoid,
+    UnaryKind::Tanh,
+    UnaryKind::Sin,
+    UnaryKind::Cos,
+    UnaryKind::Atan,
+    UnaryKind::Abs,
+];
+
+/// A small fixed "pre-trained" CNN: Input → Conv(3x3) → Relu →
+/// MaxPool(2) → Conv(1x1) → Relu.
+fn seed_cnn() -> Graph<Op> {
+    let mut g: Graph<Op> = Graph::new();
+    let x = g.add_node(
+        NodeKind::Input,
+        vec![],
+        vec![TensorType::concrete(DType::F32, &[1, 3, 16, 16])],
+    );
+    let w1 = g.add_node(
+        NodeKind::Weight,
+        vec![],
+        vec![TensorType::concrete(DType::F32, &[8, 3, 3, 3])],
+    );
+    let b1 = g.add_node(
+        NodeKind::Weight,
+        vec![],
+        vec![TensorType::concrete(DType::F32, &[8])],
+    );
+    let conv1 = g.add_node(
+        NodeKind::Operator(Op::Conv2d {
+            in_channels: IntExpr::Const(3),
+            out_channels: IntExpr::Const(8),
+            kh: IntExpr::Const(3),
+            kw: IntExpr::Const(3),
+            stride: IntExpr::Const(1),
+            padding: IntExpr::Const(1),
+            dilation: IntExpr::Const(1),
+        }),
+        vec![ValueRef::output0(x), ValueRef::output0(w1), ValueRef::output0(b1)],
+        vec![TensorType::concrete(DType::F32, &[1, 8, 16, 16])],
+    );
+    let relu1 = g.add_node(
+        NodeKind::Operator(Op::Unary(UnaryKind::Relu)),
+        vec![ValueRef::output0(conv1)],
+        vec![TensorType::concrete(DType::F32, &[1, 8, 16, 16])],
+    );
+    let pool = g.add_node(
+        NodeKind::Operator(Op::MaxPool2d {
+            kh: IntExpr::Const(2),
+            kw: IntExpr::Const(2),
+            stride: IntExpr::Const(2),
+            padding: IntExpr::Const(0),
+        }),
+        vec![ValueRef::output0(relu1)],
+        vec![TensorType::concrete(DType::F32, &[1, 8, 8, 8])],
+    );
+    let w2 = g.add_node(
+        NodeKind::Weight,
+        vec![],
+        vec![TensorType::concrete(DType::F32, &[8, 8, 1, 1])],
+    );
+    let b2 = g.add_node(
+        NodeKind::Weight,
+        vec![],
+        vec![TensorType::concrete(DType::F32, &[8])],
+    );
+    let conv2 = g.add_node(
+        NodeKind::Operator(Op::Conv2d {
+            in_channels: IntExpr::Const(8),
+            out_channels: IntExpr::Const(8),
+            kh: IntExpr::Const(1),
+            kw: IntExpr::Const(1),
+            stride: IntExpr::Const(1),
+            padding: IntExpr::Const(0),
+            dilation: IntExpr::Const(1),
+        }),
+        vec![ValueRef::output0(pool), ValueRef::output0(w2), ValueRef::output0(b2)],
+        vec![TensorType::concrete(DType::F32, &[1, 8, 8, 8])],
+    );
+    g.add_node(
+        NodeKind::Operator(Op::Unary(UnaryKind::Relu)),
+        vec![ValueRef::output0(conv2)],
+        vec![TensorType::concrete(DType::F32, &[1, 8, 8, 8])],
+    );
+    g
+}
+
+/// A small fixed MLP: Input → Dense → Tanh → Dense.
+fn seed_mlp() -> Graph<Op> {
+    let mut g: Graph<Op> = Graph::new();
+    let x = g.add_node(
+        NodeKind::Input,
+        vec![],
+        vec![TensorType::concrete(DType::F32, &[2, 16])],
+    );
+    let w1 = g.add_node(
+        NodeKind::Weight,
+        vec![],
+        vec![TensorType::concrete(DType::F32, &[16, 8])],
+    );
+    let b1 = g.add_node(
+        NodeKind::Weight,
+        vec![],
+        vec![TensorType::concrete(DType::F32, &[8])],
+    );
+    let d1 = g.add_node(
+        NodeKind::Operator(Op::Dense {
+            in_features: IntExpr::Const(16),
+            units: IntExpr::Const(8),
+        }),
+        vec![ValueRef::output0(x), ValueRef::output0(w1), ValueRef::output0(b1)],
+        vec![TensorType::concrete(DType::F32, &[2, 8])],
+    );
+    let t = g.add_node(
+        NodeKind::Operator(Op::Unary(UnaryKind::Tanh)),
+        vec![ValueRef::output0(d1)],
+        vec![TensorType::concrete(DType::F32, &[2, 8])],
+    );
+    let w2 = g.add_node(
+        NodeKind::Weight,
+        vec![],
+        vec![TensorType::concrete(DType::F32, &[8, 4])],
+    );
+    let b2 = g.add_node(
+        NodeKind::Weight,
+        vec![],
+        vec![TensorType::concrete(DType::F32, &[4])],
+    );
+    g.add_node(
+        NodeKind::Operator(Op::Dense {
+            in_features: IntExpr::Const(8),
+            units: IntExpr::Const(4),
+        }),
+        vec![ValueRef::output0(t), ValueRef::output0(w2), ValueRef::output0(b2)],
+        vec![TensorType::concrete(DType::F32, &[2, 4])],
+    );
+    g
+}
+
+/// The LEMON-style mutation fuzzer.
+#[derive(Debug)]
+pub struct Lemon<R: Rng> {
+    rng: R,
+    corpus: Vec<Graph<Op>>,
+    /// Mutations applied per emitted model.
+    pub mutations_per_model: usize,
+}
+
+impl<R: Rng> Lemon<R> {
+    /// Creates the fuzzer with the built-in seed-model zoo.
+    pub fn new(rng: R) -> Self {
+        Lemon {
+            rng,
+            corpus: vec![seed_cnn(), seed_mlp()],
+            mutations_per_model: 3,
+        }
+    }
+
+    /// Applies one random LEMON mutation in place.
+    fn mutate(&mut self, g: &mut Graph<Op>) {
+        match self.rng.gen_range(0..3) {
+            // Layer addition: insert a shape-preserving unary op after a
+            // random float value.
+            0 => {
+                let candidates: Vec<ValueRef> = g
+                    .all_values()
+                    .into_iter()
+                    .filter(|v| g.value_type(*v).dtype.is_float())
+                    .collect();
+                let Some(&target) = candidates.choose(&mut self.rng) else {
+                    return;
+                };
+                let ttype = g.value_type(target).clone();
+                let kind = *SAFE_UNARY.choose(&mut self.rng).expect("nonempty");
+                let new_node = g.add_node(
+                    NodeKind::Operator(Op::Unary(kind)),
+                    vec![target],
+                    vec![ttype],
+                );
+                // Rewire previous consumers of `target` to the new node.
+                for i in 0..g.len() {
+                    let id = NodeId(i as u32);
+                    if id == new_node {
+                        continue;
+                    }
+                    for v in &mut g.node_mut(id).inputs {
+                        if *v == target {
+                            *v = ValueRef::output0(new_node);
+                        }
+                    }
+                }
+            }
+            // Layer deletion: bypass a shape-preserving unary operator.
+            1 => {
+                let deletable: Vec<NodeId> = g
+                    .operators()
+                    .into_iter()
+                    .filter(|&id| {
+                        matches!(g.node(id).kind.as_operator(), Some(Op::Unary(_)))
+                    })
+                    .collect();
+                let Some(&victim) = deletable.choose(&mut self.rng) else {
+                    return;
+                };
+                let src = g.node(victim).inputs[0];
+                for i in 0..g.len() {
+                    let id = NodeId(i as u32);
+                    if id == victim {
+                        continue;
+                    }
+                    for v in &mut g.node_mut(id).inputs {
+                        if *v == ValueRef::output0(victim) {
+                            *v = src;
+                        }
+                    }
+                }
+                // The victim stays as a dangling (extra-output) node —
+                // LEMON models keep such residues too.
+            }
+            // Layer duplication: stack the same unary twice.
+            _ => {
+                let dup: Vec<NodeId> = g
+                    .operators()
+                    .into_iter()
+                    .filter(|&id| {
+                        matches!(g.node(id).kind.as_operator(), Some(Op::Unary(_)))
+                    })
+                    .collect();
+                let Some(&orig) = dup.choose(&mut self.rng) else {
+                    return;
+                };
+                let op = g.node(orig).kind.as_operator().expect("unary").clone();
+                let ttype = g.node(orig).outputs[0].clone();
+                let new_node = g.add_node(
+                    NodeKind::Operator(op),
+                    vec![ValueRef::output0(orig)],
+                    vec![ttype],
+                );
+                for i in 0..g.len() {
+                    let id = NodeId(i as u32);
+                    if id == new_node {
+                        continue;
+                    }
+                    for v in &mut g.node_mut(id).inputs {
+                        if *v == ValueRef::output0(orig) && id != new_node {
+                            *v = ValueRef::output0(new_node);
+                        }
+                    }
+                }
+                // Fix self-loop: the duplicate must still read the original.
+                g.node_mut(new_node).inputs = vec![ValueRef::output0(orig)];
+            }
+        }
+    }
+}
+
+impl<R: Rng> TestCaseSource for Lemon<R> {
+    fn name(&self) -> &str {
+        "LEMON"
+    }
+
+    fn next_case(&mut self) -> Option<TestCase> {
+        let idx = self.rng.gen_range(0..self.corpus.len());
+        let mut graph = self.corpus[idx].clone();
+        for _ in 0..self.mutations_per_model {
+            self.mutate(&mut graph);
+        }
+        debug_assert!(graph.validate().is_ok());
+        // LEMON has no value search: plain random values.
+        let bindings = random_bindings(&graph, -3.0, 3.0, &mut self.rng).ok()?;
+        Some(TestCase::from_bindings(graph, bindings))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn seeds_are_valid_and_runnable() {
+        for g in [seed_cnn(), seed_mlp()] {
+            assert!(g.validate().is_ok());
+            let mut rng = StdRng::seed_from_u64(0);
+            let b = random_bindings(&g, -1.0, 1.0, &mut rng).unwrap();
+            assert!(nnsmith_ops::execute(&g, &b).is_ok());
+        }
+    }
+
+    #[test]
+    fn mutants_stay_valid_and_runnable() {
+        let mut lemon = Lemon::new(StdRng::seed_from_u64(1));
+        for _ in 0..30 {
+            let case = lemon.next_case().unwrap();
+            assert!(case.graph.validate().is_ok());
+            assert!(
+                nnsmith_ops::execute(&case.graph, &case.all_bindings()).is_ok(),
+                "mutant must execute"
+            );
+        }
+    }
+
+    #[test]
+    fn mutants_only_add_shape_preserving_unary_ops() {
+        let mut lemon = Lemon::new(StdRng::seed_from_u64(2));
+        let baseline: std::collections::HashSet<&'static str> = seed_cnn()
+            .operators()
+            .iter()
+            .chain(seed_mlp().operators().iter())
+            .map(|_| "")
+            .collect();
+        let _ = baseline;
+        for _ in 0..20 {
+            let case = lemon.next_case().unwrap();
+            for id in case.graph.operators() {
+                let op = case.graph.node(id).kind.as_operator().unwrap();
+                // Only ops from the seeds plus safe unaries can appear.
+                let ok = matches!(
+                    op,
+                    Op::Unary(_)
+                        | Op::Conv2d { .. }
+                        | Op::MaxPool2d { .. }
+                        | Op::Dense { .. }
+                );
+                assert!(ok, "unexpected op {}", op.name());
+            }
+        }
+    }
+
+    #[test]
+    fn never_generates_strided_slice_or_broadcast() {
+        // The structural limitation behind LEMON's missed bugs (§2.3).
+        let mut lemon = Lemon::new(StdRng::seed_from_u64(3));
+        for _ in 0..30 {
+            let case = lemon.next_case().unwrap();
+            for id in case.graph.operators() {
+                let op = case.graph.node(id).kind.as_operator().unwrap();
+                assert!(!matches!(
+                    op,
+                    Op::Slice { .. } | Op::BroadcastTo { .. } | Op::Reshape { .. }
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # nnsmith-baselines
+//!
+//! Reimplementations of the three baseline fuzzers NNSmith is evaluated
+//! against (§5.2, §6.1):
+//!
+//! * [`Lemon`] — mutates fixed "pre-trained" seed models using only
+//!   shape-preserving unary operators (no broadcasting, no strided slices,
+//!   no attribute exploration);
+//! * [`GraphFuzzer`] — wires a restricted operator corpus at random and
+//!   repairs shapes syntactically with stride-1 slices and padding (the
+//!   Listing-1 `M1` pattern), instantiating shape-changing operators with
+//!   shape-preserving attributes;
+//! * [`Tzer`] — mutates tvmsim's low-level loop IR directly, reaching
+//!   low-level branches graph fuzzing cannot while covering no graph-level
+//!   pass.
+//!
+//! LEMON's and GraphFuzzer's generators implement
+//! [`nnsmith_difftest::TestCaseSource`] so the same campaign driver
+//! compares all fuzzers (Figures 4–8).
+
+#![warn(missing_docs)]
+
+mod graphfuzzer;
+mod lemon;
+mod tzer;
+
+pub use graphfuzzer::{GraphFuzzer, GraphFuzzerConfig};
+pub use lemon::Lemon;
+pub use tzer::{run_tzer_campaign, Tzer, TzerPoint};

@@ -1,0 +1,56 @@
+//! End-to-end latencies: one full fuzzing iteration (generate + search +
+//! compile + compare) and compiler pass-pipeline costs per system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nnsmith_bench::nnsmith_source;
+use nnsmith_compilers::{ortsim, trtsim, tvmsim, CompileOptions, CoverageSet};
+use nnsmith_difftest::{run_case, TestCaseSource, Tolerance};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    // Pre-build a case pool so the compile benches isolate compilation.
+    let mut src = nnsmith_source(123);
+    let cases: Vec<_> = (0..6).filter_map(|_| src.next_case()).collect();
+    assert!(!cases.is_empty());
+
+    for compiler in [tvmsim(), ortsim(), trtsim()] {
+        let name = compiler.system().name();
+        group.bench_function(format!("difftest_one_case/{name}"), |b| {
+            let mut k = 0usize;
+            b.iter(|| {
+                k += 1;
+                let case = &cases[k % cases.len()];
+                let mut cov = CoverageSet::new();
+                run_case(
+                    &compiler,
+                    case,
+                    &CompileOptions::default(),
+                    Tolerance::default(),
+                    &mut cov,
+                )
+            });
+        });
+    }
+
+    group.bench_function("full_iteration_generate_to_verdict", |b| {
+        let compiler = tvmsim();
+        let mut fuzzer = nnsmith_source(321);
+        b.iter(|| {
+            let case = fuzzer.next_case().expect("case");
+            let mut cov = CoverageSet::new();
+            run_case(
+                &compiler,
+                &case,
+                &CompileOptions::default(),
+                Tolerance::default(),
+                &mut cov,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

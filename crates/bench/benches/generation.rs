@@ -1,0 +1,58 @@
+//! Model-generation throughput (backs the §5.3 claim: generating a
+//! 10-node model costs ~83 ms in the paper's Python implementation), plus
+//! the incremental-solving ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nnsmith_gen::{GenConfig, Generator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(10);
+    for &size in &[5usize, 10, 20] {
+        group.bench_with_input(BenchmarkId::new("nodes", size), &size, |b, &size| {
+            let generator = Generator::new(GenConfig {
+                target_ops: size,
+                max_attempts: size * 60,
+                ..GenConfig::default()
+            });
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = StdRng::seed_from_u64(seed);
+                generator.generate(&mut rng).expect("generation")
+            });
+        });
+    }
+    // Ablations: binning off, type filter off.
+    group.bench_function("nodes/10/no-binning", |b| {
+        let generator = Generator::new(GenConfig {
+            binning: false,
+            ..GenConfig::default()
+        });
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            generator.generate(&mut rng).expect("generation")
+        });
+    });
+    group.bench_function("nodes/10/no-type-filter", |b| {
+        let generator = Generator::new(GenConfig {
+            type_filter: false,
+            max_attempts: 1200,
+            ..GenConfig::default()
+        });
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let _ = generator.generate(&mut rng); // may fail more often
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

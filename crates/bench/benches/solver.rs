@@ -1,0 +1,52 @@
+//! Constraint-solver micro-benchmarks: the incremental-solving speedup
+//! (Algorithm 1's `try_add_constraints`) and representative NNSmith
+//! constraint shapes (conv arithmetic, reshape products).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nnsmith_solver::{IntExpr, Solver, SolverConfig};
+
+fn conv_system(incremental: bool) {
+    let mut s = Solver::with_config(SolverConfig {
+        incremental,
+        ..SolverConfig::default()
+    });
+    // Ten chained conv-like constraints, added incrementally.
+    let mut h = IntExpr::var(s.new_var("h0", 1, 64));
+    for i in 0..10 {
+        let k = IntExpr::var(s.new_var(format!("k{i}"), 1, 7));
+        let p = IntExpr::var(s.new_var(format!("p{i}"), 0, 3));
+        let st = IntExpr::var(s.new_var(format!("s{i}"), 1, 4));
+        let out = (h.clone() + IntExpr::from(2) * p.clone() - k.clone()) / st + 1.into();
+        let added = s.try_add_constraints([
+            k.le(h.clone() + IntExpr::from(2) * p),
+            out.clone().ge(1.into()),
+            out.clone().le(64.into()),
+        ]);
+        assert!(added.is_some());
+        h = out;
+    }
+}
+
+fn reshape_system() {
+    let mut s = Solver::default();
+    let dims: Vec<IntExpr> = (0..4)
+        .map(|i| IntExpr::var(s.new_var(format!("d{i}"), 1, 1 << 20)))
+        .collect();
+    let prod = dims.iter().cloned().reduce(|a, b| a * b).unwrap();
+    s.assert(prod.eq_expr(IntExpr::from(2 * 3 * 62 * 62)));
+    assert!(s.check().is_sat());
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    group.sample_size(20);
+    group.bench_function("conv_chain_incremental", |b| b.iter(|| conv_system(true)));
+    group.bench_function("conv_chain_ablation_non_incremental", |b| {
+        b.iter(|| conv_system(false))
+    });
+    group.bench_function("reshape_product", |b| b.iter(reshape_system));
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Figure 11: effectiveness of gradient-based value search — success rate
+//! vs average search time for Sampling / Gradient / Gradient+Proxy on
+//! models of 10, 20 and 30 nodes (each containing at least one vulnerable
+//! operator), plus the §3.3 NaN-rate statistic.
+//!
+//! `cargo run -p nnsmith-bench --release --bin fig11_value_search [models-per-group]`
+
+use std::time::Duration;
+
+use nnsmith_gen::{GenConfig, Generator};
+use nnsmith_graph::Graph;
+use nnsmith_ops::Op;
+use nnsmith_search::{nan_rate, search_values, SearchConfig, SearchMethod};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `n` models of the given size containing >= 1 vulnerable op.
+fn vulnerable_models(size: usize, n: usize, seed: u64) -> Vec<Graph<Op>> {
+    let generator = Generator::new(GenConfig {
+        target_ops: size,
+        max_attempts: size * 80,
+        ..GenConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    while out.len() < n {
+        let s: u64 = rng.gen();
+        let mut grng = StdRng::seed_from_u64(s);
+        let Ok(model) = generator.generate(&mut grng) else { continue };
+        let vulnerable = model.graph.operators().iter().any(|&id| {
+            model.graph.node(id).kind.as_operator().is_some_and(Op::is_vulnerable)
+        });
+        if vulnerable && model.graph.operators().len() >= size * 7 / 10 {
+            out.push(model.graph);
+        }
+    }
+    out
+}
+
+fn main() {
+    let per_group: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48); // paper: 512 per group
+
+    println!("== Figure 11 — value-search success rate vs time ({per_group} models/group) ==");
+    for &size in &[10usize, 20, 30] {
+        let models = vulnerable_models(size, per_group, size as u64);
+        // §3.3 statistic on the 20-node group.
+        if size == 20 {
+            let mut rng = StdRng::seed_from_u64(99);
+            let mut rates = 0.0;
+            for g in &models {
+                rates += if nan_rate(g, 4, -5.0, 5.0, &mut rng) > 0.0 { 1.0 } else { 0.0 };
+            }
+            println!(
+                "[§3.3] {:.1}% of {size}-node models hit NaN/Inf under random values (paper: 56.8%)",
+                100.0 * rates / models.len() as f64
+            );
+        }
+        for (label, method) in [
+            ("Sampling", SearchMethod::Sampling),
+            ("Gradient", SearchMethod::Gradient),
+            ("Gradient+Proxy", SearchMethod::GradientProxy),
+        ] {
+            print!("size {size:>2} {label:>15}: ");
+            for i in 1..=8u64 {
+                let budget = Duration::from_millis(i * 8);
+                let mut success = 0usize;
+                let mut total_time = Duration::ZERO;
+                for (k, g) in models.iter().enumerate() {
+                    let mut rng = StdRng::seed_from_u64(1000 + k as u64);
+                    let out = search_values(
+                        g,
+                        &SearchConfig {
+                            method,
+                            budget,
+                            // The paper's empirically-best init range [1, 9]
+                            // shared by all methods (§5.3).
+                            init_lo: 1.0,
+                            init_hi: 9.0,
+                            ..SearchConfig::default()
+                        },
+                        &mut rng,
+                    );
+                    total_time += out.elapsed;
+                    if out.succeeded() {
+                        success += 1;
+                    }
+                }
+                let avg_ms = total_time.as_secs_f64() * 1000.0 / models.len() as f64;
+                print!(
+                    "{:.1}ms:{:.2} ",
+                    avg_ms,
+                    success as f64 / models.len() as f64
+                );
+            }
+            println!();
+        }
+    }
+}

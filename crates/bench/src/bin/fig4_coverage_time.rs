@@ -1,0 +1,36 @@
+//! Figure 4: total branch coverage over time (all files) on ortsim and
+//! tvmsim, for NNSmith vs GraphFuzzer vs LEMON.
+//!
+//! `cargo run -p nnsmith-bench --release --bin fig4_coverage_time [secs]`
+
+use nnsmith_bench::{arg_secs, print_ratio_summary, three_way_campaigns};
+use nnsmith_compilers::{ortsim, tvmsim};
+
+fn main() {
+    let secs = arg_secs(20);
+    for compiler in [ortsim(), tvmsim()] {
+        let name = compiler.system().name();
+        println!("== Figure 4 ({name}) — total branch coverage over time, {secs}s ==");
+        let results = three_way_campaigns(&compiler, secs);
+        for r in &results {
+            print!("{:>12}: ", r.source);
+            for p in &r.timeline {
+                print!("{}ms:{} ", p.elapsed_ms, p.total_branches);
+            }
+            println!();
+        }
+        for r in &results {
+            println!(
+                "{:>12}: total {:>5} / {} declared ({:.1}%), {} cases",
+                r.source,
+                r.total_coverage(),
+                compiler.manifest().total_branches(),
+                100.0 * r.total_coverage() as f64
+                    / compiler.manifest().total_branches() as f64,
+                r.cases
+            );
+        }
+        print_ratio_summary(&results, |r| r.total_coverage());
+        println!();
+    }
+}

@@ -1,0 +1,33 @@
+//! Figure 5: total branch coverage over the number of generated test
+//! cases — NNSmith produces fewer but higher-quality cases.
+//!
+//! `cargo run -p nnsmith-bench --release --bin fig5_coverage_iters [secs]`
+
+use nnsmith_bench::{arg_secs, three_way_campaigns};
+use nnsmith_compilers::{ortsim, tvmsim};
+
+fn main() {
+    let secs = arg_secs(20);
+    for compiler in [ortsim(), tvmsim()] {
+        let name = compiler.system().name();
+        println!("== Figure 5 ({name}) — coverage over #test cases, {secs}s ==");
+        let results = three_way_campaigns(&compiler, secs);
+        for r in &results {
+            print!("{:>12}: ", r.source);
+            for p in &r.timeline {
+                print!("{}cases:{} ", p.cases, p.total_branches);
+            }
+            println!();
+        }
+        // Throughput comparison (the "LEMON is slowest" observation).
+        for r in &results {
+            println!(
+                "{:>12}: {} cases in {secs}s ({:.1} cases/s)",
+                r.source,
+                r.cases,
+                r.cases as f64 / secs as f64
+            );
+        }
+        println!();
+    }
+}

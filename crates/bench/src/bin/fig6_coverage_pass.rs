@@ -1,0 +1,35 @@
+//! Figure 6: pass-only branch coverage over time (the optimizer /
+//! transforms directories only).
+//!
+//! `cargo run -p nnsmith-bench --release --bin fig6_coverage_pass [secs]`
+
+use nnsmith_bench::{arg_secs, print_ratio_summary, three_way_campaigns};
+use nnsmith_compilers::{ortsim, tvmsim};
+
+fn main() {
+    let secs = arg_secs(20);
+    for compiler in [ortsim(), tvmsim()] {
+        let name = compiler.system().name();
+        println!("== Figure 6 ({name}) — pass-only coverage over time, {secs}s ==");
+        let results = three_way_campaigns(&compiler, secs);
+        for r in &results {
+            print!("{:>12}: ", r.source);
+            for p in &r.timeline {
+                print!("{}ms:{} ", p.elapsed_ms, p.pass_branches);
+            }
+            println!();
+        }
+        for r in &results {
+            println!(
+                "{:>12}: pass-only {:>4} / {} declared ({:.1}%)",
+                r.source,
+                r.pass_coverage(&compiler),
+                compiler.manifest().pass_branches(),
+                100.0 * r.pass_coverage(&compiler) as f64
+                    / compiler.manifest().pass_branches() as f64,
+            );
+        }
+        print_ratio_summary(&results, |r| r.pass_coverage(&compiler));
+        println!();
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 8: NNSmith vs Tzer on tvmsim, all files and pass-only files.
+//! Tzer mutates low-level IR, so it keeps exclusive low-level branches
+//! while missing the graph-level passes.
+//!
+//! `cargo run -p nnsmith-bench --release --bin fig8_tzer [secs]`
+
+use std::time::Duration;
+
+use nnsmith_baselines::{run_tzer_campaign, Tzer};
+use nnsmith_bench::{arg_secs, nnsmith_source, single_campaign};
+use nnsmith_compilers::tvmsim;
+use nnsmith_difftest::Venn2;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let secs = arg_secs(20);
+    let compiler = tvmsim();
+    println!("== Figure 8 — NNSmith vs Tzer on tvmsim, {secs}s each ==");
+
+    let mut src = nnsmith_source(44);
+    let nnsmith = single_campaign(&compiler, &mut src, secs);
+    let tzer = Tzer::new(StdRng::seed_from_u64(55));
+    let (tzer_cov, tzer_timeline) = run_tzer_campaign(tzer, Duration::from_secs(secs), None);
+
+    // (a) All files.
+    let v = Venn2::of(&tzer_cov, &nnsmith.coverage);
+    println!("[all files]  Tzer total {} | NNSmith total {}", v.total_a(), v.total_b());
+    println!("[all files]  Tzer-only {} | shared {} | NNSmith-only {}", v.only_a, v.both, v.only_b);
+    println!(
+        "[all files]  NNSmith/Tzer = {:.2}x; Tzer exclusive branches: {}",
+        v.total_b() as f64 / v.total_a().max(1) as f64,
+        v.only_a
+    );
+
+    // (b) Pass-only files.
+    let manifest = compiler.manifest();
+    let filt = |cov: &nnsmith_compilers::CoverageSet| {
+        let mut out = nnsmith_compilers::CoverageSet::new();
+        for b in cov.iter() {
+            if manifest.files()[b.file.0 as usize].kind == nnsmith_compilers::FileKind::Pass {
+                out.insert(b);
+            }
+        }
+        out
+    };
+    let vp = Venn2::of(&filt(&tzer_cov), &filt(&nnsmith.coverage));
+    println!("[pass-only]  Tzer total {} | NNSmith total {}", vp.total_a(), vp.total_b());
+    println!("[pass-only]  Tzer-only {} | shared {} | NNSmith-only {}", vp.only_a, vp.both, vp.only_b);
+    println!(
+        "Tzer executed {} IR mutants; NNSmith executed {} models",
+        tzer_timeline.last().map(|p| p.iterations).unwrap_or(0),
+        nnsmith.cases
+    );
+}

@@ -1,0 +1,60 @@
+//! §5.4 baseline analysis: how many of the 72 seeded bugs each fuzzer's
+//! generator can *reach* (trigger pattern appears in a generated model).
+//! The paper's theoretical analysis: 49/72 bugs are unreachable by LEMON
+//! and GraphFuzzer; LEMON reaches at most 17, GraphFuzzer at most 23.
+//!
+//! `cargo run -p nnsmith-bench --release --bin tab4_baseline_reachability [models]`
+
+use std::collections::BTreeSet;
+
+use nnsmith_bench::{graphfuzzer_source, lemon_source, nnsmith_source};
+use nnsmith_compilers::registry;
+use nnsmith_difftest::TestCaseSource;
+
+fn reachable(source: &mut dyn TestCaseSource, models: usize) -> BTreeSet<&'static str> {
+    let bugs = registry();
+    let mut hit = BTreeSet::new();
+    for _ in 0..models {
+        let Some(case) = source.next_case() else { break };
+        for b in &bugs {
+            if !hit.contains(b.id) && b.triggers(&case.graph) {
+                hit.insert(b.id);
+            }
+        }
+    }
+    hit
+}
+
+fn main() {
+    let models: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    println!("== §5.4 — seeded bugs reachable per generator ({models} models each) ==");
+    let mut nn = nnsmith_source(5);
+    let nn_hit = reachable(&mut nn, models);
+    let mut gf = graphfuzzer_source(6);
+    let gf_hit = reachable(&mut gf, models);
+    let mut lm = lemon_source(7);
+    let lm_hit = reachable(&mut lm, models);
+
+    println!("NNSmith     reaches {:>2} / 72", nn_hit.len());
+    println!("GraphFuzzer reaches {:>2} / 72 (paper bound: <= 23)", gf_hit.len());
+    println!("LEMON       reaches {:>2} / 72 (paper bound: <= 17)", lm_hit.len());
+    let nn_only: Vec<&&str> = nn_hit
+        .iter()
+        .filter(|id| !gf_hit.contains(**id) && !lm_hit.contains(**id))
+        .collect();
+    println!(
+        "bugs only NNSmith reaches here: {} (paper: 49 unreachable by both baselines)",
+        nn_only.len()
+    );
+    println!(
+        "GraphFuzzer-reachable: {}",
+        gf_hit.iter().copied().collect::<Vec<_>>().join(", ")
+    );
+    println!(
+        "LEMON-reachable: {}",
+        lm_hit.iter().copied().collect::<Vec<_>>().join(", ")
+    );
+}

@@ -1,0 +1,137 @@
+//! # nnsmith-bench
+//!
+//! Experiment drivers regenerating every table and figure of the NNSmith
+//! paper's evaluation (§5), plus Criterion micro-benchmarks.
+//!
+//! Each `--bin` target prints the rows/series of one paper figure or
+//! table, scaled from the paper's 4-hour runs down to seconds (pass a
+//! duration argument to scale up):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig4_coverage_time` | Fig. 4 — total branch coverage over time |
+//! | `fig5_coverage_iters` | Fig. 5 — coverage over #test cases |
+//! | `fig6_coverage_pass` | Fig. 6 — pass-only coverage over time |
+//! | `fig7_venn` | Fig. 7 — coverage Venn diagrams |
+//! | `fig8_tzer` | Fig. 8 — NNSmith vs Tzer on tvmsim |
+//! | `fig9_op_instances` | Fig. 9 — unique operator instances, binning ablation |
+//! | `fig10_binning_cov` | Fig. 10 — binning impact on coverage |
+//! | `fig11_value_search` | Fig. 11 + §3.3 NaN-rate stat |
+//! | `tab3_bug_study` | Table 3 — seeded-bug study |
+//! | `tab4_baseline_reachability` | §5.4 — bugs reachable per fuzzer |
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use nnsmith_baselines::{GraphFuzzer, GraphFuzzerConfig, Lemon};
+use nnsmith_compilers::Compiler;
+use nnsmith_core::{NnSmith, NnSmithConfig};
+use nnsmith_difftest::{run_campaign, CampaignConfig, CampaignResult, TestCaseSource};
+
+/// Parses the first CLI argument as seconds, with a default.
+pub fn arg_secs(default: u64) -> u64 {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The NNSmith pipeline source with paper-default settings (10-node
+/// models, k = 7 bins, gradient+proxy search).
+pub fn nnsmith_source(seed: u64) -> NnSmith {
+    NnSmith::new(NnSmithConfig {
+        seed,
+        ..NnSmithConfig::default()
+    })
+}
+
+/// The LEMON baseline source.
+pub fn lemon_source(seed: u64) -> Lemon<StdRng> {
+    Lemon::new(StdRng::seed_from_u64(seed))
+}
+
+/// The GraphFuzzer baseline source.
+pub fn graphfuzzer_source(seed: u64) -> GraphFuzzer<StdRng> {
+    GraphFuzzer::new(StdRng::seed_from_u64(seed), GraphFuzzerConfig::default())
+}
+
+/// Runs the standard three-fuzzer comparison (NNSmith, GraphFuzzer,
+/// LEMON) against one compiler for `secs` seconds each.
+pub fn three_way_campaigns(compiler: &Compiler, secs: u64) -> Vec<CampaignResult> {
+    let cfg = CampaignConfig {
+        duration: Duration::from_secs(secs),
+        ..CampaignConfig::default()
+    };
+    let mut results = Vec::new();
+    {
+        let mut src = nnsmith_source(11);
+        results.push(run_campaign(compiler, &mut src, &cfg));
+    }
+    {
+        let mut src = graphfuzzer_source(22);
+        results.push(run_campaign(compiler, &mut src, &cfg));
+    }
+    {
+        let mut src = lemon_source(33);
+        results.push(run_campaign(compiler, &mut src, &cfg));
+    }
+    results
+}
+
+/// Prints a campaign comparison footer: totals and the NNSmith-vs-2nd-best
+/// ratio the paper reports.
+pub fn print_ratio_summary(results: &[CampaignResult], metric: impl Fn(&CampaignResult) -> usize) {
+    let mut best_other = 0usize;
+    let mut nnsmith = 0usize;
+    for r in results {
+        let v = metric(r);
+        if r.source == "NNSmith" {
+            nnsmith = v;
+        } else {
+            best_other = best_other.max(v);
+        }
+    }
+    if best_other > 0 {
+        println!(
+            "NNSmith vs 2nd-best: {nnsmith} / {best_other} = {:.2}x",
+            nnsmith as f64 / best_other as f64
+        );
+    }
+}
+
+/// Runs one source against one compiler (convenience for single-cell
+/// experiments).
+pub fn single_campaign(
+    compiler: &Compiler,
+    source: &mut dyn TestCaseSource,
+    secs: u64,
+) -> CampaignResult {
+    run_campaign(
+        compiler,
+        source,
+        &CampaignConfig {
+            duration: Duration::from_secs(secs),
+            ..CampaignConfig::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnsmith_compilers::ortsim;
+
+    #[test]
+    fn three_way_runs_quickly() {
+        let compiler = ortsim();
+        let results = three_way_campaigns(&compiler, 2);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].source, "NNSmith");
+        for r in &results {
+            assert!(r.cases > 0, "{} produced no cases", r.source);
+            assert!(r.total_coverage() > 0);
+        }
+    }
+}

@@ -1,0 +1,1149 @@
+//! The seeded-bug registry: 72 injected defects reproducing the bug study
+//! of §5.4 (Table 3).
+//!
+//! The paper found 72 real bugs across TVM, ONNXRuntime, TensorRT and the
+//! PyTorch ONNX exporter. Since those compilers (and their bugs) are not
+//! available offline, this reproduction seeds the simulated compilers with
+//! 72 defects whose *triggering conditions mirror the bug patterns the
+//! paper describes*: wrong expression simplification, wrong layout
+//! analysis, int32/int64 mismatches, scalar mishandling, broadcasting
+//! mistakes and dtype mismatches. Each trigger requires the structural
+//! pattern the paper attributes to the bug (e.g. a `MatMul` with a `1×1`
+//! operand, or a `Conv2d` followed by a strided channel `Slice`), so the
+//! detectability of a bug by a fuzzer is governed by the expressiveness of
+//! its generator — the property Table 3 and the baseline comparison
+//! measure.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use nnsmith_graph::{Graph, NodeId, NodeKind};
+use nnsmith_ops::{BinaryKind, CompareKind, Op, PadKind, UnaryKind};
+use nnsmith_tensor::{DType, ReduceKind};
+
+/// The system a bug is seeded in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum System {
+    /// The TVM-like end-to-end compiler.
+    TvmSim,
+    /// The ONNXRuntime-like graph-optimizing runtime.
+    OrtSim,
+    /// The TensorRT-like GPU compiler (closed-source stand-in).
+    TrtSim,
+    /// The PyTorch-exporter-like model serializer.
+    Exporter,
+}
+
+impl System {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            System::TvmSim => "tvmsim",
+            System::OrtSim => "ortsim",
+            System::TrtSim => "trtsim",
+            System::Exporter => "exporter",
+        }
+    }
+}
+
+/// Which compilation phase the bug lives in (Table 3 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Graph/IR transformation passes.
+    Transformation,
+    /// Model conversion / import / export.
+    Conversion,
+    /// Unknown location (closed-source component).
+    Unclassified,
+}
+
+/// Observable symptom (Table 3 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Symptom {
+    /// Segfault / exception: compilation (or execution) aborts.
+    Crash,
+    /// Wrong results: output differs from the reference.
+    Semantic,
+}
+
+/// One seeded bug.
+#[derive(Clone)]
+pub struct SeededBug {
+    /// Stable identifier, e.g. `"tvm-layout-3"`.
+    pub id: &'static str,
+    /// System the bug is seeded in.
+    pub system: System,
+    /// Phase.
+    pub phase: Phase,
+    /// Symptom.
+    pub symptom: Symptom,
+    /// One-line description of the pattern, in the style of §5.4.
+    pub description: &'static str,
+    detect: Arc<dyn Fn(&Graph<Op>) -> bool + Send + Sync>,
+}
+
+impl std::fmt::Debug for SeededBug {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeededBug")
+            .field("id", &self.id)
+            .field("system", &self.system)
+            .field("phase", &self.phase)
+            .field("symptom", &self.symptom)
+            .finish()
+    }
+}
+
+impl SeededBug {
+    /// True if `graph` contains this bug's triggering pattern.
+    pub fn triggers(&self, graph: &Graph<Op>) -> bool {
+        (self.detect)(graph)
+    }
+}
+
+/// Which seeded bugs are active (all by default; experiments can disable).
+#[derive(Debug, Clone)]
+pub struct BugConfig {
+    disabled: HashSet<&'static str>,
+    /// Disable every seeded bug (clean-compiler mode).
+    pub all_off: bool,
+}
+
+impl Default for BugConfig {
+    fn default() -> Self {
+        BugConfig {
+            disabled: HashSet::new(),
+            all_off: false,
+        }
+    }
+}
+
+impl BugConfig {
+    /// Every bug enabled.
+    pub fn all_on() -> Self {
+        BugConfig::default()
+    }
+
+    /// Every bug disabled.
+    pub fn none() -> Self {
+        BugConfig {
+            disabled: HashSet::new(),
+            all_off: true,
+        }
+    }
+
+    /// Disables one bug.
+    pub fn disable(&mut self, id: &'static str) {
+        self.disabled.insert(id);
+    }
+
+    /// True if the bug is active.
+    pub fn enabled(&self, id: &str) -> bool {
+        !self.all_off && !self.disabled.contains(id)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trigger helpers.
+// ---------------------------------------------------------------------------
+
+type Detect = Arc<dyn Fn(&Graph<Op>) -> bool + Send + Sync>;
+
+fn op_nodes(g: &Graph<Op>) -> impl Iterator<Item = (NodeId, &Op)> + '_ {
+    g.iter().filter_map(|(id, n)| match &n.kind {
+        NodeKind::Operator(op) => Some((id, op)),
+        _ => None,
+    })
+}
+
+/// Any operator satisfying `pred` (with access to its node for shapes).
+fn any_op(pred: impl Fn(&Graph<Op>, NodeId, &Op) -> bool + Send + Sync + 'static) -> Detect {
+    Arc::new(move |g: &Graph<Op>| op_nodes(g).any(|(id, op)| pred(g, id, op)))
+}
+
+/// Producer→consumer edge where both operators satisfy their predicates.
+fn pair(
+    prod: impl Fn(&Graph<Op>, NodeId, &Op) -> bool + Send + Sync + 'static,
+    cons: impl Fn(&Graph<Op>, NodeId, &Op) -> bool + Send + Sync + 'static,
+) -> Detect {
+    Arc::new(move |g: &Graph<Op>| {
+        op_nodes(g).any(|(cid, cop)| {
+            cons(g, cid, cop)
+                && g.node(cid).inputs.iter().any(|v| {
+                    matches!(&g.node(v.node).kind, NodeKind::Operator(pop) if prod(g, v.node, pop))
+                })
+        })
+    })
+}
+
+fn input_rank(g: &Graph<Op>, id: NodeId, idx: usize) -> Option<usize> {
+    let v = g.node(id).inputs.get(idx)?;
+    Some(g.value_type(*v).rank())
+}
+
+fn out_rank(g: &Graph<Op>, id: NodeId) -> usize {
+    g.node(id).outputs[0].rank()
+}
+
+fn out_dtype(g: &Graph<Op>, id: NodeId) -> DType {
+    g.node(id).outputs[0].dtype
+}
+
+fn attr_val(e: &nnsmith_solver::IntExpr) -> i64 {
+    e.as_const().unwrap_or(0)
+}
+
+fn is_conv(op: &Op) -> bool {
+    matches!(op, Op::Conv2d { .. })
+}
+
+// ---------------------------------------------------------------------------
+// The registry.
+// ---------------------------------------------------------------------------
+
+/// Builds the full registry of 72 seeded bugs with the Table 3
+/// distribution: ortsim 12 (10 transformation + 2 unclassified), tvmsim 40
+/// (29 transformation + 11 conversion), trtsim 10 (4 + 2 + 4), exporter 10
+/// (conversion); 55 crashes and 17 semantic bugs overall.
+pub fn registry() -> Vec<SeededBug> {
+    use Phase::*;
+    use Symptom::*;
+    use System::*;
+
+    let mut bugs: Vec<SeededBug> = Vec::new();
+    let mut add = |id: &'static str,
+                   system: System,
+                   phase: Phase,
+                   symptom: Symptom,
+                   description: &'static str,
+                   detect: Detect| {
+        bugs.push(SeededBug {
+            id,
+            system,
+            phase,
+            symptom,
+            description,
+            detect,
+        });
+    };
+
+    // ---------------- ortsim: 10 transformation (8 crash / 2 semantic) ----
+    add(
+        "ort-t01",
+        OrtSim,
+        Transformation,
+        Crash,
+        "FuseMatMulScale mistakes a 1x1 matrix for a scalar and emits an illegal rewrite",
+        pair(
+            |_, _, p| matches!(p, Op::Binary(BinaryKind::Mul)),
+            |g, id, c| {
+                *c == Op::MatMul
+                    && g.node(id).inputs.iter().any(|v| {
+                        let t = g.value_type(*v);
+                        t.rank() == 2
+                            && t.concrete_shape().is_some_and(|s| s == vec![1, 1])
+                    })
+            },
+        ),
+    );
+    add(
+        "ort-t02",
+        OrtSim,
+        Transformation,
+        Semantic,
+        "ReLU+Clip fusion runs the fused kernel in single precision for f64 tensors",
+        pair(
+            |g, id, p| matches!(p, Op::Unary(UnaryKind::Relu)) && out_dtype(g, id) == DType::F64,
+            |_, _, c| matches!(c, Op::Clip { .. }),
+        ),
+    );
+    add(
+        "ort-t03",
+        OrtSim,
+        Transformation,
+        Crash,
+        "BiasSoftmax fusion crashes when the Add broadcast expands a middle dimension",
+        pair(
+            |g, id, p| {
+                matches!(p, Op::Binary(BinaryKind::Add))
+                    && input_rank(g, id, 0) != input_rank(g, id, 1)
+            },
+            |_, _, c| matches!(c, Op::Softmax { .. }),
+        ),
+    );
+    add(
+        "ort-t04",
+        OrtSim,
+        Transformation,
+        Crash,
+        "Gemm fusion assumes rank-2 MatMul and crashes on batched operands",
+        pair(
+            |g, id, p| *p == Op::MatMul && out_rank(g, id) >= 3,
+            |_, _, c| matches!(c, Op::Binary(BinaryKind::Add)),
+        ),
+    );
+    add(
+        "ort-t05",
+        OrtSim,
+        Transformation,
+        Crash,
+        "constant-folding of Pad with negative padding indexes out of bounds",
+        any_op(|_, _, op| {
+            matches!(op, Op::Pad { pads, kind: PadKind::Constant }
+                if pads.iter().any(|(b, a)| attr_val(b) < 0 || attr_val(a) < 0))
+        }),
+    );
+    add(
+        "ort-t06",
+        OrtSim,
+        Transformation,
+        Semantic,
+        "Sub(x, x) is simplified to a zero constant, dropping NaN semantics",
+        any_op(|g, id, op| {
+            matches!(op, Op::Binary(BinaryKind::Sub)) && {
+                let ins = &g.node(id).inputs;
+                ins.len() == 2 && ins[0] == ins[1]
+            }
+        }),
+    );
+    add(
+        "ort-t07",
+        OrtSim,
+        Transformation,
+        Crash,
+        "transpose-elimination pass mishandles 4-D permutations that swap the batch axis",
+        any_op(|_, _, op| {
+            matches!(op, Op::Transpose { perm } if perm.len() == 4 && perm[0] != 0)
+        }),
+    );
+    add(
+        "ort-t08",
+        OrtSim,
+        Transformation,
+        Crash,
+        "Where-condition constant folding crashes when the condition is a broadcast scalar",
+        any_op(|g, id, op| {
+            *op == Op::Where && input_rank(g, id, 0) == Some(0)
+        }),
+    );
+    add(
+        "ort-t09",
+        OrtSim,
+        Transformation,
+        Crash,
+        "reduction-to-scalar fusion emits a kernel with zero output dims",
+        any_op(|g, id, op| matches!(op, Op::Reduce { .. }) && out_rank(g, id) == 0),
+    );
+    add(
+        "ort-t10",
+        OrtSim,
+        Transformation,
+        Crash,
+        "concat-of-three canonicalization drops the middle operand's type check",
+        any_op(|_, _, op| matches!(op, Op::Concat { n: 3, .. })),
+    );
+    // ---------------- ortsim: 2 unclassified (1 crash / 1 semantic) -------
+    add(
+        "ort-u01",
+        OrtSim,
+        Unclassified,
+        Crash,
+        "f64 ArgMin hits an unimplemented kernel specialization",
+        any_op(|g, id, op| {
+            matches!(op, Op::ArgExtreme { largest: false, .. })
+                && g.node(id)
+                    .inputs
+                    .first()
+                    .is_some_and(|v| g.value_type(*v).dtype == DType::F64)
+        }),
+    );
+    add(
+        "ort-u02",
+        OrtSim,
+        Unclassified,
+        Semantic,
+        "LeakyRelu of a rank-0 tensor silently uses slope 0",
+        any_op(|g, id, op| {
+            matches!(op, Op::Unary(UnaryKind::LeakyRelu)) && out_rank(g, id) == 0
+        }),
+    );
+
+    // ---------------- tvmsim: 29 transformation (24 crash / 5 semantic) ---
+    // Wrong layout analysis (7 — §5.4's layout-bug family).
+    add(
+        "tvm-layout-1",
+        TvmSim,
+        Transformation,
+        Crash,
+        "NCHW4c rewrite crashes when Conv2d feeds a Slice with channel stride > 1",
+        pair(is_conv_pred(), |g, id, c| {
+            matches!(c, Op::Slice { steps, .. } if steps.len() > 1 && steps[1] > 1)
+                && input_rank(g, id, 0) == Some(4)
+        }),
+    );
+    add(
+        "tvm-layout-2",
+        TvmSim,
+        Transformation,
+        Crash,
+        "NCHW4c rewrite cannot adapt a channel-axis Reduce consumer",
+        pair(is_conv_pred(), |_, _, c| {
+            matches!(c, Op::Reduce { axes, .. } if axes.contains(&1))
+        }),
+    );
+    add(
+        "tvm-layout-3",
+        TvmSim,
+        Transformation,
+        Crash,
+        "NCHW4c rewrite mis-sizes the packed buffer for a channel-axis Concat",
+        pair(is_conv_pred(), |_, _, c| {
+            matches!(c, Op::Concat { axis: 1, .. })
+        }),
+    );
+    add(
+        "tvm-layout-4",
+        TvmSim,
+        Transformation,
+        Crash,
+        "layout adaptation of Transpose moving the channel axis is wrong",
+        pair(is_conv_pred(), |_, _, c| {
+            matches!(c, Op::Transpose { perm } if perm.len() == 4 && perm[1] != 1)
+        }),
+    );
+    add(
+        "tvm-layout-5",
+        TvmSim,
+        Transformation,
+        Crash,
+        "packed-layout Resize reads the sub-channel dimension as spatial",
+        pair(is_conv_pred(), |_, _, c| {
+            matches!(c, Op::ResizeNearest { .. })
+        }),
+    );
+    add(
+        "tvm-layout-6",
+        TvmSim,
+        Transformation,
+        Semantic,
+        "layout-aware BatchNorm folds statistics with the packed channel order",
+        pair(is_conv_pred(), |_, _, c| matches!(c, Op::BatchNorm)),
+    );
+    add(
+        "tvm-layout-7",
+        TvmSim,
+        Transformation,
+        Crash,
+        "NCHW4c boundary insertion fails when the conv result is broadcast against rank-3",
+        pair(is_conv_pred(), |g, id, c| {
+            matches!(c, Op::Binary(_))
+                && g.node(id)
+                    .inputs
+                    .iter()
+                    .any(|v| g.value_type(*v).rank() == 3)
+        }),
+    );
+    // Integer type mismatch (9 — the int32/int64 family).
+    let int_mismatch: [(&'static str, Detect); 9] = [
+        (
+            "tvm-int-1",
+            pair(
+                |_, _, p| matches!(p, Op::Reshape { .. }),
+                |_, _, c| matches!(c, Op::Concat { .. }),
+            ),
+        ),
+        (
+            "tvm-int-2",
+            pair(
+                |_, _, p| matches!(p, Op::Reshape { .. }),
+                |_, _, c| matches!(c, Op::Slice { .. }),
+            ),
+        ),
+        (
+            "tvm-int-3",
+            pair(
+                |_, _, p| matches!(p, Op::BroadcastTo { .. }),
+                |_, _, c| matches!(c, Op::Reshape { .. }),
+            ),
+        ),
+        (
+            "tvm-int-4",
+            any_op(|g, id, op| {
+                matches!(op, Op::Reshape { .. })
+                    && out_dtype(g, id).is_int()
+                    && out_rank(g, id) >= 3
+            }),
+        ),
+        (
+            "tvm-int-5",
+            pair(
+                |_, _, p| matches!(p, Op::Reshape { .. }),
+                |_, _, c| matches!(c, Op::Reshape { .. }),
+            ),
+        ),
+        (
+            "tvm-int-6",
+            any_op(|g, id, op| {
+                matches!(op, Op::BroadcastTo { dims } if dims.len() > input_rank(g, id, 0).unwrap_or(0))
+            }),
+        ),
+        (
+            "tvm-int-7",
+            pair(
+                |_, _, p| matches!(p, Op::Flatten { .. }),
+                |_, _, c| matches!(c, Op::Reshape { .. }),
+            ),
+        ),
+        (
+            "tvm-int-8",
+            pair(
+                |_, _, p| matches!(p, Op::Unsqueeze { .. }),
+                |_, _, c| matches!(c, Op::BroadcastTo { .. }),
+            ),
+        ),
+        (
+            "tvm-int-9",
+            any_op(|g, id, op| {
+                matches!(op, Op::Reshape { dims } if dims.iter().any(|d| attr_val(d) >= 128))
+                    && out_dtype(g, id) == DType::I64
+            }),
+        ),
+    ];
+    for (id, det) in int_mismatch {
+        add(
+            id,
+            TvmSim,
+            Transformation,
+            Crash,
+            "int32/int64 index-width mismatch introduced by shape-carrying operators",
+            det,
+        );
+    }
+    // Wrong expression simplification & misc transformation (13 more:
+    // 8 crash / 4 semantic + 1 crash = adjust to reach 24c/5s overall).
+    add(
+        "tvm-simpl-1",
+        TvmSim,
+        Transformation,
+        Semantic,
+        "arithmetic rewrite switches floor-div and mul: (x/c)*c simplified to x for ints",
+        pair(
+            |g, id, p| matches!(p, Op::Binary(BinaryKind::Div)) && out_dtype(g, id).is_int(),
+            |_, _, c| matches!(c, Op::Binary(BinaryKind::Mul)),
+        ),
+    );
+    add(
+        "tvm-simpl-2",
+        TvmSim,
+        Transformation,
+        Semantic,
+        "Pow(x, 2) strength reduction to x*x ignores negative-zero semantics",
+        pair(
+            |_, _, p| matches!(p, Op::Binary(BinaryKind::Pow)),
+            |_, _, c| matches!(c, Op::Unary(UnaryKind::Sqrt)),
+        ),
+    );
+    add(
+        "tvm-simpl-3",
+        TvmSim,
+        Transformation,
+        Crash,
+        "fusion of a reduce epilogue into grouped Conv2d with dilation > 1 crashes",
+        any_op(|_, _, op| {
+            matches!(op, Op::Conv2d { dilation, .. } if attr_val(dilation) > 1)
+        }),
+    );
+    add(
+        "tvm-simpl-4",
+        TvmSim,
+        Transformation,
+        Crash,
+        "simplifier folds Min(x, x) but leaves a dangling type var for bool outputs",
+        any_op(|g, id, op| {
+            matches!(op, Op::Compare(CompareKind::LessEqual)) && out_rank(g, id) >= 3
+        }),
+    );
+    add(
+        "tvm-simpl-5",
+        TvmSim,
+        Transformation,
+        Semantic,
+        "ReduceProd reassociation overflows the accumulator dtype for i32",
+        any_op(|g, id, op| {
+            matches!(op, Op::Reduce { kind: ReduceKind::Prod, .. })
+                && out_dtype(g, id) == DType::I32
+        }),
+    );
+    add(
+        "tvm-pass-1",
+        TvmSim,
+        Transformation,
+        Crash,
+        "loop tiling asserts on pooling windows with padding == kernel-1",
+        any_op(|_, _, op| {
+            matches!(op, Op::MaxPool2d { kh, padding, .. } if attr_val(padding) == attr_val(kh) - 1 && attr_val(padding) > 0)
+        }),
+    );
+    add(
+        "tvm-pass-2",
+        TvmSim,
+        Transformation,
+        Crash,
+        "vectorizer crashes on AvgPool with stride > kernel",
+        any_op(|_, _, op| {
+            matches!(op, Op::AvgPool2d { kh, kw, stride, .. }
+                if attr_val(stride) > attr_val(kh).min(attr_val(kw)))
+        }),
+    );
+    add(
+        "tvm-pass-3",
+        TvmSim,
+        Transformation,
+        Crash,
+        "unroller mishandles Slice whose step exceeds the remaining extent",
+        any_op(|g, id, op| {
+            matches!(op, Op::Slice { steps, .. } if steps.iter().any(|&s| s >= 3))
+                && out_rank(g, id) >= 2
+        }),
+    );
+    add(
+        "tvm-pass-4",
+        TvmSim,
+        Transformation,
+        Crash,
+        "reflect-pad lowering reads one element past the mirror boundary",
+        any_op(|_, _, op| matches!(op, Op::Pad { kind: PadKind::Reflect, .. })),
+    );
+    add(
+        "tvm-pass-5",
+        TvmSim,
+        Transformation,
+        Crash,
+        "softmax on the outermost axis of a rank-4 tensor breaks the fused schedule",
+        any_op(|g, id, op| {
+            matches!(op, Op::Softmax { axis: 0 }) && out_rank(g, id) == 4
+        }),
+    );
+    add(
+        "tvm-pass-6",
+        TvmSim,
+        Transformation,
+        Crash,
+        "dense-to-matmul canonicalization crashes for rank-1 activations",
+        any_op(|g, id, op| {
+            matches!(op, Op::Dense { .. }) && input_rank(g, id, 0) == Some(1)
+        }),
+    );
+    add(
+        "tvm-pass-7",
+        TvmSim,
+        Transformation,
+        Crash,
+        "replicate-pad of a padded conv output double-counts the halo",
+        pair(
+            |_, _, p| matches!(p, Op::Conv2d { padding, .. } if attr_val(padding) > 0),
+            |_, _, c| matches!(c, Op::Pad { kind: PadKind::Replicate, .. }),
+        ),
+    );
+    add(
+        "tvm-pass-8",
+        TvmSim,
+        Transformation,
+        Semantic,
+        "fused Sigmoid+Floor kernel clamps instead of flooring near 1.0",
+        pair(
+            |_, _, p| matches!(p, Op::Unary(UnaryKind::Sigmoid)),
+            |_, _, c| matches!(c, Op::Unary(UnaryKind::Floor)),
+        ),
+    );
+    // ---------------- tvmsim: 11 conversion (9 crash / 2 semantic) --------
+    // Scalar handling (6 crash — the reduce-with-scalar family).
+    let scalar_kinds: [(&'static str, ReduceKind); 4] = [
+        ("tvm-conv-1", ReduceKind::Sum),
+        ("tvm-conv-2", ReduceKind::Mean),
+        ("tvm-conv-3", ReduceKind::Max),
+        ("tvm-conv-4", ReduceKind::Min),
+    ];
+    for (id, kind) in scalar_kinds {
+        add(
+            id,
+            TvmSim,
+            Conversion,
+            Crash,
+            "importer crashes on reduce-like operators producing scalars",
+            any_op(move |g, nid, op| {
+                matches!(op, Op::Reduce { kind: k, .. } if *k == kind)
+                    && out_rank(g, nid) == 0
+            }),
+        );
+    }
+    add(
+        "tvm-conv-5",
+        TvmSim,
+        Conversion,
+        Crash,
+        "importer crashes on ArgMax collapsing a rank-1 tensor to a scalar",
+        any_op(|g, id, op| {
+            matches!(op, Op::ArgExtreme { .. }) && out_rank(g, id) == 0
+        }),
+    );
+    add(
+        "tvm-conv-6",
+        TvmSim,
+        Conversion,
+        Crash,
+        "importer crashes on a dot-product MatMul producing a scalar",
+        any_op(|g, id, op| *op == Op::MatMul && out_rank(g, id) == 0),
+    );
+    // Wrong broadcasting (2).
+    add(
+        "tvm-conv-7",
+        TvmSim,
+        Conversion,
+        Crash,
+        "Where shape inference ignores the lowest-ranked operand (3-way broadcast)",
+        any_op(|g, id, op| {
+            *op == Op::Where && {
+                let r0 = input_rank(g, id, 0).unwrap_or(0);
+                let r1 = input_rank(g, id, 1).unwrap_or(0);
+                let r2 = input_rank(g, id, 2).unwrap_or(0);
+                let max = r0.max(r1).max(r2);
+                let min = r0.min(r1).min(r2);
+                max >= 2 && min + 2 <= max
+            }
+        }),
+    );
+    add(
+        "tvm-conv-8",
+        TvmSim,
+        Conversion,
+        Crash,
+        "MatMul import fails on single-rank broadcasting (vector operand)",
+        any_op(|g, id, op| {
+            *op == Op::MatMul
+                && (input_rank(g, id, 0) == Some(1)) != (input_rank(g, id, 1) == Some(1))
+        }),
+    );
+    add(
+        "tvm-conv-9",
+        TvmSim,
+        Conversion,
+        Crash,
+        "importer rejects boolean Concat despite advertising support",
+        any_op(|g, id, op| {
+            matches!(op, Op::Concat { .. }) && out_dtype(g, id) == DType::Bool
+        }),
+    );
+    add(
+        "tvm-conv-10",
+        TvmSim,
+        Conversion,
+        Semantic,
+        "importer casts Clip bounds through f32, corrupting large i64 limits",
+        any_op(|g, id, op| {
+            matches!(op, Op::Clip { .. }) && out_dtype(g, id) == DType::I64
+        }),
+    );
+    add(
+        "tvm-conv-11",
+        TvmSim,
+        Conversion,
+        Semantic,
+        "scalar Ones-like constants imported as rank-1, shifting broadcast results",
+        any_op(|g, id, op| {
+            matches!(op, Op::Binary(_))
+                && input_rank(g, id, 0) == Some(0)
+                && input_rank(g, id, 1).is_some_and(|r| r >= 2)
+        }),
+    );
+
+    // ---------------- trtsim: 4 transformation (2 crash / 2 semantic) -----
+    add(
+        "trt-t1",
+        TrtSim,
+        Transformation,
+        Crash,
+        "kernel autotuner crashes on Conv2d with kernel 1x1 and stride > 2",
+        any_op(|_, _, op| {
+            matches!(op, Op::Conv2d { kh, kw, stride, .. }
+                if attr_val(kh) == 1 && attr_val(kw) == 1 && attr_val(stride) > 2)
+        }),
+    );
+    add(
+        "trt-t2",
+        TrtSim,
+        Transformation,
+        Semantic,
+        "fp16-path selection silently engages for f32 softmax over > 1024 elements",
+        any_op(|g, id, op| {
+            matches!(op, Op::Softmax { .. })
+                && g.node(id).outputs[0]
+                    .concrete_dims()
+                    .is_some_and(|d| d.iter().product::<usize>() > 1024)
+        }),
+    );
+    add(
+        "trt-t3",
+        TrtSim,
+        Transformation,
+        Crash,
+        "tactic selection fails for back-to-back pooling with different paddings",
+        pair(
+            |_, _, p| matches!(p, Op::MaxPool2d { .. } | Op::AvgPool2d { .. }),
+            |_, _, c| matches!(c, Op::MaxPool2d { .. } | Op::AvgPool2d { .. }),
+        ),
+    );
+    add(
+        "trt-t4",
+        TrtSim,
+        Transformation,
+        Semantic,
+        "horizontal fusion of sibling Mul consumers reorders reductions",
+        Arc::new(|g: &Graph<Op>| {
+            // A value with two distinct Mul consumers.
+            let counts = g.consumer_counts();
+            counts.iter().any(|(v, &c)| {
+                c >= 2
+                    && op_nodes(g)
+                        .filter(|(id, op)| {
+                            matches!(op, Op::Binary(BinaryKind::Mul))
+                                && g.node(*id).inputs.contains(v)
+                        })
+                        .count()
+                        >= 2
+            })
+        }),
+    );
+    // ---------------- trtsim: 2 conversion (1 crash / 1 semantic) ---------
+    add(
+        "trt-c1",
+        TrtSim,
+        Conversion,
+        Crash,
+        "parser rejects rank-0 network inputs",
+        Arc::new(|g: &Graph<Op>| {
+            g.iter().any(|(_, n)| {
+                matches!(n.kind, NodeKind::Input) && n.outputs[0].rank() == 0
+            })
+        }),
+    );
+    add(
+        "trt-c2",
+        TrtSim,
+        Conversion,
+        Semantic,
+        "int32 Clip attributes are reinterpreted as raw bit patterns",
+        any_op(|g, id, op| {
+            matches!(op, Op::Clip { .. }) && out_dtype(g, id) == DType::I32
+        }),
+    );
+    // ---------------- trtsim: 4 unclassified (2 crash / 2 semantic) -------
+    add(
+        "trt-u1",
+        TrtSim,
+        Unclassified,
+        Crash,
+        "engine building aborts for Where with boolean broadcast over rank 4",
+        any_op(|g, id, op| *op == Op::Where && out_rank(g, id) == 4),
+    );
+    add(
+        "trt-u2",
+        TrtSim,
+        Unclassified,
+        Semantic,
+        "i64 tensors are silently narrowed to i32 inside fused regions",
+        pair(
+            |g, id, p| matches!(p, Op::Binary(_)) && out_dtype(g, id) == DType::I64,
+            |_, _, c| matches!(c, Op::Binary(_)),
+        ),
+    );
+    add(
+        "trt-u3",
+        TrtSim,
+        Unclassified,
+        Crash,
+        "builder crashes when a Pad output feeds a Reshape",
+        pair(
+            |_, _, p| matches!(p, Op::Pad { .. }),
+            |_, _, c| matches!(c, Op::Reshape { .. }),
+        ),
+    );
+    add(
+        "trt-u4",
+        TrtSim,
+        Unclassified,
+        Semantic,
+        "ReduceMean over two axes uses the wrong divisor in the fast path",
+        any_op(|_, _, op| {
+            matches!(op, Op::Reduce { kind: ReduceKind::Mean, axes, .. } if axes.len() >= 2)
+        }),
+    );
+
+    // ---------------- exporter: 10 conversion (8 crash / 2 semantic) ------
+    add(
+        "exp-1",
+        Exporter,
+        Conversion,
+        Semantic,
+        "Log2 of a scalar is exported with a rank-1 output (the §5.4 Log2 bug)",
+        any_op(|g, id, op| {
+            matches!(op, Op::Unary(UnaryKind::Log2)) && out_rank(g, id) == 0
+        }),
+    );
+    add(
+        "exp-2",
+        Exporter,
+        Conversion,
+        Semantic,
+        "int32 Clip is exported against an opset that lacks it, mangling attributes",
+        any_op(|g, id, op| {
+            matches!(op, Op::Clip { lo, .. } if *lo < 0) && out_dtype(g, id).is_int()
+        }),
+    );
+    let exporter_crashes: [(&'static str, Detect); 8] = [
+        (
+            "exp-3",
+            any_op(|g, id, op| {
+                matches!(op, Op::Unary(UnaryKind::Round)) && out_rank(g, id) == 0
+            }),
+        ),
+        (
+            "exp-4",
+            any_op(|g, id, op| {
+                matches!(op, Op::Squeeze { .. }) && out_rank(g, id) == 0
+            }),
+        ),
+        (
+            "exp-5",
+            any_op(|g, id, op| {
+                matches!(op, Op::Unsqueeze { axis } if *axis + 1 == out_rank(g, id))
+                    && out_rank(g, id) >= 4
+            }),
+        ),
+        (
+            "exp-6",
+            pair(
+                |_, _, p| matches!(p, Op::Cast { .. }),
+                |_, _, c| matches!(c, Op::Cast { .. }),
+            ),
+        ),
+        (
+            "exp-7",
+            any_op(|_, _, op| {
+                matches!(op, Op::Pad { pads, .. } if pads.len() >= 4
+                    && pads.iter().all(|(b, a)| attr_val(b) == 0 && attr_val(a) == 0))
+            }),
+        ),
+        (
+            "exp-8",
+            any_op(|g, id, op| {
+                matches!(op, Op::Logical(_)) && out_rank(g, id) == 0
+            }),
+        ),
+        (
+            "exp-9",
+            any_op(|g, id, op| {
+                matches!(op, Op::Reduce { axes, keepdims: true, .. } if axes.len() == input_rank(g, id, 0).unwrap_or(0))
+            }),
+        ),
+        (
+            "exp-10",
+            any_op(|g, id, op| {
+                matches!(op, Op::Flatten { axis: 0 }) && input_rank(g, id, 0).unwrap_or(0) >= 3
+            }),
+        ),
+    ];
+    for (id, det) in exporter_crashes {
+        add(
+            id,
+            Exporter,
+            Conversion,
+            Crash,
+            "exporter crash on an edge-case operator configuration",
+            det,
+        );
+    }
+
+    bugs
+}
+
+fn is_conv_pred() -> impl Fn(&Graph<Op>, NodeId, &Op) -> bool + Send + Sync + 'static {
+    |_, _, op| is_conv(op)
+}
+
+/// Bugs seeded in one system.
+pub fn bugs_for(system: System) -> Vec<SeededBug> {
+    registry().into_iter().filter(|b| b.system == system).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnsmith_graph::{TensorType, ValueRef};
+    use nnsmith_solver::IntExpr;
+
+    #[test]
+    fn registry_matches_table3_totals() {
+        let bugs = registry();
+        assert_eq!(bugs.len(), 72, "total bugs");
+        let count = |s: System| bugs.iter().filter(|b| b.system == s).count();
+        assert_eq!(count(System::OrtSim), 12);
+        assert_eq!(count(System::TvmSim), 40);
+        assert_eq!(count(System::TrtSim), 10);
+        assert_eq!(count(System::Exporter), 10);
+        let crashes = bugs.iter().filter(|b| b.symptom == Symptom::Crash).count();
+        let semantic = bugs.iter().filter(|b| b.symptom == Symptom::Semantic).count();
+        assert_eq!(crashes, 55);
+        assert_eq!(semantic, 17);
+        let transf = bugs
+            .iter()
+            .filter(|b| b.phase == Phase::Transformation)
+            .count();
+        let conv = bugs.iter().filter(|b| b.phase == Phase::Conversion).count();
+        let uncl = bugs
+            .iter()
+            .filter(|b| b.phase == Phase::Unclassified)
+            .count();
+        assert_eq!(transf, 43);
+        assert_eq!(conv, 23);
+        assert_eq!(uncl, 6);
+    }
+
+    #[test]
+    fn bug_ids_unique() {
+        let bugs = registry();
+        let mut ids: Vec<&str> = bugs.iter().map(|b| b.id).collect();
+        ids.sort_unstable();
+        let n = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn matmul_1x1_triggers_fusematmulscale() {
+        // Mul -> MatMul(1x1 rhs) — the M0-like ort-t01 pattern.
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[3, 1])],
+        );
+        let s = g.add_node(
+            NodeKind::Weight,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[3, 1])],
+        );
+        let mul = g.add_node(
+            NodeKind::Operator(Op::Binary(BinaryKind::Mul)),
+            vec![ValueRef::output0(x), ValueRef::output0(s)],
+            vec![TensorType::concrete(DType::F32, &[3, 1])],
+        );
+        let one = g.add_node(
+            NodeKind::Weight,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[1, 1])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::MatMul),
+            vec![ValueRef::output0(mul), ValueRef::output0(one)],
+            vec![TensorType::concrete(DType::F32, &[3, 1])],
+        );
+        let bug = registry()
+            .into_iter()
+            .find(|b| b.id == "ort-t01")
+            .unwrap();
+        assert!(bug.triggers(&g));
+    }
+
+    #[test]
+    fn plain_relu_graph_triggers_nothing() {
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[2, 2])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Relu)),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::F32, &[2, 2])],
+        );
+        for bug in registry() {
+            assert!(!bug.triggers(&g), "{} fired on a trivial graph", bug.id);
+        }
+    }
+
+    #[test]
+    fn conv_slice_strided_triggers_layout_bug() {
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[1, 4, 8, 8])],
+        );
+        let w = g.add_node(
+            NodeKind::Weight,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[4, 4, 1, 1])],
+        );
+        let b = g.add_node(
+            NodeKind::Weight,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        let conv = g.add_node(
+            NodeKind::Operator(Op::Conv2d {
+                in_channels: IntExpr::Const(4),
+                out_channels: IntExpr::Const(4),
+                kh: IntExpr::Const(1),
+                kw: IntExpr::Const(1),
+                stride: IntExpr::Const(1),
+                padding: IntExpr::Const(0),
+                dilation: IntExpr::Const(1),
+            }),
+            vec![
+                ValueRef::output0(x),
+                ValueRef::output0(w),
+                ValueRef::output0(b),
+            ],
+            vec![TensorType::concrete(DType::F32, &[1, 4, 8, 8])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Slice {
+                starts: vec![IntExpr::Const(0); 4],
+                ends: vec![
+                    IntExpr::Const(1),
+                    IntExpr::Const(4),
+                    IntExpr::Const(8),
+                    IntExpr::Const(8),
+                ],
+                steps: vec![1, 2, 1, 1],
+            }),
+            vec![ValueRef::output0(conv)],
+            vec![TensorType::concrete(DType::F32, &[1, 2, 8, 8])],
+        );
+        let bug = registry()
+            .into_iter()
+            .find(|b| b.id == "tvm-layout-1")
+            .unwrap();
+        assert!(bug.triggers(&g));
+        // GraphFuzzer-style stride-1 slice must NOT trigger it.
+        let mut g2 = g.clone();
+        if let NodeKind::Operator(Op::Slice { steps, .. }) =
+            &mut g2.node_mut(NodeId(4)).kind
+        {
+            steps[1] = 1;
+        }
+        assert!(!bug.triggers(&g2));
+    }
+
+    #[test]
+    fn bug_config_toggles() {
+        let mut cfg = BugConfig::all_on();
+        assert!(cfg.enabled("tvm-layout-1"));
+        cfg.disable("tvm-layout-1");
+        assert!(!cfg.enabled("tvm-layout-1"));
+        assert!(cfg.enabled("tvm-layout-2"));
+        let off = BugConfig::none();
+        assert!(!off.enabled("tvm-layout-2"));
+    }
+}

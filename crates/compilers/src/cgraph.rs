@@ -1,0 +1,485 @@
+//! The simulated compilers' internal IR.
+//!
+//! Importing a model converts the interchange graph (`Graph<Op>` — the
+//! ONNX role) into a [`CGraph`]: weights become embedded constants (so
+//! constant folding has something to fold), operators become
+//! [`COp::Primitive`] nodes, and passes may rewrite nodes into
+//! [`COp::Fused`] kernels or [`COp::Constant`]s. Every node carries layout
+//! and index-dtype metadata that the layout and typing passes manipulate.
+
+use std::collections::HashMap;
+
+use nnsmith_graph::{Graph, NodeId, NodeKind, ValueRef};
+use nnsmith_ops::{Bindings, Op};
+use nnsmith_tensor::{DType, Tensor, TensorError};
+
+/// Memory layout annotation (the TVM-style `NCHW` vs `NCHW4c` rewrite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Plain row-major NCHW.
+    Nchw,
+    /// Channel-packed SIMD-friendly layout (`N C/4 H W 4c`).
+    Nchw4c,
+}
+
+/// Index-arithmetic width chosen by the typing pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexWidth {
+    /// 32-bit indexing.
+    I32,
+    /// 64-bit indexing (introduced by shape-carrying operators).
+    I64,
+}
+
+/// A compiler-IR operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum COp {
+    /// A single tensor operator.
+    Primitive(Op),
+    /// A fused kernel executing the operators in sequence, each consuming
+    /// the previous result as its first input (classic elementwise-chain
+    /// fusion). The remaining inputs of each fused operator must have been
+    /// captured at fusion time.
+    Fused {
+        /// The fused operator sequence.
+        ops: Vec<Op>,
+        /// Human-readable kernel name (e.g. `"BiasSoftmax"`).
+        kernel: &'static str,
+        /// If true, the fused kernel internally computes at `f32` even for
+        /// `f64` tensors (the seeded ortsim precision bug).
+        narrow_precision: bool,
+    },
+    /// A folded constant.
+    Constant(Tensor),
+}
+
+/// A compiler-IR node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CNode {
+    /// The operation.
+    pub op: COp,
+    /// Input values.
+    pub inputs: Vec<CValue>,
+    /// Concrete output shape (single output).
+    pub shape: Vec<usize>,
+    /// Output dtype.
+    pub dtype: DType,
+    /// Layout annotation.
+    pub layout: Layout,
+    /// Index width annotation.
+    pub index_width: IndexWidth,
+}
+
+/// A reference to a compiler-IR value (node output or model input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CValue {
+    /// The output of node `usize`.
+    Node(usize),
+    /// Model input `usize` (position in [`CGraph::inputs`]).
+    Input(usize),
+}
+
+/// The compiler-internal graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CGraph {
+    /// Nodes in topological order.
+    pub nodes: Vec<CNode>,
+    /// Model inputs: `(original node id, shape, dtype)`.
+    pub inputs: Vec<(NodeId, Vec<usize>, DType)>,
+    /// Output values, in a stable order.
+    pub outputs: Vec<CValue>,
+}
+
+/// Compile-time errors of the simulated compilers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The model could not be imported.
+    Import(String),
+    /// A pass crashed — either a genuine invariant violation or a seeded
+    /// bug firing.
+    Crash {
+        /// Pass or component that crashed.
+        component: &'static str,
+        /// Message; seeded bugs embed their bug id.
+        message: String,
+    },
+    /// The model uses something this compiler does not support.
+    NotImplemented(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Import(m) => write!(f, "import error: {m}"),
+            CompileError::Crash { component, message } => {
+                write!(f, "crash in {component}: {message}")
+            }
+            CompileError::NotImplemented(m) => write!(f, "not implemented: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl CGraph {
+    /// Imports an interchange graph. Weights are embedded as constants;
+    /// inputs stay symbolic.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the graph is structurally broken, not concrete, or a
+    /// weight binding is missing.
+    pub fn import(graph: &Graph<Op>, weights: &Bindings) -> Result<CGraph, CompileError> {
+        let order = graph
+            .topo_order()
+            .map_err(|e| CompileError::Import(format!("{e}")))?;
+        let mut nodes: Vec<CNode> = Vec::new();
+        let mut inputs: Vec<(NodeId, Vec<usize>, DType)> = Vec::new();
+        let mut value_map: HashMap<ValueRef, CValue> = HashMap::new();
+
+        for id in order {
+            let node = graph.node(id);
+            let ttype = &node.outputs[0];
+            let shape = ttype
+                .concrete_dims()
+                .ok_or_else(|| CompileError::Import(format!("node {id} not concrete")))?;
+            match &node.kind {
+                NodeKind::Placeholder => {
+                    return Err(CompileError::Import(format!("placeholder {id} remains")))
+                }
+                NodeKind::Input => {
+                    let idx = inputs.len();
+                    inputs.push((id, shape, ttype.dtype));
+                    value_map.insert(ValueRef::output0(id), CValue::Input(idx));
+                }
+                NodeKind::Weight => {
+                    let t = weights.get(&id).ok_or_else(|| {
+                        CompileError::Import(format!("missing weight for {id}"))
+                    })?;
+                    let cidx = nodes.len();
+                    nodes.push(CNode {
+                        op: COp::Constant(t.clone()),
+                        inputs: vec![],
+                        shape,
+                        dtype: ttype.dtype,
+                        layout: Layout::Nchw,
+                        index_width: IndexWidth::I32,
+                    });
+                    value_map.insert(ValueRef::output0(id), CValue::Node(cidx));
+                }
+                NodeKind::Operator(op) => {
+                    let cinputs: Vec<CValue> = node
+                        .inputs
+                        .iter()
+                        .map(|v| *value_map.get(v).expect("topo order"))
+                        .collect();
+                    let cidx = nodes.len();
+                    nodes.push(CNode {
+                        op: COp::Primitive(op.clone()),
+                        inputs: cinputs,
+                        shape,
+                        dtype: ttype.dtype,
+                        layout: Layout::Nchw,
+                        index_width: IndexWidth::I32,
+                    });
+                    value_map.insert(ValueRef::output0(id), CValue::Node(cidx));
+                }
+            }
+        }
+
+        // Keep the interchange graph's output order (sorted by original
+        // node id, matching the reference executor) — the compiled model
+        // must report outputs in the same order the oracle does.
+        let mut source_outputs = graph.output_values();
+        source_outputs.sort_by_key(|v| (v.node, v.index));
+        let outputs: Vec<CValue> = source_outputs
+            .into_iter()
+            .map(|v| *value_map.get(&v).expect("mapped"))
+            .collect();
+        Ok(CGraph {
+            nodes,
+            inputs,
+            outputs,
+        })
+    }
+
+    /// Consumers of each node output (`node index → consumer node
+    /// indices`).
+    pub fn consumers(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            for v in &n.inputs {
+                if let CValue::Node(p) = v {
+                    out[*p].push(i);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of live (reachable from outputs) nodes.
+    pub fn live_count(&self) -> usize {
+        let mut live = vec![false; self.nodes.len()];
+        let mut stack: Vec<usize> = self
+            .outputs
+            .iter()
+            .filter_map(|v| match v {
+                CValue::Node(i) => Some(*i),
+                CValue::Input(_) => None,
+            })
+            .collect();
+        while let Some(i) = stack.pop() {
+            if live[i] {
+                continue;
+            }
+            live[i] = true;
+            for v in &self.nodes[i].inputs {
+                if let CValue::Node(p) = v {
+                    stack.push(*p);
+                }
+            }
+        }
+        live.iter().filter(|&&l| l).count()
+    }
+
+    /// Executes the compiled graph.
+    ///
+    /// # Errors
+    ///
+    /// Fails when inputs disagree with the import-time signature or a
+    /// kernel faults.
+    pub fn run(&self, inputs: &HashMap<NodeId, Tensor>) -> Result<Vec<Tensor>, TensorError> {
+        let mut values: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        let input_tensors: Vec<&Tensor> = self
+            .inputs
+            .iter()
+            .map(|(id, shape, dtype)| {
+                let t = inputs.get(id).ok_or_else(|| {
+                    TensorError::shape(format!("missing input for {id}"))
+                })?;
+                if t.shape() != shape.as_slice() || t.dtype() != *dtype {
+                    return Err(TensorError::shape(format!(
+                        "input {id} signature mismatch"
+                    )));
+                }
+                Ok(t)
+            })
+            .collect::<Result<_, TensorError>>()?;
+
+        let fetch = |values: &Vec<Option<Tensor>>, v: &CValue| -> Tensor {
+            match v {
+                CValue::Node(i) => values[*i].clone().expect("topological order"),
+                CValue::Input(i) => input_tensors[*i].clone(),
+            }
+        };
+
+        for i in 0..self.nodes.len() {
+            let node = &self.nodes[i];
+            let result = match &node.op {
+                COp::Constant(t) => t.clone(),
+                COp::Primitive(op) => {
+                    let ins: Vec<Tensor> =
+                        node.inputs.iter().map(|v| fetch(&values, v)).collect();
+                    let refs: Vec<&Tensor> = ins.iter().collect();
+                    op.eval(&refs)?.remove(0)
+                }
+                COp::Fused {
+                    ops,
+                    narrow_precision,
+                    ..
+                } => {
+                    let mut ins: Vec<Tensor> =
+                        node.inputs.iter().map(|v| fetch(&values, v)).collect();
+                    if ops.is_empty() {
+                        // Identity forward (simplifier-produced).
+                        values[i] = Some(ins.remove(0));
+                        continue;
+                    }
+                    let orig_dtype = ins
+                        .first()
+                        .map(Tensor::dtype)
+                        .unwrap_or(nnsmith_tensor::DType::F32);
+                    if *narrow_precision {
+                        for t in &mut ins {
+                            if t.dtype() == DType::F64 {
+                                *t = t.cast(DType::F32);
+                            }
+                        }
+                    }
+                    let mut cursor = 0usize;
+                    let mut acc: Option<Tensor> = None;
+                    for op in ops {
+                        let arity = op.arity();
+                        let mut call: Vec<Tensor> = Vec::with_capacity(arity);
+                        match &acc {
+                            None => {
+                                call.extend(ins[cursor..cursor + arity].iter().cloned());
+                                cursor += arity;
+                            }
+                            Some(prev) => {
+                                call.push(prev.clone());
+                                call.extend(
+                                    ins[cursor..cursor + arity - 1].iter().cloned(),
+                                );
+                                cursor += arity - 1;
+                            }
+                        }
+                        let refs: Vec<&Tensor> = call.iter().collect();
+                        acc = Some(op.eval(&refs)?.remove(0));
+                    }
+                    let mut out = acc.expect("fused kernel non-empty");
+                    if *narrow_precision && orig_dtype == DType::F64 {
+                        out = out.cast(DType::F64);
+                    }
+                    out
+                }
+            };
+            values[i] = Some(result);
+        }
+
+        Ok(self
+            .outputs
+            .iter()
+            .map(|v| fetch(&values, v))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnsmith_graph::TensorType;
+    use nnsmith_ops::{BinaryKind, UnaryKind};
+
+    fn toy() -> (Graph<Op>, Bindings, NodeId) {
+        // out = Relu(x + w)
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        let w = g.add_node(
+            NodeKind::Weight,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        let add = g.add_node(
+            NodeKind::Operator(Op::Binary(BinaryKind::Add)),
+            vec![ValueRef::output0(x), ValueRef::output0(w)],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Relu)),
+            vec![ValueRef::output0(add)],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        let mut weights = Bindings::new();
+        weights.insert(w, Tensor::from_f32(&[4], vec![-10., 0., 1., 2.]).unwrap());
+        (g, weights, x)
+    }
+
+    #[test]
+    fn import_and_run_match_reference() {
+        let (g, weights, x) = toy();
+        let cg = CGraph::import(&g, &weights).unwrap();
+        assert_eq!(cg.inputs.len(), 1);
+        let mut inputs = HashMap::new();
+        inputs.insert(x, Tensor::from_f32(&[4], vec![1., 1., 1., 1.]).unwrap());
+        let out = cg.run(&inputs).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].as_f32().unwrap(), &[0., 1., 2., 3.]);
+    }
+
+    #[test]
+    fn missing_weight_is_import_error() {
+        let (g, _, _) = toy();
+        let err = CGraph::import(&g, &Bindings::new());
+        assert!(matches!(err, Err(CompileError::Import(_))));
+    }
+
+    #[test]
+    fn run_validates_input_signature() {
+        let (g, weights, x) = toy();
+        let cg = CGraph::import(&g, &weights).unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert(x, Tensor::zeros(&[5], DType::F32));
+        assert!(cg.run(&inputs).is_err());
+    }
+
+    #[test]
+    fn fused_kernel_runs_chain() {
+        // Fused Add→Relu kernel with captured inputs [x, w].
+        let (g, weights, x) = toy();
+        let mut cg = CGraph::import(&g, &weights).unwrap();
+        // Replace the two primitive nodes with one fused node.
+        let const_idx = 0usize; // weight constant
+        let fused = CNode {
+            op: COp::Fused {
+                ops: vec![
+                    Op::Binary(BinaryKind::Add),
+                    Op::Unary(UnaryKind::Relu),
+                ],
+                kernel: "AddRelu",
+                narrow_precision: false,
+            },
+            inputs: vec![CValue::Input(0), CValue::Node(const_idx)],
+            shape: vec![4],
+            dtype: DType::F32,
+            layout: Layout::Nchw,
+            index_width: IndexWidth::I32,
+        };
+        cg.nodes = vec![cg.nodes[const_idx].clone(), fused];
+        cg.outputs = vec![CValue::Node(1)];
+        let mut inputs = HashMap::new();
+        inputs.insert(x, Tensor::from_f32(&[4], vec![1., 1., 1., 1.]).unwrap());
+        let out = cg.run(&inputs).unwrap();
+        assert_eq!(out[0].as_f32().unwrap(), &[0., 1., 2., 3.]);
+    }
+
+    #[test]
+    fn narrow_precision_fusion_changes_f64_results() {
+        // f64 values that differ after a roundtrip through f32.
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F64, &[1])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Relu)),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::F64, &[1])],
+        );
+        let cg = CGraph::import(&g, &Bindings::new()).unwrap();
+        let mut fused = cg.clone();
+        fused.nodes[0].op = COp::Fused {
+            ops: vec![Op::Unary(UnaryKind::Relu)],
+            kernel: "Relu",
+            narrow_precision: true,
+        };
+        let precise = 1.0 + 1e-12; // not representable in f32
+        let mut inputs = HashMap::new();
+        inputs.insert(x, Tensor::from_f64(&[1], vec![precise]).unwrap());
+        let exact = cg.run(&inputs).unwrap();
+        let narrowed = fused.run(&inputs).unwrap();
+        assert_eq!(exact[0].as_f64().unwrap()[0], precise);
+        assert_ne!(narrowed[0].as_f64().unwrap()[0], precise);
+    }
+
+    #[test]
+    fn live_count_ignores_dead_nodes() {
+        let (g, weights, _) = toy();
+        let mut cg = CGraph::import(&g, &weights).unwrap();
+        // Add an unreachable constant.
+        cg.nodes.push(CNode {
+            op: COp::Constant(Tensor::zeros(&[1], DType::F32)),
+            inputs: vec![],
+            shape: vec![1],
+            dtype: DType::F32,
+            layout: Layout::Nchw,
+            index_width: IndexWidth::I32,
+        });
+        assert_eq!(cg.live_count(), cg.nodes.len() - 1);
+    }
+}

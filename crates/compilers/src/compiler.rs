@@ -1,0 +1,637 @@
+//! The three simulated compilers: tvmsim, ortsim and trtsim.
+//!
+//! Each compiler is an import step (with conversion-bug checks), a pass
+//! pipeline (with transformation-bug checks, run only at `O2` — the `O0`
+//! mode backs the paper's fault-localization recompilation, §4), and an
+//! instrumented-source manifest sized so that coverage numbers land at
+//! roughly 1/10 the scale of the paper's real systems.
+
+use std::collections::HashMap;
+
+use nnsmith_graph::{Graph, NodeId, NodeKind};
+use nnsmith_ops::{Bindings, Op};
+use nnsmith_tensor::{DType, Tensor, TensorError};
+
+use crate::bugs::{registry, BugConfig, Phase, SeededBug, Symptom, System};
+use crate::cgraph::{CGraph, CompileError};
+use crate::coverage::{Cov, CoverageSet, FileDecl, FileKind, SourceManifest};
+use crate::lowlevel::run_lowlevel;
+use crate::passes::{op_code, PassCtx, PassFn};
+
+/// Optimization level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptLevel {
+    /// No transformation passes (conversion only) — the fault-localization
+    /// mode.
+    O0,
+    /// Full pipeline.
+    O2,
+}
+
+/// Compilation options.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Optimization level.
+    pub opt_level: OptLevel,
+    /// Seeded-bug switchboard.
+    pub bugs: BugConfig,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            opt_level: OptLevel::O2,
+            bugs: BugConfig::all_on(),
+        }
+    }
+}
+
+/// Seeded semantic bugs that are *honestly implemented* inside passes
+/// (their wrong results emerge from the actual transformation); all other
+/// matched semantic bugs are applied as an output perturbation at run time.
+const HONEST_SEMANTIC: [&str; 2] = ["ort-t02", "tvm-simpl-1"];
+
+/// A compiled model ready to run.
+#[derive(Debug, Clone)]
+pub struct CompiledModel {
+    /// The optimized compiler graph.
+    pub cgraph: CGraph,
+    /// Matched semantic bugs to apply at run time (id only).
+    pub perturbations: Vec<&'static str>,
+    /// Which system produced this.
+    pub system: System,
+}
+
+impl CompiledModel {
+    /// Executes the compiled model.
+    ///
+    /// # Errors
+    ///
+    /// Fails on input-signature mismatches or kernel faults.
+    pub fn run(&self, inputs: &HashMap<NodeId, Tensor>) -> Result<Vec<Tensor>, TensorError> {
+        let mut outputs = self.cgraph.run(inputs)?;
+        // Matched (non-honest) semantic bugs corrupt the first output.
+        if !self.perturbations.is_empty() {
+            if let Some(first) = outputs.first_mut() {
+                for i in 0..first.numel() {
+                    let v = first.lin_f64(i);
+                    first.set_lin_f64(i, if v == 0.0 { 1.0 } else { v * 1.5 + 1.0 });
+                }
+            }
+        }
+        Ok(outputs)
+    }
+}
+
+/// A simulated DL compiler.
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    system: System,
+    manifest: SourceManifest,
+    passes: Vec<(&'static str, PassFn)>,
+    lowlevel: bool,
+    /// Branches always hit by loading the framework (the paper's
+    /// "`import tvm` alone hits 4015 branches").
+    base_hits: (&'static str, u32),
+    /// Reject f64 models with NotImplemented (TensorRT-style support gap).
+    reject_f64: bool,
+    bugs: Vec<SeededBug>,
+}
+
+impl Compiler {
+    /// The system identity.
+    pub fn system(&self) -> System {
+        self.system
+    }
+
+    /// The instrumented-source manifest.
+    pub fn manifest(&self) -> &SourceManifest {
+        &self.manifest
+    }
+
+    /// Probes operator/dtype support the way NNSmith does (§4): compiles a
+    /// single-operator model and reports whether it is accepted.
+    pub fn supports_dtype(&self, dtype: DType) -> bool {
+        !(self.reject_f64 && dtype == DType::F64)
+    }
+
+    /// Compiles a model, accumulating branch coverage into `cov`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::NotImplemented`] for unsupported dtypes,
+    /// [`CompileError::Crash`] when a seeded (or structural) crash fires,
+    /// and [`CompileError::Import`] for malformed models.
+    pub fn compile(
+        &self,
+        graph: &Graph<Op>,
+        weights: &Bindings,
+        options: &CompileOptions,
+        cov: &mut CoverageSet,
+    ) -> Result<CompiledModel, CompileError> {
+        // Framework-load baseline coverage.
+        {
+            let mut c = Cov::new(cov, &self.manifest, self.base_hits.0);
+            for s in 0..self.base_hits.1 {
+                c.hit(s);
+            }
+        }
+        // Support matrix.
+        if self.reject_f64 {
+            let uses_f64 = graph.iter().any(|(_, n)| {
+                n.outputs.iter().any(|t| t.dtype == DType::F64)
+            });
+            if uses_f64 {
+                return Err(CompileError::NotImplemented(
+                    "f64 tensors are not supported by this backend".into(),
+                ));
+            }
+        }
+
+        // Frontend conversion with per-pattern coverage.
+        {
+            let mut c = Cov::new(cov, &self.manifest, "frontend.cc");
+            c.hit(0);
+            for (_, node) in graph.iter() {
+                match &node.kind {
+                    NodeKind::Operator(op) => {
+                        let t = &node.outputs[0];
+                        c.hit_idx(16, op_code(op) * 5 + dtype_idx(t.dtype));
+                        c.hit_idx(400, op_code(op) * 5 + t.rank() as u32);
+                        for (name, attr) in op.attr_exprs() {
+                            let _ = name;
+                            // Attribute-specialized conversion branches:
+                            // one site per (operator, value bucket) pair —
+                            // the branches attribute binning exists to reach.
+                            let bucket =
+                                crate::coverage::log_bucket(attr.as_const().unwrap_or(0));
+                            c.hit_idx(760, op_code(op) * 8 + bucket);
+                        }
+                    }
+                    NodeKind::Input | NodeKind::Weight => c.hit(1),
+                    NodeKind::Placeholder => {}
+                }
+            }
+        }
+
+        // Conversion-phase seeded crashes.
+        self.check_crashes(graph, options, Phase::Conversion)?;
+
+        let mut cgraph = CGraph::import(graph, weights)?;
+
+        let mut perturbations: Vec<&'static str> = Vec::new();
+        // Conversion-phase semantic bugs apply at every opt level.
+        perturbations.extend(self.matched_semantic(graph, options, Phase::Conversion));
+
+        if options.opt_level == OptLevel::O2 {
+            let mut ctx = PassCtx {
+                cov,
+                manifest: &self.manifest,
+                bugs: &options.bugs,
+                system: self.system,
+            };
+            for (name, pass) in &self.passes {
+                let _ = name;
+                pass(&mut cgraph, &mut ctx)?;
+            }
+            // Transformation/unclassified crashes fire only when the
+            // optimizer runs.
+            self.check_crashes(graph, options, Phase::Transformation)?;
+            self.check_crashes(graph, options, Phase::Unclassified)?;
+            perturbations
+                .extend(self.matched_semantic(graph, options, Phase::Transformation));
+            perturbations
+                .extend(self.matched_semantic(graph, options, Phase::Unclassified));
+            if self.lowlevel {
+                let _funcs = run_lowlevel(&cgraph, cov, &self.manifest);
+            }
+        }
+
+        Ok(CompiledModel {
+            cgraph,
+            perturbations,
+            system: self.system,
+        })
+    }
+
+    /// Seeded bugs of this system whose pattern `graph` contains
+    /// (regardless of phase/symptom) — used by the bug-study experiments.
+    pub fn matched_bugs(&self, graph: &Graph<Op>) -> Vec<&'static str> {
+        self.bugs
+            .iter()
+            .filter(|b| b.triggers(graph))
+            .map(|b| b.id)
+            .collect()
+    }
+
+    fn check_crashes(
+        &self,
+        graph: &Graph<Op>,
+        options: &CompileOptions,
+        phase: Phase,
+    ) -> Result<(), CompileError> {
+        for bug in &self.bugs {
+            if bug.phase == phase
+                && bug.symptom == Symptom::Crash
+                && options.bugs.enabled(bug.id)
+                && bug.triggers(graph)
+            {
+                return Err(CompileError::Crash {
+                    component: match phase {
+                        Phase::Conversion => "frontend",
+                        Phase::Transformation => "optimizer",
+                        Phase::Unclassified => "backend",
+                    },
+                    message: format!("seeded bug {}: {}", bug.id, bug.description),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn matched_semantic(
+        &self,
+        graph: &Graph<Op>,
+        options: &CompileOptions,
+        phase: Phase,
+    ) -> Vec<&'static str> {
+        self.bugs
+            .iter()
+            .filter(|b| {
+                b.phase == phase
+                    && b.symptom == Symptom::Semantic
+                    && options.bugs.enabled(b.id)
+                    && !HONEST_SEMANTIC.contains(&b.id)
+                    && b.triggers(graph)
+            })
+            .map(|b| b.id)
+            .collect()
+    }
+}
+
+fn dtype_idx(d: DType) -> u32 {
+    match d {
+        DType::F32 => 0,
+        DType::F64 => 1,
+        DType::I32 => 2,
+        DType::I64 => 3,
+        DType::Bool => 4,
+    }
+}
+
+/// Builds the TVM-like compiler: end-to-end, with graph passes, layout
+/// rewriting, index typing and a low-level loop pipeline. Its fusion is
+/// property-based, so graph-pattern diversity moves its coverage less than
+/// ortsim's (§5.2).
+pub fn tvmsim() -> Compiler {
+    let manifest = SourceManifest::new(vec![
+        FileDecl { name: "core_init.cc", kind: FileKind::Runtime, branches: 4000 },
+        FileDecl { name: "frontend.cc", kind: FileKind::Frontend, branches: 1400 },
+        FileDecl { name: "const_fold.cc", kind: FileKind::Pass, branches: 160 },
+        FileDecl { name: "dce.cc", kind: FileKind::Pass, branches: 90 },
+        FileDecl { name: "simplify.cc", kind: FileKind::Pass, branches: 90 },
+        FileDecl { name: "fuse_ops.cc", kind: FileKind::Pass, branches: 20 },
+        FileDecl { name: "layout_rewrite.cc", kind: FileKind::Pass, branches: 90 },
+        FileDecl { name: "type_infer.cc", kind: FileKind::Pass, branches: 100 },
+        FileDecl { name: "lower.cc", kind: FileKind::Pass, branches: 110 },
+        FileDecl { name: "tir_simplify.cc", kind: FileKind::Pass, branches: 40 },
+        FileDecl { name: "tir_schedule.cc", kind: FileKind::Pass, branches: 32 },
+        FileDecl { name: "relay_analysis.cc", kind: FileKind::Pass, branches: 600 },
+        FileDecl { name: "codegen.cc", kind: FileKind::Runtime, branches: 700 },
+        // Auto-tuning and debugging machinery a fuzzer never reaches
+        // (why perfect coverage is impossible, §5.2 footnote).
+        FileDecl { name: "autotune.cc", kind: FileKind::Runtime, branches: 3100 },
+    ]);
+    Compiler {
+        system: System::TvmSim,
+        manifest,
+        passes: vec![
+            ("const_fold", crate::passes::constant_folding as PassFn),
+            ("simplify", crate::passes::algebraic_simplify as PassFn),
+            ("fuse_ops", crate::passes::property_fusion as PassFn),
+            ("layout_rewrite", crate::passes::layout_rewrite as PassFn),
+            ("type_infer", crate::passes::index_typing as PassFn),
+            ("dce", crate::passes::dead_code_elim as PassFn),
+        ],
+        lowlevel: true,
+        base_hits: ("core_init.cc", 400),
+        reject_f64: false,
+        bugs: registry()
+            .into_iter()
+            .filter(|b| b.system == System::TvmSim)
+            .collect(),
+    }
+}
+
+/// Builds the ONNXRuntime-like runtime: pattern-heavy graph optimizer plus
+/// pre-compiled kernel dispatch (no code generation).
+pub fn ortsim() -> Compiler {
+    let manifest = SourceManifest::new(vec![
+        FileDecl { name: "session_init.cc", kind: FileKind::Runtime, branches: 1500 },
+        FileDecl { name: "frontend.cc", kind: FileKind::Frontend, branches: 1400 },
+        FileDecl { name: "onnx_proto.cc", kind: FileKind::Frontend, branches: 400 },
+        FileDecl { name: "const_fold.cc", kind: FileKind::Pass, branches: 160 },
+        FileDecl { name: "dce.cc", kind: FileKind::Pass, branches: 90 },
+        FileDecl { name: "simplify.cc", kind: FileKind::Pass, branches: 90 },
+        FileDecl { name: "fuse_patterns.cc", kind: FileKind::Pass, branches: 140 },
+        FileDecl { name: "kernels.cc", kind: FileKind::Runtime, branches: 1400 },
+        FileDecl { name: "provider_cpu.cc", kind: FileKind::Runtime, branches: 1300 },
+        // Execution providers that are never exercised on CPU-only fuzzing.
+        FileDecl { name: "provider_gpu.cc", kind: FileKind::Runtime, branches: 900 },
+    ]);
+    Compiler {
+        system: System::OrtSim,
+        manifest,
+        passes: vec![
+            ("const_fold", crate::passes::constant_folding as PassFn),
+            ("simplify", crate::passes::algebraic_simplify as PassFn),
+            ("fuse_patterns", crate::passes::pattern_fusion as PassFn),
+            ("dce", crate::passes::dead_code_elim as PassFn),
+            ("kernels", crate::passes::kernel_select as PassFn),
+        ],
+        lowlevel: false,
+        base_hits: ("session_init.cc", 260),
+        reject_f64: false,
+        bugs: registry()
+            .into_iter()
+            .filter(|b| b.system == System::OrtSim)
+            .collect(),
+    }
+}
+
+/// Builds the TensorRT-like compiler: closed source (coverage manifests
+/// exist but are excluded from coverage experiments, like the paper), no
+/// f64 support.
+pub fn trtsim() -> Compiler {
+    let manifest = SourceManifest::new(vec![
+        FileDecl { name: "builder_init.cc", kind: FileKind::Runtime, branches: 1200 },
+        FileDecl { name: "frontend.cc", kind: FileKind::Frontend, branches: 1400 },
+        FileDecl { name: "const_fold.cc", kind: FileKind::Pass, branches: 160 },
+        FileDecl { name: "dce.cc", kind: FileKind::Pass, branches: 90 },
+        FileDecl { name: "fuse_ops.cc", kind: FileKind::Pass, branches: 20 },
+        FileDecl { name: "kernels.cc", kind: FileKind::Runtime, branches: 1400 },
+    ]);
+    Compiler {
+        system: System::TrtSim,
+        manifest,
+        passes: vec![
+            ("const_fold", crate::passes::constant_folding as PassFn),
+            ("fuse_ops", crate::passes::property_fusion as PassFn),
+            ("dce", crate::passes::dead_code_elim as PassFn),
+            ("kernels", crate::passes::kernel_select as PassFn),
+        ],
+        lowlevel: false,
+        base_hits: ("builder_init.cc", 180),
+        reject_f64: true,
+        bugs: registry()
+            .into_iter()
+            .filter(|b| b.system == System::TrtSim)
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnsmith_graph::{TensorType, ValueRef};
+    use nnsmith_ops::{BinaryKind, UnaryKind};
+
+    fn toy() -> (Graph<Op>, Bindings, NodeId) {
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        let w = g.add_node(
+            NodeKind::Weight,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        let add = g.add_node(
+            NodeKind::Operator(Op::Binary(BinaryKind::Add)),
+            vec![ValueRef::output0(x), ValueRef::output0(w)],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Tanh)),
+            vec![ValueRef::output0(add)],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        let mut weights = Bindings::new();
+        weights.insert(w, Tensor::from_f32(&[4], vec![0.5, -0.5, 1.0, 0.0]).unwrap());
+        (g, weights, x)
+    }
+
+    #[test]
+    fn all_three_compile_and_run_clean_models() {
+        let (g, weights, x) = toy();
+        let mut inputs = HashMap::new();
+        inputs.insert(x, Tensor::from_f32(&[4], vec![1., 2., 3., 4.]).unwrap());
+        for compiler in [tvmsim(), ortsim(), trtsim()] {
+            let mut cov = CoverageSet::new();
+            let compiled = compiler
+                .compile(&g, &weights, &CompileOptions::default(), &mut cov)
+                .unwrap_or_else(|e| panic!("{}: {e}", compiler.system().name()));
+            let out = compiled.run(&inputs).unwrap();
+            assert_eq!(out.len(), 1);
+            assert!(!cov.is_empty());
+        }
+    }
+
+    #[test]
+    fn o2_matches_o0_and_reference_on_clean_model() {
+        let (g, weights, x) = toy();
+        let mut inputs = HashMap::new();
+        inputs.insert(x, Tensor::from_f32(&[4], vec![1., 2., 3., 4.]).unwrap());
+        let compiler = ortsim();
+        let mut cov = CoverageSet::new();
+        let o2 = compiler
+            .compile(&g, &weights, &CompileOptions::default(), &mut cov)
+            .unwrap();
+        let o0 = compiler
+            .compile(
+                &g,
+                &weights,
+                &CompileOptions {
+                    opt_level: OptLevel::O0,
+                    ..CompileOptions::default()
+                },
+                &mut cov,
+            )
+            .unwrap();
+        let r2 = o2.run(&inputs).unwrap();
+        let r0 = o0.run(&inputs).unwrap();
+        assert!(r2[0].max_abs_diff(&r0[0]).unwrap() < 1e-6);
+        // And against the reference executor.
+        let mut bindings = weights.clone();
+        bindings.insert(x, inputs[&x].clone());
+        let reference = nnsmith_ops::execute(&g, &bindings).unwrap();
+        assert!(r2[0].max_abs_diff(&reference.outputs[0].1).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn trtsim_rejects_f64() {
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F64, &[2])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Tanh)),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::F64, &[2])],
+        );
+        let mut cov = CoverageSet::new();
+        let err = trtsim().compile(&g, &Bindings::new(), &CompileOptions::default(), &mut cov);
+        assert!(matches!(err, Err(CompileError::NotImplemented(_))));
+        assert!(tvmsim()
+            .compile(&g, &Bindings::new(), &CompileOptions::default(), &mut cov)
+            .is_ok());
+    }
+
+    #[test]
+    fn seeded_conversion_crash_fires_even_at_o0() {
+        // tvm-conv-5: ArgMax collapsing to a scalar.
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::ArgExtreme {
+                largest: true,
+                axis: 0,
+                keepdims: false,
+            }),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::I64, &[])],
+        );
+        let mut cov = CoverageSet::new();
+        for opt in [OptLevel::O0, OptLevel::O2] {
+            let err = tvmsim().compile(
+                &g,
+                &Bindings::new(),
+                &CompileOptions {
+                    opt_level: opt,
+                    ..CompileOptions::default()
+                },
+                &mut cov,
+            );
+            match err {
+                Err(CompileError::Crash { message, .. }) => {
+                    assert!(message.contains("tvm-conv-5"), "{message}");
+                }
+                other => panic!("expected crash, got {other:?}"),
+            }
+        }
+        // With bugs disabled it compiles fine.
+        assert!(tvmsim()
+            .compile(
+                &g,
+                &Bindings::new(),
+                &CompileOptions {
+                    opt_level: OptLevel::O2,
+                    bugs: BugConfig::none(),
+                },
+                &mut cov,
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn transformation_crash_skipped_at_o0() {
+        // tvm-pass-4: reflect pad.
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Pad {
+                pads: vec![(
+                    nnsmith_solver::IntExpr::Const(1),
+                    nnsmith_solver::IntExpr::Const(1),
+                )],
+                kind: nnsmith_ops::PadKind::Reflect,
+            }),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::F32, &[6])],
+        );
+        let mut cov = CoverageSet::new();
+        let o2 = tvmsim().compile(&g, &Bindings::new(), &CompileOptions::default(), &mut cov);
+        assert!(matches!(o2, Err(CompileError::Crash { .. })));
+        let o0 = tvmsim().compile(
+            &g,
+            &Bindings::new(),
+            &CompileOptions {
+                opt_level: OptLevel::O0,
+                ..CompileOptions::default()
+            },
+            &mut cov,
+        );
+        assert!(o0.is_ok());
+    }
+
+    #[test]
+    fn semantic_bug_perturbs_outputs() {
+        // trt-u4: ReduceMean over two axes.
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[2, 3, 4])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Reduce {
+                kind: nnsmith_tensor::ReduceKind::Mean,
+                axes: vec![0, 2],
+                keepdims: false,
+            }),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::F32, &[3])],
+        );
+        let mut cov = CoverageSet::new();
+        let compiled = trtsim()
+            .compile(&g, &Bindings::new(), &CompileOptions::default(), &mut cov)
+            .unwrap();
+        assert!(compiled.perturbations.contains(&"trt-u4"));
+        let mut inputs = HashMap::new();
+        inputs.insert(x, Tensor::ones(&[2, 3, 4], DType::F32));
+        let out = compiled.run(&inputs).unwrap();
+        let mut bindings = Bindings::new();
+        bindings.insert(x, Tensor::ones(&[2, 3, 4], DType::F32));
+        let reference = nnsmith_ops::execute(&g, &bindings).unwrap();
+        assert!(out[0].max_abs_diff(&reference.outputs[0].1).unwrap() > 0.1);
+    }
+
+    #[test]
+    fn coverage_grows_with_model_diversity() {
+        let compiler = ortsim();
+        let (g, weights, _) = toy();
+        let mut cum = CoverageSet::new();
+        compiler
+            .compile(&g, &weights, &CompileOptions::default(), &mut cum)
+            .unwrap();
+        let after_one = cum.len();
+        // A different graph (int ops, different shapes) adds branches.
+        let mut g2: Graph<Op> = Graph::new();
+        let x = g2.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::I32, &[2, 5])],
+        );
+        g2.add_node(
+            NodeKind::Operator(Op::Binary(BinaryKind::Mul)),
+            vec![ValueRef::output0(x), ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::I32, &[2, 5])],
+        );
+        compiler
+            .compile(&g2, &Bindings::new(), &CompileOptions::default(), &mut cum)
+            .unwrap();
+        assert!(cum.len() > after_one);
+    }
+}

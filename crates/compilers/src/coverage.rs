@@ -1,0 +1,320 @@
+//! Source-level branch-coverage instrumentation for the simulated
+//! compilers.
+//!
+//! The paper's coverage experiments (§5.2) trace branch coverage of the
+//! real TVM/ONNXRuntime sources. The simulated compilers are instrumented
+//! the same way in spirit: every pass and runtime component is a *file*
+//! with a declared number of branch sites, and pass code records a hit for
+//! each decision it takes (`cov.hit(file, site)`). Many sites are
+//! *parametric* — indexed by op kind, dtype, rank or attribute bucket — so
+//! structurally-diverse inputs reach more branches, exactly the property
+//! the experiments measure.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// What kind of source file a branch belongs to (pass-only coverage of
+/// Figure 6 filters on this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FileKind {
+    /// Graph- or low-level optimization pass (the `transforms`/`optimizer`
+    /// directories of the paper).
+    Pass,
+    /// Frontend / model importer.
+    Frontend,
+    /// Runtime, kernels and everything else.
+    Runtime,
+}
+
+/// A declared instrumented file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileDecl {
+    /// File name (unique within a compiler).
+    pub name: &'static str,
+    /// Component kind.
+    pub kind: FileKind,
+    /// Number of declared branch sites.
+    pub branches: u32,
+}
+
+/// A compiler's instrumented-source manifest.
+#[derive(Debug, Clone)]
+pub struct SourceManifest {
+    files: Vec<FileDecl>,
+}
+
+impl SourceManifest {
+    /// Creates a manifest from file declarations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two files share a name.
+    pub fn new(files: Vec<FileDecl>) -> Self {
+        let mut names: Vec<&str> = files.iter().map(|f| f.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate file names in manifest");
+        SourceManifest { files }
+    }
+
+    /// Index of a file by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file is not declared.
+    pub fn file_id(&self, name: &str) -> FileId {
+        FileId(
+            self.files
+                .iter()
+                .position(|f| f.name == name)
+                .unwrap_or_else(|| panic!("file {name} not in manifest")) as u16,
+        )
+    }
+
+    /// The declared files.
+    pub fn files(&self) -> &[FileDecl] {
+        &self.files
+    }
+
+    /// Total declared branch count.
+    pub fn total_branches(&self) -> u64 {
+        self.files.iter().map(|f| f.branches as u64).sum()
+    }
+
+    /// Total declared branch count over pass files only.
+    pub fn pass_branches(&self) -> u64 {
+        self.files
+            .iter()
+            .filter(|f| f.kind == FileKind::Pass)
+            .map(|f| f.branches as u64)
+            .sum()
+    }
+}
+
+/// Identifier of an instrumented file within a manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FileId(pub u16);
+
+/// A single branch: file plus site index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Branch {
+    /// Instrumented file.
+    pub file: FileId,
+    /// Branch site within the file.
+    pub site: u32,
+}
+
+impl fmt::Display for Branch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}:{}", self.file.0, self.site)
+    }
+}
+
+/// A set of covered branches. Cheap to merge; used both per-compilation
+/// and cumulatively across a fuzzing campaign.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageSet {
+    hits: HashSet<Branch>,
+}
+
+impl CoverageSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        CoverageSet::default()
+    }
+
+    /// Records a branch hit. Sites are clamped into the file's declared
+    /// range by the caller (see [`Cov::hit`]).
+    pub fn insert(&mut self, b: Branch) {
+        self.hits.insert(b);
+    }
+
+    /// Number of distinct branches covered.
+    pub fn len(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// True if nothing is covered.
+    pub fn is_empty(&self) -> bool {
+        self.hits.is_empty()
+    }
+
+    /// Merges another coverage set into this one.
+    pub fn merge(&mut self, other: &CoverageSet) {
+        self.hits.extend(other.hits.iter().copied());
+    }
+
+    /// Branches covered here but not in `other`.
+    pub fn difference(&self, other: &CoverageSet) -> CoverageSet {
+        CoverageSet {
+            hits: self.hits.difference(&other.hits).copied().collect(),
+        }
+    }
+
+    /// Branches covered in both.
+    pub fn intersection(&self, other: &CoverageSet) -> CoverageSet {
+        CoverageSet {
+            hits: self.hits.intersection(&other.hits).copied().collect(),
+        }
+    }
+
+    /// Iterates over covered branches in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = Branch> + '_ {
+        self.hits.iter().copied()
+    }
+
+    /// Number of covered branches belonging to pass files.
+    pub fn pass_len(&self, manifest: &SourceManifest) -> usize {
+        self.hits
+            .iter()
+            .filter(|b| manifest.files()[b.file.0 as usize].kind == FileKind::Pass)
+            .count()
+    }
+}
+
+/// Recorder handed to passes: scopes hits to one file and clamps sites to
+/// the declared branch count (so parametric sites stay in range).
+#[derive(Debug)]
+pub struct Cov<'a> {
+    set: &'a mut CoverageSet,
+    file: FileId,
+    branches: u32,
+}
+
+impl<'a> Cov<'a> {
+    /// Creates a recorder for `file`.
+    pub fn new(set: &'a mut CoverageSet, manifest: &SourceManifest, name: &str) -> Self {
+        let file = manifest.file_id(name);
+        let branches = manifest.files()[file.0 as usize].branches;
+        Cov {
+            set,
+            file,
+            branches,
+        }
+    }
+
+    /// Records a hit at `site` (wrapped into the declared range).
+    pub fn hit(&mut self, site: u32) {
+        self.set.insert(Branch {
+            file: self.file,
+            site: site % self.branches.max(1),
+        });
+    }
+
+    /// Records a parametric hit: `base` plus a small index (dtype, rank,
+    /// bucketed attribute…), keeping distinct inputs on distinct branches.
+    pub fn hit_idx(&mut self, base: u32, index: u32) {
+        self.hit(base + index);
+    }
+}
+
+/// Buckets a value into a small logarithmic index (attribute buckets for
+/// parametric branch sites).
+pub fn log_bucket(v: i64) -> u32 {
+    match v {
+        i64::MIN..=-1 => 0,
+        0 => 1,
+        1 => 2,
+        2..=3 => 3,
+        4..=7 => 4,
+        8..=15 => 5,
+        16..=31 => 6,
+        _ => 7,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest() -> SourceManifest {
+        SourceManifest::new(vec![
+            FileDecl {
+                name: "fold.cc",
+                kind: FileKind::Pass,
+                branches: 50,
+            },
+            FileDecl {
+                name: "runtime.cc",
+                kind: FileKind::Runtime,
+                branches: 100,
+            },
+        ])
+    }
+
+    #[test]
+    fn totals() {
+        let m = manifest();
+        assert_eq!(m.total_branches(), 150);
+        assert_eq!(m.pass_branches(), 50);
+    }
+
+    #[test]
+    fn hits_are_deduplicated_and_clamped() {
+        let m = manifest();
+        let mut set = CoverageSet::new();
+        {
+            let mut cov = Cov::new(&mut set, &m, "fold.cc");
+            cov.hit(3);
+            cov.hit(3);
+            cov.hit(53); // wraps to 3
+            cov.hit(4);
+        }
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn pass_only_filter() {
+        let m = manifest();
+        let mut set = CoverageSet::new();
+        Cov::new(&mut set, &m, "fold.cc").hit(1);
+        Cov::new(&mut set, &m, "runtime.cc").hit(1);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.pass_len(&m), 1);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let m = manifest();
+        let mut a = CoverageSet::new();
+        let mut b = CoverageSet::new();
+        Cov::new(&mut a, &m, "fold.cc").hit(1);
+        Cov::new(&mut a, &m, "fold.cc").hit(2);
+        Cov::new(&mut b, &m, "fold.cc").hit(2);
+        Cov::new(&mut b, &m, "fold.cc").hit(3);
+        assert_eq!(a.difference(&b).len(), 1);
+        assert_eq!(a.intersection(&b).len(), 1);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.len(), 3);
+    }
+
+    #[test]
+    fn log_buckets() {
+        assert_eq!(log_bucket(-5), 0);
+        assert_eq!(log_bucket(0), 1);
+        assert_eq!(log_bucket(1), 2);
+        assert_eq!(log_bucket(6), 4);
+        assert_eq!(log_bucket(100), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_file_panics() {
+        SourceManifest::new(vec![
+            FileDecl {
+                name: "a.cc",
+                kind: FileKind::Pass,
+                branches: 1,
+            },
+            FileDecl {
+                name: "a.cc",
+                kind: FileKind::Pass,
+                branches: 2,
+            },
+        ]);
+    }
+}

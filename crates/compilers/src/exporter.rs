@@ -1,0 +1,207 @@
+//! The PyTorch-exporter stand-in.
+//!
+//! NNSmith materializes generated models via PyTorch and exports them to
+//! ONNX; the exporter itself turned out to host 10 of the 72 bugs (§5.4,
+//! "conversion bugs … as a by-product"). This module simulates that step:
+//! it structurally validates and (bug-for-bug) re-serializes the graph,
+//! with the 10 seeded exporter defects — 8 export crashes and 2 silent
+//! mis-exports whose effect is applied to the exported graph for real
+//! (e.g. the Log2-of-scalar bug exports a rank-1 output).
+
+use nnsmith_graph::{Graph, NodeKind, TensorType, ValueRef};
+use nnsmith_ops::{Op, UnaryKind};
+
+use crate::bugs::{registry, BugConfig, Symptom, System};
+use crate::cgraph::CompileError;
+
+/// Result of exporting a model.
+#[derive(Debug, Clone)]
+pub struct ExportResult {
+    /// The exported (possibly mis-exported) graph.
+    pub graph: Graph<Op>,
+    /// Ids of semantic exporter bugs that fired.
+    pub semantic_bugs: Vec<&'static str>,
+}
+
+/// Exports a model to the interchange format, applying seeded exporter
+/// bugs.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Crash`] when a seeded exporter crash fires or
+/// the graph is structurally invalid.
+pub fn export(graph: &Graph<Op>, bugs: &BugConfig) -> Result<ExportResult, CompileError> {
+    graph
+        .validate()
+        .map_err(|e| CompileError::Import(format!("invalid model: {e}")))?;
+
+    let exporter_bugs: Vec<_> = registry()
+        .into_iter()
+        .filter(|b| b.system == System::Exporter)
+        .collect();
+
+    for bug in &exporter_bugs {
+        if bug.symptom == Symptom::Crash && bugs.enabled(bug.id) && bug.triggers(graph) {
+            return Err(CompileError::Crash {
+                component: "exporter",
+                message: format!("seeded bug {}: {}", bug.id, bug.description),
+            });
+        }
+    }
+
+    let mut out = graph.clone();
+    let mut semantic_bugs = Vec::new();
+
+    // exp-1: Log2 of a scalar exported with a rank-1 output. Realized by
+    // inserting a spurious Unsqueeze after the Log2 node, changing the
+    // model's observable output shape/values downstream.
+    if bugs.enabled("exp-1") {
+        let targets: Vec<_> = out
+            .iter()
+            .filter(|(_, n)| {
+                matches!(&n.kind, NodeKind::Operator(Op::Unary(UnaryKind::Log2)))
+                    && n.outputs[0].rank() == 0
+            })
+            .map(|(id, n)| (id, n.outputs[0].dtype))
+            .collect();
+        if !targets.is_empty() {
+            semantic_bugs.push("exp-1");
+            for (log2_id, dtype) in targets {
+                let unsq = out.add_node(
+                    NodeKind::Operator(Op::Unsqueeze { axis: 0 }),
+                    vec![ValueRef::output0(log2_id)],
+                    vec![TensorType::concrete(dtype, &[1])],
+                );
+                // Redirect all other consumers of the Log2 value to the
+                // unsqueezed value.
+                for i in 0..out.len() {
+                    let nid = nnsmith_graph::NodeId(i as u32);
+                    if nid == unsq {
+                        continue;
+                    }
+                    let node = out.node_mut(nid);
+                    for v in &mut node.inputs {
+                        if *v == ValueRef::output0(log2_id) {
+                            *v = ValueRef::output0(unsq);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // exp-2: integer Clip attributes mangled against an old opset.
+    if bugs.enabled("exp-2") {
+        let mut fired = false;
+        for i in 0..out.len() {
+            let nid = nnsmith_graph::NodeId(i as u32);
+            let is_int = out.node(nid).outputs[0].dtype.is_int();
+            if let NodeKind::Operator(Op::Clip { lo, hi }) = &mut out.node_mut(nid).kind {
+                if is_int && *lo < 0 {
+                    fired = true;
+                    // The exporter "round-trips" the bounds through an
+                    // unsigned field: the negative bound flips sign.
+                    *lo = (-*lo).min(*hi);
+                }
+            }
+        }
+        if fired {
+            semantic_bugs.push("exp-2");
+        }
+    }
+
+    Ok(ExportResult {
+        graph: out,
+        semantic_bugs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnsmith_tensor::DType;
+
+    #[test]
+    fn clean_graph_roundtrips() {
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Tanh)),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        let res = export(&g, &BugConfig::all_on()).unwrap();
+        assert_eq!(res.graph, g);
+        assert!(res.semantic_bugs.is_empty());
+    }
+
+    #[test]
+    fn log2_scalar_gets_spurious_unsqueeze() {
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Log2)),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::F32, &[])],
+        );
+        let res = export(&g, &BugConfig::all_on()).unwrap();
+        assert!(res.semantic_bugs.contains(&"exp-1"));
+        assert_eq!(res.graph.len(), g.len() + 1);
+        // The model output is now rank-1.
+        let outs = res.graph.output_values();
+        assert_eq!(res.graph.value_type(outs[0]).rank(), 1);
+        // With the bug disabled nothing changes.
+        let clean = export(&g, &BugConfig::none()).unwrap();
+        assert_eq!(clean.graph, g);
+    }
+
+    #[test]
+    fn exporter_crash_bug_fires() {
+        // exp-4: Squeeze to a scalar.
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[1])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Squeeze { axis: 0 }),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::F32, &[])],
+        );
+        let err = export(&g, &BugConfig::all_on());
+        assert!(matches!(err, Err(CompileError::Crash { .. })));
+        assert!(export(&g, &BugConfig::none()).is_ok());
+    }
+
+    #[test]
+    fn int_clip_bounds_mangled() {
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::I32, &[4])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Clip { lo: -5, hi: 5 }),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::I32, &[4])],
+        );
+        let res = export(&g, &BugConfig::all_on()).unwrap();
+        assert!(res.semantic_bugs.contains(&"exp-2"));
+        let op = res
+            .graph
+            .iter()
+            .find_map(|(_, n)| n.kind.as_operator())
+            .unwrap();
+        assert!(matches!(op, Op::Clip { lo: 5, hi: 5 }));
+    }
+}

@@ -1,0 +1,44 @@
+//! # nnsmith-compilers
+//!
+//! Simulated deep-learning compilers — the systems-under-test of the
+//! NNSmith reproduction.
+//!
+//! The paper fuzzes TVM, ONNXRuntime and TensorRT. Those systems are not
+//! available offline, so this crate builds the closest synthetic
+//! equivalents that exercise the same code paths:
+//!
+//! * a shared compiler IR ([`CGraph`]) with real optimization passes
+//!   (constant folding, DCE, algebraic simplification, pattern/property
+//!   fusion, layout rewriting, index typing, a low-level loop pipeline);
+//! * **branch-coverage instrumentation** over declared source manifests,
+//!   with parametric branch sites so input diversity is measurable
+//!   (Figures 4–8);
+//! * **72 seeded bugs** matching Table 3's distribution, each triggered by
+//!   the structural pattern the paper attributes to the corresponding real
+//!   bug (§5.4);
+//! * three assembled systems — [`tvmsim`] (end-to-end, property-based
+//!   fusion, low-level passes), [`ortsim`] (pattern-heavy optimizer +
+//!   kernel dispatch) and [`trtsim`] (closed-source stand-in, no f64) —
+//!   plus the PyTorch-exporter stand-in ([`export`]).
+
+#![warn(missing_docs)]
+
+mod bugs;
+mod cgraph;
+mod compiler;
+mod coverage;
+mod exporter;
+mod lowlevel;
+mod passes;
+
+pub use bugs::{bugs_for, registry, BugConfig, Phase, SeededBug, Symptom, System};
+pub use cgraph::{CGraph, CNode, COp, CompileError, CValue, IndexWidth, Layout};
+pub use compiler::{ortsim, trtsim, tvmsim, CompileOptions, CompiledModel, Compiler, OptLevel};
+pub use coverage::{
+    log_bucket, Branch, Cov, CoverageSet, FileDecl, FileId, FileKind, SourceManifest,
+};
+pub use exporter::{export, ExportResult};
+pub use lowlevel::{
+    codegen_coverage, loop_count, lower_graph, run_lowlevel, tir_schedule, tir_simplify, LExpr,
+    LoweredFunc, LStmt,
+};

@@ -1,0 +1,551 @@
+//! tvmsim's low-level loop IR (the TIR analogue).
+//!
+//! After graph-level optimization, tvmsim lowers each kernel to a loop
+//! nest with explicit index arithmetic, then runs low-level passes
+//! (expression simplification, tiling, vectorization, unrolling). This IR
+//! also exists to host the Tzer baseline (§5.2, Fig. 8): Tzer mutates
+//! low-level IR directly, reaching branches graph-level fuzzing cannot,
+//! while missing the graph-level passes entirely.
+
+use nnsmith_ops::Op;
+
+use crate::cgraph::{CGraph, COp};
+use crate::coverage::{log_bucket, Cov, CoverageSet, SourceManifest};
+use crate::passes::op_code;
+
+/// Low-level integer index expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LExpr {
+    /// Integer literal.
+    Const(i64),
+    /// Loop variable by id.
+    Var(u32),
+    /// Addition.
+    Add(Box<LExpr>, Box<LExpr>),
+    /// Multiplication.
+    Mul(Box<LExpr>, Box<LExpr>),
+    /// Floor division.
+    Div(Box<LExpr>, Box<LExpr>),
+    /// Euclidean remainder.
+    Mod(Box<LExpr>, Box<LExpr>),
+}
+
+impl LExpr {
+    /// Number of nodes (mutation sizing).
+    pub fn size(&self) -> usize {
+        match self {
+            LExpr::Const(_) | LExpr::Var(_) => 1,
+            LExpr::Add(a, b) | LExpr::Mul(a, b) | LExpr::Div(a, b) | LExpr::Mod(a, b) => {
+                1 + a.size() + b.size()
+            }
+        }
+    }
+}
+
+/// Low-level statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LStmt {
+    /// A counted loop.
+    For {
+        /// Loop variable id.
+        var: u32,
+        /// Trip count.
+        extent: i64,
+        /// Body.
+        body: Vec<LStmt>,
+        /// Set by the vectorizer.
+        vectorized: bool,
+        /// Set by the unroller.
+        unrolled: bool,
+    },
+    /// A store with an index expression (the computation payload is
+    /// abstracted away — low-level passes only reason about structure).
+    Store {
+        /// Flattened index expression.
+        index: LExpr,
+    },
+}
+
+/// A lowered kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoweredFunc {
+    /// Kernel name (derived from the graph node).
+    pub name: String,
+    /// Body statements.
+    pub body: Vec<LStmt>,
+}
+
+/// Lowers every node of a compiled graph into a loop nest whose loops run
+/// over the output dimensions, with row-major index arithmetic (plus
+/// reduction loops for conv/matmul-like nodes).
+pub fn lower_graph(g: &CGraph) -> Vec<LoweredFunc> {
+    let mut funcs = Vec::new();
+    let mut next_var = 0u32;
+    for (i, node) in g.nodes.iter().enumerate() {
+        let (name, reduction): (String, Option<i64>) = match &node.op {
+            COp::Constant(_) => continue,
+            COp::Primitive(op) => {
+                let red = match op {
+                    Op::Conv2d { kh, kw, .. } => {
+                        Some(kh.as_const().unwrap_or(1) * kw.as_const().unwrap_or(1))
+                    }
+                    Op::MatMul | Op::Dense { .. } => Some(8),
+                    Op::Reduce { .. } | Op::Softmax { .. } => Some(4),
+                    _ => None,
+                };
+                (format!("{}_{i}", op.name().to_lowercase()), red)
+            }
+            COp::Fused { kernel, .. } => (format!("{}_{i}", kernel.to_lowercase()), None),
+        };
+        // Loop nest over output dims (scalars get a single unit loop).
+        let dims: Vec<i64> = if node.shape.is_empty() {
+            vec![1]
+        } else {
+            node.shape.iter().map(|&d| d as i64).collect()
+        };
+        let vars: Vec<u32> = dims
+            .iter()
+            .map(|_| {
+                let v = next_var;
+                next_var += 1;
+                v
+            })
+            .collect();
+        // Row-major index: ((v0 * d1 + v1) * d2 + v2)…
+        let mut index = LExpr::Var(vars[0]);
+        for (k, &d) in dims.iter().enumerate().skip(1) {
+            index = LExpr::Add(
+                Box::new(LExpr::Mul(Box::new(index), Box::new(LExpr::Const(d)))),
+                Box::new(LExpr::Var(vars[k])),
+            );
+        }
+        // Simplification fodder mirroring real lowering artifacts:
+        // (index * 1 + 0), and a packed-layout mod/div pair.
+        let index = LExpr::Add(
+            Box::new(LExpr::Mul(Box::new(index), Box::new(LExpr::Const(1)))),
+            Box::new(LExpr::Const(0)),
+        );
+        let index = if dims.len() == 4 && dims[1] % 4 == 0 {
+            // c -> (c / 4, c % 4) packing arithmetic.
+            LExpr::Add(
+                Box::new(LExpr::Mul(
+                    Box::new(LExpr::Div(
+                        Box::new(index.clone()),
+                        Box::new(LExpr::Const(4)),
+                    )),
+                    Box::new(LExpr::Const(4)),
+                )),
+                Box::new(LExpr::Mod(Box::new(index), Box::new(LExpr::Const(4)))),
+            )
+        } else {
+            index
+        };
+        let mut body = vec![LStmt::Store { index }];
+        if let Some(red) = reduction {
+            let v = next_var;
+            next_var += 1;
+            body = vec![LStmt::For {
+                var: v,
+                extent: red.max(1),
+                body,
+                vectorized: false,
+                unrolled: false,
+            }];
+        }
+        for (k, &d) in dims.iter().enumerate().rev() {
+            body = vec![LStmt::For {
+                var: vars[k],
+                extent: d,
+                body,
+                vectorized: false,
+                unrolled: false,
+            }];
+        }
+        funcs.push(LoweredFunc { name, body });
+    }
+    funcs
+}
+
+/// Simplifies an index expression, recording a branch per applied rule.
+fn simplify_expr(e: &LExpr, cov: &mut Cov<'_>) -> LExpr {
+    match e {
+        LExpr::Const(_) | LExpr::Var(_) => e.clone(),
+        LExpr::Add(a, b) => {
+            let (a, b) = (simplify_expr(a, cov), simplify_expr(b, cov));
+            match (&a, &b) {
+                (LExpr::Const(x), LExpr::Const(y)) => {
+                    cov.hit(1);
+                    LExpr::Const(x + y)
+                }
+                (_, LExpr::Const(0)) => {
+                    cov.hit(2);
+                    a
+                }
+                (LExpr::Const(0), _) => {
+                    cov.hit(3);
+                    b
+                }
+                _ => LExpr::Add(Box::new(a), Box::new(b)),
+            }
+        }
+        LExpr::Mul(a, b) => {
+            let (a, b) = (simplify_expr(a, cov), simplify_expr(b, cov));
+            match (&a, &b) {
+                (LExpr::Const(x), LExpr::Const(y)) => {
+                    cov.hit(4);
+                    LExpr::Const(x * y)
+                }
+                (_, LExpr::Const(1)) => {
+                    cov.hit(5);
+                    a
+                }
+                (LExpr::Const(1), _) => {
+                    cov.hit(6);
+                    b
+                }
+                (_, LExpr::Const(0)) | (LExpr::Const(0), _) => {
+                    cov.hit(7);
+                    LExpr::Const(0)
+                }
+                _ => LExpr::Mul(Box::new(a), Box::new(b)),
+            }
+        }
+        LExpr::Div(a, b) => {
+            let (a, b) = (simplify_expr(a, cov), simplify_expr(b, cov));
+            match (&a, &b) {
+                (LExpr::Const(x), LExpr::Const(y)) if *y != 0 => {
+                    cov.hit(8);
+                    LExpr::Const(x.div_euclid(*y))
+                }
+                (_, LExpr::Const(1)) => {
+                    cov.hit(9);
+                    a
+                }
+                // (x * c) / c → x (sound for exact multiples).
+                (LExpr::Mul(x, c1), LExpr::Const(c2))
+                    if matches!(**c1, LExpr::Const(v) if v == *c2 && v != 0) =>
+                {
+                    cov.hit(10);
+                    (**x).clone()
+                }
+                _ => LExpr::Div(Box::new(a), Box::new(b)),
+            }
+        }
+        LExpr::Mod(a, b) => {
+            let (a, b) = (simplify_expr(a, cov), simplify_expr(b, cov));
+            match (&a, &b) {
+                (LExpr::Const(x), LExpr::Const(y)) if *y != 0 => {
+                    cov.hit(11);
+                    LExpr::Const(x.rem_euclid(*y))
+                }
+                (_, LExpr::Const(1)) => {
+                    cov.hit(12);
+                    LExpr::Const(0)
+                }
+                _ => LExpr::Mod(Box::new(a), Box::new(b)),
+            }
+        }
+    }
+}
+
+fn walk_stmts(stmts: &mut Vec<LStmt>, cov: &mut Cov<'_>, depth: u32) {
+    for s in stmts.iter_mut() {
+        match s {
+            LStmt::Store { index } => {
+                cov.hit_idx(16, depth.min(6));
+                *index = simplify_expr(index, cov);
+            }
+            LStmt::For { body, extent, .. } => {
+                cov.hit_idx(24, log_bucket(*extent));
+                walk_stmts(body, cov, depth + 1);
+            }
+        }
+    }
+}
+
+/// The low-level expression-simplification pass.
+pub fn tir_simplify(funcs: &mut [LoweredFunc], cov_set: &mut CoverageSet, manifest: &SourceManifest) {
+    let mut cov = Cov::new(cov_set, manifest, "tir_simplify.cc");
+    cov.hit(0);
+    for f in funcs.iter_mut() {
+        walk_stmts(&mut f.body, &mut cov, 0);
+    }
+}
+
+/// The low-level scheduling pass: tiling, vectorization and unrolling
+/// decisions keyed on loop extents.
+pub fn tir_schedule(funcs: &mut [LoweredFunc], cov_set: &mut CoverageSet, manifest: &SourceManifest) {
+    let mut cov = Cov::new(cov_set, manifest, "tir_schedule.cc");
+    cov.hit(0);
+    for f in funcs.iter_mut() {
+        schedule_stmts(&mut f.body, &mut cov, true);
+    }
+}
+
+fn schedule_stmts(stmts: &mut Vec<LStmt>, cov: &mut Cov<'_>, outermost: bool) {
+    for s in stmts.iter_mut() {
+        if let LStmt::For {
+            extent,
+            body,
+            vectorized,
+            unrolled,
+            var,
+        } = s
+        {
+            let innermost = !body.iter().any(|b| matches!(b, LStmt::For { .. }));
+            if innermost {
+                if *extent > 1 && (*extent as u64).is_power_of_two() && *extent <= 64 {
+                    cov.hit_idx(4, log_bucket(*extent));
+                    *vectorized = true;
+                } else if *extent <= 4 {
+                    cov.hit(2);
+                    *unrolled = true;
+                } else {
+                    cov.hit(3);
+                }
+            } else if outermost && *extent % 4 == 0 && *extent >= 8 {
+                // Tile: split into outer (extent/4) and inner (4) loops.
+                cov.hit(12);
+                let inner = LStmt::For {
+                    var: *var + 10_000,
+                    extent: 4,
+                    body: std::mem::take(body),
+                    vectorized: false,
+                    unrolled: false,
+                };
+                *extent /= 4;
+                *body = vec![inner];
+            } else {
+                cov.hit_idx(14, log_bucket(*extent));
+            }
+            schedule_stmts(body, cov, false);
+        }
+    }
+}
+
+/// Code generation coverage: branch sites keyed by loop-nest structure
+/// (depth, extents, vectorization) — shared by graph-lowered kernels and
+/// Tzer-mutated IR.
+pub fn codegen_coverage(
+    funcs: &[LoweredFunc],
+    cov_set: &mut CoverageSet,
+    manifest: &SourceManifest,
+) {
+    let mut cov = Cov::new(cov_set, manifest, "codegen.cc");
+    cov.hit(0);
+    fn walk(stmts: &[LStmt], cov: &mut Cov<'_>, depth: u32) {
+        for s in stmts {
+            match s {
+                LStmt::For {
+                    extent,
+                    body,
+                    vectorized,
+                    unrolled,
+                    ..
+                } => {
+                    cov.hit_idx(8, depth.min(9) * 8 + log_bucket(*extent));
+                    if *vectorized {
+                        cov.hit_idx(100, log_bucket(*extent));
+                    }
+                    if *unrolled {
+                        cov.hit_idx(110, log_bucket(*extent));
+                    }
+                    walk(body, cov, depth + 1);
+                }
+                LStmt::Store { index } => {
+                    cov.hit_idx(120, (index.size() as u32).min(30));
+                }
+            }
+        }
+    }
+    for f in funcs {
+        walk(&f.body, &mut cov, 0);
+    }
+}
+
+/// Number of loops in a function (test/diagnostic helper).
+pub fn loop_count(f: &LoweredFunc) -> usize {
+    fn count(stmts: &[LStmt]) -> usize {
+        stmts
+            .iter()
+            .map(|s| match s {
+                LStmt::For { body, .. } => 1 + count(body),
+                LStmt::Store { .. } => 0,
+            })
+            .sum()
+    }
+    count(&f.body)
+}
+
+/// Lowers `g` and runs the low-level pipeline with coverage; used by
+/// tvmsim's O2 compilation and, with synthetic IR, by the Tzer baseline.
+pub fn run_lowlevel(
+    g: &CGraph,
+    cov: &mut CoverageSet,
+    manifest: &SourceManifest,
+) -> Vec<LoweredFunc> {
+    let mut funcs = lower_graph(g);
+    {
+        let mut c = Cov::new(cov, manifest, "lower.cc");
+        c.hit(0);
+        for (i, node) in g.nodes.iter().enumerate() {
+            let _ = i;
+            match &node.op {
+                COp::Primitive(op) => c.hit_idx(4, op_code(op)),
+                COp::Fused { ops, .. } => c.hit_idx(80, ops.len() as u32),
+                COp::Constant(_) => c.hit(1),
+            }
+            c.hit_idx(90, node.shape.len() as u32);
+        }
+    }
+    tir_simplify(&mut funcs, cov, manifest);
+    tir_schedule(&mut funcs, cov, manifest);
+    codegen_coverage(&funcs, cov, manifest);
+    funcs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cgraph::CGraph;
+    use crate::coverage::{FileDecl, FileKind};
+    use nnsmith_graph::{Graph, NodeKind, TensorType, ValueRef};
+    use nnsmith_ops::{Bindings, UnaryKind};
+    use nnsmith_tensor::DType;
+
+    fn manifest() -> SourceManifest {
+        SourceManifest::new(vec![
+            FileDecl { name: "lower.cc", kind: FileKind::Pass, branches: 100 },
+            FileDecl { name: "tir_simplify.cc", kind: FileKind::Pass, branches: 40 },
+            FileDecl { name: "tir_schedule.cc", kind: FileKind::Pass, branches: 30 },
+            FileDecl { name: "codegen.cc", kind: FileKind::Runtime, branches: 700 },
+        ])
+    }
+
+    fn toy_cgraph() -> CGraph {
+        let mut g: Graph<nnsmith_ops::Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[2, 8])],
+        );
+        g.add_node(
+            NodeKind::Operator(nnsmith_ops::Op::Unary(UnaryKind::Relu)),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::F32, &[2, 8])],
+        );
+        CGraph::import(&g, &Bindings::new()).unwrap()
+    }
+
+    #[test]
+    fn lowering_builds_loop_nests() {
+        let cg = toy_cgraph();
+        let funcs = lower_graph(&cg);
+        assert_eq!(funcs.len(), 1);
+        assert_eq!(loop_count(&funcs[0]), 2); // 2-D output
+        assert!(funcs[0].name.starts_with("relu"));
+    }
+
+    #[test]
+    fn simplify_removes_identities() {
+        let e = LExpr::Add(
+            Box::new(LExpr::Mul(
+                Box::new(LExpr::Var(0)),
+                Box::new(LExpr::Const(1)),
+            )),
+            Box::new(LExpr::Const(0)),
+        );
+        let m = manifest();
+        let mut set = CoverageSet::new();
+        let mut cov = Cov::new(&mut set, &m, "tir_simplify.cc");
+        let s = simplify_expr(&e, &mut cov);
+        assert_eq!(s, LExpr::Var(0));
+    }
+
+    #[test]
+    fn mul_div_cancellation() {
+        // (v * 4) / 4 → v.
+        let e = LExpr::Div(
+            Box::new(LExpr::Mul(
+                Box::new(LExpr::Var(3)),
+                Box::new(LExpr::Const(4)),
+            )),
+            Box::new(LExpr::Const(4)),
+        );
+        let m = manifest();
+        let mut set = CoverageSet::new();
+        let mut cov = Cov::new(&mut set, &m, "tir_simplify.cc");
+        assert_eq!(simplify_expr(&e, &mut cov), LExpr::Var(3));
+    }
+
+    #[test]
+    fn schedule_vectorizes_power_of_two_innermost() {
+        let cg = toy_cgraph();
+        let m = manifest();
+        let mut cov = CoverageSet::new();
+        let funcs = run_lowlevel(&cg, &mut cov, &m);
+        fn any_vectorized(stmts: &[LStmt]) -> bool {
+            stmts.iter().any(|s| match s {
+                LStmt::For {
+                    vectorized, body, ..
+                } => *vectorized || any_vectorized(body),
+                _ => false,
+            })
+        }
+        assert!(any_vectorized(&funcs[0].body));
+        assert!(!cov.is_empty());
+    }
+
+    #[test]
+    fn coverage_grows_with_structural_diversity() {
+        // A conv-bearing graph reaches more low-level branches than the
+        // relu-only toy.
+        let cg1 = toy_cgraph();
+        let m = manifest();
+        let mut cov1 = CoverageSet::new();
+        run_lowlevel(&cg1, &mut cov1, &m);
+
+        let mut g: Graph<nnsmith_ops::Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[1, 4, 6, 6])],
+        );
+        let w = g.add_node(
+            NodeKind::Weight,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[4, 4, 3, 3])],
+        );
+        let b = g.add_node(
+            NodeKind::Weight,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        g.add_node(
+            NodeKind::Operator(nnsmith_ops::Op::Conv2d {
+                in_channels: nnsmith_solver::IntExpr::Const(4),
+                out_channels: nnsmith_solver::IntExpr::Const(4),
+                kh: nnsmith_solver::IntExpr::Const(3),
+                kw: nnsmith_solver::IntExpr::Const(3),
+                stride: nnsmith_solver::IntExpr::Const(1),
+                padding: nnsmith_solver::IntExpr::Const(0),
+                dilation: nnsmith_solver::IntExpr::Const(1),
+            }),
+            vec![
+                ValueRef::output0(x),
+                ValueRef::output0(w),
+                ValueRef::output0(b),
+            ],
+            vec![TensorType::concrete(DType::F32, &[1, 4, 4, 4])],
+        );
+        let mut weights = Bindings::new();
+        weights.insert(w, nnsmith_tensor::Tensor::ones(&[4, 4, 3, 3], DType::F32));
+        weights.insert(b, nnsmith_tensor::Tensor::zeros(&[4], DType::F32));
+        let cg2 = CGraph::import(&g, &weights).unwrap();
+        let mut cov2 = CoverageSet::new();
+        run_lowlevel(&cg2, &mut cov2, &m);
+        let mut merged = cov1.clone();
+        merged.merge(&cov2);
+        assert!(merged.len() > cov1.len(), "conv adds low-level branches");
+    }
+}

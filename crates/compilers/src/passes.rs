@@ -1,0 +1,891 @@
+//! Graph-level optimization passes of the simulated compilers.
+//!
+//! Passes are real transformations over [`CGraph`] — constant folding, dead
+//! code elimination, algebraic simplification, operator fusion, layout
+//! rewriting and index typing — each instrumented with branch coverage. The
+//! ortsim passes branch on *specific operator patterns* (like
+//! ONNXRuntime's 130 pattern-matching optimizer files) while the tvmsim
+//! fusion pass branches on *operator properties* (injective/reduction…),
+//! reproducing the coverage-sensitivity asymmetry discussed in §5.2.
+
+use std::collections::HashMap;
+
+use nnsmith_ops::{BinaryKind, Op, UnaryKind};
+use nnsmith_tensor::{DType, Tensor};
+
+use crate::bugs::{BugConfig, System};
+use crate::cgraph::{CGraph, CNode, COp, CompileError, CValue, IndexWidth, Layout};
+use crate::coverage::{log_bucket, Cov, CoverageSet, SourceManifest};
+
+/// Context handed to every pass.
+pub struct PassCtx<'a> {
+    /// Cumulative coverage for this compilation.
+    pub cov: &'a mut CoverageSet,
+    /// The compiler's instrumented-source manifest.
+    pub manifest: &'a SourceManifest,
+    /// Seeded-bug switchboard.
+    pub bugs: &'a BugConfig,
+    /// Which simulated system is compiling.
+    pub system: System,
+}
+
+/// A pass as a plain function pointer (pipelines are static tables).
+pub type PassFn = fn(&mut CGraph, &mut PassCtx<'_>) -> Result<(), CompileError>;
+
+/// Small stable code for an operator kind (parametric coverage sites).
+pub fn op_code(op: &Op) -> u32 {
+    match op {
+        Op::Unary(k) => *k as u32,
+        Op::Binary(k) => 20 + *k as u32,
+        Op::Compare(k) => 28 + *k as u32,
+        Op::Logical(k) => 35 + *k as u32,
+        Op::Not => 39,
+        Op::Where => 40,
+        Op::Cast { .. } => 41,
+        Op::Softmax { .. } => 42,
+        Op::Clip { .. } => 43,
+        Op::MatMul => 44,
+        Op::Dense { .. } => 45,
+        Op::Conv2d { .. } => 46,
+        Op::MaxPool2d { .. } => 47,
+        Op::AvgPool2d { .. } => 48,
+        Op::BatchNorm => 49,
+        Op::Reshape { .. } => 50,
+        Op::Transpose { .. } => 51,
+        Op::Slice { .. } => 52,
+        Op::Pad { kind, .. } => 53 + *kind as u32,
+        Op::Concat { .. } => 56,
+        Op::Squeeze { .. } => 57,
+        Op::Unsqueeze { .. } => 58,
+        Op::Flatten { .. } => 59,
+        Op::BroadcastTo { .. } => 60,
+        Op::Reduce { kind, .. } => 61 + *kind as u32,
+        Op::ArgExtreme { largest, .. } => 66 + u32::from(*largest),
+        Op::ResizeNearest { .. } => 68,
+    }
+}
+
+fn dtype_code(d: DType) -> u32 {
+    match d {
+        DType::F32 => 0,
+        DType::F64 => 1,
+        DType::I32 => 2,
+        DType::I64 => 3,
+        DType::Bool => 4,
+    }
+}
+
+/// Constant folding: primitive nodes whose inputs are all constants are
+/// evaluated at compile time.
+pub fn constant_folding(g: &mut CGraph, cx: &mut PassCtx<'_>) -> Result<(), CompileError> {
+    let mut cov = Cov::new(cx.cov, cx.manifest, "const_fold.cc");
+    cov.hit(0); // pass entry
+    for i in 0..g.nodes.len() {
+        let node = &g.nodes[i];
+        let COp::Primitive(op) = &node.op else {
+            continue;
+        };
+        let consts: Option<Vec<Tensor>> = node
+            .inputs
+            .iter()
+            .map(|v| match v {
+                CValue::Node(p) => match &g.nodes[*p].op {
+                    COp::Constant(t) => Some(t.clone()),
+                    _ => None,
+                },
+                CValue::Input(_) => None,
+            })
+            .collect();
+        let Some(consts) = consts else {
+            cov.hit_idx(1, 0); // non-constant operand branch
+            continue;
+        };
+        if node.inputs.is_empty() {
+            continue;
+        }
+        cov.hit_idx(4, op_code(op)); // foldable-op branch, per kind
+        cov.hit_idx(80, dtype_code(node.dtype));
+        let refs: Vec<&Tensor> = consts.iter().collect();
+        match op.eval(&refs) {
+            Ok(mut out) => {
+                cov.hit(2);
+                g.nodes[i].op = COp::Constant(out.remove(0));
+                g.nodes[i].inputs.clear();
+            }
+            Err(_) => {
+                // Folding failed at compile time (e.g. division by zero in
+                // constants): leave the node for the runtime.
+                cov.hit(3);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Dead code elimination: nodes not reachable from the outputs are
+/// removed.
+pub fn dead_code_elim(g: &mut CGraph, cx: &mut PassCtx<'_>) -> Result<(), CompileError> {
+    let mut cov = Cov::new(cx.cov, cx.manifest, "dce.cc");
+    cov.hit(0);
+    let mut live = vec![false; g.nodes.len()];
+    let mut stack: Vec<usize> = g
+        .outputs
+        .iter()
+        .filter_map(|v| match v {
+            CValue::Node(i) => Some(*i),
+            CValue::Input(_) => None,
+        })
+        .collect();
+    while let Some(i) = stack.pop() {
+        if std::mem::replace(&mut live[i], true) {
+            continue;
+        }
+        for v in &g.nodes[i].inputs {
+            if let CValue::Node(p) = v {
+                stack.push(*p);
+            }
+        }
+    }
+    if live.iter().all(|&l| l) {
+        cov.hit(1); // nothing dead
+        return Ok(());
+    }
+    cov.hit(2);
+    // Rebuild with a remap.
+    let mut remap: HashMap<usize, usize> = HashMap::new();
+    let mut nodes = Vec::new();
+    for (i, node) in g.nodes.iter().enumerate() {
+        if live[i] {
+            remap.insert(i, nodes.len());
+            nodes.push(node.clone());
+        } else if let COp::Primitive(op) = &node.op {
+            cov.hit_idx(8, op_code(op)); // dead-op branch per kind
+        }
+    }
+    for node in &mut nodes {
+        for v in &mut node.inputs {
+            if let CValue::Node(p) = v {
+                *p = remap[p];
+            }
+        }
+    }
+    for v in &mut g.outputs {
+        if let CValue::Node(p) = v {
+            *p = remap[p];
+        }
+    }
+    g.nodes = nodes;
+    Ok(())
+}
+
+fn const_scalar_value(g: &CGraph, v: &CValue) -> Option<f64> {
+    match v {
+        CValue::Node(p) => match &g.nodes[*p].op {
+            COp::Constant(t) if t.numel() == 1 => Some(t.lin_f64(0)),
+            _ => None,
+        },
+        CValue::Input(_) => None,
+    }
+}
+
+/// Algebraic simplification: identity rewrites plus (for tvmsim with the
+/// seeded bug enabled) the *wrong* `(x / c) * c → x` integer rewrite of
+/// §5.4's expression-simplification family.
+pub fn algebraic_simplify(g: &mut CGraph, cx: &mut PassCtx<'_>) -> Result<(), CompileError> {
+    let mut cov = Cov::new(cx.cov, cx.manifest, "simplify.cc");
+    cov.hit(0);
+    let consumers = g.consumers();
+    for i in 0..g.nodes.len() {
+        let node = g.nodes[i].clone();
+        let COp::Primitive(op) = &node.op else {
+            continue;
+        };
+        match op {
+            // x + 0, x - 0 → x
+            Op::Binary(BinaryKind::Add | BinaryKind::Sub) => {
+                cov.hit_idx(10, dtype_code(node.dtype));
+                if const_scalar_value(g, &node.inputs[1]) == Some(0.0)
+                    && shapes_equal(g, &node.inputs[0], &node.shape)
+                {
+                    cov.hit(1);
+                    g.nodes[i] = forward_node(&node, node.inputs[0]);
+                }
+            }
+            // x * 1 → x; x * 0 → 0-const
+            Op::Binary(BinaryKind::Mul) => {
+                cov.hit_idx(15, dtype_code(node.dtype));
+                let c = const_scalar_value(g, &node.inputs[1]);
+                if c == Some(1.0) && shapes_equal(g, &node.inputs[0], &node.shape) {
+                    cov.hit(2);
+                    g.nodes[i] = forward_node(&node, node.inputs[0]);
+                } else if c == Some(0.0) {
+                    cov.hit(3);
+                    g.nodes[i].op =
+                        COp::Constant(Tensor::zeros(&node.shape, node.dtype));
+                    g.nodes[i].inputs.clear();
+                }
+            }
+            // x / 1 → x; seeded tvm-simpl-1: (x / c) * c → x for ints.
+            Op::Binary(BinaryKind::Div) => {
+                cov.hit_idx(20, dtype_code(node.dtype));
+                if const_scalar_value(g, &node.inputs[1]) == Some(1.0)
+                    && shapes_equal(g, &node.inputs[0], &node.shape)
+                {
+                    cov.hit(4);
+                    g.nodes[i] = forward_node(&node, node.inputs[0]);
+                } else if cx.system == System::TvmSim
+                    && cx.bugs.enabled("tvm-simpl-1")
+                    && node.dtype.is_int()
+                {
+                    // Find a Mul consumer multiplying by the same constant:
+                    // rewrite the Mul to forward x, which is WRONG when x is
+                    // not divisible by c (floor division loses remainder).
+                    let c = const_scalar_value(g, &node.inputs[1]);
+                    if let Some(c) = c {
+                        for &m in &consumers[i] {
+                            let mnode = g.nodes[m].clone();
+                            if matches!(&mnode.op, COp::Primitive(Op::Binary(BinaryKind::Mul)))
+                                && const_scalar_value(g, &mnode.inputs[1]) == Some(c)
+                                && mnode.inputs[0] == CValue::Node(i)
+                                && shapes_equal(g, &node.inputs[0], &mnode.shape)
+                            {
+                                cov.hit(5); // the buggy rewrite branch
+                                g.nodes[m] = forward_node(&mnode, node.inputs[0]);
+                            }
+                        }
+                    }
+                }
+            }
+            // Neg(Neg(x)) → x
+            Op::Unary(UnaryKind::Neg) => {
+                cov.hit(6);
+                if let CValue::Node(p) = node.inputs[0] {
+                    if matches!(
+                        &g.nodes[p].op,
+                        COp::Primitive(Op::Unary(UnaryKind::Neg))
+                    ) {
+                        cov.hit(7);
+                        g.nodes[i] = forward_node(&node, g.nodes[p].inputs[0]);
+                    }
+                }
+            }
+            // Relu(Relu(x)) → Relu(x) (idempotence)
+            Op::Unary(UnaryKind::Relu) => {
+                cov.hit(8);
+                if let CValue::Node(p) = node.inputs[0] {
+                    if matches!(
+                        &g.nodes[p].op,
+                        COp::Primitive(Op::Unary(UnaryKind::Relu))
+                    ) {
+                        cov.hit(9);
+                        g.nodes[i].inputs = g.nodes[p].inputs.clone();
+                    }
+                }
+            }
+            // Cast to the same dtype → forward
+            Op::Cast { to } => {
+                cov.hit_idx(30, dtype_code(*to));
+                let in_dtype = value_dtype(g, &node.inputs[0]);
+                if in_dtype == Some(*to) {
+                    cov.hit(35);
+                    g.nodes[i] = forward_node(&node, node.inputs[0]);
+                }
+            }
+            // Identity transpose → forward
+            Op::Transpose { perm } => {
+                cov.hit_idx(40, perm.len() as u32);
+                if perm.iter().enumerate().all(|(a, &b)| a == b) {
+                    cov.hit(45);
+                    g.nodes[i] = forward_node(&node, node.inputs[0]);
+                }
+            }
+            // Reshape to the same shape → forward
+            Op::Reshape { .. } => {
+                cov.hit_idx(50, node.shape.len() as u32);
+                if shapes_equal(g, &node.inputs[0], &node.shape) {
+                    cov.hit(55);
+                    g.nodes[i] = forward_node(&node, node.inputs[0]);
+                }
+            }
+            _ => {
+                cov.hit_idx(60, op_code(op) % 16);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn value_dtype(g: &CGraph, v: &CValue) -> Option<DType> {
+    match v {
+        CValue::Node(p) => Some(g.nodes[*p].dtype),
+        CValue::Input(i) => g.inputs.get(*i).map(|(_, _, d)| *d),
+    }
+}
+
+fn value_shape<'a>(g: &'a CGraph, v: &CValue) -> Option<&'a [usize]> {
+    match v {
+        CValue::Node(p) => Some(&g.nodes[*p].shape),
+        CValue::Input(i) => g.inputs.get(*i).map(|(_, s, _)| s.as_slice()),
+    }
+}
+
+fn shapes_equal(g: &CGraph, v: &CValue, shape: &[usize]) -> bool {
+    value_shape(g, v) == Some(shape)
+}
+
+/// Replaces a node with an identity forward of `src` (keeps shape/dtype).
+fn forward_node(node: &CNode, src: CValue) -> CNode {
+    CNode {
+        op: COp::Fused {
+            ops: vec![],
+            kernel: "Identity",
+            narrow_precision: false,
+        },
+        inputs: vec![src],
+        shape: node.shape.clone(),
+        dtype: node.dtype,
+        layout: node.layout,
+        index_width: node.index_width,
+    }
+}
+
+/// ortsim pattern fusion: a corpus of producer→consumer kernel fusions,
+/// each guarded by specific structural checks (the pattern-heavy design of
+/// ONNXRuntime's optimizer directory). Includes the honest seeded
+/// `ort-t02` precision bug: ReLU+Clip on f64 fuses into a kernel computing
+/// at f32.
+pub fn pattern_fusion(g: &mut CGraph, cx: &mut PassCtx<'_>) -> Result<(), CompileError> {
+    let mut cov = Cov::new(cx.cov, cx.manifest, "fuse_patterns.cc");
+    cov.hit(0);
+    let consumers = g.consumers();
+    for p in 0..g.nodes.len() {
+        if consumers[p].len() != 1 {
+            continue;
+        }
+        let c = consumers[p][0];
+        let (pop, cop) = match (&g.nodes[p].op, &g.nodes[c].op) {
+            (COp::Primitive(a), COp::Primitive(b)) => (a.clone(), b.clone()),
+            _ => continue,
+        };
+        // The consumer must use the producer as its FIRST input for chain
+        // fusion to be semantics-preserving here.
+        if g.nodes[c].inputs.first() != Some(&CValue::Node(p)) {
+            continue;
+        }
+        let dtype = g.nodes[c].dtype;
+        let fusion: Option<(&'static str, bool)> = match (&pop, &cop) {
+            (Op::Binary(BinaryKind::Add), Op::Softmax { .. }) => {
+                cov.hit_idx(10, dtype_code(dtype));
+                Some(("BiasSoftmax", false))
+            }
+            (Op::MatMul, Op::Binary(BinaryKind::Add)) => {
+                cov.hit_idx(15, dtype_code(dtype));
+                Some(("Gemm", false))
+            }
+            (Op::Conv2d { .. }, Op::Unary(UnaryKind::Relu)) => {
+                cov.hit_idx(20, dtype_code(dtype));
+                Some(("ConvRelu", false))
+            }
+            (Op::Unary(UnaryKind::Relu), Op::Clip { .. }) => {
+                cov.hit_idx(25, dtype_code(dtype));
+                // Seeded ort-t02: the fused kernel computes in f32.
+                let narrow = dtype == DType::F64
+                    && cx.system == System::OrtSim
+                    && cx.bugs.enabled("ort-t02");
+                Some(("FusedClipRelu", narrow))
+            }
+            (Op::Unary(UnaryKind::Sigmoid), Op::Binary(BinaryKind::Mul)) => {
+                cov.hit_idx(30, dtype_code(dtype));
+                Some(("SiLU", false))
+            }
+            (Op::Unary(a), Op::Unary(b)) => {
+                cov.hit_idx(35, (*a as u32) % 8 + 8 * ((*b as u32) % 4));
+                Some(("ElementwiseChain", false))
+            }
+            _ => {
+                cov.hit_idx(70, op_code(&cop) % 24);
+                None
+            }
+        };
+        let Some((kernel, narrow_precision)) = fusion else {
+            continue;
+        };
+        // Same-shape guard: chain fusion is only valid when the producer's
+        // output shape equals the fused output shape (no broadcast
+        // expansion inside the kernel).
+        if g.nodes[p].shape != g.nodes[c].shape {
+            cov.hit(5);
+            continue;
+        }
+        cov.hit(6);
+        // Inputs: producer's inputs, then consumer's remaining inputs.
+        let mut inputs = g.nodes[p].inputs.clone();
+        inputs.extend(g.nodes[c].inputs.iter().skip(1).copied());
+        g.nodes[c] = CNode {
+            op: COp::Fused {
+                ops: vec![pop, cop],
+                kernel,
+                narrow_precision,
+            },
+            inputs,
+            shape: g.nodes[c].shape.clone(),
+            dtype,
+            layout: g.nodes[c].layout,
+            index_width: g.nodes[c].index_width,
+        };
+        // The producer becomes dead; DCE will remove it.
+    }
+    Ok(())
+}
+
+/// tvmsim property-based fusion: operators are classified (injective /
+/// reduction / complex) and maximal injective chains are fused, without
+/// inspecting concrete operator identities — the reason TVM's coverage is
+/// less sensitive to pattern diversity (§5.2).
+pub fn property_fusion(g: &mut CGraph, cx: &mut PassCtx<'_>) -> Result<(), CompileError> {
+    #[derive(PartialEq, Clone, Copy)]
+    enum Class {
+        Injective,
+        Reduction,
+        Complex,
+        Opaque,
+    }
+    fn classify(op: &Op) -> Class {
+        match op {
+            Op::Unary(_) | Op::Binary(_) | Op::Compare(_) | Op::Logical(_) | Op::Not
+            | Op::Where | Op::Cast { .. } | Op::Clip { .. } => Class::Injective,
+            Op::Reduce { .. } | Op::ArgExtreme { .. } | Op::Softmax { .. } => {
+                Class::Reduction
+            }
+            Op::Conv2d { .. } | Op::MatMul | Op::Dense { .. } | Op::BatchNorm => {
+                Class::Complex
+            }
+            _ => Class::Opaque,
+        }
+    }
+    let mut cov = Cov::new(cx.cov, cx.manifest, "fuse_ops.cc");
+    cov.hit(0);
+    let consumers = g.consumers();
+    for p in 0..g.nodes.len() {
+        if consumers[p].len() != 1 {
+            cov.hit(1);
+            continue;
+        }
+        let c = consumers[p][0];
+        let (pop, cop) = match (&g.nodes[p].op, &g.nodes[c].op) {
+            (COp::Primitive(a), COp::Primitive(b)) => (a.clone(), b.clone()),
+            _ => continue,
+        };
+        if g.nodes[c].inputs.first() != Some(&CValue::Node(p)) {
+            continue;
+        }
+        let (pc, cc) = (classify(&pop), classify(&cop));
+        // Branch on the *property pair*, not the op pair: few distinct
+        // branches regardless of operator diversity.
+        let pair_code = match (pc, cc) {
+            (Class::Injective, Class::Injective) => 0,
+            (Class::Injective, Class::Reduction) => 1,
+            (Class::Complex, Class::Injective) => 2,
+            _ => 3,
+        };
+        cov.hit_idx(4, pair_code);
+        let fusable = matches!(
+            (pc, cc),
+            (Class::Injective, Class::Injective)
+                | (Class::Injective, Class::Reduction)
+                | (Class::Complex, Class::Injective)
+        );
+        if !fusable || g.nodes[p].shape != g.nodes[c].shape {
+            continue;
+        }
+        cov.hit(8);
+        let mut inputs = g.nodes[p].inputs.clone();
+        inputs.extend(g.nodes[c].inputs.iter().skip(1).copied());
+        g.nodes[c] = CNode {
+            op: COp::Fused {
+                ops: vec![pop, cop],
+                kernel: "FusedCompute",
+                narrow_precision: false,
+            },
+            inputs,
+            shape: g.nodes[c].shape.clone(),
+            dtype: g.nodes[c].dtype,
+            layout: g.nodes[c].layout,
+            index_width: g.nodes[c].index_width,
+        };
+    }
+    Ok(())
+}
+
+/// tvmsim layout rewriting: convolutions whose channel counts are
+/// divisible by 4 are rewritten to the packed `NCHW4c` layout and
+/// consumers adapt (§5.4's layout-bug family lives downstream of this).
+pub fn layout_rewrite(g: &mut CGraph, cx: &mut PassCtx<'_>) -> Result<(), CompileError> {
+    let mut cov = Cov::new(cx.cov, cx.manifest, "layout_rewrite.cc");
+    cov.hit(0);
+    let consumers = g.consumers();
+    for i in 0..g.nodes.len() {
+        let is_conv_node = match &g.nodes[i].op {
+            COp::Primitive(Op::Conv2d { .. }) => true,
+            COp::Fused { ops, .. } => {
+                ops.first().is_some_and(|o| matches!(o, Op::Conv2d { .. }))
+            }
+            _ => false,
+        };
+        let is_packable =
+            is_conv_node && g.nodes[i].shape.len() == 4 && g.nodes[i].shape[1] % 4 == 0;
+        if !is_packable {
+            cov.hit(1);
+            continue;
+        }
+        cov.hit(2);
+        g.nodes[i].layout = Layout::Nchw4c;
+        // Consumers adapt; branch per consumer op kind.
+        for &c in &consumers[i] {
+            match &g.nodes[c].op {
+                COp::Primitive(op) => cov.hit_idx(8, op_code(op)),
+                COp::Fused { .. } => cov.hit(6),
+                COp::Constant(_) => {}
+            }
+            g.nodes[c].layout = Layout::Nchw4c;
+        }
+    }
+    Ok(())
+}
+
+/// tvmsim index typing: shape-carrying operators introduce 64-bit index
+/// arithmetic, which propagates to consumers — the substrate of the
+/// int32/int64 mismatch family.
+pub fn index_typing(g: &mut CGraph, cx: &mut PassCtx<'_>) -> Result<(), CompileError> {
+    let mut cov = Cov::new(cx.cov, cx.manifest, "type_infer.cc");
+    cov.hit(0);
+    for i in 0..g.nodes.len() {
+        let introduces_i64 = match &g.nodes[i].op {
+            COp::Primitive(
+                Op::Reshape { .. } | Op::BroadcastTo { .. } | Op::Flatten { .. },
+            ) => true,
+            COp::Primitive(Op::Slice { .. }) => {
+                g.nodes[i].shape.iter().product::<usize>() > 1 << 12
+            }
+            _ => false,
+        };
+        let inherited = g.nodes[i].inputs.iter().any(|v| match v {
+            CValue::Node(p) => g.nodes[*p].index_width == IndexWidth::I64,
+            CValue::Input(_) => false,
+        });
+        if introduces_i64 {
+            cov.hit_idx(4, op_code(primitive_of(&g.nodes[i].op)));
+            g.nodes[i].index_width = IndexWidth::I64;
+        } else if inherited {
+            cov.hit(2);
+            g.nodes[i].index_width = IndexWidth::I64;
+        } else {
+            cov.hit(1);
+        }
+    }
+    Ok(())
+}
+
+fn primitive_of(op: &COp) -> &Op {
+    match op {
+        COp::Primitive(p) => p,
+        _ => &Op::MatMul, // only called on primitives; harmless default
+    }
+}
+
+/// Kernel selection (ortsim/trtsim runtime): hits a branch per
+/// `(operator, dtype)` pair for every remaining node — the pre-compiled
+/// kernel dispatch of a runtime-based framework.
+pub fn kernel_select(g: &mut CGraph, cx: &mut PassCtx<'_>) -> Result<(), CompileError> {
+    let mut cov = Cov::new(cx.cov, cx.manifest, "kernels.cc");
+    cov.hit(0);
+    for node in &g.nodes {
+        match &node.op {
+            COp::Primitive(op) => {
+                cov.hit_idx(16, op_code(op) * 5 + dtype_code(node.dtype));
+                // Rank-specialized kernels.
+                cov.hit_idx(400, op_code(op) * 5 + node.shape.len() as u32);
+            }
+            COp::Fused { ops, .. } => {
+                cov.hit_idx(800, ops.len() as u32 * 5 + dtype_code(node.dtype));
+            }
+            COp::Constant(_) => cov.hit(1),
+        }
+        // Size-bucketed dispatch (small/large kernels).
+        let numel: usize = node.shape.iter().product();
+        cov.hit_idx(1200, log_bucket(numel as i64));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::{FileDecl, FileKind};
+    use nnsmith_graph::{Graph, NodeKind, TensorType, ValueRef};
+    use nnsmith_ops::Bindings;
+
+    fn manifest() -> SourceManifest {
+        SourceManifest::new(vec![
+            FileDecl { name: "const_fold.cc", kind: FileKind::Pass, branches: 160 },
+            FileDecl { name: "dce.cc", kind: FileKind::Pass, branches: 90 },
+            FileDecl { name: "simplify.cc", kind: FileKind::Pass, branches: 90 },
+            FileDecl { name: "fuse_patterns.cc", kind: FileKind::Pass, branches: 120 },
+            FileDecl { name: "fuse_ops.cc", kind: FileKind::Pass, branches: 20 },
+            FileDecl { name: "layout_rewrite.cc", kind: FileKind::Pass, branches: 90 },
+            FileDecl { name: "type_infer.cc", kind: FileKind::Pass, branches: 90 },
+            FileDecl { name: "kernels.cc", kind: FileKind::Runtime, branches: 1300 },
+        ])
+    }
+
+    fn ctx<'a>(
+        cov: &'a mut CoverageSet,
+        manifest: &'a SourceManifest,
+        bugs: &'a BugConfig,
+        system: System,
+    ) -> PassCtx<'a> {
+        PassCtx {
+            cov,
+            manifest,
+            bugs,
+            system,
+        }
+    }
+
+    /// x (input), w (weight const), Add, Relu.
+    fn toy() -> (Graph<Op>, Bindings) {
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        let w = g.add_node(
+            NodeKind::Weight,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        let add = g.add_node(
+            NodeKind::Operator(Op::Binary(BinaryKind::Add)),
+            vec![ValueRef::output0(x), ValueRef::output0(w)],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Relu)),
+            vec![ValueRef::output0(add)],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        let mut weights = Bindings::new();
+        weights.insert(w, Tensor::ones(&[4], DType::F32));
+        (g, weights)
+    }
+
+    #[test]
+    fn constant_folding_folds_weight_only_subgraphs() {
+        // Relu(w) with w constant folds entirely.
+        let mut g: Graph<Op> = Graph::new();
+        let w = g.add_node(
+            NodeKind::Weight,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[2])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Relu)),
+            vec![ValueRef::output0(w)],
+            vec![TensorType::concrete(DType::F32, &[2])],
+        );
+        let mut weights = Bindings::new();
+        weights.insert(w, Tensor::from_f32(&[2], vec![-1.0, 2.0]).unwrap());
+        let mut cg = CGraph::import(&g, &weights).unwrap();
+        let m = manifest();
+        let mut cov = CoverageSet::new();
+        let bugs = BugConfig::all_on();
+        constant_folding(
+            &mut cg,
+            &mut ctx(&mut cov, &m, &bugs, System::OrtSim),
+        )
+        .unwrap();
+        assert!(matches!(&cg.nodes[1].op, COp::Constant(t) if t.as_f32().unwrap() == [0.0, 2.0]));
+        assert!(!cov.is_empty());
+    }
+
+    #[test]
+    fn fusion_preserves_results() {
+        let (g, weights) = toy();
+        let mut cg = CGraph::import(&g, &weights).unwrap();
+        let m = manifest();
+        let mut cov = CoverageSet::new();
+        let bugs = BugConfig::none();
+        let mut inputs = HashMap::new();
+        let x_id = cg.inputs[0].0;
+        inputs.insert(
+            x_id,
+            Tensor::from_f32(&[4], vec![-3., 0., 1., 2.]).unwrap(),
+        );
+        let before = cg.run(&inputs).unwrap();
+        pattern_fusion(&mut cg, &mut ctx(&mut cov, &m, &bugs, System::OrtSim))
+            .unwrap();
+        dead_code_elim(&mut cg, &mut ctx(&mut cov, &m, &bugs, System::OrtSim))
+            .unwrap();
+        let after = cg.run(&inputs).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn buggy_div_mul_rewrite_changes_int_results() {
+        // y = (x / 3) * 3 for ints: correct result floors, buggy rewrite
+        // forwards x.
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::I32, &[2])],
+        );
+        let three = g.add_node(
+            NodeKind::Weight,
+            vec![],
+            vec![TensorType::concrete(DType::I32, &[])],
+        );
+        let div = g.add_node(
+            NodeKind::Operator(Op::Binary(BinaryKind::Div)),
+            vec![ValueRef::output0(x), ValueRef::output0(three)],
+            vec![TensorType::concrete(DType::I32, &[2])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Binary(BinaryKind::Mul)),
+            vec![ValueRef::output0(div), ValueRef::output0(three)],
+            vec![TensorType::concrete(DType::I32, &[2])],
+        );
+        let mut weights = Bindings::new();
+        weights.insert(three, Tensor::scalar(DType::I32, 3.0));
+        let mut cg = CGraph::import(&g, &weights).unwrap();
+        let m = manifest();
+        let mut cov = CoverageSet::new();
+        let bugs = BugConfig::all_on();
+        algebraic_simplify(&mut cg, &mut ctx(&mut cov, &m, &bugs, System::TvmSim))
+            .unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert(x, Tensor::from_i32(&[2], vec![7, 9]).unwrap());
+        let out = cg.run(&inputs).unwrap();
+        // Correct: [(7/3)*3, (9/3)*3] = [6, 9]; buggy forward: [7, 9].
+        assert_eq!(out[0].as_i32().unwrap(), &[7, 9]);
+        // With the bug disabled, the rewrite must not fire.
+        let mut cg2 = CGraph::import(&g, &weights).unwrap();
+        let off = BugConfig::none();
+        let mut cov2 = CoverageSet::new();
+        algebraic_simplify(&mut cg2, &mut ctx(&mut cov2, &m, &off, System::TvmSim))
+            .unwrap();
+        let out2 = cg2.run(&inputs).unwrap();
+        assert_eq!(out2[0].as_i32().unwrap(), &[6, 9]);
+    }
+
+    #[test]
+    fn property_fusion_uses_few_branches() {
+        // Two very different graphs should hit the same property branches.
+        let (g, weights) = toy();
+        let m = manifest();
+        let bugs = BugConfig::none();
+        let mut cg = CGraph::import(&g, &weights).unwrap();
+        let mut cov1 = CoverageSet::new();
+        property_fusion(&mut cg, &mut ctx(&mut cov1, &m, &bugs, System::TvmSim))
+            .unwrap();
+        assert!(cov1.len() <= 6, "property fusion hit {} branches", cov1.len());
+    }
+
+    #[test]
+    fn layout_rewrite_marks_packed_convs() {
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[1, 4, 4, 4])],
+        );
+        let w = g.add_node(
+            NodeKind::Weight,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[4, 4, 1, 1])],
+        );
+        let b = g.add_node(
+            NodeKind::Weight,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Conv2d {
+                in_channels: nnsmith_solver::IntExpr::Const(4),
+                out_channels: nnsmith_solver::IntExpr::Const(4),
+                kh: nnsmith_solver::IntExpr::Const(1),
+                kw: nnsmith_solver::IntExpr::Const(1),
+                stride: nnsmith_solver::IntExpr::Const(1),
+                padding: nnsmith_solver::IntExpr::Const(0),
+                dilation: nnsmith_solver::IntExpr::Const(1),
+            }),
+            vec![
+                ValueRef::output0(x),
+                ValueRef::output0(w),
+                ValueRef::output0(b),
+            ],
+            vec![TensorType::concrete(DType::F32, &[1, 4, 4, 4])],
+        );
+        let mut weights = Bindings::new();
+        weights.insert(w, Tensor::ones(&[4, 4, 1, 1], DType::F32));
+        weights.insert(b, Tensor::zeros(&[4], DType::F32));
+        let mut cg = CGraph::import(&g, &weights).unwrap();
+        let m = manifest();
+        let mut cov = CoverageSet::new();
+        let bugs = BugConfig::none();
+        layout_rewrite(&mut cg, &mut ctx(&mut cov, &m, &bugs, System::TvmSim))
+            .unwrap();
+        let conv_node = cg
+            .nodes
+            .iter()
+            .find(|n| matches!(n.op, COp::Primitive(Op::Conv2d { .. })))
+            .unwrap();
+        assert_eq!(conv_node.layout, Layout::Nchw4c);
+    }
+
+    #[test]
+    fn index_typing_propagates_i64() {
+        // Reshape → Relu chain: Relu inherits I64.
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        let rs = g.add_node(
+            NodeKind::Operator(Op::Reshape {
+                dims: vec![nnsmith_solver::IntExpr::Const(2), nnsmith_solver::IntExpr::Const(2)],
+            }),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::F32, &[2, 2])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Relu)),
+            vec![ValueRef::output0(rs)],
+            vec![TensorType::concrete(DType::F32, &[2, 2])],
+        );
+        let mut cg = CGraph::import(&g, &Bindings::new()).unwrap();
+        let m = manifest();
+        let mut cov = CoverageSet::new();
+        let bugs = BugConfig::none();
+        index_typing(&mut cg, &mut ctx(&mut cov, &m, &bugs, System::TvmSim))
+            .unwrap();
+        assert_eq!(cg.nodes[0].index_width, IndexWidth::I64);
+        assert_eq!(cg.nodes[1].index_width, IndexWidth::I64);
+    }
+
+    #[test]
+    fn kernel_select_branches_scale_with_diversity() {
+        let (g, weights) = toy();
+        let cg = CGraph::import(&g, &weights).unwrap();
+        let m = manifest();
+        let bugs = BugConfig::none();
+        let mut cov = CoverageSet::new();
+        let mut cg2 = cg.clone();
+        kernel_select(&mut cg2, &mut ctx(&mut cov, &m, &bugs, System::OrtSim))
+            .unwrap();
+        let single = cov.len();
+        assert!(single >= 4);
+    }
+}

@@ -1,0 +1,139 @@
+//! Differential correctness of the optimization passes themselves: with
+//! every seeded bug disabled, the optimized pipeline must agree with both
+//! the unoptimized pipeline and the reference interpreter on randomly
+//! generated models. This is the "a clean compiler is actually correct"
+//! meta-test that gives the seeded-bug study its meaning.
+
+use std::collections::HashMap;
+
+use nnsmith_compilers::{
+    export, ortsim, trtsim, tvmsim, BugConfig, CompileOptions, CoverageSet, OptLevel,
+};
+use nnsmith_gen::{GenConfig, Generator};
+use nnsmith_ops::random_bindings;
+use nnsmith_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn optimized_pipelines_preserve_semantics_on_random_models() {
+    let generator = Generator::new(GenConfig {
+        target_ops: 8,
+        ..GenConfig::default()
+    });
+    let clean = CompileOptions {
+        bugs: BugConfig::none(),
+        ..CompileOptions::default()
+    };
+    let clean_o0 = CompileOptions {
+        opt_level: OptLevel::O0,
+        bugs: BugConfig::none(),
+    };
+    let compilers = [tvmsim(), ortsim(), trtsim()];
+    let mut compared = 0usize;
+
+    for seed in 0..25u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = generator.generate(&mut rng).expect("generation");
+        let mut vrng = StdRng::seed_from_u64(seed + 10_000);
+        let Ok(bindings) = random_bindings(&model.graph, -2.0, 2.0, &mut vrng) else {
+            continue;
+        };
+        let Ok(reference) = nnsmith_ops::execute(&model.graph, &bindings) else {
+            continue; // int division by zero under random values
+        };
+        if reference.has_exceptional() {
+            continue; // NaN/Inf executions are excluded from comparison
+        }
+        // Split bindings like the harness does.
+        let mut weights = nnsmith_ops::Bindings::new();
+        let mut inputs: HashMap<nnsmith_graph::NodeId, Tensor> = HashMap::new();
+        for (id, node) in model.graph.iter() {
+            match node.kind {
+                nnsmith_graph::NodeKind::Weight => {
+                    weights.insert(id, bindings[&id].clone());
+                }
+                nnsmith_graph::NodeKind::Input => {
+                    inputs.insert(id, bindings[&id].clone());
+                }
+                _ => {}
+            }
+        }
+        let exported = export(&model.graph, &BugConfig::none()).expect("clean export");
+        assert_eq!(exported.graph, model.graph);
+
+        for compiler in &compilers {
+            let mut cov = CoverageSet::new();
+            let Ok(o2) = compiler.compile(&model.graph, &weights, &clean, &mut cov) else {
+                continue; // NotImplemented (trtsim f64)
+            };
+            let o0 = compiler
+                .compile(&model.graph, &weights, &clean_o0, &mut cov)
+                .expect("O0 compiles whenever O2 does");
+            let r2 = o2.run(&inputs).expect("O2 runs");
+            let r0 = o0.run(&inputs).expect("O0 runs");
+            assert_eq!(r2.len(), reference.outputs.len(), "output arity");
+            for (k, (_, ref_t)) in reference.outputs.iter().enumerate() {
+                let rel = 1e-3 + 1e-3 * ref_t.to_f64_vec().iter().fold(0.0f64, |a, b| a.max(b.abs()));
+                assert!(
+                    ref_t.max_abs_diff(&r2[k]).unwrap_or(f64::INFINITY) <= rel,
+                    "seed {seed} {}: O2 output {k} diverges\n{}",
+                    compiler.system().name(),
+                    model.graph.to_text()
+                );
+                assert!(
+                    ref_t.max_abs_diff(&r0[k]).unwrap_or(f64::INFINITY) <= rel,
+                    "seed {seed} {}: O0 output {k} diverges",
+                    compiler.system().name()
+                );
+            }
+            compared += 1;
+        }
+    }
+    assert!(compared >= 20, "only {compared} comparisons ran");
+}
+
+#[test]
+fn optimizer_reduces_or_preserves_node_count() {
+    // Folding + DCE + fusion should never grow the live graph.
+    let generator = Generator::new(GenConfig::default());
+    let clean = CompileOptions {
+        bugs: BugConfig::none(),
+        ..CompileOptions::default()
+    };
+    let clean_o0 = CompileOptions {
+        opt_level: OptLevel::O0,
+        bugs: BugConfig::none(),
+    };
+    let compiler = ortsim();
+    let mut shrunk = 0usize;
+    for seed in 100..115u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = generator.generate(&mut rng).expect("generation");
+        let mut vrng = StdRng::seed_from_u64(seed);
+        let Ok(bindings) = random_bindings(&model.graph, -1.0, 1.0, &mut vrng) else {
+            continue;
+        };
+        let mut weights = nnsmith_ops::Bindings::new();
+        for (id, node) in model.graph.iter() {
+            if matches!(node.kind, nnsmith_graph::NodeKind::Weight) {
+                weights.insert(id, bindings[&id].clone());
+            }
+        }
+        let mut cov = CoverageSet::new();
+        let o2 = compiler
+            .compile(&model.graph, &weights, &clean, &mut cov)
+            .expect("compiles");
+        let o0 = compiler
+            .compile(&model.graph, &weights, &clean_o0, &mut cov)
+            .expect("compiles");
+        assert!(
+            o2.cgraph.live_count() <= o0.cgraph.live_count(),
+            "seed {seed}: optimizer grew the graph"
+        );
+        if o2.cgraph.live_count() < o0.cgraph.live_count() {
+            shrunk += 1;
+        }
+    }
+    assert!(shrunk > 0, "optimizer never simplified anything");
+}

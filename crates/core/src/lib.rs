@@ -1,0 +1,222 @@
+//! # nnsmith-core
+//!
+//! The end-to-end NNSmith pipeline (Figure 3 of the paper): constraint-
+//! guided model generation (Algorithms 1–2) → gradient-guided value search
+//! (Algorithm 3) → differential testing against the simulated compilers.
+//!
+//! [`NnSmith`] implements [`nnsmith_difftest::TestCaseSource`], so it plugs
+//! into the same campaign driver as the baselines.
+//!
+//! ## Example
+//!
+//! ```
+//! use nnsmith_core::{NnSmith, NnSmithConfig};
+//! use nnsmith_difftest::TestCaseSource;
+//!
+//! let mut fuzzer = NnSmith::new(NnSmithConfig {
+//!     seed: 7,
+//!     ..NnSmithConfig::default()
+//! });
+//! let case = fuzzer.next_case().expect("a numerically-valid test case");
+//! assert!(case.graph.operators().len() >= 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod support;
+
+pub use support::infer_supported_dtypes;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nnsmith_difftest::{TestCase, TestCaseSource};
+use nnsmith_gen::{GenConfig, Generator};
+use nnsmith_search::{search_values, SearchConfig};
+
+/// Configuration for the full pipeline.
+#[derive(Debug, Clone)]
+pub struct NnSmithConfig {
+    /// Graph-generation settings (Algorithms 1–2).
+    pub gen: GenConfig,
+    /// Value-search settings (Algorithm 3).
+    pub search: SearchConfig,
+    /// RNG seed (the pipeline is fully deterministic given the seed).
+    pub seed: u64,
+    /// Attempts to produce one numerically-valid case before giving up.
+    pub max_attempts_per_case: usize,
+}
+
+impl Default for NnSmithConfig {
+    fn default() -> Self {
+        NnSmithConfig {
+            gen: GenConfig::default(),
+            search: SearchConfig::default(),
+            seed: 0,
+            max_attempts_per_case: 8,
+        }
+    }
+}
+
+/// Cumulative pipeline statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Models generated.
+    pub generated: u64,
+    /// Generation failures.
+    pub gen_failures: u64,
+    /// Value searches that failed within budget.
+    pub search_failures: u64,
+    /// Test cases emitted.
+    pub cases: u64,
+}
+
+/// The NNSmith fuzzer: generate → search → emit test cases.
+#[derive(Debug)]
+pub struct NnSmith {
+    generator: Generator,
+    search: SearchConfig,
+    rng: StdRng,
+    max_attempts_per_case: usize,
+    stats: PipelineStats,
+}
+
+impl NnSmith {
+    /// Creates the pipeline.
+    pub fn new(config: NnSmithConfig) -> Self {
+        NnSmith {
+            generator: Generator::new(config.gen),
+            search: config.search,
+            rng: StdRng::seed_from_u64(config.seed),
+            max_attempts_per_case: config.max_attempts_per_case,
+            stats: PipelineStats::default(),
+        }
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> PipelineStats {
+        self.stats
+    }
+
+    /// Generates one model and searches values for it; `None` when either
+    /// stage fails.
+    fn try_once(&mut self) -> Option<TestCase> {
+        let seed: u64 = self.rng.gen();
+        let mut gen_rng = StdRng::seed_from_u64(seed);
+        let model = match self.generator.generate(&mut gen_rng) {
+            Ok(m) => m,
+            Err(_) => {
+                self.stats.gen_failures += 1;
+                return None;
+            }
+        };
+        self.stats.generated += 1;
+        let mut search_rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+        let outcome = search_values(&model.graph, &self.search, &mut search_rng);
+        match outcome.bindings {
+            Some(bindings) => Some(TestCase::from_bindings(model.graph, bindings)),
+            None => {
+                self.stats.search_failures += 1;
+                None
+            }
+        }
+    }
+}
+
+impl TestCaseSource for NnSmith {
+    fn name(&self) -> &str {
+        "NNSmith"
+    }
+
+    fn next_case(&mut self) -> Option<TestCase> {
+        for _ in 0..self.max_attempts_per_case {
+            if let Some(case) = self.try_once() {
+                self.stats.cases += 1;
+                return Some(case);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn quick_config(seed: u64) -> NnSmithConfig {
+        NnSmithConfig {
+            gen: GenConfig {
+                target_ops: 6,
+                ..GenConfig::default()
+            },
+            search: SearchConfig {
+                budget: Duration::from_millis(200),
+                init_lo: -4.0,
+                init_hi: 4.0,
+                ..SearchConfig::default()
+            },
+            seed,
+            max_attempts_per_case: 8,
+        }
+    }
+
+    #[test]
+    fn produces_numerically_valid_cases() {
+        let mut fuzzer = NnSmith::new(quick_config(1));
+        for _ in 0..3 {
+            let case = fuzzer.next_case().expect("case");
+            let exec =
+                nnsmith_ops::execute(&case.graph, &case.all_bindings()).expect("runs");
+            assert!(!exec.has_exceptional(), "values must be numerically valid");
+        }
+        assert!(fuzzer.stats().cases >= 3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = NnSmith::new(quick_config(42));
+        let mut b = NnSmith::new(quick_config(42));
+        let ca = a.next_case().expect("case");
+        let cb = b.next_case().expect("case");
+        assert_eq!(ca.graph, cb.graph);
+    }
+
+    #[test]
+    fn different_seeds_give_different_models() {
+        let mut a = NnSmith::new(quick_config(1));
+        let mut b = NnSmith::new(quick_config(2));
+        assert_ne!(
+            a.next_case().expect("case").graph,
+            b.next_case().expect("case").graph
+        );
+    }
+
+    #[test]
+    fn end_to_end_differential_test_on_clean_compilers() {
+        use nnsmith_compilers::{ortsim, BugConfig, CompileOptions, CoverageSet};
+        use nnsmith_difftest::{run_case, TestOutcome, Tolerance};
+        let mut fuzzer = NnSmith::new(quick_config(3));
+        let compiler = ortsim();
+        let mut cov = CoverageSet::new();
+        let options = CompileOptions {
+            bugs: BugConfig::none(),
+            ..CompileOptions::default()
+        };
+        let mut checked = 0;
+        for _ in 0..4 {
+            let Some(case) = fuzzer.next_case() else {
+                continue;
+            };
+            let outcome = run_case(&compiler, &case, &options, Tolerance::default(), &mut cov);
+            match outcome {
+                TestOutcome::Pass
+                | TestOutcome::NotImplemented
+                | TestOutcome::NumericInvalid => checked += 1,
+                other => panic!("clean compiler must not disagree: {other:?}"),
+            }
+        }
+        assert!(checked >= 3);
+        assert!(cov.len() > 100);
+    }
+}

@@ -1,0 +1,97 @@
+//! Compiler support-matrix inference (§4 of the paper).
+//!
+//! "Since DL compilers vary in operator and data type support, we infer
+//! the set of operators supported by the compiler being tested by trying
+//! to compile single-operator models with different data types. We use
+//! this information when generating graphs, so as to avoid
+//! 'Not-Implemented' errors."
+//!
+//! This module probes a simulated compiler with tiny single-operator
+//! models and reports which dtypes survive, so the generator can be
+//! restricted accordingly.
+
+use nnsmith_compilers::{BugConfig, CompileError, CompileOptions, Compiler, CoverageSet, OptLevel};
+use nnsmith_graph::{Graph, NodeKind, TensorType, ValueRef};
+use nnsmith_ops::{Bindings, BinaryKind, Op, UnaryKind};
+use nnsmith_tensor::{DType, Tensor};
+
+/// Builds a minimal single-operator probe model for a dtype.
+fn probe_model(dtype: DType) -> (Graph<Op>, Bindings) {
+    let mut g: Graph<Op> = Graph::new();
+    let x = g.add_node(
+        NodeKind::Input,
+        vec![],
+        vec![TensorType::concrete(dtype, &[2, 2])],
+    );
+    let op = match dtype {
+        DType::Bool => Op::Not,
+        DType::F32 | DType::F64 => Op::Unary(UnaryKind::Tanh),
+        DType::I32 | DType::I64 => Op::Binary(BinaryKind::Add),
+    };
+    let inputs = match op.arity() {
+        1 => vec![ValueRef::output0(x)],
+        _ => vec![ValueRef::output0(x), ValueRef::output0(x)],
+    };
+    g.add_node(
+        NodeKind::Operator(op),
+        inputs,
+        vec![TensorType::concrete(dtype, &[2, 2])],
+    );
+    (g, Bindings::new())
+}
+
+/// Probes which element types the compiler accepts, by compiling
+/// single-operator models (bugs disabled so seeded crashes don't skew the
+/// support matrix).
+pub fn infer_supported_dtypes(compiler: &Compiler) -> Vec<DType> {
+    let options = CompileOptions {
+        opt_level: OptLevel::O0,
+        bugs: BugConfig::none(),
+    };
+    let mut out = Vec::new();
+    for dtype in DType::ALL {
+        let (graph, weights) = probe_model(dtype);
+        let mut cov = CoverageSet::new();
+        match compiler.compile(&graph, &weights, &options, &mut cov) {
+            Ok(compiled) => {
+                // Also require the probe to run.
+                let mut inputs = std::collections::HashMap::new();
+                let input_id = compiled.cgraph.inputs[0].0;
+                inputs.insert(input_id, Tensor::ones(&[2, 2], dtype));
+                if compiled.run(&inputs).is_ok() {
+                    out.push(dtype);
+                }
+            }
+            Err(CompileError::NotImplemented(_)) => {}
+            Err(_) => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnsmith_compilers::{ortsim, trtsim, tvmsim};
+
+    #[test]
+    fn tvm_and_ort_support_everything() {
+        for compiler in [tvmsim(), ortsim()] {
+            let supported = infer_supported_dtypes(&compiler);
+            assert_eq!(
+                supported.len(),
+                DType::ALL.len(),
+                "{} supports {supported:?}",
+                compiler.system().name()
+            );
+        }
+    }
+
+    #[test]
+    fn trtsim_lacks_f64() {
+        let supported = infer_supported_dtypes(&trtsim());
+        assert!(!supported.contains(&DType::F64));
+        assert!(supported.contains(&DType::F32));
+        assert!(supported.contains(&DType::I64));
+    }
+}

@@ -1,0 +1,333 @@
+//! Fuzzing campaigns: run a test-case source against a compiler for a
+//! budget, accumulating coverage timelines, found bugs and operator
+//! instances — the data behind Figures 4–10 and Table 3.
+
+use std::collections::{BTreeSet, HashSet};
+use std::time::{Duration, Instant};
+
+use nnsmith_compilers::{CompileOptions, Compiler, CoverageSet};
+use nnsmith_graph::NodeKind;
+
+use crate::harness::{run_case, seeded_bug_id, TestCase, TestOutcome};
+use crate::oracle::Tolerance;
+
+/// Produces test cases for a campaign (implemented by the NNSmith pipeline
+/// and each baseline).
+pub trait TestCaseSource {
+    /// A short name for reports.
+    fn name(&self) -> &str;
+    /// Produces the next test case, or `None` when the source is
+    /// exhausted.
+    fn next_case(&mut self) -> Option<TestCase>;
+}
+
+/// Campaign budget and comparison settings.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Wall-clock budget.
+    pub duration: Duration,
+    /// Optional hard cap on test cases.
+    pub max_cases: Option<usize>,
+    /// Compile options (opt level, seeded bugs).
+    pub options: CompileOptions,
+    /// Output tolerances.
+    pub tolerance: Tolerance,
+    /// Timeline sampling interval.
+    pub sample_every: Duration,
+    /// Treat found seeded bugs as *fixed* (disabled) for the rest of the
+    /// campaign — mirroring the paper's process where reported bugs were
+    /// patched by maintainers, letting the fuzzer reach bugs that a
+    /// still-crashing frontend would otherwise mask.
+    pub fix_found_bugs: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            duration: Duration::from_secs(10),
+            max_cases: None,
+            options: CompileOptions::default(),
+            tolerance: Tolerance::default(),
+            sample_every: Duration::from_millis(250),
+            fix_found_bugs: true,
+        }
+    }
+}
+
+/// One coverage-timeline sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelinePoint {
+    /// Milliseconds since campaign start.
+    pub elapsed_ms: u64,
+    /// Test cases executed so far.
+    pub cases: usize,
+    /// Total branches covered so far.
+    pub total_branches: usize,
+    /// Pass-file branches covered so far.
+    pub pass_branches: usize,
+}
+
+/// Result of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Source name.
+    pub source: String,
+    /// Compiler name.
+    pub compiler: String,
+    /// Coverage growth over time.
+    pub timeline: Vec<TimelinePoint>,
+    /// Final cumulative coverage.
+    pub coverage: CoverageSet,
+    /// Seeded bugs detected (by id).
+    pub bugs_found: BTreeSet<String>,
+    /// Distinct crash messages observed (unique-crash counting, §5.4).
+    pub unique_crashes: BTreeSet<String>,
+    /// Result mismatches observed.
+    pub mismatches: usize,
+    /// Total cases executed.
+    pub cases: usize,
+    /// Cases skipped as numeric-invalid.
+    pub numeric_invalid: usize,
+    /// Distinct operator instances tested (Fig. 9's metric: operator kind
+    /// plus input types plus attributes).
+    pub op_instances: HashSet<String>,
+}
+
+impl CampaignResult {
+    /// Number of distinct branches covered.
+    pub fn total_coverage(&self) -> usize {
+        self.coverage.len()
+    }
+
+    /// Number of distinct pass-file branches covered.
+    pub fn pass_coverage(&self, compiler: &Compiler) -> usize {
+        self.coverage.pass_len(compiler.manifest())
+    }
+}
+
+/// The Fig. 9 "operator instance" key: operator kind, concrete input
+/// types, and attribute values.
+pub fn op_instance_keys(case: &TestCase) -> Vec<String> {
+    let mut keys = Vec::new();
+    for (id, node) in case.graph.iter() {
+        let NodeKind::Operator(op) = &node.kind else {
+            continue;
+        };
+        let mut key = String::new();
+        key.push_str(op.name());
+        key.push('(');
+        for (i, v) in node.inputs.iter().enumerate() {
+            if i > 0 {
+                key.push(',');
+            }
+            key.push_str(&format!("{}", case.graph.value_type(*v)));
+        }
+        key.push(')');
+        for (name, attr) in op.attr_exprs() {
+            key.push_str(&format!("|{name}={attr}"));
+        }
+        let _ = id;
+        keys.push(key);
+    }
+    keys
+}
+
+/// Runs one fuzzing campaign.
+pub fn run_campaign(
+    compiler: &Compiler,
+    source: &mut dyn TestCaseSource,
+    config: &CampaignConfig,
+) -> CampaignResult {
+    let start = Instant::now();
+    let mut result = CampaignResult {
+        source: source.name().to_string(),
+        compiler: compiler.system().name().to_string(),
+        timeline: Vec::new(),
+        coverage: CoverageSet::new(),
+        bugs_found: BTreeSet::new(),
+        unique_crashes: BTreeSet::new(),
+        mismatches: 0,
+        cases: 0,
+        numeric_invalid: 0,
+        op_instances: HashSet::new(),
+    };
+    let mut last_sample = Duration::ZERO;
+    let mut options = config.options.clone();
+    let registry = nnsmith_compilers::registry();
+    let fix = |options: &mut CompileOptions, id: &str| {
+        if let Some(bug) = registry.iter().find(|b| b.id == id) {
+            options.bugs.disable(bug.id);
+        }
+    };
+    let sample = |result: &mut CampaignResult, elapsed: Duration| {
+        result.timeline.push(TimelinePoint {
+            elapsed_ms: elapsed.as_millis() as u64,
+            cases: result.cases,
+            total_branches: result.coverage.len(),
+            pass_branches: result.coverage.pass_len(compiler.manifest()),
+        });
+    };
+    sample(&mut result, Duration::ZERO);
+
+    while start.elapsed() < config.duration {
+        if config.max_cases.is_some_and(|m| result.cases >= m) {
+            break;
+        }
+        let Some(case) = source.next_case() else {
+            break;
+        };
+        result.cases += 1;
+        for key in op_instance_keys(&case) {
+            result.op_instances.insert(key);
+        }
+        let outcome = run_case(
+            compiler,
+            &case,
+            &options,
+            config.tolerance,
+            &mut result.coverage,
+        );
+        match outcome {
+            TestOutcome::Pass | TestOutcome::NotImplemented => {}
+            TestOutcome::NumericInvalid | TestOutcome::InvalidCase { .. } => {
+                result.numeric_invalid += 1;
+            }
+            TestOutcome::ExportCrash { message }
+            | TestOutcome::CompileCrash { message }
+            | TestOutcome::RuntimeError { message } => {
+                if let Some(id) = seeded_bug_id(&message) {
+                    if config.fix_found_bugs {
+                        fix(&mut options, &id);
+                    }
+                    result.bugs_found.insert(id);
+                }
+                result.unique_crashes.insert(normalize_crash(&message));
+            }
+            TestOutcome::ResultMismatch { attributed, .. } => {
+                result.mismatches += 1;
+                for id in attributed {
+                    if config.fix_found_bugs {
+                        fix(&mut options, &id);
+                    }
+                    result.bugs_found.insert(id);
+                }
+            }
+        }
+        let elapsed = start.elapsed();
+        if elapsed - last_sample >= config.sample_every {
+            last_sample = elapsed;
+            sample(&mut result, elapsed);
+        }
+    }
+    sample(&mut result, start.elapsed());
+    result
+}
+
+/// Normalizes a crash message into a dedup key (drops per-case details).
+fn normalize_crash(message: &str) -> String {
+    // Seeded crashes dedup by bug id; everything else by the first line.
+    if let Some(id) = seeded_bug_id(message) {
+        return format!("seeded:{id}");
+    }
+    message.lines().next().unwrap_or(message).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnsmith_compilers::ortsim;
+    use nnsmith_graph::{Graph, NodeId, TensorType, ValueRef};
+    use nnsmith_ops::{Bindings, Op, UnaryKind};
+    use nnsmith_tensor::{DType, Tensor};
+
+    struct FixedSource {
+        cases: Vec<TestCase>,
+    }
+
+    impl TestCaseSource for FixedSource {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn next_case(&mut self) -> Option<TestCase> {
+            self.cases.pop()
+        }
+    }
+
+    fn tanh_case(v: f32) -> TestCase {
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[2])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Tanh)),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::F32, &[2])],
+        );
+        let mut b = Bindings::new();
+        b.insert(NodeId(0), Tensor::from_f32(&[2], vec![v, -v]).unwrap());
+        TestCase::from_bindings(g, b)
+    }
+
+    #[test]
+    fn campaign_runs_and_samples() {
+        let mut source = FixedSource {
+            cases: vec![tanh_case(0.5), tanh_case(1.0), tanh_case(2.0)],
+        };
+        let compiler = ortsim();
+        let result = run_campaign(
+            &compiler,
+            &mut source,
+            &CampaignConfig {
+                duration: Duration::from_secs(5),
+                ..CampaignConfig::default()
+            },
+        );
+        assert_eq!(result.cases, 3);
+        assert!(result.total_coverage() > 0);
+        assert!(result.timeline.len() >= 2);
+        assert!(result.bugs_found.is_empty());
+        // Identical op instances deduplicate.
+        assert_eq!(result.op_instances.len(), 1);
+    }
+
+    #[test]
+    fn max_cases_respected() {
+        let mut source = FixedSource {
+            cases: (0..10).map(|i| tanh_case(i as f32 * 0.1)).collect(),
+        };
+        let compiler = ortsim();
+        let result = run_campaign(
+            &compiler,
+            &mut source,
+            &CampaignConfig {
+                duration: Duration::from_secs(30),
+                max_cases: Some(4),
+                ..CampaignConfig::default()
+            },
+        );
+        assert_eq!(result.cases, 4);
+    }
+
+    #[test]
+    fn instance_keys_distinguish_attrs_and_types() {
+        let a = tanh_case(1.0);
+        let keys_a = op_instance_keys(&a);
+        // Different input type → different key.
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[3])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Tanh)),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::F32, &[3])],
+        );
+        let b = TestCase::from_bindings(g, Bindings::new());
+        let keys_b = op_instance_keys(&b);
+        assert_ne!(keys_a, keys_b);
+    }
+}

@@ -1,0 +1,464 @@
+//! Single-test-case differential testing: export, compile, run, compare,
+//! and (on disagreement) recompile at O0 for fault localization (§4).
+
+use std::collections::HashMap;
+
+use nnsmith_compilers::{
+    export, CompileError, CompileOptions, Compiler, OptLevel,
+};
+use nnsmith_graph::{Graph, NodeId, NodeKind};
+use nnsmith_ops::{Bindings, Op};
+use nnsmith_tensor::Tensor;
+
+use crate::oracle::{compare_outputs, Tolerance, Verdict};
+
+/// One ready-to-run test case: a concrete model plus numerically-valid
+/// weights and inputs.
+#[derive(Debug, Clone)]
+pub struct TestCase {
+    /// The model.
+    pub graph: Graph<Op>,
+    /// Weight bindings (baked into the compiled model).
+    pub weights: Bindings,
+    /// Input bindings (fed at run time).
+    pub inputs: HashMap<NodeId, Tensor>,
+}
+
+impl TestCase {
+    /// Splits full bindings into weights and inputs according to node
+    /// kinds.
+    pub fn from_bindings(graph: Graph<Op>, bindings: Bindings) -> TestCase {
+        let mut weights = Bindings::new();
+        let mut inputs = HashMap::new();
+        for (id, node) in graph.iter() {
+            match node.kind {
+                NodeKind::Weight => {
+                    if let Some(t) = bindings.get(&id) {
+                        weights.insert(id, t.clone());
+                    }
+                }
+                NodeKind::Input => {
+                    if let Some(t) = bindings.get(&id) {
+                        inputs.insert(id, t.clone());
+                    }
+                }
+                _ => {}
+            }
+        }
+        TestCase {
+            graph,
+            weights,
+            inputs,
+        }
+    }
+
+    /// All bindings merged (for the reference executor).
+    pub fn all_bindings(&self) -> Bindings {
+        let mut b = self.weights.clone();
+        for (k, v) in &self.inputs {
+            b.insert(*k, v.clone());
+        }
+        b
+    }
+}
+
+/// Localization of a detected inconsistency, per the paper's O0
+/// recompilation heuristic (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// O0 agrees with the reference, O2 does not: the optimizer is wrong.
+    Optimization,
+    /// O0 disagrees too: conversion (or exporter/reference) side.
+    Conversion,
+}
+
+/// Outcome of one differential test.
+#[derive(Debug, Clone)]
+pub enum TestOutcome {
+    /// Everything agreed.
+    Pass,
+    /// The exporter crashed.
+    ExportCrash {
+        /// Crash message (contains the seeded bug id).
+        message: String,
+    },
+    /// The compiler crashed.
+    CompileCrash {
+        /// Crash message (contains the seeded bug id when seeded).
+        message: String,
+    },
+    /// The compiler does not support this model; not a bug.
+    NotImplemented,
+    /// The compiled model failed at run time.
+    RuntimeError {
+        /// Error description.
+        message: String,
+    },
+    /// Results disagree with the reference.
+    ResultMismatch {
+        /// Comparison detail.
+        detail: String,
+        /// O0-based localization.
+        site: FaultSite,
+        /// Seeded semantic bugs attributable to this mismatch.
+        attributed: Vec<String>,
+    },
+    /// The execution produced NaN/Inf (numeric-invalid): skipped.
+    NumericInvalid,
+    /// The reference itself failed (invalid test case).
+    InvalidCase {
+        /// Error description.
+        message: String,
+    },
+}
+
+impl TestOutcome {
+    /// True if this outcome evidences a bug (crash or mismatch).
+    pub fn is_finding(&self) -> bool {
+        matches!(
+            self,
+            TestOutcome::ExportCrash { .. }
+                | TestOutcome::CompileCrash { .. }
+                | TestOutcome::ResultMismatch { .. }
+                | TestOutcome::RuntimeError { .. }
+        )
+    }
+}
+
+/// Runs one differential test of `case` against `compiler`, accumulating
+/// coverage into `cov`.
+pub fn run_case(
+    compiler: &Compiler,
+    case: &TestCase,
+    options: &CompileOptions,
+    tol: Tolerance,
+    cov: &mut nnsmith_compilers::CoverageSet,
+) -> TestOutcome {
+    // Reference execution (the PyTorch-oracle role).
+    let reference = match nnsmith_ops::execute(&case.graph, &case.all_bindings()) {
+        Ok(r) => r,
+        Err(e) => {
+            return TestOutcome::InvalidCase {
+                message: format!("{e}"),
+            }
+        }
+    };
+    if reference.has_exceptional() {
+        return TestOutcome::NumericInvalid;
+    }
+    let ref_outputs: Vec<Tensor> =
+        reference.outputs.iter().map(|(_, t)| t.clone()).collect();
+
+    // Export (the PyTorch→ONNX role, with its own seeded bugs).
+    let exported = match export(&case.graph, &options.bugs) {
+        Ok(e) => e,
+        Err(CompileError::Crash { message, .. }) => {
+            return TestOutcome::ExportCrash { message }
+        }
+        Err(e) => {
+            return TestOutcome::InvalidCase {
+                message: format!("{e}"),
+            }
+        }
+    };
+
+    // Compile and run.
+    let compiled = match compiler.compile(&exported.graph, &case.weights, options, cov) {
+        Ok(c) => c,
+        Err(CompileError::NotImplemented(_)) => return TestOutcome::NotImplemented,
+        Err(CompileError::Crash { message, .. }) => {
+            return TestOutcome::CompileCrash { message }
+        }
+        Err(e) => {
+            return TestOutcome::InvalidCase {
+                message: format!("{e}"),
+            }
+        }
+    };
+    let outputs = match compiled.run(&case.inputs) {
+        Ok(o) => o,
+        Err(e) => {
+            return TestOutcome::RuntimeError {
+                message: format!("{e}"),
+            }
+        }
+    };
+
+    match compare_outputs(&ref_outputs, &outputs, tol) {
+        Verdict::Match => TestOutcome::Pass,
+        Verdict::NumericInvalid => TestOutcome::NumericInvalid,
+        Verdict::Structure(detail) | Verdict::Mismatch(detail) => {
+            // Fault localization: recompile at O0 (§4). If O0 agrees with
+            // the reference, the optimizer must be wrong.
+            let site = match localize(compiler, case, &exported.graph, options, tol, cov) {
+                Some(s) => s,
+                None => FaultSite::Conversion,
+            };
+            let mut attributed: Vec<String> = compiled
+                .perturbations
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            attributed.extend(exported.semantic_bugs.iter().map(|s| s.to_string()));
+            // Honestly-implemented pass bugs: attribute via pattern match.
+            for id in compiler.matched_bugs(&exported.graph) {
+                if (id == "ort-t02" || id == "tvm-simpl-1")
+                    && options.bugs.enabled(id)
+                    && !attributed.iter().any(|a| a == id)
+                {
+                    attributed.push(id.to_string());
+                }
+            }
+            TestOutcome::ResultMismatch {
+                detail,
+                site,
+                attributed,
+            }
+        }
+    }
+}
+
+fn localize(
+    compiler: &Compiler,
+    case: &TestCase,
+    exported: &Graph<Op>,
+    options: &CompileOptions,
+    tol: Tolerance,
+    cov: &mut nnsmith_compilers::CoverageSet,
+) -> Option<FaultSite> {
+    let o0 = CompileOptions {
+        opt_level: OptLevel::O0,
+        bugs: options.bugs.clone(),
+    };
+    let compiled = compiler.compile(exported, &case.weights, &o0, cov).ok()?;
+    let outputs = compiled.run(&case.inputs).ok()?;
+    let reference = nnsmith_ops::execute(&case.graph, &case.all_bindings()).ok()?;
+    let ref_outputs: Vec<Tensor> =
+        reference.outputs.iter().map(|(_, t)| t.clone()).collect();
+    match compare_outputs(&ref_outputs, &outputs, tol) {
+        Verdict::Match => Some(FaultSite::Optimization),
+        _ => Some(FaultSite::Conversion),
+    }
+}
+
+/// Extracts the seeded-bug id from a crash message, when present.
+pub fn seeded_bug_id(message: &str) -> Option<String> {
+    let marker = "seeded bug ";
+    let start = message.find(marker)? + marker.len();
+    let rest = &message[start..];
+    let end = rest.find(':').unwrap_or(rest.len());
+    Some(rest[..end].trim().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnsmith_compilers::{ortsim, trtsim, tvmsim, BugConfig, CoverageSet};
+    use nnsmith_graph::{TensorType, ValueRef};
+    use nnsmith_ops::{BinaryKind, UnaryKind};
+    use nnsmith_tensor::DType;
+
+    fn clean_case() -> TestCase {
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        let w = g.add_node(
+            NodeKind::Weight,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        let add = g.add_node(
+            NodeKind::Operator(Op::Binary(BinaryKind::Add)),
+            vec![ValueRef::output0(x), ValueRef::output0(w)],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Tanh)),
+            vec![ValueRef::output0(add)],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        let mut bindings = Bindings::new();
+        bindings.insert(x, Tensor::from_f32(&[4], vec![0.1, 0.2, 0.3, 0.4]).unwrap());
+        bindings.insert(w, Tensor::from_f32(&[4], vec![0.5, 0.5, 0.5, 0.5]).unwrap());
+        TestCase::from_bindings(g, bindings)
+    }
+
+    #[test]
+    fn clean_case_passes_all_compilers() {
+        let case = clean_case();
+        let mut cov = CoverageSet::new();
+        for c in [tvmsim(), ortsim(), trtsim()] {
+            let outcome = run_case(
+                &c,
+                &case,
+                &CompileOptions::default(),
+                Tolerance::default(),
+                &mut cov,
+            );
+            assert!(matches!(outcome, TestOutcome::Pass), "{outcome:?}");
+        }
+    }
+
+    #[test]
+    fn seeded_crash_detected_and_identified() {
+        // ArgMax to scalar crashes tvmsim's importer (tvm-conv-5).
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::ArgExtreme {
+                largest: true,
+                axis: 0,
+                keepdims: false,
+            }),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::I64, &[])],
+        );
+        let mut bindings = Bindings::new();
+        bindings.insert(x, Tensor::from_f32(&[4], vec![1., 5., 2., 4.]).unwrap());
+        let case = TestCase::from_bindings(g, bindings);
+        let mut cov = CoverageSet::new();
+        let outcome = run_case(
+            &tvmsim(),
+            &case,
+            &CompileOptions::default(),
+            Tolerance::default(),
+            &mut cov,
+        );
+        match outcome {
+            TestOutcome::CompileCrash { message } => {
+                assert_eq!(seeded_bug_id(&message).as_deref(), Some("tvm-conv-5"));
+            }
+            other => panic!("expected crash, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn semantic_bug_localized_to_optimizer() {
+        // tvm-simpl-1: (x / c) * c for ints — honest pass bug, O0 is clean.
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::I32, &[2])],
+        );
+        let c = g.add_node(
+            NodeKind::Weight,
+            vec![],
+            vec![TensorType::concrete(DType::I32, &[])],
+        );
+        let div = g.add_node(
+            NodeKind::Operator(Op::Binary(BinaryKind::Div)),
+            vec![ValueRef::output0(x), ValueRef::output0(c)],
+            vec![TensorType::concrete(DType::I32, &[2])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Binary(BinaryKind::Mul)),
+            vec![ValueRef::output0(div), ValueRef::output0(c)],
+            vec![TensorType::concrete(DType::I32, &[2])],
+        );
+        let mut bindings = Bindings::new();
+        bindings.insert(x, Tensor::from_i32(&[2], vec![7, 9]).unwrap());
+        bindings.insert(c, Tensor::scalar(DType::I32, 3.0));
+        let case = TestCase::from_bindings(g, bindings);
+        let mut cov = CoverageSet::new();
+        let outcome = run_case(
+            &tvmsim(),
+            &case,
+            &CompileOptions::default(),
+            Tolerance::default(),
+            &mut cov,
+        );
+        match outcome {
+            TestOutcome::ResultMismatch {
+                site, attributed, ..
+            } => {
+                assert_eq!(site, FaultSite::Optimization);
+                assert!(attributed.contains(&"tvm-simpl-1".to_string()));
+            }
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+        // With bugs off the same case passes.
+        let outcome = run_case(
+            &tvmsim(),
+            &case,
+            &CompileOptions {
+                bugs: BugConfig::none(),
+                ..CompileOptions::default()
+            },
+            Tolerance::default(),
+            &mut cov,
+        );
+        assert!(matches!(outcome, TestOutcome::Pass), "{outcome:?}");
+    }
+
+    #[test]
+    fn f64_case_not_implemented_on_trtsim() {
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F64, &[2])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Tanh)),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::F64, &[2])],
+        );
+        let mut bindings = Bindings::new();
+        bindings.insert(x, Tensor::from_f64(&[2], vec![0.5, -0.5]).unwrap());
+        let case = TestCase::from_bindings(g, bindings);
+        let mut cov = CoverageSet::new();
+        let outcome = run_case(
+            &trtsim(),
+            &case,
+            &CompileOptions::default(),
+            Tolerance::default(),
+            &mut cov,
+        );
+        assert!(matches!(outcome, TestOutcome::NotImplemented));
+    }
+
+    #[test]
+    fn nan_case_skipped() {
+        // Sqrt of a negative input → NaN in reference → NumericInvalid.
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[2])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Sqrt)),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::F32, &[2])],
+        );
+        let mut bindings = Bindings::new();
+        bindings.insert(x, Tensor::from_f32(&[2], vec![-1.0, 4.0]).unwrap());
+        let case = TestCase::from_bindings(g, bindings);
+        let mut cov = CoverageSet::new();
+        let outcome = run_case(
+            &ortsim(),
+            &case,
+            &CompileOptions::default(),
+            Tolerance::default(),
+            &mut cov,
+        );
+        assert!(matches!(outcome, TestOutcome::NumericInvalid));
+    }
+
+    #[test]
+    fn seeded_bug_id_parsing() {
+        assert_eq!(
+            seeded_bug_id("crash in frontend: seeded bug tvm-conv-5: importer crashes"),
+            Some("tvm-conv-5".to_string())
+        );
+        assert_eq!(seeded_bug_id("segfault"), None);
+    }
+}

@@ -1,0 +1,28 @@
+//! # nnsmith-difftest
+//!
+//! Differential testing and fuzzing-campaign machinery for the NNSmith
+//! reproduction.
+//!
+//! A [`TestCase`] (model + weights + numerically-valid inputs) is executed
+//! on the reference backend and on a simulated compiler; outputs are
+//! compared with magnitude-scaled tolerance, disagreements are localized by
+//! recompiling at `O0` (§4), and seeded-bug identifiers are extracted from
+//! crashes and mismatches. [`run_campaign`] drives a [`TestCaseSource`]
+//! against a compiler under a time budget, producing the coverage
+//! timelines, Venn regions, bug lists and operator-instance counts behind
+//! Figures 4–10 and Table 3.
+
+#![warn(missing_docs)]
+
+mod campaign;
+mod harness;
+mod oracle;
+mod venn;
+
+pub use campaign::{
+    op_instance_keys, run_campaign, CampaignConfig, CampaignResult, TestCaseSource,
+    TimelinePoint,
+};
+pub use harness::{run_case, seeded_bug_id, FaultSite, TestCase, TestOutcome};
+pub use oracle::{compare_outputs, Tolerance, Verdict};
+pub use venn::{Venn2, Venn3};

@@ -1,0 +1,181 @@
+//! Output comparison against the reference backend.
+//!
+//! Floating-point kernels legitimately reorder operations, so outputs are
+//! compared with a distance *scaled by their overall magnitude* (§5.4
+//! "False alarms"): elementwise `|a − b| ≤ atol + rtol · max(|a|, |b|)`.
+//! Integer and boolean outputs must match exactly. NaN/Inf anywhere means
+//! the comparison is skipped (numeric-invalid executions are never used
+//! for differential testing, §2.3).
+
+use nnsmith_tensor::{DType, Tensor};
+
+/// Verdict of comparing one test case's outputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Outputs agree within tolerance.
+    Match,
+    /// Output counts or shapes/dtypes differ.
+    Structure(String),
+    /// Values differ beyond tolerance.
+    Mismatch(String),
+    /// Reference or candidate contains NaN/Inf: not comparable.
+    NumericInvalid,
+}
+
+impl Verdict {
+    /// True for [`Verdict::Match`].
+    pub fn is_match(&self) -> bool {
+        *self == Verdict::Match
+    }
+}
+
+/// Comparison tolerances. The paper uses a "high error tolerance" to
+/// suppress float false alarms; these defaults mirror that.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// Relative tolerance.
+    pub rtol: f64,
+    /// Absolute tolerance.
+    pub atol: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            rtol: 1e-2,
+            atol: 1e-3,
+        }
+    }
+}
+
+/// Compares candidate outputs against reference outputs.
+pub fn compare_outputs(reference: &[Tensor], candidate: &[Tensor], tol: Tolerance) -> Verdict {
+    if reference.len() != candidate.len() {
+        return Verdict::Structure(format!(
+            "output count {} vs {}",
+            candidate.len(),
+            reference.len()
+        ));
+    }
+    for (i, (r, c)) in reference.iter().zip(candidate).enumerate() {
+        if r.has_non_finite() || c.has_non_finite() {
+            return Verdict::NumericInvalid;
+        }
+        if r.shape() != c.shape() || r.dtype() != c.dtype() {
+            return Verdict::Structure(format!(
+                "output {i}: {}[{:?}] vs {}[{:?}]",
+                c.dtype(),
+                c.shape(),
+                r.dtype(),
+                r.shape()
+            ));
+        }
+        match r.dtype() {
+            DType::F32 | DType::F64 => {
+                for k in 0..r.numel() {
+                    let a = r.lin_f64(k);
+                    let b = c.lin_f64(k);
+                    let bound = tol.atol + tol.rtol * a.abs().max(b.abs());
+                    if (a - b).abs() > bound {
+                        return Verdict::Mismatch(format!(
+                            "output {i} element {k}: {b} vs reference {a}"
+                        ));
+                    }
+                }
+            }
+            DType::I32 | DType::I64 | DType::Bool => {
+                for k in 0..r.numel() {
+                    if r.lin_f64(k) != c.lin_f64(k) {
+                        return Verdict::Mismatch(format!(
+                            "output {i} element {k}: {} vs reference {} (exact dtype)",
+                            c.lin_f64(k),
+                            r.lin_f64(k)
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Verdict::Match
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>) -> Tensor {
+        Tensor::from_f32(&[v.len()], v).unwrap()
+    }
+
+    #[test]
+    fn identical_outputs_match() {
+        let a = vec![t(vec![1.0, 2.0])];
+        assert!(compare_outputs(&a, &a, Tolerance::default()).is_match());
+    }
+
+    #[test]
+    fn small_fp_drift_tolerated() {
+        let r = vec![t(vec![100.0])];
+        let c = vec![t(vec![100.5])]; // 0.5% relative
+        assert!(compare_outputs(&r, &c, Tolerance::default()).is_match());
+    }
+
+    #[test]
+    fn large_drift_flagged() {
+        let r = vec![t(vec![100.0])];
+        let c = vec![t(vec![110.0])];
+        assert!(matches!(
+            compare_outputs(&r, &c, Tolerance::default()),
+            Verdict::Mismatch(_)
+        ));
+    }
+
+    #[test]
+    fn int_outputs_exact() {
+        let r = vec![Tensor::from_i32(&[2], vec![1, 2]).unwrap()];
+        let c = vec![Tensor::from_i32(&[2], vec![1, 3]).unwrap()];
+        assert!(matches!(
+            compare_outputs(&r, &c, Tolerance::default()),
+            Verdict::Mismatch(_)
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_is_structural() {
+        let r = vec![t(vec![1.0, 2.0])];
+        let c = vec![Tensor::from_f32(&[1], vec![1.0]).unwrap()];
+        assert!(matches!(
+            compare_outputs(&r, &c, Tolerance::default()),
+            Verdict::Structure(_)
+        ));
+    }
+
+    #[test]
+    fn nan_means_not_comparable() {
+        let r = vec![t(vec![f32::NAN])];
+        let c = vec![t(vec![1.0])];
+        assert_eq!(
+            compare_outputs(&r, &c, Tolerance::default()),
+            Verdict::NumericInvalid
+        );
+    }
+
+    #[test]
+    fn sigmoid_floor_style_false_alarm_needs_tolerance() {
+        // §5.4: optimized sigmoid≈1.0 then floor gives 1 vs 0 — with the
+        // scaled-distance comparison on the *floor* output this is a real
+        // difference; the paper handles it with high tolerance. Verify the
+        // tolerance knob behaves monotonically.
+        let r = vec![t(vec![0.0])];
+        let c = vec![t(vec![1.0])];
+        assert!(matches!(
+            compare_outputs(&r, &c, Tolerance::default()),
+            Verdict::Mismatch(_)
+        ));
+        let lax = Tolerance {
+            rtol: 0.0,
+            atol: 2.0,
+        };
+        assert!(compare_outputs(&r, &c, lax).is_match());
+    }
+}

@@ -1,0 +1,144 @@
+//! Venn-diagram region computation over coverage sets (Figures 7, 8, 10).
+
+use nnsmith_compilers::CoverageSet;
+
+/// Regions of a two-set Venn diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Venn2 {
+    /// Branches only in A.
+    pub only_a: usize,
+    /// Branches only in B.
+    pub only_b: usize,
+    /// Branches in both.
+    pub both: usize,
+}
+
+impl Venn2 {
+    /// Computes the regions.
+    pub fn of(a: &CoverageSet, b: &CoverageSet) -> Venn2 {
+        let both = a.intersection(b).len();
+        Venn2 {
+            only_a: a.len() - both,
+            only_b: b.len() - both,
+            both,
+        }
+    }
+
+    /// Total of set A.
+    pub fn total_a(&self) -> usize {
+        self.only_a + self.both
+    }
+
+    /// Total of set B.
+    pub fn total_b(&self) -> usize {
+        self.only_b + self.both
+    }
+}
+
+/// Regions of a three-set Venn diagram (A, B, C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Venn3 {
+    /// Only A.
+    pub a: usize,
+    /// Only B.
+    pub b: usize,
+    /// Only C.
+    pub c: usize,
+    /// A∩B only.
+    pub ab: usize,
+    /// A∩C only.
+    pub ac: usize,
+    /// B∩C only.
+    pub bc: usize,
+    /// A∩B∩C.
+    pub abc: usize,
+}
+
+impl Venn3 {
+    /// Computes the seven regions.
+    pub fn of(a: &CoverageSet, b: &CoverageSet, c: &CoverageSet) -> Venn3 {
+        let ab = a.intersection(b);
+        let ac = a.intersection(c);
+        let bc = b.intersection(c);
+        let abc = ab.intersection(c).len();
+        Venn3 {
+            a: (a.len() + abc) - ab.len() - ac.len(),
+            b: (b.len() + abc) - ab.len() - bc.len(),
+            c: (c.len() + abc) - ac.len() - bc.len(),
+            ab: ab.len() - abc,
+            ac: ac.len() - abc,
+            bc: bc.len() - abc,
+            abc,
+        }
+    }
+
+    /// Total size of set A.
+    pub fn total_a(&self) -> usize {
+        self.a + self.ab + self.ac + self.abc
+    }
+
+    /// Total size of set B.
+    pub fn total_b(&self) -> usize {
+        self.b + self.ab + self.bc + self.abc
+    }
+
+    /// Total size of set C.
+    pub fn total_c(&self) -> usize {
+        self.c + self.ac + self.bc + self.abc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnsmith_compilers::{Branch, FileId};
+
+    fn set(branches: &[u32]) -> CoverageSet {
+        let mut s = CoverageSet::new();
+        for &b in branches {
+            s.insert(Branch {
+                file: FileId(0),
+                site: b,
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn venn2_regions() {
+        let a = set(&[1, 2, 3]);
+        let b = set(&[3, 4]);
+        let v = Venn2::of(&a, &b);
+        assert_eq!(v, Venn2 { only_a: 2, only_b: 1, both: 1 });
+        assert_eq!(v.total_a(), 3);
+        assert_eq!(v.total_b(), 2);
+    }
+
+    #[test]
+    fn venn3_regions() {
+        let a = set(&[1, 2, 3, 7]);
+        let b = set(&[2, 3, 4, 7]);
+        let c = set(&[3, 5, 7]);
+        let v = Venn3::of(&a, &b, &c);
+        assert_eq!(v.abc, 2); // {3, 7}
+        assert_eq!(v.ab, 1); // {2}
+        assert_eq!(v.a, 1); // {1}
+        assert_eq!(v.b, 1); // {4}
+        assert_eq!(v.c, 1); // {5}
+        assert_eq!(v.ac, 0);
+        assert_eq!(v.bc, 0);
+        assert_eq!(v.total_a(), 4);
+        assert_eq!(v.total_b(), 4);
+        assert_eq!(v.total_c(), 3);
+    }
+
+    #[test]
+    fn venn3_disjoint() {
+        let a = set(&[1]);
+        let b = set(&[2]);
+        let c = set(&[3]);
+        let v = Venn3::of(&a, &b, &c);
+        assert_eq!((v.a, v.b, v.c), (1, 1, 1));
+        assert_eq!(v.ab + v.ac + v.bc + v.abc, 0);
+    }
+}

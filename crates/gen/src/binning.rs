@@ -1,0 +1,218 @@
+//! Attribute binning — Algorithm 2 of the paper.
+//!
+//! Solver models are boundary-biased (dimensions constrained only by
+//! `d ≥ 1` come back as 1). Binning adds random range constraints drawn
+//! from exponential bins (`[2^{i-1}, 2^i)`), so attributes and placeholder
+//! shapes spread over the whole range. If the extra constraints make the
+//! system unsatisfiable, half of them are dropped at random and the check
+//! retried (Algorithm 2 line 17).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use nnsmith_graph::{Graph, NodeKind};
+use nnsmith_ops::Op;
+use nnsmith_solver::{BoolExpr, IntExpr, Solver};
+
+use crate::config::{GenConfig, GenStats};
+
+/// Samples `(l, r)` from bin `i` of `k` (1-based), following
+/// `SampleFromBin` of Algorithm 2: real exponents `b < t` uniform in
+/// `[i-1, i]`, returning `(⌊2^b⌋, ⌊2^t⌋)`; the last bin is `[2^{k-1}, ∞)`.
+pub fn sample_from_bin<R: Rng + ?Sized>(i: u32, k: u32, rng: &mut R) -> (i64, i64) {
+    if i != k {
+        let mut b: f64 = rng.gen_range((i - 1) as f64..i as f64);
+        let mut t: f64 = rng.gen_range((i - 1) as f64..i as f64);
+        if b > t {
+            std::mem::swap(&mut b, &mut t);
+        }
+        (b.exp2().floor() as i64, t.exp2().floor() as i64)
+    } else {
+        (1i64 << (k - 1), i64::MAX / 4)
+    }
+}
+
+/// One binning constraint: `l ≤ α ≤ r` for attribute expression `α`.
+fn bin_constraint<R: Rng + ?Sized>(alpha: &IntExpr, k: u32, rng: &mut R) -> BoolExpr {
+    let i = rng.gen_range(1..=k);
+    let (l, r) = sample_from_bin(i, k, rng);
+    BoolExpr::and([
+        alpha.clone().ge(l.into()),
+        alpha.clone().le(r.into()),
+    ])
+}
+
+/// The specialized bins of §4 (`C*` in Algorithm 2): padding attributes get
+/// an extra zero bin (and, for `ConstPad`, negative bins); `Slice` bounds
+/// are left to their validity constraints.
+fn specialized_constraint<R: Rng + ?Sized>(
+    op: &Op,
+    attr_name: &str,
+    alpha: &IntExpr,
+    k: u32,
+    rng: &mut R,
+) -> Option<BoolExpr> {
+    match (op, attr_name) {
+        // Conv2d/pool padding: one extra bin containing just 0.
+        (Op::Conv2d { .. } | Op::MaxPool2d { .. } | Op::AvgPool2d { .. }, "padding") => {
+            // k regular bins plus the zero bin.
+            let choice = rng.gen_range(0..=k);
+            if choice == 0 {
+                Some(alpha.clone().eq_expr(0.into()))
+            } else {
+                let (l, r) = sample_from_bin(choice, k, rng);
+                Some(BoolExpr::and([
+                    alpha.clone().ge(l.into()),
+                    alpha.clone().le(r.into()),
+                ]))
+            }
+        }
+        // ConstPad/ReflectPad/ReplicatePad padding: zero bin and (for the
+        // constant mode) negative bins.
+        (Op::Pad { kind, .. }, "padding") => {
+            let allow_negative = matches!(kind, nnsmith_ops::PadKind::Constant);
+            let choice = rng.gen_range(0..=(k + u32::from(allow_negative)));
+            if choice == 0 {
+                Some(alpha.clone().eq_expr(0.into()))
+            } else if allow_negative && choice == k + 1 {
+                Some(BoolExpr::and([
+                    alpha.clone().ge((-3).into()),
+                    alpha.clone().le((-1).into()),
+                ]))
+            } else {
+                let (l, r) = sample_from_bin(choice, k, rng);
+                Some(BoolExpr::and([
+                    alpha.clone().ge(l.into()),
+                    alpha.clone().le(r.into()),
+                ]))
+            }
+        }
+        // Slice indexing ranges: validity is already enforced by
+        // `requires`; no extra binning (the §4 special handling).
+        (Op::Slice { .. }, "start" | "end") => None,
+        _ => None,
+    }
+}
+
+/// Applies attribute binning to every operator attribute and placeholder
+/// dimension of the graph (Algorithm 2's `AttrBinning`).
+pub fn apply_binning<R: Rng + ?Sized>(
+    graph: &mut Graph<Op>,
+    solver: &mut Solver,
+    config: &GenConfig,
+    rng: &mut R,
+    stats: &mut GenStats,
+) {
+    let k = config.bins;
+    let mut cb: Vec<BoolExpr> = Vec::new();
+    for (_, node) in graph.iter() {
+        match &node.kind {
+            // Placeholders count as operators whose attributes are their
+            // shape dimensions (Algorithm 2, "also considers placeholders").
+            NodeKind::Placeholder | NodeKind::Input | NodeKind::Weight => {
+                for t in &node.outputs {
+                    for d in &t.shape {
+                        if !d.is_const() {
+                            cb.push(bin_constraint(d, k, rng));
+                        }
+                    }
+                }
+            }
+            NodeKind::Operator(op) => {
+                for (name, alpha) in op.attr_exprs() {
+                    if alpha.is_const() {
+                        continue;
+                    }
+                    match specialized_constraint(op, name, &alpha, k, rng) {
+                        Some(c) => cb.push(c),
+                        None if matches!(op, Op::Slice { .. }) => {}
+                        None => cb.push(bin_constraint(&alpha, k, rng)),
+                    }
+                }
+            }
+        }
+    }
+
+    let total = cb.len() as u64;
+    // Algorithm 2 line 17 drops half the constraints on failure and
+    // retries. Under this reproduction's tensor-size caps the batch
+    // conflicts are *systematic* (four dims binned high violate the element
+    // budget), so halving degenerates to dropping almost everything. We
+    // keep the one-shot batch attempt, then fall back to a greedy
+    // per-constraint pass that retains every individually-compatible range
+    // (documented in DESIGN.md).
+    let mut kept = 0u64;
+    if !cb.is_empty() {
+        // Small sets keep Algorithm 2's one-shot batch attempt; for larger
+        // sets the batch is near-certainly unsatisfiable under the tensor
+        // size caps and a failed batch check burns the whole search budget,
+        // so we go straight to the greedy pass (each incremental add is a
+        // cheap warm-model repair).
+        let batch_ok = cb.len() <= 8
+            && solver.try_add_constraints(cb.iter().cloned()).is_some();
+        if batch_ok {
+            kept = cb.len() as u64;
+        } else {
+            cb.shuffle(rng);
+            for c in cb {
+                if solver.try_add_constraints([c]).is_some() {
+                    kept += 1;
+                }
+            }
+        }
+    }
+    stats.binning_kept = kept;
+    stats.binning_dropped = total - kept;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bins_are_exponential() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for i in 1..7u32 {
+            for _ in 0..50 {
+                let (l, r) = sample_from_bin(i, 7, &mut rng);
+                assert!(l <= r);
+                let lo = 1i64 << (i - 1);
+                let hi = 1i64 << i;
+                assert!(l >= lo - 1 && r <= hi, "bin {i} gave ({l}, {r})");
+            }
+        }
+        let (l, r) = sample_from_bin(7, 7, &mut rng);
+        assert_eq!(l, 64);
+        assert!(r > 1 << 19);
+    }
+
+    #[test]
+    fn binning_diversifies_dimensions() {
+        // Without binning the solver returns minimal (1) dims for a simple
+        // `d >= 1` system; with binning most dims move off the boundary.
+        let mut ones = 0usize;
+        let mut total = 0usize;
+        for seed in 0..8u64 {
+            let mut rng_local = StdRng::seed_from_u64(seed);
+            let m = crate::Generator::default()
+                .generate(&mut rng_local)
+                .expect("gen");
+            for v in m.graph.all_values() {
+                for d in m.graph.value_type(v).concrete_dims().expect("concrete") {
+                    total += 1;
+                    if d == 1 {
+                        ones += 1;
+                    }
+                }
+            }
+        }
+        // With k=7 exponential bins, boundary value 1 should be well under
+        // half of all dims.
+        assert!(
+            (ones as f64) < 0.5 * total as f64,
+            "{ones}/{total} dims are 1"
+        );
+    }
+}

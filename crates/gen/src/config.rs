@@ -1,0 +1,80 @@
+//! Generator configuration.
+
+/// Tuning knobs for the model generator (defaults follow §5.1 of the
+/// paper: 10-node graphs, equal forward/backward probability, `k = 7`
+/// attribute bins).
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Number of operator nodes to generate.
+    pub target_ops: usize,
+    /// Insertion attempts before giving up on growing further.
+    pub max_attempts: usize,
+    /// Probability of trying forward insertion (vs. backward) per attempt.
+    pub forward_prob: f64,
+    /// Probability that a data input uses a fresh placeholder even when
+    /// matching values exist (creates multi-input models).
+    pub fresh_input_prob: f64,
+    /// Number of exponential attribute bins (`k` of Algorithm 2).
+    pub bins: u32,
+    /// Enable attribute binning (ablation switch, Figures 9–10).
+    pub binning: bool,
+    /// Enable the dtype/rank type-matching pre-filter of Algorithm 1
+    /// (ablation switch; disabling routes obviously-infeasible candidates
+    /// to the solver).
+    pub type_filter: bool,
+    /// Upper bound for placeholder dimensions.
+    pub dim_hi: i64,
+    /// Upper bound for any single output dimension.
+    pub max_out_dim: i64,
+    /// Upper bound on the element count of any generated tensor.
+    pub max_numel: i64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            target_ops: 10,
+            max_attempts: 400,
+            forward_prob: 0.5,
+            fresh_input_prob: 0.15,
+            bins: 7,
+            binning: true,
+            type_filter: true,
+            dim_hi: 48,
+            max_out_dim: 2048,
+            max_numel: 16_384,
+        }
+    }
+}
+
+/// Counters describing one generation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GenStats {
+    /// Total insertion attempts.
+    pub attempts: u64,
+    /// Successful forward insertions.
+    pub forward_ok: u64,
+    /// Successful backward insertions.
+    pub backward_ok: u64,
+    /// Attempts rejected by the solver (or by spec errors when the type
+    /// filter is disabled).
+    pub rejected: u64,
+    /// Binning constraints kept after the retry-halving loop.
+    pub binning_kept: u64,
+    /// Binning constraints dropped by the retry-halving loop.
+    pub binning_dropped: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = GenConfig::default();
+        assert_eq!(c.target_ops, 10);
+        assert_eq!(c.bins, 7);
+        assert!((c.forward_prob - 0.5).abs() < f64::EPSILON);
+        assert!(c.binning);
+    }
+}

@@ -1,0 +1,626 @@
+//! Incremental graph generation — Algorithm 1 of the paper.
+//!
+//! The generator grows a symbolic graph from a single placeholder by
+//! repeatedly sampling an operator template and attempting *forward
+//! insertion* (consume existing values) or *backward insertion* (replace a
+//! placeholder with the operator, creating fresh placeholder inputs). Each
+//! attempt is committed only if the accumulated constraint system stays
+//! satisfiable; the solver's incremental `try_add_constraints` keeps this
+//! cheap.
+
+use std::collections::HashSet;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use nnsmith_graph::{Graph, NodeId, NodeKind, TensorType, ValueRef};
+use nnsmith_ops::{all_templates, BuiltOp, Op, OpTemplate, Slot};
+use nnsmith_solver::{BoolExpr, IntExpr, Model, Solver};
+use nnsmith_tensor::DType;
+
+use crate::binning::apply_binning;
+use crate::config::{GenConfig, GenStats};
+
+/// Errors from model generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// The final constraint system had no model (should not happen: every
+    /// insertion is checked incrementally).
+    NoModel,
+    /// Generation could not reach a single operator within the attempt
+    /// budget.
+    Stuck,
+}
+
+impl std::fmt::Display for GenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenError::NoModel => write!(f, "no satisfying model for generated graph"),
+            GenError::Stuck => write!(f, "no operator could be inserted"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+/// A fully-generated, concrete model.
+#[derive(Debug, Clone)]
+pub struct GeneratedModel {
+    /// Concrete computation graph.
+    pub graph: Graph<Op>,
+    /// Generation statistics.
+    pub stats: GenStats,
+}
+
+/// The model generator (Algorithm 1 + Algorithm 2).
+///
+/// # Examples
+///
+/// ```
+/// use nnsmith_gen::{GenConfig, Generator};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let model = Generator::new(GenConfig { target_ops: 5, ..GenConfig::default() })
+///     .generate(&mut rng)
+///     .expect("generation succeeds");
+/// assert!(model.graph.operators().len() >= 1);
+/// assert!(model.graph.is_concrete());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Generator {
+    config: GenConfig,
+    templates: Vec<OpTemplate>,
+}
+
+impl Default for Generator {
+    fn default() -> Self {
+        Generator::new(GenConfig::default())
+    }
+}
+
+impl Generator {
+    /// Creates a generator with the full operator registry.
+    pub fn new(config: GenConfig) -> Self {
+        Generator {
+            config,
+            templates: all_templates(),
+        }
+    }
+
+    /// Creates a generator restricted to the given templates (used by the
+    /// baseline reimplementations and focused experiments).
+    pub fn with_templates(config: GenConfig, templates: Vec<OpTemplate>) -> Self {
+        Generator { config, templates }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GenConfig {
+        &self.config
+    }
+
+    /// Generates one concrete model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError::Stuck`] when not a single operator could be
+    /// inserted within the attempt budget and [`GenError::NoModel`] if the
+    /// final satisfiability check fails unexpectedly.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<GeneratedModel, GenError> {
+        let mut state = SymbolicState::new(&self.config, rng);
+        let mut stats = GenStats::default();
+
+        let mut attempts = 0u64;
+        while state.op_count < self.config.target_ops
+            && attempts < self.config.max_attempts as u64
+        {
+            attempts += 1;
+            let tmpl = *self.templates.choose(rng).expect("registry non-empty");
+            let ok = if rng.gen_bool(self.config.forward_prob) {
+                state.forward_insert(tmpl, rng, &mut stats)
+            } else {
+                state.backward_insert(tmpl, rng, &mut stats)
+            };
+            if !ok {
+                stats.rejected += 1;
+            }
+        }
+        stats.attempts = attempts;
+        if state.op_count == 0 {
+            return Err(GenError::Stuck);
+        }
+
+        if self.config.binning {
+            apply_binning(&mut state.graph, &mut state.solver, &self.config, rng, &mut stats);
+        }
+
+        let model = match state.solver.check() {
+            nnsmith_solver::SatResult::Sat(m) => m,
+            _ => return Err(GenError::NoModel),
+        };
+        let graph = state.concretize(&model, rng);
+        Ok(GeneratedModel { graph, stats })
+    }
+}
+
+/// Growing symbolic graph plus its constraint state.
+struct SymbolicState {
+    graph: Graph<Op>,
+    solver: Solver,
+    /// Placeholders created as operator parameters (become weights).
+    param_placeholders: HashSet<NodeId>,
+    op_count: usize,
+    dim_hi: i64,
+    max_out_dim: i64,
+    max_numel: i64,
+    type_filter: bool,
+    fresh_input_prob: f64,
+}
+
+impl SymbolicState {
+    fn new<R: Rng + ?Sized>(config: &GenConfig, rng: &mut R) -> Self {
+        let mut solver = Solver::default();
+        let mut graph = Graph::new();
+        // Seed: a single placeholder (§3.2), float-biased dtype, any rank.
+        let dtype = *[
+            DType::F32,
+            DType::F32,
+            DType::F32,
+            DType::F64,
+            DType::I32,
+            DType::I64,
+        ]
+        .choose(rng)
+        .expect("nonempty");
+        let rank = rng.gen_range(1..=nnsmith_ops::MAX_RANK);
+        let ttype = fresh_placeholder_type(dtype, rank, &mut solver, config.dim_hi);
+        graph.add_placeholder(ttype);
+        SymbolicState {
+            graph,
+            solver,
+            param_placeholders: HashSet::new(),
+            op_count: 0,
+            dim_hi: config.dim_hi,
+            max_out_dim: config.max_out_dim,
+            max_numel: config.max_numel,
+            type_filter: config.type_filter,
+            fresh_input_prob: config.fresh_input_prob,
+        }
+    }
+
+    /// Forward insertion: wire the operator's data inputs to existing
+    /// values (or fresh placeholders), append the operator.
+    fn forward_insert<R: Rng + ?Sized>(
+        &mut self,
+        tmpl: OpTemplate,
+        rng: &mut R,
+        stats: &mut GenStats,
+    ) -> bool {
+        let slots = tmpl.sample_slots(rng);
+        // Pick a source for every data slot.
+        enum Source {
+            Existing(ValueRef),
+            Fresh(TensorType),
+        }
+        let values = self.graph.all_values();
+        let mut sources: Vec<Option<Source>> = Vec::with_capacity(slots.len());
+        for slot in &slots {
+            if !slot.from_graph {
+                sources.push(None);
+                continue;
+            }
+            let candidates: Vec<ValueRef> = values
+                .iter()
+                .copied()
+                .filter(|v| {
+                    if !self.type_filter {
+                        return true;
+                    }
+                    let t = self.graph.value_type(*v);
+                    t.dtype == slot.dtype && t.rank() == slot.rank
+                })
+                .collect();
+            let use_fresh = candidates.is_empty() || rng.gen_bool(self.fresh_input_prob);
+            if use_fresh {
+                let t =
+                    fresh_placeholder_type(slot.dtype, slot.rank, &mut self.solver, self.dim_hi);
+                sources.push(Some(Source::Fresh(t)));
+            } else {
+                sources.push(Some(Source::Existing(
+                    *candidates.choose(rng).expect("non-empty"),
+                )));
+            }
+        }
+
+        // Assemble input types (params filled after build).
+        let mut input_types: Vec<TensorType> = Vec::with_capacity(slots.len());
+        for (slot, src) in slots.iter().zip(&sources) {
+            match src {
+                Some(Source::Existing(v)) => {
+                    input_types.push(self.graph.value_type(*v).clone())
+                }
+                Some(Source::Fresh(t)) => input_types.push(t.clone()),
+                None => input_types.push(TensorType::new(slot.dtype, Vec::new())), // placeholder slot, replaced below
+            }
+        }
+        let Some(built) = tmpl.build(&slots, &input_types, &mut self.solver, rng) else {
+            return false;
+        };
+        let full_types = self.merge_param_types(&built, input_types);
+
+        let Some(mut constraints) = self.insertion_constraints(&built.op, &full_types) else {
+            return false;
+        };
+        // Freshly-created placeholders (data or parameters) must respect
+        // the tensor-size budget too.
+        for (i, slot) in slots.iter().enumerate() {
+            let is_fresh =
+                !slot.from_graph || matches!(sources[i], Some(Source::Fresh(_)));
+            if is_fresh {
+                Self::push_size_caps(
+                    &mut constraints,
+                    &full_types[i],
+                    self.max_out_dim,
+                    self.max_numel,
+                );
+            }
+        }
+        if self.solver.try_add_constraints(constraints).is_none() {
+            return false;
+        }
+
+        // Commit: create fresh placeholders, then the operator node.
+        let mut input_refs: Vec<ValueRef> = Vec::with_capacity(slots.len());
+        let mut param_idx = 0usize;
+        for (i, slot) in slots.iter().enumerate() {
+            if !slot.from_graph {
+                let id = self
+                    .graph
+                    .add_placeholder(built.param_types[param_idx].clone());
+                self.param_placeholders.insert(id);
+                param_idx += 1;
+                input_refs.push(ValueRef::output0(id));
+            } else {
+                match &sources[i] {
+                    Some(Source::Existing(v)) => input_refs.push(*v),
+                    Some(Source::Fresh(t)) => {
+                        let id = self.graph.add_placeholder(t.clone());
+                        input_refs.push(ValueRef::output0(id));
+                    }
+                    None => unreachable!("data slot has a source"),
+                }
+            }
+        }
+        let outputs = built
+            .op
+            .type_transfer(&full_types)
+            .expect("constraints checked");
+        self.graph
+            .add_node(NodeKind::Operator(built.op), input_refs, outputs);
+        self.op_count += 1;
+        stats.forward_ok += 1;
+        true
+    }
+
+    /// Backward insertion: replace a placeholder with the operator, whose
+    /// inputs become fresh placeholders.
+    fn backward_insert<R: Rng + ?Sized>(
+        &mut self,
+        tmpl: OpTemplate,
+        rng: &mut R,
+        stats: &mut GenStats,
+    ) -> bool {
+        // Candidate placeholders whose type this operator can produce.
+        let placeholders = self.graph.placeholders();
+        let mut candidates: Vec<(NodeId, Vec<Slot>)> = Vec::new();
+        for ph in placeholders {
+            // Parameter placeholders keep their role (their shapes are tied
+            // to operator attributes).
+            if self.param_placeholders.contains(&ph) {
+                continue;
+            }
+            let out_type = self.graph.node(ph).outputs[0].clone();
+            if let Some(slots) = tmpl.infer_input_slots(&out_type, rng) {
+                candidates.push((ph, slots));
+            }
+        }
+        let Some((ph, slots)) = candidates.choose(rng).cloned() else {
+            return false;
+        };
+        let out_type = self.graph.node(ph).outputs[0].clone();
+
+        // Fresh placeholder types for all data inputs.
+        let mut input_types: Vec<TensorType> = Vec::with_capacity(slots.len());
+        for slot in &slots {
+            if slot.from_graph {
+                input_types.push(fresh_placeholder_type(
+                    slot.dtype,
+                    slot.rank,
+                    &mut self.solver,
+                    self.dim_hi,
+                ));
+            } else {
+                input_types.push(TensorType::new(slot.dtype, Vec::new()));
+            }
+        }
+        let Some(built) =
+            tmpl.build_backward(&out_type, &slots, &input_types, &mut self.solver, rng)
+        else {
+            return false;
+        };
+        let full_types = self.merge_param_types(&built, input_types);
+
+        let Some(mut constraints) = self.insertion_constraints(&built.op, &full_types) else {
+            return false;
+        };
+        // Every input is a fresh placeholder here: cap their sizes.
+        for t in &full_types {
+            Self::push_size_caps(&mut constraints, t, self.max_out_dim, self.max_numel);
+        }
+        // The operator's output must equal the placeholder it replaces
+        // (Algorithm 1 line 17).
+        let outputs = match built.op.type_transfer(&full_types) {
+            Ok(o) => o,
+            Err(_) => return false,
+        };
+        if outputs.len() != 1
+            || outputs[0].rank() != out_type.rank()
+            || outputs[0].dtype != out_type.dtype
+        {
+            return false;
+        }
+        for (a, b) in outputs[0].shape.iter().zip(&out_type.shape) {
+            constraints.push(a.clone().eq_expr(b.clone()));
+        }
+        if self.solver.try_add_constraints(constraints).is_none() {
+            return false;
+        }
+
+        // Commit: new placeholders, then rewrite the node in place.
+        let mut input_refs: Vec<ValueRef> = Vec::with_capacity(slots.len());
+        for (i, slot) in slots.iter().enumerate() {
+            let id = self.graph.add_placeholder(full_types[i].clone());
+            if !slot.from_graph {
+                self.param_placeholders.insert(id);
+            }
+            input_refs.push(ValueRef::output0(id));
+        }
+        let node = self.graph.node_mut(ph);
+        node.kind = NodeKind::Operator(built.op);
+        node.inputs = input_refs;
+        self.op_count += 1;
+        stats.backward_ok += 1;
+        true
+    }
+
+    /// Replaces parameter-slot input types with the built parameter types.
+    fn merge_param_types(&self, built: &BuiltOp, mut types: Vec<TensorType>) -> Vec<TensorType> {
+        let mut pi = 0usize;
+        for (i, slot) in built.slots.iter().enumerate() {
+            if !slot.from_graph {
+                types[i] = built.param_types[pi].clone();
+                pi += 1;
+            }
+        }
+        types
+    }
+
+    /// `requires` plus output-positivity and size-bound constraints — the
+    /// `Solve` helper of Algorithm 1.
+    fn insertion_constraints(
+        &self,
+        op: &Op,
+        input_types: &[TensorType],
+    ) -> Option<Vec<BoolExpr>> {
+        let mut cs = op.requires(input_types).ok()?;
+        let outputs = op.type_transfer(input_types).ok()?;
+        for out in &outputs {
+            Self::push_size_caps(&mut cs, out, self.max_out_dim, self.max_numel);
+        }
+        Some(cs)
+    }
+
+    /// Size-bound constraints for a tensor type: every dim in
+    /// `[1, max_out_dim]` and the element count within budget.
+    fn push_size_caps(
+        cs: &mut Vec<BoolExpr>,
+        t: &TensorType,
+        max_out_dim: i64,
+        max_numel: i64,
+    ) {
+        let mut numel = IntExpr::Const(1);
+        for d in &t.shape {
+            cs.push(d.clone().ge(1.into()));
+            cs.push(d.clone().le(max_out_dim.into()));
+            numel = numel * d.clone();
+        }
+        cs.push(numel.le(max_numel.into()));
+    }
+
+    /// Substitutes the model into every type and attribute, finalizes
+    /// placeholders into inputs and weights.
+    fn concretize<R: Rng + ?Sized>(&self, model: &Model, rng: &mut R) -> Graph<Op> {
+        let mut graph = self.graph.clone();
+        for (id, _) in self.graph.iter() {
+            let node = graph.node_mut(id);
+            for t in &mut node.outputs {
+                *t = t.concretize(model);
+            }
+            if let NodeKind::Operator(op) = &node.kind {
+                node.kind = NodeKind::Operator(op.concretize(model));
+            }
+        }
+        // Placeholders: parameters become weights; data placeholders are
+        // split randomly with at least one input (multi-input/multi-output
+        // models, §3.2).
+        let data_placeholders: Vec<NodeId> = graph
+            .placeholders()
+            .into_iter()
+            .filter(|id| !self.param_placeholders.contains(id))
+            .collect();
+        let forced_input = data_placeholders.choose(rng).copied();
+        let params = self.param_placeholders.clone();
+        graph.finalize_placeholders(|id| {
+            if params.contains(&id) {
+                NodeKind::Weight
+            } else if Some(id) == forced_input || rng.gen_bool(0.6) {
+                NodeKind::Input
+            } else {
+                NodeKind::Weight
+            }
+        });
+        graph
+    }
+}
+
+fn fresh_placeholder_type(
+    dtype: DType,
+    rank: usize,
+    solver: &mut Solver,
+    dim_hi: i64,
+) -> TensorType {
+    let shape = (0..rank)
+        .map(|i| IntExpr::var(solver.new_var(format!("ph_d{i}"), 1, dim_hi)))
+        .collect();
+    TensorType::new(dtype, shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gen_with_seed(seed: u64, cfg: GenConfig) -> GeneratedModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Generator::new(cfg).generate(&mut rng).expect("generation")
+    }
+
+    #[test]
+    fn generates_target_size() {
+        let m = gen_with_seed(42, GenConfig::default());
+        assert!(m.graph.operators().len() >= 5, "only {} ops", m.graph.operators().len());
+        assert!(m.graph.validate().is_ok());
+        assert!(m.graph.is_concrete());
+    }
+
+    #[test]
+    fn no_placeholders_remain() {
+        let m = gen_with_seed(7, GenConfig::default());
+        assert!(m.graph.placeholders().is_empty());
+        // At least one input.
+        let has_input = m
+            .graph
+            .iter()
+            .any(|(_, n)| matches!(n.kind, NodeKind::Input));
+        assert!(has_input);
+    }
+
+    #[test]
+    fn shapes_satisfy_specs() {
+        // Every operator's concrete input/output types must re-typecheck.
+        for seed in 0..20 {
+            let m = gen_with_seed(seed, GenConfig::default());
+            for id in m.graph.operators() {
+                let node = m.graph.node(id);
+                let op = node.kind.as_operator().expect("operator");
+                let in_types: Vec<TensorType> = node
+                    .inputs
+                    .iter()
+                    .map(|v| m.graph.value_type(*v).clone())
+                    .collect();
+                let cs = op.requires(&in_types).expect("spec applies");
+                for c in cs {
+                    assert_eq!(
+                        c,
+                        BoolExpr::Lit(true),
+                        "seed {seed}: {} constraint unsatisfied: {c}",
+                        op.name()
+                    );
+                }
+                let out = op.type_transfer(&in_types).expect("transfer");
+                assert_eq!(out.len(), node.outputs.len());
+                for (computed, stored) in out.iter().zip(&node.outputs) {
+                    assert_eq!(
+                        computed.concrete_shape(),
+                        stored.concrete_shape(),
+                        "seed {seed}: {} output shape mismatch",
+                        op.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = gen_with_seed(5, GenConfig::default());
+        let b = gen_with_seed(5, GenConfig::default());
+        assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = gen_with_seed(1, GenConfig::default());
+        let b = gen_with_seed(2, GenConfig::default());
+        assert_ne!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn respects_size_bounds() {
+        let cfg = GenConfig::default();
+        for seed in 0..10 {
+            let m = gen_with_seed(seed, cfg.clone());
+            for v in m.graph.all_values() {
+                let t = m.graph.value_type(v);
+                let dims = t.concrete_dims().expect("concrete");
+                let numel: usize = dims.iter().product();
+                assert!(numel as i64 <= cfg.max_numel, "numel {numel} too big");
+                for d in dims {
+                    assert!(d as i64 <= cfg.max_out_dim);
+                    assert!(d >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binning_off_still_generates() {
+        let m = gen_with_seed(
+            3,
+            GenConfig {
+                binning: false,
+                ..GenConfig::default()
+            },
+        );
+        assert!(m.graph.operators().len() >= 3);
+        assert_eq!(m.stats.binning_kept + m.stats.binning_dropped, 0);
+    }
+
+    #[test]
+    fn larger_models_generate() {
+        let m = gen_with_seed(
+            11,
+            GenConfig {
+                target_ops: 20,
+                max_attempts: 1200,
+                ..GenConfig::default()
+            },
+        );
+        assert!(m.graph.operators().len() >= 12, "got {}", m.graph.operators().len());
+    }
+
+    #[test]
+    fn uses_both_insertion_modes() {
+        // Over several seeds both forward and backward insertions happen.
+        let mut fwd = 0;
+        let mut bwd = 0;
+        for seed in 0..10 {
+            let m = gen_with_seed(seed, GenConfig::default());
+            fwd += m.stats.forward_ok;
+            bwd += m.stats.backward_ok;
+        }
+        assert!(fwd > 0);
+        assert!(bwd > 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # nnsmith-gen
+//!
+//! Constraint-guided model generation — Algorithms 1 and 2 of the NNSmith
+//! paper.
+//!
+//! Starting from a single placeholder, the generator repeatedly samples an
+//! operator template and attempts *forward insertion* (the new operator
+//! consumes existing values) or *backward insertion* (the operator replaces
+//! a placeholder and fresh placeholders become its inputs), keeping only
+//! insertions whose type-matching constraints stay satisfiable. After the
+//! graph reaches its target size, *attribute binning* adds exponential
+//! range constraints to spread attributes away from the solver's boundary
+//! models, retrying with half the constraints on unsatisfiability.
+//!
+//! ## Example
+//!
+//! ```
+//! use nnsmith_gen::{GenConfig, Generator};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let model = Generator::new(GenConfig::default()).generate(&mut rng)?;
+//! println!("{}", model.graph.to_text());
+//! # Ok::<(), nnsmith_gen::GenError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod binning;
+mod config;
+mod generate;
+
+pub use binning::{apply_binning, sample_from_bin};
+pub use config::{GenConfig, GenStats};
+pub use generate::{GeneratedModel, GenError, Generator};

@@ -1,0 +1,178 @@
+//! Generator ablation tests: the design choices DESIGN.md calls out.
+
+use std::collections::HashSet;
+
+use nnsmith_gen::{sample_from_bin, GenConfig, Generator};
+use nnsmith_graph::NodeKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The type-matching pre-filter (Algorithm 1 line 7) is an efficiency
+/// device, not a correctness one: generation still succeeds without it,
+/// but wastes more attempts on solver/spec rejections.
+#[test]
+fn type_filter_ablation_still_generates_but_wastes_attempts() {
+    let run = |type_filter: bool| {
+        let generator = Generator::new(GenConfig {
+            type_filter,
+            max_attempts: 900,
+            ..GenConfig::default()
+        });
+        let mut ops = 0u64;
+        let mut rejected = 0u64;
+        let mut attempts = 0u64;
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            if let Ok(m) = generator.generate(&mut rng) {
+                ops += m.graph.operators().len() as u64;
+                rejected += m.stats.rejected;
+                attempts += m.stats.attempts;
+            }
+        }
+        (ops, rejected, attempts)
+    };
+    let (ops_on, rej_on, att_on) = run(true);
+    let (ops_off, rej_off, att_off) = run(false);
+    assert!(ops_on > 0 && ops_off > 0);
+    // Without the filter, the rejection *rate* goes up.
+    let rate_on = rej_on as f64 / att_on.max(1) as f64;
+    let rate_off = rej_off as f64 / att_off.max(1) as f64;
+    assert!(
+        rate_off > rate_on,
+        "rejection rate without filter ({rate_off:.2}) should exceed with ({rate_on:.2})"
+    );
+}
+
+/// Without binning, solver boundary bias dominates: far more dimensions
+/// equal 1 than with binning (the Algorithm 2 motivation).
+#[test]
+fn binning_ablation_boundary_bias() {
+    let ones_fraction = |binning: bool| {
+        let generator = Generator::new(GenConfig {
+            binning,
+            ..GenConfig::default()
+        });
+        let mut ones = 0usize;
+        let mut total = 0usize;
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = generator.generate(&mut rng).expect("gen");
+            for v in m.graph.all_values() {
+                for d in m.graph.value_type(v).concrete_dims().expect("concrete") {
+                    total += 1;
+                    ones += usize::from(d == 1);
+                }
+            }
+        }
+        ones as f64 / total.max(1) as f64
+    };
+    let with = ones_fraction(true);
+    let without = ones_fraction(false);
+    assert!(
+        without > with + 0.15,
+        "boundary-dim fraction: binning {with:.2} vs base {without:.2}"
+    );
+}
+
+/// SampleFromBin is faithful to Algorithm 2: bin i of k yields
+/// `(⌊2^b⌋, ⌊2^t⌋)` with exponents in `[i-1, i]`, and the last bin is
+/// `[2^(k-1), ∞)`.
+#[test]
+fn sample_from_bin_matches_algorithm_2() {
+    let mut rng = StdRng::seed_from_u64(0);
+    for k in 2..=8u32 {
+        for i in 1..k {
+            for _ in 0..100 {
+                let (l, r) = sample_from_bin(i, k, &mut rng);
+                assert!(l <= r, "bin ({i},{k})");
+                assert!(l >= (1i64 << (i - 1)) - 1);
+                assert!(r <= 1i64 << i);
+            }
+        }
+        let (l, r) = sample_from_bin(k, k, &mut rng);
+        assert_eq!(l, 1i64 << (k - 1));
+        assert!(r > 1 << 30);
+    }
+}
+
+/// Forward-probability extremes still generate valid graphs.
+#[test]
+fn forward_probability_extremes() {
+    for p in [0.0, 1.0] {
+        let generator = Generator::new(GenConfig {
+            forward_prob: p,
+            ..GenConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = generator.generate(&mut rng).expect("gen");
+        assert!(m.graph.validate().is_ok());
+        assert!(!m.graph.operators().is_empty());
+        if p == 1.0 {
+            assert_eq!(m.stats.backward_ok, 0);
+        } else {
+            assert_eq!(m.stats.forward_ok, 0);
+        }
+    }
+}
+
+/// Restricting templates restricts the generated operator vocabulary
+/// (the mechanism behind compiler-specific operator support, §4).
+#[test]
+fn template_restriction_respected() {
+    use nnsmith_ops::{OpTemplate, UnaryKind};
+    let templates = vec![
+        OpTemplate::Unary(UnaryKind::Relu),
+        OpTemplate::Unary(UnaryKind::Tanh),
+        OpTemplate::Binary(nnsmith_ops::BinaryKind::Add),
+    ];
+    let generator = Generator::with_templates(GenConfig::default(), templates);
+    let mut seen: HashSet<&'static str> = HashSet::new();
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = generator.generate(&mut rng).expect("gen");
+        for id in m.graph.operators() {
+            seen.insert(m.graph.node(id).kind.as_operator().unwrap().name());
+        }
+    }
+    for name in &seen {
+        assert!(
+            ["Relu", "Tanh", "Add"].contains(name),
+            "unexpected op {name}"
+        );
+    }
+}
+
+/// Graph-size scaling: larger targets give larger graphs, and every size
+/// stays valid.
+#[test]
+fn size_scaling() {
+    let mut last = 0usize;
+    for target in [4usize, 10, 18] {
+        let generator = Generator::new(GenConfig {
+            target_ops: target,
+            max_attempts: target * 80,
+            ..GenConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = generator.generate(&mut rng).expect("gen");
+        assert!(m.graph.validate().is_ok());
+        let n = m.graph.operators().len();
+        assert!(n >= last, "sizes should not shrink: {n} after {last}");
+        last = n;
+    }
+    // Placeholders finalized even at scale.
+    let generator = Generator::new(GenConfig {
+        target_ops: 18,
+        max_attempts: 1500,
+        ..GenConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(4);
+    let m = generator.generate(&mut rng).expect("gen");
+    assert!(m.graph.placeholders().is_empty());
+    let weights = m
+        .graph
+        .iter()
+        .filter(|(_, n)| matches!(n.kind, NodeKind::Weight))
+        .count();
+    assert!(weights > 0);
+}

@@ -1,0 +1,583 @@
+//! The computation-graph IR.
+//!
+//! A [`Graph`] is a DAG of nodes. Each node is either a *placeholder* (a
+//! value that will become a model input or a weight), an *input*, a
+//! *weight*, or an *operator* whose payload type is the generic parameter
+//! `Op`. Values are referenced as `(node, output index)` pairs.
+//!
+//! The generator (crate `nnsmith-gen`) grows symbolic graphs; the pipeline
+//! then concretizes shapes with a solver model, finalizes placeholders into
+//! inputs/weights, and hands the concrete graph to executors and compilers.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::TensorType;
+
+/// Identifier of a node within a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Reference to one output value of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ValueRef {
+    /// Producing node.
+    pub node: NodeId,
+    /// Output slot of the producing node.
+    pub index: usize,
+}
+
+impl ValueRef {
+    /// The first output of `node`.
+    pub fn output0(node: NodeId) -> ValueRef {
+        ValueRef { node, index: 0 }
+    }
+}
+
+impl fmt::Display for ValueRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.node, self.index)
+    }
+}
+
+/// What a node is.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NodeKind<Op> {
+    /// A value to be decided later: becomes an input or a weight when the
+    /// graph is finalized (§3.2 of the paper).
+    Placeholder,
+    /// A model input (fed at inference time).
+    Input,
+    /// A model weight (a constant baked into the model).
+    Weight,
+    /// An operator with payload `Op`.
+    Operator(Op),
+}
+
+impl<Op> NodeKind<Op> {
+    /// True for [`NodeKind::Placeholder`].
+    pub fn is_placeholder(&self) -> bool {
+        matches!(self, NodeKind::Placeholder)
+    }
+
+    /// The operator payload, if this is an operator node.
+    pub fn as_operator(&self) -> Option<&Op> {
+        match self {
+            NodeKind::Operator(op) => Some(op),
+            _ => None,
+        }
+    }
+}
+
+/// A node: kind, input value references and output types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node<Op> {
+    /// What the node is.
+    pub kind: NodeKind<Op>,
+    /// Values consumed by this node (empty for non-operators).
+    pub inputs: Vec<ValueRef>,
+    /// Types of the values this node produces.
+    pub outputs: Vec<TensorType>,
+}
+
+/// Structural errors detected by [`Graph::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node references a value that does not exist.
+    DanglingRef {
+        /// The offending node.
+        node: NodeId,
+        /// The reference that does not resolve.
+        target: String,
+    },
+    /// A cycle was detected.
+    Cycle,
+    /// A non-operator node has inputs.
+    LeafWithInputs(NodeId),
+    /// The graph has no output values.
+    NoOutputs,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DanglingRef { node, target } => {
+                write!(f, "node {node} references missing value {target}")
+            }
+            GraphError::Cycle => write!(f, "graph contains a cycle"),
+            GraphError::LeafWithInputs(n) => write!(f, "non-operator node {n} has inputs"),
+            GraphError::NoOutputs => write!(f, "graph has no output values"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A DNN computation graph with operator payload `Op`.
+///
+/// # Examples
+///
+/// ```
+/// use nnsmith_graph::{Graph, NodeKind, TensorType, ValueRef};
+/// use nnsmith_tensor::DType;
+///
+/// // A one-op graph: out = Op(input).
+/// let mut g: Graph<&'static str> = Graph::new();
+/// let x = g.add_node(NodeKind::Input, vec![], vec![TensorType::concrete(DType::F32, &[4])]);
+/// let y = g.add_node(
+///     NodeKind::Operator("Relu"),
+///     vec![ValueRef::output0(x)],
+///     vec![TensorType::concrete(DType::F32, &[4])],
+/// );
+/// assert_eq!(g.topo_order().unwrap(), vec![x, y]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph<Op> {
+    nodes: Vec<Node<Op>>,
+}
+
+impl<Op> Default for Graph<Op> {
+    fn default() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+}
+
+impl<Op> Graph<Op> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(
+        &mut self,
+        kind: NodeKind<Op>,
+        inputs: Vec<ValueRef>,
+        outputs: Vec<TensorType>,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind,
+            inputs,
+            outputs,
+        });
+        id
+    }
+
+    /// Convenience: adds a placeholder with a single output type.
+    pub fn add_placeholder(&mut self, ttype: TensorType) -> NodeId {
+        self.add_node(NodeKind::Placeholder, vec![], vec![ttype])
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Borrow a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node<Op> {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Mutably borrow a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node<Op> {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// Iterates over `(id, node)` pairs in creation order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node<Op>)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// The type of a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is out of range.
+    pub fn value_type(&self, v: ValueRef) -> &TensorType {
+        &self.node(v.node).outputs[v.index]
+    }
+
+    /// Ids of all placeholder nodes.
+    pub fn placeholders(&self) -> Vec<NodeId> {
+        self.iter()
+            .filter(|(_, n)| n.kind.is_placeholder())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Ids of all operator nodes.
+    pub fn operators(&self) -> Vec<NodeId> {
+        self.iter()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Operator(_)))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Every value in the graph (all outputs of all nodes).
+    pub fn all_values(&self) -> Vec<ValueRef> {
+        let mut out = Vec::new();
+        for (id, n) in self.iter() {
+            for index in 0..n.outputs.len() {
+                out.push(ValueRef { node: id, index });
+            }
+        }
+        out
+    }
+
+    /// Number of consumers of each value.
+    pub fn consumer_counts(&self) -> HashMap<ValueRef, usize> {
+        let mut counts: HashMap<ValueRef, usize> = HashMap::new();
+        for (_, n) in self.iter() {
+            for &v in &n.inputs {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Values with no consumer — the model outputs.
+    pub fn output_values(&self) -> Vec<ValueRef> {
+        let counts = self.consumer_counts();
+        self.all_values()
+            .into_iter()
+            .filter(|v| !counts.contains_key(v))
+            .collect()
+    }
+
+    /// Topological order of node ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cycle`] if the graph is cyclic and
+    /// [`GraphError::DanglingRef`] for unresolvable references.
+    pub fn topo_order(&self) -> Result<Vec<NodeId>, GraphError> {
+        let n = self.nodes.len();
+        let mut indegree = vec![0usize; n];
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for v in &node.inputs {
+                let p = v.node.0 as usize;
+                if p >= n || v.index >= self.nodes[p].outputs.len() {
+                    return Err(GraphError::DanglingRef {
+                        node: NodeId(i as u32),
+                        target: format!("{v}"),
+                    });
+                }
+                indegree[i] += 1;
+                consumers[p].push(i);
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let cur = queue[head];
+            head += 1;
+            order.push(NodeId(cur as u32));
+            for &c in &consumers[cur] {
+                indegree[c] -= 1;
+                if indegree[c] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(GraphError::Cycle);
+        }
+        Ok(order)
+    }
+
+    /// Structural validation: references resolve, no cycles, leaves have no
+    /// inputs, and at least one output exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GraphError`] found.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        for (id, node) in self.iter() {
+            if !matches!(node.kind, NodeKind::Operator(_)) && !node.inputs.is_empty() {
+                return Err(GraphError::LeafWithInputs(id));
+            }
+        }
+        self.topo_order()?;
+        if !self.is_empty() && self.output_values().is_empty() {
+            return Err(GraphError::NoOutputs);
+        }
+        Ok(())
+    }
+
+    /// True if every edge type in the graph is concrete.
+    pub fn is_concrete(&self) -> bool {
+        self.nodes
+            .iter()
+            .all(|n| n.outputs.iter().all(TensorType::is_concrete))
+    }
+
+    /// Replaces every remaining placeholder with `Input` or `Weight`
+    /// according to `decide` (the finalization step of §3.2: "placeholder
+    /// nodes are replaced by input nodes or by weights").
+    pub fn finalize_placeholders(&mut self, mut decide: impl FnMut(NodeId) -> NodeKind<Op>) {
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].kind.is_placeholder() {
+                let kind = decide(NodeId(i as u32));
+                debug_assert!(!kind.is_placeholder());
+                self.nodes[i].kind = kind;
+            }
+        }
+    }
+
+    /// Maps operator payloads, preserving structure.
+    pub fn map_ops<Op2>(&self, mut f: impl FnMut(&Op) -> Op2) -> Graph<Op2>
+    where
+        Op: Clone,
+    {
+        Graph {
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| Node {
+                    kind: match &n.kind {
+                        NodeKind::Placeholder => NodeKind::Placeholder,
+                        NodeKind::Input => NodeKind::Input,
+                        NodeKind::Weight => NodeKind::Weight,
+                        NodeKind::Operator(op) => NodeKind::Operator(f(op)),
+                    },
+                    inputs: n.inputs.clone(),
+                    outputs: n.outputs.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl<Op: fmt::Display> Graph<Op> {
+    /// Pretty-prints the graph in the paper's Figure-1 style.
+    pub fn to_text(&self) -> String {
+        use fmt::Write as _;
+        let mut s = String::new();
+        let inputs: Vec<String> = self
+            .iter()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Input | NodeKind::Placeholder))
+            .map(|(id, _)| format!("%{id}"))
+            .collect();
+        let _ = writeln!(s, "def main({}) {{", inputs.join(", "));
+        let order = self.topo_order().unwrap_or_else(|_| {
+            (0..self.nodes.len() as u32).map(NodeId).collect::<Vec<_>>()
+        });
+        for id in order {
+            let n = self.node(id);
+            match &n.kind {
+                NodeKind::Placeholder => {
+                    let _ = writeln!(s, "  %{id} = placeholder() : {}", n.outputs[0]);
+                }
+                NodeKind::Input => {
+                    let _ = writeln!(s, "  %{id} = input() : {}", n.outputs[0]);
+                }
+                NodeKind::Weight => {
+                    let _ = writeln!(s, "  %{id} = weight() : {}", n.outputs[0]);
+                }
+                NodeKind::Operator(op) => {
+                    let args: Vec<String> =
+                        n.inputs.iter().map(|v| format!("%{}", v.node)).collect();
+                    let outs: Vec<String> =
+                        n.outputs.iter().map(|t| format!("{t}")).collect();
+                    let _ = writeln!(
+                        s,
+                        "  %{id} = {op}({}) : {}",
+                        args.join(", "),
+                        outs.join(", ")
+                    );
+                }
+            }
+        }
+        let outs: Vec<String> = self
+            .output_values()
+            .iter()
+            .map(|v| format!("%{}", v.node))
+            .collect();
+        let _ = writeln!(s, "  return {}", outs.join(", "));
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnsmith_tensor::DType;
+
+    fn ttype(dims: &[i64]) -> TensorType {
+        TensorType::concrete(DType::F32, dims)
+    }
+
+    fn chain3() -> (Graph<&'static str>, NodeId, NodeId, NodeId) {
+        let mut g: Graph<&'static str> = Graph::new();
+        let a = g.add_node(NodeKind::Input, vec![], vec![ttype(&[4])]);
+        let b = g.add_node(
+            NodeKind::Operator("Relu"),
+            vec![ValueRef::output0(a)],
+            vec![ttype(&[4])],
+        );
+        let c = g.add_node(
+            NodeKind::Operator("Sigmoid"),
+            vec![ValueRef::output0(b)],
+            vec![ttype(&[4])],
+        );
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn topo_order_simple_chain() {
+        let (g, a, b, c) = chain3();
+        assert_eq!(g.topo_order().unwrap(), vec![a, b, c]);
+    }
+
+    #[test]
+    fn topo_order_out_of_creation_order() {
+        // Backward insertion creates producers after consumers.
+        let mut g: Graph<&'static str> = Graph::new();
+        let ph = g.add_placeholder(ttype(&[4]));
+        let op = g.add_node(
+            NodeKind::Operator("Relu"),
+            vec![ValueRef::output0(ph)],
+            vec![ttype(&[4])],
+        );
+        // Replace placeholder with an operator whose input is a NEW node.
+        let newer = g.add_placeholder(ttype(&[4]));
+        g.node_mut(ph).kind = NodeKind::Operator("Neg");
+        g.node_mut(ph).inputs = vec![ValueRef::output0(newer)];
+        let order = g.topo_order().unwrap();
+        let pos =
+            |id: NodeId| order.iter().position(|&x| x == id).expect("node in order");
+        assert!(pos(newer) < pos(ph));
+        assert!(pos(ph) < pos(op));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g: Graph<&'static str> = Graph::new();
+        let a = g.add_node(NodeKind::Operator("A"), vec![], vec![ttype(&[1])]);
+        let b = g.add_node(
+            NodeKind::Operator("B"),
+            vec![ValueRef::output0(a)],
+            vec![ttype(&[1])],
+        );
+        g.node_mut(a).inputs = vec![ValueRef::output0(b)];
+        assert_eq!(g.topo_order(), Err(GraphError::Cycle));
+    }
+
+    #[test]
+    fn dangling_ref_detected() {
+        let mut g: Graph<&'static str> = Graph::new();
+        let _ = g.add_node(
+            NodeKind::Operator("A"),
+            vec![ValueRef {
+                node: NodeId(99),
+                index: 0,
+            }],
+            vec![ttype(&[1])],
+        );
+        assert!(matches!(
+            g.topo_order(),
+            Err(GraphError::DanglingRef { .. })
+        ));
+    }
+
+    #[test]
+    fn outputs_are_unconsumed_values() {
+        let (g, _, _, c) = chain3();
+        let outs = g.output_values();
+        assert_eq!(outs, vec![ValueRef::output0(c)]);
+    }
+
+    #[test]
+    fn multi_output_counted() {
+        let mut g: Graph<&'static str> = Graph::new();
+        let a = g.add_node(NodeKind::Input, vec![], vec![ttype(&[4])]);
+        let split = g.add_node(
+            NodeKind::Operator("Split"),
+            vec![ValueRef::output0(a)],
+            vec![ttype(&[2]), ttype(&[2])],
+        );
+        let outs = g.output_values();
+        assert_eq!(outs.len(), 2);
+        assert!(outs.contains(&ValueRef {
+            node: split,
+            index: 1
+        }));
+    }
+
+    #[test]
+    fn validate_ok_and_leaf_with_inputs() {
+        let (g, a, ..) = chain3();
+        assert!(g.validate().is_ok());
+        let mut g2 = g.clone();
+        g2.node_mut(a).inputs = vec![ValueRef::output0(a)];
+        assert!(matches!(g2.validate(), Err(GraphError::LeafWithInputs(_))));
+    }
+
+    #[test]
+    fn finalize_placeholders_replaces_all() {
+        let mut g: Graph<&'static str> = Graph::new();
+        let p1 = g.add_placeholder(ttype(&[4]));
+        let _p2 = g.add_placeholder(ttype(&[4]));
+        g.finalize_placeholders(|id| {
+            if id == p1 {
+                NodeKind::Input
+            } else {
+                NodeKind::Weight
+            }
+        });
+        assert!(g.placeholders().is_empty());
+        assert!(matches!(g.node(p1).kind, NodeKind::Input));
+    }
+
+    #[test]
+    fn text_dump_mentions_ops() {
+        let (g, ..) = chain3();
+        let txt = g.to_text();
+        assert!(txt.contains("Relu"));
+        assert!(txt.contains("return"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (g, ..) = chain3();
+        let js = serde_json::to_string(&g).unwrap();
+        let g2: Graph<String> = serde_json::from_str(&js).unwrap();
+        assert_eq!(g2.len(), g.len());
+    }
+
+    #[test]
+    fn map_ops_preserves_structure() {
+        let (g, ..) = chain3();
+        let g2 = g.map_ops(|op| op.len());
+        assert_eq!(g2.len(), g.len());
+        assert_eq!(g2.topo_order().unwrap(), g.topo_order().unwrap());
+    }
+}

@@ -1,0 +1,37 @@
+//! # nnsmith-graph
+//!
+//! The DNN computation-graph IR of the NNSmith reproduction.
+//!
+//! A model is a DAG of tensor operators ([`Graph`]) whose edges carry
+//! [`TensorType`]s — dtype plus a shape whose dimensions may still be
+//! symbolic solver expressions during generation. The crate provides the
+//! structural machinery the rest of the pipeline builds on: node/value
+//! references, topological sorting, placeholder finalization (placeholders
+//! become model inputs or weights, §3.2 of the paper), structural
+//! validation, serde-JSON serialization (the ONNX-interchange role), and a
+//! Figure-1-style textual dump.
+//!
+//! ## Example
+//!
+//! ```
+//! use nnsmith_graph::{Graph, NodeKind, TensorType, ValueRef};
+//! use nnsmith_tensor::DType;
+//!
+//! let mut g: Graph<String> = Graph::new();
+//! let x = g.add_node(NodeKind::Input, vec![], vec![TensorType::concrete(DType::F32, &[1, 4])]);
+//! g.add_node(
+//!     NodeKind::Operator("Relu".to_string()),
+//!     vec![ValueRef::output0(x)],
+//!     vec![TensorType::concrete(DType::F32, &[1, 4])],
+//! );
+//! assert!(g.validate().is_ok());
+//! println!("{}", g.to_text());
+//! ```
+
+#![warn(missing_docs)]
+
+mod graph;
+mod types;
+
+pub use graph::{Graph, GraphError, Node, NodeId, NodeKind, ValueRef};
+pub use types::TensorType;

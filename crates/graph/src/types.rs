@@ -1,0 +1,155 @@
+//! Tensor types: dtype plus (possibly symbolic) shape.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use nnsmith_solver::{IntExpr, Model};
+use nnsmith_tensor::DType;
+
+/// The type of a tensor flowing along a graph edge: an element dtype and a
+/// shape whose dimensions may be symbolic solver expressions.
+///
+/// During generation shapes are symbolic; after the solver produces a model
+/// the graph is concretized and every dimension becomes a constant.
+///
+/// # Examples
+///
+/// ```
+/// use nnsmith_graph::TensorType;
+/// use nnsmith_tensor::DType;
+///
+/// let t = TensorType::concrete(DType::F32, &[1, 3, 64, 64]);
+/// assert_eq!(t.rank(), 4);
+/// assert_eq!(t.concrete_shape(), Some(vec![1, 3, 64, 64]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorType {
+    /// Element type.
+    pub dtype: DType,
+    /// Shape; each dimension is an integer expression.
+    pub shape: Vec<IntExpr>,
+}
+
+impl TensorType {
+    /// Builds a type with symbolic dimensions.
+    pub fn new(dtype: DType, shape: Vec<IntExpr>) -> Self {
+        TensorType { dtype, shape }
+    }
+
+    /// Builds a fully-concrete type.
+    pub fn concrete(dtype: DType, dims: &[i64]) -> Self {
+        TensorType {
+            dtype,
+            shape: dims.iter().map(|&d| IntExpr::Const(d)).collect(),
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// The concrete shape if every dimension is a constant.
+    pub fn concrete_shape(&self) -> Option<Vec<i64>> {
+        self.shape.iter().map(IntExpr::as_const).collect()
+    }
+
+    /// The concrete shape as `usize` dims (for tensor allocation), if the
+    /// type is concrete and every dim is non-negative.
+    pub fn concrete_dims(&self) -> Option<Vec<usize>> {
+        self.concrete_shape()?
+            .into_iter()
+            .map(|d| usize::try_from(d).ok())
+            .collect()
+    }
+
+    /// True if every dimension is a constant.
+    pub fn is_concrete(&self) -> bool {
+        self.concrete_shape().is_some()
+    }
+
+    /// Symbolic element count (the product of all dimensions).
+    pub fn numel_expr(&self) -> IntExpr {
+        self.shape
+            .iter()
+            .fold(IntExpr::Const(1), |acc, d| acc * d.clone())
+    }
+
+    /// Substitutes solver-model values into every dimension.
+    ///
+    /// Dimensions whose variables are missing from the model are left
+    /// symbolic.
+    pub fn concretize(&self, model: &Model) -> TensorType {
+        TensorType {
+            dtype: self.dtype,
+            shape: self
+                .shape
+                .iter()
+                .map(|d| match model.eval_int(d) {
+                    Some(v) => IntExpr::Const(v),
+                    None => d.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for TensorType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[", self.dtype)?;
+        for (i, d) in self.shape.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnsmith_solver::VarId;
+
+    #[test]
+    fn concrete_roundtrip() {
+        let t = TensorType::concrete(DType::I64, &[2, 3]);
+        assert!(t.is_concrete());
+        assert_eq!(t.concrete_shape(), Some(vec![2, 3]));
+        assert_eq!(t.concrete_dims(), Some(vec![2usize, 3usize]));
+    }
+
+    #[test]
+    fn symbolic_is_not_concrete() {
+        let t = TensorType::new(DType::F32, vec![IntExpr::Var(VarId(0)), IntExpr::Const(3)]);
+        assert!(!t.is_concrete());
+        assert_eq!(t.concrete_shape(), None);
+    }
+
+    #[test]
+    fn numel_expr_folds_constants() {
+        let t = TensorType::concrete(DType::F32, &[62, 62, 2]);
+        assert_eq!(t.numel_expr().as_const(), Some(7688));
+    }
+
+    #[test]
+    fn concretize_with_model() {
+        use nnsmith_solver::Solver;
+        let mut s = Solver::default();
+        let v = s.new_var("d", 1, 10);
+        s.assert(IntExpr::var(v).ge(4.into()));
+        let model = s.check().model().cloned().unwrap();
+        let t = TensorType::new(DType::F32, vec![IntExpr::Var(v)]);
+        let c = t.concretize(&model);
+        assert!(c.is_concrete());
+        assert_eq!(c.concrete_shape().unwrap()[0], model.get(v).unwrap());
+    }
+
+    #[test]
+    fn display_format() {
+        let t = TensorType::concrete(DType::F32, &[1, 2]);
+        assert_eq!(format!("{t}"), "f32[1,2]");
+    }
+}

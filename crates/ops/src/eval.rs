@@ -1,0 +1,317 @@
+//! Concrete execution of operators on tensors (the reference semantics).
+
+use nnsmith_tensor::{
+    Conv2dParams, PadMode, Pool2dParams, Result, Tensor, TensorError,
+};
+
+use crate::op::{BinaryKind, CompareKind, LogicalKind, Op, PadKind, UnaryKind};
+
+fn attr_usize(e: &nnsmith_solver::IntExpr, what: &str) -> Result<usize> {
+    let v = e
+        .as_const()
+        .ok_or_else(|| TensorError::unsupported(format!("symbolic attribute in eval: {what}")))?;
+    usize::try_from(v)
+        .map_err(|_| TensorError::shape(format!("negative attribute {what}: {v}")))
+}
+
+fn attr_i64(e: &nnsmith_solver::IntExpr, what: &str) -> Result<i64> {
+    e.as_const()
+        .ok_or_else(|| TensorError::unsupported(format!("symbolic attribute in eval: {what}")))
+}
+
+impl Op {
+    /// Executes the operator on concrete inputs with reference semantics.
+    ///
+    /// The operator must be concrete (see [`Op::concretize`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors (shape/dtype mismatches, integer division by
+    /// zero) and fails on symbolic attributes.
+    pub fn eval(&self, inputs: &[&Tensor]) -> Result<Vec<Tensor>> {
+        if inputs.len() != self.arity() {
+            return Err(TensorError::shape(format!(
+                "{} expects {} inputs, got {}",
+                self.name(),
+                self.arity(),
+                inputs.len()
+            )));
+        }
+        let out = match self {
+            Op::Unary(kind) => {
+                let x = inputs[0];
+                match kind {
+                    UnaryKind::Relu => x.relu()?,
+                    UnaryKind::LeakyRelu => x.leaky_relu(0.01)?,
+                    UnaryKind::Sigmoid => x.sigmoid()?,
+                    UnaryKind::Sin => x.sin()?,
+                    UnaryKind::Cos => x.cos()?,
+                    UnaryKind::Asin => x.asin()?,
+                    UnaryKind::Acos => x.acos()?,
+                    UnaryKind::Atan => x.atan()?,
+                    UnaryKind::Tan => x.tan()?,
+                    UnaryKind::Tanh => x.tanh()?,
+                    UnaryKind::Sqrt => x.sqrt()?,
+                    UnaryKind::Exp => x.exp()?,
+                    UnaryKind::Log => x.ln()?,
+                    UnaryKind::Log2 => x.log2()?,
+                    UnaryKind::Floor => x.floor()?,
+                    UnaryKind::Ceil => x.ceil()?,
+                    UnaryKind::Round => x.round()?,
+                    UnaryKind::Neg => x.neg()?,
+                    UnaryKind::Abs => x.abs()?,
+                }
+            }
+            Op::Binary(kind) => {
+                let (a, b) = (inputs[0], inputs[1]);
+                match kind {
+                    BinaryKind::Add => a.add(b)?,
+                    BinaryKind::Sub => a.sub(b)?,
+                    BinaryKind::Mul => a.mul(b)?,
+                    BinaryKind::Div => a.div(b)?,
+                    BinaryKind::Pow => a.pow(b)?,
+                    BinaryKind::Max => a.maximum(b)?,
+                    BinaryKind::Min => a.minimum(b)?,
+                }
+            }
+            Op::Compare(kind) => {
+                let (a, b) = (inputs[0], inputs[1]);
+                match kind {
+                    CompareKind::Equal => a.equal(b)?,
+                    CompareKind::NotEqual => a.not_equal(b)?,
+                    CompareKind::Less => a.less(b)?,
+                    CompareKind::LessEqual => a.less_equal(b)?,
+                    CompareKind::Greater => a.greater(b)?,
+                    CompareKind::GreaterEqual => a.greater_equal(b)?,
+                }
+            }
+            Op::Logical(kind) => {
+                let (a, b) = (inputs[0], inputs[1]);
+                match kind {
+                    LogicalKind::And => a.logical_and(b)?,
+                    LogicalKind::Or => a.logical_or(b)?,
+                    LogicalKind::Xor => a.logical_xor(b)?,
+                }
+            }
+            Op::Not => inputs[0].logical_not()?,
+            Op::Where => Tensor::where_select(inputs[0], inputs[1], inputs[2])?,
+            Op::Cast { to } => inputs[0].cast(*to),
+            Op::Softmax { axis } => inputs[0].softmax(*axis)?,
+            Op::Clip { lo, hi } => inputs[0].clip(*lo as f64, *hi as f64)?,
+            Op::MatMul => inputs[0].matmul(inputs[1])?,
+            Op::Dense { .. } => {
+                let y = inputs[0].matmul(inputs[1])?;
+                y.add(inputs[2])?
+            }
+            Op::Conv2d {
+                stride,
+                padding,
+                dilation,
+                ..
+            } => {
+                let params = Conv2dParams {
+                    stride: (attr_usize(stride, "stride")?, attr_usize(stride, "stride")?),
+                    padding: (
+                        attr_usize(padding, "padding")?,
+                        attr_usize(padding, "padding")?,
+                    ),
+                    dilation: (
+                        attr_usize(dilation, "dilation")?,
+                        attr_usize(dilation, "dilation")?,
+                    ),
+                    groups: 1,
+                };
+                inputs[0].conv2d(inputs[1], Some(inputs[2]), &params)?
+            }
+            Op::MaxPool2d {
+                kh,
+                kw,
+                stride,
+                padding,
+            } => {
+                let params = Pool2dParams {
+                    kernel: (attr_usize(kh, "kh")?, attr_usize(kw, "kw")?),
+                    stride: (attr_usize(stride, "stride")?, attr_usize(stride, "stride")?),
+                    padding: (
+                        attr_usize(padding, "padding")?,
+                        attr_usize(padding, "padding")?,
+                    ),
+                };
+                inputs[0].max_pool2d(&params)?
+            }
+            Op::AvgPool2d {
+                kh,
+                kw,
+                stride,
+                padding,
+            } => {
+                let params = Pool2dParams {
+                    kernel: (attr_usize(kh, "kh")?, attr_usize(kw, "kw")?),
+                    stride: (attr_usize(stride, "stride")?, attr_usize(stride, "stride")?),
+                    padding: (
+                        attr_usize(padding, "padding")?,
+                        attr_usize(padding, "padding")?,
+                    ),
+                };
+                inputs[0].avg_pool2d(&params)?
+            }
+            Op::BatchNorm => inputs[0].batch_norm(
+                inputs[1],
+                inputs[2],
+                inputs[3],
+                inputs[4],
+                1e-5,
+            )?,
+            Op::Reshape { dims } => {
+                let target: Result<Vec<usize>> =
+                    dims.iter().map(|d| attr_usize(d, "dim")).collect();
+                inputs[0].reshaped(&target?)?
+            }
+            Op::Transpose { perm } => inputs[0].transpose(perm)?,
+            Op::Slice {
+                starts,
+                ends,
+                steps,
+            } => {
+                let s: Result<Vec<usize>> =
+                    starts.iter().map(|e| attr_usize(e, "start")).collect();
+                let e: Result<Vec<usize>> = ends.iter().map(|e| attr_usize(e, "end")).collect();
+                let st: Vec<usize> = steps.iter().map(|&x| x as usize).collect();
+                inputs[0].slice(&s?, &e?, &st)?
+            }
+            Op::Pad { pads, kind } => {
+                let p: Result<Vec<(i64, i64)>> = pads
+                    .iter()
+                    .map(|(b, a)| Ok((attr_i64(b, "pad")?, attr_i64(a, "pad")?)))
+                    .collect();
+                let mode = match kind {
+                    PadKind::Constant => PadMode::Constant(0.0),
+                    PadKind::Reflect => PadMode::Reflect,
+                    PadKind::Replicate => PadMode::Replicate,
+                };
+                inputs[0].pad(&p?, mode)?
+            }
+            Op::Concat { axis, .. } => Tensor::concat(inputs, *axis)?,
+            Op::Squeeze { axis } => inputs[0].squeeze(&[*axis])?,
+            Op::Unsqueeze { axis } => inputs[0].unsqueeze(*axis)?,
+            Op::Flatten { axis } => inputs[0].flatten(*axis)?,
+            Op::BroadcastTo { dims } => {
+                let target: Result<Vec<usize>> =
+                    dims.iter().map(|d| attr_usize(d, "dim")).collect();
+                inputs[0].broadcast_to(&target?)?
+            }
+            Op::Reduce {
+                kind,
+                axes,
+                keepdims,
+            } => inputs[0].reduce(*kind, axes, *keepdims)?,
+            Op::ArgExtreme {
+                largest,
+                axis,
+                keepdims,
+            } => inputs[0].arg_extreme(*axis, *keepdims, *largest)?,
+            Op::ResizeNearest { scale_h, scale_w } => inputs[0].resize_nearest_2d(
+                attr_usize(scale_h, "scale_h")?,
+                attr_usize(scale_w, "scale_w")?,
+            )?,
+        };
+        Ok(vec![out])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnsmith_solver::IntExpr;
+    use nnsmith_tensor::DType;
+
+    #[test]
+    fn unary_eval_all_kinds_run() {
+        let x = Tensor::from_f32(&[4], vec![0.1, 0.4, 0.7, 0.9]).unwrap();
+        for kind in UnaryKind::ALL {
+            let out = Op::Unary(kind).eval(&[&x]).unwrap();
+            assert_eq!(out[0].shape(), x.shape());
+        }
+    }
+
+    #[test]
+    fn binary_eval_all_kinds_run() {
+        let a = Tensor::from_f32(&[3], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_f32(&[3], vec![0.5, 1.5, 2.5]).unwrap();
+        for kind in BinaryKind::ALL {
+            let out = Op::Binary(kind).eval(&[&a, &b]).unwrap();
+            assert_eq!(out[0].shape(), &[3]);
+        }
+    }
+
+    #[test]
+    fn dense_is_matmul_plus_bias() {
+        let x = Tensor::from_f32(&[1, 2], vec![1.0, 2.0]).unwrap();
+        let w = Tensor::from_f32(&[2, 3], vec![1., 0., 0., 0., 1., 0.]).unwrap();
+        let b = Tensor::from_f32(&[3], vec![10., 20., 30.]).unwrap();
+        let op = Op::Dense {
+            in_features: IntExpr::Const(2),
+            units: IntExpr::Const(3),
+        };
+        let out = op.eval(&[&x, &w, &b]).unwrap();
+        assert_eq!(out[0].as_f32().unwrap(), &[11., 22., 30.]);
+    }
+
+    #[test]
+    fn conv_eval_matches_tensor_kernel() {
+        let x = Tensor::ones(&[1, 1, 4, 4], DType::F32);
+        let w = Tensor::ones(&[1, 1, 2, 2], DType::F32);
+        let b = Tensor::zeros(&[1], DType::F32);
+        let op = Op::Conv2d {
+            in_channels: IntExpr::Const(1),
+            out_channels: IntExpr::Const(1),
+            kh: IntExpr::Const(2),
+            kw: IntExpr::Const(2),
+            stride: IntExpr::Const(1),
+            padding: IntExpr::Const(0),
+            dilation: IntExpr::Const(1),
+        };
+        let out = op.eval(&[&x, &w, &b]).unwrap();
+        assert_eq!(out[0].shape(), &[1, 1, 3, 3]);
+        assert!(out[0].as_f32().unwrap().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn symbolic_attr_rejected() {
+        use nnsmith_solver::VarId;
+        let op = Op::Reshape {
+            dims: vec![IntExpr::Var(VarId(0))],
+        };
+        let x = Tensor::ones(&[1], DType::F32);
+        assert!(op.eval(&[&x]).is_err());
+    }
+
+    #[test]
+    fn where_eval() {
+        let c = Tensor::from_bool(&[2], vec![true, false]).unwrap();
+        let a = Tensor::from_f32(&[2], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_f32(&[2], vec![9.0, 8.0]).unwrap();
+        let out = Op::Where.eval(&[&c, &a, &b]).unwrap();
+        assert_eq!(out[0].as_f32().unwrap(), &[1.0, 8.0]);
+    }
+
+    #[test]
+    fn eval_output_matches_type_transfer() {
+        // Spec/eval agreement: the concrete output shape equals the shape
+        // predicted by type_transfer.
+        use nnsmith_graph::TensorType;
+        let op = Op::MaxPool2d {
+            kh: IntExpr::Const(3),
+            kw: IntExpr::Const(2),
+            stride: IntExpr::Const(2),
+            padding: IntExpr::Const(1),
+        };
+        let x = Tensor::ones(&[1, 2, 8, 9], DType::F32);
+        let xt = TensorType::concrete(DType::F32, &[1, 2, 8, 9]);
+        let predicted = op.type_transfer(std::slice::from_ref(&xt)).unwrap()[0]
+            .concrete_dims()
+            .unwrap();
+        let got = op.eval(&[&x]).unwrap();
+        assert_eq!(got[0].shape(), predicted.as_slice());
+    }
+}

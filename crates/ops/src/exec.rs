@@ -1,0 +1,282 @@
+//! Reference execution of whole graphs on the tensor runtime.
+//!
+//! This is the "reference backend" of the differential-testing loop (the
+//! role PyTorch plays in the paper): models are evaluated operator by
+//! operator in topological order, and per-value results are retained so the
+//! gradient-guided search can inspect intermediate tensors.
+
+use std::collections::HashMap;
+
+use nnsmith_graph::{Graph, GraphError, NodeId, NodeKind, ValueRef};
+use nnsmith_tensor::{Tensor, TensorError};
+
+use crate::op::Op;
+
+/// Concrete tensors bound to the `Input` and `Weight` nodes of a graph.
+pub type Bindings = HashMap<NodeId, Tensor>;
+
+/// Errors from graph execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The graph is structurally invalid.
+    Graph(GraphError),
+    /// An input or weight node has no binding.
+    MissingBinding(NodeId),
+    /// A binding disagrees with the node's declared type.
+    BindingType {
+        /// The offending node.
+        node: NodeId,
+        /// Description of the mismatch.
+        context: String,
+    },
+    /// A kernel failed at a node.
+    Kernel {
+        /// The node whose operator failed.
+        node: NodeId,
+        /// The kernel error.
+        error: TensorError,
+    },
+    /// The graph contains a remaining placeholder or symbolic type.
+    NotConcrete(NodeId),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Graph(e) => write!(f, "invalid graph: {e}"),
+            ExecError::MissingBinding(n) => write!(f, "missing binding for node {n}"),
+            ExecError::BindingType { node, context } => {
+                write!(f, "binding type mismatch at {node}: {context}")
+            }
+            ExecError::Kernel { node, error } => write!(f, "kernel error at {node}: {error}"),
+            ExecError::NotConcrete(n) => write!(f, "node {n} is not concrete"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Result of executing a graph: every produced value plus the model
+/// outputs in a stable order.
+#[derive(Debug, Clone)]
+pub struct Execution {
+    /// Tensor produced for every value in the graph.
+    pub values: HashMap<ValueRef, Tensor>,
+    /// The unconsumed (output) values, sorted by node id.
+    pub outputs: Vec<(ValueRef, Tensor)>,
+    /// First node (in topological order) whose output contains NaN/Inf.
+    pub first_exceptional: Option<NodeId>,
+}
+
+impl Execution {
+    /// True if any produced value contains NaN/Inf.
+    pub fn has_exceptional(&self) -> bool {
+        self.first_exceptional.is_some()
+    }
+}
+
+/// Executes `graph` with the given input/weight bindings on the reference
+/// kernels.
+///
+/// Unlike a compiler backend, execution does not stop at the first NaN/Inf
+/// — it records where the first one appeared (`first_exceptional`) so the
+/// value search can target that operator, exactly as Algorithm 3 needs.
+///
+/// # Errors
+///
+/// Fails on structural problems, missing/mismatched bindings, or kernel
+/// errors (e.g. integer division by zero).
+pub fn execute(graph: &Graph<Op>, bindings: &Bindings) -> Result<Execution, ExecError> {
+    let order = graph.topo_order().map_err(ExecError::Graph)?;
+    let mut values: HashMap<ValueRef, Tensor> = HashMap::new();
+    let mut first_exceptional: Option<NodeId> = None;
+
+    for id in order {
+        let node = graph.node(id);
+        let produced: Vec<Tensor> = match &node.kind {
+            NodeKind::Placeholder => return Err(ExecError::NotConcrete(id)),
+            NodeKind::Input | NodeKind::Weight => {
+                let t = bindings
+                    .get(&id)
+                    .ok_or(ExecError::MissingBinding(id))?
+                    .clone();
+                let declared = &node.outputs[0];
+                let dims = declared
+                    .concrete_dims()
+                    .ok_or(ExecError::NotConcrete(id))?;
+                if t.shape() != dims.as_slice() || t.dtype() != declared.dtype {
+                    return Err(ExecError::BindingType {
+                        node: id,
+                        context: format!(
+                            "expected {declared}, got {}[{:?}]",
+                            t.dtype(),
+                            t.shape()
+                        ),
+                    });
+                }
+                vec![t]
+            }
+            NodeKind::Operator(op) => {
+                let inputs: Vec<&Tensor> = node
+                    .inputs
+                    .iter()
+                    .map(|v| values.get(v).expect("topo order"))
+                    .collect();
+                op.eval(&inputs)
+                    .map_err(|error| ExecError::Kernel { node: id, error })?
+            }
+        };
+        for (index, t) in produced.into_iter().enumerate() {
+            if first_exceptional.is_none() && t.has_non_finite() {
+                first_exceptional = Some(id);
+            }
+            values.insert(ValueRef { node: id, index }, t);
+        }
+    }
+
+    let mut outputs: Vec<(ValueRef, Tensor)> = graph
+        .output_values()
+        .into_iter()
+        .map(|v| (v, values.get(&v).expect("produced").clone()))
+        .collect();
+    outputs.sort_by_key(|(v, _)| (v.node, v.index));
+    Ok(Execution {
+        values,
+        outputs,
+        first_exceptional,
+    })
+}
+
+/// Creates random bindings for every input/weight of a concrete graph:
+/// floats uniform in `[lo, hi)`, integers in a small non-negative range,
+/// booleans fair.
+pub fn random_bindings<R: rand::Rng + ?Sized>(
+    graph: &Graph<Op>,
+    lo: f64,
+    hi: f64,
+    rng: &mut R,
+) -> Result<Bindings, ExecError> {
+    let mut out = Bindings::new();
+    for (id, node) in graph.iter() {
+        if matches!(node.kind, NodeKind::Input | NodeKind::Weight) {
+            let t = &node.outputs[0];
+            let dims = t.concrete_dims().ok_or(ExecError::NotConcrete(id))?;
+            let tensor = if t.dtype.is_float() {
+                Tensor::uniform(&dims, t.dtype, lo, hi, rng)
+            } else if t.dtype.is_int() {
+                Tensor::uniform(&dims, t.dtype, 1.0, 5.0, rng)
+            } else {
+                Tensor::uniform(&dims, t.dtype, 0.0, 1.0, rng)
+            };
+            out.insert(id, tensor);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{BinaryKind, UnaryKind};
+    use nnsmith_graph::TensorType;
+    use nnsmith_tensor::DType;
+    use rand::SeedableRng;
+
+    fn simple_graph() -> (Graph<Op>, NodeId, NodeId) {
+        // out = Relu(x) + w
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        let w = g.add_node(
+            NodeKind::Weight,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        let r = g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Relu)),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Binary(BinaryKind::Add)),
+            vec![ValueRef::output0(r), ValueRef::output0(w)],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        (g, x, w)
+    }
+
+    #[test]
+    fn executes_simple_graph() {
+        let (g, x, w) = simple_graph();
+        let mut b = Bindings::new();
+        b.insert(x, Tensor::from_f32(&[4], vec![-1., 2., -3., 4.]).unwrap());
+        b.insert(w, Tensor::from_f32(&[4], vec![10., 10., 10., 10.]).unwrap());
+        let exec = execute(&g, &b).unwrap();
+        assert_eq!(exec.outputs.len(), 1);
+        assert_eq!(
+            exec.outputs[0].1.as_f32().unwrap(),
+            &[10., 12., 10., 14.]
+        );
+        assert!(!exec.has_exceptional());
+    }
+
+    #[test]
+    fn missing_binding_reported() {
+        let (g, x, _) = simple_graph();
+        let mut b = Bindings::new();
+        b.insert(x, Tensor::zeros(&[4], DType::F32));
+        assert!(matches!(
+            execute(&g, &b),
+            Err(ExecError::MissingBinding(_))
+        ));
+    }
+
+    #[test]
+    fn binding_shape_mismatch_reported() {
+        let (g, x, w) = simple_graph();
+        let mut b = Bindings::new();
+        b.insert(x, Tensor::zeros(&[5], DType::F32));
+        b.insert(w, Tensor::zeros(&[4], DType::F32));
+        assert!(matches!(
+            execute(&g, &b),
+            Err(ExecError::BindingType { .. })
+        ));
+    }
+
+    #[test]
+    fn first_exceptional_identified() {
+        // sqrt(x) with negative x makes NaN at the sqrt node, not later.
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[2])],
+        );
+        let s = g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Sqrt)),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::F32, &[2])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Relu)),
+            vec![ValueRef::output0(s)],
+            vec![TensorType::concrete(DType::F32, &[2])],
+        );
+        let mut b = Bindings::new();
+        b.insert(x, Tensor::from_f32(&[2], vec![-1.0, 4.0]).unwrap());
+        let exec = execute(&g, &b).unwrap();
+        assert_eq!(exec.first_exceptional, Some(s));
+    }
+
+    #[test]
+    fn random_bindings_cover_all_leaves() {
+        let (g, ..) = simple_graph();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let b = random_bindings(&g, -1.0, 1.0, &mut rng).unwrap();
+        assert_eq!(b.len(), 2);
+        assert!(execute(&g, &b).is_ok());
+    }
+}

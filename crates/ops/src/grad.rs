@@ -1,0 +1,829 @@
+//! Reverse-mode vector-Jacobian products for every operator.
+//!
+//! The gradient-guided value search (Algorithm 3) backpropagates a loss from
+//! the first operator that produced a NaN/Inf through the model prefix. Each
+//! operator therefore needs a VJP: given its inputs, outputs and the
+//! gradient of the loss w.r.t. its output, produce gradients w.r.t. each
+//! input (`None` for non-differentiable inputs such as integers, booleans
+//! and argmax results).
+//!
+//! When `proxy` is enabled the *proxy derivatives* of §3.3 are used:
+//! operators that are undifferentiable at points (`Floor`, `Ceil`, `Round`)
+//! use derivative 1 (the closest-left-derivative convention), and operators
+//! with zero-gradient regions (`Relu`, `Clip`) use a small slope `α = 0.01`
+//! whose sign follows the function's overall trend — exactly the LeakyReLU
+//! trick the paper describes.
+
+use nnsmith_tensor::{
+    Conv2dParams, Pool2dParams, ReduceKind, Result, Tensor, TensorError,
+};
+
+use crate::op::{BinaryKind, Op, UnaryKind};
+
+/// Slope used for proxy derivatives in zero-gradient regions.
+pub const PROXY_ALPHA: f64 = 0.01;
+
+fn elementwise_grad(
+    x: &Tensor,
+    y: &Tensor,
+    g: &Tensor,
+    f: impl Fn(f64, f64) -> f64,
+) -> Tensor {
+    let mut out = Tensor::zeros(x.shape(), x.dtype());
+    for i in 0..x.numel() {
+        let d = f(x.lin_f64(i), y.lin_f64(i));
+        out.set_lin_f64(i, d * g.lin_f64(i));
+    }
+    out
+}
+
+fn usize_attr(e: &nnsmith_solver::IntExpr) -> Result<usize> {
+    e.as_const()
+        .and_then(|v| usize::try_from(v).ok())
+        .ok_or_else(|| TensorError::unsupported("symbolic attribute in vjp"))
+}
+
+/// Computes `d(sum(loss))/d(input)` for a broadcast binary operator: the
+/// per-element partial is evaluated on the broadcast shape, multiplied by
+/// the output gradient, then summed back to the operand's shape.
+fn broadcast_binary_grad(
+    a: &Tensor,
+    b: &Tensor,
+    g: &Tensor,
+    partial: impl Fn(f64, f64) -> f64,
+) -> Result<Tensor> {
+    let a_full = a.broadcast_to(g.shape())?;
+    let b_full = b.broadcast_to(g.shape())?;
+    let full = elementwise_grad(&a_full, &b_full, g, partial);
+    full.sum_to(a.shape())
+}
+
+impl Op {
+    /// True if gradients can flow through this operator's first input
+    /// (float in, float out, differentiable at least via proxies).
+    pub fn differentiable(&self) -> bool {
+        !matches!(
+            self,
+            Op::Compare(_) | Op::Logical(_) | Op::Not | Op::ArgExtreme { .. }
+        )
+    }
+
+    /// Vector-Jacobian product: gradients of a scalar loss w.r.t. each input
+    /// given `grad_out` (gradient w.r.t. the operator's single output).
+    ///
+    /// Returns one entry per input; `None` marks inputs through which
+    /// gradients do not flow (boolean conditions, integer tensors, …).
+    ///
+    /// # Errors
+    ///
+    /// Fails on symbolic attributes or shape inconsistencies.
+    pub fn vjp(
+        &self,
+        inputs: &[&Tensor],
+        outputs: &[&Tensor],
+        grad_out: &Tensor,
+        proxy: bool,
+    ) -> Result<Vec<Option<Tensor>>> {
+        let alpha = if proxy { PROXY_ALPHA } else { 0.0 };
+        let g = grad_out;
+        let grads: Vec<Option<Tensor>> = match self {
+            Op::Unary(kind) => {
+                let x = inputs[0];
+                let y = outputs[0];
+                if !x.dtype().is_float() {
+                    return Ok(vec![None]);
+                }
+                let d = |f: &dyn Fn(f64, f64) -> f64| elementwise_grad(x, y, g, f);
+                let gx = match kind {
+                    UnaryKind::Relu => d(&|x, _| if x > 0.0 { 1.0 } else { alpha }),
+                    UnaryKind::LeakyRelu => d(&|x, _| if x > 0.0 { 1.0 } else { 0.01 }),
+                    UnaryKind::Sigmoid => d(&|_, y| y * (1.0 - y)),
+                    UnaryKind::Sin => d(&|x, _| x.cos()),
+                    UnaryKind::Cos => d(&|x, _| -x.sin()),
+                    UnaryKind::Asin => d(&|x, _| {
+                        let t = 1.0 - x * x;
+                        if t > 1e-12 {
+                            1.0 / t.sqrt()
+                        } else {
+                            // Pull back toward the valid domain.
+                            x.signum()
+                        }
+                    }),
+                    UnaryKind::Acos => d(&|x, _| {
+                        let t = 1.0 - x * x;
+                        if t > 1e-12 {
+                            -1.0 / t.sqrt()
+                        } else {
+                            -x.signum()
+                        }
+                    }),
+                    UnaryKind::Atan => d(&|x, _| 1.0 / (1.0 + x * x)),
+                    UnaryKind::Tan => d(&|x, _| {
+                        let t = x.tan();
+                        1.0 + t * t
+                    }),
+                    UnaryKind::Tanh => d(&|_, y| 1.0 - y * y),
+                    UnaryKind::Sqrt => d(&|x, _| {
+                        if x > 1e-12 {
+                            0.5 / x.sqrt()
+                        } else {
+                            1.0 // left-derivative proxy at/below zero
+                        }
+                    }),
+                    UnaryKind::Exp => d(&|_, y| y),
+                    UnaryKind::Log => d(&|x, _| {
+                        if x.abs() > 1e-12 {
+                            1.0 / x
+                        } else {
+                            1.0
+                        }
+                    }),
+                    UnaryKind::Log2 => d(&|x, _| {
+                        if x.abs() > 1e-12 {
+                            1.0 / (x * std::f64::consts::LN_2)
+                        } else {
+                            1.0
+                        }
+                    }),
+                    UnaryKind::Floor | UnaryKind::Ceil | UnaryKind::Round => {
+                        // Zero a.e.; proxy derivative 1 preserves the trend.
+                        d(&|_, _| if proxy { 1.0 } else { 0.0 })
+                    }
+                    UnaryKind::Neg => d(&|_, _| -1.0),
+                    UnaryKind::Abs => d(&|x, _| if x >= 0.0 { 1.0 } else { -1.0 }),
+                };
+                vec![Some(gx)]
+            }
+            Op::Binary(kind) => {
+                let (a, b) = (inputs[0], inputs[1]);
+                if !a.dtype().is_float() {
+                    return Ok(vec![None, None]);
+                }
+                let (ga, gb) = match kind {
+                    BinaryKind::Add => (
+                        g.sum_to(a.shape())?,
+                        g.sum_to(b.shape())?,
+                    ),
+                    BinaryKind::Sub => (
+                        g.sum_to(a.shape())?,
+                        g.neg()?.sum_to(b.shape())?,
+                    ),
+                    BinaryKind::Mul => (
+                        broadcast_binary_grad(a, b, g, |_, bv| bv)?,
+                        broadcast_binary_grad(b, a, g, |_, av| av)?,
+                    ),
+                    BinaryKind::Div => (
+                        broadcast_binary_grad(a, b, g, |_, bv| {
+                            if bv.abs() > 1e-12 {
+                                1.0 / bv
+                            } else {
+                                1.0
+                            }
+                        })?,
+                        broadcast_binary_grad(b, a, g, |bv, av| {
+                            if bv.abs() > 1e-12 {
+                                -av / (bv * bv)
+                            } else {
+                                -av.signum()
+                            }
+                        })?,
+                    ),
+                    BinaryKind::Pow => (
+                        broadcast_binary_grad(a, b, g, |av, bv| {
+                            let d = bv * av.powf(bv - 1.0);
+                            if d.is_finite() {
+                                d
+                            } else {
+                                av.signum()
+                            }
+                        })?,
+                        broadcast_binary_grad(b, a, g, |bv, av| {
+                            if av > 1e-12 {
+                                let d = av.powf(bv) * av.ln();
+                                if d.is_finite() {
+                                    d
+                                } else {
+                                    1.0
+                                }
+                            } else {
+                                0.0
+                            }
+                        })?,
+                    ),
+                    BinaryKind::Max => (
+                        broadcast_binary_grad(a, b, g, |av, bv| {
+                            if av >= bv {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        })?,
+                        broadcast_binary_grad(b, a, g, |bv, av| {
+                            if bv > av {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        })?,
+                    ),
+                    BinaryKind::Min => (
+                        broadcast_binary_grad(a, b, g, |av, bv| {
+                            if av <= bv {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        })?,
+                        broadcast_binary_grad(b, a, g, |bv, av| {
+                            if bv < av {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        })?,
+                    ),
+                };
+                vec![Some(ga), Some(gb)]
+            }
+            Op::Compare(_) | Op::Logical(_) | Op::Not | Op::ArgExtreme { .. } => {
+                vec![None; self.arity()]
+            }
+            Op::Where => {
+                let cond = inputs[0];
+                let (a, b) = (inputs[1], inputs[2]);
+                if !a.dtype().is_float() {
+                    return Ok(vec![None, None, None]);
+                }
+                let cond_full = cond.broadcast_to(g.shape())?;
+                let mut ga_full = Tensor::zeros(g.shape(), a.dtype());
+                let mut gb_full = Tensor::zeros(g.shape(), a.dtype());
+                let cdata = cond_full.as_bool().expect("where cond bool");
+                for i in 0..g.numel() {
+                    if cdata[i] {
+                        ga_full.set_lin_f64(i, g.lin_f64(i));
+                    } else {
+                        gb_full.set_lin_f64(i, g.lin_f64(i));
+                    }
+                }
+                vec![
+                    None,
+                    Some(ga_full.sum_to(a.shape())?),
+                    Some(gb_full.sum_to(b.shape())?),
+                ]
+            }
+            Op::Cast { to } => {
+                let x = inputs[0];
+                if x.dtype().is_float() && to.is_float() {
+                    vec![Some(g.cast(x.dtype()))]
+                } else {
+                    vec![None]
+                }
+            }
+            Op::Softmax { axis } => {
+                let y = outputs[0];
+                let gy = g.mul(y)?;
+                let s = gy.reduce(ReduceKind::Sum, &[*axis], true)?;
+                let corrected = g.sub(&s.broadcast_to(g.shape())?)?;
+                vec![Some(corrected.mul(y)?)]
+            }
+            Op::Clip { lo, hi } => {
+                let x = inputs[0];
+                if !x.dtype().is_float() {
+                    return Ok(vec![None]);
+                }
+                let (lo, hi) = (*lo as f64, *hi as f64);
+                vec![Some(elementwise_grad(x, outputs[0], g, |x, _| {
+                    if x > lo && x < hi {
+                        1.0
+                    } else {
+                        alpha
+                    }
+                }))]
+            }
+            Op::MatMul => {
+                let (a, b) = (inputs[0], inputs[1]);
+                if !a.dtype().is_float() {
+                    return Ok(vec![None, None]);
+                }
+                let (ga, gb) = matmul_vjp(a, b, g)?;
+                vec![Some(ga), Some(gb)]
+            }
+            Op::Dense { .. } => {
+                let (x, w, b) = (inputs[0], inputs[1], inputs[2]);
+                if !x.dtype().is_float() {
+                    return Ok(vec![None, None, None]);
+                }
+                let (gx, gw) = matmul_vjp(x, w, g)?;
+                let gb = g.sum_to(b.shape())?;
+                vec![Some(gx), Some(gw), Some(gb)]
+            }
+            Op::Conv2d {
+                stride,
+                padding,
+                dilation,
+                ..
+            } => {
+                let params = Conv2dParams {
+                    stride: (usize_attr(stride)?, usize_attr(stride)?),
+                    padding: (usize_attr(padding)?, usize_attr(padding)?),
+                    dilation: (usize_attr(dilation)?, usize_attr(dilation)?),
+                    groups: 1,
+                };
+                let (x, w, b) = (inputs[0], inputs[1], inputs[2]);
+                let gx = x.conv2d_grad_input(w, g, &params)?;
+                let gw = x.conv2d_grad_weight(w, g, &params)?;
+                // Bias gradient: sum over batch and spatial dims.
+                let gb = g.sum_to(&[1, b.shape()[0], 1, 1])?.reshaped(b.shape())?;
+                vec![Some(gx), Some(gw), Some(gb)]
+            }
+            Op::MaxPool2d {
+                kh,
+                kw,
+                stride,
+                padding,
+            } => {
+                let params = Pool2dParams {
+                    kernel: (usize_attr(kh)?, usize_attr(kw)?),
+                    stride: (usize_attr(stride)?, usize_attr(stride)?),
+                    padding: (usize_attr(padding)?, usize_attr(padding)?),
+                };
+                vec![Some(inputs[0].max_pool2d_grad(g, &params)?)]
+            }
+            Op::AvgPool2d {
+                kh,
+                kw,
+                stride,
+                padding,
+            } => {
+                let params = Pool2dParams {
+                    kernel: (usize_attr(kh)?, usize_attr(kw)?),
+                    stride: (usize_attr(stride)?, usize_attr(stride)?),
+                    padding: (usize_attr(padding)?, usize_attr(padding)?),
+                };
+                vec![Some(inputs[0].avg_pool2d_grad(g, &params)?)]
+            }
+            Op::BatchNorm => {
+                let (x, scale, _bias, mean, var) =
+                    (inputs[0], inputs[1], inputs[2], inputs[3], inputs[4]);
+                let c = x.shape()[1];
+                let mut stat_shape = vec![1usize; x.rank()];
+                stat_shape[1] = c;
+                let eps = 1e-5;
+                let var_b = var.reshaped(&stat_shape)?.broadcast_to(x.shape())?;
+                let mean_b = mean.reshaped(&stat_shape)?.broadcast_to(x.shape())?;
+                let scale_b = scale.reshaped(&stat_shape)?.broadcast_to(x.shape())?;
+                let mut gx = Tensor::zeros(x.shape(), x.dtype());
+                let mut gscale_full = Tensor::zeros(x.shape(), x.dtype());
+                let mut gmean_full = Tensor::zeros(x.shape(), x.dtype());
+                let mut gvar_full = Tensor::zeros(x.shape(), x.dtype());
+                for i in 0..x.numel() {
+                    let gv = g.lin_f64(i);
+                    let xv = x.lin_f64(i);
+                    let mv = mean_b.lin_f64(i);
+                    let vv = var_b.lin_f64(i) + eps;
+                    let sv = scale_b.lin_f64(i);
+                    // Treat var+eps <= 0 as a vulnerable point: derivative
+                    // proxy pushes var upward.
+                    if vv > 1e-12 {
+                        let inv = 1.0 / vv.sqrt();
+                        gx.set_lin_f64(i, gv * sv * inv);
+                        gscale_full.set_lin_f64(i, gv * (xv - mv) * inv);
+                        gmean_full.set_lin_f64(i, -gv * sv * inv);
+                        gvar_full.set_lin_f64(i, -0.5 * gv * sv * (xv - mv) * inv / vv);
+                    } else {
+                        gvar_full.set_lin_f64(i, -gv.abs());
+                    }
+                }
+                let gscale = gscale_full.sum_to(&stat_shape)?.reshaped(scale.shape())?;
+                let gbias = g.sum_to(&stat_shape)?.reshaped(scale.shape())?;
+                let gmean = gmean_full.sum_to(&stat_shape)?.reshaped(scale.shape())?;
+                let gvar = gvar_full.sum_to(&stat_shape)?.reshaped(scale.shape())?;
+                vec![Some(gx), Some(gscale), Some(gbias), Some(gmean), Some(gvar)]
+            }
+            Op::Reshape { .. } | Op::Squeeze { .. } | Op::Unsqueeze { .. }
+            | Op::Flatten { .. } => {
+                if !inputs[0].dtype().is_float() {
+                    return Ok(vec![None]);
+                }
+                vec![Some(g.reshaped(inputs[0].shape())?)]
+            }
+            Op::Transpose { perm } => {
+                if !inputs[0].dtype().is_float() {
+                    return Ok(vec![None]);
+                }
+                let mut inv = vec![0usize; perm.len()];
+                for (i, &p) in perm.iter().enumerate() {
+                    inv[p] = i;
+                }
+                vec![Some(g.transpose(&inv)?)]
+            }
+            Op::Slice {
+                starts,
+                ends,
+                steps,
+            } => {
+                if !inputs[0].dtype().is_float() {
+                    return Ok(vec![None]);
+                }
+                let s: Result<Vec<usize>> = starts.iter().map(usize_attr).collect();
+                let e: Result<Vec<usize>> = ends.iter().map(usize_attr).collect();
+                let st: Vec<usize> = steps.iter().map(|&x| x as usize).collect();
+                vec![Some(g.slice_scatter(inputs[0].shape(), &s?, &e?, &st)?)]
+            }
+            Op::Pad { pads, .. } => {
+                if !inputs[0].dtype().is_float() {
+                    return Ok(vec![None]);
+                }
+                // Inverse padding (crop the padded region back out). For
+                // reflect/replicate this ignores edge accumulation — an
+                // intentional proxy; the search only needs the trend.
+                let inv: Result<Vec<(i64, i64)>> = pads
+                    .iter()
+                    .map(|(b, a)| {
+                        let b = b
+                            .as_const()
+                            .ok_or_else(|| TensorError::unsupported("symbolic pad"))?;
+                        let a = a
+                            .as_const()
+                            .ok_or_else(|| TensorError::unsupported("symbolic pad"))?;
+                        Ok((-b, -a))
+                    })
+                    .collect();
+                vec![Some(g.pad(&inv?, nnsmith_tensor::PadMode::Constant(0.0))?)]
+            }
+            Op::Concat { axis, .. } => {
+                if !inputs[0].dtype().is_float() {
+                    return Ok(vec![None; inputs.len()]);
+                }
+                let mut grads = Vec::with_capacity(inputs.len());
+                let mut offset = 0usize;
+                for t in inputs {
+                    let mut starts = vec![0usize; t.rank()];
+                    let mut ends: Vec<usize> = g.shape().to_vec();
+                    let steps = vec![1usize; t.rank()];
+                    starts[*axis] = offset;
+                    ends[*axis] = offset + t.shape()[*axis];
+                    grads.push(Some(g.slice(&starts, &ends, &steps)?));
+                    offset += t.shape()[*axis];
+                }
+                grads
+            }
+            Op::BroadcastTo { .. } => {
+                if !inputs[0].dtype().is_float() {
+                    return Ok(vec![None]);
+                }
+                vec![Some(g.sum_to(inputs[0].shape())?)]
+            }
+            Op::Reduce { kind, axes, keepdims } => {
+                let x = inputs[0];
+                if !x.dtype().is_float() {
+                    return Ok(vec![None]);
+                }
+                // Reshape g to the keepdims form so it broadcasts to x.
+                let keep_shape: Vec<usize> = {
+                    let axes_norm: Vec<usize> = if axes.is_empty() {
+                        (0..x.rank()).collect()
+                    } else {
+                        axes.clone()
+                    };
+                    x.shape()
+                        .iter()
+                        .enumerate()
+                        .map(|(d, &s)| if axes_norm.contains(&d) { 1 } else { s })
+                        .collect()
+                };
+                let g_keep = if *keepdims {
+                    g.clone()
+                } else {
+                    g.reshaped(&keep_shape)?
+                };
+                let g_full = g_keep.broadcast_to(x.shape())?;
+                let gx = match kind {
+                    ReduceKind::Sum => g_full,
+                    ReduceKind::Mean => {
+                        let count: usize = x.numel() / g.numel().max(1);
+                        let scale = Tensor::full(x.shape(), x.dtype(), 1.0 / count as f64);
+                        g_full.mul(&scale)?
+                    }
+                    ReduceKind::Prod => {
+                        let y_keep = outputs[0]
+                            .reshaped(&keep_shape)?
+                            .broadcast_to(x.shape())?;
+                        elementwise_grad(x, &y_keep, &g_full, |xv, yv| {
+                            if xv.abs() > 1e-12 {
+                                yv / xv
+                            } else {
+                                0.0
+                            }
+                        })
+                    }
+                    ReduceKind::Max | ReduceKind::Min => {
+                        let y_keep = outputs[0]
+                            .reshaped(&keep_shape)?
+                            .broadcast_to(x.shape())?;
+                        elementwise_grad(x, &y_keep, &g_full, |xv, yv| {
+                            if xv == yv {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        })
+                    }
+                };
+                vec![Some(gx)]
+            }
+            Op::ResizeNearest { scale_h, scale_w } => {
+                let x = inputs[0];
+                if !x.dtype().is_float() {
+                    return Ok(vec![None]);
+                }
+                let (sh, sw) = (usize_attr(scale_h)?, usize_attr(scale_w)?);
+                let mut gx = Tensor::zeros(x.shape(), x.dtype());
+                let (n, c, h, w) = (
+                    x.shape()[0],
+                    x.shape()[1],
+                    x.shape()[2],
+                    x.shape()[3],
+                );
+                let g_strides = nnsmith_tensor::strides_of(g.shape());
+                let x_strides = nnsmith_tensor::strides_of(x.shape());
+                for ni in 0..n {
+                    for ci in 0..c {
+                        for oy in 0..h * sh {
+                            for ox in 0..w * sw {
+                                let src = ni * x_strides[0]
+                                    + ci * x_strides[1]
+                                    + (oy / sh) * x_strides[2]
+                                    + ox / sw;
+                                let gidx = ni * g_strides[0]
+                                    + ci * g_strides[1]
+                                    + oy * g_strides[2]
+                                    + ox;
+                                gx.set_lin_f64(src, gx.lin_f64(src) + g.lin_f64(gidx));
+                            }
+                        }
+                    }
+                }
+                vec![Some(gx)]
+            }
+        };
+        Ok(grads)
+    }
+}
+
+fn matmul_vjp(a: &Tensor, b: &Tensor, g: &Tensor) -> Result<(Tensor, Tensor)> {
+    // Promote rank-1 operands so the transposed-matmul formulas apply, then
+    // strip/sum the promotions back out.
+    let a2 = if a.rank() == 1 {
+        a.reshaped(&[1, a.shape()[0]])?
+    } else {
+        a.clone()
+    };
+    let b2 = if b.rank() == 1 {
+        b.reshaped(&[b.shape()[0], 1])?
+    } else {
+        b.clone()
+    };
+    // Rebuild the promoted output gradient shape.
+    let mut g2_shape: Vec<usize> = g.shape().to_vec();
+    if a.rank() == 1 {
+        let insert_at = g2_shape.len().saturating_sub(if b.rank() == 1 { 0 } else { 1 });
+        g2_shape.insert(insert_at, 1);
+    }
+    if b.rank() == 1 {
+        g2_shape.push(1);
+    }
+    let g2 = g.reshaped(&g2_shape)?;
+    let ga2 = g2.matmul(&b2.swap_last_two()?)?;
+    let gb2 = a2.swap_last_two()?.matmul(&g2)?;
+    let ga = ga2.sum_to(a2.shape())?.reshaped(a.shape())?;
+    let gb = gb2.sum_to(b2.shape())?.reshaped(b.shape())?;
+    Ok((ga, gb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnsmith_solver::IntExpr;
+    use nnsmith_tensor::DType;
+
+    /// Finite-difference check of d(sum(op(x…)))/dx against the VJP.
+    fn check_grad(op: &Op, inputs: &[Tensor], input_idx: usize, tol: f64) {
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        let out = op.eval(&refs).unwrap();
+        let g = Tensor::ones(out[0].shape(), out[0].dtype());
+        let out_refs: Vec<&Tensor> = out.iter().collect();
+        let grads = op.vjp(&refs, &out_refs, &g, true).unwrap();
+        let gx = grads[input_idx].as_ref().expect("grad exists");
+        let eps = 1e-5;
+        let x = &inputs[input_idx];
+        for i in 0..x.numel() {
+            let mut plus = inputs.to_vec();
+            let mut t = x.clone();
+            t.set_lin_f64(i, x.lin_f64(i) + eps);
+            plus[input_idx] = t;
+            let mut minus = inputs.to_vec();
+            let mut t = x.clone();
+            t.set_lin_f64(i, x.lin_f64(i) - eps);
+            minus[input_idx] = t;
+            let f = |ins: &[Tensor]| -> f64 {
+                let refs: Vec<&Tensor> = ins.iter().collect();
+                op.eval(&refs).unwrap()[0]
+                    .to_f64_vec()
+                    .iter()
+                    .sum::<f64>()
+            };
+            let num = (f(&plus) - f(&minus)) / (2.0 * eps);
+            let ana = gx.lin_f64(i);
+            assert!(
+                (num - ana).abs() < tol,
+                "{} input {input_idx} elem {i}: numeric {num} vs analytic {ana}",
+                op.name()
+            );
+        }
+    }
+
+    fn t64(shape: &[usize], data: Vec<f64>) -> Tensor {
+        Tensor::from_f64(shape, data).unwrap()
+    }
+
+    #[test]
+    fn unary_grads_match_finite_difference() {
+        let x = t64(&[4], vec![0.3, -0.4, 0.7, 0.2]);
+        for kind in [
+            UnaryKind::Sigmoid,
+            UnaryKind::Sin,
+            UnaryKind::Cos,
+            UnaryKind::Atan,
+            UnaryKind::Tanh,
+            UnaryKind::Neg,
+            UnaryKind::Exp,
+        ] {
+            check_grad(&Op::Unary(kind), &[x.clone()], 0, 1e-4);
+        }
+        // Positive-domain ops.
+        let xp = t64(&[3], vec![0.5, 1.5, 2.5]);
+        for kind in [UnaryKind::Sqrt, UnaryKind::Log, UnaryKind::Log2] {
+            check_grad(&Op::Unary(kind), &[xp.clone()], 0, 1e-4);
+        }
+        // In-domain asin/acos.
+        let xd = t64(&[3], vec![-0.5, 0.1, 0.6]);
+        for kind in [UnaryKind::Asin, UnaryKind::Acos] {
+            check_grad(&Op::Unary(kind), &[xd.clone()], 0, 1e-4);
+        }
+    }
+
+    #[test]
+    fn binary_grads_match_finite_difference() {
+        let a = t64(&[3], vec![1.2, 0.7, 2.1]);
+        let b = t64(&[3], vec![0.4, 1.9, 0.8]);
+        for kind in [
+            BinaryKind::Add,
+            BinaryKind::Sub,
+            BinaryKind::Mul,
+            BinaryKind::Div,
+            BinaryKind::Pow,
+        ] {
+            check_grad(&Op::Binary(kind), &[a.clone(), b.clone()], 0, 1e-3);
+            check_grad(&Op::Binary(kind), &[a.clone(), b.clone()], 1, 1e-3);
+        }
+    }
+
+    #[test]
+    fn broadcast_add_grads_sum() {
+        let a = t64(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = t64(&[3], vec![1., 1., 1.]);
+        check_grad(&Op::Binary(BinaryKind::Add), &[a, b], 1, 1e-4);
+    }
+
+    #[test]
+    fn matmul_grads() {
+        let a = t64(&[2, 3], vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
+        let b = t64(&[3, 2], vec![1.0, -0.5, 0.25, 0.75, -1.0, 0.5]);
+        check_grad(&Op::MatMul, &[a.clone(), b.clone()], 0, 1e-4);
+        check_grad(&Op::MatMul, &[a, b], 1, 1e-4);
+    }
+
+    #[test]
+    fn matmul_vector_grads() {
+        let a = t64(&[3], vec![0.1, 0.2, 0.3]);
+        let b = t64(&[3, 2], vec![1.0, -0.5, 0.25, 0.75, -1.0, 0.5]);
+        check_grad(&Op::MatMul, &[a.clone(), b.clone()], 0, 1e-4);
+        check_grad(&Op::MatMul, &[a, b], 1, 1e-4);
+    }
+
+    #[test]
+    fn softmax_grad() {
+        let x = t64(&[2, 3], vec![0.5, 1.0, -0.5, 2.0, 0.0, 1.0]);
+        check_grad(&Op::Softmax { axis: 1 }, &[x], 0, 1e-4);
+    }
+
+    #[test]
+    fn movement_grads() {
+        let x = t64(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        check_grad(
+            &Op::Reshape {
+                dims: vec![IntExpr::Const(3), IntExpr::Const(2)],
+            },
+            &[x.clone()],
+            0,
+            1e-6,
+        );
+        check_grad(&Op::Transpose { perm: vec![1, 0] }, &[x.clone()], 0, 1e-6);
+        check_grad(
+            &Op::Slice {
+                starts: vec![IntExpr::Const(0), IntExpr::Const(1)],
+                ends: vec![IntExpr::Const(2), IntExpr::Const(3)],
+                steps: vec![1, 1],
+            },
+            &[x.clone()],
+            0,
+            1e-6,
+        );
+        check_grad(
+            &Op::BroadcastTo {
+                dims: vec![IntExpr::Const(2), IntExpr::Const(2), IntExpr::Const(3)],
+            },
+            &[x],
+            0,
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn reduce_grads() {
+        let x = t64(&[2, 3], vec![1., 5., 3., 4., 2., 6.]);
+        for kind in [ReduceKind::Sum, ReduceKind::Mean, ReduceKind::Max] {
+            check_grad(
+                &Op::Reduce {
+                    kind,
+                    axes: vec![1],
+                    keepdims: false,
+                },
+                &[x.clone()],
+                0,
+                1e-4,
+            );
+        }
+    }
+
+    #[test]
+    fn conv_grads_via_vjp() {
+        let x = t64(&[1, 1, 3, 3], (0..9).map(|i| i as f64 * 0.1).collect());
+        let w = t64(&[1, 1, 2, 2], vec![0.5, -0.25, 0.75, 1.0]);
+        let b = t64(&[1], vec![0.1]);
+        let op = Op::Conv2d {
+            in_channels: IntExpr::Const(1),
+            out_channels: IntExpr::Const(1),
+            kh: IntExpr::Const(2),
+            kw: IntExpr::Const(2),
+            stride: IntExpr::Const(1),
+            padding: IntExpr::Const(0),
+            dilation: IntExpr::Const(1),
+        };
+        check_grad(&op, &[x.clone(), w.clone(), b.clone()], 0, 1e-4);
+        check_grad(&op, &[x.clone(), w.clone(), b.clone()], 1, 1e-4);
+        check_grad(&op, &[x, w, b], 2, 1e-4);
+    }
+
+    #[test]
+    fn comparison_has_no_grads() {
+        let a = t64(&[2], vec![1.0, 2.0]);
+        let op = Op::Compare(crate::op::CompareKind::Less);
+        let out = op.eval(&[&a, &a]).unwrap();
+        let g = Tensor::ones(out[0].shape(), DType::Bool);
+        let grads = op
+            .vjp(&[&a, &a], &[&out[0]], &g, true)
+            .unwrap();
+        assert!(grads.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn relu_proxy_vs_exact() {
+        let x = t64(&[2], vec![-1.0, 1.0]);
+        let op = Op::Unary(UnaryKind::Relu);
+        let out = op.eval(&[&x]).unwrap();
+        let g = Tensor::ones(&[2], DType::F64);
+        let with_proxy = op.vjp(&[&x], &[&out[0]], &g, true).unwrap();
+        let without = op.vjp(&[&x], &[&out[0]], &g, false).unwrap();
+        assert_eq!(
+            with_proxy[0].as_ref().unwrap().lin_f64(0),
+            PROXY_ALPHA
+        );
+        assert_eq!(without[0].as_ref().unwrap().lin_f64(0), 0.0);
+        assert_eq!(with_proxy[0].as_ref().unwrap().lin_f64(1), 1.0);
+    }
+
+    #[test]
+    fn where_grads_route_by_condition() {
+        let c = Tensor::from_bool(&[2], vec![true, false]).unwrap();
+        let a = t64(&[2], vec![1.0, 2.0]);
+        let b = t64(&[2], vec![3.0, 4.0]);
+        let out = Op::Where.eval(&[&c, &a, &b]).unwrap();
+        let g = Tensor::ones(&[2], DType::F64);
+        let grads = Op::Where.vjp(&[&c, &a, &b], &[&out[0]], &g, true).unwrap();
+        assert!(grads[0].is_none());
+        assert_eq!(grads[1].as_ref().unwrap().to_f64_vec(), vec![1.0, 0.0]);
+        assert_eq!(grads[2].as_ref().unwrap().to_f64_vec(), vec![0.0, 1.0]);
+    }
+}

@@ -1,0 +1,55 @@
+//! # nnsmith-ops
+//!
+//! Operator specifications for the NNSmith reproduction — the Rust
+//! counterpart of the paper's `AbsOpBase` framework (Listing 2).
+//!
+//! Every operator provides five facets:
+//!
+//! * **`requires`** — validity constraints over symbolic input shapes and
+//!   attributes, handed to the solver during graph generation;
+//! * **`type_transfer`** — output tensor types as expressions of the
+//!   inputs (shape inference);
+//! * **`eval`** — concrete reference execution on `nnsmith-tensor`;
+//! * **`vjp`** — reverse-mode gradients (with the paper's proxy
+//!   derivatives) powering the gradient-guided value search;
+//! * **`violation_loss`** — Table-1 loss functions for avoiding NaN/Inf.
+//!
+//! Templates ([`OpTemplate`], [`all_templates`]) are what the generator
+//! samples: instantiating one fixes structural attributes and allocates
+//! solver variables for numeric attributes.
+//!
+//! ## Example
+//!
+//! ```
+//! use nnsmith_ops::Op;
+//! use nnsmith_graph::TensorType;
+//! use nnsmith_solver::IntExpr;
+//! use nnsmith_tensor::DType;
+//!
+//! // Pool2d spec in three lines (cf. Listing 2 of the paper):
+//! let pool = Op::MaxPool2d {
+//!     kh: IntExpr::Const(3), kw: IntExpr::Const(3),
+//!     stride: IntExpr::Const(2), padding: IntExpr::Const(1),
+//! };
+//! let x = TensorType::concrete(DType::F32, &[1, 2, 8, 8]);
+//! let out = pool.type_transfer(std::slice::from_ref(&x))?;
+//! assert_eq!(out[0].concrete_shape().unwrap(), vec![1, 2, 4, 4]);
+//! # Ok::<(), nnsmith_ops::SpecError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod eval;
+mod exec;
+mod grad;
+mod op;
+mod spec;
+mod template;
+mod vuln;
+
+pub use exec::{execute, random_bindings, Bindings, ExecError, Execution};
+pub use grad::PROXY_ALPHA;
+pub use op::{BinaryKind, CompareKind, LogicalKind, Op, PadKind, UnaryKind};
+pub use spec::{broadcast_sym, SpecError};
+pub use template::{all_templates, BuiltOp, OpTemplate, Slot, MAX_DIM, MAX_RANK};
+pub use vuln::{ViolationLoss, EXP_BOUND, GENERIC_BOUND, LOSS_EPSILON};

@@ -1,0 +1,729 @@
+//! The operator payload: every tensor operator NNSmith can generate.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use nnsmith_solver::{IntExpr, Model};
+use nnsmith_tensor::{DType, ReduceKind};
+
+/// Elementwise unary operators (shape-preserving, float-only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnaryKind {
+    /// Rectified linear unit.
+    Relu,
+    /// Leaky ReLU with fixed slope 0.01.
+    LeakyRelu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Sine.
+    Sin,
+    /// Cosine.
+    Cos,
+    /// Arcsine (vulnerable: NaN outside `[-1, 1]`).
+    Asin,
+    /// Arccosine (vulnerable: NaN outside `[-1, 1]`).
+    Acos,
+    /// Arctangent.
+    Atan,
+    /// Tangent.
+    Tan,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Square root (vulnerable: NaN for negatives).
+    Sqrt,
+    /// Exponential (vulnerable: overflow to Inf).
+    Exp,
+    /// Natural logarithm (vulnerable: NaN/-Inf for non-positives).
+    Log,
+    /// Base-2 logarithm (vulnerable: NaN/-Inf for non-positives).
+    Log2,
+    /// Floor (proxy derivative needed).
+    Floor,
+    /// Ceiling (proxy derivative needed).
+    Ceil,
+    /// Round to nearest (proxy derivative needed).
+    Round,
+    /// Negation.
+    Neg,
+    /// Absolute value.
+    Abs,
+}
+
+impl UnaryKind {
+    /// All unary kinds.
+    pub const ALL: [UnaryKind; 19] = [
+        UnaryKind::Relu,
+        UnaryKind::LeakyRelu,
+        UnaryKind::Sigmoid,
+        UnaryKind::Sin,
+        UnaryKind::Cos,
+        UnaryKind::Asin,
+        UnaryKind::Acos,
+        UnaryKind::Atan,
+        UnaryKind::Tan,
+        UnaryKind::Tanh,
+        UnaryKind::Sqrt,
+        UnaryKind::Exp,
+        UnaryKind::Log,
+        UnaryKind::Log2,
+        UnaryKind::Floor,
+        UnaryKind::Ceil,
+        UnaryKind::Round,
+        UnaryKind::Neg,
+        UnaryKind::Abs,
+    ];
+
+    /// Operator name as used in dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            UnaryKind::Relu => "Relu",
+            UnaryKind::LeakyRelu => "LeakyRelu",
+            UnaryKind::Sigmoid => "Sigmoid",
+            UnaryKind::Sin => "Sin",
+            UnaryKind::Cos => "Cos",
+            UnaryKind::Asin => "Asin",
+            UnaryKind::Acos => "Acos",
+            UnaryKind::Atan => "Atan",
+            UnaryKind::Tan => "Tan",
+            UnaryKind::Tanh => "Tanh",
+            UnaryKind::Sqrt => "Sqrt",
+            UnaryKind::Exp => "Exp",
+            UnaryKind::Log => "Log",
+            UnaryKind::Log2 => "Log2",
+            UnaryKind::Floor => "Floor",
+            UnaryKind::Ceil => "Ceil",
+            UnaryKind::Round => "Round",
+            UnaryKind::Neg => "Neg",
+            UnaryKind::Abs => "Abs",
+        }
+    }
+}
+
+/// Broadcasting binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinaryKind {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (vulnerable: divisor near zero).
+    Div,
+    /// Power (vulnerable: NaN for negative base, Inf for large exponents).
+    Pow,
+    /// Elementwise maximum.
+    Max,
+    /// Elementwise minimum.
+    Min,
+}
+
+impl BinaryKind {
+    /// All binary kinds.
+    pub const ALL: [BinaryKind; 7] = [
+        BinaryKind::Add,
+        BinaryKind::Sub,
+        BinaryKind::Mul,
+        BinaryKind::Div,
+        BinaryKind::Pow,
+        BinaryKind::Max,
+        BinaryKind::Min,
+    ];
+
+    /// Operator name as used in dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            BinaryKind::Add => "Add",
+            BinaryKind::Sub => "Sub",
+            BinaryKind::Mul => "Mul",
+            BinaryKind::Div => "Div",
+            BinaryKind::Pow => "Pow",
+            BinaryKind::Max => "Max",
+            BinaryKind::Min => "Min",
+        }
+    }
+}
+
+/// Broadcasting comparison operators (numeric → bool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompareKind {
+    /// `==`
+    Equal,
+    /// `!=`
+    NotEqual,
+    /// `<`
+    Less,
+    /// `<=`
+    LessEqual,
+    /// `>`
+    Greater,
+    /// `>=`
+    GreaterEqual,
+}
+
+impl CompareKind {
+    /// All comparison kinds.
+    pub const ALL: [CompareKind; 6] = [
+        CompareKind::Equal,
+        CompareKind::NotEqual,
+        CompareKind::Less,
+        CompareKind::LessEqual,
+        CompareKind::Greater,
+        CompareKind::GreaterEqual,
+    ];
+
+    /// Operator name as used in dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            CompareKind::Equal => "Equal",
+            CompareKind::NotEqual => "NotEqual",
+            CompareKind::Less => "Less",
+            CompareKind::LessEqual => "LessEqual",
+            CompareKind::Greater => "Greater",
+            CompareKind::GreaterEqual => "GreaterEqual",
+        }
+    }
+}
+
+/// Broadcasting boolean binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LogicalKind {
+    /// Logical AND.
+    And,
+    /// Logical OR.
+    Or,
+    /// Logical XOR.
+    Xor,
+}
+
+impl LogicalKind {
+    /// All logical kinds.
+    pub const ALL: [LogicalKind; 3] = [LogicalKind::And, LogicalKind::Or, LogicalKind::Xor];
+
+    /// Operator name as used in dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            LogicalKind::And => "And",
+            LogicalKind::Or => "Or",
+            LogicalKind::Xor => "Xor",
+        }
+    }
+}
+
+/// Padding mode for the `Pad` operator family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PadKind {
+    /// Constant zero padding (negative pads crop).
+    Constant,
+    /// Mirror padding.
+    Reflect,
+    /// Edge-replicate padding.
+    Replicate,
+}
+
+impl PadKind {
+    /// Operator name as used in dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            PadKind::Constant => "ConstPad",
+            PadKind::Reflect => "ReflectPad",
+            PadKind::Replicate => "ReplicatePad",
+        }
+    }
+}
+
+/// A concrete-or-symbolic operator instance.
+///
+/// Numeric attributes (kernel sizes, strides, paddings, target shapes, slice
+/// bounds, …) are [`IntExpr`]s: solver variables during generation, constants
+/// after [`Op::concretize`]. Structural attributes (axes, permutations,
+/// dtypes, arities) are fixed at instantiation time, mirroring the original
+/// NNSmith where they are picked when the symbolic operator is sampled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// Elementwise unary (float → float).
+    Unary(UnaryKind),
+    /// Broadcasting binary arithmetic (T, T → T).
+    Binary(BinaryKind),
+    /// Broadcasting comparison (T, T → bool).
+    Compare(CompareKind),
+    /// Broadcasting boolean logic (bool, bool → bool).
+    Logical(LogicalKind),
+    /// Elementwise boolean negation.
+    Not,
+    /// `Where(cond, then, else)` with three-way broadcasting.
+    Where,
+    /// Dtype conversion.
+    Cast {
+        /// Target dtype.
+        to: DType,
+    },
+    /// Softmax along a fixed axis.
+    Softmax {
+        /// Normalization axis.
+        axis: usize,
+    },
+    /// Clip into `[lo, hi]`.
+    Clip {
+        /// Lower bound.
+        lo: i64,
+        /// Upper bound.
+        hi: i64,
+    },
+    /// Matrix product of two equal-rank operands (rank ≥ 2 handled
+    /// batch-wise, rank-1 operands promoted).
+    MatMul,
+    /// Fully-connected layer: `x · W + b` with `W: [in, units]`,
+    /// `b: [units]`.
+    Dense {
+        /// Input feature count.
+        in_features: IntExpr,
+        /// Output feature count.
+        units: IntExpr,
+    },
+    /// 2-D convolution over NCHW with OIHW weight and bias.
+    Conv2d {
+        /// Input channels.
+        in_channels: IntExpr,
+        /// Output channels.
+        out_channels: IntExpr,
+        /// Kernel height.
+        kh: IntExpr,
+        /// Kernel width.
+        kw: IntExpr,
+        /// Stride (both dims).
+        stride: IntExpr,
+        /// Zero padding (both dims).
+        padding: IntExpr,
+        /// Dilation (both dims).
+        dilation: IntExpr,
+    },
+    /// 2-D max pooling.
+    MaxPool2d {
+        /// Kernel height.
+        kh: IntExpr,
+        /// Kernel width.
+        kw: IntExpr,
+        /// Stride.
+        stride: IntExpr,
+        /// Padding.
+        padding: IntExpr,
+    },
+    /// 2-D average pooling.
+    AvgPool2d {
+        /// Kernel height.
+        kh: IntExpr,
+        /// Kernel width.
+        kw: IntExpr,
+        /// Stride.
+        stride: IntExpr,
+        /// Padding.
+        padding: IntExpr,
+    },
+    /// Inference batch normalization (x, scale, bias, mean, var).
+    BatchNorm,
+    /// Reshape to an explicit target shape.
+    Reshape {
+        /// Target dimensions.
+        dims: Vec<IntExpr>,
+    },
+    /// Dimension permutation.
+    Transpose {
+        /// The permutation.
+        perm: Vec<usize>,
+    },
+    /// Strided slice with per-dimension bounds.
+    Slice {
+        /// Inclusive start per dimension.
+        starts: Vec<IntExpr>,
+        /// Exclusive end per dimension.
+        ends: Vec<IntExpr>,
+        /// Step per dimension (structural, ≥ 1).
+        steps: Vec<i64>,
+    },
+    /// Padding.
+    Pad {
+        /// `(before, after)` per dimension.
+        pads: Vec<(IntExpr, IntExpr)>,
+        /// Padding mode.
+        kind: PadKind,
+    },
+    /// Concatenation of `n` inputs along `axis`.
+    Concat {
+        /// Concatenation axis.
+        axis: usize,
+        /// Number of inputs.
+        n: usize,
+    },
+    /// Remove a size-1 dimension.
+    Squeeze {
+        /// Axis to remove (must be 1).
+        axis: usize,
+    },
+    /// Insert a size-1 dimension.
+    Unsqueeze {
+        /// Axis to insert before.
+        axis: usize,
+    },
+    /// Flatten to 2-D around an axis.
+    Flatten {
+        /// Split axis.
+        axis: usize,
+    },
+    /// Broadcast to an explicit target shape.
+    BroadcastTo {
+        /// Target dimensions.
+        dims: Vec<IntExpr>,
+    },
+    /// Reduction over a fixed set of axes.
+    Reduce {
+        /// Reduction kind.
+        kind: ReduceKind,
+        /// Axes to reduce.
+        axes: Vec<usize>,
+        /// Keep reduced dims as size 1.
+        keepdims: bool,
+    },
+    /// ArgMax / ArgMin along an axis (output `i64`).
+    ArgExtreme {
+        /// True for ArgMax.
+        largest: bool,
+        /// Reduction axis.
+        axis: usize,
+        /// Keep the reduced dim as size 1.
+        keepdims: bool,
+    },
+    /// Nearest-neighbour 2-D upsampling by integer scales.
+    ResizeNearest {
+        /// Height scale.
+        scale_h: IntExpr,
+        /// Width scale.
+        scale_w: IntExpr,
+    },
+}
+
+impl Op {
+    /// The operator's display name (e.g. `"Conv2d"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Unary(k) => k.name(),
+            Op::Binary(k) => k.name(),
+            Op::Compare(k) => k.name(),
+            Op::Logical(k) => k.name(),
+            Op::Not => "Not",
+            Op::Where => "Where",
+            Op::Cast { .. } => "Cast",
+            Op::Softmax { .. } => "Softmax",
+            Op::Clip { .. } => "Clip",
+            Op::MatMul => "MatMul",
+            Op::Dense { .. } => "Dense",
+            Op::Conv2d { .. } => "Conv2d",
+            Op::MaxPool2d { .. } => "MaxPool2d",
+            Op::AvgPool2d { .. } => "AvgPool2d",
+            Op::BatchNorm => "BatchNorm",
+            Op::Reshape { .. } => "Reshape",
+            Op::Transpose { .. } => "Transpose",
+            Op::Slice { .. } => "Slice",
+            Op::Pad { kind, .. } => kind.name(),
+            Op::Concat { .. } => "Concat",
+            Op::Squeeze { .. } => "Squeeze",
+            Op::Unsqueeze { .. } => "Unsqueeze",
+            Op::Flatten { .. } => "Flatten",
+            Op::BroadcastTo { .. } => "BroadcastTo",
+            Op::Reduce { kind, .. } => match kind {
+                ReduceKind::Sum => "ReduceSum",
+                ReduceKind::Mean => "ReduceMean",
+                ReduceKind::Prod => "ReduceProd",
+                ReduceKind::Max => "ReduceMax",
+                ReduceKind::Min => "ReduceMin",
+            },
+            Op::ArgExtreme { largest, .. } => {
+                if *largest {
+                    "ArgMax"
+                } else {
+                    "ArgMin"
+                }
+            }
+            Op::ResizeNearest { .. } => "Resize",
+        }
+    }
+
+    /// Number of graph inputs the operator consumes.
+    pub fn arity(&self) -> usize {
+        match self {
+            Op::Unary(_)
+            | Op::Not
+            | Op::Cast { .. }
+            | Op::Softmax { .. }
+            | Op::Clip { .. }
+            | Op::Reshape { .. }
+            | Op::Transpose { .. }
+            | Op::Slice { .. }
+            | Op::Pad { .. }
+            | Op::Squeeze { .. }
+            | Op::Unsqueeze { .. }
+            | Op::Flatten { .. }
+            | Op::BroadcastTo { .. }
+            | Op::Reduce { .. }
+            | Op::ArgExtreme { .. }
+            | Op::ResizeNearest { .. } => 1,
+            Op::Binary(_) | Op::Compare(_) | Op::Logical(_) | Op::MatMul => 2,
+            Op::Where | Op::Dense { .. } | Op::Conv2d { .. } => 3,
+            Op::MaxPool2d { .. } | Op::AvgPool2d { .. } => 1,
+            Op::BatchNorm => 5,
+            Op::Concat { n, .. } => *n,
+        }
+    }
+
+    /// The operator's *numeric* attributes as `(name, expression)` pairs —
+    /// the `α` iterated over by attribute binning (Algorithm 2).
+    pub fn attr_exprs(&self) -> Vec<(&'static str, IntExpr)> {
+        match self {
+            Op::Dense { in_features, units } => vec![
+                ("in_features", in_features.clone()),
+                ("units", units.clone()),
+            ],
+            Op::Conv2d {
+                in_channels,
+                out_channels,
+                kh,
+                kw,
+                stride,
+                padding,
+                dilation,
+            } => vec![
+                ("in_channels", in_channels.clone()),
+                ("out_channels", out_channels.clone()),
+                ("kernel", kh.clone()),
+                ("kernel", kw.clone()),
+                ("stride", stride.clone()),
+                ("padding", padding.clone()),
+                ("dilation", dilation.clone()),
+            ],
+            Op::MaxPool2d {
+                kh,
+                kw,
+                stride,
+                padding,
+            }
+            | Op::AvgPool2d {
+                kh,
+                kw,
+                stride,
+                padding,
+            } => vec![
+                ("kernel", kh.clone()),
+                ("kernel", kw.clone()),
+                ("stride", stride.clone()),
+                ("padding", padding.clone()),
+            ],
+            Op::Reshape { dims } | Op::BroadcastTo { dims } => {
+                dims.iter().map(|d| ("dim", d.clone())).collect()
+            }
+            Op::Slice { starts, ends, .. } => {
+                let mut v: Vec<(&'static str, IntExpr)> =
+                    starts.iter().map(|s| ("start", s.clone())).collect();
+                v.extend(ends.iter().map(|e| ("end", e.clone())));
+                v
+            }
+            Op::Pad { pads, .. } => {
+                let mut v = Vec::with_capacity(pads.len() * 2);
+                for (b, a) in pads {
+                    v.push(("padding", b.clone()));
+                    v.push(("padding", a.clone()));
+                }
+                v
+            }
+            Op::ResizeNearest { scale_h, scale_w } => vec![
+                ("scale", scale_h.clone()),
+                ("scale", scale_w.clone()),
+            ],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Substitutes model values into every numeric attribute.
+    pub fn concretize(&self, model: &Model) -> Op {
+        let subst = |e: &IntExpr| -> IntExpr {
+            match model.eval_int(e) {
+                Some(v) => IntExpr::Const(v),
+                None => e.clone(),
+            }
+        };
+        match self {
+            Op::Dense { in_features, units } => Op::Dense {
+                in_features: subst(in_features),
+                units: subst(units),
+            },
+            Op::Conv2d {
+                in_channels,
+                out_channels,
+                kh,
+                kw,
+                stride,
+                padding,
+                dilation,
+            } => Op::Conv2d {
+                in_channels: subst(in_channels),
+                out_channels: subst(out_channels),
+                kh: subst(kh),
+                kw: subst(kw),
+                stride: subst(stride),
+                padding: subst(padding),
+                dilation: subst(dilation),
+            },
+            Op::MaxPool2d {
+                kh,
+                kw,
+                stride,
+                padding,
+            } => Op::MaxPool2d {
+                kh: subst(kh),
+                kw: subst(kw),
+                stride: subst(stride),
+                padding: subst(padding),
+            },
+            Op::AvgPool2d {
+                kh,
+                kw,
+                stride,
+                padding,
+            } => Op::AvgPool2d {
+                kh: subst(kh),
+                kw: subst(kw),
+                stride: subst(stride),
+                padding: subst(padding),
+            },
+            Op::Reshape { dims } => Op::Reshape {
+                dims: dims.iter().map(subst).collect(),
+            },
+            Op::BroadcastTo { dims } => Op::BroadcastTo {
+                dims: dims.iter().map(subst).collect(),
+            },
+            Op::Slice {
+                starts,
+                ends,
+                steps,
+            } => Op::Slice {
+                starts: starts.iter().map(subst).collect(),
+                ends: ends.iter().map(subst).collect(),
+                steps: steps.clone(),
+            },
+            Op::Pad { pads, kind } => Op::Pad {
+                pads: pads.iter().map(|(b, a)| (subst(b), subst(a))).collect(),
+                kind: *kind,
+            },
+            Op::ResizeNearest { scale_h, scale_w } => Op::ResizeNearest {
+                scale_h: subst(scale_h),
+                scale_w: subst(scale_w),
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// True if every numeric attribute is a constant.
+    pub fn is_concrete(&self) -> bool {
+        self.attr_exprs().iter().all(|(_, e)| e.is_const())
+    }
+
+    /// True if the operator can emit NaN/Inf for some in-range inputs
+    /// (Table 1's "vulnerable operators" plus the analogous cases in this
+    /// operator set).
+    pub fn is_vulnerable(&self) -> bool {
+        matches!(
+            self,
+            Op::Unary(
+                UnaryKind::Asin
+                    | UnaryKind::Acos
+                    | UnaryKind::Sqrt
+                    | UnaryKind::Exp
+                    | UnaryKind::Log
+                    | UnaryKind::Log2
+                    | UnaryKind::Tan
+            ) | Op::Binary(BinaryKind::Div | BinaryKind::Pow)
+                | Op::BatchNorm
+        )
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())?;
+        let attrs = self.attr_exprs();
+        if !attrs.is_empty() {
+            write!(f, "{{")?;
+            for (i, (name, e)) in attrs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{name}={e}")?;
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_arity() {
+        assert_eq!(Op::Unary(UnaryKind::Relu).name(), "Relu");
+        assert_eq!(Op::Unary(UnaryKind::Relu).arity(), 1);
+        assert_eq!(Op::Binary(BinaryKind::Add).arity(), 2);
+        assert_eq!(Op::Where.arity(), 3);
+        assert_eq!(Op::BatchNorm.arity(), 5);
+        assert_eq!(Op::Concat { axis: 0, n: 3 }.arity(), 3);
+    }
+
+    #[test]
+    fn vulnerable_classification_matches_table1() {
+        assert!(Op::Unary(UnaryKind::Asin).is_vulnerable());
+        assert!(Op::Binary(BinaryKind::Div).is_vulnerable());
+        assert!(Op::Binary(BinaryKind::Pow).is_vulnerable());
+        assert!(Op::Unary(UnaryKind::Log2).is_vulnerable());
+        assert!(!Op::Unary(UnaryKind::Relu).is_vulnerable());
+        assert!(!Op::MatMul.is_vulnerable());
+    }
+
+    #[test]
+    fn attr_exprs_exposed_for_binning() {
+        let op = Op::Conv2d {
+            in_channels: IntExpr::Const(3),
+            out_channels: IntExpr::Const(8),
+            kh: IntExpr::Const(3),
+            kw: IntExpr::Const(3),
+            stride: IntExpr::Const(1),
+            padding: IntExpr::Const(0),
+            dilation: IntExpr::Const(1),
+        };
+        assert_eq!(op.attr_exprs().len(), 7);
+        assert!(op.is_concrete());
+    }
+
+    #[test]
+    fn display_shows_attrs() {
+        let op = Op::MaxPool2d {
+            kh: IntExpr::Const(2),
+            kw: IntExpr::Const(2),
+            stride: IntExpr::Const(2),
+            padding: IntExpr::Const(0),
+        };
+        let s = format!("{op}");
+        assert!(s.starts_with("MaxPool2d{"));
+        assert!(s.contains("kernel=2"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let op = Op::Reshape {
+            dims: vec![IntExpr::Const(62), IntExpr::Const(62), IntExpr::Const(2)],
+        };
+        let js = serde_json::to_string(&op).unwrap();
+        let op2: Op = serde_json::from_str(&js).unwrap();
+        assert_eq!(op, op2);
+    }
+}

@@ -1,0 +1,885 @@
+//! Operator specifications: validity constraints (`requires`) and output
+//! type computation (`type_transfer`) over symbolic tensor types.
+//!
+//! These are the Rust counterparts of the `requires` / `type_transfer`
+//! methods of Listing 2 in the paper. Shapes are vectors of solver
+//! expressions, so the returned constraints can be handed directly to
+//! `nnsmith-solver` during incremental graph generation.
+
+use std::fmt;
+
+use nnsmith_graph::TensorType;
+use nnsmith_solver::{BoolExpr, IntExpr};
+use nnsmith_tensor::DType;
+
+use crate::op::{Op, PadKind};
+
+/// Errors from applying a specification to structurally-incompatible inputs
+/// (wrong arity, wrong rank, wrong dtype class). The generator's
+/// type-matching filter prevents these; they indicate misuse of the API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Human-readable description.
+    pub context: String,
+}
+
+impl SpecError {
+    pub(crate) fn new(context: impl Into<String>) -> Self {
+        SpecError {
+            context: context.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec error: {}", self.context)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn arity_check(op: &Op, inputs: &[TensorType]) -> Result<(), SpecError> {
+    if inputs.len() != op.arity() {
+        return Err(SpecError::new(format!(
+            "{} expects {} inputs, got {}",
+            op.name(),
+            op.arity(),
+            inputs.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Symbolic NumPy-style broadcast of two shapes: returns the pairwise
+/// compatibility constraints and the output dimensions.
+pub fn broadcast_sym(a: &[IntExpr], b: &[IntExpr]) -> (Vec<BoolExpr>, Vec<IntExpr>) {
+    let rank = a.len().max(b.len());
+    let mut constraints = Vec::new();
+    let mut out = Vec::with_capacity(rank);
+    for i in 0..rank {
+        let da = if i >= rank - a.len() {
+            Some(&a[i - (rank - a.len())])
+        } else {
+            None
+        };
+        let db = if i >= rank - b.len() {
+            Some(&b[i - (rank - b.len())])
+        } else {
+            None
+        };
+        match (da, db) {
+            (Some(x), Some(y)) => {
+                if x != y {
+                    constraints.push(BoolExpr::or([
+                        x.clone().eq_expr(y.clone()),
+                        x.clone().eq_expr(1.into()),
+                        y.clone().eq_expr(1.into()),
+                    ]));
+                }
+                out.push(x.clone().max(y.clone()));
+            }
+            (Some(x), None) => out.push(x.clone()),
+            (None, Some(y)) => out.push(y.clone()),
+            (None, None) => unreachable!("broadcast index within rank"),
+        }
+    }
+    (constraints, out)
+}
+
+impl Op {
+    /// The validity constraints this operator imposes on its inputs and
+    /// attributes — the paper's `requires` (Listing 2 line 10).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `inputs` is structurally incompatible (arity/rank/dtype
+    /// class); the generator's type-matching filter rules these out.
+    pub fn requires(&self, inputs: &[TensorType]) -> Result<Vec<BoolExpr>, SpecError> {
+        arity_check(self, inputs)?;
+        let mut cs: Vec<BoolExpr> = Vec::new();
+        match self {
+            Op::Unary(_) | Op::Not | Op::Cast { .. } | Op::Clip { .. } => {}
+            Op::Softmax { axis } => {
+                if *axis >= inputs[0].rank() {
+                    return Err(SpecError::new("softmax axis out of range"));
+                }
+            }
+            Op::Binary(_) | Op::Compare(_) | Op::Logical(_) => {
+                let (bc, _) = broadcast_sym(&inputs[0].shape, &inputs[1].shape);
+                cs.extend(bc);
+            }
+            Op::Where => {
+                let (c1, mid) = broadcast_sym(&inputs[1].shape, &inputs[2].shape);
+                let (c2, _) = broadcast_sym(&inputs[0].shape, &mid);
+                cs.extend(c1);
+                cs.extend(c2);
+            }
+            Op::MatMul => {
+                let a = &inputs[0];
+                let b = &inputs[1];
+                let (ra, rb) = (a.rank(), b.rank());
+                if ra == 0 || rb == 0 {
+                    return Err(SpecError::new("matmul does not accept scalars"));
+                }
+                let a_inner = a.shape[ra - 1].clone();
+                let b_inner = if rb == 1 {
+                    b.shape[0].clone()
+                } else {
+                    b.shape[rb - 2].clone()
+                };
+                cs.push(a_inner.eq_expr(b_inner));
+                if ra >= 2 && rb >= 2 {
+                    let (bc, _) =
+                        broadcast_sym(&a.shape[..ra - 2], &b.shape[..rb - 2]);
+                    cs.extend(bc);
+                }
+            }
+            Op::Dense { in_features, units } => {
+                let x = &inputs[0];
+                if x.rank() < 1 {
+                    return Err(SpecError::new("dense input must have rank >= 1"));
+                }
+                cs.push(x.shape[x.rank() - 1].clone().eq_expr(in_features.clone()));
+                expect_shape(&mut cs, &inputs[1], &[in_features.clone(), units.clone()])?;
+                expect_shape(&mut cs, &inputs[2], &[units.clone()])?;
+            }
+            Op::Conv2d {
+                in_channels,
+                out_channels,
+                kh,
+                kw,
+                stride: _,
+                padding,
+                dilation,
+            } => {
+                let x = &inputs[0];
+                if x.rank() != 4 {
+                    return Err(SpecError::new("conv2d input must be NCHW"));
+                }
+                cs.push(x.shape[1].clone().eq_expr(in_channels.clone()));
+                expect_shape(
+                    &mut cs,
+                    &inputs[1],
+                    &[
+                        out_channels.clone(),
+                        in_channels.clone(),
+                        kh.clone(),
+                        kw.clone(),
+                    ],
+                )?;
+                expect_shape(&mut cs, &inputs[2], &[out_channels.clone()])?;
+                // Dilated kernel fits the padded image.
+                let two_p = IntExpr::from(2) * padding.clone();
+                let eff_kh =
+                    dilation.clone() * (kh.clone() - 1.into()) + IntExpr::from(1);
+                let eff_kw =
+                    dilation.clone() * (kw.clone() - 1.into()) + IntExpr::from(1);
+                cs.push(eff_kh.le(x.shape[2].clone() + two_p.clone()));
+                cs.push(eff_kw.le(x.shape[3].clone() + two_p));
+            }
+            Op::MaxPool2d {
+                kh,
+                kw,
+                stride: _,
+                padding,
+            }
+            | Op::AvgPool2d {
+                kh,
+                kw,
+                stride: _,
+                padding,
+            } => {
+                let x = &inputs[0];
+                if x.rank() != 4 {
+                    return Err(SpecError::new("pool2d input must be NCHW"));
+                }
+                let two_p = IntExpr::from(2) * padding.clone();
+                cs.push(kh.clone().le(x.shape[2].clone() + two_p.clone()));
+                cs.push(kw.clone().le(x.shape[3].clone() + two_p));
+                // Kernel windows must see at least one real element.
+                cs.push(padding.clone().le(kh.clone() - 1.into()));
+                cs.push(padding.clone().le(kw.clone() - 1.into()));
+            }
+            Op::BatchNorm => {
+                let x = &inputs[0];
+                if x.rank() != 4 {
+                    return Err(SpecError::new("batch_norm input must be NCHW"));
+                }
+                let c = x.shape[1].clone();
+                for stat in &inputs[1..] {
+                    expect_shape(&mut cs, stat, &[c.clone()])?;
+                }
+            }
+            Op::Reshape { dims } => {
+                let in_elems = inputs[0].numel_expr();
+                let out_elems = dims
+                    .iter()
+                    .fold(IntExpr::Const(1), |acc, d| acc * d.clone());
+                cs.push(in_elems.eq_expr(out_elems));
+            }
+            Op::Transpose { perm } => {
+                if perm.len() != inputs[0].rank() {
+                    return Err(SpecError::new("transpose perm rank mismatch"));
+                }
+            }
+            Op::Slice {
+                starts,
+                ends,
+                steps,
+            } => {
+                let x = &inputs[0];
+                if starts.len() != x.rank() || ends.len() != x.rank() || steps.len() != x.rank()
+                {
+                    return Err(SpecError::new("slice parameter rank mismatch"));
+                }
+                for d in 0..x.rank() {
+                    cs.push(starts[d].clone().ge(0.into()));
+                    cs.push(starts[d].clone().lt(ends[d].clone()));
+                    cs.push(ends[d].clone().le(x.shape[d].clone()));
+                }
+            }
+            Op::Pad { pads, kind } => {
+                let x = &inputs[0];
+                if pads.len() != x.rank() {
+                    return Err(SpecError::new("pad parameter rank mismatch"));
+                }
+                for (d, (b, a)) in pads.iter().enumerate() {
+                    match kind {
+                        PadKind::Constant => {
+                            // Cropping allowed, but the result must stay
+                            // non-empty.
+                            cs.push(
+                                (x.shape[d].clone() + b.clone() + a.clone())
+                                    .ge(1.into()),
+                            );
+                        }
+                        PadKind::Reflect => {
+                            cs.push(b.clone().ge(0.into()));
+                            cs.push(a.clone().ge(0.into()));
+                            cs.push(b.clone().le(x.shape[d].clone() - 1.into()));
+                            cs.push(a.clone().le(x.shape[d].clone() - 1.into()));
+                        }
+                        PadKind::Replicate => {
+                            cs.push(b.clone().ge(0.into()));
+                            cs.push(a.clone().ge(0.into()));
+                        }
+                    }
+                }
+            }
+            Op::Concat { axis, n } => {
+                if inputs.len() != *n {
+                    return Err(SpecError::new("concat arity mismatch"));
+                }
+                let r = inputs[0].rank();
+                if *axis >= r {
+                    return Err(SpecError::new("concat axis out of range"));
+                }
+                for t in &inputs[1..] {
+                    if t.rank() != r {
+                        return Err(SpecError::new("concat rank mismatch"));
+                    }
+                    for d in 0..r {
+                        if d != *axis {
+                            cs.push(t.shape[d].clone().eq_expr(inputs[0].shape[d].clone()));
+                        }
+                    }
+                }
+            }
+            Op::Squeeze { axis } => {
+                if *axis >= inputs[0].rank() {
+                    return Err(SpecError::new("squeeze axis out of range"));
+                }
+                cs.push(inputs[0].shape[*axis].clone().eq_expr(1.into()));
+            }
+            Op::Unsqueeze { axis } => {
+                if *axis > inputs[0].rank() {
+                    return Err(SpecError::new("unsqueeze axis out of range"));
+                }
+            }
+            Op::Flatten { axis } => {
+                if *axis > inputs[0].rank() {
+                    return Err(SpecError::new("flatten axis out of range"));
+                }
+            }
+            Op::BroadcastTo { dims } => {
+                let x = &inputs[0];
+                if dims.len() < x.rank() {
+                    return Err(SpecError::new("broadcast_to target rank too small"));
+                }
+                let offset = dims.len() - x.rank();
+                for (d, in_dim) in x.shape.iter().enumerate() {
+                    let out_dim = &dims[offset + d];
+                    cs.push(BoolExpr::or([
+                        in_dim.clone().eq_expr(out_dim.clone()),
+                        in_dim.clone().eq_expr(1.into()),
+                    ]));
+                }
+            }
+            Op::Reduce { axes, .. } => {
+                if axes.iter().any(|&a| a >= inputs[0].rank()) {
+                    return Err(SpecError::new("reduce axis out of range"));
+                }
+            }
+            Op::ArgExtreme { axis, .. } => {
+                if *axis >= inputs[0].rank() {
+                    return Err(SpecError::new("arg axis out of range"));
+                }
+            }
+            Op::ResizeNearest { scale_h, scale_w } => {
+                if inputs[0].rank() != 4 {
+                    return Err(SpecError::new("resize input must be NCHW"));
+                }
+                cs.push(scale_h.clone().ge(1.into()));
+                cs.push(scale_w.clone().ge(1.into()));
+            }
+        }
+        Ok(cs)
+    }
+
+    /// Output tensor types as a function of input types — the paper's
+    /// `type_transfer` (Listing 2 line 16).
+    ///
+    /// # Errors
+    ///
+    /// Fails on structurally-incompatible inputs.
+    pub fn type_transfer(&self, inputs: &[TensorType]) -> Result<Vec<TensorType>, SpecError> {
+        arity_check(self, inputs)?;
+        let out = match self {
+            Op::Unary(_) | Op::Clip { .. } | Op::Softmax { .. } | Op::Not => {
+                vec![inputs[0].clone()]
+            }
+            Op::Cast { to } => vec![TensorType::new(*to, inputs[0].shape.clone())],
+            Op::Binary(_) => {
+                let (_, dims) = broadcast_sym(&inputs[0].shape, &inputs[1].shape);
+                vec![TensorType::new(inputs[0].dtype, dims)]
+            }
+            Op::Compare(_) => {
+                let (_, dims) = broadcast_sym(&inputs[0].shape, &inputs[1].shape);
+                vec![TensorType::new(DType::Bool, dims)]
+            }
+            Op::Logical(_) => {
+                let (_, dims) = broadcast_sym(&inputs[0].shape, &inputs[1].shape);
+                vec![TensorType::new(DType::Bool, dims)]
+            }
+            Op::Where => {
+                let (_, mid) = broadcast_sym(&inputs[1].shape, &inputs[2].shape);
+                let (_, dims) = broadcast_sym(&inputs[0].shape, &mid);
+                vec![TensorType::new(inputs[1].dtype, dims)]
+            }
+            Op::MatMul => {
+                let a = &inputs[0];
+                let b = &inputs[1];
+                let (ra, rb) = (a.rank(), b.rank());
+                if ra == 0 || rb == 0 {
+                    return Err(SpecError::new("matmul does not accept scalars"));
+                }
+                let mut dims: Vec<IntExpr> = if ra >= 2 && rb >= 2 {
+                    let (_, batch) = broadcast_sym(&a.shape[..ra - 2], &b.shape[..rb - 2]);
+                    batch
+                } else {
+                    Vec::new()
+                };
+                if ra >= 2 {
+                    dims.push(a.shape[ra - 2].clone());
+                }
+                if rb >= 2 {
+                    dims.push(b.shape[rb - 1].clone());
+                }
+                vec![TensorType::new(a.dtype, dims)]
+            }
+            Op::Dense { units, .. } => {
+                let x = &inputs[0];
+                let mut dims = x.shape[..x.rank() - 1].to_vec();
+                dims.push(units.clone());
+                vec![TensorType::new(x.dtype, dims)]
+            }
+            Op::Conv2d {
+                out_channels,
+                kh,
+                kw,
+                stride,
+                padding,
+                dilation,
+                ..
+            } => {
+                let x = &inputs[0];
+                let two_p = IntExpr::from(2) * padding.clone();
+                let eff_kh =
+                    dilation.clone() * (kh.clone() - 1.into()) + IntExpr::from(1);
+                let eff_kw =
+                    dilation.clone() * (kw.clone() - 1.into()) + IntExpr::from(1);
+                let oh = (x.shape[2].clone() + two_p.clone() - eff_kh) / stride.clone()
+                    + IntExpr::from(1);
+                let ow = (x.shape[3].clone() + two_p - eff_kw) / stride.clone()
+                    + IntExpr::from(1);
+                vec![TensorType::new(
+                    x.dtype,
+                    vec![x.shape[0].clone(), out_channels.clone(), oh, ow],
+                )]
+            }
+            Op::MaxPool2d {
+                kh,
+                kw,
+                stride,
+                padding,
+            }
+            | Op::AvgPool2d {
+                kh,
+                kw,
+                stride,
+                padding,
+            } => {
+                let x = &inputs[0];
+                let two_p = IntExpr::from(2) * padding.clone();
+                let oh = (x.shape[2].clone() + two_p.clone() - kh.clone()) / stride.clone()
+                    + IntExpr::from(1);
+                let ow = (x.shape[3].clone() + two_p - kw.clone()) / stride.clone()
+                    + IntExpr::from(1);
+                vec![TensorType::new(
+                    x.dtype,
+                    vec![x.shape[0].clone(), x.shape[1].clone(), oh, ow],
+                )]
+            }
+            Op::BatchNorm => vec![inputs[0].clone()],
+            Op::Reshape { dims } => {
+                vec![TensorType::new(inputs[0].dtype, dims.clone())]
+            }
+            Op::Transpose { perm } => {
+                if perm.len() != inputs[0].rank() {
+                    return Err(SpecError::new("transpose perm rank mismatch"));
+                }
+                let dims = perm.iter().map(|&p| inputs[0].shape[p].clone()).collect();
+                vec![TensorType::new(inputs[0].dtype, dims)]
+            }
+            Op::Slice {
+                starts,
+                ends,
+                steps,
+            } => {
+                let x = &inputs[0];
+                let dims = (0..x.rank())
+                    .map(|d| {
+                        let span = ends[d].clone() - starts[d].clone();
+                        (span + IntExpr::from(steps[d] - 1)) / IntExpr::from(steps[d])
+                    })
+                    .collect();
+                vec![TensorType::new(x.dtype, dims)]
+            }
+            Op::Pad { pads, .. } => {
+                let x = &inputs[0];
+                let dims = (0..x.rank())
+                    .map(|d| x.shape[d].clone() + pads[d].0.clone() + pads[d].1.clone())
+                    .collect();
+                vec![TensorType::new(x.dtype, dims)]
+            }
+            Op::Concat { axis, .. } => {
+                let mut dims = inputs[0].shape.clone();
+                dims[*axis] = inputs
+                    .iter()
+                    .map(|t| t.shape[*axis].clone())
+                    .reduce(|a, b| a + b)
+                    .expect("concat arity >= 1");
+                vec![TensorType::new(inputs[0].dtype, dims)]
+            }
+            Op::Squeeze { axis } => {
+                let mut dims = inputs[0].shape.clone();
+                dims.remove(*axis);
+                vec![TensorType::new(inputs[0].dtype, dims)]
+            }
+            Op::Unsqueeze { axis } => {
+                let mut dims = inputs[0].shape.clone();
+                dims.insert(*axis, IntExpr::Const(1));
+                vec![TensorType::new(inputs[0].dtype, dims)]
+            }
+            Op::Flatten { axis } => {
+                let first = inputs[0].shape[..*axis]
+                    .iter()
+                    .fold(IntExpr::Const(1), |acc, d| acc * d.clone());
+                let second = inputs[0].shape[*axis..]
+                    .iter()
+                    .fold(IntExpr::Const(1), |acc, d| acc * d.clone());
+                vec![TensorType::new(inputs[0].dtype, vec![first, second])]
+            }
+            Op::BroadcastTo { dims } => {
+                vec![TensorType::new(inputs[0].dtype, dims.clone())]
+            }
+            Op::Reduce { axes, keepdims, .. } => {
+                let dims = reduced_dims(&inputs[0].shape, axes, *keepdims);
+                vec![TensorType::new(inputs[0].dtype, dims)]
+            }
+            Op::ArgExtreme { axis, keepdims, .. } => {
+                let dims = reduced_dims(&inputs[0].shape, &[*axis], *keepdims);
+                vec![TensorType::new(DType::I64, dims)]
+            }
+            Op::ResizeNearest { scale_h, scale_w } => {
+                let x = &inputs[0];
+                vec![TensorType::new(
+                    x.dtype,
+                    vec![
+                        x.shape[0].clone(),
+                        x.shape[1].clone(),
+                        x.shape[2].clone() * scale_h.clone(),
+                        x.shape[3].clone() * scale_w.clone(),
+                    ],
+                )]
+            }
+        };
+        Ok(out)
+    }
+}
+
+fn reduced_dims(shape: &[IntExpr], axes: &[usize], keepdims: bool) -> Vec<IntExpr> {
+    let mut out = Vec::new();
+    for (d, s) in shape.iter().enumerate() {
+        if axes.contains(&d) {
+            if keepdims {
+                out.push(IntExpr::Const(1));
+            }
+        } else {
+            out.push(s.clone());
+        }
+    }
+    out
+}
+
+/// Asserts that `t` has exactly the given dims (rank must match; dim
+/// equality becomes constraints, folded away when syntactically equal).
+fn expect_shape(
+    cs: &mut Vec<BoolExpr>,
+    t: &TensorType,
+    dims: &[IntExpr],
+) -> Result<(), SpecError> {
+    if t.rank() != dims.len() {
+        return Err(SpecError::new(format!(
+            "expected rank {}, got {}",
+            dims.len(),
+            t.rank()
+        )));
+    }
+    for (a, b) in t.shape.iter().zip(dims) {
+        cs.push(a.clone().eq_expr(b.clone()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{BinaryKind, UnaryKind};
+
+    fn tt(dtype: DType, dims: &[i64]) -> TensorType {
+        TensorType::concrete(dtype, dims)
+    }
+
+    #[test]
+    fn unary_preserves_type() {
+        let op = Op::Unary(UnaryKind::Relu);
+        let input = tt(DType::F32, &[1, 3, 8, 8]);
+        let out = op.type_transfer(std::slice::from_ref(&input)).unwrap();
+        assert_eq!(out, vec![input]);
+    }
+
+    #[test]
+    fn binary_broadcast_shape() {
+        let op = Op::Binary(BinaryKind::Add);
+        let a = tt(DType::F32, &[1, 2, 1, 48]);
+        let b = tt(DType::F32, &[1, 1, 48]);
+        let cs = op.requires(&[a.clone(), b.clone()]).unwrap();
+        // Concrete compatible shapes: no residual constraints.
+        assert!(cs.iter().all(|c| matches!(c, BoolExpr::Lit(true))) || cs.is_empty());
+        let out = op.type_transfer(&[a, b]).unwrap();
+        assert_eq!(out[0].concrete_shape().unwrap(), vec![1, 2, 1, 48]);
+    }
+
+    #[test]
+    fn binary_incompatible_concrete_shapes_fold_false() {
+        let op = Op::Binary(BinaryKind::Add);
+        let a = tt(DType::F32, &[3, 2]);
+        let b = tt(DType::F32, &[4, 2]);
+        let cs = op.requires(&[a, b]).unwrap();
+        assert!(cs.iter().any(|c| matches!(c, BoolExpr::Lit(false))));
+    }
+
+    #[test]
+    fn compare_outputs_bool() {
+        let op = Op::Compare(crate::op::CompareKind::Less);
+        let a = tt(DType::I64, &[4]);
+        let out = op.type_transfer(&[a.clone(), a]).unwrap();
+        assert_eq!(out[0].dtype, DType::Bool);
+    }
+
+    #[test]
+    fn matmul_2d_shapes() {
+        let op = Op::MatMul;
+        let a = tt(DType::F32, &[3, 4]);
+        let b = tt(DType::F32, &[4, 5]);
+        assert!(op
+            .requires(&[a.clone(), b.clone()])
+            .unwrap()
+            .iter()
+            .all(|c| *c == BoolExpr::Lit(true)));
+        let out = op.type_transfer(&[a, b]).unwrap();
+        assert_eq!(out[0].concrete_shape().unwrap(), vec![3, 5]);
+    }
+
+    #[test]
+    fn matmul_vector_cases() {
+        let op = Op::MatMul;
+        // (3) x (3,2) -> (2)
+        let out = op
+            .type_transfer(&[tt(DType::F32, &[3]), tt(DType::F32, &[3, 2])])
+            .unwrap();
+        assert_eq!(out[0].concrete_shape().unwrap(), vec![2]);
+        // (2,3) x (3) -> (2)
+        let out = op
+            .type_transfer(&[tt(DType::F32, &[2, 3]), tt(DType::F32, &[3])])
+            .unwrap();
+        assert_eq!(out[0].concrete_shape().unwrap(), vec![2]);
+        // (3) x (3) -> scalar
+        let out = op
+            .type_transfer(&[tt(DType::F32, &[3]), tt(DType::F32, &[3])])
+            .unwrap();
+        assert_eq!(out[0].rank(), 0);
+    }
+
+    #[test]
+    fn matmul_mismatch_constraint_false() {
+        let op = Op::MatMul;
+        let cs = op
+            .requires(&[tt(DType::F32, &[2, 3]), tt(DType::F32, &[4, 5])])
+            .unwrap();
+        assert!(cs.iter().any(|c| *c == BoolExpr::Lit(false)));
+    }
+
+    #[test]
+    fn conv2d_output_formula() {
+        // The Figure-1 example: x (1,3,64,64), 3x3 kernel, stride 1, pad 0
+        // gives (1,2,62,62).
+        let op = Op::Conv2d {
+            in_channels: IntExpr::Const(3),
+            out_channels: IntExpr::Const(2),
+            kh: IntExpr::Const(3),
+            kw: IntExpr::Const(3),
+            stride: IntExpr::Const(1),
+            padding: IntExpr::Const(0),
+            dilation: IntExpr::Const(1),
+        };
+        let x = tt(DType::F32, &[1, 3, 64, 64]);
+        let w = tt(DType::F32, &[2, 3, 3, 3]);
+        let b = tt(DType::F32, &[2]);
+        let cs = op.requires(&[x.clone(), w.clone(), b.clone()]).unwrap();
+        assert!(cs.iter().all(|c| *c == BoolExpr::Lit(true)));
+        let out = op.type_transfer(&[x, w, b]).unwrap();
+        assert_eq!(out[0].concrete_shape().unwrap(), vec![1, 2, 62, 62]);
+    }
+
+    #[test]
+    fn conv2d_kernel_too_big_folds_false() {
+        let op = Op::Conv2d {
+            in_channels: IntExpr::Const(1),
+            out_channels: IntExpr::Const(1),
+            kh: IntExpr::Const(5),
+            kw: IntExpr::Const(5),
+            stride: IntExpr::Const(1),
+            padding: IntExpr::Const(0),
+            dilation: IntExpr::Const(1),
+        };
+        let x = tt(DType::F32, &[1, 1, 3, 3]);
+        let w = tt(DType::F32, &[1, 1, 5, 5]);
+        let b = tt(DType::F32, &[1]);
+        let cs = op.requires(&[x, w, b]).unwrap();
+        assert!(cs.iter().any(|c| *c == BoolExpr::Lit(false)));
+    }
+
+    #[test]
+    fn pool_output_formula_matches_listing2() {
+        let op = Op::MaxPool2d {
+            kh: IntExpr::Const(3),
+            kw: IntExpr::Const(3),
+            stride: IntExpr::Const(2),
+            padding: IntExpr::Const(1),
+        };
+        let x = tt(DType::F32, &[1, 2, 8, 8]);
+        let out = op.type_transfer(std::slice::from_ref(&x)).unwrap();
+        // (8 - 3 + 2*1)/2 + 1 = 4
+        assert_eq!(out[0].concrete_shape().unwrap(), vec![1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn reshape_conservation_constraint() {
+        // Figure 1: reshape (1,2,62,62) -> (62,62,2) is valid.
+        let op = Op::Reshape {
+            dims: vec![IntExpr::Const(62), IntExpr::Const(62), IntExpr::Const(2)],
+        };
+        let x = tt(DType::F32, &[1, 2, 62, 62]);
+        let cs = op.requires(std::slice::from_ref(&x)).unwrap();
+        assert!(cs.iter().all(|c| *c == BoolExpr::Lit(true)));
+        // And an element-count mismatch folds to false.
+        let bad = Op::Reshape {
+            dims: vec![IntExpr::Const(62), IntExpr::Const(62), IntExpr::Const(3)],
+        };
+        let cs = bad.requires(std::slice::from_ref(&x)).unwrap();
+        assert!(cs.iter().any(|c| *c == BoolExpr::Lit(false)));
+    }
+
+    #[test]
+    fn slice_bounds_and_shape() {
+        let op = Op::Slice {
+            starts: vec![IntExpr::Const(0), IntExpr::Const(1)],
+            ends: vec![IntExpr::Const(4), IntExpr::Const(4)],
+            steps: vec![1, 2],
+        };
+        let x = tt(DType::F32, &[4, 4]);
+        let cs = op.requires(std::slice::from_ref(&x)).unwrap();
+        assert!(cs.iter().all(|c| *c == BoolExpr::Lit(true)));
+        let out = op.type_transfer(std::slice::from_ref(&x)).unwrap();
+        // dim0: (4-0+0)/1 = 4; dim1: ceil(3/2) = 2
+        assert_eq!(out[0].concrete_shape().unwrap(), vec![4, 2]);
+    }
+
+    #[test]
+    fn pad_shapes_and_reflect_limits() {
+        let op = Op::Pad {
+            pads: vec![(IntExpr::Const(1), IntExpr::Const(2))],
+            kind: PadKind::Constant,
+        };
+        let x = tt(DType::F32, &[4]);
+        let out = op.type_transfer(std::slice::from_ref(&x)).unwrap();
+        assert_eq!(out[0].concrete_shape().unwrap(), vec![7]);
+        let refl = Op::Pad {
+            pads: vec![(IntExpr::Const(4), IntExpr::Const(0))],
+            kind: PadKind::Reflect,
+        };
+        let cs = refl.requires(std::slice::from_ref(&x)).unwrap();
+        assert!(cs.iter().any(|c| *c == BoolExpr::Lit(false)));
+    }
+
+    #[test]
+    fn negative_const_pad_allowed_when_nonempty() {
+        let op = Op::Pad {
+            pads: vec![(IntExpr::Const(-1), IntExpr::Const(-1))],
+            kind: PadKind::Constant,
+        };
+        let x = tt(DType::F32, &[4]);
+        let cs = op.requires(std::slice::from_ref(&x)).unwrap();
+        assert!(cs.iter().all(|c| *c == BoolExpr::Lit(true)));
+        let out = op.type_transfer(std::slice::from_ref(&x)).unwrap();
+        assert_eq!(out[0].concrete_shape().unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn concat_sums_axis() {
+        let op = Op::Concat { axis: 1, n: 3 };
+        let a = tt(DType::F32, &[2, 3]);
+        let b = tt(DType::F32, &[2, 4]);
+        let c = tt(DType::F32, &[2, 5]);
+        let cs = op.requires(&[a.clone(), b.clone(), c.clone()]).unwrap();
+        assert!(cs.iter().all(|x| *x == BoolExpr::Lit(true)));
+        let out = op.type_transfer(&[a, b, c]).unwrap();
+        assert_eq!(out[0].concrete_shape().unwrap(), vec![2, 12]);
+    }
+
+    #[test]
+    fn squeeze_requires_one() {
+        let op = Op::Squeeze { axis: 1 };
+        let good = tt(DType::F32, &[2, 1, 3]);
+        assert!(op
+            .requires(std::slice::from_ref(&good))
+            .unwrap()
+            .iter()
+            .all(|c| *c == BoolExpr::Lit(true)));
+        let out = op.type_transfer(std::slice::from_ref(&good)).unwrap();
+        assert_eq!(out[0].concrete_shape().unwrap(), vec![2, 3]);
+        let bad = tt(DType::F32, &[2, 2, 3]);
+        assert!(op
+            .requires(std::slice::from_ref(&bad))
+            .unwrap()
+            .iter()
+            .any(|c| *c == BoolExpr::Lit(false)));
+    }
+
+    #[test]
+    fn broadcast_to_constraints() {
+        let op = Op::BroadcastTo {
+            dims: vec![IntExpr::Const(2), IntExpr::Const(3)],
+        };
+        let ok = tt(DType::F32, &[1, 3]);
+        assert!(op
+            .requires(std::slice::from_ref(&ok))
+            .unwrap()
+            .iter()
+            .all(|c| *c == BoolExpr::Lit(true)));
+        let bad = tt(DType::F32, &[2, 4]);
+        assert!(op
+            .requires(std::slice::from_ref(&bad))
+            .unwrap()
+            .iter()
+            .any(|c| *c == BoolExpr::Lit(false)));
+    }
+
+    #[test]
+    fn reduce_and_arg_shapes() {
+        let op = Op::Reduce {
+            kind: nnsmith_tensor::ReduceKind::Sum,
+            axes: vec![1],
+            keepdims: false,
+        };
+        let x = tt(DType::F32, &[2, 3, 4]);
+        let out = op.type_transfer(std::slice::from_ref(&x)).unwrap();
+        assert_eq!(out[0].concrete_shape().unwrap(), vec![2, 4]);
+        let arg = Op::ArgExtreme {
+            largest: true,
+            axis: 2,
+            keepdims: true,
+        };
+        let out = arg.type_transfer(std::slice::from_ref(&x)).unwrap();
+        assert_eq!(out[0].dtype, DType::I64);
+        assert_eq!(out[0].concrete_shape().unwrap(), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn reduce_to_scalar() {
+        let op = Op::Reduce {
+            kind: nnsmith_tensor::ReduceKind::Mean,
+            axes: vec![0],
+            keepdims: false,
+        };
+        let x = tt(DType::F32, &[5]);
+        let out = op.type_transfer(std::slice::from_ref(&x)).unwrap();
+        assert_eq!(out[0].rank(), 0);
+    }
+
+    #[test]
+    fn where_broadcast_fig_example() {
+        // Where(C_{1x1}, T_{3x1}, F_2) must give 3x2 — the §5.4 bug where
+        // TVM ignored the lower-ranked tensor.
+        let op = Op::Where;
+        let c = tt(DType::Bool, &[1, 1]);
+        let t = tt(DType::F32, &[3, 1]);
+        let f = tt(DType::F32, &[2]);
+        let out = op.type_transfer(&[c, t, f]).unwrap();
+        assert_eq!(out[0].concrete_shape().unwrap(), vec![3, 2]);
+    }
+
+    #[test]
+    fn arity_mismatch_is_error() {
+        let op = Op::Binary(BinaryKind::Add);
+        assert!(op.requires(&[tt(DType::F32, &[1])]).is_err());
+    }
+
+    #[test]
+    fn symbolic_constraints_survive() {
+        use nnsmith_solver::Solver;
+        let mut s = Solver::default();
+        let d = s.new_var("d", 1, 64);
+        let op = Op::Squeeze { axis: 0 };
+        let x = TensorType::new(DType::F32, vec![IntExpr::var(d), IntExpr::Const(3)]);
+        let cs = op.requires(std::slice::from_ref(&x)).unwrap();
+        // d == 1 must be a real constraint, not folded.
+        assert_eq!(cs.len(), 1);
+        s.assert_all(cs);
+        let m = s.check().model().cloned().unwrap();
+        assert_eq!(m.get(d), Some(1));
+    }
+}

@@ -1,0 +1,921 @@
+//! Symbolic operator templates — the "operator specifications" the
+//! generator samples from (the `op` of Algorithm 1).
+//!
+//! A template is an operator *kind*; instantiating it fixes the structural
+//! attributes (axes, ranks, dtypes, arity) and allocates solver variables
+//! for the numeric attributes. The instantiation also reports, for
+//! parameter inputs (convolution kernels, dense weights, batch-norm stats),
+//! the symbolic tensor types of the fresh placeholders the generator must
+//! create — their dimensions are expressions over the operator's attribute
+//! variables, so shape consistency is by construction.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use nnsmith_graph::TensorType;
+use nnsmith_solver::{IntExpr, Solver};
+use nnsmith_tensor::{DType, ReduceKind};
+
+use crate::op::{BinaryKind, CompareKind, LogicalKind, Op, PadKind, UnaryKind};
+
+/// Maximum tensor rank generated.
+pub const MAX_RANK: usize = 4;
+/// Upper bound for placeholder dimensions (keeps fuzzing fast).
+pub const MAX_DIM: i64 = 1 << 20;
+
+/// One graph input slot of a template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    /// Element type this instance requires.
+    pub dtype: DType,
+    /// Exact rank this instance requires.
+    pub rank: usize,
+    /// True if the input should be wired to an existing graph value
+    /// (otherwise it is an operator parameter: always a fresh placeholder).
+    pub from_graph: bool,
+}
+
+/// An instantiated symbolic operator, ready for constraint solving.
+#[derive(Debug, Clone)]
+pub struct BuiltOp {
+    /// The operator with symbolic attributes.
+    pub op: Op,
+    /// Input slots, in operator-input order.
+    pub slots: Vec<Slot>,
+    /// For each non-`from_graph` slot (in input order), the symbolic type
+    /// of the fresh placeholder to create.
+    pub param_types: Vec<TensorType>,
+}
+
+/// Operator templates — one per generatable operator kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpTemplate {
+    /// Elementwise unary.
+    Unary(UnaryKind),
+    /// Binary arithmetic.
+    Binary(BinaryKind),
+    /// Comparison.
+    Compare(CompareKind),
+    /// Boolean logic.
+    Logical(LogicalKind),
+    /// Boolean NOT.
+    Not,
+    /// Conditional select.
+    Where,
+    /// Dtype cast.
+    Cast,
+    /// Softmax.
+    Softmax,
+    /// Clip.
+    Clip,
+    /// Matrix multiplication.
+    MatMul,
+    /// Fully-connected layer.
+    Dense,
+    /// 2-D convolution.
+    Conv2d,
+    /// 2-D max pooling.
+    MaxPool2d,
+    /// 2-D average pooling.
+    AvgPool2d,
+    /// Batch normalization.
+    BatchNorm,
+    /// Reshape.
+    Reshape,
+    /// Transpose.
+    Transpose,
+    /// Strided slice.
+    Slice,
+    /// Padding.
+    Pad(PadKind),
+    /// Concatenation of `n` inputs.
+    Concat(usize),
+    /// Squeeze.
+    Squeeze,
+    /// Unsqueeze.
+    Unsqueeze,
+    /// Flatten.
+    Flatten,
+    /// Broadcast to a target shape.
+    BroadcastTo,
+    /// Reduction.
+    Reduce(ReduceKind),
+    /// ArgMax.
+    ArgMax,
+    /// ArgMin.
+    ArgMin,
+    /// Nearest-neighbour resize.
+    ResizeNearest,
+}
+
+/// The full operator registry (the "operator specifications provided to
+/// NNSmith", §4 — 62 operator kinds here).
+pub fn all_templates() -> Vec<OpTemplate> {
+    let mut t = Vec::new();
+    t.extend(UnaryKind::ALL.into_iter().map(OpTemplate::Unary));
+    t.extend(BinaryKind::ALL.into_iter().map(OpTemplate::Binary));
+    t.extend(CompareKind::ALL.into_iter().map(OpTemplate::Compare));
+    t.extend(LogicalKind::ALL.into_iter().map(OpTemplate::Logical));
+    t.extend([
+        OpTemplate::Not,
+        OpTemplate::Where,
+        OpTemplate::Cast,
+        OpTemplate::Softmax,
+        OpTemplate::Clip,
+        OpTemplate::MatMul,
+        OpTemplate::Dense,
+        OpTemplate::Conv2d,
+        OpTemplate::MaxPool2d,
+        OpTemplate::AvgPool2d,
+        OpTemplate::BatchNorm,
+        OpTemplate::Reshape,
+        OpTemplate::Transpose,
+        OpTemplate::Slice,
+        OpTemplate::Pad(PadKind::Constant),
+        OpTemplate::Pad(PadKind::Reflect),
+        OpTemplate::Pad(PadKind::Replicate),
+        OpTemplate::Concat(2),
+        OpTemplate::Concat(3),
+        OpTemplate::Squeeze,
+        OpTemplate::Unsqueeze,
+        OpTemplate::Flatten,
+        OpTemplate::BroadcastTo,
+        OpTemplate::Reduce(ReduceKind::Sum),
+        OpTemplate::Reduce(ReduceKind::Mean),
+        OpTemplate::Reduce(ReduceKind::Prod),
+        OpTemplate::Reduce(ReduceKind::Max),
+        OpTemplate::Reduce(ReduceKind::Min),
+        OpTemplate::ArgMax,
+        OpTemplate::ArgMin,
+        OpTemplate::ResizeNearest,
+    ]);
+    t
+}
+
+fn sample_rank<R: Rng + ?Sized>(rng: &mut R, min: usize) -> usize {
+    // Mostly 1..=4, occasionally rank-0 scalars (the §5.4 scalar-handling
+    // bug class needs them flowing through graphs).
+    if min == 0 && rng.gen_bool(0.08) {
+        return 0;
+    }
+    rng.gen_range(min.max(1)..=MAX_RANK)
+}
+
+fn sample_float<R: Rng + ?Sized>(rng: &mut R) -> DType {
+    *[DType::F32, DType::F64].choose(rng).expect("nonempty")
+}
+
+fn sample_numeric<R: Rng + ?Sized>(rng: &mut R) -> DType {
+    *DType::NUMERIC.choose(rng).expect("nonempty")
+}
+
+impl OpTemplate {
+    /// Short name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpTemplate::Unary(k) => k.name(),
+            OpTemplate::Binary(k) => k.name(),
+            OpTemplate::Compare(k) => k.name(),
+            OpTemplate::Logical(k) => k.name(),
+            OpTemplate::Not => "Not",
+            OpTemplate::Where => "Where",
+            OpTemplate::Cast => "Cast",
+            OpTemplate::Softmax => "Softmax",
+            OpTemplate::Clip => "Clip",
+            OpTemplate::MatMul => "MatMul",
+            OpTemplate::Dense => "Dense",
+            OpTemplate::Conv2d => "Conv2d",
+            OpTemplate::MaxPool2d => "MaxPool2d",
+            OpTemplate::AvgPool2d => "AvgPool2d",
+            OpTemplate::BatchNorm => "BatchNorm",
+            OpTemplate::Reshape => "Reshape",
+            OpTemplate::Transpose => "Transpose",
+            OpTemplate::Slice => "Slice",
+            OpTemplate::Pad(k) => k.name(),
+            OpTemplate::Concat(_) => "Concat",
+            OpTemplate::Squeeze => "Squeeze",
+            OpTemplate::Unsqueeze => "Unsqueeze",
+            OpTemplate::Flatten => "Flatten",
+            OpTemplate::BroadcastTo => "BroadcastTo",
+            OpTemplate::Reduce(_) => "Reduce",
+            OpTemplate::ArgMax => "ArgMax",
+            OpTemplate::ArgMin => "ArgMin",
+            OpTemplate::ResizeNearest => "Resize",
+        }
+    }
+
+    /// Samples the structural shape of an instance: the dtype/rank of every
+    /// input slot. The generator uses this for type matching *before* any
+    /// solver involvement (Algorithm 1's `TypeMatch`).
+    pub fn sample_slots<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Slot> {
+        let g = |dtype, rank| Slot {
+            dtype,
+            rank,
+            from_graph: true,
+        };
+        let p = |dtype, rank| Slot {
+            dtype,
+            rank,
+            from_graph: false,
+        };
+        match self {
+            OpTemplate::Unary(_) => vec![g(sample_float(rng), sample_rank(rng, 0))],
+            OpTemplate::Binary(BinaryKind::Pow) => {
+                let r = sample_rank(rng, 0);
+                let d = sample_float(rng);
+                // Allow mild rank asymmetry for broadcasting diversity.
+                let r2 = if rng.gen_bool(0.3) { sample_rank(rng, 0).min(r) } else { r };
+                vec![g(d, r), g(d, r2)]
+            }
+            OpTemplate::Binary(_) => {
+                let d = sample_numeric(rng);
+                let r = sample_rank(rng, 0);
+                let r2 = if rng.gen_bool(0.3) { sample_rank(rng, 0).min(r) } else { r };
+                vec![g(d, r), g(d, r2)]
+            }
+            OpTemplate::Compare(_) => {
+                let d = sample_numeric(rng);
+                let r = sample_rank(rng, 0);
+                let r2 = if rng.gen_bool(0.3) { sample_rank(rng, 0).min(r) } else { r };
+                vec![g(d, r), g(d, r2)]
+            }
+            OpTemplate::Logical(_) => {
+                let r = sample_rank(rng, 0);
+                vec![g(DType::Bool, r), g(DType::Bool, r)]
+            }
+            OpTemplate::Not => vec![g(DType::Bool, sample_rank(rng, 0))],
+            OpTemplate::Where => {
+                let d = sample_numeric(rng);
+                let r = sample_rank(rng, 0);
+                let rc = if rng.gen_bool(0.3) { sample_rank(rng, 0).min(r) } else { r };
+                let rf = if rng.gen_bool(0.3) { sample_rank(rng, 0).min(r) } else { r };
+                vec![g(DType::Bool, rc), g(d, r), g(d, rf)]
+            }
+            OpTemplate::Cast => vec![g(sample_numeric(rng), sample_rank(rng, 0))],
+            OpTemplate::Softmax => vec![g(sample_float(rng), sample_rank(rng, 1))],
+            OpTemplate::Clip => vec![g(sample_numeric(rng), sample_rank(rng, 0))],
+            OpTemplate::MatMul => {
+                let d = sample_float(rng);
+                let (ra, rb) = *[(2, 2), (2, 2), (1, 2), (2, 1), (1, 1), (3, 3), (4, 4), (3, 2)]
+                    .choose(rng)
+                    .expect("nonempty");
+                vec![g(d, ra), g(d, rb)]
+            }
+            OpTemplate::Dense => {
+                let d = sample_float(rng);
+                let r = rng.gen_range(1..=MAX_RANK);
+                vec![g(d, r), p(d, 2), p(d, 1)]
+            }
+            OpTemplate::Conv2d => {
+                let d = sample_float(rng);
+                vec![g(d, 4), p(d, 4), p(d, 1)]
+            }
+            OpTemplate::MaxPool2d | OpTemplate::AvgPool2d => {
+                vec![g(sample_float(rng), 4)]
+            }
+            OpTemplate::BatchNorm => {
+                let d = sample_float(rng);
+                vec![g(d, 4), p(d, 1), p(d, 1), p(d, 1), p(d, 1)]
+            }
+            OpTemplate::Reshape => vec![g(sample_numeric(rng), sample_rank(rng, 1))],
+            OpTemplate::Transpose => vec![g(sample_numeric(rng), sample_rank(rng, 1))],
+            OpTemplate::Slice => vec![g(sample_numeric(rng), sample_rank(rng, 1))],
+            OpTemplate::Pad(_) => vec![g(sample_float(rng), sample_rank(rng, 1))],
+            OpTemplate::Concat(n) => {
+                let d = sample_numeric(rng);
+                let r = sample_rank(rng, 1);
+                (0..*n).map(|_| g(d, r)).collect()
+            }
+            OpTemplate::Squeeze => vec![g(sample_numeric(rng), sample_rank(rng, 1))],
+            OpTemplate::Unsqueeze => vec![g(sample_numeric(rng), sample_rank(rng, 0))],
+            OpTemplate::Flatten => vec![g(sample_numeric(rng), sample_rank(rng, 1))],
+            OpTemplate::BroadcastTo => vec![g(sample_numeric(rng), sample_rank(rng, 1))],
+            OpTemplate::Reduce(_) => vec![g(sample_numeric(rng), sample_rank(rng, 1))],
+            OpTemplate::ArgMax | OpTemplate::ArgMin => {
+                vec![g(sample_numeric(rng), sample_rank(rng, 1))]
+            }
+            OpTemplate::ResizeNearest => vec![g(sample_float(rng), 4)],
+        }
+    }
+
+    /// Builds a symbolic operator instance for inputs of the given types
+    /// (which must match `slots`' dtypes/ranks). Allocates attribute
+    /// variables in `solver` and derives parameter-placeholder types.
+    ///
+    /// Returns `None` when the inputs are structurally unusable.
+    pub fn build<R: Rng + ?Sized>(
+        &self,
+        slots: &[Slot],
+        input_types: &[TensorType],
+        solver: &mut Solver,
+        rng: &mut R,
+    ) -> Option<BuiltOp> {
+        debug_assert_eq!(slots.len(), input_types.len());
+        let x = input_types.first();
+        let mut param_types: Vec<TensorType> = Vec::new();
+        let op = match self {
+            OpTemplate::Unary(k) => Op::Unary(*k),
+            OpTemplate::Binary(k) => Op::Binary(*k),
+            OpTemplate::Compare(k) => Op::Compare(*k),
+            OpTemplate::Logical(k) => Op::Logical(*k),
+            OpTemplate::Not => Op::Not,
+            OpTemplate::Where => Op::Where,
+            OpTemplate::Cast => {
+                let to = *DType::NUMERIC.choose(rng).expect("nonempty");
+                Op::Cast { to }
+            }
+            OpTemplate::Softmax => {
+                let r = x?.rank();
+                if r == 0 {
+                    return None;
+                }
+                Op::Softmax {
+                    axis: rng.gen_range(0..r),
+                }
+            }
+            OpTemplate::Clip => {
+                let lo = rng.gen_range(-8..=0);
+                let hi = rng.gen_range(lo + 1..=8);
+                Op::Clip { lo, hi }
+            }
+            OpTemplate::MatMul => Op::MatMul,
+            OpTemplate::Dense => {
+                let x = x?;
+                if x.rank() == 0 {
+                    return None;
+                }
+                let in_features = x.shape[x.rank() - 1].clone();
+                let units = IntExpr::var(solver.new_var("dense_units", 1, 64));
+                param_types.push(TensorType::new(
+                    x.dtype,
+                    vec![in_features.clone(), units.clone()],
+                ));
+                param_types.push(TensorType::new(x.dtype, vec![units.clone()]));
+                Op::Dense { in_features, units }
+            }
+            OpTemplate::Conv2d => {
+                let x = x?;
+                if x.rank() != 4 {
+                    return None;
+                }
+                let in_channels = x.shape[1].clone();
+                let out_channels = IntExpr::var(solver.new_var("conv_oc", 1, 8));
+                let kh = IntExpr::var(solver.new_var("conv_kh", 1, 5));
+                let kw = IntExpr::var(solver.new_var("conv_kw", 1, 5));
+                let stride = IntExpr::var(solver.new_var("conv_stride", 1, 4));
+                let padding = IntExpr::var(solver.new_var("conv_pad", 0, 3));
+                let dilation = IntExpr::var(solver.new_var("conv_dil", 1, 3));
+                param_types.push(TensorType::new(
+                    x.dtype,
+                    vec![
+                        out_channels.clone(),
+                        in_channels.clone(),
+                        kh.clone(),
+                        kw.clone(),
+                    ],
+                ));
+                param_types.push(TensorType::new(x.dtype, vec![out_channels.clone()]));
+                Op::Conv2d {
+                    in_channels,
+                    out_channels,
+                    kh,
+                    kw,
+                    stride,
+                    padding,
+                    dilation,
+                }
+            }
+            OpTemplate::MaxPool2d | OpTemplate::AvgPool2d => {
+                let kh = IntExpr::var(solver.new_var("pool_kh", 1, 5));
+                let kw = IntExpr::var(solver.new_var("pool_kw", 1, 5));
+                let stride = IntExpr::var(solver.new_var("pool_stride", 1, 4));
+                let padding = IntExpr::var(solver.new_var("pool_pad", 0, 3));
+                if matches!(self, OpTemplate::MaxPool2d) {
+                    Op::MaxPool2d {
+                        kh,
+                        kw,
+                        stride,
+                        padding,
+                    }
+                } else {
+                    Op::AvgPool2d {
+                        kh,
+                        kw,
+                        stride,
+                        padding,
+                    }
+                }
+            }
+            OpTemplate::BatchNorm => {
+                let x = x?;
+                if x.rank() != 4 {
+                    return None;
+                }
+                let c = x.shape[1].clone();
+                for _ in 0..4 {
+                    param_types.push(TensorType::new(x.dtype, vec![c.clone()]));
+                }
+                Op::BatchNorm
+            }
+            OpTemplate::Reshape => {
+                let out_rank = rng.gen_range(1..=MAX_RANK);
+                let dims = (0..out_rank)
+                    .map(|i| {
+                        IntExpr::var(solver.new_var(format!("reshape_d{i}"), 1, MAX_DIM))
+                    })
+                    .collect();
+                Op::Reshape { dims }
+            }
+            OpTemplate::Transpose => {
+                let r = x?.rank();
+                let mut perm: Vec<usize> = (0..r).collect();
+                perm.shuffle(rng);
+                Op::Transpose { perm }
+            }
+            OpTemplate::Slice => {
+                let r = x?.rank();
+                let starts = (0..r)
+                    .map(|i| IntExpr::var(solver.new_var(format!("slice_s{i}"), 0, MAX_DIM)))
+                    .collect();
+                let ends = (0..r)
+                    .map(|i| IntExpr::var(solver.new_var(format!("slice_e{i}"), 1, MAX_DIM)))
+                    .collect();
+                let steps = (0..r)
+                    .map(|_| *[1i64, 1, 1, 2, 3].choose(rng).expect("nonempty"))
+                    .collect();
+                Op::Slice {
+                    starts,
+                    ends,
+                    steps,
+                }
+            }
+            OpTemplate::Pad(kind) => {
+                let r = x?.rank();
+                let lo = if *kind == PadKind::Constant { -3 } else { 0 };
+                let pads = (0..r)
+                    .map(|i| {
+                        (
+                            IntExpr::var(solver.new_var(format!("pad_b{i}"), lo, 6)),
+                            IntExpr::var(solver.new_var(format!("pad_a{i}"), lo, 6)),
+                        )
+                    })
+                    .collect();
+                Op::Pad { pads, kind: *kind }
+            }
+            OpTemplate::Concat(n) => {
+                let r = x?.rank();
+                if r == 0 {
+                    return None;
+                }
+                Op::Concat {
+                    axis: rng.gen_range(0..r),
+                    n: *n,
+                }
+            }
+            OpTemplate::Squeeze => {
+                let r = x?.rank();
+                if r == 0 {
+                    return None;
+                }
+                Op::Squeeze {
+                    axis: rng.gen_range(0..r),
+                }
+            }
+            OpTemplate::Unsqueeze => {
+                let r = x?.rank();
+                Op::Unsqueeze {
+                    axis: rng.gen_range(0..=r),
+                }
+            }
+            OpTemplate::Flatten => {
+                let r = x?.rank();
+                Op::Flatten {
+                    axis: rng.gen_range(0..=r),
+                }
+            }
+            OpTemplate::BroadcastTo => {
+                let in_rank = x?.rank();
+                let out_rank = rng.gen_range(in_rank.max(1)..=MAX_RANK.max(in_rank));
+                let dims = (0..out_rank)
+                    .map(|i| IntExpr::var(solver.new_var(format!("bcast_d{i}"), 1, MAX_DIM)))
+                    .collect();
+                Op::BroadcastTo { dims }
+            }
+            OpTemplate::Reduce(kind) => {
+                let r = x?.rank();
+                if r == 0 {
+                    return None;
+                }
+                let n_axes = rng.gen_range(1..=r);
+                let mut axes: Vec<usize> = (0..r).collect();
+                axes.shuffle(rng);
+                axes.truncate(n_axes);
+                axes.sort_unstable();
+                Op::Reduce {
+                    kind: *kind,
+                    axes,
+                    keepdims: rng.gen_bool(0.5),
+                }
+            }
+            OpTemplate::ArgMax | OpTemplate::ArgMin => {
+                let r = x?.rank();
+                if r == 0 {
+                    return None;
+                }
+                Op::ArgExtreme {
+                    largest: matches!(self, OpTemplate::ArgMax),
+                    axis: rng.gen_range(0..r),
+                    keepdims: rng.gen_bool(0.5),
+                }
+            }
+            OpTemplate::ResizeNearest => {
+                let scale_h = IntExpr::var(solver.new_var("resize_sh", 1, 4));
+                let scale_w = IntExpr::var(solver.new_var("resize_sw", 1, 4));
+                Op::ResizeNearest { scale_h, scale_w }
+            }
+        };
+        Some(BuiltOp {
+            op,
+            slots: slots.to_vec(),
+            param_types,
+        })
+    }
+
+    /// For backward insertion (Algorithm 1 line 15): given the placeholder
+    /// type the operator's output must match, produce the dtype/rank of
+    /// fresh input placeholders — the paper's `infer_input_type`
+    /// (Listing 2 line 23). Returns `None` when this operator cannot
+    /// produce such an output.
+    pub fn infer_input_slots<R: Rng + ?Sized>(
+        &self,
+        out: &TensorType,
+        rng: &mut R,
+    ) -> Option<Vec<Slot>> {
+        let r = out.rank();
+        let g = |dtype, rank| Slot {
+            dtype,
+            rank,
+            from_graph: true,
+        };
+        let p = |dtype, rank| Slot {
+            dtype,
+            rank,
+            from_graph: false,
+        };
+        let slots = match self {
+            OpTemplate::Unary(_) => {
+                if !out.dtype.is_float() {
+                    return None;
+                }
+                vec![g(out.dtype, r)]
+            }
+            OpTemplate::Binary(BinaryKind::Pow) => {
+                if !out.dtype.is_float() {
+                    return None;
+                }
+                vec![g(out.dtype, r), g(out.dtype, r)]
+            }
+            OpTemplate::Binary(_) => {
+                if !out.dtype.is_numeric() {
+                    return None;
+                }
+                vec![g(out.dtype, r), g(out.dtype, r)]
+            }
+            OpTemplate::Compare(_) => {
+                if out.dtype != DType::Bool {
+                    return None;
+                }
+                let d = sample_numeric(rng);
+                vec![g(d, r), g(d, r)]
+            }
+            OpTemplate::Logical(_) => {
+                if out.dtype != DType::Bool {
+                    return None;
+                }
+                vec![g(DType::Bool, r), g(DType::Bool, r)]
+            }
+            OpTemplate::Not => {
+                if out.dtype != DType::Bool {
+                    return None;
+                }
+                vec![g(DType::Bool, r)]
+            }
+            OpTemplate::Where => {
+                if !out.dtype.is_numeric() {
+                    return None;
+                }
+                vec![g(DType::Bool, r), g(out.dtype, r), g(out.dtype, r)]
+            }
+            OpTemplate::Cast => {
+                if !out.dtype.is_numeric() {
+                    return None;
+                }
+                vec![g(sample_numeric(rng), r)]
+            }
+            OpTemplate::Softmax => {
+                if !out.dtype.is_float() || r == 0 {
+                    return None;
+                }
+                vec![g(out.dtype, r)]
+            }
+            OpTemplate::Clip => {
+                if !out.dtype.is_numeric() {
+                    return None;
+                }
+                vec![g(out.dtype, r)]
+            }
+            OpTemplate::MatMul => {
+                if !out.dtype.is_float() || r < 2 {
+                    return None;
+                }
+                vec![g(out.dtype, r), g(out.dtype, r)]
+            }
+            OpTemplate::Dense => {
+                if !out.dtype.is_float() || r == 0 {
+                    return None;
+                }
+                vec![g(out.dtype, r), p(out.dtype, 2), p(out.dtype, 1)]
+            }
+            OpTemplate::Conv2d => {
+                if !out.dtype.is_float() || r != 4 {
+                    return None;
+                }
+                vec![g(out.dtype, 4), p(out.dtype, 4), p(out.dtype, 1)]
+            }
+            OpTemplate::MaxPool2d | OpTemplate::AvgPool2d => {
+                if !out.dtype.is_float() || r != 4 {
+                    return None;
+                }
+                vec![g(out.dtype, 4)]
+            }
+            OpTemplate::BatchNorm => {
+                if !out.dtype.is_float() || r != 4 {
+                    return None;
+                }
+                vec![
+                    g(out.dtype, 4),
+                    p(out.dtype, 1),
+                    p(out.dtype, 1),
+                    p(out.dtype, 1),
+                    p(out.dtype, 1),
+                ]
+            }
+            OpTemplate::Reshape => {
+                if !out.dtype.is_numeric() || r == 0 {
+                    return None;
+                }
+                vec![g(out.dtype, rng.gen_range(1..=MAX_RANK))]
+            }
+            OpTemplate::Transpose => {
+                if !out.dtype.is_numeric() {
+                    return None;
+                }
+                vec![g(out.dtype, r)]
+            }
+            OpTemplate::Slice => {
+                if !out.dtype.is_numeric() || r == 0 {
+                    return None;
+                }
+                vec![g(out.dtype, r)]
+            }
+            OpTemplate::Pad(_) => {
+                if !out.dtype.is_float() || r == 0 {
+                    return None;
+                }
+                vec![g(out.dtype, r)]
+            }
+            OpTemplate::Concat(n) => {
+                if !out.dtype.is_numeric() || r == 0 {
+                    return None;
+                }
+                (0..*n).map(|_| g(out.dtype, r)).collect()
+            }
+            OpTemplate::Squeeze => {
+                if !out.dtype.is_numeric() || r + 1 > MAX_RANK {
+                    return None;
+                }
+                vec![g(out.dtype, r + 1)]
+            }
+            OpTemplate::Unsqueeze => {
+                if !out.dtype.is_numeric() || r == 0 {
+                    return None;
+                }
+                vec![g(out.dtype, r - 1)]
+            }
+            OpTemplate::Flatten => {
+                if !out.dtype.is_numeric() || r != 2 {
+                    return None;
+                }
+                vec![g(out.dtype, rng.gen_range(1..=MAX_RANK))]
+            }
+            OpTemplate::BroadcastTo => {
+                if !out.dtype.is_numeric() || r == 0 {
+                    return None;
+                }
+                vec![g(out.dtype, rng.gen_range(1..=r))]
+            }
+            OpTemplate::Reduce(_) => {
+                if !out.dtype.is_numeric() || r + 1 > MAX_RANK {
+                    return None;
+                }
+                vec![g(out.dtype, r + 1)]
+            }
+            OpTemplate::ArgMax | OpTemplate::ArgMin => {
+                if out.dtype != DType::I64 || r + 1 > MAX_RANK {
+                    return None;
+                }
+                vec![g(sample_numeric(rng), r + 1)]
+            }
+            OpTemplate::ResizeNearest => {
+                if !out.dtype.is_float() || r != 4 {
+                    return None;
+                }
+                vec![g(out.dtype, 4)]
+            }
+        };
+        Some(slots)
+    }
+
+    /// Builds a backward-insertion instance: the operator plus the
+    /// structural axes chosen to be *consistent with the output type*
+    /// (e.g. `Reduce` must pick axes/keepdims that produce `out.rank()`).
+    ///
+    /// The generic path reuses [`OpTemplate::build`]; templates whose
+    /// structural attributes depend on the output override pieces here.
+    pub fn build_backward<R: Rng + ?Sized>(
+        &self,
+        out: &TensorType,
+        slots: &[Slot],
+        input_types: &[TensorType],
+        solver: &mut Solver,
+        rng: &mut R,
+    ) -> Option<BuiltOp> {
+        let mut built = self.build(slots, input_types, solver, rng)?;
+        // Fix up structural attributes so the output rank matches.
+        match &mut built.op {
+            Op::Reshape { dims } | Op::BroadcastTo { dims } => {
+                // Output rank must equal the placeholder's rank: re-sample
+                // dims with the right arity.
+                let need = out.rank();
+                if need == 0 {
+                    return None;
+                }
+                if dims.len() != need {
+                    *dims = (0..need)
+                        .map(|i| {
+                            IntExpr::var(solver.new_var(format!("bwd_d{i}"), 1, MAX_DIM))
+                        })
+                        .collect();
+                }
+            }
+            Op::Reduce { axes, keepdims, .. } => {
+                let in_rank = input_types[0].rank();
+                if *keepdims {
+                    // keepdims preserves rank: only valid if out.rank == in.
+                    if out.rank() != in_rank {
+                        *keepdims = false;
+                    }
+                }
+                if !*keepdims {
+                    // Exactly in_rank - out.rank axes must be reduced.
+                    let need = in_rank.checked_sub(out.rank())?;
+                    if need == 0 || need > in_rank {
+                        return None;
+                    }
+                    let mut all: Vec<usize> = (0..in_rank).collect();
+                    all.shuffle(rng);
+                    all.truncate(need);
+                    all.sort_unstable();
+                    *axes = all;
+                }
+            }
+            Op::ArgExtreme { keepdims, .. } => {
+                let in_rank = input_types[0].rank();
+                *keepdims = out.rank() == in_rank;
+            }
+            Op::Squeeze { axis } => {
+                *axis = rng.gen_range(0..input_types[0].rank());
+            }
+            Op::Unsqueeze { axis } => {
+                *axis = rng.gen_range(0..=input_types[0].rank());
+            }
+            Op::Cast { to } => {
+                *to = out.dtype;
+            }
+            _ => {}
+        }
+        Some(built)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn registry_has_sixty_plus_templates() {
+        let all = all_templates();
+        assert!(all.len() >= 60, "got {}", all.len());
+    }
+
+    #[test]
+    fn sample_slots_consistent_with_build() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut solver = Solver::default();
+        for tmpl in all_templates() {
+            for _ in 0..5 {
+                let slots = tmpl.sample_slots(&mut rng);
+                assert!(!slots.is_empty(), "{} has no slots", tmpl.name());
+                // Fabricate matching input types.
+                let types: Vec<TensorType> = slots
+                    .iter()
+                    .map(|s| {
+                        TensorType::new(
+                            s.dtype,
+                            (0..s.rank)
+                                .map(|_| IntExpr::var(solver.new_dim_var("d")))
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                if let Some(built) = tmpl.build(&slots, &types, &mut solver, &mut rng) {
+                    assert_eq!(built.op.arity(), slots.len());
+                    let n_params = slots.iter().filter(|s| !s.from_graph).count();
+                    assert_eq!(built.param_types.len(), n_params);
+                    // The spec must accept these inputs structurally.
+                    let mut full_types = types.clone();
+                    let mut pi = 0;
+                    for (i, s) in slots.iter().enumerate() {
+                        if !s.from_graph {
+                            full_types[i] = built.param_types[pi].clone();
+                            pi += 1;
+                        }
+                    }
+                    built
+                        .op
+                        .requires(&full_types)
+                        .unwrap_or_else(|e| panic!("{}: {e}", tmpl.name()));
+                    built
+                        .op
+                        .type_transfer(&full_types)
+                        .unwrap_or_else(|e| panic!("{}: {e}", tmpl.name()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conv_param_types_tied_to_attrs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut solver = Solver::default();
+        let tmpl = OpTemplate::Conv2d;
+        let slots = tmpl.sample_slots(&mut rng);
+        let x = TensorType::new(
+            slots[0].dtype,
+            (0..4).map(|_| IntExpr::var(solver.new_dim_var("x"))).collect(),
+        );
+        let types = vec![x.clone(), x.clone(), x.clone()]; // params overridden
+        let built = tmpl.build(&slots, &types, &mut solver, &mut rng).unwrap();
+        // Weight type dims reference the op attributes directly.
+        if let Op::Conv2d { out_channels, kh, .. } = &built.op {
+            assert_eq!(built.param_types[0].shape[0], *out_channels);
+            assert_eq!(built.param_types[0].shape[2], *kh);
+        } else {
+            panic!("not a conv");
+        }
+    }
+
+    #[test]
+    fn infer_input_slots_respects_output_dtype() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let float_out = TensorType::concrete(DType::F32, &[2, 3]);
+        let bool_out = TensorType::concrete(DType::Bool, &[2, 3]);
+        let int_out = TensorType::concrete(DType::I64, &[2, 3]);
+        assert!(OpTemplate::Unary(UnaryKind::Relu)
+            .infer_input_slots(&float_out, &mut rng)
+            .is_some());
+        assert!(OpTemplate::Unary(UnaryKind::Relu)
+            .infer_input_slots(&bool_out, &mut rng)
+            .is_none());
+        assert!(OpTemplate::Compare(CompareKind::Less)
+            .infer_input_slots(&bool_out, &mut rng)
+            .is_some());
+        assert!(OpTemplate::ArgMax
+            .infer_input_slots(&int_out, &mut rng)
+            .is_some());
+        assert!(OpTemplate::ArgMax
+            .infer_input_slots(&float_out, &mut rng)
+            .is_none());
+    }
+
+    #[test]
+    fn conv_backward_needs_rank4_float() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let out4 = TensorType::concrete(DType::F32, &[1, 2, 3, 3]);
+        let out2 = TensorType::concrete(DType::F32, &[2, 3]);
+        assert!(OpTemplate::Conv2d.infer_input_slots(&out4, &mut rng).is_some());
+        assert!(OpTemplate::Conv2d.infer_input_slots(&out2, &mut rng).is_none());
+    }
+}

@@ -1,0 +1,326 @@
+//! Vulnerable-operator loss functions (Tables 1 and 2 of the paper).
+//!
+//! A *vulnerable operator* produces NaN/Inf outside a sub-domain of its
+//! inputs. Each such operator carries a set of tensor inequalities; every
+//! inequality is rewritten into canonical `f(X) ≤ 0` / `f(X) < 0` form and
+//! converted to a scalar loss via Table 2:
+//!
+//! | inequality  | loss                        |
+//! |-------------|-----------------------------|
+//! | `f(X) ≤ 0`  | `Σ max(f(x), 0)`            |
+//! | `f(X) < 0`  | `Σ max(f(x) + ε, 0)`        |
+//!
+//! The gradient-guided search asks the operator that produced the first
+//! NaN/Inf for its *first positive loss* (§3.3) and backpropagates its
+//! gradient. Operators without a specific domain (e.g. `Mul` overflowing)
+//! fall back to a generic magnitude loss that pushes inputs toward a small
+//! range.
+
+use nnsmith_tensor::Tensor;
+
+use crate::op::{BinaryKind, Op, UnaryKind};
+
+/// Default `ε` of the strict-inequality loss conversion (§5.1).
+pub const LOSS_EPSILON: f64 = 1e-10;
+
+/// Exponent bound used for `Exp`/`Pow` stability (`y·ln(x) ≤ 40`, Table 1).
+pub const EXP_BOUND: f64 = 40.0;
+
+/// Magnitude bound of the generic fallback loss.
+pub const GENERIC_BOUND: f64 = 12.0;
+
+/// A positive violation loss and its gradients w.r.t. the operator inputs.
+#[derive(Debug, Clone)]
+pub struct ViolationLoss {
+    /// Scalar loss (positive iff the associated predicate is violated).
+    pub loss: f64,
+    /// Gradient of the loss w.r.t. each operator input (`None` where the
+    /// input does not participate).
+    pub grads: Vec<Option<Tensor>>,
+    /// Which predicate produced the loss (diagnostics).
+    pub predicate: &'static str,
+}
+
+/// Builds `Σ max(f(x), 0)` and `d/dx` from a per-element `f` and `f'`.
+fn hinge_loss(
+    x: &Tensor,
+    f: impl Fn(f64) -> f64,
+    df: impl Fn(f64) -> f64,
+) -> (f64, Tensor) {
+    let mut loss = 0.0;
+    let mut grad = Tensor::zeros(x.shape(), x.dtype());
+    for i in 0..x.numel() {
+        let v = x.lin_f64(i);
+        let fv = f(v);
+        if fv > 0.0 && fv.is_finite() {
+            loss += fv;
+            grad.set_lin_f64(i, df(v));
+        } else if fv.is_nan() || fv.is_infinite() {
+            // Treat an already-exceptional element as maximally violating
+            // and pull it toward zero (direction 1.0 when unknowable).
+            loss += 1.0;
+            let dir = v.signum();
+            grad.set_lin_f64(i, if dir.is_nan() { 1.0 } else { dir });
+        }
+    }
+    (loss, grad)
+}
+
+impl Op {
+    /// The operator's first positive violation loss for the given inputs,
+    /// or `None` when no predicate is violated.
+    ///
+    /// The per-operator predicates implement Table 1; operators without
+    /// listed predicates get the generic magnitude fallback so overflow
+    /// cascades are still repairable.
+    pub fn violation_loss(&self, inputs: &[&Tensor]) -> Option<ViolationLoss> {
+        let none = |n: usize| vec![None; n];
+        match self {
+            Op::Unary(UnaryKind::Asin | UnaryKind::Acos) => {
+                // |X| <= 1  ⇒  |x| - 1 <= 0
+                let (loss, grad) = hinge_loss(
+                    inputs[0],
+                    |x| x.abs() - 1.0,
+                    |x| x.signum(),
+                );
+                (loss > 0.0).then(|| ViolationLoss {
+                    loss,
+                    grads: vec![Some(grad)],
+                    predicate: "|X| <= 1",
+                })
+            }
+            Op::Unary(UnaryKind::Sqrt) => {
+                // X >= 0  ⇒  -x <= 0
+                let (loss, grad) = hinge_loss(inputs[0], |x| -x, |_| -1.0);
+                (loss > 0.0).then(|| ViolationLoss {
+                    loss,
+                    grads: vec![Some(grad)],
+                    predicate: "X >= 0",
+                })
+            }
+            Op::Unary(UnaryKind::Log | UnaryKind::Log2) => {
+                // X > 0  ⇒  -x < 0  ⇒  Σ max(-x + ε, 0)
+                let (loss, grad) =
+                    hinge_loss(inputs[0], |x| -x + LOSS_EPSILON, |_| -1.0);
+                (loss > 0.0).then(|| ViolationLoss {
+                    loss,
+                    grads: vec![Some(grad)],
+                    predicate: "X > 0",
+                })
+            }
+            Op::Unary(UnaryKind::Exp) => {
+                // X <= 40 to avoid overflow.
+                let (loss, grad) =
+                    hinge_loss(inputs[0], |x| x - EXP_BOUND, |_| 1.0);
+                (loss > 0.0).then(|| ViolationLoss {
+                    loss,
+                    grads: vec![Some(grad)],
+                    predicate: "X <= 40",
+                })
+            }
+            Op::Binary(BinaryKind::Div) => {
+                // |Y| > 0  ⇒  Σ max(-|y| + ε, 0); gradient pushes |y| up.
+                let (loss, grad) = hinge_loss(
+                    inputs[1],
+                    |y| -y.abs() + LOSS_EPSILON,
+                    |y| if y >= 0.0 { -1.0 } else { 1.0 },
+                );
+                (loss > 0.0).then(|| ViolationLoss {
+                    loss,
+                    grads: vec![None, Some(grad)],
+                    predicate: "|Y| > 0",
+                })
+            }
+            Op::Binary(BinaryKind::Pow) => {
+                // Predicate 1: X > 0.
+                let (l1, g1) =
+                    hinge_loss(inputs[0], |x| -x + LOSS_EPSILON, |_| -1.0);
+                if l1 > 0.0 {
+                    return Some(ViolationLoss {
+                        loss: l1,
+                        grads: vec![Some(g1), None],
+                        predicate: "X > 0",
+                    });
+                }
+                // Predicate 2: Y·ln(X) <= 40 (elementwise over the broadcast
+                // pair; computed on the aligned full shapes).
+                let shape = nnsmith_tensor::broadcast_shapes(
+                    inputs[0].shape(),
+                    inputs[1].shape(),
+                )
+                .ok()?;
+                let xf = inputs[0].broadcast_to(&shape).ok()?;
+                let yf = inputs[1].broadcast_to(&shape).ok()?;
+                let mut loss = 0.0;
+                let mut gx_full = Tensor::zeros(&shape, inputs[0].dtype());
+                let mut gy_full = Tensor::zeros(&shape, inputs[1].dtype());
+                for i in 0..xf.numel() {
+                    let x = xf.lin_f64(i);
+                    let y = yf.lin_f64(i);
+                    if x > 0.0 {
+                        let v = y * x.ln() - EXP_BOUND;
+                        if v > 0.0 && v.is_finite() {
+                            loss += v;
+                            gx_full.set_lin_f64(i, y / x);
+                            gy_full.set_lin_f64(i, x.ln());
+                        }
+                    }
+                }
+                (loss > 0.0).then(|| {
+                    let gx = gx_full.sum_to(inputs[0].shape()).ok();
+                    let gy = gy_full.sum_to(inputs[1].shape()).ok();
+                    ViolationLoss {
+                        loss,
+                        grads: vec![gx, gy],
+                        predicate: "Y*ln(X) <= 40",
+                    }
+                })
+            }
+            Op::BatchNorm => {
+                // var + eps > 0, i.e. var must not be (too) negative.
+                let (loss, grad) =
+                    hinge_loss(inputs[4], |v| -v + LOSS_EPSILON, |_| -1.0);
+                if loss > 0.0 {
+                    let mut grads = none(5);
+                    grads[4] = Some(grad);
+                    return Some(ViolationLoss {
+                        loss,
+                        grads,
+                        predicate: "var >= 0",
+                    });
+                }
+                None
+            }
+            _ => {
+                // Generic fallback: push float input magnitudes below a
+                // bound so products/sums stop overflowing.
+                let mut grads: Vec<Option<Tensor>> = none(self.arity());
+                let mut loss = 0.0;
+                for (i, x) in inputs.iter().enumerate() {
+                    if !x.dtype().is_float() {
+                        continue;
+                    }
+                    let (l, g) = hinge_loss(
+                        x,
+                        |v| v.abs() - GENERIC_BOUND,
+                        |v| v.signum(),
+                    );
+                    if l > 0.0 {
+                        loss += l;
+                        grads[i] = Some(g);
+                    }
+                }
+                (loss > 0.0).then(|| ViolationLoss {
+                    loss,
+                    grads,
+                    predicate: "|X| <= bound (generic)",
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: Vec<f64>) -> Tensor {
+        Tensor::from_f64(&[data.len()], data).unwrap()
+    }
+
+    #[test]
+    fn asin_loss_positive_outside_domain() {
+        let op = Op::Unary(UnaryKind::Asin);
+        let bad = t(vec![2.0, -0.5]);
+        let v = op.violation_loss(&[&bad]).expect("violated");
+        assert!((v.loss - 1.0).abs() < 1e-9);
+        let g = v.grads[0].as_ref().unwrap();
+        assert_eq!(g.lin_f64(0), 1.0); // push 2.0 down
+        assert_eq!(g.lin_f64(1), 0.0); // -0.5 is fine
+        let ok = t(vec![0.5, -0.5]);
+        assert!(op.violation_loss(&[&ok]).is_none());
+    }
+
+    #[test]
+    fn sqrt_loss() {
+        let op = Op::Unary(UnaryKind::Sqrt);
+        let v = op.violation_loss(&[&t(vec![-3.0, 4.0])]).expect("violated");
+        assert!((v.loss - 3.0).abs() < 1e-9);
+        assert_eq!(v.grads[0].as_ref().unwrap().lin_f64(0), -1.0);
+    }
+
+    #[test]
+    fn div_loss_pushes_divisor_away_from_zero() {
+        let op = Op::Binary(BinaryKind::Div);
+        let num = t(vec![1.0]);
+        let den = t(vec![0.0]);
+        let v = op.violation_loss(&[&num, &den]).expect("violated");
+        assert!(v.loss > 0.0);
+        assert!(v.grads[0].is_none());
+        // Gradient descent: y -= lr * (-1) increases y away from zero.
+        assert_eq!(v.grads[1].as_ref().unwrap().lin_f64(0), -1.0);
+    }
+
+    #[test]
+    fn pow_two_predicates() {
+        let op = Op::Binary(BinaryKind::Pow);
+        // Negative base violates predicate 1.
+        let v = op
+            .violation_loss(&[&t(vec![-2.0]), &t(vec![2.0])])
+            .expect("violated");
+        assert_eq!(v.predicate, "X > 0");
+        // Huge exponent violates predicate 2.
+        let v = op
+            .violation_loss(&[&t(vec![10.0]), &t(vec![100.0])])
+            .expect("violated");
+        assert_eq!(v.predicate, "Y*ln(X) <= 40");
+        assert!(v.grads[1].as_ref().unwrap().lin_f64(0) > 0.0);
+        // In-domain: no loss.
+        assert!(op
+            .violation_loss(&[&t(vec![2.0]), &t(vec![3.0])])
+            .is_none());
+    }
+
+    #[test]
+    fn log_loss_epsilon_strictness() {
+        let op = Op::Unary(UnaryKind::Log);
+        // Exactly zero violates the strict inequality.
+        let v = op.violation_loss(&[&t(vec![0.0])]).expect("violated");
+        assert!(v.loss > 0.0);
+        assert!(op.violation_loss(&[&t(vec![0.5])]).is_none());
+    }
+
+    #[test]
+    fn generic_fallback_for_overflowing_mul() {
+        let op = Op::Binary(BinaryKind::Mul);
+        let big = t(vec![1e30]);
+        let v = op.violation_loss(&[&big, &big]).expect("violated");
+        assert_eq!(v.predicate, "|X| <= bound (generic)");
+        assert!(v.grads[0].is_some());
+        let small = t(vec![2.0]);
+        assert!(op.violation_loss(&[&small, &small]).is_none());
+    }
+
+    #[test]
+    fn batchnorm_negative_variance() {
+        let x = Tensor::ones(&[1, 2, 2, 2], nnsmith_tensor::DType::F64);
+        let stat = Tensor::ones(&[2], nnsmith_tensor::DType::F64);
+        let bad_var = t(vec![-1.0, 1.0]);
+        // Reshape to rank 1 length 2.
+        let bad_var = bad_var.reshaped(&[2]).unwrap();
+        let v = Op::BatchNorm
+            .violation_loss(&[&x, &stat, &stat, &stat, &bad_var])
+            .expect("violated");
+        assert!(v.grads[4].is_some());
+        assert!(v.grads[0].is_none());
+    }
+
+    #[test]
+    fn nan_input_counts_as_violation() {
+        let op = Op::Unary(UnaryKind::Sqrt);
+        let v = op
+            .violation_loss(&[&t(vec![f64::NAN])])
+            .expect("nan treated as violating");
+        assert!(v.loss > 0.0);
+    }
+}

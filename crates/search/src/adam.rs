@@ -1,0 +1,163 @@
+//! Adam optimizer over a set of named tensors.
+//!
+//! Algorithm 3 tunes model inputs and weights with an adaptive learning
+//! rate because loss magnitudes vary by orders of magnitude across
+//! operators (§3.3). Moments are keyed per leaf node and reset whenever the
+//! search switches to a different failing operator's loss.
+
+use std::collections::HashMap;
+
+use nnsmith_graph::NodeId;
+use nnsmith_tensor::Tensor;
+
+/// Adam state for the search's `⟨X, W⟩` update.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    step: u64,
+    m: HashMap<NodeId, Vec<f64>>,
+    v: HashMap<NodeId, Vec<f64>>,
+}
+
+impl Adam {
+    /// Creates an optimizer with the given learning rate (the paper uses
+    /// an initial rate of 0.5, §5.1) and standard β/ε defaults.
+    pub fn new(lr: f64) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            step: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
+    }
+
+    /// Clears moments and the step counter (used when the optimized loss
+    /// function changes).
+    pub fn reset(&mut self) {
+        self.step = 0;
+        self.m.clear();
+        self.v.clear();
+    }
+
+    /// Applies one Adam update: `tensors[id] -= lr · m̂/(√v̂ + ε)` for every
+    /// gradient entry. Returns the largest absolute parameter change.
+    pub fn step(
+        &mut self,
+        tensors: &mut HashMap<NodeId, Tensor>,
+        grads: &HashMap<NodeId, Tensor>,
+    ) -> f64 {
+        self.step += 1;
+        let t = self.step as i32;
+        let bc1 = 1.0 - self.beta1.powi(t);
+        let bc2 = 1.0 - self.beta2.powi(t);
+        let mut max_delta = 0.0f64;
+        for (id, grad) in grads {
+            let Some(param) = tensors.get_mut(id) else {
+                continue;
+            };
+            if !param.dtype().is_float() {
+                continue;
+            }
+            let n = param.numel();
+            let m = self.m.entry(*id).or_insert_with(|| vec![0.0; n]);
+            let v = self.v.entry(*id).or_insert_with(|| vec![0.0; n]);
+            if m.len() != n {
+                *m = vec![0.0; n];
+                *v = vec![0.0; n];
+            }
+            for i in 0..n {
+                let g = grad.lin_f64(i);
+                if !g.is_finite() {
+                    continue;
+                }
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                let delta = self.lr * mhat / (vhat.sqrt() + self.eps);
+                if delta.is_finite() && delta != 0.0 {
+                    param.set_lin_f64(i, param.lin_f64(i) - delta);
+                    max_delta = max_delta.max(delta.abs());
+                }
+            }
+        }
+        max_delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnsmith_tensor::DType;
+
+    #[test]
+    fn descends_a_quadratic() {
+        // Minimize (x - 3)^2 by gradient 2(x - 3).
+        let id = NodeId(0);
+        let mut tensors = HashMap::new();
+        tensors.insert(id, Tensor::from_f64(&[1], vec![10.0]).unwrap());
+        let mut adam = Adam::new(0.5);
+        for _ in 0..200 {
+            let x = tensors[&id].lin_f64(0);
+            let mut g = Tensor::zeros(&[1], DType::F64);
+            g.set_lin_f64(0, 2.0 * (x - 3.0));
+            let grads = HashMap::from([(id, g)]);
+            adam.step(&mut tensors, &grads);
+        }
+        let x = tensors[&id].lin_f64(0);
+        assert!((x - 3.0).abs() < 0.1, "converged to {x}");
+    }
+
+    #[test]
+    fn zero_gradient_changes_nothing() {
+        let id = NodeId(0);
+        let mut tensors = HashMap::new();
+        tensors.insert(id, Tensor::from_f64(&[2], vec![1.0, 2.0]).unwrap());
+        let mut adam = Adam::new(0.5);
+        let grads = HashMap::from([(id, Tensor::zeros(&[2], DType::F64))]);
+        let delta = adam.step(&mut tensors, &grads);
+        assert_eq!(delta, 0.0);
+        assert_eq!(tensors[&id].to_f64_vec(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn integer_params_skipped() {
+        let id = NodeId(0);
+        let mut tensors = HashMap::new();
+        tensors.insert(id, Tensor::from_i32(&[1], vec![5]).unwrap());
+        let mut adam = Adam::new(0.5);
+        let grads = HashMap::from([(id, Tensor::ones(&[1], DType::F64))]);
+        adam.step(&mut tensors, &grads);
+        assert_eq!(tensors[&id].as_i32().unwrap(), &[5]);
+    }
+
+    #[test]
+    fn nan_gradients_ignored() {
+        let id = NodeId(0);
+        let mut tensors = HashMap::new();
+        tensors.insert(id, Tensor::from_f64(&[1], vec![1.0]).unwrap());
+        let mut adam = Adam::new(0.5);
+        let grads = HashMap::from([(id, Tensor::from_f64(&[1], vec![f64::NAN]).unwrap())]);
+        adam.step(&mut tensors, &grads);
+        assert_eq!(tensors[&id].lin_f64(0), 1.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let id = NodeId(0);
+        let mut tensors = HashMap::new();
+        tensors.insert(id, Tensor::from_f64(&[1], vec![1.0]).unwrap());
+        let mut adam = Adam::new(0.5);
+        let grads = HashMap::from([(id, Tensor::ones(&[1], DType::F64))]);
+        adam.step(&mut tensors, &grads);
+        adam.reset();
+        assert_eq!(adam.step, 0);
+        assert!(adam.m.is_empty());
+    }
+}

@@ -1,0 +1,22 @@
+//! # nnsmith-search
+//!
+//! Gradient-guided input/weight search — Algorithm 3 of the NNSmith paper.
+//!
+//! Differential testing is only meaningful when model execution produces no
+//! floating-point exceptional values (§2.3 challenge 3). This crate finds
+//! numerically-valid inputs and weights by repeatedly executing the model,
+//! locating the first operator whose output contains NaN/Inf, and descending
+//! that operator's violation loss (Table 1) with Adam, backpropagating
+//! through the model prefix with proxy derivatives.
+//!
+//! Three methods are provided, matching the series of Figure 11:
+//! [`SearchMethod::Sampling`], [`SearchMethod::Gradient`] (no proxy
+//! derivatives), and [`SearchMethod::GradientProxy`] (the full approach).
+
+#![warn(missing_docs)]
+
+mod adam;
+mod search;
+
+pub use adam::Adam;
+pub use search::{nan_rate, search_values, SearchConfig, SearchMethod, SearchOutcome};

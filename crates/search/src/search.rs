@@ -1,0 +1,529 @@
+//! Gradient-guided value search — Algorithm 3 of the paper.
+//!
+//! Given a concrete model, find inputs and weights `⟨X, W⟩` such that **no
+//! operator** in the graph produces a NaN/Inf during execution (numeric
+//! validity, §2.3 challenge 3). The search repeatedly executes the model,
+//! finds the first operator (topological order) with an exceptional output,
+//! asks it for its first positive violation loss (Table 1), and
+//! backpropagates that loss to the leaves through the model prefix using
+//! the operators' VJPs (with proxy derivatives).
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use rand::Rng;
+
+use nnsmith_graph::{Graph, NodeId, NodeKind, ValueRef};
+use nnsmith_ops::{execute, random_bindings, Bindings, Op};
+use nnsmith_tensor::Tensor;
+
+use crate::adam::Adam;
+
+/// Which input/weight search method to use (the three series of Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMethod {
+    /// Re-sample random values until the execution is clean.
+    Sampling,
+    /// Gradient search without proxy derivatives.
+    Gradient,
+    /// Full gradient search with proxy derivatives (the default).
+    GradientProxy,
+}
+
+/// Search configuration (§5.1 defaults: learning rate 0.5; the per-model
+/// budget is varied by the Fig. 11 experiment).
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Search method.
+    pub method: SearchMethod,
+    /// Wall-clock budget per model.
+    pub budget: Duration,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Random-init range for float leaves (the Sampling baseline's
+    /// empirically-best `[1, 9]` is used when sampling).
+    pub init_lo: f64,
+    /// Upper end of the init range.
+    pub init_hi: f64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            method: SearchMethod::GradientProxy,
+            budget: Duration::from_millis(64),
+            learning_rate: 0.5,
+            init_lo: 1.0,
+            init_hi: 9.0,
+        }
+    }
+}
+
+/// Result of a value search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Numerically-valid bindings, if found within budget.
+    pub bindings: Option<Bindings>,
+    /// Number of execute-and-update iterations performed.
+    pub iterations: u32,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+impl SearchOutcome {
+    /// True if valid values were found.
+    pub fn succeeded(&self) -> bool {
+        self.bindings.is_some()
+    }
+}
+
+/// Runs the configured search on a concrete graph.
+///
+/// Returns `bindings: None` when the budget is exhausted (the
+/// "failed to find viable ⟨X, W⟩" exception of Algorithm 3 line 16).
+pub fn search_values<R: Rng + ?Sized>(
+    graph: &Graph<Op>,
+    config: &SearchConfig,
+    rng: &mut R,
+) -> SearchOutcome {
+    match config.method {
+        SearchMethod::Sampling => sampling_search(graph, config, rng),
+        SearchMethod::Gradient => gradient_search(graph, config, false, rng),
+        SearchMethod::GradientProxy => gradient_search(graph, config, true, rng),
+    }
+}
+
+fn is_clean(graph: &Graph<Op>, bindings: &Bindings) -> Option<bool> {
+    match execute(graph, bindings) {
+        Ok(exec) => Some(!exec.has_exceptional()),
+        Err(_) => None, // kernel fault (e.g. int division by zero)
+    }
+}
+
+fn sampling_search<R: Rng + ?Sized>(
+    graph: &Graph<Op>,
+    config: &SearchConfig,
+    rng: &mut R,
+) -> SearchOutcome {
+    let start = Instant::now();
+    let mut iterations = 0u32;
+    while start.elapsed() < config.budget {
+        iterations += 1;
+        let Ok(bindings) = random_bindings(graph, config.init_lo, config.init_hi, rng) else {
+            break;
+        };
+        if is_clean(graph, &bindings) == Some(true) {
+            return SearchOutcome {
+                bindings: Some(bindings),
+                iterations,
+                elapsed: start.elapsed(),
+            };
+        }
+    }
+    SearchOutcome {
+        bindings: None,
+        iterations,
+        elapsed: start.elapsed(),
+    }
+}
+
+fn gradient_search<R: Rng + ?Sized>(
+    graph: &Graph<Op>,
+    config: &SearchConfig,
+    proxy: bool,
+    rng: &mut R,
+) -> SearchOutcome {
+    let start = Instant::now();
+    let mut iterations = 0u32;
+    let Ok(mut bindings) = random_bindings(graph, config.init_lo, config.init_hi, rng) else {
+        return SearchOutcome {
+            bindings: None,
+            iterations: 0,
+            elapsed: start.elapsed(),
+        };
+    };
+    let mut adam = Adam::new(config.learning_rate);
+    let mut current_target: Option<NodeId> = None;
+
+    // OUTER loop of Algorithm 3.
+    while start.elapsed() < config.budget {
+        iterations += 1;
+        let exec = match execute(graph, &bindings) {
+            Ok(e) => e,
+            Err(_) => {
+                // Kernel fault (integer division by zero, …): gradients
+                // cannot help; restart with fresh values.
+                match random_bindings(graph, config.init_lo, config.init_hi, rng) {
+                    Ok(b) => {
+                        bindings = b;
+                        adam.reset();
+                        current_target = None;
+                        continue;
+                    }
+                    Err(_) => break,
+                }
+            }
+        };
+        let Some(failing) = exec.first_exceptional else {
+            return SearchOutcome {
+                bindings: Some(bindings),
+                iterations,
+                elapsed: start.elapsed(),
+            };
+        };
+
+        // Reset the adaptive learning rate when the targeted operator
+        // changes (§3.3 "reset the learning rate whenever we switch the
+        // loss functions").
+        if current_target != Some(failing) {
+            adam.reset();
+            current_target = Some(failing);
+        }
+
+        let node = graph.node(failing);
+        let input_tensors: Vec<&Tensor> = node
+            .inputs
+            .iter()
+            .map(|v| exec.values.get(v).expect("executed"))
+            .collect();
+        let violation = match &node.kind {
+            NodeKind::Operator(op) => op.violation_loss(&input_tensors),
+            _ => None,
+        };
+
+        let mut updated = false;
+        if let Some(violation) = violation {
+            // Seed gradients at the failing operator's inputs and
+            // backpropagate to the leaves.
+            let mut seeds: HashMap<ValueRef, Tensor> = HashMap::new();
+            for (vref, grad) in node.inputs.iter().zip(&violation.grads) {
+                if let Some(g) = grad {
+                    accumulate(&mut seeds, *vref, g.clone());
+                }
+            }
+            let leaf_grads = backprop(graph, &exec.values, seeds, failing, proxy);
+            if !leaf_grads.is_empty() {
+                let delta = adam.step(&mut bindings, &leaf_grads);
+                updated = delta > 0.0;
+            }
+        }
+
+        if !updated {
+            // Zero gradients (Algorithm 3 line 10-11): restart randomly.
+            match random_bindings(graph, config.init_lo, config.init_hi, rng) {
+                Ok(b) => bindings = b,
+                Err(_) => break,
+            }
+            adam.reset();
+            current_target = None;
+            continue;
+        }
+
+        // Replace NaN/Inf that crept into ⟨X, W⟩ (line 12-13).
+        let mut any_bad = false;
+        for t in bindings.values_mut() {
+            if t.has_non_finite() {
+                any_bad = true;
+                for i in 0..t.numel() {
+                    if !t.lin_f64(i).is_finite() {
+                        t.set_lin_f64(i, rng.gen_range(config.init_lo..config.init_hi));
+                    }
+                }
+            }
+        }
+        let _ = any_bad;
+    }
+    SearchOutcome {
+        bindings: None,
+        iterations,
+        elapsed: start.elapsed(),
+    }
+}
+
+fn accumulate(map: &mut HashMap<ValueRef, Tensor>, key: ValueRef, grad: Tensor) {
+    match map.remove(&key) {
+        Some(existing) => {
+            let sum = existing.add(&grad).unwrap_or(existing);
+            map.insert(key, sum);
+        }
+        None => {
+            map.insert(key, grad);
+        }
+    }
+}
+
+/// Backpropagates seeded value-gradients through the prefix of the graph
+/// strictly before `stop` (the failing operator itself is not traversed —
+/// its loss gradients are the seeds). Returns gradients per leaf node.
+fn backprop(
+    graph: &Graph<Op>,
+    values: &HashMap<ValueRef, Tensor>,
+    mut grads: HashMap<ValueRef, Tensor>,
+    stop: NodeId,
+    proxy: bool,
+) -> HashMap<NodeId, Tensor> {
+    let order = match graph.topo_order() {
+        Ok(o) => o,
+        Err(_) => return HashMap::new(),
+    };
+    let mut leaf_grads: HashMap<NodeId, Tensor> = HashMap::new();
+    for &id in order.iter().rev() {
+        if id == stop {
+            continue;
+        }
+        let node = graph.node(id);
+        match &node.kind {
+            NodeKind::Input | NodeKind::Weight => {
+                if let Some(g) = grads.get(&ValueRef::output0(id)) {
+                    leaf_grads.insert(id, g.clone());
+                }
+            }
+            NodeKind::Operator(op) => {
+                let out_ref = ValueRef::output0(id);
+                let Some(grad_out) = grads.get(&out_ref).cloned() else {
+                    continue;
+                };
+                let inputs: Vec<&Tensor> = node
+                    .inputs
+                    .iter()
+                    .map(|v| values.get(v).expect("executed"))
+                    .collect();
+                let outputs: Vec<&Tensor> = (0..node.outputs.len())
+                    .map(|index| {
+                        values
+                            .get(&ValueRef { node: id, index })
+                            .expect("executed")
+                    })
+                    .collect();
+                let Ok(input_grads) = op.vjp(&inputs, &outputs, &grad_out, proxy) else {
+                    continue;
+                };
+                for (vref, g) in node.inputs.iter().zip(input_grads) {
+                    if let Some(g) = g {
+                        accumulate(&mut grads, *vref, g);
+                    }
+                }
+            }
+            NodeKind::Placeholder => {}
+        }
+    }
+    leaf_grads
+}
+
+/// Fraction of `n` random initializations of `graph` that produce at least
+/// one NaN/Inf — the §3.3 statistic ("56.8% of 20-node models with random
+/// weights").
+pub fn nan_rate<R: Rng + ?Sized>(
+    graph: &Graph<Op>,
+    n: usize,
+    lo: f64,
+    hi: f64,
+    rng: &mut R,
+) -> f64 {
+    let mut bad = 0usize;
+    let mut total = 0usize;
+    for _ in 0..n {
+        let Ok(b) = random_bindings(graph, lo, hi, rng) else {
+            continue;
+        };
+        match is_clean(graph, &b) {
+            Some(true) => total += 1,
+            Some(false) => {
+                total += 1;
+                bad += 1;
+            }
+            None => {
+                // Kernel faults count as invalid executions too.
+                total += 1;
+                bad += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        bad as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnsmith_graph::TensorType;
+    use nnsmith_ops::UnaryKind;
+    use nnsmith_tensor::DType;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// out = Sqrt(x): needs x >= 0 everywhere.
+    fn sqrt_graph() -> Graph<Op> {
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[8])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Sqrt)),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::F32, &[8])],
+        );
+        g
+    }
+
+    /// out = Sqrt(Sub(x, w)): gradient must push x - w >= 0.
+    fn sqrt_sub_graph() -> Graph<Op> {
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[8])],
+        );
+        let w = g.add_node(
+            NodeKind::Weight,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[8])],
+        );
+        let sub = g.add_node(
+            NodeKind::Operator(Op::Binary(nnsmith_ops::BinaryKind::Sub)),
+            vec![ValueRef::output0(x), ValueRef::output0(w)],
+            vec![TensorType::concrete(DType::F32, &[8])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Sqrt)),
+            vec![ValueRef::output0(sub)],
+            vec![TensorType::concrete(DType::F32, &[8])],
+        );
+        g
+    }
+
+    fn cfg(method: SearchMethod, ms: u64) -> SearchConfig {
+        SearchConfig {
+            method,
+            budget: Duration::from_millis(ms),
+            // Init straddling zero so sqrt sees negatives.
+            init_lo: -5.0,
+            init_hi: 5.0,
+            ..SearchConfig::default()
+        }
+    }
+
+    #[test]
+    fn gradient_fixes_sqrt_domain() {
+        let g = sqrt_graph();
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = search_values(&g, &cfg(SearchMethod::GradientProxy, 2000), &mut rng);
+        assert!(out.succeeded(), "iterations: {}", out.iterations);
+        let exec = execute(&g, out.bindings.as_ref().unwrap()).unwrap();
+        assert!(!exec.has_exceptional());
+    }
+
+    #[test]
+    fn gradient_fixes_composed_graph() {
+        let g = sqrt_sub_graph();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = search_values(&g, &cfg(SearchMethod::GradientProxy, 4000), &mut rng);
+        assert!(out.succeeded(), "iterations: {}", out.iterations);
+    }
+
+    #[test]
+    fn sampling_eventually_succeeds_on_easy_graph() {
+        // Relu-only graph: any values are clean.
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Relu)),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = search_values(&g, &cfg(SearchMethod::Sampling, 500), &mut rng);
+        assert!(out.succeeded());
+        assert_eq!(out.iterations, 1);
+    }
+
+    #[test]
+    fn nan_rate_of_sqrt_graph_with_symmetric_init() {
+        // With init range (-5, 5), a single 8-element sqrt has a NaN with
+        // probability 1 - 2^-8 ≈ 0.996.
+        let g = sqrt_graph();
+        let mut rng = StdRng::seed_from_u64(3);
+        let rate = nan_rate(&g, 200, -5.0, 5.0, &mut rng);
+        assert!(rate > 0.9, "rate = {rate}");
+    }
+
+    #[test]
+    fn nan_rate_zero_for_safe_graph() {
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Tanh)),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(nan_rate(&g, 50, -5.0, 5.0, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_failure() {
+        let g = sqrt_graph();
+        let mut rng = StdRng::seed_from_u64(5);
+        // Zero-ish budget: cannot succeed.
+        let out = search_values(&g, &cfg(SearchMethod::GradientProxy, 0), &mut rng);
+        assert!(!out.succeeded());
+    }
+
+    #[test]
+    fn generated_models_search_end_to_end() {
+        use nnsmith_gen::{GenConfig, Generator};
+        let mut success = 0;
+        let mut with_vulnerable = 0;
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let model = Generator::new(GenConfig {
+                target_ops: 8,
+                ..GenConfig::default()
+            })
+            .generate(&mut rng)
+            .expect("gen");
+            let vulnerable = model.graph.operators().iter().any(|&id| {
+                model
+                    .graph
+                    .node(id)
+                    .kind
+                    .as_operator()
+                    .is_some_and(Op::is_vulnerable)
+            });
+            if vulnerable {
+                with_vulnerable += 1;
+            }
+            let mut srng = StdRng::seed_from_u64(seed + 100);
+            let out = search_values(
+                &model.graph,
+                &SearchConfig {
+                    budget: Duration::from_millis(2000),
+                    init_lo: -5.0,
+                    init_hi: 5.0,
+                    ..SearchConfig::default()
+                },
+                &mut srng,
+            );
+            if out.succeeded() {
+                success += 1;
+            }
+        }
+        assert!(
+            success >= 4,
+            "only {success}/6 searches succeeded ({with_vulnerable} vulnerable)"
+        );
+    }
+}

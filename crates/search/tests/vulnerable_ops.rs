@@ -1,0 +1,233 @@
+//! Integration tests: Algorithm 3 repairs each Table-1 vulnerable
+//! operator class.
+
+use std::time::Duration;
+
+use nnsmith_graph::{Graph, NodeKind, TensorType, ValueRef};
+use nnsmith_ops::{execute, BinaryKind, Op, UnaryKind};
+use nnsmith_search::{search_values, SearchConfig, SearchMethod};
+use nnsmith_tensor::DType;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn unary_graph(kind: UnaryKind) -> Graph<Op> {
+    let mut g: Graph<Op> = Graph::new();
+    let x = g.add_node(
+        NodeKind::Input,
+        vec![],
+        vec![TensorType::concrete(DType::F32, &[6])],
+    );
+    g.add_node(
+        NodeKind::Operator(Op::Unary(kind)),
+        vec![ValueRef::output0(x)],
+        vec![TensorType::concrete(DType::F32, &[6])],
+    );
+    g
+}
+
+fn binary_graph(kind: BinaryKind) -> Graph<Op> {
+    let mut g: Graph<Op> = Graph::new();
+    let x = g.add_node(
+        NodeKind::Input,
+        vec![],
+        vec![TensorType::concrete(DType::F32, &[6])],
+    );
+    let w = g.add_node(
+        NodeKind::Weight,
+        vec![],
+        vec![TensorType::concrete(DType::F32, &[6])],
+    );
+    g.add_node(
+        NodeKind::Operator(Op::Binary(kind)),
+        vec![ValueRef::output0(x), ValueRef::output0(w)],
+        vec![TensorType::concrete(DType::F32, &[6])],
+    );
+    g
+}
+
+fn assert_search_fixes(graph: &Graph<Op>, seed: u64, what: &str) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let out = search_values(
+        graph,
+        &SearchConfig {
+            method: SearchMethod::GradientProxy,
+            budget: Duration::from_millis(3000),
+            init_lo: -6.0,
+            init_hi: 6.0,
+            ..SearchConfig::default()
+        },
+        &mut rng,
+    );
+    let bindings = out
+        .bindings
+        .unwrap_or_else(|| panic!("{what}: search failed after {} iters", out.iterations));
+    let exec = execute(graph, &bindings).expect("runs");
+    assert!(!exec.has_exceptional(), "{what}: still exceptional");
+}
+
+#[test]
+fn fixes_asin_domain() {
+    assert_search_fixes(&unary_graph(UnaryKind::Asin), 1, "Asin");
+}
+
+#[test]
+fn fixes_acos_domain() {
+    assert_search_fixes(&unary_graph(UnaryKind::Acos), 2, "Acos");
+}
+
+#[test]
+fn fixes_sqrt_domain() {
+    assert_search_fixes(&unary_graph(UnaryKind::Sqrt), 3, "Sqrt");
+}
+
+#[test]
+fn fixes_log_domain() {
+    assert_search_fixes(&unary_graph(UnaryKind::Log), 4, "Log");
+    assert_search_fixes(&unary_graph(UnaryKind::Log2), 5, "Log2");
+}
+
+#[test]
+fn fixes_div_by_near_zero() {
+    assert_search_fixes(&binary_graph(BinaryKind::Div), 6, "Div");
+}
+
+#[test]
+fn fixes_pow_domain() {
+    assert_search_fixes(&binary_graph(BinaryKind::Pow), 7, "Pow");
+}
+
+#[test]
+fn fixes_batchnorm_negative_variance() {
+    let mut g: Graph<Op> = Graph::new();
+    let x = g.add_node(
+        NodeKind::Input,
+        vec![],
+        vec![TensorType::concrete(DType::F32, &[1, 2, 3, 3])],
+    );
+    let mut stats = Vec::new();
+    for _ in 0..4 {
+        stats.push(g.add_node(
+            NodeKind::Weight,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[2])],
+        ));
+    }
+    let mut inputs = vec![ValueRef::output0(x)];
+    inputs.extend(stats.iter().map(|&s| ValueRef::output0(s)));
+    g.add_node(
+        NodeKind::Operator(Op::BatchNorm),
+        inputs,
+        vec![TensorType::concrete(DType::F32, &[1, 2, 3, 3])],
+    );
+    assert_search_fixes(&g, 8, "BatchNorm");
+}
+
+/// The proxy-derivative ablation of Fig. 11: on a graph whose failing
+/// operator sits behind a ReLU dead zone, the proxy variant must succeed
+/// at least as often as the exact-gradient variant.
+#[test]
+fn proxy_derivatives_help_through_dead_zones() {
+    // Sqrt(Relu(x) - 1): Relu kills gradients for x<0, proxy leaks them.
+    let mut g: Graph<Op> = Graph::new();
+    let x = g.add_node(
+        NodeKind::Input,
+        vec![],
+        vec![TensorType::concrete(DType::F32, &[8])],
+    );
+    let relu = g.add_node(
+        NodeKind::Operator(Op::Unary(UnaryKind::Relu)),
+        vec![ValueRef::output0(x)],
+        vec![TensorType::concrete(DType::F32, &[8])],
+    );
+    let one = g.add_node(
+        NodeKind::Weight,
+        vec![],
+        vec![TensorType::concrete(DType::F32, &[8])],
+    );
+    let sub = g.add_node(
+        NodeKind::Operator(Op::Binary(BinaryKind::Sub)),
+        vec![ValueRef::output0(relu), ValueRef::output0(one)],
+        vec![TensorType::concrete(DType::F32, &[8])],
+    );
+    g.add_node(
+        NodeKind::Operator(Op::Unary(UnaryKind::Sqrt)),
+        vec![ValueRef::output0(sub)],
+        vec![TensorType::concrete(DType::F32, &[8])],
+    );
+
+    let run = |method: SearchMethod| -> usize {
+        let mut success = 0;
+        for seed in 0..12u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let out = search_values(
+                &g,
+                &SearchConfig {
+                    method,
+                    budget: Duration::from_millis(80),
+                    init_lo: -6.0,
+                    init_hi: 6.0,
+                    ..SearchConfig::default()
+                },
+                &mut rng,
+            );
+            if out.succeeded() {
+                success += 1;
+            }
+        }
+        success
+    };
+    let proxy = run(SearchMethod::GradientProxy);
+    let exact = run(SearchMethod::Gradient);
+    assert!(
+        proxy >= exact,
+        "proxy {proxy}/12 must be >= exact {exact}/12"
+    );
+    assert!(proxy >= 8, "proxy succeeded only {proxy}/12");
+}
+
+/// Gradient search needs far fewer iterations than sampling on a
+/// constrained domain — the Fig. 11 efficiency claim in miniature.
+#[test]
+fn gradient_beats_sampling_in_iterations() {
+    // Asin(x * 4): valid only for |x| <= 0.25 — random sampling in
+    // (-6, 6) has ~ (1/24)^6 odds per draw.
+    let mut g: Graph<Op> = Graph::new();
+    let x = g.add_node(
+        NodeKind::Input,
+        vec![],
+        vec![TensorType::concrete(DType::F32, &[6])],
+    );
+    let four = g.add_node(
+        NodeKind::Weight,
+        vec![],
+        vec![TensorType::concrete(DType::F32, &[])],
+    );
+    let mul = g.add_node(
+        NodeKind::Operator(Op::Binary(BinaryKind::Mul)),
+        vec![ValueRef::output0(x), ValueRef::output0(four)],
+        vec![TensorType::concrete(DType::F32, &[6])],
+    );
+    g.add_node(
+        NodeKind::Operator(Op::Unary(UnaryKind::Asin)),
+        vec![ValueRef::output0(mul)],
+        vec![TensorType::concrete(DType::F32, &[6])],
+    );
+    let mut rng = StdRng::seed_from_u64(0);
+    let grad = search_values(
+        &g,
+        &SearchConfig {
+            method: SearchMethod::GradientProxy,
+            budget: Duration::from_millis(2000),
+            init_lo: -6.0,
+            init_hi: 6.0,
+            ..SearchConfig::default()
+        },
+        &mut rng,
+    );
+    assert!(grad.succeeded());
+    assert!(
+        grad.iterations < 200,
+        "gradient took {} iterations",
+        grad.iterations
+    );
+}

@@ -1,0 +1,637 @@
+//! Integer and boolean expression trees.
+//!
+//! These are the terms NNSmith's operator specifications are written in: a
+//! tensor dimension or operator attribute is an [`IntExpr`]; a validity
+//! constraint (an entry of an operator's `requires` list) is a [`BoolExpr`].
+//!
+//! Smart constructors constant-fold eagerly so that fully-concrete shapes stay
+//! cheap: `IntExpr::from(4) * IntExpr::from(3)` is stored as `Const(12)`.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Rem, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a solver variable.
+///
+/// Variables are created through [`crate::Solver::new_var`]; the id indexes
+/// into the solver's variable table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarId(pub u32);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Binary integer operations supported by the expression language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Floor division (rounds toward negative infinity). Division by zero is
+    /// unsatisfiable rather than a panic.
+    Div,
+    /// Euclidean remainder paired with [`BinOp::Div`].
+    Mod,
+    /// Binary minimum.
+    Min,
+    /// Binary maximum.
+    Max,
+}
+
+impl BinOp {
+    /// Applies the operation to two concrete values.
+    ///
+    /// Returns `None` on division/remainder by zero or on overflow.
+    pub fn apply(self, a: i64, b: i64) -> Option<i64> {
+        match self {
+            BinOp::Add => a.checked_add(b),
+            BinOp::Sub => a.checked_sub(b),
+            BinOp::Mul => a.checked_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    None
+                } else {
+                    Some(a.div_euclid(b))
+                }
+            }
+            BinOp::Mod => {
+                if b == 0 {
+                    None
+                } else {
+                    Some(a.rem_euclid(b))
+                }
+            }
+            BinOp::Min => Some(a.min(b)),
+            BinOp::Max => Some(a.max(b)),
+        }
+    }
+
+    fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+        }
+    }
+}
+
+/// A symbolic integer expression over solver variables.
+///
+/// # Examples
+///
+/// ```
+/// use nnsmith_solver::{IntExpr, Solver};
+///
+/// let mut s = Solver::default();
+/// let h = s.new_var("h", 1, 64);
+/// let out = (IntExpr::var(h) - 3.into()) / 2.into() + 1.into();
+/// assert!(format!("{out}").contains('/'));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IntExpr {
+    /// A literal constant.
+    Const(i64),
+    /// A solver variable.
+    Var(VarId),
+    /// A binary operation.
+    Bin(BinOp, Box<IntExpr>, Box<IntExpr>),
+}
+
+impl IntExpr {
+    /// Creates a variable reference.
+    pub fn var(id: VarId) -> Self {
+        IntExpr::Var(id)
+    }
+
+    /// Returns the constant value if this expression is a literal.
+    pub fn as_const(&self) -> Option<i64> {
+        match self {
+            IntExpr::Const(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// True if the expression contains no variables.
+    pub fn is_const(&self) -> bool {
+        self.as_const().is_some()
+    }
+
+    /// Builds a binary expression, constant-folding when both sides are
+    /// literals and applying cheap algebraic identities.
+    pub fn bin(op: BinOp, lhs: IntExpr, rhs: IntExpr) -> Self {
+        if let (Some(a), Some(b)) = (lhs.as_const(), rhs.as_const()) {
+            if let Some(v) = op.apply(a, b) {
+                return IntExpr::Const(v);
+            }
+        }
+        match (op, &lhs, &rhs) {
+            (BinOp::Add, _, IntExpr::Const(0)) => return lhs,
+            (BinOp::Add, IntExpr::Const(0), _) => return rhs,
+            (BinOp::Sub, _, IntExpr::Const(0)) => return lhs,
+            (BinOp::Mul, _, IntExpr::Const(1)) => return lhs,
+            (BinOp::Mul, IntExpr::Const(1), _) => return rhs,
+            (BinOp::Mul, IntExpr::Const(0), _) | (BinOp::Mul, _, IntExpr::Const(0)) => {
+                return IntExpr::Const(0)
+            }
+            (BinOp::Div, _, IntExpr::Const(1)) => return lhs,
+            _ => {}
+        }
+        IntExpr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Binary minimum.
+    pub fn min(self, other: IntExpr) -> Self {
+        IntExpr::bin(BinOp::Min, self, other)
+    }
+
+    /// Binary maximum.
+    pub fn max(self, other: IntExpr) -> Self {
+        IntExpr::bin(BinOp::Max, self, other)
+    }
+
+    /// Evaluates the expression under a variable assignment.
+    ///
+    /// Returns `None` if a variable is unassigned, a division by zero occurs,
+    /// or arithmetic overflows.
+    pub fn eval(&self, lookup: &dyn Fn(VarId) -> Option<i64>) -> Option<i64> {
+        match self {
+            IntExpr::Const(c) => Some(*c),
+            IntExpr::Var(v) => lookup(*v),
+            IntExpr::Bin(op, a, b) => {
+                let a = a.eval(lookup)?;
+                let b = b.eval(lookup)?;
+                op.apply(a, b)
+            }
+        }
+    }
+
+    /// Collects every variable mentioned in the expression into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            IntExpr::Const(_) => {}
+            IntExpr::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            IntExpr::Bin(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// Number of nodes in the expression tree (diagnostics / test helpers).
+    pub fn size(&self) -> usize {
+        match self {
+            IntExpr::Const(_) | IntExpr::Var(_) => 1,
+            IntExpr::Bin(_, a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    // --- comparison builders -------------------------------------------------
+
+    /// `self == other`.
+    pub fn eq_expr(self, other: IntExpr) -> BoolExpr {
+        BoolExpr::cmp(CmpOp::Eq, self, other)
+    }
+
+    /// `self != other`.
+    pub fn ne_expr(self, other: IntExpr) -> BoolExpr {
+        BoolExpr::cmp(CmpOp::Ne, self, other)
+    }
+
+    /// `self <= other`.
+    pub fn le(self, other: IntExpr) -> BoolExpr {
+        BoolExpr::cmp(CmpOp::Le, self, other)
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: IntExpr) -> BoolExpr {
+        BoolExpr::cmp(CmpOp::Lt, self, other)
+    }
+
+    /// `self >= other`.
+    pub fn ge(self, other: IntExpr) -> BoolExpr {
+        BoolExpr::cmp(CmpOp::Ge, self, other)
+    }
+
+    /// `self > other`.
+    pub fn gt(self, other: IntExpr) -> BoolExpr {
+        BoolExpr::cmp(CmpOp::Gt, self, other)
+    }
+}
+
+impl From<i64> for IntExpr {
+    fn from(v: i64) -> Self {
+        IntExpr::Const(v)
+    }
+}
+
+impl From<VarId> for IntExpr {
+    fn from(v: VarId) -> Self {
+        IntExpr::Var(v)
+    }
+}
+
+impl Add for IntExpr {
+    type Output = IntExpr;
+    fn add(self, rhs: IntExpr) -> IntExpr {
+        IntExpr::bin(BinOp::Add, self, rhs)
+    }
+}
+
+impl Sub for IntExpr {
+    type Output = IntExpr;
+    fn sub(self, rhs: IntExpr) -> IntExpr {
+        IntExpr::bin(BinOp::Sub, self, rhs)
+    }
+}
+
+impl Mul for IntExpr {
+    type Output = IntExpr;
+    fn mul(self, rhs: IntExpr) -> IntExpr {
+        IntExpr::bin(BinOp::Mul, self, rhs)
+    }
+}
+
+impl Div for IntExpr {
+    type Output = IntExpr;
+    fn div(self, rhs: IntExpr) -> IntExpr {
+        IntExpr::bin(BinOp::Div, self, rhs)
+    }
+}
+
+impl Rem for IntExpr {
+    type Output = IntExpr;
+    fn rem(self, rhs: IntExpr) -> IntExpr {
+        IntExpr::bin(BinOp::Mod, self, rhs)
+    }
+}
+
+impl Neg for IntExpr {
+    type Output = IntExpr;
+    fn neg(self) -> IntExpr {
+        IntExpr::bin(BinOp::Sub, IntExpr::Const(0), self)
+    }
+}
+
+impl fmt::Display for IntExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntExpr::Const(c) => write!(f, "{c}"),
+            IntExpr::Var(v) => write!(f, "{v}"),
+            IntExpr::Bin(op @ (BinOp::Min | BinOp::Max), a, b) => {
+                write!(f, "{}({a}, {b})", op.symbol())
+            }
+            IntExpr::Bin(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+        }
+    }
+}
+
+/// Comparison operators for [`BoolExpr::Cmp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-or-equal.
+    Le,
+    /// Strictly less.
+    Lt,
+    /// Greater-or-equal.
+    Ge,
+    /// Strictly greater.
+    Gt,
+}
+
+impl CmpOp {
+    /// Applies the comparison to two concrete values.
+    pub fn apply(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Le => a <= b,
+            CmpOp::Lt => a < b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Gt => a > b,
+        }
+    }
+
+    /// The comparison with operands swapped (`a op b` ⇔ `b op.swap() a`).
+    pub fn swap(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Gt => CmpOp::Lt,
+        }
+    }
+
+    fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Le => "<=",
+            CmpOp::Lt => "<",
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+        }
+    }
+}
+
+/// A boolean constraint over integer expressions.
+///
+/// # Examples
+///
+/// ```
+/// use nnsmith_solver::{BoolExpr, IntExpr, Solver};
+///
+/// let mut s = Solver::default();
+/// let k = s.new_var("k", 1, 100);
+/// let c = IntExpr::var(k).le(IntExpr::from(10));
+/// assert!(matches!(c, BoolExpr::Cmp(..)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BoolExpr {
+    /// Constant truth value.
+    Lit(bool),
+    /// Comparison between two integer expressions.
+    Cmp(CmpOp, IntExpr, IntExpr),
+    /// Conjunction.
+    And(Vec<BoolExpr>),
+    /// Disjunction.
+    Or(Vec<BoolExpr>),
+    /// Negation.
+    Not(Box<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// Always-true constraint.
+    pub fn true_() -> Self {
+        BoolExpr::Lit(true)
+    }
+
+    /// Always-false constraint.
+    pub fn false_() -> Self {
+        BoolExpr::Lit(false)
+    }
+
+    /// Builds a comparison, folding constants and syntactically-identical
+    /// operands (`e == e` is true, `e < e` is false).
+    pub fn cmp(op: CmpOp, lhs: IntExpr, rhs: IntExpr) -> Self {
+        if let (Some(a), Some(b)) = (lhs.as_const(), rhs.as_const()) {
+            return BoolExpr::Lit(op.apply(a, b));
+        }
+        if lhs == rhs {
+            return BoolExpr::Lit(matches!(op, CmpOp::Eq | CmpOp::Le | CmpOp::Ge));
+        }
+        BoolExpr::Cmp(op, lhs, rhs)
+    }
+
+    /// Conjunction of a list of constraints (flattening nested `And`s).
+    pub fn and(parts: impl IntoIterator<Item = BoolExpr>) -> Self {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                BoolExpr::Lit(true) => {}
+                BoolExpr::Lit(false) => return BoolExpr::Lit(false),
+                BoolExpr::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => BoolExpr::Lit(true),
+            1 => flat.pop().expect("len checked"),
+            _ => BoolExpr::And(flat),
+        }
+    }
+
+    /// Disjunction of a list of constraints (flattening nested `Or`s).
+    pub fn or(parts: impl IntoIterator<Item = BoolExpr>) -> Self {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                BoolExpr::Lit(false) => {}
+                BoolExpr::Lit(true) => return BoolExpr::Lit(true),
+                BoolExpr::Or(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => BoolExpr::Lit(false),
+            1 => flat.pop().expect("len checked"),
+            _ => BoolExpr::Or(flat),
+        }
+    }
+
+    /// Logical negation.
+    pub fn not(self) -> Self {
+        match self {
+            BoolExpr::Lit(b) => BoolExpr::Lit(!b),
+            BoolExpr::Not(inner) => *inner,
+            other => BoolExpr::Not(Box::new(other)),
+        }
+    }
+
+    /// Evaluates the constraint under a variable assignment.
+    ///
+    /// Returns `None` if evaluation hits an unassigned variable, a division
+    /// by zero, or overflow (in which case the constraint is treated as
+    /// unsatisfied by the solver).
+    pub fn eval(&self, lookup: &dyn Fn(VarId) -> Option<i64>) -> Option<bool> {
+        match self {
+            BoolExpr::Lit(b) => Some(*b),
+            BoolExpr::Cmp(op, a, b) => Some(op.apply(a.eval(lookup)?, b.eval(lookup)?)),
+            BoolExpr::And(parts) => {
+                let mut all = true;
+                for p in parts {
+                    match p.eval(lookup) {
+                        Some(true) => {}
+                        Some(false) => return Some(false),
+                        None => all = false,
+                    }
+                }
+                if all {
+                    Some(true)
+                } else {
+                    None
+                }
+            }
+            BoolExpr::Or(parts) => {
+                let mut any_unknown = false;
+                for p in parts {
+                    match p.eval(lookup) {
+                        Some(true) => return Some(true),
+                        Some(false) => {}
+                        None => any_unknown = true,
+                    }
+                }
+                if any_unknown {
+                    None
+                } else {
+                    Some(false)
+                }
+            }
+            BoolExpr::Not(inner) => inner.eval(lookup).map(|b| !b),
+        }
+    }
+
+    /// Collects every variable mentioned in the constraint into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            BoolExpr::Lit(_) => {}
+            BoolExpr::Cmp(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            BoolExpr::And(parts) | BoolExpr::Or(parts) => {
+                for p in parts {
+                    p.collect_vars(out);
+                }
+            }
+            BoolExpr::Not(inner) => inner.collect_vars(out),
+        }
+    }
+}
+
+impl fmt::Display for BoolExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoolExpr::Lit(b) => write!(f, "{b}"),
+            BoolExpr::Cmp(op, a, b) => write!(f, "{a} {} {b}", op.symbol()),
+            BoolExpr::And(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " && ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            BoolExpr::Or(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " || ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            BoolExpr::Not(inner) => write!(f, "!({inner})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(id: u32) -> IntExpr {
+        IntExpr::Var(VarId(id))
+    }
+
+    #[test]
+    fn const_folding() {
+        let e = IntExpr::from(4) * IntExpr::from(3) + IntExpr::from(2);
+        assert_eq!(e, IntExpr::Const(14));
+    }
+
+    #[test]
+    fn identity_folding() {
+        assert_eq!(v(0) + 0.into(), v(0));
+        assert_eq!(v(0) * 1.into(), v(0));
+        assert_eq!(v(0) * 0.into(), IntExpr::Const(0));
+        assert_eq!(v(0) / 1.into(), v(0));
+    }
+
+    #[test]
+    fn floor_division_is_euclidean() {
+        assert_eq!(BinOp::Div.apply(-7, 2), Some(-4));
+        assert_eq!(BinOp::Mod.apply(-7, 2), Some(1));
+        assert_eq!(BinOp::Div.apply(7, 0), None);
+    }
+
+    #[test]
+    fn eval_with_assignment() {
+        let e = (v(0) - 3.into()) / 2.into() + 1.into();
+        let got = e.eval(&|id| if id == VarId(0) { Some(9) } else { None });
+        assert_eq!(got, Some(4));
+    }
+
+    #[test]
+    fn eval_unassigned_is_none() {
+        let e = v(0) + v(1);
+        assert_eq!(e.eval(&|_| None), None);
+    }
+
+    #[test]
+    fn bool_folding() {
+        assert_eq!(
+            BoolExpr::cmp(CmpOp::Le, 2.into(), 3.into()),
+            BoolExpr::Lit(true)
+        );
+        assert_eq!(
+            BoolExpr::and([BoolExpr::Lit(true), BoolExpr::Lit(false)]),
+            BoolExpr::Lit(false)
+        );
+        assert_eq!(
+            BoolExpr::or([BoolExpr::Lit(false), BoolExpr::Lit(true)]),
+            BoolExpr::Lit(true)
+        );
+    }
+
+    #[test]
+    fn and_short_circuit_eval() {
+        // (v0 <= 1) && (v1 <= 1): v0=5 makes it definitively false even with
+        // v1 unassigned.
+        let c = BoolExpr::and([v(0).le(1.into()), v(1).le(1.into())]);
+        let got = c.eval(&|id| if id == VarId(0) { Some(5) } else { None });
+        assert_eq!(got, Some(false));
+    }
+
+    #[test]
+    fn collect_vars_dedups() {
+        let e = v(0) + v(1) * v(0);
+        let mut vars = Vec::new();
+        e.collect_vars(&mut vars);
+        assert_eq!(vars, vec![VarId(0), VarId(1)]);
+    }
+
+    #[test]
+    fn display_roundtrip_sanity() {
+        let e = (v(0) + 1.into()) * v(1);
+        assert_eq!(format!("{e}"), "((v0 + 1) * v1)");
+        let c = v(0).le(v(1));
+        assert_eq!(format!("{c}"), "v0 <= v1");
+    }
+
+    #[test]
+    fn cmp_swap() {
+        assert!(CmpOp::Lt.swap().apply(3, 2));
+        assert!(CmpOp::Ge.swap().apply(2, 3));
+        assert!(CmpOp::Eq.swap().apply(2, 2));
+    }
+
+    #[test]
+    fn neg_is_zero_minus() {
+        let e = -v(0);
+        assert_eq!(e.eval(&|_| Some(5)), Some(-5));
+    }
+}

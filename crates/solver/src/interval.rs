@@ -1,0 +1,376 @@
+//! Interval arithmetic used to prune the solver's search space.
+//!
+//! Intervals are conservative: the true value of an expression under any
+//! assignment consistent with the variable domains is always contained in the
+//! computed interval. Pruning decisions derived from intervals are therefore
+//! sound (the solver never declares a satisfiable system unsatisfiable because
+//! of interval reasoning).
+
+use crate::expr::{BinOp, BoolExpr, CmpOp, IntExpr, VarId};
+
+/// An inclusive integer interval `[lo, hi]`.
+///
+/// The empty interval is represented by `lo > hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+/// Clamp bound used to keep interval arithmetic away from `i64` overflow.
+const BIG: i64 = i64::MAX / 4;
+
+impl Interval {
+    /// Creates the interval `[lo, hi]`.
+    pub fn new(lo: i64, hi: i64) -> Self {
+        Interval { lo, hi }
+    }
+
+    /// The single-point interval `[v, v]`.
+    pub fn point(v: i64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// The canonical empty interval.
+    pub fn empty() -> Self {
+        Interval { lo: 1, hi: 0 }
+    }
+
+    /// True if the interval contains no integers.
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// True if the interval is a single point.
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// True if `v` lies within the interval.
+    pub fn contains(&self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Number of integers in the interval (saturating).
+    pub fn width(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            (self.hi as i128 - self.lo as i128 + 1).min(u64::MAX as i128) as u64
+        }
+    }
+
+    /// Intersection of two intervals.
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    fn clamp(v: i128) -> i64 {
+        v.clamp(-(BIG as i128), BIG as i128) as i64
+    }
+
+    fn add(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: Self::clamp(self.lo as i128 + other.lo as i128),
+            hi: Self::clamp(self.hi as i128 + other.hi as i128),
+        }
+    }
+
+    fn sub(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: Self::clamp(self.lo as i128 - other.hi as i128),
+            hi: Self::clamp(self.hi as i128 - other.lo as i128),
+        }
+    }
+
+    fn mul(&self, other: &Interval) -> Interval {
+        let candidates = [
+            self.lo as i128 * other.lo as i128,
+            self.lo as i128 * other.hi as i128,
+            self.hi as i128 * other.lo as i128,
+            self.hi as i128 * other.hi as i128,
+        ];
+        let lo = candidates.iter().copied().min().expect("nonempty");
+        let hi = candidates.iter().copied().max().expect("nonempty");
+        Interval {
+            lo: Self::clamp(lo),
+            hi: Self::clamp(hi),
+        }
+    }
+
+    fn div(&self, other: &Interval) -> Interval {
+        // Floor division; exclude zero from the divisor range. If the divisor
+        // can only be zero the result is empty (the solver rejects such
+        // assignments at concrete evaluation time anyway).
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        let mut divisor_candidates: Vec<i64> = Vec::with_capacity(4);
+        for d in [other.lo, other.hi, -1, 1] {
+            if d != 0 && other.contains(d) && !divisor_candidates.contains(&d) {
+                divisor_candidates.push(d);
+            }
+        }
+        if divisor_candidates.is_empty() {
+            return Interval::empty();
+        }
+        for &d in &divisor_candidates {
+            for n in [self.lo, self.hi] {
+                let q = n.div_euclid(d);
+                lo = lo.min(q);
+                hi = hi.max(q);
+            }
+        }
+        Interval { lo, hi }
+    }
+
+    fn modulo(&self, other: &Interval) -> Interval {
+        // rem_euclid is always in [0, |d|-1].
+        let max_abs = other.lo.abs().max(other.hi.abs());
+        if max_abs == 0 {
+            return Interval::empty();
+        }
+        if self.is_point() && other.is_point() && other.lo != 0 {
+            return Interval::point(self.lo.rem_euclid(other.lo));
+        }
+        Interval {
+            lo: 0,
+            hi: max_abs - 1,
+        }
+    }
+
+    fn min_i(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    fn max_i(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+}
+
+/// Three-valued truth for constraints evaluated over intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truth {
+    /// The constraint holds under every assignment in the domains.
+    True,
+    /// The constraint fails under every assignment in the domains.
+    False,
+    /// The domains admit both satisfying and violating assignments.
+    Unknown,
+}
+
+impl Truth {
+    /// Negation in three-valued logic.
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+}
+
+/// Evaluates the interval of `expr` given per-variable domains.
+pub fn int_interval(expr: &IntExpr, domain: &dyn Fn(VarId) -> Interval) -> Interval {
+    match expr {
+        IntExpr::Const(c) => Interval::point(*c),
+        IntExpr::Var(v) => domain(*v),
+        IntExpr::Bin(op, a, b) => {
+            let ia = int_interval(a, domain);
+            let ib = int_interval(b, domain);
+            if ia.is_empty() || ib.is_empty() {
+                return Interval::empty();
+            }
+            match op {
+                BinOp::Add => ia.add(&ib),
+                BinOp::Sub => ia.sub(&ib),
+                BinOp::Mul => ia.mul(&ib),
+                BinOp::Div => ia.div(&ib),
+                BinOp::Mod => ia.modulo(&ib),
+                BinOp::Min => ia.min_i(&ib),
+                BinOp::Max => ia.max_i(&ib),
+            }
+        }
+    }
+}
+
+fn cmp_truth(op: CmpOp, a: Interval, b: Interval) -> Truth {
+    if a.is_empty() || b.is_empty() {
+        // An empty interval means "no consistent value exists" (e.g. division
+        // by an always-zero divisor): the comparison can never be satisfied.
+        return Truth::False;
+    }
+    match op {
+        CmpOp::Le => {
+            if a.hi <= b.lo {
+                Truth::True
+            } else if a.lo > b.hi {
+                Truth::False
+            } else {
+                Truth::Unknown
+            }
+        }
+        CmpOp::Lt => {
+            if a.hi < b.lo {
+                Truth::True
+            } else if a.lo >= b.hi {
+                Truth::False
+            } else {
+                Truth::Unknown
+            }
+        }
+        CmpOp::Ge => cmp_truth(CmpOp::Le, b, a),
+        CmpOp::Gt => cmp_truth(CmpOp::Lt, b, a),
+        CmpOp::Eq => {
+            if a.is_point() && b.is_point() && a.lo == b.lo {
+                Truth::True
+            } else if a.hi < b.lo || a.lo > b.hi {
+                Truth::False
+            } else {
+                Truth::Unknown
+            }
+        }
+        CmpOp::Ne => cmp_truth(CmpOp::Eq, a, b).not(),
+    }
+}
+
+/// Evaluates the three-valued truth of `expr` over variable domains.
+pub fn bool_truth(expr: &BoolExpr, domain: &dyn Fn(VarId) -> Interval) -> Truth {
+    match expr {
+        BoolExpr::Lit(true) => Truth::True,
+        BoolExpr::Lit(false) => Truth::False,
+        BoolExpr::Cmp(op, a, b) => {
+            cmp_truth(*op, int_interval(a, domain), int_interval(b, domain))
+        }
+        BoolExpr::And(parts) => {
+            let mut all_true = true;
+            for p in parts {
+                match bool_truth(p, domain) {
+                    Truth::False => return Truth::False,
+                    Truth::Unknown => all_true = false,
+                    Truth::True => {}
+                }
+            }
+            if all_true {
+                Truth::True
+            } else {
+                Truth::Unknown
+            }
+        }
+        BoolExpr::Or(parts) => {
+            let mut all_false = true;
+            for p in parts {
+                match bool_truth(p, domain) {
+                    Truth::True => return Truth::True,
+                    Truth::Unknown => all_false = false,
+                    Truth::False => {}
+                }
+            }
+            if all_false {
+                Truth::False
+            } else {
+                Truth::Unknown
+            }
+        }
+        BoolExpr::Not(inner) => bool_truth(inner, domain).not(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dom(ranges: &[(u32, i64, i64)]) -> impl Fn(VarId) -> Interval + '_ {
+        move |v: VarId| {
+            ranges
+                .iter()
+                .find(|(id, _, _)| *id == v.0)
+                .map(|(_, lo, hi)| Interval::new(*lo, *hi))
+                .unwrap_or(Interval::new(i64::MIN / 8, i64::MAX / 8))
+        }
+    }
+
+    fn v(id: u32) -> IntExpr {
+        IntExpr::Var(VarId(id))
+    }
+
+    #[test]
+    fn add_interval() {
+        let d = dom(&[(0, 1, 4), (1, 10, 20)]);
+        let i = int_interval(&(v(0) + v(1)), &d);
+        assert_eq!(i, Interval::new(11, 24));
+    }
+
+    #[test]
+    fn mul_interval_with_negatives() {
+        let d = dom(&[(0, -2, 3), (1, -5, 4)]);
+        let i = int_interval(&(v(0) * v(1)), &d);
+        assert_eq!(i, Interval::new(-15, 12));
+    }
+
+    #[test]
+    fn div_interval_positive() {
+        let d = dom(&[(0, 10, 20), (1, 2, 5)]);
+        let i = int_interval(&(v(0) / v(1)), &d);
+        assert!(i.contains(2)); // 10/5
+        assert!(i.contains(10)); // 20/2
+        assert!(i.lo <= 2 && i.hi >= 10);
+    }
+
+    #[test]
+    fn div_by_always_zero_is_empty() {
+        let d = dom(&[(0, 1, 5), (1, 0, 0)]);
+        let i = int_interval(&(v(0) / v(1)), &d);
+        assert!(i.is_empty());
+    }
+
+    #[test]
+    fn truth_definite_true() {
+        let d = dom(&[(0, 1, 4)]);
+        assert_eq!(bool_truth(&v(0).le(10.into()), &d), Truth::True);
+        assert_eq!(bool_truth(&v(0).ge(5.into()), &d), Truth::False);
+        assert_eq!(bool_truth(&v(0).le(2.into()), &d), Truth::Unknown);
+    }
+
+    #[test]
+    fn truth_eq() {
+        let d = dom(&[(0, 3, 3)]);
+        assert_eq!(bool_truth(&v(0).eq_expr(3.into()), &d), Truth::True);
+        assert_eq!(bool_truth(&v(0).eq_expr(4.into()), &d), Truth::False);
+        let d2 = dom(&[(0, 1, 5)]);
+        assert_eq!(bool_truth(&v(0).eq_expr(4.into()), &d2), Truth::Unknown);
+    }
+
+    #[test]
+    fn truth_and_or() {
+        let d = dom(&[(0, 1, 4), (1, 10, 10)]);
+        let c = BoolExpr::and([v(0).ge(1.into()), v(1).eq_expr(10.into())]);
+        assert_eq!(bool_truth(&c, &d), Truth::True);
+        let c2 = BoolExpr::or([v(0).ge(100.into()), v(1).eq_expr(9.into())]);
+        assert_eq!(bool_truth(&c2, &d), Truth::False);
+    }
+
+    #[test]
+    fn width() {
+        assert_eq!(Interval::new(1, 4).width(), 4);
+        assert_eq!(Interval::empty().width(), 0);
+        assert_eq!(Interval::point(7).width(), 1);
+    }
+
+    #[test]
+    fn mod_interval() {
+        let d = dom(&[(0, 0, 100)]);
+        let i = int_interval(&(v(0) % 4.into()), &d);
+        assert_eq!(i, Interval::new(0, 3));
+    }
+}

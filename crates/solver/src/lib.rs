@@ -1,0 +1,43 @@
+//! # nnsmith-solver
+//!
+//! An incremental integer constraint solver — the stand-in for Z3 in this
+//! Rust reproduction of NNSmith (ASPLOS 2023).
+//!
+//! NNSmith grows computation graphs operator by operator; each candidate
+//! insertion contributes *type-matching constraints* (shape equalities and
+//! operator-specific inequalities such as "the kernel fits within the padded
+//! image"). The generator asks the solver whether the accumulated system is
+//! satisfiable, and uses the returned model to concretize placeholder shapes
+//! and operator attributes.
+//!
+//! The fragment needed is bounded integer arithmetic (`+ - * / % min max`)
+//! with comparisons, conjunction, disjunction and negation. This crate solves
+//! it with interval propagation plus randomized backtracking, biased toward
+//! minimal values so that — like Z3 — unconstrained attributes land on
+//! boundary values. That bias is deliberate: it is what makes the paper's
+//! *attribute binning* (Algorithm 2) observable and necessary.
+//!
+//! ## Example
+//!
+//! ```
+//! use nnsmith_solver::{IntExpr, Solver};
+//!
+//! // Pool2d-style constraint: kernel fits in the padded input.
+//! let mut s = Solver::default();
+//! let iw = s.new_var("iw", 1, 224);
+//! let kw = s.new_var("kw", 1, 11);
+//! let pad = s.new_var("pad", 0, 3);
+//! s.assert(IntExpr::var(kw).le(IntExpr::from(2) * IntExpr::var(pad) + IntExpr::var(iw)));
+//! let model = s.check().model().cloned().expect("satisfiable");
+//! assert!(model.get(kw).unwrap() <= 2 * model.get(pad).unwrap() + model.get(iw).unwrap());
+//! ```
+
+#![warn(missing_docs)]
+
+mod expr;
+mod interval;
+mod solver;
+
+pub use expr::{BinOp, BoolExpr, CmpOp, IntExpr, VarId};
+pub use interval::{bool_truth, int_interval, Interval, Truth};
+pub use solver::{Model, SatResult, Solver, SolverConfig, SolverStats};

@@ -1,0 +1,1022 @@
+//! The incremental constraint solver.
+//!
+//! This plays the role Z3 plays in the original NNSmith: given the validity
+//! constraints accumulated while growing a computation graph, decide whether a
+//! candidate operator insertion is satisfiable and, if so, produce a model
+//! (concrete values for placeholder dimensions and operator attributes).
+//!
+//! The solving fragment is bounded integer arithmetic with `+ - * / % min max`
+//! and comparisons — exactly what tensor shape/attribute constraints need. The
+//! algorithm is interval-propagation plus randomized backtracking search with
+//! a low-value bias, which deliberately mirrors Z3's tendency to return
+//! boundary models (the behaviour that motivates NNSmith's attribute binning,
+//! §3.2 of the paper).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::expr::{BoolExpr, CmpOp, IntExpr, VarId};
+use crate::interval::{bool_truth, int_interval, Interval, Truth};
+
+/// Tuning knobs for [`Solver`].
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Maximum number of search-tree nodes explored per `check` call.
+    pub max_nodes: u64,
+    /// Maximum candidate values tried per variable per node.
+    pub max_candidates: usize,
+    /// Default lower bound for variables created without explicit bounds.
+    pub default_lo: i64,
+    /// Default upper bound for variables created without explicit bounds.
+    pub default_hi: i64,
+    /// Warm-start the search from the last satisfying model (incremental
+    /// solving, §3.2 step 2). Disabling this is the `ablation_incremental`
+    /// configuration.
+    pub incremental: bool,
+    /// RNG seed for candidate sampling.
+    pub seed: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            max_nodes: 50_000,
+            max_candidates: 14,
+            default_lo: 1,
+            default_hi: 1 << 20,
+            incremental: true,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+/// Result of a satisfiability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// A satisfying assignment was found.
+    Sat(Model),
+    /// The constraint system is provably unsatisfiable.
+    Unsat,
+    /// The search budget was exhausted before a verdict.
+    Unknown,
+}
+
+impl SatResult {
+    /// True if this is [`SatResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// Extracts the model if satisfiable.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// A satisfying assignment mapping variables to concrete values.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Model {
+    values: HashMap<VarId, i64>,
+}
+
+impl Model {
+    /// Value assigned to `v`, if any.
+    pub fn get(&self, v: VarId) -> Option<i64> {
+        self.values.get(&v).copied()
+    }
+
+    /// Evaluates an integer expression under this model.
+    pub fn eval_int(&self, e: &IntExpr) -> Option<i64> {
+        e.eval(&|v| self.get(v))
+    }
+
+    /// Evaluates a boolean expression under this model.
+    pub fn eval_bool(&self, e: &BoolExpr) -> Option<bool> {
+        e.eval(&|v| self.get(v))
+    }
+
+    /// Number of assigned variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no variable is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(variable, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, i64)> + '_ {
+        self.values.iter().map(|(k, v)| (*k, *v))
+    }
+
+    fn insert(&mut self, v: VarId, val: i64) {
+        self.values.insert(v, val);
+    }
+}
+
+/// Cumulative counters exposed for benchmarking and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of `check` invocations.
+    pub checks: u64,
+    /// Checks that returned `Sat`.
+    pub sat: u64,
+    /// Checks that returned `Unsat`.
+    pub unsat: u64,
+    /// Checks that returned `Unknown`.
+    pub unknown: u64,
+    /// Total search nodes explored.
+    pub nodes: u64,
+    /// Checks answered purely by the warm-start model.
+    pub warm_hits: u64,
+}
+
+#[derive(Debug, Clone)]
+struct VarInfo {
+    #[allow(dead_code)]
+    name: String,
+    lo: i64,
+    hi: i64,
+}
+
+/// An incremental integer constraint solver.
+///
+/// # Examples
+///
+/// ```
+/// use nnsmith_solver::{IntExpr, Solver};
+///
+/// let mut s = Solver::default();
+/// let h = s.new_var("h", 1, 64);
+/// let k = s.new_var("k", 1, 64);
+/// s.assert(IntExpr::var(k).le(IntExpr::var(h)));
+/// let model = s.check().model().cloned().expect("satisfiable");
+/// assert!(model.get(k).unwrap() <= model.get(h).unwrap());
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    vars: Vec<VarInfo>,
+    constraints: Vec<BoolExpr>,
+    frames: Vec<usize>,
+    last_model: Option<Model>,
+    config: SolverConfig,
+    rng: StdRng,
+    stats: SolverStats,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::with_config(SolverConfig::default())
+    }
+}
+
+impl Solver {
+    /// Creates a solver with default configuration.
+    pub fn new() -> Self {
+        Solver::default()
+    }
+
+    /// Creates a solver with the given configuration.
+    pub fn with_config(config: SolverConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Solver {
+            vars: Vec::new(),
+            constraints: Vec::new(),
+            frames: Vec::new(),
+            last_model: None,
+            config,
+            rng,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Cumulative statistics for this solver instance.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Declares a fresh bounded integer variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new_var(&mut self, name: impl Into<String>, lo: i64, hi: i64) -> VarId {
+        assert!(lo <= hi, "variable bounds must satisfy lo <= hi");
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(VarInfo {
+            name: name.into(),
+            lo,
+            hi,
+        });
+        id
+    }
+
+    /// Declares a variable with the configured default bounds (a tensor
+    /// dimension: positive, bounded).
+    pub fn new_dim_var(&mut self, name: impl Into<String>) -> VarId {
+        let (lo, hi) = (self.config.default_lo, self.config.default_hi);
+        self.new_var(name, lo, hi)
+    }
+
+    /// Number of declared variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of currently-asserted constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Asserts a constraint in the current frame.
+    pub fn assert(&mut self, c: BoolExpr) {
+        match c {
+            BoolExpr::Lit(true) => {}
+            BoolExpr::And(parts) => self.constraints.extend(parts),
+            other => self.constraints.push(other),
+        }
+    }
+
+    /// Asserts several constraints at once.
+    pub fn assert_all(&mut self, cs: impl IntoIterator<Item = BoolExpr>) {
+        for c in cs {
+            self.assert(c);
+        }
+    }
+
+    /// Opens a new assertion frame (like Z3's `push`).
+    pub fn push(&mut self) {
+        self.frames.push(self.constraints.len());
+    }
+
+    /// Discards every constraint asserted since the matching [`Solver::push`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no open frame.
+    pub fn pop(&mut self) {
+        let mark = self.frames.pop().expect("pop without matching push");
+        self.constraints.truncate(mark);
+    }
+
+    /// Asserts `cs` and checks satisfiability; on failure the constraints are
+    /// rolled back. This is the `try_add_constraints` primitive of Algorithm 1.
+    ///
+    /// Returns the model when the extended system is satisfiable.
+    pub fn try_add_constraints(
+        &mut self,
+        cs: impl IntoIterator<Item = BoolExpr>,
+    ) -> Option<Model> {
+        let mark = self.constraints.len();
+        self.assert_all(cs);
+        match self.check() {
+            SatResult::Sat(m) => Some(m),
+            _ => {
+                self.constraints.truncate(mark);
+                None
+            }
+        }
+    }
+
+    /// Checks satisfiability of the asserted constraints.
+    pub fn check(&mut self) -> SatResult {
+        self.stats.checks += 1;
+
+        // Fast path: the previous model may still satisfy everything (common
+        // when the newly-added constraints only mention already-solved
+        // variables).
+        if self.config.incremental {
+            if let Some(prev) = self.full_warm_model() {
+                let ok = self
+                    .constraints
+                    .iter()
+                    .all(|c| prev.eval_bool(c) == Some(true));
+                if ok {
+                    self.stats.sat += 1;
+                    self.stats.warm_hits += 1;
+                    self.last_model = Some(prev.clone());
+                    return SatResult::Sat(prev);
+                }
+            }
+        }
+
+        let mut domains: Vec<Interval> =
+            self.vars.iter().map(|v| Interval::new(v.lo, v.hi)).collect();
+
+        match self.propagate(&mut domains) {
+            Truth::False => {
+                self.stats.unsat += 1;
+                return SatResult::Unsat;
+            }
+            Truth::True | Truth::Unknown => {}
+        }
+
+        // Warm repair: clamp the previous model into the propagated domains
+        // and re-check — after small constraint additions (one binning range,
+        // one insertion) this usually already satisfies everything.
+        if self.config.incremental {
+            if let Some(model) = self.warm_repair(&domains) {
+                self.stats.sat += 1;
+                self.stats.warm_hits += 1;
+                self.last_model = Some(model.clone());
+                return SatResult::Sat(model);
+            }
+        }
+
+        let mut budget = self.config.max_nodes;
+        let mut complete = true;
+        let result = self.search(&mut domains, &mut budget, &mut complete);
+        match result {
+            Some(model) => {
+                self.stats.sat += 1;
+                self.last_model = Some(model.clone());
+                SatResult::Sat(model)
+            }
+            None => {
+                if complete && budget > 0 {
+                    self.stats.unsat += 1;
+                    SatResult::Unsat
+                } else {
+                    self.stats.unknown += 1;
+                    SatResult::Unknown
+                }
+            }
+        }
+    }
+
+    /// Clamps the warm model into the current propagated domains and
+    /// verifies it. Returns the repaired model when it satisfies every
+    /// constraint.
+    fn warm_repair(&self, domains: &[Interval]) -> Option<Model> {
+        let prev = self.last_model.as_ref()?;
+        let mut m = Model::default();
+        for (idx, v) in self.vars.iter().enumerate() {
+            let id = VarId(idx as u32);
+            let dom = domains[idx];
+            if dom.is_empty() {
+                return None;
+            }
+            let val = prev.get(id).unwrap_or(v.lo).clamp(dom.lo, dom.hi);
+            m.insert(id, val);
+        }
+        for c in &self.constraints {
+            if m.eval_bool(c) != Some(true) {
+                return None;
+            }
+        }
+        Some(m)
+    }
+
+    /// A copy of the most recent satisfying model, if any.
+    pub fn last_model(&self) -> Option<&Model> {
+        self.last_model.as_ref()
+    }
+
+    // --- internals -----------------------------------------------------------
+
+    /// Extends the last model with default (minimal) values for new variables.
+    fn full_warm_model(&self) -> Option<Model> {
+        let prev = self.last_model.as_ref()?;
+        let mut m = prev.clone();
+        for (idx, v) in self.vars.iter().enumerate() {
+            let id = VarId(idx as u32);
+            match m.get(id) {
+                Some(val) if val >= v.lo && val <= v.hi => {}
+                _ => m.insert(id, v.lo),
+            }
+        }
+        Some(m)
+    }
+
+    /// Fixed-point interval propagation. Narrows variable domains using
+    /// single-variable-side comparisons and detects definite conflicts.
+    fn propagate(&self, domains: &mut [Interval]) -> Truth {
+        for _round in 0..20 {
+            let mut changed = false;
+            for c in &self.constraints {
+                let truth = {
+                    let dom = |v: VarId| domains[v.0 as usize];
+                    bool_truth(c, &dom)
+                };
+                match truth {
+                    Truth::False => return Truth::False,
+                    Truth::True => continue,
+                    Truth::Unknown => {}
+                }
+                if Self::narrow(c, domains) {
+                    changed = true;
+                }
+                if domains.iter().any(Interval::is_empty) {
+                    return Truth::False;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Truth::Unknown
+    }
+
+    /// Narrows domains for comparisons with a bare variable on one side.
+    /// Returns true if any domain shrank. Conservative (never removes a value
+    /// that could participate in a solution).
+    fn narrow(c: &BoolExpr, domains: &mut [Interval]) -> bool {
+        let (op, var, other) = match c {
+            BoolExpr::Cmp(op, IntExpr::Var(v), rhs) => (*op, *v, rhs),
+            BoolExpr::Cmp(op, lhs, IntExpr::Var(v)) => (op.swap(), *v, lhs),
+            _ => return false,
+        };
+        let other_iv = {
+            let dom = |v: VarId| domains[v.0 as usize];
+            int_interval(other, &dom)
+        };
+        if other_iv.is_empty() {
+            return false;
+        }
+        let cur = domains[var.0 as usize];
+        let new = match op {
+            CmpOp::Le => cur.intersect(&Interval::new(i64::MIN, other_iv.hi)),
+            CmpOp::Lt => cur.intersect(&Interval::new(i64::MIN, other_iv.hi - 1)),
+            CmpOp::Ge => cur.intersect(&Interval::new(other_iv.lo, i64::MAX)),
+            CmpOp::Gt => cur.intersect(&Interval::new(other_iv.lo + 1, i64::MAX)),
+            CmpOp::Eq => cur.intersect(&other_iv),
+            CmpOp::Ne => {
+                if other_iv.is_point() {
+                    if cur.lo == other_iv.lo && cur.hi > cur.lo {
+                        Interval::new(cur.lo + 1, cur.hi)
+                    } else if cur.hi == other_iv.lo && cur.hi > cur.lo {
+                        Interval::new(cur.lo, cur.hi - 1)
+                    } else {
+                        cur
+                    }
+                } else {
+                    cur
+                }
+            }
+        };
+        if new != cur {
+            domains[var.0 as usize] = new;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn constrained_vars(&self) -> Vec<VarId> {
+        let mut vars = Vec::new();
+        for c in &self.constraints {
+            c.collect_vars(&mut vars);
+        }
+        vars.sort();
+        vars.dedup();
+        vars
+    }
+
+    /// Randomized backtracking search over the constrained variables.
+    fn search(
+        &mut self,
+        domains: &mut Vec<Interval>,
+        budget: &mut u64,
+        complete: &mut bool,
+    ) -> Option<Model> {
+        let order = self.constrained_vars();
+        let mut assignment: HashMap<VarId, i64> = HashMap::new();
+        // Pre-assign point domains.
+        for &v in &order {
+            let d = domains[v.0 as usize];
+            if d.is_point() {
+                assignment.insert(v, d.lo);
+            }
+        }
+        // Per-variable constraint index, so DFS only re-evaluates
+        // constraints affected by the latest assignment.
+        let mut con_index: HashMap<VarId, Vec<usize>> = HashMap::new();
+        for (ci, c) in self.constraints.iter().enumerate() {
+            let mut vars = Vec::new();
+            c.collect_vars(&mut vars);
+            for v in vars {
+                con_index.entry(v).or_default().push(ci);
+            }
+        }
+        // Fail-first ordering: narrow domains first, ties broken by how many
+        // constraints mention the variable (more-constrained first).
+        let mut unassigned: Vec<VarId> = order
+            .iter()
+            .copied()
+            .filter(|v| !assignment.contains_key(v))
+            .collect();
+        unassigned.sort_by_key(|v| {
+            let width = domains[v.0 as usize].width();
+            let cons = con_index.get(v).map_or(0, Vec::len);
+            (width, usize::MAX - cons)
+        });
+        let found = self.dfs(
+            &unassigned,
+            0,
+            domains,
+            &mut assignment,
+            &con_index,
+            budget,
+            complete,
+        )?;
+        let _ = found;
+        // Complete the model: unconstrained variables take their minimum
+        // (mirroring Z3's minimal-model bias).
+        let mut model = Model::default();
+        for (idx, v) in self.vars.iter().enumerate() {
+            let id = VarId(idx as u32);
+            let val = assignment.get(&id).copied().unwrap_or(v.lo);
+            model.insert(id, val);
+        }
+        // Final exact verification (propagation is approximate, the model is
+        // checked for real).
+        for c in &self.constraints {
+            if model.eval_bool(c) != Some(true) {
+                return None;
+            }
+        }
+        Some(model)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        &mut self,
+        order: &[VarId],
+        depth: usize,
+        domains: &mut Vec<Interval>,
+        assignment: &mut HashMap<VarId, i64>,
+        con_index: &HashMap<VarId, Vec<usize>>,
+        budget: &mut u64,
+        complete: &mut bool,
+    ) -> Option<()> {
+        if *budget == 0 {
+            *complete = false;
+            return None;
+        }
+        *budget -= 1;
+        self.stats.nodes += 1;
+
+        if depth == order.len() {
+            // Check all constraints exactly under the assignment (variables
+            // outside `order` are unconstrained).
+            let lookup = |v: VarId| {
+                assignment
+                    .get(&v)
+                    .copied()
+                    .or_else(|| Some(self.vars[v.0 as usize].lo))
+            };
+            for c in &self.constraints {
+                if c.eval(&lookup) != Some(true) {
+                    return None;
+                }
+            }
+            return Some(());
+        }
+
+        let var = order[depth];
+        let dom = domains[var.0 as usize];
+        if dom.is_empty() {
+            return None;
+        }
+        let related = con_index.get(&var).map(Vec::as_slice).unwrap_or(&[]);
+        let suggestions = self.suggest_values(var, domains, related);
+        let candidates = self.candidates(var, dom, &suggestions);
+        if (candidates.len() as u64) < dom.width() {
+            *complete = false;
+        }
+        for cand in candidates {
+            assignment.insert(var, cand);
+            let saved = domains[var.0 as usize];
+            domains[var.0 as usize] = Interval::point(cand);
+            // Only constraints mentioning `var` can newly fail.
+            let ok = {
+                let dom_fn = |v: VarId| domains[v.0 as usize];
+                !related
+                    .iter()
+                    .any(|&ci| bool_truth(&self.constraints[ci], &dom_fn) == Truth::False)
+            };
+            if ok
+                && self
+                    .dfs(
+                        order,
+                        depth + 1,
+                        domains,
+                        assignment,
+                        con_index,
+                        budget,
+                        complete,
+                    )
+                    .is_some()
+            {
+                return Some(());
+            }
+            domains[var.0 as usize] = saved;
+            assignment.remove(&var);
+            if *budget == 0 {
+                *complete = false;
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Values for `var` implied by equality constraints whose other
+    /// variables are already pinned to points — e.g. after assigning three
+    /// dims of a reshape target, the fourth is forced by the element-count
+    /// equality. These are tried first during search.
+    fn suggest_values(&self, var: VarId, domains: &[Interval], related: &[usize]) -> Vec<i64> {
+        let mut out = Vec::new();
+        let eval_pt = |v: VarId| -> Option<i64> {
+            let d = domains[v.0 as usize];
+            if d.is_point() {
+                Some(d.lo)
+            } else {
+                None
+            }
+        };
+        let visit = |c: &BoolExpr, out: &mut Vec<i64>| {
+            if let BoolExpr::Cmp(CmpOp::Eq, a, b) = c {
+                for (expr, other) in [(a, b), (b, a)] {
+                    if count_var(expr, var) == 1 && count_var(other, var) == 0 {
+                        if let Some(target) = other.eval(&eval_pt) {
+                            if let Some(v) = invert_for(expr, var, target, &eval_pt) {
+                                if !out.contains(&v) {
+                                    out.push(v);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        for &ci in related {
+            match &self.constraints[ci] {
+                BoolExpr::Or(parts) => {
+                    for p in parts {
+                        visit(p, &mut out);
+                    }
+                }
+                other => visit(other, &mut out),
+            }
+        }
+        out
+    }
+
+    /// Candidate values for a variable, biased toward the domain minimum
+    /// (Z3-like boundary models) with a few random probes for coverage.
+    fn candidates(&mut self, var: VarId, dom: Interval, suggestions: &[i64]) -> Vec<i64> {
+        let mut out = Vec::with_capacity(self.config.max_candidates);
+        let push = |v: i64, out: &mut Vec<i64>| {
+            if dom.contains(v) && !out.contains(&v) {
+                out.push(v);
+            }
+        };
+        // Warm start from the previous model first, then constraint-implied
+        // values.
+        if self.config.incremental {
+            if let Some(prev) = self.last_model.as_ref().and_then(|m| m.get(var)) {
+                push(prev, &mut out);
+            }
+        }
+        for &s in suggestions {
+            push(s, &mut out);
+        }
+        push(dom.lo, &mut out);
+        push(dom.lo + 1, &mut out);
+        push(dom.lo + 2, &mut out);
+        push(dom.lo + 3, &mut out);
+        push(dom.hi, &mut out);
+        // Random geometric probes across the range.
+        let width = dom.width();
+        while out.len() < self.config.max_candidates && (out.len() as u64) < width {
+            let span = (dom.hi as i128 - dom.lo as i128) as f64;
+            let t: f64 = self.rng.gen::<f64>();
+            // Quadratic bias toward small values.
+            let offset = (t * t * span) as i64;
+            push(dom.lo.saturating_add(offset), &mut out);
+            if out.len() >= self.config.max_candidates {
+                break;
+            }
+            // Guard against tiny domains where all values are already present.
+            if width <= self.config.max_candidates as u64 {
+                for v in dom.lo..=dom.hi {
+                    push(v, &mut out);
+                }
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// Number of occurrences of `var` in `expr`.
+fn count_var(expr: &IntExpr, var: VarId) -> usize {
+    match expr {
+        IntExpr::Const(_) => 0,
+        IntExpr::Var(v) => usize::from(*v == var),
+        IntExpr::Bin(_, a, b) => count_var(a, var) + count_var(b, var),
+    }
+}
+
+/// Solves `expr == target` for `var` by algebraic inversion, when `var`
+/// occurs exactly once and every other variable evaluates to a point.
+fn invert_for(
+    expr: &IntExpr,
+    var: VarId,
+    target: i64,
+    eval_pt: &dyn Fn(VarId) -> Option<i64>,
+) -> Option<i64> {
+    match expr {
+        IntExpr::Var(v) if *v == var => Some(target),
+        IntExpr::Bin(op, a, b) => {
+            let in_a = count_var(a, var) == 1;
+            let (with_var, other, var_on_left) = if in_a {
+                (a, b, true)
+            } else {
+                (b, a, false)
+            };
+            let other_val = other.eval(eval_pt)?;
+            let new_target = match op {
+                crate::expr::BinOp::Add => target.checked_sub(other_val)?,
+                crate::expr::BinOp::Sub => {
+                    if var_on_left {
+                        target.checked_add(other_val)?
+                    } else {
+                        other_val.checked_sub(target)?
+                    }
+                }
+                crate::expr::BinOp::Mul => {
+                    if other_val == 0 || target % other_val != 0 {
+                        return None;
+                    }
+                    target / other_val
+                }
+                crate::expr::BinOp::Div => {
+                    if var_on_left {
+                        // floor(x / d) == t  ⇒  x ∈ [t·d, t·d + d − 1];
+                        // suggest the lower end.
+                        if other_val <= 0 {
+                            return None;
+                        }
+                        target.checked_mul(other_val)?
+                    } else {
+                        return None;
+                    }
+                }
+                _ => return None,
+            };
+            invert_for(with_var, var, new_target, eval_pt)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BoolExpr;
+
+    fn v(id: VarId) -> IntExpr {
+        IntExpr::Var(id)
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::default();
+        let x = s.new_var("x", 1, 10);
+        s.assert(v(x).ge(3.into()));
+        let m = s.check().model().cloned().expect("sat");
+        assert!(m.get(x).unwrap() >= 3);
+    }
+
+    #[test]
+    fn boundary_bias_minimal_model() {
+        // Like Z3, the solver should return the minimum satisfying value for
+        // a simple lower-bound constraint — the behaviour motivating binning.
+        let mut s = Solver::default();
+        let x = s.new_var("x", 1, 1 << 20);
+        s.assert(v(x).ge(1.into()));
+        let m = s.check().model().cloned().expect("sat");
+        assert_eq!(m.get(x), Some(1));
+    }
+
+    #[test]
+    fn unsat_detection() {
+        let mut s = Solver::default();
+        let x = s.new_var("x", 1, 10);
+        s.assert(v(x).ge(5.into()));
+        s.assert(v(x).le(3.into()));
+        assert_eq!(s.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn push_pop_restores() {
+        let mut s = Solver::default();
+        let x = s.new_var("x", 1, 10);
+        s.assert(v(x).ge(2.into()));
+        s.push();
+        s.assert(v(x).le(1.into()));
+        assert_eq!(s.check(), SatResult::Unsat);
+        s.pop();
+        assert!(s.check().is_sat());
+    }
+
+    #[test]
+    fn try_add_constraints_rolls_back() {
+        let mut s = Solver::default();
+        let x = s.new_var("x", 1, 10);
+        s.assert(v(x).ge(2.into()));
+        assert!(s.try_add_constraints([v(x).le(1.into())]).is_none());
+        assert_eq!(s.num_constraints(), 1);
+        assert!(s.try_add_constraints([v(x).le(5.into())]).is_some());
+        assert_eq!(s.num_constraints(), 2);
+    }
+
+    #[test]
+    fn conv_like_constraints() {
+        // Output dim of a conv: (h - kh + 2*pad) / stride + 1 >= 1, kernel
+        // must fit the (padded) image.
+        let mut s = Solver::default();
+        let h = s.new_var("h", 1, 224);
+        let kh = s.new_var("kh", 1, 11);
+        let pad = s.new_var("pad", 0, 5);
+        let stride = s.new_var("stride", 1, 4);
+        let out =
+            (v(h) - v(kh) + IntExpr::from(2) * v(pad)) / v(stride) + IntExpr::from(1);
+        s.assert(v(kh).le(v(h) + IntExpr::from(2) * v(pad)));
+        s.assert(out.clone().ge(1.into()));
+        s.assert(out.le(128.into()));
+        let m = s.check().model().cloned().expect("sat");
+        let hv = m.get(h).unwrap();
+        let khv = m.get(kh).unwrap();
+        let pv = m.get(pad).unwrap();
+        let sv = m.get(stride).unwrap();
+        assert!(khv <= hv + 2 * pv);
+        assert!((hv - khv + 2 * pv) / sv + 1 >= 1);
+    }
+
+    #[test]
+    fn reshape_product_constraint() {
+        // Total elements preserved: n*c*h*w == a*b.
+        let mut s = Solver::default();
+        let n = s.new_var("n", 1, 4);
+        let c = s.new_var("c", 1, 8);
+        let h = s.new_var("h", 1, 32);
+        let w = s.new_var("w", 1, 32);
+        let a = s.new_var("a", 1, 64);
+        let b = s.new_var("b", 1, 64);
+        s.assert((v(n) * v(c) * v(h) * v(w)).eq_expr(v(a) * v(b)));
+        let m = s.check().model().cloned().expect("sat");
+        let prod_in =
+            m.get(n).unwrap() * m.get(c).unwrap() * m.get(h).unwrap() * m.get(w).unwrap();
+        let prod_out = m.get(a).unwrap() * m.get(b).unwrap();
+        assert_eq!(prod_in, prod_out);
+    }
+
+    #[test]
+    fn warm_start_reuses_model() {
+        let mut s = Solver::default();
+        let x = s.new_var("x", 1, 100);
+        s.assert(v(x).ge(10.into()));
+        assert!(s.check().is_sat());
+        let before = s.stats().warm_hits;
+        // A constraint the current model already satisfies.
+        s.assert(v(x).ge(5.into()));
+        assert!(s.check().is_sat());
+        assert_eq!(s.stats().warm_hits, before + 1);
+    }
+
+    #[test]
+    fn non_incremental_config() {
+        let mut s = Solver::with_config(SolverConfig {
+            incremental: false,
+            ..SolverConfig::default()
+        });
+        let x = s.new_var("x", 1, 100);
+        s.assert(v(x).ge(10.into()));
+        assert!(s.check().is_sat());
+        s.assert(v(x).ge(5.into()));
+        assert!(s.check().is_sat());
+        assert_eq!(s.stats().warm_hits, 0);
+    }
+
+    #[test]
+    fn equality_chain() {
+        let mut s = Solver::default();
+        let a = s.new_var("a", 1, 100);
+        let b = s.new_var("b", 1, 100);
+        let c = s.new_var("c", 1, 100);
+        s.assert(v(a).eq_expr(v(b)));
+        s.assert(v(b).eq_expr(v(c)));
+        s.assert(v(c).eq_expr(42.into()));
+        let m = s.check().model().cloned().expect("sat");
+        assert_eq!(m.get(a), Some(42));
+        assert_eq!(m.get(b), Some(42));
+    }
+
+    #[test]
+    fn disjunction() {
+        let mut s = Solver::default();
+        let x = s.new_var("x", 1, 10);
+        s.assert(BoolExpr::or([v(x).eq_expr(7.into()), v(x).eq_expr(9.into())]));
+        let m = s.check().model().cloned().expect("sat");
+        let val = m.get(x).unwrap();
+        assert!(val == 7 || val == 9);
+    }
+
+    #[test]
+    fn binned_range_gives_in_range_value() {
+        let mut s = Solver::default();
+        let x = s.new_var("x", 1, 1 << 20);
+        s.assert(v(x).ge(16.into()));
+        s.assert(v(x).le(31.into()));
+        let m = s.check().model().cloned().expect("sat");
+        let val = m.get(x).unwrap();
+        assert!((16..=31).contains(&val));
+    }
+
+    #[test]
+    fn divisibility() {
+        let mut s = Solver::default();
+        let x = s.new_var("x", 1, 64);
+        s.assert((v(x) % 4.into()).eq_expr(0.into()));
+        s.assert(v(x).ge(5.into()));
+        let m = s.check().model().cloned().expect("sat");
+        let val = m.get(x).unwrap();
+        assert_eq!(val % 4, 0);
+        assert!(val >= 5);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = Solver::default();
+        let x = s.new_var("x", 1, 4);
+        s.assert(v(x).ge(2.into()));
+        let _ = s.check();
+        let _ = s.check();
+        assert_eq!(s.stats().checks, 2);
+        assert!(s.stats().sat >= 1);
+    }
+
+    #[test]
+    fn reshape_style_product_with_large_target() {
+        // prod(out dims) must equal a concrete product far above the
+        // candidate probes — solvable only via equality-implied values.
+        let mut s = Solver::default();
+        let a = s.new_var("a", 1, 1 << 20);
+        let b = s.new_var("b", 1, 1 << 20);
+        let c = s.new_var("c", 1, 1 << 20);
+        let target: i64 = 1 * 2 * 62 * 62; // 7688
+        s.assert((v(a) * v(b) * v(c)).eq_expr(target.into()));
+        let m = s.check().model().cloned().expect("sat");
+        assert_eq!(
+            m.get(a).unwrap() * m.get(b).unwrap() * m.get(c).unwrap(),
+            target
+        );
+    }
+
+    #[test]
+    fn or_equality_suggestions() {
+        // BroadcastTo-style: out == 37 or out == 1, with 37 far from the
+        // domain boundary probes.
+        let mut s = Solver::default();
+        let out = s.new_var("out", 1, 1 << 20);
+        s.assert(BoolExpr::or([
+            v(out).eq_expr(37.into()),
+            IntExpr::Const(37).eq_expr(1.into()), // false disjunct
+        ]));
+        s.assert(v(out).ge(2.into()));
+        let m = s.check().model().cloned().expect("sat");
+        assert_eq!(m.get(out), Some(37));
+    }
+
+    #[test]
+    fn linear_isolation() {
+        // (x - 3) * 4 == 44  ⇒  x = 14.
+        let mut s = Solver::default();
+        let x = s.new_var("x", 1, 1 << 20);
+        s.assert(((v(x) - 3.into()) * 4.into()).eq_expr(44.into()));
+        let m = s.check().model().cloned().expect("sat");
+        assert_eq!(m.get(x), Some(14));
+    }
+
+    #[test]
+    fn pop_panics_without_push() {
+        let result = std::panic::catch_unwind(|| {
+            let mut s = Solver::default();
+            s.pop();
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests of the constraint solver.
+
+use proptest::prelude::*;
+
+use nnsmith_solver::{BoolExpr, IntExpr, SatResult, Solver, SolverConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness: every Sat model satisfies all asserted constraints.
+    #[test]
+    fn models_satisfy_random_systems(
+        seed in 0u64..10_000,
+        n_vars in 2usize..6,
+        n_cons in 1usize..8,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut s = Solver::default();
+        let vars: Vec<_> = (0..n_vars)
+            .map(|i| {
+                let lo = rng.gen_range(0i64..8);
+                let hi = lo + rng.gen_range(1i64..64);
+                s.new_var(format!("v{i}"), lo, hi)
+            })
+            .collect();
+        let mut constraints = Vec::new();
+        for _ in 0..n_cons {
+            let a = IntExpr::var(vars[rng.gen_range(0..n_vars)]);
+            let b = IntExpr::var(vars[rng.gen_range(0..n_vars)]);
+            let c: IntExpr = rng.gen_range(0i64..32).into();
+            let e = match rng.gen_range(0..4) {
+                0 => a.clone() + b.clone(),
+                1 => a.clone() * 2.into(),
+                2 => a.clone() - b.clone(),
+                _ => a.clone(),
+            };
+            let cons = match rng.gen_range(0..4) {
+                0 => e.le(c),
+                1 => e.ge(c),
+                2 => e.lt(b + c),
+                _ => e.eq_expr(b.min(c)),
+            };
+            constraints.push(cons.clone());
+            s.assert(cons);
+        }
+        if let SatResult::Sat(m) = s.check() {
+            for c in &constraints {
+                prop_assert_eq!(m.eval_bool(c), Some(true), "violated: {}", c);
+            }
+        }
+    }
+
+    /// Bounds are respected by every model.
+    #[test]
+    fn models_respect_variable_bounds(lo in -8i64..8, width in 1i64..32) {
+        let mut s = Solver::default();
+        let v = s.new_var("v", lo, lo + width);
+        s.assert(IntExpr::var(v).ge((lo - 100).into()));
+        if let SatResult::Sat(m) = s.check() {
+            let val = m.get(v).unwrap();
+            prop_assert!(val >= lo && val <= lo + width);
+        } else {
+            prop_assert!(false, "trivially satisfiable system reported non-sat");
+        }
+    }
+
+    /// Incremental and non-incremental modes agree on satisfiability for
+    /// simple conjunctions.
+    #[test]
+    fn incremental_agrees_with_fresh_solves(
+        bound_a in 1i64..16, bound_b in 1i64..16, limit in 1i64..40,
+    ) {
+        let build = |incremental: bool| {
+            let mut s = Solver::with_config(SolverConfig {
+                incremental,
+                ..SolverConfig::default()
+            });
+            let a = s.new_var("a", 1, bound_a);
+            let b = s.new_var("b", 1, bound_b);
+            s.assert((IntExpr::var(a) + IntExpr::var(b)).le(limit.into()));
+            s.assert(IntExpr::var(a).ge(2.into()));
+            matches!(s.check(), SatResult::Sat(_))
+        };
+        prop_assert_eq!(build(true), build(false));
+    }
+
+    /// push/pop restores the exact constraint set: satisfiability after
+    /// pop equals satisfiability before push.
+    #[test]
+    fn push_pop_is_transparent(k in 1i64..32) {
+        let mut s = Solver::default();
+        let x = s.new_var("x", 1, 16);
+        s.assert(IntExpr::var(x).le(k.into()));
+        let before = s.check().is_sat();
+        s.push();
+        s.assert(IntExpr::var(x).ge(100.into())); // unsatisfiable extra
+        let mid = s.check().is_sat();
+        prop_assert!(!mid);
+        s.pop();
+        let after = s.check().is_sat();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Definitely-contradictory bounds are reported Unsat (completeness on
+    /// the interval fragment).
+    #[test]
+    fn contradictions_detected(lo in 1i64..50) {
+        let mut s = Solver::default();
+        let x = s.new_var("x", 1, 1000);
+        s.assert(IntExpr::var(x).ge((lo + 10).into()));
+        s.assert(IntExpr::var(x).le(lo.into()));
+        prop_assert_eq!(s.check(), SatResult::Unsat);
+    }
+
+    /// Product equalities solved via value suggestions remain sound.
+    #[test]
+    fn product_equalities(a in 1i64..12, b in 1i64..12, c in 1i64..12) {
+        let target = a * b * c;
+        let mut s = Solver::default();
+        let x = s.new_var("x", 1, 1 << 16);
+        let y = s.new_var("y", 1, 1 << 16);
+        let z = s.new_var("z", 1, 1 << 16);
+        s.assert((IntExpr::var(x) * IntExpr::var(y) * IntExpr::var(z)).eq_expr(target.into()));
+        match s.check() {
+            SatResult::Sat(m) => {
+                let prod = m.get(x).unwrap() * m.get(y).unwrap() * m.get(z).unwrap();
+                prop_assert_eq!(prod, target);
+            }
+            other => prop_assert!(false, "expected sat, got {:?}", other),
+        }
+    }
+
+    /// BoolExpr::eval agrees with interval truth on point domains.
+    #[test]
+    fn interval_truth_matches_eval_on_points(v0 in -20i64..20, v1 in -20i64..20) {
+        use nnsmith_solver::{bool_truth, Interval, Truth, VarId};
+        let e = BoolExpr::cmp(
+            nnsmith_solver::CmpOp::Le,
+            IntExpr::Var(VarId(0)) * 2.into() + 3.into(),
+            IntExpr::Var(VarId(1)),
+        );
+        let dom = |v: VarId| if v.0 == 0 { Interval::point(v0) } else { Interval::point(v1) };
+        let truth = bool_truth(&e, &dom);
+        let concrete = e.eval(&|v| Some(if v.0 == 0 { v0 } else { v1 })).unwrap();
+        match truth {
+            Truth::True => prop_assert!(concrete),
+            Truth::False => prop_assert!(!concrete),
+            Truth::Unknown => prop_assert!(false, "point domains must be decided"),
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! 2-D convolution (NCHW) forward and backward kernels.
+
+use crate::error::{Result, TensorError};
+use crate::shape::strides_of;
+use crate::tensor::Tensor;
+
+/// Convolution hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dParams {
+    /// Stride `(sh, sw)`.
+    pub stride: (usize, usize),
+    /// Zero padding `(ph, pw)` applied to both sides.
+    pub padding: (usize, usize),
+    /// Dilation `(dh, dw)`.
+    pub dilation: (usize, usize),
+    /// Number of groups (`c_in` and `c_out` must be divisible by it).
+    pub groups: usize,
+}
+
+impl Default for Conv2dParams {
+    fn default() -> Self {
+        Conv2dParams {
+            stride: (1, 1),
+            padding: (0, 0),
+            dilation: (1, 1),
+            groups: 1,
+        }
+    }
+}
+
+impl Conv2dParams {
+    /// Output spatial size for an input of `(h, w)` with kernel `(kh, kw)`.
+    ///
+    /// Returns `None` when the kernel does not fit.
+    pub fn out_hw(&self, h: usize, w: usize, kh: usize, kw: usize) -> Option<(usize, usize)> {
+        let eff_kh = self.dilation.0 * (kh - 1) + 1;
+        let eff_kw = self.dilation.1 * (kw - 1) + 1;
+        let ph = h + 2 * self.padding.0;
+        let pw = w + 2 * self.padding.1;
+        if eff_kh > ph || eff_kw > pw {
+            return None;
+        }
+        Some((
+            (ph - eff_kh) / self.stride.0 + 1,
+            (pw - eff_kw) / self.stride.1 + 1,
+        ))
+    }
+}
+
+fn check_conv_args(
+    input: &Tensor,
+    weight: &Tensor,
+    params: &Conv2dParams,
+) -> Result<(usize, usize, usize, usize, usize, usize, usize, usize, usize)> {
+    if !input.dtype().is_float() || input.dtype() != weight.dtype() {
+        return Err(TensorError::dtype("conv2d requires matching float dtypes"));
+    }
+    if input.rank() != 4 || weight.rank() != 4 {
+        return Err(TensorError::shape("conv2d requires NCHW input and OIHW weight"));
+    }
+    let (n, c_in, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (c_out, c_in_g, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    let g = params.groups;
+    if g == 0 || c_in % g != 0 || c_out % g != 0 || c_in_g != c_in / g {
+        return Err(TensorError::shape(format!(
+            "conv2d group mismatch: c_in={c_in} c_out={c_out} groups={g} weight_cin={c_in_g}"
+        )));
+    }
+    if params.stride.0 == 0 || params.stride.1 == 0 || params.dilation.0 == 0 || params.dilation.1 == 0
+    {
+        return Err(TensorError::shape("conv2d stride/dilation must be >= 1"));
+    }
+    let (oh, ow) = params
+        .out_hw(h, w, kh, kw)
+        .ok_or_else(|| TensorError::shape("conv2d kernel larger than padded input"))?;
+    Ok((n, c_in, h, w, c_out, kh, kw, oh, ow))
+}
+
+impl Tensor {
+    /// 2-D convolution over an NCHW input with an OIHW weight and an
+    /// optional per-output-channel bias.
+    ///
+    /// # Errors
+    ///
+    /// Fails on non-float or mismatched dtypes, wrong ranks, incompatible
+    /// group configuration, or a kernel that does not fit the padded input.
+    pub fn conv2d(
+        &self,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        params: &Conv2dParams,
+    ) -> Result<Tensor> {
+        let (n, c_in, h, w, c_out, kh, kw, oh, ow) = check_conv_args(self, weight, params)?;
+        if let Some(b) = bias {
+            if b.rank() != 1 || b.shape()[0] != c_out {
+                return Err(TensorError::shape("conv2d bias must be rank-1 of c_out"));
+            }
+        }
+        let g = params.groups;
+        let cin_g = c_in / g;
+        let cout_g = c_out / g;
+        let istr = strides_of(self.shape());
+        let wstr = strides_of(weight.shape());
+        let out_shape = [n, c_out, oh, ow];
+        let mut out = Tensor::zeros(&out_shape, self.dtype());
+        let mut lin = 0usize;
+        for ni in 0..n {
+            for co in 0..c_out {
+                let grp = co / cout_g;
+                let bias_v = bias.map(|b| b.lin_f64(co)).unwrap_or(0.0);
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f64;
+                        for ci in 0..cin_g {
+                            let ic = grp * cin_g + ci;
+                            for ky in 0..kh {
+                                let iy = (oy * params.stride.0 + ky * params.dilation.0) as i64
+                                    - params.padding.0 as i64;
+                                if iy < 0 || iy >= h as i64 {
+                                    continue;
+                                }
+                                for kx in 0..kw {
+                                    let ix = (ox * params.stride.1 + kx * params.dilation.1)
+                                        as i64
+                                        - params.padding.1 as i64;
+                                    if ix < 0 || ix >= w as i64 {
+                                        continue;
+                                    }
+                                    let iv = self.lin_f64(
+                                        ni * istr[0]
+                                            + ic * istr[1]
+                                            + iy as usize * istr[2]
+                                            + ix as usize * istr[3],
+                                    );
+                                    let wv = weight.lin_f64(
+                                        co * wstr[0] + ci * wstr[1] + ky * wstr[2] + kx * wstr[3],
+                                    );
+                                    acc += iv * wv;
+                                }
+                            }
+                        }
+                        out.set_lin_f64(lin, acc + bias_v);
+                        lin += 1;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Gradient of `conv2d` with respect to its input: given `grad_out` of
+    /// shape `[n, c_out, oh, ow]`, returns a tensor of this input's shape.
+    ///
+    /// # Errors
+    ///
+    /// Fails under the same conditions as [`Tensor::conv2d`] or when
+    /// `grad_out` has the wrong shape.
+    pub fn conv2d_grad_input(
+        &self,
+        weight: &Tensor,
+        grad_out: &Tensor,
+        params: &Conv2dParams,
+    ) -> Result<Tensor> {
+        let (n, c_in, h, w, c_out, kh, kw, oh, ow) = check_conv_args(self, weight, params)?;
+        if grad_out.shape() != [n, c_out, oh, ow] {
+            return Err(TensorError::shape("conv2d_grad_input: bad grad_out shape"));
+        }
+        let g = params.groups;
+        let cin_g = c_in / g;
+        let cout_g = c_out / g;
+        let istr = strides_of(self.shape());
+        let wstr = strides_of(weight.shape());
+        let gstr = strides_of(grad_out.shape());
+        let mut grad_in = Tensor::zeros(self.shape(), self.dtype());
+        for ni in 0..n {
+            for co in 0..c_out {
+                let grp = co / cout_g;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let go =
+                            grad_out.lin_f64(ni * gstr[0] + co * gstr[1] + oy * gstr[2] + ox);
+                        if go == 0.0 {
+                            continue;
+                        }
+                        for ci in 0..cin_g {
+                            let ic = grp * cin_g + ci;
+                            for ky in 0..kh {
+                                let iy = (oy * params.stride.0 + ky * params.dilation.0) as i64
+                                    - params.padding.0 as i64;
+                                if iy < 0 || iy >= h as i64 {
+                                    continue;
+                                }
+                                for kx in 0..kw {
+                                    let ix = (ox * params.stride.1 + kx * params.dilation.1)
+                                        as i64
+                                        - params.padding.1 as i64;
+                                    if ix < 0 || ix >= w as i64 {
+                                        continue;
+                                    }
+                                    let off = ni * istr[0]
+                                        + ic * istr[1]
+                                        + iy as usize * istr[2]
+                                        + ix as usize * istr[3];
+                                    let wv = weight.lin_f64(
+                                        co * wstr[0] + ci * wstr[1] + ky * wstr[2] + kx * wstr[3],
+                                    );
+                                    grad_in.set_lin_f64(off, grad_in.lin_f64(off) + go * wv);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    /// Gradient of `conv2d` with respect to the weight.
+    ///
+    /// # Errors
+    ///
+    /// Fails under the same conditions as [`Tensor::conv2d`] or when
+    /// `grad_out` has the wrong shape.
+    pub fn conv2d_grad_weight(
+        &self,
+        weight: &Tensor,
+        grad_out: &Tensor,
+        params: &Conv2dParams,
+    ) -> Result<Tensor> {
+        let (n, c_in, h, w, c_out, kh, kw, oh, ow) = check_conv_args(self, weight, params)?;
+        if grad_out.shape() != [n, c_out, oh, ow] {
+            return Err(TensorError::shape("conv2d_grad_weight: bad grad_out shape"));
+        }
+        let g = params.groups;
+        let cin_g = c_in / g;
+        let cout_g = c_out / g;
+        let istr = strides_of(self.shape());
+        let wstr = strides_of(weight.shape());
+        let gstr = strides_of(grad_out.shape());
+        let mut grad_w = Tensor::zeros(weight.shape(), weight.dtype());
+        for ni in 0..n {
+            for co in 0..c_out {
+                let grp = co / cout_g;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let go =
+                            grad_out.lin_f64(ni * gstr[0] + co * gstr[1] + oy * gstr[2] + ox);
+                        if go == 0.0 {
+                            continue;
+                        }
+                        for ci in 0..cin_g {
+                            let ic = grp * cin_g + ci;
+                            for ky in 0..kh {
+                                let iy = (oy * params.stride.0 + ky * params.dilation.0) as i64
+                                    - params.padding.0 as i64;
+                                if iy < 0 || iy >= h as i64 {
+                                    continue;
+                                }
+                                for kx in 0..kw {
+                                    let ix = (ox * params.stride.1 + kx * params.dilation.1)
+                                        as i64
+                                        - params.padding.1 as i64;
+                                    if ix < 0 || ix >= w as i64 {
+                                        continue;
+                                    }
+                                    let iv = self.lin_f64(
+                                        ni * istr[0]
+                                            + ic * istr[1]
+                                            + iy as usize * istr[2]
+                                            + ix as usize * istr[3],
+                                    );
+                                    let woff =
+                                        co * wstr[0] + ci * wstr[1] + ky * wstr[2] + kx * wstr[3];
+                                    grad_w.set_lin_f64(woff, grad_w.lin_f64(woff) + go * iv);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(grad_w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DType;
+
+    fn iota(shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_f32(shape, (0..n).map(|i| i as f32).collect()).unwrap()
+    }
+
+    #[test]
+    fn identity_kernel() {
+        let x = iota(&[1, 1, 3, 3]);
+        let w = Tensor::from_f32(&[1, 1, 1, 1], vec![1.0]).unwrap();
+        let y = x.conv2d(&w, None, &Conv2dParams::default()).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 3, 3]);
+        assert!(x.max_abs_diff(&y).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn box_filter() {
+        let x = Tensor::ones(&[1, 1, 3, 3], DType::F32);
+        let w = Tensor::ones(&[1, 1, 2, 2], DType::F32);
+        let y = x.conv2d(&w, None, &Conv2dParams::default()).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert!(y.as_f32().unwrap().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn stride_and_padding() {
+        let x = Tensor::ones(&[1, 1, 4, 4], DType::F32);
+        let w = Tensor::ones(&[1, 1, 3, 3], DType::F32);
+        let p = Conv2dParams {
+            stride: (2, 2),
+            padding: (1, 1),
+            ..Conv2dParams::default()
+        };
+        let y = x.conv2d(&w, None, &p).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        // Top-left window covers 2x2 of ones (padded corner).
+        assert_eq!(y.at(&[0, 0, 0, 0]), 4.0);
+    }
+
+    #[test]
+    fn bias_added() {
+        let x = Tensor::zeros(&[1, 2, 2, 2], DType::F32);
+        let w = Tensor::zeros(&[2, 2, 1, 1], DType::F32);
+        let b = Tensor::from_f32(&[2], vec![1.5, -2.0]).unwrap();
+        let y = x.conv2d(&w, Some(&b), &Conv2dParams::default()).unwrap();
+        assert_eq!(y.at(&[0, 0, 0, 0]), 1.5);
+        assert_eq!(y.at(&[0, 1, 1, 1]), -2.0);
+    }
+
+    #[test]
+    fn grouped_conv() {
+        // groups=2: each output channel sees only its half of the input.
+        let x = Tensor::from_f32(&[1, 2, 1, 1], vec![3.0, 5.0]).unwrap();
+        let w = Tensor::ones(&[2, 1, 1, 1], DType::F32);
+        let p = Conv2dParams {
+            groups: 2,
+            ..Conv2dParams::default()
+        };
+        let y = x.conv2d(&w, None, &p).unwrap();
+        assert_eq!(y.as_f32().unwrap(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn kernel_too_big_rejected() {
+        let x = Tensor::ones(&[1, 1, 2, 2], DType::F32);
+        let w = Tensor::ones(&[1, 1, 3, 3], DType::F32);
+        assert!(x.conv2d(&w, None, &Conv2dParams::default()).is_err());
+    }
+
+    #[test]
+    fn dilation() {
+        let x = iota(&[1, 1, 3, 3]);
+        let w = Tensor::ones(&[1, 1, 2, 2], DType::F32);
+        let p = Conv2dParams {
+            dilation: (2, 2),
+            ..Conv2dParams::default()
+        };
+        let y = x.conv2d(&w, None, &p).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        // Samples corners 0, 2, 6, 8.
+        assert_eq!(y.at(&[0, 0, 0, 0]), 0.0 + 2.0 + 6.0 + 8.0);
+    }
+
+    #[test]
+    fn grad_input_numeric_check() {
+        // Finite-difference check on a tiny conv.
+        let x = Tensor::from_f64(&[1, 1, 3, 3], (0..9).map(|i| i as f64 * 0.1).collect())
+            .unwrap();
+        let w = Tensor::from_f64(&[1, 1, 2, 2], vec![0.5, -0.25, 0.75, 1.0]).unwrap();
+        let p = Conv2dParams::default();
+        let ones = Tensor::ones(&[1, 1, 2, 2], DType::F64);
+        let gin = x.conv2d_grad_input(&w, &ones, &p).unwrap();
+        let eps = 1e-5;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.set_lin_f64(i, x.lin_f64(i) + eps);
+            let mut xm = x.clone();
+            xm.set_lin_f64(i, x.lin_f64(i) - eps);
+            let f = |t: &Tensor| -> f64 {
+                t.conv2d(&w, None, &p)
+                    .unwrap()
+                    .to_f64_vec()
+                    .iter()
+                    .sum::<f64>()
+            };
+            let num = (f(&xp) - f(&xm)) / (2.0 * eps);
+            assert!(
+                (num - gin.lin_f64(i)).abs() < 1e-4,
+                "grad mismatch at {i}: {num} vs {}",
+                gin.lin_f64(i)
+            );
+        }
+    }
+
+    #[test]
+    fn grad_weight_numeric_check() {
+        let x = Tensor::from_f64(&[1, 1, 3, 3], (0..9).map(|i| i as f64 * 0.2).collect())
+            .unwrap();
+        let w = Tensor::from_f64(&[1, 1, 2, 2], vec![0.5, -0.25, 0.75, 1.0]).unwrap();
+        let p = Conv2dParams::default();
+        let ones = Tensor::ones(&[1, 1, 2, 2], DType::F64);
+        let gw = x.conv2d_grad_weight(&w, &ones, &p).unwrap();
+        let eps = 1e-5;
+        for i in 0..w.numel() {
+            let mut wp = w.clone();
+            wp.set_lin_f64(i, w.lin_f64(i) + eps);
+            let mut wm = w.clone();
+            wm.set_lin_f64(i, w.lin_f64(i) - eps);
+            let f = |wt: &Tensor| -> f64 {
+                x.conv2d(wt, None, &p)
+                    .unwrap()
+                    .to_f64_vec()
+                    .iter()
+                    .sum::<f64>()
+            };
+            let num = (f(&wp) - f(&wm)) / (2.0 * eps);
+            assert!((num - gw.lin_f64(i)).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Tensor element types.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Element type of a tensor.
+///
+/// The set matches what the paper's operator specifications use: two float
+/// widths (differential testing cares about rounding differences), two int
+/// widths (the int32/int64 mismatch bug class of §5.4), and booleans (for
+/// `Where` conditions and comparison outputs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DType {
+    /// 32-bit IEEE-754 float.
+    F32,
+    /// 64-bit IEEE-754 float.
+    F64,
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// Boolean.
+    Bool,
+}
+
+impl DType {
+    /// All supported dtypes, in a stable order.
+    pub const ALL: [DType; 5] = [DType::F32, DType::F64, DType::I32, DType::I64, DType::Bool];
+
+    /// Floating-point dtypes.
+    pub const FLOATS: [DType; 2] = [DType::F32, DType::F64];
+
+    /// Integer dtypes.
+    pub const INTS: [DType; 2] = [DType::I32, DType::I64];
+
+    /// Numeric (non-bool) dtypes.
+    pub const NUMERIC: [DType; 4] = [DType::F32, DType::F64, DType::I32, DType::I64];
+
+    /// True for `F32`/`F64`.
+    pub fn is_float(self) -> bool {
+        matches!(self, DType::F32 | DType::F64)
+    }
+
+    /// True for `I32`/`I64`.
+    pub fn is_int(self) -> bool {
+        matches!(self, DType::I32 | DType::I64)
+    }
+
+    /// True for anything except `Bool`.
+    pub fn is_numeric(self) -> bool {
+        self != DType::Bool
+    }
+
+    /// Size of one element in bytes.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DType::F32 | DType::I32 => 4,
+            DType::F64 | DType::I64 => 8,
+            DType::Bool => 1,
+        }
+    }
+
+    /// Short lowercase name (`"f32"`, `"bool"`, …) used in model dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            DType::F32 => "f32",
+            DType::F64 => "f64",
+            DType::I32 => "i32",
+            DType::I64 => "i64",
+            DType::Bool => "bool",
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(DType::F32.is_float());
+        assert!(DType::F64.is_float());
+        assert!(!DType::I32.is_float());
+        assert!(DType::I64.is_int());
+        assert!(!DType::Bool.is_numeric());
+        assert!(DType::F32.is_numeric());
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::I64.size_bytes(), 8);
+        assert_eq!(DType::Bool.size_bytes(), 1);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = DType::ALL.iter().map(|d| d.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), DType::ALL.len());
+    }
+}

@@ -1,0 +1,946 @@
+//! Broadcasting elementwise kernels: arithmetic, comparisons, logic,
+//! activation functions.
+
+use crate::dtype::DType;
+use crate::error::{Result, TensorError};
+use crate::shape::{broadcast_shapes, broadcast_strides, numel};
+use crate::tensor::{Data, Element, Tensor};
+
+impl Element for bool {
+    const DTYPE: DType = DType::Bool;
+    fn from_f64(v: f64) -> Self {
+        v != 0.0
+    }
+    fn to_f64(self) -> f64 {
+        if self {
+            1.0
+        } else {
+            0.0
+        }
+    }
+    fn slice(t: &Tensor) -> Option<&[bool]> {
+        t.as_bool()
+    }
+    fn into_data(v: Vec<bool>) -> Data {
+        Data::Bool(v)
+    }
+}
+
+/// Numeric element operations with dtype-faithful semantics: floats follow
+/// IEEE-754 (overflow produces infinities), integers wrap like typical
+/// compiled kernels, and integer division by zero is reported as an error.
+pub(crate) trait NumElem: Element {
+    fn add_e(a: Self, b: Self) -> Self;
+    fn sub_e(a: Self, b: Self) -> Self;
+    fn mul_e(a: Self, b: Self) -> Self;
+    fn div_e(a: Self, b: Self) -> Result<Self>;
+    fn neg_e(a: Self) -> Self;
+    fn abs_e(a: Self) -> Self;
+}
+
+macro_rules! float_num_elem {
+    ($t:ty) => {
+        impl NumElem for $t {
+            fn add_e(a: Self, b: Self) -> Self {
+                a + b
+            }
+            fn sub_e(a: Self, b: Self) -> Self {
+                a - b
+            }
+            fn mul_e(a: Self, b: Self) -> Self {
+                a * b
+            }
+            fn div_e(a: Self, b: Self) -> Result<Self> {
+                Ok(a / b)
+            }
+            fn neg_e(a: Self) -> Self {
+                -a
+            }
+            fn abs_e(a: Self) -> Self {
+                a.abs()
+            }
+        }
+    };
+}
+
+macro_rules! int_num_elem {
+    ($t:ty) => {
+        impl NumElem for $t {
+            fn add_e(a: Self, b: Self) -> Self {
+                a.wrapping_add(b)
+            }
+            fn sub_e(a: Self, b: Self) -> Self {
+                a.wrapping_sub(b)
+            }
+            fn mul_e(a: Self, b: Self) -> Self {
+                a.wrapping_mul(b)
+            }
+            fn div_e(a: Self, b: Self) -> Result<Self> {
+                if b == 0 {
+                    Err(TensorError::arith("integer division by zero"))
+                } else {
+                    Ok(a.wrapping_div(b))
+                }
+            }
+            fn neg_e(a: Self) -> Self {
+                a.wrapping_neg()
+            }
+            fn abs_e(a: Self) -> Self {
+                a.wrapping_abs()
+            }
+        }
+    };
+}
+
+float_num_elem!(f32);
+float_num_elem!(f64);
+int_num_elem!(i32);
+int_num_elem!(i64);
+
+/// Floating-point element operations at the element's native precision
+/// (an `f32` kernel rounds like an `f32` kernel would on real hardware).
+pub(crate) trait FloatElem: NumElem {
+    fn sqrt_e(self) -> Self;
+    fn sin_e(self) -> Self;
+    fn cos_e(self) -> Self;
+    fn asin_e(self) -> Self;
+    fn acos_e(self) -> Self;
+    fn atan_e(self) -> Self;
+    fn tan_e(self) -> Self;
+    fn tanh_e(self) -> Self;
+    fn exp_e(self) -> Self;
+    fn ln_e(self) -> Self;
+    fn log2_e(self) -> Self;
+    fn floor_e(self) -> Self;
+    fn ceil_e(self) -> Self;
+    fn round_e(self) -> Self;
+    fn pow_e(self, other: Self) -> Self;
+}
+
+macro_rules! float_elem {
+    ($t:ty) => {
+        impl FloatElem for $t {
+            fn sqrt_e(self) -> Self {
+                self.sqrt()
+            }
+            fn sin_e(self) -> Self {
+                self.sin()
+            }
+            fn cos_e(self) -> Self {
+                self.cos()
+            }
+            fn asin_e(self) -> Self {
+                self.asin()
+            }
+            fn acos_e(self) -> Self {
+                self.acos()
+            }
+            fn atan_e(self) -> Self {
+                self.atan()
+            }
+            fn tan_e(self) -> Self {
+                self.tan()
+            }
+            fn tanh_e(self) -> Self {
+                self.tanh()
+            }
+            fn exp_e(self) -> Self {
+                self.exp()
+            }
+            fn ln_e(self) -> Self {
+                self.ln()
+            }
+            fn log2_e(self) -> Self {
+                self.log2()
+            }
+            fn floor_e(self) -> Self {
+                self.floor()
+            }
+            fn ceil_e(self) -> Self {
+                self.ceil()
+            }
+            fn round_e(self) -> Self {
+                self.round()
+            }
+            fn pow_e(self, other: Self) -> Self {
+                self.powf(other)
+            }
+        }
+    };
+}
+
+float_elem!(f32);
+float_elem!(f64);
+
+/// Incremental broadcast walker: maintains per-input linear offsets while
+/// stepping through the output shape in row-major order.
+pub(crate) struct BroadcastWalker {
+    shape: Vec<usize>,
+    idx: Vec<usize>,
+    strides: Vec<Vec<usize>>,
+    offsets: Vec<usize>,
+}
+
+impl BroadcastWalker {
+    pub(crate) fn new(out_shape: &[usize], input_shapes: &[&[usize]]) -> Result<Self> {
+        let strides: Result<Vec<Vec<usize>>> = input_shapes
+            .iter()
+            .map(|s| broadcast_strides(s, out_shape))
+            .collect();
+        Ok(BroadcastWalker {
+            shape: out_shape.to_vec(),
+            idx: vec![0; out_shape.len()],
+            strides: strides?,
+            offsets: vec![0; input_shapes.len()],
+        })
+    }
+
+    /// Current linear offset into input `i`.
+    pub(crate) fn offset(&self, i: usize) -> usize {
+        self.offsets[i]
+    }
+
+    /// Advances to the next output element.
+    pub(crate) fn advance(&mut self) {
+        for d in (0..self.shape.len()).rev() {
+            self.idx[d] += 1;
+            if self.idx[d] < self.shape[d] {
+                for (k, s) in self.strides.iter().enumerate() {
+                    self.offsets[k] += s[d];
+                }
+                return;
+            }
+            self.idx[d] = 0;
+            for (k, s) in self.strides.iter().enumerate() {
+                self.offsets[k] -= s[d] * (self.shape[d] - 1);
+            }
+        }
+    }
+}
+
+pub(crate) fn zip2<T: Element, U: Element>(
+    a: &Tensor,
+    b: &Tensor,
+    f: impl Fn(T, T) -> Result<U>,
+) -> Result<Tensor> {
+    let out_shape = broadcast_shapes(a.shape(), b.shape())?;
+    let da = T::slice(a).ok_or_else(|| TensorError::dtype("unexpected lhs dtype"))?;
+    let db = T::slice(b).ok_or_else(|| TensorError::dtype("unexpected rhs dtype"))?;
+    let n = numel(&out_shape);
+    let mut walker = BroadcastWalker::new(&out_shape, &[a.shape(), b.shape()])?;
+    let mut out: Vec<U> = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(f(da[walker.offset(0)], db[walker.offset(1)])?);
+        walker.advance();
+    }
+    Tensor::from_data(&out_shape, U::into_data(out))
+}
+
+pub(crate) fn map1<T: Element, U: Element>(
+    a: &Tensor,
+    f: impl Fn(T) -> Result<U>,
+) -> Result<Tensor> {
+    let da = T::slice(a).ok_or_else(|| TensorError::dtype("unexpected dtype"))?;
+    let out: Result<Vec<U>> = da.iter().map(|&x| f(x)).collect();
+    Tensor::from_data(a.shape(), U::into_data(out?))
+}
+
+fn require_same_dtype(a: &Tensor, b: &Tensor, op: &str) -> Result<()> {
+    if a.dtype() != b.dtype() {
+        return Err(TensorError::dtype(format!(
+            "{op}: {} vs {}",
+            a.dtype(),
+            b.dtype()
+        )));
+    }
+    Ok(())
+}
+
+macro_rules! dispatch_numeric {
+    ($dt:expr, $op:expr, $go:ident) => {
+        match $dt {
+            DType::F32 => $go!(f32),
+            DType::F64 => $go!(f64),
+            DType::I32 => $go!(i32),
+            DType::I64 => $go!(i64),
+            DType::Bool => Err(TensorError::dtype(format!("{} does not support bool", $op))),
+        }
+    };
+}
+
+macro_rules! dispatch_float {
+    ($dt:expr, $op:expr, $go:ident) => {
+        match $dt {
+            DType::F32 => $go!(f32),
+            DType::F64 => $go!(f64),
+            _ => Err(TensorError::dtype(format!("{} requires a float dtype", $op))),
+        }
+    };
+}
+
+macro_rules! binary_numeric_method {
+    ($(#[$doc:meta])* $name:ident, $elem_fn:path) => {
+        $(#[$doc])*
+        pub fn $name(&self, other: &Tensor) -> Result<Tensor> {
+            require_same_dtype(self, other, stringify!($name))?;
+            macro_rules! go {
+                ($t:ty) => {
+                    zip2::<$t, $t>(self, other, |a, b| Ok($elem_fn(a, b)))
+                };
+            }
+            dispatch_numeric!(self.dtype(), stringify!($name), go)
+        }
+    };
+}
+
+macro_rules! unary_float_method {
+    ($(#[$doc:meta])* $name:ident, $elem_fn:ident) => {
+        $(#[$doc])*
+        pub fn $name(&self) -> Result<Tensor> {
+            macro_rules! go {
+                ($t:ty) => {
+                    map1::<$t, $t>(self, |a| Ok(FloatElem::$elem_fn(a)))
+                };
+            }
+            dispatch_float!(self.dtype(), stringify!($name), go)
+        }
+    };
+}
+
+macro_rules! compare_method {
+    ($(#[$doc:meta])* $name:ident, $cmp:expr) => {
+        $(#[$doc])*
+        pub fn $name(&self, other: &Tensor) -> Result<Tensor> {
+            require_same_dtype(self, other, stringify!($name))?;
+            let cmp = $cmp;
+            macro_rules! go {
+                ($t:ty) => {
+                    zip2::<$t, bool>(self, other, |a, b| {
+                        Ok(cmp(a.partial_cmp(&b), a == b))
+                    })
+                };
+            }
+            dispatch_numeric!(self.dtype(), stringify!($name), go)
+        }
+    };
+}
+
+impl Tensor {
+    binary_numeric_method!(
+        /// Broadcasting elementwise addition.
+        ///
+        /// # Errors
+        ///
+        /// Fails on dtype mismatch, bool inputs, or unbroadcastable shapes.
+        add, NumElem::add_e
+    );
+    binary_numeric_method!(
+        /// Broadcasting elementwise subtraction.
+        ///
+        /// # Errors
+        ///
+        /// Fails on dtype mismatch, bool inputs, or unbroadcastable shapes.
+        sub, NumElem::sub_e
+    );
+    binary_numeric_method!(
+        /// Broadcasting elementwise multiplication.
+        ///
+        /// # Errors
+        ///
+        /// Fails on dtype mismatch, bool inputs, or unbroadcastable shapes.
+        mul, NumElem::mul_e
+    );
+
+    /// Broadcasting elementwise division. Integer division by zero is an
+    /// arithmetic fault; float division follows IEEE-754.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dtype mismatch, bool inputs, unbroadcastable shapes, or
+    /// integer division by zero.
+    pub fn div(&self, other: &Tensor) -> Result<Tensor> {
+        require_same_dtype(self, other, "div")?;
+        macro_rules! go {
+            ($t:ty) => {
+                zip2::<$t, $t>(self, other, |a, b| NumElem::div_e(a, b))
+            };
+        }
+        dispatch_numeric!(self.dtype(), "div", go)
+    }
+
+    /// Broadcasting elementwise power (`self ^ other`), floats only.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-float dtypes or unbroadcastable shapes.
+    pub fn pow(&self, other: &Tensor) -> Result<Tensor> {
+        require_same_dtype(self, other, "pow")?;
+        macro_rules! go {
+            ($t:ty) => {
+                zip2::<$t, $t>(self, other, |a, b| Ok(FloatElem::pow_e(a, b)))
+            };
+        }
+        dispatch_float!(self.dtype(), "pow", go)
+    }
+
+    /// Broadcasting elementwise minimum.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dtype mismatch, bool inputs, or unbroadcastable shapes.
+    pub fn minimum(&self, other: &Tensor) -> Result<Tensor> {
+        require_same_dtype(self, other, "minimum")?;
+        macro_rules! go {
+            ($t:ty) => {
+                zip2::<$t, $t>(self, other, |a, b| Ok(if a < b { a } else { b }))
+            };
+        }
+        dispatch_numeric!(self.dtype(), "minimum", go)
+    }
+
+    /// Broadcasting elementwise maximum.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dtype mismatch, bool inputs, or unbroadcastable shapes.
+    pub fn maximum(&self, other: &Tensor) -> Result<Tensor> {
+        require_same_dtype(self, other, "maximum")?;
+        macro_rules! go {
+            ($t:ty) => {
+                zip2::<$t, $t>(self, other, |a, b| Ok(if a > b { a } else { b }))
+            };
+        }
+        dispatch_numeric!(self.dtype(), "maximum", go)
+    }
+
+    compare_method!(
+        /// Broadcasting elementwise equality, producing a bool tensor.
+        ///
+        /// # Errors
+        ///
+        /// Fails on dtype mismatch, bool inputs, or unbroadcastable shapes.
+        equal,
+        |_ord: Option<std::cmp::Ordering>, eq: bool| eq
+    );
+    compare_method!(
+        /// Broadcasting elementwise inequality, producing a bool tensor.
+        ///
+        /// # Errors
+        ///
+        /// Fails on dtype mismatch, bool inputs, or unbroadcastable shapes.
+        not_equal,
+        |_ord: Option<std::cmp::Ordering>, eq: bool| !eq
+    );
+    compare_method!(
+        /// Broadcasting elementwise `<`, producing a bool tensor.
+        ///
+        /// # Errors
+        ///
+        /// Fails on dtype mismatch, bool inputs, or unbroadcastable shapes.
+        less,
+        |ord: Option<std::cmp::Ordering>, _eq: bool| ord == Some(std::cmp::Ordering::Less)
+    );
+    compare_method!(
+        /// Broadcasting elementwise `<=`, producing a bool tensor.
+        ///
+        /// # Errors
+        ///
+        /// Fails on dtype mismatch, bool inputs, or unbroadcastable shapes.
+        less_equal,
+        |ord: Option<std::cmp::Ordering>, _eq: bool| matches!(
+            ord,
+            Some(std::cmp::Ordering::Less) | Some(std::cmp::Ordering::Equal)
+        )
+    );
+    compare_method!(
+        /// Broadcasting elementwise `>`, producing a bool tensor.
+        ///
+        /// # Errors
+        ///
+        /// Fails on dtype mismatch, bool inputs, or unbroadcastable shapes.
+        greater,
+        |ord: Option<std::cmp::Ordering>, _eq: bool| ord == Some(std::cmp::Ordering::Greater)
+    );
+    compare_method!(
+        /// Broadcasting elementwise `>=`, producing a bool tensor.
+        ///
+        /// # Errors
+        ///
+        /// Fails on dtype mismatch, bool inputs, or unbroadcastable shapes.
+        greater_equal,
+        |ord: Option<std::cmp::Ordering>, _eq: bool| matches!(
+            ord,
+            Some(std::cmp::Ordering::Greater) | Some(std::cmp::Ordering::Equal)
+        )
+    );
+
+    /// Broadcasting logical AND over bool tensors.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-bool inputs or unbroadcastable shapes.
+    pub fn logical_and(&self, other: &Tensor) -> Result<Tensor> {
+        if self.dtype() != DType::Bool || other.dtype() != DType::Bool {
+            return Err(TensorError::dtype("logical_and requires bool"));
+        }
+        zip2::<bool, bool>(self, other, |a, b| Ok(a && b))
+    }
+
+    /// Broadcasting logical OR over bool tensors.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-bool inputs or unbroadcastable shapes.
+    pub fn logical_or(&self, other: &Tensor) -> Result<Tensor> {
+        if self.dtype() != DType::Bool || other.dtype() != DType::Bool {
+            return Err(TensorError::dtype("logical_or requires bool"));
+        }
+        zip2::<bool, bool>(self, other, |a, b| Ok(a || b))
+    }
+
+    /// Broadcasting logical XOR over bool tensors.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-bool inputs or unbroadcastable shapes.
+    pub fn logical_xor(&self, other: &Tensor) -> Result<Tensor> {
+        if self.dtype() != DType::Bool || other.dtype() != DType::Bool {
+            return Err(TensorError::dtype("logical_xor requires bool"));
+        }
+        zip2::<bool, bool>(self, other, |a, b| Ok(a != b))
+    }
+
+    /// Elementwise logical NOT over a bool tensor.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-bool inputs.
+    pub fn logical_not(&self) -> Result<Tensor> {
+        if self.dtype() != DType::Bool {
+            return Err(TensorError::dtype("logical_not requires bool"));
+        }
+        map1::<bool, bool>(self, |a| Ok(!a))
+    }
+
+    /// Elementwise negation.
+    ///
+    /// # Errors
+    ///
+    /// Fails for bool inputs.
+    pub fn neg(&self) -> Result<Tensor> {
+        macro_rules! go {
+            ($t:ty) => {
+                map1::<$t, $t>(self, |a| Ok(NumElem::neg_e(a)))
+            };
+        }
+        dispatch_numeric!(self.dtype(), "neg", go)
+    }
+
+    /// Elementwise absolute value.
+    ///
+    /// # Errors
+    ///
+    /// Fails for bool inputs.
+    pub fn abs(&self) -> Result<Tensor> {
+        macro_rules! go {
+            ($t:ty) => {
+                map1::<$t, $t>(self, |a| Ok(NumElem::abs_e(a)))
+            };
+        }
+        dispatch_numeric!(self.dtype(), "abs", go)
+    }
+
+    unary_float_method!(
+        /// Elementwise square root (NaN for negative inputs).
+        ///
+        /// # Errors
+        ///
+        /// Fails for non-float dtypes.
+        sqrt, sqrt_e
+    );
+    unary_float_method!(
+        /// Elementwise sine.
+        ///
+        /// # Errors
+        ///
+        /// Fails for non-float dtypes.
+        sin, sin_e
+    );
+    unary_float_method!(
+        /// Elementwise cosine.
+        ///
+        /// # Errors
+        ///
+        /// Fails for non-float dtypes.
+        cos, cos_e
+    );
+    unary_float_method!(
+        /// Elementwise arcsine (NaN outside `[-1, 1]`).
+        ///
+        /// # Errors
+        ///
+        /// Fails for non-float dtypes.
+        asin, asin_e
+    );
+    unary_float_method!(
+        /// Elementwise arccosine (NaN outside `[-1, 1]`).
+        ///
+        /// # Errors
+        ///
+        /// Fails for non-float dtypes.
+        acos, acos_e
+    );
+    unary_float_method!(
+        /// Elementwise arctangent.
+        ///
+        /// # Errors
+        ///
+        /// Fails for non-float dtypes.
+        atan, atan_e
+    );
+    unary_float_method!(
+        /// Elementwise tangent.
+        ///
+        /// # Errors
+        ///
+        /// Fails for non-float dtypes.
+        tan, tan_e
+    );
+    unary_float_method!(
+        /// Elementwise hyperbolic tangent.
+        ///
+        /// # Errors
+        ///
+        /// Fails for non-float dtypes.
+        tanh, tanh_e
+    );
+    unary_float_method!(
+        /// Elementwise exponential.
+        ///
+        /// # Errors
+        ///
+        /// Fails for non-float dtypes.
+        exp, exp_e
+    );
+    unary_float_method!(
+        /// Elementwise natural logarithm (NaN/-Inf for non-positive inputs).
+        ///
+        /// # Errors
+        ///
+        /// Fails for non-float dtypes.
+        ln, ln_e
+    );
+    unary_float_method!(
+        /// Elementwise base-2 logarithm (NaN/-Inf for non-positive inputs).
+        ///
+        /// # Errors
+        ///
+        /// Fails for non-float dtypes.
+        log2, log2_e
+    );
+    unary_float_method!(
+        /// Elementwise floor.
+        ///
+        /// # Errors
+        ///
+        /// Fails for non-float dtypes.
+        floor, floor_e
+    );
+    unary_float_method!(
+        /// Elementwise ceiling.
+        ///
+        /// # Errors
+        ///
+        /// Fails for non-float dtypes.
+        ceil, ceil_e
+    );
+    unary_float_method!(
+        /// Elementwise rounding to nearest integer.
+        ///
+        /// # Errors
+        ///
+        /// Fails for non-float dtypes.
+        round, round_e
+    );
+
+    /// Elementwise ReLU: `max(x, 0)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-float dtypes.
+    pub fn relu(&self) -> Result<Tensor> {
+        macro_rules! go {
+            ($t:ty) => {
+                map1::<$t, $t>(self, |a| Ok(if a > 0.0 { a } else { 0.0 }))
+            };
+        }
+        dispatch_float!(self.dtype(), "relu", go)
+    }
+
+    /// Elementwise LeakyReLU with slope `alpha` on the negative side.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-float dtypes.
+    pub fn leaky_relu(&self, alpha: f64) -> Result<Tensor> {
+        macro_rules! go {
+            ($t:ty) => {
+                map1::<$t, $t>(self, |a| {
+                    Ok(if a > 0.0 { a } else { a * (alpha as $t) })
+                })
+            };
+        }
+        dispatch_float!(self.dtype(), "leaky_relu", go)
+    }
+
+    /// Elementwise logistic sigmoid.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-float dtypes.
+    pub fn sigmoid(&self) -> Result<Tensor> {
+        macro_rules! go {
+            ($t:ty) => {
+                map1::<$t, $t>(self, |a| Ok(1.0 / (1.0 + FloatElem::exp_e(-a))))
+            };
+        }
+        dispatch_float!(self.dtype(), "sigmoid", go)
+    }
+
+    /// Elementwise clip into `[min, max]`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for bool inputs.
+    pub fn clip(&self, min: f64, max: f64) -> Result<Tensor> {
+        macro_rules! go {
+            ($t:ty) => {{
+                let lo = <$t as Element>::from_f64(min);
+                let hi = <$t as Element>::from_f64(max);
+                map1::<$t, $t>(self, |a| {
+                    Ok(if a < lo {
+                        lo
+                    } else if a > hi {
+                        hi
+                    } else {
+                        a
+                    })
+                })
+            }};
+        }
+        dispatch_numeric!(self.dtype(), "clip", go)
+    }
+
+    /// Three-way broadcasting select: `cond ? a : b`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `cond` is not bool, `a` and `b` disagree on dtype, or the
+    /// three shapes do not broadcast together.
+    pub fn where_select(cond: &Tensor, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        if cond.dtype() != DType::Bool {
+            return Err(TensorError::dtype("where condition must be bool"));
+        }
+        require_same_dtype(a, b, "where")?;
+        let shape_ab = broadcast_shapes(a.shape(), b.shape())?;
+        let out_shape = broadcast_shapes(cond.shape(), &shape_ab)?;
+        let n = numel(&out_shape);
+        let cond_data = cond.as_bool().expect("checked bool");
+        let mut walker =
+            BroadcastWalker::new(&out_shape, &[cond.shape(), a.shape(), b.shape()])?;
+        let mut out = Tensor::zeros(&out_shape, a.dtype());
+        for i in 0..n {
+            let src = if cond_data[walker.offset(0)] { a } else { b };
+            let off = if cond_data[walker.offset(0)] {
+                walker.offset(1)
+            } else {
+                walker.offset(2)
+            };
+            out.set_lin_f64(i, src.lin_f64(off));
+            walker.advance();
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t32(shape: &[usize], data: Vec<f32>) -> Tensor {
+        Tensor::from_f32(shape, data).unwrap()
+    }
+
+    #[test]
+    fn add_same_shape() {
+        let a = t32(&[2, 2], vec![1., 2., 3., 4.]);
+        let b = t32(&[2, 2], vec![10., 20., 30., 40.]);
+        let c = a.add(&b).unwrap();
+        assert_eq!(c.as_f32().unwrap(), &[11., 22., 33., 44.]);
+    }
+
+    #[test]
+    fn add_broadcast_row() {
+        let a = t32(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = t32(&[3], vec![10., 20., 30.]);
+        let c = a.add(&b).unwrap();
+        assert_eq!(c.as_f32().unwrap(), &[11., 22., 33., 14., 25., 36.]);
+    }
+
+    #[test]
+    fn add_broadcast_m0_pattern() {
+        // Listing 1 M0: (1,2,1,48) + (1,1,48) → (1,2,1,48).
+        let a = Tensor::ones(&[1, 2, 1, 48], DType::F32);
+        let b = Tensor::full(&[1, 1, 48], DType::F32, 2.0);
+        let c = a.add(&b).unwrap();
+        assert_eq!(c.shape(), &[1, 2, 1, 48]);
+        assert!(c.as_f32().unwrap().iter().all(|&x| x == 3.0));
+    }
+
+    #[test]
+    fn dtype_mismatch_rejected() {
+        let a = Tensor::ones(&[2], DType::F32);
+        let b = Tensor::ones(&[2], DType::F64);
+        assert!(a.add(&b).is_err());
+    }
+
+    #[test]
+    fn bool_arithmetic_rejected() {
+        let a = Tensor::ones(&[2], DType::Bool);
+        assert!(a.add(&a).is_err());
+        assert!(a.neg().is_err());
+    }
+
+    #[test]
+    fn int_wrapping_semantics() {
+        let a = Tensor::from_i32(&[1], vec![i32::MAX]).unwrap();
+        let b = Tensor::from_i32(&[1], vec![1]).unwrap();
+        let c = a.add(&b).unwrap();
+        assert_eq!(c.as_i32().unwrap(), &[i32::MIN]);
+    }
+
+    #[test]
+    fn int_div_by_zero_is_error() {
+        let a = Tensor::from_i64(&[1], vec![5]).unwrap();
+        let b = Tensor::from_i64(&[1], vec![0]).unwrap();
+        assert!(a.div(&b).is_err());
+    }
+
+    #[test]
+    fn float_div_by_zero_is_inf() {
+        let a = t32(&[1], vec![5.0]);
+        let b = t32(&[1], vec![0.0]);
+        let c = a.div(&b).unwrap();
+        assert!(c.as_f32().unwrap()[0].is_infinite());
+    }
+
+    #[test]
+    fn sqrt_negative_is_nan() {
+        let a = t32(&[2], vec![4.0, -1.0]);
+        let c = a.sqrt().unwrap();
+        assert_eq!(c.as_f32().unwrap()[0], 2.0);
+        assert!(c.as_f32().unwrap()[1].is_nan());
+    }
+
+    #[test]
+    fn asin_domain() {
+        let a = t32(&[2], vec![0.5, 2.0]);
+        let c = a.asin().unwrap();
+        assert!(!c.as_f32().unwrap()[0].is_nan());
+        assert!(c.as_f32().unwrap()[1].is_nan());
+    }
+
+    #[test]
+    fn pow_overflow_is_inf() {
+        let a = t32(&[1], vec![10.0]);
+        let b = t32(&[1], vec![100.0]);
+        let c = a.pow(&b).unwrap();
+        assert!(c.as_f32().unwrap()[0].is_infinite());
+    }
+
+    #[test]
+    fn pow_int_rejected() {
+        let a = Tensor::ones(&[1], DType::I32);
+        assert!(a.pow(&a).is_err());
+    }
+
+    #[test]
+    fn comparisons_produce_bool() {
+        let a = t32(&[3], vec![1., 2., 3.]);
+        let b = t32(&[3], vec![2., 2., 2.]);
+        assert_eq!(a.less(&b).unwrap().as_bool().unwrap(), &[true, false, false]);
+        assert_eq!(a.equal(&b).unwrap().as_bool().unwrap(), &[false, true, false]);
+        assert_eq!(
+            a.greater_equal(&b).unwrap().as_bool().unwrap(),
+            &[false, true, true]
+        );
+    }
+
+    #[test]
+    fn logic_ops() {
+        let a = Tensor::from_bool(&[2], vec![true, false]).unwrap();
+        let b = Tensor::from_bool(&[2], vec![true, true]).unwrap();
+        assert_eq!(a.logical_and(&b).unwrap().as_bool().unwrap(), &[true, false]);
+        assert_eq!(a.logical_or(&b).unwrap().as_bool().unwrap(), &[true, true]);
+        assert_eq!(a.logical_xor(&b).unwrap().as_bool().unwrap(), &[false, true]);
+        assert_eq!(a.logical_not().unwrap().as_bool().unwrap(), &[false, true]);
+    }
+
+    #[test]
+    fn relu_and_leaky() {
+        let a = t32(&[3], vec![-2.0, 0.0, 3.0]);
+        assert_eq!(a.relu().unwrap().as_f32().unwrap(), &[0.0, 0.0, 3.0]);
+        let l = a.leaky_relu(0.1).unwrap();
+        let vals = l.as_f32().unwrap();
+        assert!((vals[0] + 0.2).abs() < 1e-6);
+        assert_eq!(vals[2], 3.0);
+    }
+
+    #[test]
+    fn sigmoid_range() {
+        let a = t32(&[3], vec![-100.0, 0.0, 100.0]);
+        let s = a.sigmoid().unwrap();
+        let v = s.as_f32().unwrap();
+        assert!(v[0] < 1e-6);
+        assert!((v[1] - 0.5).abs() < 1e-6);
+        assert!(v[2] > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn clip_ints() {
+        let a = Tensor::from_i32(&[4], vec![-5, 0, 5, 50]).unwrap();
+        let c = a.clip(0.0, 10.0).unwrap();
+        assert_eq!(c.as_i32().unwrap(), &[0, 0, 5, 10]);
+    }
+
+    #[test]
+    fn where_select_broadcasts() {
+        // The paper's Where(C_{1x1}, T_{3x1}, F_2) example: result must be 3x2.
+        let c = Tensor::from_bool(&[1, 1], vec![true]).unwrap();
+        let t = Tensor::from_f32(&[3, 1], vec![1., 2., 3.]).unwrap();
+        let f = Tensor::from_f32(&[2], vec![9., 9.]).unwrap();
+        let out = Tensor::where_select(&c, &t, &f).unwrap();
+        assert_eq!(out.shape(), &[3, 2]);
+        assert_eq!(out.as_f32().unwrap(), &[1., 1., 2., 2., 3., 3.]);
+    }
+
+    #[test]
+    fn where_requires_bool_condition() {
+        let c = Tensor::ones(&[1], DType::I32);
+        let t = Tensor::ones(&[1], DType::F32);
+        assert!(Tensor::where_select(&c, &t, &t).is_err());
+    }
+
+    #[test]
+    fn f32_precision_differs_from_f64() {
+        // dtype-faithful kernels: f32 rounding is observable.
+        let a32 = Tensor::from_f32(&[1], vec![16_777_216.0]).unwrap();
+        let one32 = Tensor::from_f32(&[1], vec![1.0]).unwrap();
+        let sum32 = a32.add(&one32).unwrap();
+        assert_eq!(sum32.as_f32().unwrap()[0], 16_777_216.0); // lost the +1
+        let a64 = Tensor::from_f64(&[1], vec![16_777_216.0]).unwrap();
+        let one64 = Tensor::from_f64(&[1], vec![1.0]).unwrap();
+        let sum64 = a64.add(&one64).unwrap();
+        assert_eq!(sum64.as_f64().unwrap()[0], 16_777_217.0);
+    }
+}

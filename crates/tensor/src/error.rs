@@ -1,0 +1,79 @@
+//! Error type for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor kernels.
+///
+/// Kernels validate their inputs (shapes, dtypes, attribute ranges) and
+/// return an error rather than panicking, because in a fuzzing pipeline an
+/// invalid intermediate combination must be reported, not abort the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two tensors (or a tensor and an expectation) disagree on dtype.
+    DType {
+        /// Human-readable description of the mismatch.
+        context: String,
+    },
+    /// Shapes are incompatible for the requested operation.
+    Shape {
+        /// Human-readable description of the mismatch.
+        context: String,
+    },
+    /// An arithmetic fault (integer division by zero, overflow).
+    Arith {
+        /// Human-readable description of the fault.
+        context: String,
+    },
+    /// The operation is not supported for the given dtype/configuration.
+    Unsupported {
+        /// Human-readable description of the unsupported case.
+        context: String,
+    },
+}
+
+impl TensorError {
+    /// Builds a dtype-mismatch error.
+    pub fn dtype(context: impl Into<String>) -> Self {
+        TensorError::DType {
+            context: context.into(),
+        }
+    }
+
+    /// Builds a shape-mismatch error.
+    pub fn shape(context: impl Into<String>) -> Self {
+        TensorError::Shape {
+            context: context.into(),
+        }
+    }
+
+    /// Builds an arithmetic-fault error.
+    pub fn arith(context: impl Into<String>) -> Self {
+        TensorError::Arith {
+            context: context.into(),
+        }
+    }
+
+    /// Builds an unsupported-operation error.
+    pub fn unsupported(context: impl Into<String>) -> Self {
+        TensorError::Unsupported {
+            context: context.into(),
+        }
+    }
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::DType { context } => write!(f, "dtype mismatch: {context}"),
+            TensorError::Shape { context } => write!(f, "shape mismatch: {context}"),
+            TensorError::Arith { context } => write!(f, "arithmetic fault: {context}"),
+            TensorError::Unsupported { context } => write!(f, "unsupported: {context}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+/// Convenience result alias for tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;

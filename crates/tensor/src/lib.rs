@@ -1,0 +1,57 @@
+//! # nnsmith-tensor
+//!
+//! A from-scratch tensor runtime — the stand-in for PyTorch in this Rust
+//! reproduction of NNSmith (ASPLOS 2023).
+//!
+//! The crate plays two roles in the pipeline:
+//!
+//! 1. **Reference backend.** Generated models are executed operator by
+//!    operator on these kernels, and the results are the oracle for
+//!    differential testing against the simulated compilers.
+//! 2. **Gradient engine.** The paper's gradient-guided value search
+//!    (Algorithm 3) backpropagates per-operator loss functions through the
+//!    model prefix; the backward kernels here (`conv2d_grad_*`,
+//!    `max_pool2d_grad`, `sum_to`, `slice_scatter`, …) are what the operator
+//!    VJPs in `nnsmith-ops` compose.
+//!
+//! Kernels are dtype-faithful: `f32` math rounds like `f32` (observable in
+//! the differential-testing tolerance logic), integers wrap like compiled
+//! kernels, and every operator validates shapes/dtypes and returns
+//! [`TensorError`] instead of panicking — an invalid combination is a test
+//! result, not a crash of the fuzzer.
+//!
+//! ## Example
+//!
+//! ```
+//! use nnsmith_tensor::{Conv2dParams, DType, Tensor};
+//!
+//! let image = Tensor::ones(&[1, 3, 8, 8], DType::F32);
+//! let kernel = Tensor::ones(&[2, 3, 3, 3], DType::F32);
+//! let out = image.conv2d(&kernel, None, &Conv2dParams::default())?;
+//! assert_eq!(out.shape(), &[1, 2, 6, 6]);
+//! # Ok::<(), nnsmith_tensor::TensorError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod conv;
+mod dtype;
+mod elementwise;
+mod error;
+mod linalg;
+mod movement;
+mod pool;
+mod reduce;
+mod shape;
+mod tensor;
+
+pub use conv::Conv2dParams;
+pub use dtype::DType;
+pub use error::{Result, TensorError};
+pub use movement::PadMode;
+pub use pool::Pool2dParams;
+pub use reduce::{reduced_shape, ReduceKind};
+pub use shape::{
+    broadcast_shapes, broadcast_strides, dot_index, numel, strides_of, unravel, IndexIter,
+};
+pub use tensor::{Data, Tensor};

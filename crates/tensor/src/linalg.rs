@@ -1,0 +1,207 @@
+//! Matrix multiplication with NumPy/ONNX semantics.
+
+use crate::dtype::DType;
+use crate::elementwise::NumElem;
+use crate::error::{Result, TensorError};
+use crate::shape::{broadcast_shapes, broadcast_strides, numel, strides_of, unravel};
+use crate::tensor::Tensor;
+
+fn matmul_t<T: NumElem>(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    // Promote rank-1 operands per NumPy rules, remember to strip later.
+    let a_vec = a.rank() == 1;
+    let b_vec = b.rank() == 1;
+    if a.rank() == 0 || b.rank() == 0 {
+        return Err(TensorError::shape("matmul does not accept scalars"));
+    }
+    let a_shape: Vec<usize> = if a_vec {
+        vec![1, a.shape()[0]]
+    } else {
+        a.shape().to_vec()
+    };
+    let b_shape: Vec<usize> = if b_vec {
+        vec![b.shape()[0], 1]
+    } else {
+        b.shape().to_vec()
+    };
+
+    let (m, ka) = (a_shape[a_shape.len() - 2], a_shape[a_shape.len() - 1]);
+    let (kb, n) = (b_shape[b_shape.len() - 2], b_shape[b_shape.len() - 1]);
+    if ka != kb {
+        return Err(TensorError::shape(format!(
+            "matmul inner dims differ: {ka} vs {kb} (shapes {:?} x {:?})",
+            a.shape(),
+            b.shape()
+        )));
+    }
+
+    let a_batch = &a_shape[..a_shape.len() - 2];
+    let b_batch = &b_shape[..b_shape.len() - 2];
+    let batch = broadcast_shapes(a_batch, b_batch)?;
+    let a_bstrides = broadcast_strides(a_batch, &batch)?;
+    let b_bstrides = broadcast_strides(b_batch, &batch)?;
+    let a_full_strides = strides_of(&a_shape);
+    let b_full_strides = strides_of(&b_shape);
+    // Stride of one whole matrix in each input.
+    let a_mat = m * ka;
+    let b_mat = kb * n;
+    let _ = (a_full_strides, b_full_strides);
+
+    let da = T::slice(a).ok_or_else(|| TensorError::dtype("matmul lhs dtype"))?;
+    let db = T::slice(b).ok_or_else(|| TensorError::dtype("matmul rhs dtype"))?;
+
+    let batch_count = numel(&batch);
+    let mut out: Vec<T> = Vec::with_capacity(batch_count * m * n);
+    let zero = T::from_f64(0.0);
+    for lin in 0..batch_count {
+        let idx = unravel(lin, &batch);
+        // Map the broadcast batch index into each operand's batch offset
+        // (counted in matrices, then scaled by the matrix size).
+        let a_off: usize = idx.iter().zip(&a_bstrides).map(|(i, s)| i * s).sum::<usize>() * a_mat;
+        let b_off: usize = idx.iter().zip(&b_bstrides).map(|(i, s)| i * s).sum::<usize>() * b_mat;
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = zero;
+                for k in 0..ka {
+                    let x = da[a_off + i * ka + k];
+                    let y = db[b_off + k * n + j];
+                    acc = T::add_e(acc, T::mul_e(x, y));
+                }
+                out.push(acc);
+            }
+        }
+    }
+
+    let mut out_shape: Vec<usize> = batch.clone();
+    out_shape.push(m);
+    out_shape.push(n);
+    let mut t = Tensor::from_data(&out_shape, T::into_data(out))?;
+    // Strip promoted dims.
+    if a_vec {
+        let mut s = t.shape().to_vec();
+        s.remove(s.len() - 2);
+        t = t.reshaped(&s)?;
+    }
+    if b_vec {
+        let mut s = t.shape().to_vec();
+        s.pop();
+        t = t.reshaped(&s)?;
+    }
+    Ok(t)
+}
+
+impl Tensor {
+    /// Matrix product with NumPy/ONNX semantics: rank-1 operands are
+    /// promoted (and the promoted dim stripped from the result), leading
+    /// batch dimensions broadcast.
+    ///
+    /// # Errors
+    ///
+    /// Fails on scalar operands, mismatched inner dimensions,
+    /// non-broadcastable batch dimensions, bool inputs, or dtype mismatch.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        if self.dtype() != other.dtype() {
+            return Err(TensorError::dtype(format!(
+                "matmul dtypes {} vs {}",
+                self.dtype(),
+                other.dtype()
+            )));
+        }
+        match self.dtype() {
+            DType::F32 => matmul_t::<f32>(self, other),
+            DType::F64 => matmul_t::<f64>(self, other),
+            DType::I32 => matmul_t::<i32>(self, other),
+            DType::I64 => matmul_t::<i64>(self, other),
+            DType::Bool => Err(TensorError::dtype("matmul does not support bool")),
+        }
+    }
+
+    /// 2-D transpose helper for gradients: swaps the last two axes.
+    ///
+    /// # Errors
+    ///
+    /// Fails for tensors of rank < 2.
+    pub fn swap_last_two(&self) -> Result<Tensor> {
+        if self.rank() < 2 {
+            return Err(TensorError::shape("swap_last_two requires rank >= 2"));
+        }
+        let mut perm: Vec<usize> = (0..self.rank()).collect();
+        let r = self.rank();
+        perm.swap(r - 2, r - 1);
+        self.transpose(&perm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_2x2() {
+        let a = Tensor::from_f32(&[2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::from_f32(&[3, 2], vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.as_f32().unwrap(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_inner_mismatch() {
+        let a = Tensor::ones(&[2, 3], DType::F32);
+        let b = Tensor::ones(&[4, 2], DType::F32);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matmul_vector_lhs() {
+        // Single-rank broadcasting — the §5.4 conversion-bug pattern.
+        let a = Tensor::from_f32(&[3], vec![1., 2., 3.]).unwrap();
+        let b = Tensor::from_f32(&[3, 2], vec![1., 0., 0., 1., 1., 1.]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[2]);
+        assert_eq!(c.as_f32().unwrap(), &[4., 5.]);
+    }
+
+    #[test]
+    fn matmul_vector_rhs() {
+        let a = Tensor::from_f32(&[2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::from_f32(&[3], vec![1., 1., 1.]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[2]);
+        assert_eq!(c.as_f32().unwrap(), &[6., 15.]);
+    }
+
+    #[test]
+    fn matmul_batched_broadcast() {
+        // (2,1,2,2) x (1,3,2,2) → (2,3,2,2)
+        let a = Tensor::ones(&[2, 1, 2, 2], DType::F64);
+        let b = Tensor::ones(&[1, 3, 2, 2], DType::F64);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 3, 2, 2]);
+        assert!(c.as_f64().unwrap().iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn matmul_int() {
+        let a = Tensor::from_i64(&[2, 2], vec![1, 2, 3, 4]).unwrap();
+        let b = Tensor::from_i64(&[2, 2], vec![5, 6, 7, 8]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_i64().unwrap(), &[19, 22, 43, 50]);
+    }
+
+    #[test]
+    fn matmul_scalar_rejected() {
+        let a = Tensor::scalar(DType::F32, 2.0);
+        let b = Tensor::ones(&[2, 2], DType::F32);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matmul_1x1_rhs() {
+        // MatMul with a 1x1 matrix RHS — the FuseMatMulScale bug trigger.
+        let a = Tensor::from_f32(&[3, 1], vec![1., 2., 3.]).unwrap();
+        let b = Tensor::from_f32(&[1, 1], vec![2.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[3, 1]);
+        assert_eq!(c.as_f32().unwrap(), &[2., 4., 6.]);
+    }
+}

@@ -1,0 +1,564 @@
+//! Data-movement kernels: transpose, slice, pad, concat, broadcast,
+//! squeeze/unsqueeze and nearest-neighbour resize.
+
+use crate::error::{Result, TensorError};
+use crate::shape::{broadcast_strides, dot_index, strides_of, IndexIter};
+use crate::tensor::Tensor;
+
+/// Padding modes for [`Tensor::pad`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PadMode {
+    /// Pad with a constant value.
+    Constant(f64),
+    /// Mirror the tensor without repeating the edge element.
+    Reflect,
+    /// Repeat the edge element.
+    Replicate,
+}
+
+impl Tensor {
+    /// Permutes dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `perm` is not a permutation of `0..rank`.
+    pub fn transpose(&self, perm: &[usize]) -> Result<Tensor> {
+        if perm.len() != self.rank() {
+            return Err(TensorError::shape(format!(
+                "transpose perm rank {} vs tensor rank {}",
+                perm.len(),
+                self.rank()
+            )));
+        }
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            if p >= perm.len() || seen[p] {
+                return Err(TensorError::shape(format!("invalid permutation {perm:?}")));
+            }
+            seen[p] = true;
+        }
+        let in_shape = self.shape();
+        let out_shape: Vec<usize> = perm.iter().map(|&p| in_shape[p]).collect();
+        let in_strides = strides_of(in_shape);
+        let mut out = Tensor::zeros(&out_shape, self.dtype());
+        for (lin, idx) in IndexIter::new(&out_shape).enumerate() {
+            let mut src = 0usize;
+            for (d, &p) in perm.iter().enumerate() {
+                src += idx[d] * in_strides[p];
+            }
+            out.set_lin_f64(lin, self.lin_f64(src));
+        }
+        Ok(out)
+    }
+
+    /// Strided slice: for each dimension, takes elements
+    /// `start, start+step, …` while `< end`. All bounds must already be
+    /// valid (`start <= end <= dim`, `step >= 1`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on rank mismatch or out-of-range bounds.
+    pub fn slice(&self, starts: &[usize], ends: &[usize], steps: &[usize]) -> Result<Tensor> {
+        let r = self.rank();
+        if starts.len() != r || ends.len() != r || steps.len() != r {
+            return Err(TensorError::shape("slice parameter rank mismatch"));
+        }
+        let mut out_shape = Vec::with_capacity(r);
+        for d in 0..r {
+            if steps[d] == 0 {
+                return Err(TensorError::shape("slice step must be >= 1"));
+            }
+            if starts[d] > ends[d] || ends[d] > self.shape()[d] {
+                return Err(TensorError::shape(format!(
+                    "slice bounds [{}, {}) invalid for dim {} of size {}",
+                    starts[d],
+                    ends[d],
+                    d,
+                    self.shape()[d]
+                )));
+            }
+            out_shape.push((ends[d] - starts[d]).div_ceil(steps[d]));
+        }
+        let in_strides = strides_of(self.shape());
+        let mut out = Tensor::zeros(&out_shape, self.dtype());
+        for (lin, idx) in IndexIter::new(&out_shape).enumerate() {
+            let mut src = 0usize;
+            for d in 0..r {
+                src += (starts[d] + idx[d] * steps[d]) * in_strides[d];
+            }
+            out.set_lin_f64(lin, self.lin_f64(src));
+        }
+        Ok(out)
+    }
+
+    /// Scatters this tensor back into a zero tensor of shape `full`, at the
+    /// positions a [`Tensor::slice`] with the same parameters would have
+    /// read. This is the adjoint of `slice`, used by autodiff.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the parameters are inconsistent with `self`/`full`.
+    pub fn slice_scatter(
+        &self,
+        full: &[usize],
+        starts: &[usize],
+        ends: &[usize],
+        steps: &[usize],
+    ) -> Result<Tensor> {
+        let probe = Tensor::zeros(full, self.dtype()).slice(starts, ends, steps)?;
+        if probe.shape() != self.shape() {
+            return Err(TensorError::shape(format!(
+                "slice_scatter: slice of {full:?} gives {:?}, have {:?}",
+                probe.shape(),
+                self.shape()
+            )));
+        }
+        let full_strides = strides_of(full);
+        let mut out = Tensor::zeros(full, self.dtype());
+        for (lin, idx) in IndexIter::new(self.shape()).enumerate() {
+            let mut dst = 0usize;
+            for d in 0..full.len() {
+                dst += (starts[d] + idx[d] * steps[d]) * full_strides[d];
+            }
+            out.set_lin_f64(dst, self.lin_f64(lin));
+        }
+        Ok(out)
+    }
+
+    /// Pads each dimension by `(before, after)` using the given mode.
+    /// Negative padding (cropping) is allowed for [`PadMode::Constant`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on rank mismatch, on reflect padding wider than `dim - 1`, or
+    /// on negative padding that crops more than the whole dimension.
+    pub fn pad(&self, pads: &[(i64, i64)], mode: PadMode) -> Result<Tensor> {
+        let r = self.rank();
+        if pads.len() != r {
+            return Err(TensorError::shape("pad parameter rank mismatch"));
+        }
+        let mut out_shape = Vec::with_capacity(r);
+        for d in 0..r {
+            let (b, a) = pads[d];
+            if !matches!(mode, PadMode::Constant(_)) && (b < 0 || a < 0) {
+                return Err(TensorError::shape(
+                    "negative padding only valid in constant mode",
+                ));
+            }
+            if matches!(mode, PadMode::Reflect)
+                && (b as usize >= self.shape()[d].max(1) || a as usize >= self.shape()[d].max(1))
+            {
+                return Err(TensorError::shape(
+                    "reflect padding must be smaller than the dimension",
+                ));
+            }
+            let new = self.shape()[d] as i64 + b + a;
+            if new < 0 {
+                return Err(TensorError::shape("padding crops below zero size"));
+            }
+            out_shape.push(new as usize);
+        }
+        let in_strides = strides_of(self.shape());
+        let fill = match mode {
+            PadMode::Constant(v) => v,
+            _ => 0.0,
+        };
+        let mut out = Tensor::full(&out_shape, self.dtype(), fill);
+        for (lin, idx) in IndexIter::new(&out_shape).enumerate() {
+            let mut src = 0usize;
+            let mut inside = true;
+            for d in 0..r {
+                let pos = idx[d] as i64 - pads[d].0;
+                let dim = self.shape()[d] as i64;
+                let mapped = match mode {
+                    PadMode::Constant(_) => {
+                        if pos < 0 || pos >= dim {
+                            inside = false;
+                            break;
+                        }
+                        pos
+                    }
+                    PadMode::Replicate => pos.clamp(0, dim - 1),
+                    PadMode::Reflect => {
+                        if dim == 1 {
+                            0
+                        } else {
+                            let period = 2 * (dim - 1);
+                            let mut p = pos.rem_euclid(period);
+                            if p >= dim {
+                                p = period - p;
+                            }
+                            p
+                        }
+                    }
+                };
+                src += mapped as usize * in_strides[d];
+            }
+            if inside {
+                out.set_lin_f64(lin, self.lin_f64(src));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Concatenates tensors along `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty list, dtype/rank mismatch, non-matching off-axis
+    /// dims, or an out-of-range axis.
+    pub fn concat(tensors: &[&Tensor], axis: usize) -> Result<Tensor> {
+        let first = tensors
+            .first()
+            .ok_or_else(|| TensorError::shape("concat of zero tensors"))?;
+        let r = first.rank();
+        if axis >= r {
+            return Err(TensorError::shape(format!(
+                "concat axis {axis} out of range for rank {r}"
+            )));
+        }
+        let mut axis_total = 0usize;
+        for t in tensors {
+            if t.dtype() != first.dtype() {
+                return Err(TensorError::dtype("concat dtype mismatch"));
+            }
+            if t.rank() != r {
+                return Err(TensorError::shape("concat rank mismatch"));
+            }
+            for d in 0..r {
+                if d != axis && t.shape()[d] != first.shape()[d] {
+                    return Err(TensorError::shape(format!(
+                        "concat dim {d} mismatch: {} vs {}",
+                        t.shape()[d],
+                        first.shape()[d]
+                    )));
+                }
+            }
+            axis_total += t.shape()[axis];
+        }
+        let mut out_shape = first.shape().to_vec();
+        out_shape[axis] = axis_total;
+        let out_strides = strides_of(&out_shape);
+        let mut out = Tensor::zeros(&out_shape, first.dtype());
+        let mut offset = 0usize;
+        for t in tensors {
+            for (lin, idx) in IndexIter::new(t.shape()).enumerate() {
+                let mut dst_idx = idx.clone();
+                dst_idx[axis] += offset;
+                out.set_lin_f64(dot_index(&dst_idx, &out_strides), t.lin_f64(lin));
+            }
+            offset += t.shape()[axis];
+        }
+        Ok(out)
+    }
+
+    /// Materializes a broadcast of this tensor to `shape`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the shapes are not broadcast-compatible.
+    pub fn broadcast_to(&self, shape: &[usize]) -> Result<Tensor> {
+        let strides = broadcast_strides(self.shape(), shape)?;
+        let mut out = Tensor::zeros(shape, self.dtype());
+        for (lin, idx) in IndexIter::new(shape).enumerate() {
+            out.set_lin_f64(lin, self.lin_f64(dot_index(&idx, &strides)));
+        }
+        Ok(out)
+    }
+
+    /// Reduces this tensor by summation so that it has shape `shape`
+    /// (the adjoint of [`Tensor::broadcast_to`], used for gradients of
+    /// broadcasting operators). Only float tensors are supported.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `shape` does not broadcast to `self.shape()` or the dtype is
+    /// not float.
+    pub fn sum_to(&self, shape: &[usize]) -> Result<Tensor> {
+        if !self.dtype().is_float() {
+            return Err(TensorError::dtype("sum_to requires float"));
+        }
+        if self.shape() == shape {
+            return Ok(self.clone());
+        }
+        let strides = broadcast_strides(shape, self.shape())?;
+        let mut out = Tensor::zeros(shape, self.dtype());
+        for (lin, idx) in IndexIter::new(self.shape()).enumerate() {
+            // Position in the reduced tensor this element folds into
+            // (broadcast dims have stride 0, so they collapse).
+            let dst: usize = idx.iter().zip(&strides).map(|(i, s)| i * s).sum();
+            let cur = out.lin_f64(dst);
+            out.set_lin_f64(dst, cur + self.lin_f64(lin));
+        }
+        Ok(out)
+    }
+
+    /// Removes size-1 dimensions at the given axes (all size-1 dims when
+    /// `axes` is empty).
+    ///
+    /// # Errors
+    ///
+    /// Fails if an axis is out of range or not of size 1.
+    pub fn squeeze(&self, axes: &[usize]) -> Result<Tensor> {
+        let mut keep = vec![true; self.rank()];
+        if axes.is_empty() {
+            for (d, &s) in self.shape().iter().enumerate() {
+                if s == 1 {
+                    keep[d] = false;
+                }
+            }
+        } else {
+            for &a in axes {
+                if a >= self.rank() {
+                    return Err(TensorError::shape("squeeze axis out of range"));
+                }
+                if self.shape()[a] != 1 {
+                    return Err(TensorError::shape(format!(
+                        "squeeze axis {a} has size {}",
+                        self.shape()[a]
+                    )));
+                }
+                keep[a] = false;
+            }
+        }
+        let new_shape: Vec<usize> = self
+            .shape()
+            .iter()
+            .zip(&keep)
+            .filter(|(_, &k)| k)
+            .map(|(&s, _)| s)
+            .collect();
+        self.reshaped(&new_shape)
+    }
+
+    /// Inserts a size-1 dimension before `axis` (`axis` may equal rank).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `axis > rank`.
+    pub fn unsqueeze(&self, axis: usize) -> Result<Tensor> {
+        if axis > self.rank() {
+            return Err(TensorError::shape("unsqueeze axis out of range"));
+        }
+        let mut new_shape = self.shape().to_vec();
+        new_shape.insert(axis, 1);
+        self.reshaped(&new_shape)
+    }
+
+    /// Flattens to 2-D: dims before `axis` are collapsed into the first
+    /// output dim, the rest into the second (ONNX `Flatten`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `axis > rank`.
+    pub fn flatten(&self, axis: usize) -> Result<Tensor> {
+        if axis > self.rank() {
+            return Err(TensorError::shape("flatten axis out of range"));
+        }
+        let first: usize = self.shape()[..axis].iter().product();
+        let second: usize = self.shape()[axis..].iter().product();
+        self.reshaped(&[first, second])
+    }
+
+    /// Nearest-neighbour 2-D upsampling of an NCHW tensor by integer scale
+    /// factors.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-rank-4 tensors or zero scales.
+    pub fn resize_nearest_2d(&self, scale_h: usize, scale_w: usize) -> Result<Tensor> {
+        if self.rank() != 4 {
+            return Err(TensorError::shape("resize_nearest_2d requires NCHW"));
+        }
+        if scale_h == 0 || scale_w == 0 {
+            return Err(TensorError::shape("resize scale must be >= 1"));
+        }
+        let (n, c, h, w) = (
+            self.shape()[0],
+            self.shape()[1],
+            self.shape()[2],
+            self.shape()[3],
+        );
+        let out_shape = [n, c, h * scale_h, w * scale_w];
+        let in_strides = strides_of(self.shape());
+        let mut out = Tensor::zeros(&out_shape, self.dtype());
+        for (lin, idx) in IndexIter::new(&out_shape).enumerate() {
+            let src = idx[0] * in_strides[0]
+                + idx[1] * in_strides[1]
+                + (idx[2] / scale_h) * in_strides[2]
+                + (idx[3] / scale_w) * in_strides[3];
+            out.set_lin_f64(lin, self.lin_f64(src));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DType;
+    use crate::shape::numel;
+
+    fn iota(shape: &[usize]) -> Tensor {
+        let n = numel(shape);
+        Tensor::from_f32(shape, (0..n).map(|i| i as f32).collect()).unwrap()
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let t = iota(&[2, 3]);
+        let tt = t.transpose(&[1, 0]).unwrap();
+        assert_eq!(tt.shape(), &[3, 2]);
+        assert_eq!(tt.as_f32().unwrap(), &[0., 3., 1., 4., 2., 5.]);
+    }
+
+    #[test]
+    fn transpose_invalid_perm() {
+        let t = iota(&[2, 3]);
+        assert!(t.transpose(&[0, 0]).is_err());
+        assert!(t.transpose(&[0]).is_err());
+    }
+
+    #[test]
+    fn transpose_nchw_to_nhwc() {
+        let t = iota(&[1, 2, 3, 4]);
+        let tt = t.transpose(&[0, 2, 3, 1]).unwrap();
+        assert_eq!(tt.shape(), &[1, 3, 4, 2]);
+        assert_eq!(tt.at(&[0, 0, 0, 1]), t.at(&[0, 1, 0, 0]));
+    }
+
+    #[test]
+    fn slice_basic() {
+        let t = iota(&[4, 4]);
+        let s = t.slice(&[1, 0], &[3, 4], &[1, 2]).unwrap();
+        assert_eq!(s.shape(), &[2, 2]);
+        assert_eq!(s.as_f32().unwrap(), &[4., 6., 8., 10.]);
+    }
+
+    #[test]
+    fn slice_with_stride_gt_one_on_channel() {
+        // The TVM layout-bug trigger: stride > 1 on the channel dim.
+        let t = iota(&[1, 4, 2, 2]);
+        let s = t.slice(&[0, 0, 0, 0], &[1, 4, 2, 2], &[1, 2, 1, 1]).unwrap();
+        assert_eq!(s.shape(), &[1, 2, 2, 2]);
+        assert_eq!(s.at(&[0, 1, 0, 0]), t.at(&[0, 2, 0, 0]));
+    }
+
+    #[test]
+    fn slice_invalid() {
+        let t = iota(&[4]);
+        assert!(t.slice(&[2], &[1], &[1]).is_err());
+        assert!(t.slice(&[0], &[5], &[1]).is_err());
+        assert!(t.slice(&[0], &[4], &[0]).is_err());
+    }
+
+    #[test]
+    fn slice_scatter_adjoint() {
+        let t = iota(&[4]);
+        let s = t.slice(&[1], &[4], &[2]).unwrap(); // [1., 3.]
+        let g = s.slice_scatter(&[4], &[1], &[4], &[2]).unwrap();
+        assert_eq!(g.as_f32().unwrap(), &[0., 1., 0., 3.]);
+    }
+
+    #[test]
+    fn pad_constant() {
+        let t = iota(&[2, 2]);
+        let p = t.pad(&[(1, 0), (0, 1)], PadMode::Constant(9.0)).unwrap();
+        assert_eq!(p.shape(), &[3, 3]);
+        assert_eq!(p.as_f32().unwrap(), &[9., 9., 9., 0., 1., 9., 2., 3., 9.]);
+    }
+
+    #[test]
+    fn pad_negative_crops() {
+        let t = iota(&[4]);
+        let p = t.pad(&[(-1, -1)], PadMode::Constant(0.0)).unwrap();
+        assert_eq!(p.as_f32().unwrap(), &[1., 2.]);
+    }
+
+    #[test]
+    fn pad_reflect() {
+        let t = iota(&[4]); // 0 1 2 3
+        let p = t.pad(&[(2, 1)], PadMode::Reflect).unwrap();
+        assert_eq!(p.as_f32().unwrap(), &[2., 1., 0., 1., 2., 3., 2.]);
+    }
+
+    #[test]
+    fn pad_reflect_too_wide_rejected() {
+        let t = iota(&[3]);
+        assert!(t.pad(&[(3, 0)], PadMode::Reflect).is_err());
+    }
+
+    #[test]
+    fn pad_replicate() {
+        let t = iota(&[3]); // 0 1 2
+        let p = t.pad(&[(2, 2)], PadMode::Replicate).unwrap();
+        assert_eq!(p.as_f32().unwrap(), &[0., 0., 0., 1., 2., 2., 2.]);
+    }
+
+    #[test]
+    fn concat_axis0_and_1() {
+        let a = iota(&[2, 2]);
+        let b = iota(&[1, 2]);
+        let c = Tensor::concat(&[&a, &b], 0).unwrap();
+        assert_eq!(c.shape(), &[3, 2]);
+        assert_eq!(c.as_f32().unwrap(), &[0., 1., 2., 3., 0., 1.]);
+        let d = Tensor::concat(&[&a, &a], 1).unwrap();
+        assert_eq!(d.shape(), &[2, 4]);
+        assert_eq!(d.as_f32().unwrap(), &[0., 1., 0., 1., 2., 3., 2., 3.]);
+    }
+
+    #[test]
+    fn concat_mismatch_rejected() {
+        let a = iota(&[2, 2]);
+        let b = iota(&[2, 3]);
+        assert!(Tensor::concat(&[&a, &b], 0).is_err());
+        assert!(Tensor::concat(&[], 0).is_err());
+    }
+
+    #[test]
+    fn broadcast_to_materializes() {
+        let t = iota(&[1, 3]);
+        let b = t.broadcast_to(&[2, 3]).unwrap();
+        assert_eq!(b.as_f32().unwrap(), &[0., 1., 2., 0., 1., 2.]);
+        assert!(t.broadcast_to(&[2, 4]).is_err());
+    }
+
+    #[test]
+    fn sum_to_reduces_broadcast_dims() {
+        let t = Tensor::ones(&[2, 3], DType::F32);
+        let s = t.sum_to(&[1, 3]).unwrap();
+        assert_eq!(s.as_f32().unwrap(), &[2., 2., 2.]);
+        let s2 = t.sum_to(&[3]).unwrap();
+        assert_eq!(s2.as_f32().unwrap(), &[2., 2., 2.]);
+    }
+
+    #[test]
+    fn squeeze_unsqueeze_roundtrip() {
+        let t = iota(&[2, 1, 3]);
+        let s = t.squeeze(&[1]).unwrap();
+        assert_eq!(s.shape(), &[2, 3]);
+        let u = s.unsqueeze(1).unwrap();
+        assert_eq!(u.shape(), &[2, 1, 3]);
+        assert!(t.squeeze(&[0]).is_err());
+        let all = t.squeeze(&[]).unwrap();
+        assert_eq!(all.shape(), &[2, 3]);
+    }
+
+    #[test]
+    fn flatten_axis() {
+        let t = iota(&[2, 3, 4]);
+        assert_eq!(t.flatten(1).unwrap().shape(), &[2, 12]);
+        assert_eq!(t.flatten(0).unwrap().shape(), &[1, 24]);
+        assert_eq!(t.flatten(3).unwrap().shape(), &[24, 1]);
+    }
+
+    #[test]
+    fn resize_nearest() {
+        let t = iota(&[1, 1, 2, 2]);
+        let r = t.resize_nearest_2d(2, 2).unwrap();
+        assert_eq!(r.shape(), &[1, 1, 4, 4]);
+        assert_eq!(r.at(&[0, 0, 0, 0]), 0.0);
+        assert_eq!(r.at(&[0, 0, 1, 1]), 0.0);
+        assert_eq!(r.at(&[0, 0, 2, 3]), 3.0);
+    }
+}

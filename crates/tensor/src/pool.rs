@@ -1,0 +1,369 @@
+//! 2-D pooling (NCHW) forward and backward kernels.
+
+use crate::error::{Result, TensorError};
+use crate::shape::strides_of;
+use crate::tensor::Tensor;
+
+/// Pooling hyper-parameters (shared by max and average pooling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pool2dParams {
+    /// Kernel size `(kh, kw)`.
+    pub kernel: (usize, usize),
+    /// Stride `(sh, sw)`.
+    pub stride: (usize, usize),
+    /// Padding `(ph, pw)` on both sides. Max pooling pads with `-inf`,
+    /// average pooling includes padding in the divisor
+    /// (`count_include_pad = true`).
+    pub padding: (usize, usize),
+}
+
+impl Pool2dParams {
+    /// Output spatial size for input `(h, w)`; `None` if the kernel does not
+    /// fit the padded input.
+    pub fn out_hw(&self, h: usize, w: usize) -> Option<(usize, usize)> {
+        let ph = h + 2 * self.padding.0;
+        let pw = w + 2 * self.padding.1;
+        if self.kernel.0 > ph || self.kernel.1 > pw || self.kernel.0 == 0 || self.kernel.1 == 0 {
+            return None;
+        }
+        if self.stride.0 == 0 || self.stride.1 == 0 {
+            return None;
+        }
+        Some((
+            (ph - self.kernel.0) / self.stride.0 + 1,
+            (pw - self.kernel.1) / self.stride.1 + 1,
+        ))
+    }
+}
+
+fn check_pool_args(input: &Tensor, params: &Pool2dParams) -> Result<(usize, usize, usize, usize, usize, usize)> {
+    if !input.dtype().is_float() {
+        return Err(TensorError::dtype("pool2d requires float"));
+    }
+    if input.rank() != 4 {
+        return Err(TensorError::shape("pool2d requires NCHW"));
+    }
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (oh, ow) = params
+        .out_hw(h, w)
+        .ok_or_else(|| TensorError::shape("pool2d kernel larger than padded input"))?;
+    // Padding larger than the kernel would make windows that see only
+    // padding, which is rejected by real frameworks too.
+    if params.padding.0 >= params.kernel.0.max(1) || params.padding.1 >= params.kernel.1.max(1) {
+        return Err(TensorError::shape("pool2d padding must be < kernel"));
+    }
+    Ok((n, c, h, w, oh, ow))
+}
+
+impl Tensor {
+    /// 2-D max pooling.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-float input, wrong rank, or a kernel/padding
+    /// configuration that does not fit.
+    pub fn max_pool2d(&self, params: &Pool2dParams) -> Result<Tensor> {
+        let (n, c, h, w, oh, ow) = check_pool_args(self, params)?;
+        let istr = strides_of(self.shape());
+        let mut out = Tensor::zeros(&[n, c, oh, ow], self.dtype());
+        let mut lin = 0usize;
+        for ni in 0..n {
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f64::NEG_INFINITY;
+                        for ky in 0..params.kernel.0 {
+                            let iy = (oy * params.stride.0 + ky) as i64 - params.padding.0 as i64;
+                            if iy < 0 || iy >= h as i64 {
+                                continue;
+                            }
+                            for kx in 0..params.kernel.1 {
+                                let ix =
+                                    (ox * params.stride.1 + kx) as i64 - params.padding.1 as i64;
+                                if ix < 0 || ix >= w as i64 {
+                                    continue;
+                                }
+                                let v = self.lin_f64(
+                                    ni * istr[0]
+                                        + ci * istr[1]
+                                        + iy as usize * istr[2]
+                                        + ix as usize,
+                                );
+                                if v > best || best.is_nan() {
+                                    best = v;
+                                }
+                                if v.is_nan() {
+                                    best = f64::NAN;
+                                }
+                            }
+                        }
+                        out.set_lin_f64(lin, best);
+                        lin += 1;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// 2-D average pooling (`count_include_pad = true`).
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-float input, wrong rank, or a kernel/padding
+    /// configuration that does not fit.
+    pub fn avg_pool2d(&self, params: &Pool2dParams) -> Result<Tensor> {
+        let (n, c, h, w, oh, ow) = check_pool_args(self, params)?;
+        let istr = strides_of(self.shape());
+        let divisor = (params.kernel.0 * params.kernel.1) as f64;
+        let mut out = Tensor::zeros(&[n, c, oh, ow], self.dtype());
+        let mut lin = 0usize;
+        for ni in 0..n {
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f64;
+                        for ky in 0..params.kernel.0 {
+                            let iy = (oy * params.stride.0 + ky) as i64 - params.padding.0 as i64;
+                            if iy < 0 || iy >= h as i64 {
+                                continue;
+                            }
+                            for kx in 0..params.kernel.1 {
+                                let ix =
+                                    (ox * params.stride.1 + kx) as i64 - params.padding.1 as i64;
+                                if ix < 0 || ix >= w as i64 {
+                                    continue;
+                                }
+                                acc += self.lin_f64(
+                                    ni * istr[0]
+                                        + ci * istr[1]
+                                        + iy as usize * istr[2]
+                                        + ix as usize,
+                                );
+                            }
+                        }
+                        out.set_lin_f64(lin, acc / divisor);
+                        lin += 1;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Gradient of [`Tensor::max_pool2d`] with respect to the input: routes
+    /// each output gradient to the (first) position that attained the max.
+    ///
+    /// # Errors
+    ///
+    /// Fails under the same conditions as the forward pass or on a
+    /// mis-shaped `grad_out`.
+    pub fn max_pool2d_grad(&self, grad_out: &Tensor, params: &Pool2dParams) -> Result<Tensor> {
+        let (n, c, h, w, oh, ow) = check_pool_args(self, params)?;
+        if grad_out.shape() != [n, c, oh, ow] {
+            return Err(TensorError::shape("max_pool2d_grad: bad grad_out shape"));
+        }
+        let istr = strides_of(self.shape());
+        let mut grad_in = Tensor::zeros(self.shape(), self.dtype());
+        let mut lin = 0usize;
+        for ni in 0..n {
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f64::NEG_INFINITY;
+                        let mut best_off: Option<usize> = None;
+                        for ky in 0..params.kernel.0 {
+                            let iy = (oy * params.stride.0 + ky) as i64 - params.padding.0 as i64;
+                            if iy < 0 || iy >= h as i64 {
+                                continue;
+                            }
+                            for kx in 0..params.kernel.1 {
+                                let ix =
+                                    (ox * params.stride.1 + kx) as i64 - params.padding.1 as i64;
+                                if ix < 0 || ix >= w as i64 {
+                                    continue;
+                                }
+                                let off = ni * istr[0]
+                                    + ci * istr[1]
+                                    + iy as usize * istr[2]
+                                    + ix as usize;
+                                let v = self.lin_f64(off);
+                                if v > best || best_off.is_none() {
+                                    best = v;
+                                    best_off = Some(off);
+                                }
+                            }
+                        }
+                        if let Some(off) = best_off {
+                            grad_in.set_lin_f64(off, grad_in.lin_f64(off) + grad_out.lin_f64(lin));
+                        }
+                        lin += 1;
+                    }
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    /// Gradient of [`Tensor::avg_pool2d`] with respect to the input.
+    ///
+    /// # Errors
+    ///
+    /// Fails under the same conditions as the forward pass or on a
+    /// mis-shaped `grad_out`.
+    pub fn avg_pool2d_grad(&self, grad_out: &Tensor, params: &Pool2dParams) -> Result<Tensor> {
+        let (n, c, h, w, oh, ow) = check_pool_args(self, params)?;
+        if grad_out.shape() != [n, c, oh, ow] {
+            return Err(TensorError::shape("avg_pool2d_grad: bad grad_out shape"));
+        }
+        let istr = strides_of(self.shape());
+        let divisor = (params.kernel.0 * params.kernel.1) as f64;
+        let mut grad_in = Tensor::zeros(self.shape(), self.dtype());
+        let mut lin = 0usize;
+        for ni in 0..n {
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let share = grad_out.lin_f64(lin) / divisor;
+                        for ky in 0..params.kernel.0 {
+                            let iy = (oy * params.stride.0 + ky) as i64 - params.padding.0 as i64;
+                            if iy < 0 || iy >= h as i64 {
+                                continue;
+                            }
+                            for kx in 0..params.kernel.1 {
+                                let ix =
+                                    (ox * params.stride.1 + kx) as i64 - params.padding.1 as i64;
+                                if ix < 0 || ix >= w as i64 {
+                                    continue;
+                                }
+                                let off = ni * istr[0]
+                                    + ci * istr[1]
+                                    + iy as usize * istr[2]
+                                    + ix as usize;
+                                grad_in.set_lin_f64(off, grad_in.lin_f64(off) + share);
+                            }
+                        }
+                        lin += 1;
+                    }
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DType;
+
+    fn iota(shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_f32(shape, (0..n).map(|i| i as f32).collect()).unwrap()
+    }
+
+    fn params(k: usize, s: usize, p: usize) -> Pool2dParams {
+        Pool2dParams {
+            kernel: (k, k),
+            stride: (s, s),
+            padding: (p, p),
+        }
+    }
+
+    #[test]
+    fn max_pool_basic() {
+        let x = iota(&[1, 1, 4, 4]);
+        let y = x.max_pool2d(&params(2, 2, 0)).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_f32().unwrap(), &[5., 7., 13., 15.]);
+    }
+
+    #[test]
+    fn avg_pool_basic() {
+        let x = iota(&[1, 1, 2, 2]);
+        let y = x.avg_pool2d(&params(2, 2, 0)).unwrap();
+        assert_eq!(y.as_f32().unwrap(), &[1.5]);
+    }
+
+    #[test]
+    fn avg_pool_counts_padding() {
+        // count_include_pad: the corner window of a padded pool divides by
+        // kernel area even though part of it is padding.
+        let x = Tensor::ones(&[1, 1, 2, 2], DType::F32);
+        let y = x.avg_pool2d(&params(2, 2, 1)).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 0.25);
+    }
+
+    #[test]
+    fn max_pool_padding_ignores_pad_values() {
+        let x = Tensor::full(&[1, 1, 2, 2], DType::F32, -5.0);
+        let y = x.max_pool2d(&params(2, 1, 1)).unwrap();
+        // All windows should still pick -5, not the 0/-inf padding.
+        assert!(y.as_f32().unwrap().iter().all(|&v| v == -5.0));
+    }
+
+    #[test]
+    fn pool_invalid_config_rejected() {
+        let x = iota(&[1, 1, 2, 2]);
+        assert!(x.max_pool2d(&params(3, 1, 0)).is_err()); // kernel too big
+        assert!(x.max_pool2d(&params(2, 0, 0)).is_err()); // zero stride
+        assert!(x
+            .max_pool2d(&Pool2dParams {
+                kernel: (2, 2),
+                stride: (1, 1),
+                padding: (2, 2),
+            })
+            .is_err()); // padding >= kernel
+    }
+
+    #[test]
+    fn pool_requires_float_nchw() {
+        let xi = Tensor::ones(&[1, 1, 2, 2], DType::I32);
+        assert!(xi.max_pool2d(&params(2, 1, 0)).is_err());
+        let x3 = Tensor::ones(&[1, 2, 2], DType::F32);
+        assert!(x3.max_pool2d(&params(2, 1, 0)).is_err());
+    }
+
+    #[test]
+    fn max_pool_grad_routes_to_argmax() {
+        let x = iota(&[1, 1, 2, 2]); // max at index 3
+        let g = Tensor::ones(&[1, 1, 1, 1], DType::F32);
+        let gi = x.max_pool2d_grad(&g, &params(2, 1, 0)).unwrap();
+        assert_eq!(gi.as_f32().unwrap(), &[0., 0., 0., 1.]);
+    }
+
+    #[test]
+    fn avg_pool_grad_uniform() {
+        let x = iota(&[1, 1, 2, 2]);
+        let g = Tensor::ones(&[1, 1, 1, 1], DType::F32);
+        let gi = x.avg_pool2d_grad(&g, &params(2, 1, 0)).unwrap();
+        assert!(gi.as_f32().unwrap().iter().all(|&v| v == 0.25));
+    }
+
+    #[test]
+    fn avg_pool_grad_numeric_check() {
+        let x = Tensor::from_f64(&[1, 1, 3, 3], (0..9).map(|i| i as f64 * 0.3).collect())
+            .unwrap();
+        let p = params(2, 1, 0);
+        let ones = Tensor::ones(&[1, 1, 2, 2], DType::F64);
+        let gi = x.avg_pool2d_grad(&ones, &p).unwrap();
+        let eps = 1e-5;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.set_lin_f64(i, x.lin_f64(i) + eps);
+            let mut xm = x.clone();
+            xm.set_lin_f64(i, x.lin_f64(i) - eps);
+            let f = |t: &Tensor| -> f64 {
+                t.avg_pool2d(&p).unwrap().to_f64_vec().iter().sum::<f64>()
+            };
+            let num = (f(&xp) - f(&xm)) / (2.0 * eps);
+            assert!((num - gi.lin_f64(i)).abs() < 1e-4);
+        }
+    }
+}

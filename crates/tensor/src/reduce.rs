@@ -1,0 +1,376 @@
+//! Reduction kernels: sum/mean/prod/max/min, argmax/argmin, softmax and
+//! batch normalization.
+
+use crate::dtype::DType;
+use crate::error::{Result, TensorError};
+use crate::shape::{dot_index, strides_of, IndexIter};
+use crate::tensor::Tensor;
+
+/// Reduction kinds for [`Tensor::reduce`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ReduceKind {
+    /// Sum of elements.
+    Sum,
+    /// Arithmetic mean.
+    Mean,
+    /// Product of elements.
+    Prod,
+    /// Maximum element.
+    Max,
+    /// Minimum element.
+    Min,
+}
+
+fn normalize_axes(axes: &[usize], rank: usize) -> Result<Vec<usize>> {
+    let mut out: Vec<usize> = if axes.is_empty() {
+        (0..rank).collect()
+    } else {
+        axes.to_vec()
+    };
+    out.sort_unstable();
+    out.dedup();
+    if out.iter().any(|&a| a >= rank) {
+        return Err(TensorError::shape(format!(
+            "reduce axis out of range for rank {rank}: {axes:?}"
+        )));
+    }
+    Ok(out)
+}
+
+/// Shape after reducing `axes` of `shape` (empty `axes` means all).
+pub fn reduced_shape(shape: &[usize], axes: &[usize], keepdims: bool) -> Vec<usize> {
+    let axes: Vec<usize> = if axes.is_empty() {
+        (0..shape.len()).collect()
+    } else {
+        axes.to_vec()
+    };
+    let mut out = Vec::new();
+    for (d, &s) in shape.iter().enumerate() {
+        if axes.contains(&d) {
+            if keepdims {
+                out.push(1);
+            }
+        } else {
+            out.push(s);
+        }
+    }
+    out
+}
+
+impl Tensor {
+    /// Reduces over `axes` (all axes when empty).
+    ///
+    /// `Sum`/`Mean`/`Prod` require numeric inputs and keep the input dtype
+    /// (float accumulation happens at native precision). `Max`/`Min` work
+    /// for any numeric dtype.
+    ///
+    /// # Errors
+    ///
+    /// Fails for bool inputs, out-of-range axes, or reducing an empty
+    /// tensor with `Max`/`Min`.
+    pub fn reduce(&self, kind: ReduceKind, axes: &[usize], keepdims: bool) -> Result<Tensor> {
+        if self.dtype() == DType::Bool {
+            return Err(TensorError::dtype("reduce does not support bool"));
+        }
+        let axes = normalize_axes(axes, self.rank())?;
+        let out_shape = reduced_shape(self.shape(), &axes, keepdims);
+        if self.numel() == 0 && matches!(kind, ReduceKind::Max | ReduceKind::Min) {
+            return Err(TensorError::shape("max/min reduction of empty tensor"));
+        }
+        let out_strides = strides_of(&out_shape);
+        let mut acc = vec![
+            match kind {
+                ReduceKind::Sum | ReduceKind::Mean => 0.0f64,
+                ReduceKind::Prod => 1.0,
+                ReduceKind::Max => f64::NEG_INFINITY,
+                ReduceKind::Min => f64::INFINITY,
+            };
+            out_shape.iter().product::<usize>().max(1)
+        ];
+        let mut counts = vec![0usize; acc.len()];
+        for (lin, idx) in IndexIter::new(self.shape()).enumerate() {
+            // Output index: drop (or pin to zero) the reduced axes.
+            let mut out_idx = Vec::with_capacity(out_shape.len());
+            for (d, &i) in idx.iter().enumerate() {
+                if axes.contains(&d) {
+                    if keepdims {
+                        out_idx.push(0);
+                    }
+                } else {
+                    out_idx.push(i);
+                }
+            }
+            let dst = dot_index(&out_idx, &out_strides);
+            let v = self.lin_f64(lin);
+            match kind {
+                ReduceKind::Sum | ReduceKind::Mean => acc[dst] += v,
+                ReduceKind::Prod => acc[dst] *= v,
+                ReduceKind::Max => acc[dst] = acc[dst].max(v),
+                ReduceKind::Min => acc[dst] = acc[dst].min(v),
+            }
+            counts[dst] += 1;
+        }
+        if kind == ReduceKind::Mean {
+            for (a, &c) in acc.iter_mut().zip(&counts) {
+                *a /= c.max(1) as f64;
+            }
+        }
+        let mut out = Tensor::zeros(&out_shape, self.dtype());
+        for (i, v) in acc.into_iter().enumerate() {
+            out.set_lin_f64(i, v);
+        }
+        Ok(out)
+    }
+
+    /// Index of the maximum (`largest = true`) or minimum element along
+    /// `axis`, as an `i64` tensor. Ties resolve to the first occurrence.
+    ///
+    /// # Errors
+    ///
+    /// Fails for bool inputs or an out-of-range axis.
+    pub fn arg_extreme(&self, axis: usize, keepdims: bool, largest: bool) -> Result<Tensor> {
+        if self.dtype() == DType::Bool {
+            return Err(TensorError::dtype("argmax/argmin does not support bool"));
+        }
+        if axis >= self.rank() {
+            return Err(TensorError::shape("argmax axis out of range"));
+        }
+        let out_shape = reduced_shape(self.shape(), &[axis], keepdims);
+        let out_strides = strides_of(&out_shape);
+        let n_out: usize = out_shape.iter().product::<usize>().max(1);
+        let mut best = vec![f64::NEG_INFINITY; n_out];
+        if !largest {
+            best.iter_mut().for_each(|b| *b = f64::INFINITY);
+        }
+        let mut arg = vec![0i64; n_out];
+        let mut seen = vec![false; n_out];
+        for (lin, idx) in IndexIter::new(self.shape()).enumerate() {
+            let mut out_idx = Vec::with_capacity(out_shape.len());
+            for (d, &i) in idx.iter().enumerate() {
+                if d == axis {
+                    if keepdims {
+                        out_idx.push(0);
+                    }
+                } else {
+                    out_idx.push(i);
+                }
+            }
+            let dst = dot_index(&out_idx, &out_strides);
+            let v = self.lin_f64(lin);
+            let better = if largest { v > best[dst] } else { v < best[dst] };
+            if better || !seen[dst] {
+                best[dst] = v;
+                arg[dst] = idx[axis] as i64;
+                seen[dst] = true;
+            }
+        }
+        Tensor::from_i64(&out_shape, arg)
+    }
+
+    /// Numerically-stable softmax along `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-float inputs or an out-of-range axis.
+    pub fn softmax(&self, axis: usize) -> Result<Tensor> {
+        if !self.dtype().is_float() {
+            return Err(TensorError::dtype("softmax requires float"));
+        }
+        if axis >= self.rank() {
+            return Err(TensorError::shape("softmax axis out of range"));
+        }
+        let maxed = self.reduce(ReduceKind::Max, &[axis], true)?;
+        let shifted = self.sub(&maxed.broadcast_to(self.shape())?)?;
+        let exp = shifted.exp()?;
+        let denom = exp.reduce(ReduceKind::Sum, &[axis], true)?;
+        exp.div(&denom.broadcast_to(self.shape())?)
+    }
+
+    /// Inference-mode batch normalization for an `N C ...` tensor:
+    /// `(x - mean) / sqrt(var + eps) * scale + bias`, with per-channel
+    /// rank-1 statistics of length `C`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-float inputs, rank < 2, or statistics whose length is
+    /// not `C`.
+    pub fn batch_norm(
+        &self,
+        scale: &Tensor,
+        bias: &Tensor,
+        mean: &Tensor,
+        var: &Tensor,
+        eps: f64,
+    ) -> Result<Tensor> {
+        if !self.dtype().is_float() {
+            return Err(TensorError::dtype("batch_norm requires float"));
+        }
+        if self.rank() < 2 {
+            return Err(TensorError::shape("batch_norm requires rank >= 2"));
+        }
+        let c = self.shape()[1];
+        for (name, t) in [("scale", scale), ("bias", bias), ("mean", mean), ("var", var)] {
+            if t.rank() != 1 || t.shape()[0] != c {
+                return Err(TensorError::shape(format!(
+                    "batch_norm {name} must be rank-1 of length {c}, got {:?}",
+                    t.shape()
+                )));
+            }
+            if t.dtype() != self.dtype() {
+                return Err(TensorError::dtype(format!("batch_norm {name} dtype")));
+            }
+        }
+        // Reshape the stats to [1, C, 1, 1, ...] so elementwise broadcasting
+        // does the channel alignment.
+        let mut stat_shape = vec![1usize; self.rank()];
+        stat_shape[1] = c;
+        let scale_b = scale.reshaped(&stat_shape)?;
+        let bias_b = bias.reshaped(&stat_shape)?;
+        let mean_b = mean.reshaped(&stat_shape)?;
+        let var_b = var.reshaped(&stat_shape)?;
+        let eps_t = Tensor::full(&stat_shape, self.dtype(), eps);
+        let denom = var_b.add(&eps_t)?.sqrt()?;
+        self.sub(&mean_b)?.div(&denom)?.mul(&scale_b)?.add(&bias_b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota(shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_f32(shape, (0..n).map(|i| i as f32).collect()).unwrap()
+    }
+
+    #[test]
+    fn sum_all() {
+        let t = iota(&[2, 3]);
+        let s = t.reduce(ReduceKind::Sum, &[], false).unwrap();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.lin_f64(0), 15.0);
+    }
+
+    #[test]
+    fn sum_axis_keepdims() {
+        let t = iota(&[2, 3]);
+        let s = t.reduce(ReduceKind::Sum, &[1], true).unwrap();
+        assert_eq!(s.shape(), &[2, 1]);
+        assert_eq!(s.as_f32().unwrap(), &[3.0, 12.0]);
+        let s2 = t.reduce(ReduceKind::Sum, &[1], false).unwrap();
+        assert_eq!(s2.shape(), &[2]);
+    }
+
+    #[test]
+    fn mean_max_min_prod() {
+        let t = Tensor::from_f64(&[4], vec![1., 2., 3., 4.]).unwrap();
+        assert_eq!(
+            t.reduce(ReduceKind::Mean, &[], false).unwrap().lin_f64(0),
+            2.5
+        );
+        assert_eq!(t.reduce(ReduceKind::Max, &[], false).unwrap().lin_f64(0), 4.0);
+        assert_eq!(t.reduce(ReduceKind::Min, &[], false).unwrap().lin_f64(0), 1.0);
+        assert_eq!(
+            t.reduce(ReduceKind::Prod, &[], false).unwrap().lin_f64(0),
+            24.0
+        );
+    }
+
+    #[test]
+    fn reduce_scalar_input() {
+        // Reduce of a rank-0 tensor — the §5.4 "scalar handling" pattern.
+        let t = Tensor::scalar(DType::F32, 5.0);
+        let s = t.reduce(ReduceKind::Sum, &[], false).unwrap();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.lin_f64(0), 5.0);
+    }
+
+    #[test]
+    fn reduce_int_dtype_preserved() {
+        let t = Tensor::from_i32(&[3], vec![1, 2, 3]).unwrap();
+        let s = t.reduce(ReduceKind::Sum, &[], false).unwrap();
+        assert_eq!(s.dtype(), DType::I32);
+        assert_eq!(s.as_i32().unwrap(), &[6]);
+    }
+
+    #[test]
+    fn argmax_basic() {
+        let t = Tensor::from_f32(&[2, 3], vec![1., 9., 2., 8., 0., 3.]).unwrap();
+        let a = t.arg_extreme(1, false, true).unwrap();
+        assert_eq!(a.as_i64().unwrap(), &[1, 0]);
+        let a0 = t.arg_extreme(0, true, true).unwrap();
+        assert_eq!(a0.shape(), &[1, 3]);
+        assert_eq!(a0.as_i64().unwrap(), &[1, 0, 1]);
+    }
+
+    #[test]
+    fn argmin_ties_first() {
+        let t = Tensor::from_f32(&[4], vec![2., 1., 1., 3.]).unwrap();
+        let a = t.arg_extreme(0, false, false).unwrap();
+        assert_eq!(a.as_i64().unwrap(), &[1]);
+    }
+
+    #[test]
+    fn argmax_passes_nan_through_normally() {
+        // ArgMax of a NaN-containing tensor produces a *normal* output —
+        // the subtlety in §2.3 challenge 3.
+        let t = Tensor::from_f32(&[3], vec![1.0, f32::NAN, 2.0]).unwrap();
+        let a = t.arg_extreme(0, false, true).unwrap();
+        assert!(!a.has_non_finite());
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = iota(&[2, 4]);
+        let s = t.softmax(1).unwrap();
+        let rows = s.reduce(ReduceKind::Sum, &[1], false).unwrap();
+        for &r in rows.as_f32().unwrap() {
+            assert!((r - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_stable_for_large_inputs() {
+        let t = Tensor::from_f32(&[3], vec![1000.0, 1000.0, 1000.0]).unwrap();
+        let s = t.softmax(0).unwrap();
+        assert!(!s.has_non_finite());
+        for &v in s.as_f32().unwrap() {
+            assert!((v - 1.0 / 3.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn batch_norm_identity() {
+        let x = iota(&[1, 2, 2, 2]);
+        let ones = Tensor::ones(&[2], DType::F32);
+        let zeros = Tensor::zeros(&[2], DType::F32);
+        let y = x.batch_norm(&ones, &zeros, &zeros, &ones, 0.0).unwrap();
+        assert!(x.max_abs_diff(&y).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn batch_norm_shifts_scale() {
+        let x = Tensor::from_f32(&[1, 1, 1, 2], vec![4.0, 8.0]).unwrap();
+        let scale = Tensor::from_f32(&[1], vec![2.0]).unwrap();
+        let bias = Tensor::from_f32(&[1], vec![1.0]).unwrap();
+        let mean = Tensor::from_f32(&[1], vec![4.0]).unwrap();
+        let var = Tensor::from_f32(&[1], vec![1.0]).unwrap();
+        let y = x.batch_norm(&scale, &bias, &mean, &var, 0.0).unwrap();
+        assert_eq!(y.as_f32().unwrap(), &[1.0, 9.0]);
+    }
+
+    #[test]
+    fn batch_norm_bad_stats_rejected() {
+        let x = iota(&[1, 2, 2, 2]);
+        let wrong = Tensor::ones(&[3], DType::F32);
+        let ok = Tensor::ones(&[2], DType::F32);
+        assert!(x.batch_norm(&wrong, &ok, &ok, &ok, 0.0).is_err());
+    }
+
+    #[test]
+    fn reduce_axis_out_of_range() {
+        let t = iota(&[2, 2]);
+        assert!(t.reduce(ReduceKind::Sum, &[5], false).is_err());
+        assert!(t.arg_extreme(5, false, true).is_err());
+    }
+}

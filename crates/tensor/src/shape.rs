@@ -1,0 +1,235 @@
+//! Shape utilities: element counts, row-major strides, and NumPy-style
+//! broadcasting.
+
+use crate::error::{Result, TensorError};
+
+/// Number of elements described by a shape. The empty shape (a scalar) has
+/// one element.
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Row-major (C-order) strides for a shape, in elements.
+pub fn strides_of(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![0; shape.len()];
+    let mut acc = 1usize;
+    for (i, &d) in shape.iter().enumerate().rev() {
+        strides[i] = acc;
+        acc *= d;
+    }
+    strides
+}
+
+/// Broadcasts two shapes following NumPy/ONNX rules.
+///
+/// Trailing dimensions must be equal or one of them must be 1; the shorter
+/// shape is implicitly left-padded with 1s.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Shape`] when a dimension pair is incompatible.
+///
+/// # Examples
+///
+/// ```
+/// use nnsmith_tensor::broadcast_shapes;
+/// assert_eq!(broadcast_shapes(&[1, 2, 1, 48], &[1, 1, 48]).unwrap(), vec![1, 2, 1, 48]);
+/// assert!(broadcast_shapes(&[3, 2], &[4, 2]).is_err());
+/// ```
+pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Result<Vec<usize>> {
+    let rank = a.len().max(b.len());
+    let mut out = vec![0usize; rank];
+    for i in 0..rank {
+        let da = if i < rank - a.len() {
+            1
+        } else {
+            a[i - (rank - a.len())]
+        };
+        let db = if i < rank - b.len() {
+            1
+        } else {
+            b[i - (rank - b.len())]
+        };
+        out[i] = if da == db {
+            da
+        } else if da == 1 {
+            db
+        } else if db == 1 {
+            da
+        } else {
+            return Err(TensorError::shape(format!(
+                "cannot broadcast {a:?} with {b:?} (dim {i}: {da} vs {db})"
+            )));
+        };
+    }
+    Ok(out)
+}
+
+/// Broadcast-aware strides: strides for reading a tensor of shape `from` as
+/// if it had shape `to` (broadcast dimensions get stride 0).
+///
+/// # Errors
+///
+/// Returns [`TensorError::Shape`] when `from` does not broadcast to `to`.
+pub fn broadcast_strides(from: &[usize], to: &[usize]) -> Result<Vec<usize>> {
+    if from.len() > to.len() {
+        return Err(TensorError::shape(format!(
+            "cannot broadcast rank {} to rank {}",
+            from.len(),
+            to.len()
+        )));
+    }
+    let base = strides_of(from);
+    let offset = to.len() - from.len();
+    let mut out = vec![0usize; to.len()];
+    for i in 0..to.len() {
+        if i < offset {
+            out[i] = 0;
+        } else {
+            let d = from[i - offset];
+            if d == to[i] {
+                out[i] = base[i - offset];
+            } else if d == 1 {
+                out[i] = 0;
+            } else {
+                return Err(TensorError::shape(format!(
+                    "cannot broadcast {from:?} to {to:?} (dim {i})"
+                )));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Converts a linear index into a multi-index for `shape`.
+pub fn unravel(mut linear: usize, shape: &[usize]) -> Vec<usize> {
+    let mut idx = vec![0usize; shape.len()];
+    for i in (0..shape.len()).rev() {
+        let d = shape[i].max(1);
+        idx[i] = linear % d;
+        linear /= d;
+    }
+    idx
+}
+
+/// Converts a multi-index into a linear offset given strides.
+pub fn dot_index(idx: &[usize], strides: &[usize]) -> usize {
+    idx.iter().zip(strides).map(|(i, s)| i * s).sum()
+}
+
+/// Iterator over all multi-indices of a shape in row-major order.
+///
+/// For fuzz-scale tensors (thousands of elements) this simple iterator is
+/// plenty fast and keeps the kernels readable.
+#[derive(Debug, Clone)]
+pub struct IndexIter {
+    shape: Vec<usize>,
+    current: Vec<usize>,
+    remaining: usize,
+}
+
+impl IndexIter {
+    /// Creates an iterator over every index of `shape`.
+    pub fn new(shape: &[usize]) -> Self {
+        IndexIter {
+            shape: shape.to_vec(),
+            current: vec![0; shape.len()],
+            remaining: numel(shape),
+        }
+    }
+}
+
+impl Iterator for IndexIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let out = self.current.clone();
+        self.remaining -= 1;
+        for i in (0..self.shape.len()).rev() {
+            self.current[i] += 1;
+            if self.current[i] < self.shape[i] {
+                break;
+            }
+            self.current[i] = 0;
+        }
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for IndexIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_scalar() {
+        assert_eq!(numel(&[]), 1);
+        assert_eq!(numel(&[2, 3, 4]), 24);
+        assert_eq!(numel(&[5, 0, 2]), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides_of(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides_of(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[2, 1], &[1, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[3], &[2, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[], &[4]).unwrap(), vec![4]);
+    }
+
+    #[test]
+    fn broadcast_m0_pattern() {
+        // The Listing-1 M0 pattern: (1,2,1,48) + (1,1,48).
+        assert_eq!(
+            broadcast_shapes(&[1, 2, 1, 48], &[1, 1, 48]).unwrap(),
+            vec![1, 2, 1, 48]
+        );
+    }
+
+    #[test]
+    fn broadcast_incompatible() {
+        assert!(broadcast_shapes(&[3, 2], &[4, 2]).is_err());
+    }
+
+    #[test]
+    fn broadcast_strides_zero_on_expanded() {
+        let s = broadcast_strides(&[1, 3], &[2, 3]).unwrap();
+        assert_eq!(s, vec![0, 1]);
+        let s = broadcast_strides(&[3], &[2, 3]).unwrap();
+        assert_eq!(s, vec![0, 1]);
+    }
+
+    #[test]
+    fn unravel_roundtrip() {
+        let shape = [2, 3, 4];
+        let strides = strides_of(&shape);
+        for linear in 0..numel(&shape) {
+            let idx = unravel(linear, &shape);
+            assert_eq!(dot_index(&idx, &strides), linear);
+        }
+    }
+
+    #[test]
+    fn index_iter_counts() {
+        let all: Vec<_> = IndexIter::new(&[2, 3]).collect();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0], vec![0, 0]);
+        assert_eq!(all[5], vec![1, 2]);
+        // Scalar shape yields exactly one (empty) index.
+        let scalar: Vec<_> = IndexIter::new(&[]).collect();
+        assert_eq!(scalar, vec![Vec::<usize>::new()]);
+    }
+}

@@ -1,0 +1,666 @@
+//! The dense tensor type and its storage.
+
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::dtype::DType;
+use crate::error::{Result, TensorError};
+use crate::shape::{dot_index, numel, strides_of};
+
+/// Typed, contiguous, row-major storage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Data {
+    /// 32-bit floats.
+    F32(Vec<f32>),
+    /// 64-bit floats.
+    F64(Vec<f64>),
+    /// 32-bit signed integers.
+    I32(Vec<i32>),
+    /// 64-bit signed integers.
+    I64(Vec<i64>),
+    /// Booleans.
+    Bool(Vec<bool>),
+}
+
+impl Data {
+    /// Element type of this storage.
+    pub fn dtype(&self) -> DType {
+        match self {
+            Data::F32(_) => DType::F32,
+            Data::F64(_) => DType::F64,
+            Data::I32(_) => DType::I32,
+            Data::I64(_) => DType::I64,
+            Data::Bool(_) => DType::Bool,
+        }
+    }
+
+    /// Number of stored elements.
+    pub fn len(&self) -> usize {
+        match self {
+            Data::F32(v) => v.len(),
+            Data::F64(v) => v.len(),
+            Data::I32(v) => v.len(),
+            Data::I64(v) => v.len(),
+            Data::Bool(v) => v.len(),
+        }
+    }
+
+    /// True if no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A dense row-major tensor.
+///
+/// # Examples
+///
+/// ```
+/// use nnsmith_tensor::{DType, Tensor};
+///
+/// let t = Tensor::from_f32(&[2, 2], vec![1.0, 2.0, 3.0, 4.0])?;
+/// assert_eq!(t.dtype(), DType::F32);
+/// assert_eq!(t.shape(), &[2, 2]);
+/// assert_eq!(t.get_f64(&[1, 0])?, 3.0);
+/// # Ok::<(), nnsmith_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Data,
+}
+
+impl Tensor {
+    /// Creates a tensor from raw parts.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the data length does not match the shape's element count.
+    pub fn from_data(shape: &[usize], data: Data) -> Result<Tensor> {
+        if numel(shape) != data.len() {
+            return Err(TensorError::shape(format!(
+                "data length {} does not match shape {:?} ({} elements)",
+                data.len(),
+                shape,
+                numel(shape)
+            )));
+        }
+        Ok(Tensor {
+            shape: shape.to_vec(),
+            data,
+        })
+    }
+
+    /// Creates an `f32` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the data length does not match the shape.
+    pub fn from_f32(shape: &[usize], data: Vec<f32>) -> Result<Tensor> {
+        Tensor::from_data(shape, Data::F32(data))
+    }
+
+    /// Creates an `f64` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the data length does not match the shape.
+    pub fn from_f64(shape: &[usize], data: Vec<f64>) -> Result<Tensor> {
+        Tensor::from_data(shape, Data::F64(data))
+    }
+
+    /// Creates an `i32` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the data length does not match the shape.
+    pub fn from_i32(shape: &[usize], data: Vec<i32>) -> Result<Tensor> {
+        Tensor::from_data(shape, Data::I32(data))
+    }
+
+    /// Creates an `i64` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the data length does not match the shape.
+    pub fn from_i64(shape: &[usize], data: Vec<i64>) -> Result<Tensor> {
+        Tensor::from_data(shape, Data::I64(data))
+    }
+
+    /// Creates a `bool` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the data length does not match the shape.
+    pub fn from_bool(shape: &[usize], data: Vec<bool>) -> Result<Tensor> {
+        Tensor::from_data(shape, Data::Bool(data))
+    }
+
+    /// An all-zeros (or all-false) tensor of the given shape and dtype.
+    pub fn zeros(shape: &[usize], dtype: DType) -> Tensor {
+        Tensor::full(shape, dtype, 0.0)
+    }
+
+    /// An all-ones (or all-true) tensor of the given shape and dtype.
+    pub fn ones(shape: &[usize], dtype: DType) -> Tensor {
+        Tensor::full(shape, dtype, 1.0)
+    }
+
+    /// A constant tensor; `value` is converted to the target dtype
+    /// (non-zero becomes `true` for booleans).
+    pub fn full(shape: &[usize], dtype: DType, value: f64) -> Tensor {
+        let n = numel(shape);
+        let data = match dtype {
+            DType::F32 => Data::F32(vec![value as f32; n]),
+            DType::F64 => Data::F64(vec![value; n]),
+            DType::I32 => Data::I32(vec![value as i32; n]),
+            DType::I64 => Data::I64(vec![value as i64; n]),
+            DType::Bool => Data::Bool(vec![value != 0.0; n]),
+        };
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// A scalar (rank-0) tensor.
+    pub fn scalar(dtype: DType, value: f64) -> Tensor {
+        Tensor::full(&[], dtype, value)
+    }
+
+    /// A tensor with elements sampled uniformly from `[lo, hi)` (floats) or
+    /// `[lo, hi]` as integers; booleans are fair coin flips.
+    pub fn uniform<R: Rng + ?Sized>(
+        shape: &[usize],
+        dtype: DType,
+        lo: f64,
+        hi: f64,
+        rng: &mut R,
+    ) -> Tensor {
+        let n = numel(shape);
+        let data = match dtype {
+            DType::F32 => Data::F32((0..n).map(|_| rng.gen_range(lo..hi) as f32).collect()),
+            DType::F64 => Data::F64((0..n).map(|_| rng.gen_range(lo..hi)).collect()),
+            DType::I32 => {
+                Data::I32((0..n).map(|_| rng.gen_range(lo as i32..=hi as i32)).collect())
+            }
+            DType::I64 => {
+                Data::I64((0..n).map(|_| rng.gen_range(lo as i64..=hi as i64)).collect())
+            }
+            DType::Bool => Data::Bool((0..n).map(|_| rng.gen_bool(0.5)).collect()),
+        };
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// The element type.
+    pub fn dtype(&self) -> DType {
+        self.data.dtype()
+    }
+
+    /// The shape (dimensions).
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        numel(&self.shape)
+    }
+
+    /// Borrows the underlying storage.
+    pub fn data(&self) -> &Data {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying storage.
+    pub fn data_mut(&mut self) -> &mut Data {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning shape and storage.
+    pub fn into_parts(self) -> (Vec<usize>, Data) {
+        (self.shape, self.data)
+    }
+
+    /// Typed view of `f32` storage.
+    pub fn as_f32(&self) -> Option<&[f32]> {
+        match &self.data {
+            Data::F32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Typed view of `f64` storage.
+    pub fn as_f64(&self) -> Option<&[f64]> {
+        match &self.data {
+            Data::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Typed view of `i32` storage.
+    pub fn as_i32(&self) -> Option<&[i32]> {
+        match &self.data {
+            Data::I32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Typed view of `i64` storage.
+    pub fn as_i64(&self) -> Option<&[i64]> {
+        match &self.data {
+            Data::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Typed view of `bool` storage.
+    pub fn as_bool(&self) -> Option<&[bool]> {
+        match &self.data {
+            Data::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Mutable typed view of `f32` storage.
+    pub fn as_f32_mut(&mut self) -> Option<&mut [f32]> {
+        match &mut self.data {
+            Data::F32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Mutable typed view of `f64` storage.
+    pub fn as_f64_mut(&mut self) -> Option<&mut [f64]> {
+        match &mut self.data {
+            Data::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Element at `linear` offset converted to `f64` (`true` → 1.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `linear` is out of bounds.
+    pub fn lin_f64(&self, linear: usize) -> f64 {
+        match &self.data {
+            Data::F32(v) => v[linear] as f64,
+            Data::F64(v) => v[linear],
+            Data::I32(v) => v[linear] as f64,
+            Data::I64(v) => v[linear] as f64,
+            Data::Bool(v) => {
+                if v[linear] {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Sets the element at `linear` offset from an `f64` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `linear` is out of bounds.
+    pub fn set_lin_f64(&mut self, linear: usize, value: f64) {
+        match &mut self.data {
+            Data::F32(v) => v[linear] = value as f32,
+            Data::F64(v) => v[linear] = value,
+            Data::I32(v) => v[linear] = value as i32,
+            Data::I64(v) => v[linear] = value as i64,
+            Data::Bool(v) => v[linear] = value != 0.0,
+        }
+    }
+
+    /// Element at a multi-index, converted to `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the index rank or any coordinate is out of range.
+    pub fn get_f64(&self, index: &[usize]) -> Result<f64> {
+        if index.len() != self.rank() {
+            return Err(TensorError::shape(format!(
+                "index rank {} does not match tensor rank {}",
+                index.len(),
+                self.rank()
+            )));
+        }
+        for (i, (&x, &d)) in index.iter().zip(&self.shape).enumerate() {
+            if x >= d {
+                return Err(TensorError::shape(format!(
+                    "index {x} out of bounds for dim {i} of size {d}"
+                )));
+            }
+        }
+        let strides = strides_of(&self.shape);
+        Ok(self.lin_f64(dot_index(index, &strides)))
+    }
+
+    /// Copies all elements into an `f64` vector (booleans become 0/1).
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        (0..self.numel()).map(|i| self.lin_f64(i)).collect()
+    }
+
+    /// Converts the tensor to another dtype.
+    ///
+    /// Float → int truncates toward zero (NaN becomes 0, like a C cast with
+    /// saturation); anything → bool is a non-zero test.
+    pub fn cast(&self, dtype: DType) -> Tensor {
+        if dtype == self.dtype() {
+            return self.clone();
+        }
+        let n = self.numel();
+        let data = match dtype {
+            DType::F32 => Data::F32((0..n).map(|i| self.lin_f64(i) as f32).collect()),
+            DType::F64 => Data::F64((0..n).map(|i| self.lin_f64(i)).collect()),
+            DType::I32 => Data::I32(
+                (0..n)
+                    .map(|i| {
+                        let v = self.lin_f64(i);
+                        if v.is_nan() {
+                            0
+                        } else {
+                            v.clamp(i32::MIN as f64, i32::MAX as f64) as i32
+                        }
+                    })
+                    .collect(),
+            ),
+            DType::I64 => Data::I64(
+                (0..n)
+                    .map(|i| {
+                        let v = self.lin_f64(i);
+                        if v.is_nan() {
+                            0
+                        } else {
+                            v.clamp(i64::MIN as f64, i64::MAX as f64) as i64
+                        }
+                    })
+                    .collect(),
+            ),
+            DType::Bool => Data::Bool((0..n).map(|i| self.lin_f64(i) != 0.0).collect()),
+        };
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+
+    /// True if the tensor holds any `NaN` or infinity. Always false for
+    /// integer and boolean tensors.
+    pub fn has_non_finite(&self) -> bool {
+        match &self.data {
+            Data::F32(v) => v.iter().any(|x| !x.is_finite()),
+            Data::F64(v) => v.iter().any(|x| !x.is_finite()),
+            _ => false,
+        }
+    }
+
+    /// Returns a reshaped view (copy) with the same data.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the new shape has a different element count.
+    pub fn reshaped(&self, new_shape: &[usize]) -> Result<Tensor> {
+        if numel(new_shape) != self.numel() {
+            return Err(TensorError::shape(format!(
+                "cannot reshape {:?} ({} elems) to {:?} ({} elems)",
+                self.shape,
+                self.numel(),
+                new_shape,
+                numel(new_shape)
+            )));
+        }
+        Ok(Tensor {
+            shape: new_shape.to_vec(),
+            data: self.data.clone(),
+        })
+    }
+
+    /// Maximum elementwise absolute difference between two same-shaped
+    /// tensors, computed in `f64`. `NaN` yields `f64::INFINITY`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f64> {
+        if self.shape != other.shape {
+            return Err(TensorError::shape(format!(
+                "max_abs_diff shapes {:?} vs {:?}",
+                self.shape, other.shape
+            )));
+        }
+        let mut worst = 0.0f64;
+        for i in 0..self.numel() {
+            let a = self.lin_f64(i);
+            let b = other.lin_f64(i);
+            let d = (a - b).abs();
+            if d.is_nan() {
+                return Ok(f64::INFINITY);
+            }
+            worst = worst.max(d);
+        }
+        Ok(worst)
+    }
+
+    /// Element at multi-index for tests: like [`Tensor::get_f64`] but panics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    pub fn at(&self, index: &[usize]) -> f64 {
+        self.get_f64(index).expect("index in bounds")
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor<{}>{:?}[", self.dtype(), self.shape)?;
+        let n = self.numel().min(8);
+        for i in 0..n {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{:.4}", self.lin_f64(i))?;
+        }
+        if self.numel() > 8 {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Internal trait unifying the numeric element types for generic kernels.
+pub(crate) trait Element: Copy + PartialOrd + 'static {
+    #[allow(dead_code)]
+    const DTYPE: DType;
+    fn from_f64(v: f64) -> Self;
+    #[allow(dead_code)]
+    fn to_f64(self) -> f64;
+    fn slice(t: &Tensor) -> Option<&[Self]>;
+    fn into_data(v: Vec<Self>) -> Data;
+}
+
+impl Element for f32 {
+    const DTYPE: DType = DType::F32;
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    fn slice(t: &Tensor) -> Option<&[f32]> {
+        t.as_f32()
+    }
+    fn into_data(v: Vec<f32>) -> Data {
+        Data::F32(v)
+    }
+}
+
+impl Element for f64 {
+    const DTYPE: DType = DType::F64;
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn slice(t: &Tensor) -> Option<&[f64]> {
+        t.as_f64()
+    }
+    fn into_data(v: Vec<f64>) -> Data {
+        Data::F64(v)
+    }
+}
+
+impl Element for i32 {
+    const DTYPE: DType = DType::I32;
+    fn from_f64(v: f64) -> Self {
+        v as i32
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    fn slice(t: &Tensor) -> Option<&[i32]> {
+        t.as_i32()
+    }
+    fn into_data(v: Vec<i32>) -> Data {
+        Data::I32(v)
+    }
+}
+
+impl Element for i64 {
+    const DTYPE: DType = DType::I64;
+    fn from_f64(v: f64) -> Self {
+        v as i64
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    fn slice(t: &Tensor) -> Option<&[i64]> {
+        t.as_i64()
+    }
+    fn into_data(v: Vec<i64>) -> Data {
+        Data::I64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_f32(&[2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.rank(), 2);
+        assert_eq!(t.numel(), 6);
+        assert_eq!(t.at(&[0, 0]), 1.0);
+        assert_eq!(t.at(&[1, 2]), 6.0);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert!(Tensor::from_f32(&[2, 3], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn scalar_tensor() {
+        let s = Tensor::scalar(DType::F64, 3.5);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.lin_f64(0), 3.5);
+    }
+
+    #[test]
+    fn zeros_ones_full() {
+        let z = Tensor::zeros(&[4], DType::I32);
+        assert_eq!(z.as_i32().unwrap(), &[0, 0, 0, 0]);
+        let o = Tensor::ones(&[2], DType::Bool);
+        assert_eq!(o.as_bool().unwrap(), &[true, true]);
+        let f = Tensor::full(&[3], DType::I64, 7.0);
+        assert_eq!(f.as_i64().unwrap(), &[7, 7, 7]);
+    }
+
+    #[test]
+    fn cast_float_to_int_truncates() {
+        let t = Tensor::from_f32(&[3], vec![1.9, -2.9, f32::NAN]).unwrap();
+        let c = t.cast(DType::I32);
+        assert_eq!(c.as_i32().unwrap(), &[1, -2, 0]);
+    }
+
+    #[test]
+    fn cast_to_bool() {
+        let t = Tensor::from_i64(&[3], vec![0, 5, -1]).unwrap();
+        let c = t.cast(DType::Bool);
+        assert_eq!(c.as_bool().unwrap(), &[false, true, true]);
+    }
+
+    #[test]
+    fn cast_same_dtype_is_identity() {
+        let t = Tensor::from_f64(&[2], vec![1.0, 2.0]).unwrap();
+        assert_eq!(t.cast(DType::F64), t);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let ok = Tensor::from_f32(&[2], vec![1.0, -2.0]).unwrap();
+        assert!(!ok.has_non_finite());
+        let bad = Tensor::from_f32(&[2], vec![1.0, f32::INFINITY]).unwrap();
+        assert!(bad.has_non_finite());
+        let nan = Tensor::from_f64(&[1], vec![f64::NAN]).unwrap();
+        assert!(nan.has_non_finite());
+        let ints = Tensor::from_i32(&[2], vec![i32::MAX, i32::MIN]).unwrap();
+        assert!(!ints.has_non_finite());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_i32(&[2, 3], vec![1, 2, 3, 4, 5, 6]).unwrap();
+        let r = t.reshaped(&[3, 2]).unwrap();
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.as_i32().unwrap(), t.as_i32().unwrap());
+        assert!(t.reshaped(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let t = Tensor::uniform(&[100], DType::F32, 1.0, 9.0, &mut rng);
+        for &v in t.as_f32().unwrap() {
+            assert!((1.0..9.0).contains(&v));
+        }
+        let ti = Tensor::uniform(&[100], DType::I64, 0.0, 5.0, &mut rng);
+        for &v in ti.as_i64().unwrap() {
+            assert!((0..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        let a = Tensor::from_f32(&[3], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_f32(&[3], vec![1.0, 2.5, 3.0]).unwrap();
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 0.5);
+        let n = Tensor::from_f32(&[3], vec![1.0, f32::NAN, 3.0]).unwrap();
+        assert_eq!(a.max_abs_diff(&n).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn display_truncates() {
+        let t = Tensor::zeros(&[100], DType::F32);
+        let s = format!("{t}");
+        assert!(s.contains('…'));
+    }
+}

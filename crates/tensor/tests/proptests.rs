@@ -1,0 +1,209 @@
+//! Property-based tests of the tensor runtime's algebraic invariants.
+
+use proptest::prelude::*;
+
+use nnsmith_tensor::{
+    broadcast_shapes, Conv2dParams, DType, PadMode, Pool2dParams, ReduceKind, Tensor,
+};
+
+fn small_shape() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..5, 1..4)
+}
+
+fn tensor_for(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = shape.iter().product();
+    proptest::collection::vec(-50.0f64..50.0, n..=n)
+        .prop_map(move |data| Tensor::from_f64(&shape, data).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// a + b == b + a elementwise.
+    #[test]
+    fn add_commutative(shape in small_shape(), seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Tensor::uniform(&shape, DType::F64, -10.0, 10.0, &mut rng);
+        let b = Tensor::uniform(&shape, DType::F64, -10.0, 10.0, &mut rng);
+        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+    }
+
+    /// (a - b) + b ≈ a for f64 within rounding.
+    #[test]
+    fn sub_add_inverse(t in small_shape().prop_flat_map(tensor_for)) {
+        let b = Tensor::full(t.shape(), DType::F64, 3.25);
+        let roundtrip = t.sub(&b).unwrap().add(&b).unwrap();
+        prop_assert!(t.max_abs_diff(&roundtrip).unwrap() < 1e-9);
+    }
+
+    /// Transpose twice with the same 2-perm is identity.
+    #[test]
+    fn transpose_involution(t in small_shape().prop_flat_map(tensor_for)) {
+        if t.rank() == 2 {
+            let tt = t.transpose(&[1, 0]).unwrap().transpose(&[1, 0]).unwrap();
+            prop_assert_eq!(tt, t);
+        }
+    }
+
+    /// Reshape preserves element order.
+    #[test]
+    fn reshape_preserves_values(t in small_shape().prop_flat_map(tensor_for)) {
+        let n = t.numel();
+        let flat = t.reshaped(&[n]).unwrap();
+        prop_assert_eq!(flat.to_f64_vec(), t.to_f64_vec());
+    }
+
+    /// Broadcasting add against a scalar equals elementwise shift.
+    #[test]
+    fn scalar_broadcast_is_uniform_shift(t in small_shape().prop_flat_map(tensor_for)) {
+        let s = Tensor::scalar(DType::F64, 2.5);
+        let shifted = t.add(&s).unwrap();
+        for i in 0..t.numel() {
+            prop_assert!((shifted.lin_f64(i) - t.lin_f64(i) - 2.5).abs() < 1e-12);
+        }
+    }
+
+    /// broadcast_to then sum_to returns (count × original).
+    #[test]
+    fn broadcast_sum_adjoint(t in small_shape().prop_flat_map(tensor_for), lead in 1usize..4) {
+        let mut target = vec![lead];
+        target.extend_from_slice(t.shape());
+        let big = t.broadcast_to(&target).unwrap();
+        let back = big.sum_to(t.shape()).unwrap();
+        for i in 0..t.numel() {
+            prop_assert!((back.lin_f64(i) - lead as f64 * t.lin_f64(i)).abs() < 1e-9);
+        }
+    }
+
+    /// ReduceSum over all axes equals the sum of elements.
+    #[test]
+    fn reduce_sum_total(t in small_shape().prop_flat_map(tensor_for)) {
+        let s = t.reduce(ReduceKind::Sum, &[], false).unwrap();
+        let manual: f64 = t.to_f64_vec().iter().sum();
+        prop_assert!((s.lin_f64(0) - manual).abs() < 1e-6 * (1.0 + manual.abs()));
+    }
+
+    /// Max reduction bounds every element; min likewise.
+    #[test]
+    fn reduce_extremes_bound(t in small_shape().prop_flat_map(tensor_for)) {
+        let mx = t.reduce(ReduceKind::Max, &[], false).unwrap().lin_f64(0);
+        let mn = t.reduce(ReduceKind::Min, &[], false).unwrap().lin_f64(0);
+        for v in t.to_f64_vec() {
+            prop_assert!(v <= mx && v >= mn);
+        }
+    }
+
+    /// Slice then slice_scatter reconstructs the sliced region exactly and
+    /// zeros elsewhere.
+    #[test]
+    fn slice_scatter_adjoint(seed in 0u64..500) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dim = rng.gen_range(2usize..8);
+        let t = Tensor::uniform(&[dim], DType::F64, -5.0, 5.0, &mut rng);
+        let start = rng.gen_range(0..dim - 1);
+        let end = rng.gen_range(start + 1..=dim);
+        let step = rng.gen_range(1usize..=2);
+        let sl = t.slice(&[start], &[end], &[step]).unwrap();
+        let back = sl.slice_scatter(&[dim], &[start], &[end], &[step]).unwrap();
+        let sl2 = back.slice(&[start], &[end], &[step]).unwrap();
+        prop_assert_eq!(sl2, sl);
+    }
+
+    /// Constant pad then inverse crop is the identity.
+    #[test]
+    fn pad_crop_inverse(t in small_shape().prop_flat_map(tensor_for), b in 0i64..3, a in 0i64..3) {
+        let pads: Vec<(i64, i64)> = t.shape().iter().map(|_| (b, a)).collect();
+        let padded = t.pad(&pads, PadMode::Constant(0.0)).unwrap();
+        let inverse: Vec<(i64, i64)> = pads.iter().map(|(x, y)| (-x, -y)).collect();
+        let cropped = padded.pad(&inverse, PadMode::Constant(0.0)).unwrap();
+        prop_assert_eq!(cropped, t);
+    }
+
+    /// Softmax outputs are a probability distribution along the axis.
+    #[test]
+    fn softmax_is_distribution(seed in 0u64..500) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let rows = rng.gen_range(1usize..4);
+        let cols = rng.gen_range(1usize..6);
+        let t = Tensor::uniform(&[rows, cols], DType::F64, -30.0, 30.0, &mut rng);
+        let s = t.softmax(1).unwrap();
+        prop_assert!(!s.has_non_finite());
+        let sums = s.reduce(ReduceKind::Sum, &[1], false).unwrap();
+        for r in 0..rows {
+            prop_assert!((sums.lin_f64(r) - 1.0).abs() < 1e-9);
+        }
+        for v in s.to_f64_vec() {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    /// Conv2d output shape always matches the closed-form formula.
+    #[test]
+    fn conv_shape_formula(
+        h in 3usize..10, w in 3usize..10,
+        kh in 1usize..4, kw in 1usize..4,
+        stride in 1usize..3, pad in 0usize..2,
+    ) {
+        let x = Tensor::ones(&[1, 1, h, w], DType::F32);
+        let k = Tensor::ones(&[1, 1, kh, kw], DType::F32);
+        let params = Conv2dParams {
+            stride: (stride, stride),
+            padding: (pad, pad),
+            ..Conv2dParams::default()
+        };
+        match x.conv2d(&k, None, &params) {
+            Ok(out) => {
+                let oh = (h + 2 * pad - kh) / stride + 1;
+                let ow = (w + 2 * pad - kw) / stride + 1;
+                prop_assert_eq!(out.shape(), &[1, 1, oh, ow]);
+            }
+            Err(_) => {
+                prop_assert!(kh > h + 2 * pad || kw > w + 2 * pad);
+            }
+        }
+    }
+
+    /// Max pooling dominates average pooling elementwise.
+    #[test]
+    fn maxpool_dominates_avgpool(seed in 0u64..300) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = Tensor::uniform(&[1, 2, 6, 6], DType::F64, 0.0, 10.0, &mut rng);
+        let p = Pool2dParams { kernel: (2, 2), stride: (2, 2), padding: (0, 0) };
+        let mx = x.max_pool2d(&p).unwrap();
+        let av = x.avg_pool2d(&p).unwrap();
+        for i in 0..mx.numel() {
+            prop_assert!(mx.lin_f64(i) >= av.lin_f64(i) - 1e-12);
+        }
+    }
+
+    /// MatMul distributes over addition: A(B + C) == AB + AC (f64 tolerance).
+    #[test]
+    fn matmul_distributes(seed in 0u64..300) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Tensor::uniform(&[3, 4], DType::F64, -2.0, 2.0, &mut rng);
+        let b = Tensor::uniform(&[4, 2], DType::F64, -2.0, 2.0, &mut rng);
+        let c = Tensor::uniform(&[4, 2], DType::F64, -2.0, 2.0, &mut rng);
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-9);
+    }
+
+    /// broadcast_shapes agrees with materialized broadcast_to.
+    #[test]
+    fn broadcast_shapes_consistent(
+        a in proptest::collection::vec(1usize..4, 1..4),
+        b in proptest::collection::vec(1usize..4, 1..4),
+    ) {
+        if let Ok(out) = broadcast_shapes(&a, &b) {
+            let ta = Tensor::ones(&a, DType::F32);
+            let tb = Tensor::ones(&b, DType::F32);
+            let summed = ta.add(&tb).unwrap();
+            prop_assert_eq!(summed.shape(), out.as_slice());
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Bug hunt: short fuzzing campaigns against all three simulated
+//! compilers with every seeded bug enabled — a miniature version of the
+//! paper's seven-month bug-finding study (§5.4, Table 3).
+//!
+//! Run with: `cargo run --release --example bug_hunt [seconds-per-compiler]`
+
+use std::time::Duration;
+
+use nnsmith::compilers::{ortsim, registry, trtsim, tvmsim, System};
+use nnsmith::difftest::{run_campaign, CampaignConfig};
+use nnsmith::{NnSmith, NnSmithConfig};
+
+fn main() {
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+
+    let all_bugs = registry();
+    println!(
+        "Hunting {} seeded bugs ({} crash / {} semantic) for {secs}s per compiler…\n",
+        all_bugs.len(),
+        all_bugs
+            .iter()
+            .filter(|b| b.symptom == nnsmith::compilers::Symptom::Crash)
+            .count(),
+        all_bugs
+            .iter()
+            .filter(|b| b.symptom == nnsmith::compilers::Symptom::Semantic)
+            .count(),
+    );
+
+    let mut total_found = std::collections::BTreeSet::new();
+    for (compiler, seed) in [(tvmsim(), 1u64), (ortsim(), 2), (trtsim(), 3)] {
+        let mut fuzzer = NnSmith::new(NnSmithConfig {
+            seed,
+            ..NnSmithConfig::default()
+        });
+        let result = run_campaign(
+            &compiler,
+            &mut fuzzer,
+            &CampaignConfig {
+                duration: Duration::from_secs(secs),
+                ..CampaignConfig::default()
+            },
+        );
+        println!(
+            "{:>8}: {} cases, {} branches covered, {} unique crashes, {} mismatches",
+            result.compiler,
+            result.cases,
+            result.total_coverage(),
+            result.unique_crashes.len(),
+            result.mismatches,
+        );
+        for id in &result.bugs_found {
+            let descr = all_bugs
+                .iter()
+                .find(|b| b.id == id.as_str())
+                .map(|b| b.description)
+                .unwrap_or("?");
+            println!("          found {id}: {descr}");
+        }
+        total_found.extend(result.bugs_found);
+    }
+
+    let exporter_found: Vec<_> = total_found
+        .iter()
+        .filter(|id| {
+            all_bugs
+                .iter()
+                .any(|b| b.id == id.as_str() && b.system == System::Exporter)
+        })
+        .collect();
+    println!(
+        "\nTotal distinct seeded bugs found: {} / {} (of which {} exporter by-products)",
+        total_found.len(),
+        all_bugs.len(),
+        exporter_found.len(),
+    );
+}

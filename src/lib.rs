@@ -1,0 +1,53 @@
+//! # nnsmith
+//!
+//! A from-scratch Rust reproduction of **NNSmith: Generating Diverse and
+//! Valid Test Cases for Deep Learning Compilers** (ASPLOS 2023).
+//!
+//! NNSmith fuzzes deep-learning compilers by (1) generating structurally
+//! diverse *and valid* DNN computation graphs with an SMT-style constraint
+//! solver, (2) finding model inputs/weights that avoid NaN/Inf with
+//! gradient-guided search, and (3) differentially testing compiled models
+//! against a reference interpreter.
+//!
+//! This umbrella crate re-exports the full workspace:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`solver`] | incremental integer constraint solver (the Z3 role) |
+//! | [`tensor`] | tensor runtime + autodiff (the PyTorch role) |
+//! | [`graph`] | computation-graph IR |
+//! | [`ops`] | operator specifications: `requires`/`type_transfer`/eval/vjp |
+//! | [`gen`] | Algorithms 1–2: insertion-based generation, attribute binning |
+//! | [`search`] | Algorithm 3: gradient-guided value search |
+//! | [`compilers`] | simulated compilers (tvmsim/ortsim/trtsim), coverage, 72 seeded bugs |
+//! | [`difftest`] | oracle comparison, fault localization, campaign driver |
+//! | [`baselines`] | LEMON / GraphFuzzer / Tzer reimplementations |
+//! | [`pipeline`] | the end-to-end fuzzer ([`NnSmith`]) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nnsmith::{NnSmith, NnSmithConfig};
+//! use nnsmith::difftest::{run_case, TestCaseSource, Tolerance};
+//! use nnsmith::compilers::{tvmsim, CompileOptions, CoverageSet};
+//!
+//! let mut fuzzer = NnSmith::new(NnSmithConfig { seed: 1, ..Default::default() });
+//! let case = fuzzer.next_case().expect("valid test case");
+//! let mut cov = CoverageSet::new();
+//! let outcome = run_case(&tvmsim(), &case, &CompileOptions::default(),
+//!                        Tolerance::default(), &mut cov);
+//! println!("{outcome:?}; covered {} branches", cov.len());
+//! ```
+
+pub use nnsmith_baselines as baselines;
+pub use nnsmith_compilers as compilers;
+pub use nnsmith_core as pipeline;
+pub use nnsmith_difftest as difftest;
+pub use nnsmith_gen as gen;
+pub use nnsmith_graph as graph;
+pub use nnsmith_ops as ops;
+pub use nnsmith_search as search;
+pub use nnsmith_solver as solver;
+pub use nnsmith_tensor as tensor;
+
+pub use nnsmith_core::{NnSmith, NnSmithConfig, PipelineStats};

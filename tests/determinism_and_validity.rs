@@ -1,0 +1,169 @@
+//! Workspace integration tests: determinism, validity rates, and the
+//! paper's structural claims about generated models.
+
+use std::collections::HashSet;
+
+use nnsmith::gen::{GenConfig, Generator};
+use nnsmith::graph::NodeKind;
+use nnsmith::ops::Op;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// 100% of generated models must be valid (type-check and execute) — the
+/// paper's generation-validity guarantee.
+#[test]
+fn all_generated_models_are_valid() {
+    let generator = Generator::new(GenConfig::default());
+    for seed in 0..30u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = generator.generate(&mut rng).expect("generation");
+        assert!(model.graph.validate().is_ok(), "seed {seed}");
+        assert!(model.graph.is_concrete(), "seed {seed}");
+        // Spec re-check of every operator (type checking).
+        for id in model.graph.operators() {
+            let node = model.graph.node(id);
+            let op = node.kind.as_operator().unwrap();
+            let types: Vec<_> = node
+                .inputs
+                .iter()
+                .map(|v| model.graph.value_type(*v).clone())
+                .collect();
+            for c in op.requires(&types).expect("spec applies") {
+                assert_eq!(
+                    c,
+                    nnsmith::solver::BoolExpr::Lit(true),
+                    "seed {seed}: {} violates {c}",
+                    op.name()
+                );
+            }
+        }
+    }
+}
+
+/// The generator produces a wide operator vocabulary over a few dozen
+/// models — the diversity half of "diverse yet valid".
+#[test]
+fn generation_covers_many_operator_kinds() {
+    let generator = Generator::new(GenConfig::default());
+    let mut names: HashSet<&'static str> = HashSet::new();
+    let mut dtypes: HashSet<nnsmith::tensor::DType> = HashSet::new();
+    let mut ranks: HashSet<usize> = HashSet::new();
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = generator.generate(&mut rng).expect("generation");
+        for (_, node) in model.graph.iter() {
+            if let NodeKind::Operator(op) = &node.kind {
+                names.insert(op.name());
+            }
+            for t in &node.outputs {
+                dtypes.insert(t.dtype);
+                ranks.insert(t.rank());
+            }
+        }
+    }
+    assert!(names.len() >= 30, "only {} distinct operators", names.len());
+    assert!(dtypes.len() >= 4, "only {:?}", dtypes);
+    assert!(ranks.contains(&4) && ranks.contains(&1), "ranks: {ranks:?}");
+}
+
+/// Multi-input and multi-output models occur (the §3.2 claim about
+/// multi-modal / multi-task model shapes).
+#[test]
+fn multi_input_and_multi_output_models_occur() {
+    let generator = Generator::new(GenConfig::default());
+    let mut multi_input = 0;
+    let mut multi_output = 0;
+    for seed in 0..30u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = generator.generate(&mut rng).expect("generation");
+        let inputs = model
+            .graph
+            .iter()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Input))
+            .count();
+        if inputs >= 2 {
+            multi_input += 1;
+        }
+        if model.graph.output_values().len() >= 2 {
+            multi_output += 1;
+        }
+    }
+    assert!(multi_input > 0, "no multi-input models in 30");
+    assert!(multi_output > 0, "no multi-output models in 30");
+}
+
+/// Non-shape-preserving connections occur routinely — the structural
+/// expressiveness LEMON/GraphFuzzer lack (§2.3, M0 pattern).
+#[test]
+fn non_shape_preserving_patterns_occur() {
+    let generator = Generator::new(GenConfig::default());
+    let mut broadcasting_binary = 0;
+    let mut shape_changing = 0;
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = generator.generate(&mut rng).expect("generation");
+        for id in model.graph.operators() {
+            let node = model.graph.node(id);
+            match node.kind.as_operator().unwrap() {
+                Op::Binary(_) | Op::Compare(_) => {
+                    let a = model.graph.value_type(node.inputs[0]);
+                    let b = model.graph.value_type(node.inputs[1]);
+                    if a.concrete_shape() != b.concrete_shape() {
+                        broadcasting_binary += 1;
+                    }
+                }
+                Op::Reshape { .. }
+                | Op::Conv2d { .. }
+                | Op::Reduce { .. }
+                | Op::BroadcastTo { .. }
+                | Op::Slice { .. } => shape_changing += 1,
+                _ => {}
+            }
+        }
+    }
+    assert!(broadcasting_binary > 0, "no broadcasting binaries generated");
+    assert!(shape_changing > 5, "only {shape_changing} shape-changing ops");
+}
+
+/// Attribute binning measurably diversifies attributes (the Fig. 9
+/// mechanism): with binning, strictly more distinct dimension values
+/// appear than without.
+#[test]
+fn binning_increases_attribute_diversity() {
+    let count_values = |binning: bool| -> usize {
+        let generator = Generator::new(GenConfig {
+            binning,
+            ..GenConfig::default()
+        });
+        let mut distinct: HashSet<i64> = HashSet::new();
+        for seed in 100..115u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let model = generator.generate(&mut rng).expect("generation");
+            for v in model.graph.all_values() {
+                for d in model.graph.value_type(v).concrete_shape().unwrap() {
+                    distinct.insert(d);
+                }
+            }
+        }
+        distinct.len()
+    };
+    let with = count_values(true);
+    let without = count_values(false);
+    assert!(
+        with > without,
+        "binning {with} distinct dims vs base {without}"
+    );
+}
+
+/// Model JSON serialization round-trips (the ONNX-interchange role).
+#[test]
+fn models_roundtrip_through_json() {
+    let generator = Generator::new(GenConfig::default());
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = generator.generate(&mut rng).expect("generation");
+        let js = serde_json::to_string(&model.graph).expect("serialize");
+        let back: nnsmith::graph::Graph<Op> = serde_json::from_str(&js).expect("parse");
+        assert_eq!(back, model.graph);
+    }
+}

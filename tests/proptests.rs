@@ -1,0 +1,151 @@
+//! Workspace-level property-based tests: cross-crate invariants checked
+//! over randomized inputs (proptest).
+
+use proptest::prelude::*;
+
+use nnsmith::graph::NodeKind;
+use nnsmith::solver::{IntExpr, Solver};
+use nnsmith::tensor::{broadcast_shapes, DType, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Broadcasting is commutative.
+    #[test]
+    fn broadcast_commutes(
+        a in proptest::collection::vec(1usize..5, 0..4),
+        b in proptest::collection::vec(1usize..5, 0..4),
+    ) {
+        let ab = broadcast_shapes(&a, &b);
+        let ba = broadcast_shapes(&b, &a);
+        prop_assert_eq!(ab.ok(), ba.ok());
+    }
+
+    /// Broadcasting against itself is the identity.
+    #[test]
+    fn broadcast_idempotent(a in proptest::collection::vec(1usize..6, 0..4)) {
+        prop_assert_eq!(broadcast_shapes(&a, &a).unwrap(), a);
+    }
+
+    /// Elementwise add over equal shapes is commutative.
+    #[test]
+    fn tensor_add_commutes(
+        data in proptest::collection::vec(-100.0f64..100.0, 1..32),
+    ) {
+        let n = data.len();
+        let a = Tensor::from_f64(&[n], data.clone()).unwrap();
+        let rev: Vec<f64> = data.iter().rev().copied().collect();
+        let b = Tensor::from_f64(&[n], rev).unwrap();
+        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+    }
+
+    /// Cast to the same dtype is the identity; cast bool→int→bool of a
+    /// bool tensor is the identity.
+    #[test]
+    fn cast_roundtrips(values in proptest::collection::vec(any::<bool>(), 1..32)) {
+        let n = values.len();
+        let t = Tensor::from_bool(&[n], values).unwrap();
+        prop_assert_eq!(&t.cast(DType::Bool), &t);
+        prop_assert_eq!(&t.cast(DType::I64).cast(DType::Bool), &t);
+    }
+
+    /// Solver models satisfy every asserted constraint (soundness).
+    #[test]
+    fn solver_models_satisfy_constraints(
+        bounds in proptest::collection::vec((1i64..8, 8i64..64), 2..5),
+        coeffs in proptest::collection::vec(1i64..4, 2..5),
+        limit in 16i64..256,
+    ) {
+        let mut s = Solver::default();
+        let vars: Vec<_> = bounds
+            .iter()
+            .enumerate()
+            .map(|(i, (lo, hi))| s.new_var(format!("v{i}"), *lo, *hi))
+            .collect();
+        // Σ cᵢ·vᵢ ≤ limit
+        let mut sum = IntExpr::Const(0);
+        for (v, c) in vars.iter().zip(&coeffs) {
+            sum = sum + IntExpr::var(*v) * IntExpr::from(*c);
+        }
+        s.assert(sum.clone().le(limit.into()));
+        if let nnsmith::solver::SatResult::Sat(m) = s.check() {
+            let total: i64 = vars
+                .iter()
+                .zip(&coeffs)
+                .map(|(v, c)| m.get(*v).unwrap() * c)
+                .sum();
+            prop_assert!(total <= limit);
+            for ((lo, hi), v) in bounds.iter().zip(&vars) {
+                let val = m.get(*v).unwrap();
+                prop_assert!(val >= *lo && val <= *hi);
+            }
+        }
+    }
+
+    /// Every model the generator emits type-checks *and* executes with
+    /// exactly the shapes its edge types declare — the paper's central
+    /// validity guarantee, checked end to end across solver, specs,
+    /// generator and tensor kernels.
+    #[test]
+    fn generated_models_execute_with_declared_shapes(seed in 0u64..400) {
+        use nnsmith::gen::{GenConfig, Generator};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let generator = Generator::new(GenConfig {
+            target_ops: 6,
+            ..GenConfig::default()
+        });
+        let model = generator.generate(&mut rng).expect("generation succeeds");
+        prop_assert!(model.graph.validate().is_ok());
+        let mut vrng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xabcd);
+        let bindings =
+            nnsmith::ops::random_bindings(&model.graph, -2.0, 2.0, &mut vrng).unwrap();
+        match nnsmith::ops::execute(&model.graph, &bindings) {
+            Ok(exec) => {
+                for (id, node) in model.graph.iter() {
+                    for (index, declared) in node.outputs.iter().enumerate() {
+                        let vref = nnsmith::graph::ValueRef { node: id, index };
+                        let tensor = &exec.values[&vref];
+                        prop_assert_eq!(
+                            Some(tensor.shape().to_vec()),
+                            declared.concrete_dims(),
+                            "node {} ({})", id,
+                            match &node.kind {
+                                NodeKind::Operator(op) => op.name(),
+                                _ => "leaf",
+                            }
+                        );
+                        prop_assert_eq!(tensor.dtype(), declared.dtype);
+                    }
+                }
+            }
+            Err(nnsmith::ops::ExecError::Kernel { error, .. }) => {
+                // Integer division by zero from random values is the only
+                // legitimate runtime fault.
+                let msg = format!("{error}");
+                prop_assert!(msg.contains("division by zero"), "{msg}");
+            }
+            Err(other) => prop_assert!(false, "unexpected exec error: {other}"),
+        }
+    }
+
+    /// Exported models (with all exporter bugs off) are identical; with
+    /// bugs on, export either crashes or yields a valid graph.
+    #[test]
+    fn exporter_preserves_validity(seed in 0u64..120) {
+        use nnsmith::compilers::{export, BugConfig};
+        use nnsmith::gen::{GenConfig, Generator};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let generator = Generator::new(GenConfig {
+            target_ops: 6,
+            ..GenConfig::default()
+        });
+        let model = generator.generate(&mut rng).expect("generation succeeds");
+        let clean = export(&model.graph, &BugConfig::none()).expect("clean export");
+        prop_assert_eq!(&clean.graph, &model.graph);
+        if let Ok(buggy) = export(&model.graph, &BugConfig::all_on()) {
+            prop_assert!(buggy.graph.validate().is_ok());
+        }
+    }
+}
