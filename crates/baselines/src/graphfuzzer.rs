@@ -56,11 +56,7 @@ impl<R: Rng> GraphFuzzer<R> {
 
     /// Aligns `v` (shape `from`) to shape `to` by slicing larger dims
     /// (stride 1) and zero-padding smaller ones — the M1-style glue.
-    fn align(
-        g: &mut Graph<Op>,
-        mut v: ValueRef,
-        to: &[usize],
-    ) -> ValueRef {
+    fn align(g: &mut Graph<Op>, mut v: ValueRef, to: &[usize]) -> ValueRef {
         let from = Self::dims_of(g, v);
         debug_assert_eq!(from.len(), to.len());
         let dtype = g.value_type(v).dtype;
@@ -73,7 +69,11 @@ impl<R: Rng> GraphFuzzer<R> {
                 .map(|(&f, &t)| IntExpr::Const(f.min(t) as i64))
                 .collect();
             let steps = vec![1i64; from.len()];
-            let mid: Vec<i64> = from.iter().zip(to).map(|(&f, &t)| f.min(t) as i64).collect();
+            let mid: Vec<i64> = from
+                .iter()
+                .zip(to)
+                .map(|(&f, &t)| f.min(t) as i64)
+                .collect();
             let node = g.add_node(
                 NodeKind::Operator(Op::Slice {
                     starts,
@@ -91,9 +91,7 @@ impl<R: Rng> GraphFuzzer<R> {
             let pads: Vec<(IntExpr, IntExpr)> = cur
                 .iter()
                 .zip(to)
-                .map(|(&c, &t)| {
-                    (IntExpr::Const(0), IntExpr::Const(t as i64 - c as i64))
-                })
+                .map(|(&c, &t)| (IntExpr::Const(0), IntExpr::Const(t as i64 - c as i64)))
                 .collect();
             let target: Vec<i64> = to.iter().map(|&t| t as i64).collect();
             let node = g.add_node(
@@ -184,11 +182,7 @@ impl<R: Rng> GraphFuzzer<R> {
                         .choose(&mut self.rng)
                         .expect("nonempty");
                     let t = g.value_type(a).clone();
-                    let n = g.add_node(
-                        NodeKind::Operator(Op::Binary(kind)),
-                        vec![a, b],
-                        vec![t],
-                    );
+                    let n = g.add_node(NodeKind::Operator(Op::Binary(kind)), vec![a, b], vec![t]);
                     pool.push(ValueRef::output0(n));
                 }
                 // Shape-preserving Conv2d instance: kernel 1, stride 1,
@@ -278,9 +272,7 @@ mod tests {
         for _ in 0..20 {
             let case = gf.next_case().unwrap();
             assert!(case.graph.validate().is_ok());
-            assert!(
-                nnsmith_ops::execute(&case.graph, &case.all_bindings()).is_ok()
-            );
+            assert!(nnsmith_ops::execute(&case.graph, &case.all_bindings()).is_ok());
         }
     }
 
@@ -293,9 +285,7 @@ mod tests {
         for _ in 0..50 {
             let case = gf.next_case().unwrap();
             for id in case.graph.operators() {
-                if let Some(Op::Slice { steps, .. }) =
-                    case.graph.node(id).kind.as_operator()
-                {
+                if let Some(Op::Slice { steps, .. }) = case.graph.node(id).kind.as_operator() {
                     saw_slice = true;
                     assert!(steps.iter().all(|&s| s == 1));
                 }

@@ -59,7 +59,11 @@ fn seed_cnn() -> Graph<Op> {
             padding: IntExpr::Const(1),
             dilation: IntExpr::Const(1),
         }),
-        vec![ValueRef::output0(x), ValueRef::output0(w1), ValueRef::output0(b1)],
+        vec![
+            ValueRef::output0(x),
+            ValueRef::output0(w1),
+            ValueRef::output0(b1),
+        ],
         vec![TensorType::concrete(DType::F32, &[1, 8, 16, 16])],
     );
     let relu1 = g.add_node(
@@ -97,7 +101,11 @@ fn seed_cnn() -> Graph<Op> {
             padding: IntExpr::Const(0),
             dilation: IntExpr::Const(1),
         }),
-        vec![ValueRef::output0(pool), ValueRef::output0(w2), ValueRef::output0(b2)],
+        vec![
+            ValueRef::output0(pool),
+            ValueRef::output0(w2),
+            ValueRef::output0(b2),
+        ],
         vec![TensorType::concrete(DType::F32, &[1, 8, 8, 8])],
     );
     g.add_node(
@@ -131,7 +139,11 @@ fn seed_mlp() -> Graph<Op> {
             in_features: IntExpr::Const(16),
             units: IntExpr::Const(8),
         }),
-        vec![ValueRef::output0(x), ValueRef::output0(w1), ValueRef::output0(b1)],
+        vec![
+            ValueRef::output0(x),
+            ValueRef::output0(w1),
+            ValueRef::output0(b1),
+        ],
         vec![TensorType::concrete(DType::F32, &[2, 8])],
     );
     let t = g.add_node(
@@ -154,7 +166,11 @@ fn seed_mlp() -> Graph<Op> {
             in_features: IntExpr::Const(8),
             units: IntExpr::Const(4),
         }),
-        vec![ValueRef::output0(t), ValueRef::output0(w2), ValueRef::output0(b2)],
+        vec![
+            ValueRef::output0(t),
+            ValueRef::output0(w2),
+            ValueRef::output0(b2),
+        ],
         vec![TensorType::concrete(DType::F32, &[2, 4])],
     );
     g
@@ -218,9 +234,7 @@ impl<R: Rng> Lemon<R> {
                 let deletable: Vec<NodeId> = g
                     .operators()
                     .into_iter()
-                    .filter(|&id| {
-                        matches!(g.node(id).kind.as_operator(), Some(Op::Unary(_)))
-                    })
+                    .filter(|&id| matches!(g.node(id).kind.as_operator(), Some(Op::Unary(_))))
                     .collect();
                 let Some(&victim) = deletable.choose(&mut self.rng) else {
                     return;
@@ -245,9 +259,7 @@ impl<R: Rng> Lemon<R> {
                 let dup: Vec<NodeId> = g
                     .operators()
                     .into_iter()
-                    .filter(|&id| {
-                        matches!(g.node(id).kind.as_operator(), Some(Op::Unary(_)))
-                    })
+                    .filter(|&id| matches!(g.node(id).kind.as_operator(), Some(Op::Unary(_))))
                     .collect();
                 let Some(&orig) = dup.choose(&mut self.rng) else {
                     return;
@@ -341,10 +353,7 @@ mod tests {
                 // Only ops from the seeds plus safe unaries can appear.
                 let ok = matches!(
                     op,
-                    Op::Unary(_)
-                        | Op::Conv2d { .. }
-                        | Op::MaxPool2d { .. }
-                        | Op::Dense { .. }
+                    Op::Unary(_) | Op::Conv2d { .. } | Op::MaxPool2d { .. } | Op::Dense { .. }
                 );
                 assert!(ok, "unexpected op {}", op.name());
             }

@@ -20,10 +20,12 @@
 
 #![warn(missing_docs)]
 
+mod factory;
 mod graphfuzzer;
 mod lemon;
 mod tzer;
 
+pub use factory::{GraphFuzzerFactory, LemonFactory};
 pub use graphfuzzer::{GraphFuzzer, GraphFuzzerConfig};
 pub use lemon::Lemon;
 pub use tzer::{run_tzer_campaign, Tzer, TzerPoint};

@@ -11,8 +11,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 use nnsmith_compilers::{
-    codegen_coverage, tir_schedule, tir_simplify, tvmsim, CoverageSet, LExpr, LoweredFunc,
-    LStmt,
+    codegen_coverage, tir_schedule, tir_simplify, tvmsim, CoverageSet, LExpr, LStmt, LoweredFunc,
 };
 
 /// The Tzer-style low-level IR fuzzer.
@@ -130,7 +129,7 @@ impl<R: Rng> Tzer<R> {
                     .choose_mut(&mut self.rng)
                     .map(|s| &mut **s)
                 {
-                    *extent = (*extent + self.rng.gen_range(-3..=37)).max(1);
+                    *extent = (*extent + self.rng.gen_range(-3i64..=37)).max(1);
                 }
             }
             // Insert an extra store.
@@ -200,7 +199,7 @@ pub fn run_tzer_campaign<R: Rng>(
         tir_simplify(&mut funcs, &mut cov, &manifest);
         tir_schedule(&mut funcs, &mut cov, &manifest);
         codegen_coverage(&funcs, &mut cov, &manifest);
-        if iterations % 64 == 0 {
+        if iterations.is_multiple_of(64) {
             timeline.push(TzerPoint {
                 elapsed_ms: start.elapsed().as_millis() as u64,
                 iterations,
@@ -260,6 +259,6 @@ mod tests {
         // a graph-lowered campaign's typical set by running one graph.
         let tzer = Tzer::new(StdRng::seed_from_u64(2));
         let (cov, _) = run_tzer_campaign(tzer, Duration::from_millis(300), Some(300));
-        assert!(cov.len() > 0);
+        assert!(!cov.is_empty());
     }
 }

@@ -1,0 +1,75 @@
+//! Micro-benchmarks for the hash-consing expression arena: the intern +
+//! constant-fold hot path that every solver assertion goes through, against
+//! the owned-tree construction it replaced.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nnsmith_solver::intern::with_pool;
+use nnsmith_solver::{intern_bool, BoolExpr, IntExpr, VarId};
+
+/// A conv-arithmetic constraint over `base`-offset variables — the shape
+/// every insertion asserts a handful of.
+fn conv_constraint(base: u32) -> BoolExpr {
+    let v = |i: u32| IntExpr::Var(VarId(base + i));
+    let out = (v(0) + IntExpr::from(2) * v(2) - v(1)) / v(3) + 1.into();
+    BoolExpr::and([
+        v(1).le(v(0) + IntExpr::from(2) * v(2)),
+        out.clone().ge(1.into()),
+        out.le(64.into()),
+    ])
+}
+
+/// Fully-concrete arithmetic: must fold to a literal without allocating
+/// arena nodes.
+fn concrete_tree() -> IntExpr {
+    (IntExpr::from(4) * 3.into() + 2.into()) * (IntExpr::from(62) * 62.into()) - IntExpr::from(7688)
+}
+
+fn bench_interning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interning");
+    group.sample_size(20);
+
+    // Interning fresh constraint systems: distinct variables cycle through
+    // a small window, so after warmup most nodes hit the hash-cons table.
+    let mut round = 0u32;
+    group.bench_function("intern_conv_constraint", |b| {
+        b.iter(|| {
+            round = (round + 1) % 64;
+            intern_bool(black_box(&conv_constraint(round * 4)))
+        })
+    });
+
+    // The steady-state hit path: identical structure, every node already
+    // interned.
+    group.bench_function("intern_conv_constraint_hot", |b| {
+        b.iter(|| intern_bool(black_box(&conv_constraint(0))))
+    });
+
+    // Constant folding at intern time vs tree build time.
+    group.bench_function("fold_concrete_tree", |b| {
+        b.iter(|| black_box(concrete_tree()))
+    });
+    group.bench_function("fold_concrete_interned", |b| {
+        b.iter(|| {
+            with_pool(|p| {
+                let e = concrete_tree();
+                p.intern_int(black_box(&e))
+            })
+        })
+    });
+
+    // Tree clone vs handle copy: what sharing a 100-constraint system
+    // across shards costs in each representation.
+    let system: Vec<BoolExpr> = (0..100).map(|i| conv_constraint(i * 4)).collect();
+    let ids: Vec<_> = system.iter().map(intern_bool).collect();
+    group.bench_function("clone_system_trees", |b| {
+        b.iter(|| black_box(system.clone()))
+    });
+    group.bench_function("clone_system_handles", |b| {
+        b.iter(|| black_box(ids.clone()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_interning);
+criterion_main!(benches);

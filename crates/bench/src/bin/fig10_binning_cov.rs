@@ -10,10 +10,10 @@
 
 use std::time::Duration;
 
-use nnsmith_difftest::{run_campaign, CampaignConfig};
 use nnsmith_compilers::{ortsim, tvmsim};
 use nnsmith_core::{NnSmith, NnSmithConfig};
 use nnsmith_difftest::Venn2;
+use nnsmith_difftest::{run_campaign, CampaignConfig};
 use nnsmith_gen::GenConfig;
 
 fn source(binning: bool, seed: u64) -> NnSmith {
@@ -45,7 +45,11 @@ fn main() {
         let mut without_src = source(false, 7);
         let without = run_campaign(&compiler, &mut without_src, &cfg);
         let v = Venn2::of(&without.coverage, &with.coverage);
-        println!("no-binning total {} | w/-binning total {}", v.total_a(), v.total_b());
+        println!(
+            "no-binning total {} | w/-binning total {}",
+            v.total_a(),
+            v.total_b()
+        );
         println!(
             "no-binning-only {} | shared {} | binning-only {}",
             v.only_a, v.both, v.only_b

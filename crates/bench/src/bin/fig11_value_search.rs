@@ -26,9 +26,16 @@ fn vulnerable_models(size: usize, n: usize, seed: u64) -> Vec<Graph<Op>> {
     while out.len() < n {
         let s: u64 = rng.gen();
         let mut grng = StdRng::seed_from_u64(s);
-        let Ok(model) = generator.generate(&mut grng) else { continue };
+        let Ok(model) = generator.generate(&mut grng) else {
+            continue;
+        };
         let vulnerable = model.graph.operators().iter().any(|&id| {
-            model.graph.node(id).kind.as_operator().is_some_and(Op::is_vulnerable)
+            model
+                .graph
+                .node(id)
+                .kind
+                .as_operator()
+                .is_some_and(Op::is_vulnerable)
         });
         if vulnerable && model.graph.operators().len() >= size * 7 / 10 {
             out.push(model.graph);
@@ -51,7 +58,11 @@ fn main() {
             let mut rng = StdRng::seed_from_u64(99);
             let mut rates = 0.0;
             for g in &models {
-                rates += if nan_rate(g, 4, -5.0, 5.0, &mut rng) > 0.0 { 1.0 } else { 0.0 };
+                rates += if nan_rate(g, 4, -5.0, 5.0, &mut rng) > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                };
             }
             println!(
                 "[§3.3] {:.1}% of {size}-node models hit NaN/Inf under random values (paper: 56.8%)",

@@ -1,36 +1,49 @@
 //! Figure 4: total branch coverage over time (all files) on ortsim and
 //! tvmsim, for NNSmith vs GraphFuzzer vs LEMON.
 //!
-//! `cargo run -p nnsmith-bench --release --bin fig4_coverage_time [secs]`
+//! `cargo run -p nnsmith-bench --release --bin fig4_coverage_time -- [secs] [--workers N] [--shards N]`
+//!
+//! With `--workers N` each fuzzer's campaign is sharded across N threads
+//! by the parallel engine; the time axis comes from the engine's
+//! real-time aggregated coverage timeline.
 
-use nnsmith_bench::{arg_secs, print_ratio_summary, three_way_campaigns};
+use nnsmith_bench::{
+    bench_args, bench_record, print_ratio_summary, three_way_engine, write_bench_json,
+};
 use nnsmith_compilers::{ortsim, tvmsim};
 
 fn main() {
-    let secs = arg_secs(20);
+    let args = bench_args(20);
+    let mut records = Vec::new();
     for compiler in [ortsim(), tvmsim()] {
         let name = compiler.system().name();
-        println!("== Figure 4 ({name}) — total branch coverage over time, {secs}s ==");
-        let results = three_way_campaigns(&compiler, secs);
-        for r in &results {
-            print!("{:>12}: ", r.source);
-            for p in &r.timeline {
+        println!(
+            "== Figure 4 ({name}) — total branch coverage over time, {}s, {} workers ==",
+            args.secs, args.workers
+        );
+        let reports = three_way_engine(&compiler, args.secs, args.workers, args.shards);
+        for report in &reports {
+            print!("{:>12}: ", report.result.source);
+            for p in &report.wall_timeline {
                 print!("{}ms:{} ", p.elapsed_ms, p.total_branches);
             }
             println!();
         }
-        for r in &results {
+        let results: Vec<_> = reports.iter().map(|r| r.result.clone()).collect();
+        for (report, r) in reports.iter().zip(&results) {
             println!(
-                "{:>12}: total {:>5} / {} declared ({:.1}%), {} cases",
+                "{:>12}: total {:>5} / {} declared ({:.1}%), {} cases, {:.1} cases/s",
                 r.source,
                 r.total_coverage(),
                 compiler.manifest().total_branches(),
-                100.0 * r.total_coverage() as f64
-                    / compiler.manifest().total_branches() as f64,
-                r.cases
+                100.0 * r.total_coverage() as f64 / compiler.manifest().total_branches() as f64,
+                r.cases,
+                report.cases_per_sec(),
             );
         }
         print_ratio_summary(&results, |r| r.total_coverage());
         println!();
+        records.push(bench_record("fig4", &compiler, args, &reports));
     }
+    write_bench_json("fig4", &records);
 }

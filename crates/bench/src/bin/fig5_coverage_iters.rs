@@ -1,33 +1,40 @@
 //! Figure 5: total branch coverage over the number of generated test
 //! cases — NNSmith produces fewer but higher-quality cases.
 //!
-//! `cargo run -p nnsmith-bench --release --bin fig5_coverage_iters [secs]`
+//! `cargo run -p nnsmith-bench --release --bin fig5_coverage_iters -- [secs] [--workers N] [--shards N]`
 
-use nnsmith_bench::{arg_secs, three_way_campaigns};
+use nnsmith_bench::{bench_args, bench_record, three_way_engine, write_bench_json};
 use nnsmith_compilers::{ortsim, tvmsim};
 
 fn main() {
-    let secs = arg_secs(20);
+    let args = bench_args(20);
+    let mut records = Vec::new();
     for compiler in [ortsim(), tvmsim()] {
         let name = compiler.system().name();
-        println!("== Figure 5 ({name}) — coverage over #test cases, {secs}s ==");
-        let results = three_way_campaigns(&compiler, secs);
-        for r in &results {
-            print!("{:>12}: ", r.source);
-            for p in &r.timeline {
+        println!(
+            "== Figure 5 ({name}) — coverage over #test cases, {}s, {} workers ==",
+            args.secs, args.workers
+        );
+        let reports = three_way_engine(&compiler, args.secs, args.workers, args.shards);
+        for report in &reports {
+            print!("{:>12}: ", report.result.source);
+            for p in &report.wall_timeline {
                 print!("{}cases:{} ", p.cases, p.total_branches);
             }
             println!();
         }
         // Throughput comparison (the "LEMON is slowest" observation).
-        for r in &results {
+        for report in &reports {
             println!(
-                "{:>12}: {} cases in {secs}s ({:.1} cases/s)",
-                r.source,
-                r.cases,
-                r.cases as f64 / secs as f64
+                "{:>12}: {} cases in {}s ({:.1} cases/s)",
+                report.result.source,
+                report.result.cases,
+                args.secs,
+                report.cases_per_sec(),
             );
         }
         println!();
+        records.push(bench_record("fig5", &compiler, args, &reports));
     }
+    write_bench_json("fig5", &records);
 }

@@ -1,24 +1,31 @@
 //! Figure 6: pass-only branch coverage over time (the optimizer /
 //! transforms directories only).
 //!
-//! `cargo run -p nnsmith-bench --release --bin fig6_coverage_pass [secs]`
+//! `cargo run -p nnsmith-bench --release --bin fig6_coverage_pass -- [secs] [--workers N] [--shards N]`
 
-use nnsmith_bench::{arg_secs, print_ratio_summary, three_way_campaigns};
+use nnsmith_bench::{
+    bench_args, bench_record, print_ratio_summary, three_way_engine, write_bench_json,
+};
 use nnsmith_compilers::{ortsim, tvmsim};
 
 fn main() {
-    let secs = arg_secs(20);
+    let args = bench_args(20);
+    let mut records = Vec::new();
     for compiler in [ortsim(), tvmsim()] {
         let name = compiler.system().name();
-        println!("== Figure 6 ({name}) — pass-only coverage over time, {secs}s ==");
-        let results = three_way_campaigns(&compiler, secs);
-        for r in &results {
-            print!("{:>12}: ", r.source);
-            for p in &r.timeline {
+        println!(
+            "== Figure 6 ({name}) — pass-only coverage over time, {}s, {} workers ==",
+            args.secs, args.workers
+        );
+        let reports = three_way_engine(&compiler, args.secs, args.workers, args.shards);
+        for report in &reports {
+            print!("{:>12}: ", report.result.source);
+            for p in &report.wall_timeline {
                 print!("{}ms:{} ", p.elapsed_ms, p.pass_branches);
             }
             println!();
         }
+        let results: Vec<_> = reports.iter().map(|r| r.result.clone()).collect();
         for r in &results {
             println!(
                 "{:>12}: pass-only {:>4} / {} declared ({:.1}%)",
@@ -31,5 +38,7 @@ fn main() {
         }
         print_ratio_summary(&results, |r| r.pass_coverage(&compiler));
         println!();
+        records.push(bench_record("fig6", &compiler, args, &reports));
     }
+    write_bench_json("fig6", &records);
 }

@@ -21,8 +21,14 @@ fn main() {
         println!("LEMON        total {}", v.total_a());
         println!("GraphFuzzer  total {}", v.total_b());
         println!("NNSmith      total {}", v.total_c());
-        println!("regions: LEMON-only {}, GraphFuzzer-only {}, NNSmith-only {}", v.a, v.b, v.c);
-        println!("         L∩G {}, L∩N {}, G∩N {}, all {}", v.ab, v.ac, v.bc, v.abc);
+        println!(
+            "regions: LEMON-only {}, GraphFuzzer-only {}, NNSmith-only {}",
+            v.a, v.b, v.c
+        );
+        println!(
+            "         L∩G {}, L∩N {}, G∩N {}, all {}",
+            v.ab, v.ac, v.bc, v.abc
+        );
         let best_other_unique = v.a.max(v.b).max(1);
         println!(
             "NNSmith unique vs best-other unique: {} / {} = {:.1}x\n",

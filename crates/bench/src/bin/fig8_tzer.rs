@@ -25,8 +25,15 @@ fn main() {
 
     // (a) All files.
     let v = Venn2::of(&tzer_cov, &nnsmith.coverage);
-    println!("[all files]  Tzer total {} | NNSmith total {}", v.total_a(), v.total_b());
-    println!("[all files]  Tzer-only {} | shared {} | NNSmith-only {}", v.only_a, v.both, v.only_b);
+    println!(
+        "[all files]  Tzer total {} | NNSmith total {}",
+        v.total_a(),
+        v.total_b()
+    );
+    println!(
+        "[all files]  Tzer-only {} | shared {} | NNSmith-only {}",
+        v.only_a, v.both, v.only_b
+    );
     println!(
         "[all files]  NNSmith/Tzer = {:.2}x; Tzer exclusive branches: {}",
         v.total_b() as f64 / v.total_a().max(1) as f64,
@@ -45,8 +52,15 @@ fn main() {
         out
     };
     let vp = Venn2::of(&filt(&tzer_cov), &filt(&nnsmith.coverage));
-    println!("[pass-only]  Tzer total {} | NNSmith total {}", vp.total_a(), vp.total_b());
-    println!("[pass-only]  Tzer-only {} | shared {} | NNSmith-only {}", vp.only_a, vp.both, vp.only_b);
+    println!(
+        "[pass-only]  Tzer total {} | NNSmith total {}",
+        vp.total_a(),
+        vp.total_b()
+    );
+    println!(
+        "[pass-only]  Tzer-only {} | shared {} | NNSmith-only {}",
+        vp.only_a, vp.both, vp.only_b
+    );
     println!(
         "Tzer executed {} IR mutants; NNSmith executed {} models",
         tzer_timeline.last().map(|p| p.iterations).unwrap_or(0),

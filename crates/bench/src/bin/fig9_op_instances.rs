@@ -21,7 +21,9 @@ fn collect(binning: bool, models: usize, seed: u64) -> HashMap<String, HashSet<S
     });
     let mut per_op: HashMap<String, HashSet<String>> = HashMap::new();
     for _ in 0..models {
-        let Some(case) = fuzzer.next_case() else { continue };
+        let Some(case) = fuzzer.next_case() else {
+            continue;
+        };
         for key in op_instance_keys(&case) {
             let op = key.split('(').next().unwrap_or("?").to_string();
             per_op.entry(op).or_default().insert(key);
@@ -52,7 +54,10 @@ fn main() {
         rows.push((op.clone(), w, b, w as f64 / b.max(1) as f64));
     }
     rows.sort_by(|x, y| y.3.partial_cmp(&x.3).unwrap_or(std::cmp::Ordering::Equal));
-    println!("{:<14} {:>9} {:>7} {:>7}", "operator", "binning", "base", "ratio");
+    println!(
+        "{:<14} {:>9} {:>7} {:>7}",
+        "operator", "binning", "base", "ratio"
+    );
     for (op, w, b, r) in &rows {
         println!("{op:<14} {w:>9} {b:>7} {r:>6.1}x");
     }

@@ -39,7 +39,10 @@ fn main() {
             .count();
         (hit, total)
     };
-    println!("\n{:<14} {:>16} {:>13} {:>14}", "", "Transformation", "Conversion", "Unclassified");
+    println!(
+        "\n{:<14} {:>16} {:>13} {:>14}",
+        "", "Transformation", "Conversion", "Unclassified"
+    );
     for (label, sys) in [
         ("ONNXRuntime~", System::OrtSim),
         ("TVM~", System::TvmSim),

@@ -15,7 +15,9 @@ fn reachable(source: &mut dyn TestCaseSource, models: usize) -> BTreeSet<&'stati
     let bugs = registry();
     let mut hit = BTreeSet::new();
     for _ in 0..models {
-        let Some(case) = source.next_case() else { break };
+        let Some(case) = source.next_case() else {
+            break;
+        };
         for b in &bugs {
             if !hit.contains(b.id) && b.triggers(&case.graph) {
                 hit.insert(b.id);
@@ -39,8 +41,14 @@ fn main() {
     let lm_hit = reachable(&mut lm, models);
 
     println!("NNSmith     reaches {:>2} / 72", nn_hit.len());
-    println!("GraphFuzzer reaches {:>2} / 72 (paper bound: <= 23)", gf_hit.len());
-    println!("LEMON       reaches {:>2} / 72 (paper bound: <= 17)", lm_hit.len());
+    println!(
+        "GraphFuzzer reaches {:>2} / 72 (paper bound: <= 23)",
+        gf_hit.len()
+    );
+    println!(
+        "LEMON       reaches {:>2} / 72 (paper bound: <= 17)",
+        lm_hit.len()
+    );
     let nn_only: Vec<&&str> = nn_hit
         .iter()
         .filter(|id| !gf_hit.contains(**id) && !lm_hit.contains(**id))

@@ -24,11 +24,15 @@ use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::Serialize;
 
-use nnsmith_baselines::{GraphFuzzer, GraphFuzzerConfig, Lemon};
+use nnsmith_baselines::{GraphFuzzer, GraphFuzzerConfig, GraphFuzzerFactory, Lemon, LemonFactory};
 use nnsmith_compilers::Compiler;
-use nnsmith_core::{NnSmith, NnSmithConfig};
-use nnsmith_difftest::{run_campaign, CampaignConfig, CampaignResult, TestCaseSource};
+use nnsmith_core::{NnSmith, NnSmithConfig, NnSmithFactory};
+use nnsmith_difftest::{
+    run_campaign, run_engine, CampaignConfig, CampaignResult, EngineConfig, EngineReport,
+    TestCaseSource, TimelinePoint,
+};
 
 /// Parses the first CLI argument as seconds, with a default.
 pub fn arg_secs(default: u64) -> u64 {
@@ -36,6 +40,78 @@ pub fn arg_secs(default: u64) -> u64 {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(default)
+}
+
+/// CLI arguments shared by the engine-driven figure binaries:
+/// `[secs] [--workers N] [--shards N]`.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchArgs {
+    /// Wall-clock budget per campaign, seconds.
+    pub secs: u64,
+    /// Engine worker threads.
+    pub workers: usize,
+    /// Engine shard count (the reproducibility key; defaults to 8).
+    pub shards: usize,
+}
+
+/// Parses `[secs] [--workers N] [--shards N]` with defaults.
+pub fn bench_args(default_secs: u64) -> BenchArgs {
+    let mut out = BenchArgs {
+        secs: default_secs,
+        workers: 1,
+        shards: 8,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            flag @ ("--workers" | "--shards") => {
+                // Consume the value only if it parses, so a missing value
+                // doesn't swallow the next flag.
+                match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    Some(v) => {
+                        if flag == "--workers" {
+                            out.workers = v;
+                        } else {
+                            out.shards = v;
+                        }
+                        i += 2;
+                    }
+                    None => {
+                        eprintln!("warning: {flag} needs a number, using default");
+                        i += 1;
+                    }
+                }
+            }
+            other => {
+                if let Ok(v) = other.parse() {
+                    out.secs = v;
+                }
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Assembles the `BENCH_*.json` record for one compiler's engine runs.
+pub fn bench_record(
+    figure: &str,
+    compiler: &Compiler,
+    args: BenchArgs,
+    reports: &[EngineReport],
+) -> BenchRecord {
+    BenchRecord {
+        figure: figure.to_string(),
+        compiler: compiler.system().name().to_string(),
+        secs: args.secs,
+        workers: args.workers,
+        shards: args.shards,
+        results: reports
+            .iter()
+            .map(|r| EngineSummary::from_report(compiler, r))
+            .collect(),
+    }
 }
 
 /// The NNSmith pipeline source with paper-default settings (10-node
@@ -78,6 +154,106 @@ pub fn three_way_campaigns(compiler: &Compiler, secs: u64) -> Vec<CampaignResult
         results.push(run_campaign(compiler, &mut src, &cfg));
     }
     results
+}
+
+/// Runs the standard three-fuzzer comparison through the parallel engine:
+/// each fuzzer's campaign is sharded over `workers` threads with the same
+/// seeds as [`three_way_campaigns`] (11/22/33).
+pub fn three_way_engine(
+    compiler: &Compiler,
+    secs: u64,
+    workers: usize,
+    shards: usize,
+) -> Vec<EngineReport> {
+    let engine = |seed: u64| EngineConfig {
+        workers,
+        shards,
+        seed,
+        campaign: CampaignConfig {
+            duration: Duration::from_secs(secs),
+            ..CampaignConfig::default()
+        },
+    };
+    vec![
+        run_engine(
+            compiler,
+            &NnSmithFactory::new(NnSmithConfig::default()),
+            &engine(11),
+        ),
+        run_engine(compiler, &GraphFuzzerFactory::default(), &engine(22)),
+        run_engine(compiler, &LemonFactory, &engine(33)),
+    ]
+}
+
+/// One machine-readable figure record written to `BENCH_<figure>.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchRecord {
+    /// Figure id (e.g. `"fig4"`).
+    pub figure: String,
+    /// Compiler under test.
+    pub compiler: String,
+    /// Wall-clock budget per campaign, seconds.
+    pub secs: u64,
+    /// Engine worker threads.
+    pub workers: usize,
+    /// Engine shard count.
+    pub shards: usize,
+    /// Per-fuzzer outcomes.
+    pub results: Vec<EngineSummary>,
+}
+
+/// Per-fuzzer summary inside a [`BenchRecord`].
+#[derive(Debug, Clone, Serialize)]
+pub struct EngineSummary {
+    /// Source (fuzzer) name.
+    pub source: String,
+    /// Cases executed (merged across shards).
+    pub cases: usize,
+    /// Distinct branches covered.
+    pub total_coverage: usize,
+    /// Distinct pass-file branches covered.
+    pub pass_coverage: usize,
+    /// Seeded bugs found, by id.
+    pub bugs_found: Vec<String>,
+    /// Distinct operator instances tested.
+    pub op_instances: usize,
+    /// Wall-clock milliseconds of the engine run.
+    pub wall_ms: u64,
+    /// Throughput.
+    pub cases_per_sec: f64,
+    /// Deterministic logical timeline (one point per folded shard).
+    pub merged_timeline: Vec<TimelinePoint>,
+    /// Real-time union-coverage timeline from the engine aggregator.
+    pub wall_timeline: Vec<TimelinePoint>,
+}
+
+impl EngineSummary {
+    /// Summarizes one engine report.
+    pub fn from_report(compiler: &Compiler, report: &EngineReport) -> Self {
+        EngineSummary {
+            source: report.result.source.clone(),
+            cases: report.result.cases,
+            total_coverage: report.result.total_coverage(),
+            pass_coverage: report.result.pass_coverage(compiler),
+            bugs_found: report.result.bugs_found.iter().cloned().collect(),
+            op_instances: report.result.op_instances.len(),
+            wall_ms: report.wall.as_millis() as u64,
+            cases_per_sec: report.cases_per_sec(),
+            merged_timeline: report.result.timeline.clone(),
+            wall_timeline: report.wall_timeline.clone(),
+        }
+    }
+}
+
+/// Writes `records` to `BENCH_<figure>.json` in the working directory so
+/// the perf trajectory is machine-readable run over run.
+pub fn write_bench_json(figure: &str, records: &[BenchRecord]) {
+    let path = format!("BENCH_{figure}.json");
+    let json = serde::json::to_string(records);
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {path} ({} bytes)", json.len()),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }
 
 /// Prints a campaign comparison footer: totals and the NNSmith-vs-2nd-best

@@ -101,20 +101,11 @@ impl SeededBug {
 }
 
 /// Which seeded bugs are active (all by default; experiments can disable).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct BugConfig {
     disabled: HashSet<&'static str>,
     /// Disable every seeded bug (clean-compiler mode).
     pub all_off: bool,
-}
-
-impl Default for BugConfig {
-    fn default() -> Self {
-        BugConfig {
-            disabled: HashSet::new(),
-            all_off: false,
-        }
-    }
 }
 
 impl BugConfig {
@@ -239,8 +230,7 @@ pub fn registry() -> Vec<SeededBug> {
                 *c == Op::MatMul
                     && g.node(id).inputs.iter().any(|v| {
                         let t = g.value_type(*v);
-                        t.rank() == 2
-                            && t.concrete_shape().is_some_and(|s| s == vec![1, 1])
+                        t.rank() == 2 && t.concrete_shape().is_some_and(|s| s == vec![1, 1])
                     })
             },
         ),
@@ -311,9 +301,7 @@ pub fn registry() -> Vec<SeededBug> {
         Transformation,
         Crash,
         "transpose-elimination pass mishandles 4-D permutations that swap the batch axis",
-        any_op(|_, _, op| {
-            matches!(op, Op::Transpose { perm } if perm.len() == 4 && perm[0] != 0)
-        }),
+        any_op(|_, _, op| matches!(op, Op::Transpose { perm } if perm.len() == 4 && perm[0] != 0)),
     );
     add(
         "ort-t08",
@@ -321,9 +309,7 @@ pub fn registry() -> Vec<SeededBug> {
         Transformation,
         Crash,
         "Where-condition constant folding crashes when the condition is a broadcast scalar",
-        any_op(|g, id, op| {
-            *op == Op::Where && input_rank(g, id, 0) == Some(0)
-        }),
+        any_op(|g, id, op| *op == Op::Where && input_rank(g, id, 0) == Some(0)),
     );
     add(
         "ort-t09",
@@ -362,9 +348,7 @@ pub fn registry() -> Vec<SeededBug> {
         Unclassified,
         Semantic,
         "LeakyRelu of a rank-0 tensor silently uses slope 0",
-        any_op(|g, id, op| {
-            matches!(op, Op::Unary(UnaryKind::LeakyRelu)) && out_rank(g, id) == 0
-        }),
+        any_op(|g, id, op| matches!(op, Op::Unary(UnaryKind::LeakyRelu)) && out_rank(g, id) == 0),
     );
 
     // ---------------- tvmsim: 29 transformation (24 crash / 5 semantic) ---
@@ -386,9 +370,10 @@ pub fn registry() -> Vec<SeededBug> {
         Transformation,
         Crash,
         "NCHW4c rewrite cannot adapt a channel-axis Reduce consumer",
-        pair(is_conv_pred(), |_, _, c| {
-            matches!(c, Op::Reduce { axes, .. } if axes.contains(&1))
-        }),
+        pair(
+            is_conv_pred(),
+            |_, _, c| matches!(c, Op::Reduce { axes, .. } if axes.contains(&1)),
+        ),
     );
     add(
         "tvm-layout-3",
@@ -406,9 +391,10 @@ pub fn registry() -> Vec<SeededBug> {
         Transformation,
         Crash,
         "layout adaptation of Transpose moving the channel axis is wrong",
-        pair(is_conv_pred(), |_, _, c| {
-            matches!(c, Op::Transpose { perm } if perm.len() == 4 && perm[1] != 1)
-        }),
+        pair(
+            is_conv_pred(),
+            |_, _, c| matches!(c, Op::Transpose { perm } if perm.len() == 4 && perm[1] != 1),
+        ),
     );
     add(
         "tvm-layout-5",
@@ -482,9 +468,9 @@ pub fn registry() -> Vec<SeededBug> {
         ),
         (
             "tvm-int-6",
-            any_op(|g, id, op| {
-                matches!(op, Op::BroadcastTo { dims } if dims.len() > input_rank(g, id, 0).unwrap_or(0))
-            }),
+            any_op(
+                |g, id, op| matches!(op, Op::BroadcastTo { dims } if dims.len() > input_rank(g, id, 0).unwrap_or(0)),
+            ),
         ),
         (
             "tvm-int-7",
@@ -548,9 +534,7 @@ pub fn registry() -> Vec<SeededBug> {
         Transformation,
         Crash,
         "fusion of a reduce epilogue into grouped Conv2d with dilation > 1 crashes",
-        any_op(|_, _, op| {
-            matches!(op, Op::Conv2d { dilation, .. } if attr_val(dilation) > 1)
-        }),
+        any_op(|_, _, op| matches!(op, Op::Conv2d { dilation, .. } if attr_val(dilation) > 1)),
     );
     add(
         "tvm-simpl-4",
@@ -569,8 +553,13 @@ pub fn registry() -> Vec<SeededBug> {
         Semantic,
         "ReduceProd reassociation overflows the accumulator dtype for i32",
         any_op(|g, id, op| {
-            matches!(op, Op::Reduce { kind: ReduceKind::Prod, .. })
-                && out_dtype(g, id) == DType::I32
+            matches!(
+                op,
+                Op::Reduce {
+                    kind: ReduceKind::Prod,
+                    ..
+                }
+            ) && out_dtype(g, id) == DType::I32
         }),
     );
     add(
@@ -579,9 +568,9 @@ pub fn registry() -> Vec<SeededBug> {
         Transformation,
         Crash,
         "loop tiling asserts on pooling windows with padding == kernel-1",
-        any_op(|_, _, op| {
-            matches!(op, Op::MaxPool2d { kh, padding, .. } if attr_val(padding) == attr_val(kh) - 1 && attr_val(padding) > 0)
-        }),
+        any_op(
+            |_, _, op| matches!(op, Op::MaxPool2d { kh, padding, .. } if attr_val(padding) == attr_val(kh) - 1 && attr_val(padding) > 0),
+        ),
     );
     add(
         "tvm-pass-2",
@@ -611,7 +600,15 @@ pub fn registry() -> Vec<SeededBug> {
         Transformation,
         Crash,
         "reflect-pad lowering reads one element past the mirror boundary",
-        any_op(|_, _, op| matches!(op, Op::Pad { kind: PadKind::Reflect, .. })),
+        any_op(|_, _, op| {
+            matches!(
+                op,
+                Op::Pad {
+                    kind: PadKind::Reflect,
+                    ..
+                }
+            )
+        }),
     );
     add(
         "tvm-pass-5",
@@ -619,9 +616,7 @@ pub fn registry() -> Vec<SeededBug> {
         Transformation,
         Crash,
         "softmax on the outermost axis of a rank-4 tensor breaks the fused schedule",
-        any_op(|g, id, op| {
-            matches!(op, Op::Softmax { axis: 0 }) && out_rank(g, id) == 4
-        }),
+        any_op(|g, id, op| matches!(op, Op::Softmax { axis: 0 }) && out_rank(g, id) == 4),
     );
     add(
         "tvm-pass-6",
@@ -629,9 +624,7 @@ pub fn registry() -> Vec<SeededBug> {
         Transformation,
         Crash,
         "dense-to-matmul canonicalization crashes for rank-1 activations",
-        any_op(|g, id, op| {
-            matches!(op, Op::Dense { .. }) && input_rank(g, id, 0) == Some(1)
-        }),
+        any_op(|g, id, op| matches!(op, Op::Dense { .. }) && input_rank(g, id, 0) == Some(1)),
     );
     add(
         "tvm-pass-7",
@@ -641,7 +634,15 @@ pub fn registry() -> Vec<SeededBug> {
         "replicate-pad of a padded conv output double-counts the halo",
         pair(
             |_, _, p| matches!(p, Op::Conv2d { padding, .. } if attr_val(padding) > 0),
-            |_, _, c| matches!(c, Op::Pad { kind: PadKind::Replicate, .. }),
+            |_, _, c| {
+                matches!(
+                    c,
+                    Op::Pad {
+                        kind: PadKind::Replicate,
+                        ..
+                    }
+                )
+            },
         ),
     );
     add(
@@ -671,8 +672,7 @@ pub fn registry() -> Vec<SeededBug> {
             Crash,
             "importer crashes on reduce-like operators producing scalars",
             any_op(move |g, nid, op| {
-                matches!(op, Op::Reduce { kind: k, .. } if *k == kind)
-                    && out_rank(g, nid) == 0
+                matches!(op, Op::Reduce { kind: k, .. } if *k == kind) && out_rank(g, nid) == 0
             }),
         );
     }
@@ -682,9 +682,7 @@ pub fn registry() -> Vec<SeededBug> {
         Conversion,
         Crash,
         "importer crashes on ArgMax collapsing a rank-1 tensor to a scalar",
-        any_op(|g, id, op| {
-            matches!(op, Op::ArgExtreme { .. }) && out_rank(g, id) == 0
-        }),
+        any_op(|g, id, op| matches!(op, Op::ArgExtreme { .. }) && out_rank(g, id) == 0),
     );
     add(
         "tvm-conv-6",
@@ -729,9 +727,7 @@ pub fn registry() -> Vec<SeededBug> {
         Conversion,
         Crash,
         "importer rejects boolean Concat despite advertising support",
-        any_op(|g, id, op| {
-            matches!(op, Op::Concat { .. }) && out_dtype(g, id) == DType::Bool
-        }),
+        any_op(|g, id, op| matches!(op, Op::Concat { .. }) && out_dtype(g, id) == DType::Bool),
     );
     add(
         "tvm-conv-10",
@@ -739,9 +735,7 @@ pub fn registry() -> Vec<SeededBug> {
         Conversion,
         Semantic,
         "importer casts Clip bounds through f32, corrupting large i64 limits",
-        any_op(|g, id, op| {
-            matches!(op, Op::Clip { .. }) && out_dtype(g, id) == DType::I64
-        }),
+        any_op(|g, id, op| matches!(op, Op::Clip { .. }) && out_dtype(g, id) == DType::I64),
     );
     add(
         "tvm-conv-11",
@@ -821,9 +815,8 @@ pub fn registry() -> Vec<SeededBug> {
         Crash,
         "parser rejects rank-0 network inputs",
         Arc::new(|g: &Graph<Op>| {
-            g.iter().any(|(_, n)| {
-                matches!(n.kind, NodeKind::Input) && n.outputs[0].rank() == 0
-            })
+            g.iter()
+                .any(|(_, n)| matches!(n.kind, NodeKind::Input) && n.outputs[0].rank() == 0)
         }),
     );
     add(
@@ -832,9 +825,7 @@ pub fn registry() -> Vec<SeededBug> {
         Conversion,
         Semantic,
         "int32 Clip attributes are reinterpreted as raw bit patterns",
-        any_op(|g, id, op| {
-            matches!(op, Op::Clip { .. }) && out_dtype(g, id) == DType::I32
-        }),
+        any_op(|g, id, op| matches!(op, Op::Clip { .. }) && out_dtype(g, id) == DType::I32),
     );
     // ---------------- trtsim: 4 unclassified (2 crash / 2 semantic) -------
     add(
@@ -873,9 +864,9 @@ pub fn registry() -> Vec<SeededBug> {
         Unclassified,
         Semantic,
         "ReduceMean over two axes uses the wrong divisor in the fast path",
-        any_op(|_, _, op| {
-            matches!(op, Op::Reduce { kind: ReduceKind::Mean, axes, .. } if axes.len() >= 2)
-        }),
+        any_op(
+            |_, _, op| matches!(op, Op::Reduce { kind: ReduceKind::Mean, axes, .. } if axes.len() >= 2),
+        ),
     );
 
     // ---------------- exporter: 10 conversion (8 crash / 2 semantic) ------
@@ -885,9 +876,7 @@ pub fn registry() -> Vec<SeededBug> {
         Conversion,
         Semantic,
         "Log2 of a scalar is exported with a rank-1 output (the §5.4 Log2 bug)",
-        any_op(|g, id, op| {
-            matches!(op, Op::Unary(UnaryKind::Log2)) && out_rank(g, id) == 0
-        }),
+        any_op(|g, id, op| matches!(op, Op::Unary(UnaryKind::Log2)) && out_rank(g, id) == 0),
     );
     add(
         "exp-2",
@@ -902,15 +891,11 @@ pub fn registry() -> Vec<SeededBug> {
     let exporter_crashes: [(&'static str, Detect); 8] = [
         (
             "exp-3",
-            any_op(|g, id, op| {
-                matches!(op, Op::Unary(UnaryKind::Round)) && out_rank(g, id) == 0
-            }),
+            any_op(|g, id, op| matches!(op, Op::Unary(UnaryKind::Round)) && out_rank(g, id) == 0),
         ),
         (
             "exp-4",
-            any_op(|g, id, op| {
-                matches!(op, Op::Squeeze { .. }) && out_rank(g, id) == 0
-            }),
+            any_op(|g, id, op| matches!(op, Op::Squeeze { .. }) && out_rank(g, id) == 0),
         ),
         (
             "exp-5",
@@ -935,15 +920,13 @@ pub fn registry() -> Vec<SeededBug> {
         ),
         (
             "exp-8",
-            any_op(|g, id, op| {
-                matches!(op, Op::Logical(_)) && out_rank(g, id) == 0
-            }),
+            any_op(|g, id, op| matches!(op, Op::Logical(_)) && out_rank(g, id) == 0),
         ),
         (
             "exp-9",
-            any_op(|g, id, op| {
-                matches!(op, Op::Reduce { axes, keepdims: true, .. } if axes.len() == input_rank(g, id, 0).unwrap_or(0))
-            }),
+            any_op(
+                |g, id, op| matches!(op, Op::Reduce { axes, keepdims: true, .. } if axes.len() == input_rank(g, id, 0).unwrap_or(0)),
+            ),
         ),
         (
             "exp-10",
@@ -972,7 +955,10 @@ fn is_conv_pred() -> impl Fn(&Graph<Op>, NodeId, &Op) -> bool + Send + Sync + 's
 
 /// Bugs seeded in one system.
 pub fn bugs_for(system: System) -> Vec<SeededBug> {
-    registry().into_iter().filter(|b| b.system == system).collect()
+    registry()
+        .into_iter()
+        .filter(|b| b.system == system)
+        .collect()
 }
 
 #[cfg(test)]
@@ -991,7 +977,10 @@ mod tests {
         assert_eq!(count(System::TrtSim), 10);
         assert_eq!(count(System::Exporter), 10);
         let crashes = bugs.iter().filter(|b| b.symptom == Symptom::Crash).count();
-        let semantic = bugs.iter().filter(|b| b.symptom == Symptom::Semantic).count();
+        let semantic = bugs
+            .iter()
+            .filter(|b| b.symptom == Symptom::Semantic)
+            .count();
         assert_eq!(crashes, 55);
         assert_eq!(semantic, 17);
         let transf = bugs
@@ -1047,10 +1036,7 @@ mod tests {
             vec![ValueRef::output0(mul), ValueRef::output0(one)],
             vec![TensorType::concrete(DType::F32, &[3, 1])],
         );
-        let bug = registry()
-            .into_iter()
-            .find(|b| b.id == "ort-t01")
-            .unwrap();
+        let bug = registry().into_iter().find(|b| b.id == "ort-t01").unwrap();
         assert!(bug.triggers(&g));
     }
 
@@ -1128,9 +1114,7 @@ mod tests {
         assert!(bug.triggers(&g));
         // GraphFuzzer-style stride-1 slice must NOT trigger it.
         let mut g2 = g.clone();
-        if let NodeKind::Operator(Op::Slice { steps, .. }) =
-            &mut g2.node_mut(NodeId(4)).kind
-        {
+        if let NodeKind::Operator(Op::Slice { steps, .. }) = &mut g2.node_mut(NodeId(4)).kind {
             steps[1] = 1;
         }
         assert!(!bug.triggers(&g2));

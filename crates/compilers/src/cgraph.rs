@@ -153,9 +153,9 @@ impl CGraph {
                     value_map.insert(ValueRef::output0(id), CValue::Input(idx));
                 }
                 NodeKind::Weight => {
-                    let t = weights.get(&id).ok_or_else(|| {
-                        CompileError::Import(format!("missing weight for {id}"))
-                    })?;
+                    let t = weights
+                        .get(&id)
+                        .ok_or_else(|| CompileError::Import(format!("missing weight for {id}")))?;
                     let cidx = nodes.len();
                     nodes.push(CNode {
                         op: COp::Constant(t.clone()),
@@ -254,13 +254,11 @@ impl CGraph {
             .inputs
             .iter()
             .map(|(id, shape, dtype)| {
-                let t = inputs.get(id).ok_or_else(|| {
-                    TensorError::shape(format!("missing input for {id}"))
-                })?;
+                let t = inputs
+                    .get(id)
+                    .ok_or_else(|| TensorError::shape(format!("missing input for {id}")))?;
                 if t.shape() != shape.as_slice() || t.dtype() != *dtype {
-                    return Err(TensorError::shape(format!(
-                        "input {id} signature mismatch"
-                    )));
+                    return Err(TensorError::shape(format!("input {id} signature mismatch")));
                 }
                 Ok(t)
             })
@@ -278,8 +276,7 @@ impl CGraph {
             let result = match &node.op {
                 COp::Constant(t) => t.clone(),
                 COp::Primitive(op) => {
-                    let ins: Vec<Tensor> =
-                        node.inputs.iter().map(|v| fetch(&values, v)).collect();
+                    let ins: Vec<Tensor> = node.inputs.iter().map(|v| fetch(&values, v)).collect();
                     let refs: Vec<&Tensor> = ins.iter().collect();
                     op.eval(&refs)?.remove(0)
                 }
@@ -318,9 +315,7 @@ impl CGraph {
                             }
                             Some(prev) => {
                                 call.push(prev.clone());
-                                call.extend(
-                                    ins[cursor..cursor + arity - 1].iter().cloned(),
-                                );
+                                call.extend(ins[cursor..cursor + arity - 1].iter().cloned());
                                 cursor += arity - 1;
                             }
                         }
@@ -337,11 +332,7 @@ impl CGraph {
             values[i] = Some(result);
         }
 
-        Ok(self
-            .outputs
-            .iter()
-            .map(|v| fetch(&values, v))
-            .collect())
+        Ok(self.outputs.iter().map(|v| fetch(&values, v)).collect())
     }
 }
 
@@ -416,10 +407,7 @@ mod tests {
         let const_idx = 0usize; // weight constant
         let fused = CNode {
             op: COp::Fused {
-                ops: vec![
-                    Op::Binary(BinaryKind::Add),
-                    Op::Unary(UnaryKind::Relu),
-                ],
+                ops: vec![Op::Binary(BinaryKind::Add), Op::Unary(UnaryKind::Relu)],
                 kernel: "AddRelu",
                 narrow_precision: false,
             },

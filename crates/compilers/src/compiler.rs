@@ -138,9 +138,9 @@ impl Compiler {
         }
         // Support matrix.
         if self.reject_f64 {
-            let uses_f64 = graph.iter().any(|(_, n)| {
-                n.outputs.iter().any(|t| t.dtype == DType::F64)
-            });
+            let uses_f64 = graph
+                .iter()
+                .any(|(_, n)| n.outputs.iter().any(|t| t.dtype == DType::F64));
             if uses_f64 {
                 return Err(CompileError::NotImplemented(
                     "f64 tensors are not supported by this backend".into(),
@@ -163,8 +163,7 @@ impl Compiler {
                             // Attribute-specialized conversion branches:
                             // one site per (operator, value bucket) pair —
                             // the branches attribute binning exists to reach.
-                            let bucket =
-                                crate::coverage::log_bucket(attr.as_const().unwrap_or(0));
+                            let bucket = crate::coverage::log_bucket(attr.as_const().unwrap_or(0));
                             c.hit_idx(760, op_code(op) * 8 + bucket);
                         }
                     }
@@ -198,10 +197,8 @@ impl Compiler {
             // optimizer runs.
             self.check_crashes(graph, options, Phase::Transformation)?;
             self.check_crashes(graph, options, Phase::Unclassified)?;
-            perturbations
-                .extend(self.matched_semantic(graph, options, Phase::Transformation));
-            perturbations
-                .extend(self.matched_semantic(graph, options, Phase::Unclassified));
+            perturbations.extend(self.matched_semantic(graph, options, Phase::Transformation));
+            perturbations.extend(self.matched_semantic(graph, options, Phase::Unclassified));
             if self.lowlevel {
                 let _funcs = run_lowlevel(&cgraph, cov, &self.manifest);
             }
@@ -285,22 +282,78 @@ fn dtype_idx(d: DType) -> u32 {
 /// ortsim's (§5.2).
 pub fn tvmsim() -> Compiler {
     let manifest = SourceManifest::new(vec![
-        FileDecl { name: "core_init.cc", kind: FileKind::Runtime, branches: 4000 },
-        FileDecl { name: "frontend.cc", kind: FileKind::Frontend, branches: 1400 },
-        FileDecl { name: "const_fold.cc", kind: FileKind::Pass, branches: 160 },
-        FileDecl { name: "dce.cc", kind: FileKind::Pass, branches: 90 },
-        FileDecl { name: "simplify.cc", kind: FileKind::Pass, branches: 90 },
-        FileDecl { name: "fuse_ops.cc", kind: FileKind::Pass, branches: 20 },
-        FileDecl { name: "layout_rewrite.cc", kind: FileKind::Pass, branches: 90 },
-        FileDecl { name: "type_infer.cc", kind: FileKind::Pass, branches: 100 },
-        FileDecl { name: "lower.cc", kind: FileKind::Pass, branches: 110 },
-        FileDecl { name: "tir_simplify.cc", kind: FileKind::Pass, branches: 40 },
-        FileDecl { name: "tir_schedule.cc", kind: FileKind::Pass, branches: 32 },
-        FileDecl { name: "relay_analysis.cc", kind: FileKind::Pass, branches: 600 },
-        FileDecl { name: "codegen.cc", kind: FileKind::Runtime, branches: 700 },
+        FileDecl {
+            name: "core_init.cc",
+            kind: FileKind::Runtime,
+            branches: 4000,
+        },
+        FileDecl {
+            name: "frontend.cc",
+            kind: FileKind::Frontend,
+            branches: 1400,
+        },
+        FileDecl {
+            name: "const_fold.cc",
+            kind: FileKind::Pass,
+            branches: 160,
+        },
+        FileDecl {
+            name: "dce.cc",
+            kind: FileKind::Pass,
+            branches: 90,
+        },
+        FileDecl {
+            name: "simplify.cc",
+            kind: FileKind::Pass,
+            branches: 90,
+        },
+        FileDecl {
+            name: "fuse_ops.cc",
+            kind: FileKind::Pass,
+            branches: 20,
+        },
+        FileDecl {
+            name: "layout_rewrite.cc",
+            kind: FileKind::Pass,
+            branches: 90,
+        },
+        FileDecl {
+            name: "type_infer.cc",
+            kind: FileKind::Pass,
+            branches: 100,
+        },
+        FileDecl {
+            name: "lower.cc",
+            kind: FileKind::Pass,
+            branches: 110,
+        },
+        FileDecl {
+            name: "tir_simplify.cc",
+            kind: FileKind::Pass,
+            branches: 40,
+        },
+        FileDecl {
+            name: "tir_schedule.cc",
+            kind: FileKind::Pass,
+            branches: 32,
+        },
+        FileDecl {
+            name: "relay_analysis.cc",
+            kind: FileKind::Pass,
+            branches: 600,
+        },
+        FileDecl {
+            name: "codegen.cc",
+            kind: FileKind::Runtime,
+            branches: 700,
+        },
         // Auto-tuning and debugging machinery a fuzzer never reaches
         // (why perfect coverage is impossible, §5.2 footnote).
-        FileDecl { name: "autotune.cc", kind: FileKind::Runtime, branches: 3100 },
+        FileDecl {
+            name: "autotune.cc",
+            kind: FileKind::Runtime,
+            branches: 3100,
+        },
     ]);
     Compiler {
         system: System::TvmSim,
@@ -327,17 +380,57 @@ pub fn tvmsim() -> Compiler {
 /// pre-compiled kernel dispatch (no code generation).
 pub fn ortsim() -> Compiler {
     let manifest = SourceManifest::new(vec![
-        FileDecl { name: "session_init.cc", kind: FileKind::Runtime, branches: 1500 },
-        FileDecl { name: "frontend.cc", kind: FileKind::Frontend, branches: 1400 },
-        FileDecl { name: "onnx_proto.cc", kind: FileKind::Frontend, branches: 400 },
-        FileDecl { name: "const_fold.cc", kind: FileKind::Pass, branches: 160 },
-        FileDecl { name: "dce.cc", kind: FileKind::Pass, branches: 90 },
-        FileDecl { name: "simplify.cc", kind: FileKind::Pass, branches: 90 },
-        FileDecl { name: "fuse_patterns.cc", kind: FileKind::Pass, branches: 140 },
-        FileDecl { name: "kernels.cc", kind: FileKind::Runtime, branches: 1400 },
-        FileDecl { name: "provider_cpu.cc", kind: FileKind::Runtime, branches: 1300 },
+        FileDecl {
+            name: "session_init.cc",
+            kind: FileKind::Runtime,
+            branches: 1500,
+        },
+        FileDecl {
+            name: "frontend.cc",
+            kind: FileKind::Frontend,
+            branches: 1400,
+        },
+        FileDecl {
+            name: "onnx_proto.cc",
+            kind: FileKind::Frontend,
+            branches: 400,
+        },
+        FileDecl {
+            name: "const_fold.cc",
+            kind: FileKind::Pass,
+            branches: 160,
+        },
+        FileDecl {
+            name: "dce.cc",
+            kind: FileKind::Pass,
+            branches: 90,
+        },
+        FileDecl {
+            name: "simplify.cc",
+            kind: FileKind::Pass,
+            branches: 90,
+        },
+        FileDecl {
+            name: "fuse_patterns.cc",
+            kind: FileKind::Pass,
+            branches: 140,
+        },
+        FileDecl {
+            name: "kernels.cc",
+            kind: FileKind::Runtime,
+            branches: 1400,
+        },
+        FileDecl {
+            name: "provider_cpu.cc",
+            kind: FileKind::Runtime,
+            branches: 1300,
+        },
         // Execution providers that are never exercised on CPU-only fuzzing.
-        FileDecl { name: "provider_gpu.cc", kind: FileKind::Runtime, branches: 900 },
+        FileDecl {
+            name: "provider_gpu.cc",
+            kind: FileKind::Runtime,
+            branches: 900,
+        },
     ]);
     Compiler {
         system: System::OrtSim,
@@ -364,12 +457,36 @@ pub fn ortsim() -> Compiler {
 /// f64 support.
 pub fn trtsim() -> Compiler {
     let manifest = SourceManifest::new(vec![
-        FileDecl { name: "builder_init.cc", kind: FileKind::Runtime, branches: 1200 },
-        FileDecl { name: "frontend.cc", kind: FileKind::Frontend, branches: 1400 },
-        FileDecl { name: "const_fold.cc", kind: FileKind::Pass, branches: 160 },
-        FileDecl { name: "dce.cc", kind: FileKind::Pass, branches: 90 },
-        FileDecl { name: "fuse_ops.cc", kind: FileKind::Pass, branches: 20 },
-        FileDecl { name: "kernels.cc", kind: FileKind::Runtime, branches: 1400 },
+        FileDecl {
+            name: "builder_init.cc",
+            kind: FileKind::Runtime,
+            branches: 1200,
+        },
+        FileDecl {
+            name: "frontend.cc",
+            kind: FileKind::Frontend,
+            branches: 1400,
+        },
+        FileDecl {
+            name: "const_fold.cc",
+            kind: FileKind::Pass,
+            branches: 160,
+        },
+        FileDecl {
+            name: "dce.cc",
+            kind: FileKind::Pass,
+            branches: 90,
+        },
+        FileDecl {
+            name: "fuse_ops.cc",
+            kind: FileKind::Pass,
+            branches: 20,
+        },
+        FileDecl {
+            name: "kernels.cc",
+            kind: FileKind::Runtime,
+            branches: 1400,
+        },
     ]);
     Compiler {
         system: System::TrtSim,
@@ -419,7 +536,10 @@ mod tests {
             vec![TensorType::concrete(DType::F32, &[4])],
         );
         let mut weights = Bindings::new();
-        weights.insert(w, Tensor::from_f32(&[4], vec![0.5, -0.5, 1.0, 0.0]).unwrap());
+        weights.insert(
+            w,
+            Tensor::from_f32(&[4], vec![0.5, -0.5, 1.0, 0.0]).unwrap(),
+        );
         (g, weights, x)
     }
 

@@ -115,7 +115,10 @@ impl fmt::Display for Branch {
 
 /// A set of covered branches. Cheap to merge; used both per-compilation
 /// and cumulatively across a fuzzing campaign.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Serializes as a sorted list of branches, so same-coverage campaigns
+/// emit byte-identical JSON regardless of hash-iteration order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CoverageSet {
     hits: HashSet<Branch>,
 }

@@ -22,6 +22,9 @@
 //!   plus the PyTorch-exporter stand-in ([`export`]).
 
 #![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // pass pipeline favours explicit index loops and concrete signatures
+#![allow(clippy::ptr_arg)] // pass pipeline favours explicit index loops and concrete signatures
+#![allow(clippy::type_complexity)] // pass pipeline favours explicit index loops and concrete signatures
 
 mod bugs;
 mod cgraph;
@@ -32,7 +35,7 @@ mod lowlevel;
 mod passes;
 
 pub use bugs::{bugs_for, registry, BugConfig, Phase, SeededBug, Symptom, System};
-pub use cgraph::{CGraph, CNode, COp, CompileError, CValue, IndexWidth, Layout};
+pub use cgraph::{CGraph, CNode, COp, CValue, CompileError, IndexWidth, Layout};
 pub use compiler::{ortsim, trtsim, tvmsim, CompileOptions, CompiledModel, Compiler, OptLevel};
 pub use coverage::{
     log_bucket, Branch, Cov, CoverageSet, FileDecl, FileId, FileKind, SourceManifest,
@@ -40,5 +43,5 @@ pub use coverage::{
 pub use exporter::{export, ExportResult};
 pub use lowlevel::{
     codegen_coverage, loop_count, lower_graph, run_lowlevel, tir_schedule, tir_simplify, LExpr,
-    LoweredFunc, LStmt,
+    LStmt, LoweredFunc,
 };

@@ -222,8 +222,7 @@ fn simplify_expr(e: &LExpr, cov: &mut Cov<'_>) -> LExpr {
                     a
                 }
                 // (x * c) / c → x (sound for exact multiples).
-                (LExpr::Mul(x, c1), LExpr::Const(c2))
-                    if matches!(**c1, LExpr::Const(v) if v == *c2 && v != 0) =>
+                (LExpr::Mul(x, c1), LExpr::Const(c2)) if matches!(**c1, LExpr::Const(v) if v == *c2 && v != 0) =>
                 {
                     cov.hit(10);
                     (**x).clone()
@@ -264,7 +263,11 @@ fn walk_stmts(stmts: &mut Vec<LStmt>, cov: &mut Cov<'_>, depth: u32) {
 }
 
 /// The low-level expression-simplification pass.
-pub fn tir_simplify(funcs: &mut [LoweredFunc], cov_set: &mut CoverageSet, manifest: &SourceManifest) {
+pub fn tir_simplify(
+    funcs: &mut [LoweredFunc],
+    cov_set: &mut CoverageSet,
+    manifest: &SourceManifest,
+) {
     let mut cov = Cov::new(cov_set, manifest, "tir_simplify.cc");
     cov.hit(0);
     for f in funcs.iter_mut() {
@@ -274,7 +277,11 @@ pub fn tir_simplify(funcs: &mut [LoweredFunc], cov_set: &mut CoverageSet, manife
 
 /// The low-level scheduling pass: tiling, vectorization and unrolling
 /// decisions keyed on loop extents.
-pub fn tir_schedule(funcs: &mut [LoweredFunc], cov_set: &mut CoverageSet, manifest: &SourceManifest) {
+pub fn tir_schedule(
+    funcs: &mut [LoweredFunc],
+    cov_set: &mut CoverageSet,
+    manifest: &SourceManifest,
+) {
     let mut cov = Cov::new(cov_set, manifest, "tir_schedule.cc");
     cov.hit(0);
     for f in funcs.iter_mut() {
@@ -415,10 +422,26 @@ mod tests {
 
     fn manifest() -> SourceManifest {
         SourceManifest::new(vec![
-            FileDecl { name: "lower.cc", kind: FileKind::Pass, branches: 100 },
-            FileDecl { name: "tir_simplify.cc", kind: FileKind::Pass, branches: 40 },
-            FileDecl { name: "tir_schedule.cc", kind: FileKind::Pass, branches: 30 },
-            FileDecl { name: "codegen.cc", kind: FileKind::Runtime, branches: 700 },
+            FileDecl {
+                name: "lower.cc",
+                kind: FileKind::Pass,
+                branches: 100,
+            },
+            FileDecl {
+                name: "tir_simplify.cc",
+                kind: FileKind::Pass,
+                branches: 40,
+            },
+            FileDecl {
+                name: "tir_schedule.cc",
+                kind: FileKind::Pass,
+                branches: 30,
+            },
+            FileDecl {
+                name: "codegen.cc",
+                kind: FileKind::Runtime,
+                branches: 700,
+            },
         ])
     }
 

@@ -14,7 +14,7 @@ use nnsmith_ops::{BinaryKind, Op, UnaryKind};
 use nnsmith_tensor::{DType, Tensor};
 
 use crate::bugs::{BugConfig, System};
-use crate::cgraph::{CGraph, CNode, COp, CompileError, CValue, IndexWidth, Layout};
+use crate::cgraph::{CGraph, CNode, COp, CValue, CompileError, IndexWidth, Layout};
 use crate::coverage::{log_bucket, Cov, CoverageSet, SourceManifest};
 
 /// Context handed to every pass.
@@ -220,8 +220,7 @@ pub fn algebraic_simplify(g: &mut CGraph, cx: &mut PassCtx<'_>) -> Result<(), Co
                     g.nodes[i] = forward_node(&node, node.inputs[0]);
                 } else if c == Some(0.0) {
                     cov.hit(3);
-                    g.nodes[i].op =
-                        COp::Constant(Tensor::zeros(&node.shape, node.dtype));
+                    g.nodes[i].op = COp::Constant(Tensor::zeros(&node.shape, node.dtype));
                     g.nodes[i].inputs.clear();
                 }
             }
@@ -260,10 +259,7 @@ pub fn algebraic_simplify(g: &mut CGraph, cx: &mut PassCtx<'_>) -> Result<(), Co
             Op::Unary(UnaryKind::Neg) => {
                 cov.hit(6);
                 if let CValue::Node(p) = node.inputs[0] {
-                    if matches!(
-                        &g.nodes[p].op,
-                        COp::Primitive(Op::Unary(UnaryKind::Neg))
-                    ) {
+                    if matches!(&g.nodes[p].op, COp::Primitive(Op::Unary(UnaryKind::Neg))) {
                         cov.hit(7);
                         g.nodes[i] = forward_node(&node, g.nodes[p].inputs[0]);
                     }
@@ -273,10 +269,7 @@ pub fn algebraic_simplify(g: &mut CGraph, cx: &mut PassCtx<'_>) -> Result<(), Co
             Op::Unary(UnaryKind::Relu) => {
                 cov.hit(8);
                 if let CValue::Node(p) = node.inputs[0] {
-                    if matches!(
-                        &g.nodes[p].op,
-                        COp::Primitive(Op::Unary(UnaryKind::Relu))
-                    ) {
+                    if matches!(&g.nodes[p].op, COp::Primitive(Op::Unary(UnaryKind::Relu))) {
                         cov.hit(9);
                         g.nodes[i].inputs = g.nodes[p].inputs.clone();
                     }
@@ -452,14 +445,16 @@ pub fn property_fusion(g: &mut CGraph, cx: &mut PassCtx<'_>) -> Result<(), Compi
     }
     fn classify(op: &Op) -> Class {
         match op {
-            Op::Unary(_) | Op::Binary(_) | Op::Compare(_) | Op::Logical(_) | Op::Not
-            | Op::Where | Op::Cast { .. } | Op::Clip { .. } => Class::Injective,
-            Op::Reduce { .. } | Op::ArgExtreme { .. } | Op::Softmax { .. } => {
-                Class::Reduction
-            }
-            Op::Conv2d { .. } | Op::MatMul | Op::Dense { .. } | Op::BatchNorm => {
-                Class::Complex
-            }
+            Op::Unary(_)
+            | Op::Binary(_)
+            | Op::Compare(_)
+            | Op::Logical(_)
+            | Op::Not
+            | Op::Where
+            | Op::Cast { .. }
+            | Op::Clip { .. } => Class::Injective,
+            Op::Reduce { .. } | Op::ArgExtreme { .. } | Op::Softmax { .. } => Class::Reduction,
+            Op::Conv2d { .. } | Op::MatMul | Op::Dense { .. } | Op::BatchNorm => Class::Complex,
             _ => Class::Opaque,
         }
     }
@@ -527,13 +522,11 @@ pub fn layout_rewrite(g: &mut CGraph, cx: &mut PassCtx<'_>) -> Result<(), Compil
     for i in 0..g.nodes.len() {
         let is_conv_node = match &g.nodes[i].op {
             COp::Primitive(Op::Conv2d { .. }) => true,
-            COp::Fused { ops, .. } => {
-                ops.first().is_some_and(|o| matches!(o, Op::Conv2d { .. }))
-            }
+            COp::Fused { ops, .. } => ops.first().is_some_and(|o| matches!(o, Op::Conv2d { .. })),
             _ => false,
         };
         let is_packable =
-            is_conv_node && g.nodes[i].shape.len() == 4 && g.nodes[i].shape[1] % 4 == 0;
+            is_conv_node && g.nodes[i].shape.len() == 4 && g.nodes[i].shape[1].is_multiple_of(4);
         if !is_packable {
             cov.hit(1);
             continue;
@@ -561,9 +554,9 @@ pub fn index_typing(g: &mut CGraph, cx: &mut PassCtx<'_>) -> Result<(), CompileE
     cov.hit(0);
     for i in 0..g.nodes.len() {
         let introduces_i64 = match &g.nodes[i].op {
-            COp::Primitive(
-                Op::Reshape { .. } | Op::BroadcastTo { .. } | Op::Flatten { .. },
-            ) => true,
+            COp::Primitive(Op::Reshape { .. } | Op::BroadcastTo { .. } | Op::Flatten { .. }) => {
+                true
+            }
             COp::Primitive(Op::Slice { .. }) => {
                 g.nodes[i].shape.iter().product::<usize>() > 1 << 12
             }
@@ -627,14 +620,46 @@ mod tests {
 
     fn manifest() -> SourceManifest {
         SourceManifest::new(vec![
-            FileDecl { name: "const_fold.cc", kind: FileKind::Pass, branches: 160 },
-            FileDecl { name: "dce.cc", kind: FileKind::Pass, branches: 90 },
-            FileDecl { name: "simplify.cc", kind: FileKind::Pass, branches: 90 },
-            FileDecl { name: "fuse_patterns.cc", kind: FileKind::Pass, branches: 120 },
-            FileDecl { name: "fuse_ops.cc", kind: FileKind::Pass, branches: 20 },
-            FileDecl { name: "layout_rewrite.cc", kind: FileKind::Pass, branches: 90 },
-            FileDecl { name: "type_infer.cc", kind: FileKind::Pass, branches: 90 },
-            FileDecl { name: "kernels.cc", kind: FileKind::Runtime, branches: 1300 },
+            FileDecl {
+                name: "const_fold.cc",
+                kind: FileKind::Pass,
+                branches: 160,
+            },
+            FileDecl {
+                name: "dce.cc",
+                kind: FileKind::Pass,
+                branches: 90,
+            },
+            FileDecl {
+                name: "simplify.cc",
+                kind: FileKind::Pass,
+                branches: 90,
+            },
+            FileDecl {
+                name: "fuse_patterns.cc",
+                kind: FileKind::Pass,
+                branches: 120,
+            },
+            FileDecl {
+                name: "fuse_ops.cc",
+                kind: FileKind::Pass,
+                branches: 20,
+            },
+            FileDecl {
+                name: "layout_rewrite.cc",
+                kind: FileKind::Pass,
+                branches: 90,
+            },
+            FileDecl {
+                name: "type_infer.cc",
+                kind: FileKind::Pass,
+                branches: 90,
+            },
+            FileDecl {
+                name: "kernels.cc",
+                kind: FileKind::Runtime,
+                branches: 1300,
+            },
         ])
     }
 
@@ -700,11 +725,7 @@ mod tests {
         let m = manifest();
         let mut cov = CoverageSet::new();
         let bugs = BugConfig::all_on();
-        constant_folding(
-            &mut cg,
-            &mut ctx(&mut cov, &m, &bugs, System::OrtSim),
-        )
-        .unwrap();
+        constant_folding(&mut cg, &mut ctx(&mut cov, &m, &bugs, System::OrtSim)).unwrap();
         assert!(matches!(&cg.nodes[1].op, COp::Constant(t) if t.as_f32().unwrap() == [0.0, 2.0]));
         assert!(!cov.is_empty());
     }
@@ -718,15 +739,10 @@ mod tests {
         let bugs = BugConfig::none();
         let mut inputs = HashMap::new();
         let x_id = cg.inputs[0].0;
-        inputs.insert(
-            x_id,
-            Tensor::from_f32(&[4], vec![-3., 0., 1., 2.]).unwrap(),
-        );
+        inputs.insert(x_id, Tensor::from_f32(&[4], vec![-3., 0., 1., 2.]).unwrap());
         let before = cg.run(&inputs).unwrap();
-        pattern_fusion(&mut cg, &mut ctx(&mut cov, &m, &bugs, System::OrtSim))
-            .unwrap();
-        dead_code_elim(&mut cg, &mut ctx(&mut cov, &m, &bugs, System::OrtSim))
-            .unwrap();
+        pattern_fusion(&mut cg, &mut ctx(&mut cov, &m, &bugs, System::OrtSim)).unwrap();
+        dead_code_elim(&mut cg, &mut ctx(&mut cov, &m, &bugs, System::OrtSim)).unwrap();
         let after = cg.run(&inputs).unwrap();
         assert_eq!(before, after);
     }
@@ -762,8 +778,7 @@ mod tests {
         let m = manifest();
         let mut cov = CoverageSet::new();
         let bugs = BugConfig::all_on();
-        algebraic_simplify(&mut cg, &mut ctx(&mut cov, &m, &bugs, System::TvmSim))
-            .unwrap();
+        algebraic_simplify(&mut cg, &mut ctx(&mut cov, &m, &bugs, System::TvmSim)).unwrap();
         let mut inputs = HashMap::new();
         inputs.insert(x, Tensor::from_i32(&[2], vec![7, 9]).unwrap());
         let out = cg.run(&inputs).unwrap();
@@ -773,8 +788,7 @@ mod tests {
         let mut cg2 = CGraph::import(&g, &weights).unwrap();
         let off = BugConfig::none();
         let mut cov2 = CoverageSet::new();
-        algebraic_simplify(&mut cg2, &mut ctx(&mut cov2, &m, &off, System::TvmSim))
-            .unwrap();
+        algebraic_simplify(&mut cg2, &mut ctx(&mut cov2, &m, &off, System::TvmSim)).unwrap();
         let out2 = cg2.run(&inputs).unwrap();
         assert_eq!(out2[0].as_i32().unwrap(), &[6, 9]);
     }
@@ -787,9 +801,12 @@ mod tests {
         let bugs = BugConfig::none();
         let mut cg = CGraph::import(&g, &weights).unwrap();
         let mut cov1 = CoverageSet::new();
-        property_fusion(&mut cg, &mut ctx(&mut cov1, &m, &bugs, System::TvmSim))
-            .unwrap();
-        assert!(cov1.len() <= 6, "property fusion hit {} branches", cov1.len());
+        property_fusion(&mut cg, &mut ctx(&mut cov1, &m, &bugs, System::TvmSim)).unwrap();
+        assert!(
+            cov1.len() <= 6,
+            "property fusion hit {} branches",
+            cov1.len()
+        );
     }
 
     #[test]
@@ -834,8 +851,7 @@ mod tests {
         let m = manifest();
         let mut cov = CoverageSet::new();
         let bugs = BugConfig::none();
-        layout_rewrite(&mut cg, &mut ctx(&mut cov, &m, &bugs, System::TvmSim))
-            .unwrap();
+        layout_rewrite(&mut cg, &mut ctx(&mut cov, &m, &bugs, System::TvmSim)).unwrap();
         let conv_node = cg
             .nodes
             .iter()
@@ -855,7 +871,10 @@ mod tests {
         );
         let rs = g.add_node(
             NodeKind::Operator(Op::Reshape {
-                dims: vec![nnsmith_solver::IntExpr::Const(2), nnsmith_solver::IntExpr::Const(2)],
+                dims: vec![
+                    nnsmith_solver::IntExpr::Const(2),
+                    nnsmith_solver::IntExpr::Const(2),
+                ],
             }),
             vec![ValueRef::output0(x)],
             vec![TensorType::concrete(DType::F32, &[2, 2])],
@@ -869,8 +888,7 @@ mod tests {
         let m = manifest();
         let mut cov = CoverageSet::new();
         let bugs = BugConfig::none();
-        index_typing(&mut cg, &mut ctx(&mut cov, &m, &bugs, System::TvmSim))
-            .unwrap();
+        index_typing(&mut cg, &mut ctx(&mut cov, &m, &bugs, System::TvmSim)).unwrap();
         assert_eq!(cg.nodes[0].index_width, IndexWidth::I64);
         assert_eq!(cg.nodes[1].index_width, IndexWidth::I64);
     }
@@ -883,8 +901,7 @@ mod tests {
         let bugs = BugConfig::none();
         let mut cov = CoverageSet::new();
         let mut cg2 = cg.clone();
-        kernel_select(&mut cg2, &mut ctx(&mut cov, &m, &bugs, System::OrtSim))
-            .unwrap();
+        kernel_select(&mut cg2, &mut ctx(&mut cov, &m, &bugs, System::OrtSim)).unwrap();
         let single = cov.len();
         assert!(single >= 4);
     }

@@ -74,7 +74,12 @@ fn optimized_pipelines_preserve_semantics_on_random_models() {
             let r0 = o0.run(&inputs).expect("O0 runs");
             assert_eq!(r2.len(), reference.outputs.len(), "output arity");
             for (k, (_, ref_t)) in reference.outputs.iter().enumerate() {
-                let rel = 1e-3 + 1e-3 * ref_t.to_f64_vec().iter().fold(0.0f64, |a, b| a.max(b.abs()));
+                let rel = 1e-3
+                    + 1e-3
+                        * ref_t
+                            .to_f64_vec()
+                            .iter()
+                            .fold(0.0f64, |a, b| a.max(b.abs()));
                 assert!(
                     ref_t.max_abs_diff(&r2[k]).unwrap_or(f64::INFINITY) <= rel,
                     "seed {seed} {}: O2 output {k} diverges\n{}",

@@ -30,7 +30,7 @@ pub use support::infer_supported_dtypes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use nnsmith_difftest::{TestCase, TestCaseSource};
+use nnsmith_difftest::{ShardCtx, SourceFactory, TestCase, TestCaseSource};
 use nnsmith_gen::{GenConfig, Generator};
 use nnsmith_search::{search_values, SearchConfig};
 
@@ -139,6 +139,34 @@ impl TestCaseSource for NnSmith {
     }
 }
 
+/// [`SourceFactory`] for the NNSmith pipeline: every shard of a parallel
+/// campaign gets a fresh [`NnSmith`] whose seed is the shard's derived
+/// stream (`config.seed` is ignored in favour of [`ShardCtx::seed`]).
+#[derive(Debug, Clone, Default)]
+pub struct NnSmithFactory {
+    /// Pipeline configuration applied to every shard.
+    pub config: NnSmithConfig,
+}
+
+impl NnSmithFactory {
+    /// Creates a factory from a pipeline configuration.
+    pub fn new(config: NnSmithConfig) -> Self {
+        NnSmithFactory { config }
+    }
+}
+
+impl SourceFactory for NnSmithFactory {
+    fn name(&self) -> &str {
+        "NNSmith"
+    }
+
+    fn make_source(&self, shard: ShardCtx) -> Box<dyn TestCaseSource + Send> {
+        let mut config = self.config.clone();
+        config.seed = shard.seed;
+        Box::new(NnSmith::new(config))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,8 +194,7 @@ mod tests {
         let mut fuzzer = NnSmith::new(quick_config(1));
         for _ in 0..3 {
             let case = fuzzer.next_case().expect("case");
-            let exec =
-                nnsmith_ops::execute(&case.graph, &case.all_bindings()).expect("runs");
+            let exec = nnsmith_ops::execute(&case.graph, &case.all_bindings()).expect("runs");
             assert!(!exec.has_exceptional(), "values must be numerically valid");
         }
         assert!(fuzzer.stats().cases >= 3);
@@ -210,9 +237,9 @@ mod tests {
             };
             let outcome = run_case(&compiler, &case, &options, Tolerance::default(), &mut cov);
             match outcome {
-                TestOutcome::Pass
-                | TestOutcome::NotImplemented
-                | TestOutcome::NumericInvalid => checked += 1,
+                TestOutcome::Pass | TestOutcome::NotImplemented | TestOutcome::NumericInvalid => {
+                    checked += 1
+                }
                 other => panic!("clean compiler must not disagree: {other:?}"),
             }
         }

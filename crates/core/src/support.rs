@@ -12,7 +12,7 @@
 
 use nnsmith_compilers::{BugConfig, CompileError, CompileOptions, Compiler, CoverageSet, OptLevel};
 use nnsmith_graph::{Graph, NodeKind, TensorType, ValueRef};
-use nnsmith_ops::{Bindings, BinaryKind, Op, UnaryKind};
+use nnsmith_ops::{BinaryKind, Bindings, Op, UnaryKind};
 use nnsmith_tensor::{DType, Tensor};
 
 /// Builds a minimal single-operator probe model for a dtype.

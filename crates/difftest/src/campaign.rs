@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 
 use nnsmith_compilers::{CompileOptions, Compiler, CoverageSet};
 use nnsmith_graph::NodeKind;
+use serde::Serialize;
 
 use crate::harness::{run_case, seeded_bug_id, TestCase, TestOutcome};
 use crate::oracle::Tolerance;
@@ -55,7 +56,7 @@ impl Default for CampaignConfig {
 }
 
 /// One coverage-timeline sample.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct TimelinePoint {
     /// Milliseconds since campaign start.
     pub elapsed_ms: u64,
@@ -68,7 +69,7 @@ pub struct TimelinePoint {
 }
 
 /// Result of a campaign.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct CampaignResult {
     /// Source name.
     pub source: String,
@@ -132,11 +133,43 @@ pub fn op_instance_keys(case: &TestCase) -> Vec<String> {
     keys
 }
 
+/// Per-case progress record handed to a campaign observer (the engine's
+/// aggregation channel feeds on these).
+#[derive(Debug, Clone)]
+pub struct CaseRecord {
+    /// 1-based index of the case within this campaign.
+    pub case_index: usize,
+    /// Branches this case covered that the campaign had not seen before.
+    pub new_coverage: CoverageSet,
+}
+
 /// Runs one fuzzing campaign.
 pub fn run_campaign(
     compiler: &Compiler,
     source: &mut dyn TestCaseSource,
     config: &CampaignConfig,
+) -> CampaignResult {
+    run_campaign_inner(compiler, source, config, None)
+}
+
+/// [`run_campaign`] with a per-case observer: `observer` is called after
+/// every executed case with the campaign-relative coverage delta. The
+/// observer does not influence the campaign — results are identical to an
+/// unobserved run.
+pub fn run_campaign_observed(
+    compiler: &Compiler,
+    source: &mut dyn TestCaseSource,
+    config: &CampaignConfig,
+    observer: &mut dyn FnMut(CaseRecord),
+) -> CampaignResult {
+    run_campaign_inner(compiler, source, config, Some(observer))
+}
+
+fn run_campaign_inner(
+    compiler: &Compiler,
+    source: &mut dyn TestCaseSource,
+    config: &CampaignConfig,
+    mut observer: Option<&mut dyn FnMut(CaseRecord)>,
 ) -> CampaignResult {
     let start = Instant::now();
     let mut result = CampaignResult {
@@ -180,13 +213,30 @@ pub fn run_campaign(
         for key in op_instance_keys(&case) {
             result.op_instances.insert(key);
         }
-        let outcome = run_case(
-            compiler,
-            &case,
-            &options,
-            config.tolerance,
-            &mut result.coverage,
-        );
+        // With an observer, collect this case's hits separately so it can
+        // see the campaign-relative delta (the union is identical to
+        // inserting into the cumulative set directly); without one, skip
+        // the per-case set and the difference entirely.
+        let outcome = match observer.as_deref_mut() {
+            Some(observer) => {
+                let mut case_cov = CoverageSet::new();
+                let outcome = run_case(compiler, &case, &options, config.tolerance, &mut case_cov);
+                let new_coverage = case_cov.difference(&result.coverage);
+                result.coverage.merge(&case_cov);
+                observer(CaseRecord {
+                    case_index: result.cases,
+                    new_coverage,
+                });
+                outcome
+            }
+            None => run_case(
+                compiler,
+                &case,
+                &options,
+                config.tolerance,
+                &mut result.coverage,
+            ),
+        };
         match outcome {
             TestOutcome::Pass | TestOutcome::NotImplemented => {}
             TestOutcome::NumericInvalid | TestOutcome::InvalidCase { .. } => {

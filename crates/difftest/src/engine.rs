@@ -1,0 +1,451 @@
+//! The parallel fuzzing engine: shard a campaign across worker threads.
+//!
+//! [`run_campaign`](crate::run_campaign) is single-threaded, so coverage
+//! per wall-clock second is bounded by one core. This module splits a
+//! campaign into a fixed number of **shards** — each an independent
+//! campaign with its own [`TestCaseSource`] built by a [`SourceFactory`]
+//! from a per-shard RNG stream — and runs them on N worker threads that
+//! pull shards from a shared queue. Per-shard results stream through an
+//! mpsc aggregator (which maintains the real-time union-coverage
+//! timeline) and are merged into one [`CampaignResult`].
+//!
+//! ## Determinism
+//!
+//! The shard count — not the worker count — defines the work. Shard `i`'s
+//! source is seeded by `shard_seed(seed, i)` and its case budget is a
+//! fixed slice of the campaign budget, so every shard produces the same
+//! cases whether the engine runs on 1 thread or 16. The merge folds
+//! shards in index order. Consequently, for a case-budgeted engine run
+//! (`max_cases` set, generous `duration`), the merged [`CampaignResult`]
+//! is **bit-reproducible across runs and across worker counts**. Under a
+//! wall-clock budget the cutoff is inherently timing-dependent, and only
+//! same-configuration statistical behaviour is preserved.
+//!
+//! The merged result's timeline is a *logical* timeline (one point per
+//! shard, folded in index order, with `elapsed_ms` carrying the logical
+//! case clock); the real-time coverage curve lives in
+//! [`EngineReport::wall_timeline`], built by the aggregator from event
+//! arrival order, which is *not* deterministic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use nnsmith_compilers::{Compiler, CoverageSet};
+
+use crate::campaign::{
+    run_campaign_observed, CampaignConfig, CampaignResult, CaseRecord, TestCaseSource,
+    TimelinePoint,
+};
+
+/// Identity of one shard of an engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardCtx {
+    /// Shard index, `0..count`.
+    pub index: usize,
+    /// Total shard count of this engine run.
+    pub count: usize,
+    /// The shard's RNG seed, derived deterministically from the campaign
+    /// seed and the shard index (see [`shard_seed`]).
+    pub seed: u64,
+}
+
+/// Builds a fresh [`TestCaseSource`] per shard. Implemented by the
+/// NNSmith pipeline and the baseline fuzzers so the same engine drives
+/// every comparison.
+pub trait SourceFactory: Sync {
+    /// A short name for reports (becomes [`CampaignResult::source`]).
+    fn name(&self) -> &str;
+
+    /// Creates the source for one shard. Implementations must derive all
+    /// randomness from `shard.seed` so that shard streams are independent
+    /// of worker scheduling.
+    fn make_source(&self, shard: ShardCtx) -> Box<dyn TestCaseSource + Send>;
+}
+
+/// A [`SourceFactory`] built from a name and a closure.
+pub struct FnSourceFactory<F> {
+    name: String,
+    make: F,
+}
+
+impl<F> FnSourceFactory<F>
+where
+    F: Fn(ShardCtx) -> Box<dyn TestCaseSource + Send> + Sync,
+{
+    /// Wraps `make` as a factory named `name`.
+    pub fn new(name: impl Into<String>, make: F) -> Self {
+        FnSourceFactory {
+            name: name.into(),
+            make,
+        }
+    }
+}
+
+impl<F> SourceFactory for FnSourceFactory<F>
+where
+    F: Fn(ShardCtx) -> Box<dyn TestCaseSource + Send> + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn make_source(&self, shard: ShardCtx) -> Box<dyn TestCaseSource + Send> {
+        (self.make)(shard)
+    }
+}
+
+/// Derives the RNG seed for shard `index` of a campaign seeded with
+/// `campaign_seed` (SplitMix64 over the pair, so shard streams are
+/// decorrelated even for adjacent seeds).
+pub fn shard_seed(campaign_seed: u64, index: usize) -> u64 {
+    let mut z = campaign_seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Engine configuration: a campaign budget plus the sharding layout.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads executing shards. Affects wall-clock time only,
+    /// never the merged result of a case-budgeted run.
+    pub workers: usize,
+    /// Number of shards the campaign is split into. Part of the
+    /// reproducibility key: same seed x same shard count => same merged
+    /// result.
+    pub shards: usize,
+    /// Campaign seed; shard `i` runs from [`shard_seed`]`(seed, i)`.
+    pub seed: u64,
+    /// The campaign budget. `max_cases` is the *total* across shards
+    /// (split evenly, remainder to the lowest-indexed shards);
+    /// `duration` is the global wall-clock deadline.
+    pub campaign: CampaignConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(1),
+            shards: 8,
+            seed: 0,
+            campaign: CampaignConfig::default(),
+        }
+    }
+}
+
+/// Everything an engine run produced.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// The deterministic merge of all shard results (see module docs for
+    /// the exact reproducibility guarantee).
+    pub result: CampaignResult,
+    /// Per-shard results, in shard-index order.
+    pub shard_results: Vec<CampaignResult>,
+    /// Real-time union-coverage growth, sampled by the aggregator as
+    /// case events arrive across all workers. Wall-clock truth, not
+    /// reproducible.
+    pub wall_timeline: Vec<TimelinePoint>,
+    /// Total wall-clock time of the engine run.
+    pub wall: Duration,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Shard count used.
+    pub shards: usize,
+}
+
+impl EngineReport {
+    /// Executed cases per wall-clock second — the throughput metric the
+    /// worker count buys.
+    pub fn cases_per_sec(&self) -> f64 {
+        self.result.cases as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+enum Event {
+    Case {
+        record: CaseRecord,
+    },
+    ShardDone {
+        index: usize,
+        result: CampaignResult,
+    },
+}
+
+/// Runs a sharded campaign on `config.workers` threads and merges the
+/// shard results. See the module docs for the determinism contract.
+pub fn run_engine(
+    compiler: &Compiler,
+    factory: &dyn SourceFactory,
+    config: &EngineConfig,
+) -> EngineReport {
+    let shards = config.shards.max(1);
+    let workers = config.workers.clamp(1, shards);
+    let start = Instant::now();
+    let deadline = start + config.campaign.duration;
+
+    let (tx, rx) = mpsc::channel::<Event>();
+    let next_shard = AtomicUsize::new(0);
+    let mut shard_slots: Vec<Option<CampaignResult>> = vec![None; shards];
+
+    let wall_timeline = std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next_shard = &next_shard;
+            scope.spawn(move || loop {
+                let index = next_shard.fetch_add(1, Ordering::Relaxed);
+                if index >= shards {
+                    break;
+                }
+                let ctx = ShardCtx {
+                    index,
+                    count: shards,
+                    seed: shard_seed(config.seed, index),
+                };
+                let mut source = factory.make_source(ctx);
+                let mut shard_cfg = config.campaign.clone();
+                shard_cfg.max_cases = config
+                    .campaign
+                    .max_cases
+                    .map(|total| total / shards + usize::from(index < total % shards));
+                shard_cfg.duration = deadline.saturating_duration_since(Instant::now());
+                let case_tx = tx.clone();
+                let result =
+                    run_campaign_observed(compiler, source.as_mut(), &shard_cfg, &mut |record| {
+                        // The aggregator may have hung up after a recv
+                        // error; a lost progress event is harmless.
+                        let _ = case_tx.send(Event::Case { record });
+                    });
+                let _ = tx.send(Event::ShardDone { index, result });
+            });
+        }
+        drop(tx);
+
+        // Aggregator: owns the real-time union-coverage timeline and
+        // collects shard results as they finish.
+        let mut union_cov = CoverageSet::new();
+        let mut cases = 0usize;
+        let mut wall_timeline = vec![TimelinePoint {
+            elapsed_ms: 0,
+            cases: 0,
+            total_branches: 0,
+            pass_branches: 0,
+        }];
+        let mut last_sample = Duration::ZERO;
+        while let Ok(event) = rx.recv() {
+            match event {
+                Event::Case { record } => {
+                    cases += 1;
+                    union_cov.merge(&record.new_coverage);
+                    let elapsed = start.elapsed();
+                    if elapsed - last_sample >= config.campaign.sample_every {
+                        last_sample = elapsed;
+                        wall_timeline.push(TimelinePoint {
+                            elapsed_ms: elapsed.as_millis() as u64,
+                            cases,
+                            total_branches: union_cov.len(),
+                            pass_branches: union_cov.pass_len(compiler.manifest()),
+                        });
+                    }
+                }
+                Event::ShardDone { index, result } => {
+                    shard_slots[index] = Some(result);
+                }
+            }
+        }
+        let elapsed = start.elapsed();
+        wall_timeline.push(TimelinePoint {
+            elapsed_ms: elapsed.as_millis() as u64,
+            cases,
+            total_branches: union_cov.len(),
+            pass_branches: union_cov.pass_len(compiler.manifest()),
+        });
+        wall_timeline
+    });
+    let wall = start.elapsed();
+
+    let shard_results: Vec<CampaignResult> = shard_slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.unwrap_or_else(|| panic!("shard {i} produced no result")))
+        .collect();
+    let result = merge_shard_results(compiler, factory.name(), &shard_results);
+
+    EngineReport {
+        result,
+        shard_results,
+        wall_timeline,
+        wall,
+        workers,
+        shards,
+    }
+}
+
+/// Folds shard results (in shard-index order) into one campaign result.
+/// Pure data merge — deterministic for deterministic inputs.
+fn merge_shard_results(
+    compiler: &Compiler,
+    source_name: &str,
+    shards: &[CampaignResult],
+) -> CampaignResult {
+    let mut merged = CampaignResult {
+        source: source_name.to_string(),
+        compiler: compiler.system().name().to_string(),
+        timeline: vec![TimelinePoint {
+            elapsed_ms: 0,
+            cases: 0,
+            total_branches: 0,
+            pass_branches: 0,
+        }],
+        coverage: CoverageSet::new(),
+        bugs_found: Default::default(),
+        unique_crashes: Default::default(),
+        mismatches: 0,
+        cases: 0,
+        numeric_invalid: 0,
+        op_instances: Default::default(),
+    };
+    for shard in shards {
+        merged.coverage.merge(&shard.coverage);
+        merged.bugs_found.extend(shard.bugs_found.iter().cloned());
+        merged
+            .unique_crashes
+            .extend(shard.unique_crashes.iter().cloned());
+        merged
+            .op_instances
+            .extend(shard.op_instances.iter().cloned());
+        merged.mismatches += shard.mismatches;
+        merged.cases += shard.cases;
+        merged.numeric_invalid += shard.numeric_invalid;
+        // Logical timeline: one point per folded shard, `elapsed_ms`
+        // carrying the cumulative case count as a logical clock (the
+        // wall-clock curve is EngineReport::wall_timeline).
+        merged.timeline.push(TimelinePoint {
+            elapsed_ms: merged.cases as u64,
+            cases: merged.cases,
+            total_branches: merged.coverage.len(),
+            pass_branches: merged.coverage.pass_len(compiler.manifest()),
+        });
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::TestCase;
+    use nnsmith_compilers::ortsim;
+    use nnsmith_graph::{Graph, NodeId, NodeKind, TensorType, ValueRef};
+    use nnsmith_ops::{Bindings, Op, UnaryKind};
+    use nnsmith_tensor::{DType, Tensor};
+
+    /// A deterministic synthetic source: `n` tanh cases whose input values
+    /// are derived from the shard seed.
+    struct SeededSource {
+        seed: u64,
+        remaining: usize,
+    }
+
+    impl TestCaseSource for SeededSource {
+        fn name(&self) -> &str {
+            "seeded"
+        }
+        fn next_case(&mut self) -> Option<TestCase> {
+            if self.remaining == 0 {
+                return None;
+            }
+            self.remaining -= 1;
+            self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = (self.seed >> 40) as f32 / 1000.0;
+            let mut g: Graph<Op> = Graph::new();
+            let x = g.add_node(
+                NodeKind::Input,
+                vec![],
+                vec![TensorType::concrete(DType::F32, &[2])],
+            );
+            g.add_node(
+                NodeKind::Operator(Op::Unary(UnaryKind::Tanh)),
+                vec![ValueRef::output0(x)],
+                vec![TensorType::concrete(DType::F32, &[2])],
+            );
+            let mut b = Bindings::new();
+            b.insert(NodeId(0), Tensor::from_f32(&[2], vec![v, -v]).unwrap());
+            Some(TestCase::from_bindings(g, b))
+        }
+    }
+
+    fn factory() -> FnSourceFactory<impl Fn(ShardCtx) -> Box<dyn TestCaseSource + Send> + Sync> {
+        FnSourceFactory::new("seeded", |shard: ShardCtx| {
+            Box::new(SeededSource {
+                seed: shard.seed,
+                remaining: usize::MAX,
+            }) as Box<dyn TestCaseSource + Send>
+        })
+    }
+
+    fn engine_config(workers: usize) -> EngineConfig {
+        EngineConfig {
+            workers,
+            shards: 4,
+            seed: 7,
+            campaign: CampaignConfig {
+                duration: Duration::from_secs(60),
+                max_cases: Some(18),
+                ..CampaignConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn engine_runs_all_shards_and_merges() {
+        let compiler = ortsim();
+        let report = run_engine(&compiler, &factory(), &engine_config(2));
+        assert_eq!(report.shards, 4);
+        assert_eq!(report.shard_results.len(), 4);
+        assert_eq!(report.result.cases, 18);
+        // 18 cases over 4 shards: shards 0,1 get 5, shards 2,3 get 4.
+        assert_eq!(
+            report
+                .shard_results
+                .iter()
+                .map(|r| r.cases)
+                .collect::<Vec<_>>(),
+            vec![5, 5, 4, 4]
+        );
+        assert!(report.result.total_coverage() > 0);
+        // Logical timeline: one start point plus one per shard.
+        assert_eq!(report.result.timeline.len(), 5);
+        assert!(report.wall_timeline.len() >= 2);
+    }
+
+    #[test]
+    fn merged_result_independent_of_worker_count() {
+        let compiler = ortsim();
+        let one = run_engine(&compiler, &factory(), &engine_config(1));
+        let four = run_engine(&compiler, &factory(), &engine_config(4));
+        assert_eq!(one.result.cases, four.result.cases);
+        assert_eq!(one.result.coverage, four.result.coverage);
+        assert_eq!(one.result.bugs_found, four.result.bugs_found);
+        assert_eq!(one.result.unique_crashes, four.result.unique_crashes);
+        assert_eq!(one.result.op_instances, four.result.op_instances);
+        assert_eq!(one.result.timeline, four.result.timeline);
+        assert_eq!(one.shard_results.len(), four.shard_results.len());
+        for (a, b) in one.shard_results.iter().zip(&four.shard_results) {
+            assert_eq!(a.cases, b.cases);
+            assert_eq!(a.coverage, b.coverage);
+        }
+    }
+
+    #[test]
+    fn shard_seeds_are_decorrelated() {
+        let a = shard_seed(0, 0);
+        let b = shard_seed(0, 1);
+        let c = shard_seed(1, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // And stable across calls.
+        assert_eq!(shard_seed(0, 0), a);
+    }
+}

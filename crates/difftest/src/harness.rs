@@ -3,9 +3,7 @@
 
 use std::collections::HashMap;
 
-use nnsmith_compilers::{
-    export, CompileError, CompileOptions, Compiler, OptLevel,
-};
+use nnsmith_compilers::{export, CompileError, CompileOptions, Compiler, OptLevel};
 use nnsmith_graph::{Graph, NodeId, NodeKind};
 use nnsmith_ops::{Bindings, Op};
 use nnsmith_tensor::Tensor;
@@ -146,15 +144,12 @@ pub fn run_case(
     if reference.has_exceptional() {
         return TestOutcome::NumericInvalid;
     }
-    let ref_outputs: Vec<Tensor> =
-        reference.outputs.iter().map(|(_, t)| t.clone()).collect();
+    let ref_outputs: Vec<Tensor> = reference.outputs.iter().map(|(_, t)| t.clone()).collect();
 
     // Export (the PyTorch→ONNX role, with its own seeded bugs).
     let exported = match export(&case.graph, &options.bugs) {
         Ok(e) => e,
-        Err(CompileError::Crash { message, .. }) => {
-            return TestOutcome::ExportCrash { message }
-        }
+        Err(CompileError::Crash { message, .. }) => return TestOutcome::ExportCrash { message },
         Err(e) => {
             return TestOutcome::InvalidCase {
                 message: format!("{e}"),
@@ -166,9 +161,7 @@ pub fn run_case(
     let compiled = match compiler.compile(&exported.graph, &case.weights, options, cov) {
         Ok(c) => c,
         Err(CompileError::NotImplemented(_)) => return TestOutcome::NotImplemented,
-        Err(CompileError::Crash { message, .. }) => {
-            return TestOutcome::CompileCrash { message }
-        }
+        Err(CompileError::Crash { message, .. }) => return TestOutcome::CompileCrash { message },
         Err(e) => {
             return TestOutcome::InvalidCase {
                 message: format!("{e}"),
@@ -233,8 +226,7 @@ fn localize(
     let compiled = compiler.compile(exported, &case.weights, &o0, cov).ok()?;
     let outputs = compiled.run(&case.inputs).ok()?;
     let reference = nnsmith_ops::execute(&case.graph, &case.all_bindings()).ok()?;
-    let ref_outputs: Vec<Tensor> =
-        reference.outputs.iter().map(|(_, t)| t.clone()).collect();
+    let ref_outputs: Vec<Tensor> = reference.outputs.iter().map(|(_, t)| t.clone()).collect();
     match compare_outputs(&ref_outputs, &outputs, tol) {
         Verdict::Match => Some(FaultSite::Optimization),
         _ => Some(FaultSite::Conversion),

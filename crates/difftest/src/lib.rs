@@ -15,13 +15,17 @@
 #![warn(missing_docs)]
 
 mod campaign;
+mod engine;
 mod harness;
 mod oracle;
 mod venn;
 
 pub use campaign::{
-    op_instance_keys, run_campaign, CampaignConfig, CampaignResult, TestCaseSource,
-    TimelinePoint,
+    op_instance_keys, run_campaign, run_campaign_observed, CampaignConfig, CampaignResult,
+    CaseRecord, TestCaseSource, TimelinePoint,
+};
+pub use engine::{
+    run_engine, shard_seed, EngineConfig, EngineReport, FnSourceFactory, ShardCtx, SourceFactory,
 };
 pub use harness::{run_case, seeded_bug_id, FaultSite, TestCase, TestOutcome};
 pub use oracle::{compare_outputs, Tolerance, Verdict};

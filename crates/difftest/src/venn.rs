@@ -109,7 +109,14 @@ mod tests {
         let a = set(&[1, 2, 3]);
         let b = set(&[3, 4]);
         let v = Venn2::of(&a, &b);
-        assert_eq!(v, Venn2 { only_a: 2, only_b: 1, both: 1 });
+        assert_eq!(
+            v,
+            Venn2 {
+                only_a: 2,
+                only_b: 1,
+                both: 1
+            }
+        );
         assert_eq!(v.total_a(), 3);
         assert_eq!(v.total_b(), 2);
     }

@@ -36,10 +36,7 @@ pub fn sample_from_bin<R: Rng + ?Sized>(i: u32, k: u32, rng: &mut R) -> (i64, i6
 fn bin_constraint<R: Rng + ?Sized>(alpha: &IntExpr, k: u32, rng: &mut R) -> BoolExpr {
     let i = rng.gen_range(1..=k);
     let (l, r) = sample_from_bin(i, k, rng);
-    BoolExpr::and([
-        alpha.clone().ge(l.into()),
-        alpha.clone().le(r.into()),
-    ])
+    BoolExpr::and([alpha.clone().ge(l.into()), alpha.clone().le(r.into())])
 }
 
 /// The specialized bins of §4 (`C*` in Algorithm 2): padding attributes get
@@ -148,8 +145,7 @@ pub fn apply_binning<R: Rng + ?Sized>(
         // size caps and a failed batch check burns the whole search budget,
         // so we go straight to the greedy pass (each incremental add is a
         // cheap warm-model repair).
-        let batch_ok = cb.len() <= 8
-            && solver.try_add_constraints(cb.iter().cloned()).is_some();
+        let batch_ok = cb.len() <= 8 && solver.try_add_constraints(cb.iter().cloned()).is_some();
         if batch_ok {
             kept = cb.len() as u64;
         } else {

@@ -70,7 +70,9 @@ pub struct GeneratedModel {
 #[derive(Debug, Clone)]
 pub struct Generator {
     config: GenConfig,
-    templates: Vec<OpTemplate>,
+    /// Shared, immutable template registry: cloning a generator (one per
+    /// campaign shard) bumps a refcount instead of copying the registry.
+    templates: std::sync::Arc<[OpTemplate]>,
 }
 
 impl Default for Generator {
@@ -84,14 +86,17 @@ impl Generator {
     pub fn new(config: GenConfig) -> Self {
         Generator {
             config,
-            templates: all_templates(),
+            templates: all_templates().into(),
         }
     }
 
     /// Creates a generator restricted to the given templates (used by the
     /// baseline reimplementations and focused experiments).
     pub fn with_templates(config: GenConfig, templates: Vec<OpTemplate>) -> Self {
-        Generator { config, templates }
+        Generator {
+            config,
+            templates: templates.into(),
+        }
     }
 
     /// The active configuration.
@@ -111,8 +116,7 @@ impl Generator {
         let mut stats = GenStats::default();
 
         let mut attempts = 0u64;
-        while state.op_count < self.config.target_ops
-            && attempts < self.config.max_attempts as u64
+        while state.op_count < self.config.target_ops && attempts < self.config.max_attempts as u64
         {
             attempts += 1;
             let tmpl = *self.templates.choose(rng).expect("registry non-empty");
@@ -131,7 +135,13 @@ impl Generator {
         }
 
         if self.config.binning {
-            apply_binning(&mut state.graph, &mut state.solver, &self.config, rng, &mut stats);
+            apply_binning(
+                &mut state.graph,
+                &mut state.solver,
+                &self.config,
+                rng,
+                &mut stats,
+            );
         }
 
         let model = match state.solver.check() {
@@ -174,6 +184,12 @@ impl SymbolicState {
         .expect("nonempty");
         let rank = rng.gen_range(1..=nnsmith_ops::MAX_RANK);
         let ttype = fresh_placeholder_type(dtype, rank, &mut solver, config.dim_hi);
+        // The seed placeholder is only otherwise capped transitively through
+        // operator outputs; a shape-shrinking consumer (slice, reduce) would
+        // let it exceed the tensor-size budget.
+        let mut caps = Vec::new();
+        Self::push_size_caps(&mut caps, &ttype, config.max_out_dim, config.max_numel);
+        solver.assert_all(caps);
         graph.add_placeholder(ttype);
         SymbolicState {
             graph,
@@ -236,9 +252,7 @@ impl SymbolicState {
         let mut input_types: Vec<TensorType> = Vec::with_capacity(slots.len());
         for (slot, src) in slots.iter().zip(&sources) {
             match src {
-                Some(Source::Existing(v)) => {
-                    input_types.push(self.graph.value_type(*v).clone())
-                }
+                Some(Source::Existing(v)) => input_types.push(self.graph.value_type(*v).clone()),
                 Some(Source::Fresh(t)) => input_types.push(t.clone()),
                 None => input_types.push(TensorType::new(slot.dtype, Vec::new())), // placeholder slot, replaced below
             }
@@ -254,8 +268,7 @@ impl SymbolicState {
         // Freshly-created placeholders (data or parameters) must respect
         // the tensor-size budget too.
         for (i, slot) in slots.iter().enumerate() {
-            let is_fresh =
-                !slot.from_graph || matches!(sources[i], Some(Source::Fresh(_)));
+            let is_fresh = !slot.from_graph || matches!(sources[i], Some(Source::Fresh(_)));
             if is_fresh {
                 Self::push_size_caps(
                     &mut constraints,
@@ -407,11 +420,7 @@ impl SymbolicState {
 
     /// `requires` plus output-positivity and size-bound constraints — the
     /// `Solve` helper of Algorithm 1.
-    fn insertion_constraints(
-        &self,
-        op: &Op,
-        input_types: &[TensorType],
-    ) -> Option<Vec<BoolExpr>> {
+    fn insertion_constraints(&self, op: &Op, input_types: &[TensorType]) -> Option<Vec<BoolExpr>> {
         let mut cs = op.requires(input_types).ok()?;
         let outputs = op.type_transfer(input_types).ok()?;
         for out in &outputs {
@@ -422,12 +431,7 @@ impl SymbolicState {
 
     /// Size-bound constraints for a tensor type: every dim in
     /// `[1, max_out_dim]` and the element count within budget.
-    fn push_size_caps(
-        cs: &mut Vec<BoolExpr>,
-        t: &TensorType,
-        max_out_dim: i64,
-        max_numel: i64,
-    ) {
+    fn push_size_caps(cs: &mut Vec<BoolExpr>, t: &TensorType, max_out_dim: i64, max_numel: i64) {
         let mut numel = IntExpr::Const(1);
         for d in &t.shape {
             cs.push(d.clone().ge(1.into()));
@@ -499,7 +503,11 @@ mod tests {
     #[test]
     fn generates_target_size() {
         let m = gen_with_seed(42, GenConfig::default());
-        assert!(m.graph.operators().len() >= 5, "only {} ops", m.graph.operators().len());
+        assert!(
+            m.graph.operators().len() >= 5,
+            "only {} ops",
+            m.graph.operators().len()
+        );
         assert!(m.graph.validate().is_ok());
         assert!(m.graph.is_concrete());
     }
@@ -607,7 +615,11 @@ mod tests {
                 ..GenConfig::default()
             },
         );
-        assert!(m.graph.operators().len() >= 12, "got {}", m.graph.operators().len());
+        assert!(
+            m.graph.operators().len() >= 12,
+            "got {}",
+            m.graph.operators().len()
+        );
     }
 
     #[test]

@@ -32,4 +32,4 @@ mod generate;
 
 pub use binning::{apply_binning, sample_from_bin};
 pub use config::{GenConfig, GenStats};
-pub use generate::{GeneratedModel, GenError, Generator};
+pub use generate::{GenError, GeneratedModel, Generator};

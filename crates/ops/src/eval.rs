@@ -1,8 +1,6 @@
 //! Concrete execution of operators on tensors (the reference semantics).
 
-use nnsmith_tensor::{
-    Conv2dParams, PadMode, Pool2dParams, Result, Tensor, TensorError,
-};
+use nnsmith_tensor::{Conv2dParams, PadMode, Pool2dParams, Result, Tensor, TensorError};
 
 use crate::op::{BinaryKind, CompareKind, LogicalKind, Op, PadKind, UnaryKind};
 
@@ -10,8 +8,7 @@ fn attr_usize(e: &nnsmith_solver::IntExpr, what: &str) -> Result<usize> {
     let v = e
         .as_const()
         .ok_or_else(|| TensorError::unsupported(format!("symbolic attribute in eval: {what}")))?;
-    usize::try_from(v)
-        .map_err(|_| TensorError::shape(format!("negative attribute {what}: {v}")))
+    usize::try_from(v).map_err(|_| TensorError::shape(format!("negative attribute {what}: {v}")))
 }
 
 fn attr_i64(e: &nnsmith_solver::IntExpr, what: &str) -> Result<i64> {
@@ -155,13 +152,9 @@ impl Op {
                 };
                 inputs[0].avg_pool2d(&params)?
             }
-            Op::BatchNorm => inputs[0].batch_norm(
-                inputs[1],
-                inputs[2],
-                inputs[3],
-                inputs[4],
-                1e-5,
-            )?,
+            Op::BatchNorm => {
+                inputs[0].batch_norm(inputs[1], inputs[2], inputs[3], inputs[4], 1e-5)?
+            }
             Op::Reshape { dims } => {
                 let target: Result<Vec<usize>> =
                     dims.iter().map(|d| attr_usize(d, "dim")).collect();
@@ -173,8 +166,7 @@ impl Op {
                 ends,
                 steps,
             } => {
-                let s: Result<Vec<usize>> =
-                    starts.iter().map(|e| attr_usize(e, "start")).collect();
+                let s: Result<Vec<usize>> = starts.iter().map(|e| attr_usize(e, "start")).collect();
                 let e: Result<Vec<usize>> = ends.iter().map(|e| attr_usize(e, "end")).collect();
                 let st: Vec<usize> = steps.iter().map(|&x| x as usize).collect();
                 inputs[0].slice(&s?, &e?, &st)?

@@ -101,17 +101,11 @@ pub fn execute(graph: &Graph<Op>, bindings: &Bindings) -> Result<Execution, Exec
                     .ok_or(ExecError::MissingBinding(id))?
                     .clone();
                 let declared = &node.outputs[0];
-                let dims = declared
-                    .concrete_dims()
-                    .ok_or(ExecError::NotConcrete(id))?;
+                let dims = declared.concrete_dims().ok_or(ExecError::NotConcrete(id))?;
                 if t.shape() != dims.as_slice() || t.dtype() != declared.dtype {
                     return Err(ExecError::BindingType {
                         node: id,
-                        context: format!(
-                            "expected {declared}, got {}[{:?}]",
-                            t.dtype(),
-                            t.shape()
-                        ),
+                        context: format!("expected {declared}, got {}[{:?}]", t.dtype(), t.shape()),
                     });
                 }
                 vec![t]
@@ -216,10 +210,7 @@ mod tests {
         b.insert(w, Tensor::from_f32(&[4], vec![10., 10., 10., 10.]).unwrap());
         let exec = execute(&g, &b).unwrap();
         assert_eq!(exec.outputs.len(), 1);
-        assert_eq!(
-            exec.outputs[0].1.as_f32().unwrap(),
-            &[10., 12., 10., 14.]
-        );
+        assert_eq!(exec.outputs[0].1.as_f32().unwrap(), &[10., 12., 10., 14.]);
         assert!(!exec.has_exceptional());
     }
 
@@ -228,10 +219,7 @@ mod tests {
         let (g, x, _) = simple_graph();
         let mut b = Bindings::new();
         b.insert(x, Tensor::zeros(&[4], DType::F32));
-        assert!(matches!(
-            execute(&g, &b),
-            Err(ExecError::MissingBinding(_))
-        ));
+        assert!(matches!(execute(&g, &b), Err(ExecError::MissingBinding(_))));
     }
 
     #[test]

@@ -14,21 +14,14 @@
 //! whose sign follows the function's overall trend — exactly the LeakyReLU
 //! trick the paper describes.
 
-use nnsmith_tensor::{
-    Conv2dParams, Pool2dParams, ReduceKind, Result, Tensor, TensorError,
-};
+use nnsmith_tensor::{Conv2dParams, Pool2dParams, ReduceKind, Result, Tensor, TensorError};
 
 use crate::op::{BinaryKind, Op, UnaryKind};
 
 /// Slope used for proxy derivatives in zero-gradient regions.
 pub const PROXY_ALPHA: f64 = 0.01;
 
-fn elementwise_grad(
-    x: &Tensor,
-    y: &Tensor,
-    g: &Tensor,
-    f: impl Fn(f64, f64) -> f64,
-) -> Tensor {
+fn elementwise_grad(x: &Tensor, y: &Tensor, g: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
     let mut out = Tensor::zeros(x.shape(), x.dtype());
     for i in 0..x.numel() {
         let d = f(x.lin_f64(i), y.lin_f64(i));
@@ -160,14 +153,8 @@ impl Op {
                     return Ok(vec![None, None]);
                 }
                 let (ga, gb) = match kind {
-                    BinaryKind::Add => (
-                        g.sum_to(a.shape())?,
-                        g.sum_to(b.shape())?,
-                    ),
-                    BinaryKind::Sub => (
-                        g.sum_to(a.shape())?,
-                        g.neg()?.sum_to(b.shape())?,
-                    ),
+                    BinaryKind::Add => (g.sum_to(a.shape())?, g.sum_to(b.shape())?),
+                    BinaryKind::Sub => (g.sum_to(a.shape())?, g.neg()?.sum_to(b.shape())?),
                     BinaryKind::Mul => (
                         broadcast_binary_grad(a, b, g, |_, bv| bv)?,
                         broadcast_binary_grad(b, a, g, |_, av| av)?,
@@ -211,36 +198,12 @@ impl Op {
                         })?,
                     ),
                     BinaryKind::Max => (
-                        broadcast_binary_grad(a, b, g, |av, bv| {
-                            if av >= bv {
-                                1.0
-                            } else {
-                                0.0
-                            }
-                        })?,
-                        broadcast_binary_grad(b, a, g, |bv, av| {
-                            if bv > av {
-                                1.0
-                            } else {
-                                0.0
-                            }
-                        })?,
+                        broadcast_binary_grad(a, b, g, |av, bv| if av >= bv { 1.0 } else { 0.0 })?,
+                        broadcast_binary_grad(b, a, g, |bv, av| if bv > av { 1.0 } else { 0.0 })?,
                     ),
                     BinaryKind::Min => (
-                        broadcast_binary_grad(a, b, g, |av, bv| {
-                            if av <= bv {
-                                1.0
-                            } else {
-                                0.0
-                            }
-                        })?,
-                        broadcast_binary_grad(b, a, g, |bv, av| {
-                            if bv < av {
-                                1.0
-                            } else {
-                                0.0
-                            }
-                        })?,
+                        broadcast_binary_grad(a, b, g, |av, bv| if av <= bv { 1.0 } else { 0.0 })?,
+                        broadcast_binary_grad(b, a, g, |bv, av| if bv < av { 1.0 } else { 0.0 })?,
                     ),
                 };
                 vec![Some(ga), Some(gb)]
@@ -400,8 +363,7 @@ impl Op {
                 let gvar = gvar_full.sum_to(&stat_shape)?.reshaped(scale.shape())?;
                 vec![Some(gx), Some(gscale), Some(gbias), Some(gmean), Some(gvar)]
             }
-            Op::Reshape { .. } | Op::Squeeze { .. } | Op::Unsqueeze { .. }
-            | Op::Flatten { .. } => {
+            Op::Reshape { .. } | Op::Squeeze { .. } | Op::Unsqueeze { .. } | Op::Flatten { .. } => {
                 if !inputs[0].dtype().is_float() {
                     return Ok(vec![None]);
                 }
@@ -474,7 +436,11 @@ impl Op {
                 }
                 vec![Some(g.sum_to(inputs[0].shape())?)]
             }
-            Op::Reduce { kind, axes, keepdims } => {
+            Op::Reduce {
+                kind,
+                axes,
+                keepdims,
+            } => {
                 let x = inputs[0];
                 if !x.dtype().is_float() {
                     return Ok(vec![None]);
@@ -506,9 +472,7 @@ impl Op {
                         g_full.mul(&scale)?
                     }
                     ReduceKind::Prod => {
-                        let y_keep = outputs[0]
-                            .reshaped(&keep_shape)?
-                            .broadcast_to(x.shape())?;
+                        let y_keep = outputs[0].reshaped(&keep_shape)?.broadcast_to(x.shape())?;
                         elementwise_grad(x, &y_keep, &g_full, |xv, yv| {
                             if xv.abs() > 1e-12 {
                                 yv / xv
@@ -518,16 +482,19 @@ impl Op {
                         })
                     }
                     ReduceKind::Max | ReduceKind::Min => {
-                        let y_keep = outputs[0]
-                            .reshaped(&keep_shape)?
-                            .broadcast_to(x.shape())?;
-                        elementwise_grad(x, &y_keep, &g_full, |xv, yv| {
-                            if xv == yv {
-                                1.0
-                            } else {
-                                0.0
-                            }
-                        })
+                        let y_keep = outputs[0].reshaped(&keep_shape)?.broadcast_to(x.shape())?;
+                        elementwise_grad(
+                            x,
+                            &y_keep,
+                            &g_full,
+                            |xv, yv| {
+                                if xv == yv {
+                                    1.0
+                                } else {
+                                    0.0
+                                }
+                            },
+                        )
                     }
                 };
                 vec![Some(gx)]
@@ -539,12 +506,7 @@ impl Op {
                 }
                 let (sh, sw) = (usize_attr(scale_h)?, usize_attr(scale_w)?);
                 let mut gx = Tensor::zeros(x.shape(), x.dtype());
-                let (n, c, h, w) = (
-                    x.shape()[0],
-                    x.shape()[1],
-                    x.shape()[2],
-                    x.shape()[3],
-                );
+                let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
                 let g_strides = nnsmith_tensor::strides_of(g.shape());
                 let x_strides = nnsmith_tensor::strides_of(x.shape());
                 for ni in 0..n {
@@ -555,10 +517,8 @@ impl Op {
                                     + ci * x_strides[1]
                                     + (oy / sh) * x_strides[2]
                                     + ox / sw;
-                                let gidx = ni * g_strides[0]
-                                    + ci * g_strides[1]
-                                    + oy * g_strides[2]
-                                    + ox;
+                                let gidx =
+                                    ni * g_strides[0] + ci * g_strides[1] + oy * g_strides[2] + ox;
                                 gx.set_lin_f64(src, gx.lin_f64(src) + g.lin_f64(gidx));
                             }
                         }
@@ -587,7 +547,9 @@ fn matmul_vjp(a: &Tensor, b: &Tensor, g: &Tensor) -> Result<(Tensor, Tensor)> {
     // Rebuild the promoted output gradient shape.
     let mut g2_shape: Vec<usize> = g.shape().to_vec();
     if a.rank() == 1 {
-        let insert_at = g2_shape.len().saturating_sub(if b.rank() == 1 { 0 } else { 1 });
+        let insert_at = g2_shape
+            .len()
+            .saturating_sub(if b.rank() == 1 { 0 } else { 1 });
         g2_shape.insert(insert_at, 1);
     }
     if b.rank() == 1 {
@@ -628,10 +590,7 @@ mod tests {
             minus[input_idx] = t;
             let f = |ins: &[Tensor]| -> f64 {
                 let refs: Vec<&Tensor> = ins.iter().collect();
-                op.eval(&refs).unwrap()[0]
-                    .to_f64_vec()
-                    .iter()
-                    .sum::<f64>()
+                op.eval(&refs).unwrap()[0].to_f64_vec().iter().sum::<f64>()
             };
             let num = (f(&plus) - f(&minus)) / (2.0 * eps);
             let ana = gx.lin_f64(i);
@@ -792,9 +751,7 @@ mod tests {
         let op = Op::Compare(crate::op::CompareKind::Less);
         let out = op.eval(&[&a, &a]).unwrap();
         let g = Tensor::ones(out[0].shape(), DType::Bool);
-        let grads = op
-            .vjp(&[&a, &a], &[&out[0]], &g, true)
-            .unwrap();
+        let grads = op.vjp(&[&a, &a], &[&out[0]], &g, true).unwrap();
         assert!(grads.iter().all(Option::is_none));
     }
 
@@ -806,10 +763,7 @@ mod tests {
         let g = Tensor::ones(&[2], DType::F64);
         let with_proxy = op.vjp(&[&x], &[&out[0]], &g, true).unwrap();
         let without = op.vjp(&[&x], &[&out[0]], &g, false).unwrap();
-        assert_eq!(
-            with_proxy[0].as_ref().unwrap().lin_f64(0),
-            PROXY_ALPHA
-        );
+        assert_eq!(with_proxy[0].as_ref().unwrap().lin_f64(0), PROXY_ALPHA);
         assert_eq!(without[0].as_ref().unwrap().lin_f64(0), 0.0);
         assert_eq!(with_proxy[0].as_ref().unwrap().lin_f64(1), 1.0);
     }

@@ -38,6 +38,8 @@
 //! ```
 
 #![warn(missing_docs)]
+#![allow(clippy::cloned_ref_to_slice_refs)] // spec/vjp code favours explicit slices and index loops
+#![allow(clippy::needless_range_loop)] // spec/vjp code favours explicit slices and index loops
 
 mod eval;
 mod exec;

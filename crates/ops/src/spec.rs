@@ -130,8 +130,7 @@ impl Op {
                 };
                 cs.push(a_inner.eq_expr(b_inner));
                 if ra >= 2 && rb >= 2 {
-                    let (bc, _) =
-                        broadcast_sym(&a.shape[..ra - 2], &b.shape[..rb - 2]);
+                    let (bc, _) = broadcast_sym(&a.shape[..ra - 2], &b.shape[..rb - 2]);
                     cs.extend(bc);
                 }
             }
@@ -171,10 +170,8 @@ impl Op {
                 expect_shape(&mut cs, &inputs[2], &[out_channels.clone()])?;
                 // Dilated kernel fits the padded image.
                 let two_p = IntExpr::from(2) * padding.clone();
-                let eff_kh =
-                    dilation.clone() * (kh.clone() - 1.into()) + IntExpr::from(1);
-                let eff_kw =
-                    dilation.clone() * (kw.clone() - 1.into()) + IntExpr::from(1);
+                let eff_kh = dilation.clone() * (kh.clone() - 1.into()) + IntExpr::from(1);
+                let eff_kw = dilation.clone() * (kw.clone() - 1.into()) + IntExpr::from(1);
                 cs.push(eff_kh.le(x.shape[2].clone() + two_p.clone()));
                 cs.push(eff_kw.le(x.shape[3].clone() + two_p));
             }
@@ -229,8 +226,7 @@ impl Op {
                 steps,
             } => {
                 let x = &inputs[0];
-                if starts.len() != x.rank() || ends.len() != x.rank() || steps.len() != x.rank()
-                {
+                if starts.len() != x.rank() || ends.len() != x.rank() || steps.len() != x.rank() {
                     return Err(SpecError::new("slice parameter rank mismatch"));
                 }
                 for d in 0..x.rank() {
@@ -249,10 +245,7 @@ impl Op {
                         PadKind::Constant => {
                             // Cropping allowed, but the result must stay
                             // non-empty.
-                            cs.push(
-                                (x.shape[d].clone() + b.clone() + a.clone())
-                                    .ge(1.into()),
-                            );
+                            cs.push((x.shape[d].clone() + b.clone() + a.clone()).ge(1.into()));
                         }
                         PadKind::Reflect => {
                             cs.push(b.clone().ge(0.into()));
@@ -405,14 +398,11 @@ impl Op {
             } => {
                 let x = &inputs[0];
                 let two_p = IntExpr::from(2) * padding.clone();
-                let eff_kh =
-                    dilation.clone() * (kh.clone() - 1.into()) + IntExpr::from(1);
-                let eff_kw =
-                    dilation.clone() * (kw.clone() - 1.into()) + IntExpr::from(1);
+                let eff_kh = dilation.clone() * (kh.clone() - 1.into()) + IntExpr::from(1);
+                let eff_kw = dilation.clone() * (kw.clone() - 1.into()) + IntExpr::from(1);
                 let oh = (x.shape[2].clone() + two_p.clone() - eff_kh) / stride.clone()
                     + IntExpr::from(1);
-                let ow = (x.shape[3].clone() + two_p - eff_kw) / stride.clone()
-                    + IntExpr::from(1);
+                let ow = (x.shape[3].clone() + two_p - eff_kw) / stride.clone() + IntExpr::from(1);
                 vec![TensorType::new(
                     x.dtype,
                     vec![x.shape[0].clone(), out_channels.clone(), oh, ow],
@@ -434,8 +424,8 @@ impl Op {
                 let two_p = IntExpr::from(2) * padding.clone();
                 let oh = (x.shape[2].clone() + two_p.clone() - kh.clone()) / stride.clone()
                     + IntExpr::from(1);
-                let ow = (x.shape[3].clone() + two_p - kw.clone()) / stride.clone()
-                    + IntExpr::from(1);
+                let ow =
+                    (x.shape[3].clone() + two_p - kw.clone()) / stride.clone() + IntExpr::from(1);
                 vec![TensorType::new(
                     x.dtype,
                     vec![x.shape[0].clone(), x.shape[1].clone(), oh, ow],
@@ -545,11 +535,7 @@ fn reduced_dims(shape: &[IntExpr], axes: &[usize], keepdims: bool) -> Vec<IntExp
 
 /// Asserts that `t` has exactly the given dims (rank must match; dim
 /// equality becomes constraints, folded away when syntactically equal).
-fn expect_shape(
-    cs: &mut Vec<BoolExpr>,
-    t: &TensorType,
-    dims: &[IntExpr],
-) -> Result<(), SpecError> {
+fn expect_shape(cs: &mut Vec<BoolExpr>, t: &TensorType, dims: &[IntExpr]) -> Result<(), SpecError> {
     if t.rank() != dims.len() {
         return Err(SpecError::new(format!(
             "expected rank {}, got {}",
@@ -649,7 +635,7 @@ mod tests {
         let cs = op
             .requires(&[tt(DType::F32, &[2, 3]), tt(DType::F32, &[4, 5])])
             .unwrap();
-        assert!(cs.iter().any(|c| *c == BoolExpr::Lit(false)));
+        assert!(cs.contains(&BoolExpr::Lit(false)));
     }
 
     #[test]
@@ -689,7 +675,7 @@ mod tests {
         let w = tt(DType::F32, &[1, 1, 5, 5]);
         let b = tt(DType::F32, &[1]);
         let cs = op.requires(&[x, w, b]).unwrap();
-        assert!(cs.iter().any(|c| *c == BoolExpr::Lit(false)));
+        assert!(cs.contains(&BoolExpr::Lit(false)));
     }
 
     #[test]
@@ -720,7 +706,7 @@ mod tests {
             dims: vec![IntExpr::Const(62), IntExpr::Const(62), IntExpr::Const(3)],
         };
         let cs = bad.requires(std::slice::from_ref(&x)).unwrap();
-        assert!(cs.iter().any(|c| *c == BoolExpr::Lit(false)));
+        assert!(cs.contains(&BoolExpr::Lit(false)));
     }
 
     #[test]
@@ -752,7 +738,7 @@ mod tests {
             kind: PadKind::Reflect,
         };
         let cs = refl.requires(std::slice::from_ref(&x)).unwrap();
-        assert!(cs.iter().any(|c| *c == BoolExpr::Lit(false)));
+        assert!(cs.contains(&BoolExpr::Lit(false)));
     }
 
     #[test]
@@ -795,8 +781,7 @@ mod tests {
         assert!(op
             .requires(std::slice::from_ref(&bad))
             .unwrap()
-            .iter()
-            .any(|c| *c == BoolExpr::Lit(false)));
+            .contains(&BoolExpr::Lit(false)));
     }
 
     #[test]
@@ -814,8 +799,7 @@ mod tests {
         assert!(op
             .requires(std::slice::from_ref(&bad))
             .unwrap()
-            .iter()
-            .any(|c| *c == BoolExpr::Lit(false)));
+            .contains(&BoolExpr::Lit(false)));
     }
 
     #[test]

@@ -224,19 +224,31 @@ impl OpTemplate {
                 let r = sample_rank(rng, 0);
                 let d = sample_float(rng);
                 // Allow mild rank asymmetry for broadcasting diversity.
-                let r2 = if rng.gen_bool(0.3) { sample_rank(rng, 0).min(r) } else { r };
+                let r2 = if rng.gen_bool(0.3) {
+                    sample_rank(rng, 0).min(r)
+                } else {
+                    r
+                };
                 vec![g(d, r), g(d, r2)]
             }
             OpTemplate::Binary(_) => {
                 let d = sample_numeric(rng);
                 let r = sample_rank(rng, 0);
-                let r2 = if rng.gen_bool(0.3) { sample_rank(rng, 0).min(r) } else { r };
+                let r2 = if rng.gen_bool(0.3) {
+                    sample_rank(rng, 0).min(r)
+                } else {
+                    r
+                };
                 vec![g(d, r), g(d, r2)]
             }
             OpTemplate::Compare(_) => {
                 let d = sample_numeric(rng);
                 let r = sample_rank(rng, 0);
-                let r2 = if rng.gen_bool(0.3) { sample_rank(rng, 0).min(r) } else { r };
+                let r2 = if rng.gen_bool(0.3) {
+                    sample_rank(rng, 0).min(r)
+                } else {
+                    r
+                };
                 vec![g(d, r), g(d, r2)]
             }
             OpTemplate::Logical(_) => {
@@ -247,8 +259,16 @@ impl OpTemplate {
             OpTemplate::Where => {
                 let d = sample_numeric(rng);
                 let r = sample_rank(rng, 0);
-                let rc = if rng.gen_bool(0.3) { sample_rank(rng, 0).min(r) } else { r };
-                let rf = if rng.gen_bool(0.3) { sample_rank(rng, 0).min(r) } else { r };
+                let rc = if rng.gen_bool(0.3) {
+                    sample_rank(rng, 0).min(r)
+                } else {
+                    r
+                };
+                let rf = if rng.gen_bool(0.3) {
+                    sample_rank(rng, 0).min(r)
+                } else {
+                    r
+                };
                 vec![g(DType::Bool, rc), g(d, r), g(d, rf)]
             }
             OpTemplate::Cast => vec![g(sample_numeric(rng), sample_rank(rng, 0))],
@@ -256,9 +276,18 @@ impl OpTemplate {
             OpTemplate::Clip => vec![g(sample_numeric(rng), sample_rank(rng, 0))],
             OpTemplate::MatMul => {
                 let d = sample_float(rng);
-                let (ra, rb) = *[(2, 2), (2, 2), (1, 2), (2, 1), (1, 1), (3, 3), (4, 4), (3, 2)]
-                    .choose(rng)
-                    .expect("nonempty");
+                let (ra, rb) = *[
+                    (2, 2),
+                    (2, 2),
+                    (1, 2),
+                    (2, 1),
+                    (1, 1),
+                    (3, 3),
+                    (4, 4),
+                    (3, 2),
+                ]
+                .choose(rng)
+                .expect("nonempty");
                 vec![g(d, ra), g(d, rb)]
             }
             OpTemplate::Dense => {
@@ -420,9 +449,7 @@ impl OpTemplate {
             OpTemplate::Reshape => {
                 let out_rank = rng.gen_range(1..=MAX_RANK);
                 let dims = (0..out_rank)
-                    .map(|i| {
-                        IntExpr::var(solver.new_var(format!("reshape_d{i}"), 1, MAX_DIM))
-                    })
+                    .map(|i| IntExpr::var(solver.new_var(format!("reshape_d{i}"), 1, MAX_DIM)))
                     .collect();
                 Op::Reshape { dims }
             }
@@ -762,9 +789,7 @@ impl OpTemplate {
                 }
                 if dims.len() != need {
                     *dims = (0..need)
-                        .map(|i| {
-                            IntExpr::var(solver.new_var(format!("bwd_d{i}"), 1, MAX_DIM))
-                        })
+                        .map(|i| IntExpr::var(solver.new_var(format!("bwd_d{i}"), 1, MAX_DIM)))
                         .collect();
                 }
             }
@@ -874,12 +899,17 @@ mod tests {
         let slots = tmpl.sample_slots(&mut rng);
         let x = TensorType::new(
             slots[0].dtype,
-            (0..4).map(|_| IntExpr::var(solver.new_dim_var("x"))).collect(),
+            (0..4)
+                .map(|_| IntExpr::var(solver.new_dim_var("x")))
+                .collect(),
         );
         let types = vec![x.clone(), x.clone(), x.clone()]; // params overridden
         let built = tmpl.build(&slots, &types, &mut solver, &mut rng).unwrap();
         // Weight type dims reference the op attributes directly.
-        if let Op::Conv2d { out_channels, kh, .. } = &built.op {
+        if let Op::Conv2d {
+            out_channels, kh, ..
+        } = &built.op
+        {
             assert_eq!(built.param_types[0].shape[0], *out_channels);
             assert_eq!(built.param_types[0].shape[2], *kh);
         } else {
@@ -915,7 +945,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let out4 = TensorType::concrete(DType::F32, &[1, 2, 3, 3]);
         let out2 = TensorType::concrete(DType::F32, &[2, 3]);
-        assert!(OpTemplate::Conv2d.infer_input_slots(&out4, &mut rng).is_some());
-        assert!(OpTemplate::Conv2d.infer_input_slots(&out2, &mut rng).is_none());
+        assert!(OpTemplate::Conv2d
+            .infer_input_slots(&out4, &mut rng)
+            .is_some());
+        assert!(OpTemplate::Conv2d
+            .infer_input_slots(&out2, &mut rng)
+            .is_none());
     }
 }

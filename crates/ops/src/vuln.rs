@@ -42,11 +42,7 @@ pub struct ViolationLoss {
 }
 
 /// Builds `Σ max(f(x), 0)` and `d/dx` from a per-element `f` and `f'`.
-fn hinge_loss(
-    x: &Tensor,
-    f: impl Fn(f64) -> f64,
-    df: impl Fn(f64) -> f64,
-) -> (f64, Tensor) {
+fn hinge_loss(x: &Tensor, f: impl Fn(f64) -> f64, df: impl Fn(f64) -> f64) -> (f64, Tensor) {
     let mut loss = 0.0;
     let mut grad = Tensor::zeros(x.shape(), x.dtype());
     for i in 0..x.numel() {
@@ -78,11 +74,7 @@ impl Op {
         match self {
             Op::Unary(UnaryKind::Asin | UnaryKind::Acos) => {
                 // |X| <= 1  ⇒  |x| - 1 <= 0
-                let (loss, grad) = hinge_loss(
-                    inputs[0],
-                    |x| x.abs() - 1.0,
-                    |x| x.signum(),
-                );
+                let (loss, grad) = hinge_loss(inputs[0], |x| x.abs() - 1.0, |x| x.signum());
                 (loss > 0.0).then(|| ViolationLoss {
                     loss,
                     grads: vec![Some(grad)],
@@ -100,8 +92,7 @@ impl Op {
             }
             Op::Unary(UnaryKind::Log | UnaryKind::Log2) => {
                 // X > 0  ⇒  -x < 0  ⇒  Σ max(-x + ε, 0)
-                let (loss, grad) =
-                    hinge_loss(inputs[0], |x| -x + LOSS_EPSILON, |_| -1.0);
+                let (loss, grad) = hinge_loss(inputs[0], |x| -x + LOSS_EPSILON, |_| -1.0);
                 (loss > 0.0).then(|| ViolationLoss {
                     loss,
                     grads: vec![Some(grad)],
@@ -110,8 +101,7 @@ impl Op {
             }
             Op::Unary(UnaryKind::Exp) => {
                 // X <= 40 to avoid overflow.
-                let (loss, grad) =
-                    hinge_loss(inputs[0], |x| x - EXP_BOUND, |_| 1.0);
+                let (loss, grad) = hinge_loss(inputs[0], |x| x - EXP_BOUND, |_| 1.0);
                 (loss > 0.0).then(|| ViolationLoss {
                     loss,
                     grads: vec![Some(grad)],
@@ -133,8 +123,7 @@ impl Op {
             }
             Op::Binary(BinaryKind::Pow) => {
                 // Predicate 1: X > 0.
-                let (l1, g1) =
-                    hinge_loss(inputs[0], |x| -x + LOSS_EPSILON, |_| -1.0);
+                let (l1, g1) = hinge_loss(inputs[0], |x| -x + LOSS_EPSILON, |_| -1.0);
                 if l1 > 0.0 {
                     return Some(ViolationLoss {
                         loss: l1,
@@ -144,11 +133,8 @@ impl Op {
                 }
                 // Predicate 2: Y·ln(X) <= 40 (elementwise over the broadcast
                 // pair; computed on the aligned full shapes).
-                let shape = nnsmith_tensor::broadcast_shapes(
-                    inputs[0].shape(),
-                    inputs[1].shape(),
-                )
-                .ok()?;
+                let shape =
+                    nnsmith_tensor::broadcast_shapes(inputs[0].shape(), inputs[1].shape()).ok()?;
                 let xf = inputs[0].broadcast_to(&shape).ok()?;
                 let yf = inputs[1].broadcast_to(&shape).ok()?;
                 let mut loss = 0.0;
@@ -178,8 +164,7 @@ impl Op {
             }
             Op::BatchNorm => {
                 // var + eps > 0, i.e. var must not be (too) negative.
-                let (loss, grad) =
-                    hinge_loss(inputs[4], |v| -v + LOSS_EPSILON, |_| -1.0);
+                let (loss, grad) = hinge_loss(inputs[4], |v| -v + LOSS_EPSILON, |_| -1.0);
                 if loss > 0.0 {
                     let mut grads = none(5);
                     grads[4] = Some(grad);
@@ -200,17 +185,13 @@ impl Op {
                     if !x.dtype().is_float() {
                         continue;
                     }
-                    let (l, g) = hinge_loss(
-                        x,
-                        |v| v.abs() - GENERIC_BOUND,
-                        |v| v.signum(),
-                    );
+                    let (l, g) = hinge_loss(x, |v| v.abs() - GENERIC_BOUND, |v| v.signum());
                     if l > 0.0 {
                         loss += l;
                         grads[i] = Some(g);
                     }
                 }
-                (loss > 0.0).then(|| ViolationLoss {
+                (loss > 0.0).then_some(ViolationLoss {
                     loss,
                     grads,
                     predicate: "|X| <= bound (generic)",
@@ -276,9 +257,7 @@ mod tests {
         assert_eq!(v.predicate, "Y*ln(X) <= 40");
         assert!(v.grads[1].as_ref().unwrap().lin_f64(0) > 0.0);
         // In-domain: no loss.
-        assert!(op
-            .violation_loss(&[&t(vec![2.0]), &t(vec![3.0])])
-            .is_none());
+        assert!(op.violation_loss(&[&t(vec![2.0]), &t(vec![3.0])]).is_none());
     }
 
     #[test]

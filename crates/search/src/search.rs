@@ -289,11 +289,7 @@ fn backprop(
                     .map(|v| values.get(v).expect("executed"))
                     .collect();
                 let outputs: Vec<&Tensor> = (0..node.outputs.len())
-                    .map(|index| {
-                        values
-                            .get(&ValueRef { node: id, index })
-                            .expect("executed")
-                    })
+                    .map(|index| values.get(&ValueRef { node: id, index }).expect("executed"))
                     .collect();
                 let Ok(input_grads) = op.vjp(&inputs, &outputs, &grad_out, proxy) else {
                     continue;

@@ -1,0 +1,547 @@
+//! Hash-consed expression arena — the shared, interned constraint layer.
+//!
+//! Historically every asserted constraint was stored as an owned
+//! [`IntExpr`]/[`BoolExpr`] tree, so cloning a solver (or spawning a fresh
+//! generation source per campaign shard) deep-cloned every node, and
+//! structurally identical subterms (the `d >= 1`, `d <= max_dim` caps
+//! every tensor dimension contributes) were stored once per occurrence.
+//!
+//! This module interns expressions in a process-wide arena instead:
+//!
+//! * [`ExprId`] / [`BoolId`] are `Copy` handles into append-only tables,
+//!   so a constraint *system* is a `Vec<BoolId>` — cloning a solver or
+//!   sharing accumulated constraints across worker threads copies a few
+//!   machine words per constraint;
+//! * interning **hash-conses**: structurally equal terms get the same
+//!   handle, across every solver in the process (shard workers included);
+//! * the intern-time smart constructors ([`PoolInner::bin`],
+//!   [`PoolInner::cmp`], …) **constant-fold** and apply the same algebraic
+//!   identities as the tree-level builders in [`crate::expr`], so fully
+//!   concrete arithmetic never allocates nodes at all;
+//! * the arena is `Send + Sync` (a `RwLock` around append-only tables);
+//!   readers — the solver's propagation/search hot paths — take one read
+//!   guard per `check` call, not one per node.
+//!
+//! Handles are only meaningful within the process; nothing may depend on
+//! the numeric *order* of ids (two runs can intern in different orders
+//! when worker threads race), only on their equality. All solver logic
+//! honours this: same-seed campaigns are bit-reproducible regardless of
+//! worker count.
+
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock, RwLockReadGuard};
+
+use crate::expr::{BinOp, BoolExpr, CmpOp, IntExpr, VarId};
+use crate::interval::{Interval, Truth};
+
+/// Handle of an interned integer expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExprId(u32);
+
+/// Handle of an interned boolean expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BoolId(u32);
+
+/// An interned integer-expression node; children are handles.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum IntNode {
+    /// A literal constant.
+    Const(i64),
+    /// A solver variable.
+    Var(VarId),
+    /// A binary operation.
+    Bin(BinOp, ExprId, ExprId),
+}
+
+/// An interned boolean-expression node; children are handles.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BoolNode {
+    /// Constant truth value.
+    Lit(bool),
+    /// Comparison between two integer expressions.
+    Cmp(CmpOp, ExprId, ExprId),
+    /// Conjunction.
+    And(Vec<BoolId>),
+    /// Disjunction.
+    Or(Vec<BoolId>),
+    /// Negation.
+    Not(BoolId),
+}
+
+/// Counters describing the arena (diagnostics, benchmarks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Distinct interned integer nodes.
+    pub int_nodes: usize,
+    /// Distinct interned boolean nodes.
+    pub bool_nodes: usize,
+}
+
+/// The arena tables. Access through [`read_pool`] or the interning
+/// methods, which manage the process-wide lock.
+#[derive(Debug, Default)]
+pub struct PoolInner {
+    ints: Vec<IntNode>,
+    bools: Vec<BoolNode>,
+    int_ids: HashMap<IntNode, ExprId>,
+    bool_ids: HashMap<BoolNode, BoolId>,
+}
+
+impl PoolInner {
+    /// Resolves an integer handle.
+    pub fn int_node(&self, id: ExprId) -> &IntNode {
+        &self.ints[id.0 as usize]
+    }
+
+    /// Resolves a boolean handle.
+    pub fn bool_node(&self, id: BoolId) -> &BoolNode {
+        &self.bools[id.0 as usize]
+    }
+
+    /// The constant value of an interned expression, if it is a literal.
+    pub fn as_const(&self, id: ExprId) -> Option<i64> {
+        match self.int_node(id) {
+            IntNode::Const(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Arena counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            int_nodes: self.ints.len(),
+            bool_nodes: self.bools.len(),
+        }
+    }
+
+    fn intern_int_node(&mut self, node: IntNode) -> ExprId {
+        if let Some(&id) = self.int_ids.get(&node) {
+            return id;
+        }
+        let id = ExprId(self.ints.len() as u32);
+        self.ints.push(node.clone());
+        self.int_ids.insert(node, id);
+        id
+    }
+
+    fn intern_bool_node(&mut self, node: BoolNode) -> BoolId {
+        if let Some(&id) = self.bool_ids.get(&node) {
+            return id;
+        }
+        let id = BoolId(self.bools.len() as u32);
+        self.bools.push(node.clone());
+        self.bool_ids.insert(node, id);
+        id
+    }
+
+    /// Interns a constant.
+    pub fn constant(&mut self, v: i64) -> ExprId {
+        self.intern_int_node(IntNode::Const(v))
+    }
+
+    /// Interns a variable reference.
+    pub fn var(&mut self, v: VarId) -> ExprId {
+        self.intern_int_node(IntNode::Var(v))
+    }
+
+    /// Interns a binary operation, constant-folding and applying the same
+    /// algebraic identities as [`IntExpr::bin`].
+    pub fn bin(&mut self, op: BinOp, lhs: ExprId, rhs: ExprId) -> ExprId {
+        let (lc, rc) = (self.as_const(lhs), self.as_const(rhs));
+        if let (Some(a), Some(b)) = (lc, rc) {
+            if let Some(v) = op.apply(a, b) {
+                return self.constant(v);
+            }
+        }
+        match (op, lc, rc) {
+            (BinOp::Add, _, Some(0)) => return lhs,
+            (BinOp::Add, Some(0), _) => return rhs,
+            (BinOp::Sub, _, Some(0)) => return lhs,
+            (BinOp::Mul, _, Some(1)) => return lhs,
+            (BinOp::Mul, Some(1), _) => return rhs,
+            (BinOp::Mul, Some(0), _) | (BinOp::Mul, _, Some(0)) => return self.constant(0),
+            (BinOp::Div, _, Some(1)) => return lhs,
+            _ => {}
+        }
+        self.intern_int_node(IntNode::Bin(op, lhs, rhs))
+    }
+
+    /// Interns a truth literal.
+    pub fn lit(&mut self, b: bool) -> BoolId {
+        self.intern_bool_node(BoolNode::Lit(b))
+    }
+
+    /// Interns a comparison, folding constants and syntactically-identical
+    /// operands exactly like [`BoolExpr::cmp`].
+    pub fn cmp(&mut self, op: CmpOp, lhs: ExprId, rhs: ExprId) -> BoolId {
+        if let (Some(a), Some(b)) = (self.as_const(lhs), self.as_const(rhs)) {
+            return self.lit(op.apply(a, b));
+        }
+        if lhs == rhs {
+            // Hash-consing makes syntactic equality a handle comparison.
+            return self.lit(matches!(op, CmpOp::Eq | CmpOp::Le | CmpOp::Ge));
+        }
+        self.intern_bool_node(BoolNode::Cmp(op, lhs, rhs))
+    }
+
+    /// Interns a conjunction (flattening, short-circuiting on `false`).
+    pub fn and(&mut self, parts: impl IntoIterator<Item = BoolId>) -> BoolId {
+        let mut flat = Vec::new();
+        for p in parts {
+            match self.bool_node(p) {
+                BoolNode::Lit(true) => {}
+                BoolNode::Lit(false) => return self.lit(false),
+                BoolNode::And(inner) => flat.extend(inner.iter().copied()),
+                _ => flat.push(p),
+            }
+        }
+        match flat.len() {
+            0 => self.lit(true),
+            1 => flat[0],
+            _ => self.intern_bool_node(BoolNode::And(flat)),
+        }
+    }
+
+    /// Interns a disjunction (flattening, short-circuiting on `true`).
+    pub fn or(&mut self, parts: impl IntoIterator<Item = BoolId>) -> BoolId {
+        let mut flat = Vec::new();
+        for p in parts {
+            match self.bool_node(p) {
+                BoolNode::Lit(false) => {}
+                BoolNode::Lit(true) => return self.lit(true),
+                BoolNode::Or(inner) => flat.extend(inner.iter().copied()),
+                _ => flat.push(p),
+            }
+        }
+        match flat.len() {
+            0 => self.lit(false),
+            1 => flat[0],
+            _ => self.intern_bool_node(BoolNode::Or(flat)),
+        }
+    }
+
+    /// Interns a negation (collapsing double negation).
+    pub fn not(&mut self, inner: BoolId) -> BoolId {
+        match self.bool_node(inner) {
+            BoolNode::Lit(b) => {
+                let b = !*b;
+                self.lit(b)
+            }
+            BoolNode::Not(e) => *e,
+            _ => self.intern_bool_node(BoolNode::Not(inner)),
+        }
+    }
+
+    /// Interns an owned integer expression tree.
+    pub fn intern_int(&mut self, e: &IntExpr) -> ExprId {
+        match e {
+            IntExpr::Const(c) => self.constant(*c),
+            IntExpr::Var(v) => self.var(*v),
+            IntExpr::Bin(op, a, b) => {
+                let a = self.intern_int(a);
+                let b = self.intern_int(b);
+                self.bin(*op, a, b)
+            }
+        }
+    }
+
+    /// Interns an owned boolean expression tree.
+    pub fn intern_bool(&mut self, e: &BoolExpr) -> BoolId {
+        match e {
+            BoolExpr::Lit(b) => self.lit(*b),
+            BoolExpr::Cmp(op, a, b) => {
+                let a = self.intern_int(a);
+                let b = self.intern_int(b);
+                self.cmp(*op, a, b)
+            }
+            BoolExpr::And(parts) => {
+                let ids: Vec<BoolId> = parts.iter().map(|p| self.intern_bool(p)).collect();
+                self.and(ids)
+            }
+            BoolExpr::Or(parts) => {
+                let ids: Vec<BoolId> = parts.iter().map(|p| self.intern_bool(p)).collect();
+                self.or(ids)
+            }
+            BoolExpr::Not(inner) => {
+                let id = self.intern_bool(inner);
+                self.not(id)
+            }
+        }
+    }
+
+    /// Reconstructs the owned tree form of an interned integer expression.
+    pub fn to_int_expr(&self, id: ExprId) -> IntExpr {
+        match self.int_node(id) {
+            IntNode::Const(c) => IntExpr::Const(*c),
+            IntNode::Var(v) => IntExpr::Var(*v),
+            IntNode::Bin(op, a, b) => IntExpr::Bin(
+                *op,
+                Box::new(self.to_int_expr(*a)),
+                Box::new(self.to_int_expr(*b)),
+            ),
+        }
+    }
+
+    /// Reconstructs the owned tree form of an interned boolean expression.
+    pub fn to_bool_expr(&self, id: BoolId) -> BoolExpr {
+        match self.bool_node(id) {
+            BoolNode::Lit(b) => BoolExpr::Lit(*b),
+            BoolNode::Cmp(op, a, b) => {
+                BoolExpr::Cmp(*op, self.to_int_expr(*a), self.to_int_expr(*b))
+            }
+            BoolNode::And(parts) => {
+                BoolExpr::And(parts.iter().map(|p| self.to_bool_expr(*p)).collect())
+            }
+            BoolNode::Or(parts) => {
+                BoolExpr::Or(parts.iter().map(|p| self.to_bool_expr(*p)).collect())
+            }
+            BoolNode::Not(inner) => BoolExpr::Not(Box::new(self.to_bool_expr(*inner))),
+        }
+    }
+
+    // --- evaluation over handles --------------------------------------------
+
+    /// Evaluates an interned integer expression under an assignment.
+    pub fn eval_int(&self, id: ExprId, lookup: &dyn Fn(VarId) -> Option<i64>) -> Option<i64> {
+        match self.int_node(id) {
+            IntNode::Const(c) => Some(*c),
+            IntNode::Var(v) => lookup(*v),
+            IntNode::Bin(op, a, b) => {
+                let a = self.eval_int(*a, lookup)?;
+                let b = self.eval_int(*b, lookup)?;
+                op.apply(a, b)
+            }
+        }
+    }
+
+    /// Evaluates an interned boolean expression under an assignment, with
+    /// the same partial-evaluation semantics as [`BoolExpr::eval`].
+    pub fn eval_bool(&self, id: BoolId, lookup: &dyn Fn(VarId) -> Option<i64>) -> Option<bool> {
+        match self.bool_node(id) {
+            BoolNode::Lit(b) => Some(*b),
+            BoolNode::Cmp(op, a, b) => {
+                Some(op.apply(self.eval_int(*a, lookup)?, self.eval_int(*b, lookup)?))
+            }
+            BoolNode::And(parts) => {
+                let mut all = true;
+                for p in parts {
+                    match self.eval_bool(*p, lookup) {
+                        Some(true) => {}
+                        Some(false) => return Some(false),
+                        None => all = false,
+                    }
+                }
+                if all {
+                    Some(true)
+                } else {
+                    None
+                }
+            }
+            BoolNode::Or(parts) => {
+                let mut any_unknown = false;
+                for p in parts {
+                    match self.eval_bool(*p, lookup) {
+                        Some(true) => return Some(true),
+                        Some(false) => {}
+                        None => any_unknown = true,
+                    }
+                }
+                if any_unknown {
+                    None
+                } else {
+                    Some(false)
+                }
+            }
+            BoolNode::Not(inner) => self.eval_bool(*inner, lookup).map(|b| !b),
+        }
+    }
+
+    /// Collects every variable mentioned by an interned integer expression.
+    pub fn collect_int_vars(&self, id: ExprId, out: &mut Vec<VarId>) {
+        match self.int_node(id) {
+            IntNode::Const(_) => {}
+            IntNode::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            IntNode::Bin(_, a, b) => {
+                self.collect_int_vars(*a, out);
+                self.collect_int_vars(*b, out);
+            }
+        }
+    }
+
+    /// Collects every variable mentioned by an interned boolean expression.
+    pub fn collect_bool_vars(&self, id: BoolId, out: &mut Vec<VarId>) {
+        match self.bool_node(id) {
+            BoolNode::Lit(_) => {}
+            BoolNode::Cmp(_, a, b) => {
+                self.collect_int_vars(*a, out);
+                self.collect_int_vars(*b, out);
+            }
+            BoolNode::And(parts) | BoolNode::Or(parts) => {
+                for &p in parts {
+                    self.collect_bool_vars(p, out);
+                }
+            }
+            BoolNode::Not(inner) => self.collect_bool_vars(*inner, out),
+        }
+    }
+
+    // --- interval reasoning over handles ------------------------------------
+
+    /// Interval of an interned integer expression over variable domains
+    /// (mirrors [`crate::int_interval`]).
+    pub fn int_interval(&self, id: ExprId, domain: &dyn Fn(VarId) -> Interval) -> Interval {
+        crate::interval::int_interval_node(self, id, domain)
+    }
+
+    /// Three-valued truth of an interned boolean expression over variable
+    /// domains (mirrors [`crate::bool_truth`]).
+    pub fn bool_truth(&self, id: BoolId, domain: &dyn Fn(VarId) -> Interval) -> Truth {
+        crate::interval::bool_truth_node(self, id, domain)
+    }
+}
+
+fn pool() -> &'static RwLock<PoolInner> {
+    static POOL: OnceLock<RwLock<PoolInner>> = OnceLock::new();
+    POOL.get_or_init(Default::default)
+}
+
+/// Takes a read guard on the process-wide arena. Hold it across a batch of
+/// evaluations (the solver holds one per `check`) rather than re-acquiring
+/// per node.
+pub fn read_pool() -> RwLockReadGuard<'static, PoolInner> {
+    pool().read().expect("expression pool poisoned")
+}
+
+/// Runs `f` with mutable access to the process-wide arena (interning).
+pub fn with_pool<R>(f: impl FnOnce(&mut PoolInner) -> R) -> R {
+    f(&mut pool().write().expect("expression pool poisoned"))
+}
+
+/// Interns an integer expression tree into the process-wide arena.
+pub fn intern_int(e: &IntExpr) -> ExprId {
+    with_pool(|p| p.intern_int(e))
+}
+
+/// Interns a boolean expression tree into the process-wide arena.
+pub fn intern_bool(e: &BoolExpr) -> BoolId {
+    with_pool(|p| p.intern_bool(e))
+}
+
+/// Current process-wide arena counters.
+pub fn pool_stats() -> PoolStats {
+    read_pool().stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(id: u32) -> IntExpr {
+        IntExpr::Var(VarId(id))
+    }
+
+    #[test]
+    fn hash_consing_dedups() {
+        let a = intern_int(&(v(0) + 1.into()));
+        let b = intern_int(&(v(0) + 1.into()));
+        assert_eq!(a, b);
+        let c = intern_int(&(v(0) + 2.into()));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn constant_folding_at_intern_time() {
+        with_pool(|p| {
+            let four = p.constant(4);
+            let three = p.constant(3);
+            let twelve = p.bin(BinOp::Mul, four, three);
+            assert_eq!(p.as_const(twelve), Some(12));
+            // Identities.
+            let x = p.var(VarId(7));
+            let zero = p.constant(0);
+            let one = p.constant(1);
+            assert_eq!(p.bin(BinOp::Add, x, zero), x);
+            assert_eq!(p.bin(BinOp::Mul, x, one), x);
+            let folded_zero = p.bin(BinOp::Mul, x, zero);
+            assert_eq!(p.as_const(folded_zero), Some(0));
+        });
+    }
+
+    #[test]
+    fn cmp_folds_syntactic_equality_via_handles() {
+        with_pool(|p| {
+            let e1 = {
+                let a = p.var(VarId(3));
+                let b = p.constant(5);
+                p.bin(BinOp::Add, a, b)
+            };
+            let e2 = {
+                let a = p.var(VarId(3));
+                let b = p.constant(5);
+                p.bin(BinOp::Add, a, b)
+            };
+            assert_eq!(e1, e2);
+            let t = p.cmp(CmpOp::Eq, e1, e2);
+            assert!(matches!(p.bool_node(t), BoolNode::Lit(true)));
+            let f = p.cmp(CmpOp::Lt, e1, e2);
+            assert!(matches!(p.bool_node(f), BoolNode::Lit(false)));
+        });
+    }
+
+    #[test]
+    fn roundtrip_preserves_semantics() {
+        let e = (v(0) - 3.into()) / 2.into() + v(1) * 4.into();
+        let c = e.clone().le(v(2));
+        let id = intern_bool(&c);
+        let p = read_pool();
+        let back = p.to_bool_expr(id);
+        let lookup = |var: VarId| Some([9i64, 2, 20][var.0 as usize]);
+        assert_eq!(back.eval(&lookup), c.eval(&lookup));
+        assert_eq!(p.eval_bool(id, &lookup), c.eval(&lookup));
+    }
+
+    #[test]
+    fn eval_partial_semantics_match() {
+        // And with one definite false and one unknown must be Some(false).
+        let c = BoolExpr::and([v(0).le(1.into()), v(1).le(1.into())]);
+        let id = intern_bool(&c);
+        let p = read_pool();
+        let lookup = |var: VarId| if var == VarId(0) { Some(5) } else { None };
+        assert_eq!(p.eval_bool(id, &lookup), Some(false));
+        assert_eq!(c.eval(&lookup), Some(false));
+    }
+
+    #[test]
+    fn collect_vars_matches_tree() {
+        let c = (v(0) + v(1) * v(0)).le(v(2));
+        let id = intern_bool(&c);
+        let mut tree_vars = Vec::new();
+        c.collect_vars(&mut tree_vars);
+        let mut interned_vars = Vec::new();
+        read_pool().collect_bool_vars(id, &mut interned_vars);
+        assert_eq!(tree_vars, interned_vars);
+    }
+
+    #[test]
+    fn handles_shared_across_threads() {
+        let id = intern_int(&(v(40) + v(41)));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    // Interning the same structure on another thread yields
+                    // the same handle, and reads resolve it.
+                    let again = intern_int(&(v(40) + v(41)));
+                    assert_eq!(again, id);
+                    read_pool().eval_int(id, &|_| Some(1))
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), Some(2));
+        }
+    }
+}

@@ -249,9 +249,7 @@ pub fn bool_truth(expr: &BoolExpr, domain: &dyn Fn(VarId) -> Interval) -> Truth 
     match expr {
         BoolExpr::Lit(true) => Truth::True,
         BoolExpr::Lit(false) => Truth::False,
-        BoolExpr::Cmp(op, a, b) => {
-            cmp_truth(*op, int_interval(a, domain), int_interval(b, domain))
-        }
+        BoolExpr::Cmp(op, a, b) => cmp_truth(*op, int_interval(a, domain), int_interval(b, domain)),
         BoolExpr::And(parts) => {
             let mut all_true = true;
             for p in parts {
@@ -283,6 +281,88 @@ pub fn bool_truth(expr: &BoolExpr, domain: &dyn Fn(VarId) -> Interval) -> Truth 
             }
         }
         BoolExpr::Not(inner) => bool_truth(inner, domain).not(),
+    }
+}
+
+// --- interned-handle variants -----------------------------------------------
+//
+// Same algorithms as `int_interval` / `bool_truth`, but walking arena
+// handles instead of owned trees; used by the solver's hot paths, which
+// hold one pool read guard per `check` call.
+
+use crate::intern::{BoolId, BoolNode, ExprId, IntNode, PoolInner};
+
+pub(crate) fn int_interval_node(
+    p: &PoolInner,
+    id: ExprId,
+    domain: &dyn Fn(VarId) -> Interval,
+) -> Interval {
+    match p.int_node(id) {
+        IntNode::Const(c) => Interval::point(*c),
+        IntNode::Var(v) => domain(*v),
+        IntNode::Bin(op, a, b) => {
+            let ia = int_interval_node(p, *a, domain);
+            let ib = int_interval_node(p, *b, domain);
+            if ia.is_empty() || ib.is_empty() {
+                return Interval::empty();
+            }
+            match op {
+                BinOp::Add => ia.add(&ib),
+                BinOp::Sub => ia.sub(&ib),
+                BinOp::Mul => ia.mul(&ib),
+                BinOp::Div => ia.div(&ib),
+                BinOp::Mod => ia.modulo(&ib),
+                BinOp::Min => ia.min_i(&ib),
+                BinOp::Max => ia.max_i(&ib),
+            }
+        }
+    }
+}
+
+pub(crate) fn bool_truth_node(
+    p: &PoolInner,
+    id: BoolId,
+    domain: &dyn Fn(VarId) -> Interval,
+) -> Truth {
+    match p.bool_node(id) {
+        BoolNode::Lit(true) => Truth::True,
+        BoolNode::Lit(false) => Truth::False,
+        BoolNode::Cmp(op, a, b) => cmp_truth(
+            *op,
+            int_interval_node(p, *a, domain),
+            int_interval_node(p, *b, domain),
+        ),
+        BoolNode::And(parts) => {
+            let mut all_true = true;
+            for part in parts {
+                match bool_truth_node(p, *part, domain) {
+                    Truth::False => return Truth::False,
+                    Truth::Unknown => all_true = false,
+                    Truth::True => {}
+                }
+            }
+            if all_true {
+                Truth::True
+            } else {
+                Truth::Unknown
+            }
+        }
+        BoolNode::Or(parts) => {
+            let mut all_false = true;
+            for part in parts {
+                match bool_truth_node(p, *part, domain) {
+                    Truth::True => return Truth::True,
+                    Truth::Unknown => all_false = false,
+                    Truth::False => {}
+                }
+            }
+            if all_false {
+                Truth::False
+            } else {
+                Truth::Unknown
+            }
+        }
+        BoolNode::Not(inner) => bool_truth_node(p, *inner, domain).not(),
     }
 }
 

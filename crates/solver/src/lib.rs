@@ -33,11 +33,14 @@
 //! ```
 
 #![warn(missing_docs)]
+#![allow(clippy::should_implement_trait)] // BoolExpr::not / Truth::not mirror Z3 naming
 
 mod expr;
+pub mod intern;
 mod interval;
 mod solver;
 
 pub use expr::{BinOp, BoolExpr, CmpOp, IntExpr, VarId};
+pub use intern::{intern_bool, intern_int, pool_stats, BoolId, ExprId, PoolStats};
 pub use interval::{bool_truth, int_interval, Interval, Truth};
 pub use solver::{Model, SatResult, Solver, SolverConfig, SolverStats};

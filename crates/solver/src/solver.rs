@@ -17,8 +17,9 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::expr::{BoolExpr, CmpOp, IntExpr, VarId};
-use crate::interval::{bool_truth, int_interval, Interval, Truth};
+use crate::expr::{BinOp, BoolExpr, CmpOp, IntExpr, VarId};
+use crate::intern::{self, BoolId, BoolNode, ExprId, IntNode, PoolInner};
+use crate::interval::{Interval, Truth};
 
 /// Tuning knobs for [`Solver`].
 #[derive(Debug, Clone)]
@@ -159,10 +160,14 @@ struct VarInfo {
 /// let model = s.check().model().cloned().expect("satisfiable");
 /// assert!(model.get(k).unwrap() <= model.get(h).unwrap());
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Solver {
     vars: Vec<VarInfo>,
-    constraints: Vec<BoolExpr>,
+    /// Asserted constraints as handles into the process-wide hash-consing
+    /// arena ([`crate::intern`]): cloning a solver — or sharing an
+    /// accumulated constraint system across campaign shards — copies ids,
+    /// not expression trees.
+    constraints: Vec<BoolId>,
     frames: Vec<usize>,
     last_model: Option<Model>,
     config: SolverConfig,
@@ -239,12 +244,35 @@ impl Solver {
         self.constraints.len()
     }
 
-    /// Asserts a constraint in the current frame.
+    /// Asserts a constraint in the current frame. The expression tree is
+    /// interned into the shared arena; structurally identical constraints
+    /// (across all solvers in the process) share storage.
     pub fn assert(&mut self, c: BoolExpr) {
-        match c {
-            BoolExpr::Lit(true) => {}
-            BoolExpr::And(parts) => self.constraints.extend(parts),
-            other => self.constraints.push(other),
+        // Intern and classify under one arena guard: this is the
+        // generation hot path, and the lock is process-wide.
+        let (single, many) = intern::with_pool(|p| {
+            let id = p.intern_bool(&c);
+            match p.bool_node(id) {
+                BoolNode::Lit(true) => (None, None),
+                BoolNode::And(parts) => (None, Some(parts.clone())),
+                _ => (Some(id), None),
+            }
+        });
+        if let Some(id) = single {
+            self.constraints.push(id);
+        }
+        if let Some(parts) = many {
+            self.constraints.extend(parts);
+        }
+    }
+
+    /// Asserts an already-interned constraint in the current frame.
+    pub fn assert_id(&mut self, id: BoolId) {
+        let pool = intern::read_pool();
+        match pool.bool_node(id) {
+            BoolNode::Lit(true) => {}
+            BoolNode::And(parts) => self.constraints.extend(parts.iter().copied()),
+            _ => self.constraints.push(id),
         }
     }
 
@@ -253,6 +281,11 @@ impl Solver {
         for c in cs {
             self.assert(c);
         }
+    }
+
+    /// The asserted constraints as arena handles, in assertion order.
+    pub fn constraint_ids(&self) -> &[BoolId] {
+        &self.constraints
     }
 
     /// Opens a new assertion frame (like Z3's `push`).
@@ -274,12 +307,27 @@ impl Solver {
     /// rolled back. This is the `try_add_constraints` primitive of Algorithm 1.
     ///
     /// Returns the model when the extended system is satisfiable.
-    pub fn try_add_constraints(
-        &mut self,
-        cs: impl IntoIterator<Item = BoolExpr>,
-    ) -> Option<Model> {
+    pub fn try_add_constraints(&mut self, cs: impl IntoIterator<Item = BoolExpr>) -> Option<Model> {
         let mark = self.constraints.len();
         self.assert_all(cs);
+        match self.check() {
+            SatResult::Sat(m) => Some(m),
+            _ => {
+                self.constraints.truncate(mark);
+                None
+            }
+        }
+    }
+
+    /// [`Solver::try_add_constraints`] over already-interned handles.
+    pub fn try_add_constraint_ids(
+        &mut self,
+        cs: impl IntoIterator<Item = BoolId>,
+    ) -> Option<Model> {
+        let mark = self.constraints.len();
+        for c in cs {
+            self.assert_id(c);
+        }
         match self.check() {
             SatResult::Sat(m) => Some(m),
             _ => {
@@ -293,15 +341,21 @@ impl Solver {
     pub fn check(&mut self) -> SatResult {
         self.stats.checks += 1;
 
+        // One arena read guard for the whole check: every hot-path node
+        // resolution below goes through `pool` without re-locking.
+        let pool = intern::read_pool();
+        let pool = &*pool;
+
         // Fast path: the previous model may still satisfy everything (common
         // when the newly-added constraints only mention already-solved
         // variables).
         if self.config.incremental {
             if let Some(prev) = self.full_warm_model() {
+                let lookup = |v: VarId| prev.get(v);
                 let ok = self
                     .constraints
                     .iter()
-                    .all(|c| prev.eval_bool(c) == Some(true));
+                    .all(|&c| pool.eval_bool(c, &lookup) == Some(true));
                 if ok {
                     self.stats.sat += 1;
                     self.stats.warm_hits += 1;
@@ -311,10 +365,13 @@ impl Solver {
             }
         }
 
-        let mut domains: Vec<Interval> =
-            self.vars.iter().map(|v| Interval::new(v.lo, v.hi)).collect();
+        let mut domains: Vec<Interval> = self
+            .vars
+            .iter()
+            .map(|v| Interval::new(v.lo, v.hi))
+            .collect();
 
-        match self.propagate(&mut domains) {
+        match self.propagate(pool, &mut domains) {
             Truth::False => {
                 self.stats.unsat += 1;
                 return SatResult::Unsat;
@@ -326,7 +383,7 @@ impl Solver {
         // and re-check — after small constraint additions (one binning range,
         // one insertion) this usually already satisfies everything.
         if self.config.incremental {
-            if let Some(model) = self.warm_repair(&domains) {
+            if let Some(model) = self.warm_repair(pool, &domains) {
                 self.stats.sat += 1;
                 self.stats.warm_hits += 1;
                 self.last_model = Some(model.clone());
@@ -336,7 +393,7 @@ impl Solver {
 
         let mut budget = self.config.max_nodes;
         let mut complete = true;
-        let result = self.search(&mut domains, &mut budget, &mut complete);
+        let result = self.search(pool, &mut domains, &mut budget, &mut complete);
         match result {
             Some(model) => {
                 self.stats.sat += 1;
@@ -358,7 +415,7 @@ impl Solver {
     /// Clamps the warm model into the current propagated domains and
     /// verifies it. Returns the repaired model when it satisfies every
     /// constraint.
-    fn warm_repair(&self, domains: &[Interval]) -> Option<Model> {
+    fn warm_repair(&self, pool: &PoolInner, domains: &[Interval]) -> Option<Model> {
         let prev = self.last_model.as_ref()?;
         let mut m = Model::default();
         for (idx, v) in self.vars.iter().enumerate() {
@@ -370,8 +427,9 @@ impl Solver {
             let val = prev.get(id).unwrap_or(v.lo).clamp(dom.lo, dom.hi);
             m.insert(id, val);
         }
-        for c in &self.constraints {
-            if m.eval_bool(c) != Some(true) {
+        let lookup = |v: VarId| m.get(v);
+        for &c in &self.constraints {
+            if pool.eval_bool(c, &lookup) != Some(true) {
                 return None;
             }
         }
@@ -401,20 +459,20 @@ impl Solver {
 
     /// Fixed-point interval propagation. Narrows variable domains using
     /// single-variable-side comparisons and detects definite conflicts.
-    fn propagate(&self, domains: &mut [Interval]) -> Truth {
+    fn propagate(&self, pool: &PoolInner, domains: &mut [Interval]) -> Truth {
         for _round in 0..20 {
             let mut changed = false;
-            for c in &self.constraints {
+            for &c in &self.constraints {
                 let truth = {
                     let dom = |v: VarId| domains[v.0 as usize];
-                    bool_truth(c, &dom)
+                    pool.bool_truth(c, &dom)
                 };
                 match truth {
                     Truth::False => return Truth::False,
                     Truth::True => continue,
                     Truth::Unknown => {}
                 }
-                if Self::narrow(c, domains) {
+                if Self::narrow(pool, c, domains) {
                     changed = true;
                 }
                 if domains.iter().any(Interval::is_empty) {
@@ -431,15 +489,18 @@ impl Solver {
     /// Narrows domains for comparisons with a bare variable on one side.
     /// Returns true if any domain shrank. Conservative (never removes a value
     /// that could participate in a solution).
-    fn narrow(c: &BoolExpr, domains: &mut [Interval]) -> bool {
-        let (op, var, other) = match c {
-            BoolExpr::Cmp(op, IntExpr::Var(v), rhs) => (*op, *v, rhs),
-            BoolExpr::Cmp(op, lhs, IntExpr::Var(v)) => (op.swap(), *v, lhs),
+    fn narrow(pool: &PoolInner, c: BoolId, domains: &mut [Interval]) -> bool {
+        let (op, var, other) = match pool.bool_node(c) {
+            BoolNode::Cmp(op, lhs, rhs) => match (pool.int_node(*lhs), pool.int_node(*rhs)) {
+                (IntNode::Var(v), _) => (*op, *v, *rhs),
+                (_, IntNode::Var(v)) => (op.swap(), *v, *lhs),
+                _ => return false,
+            },
             _ => return false,
         };
         let other_iv = {
             let dom = |v: VarId| domains[v.0 as usize];
-            int_interval(other, &dom)
+            pool.int_interval(other, &dom)
         };
         if other_iv.is_empty() {
             return false;
@@ -473,10 +534,10 @@ impl Solver {
         }
     }
 
-    fn constrained_vars(&self) -> Vec<VarId> {
+    fn constrained_vars(&self, pool: &PoolInner) -> Vec<VarId> {
         let mut vars = Vec::new();
-        for c in &self.constraints {
-            c.collect_vars(&mut vars);
+        for &c in &self.constraints {
+            pool.collect_bool_vars(c, &mut vars);
         }
         vars.sort();
         vars.dedup();
@@ -486,11 +547,12 @@ impl Solver {
     /// Randomized backtracking search over the constrained variables.
     fn search(
         &mut self,
+        pool: &PoolInner,
         domains: &mut Vec<Interval>,
         budget: &mut u64,
         complete: &mut bool,
     ) -> Option<Model> {
-        let order = self.constrained_vars();
+        let order = self.constrained_vars(pool);
         let mut assignment: HashMap<VarId, i64> = HashMap::new();
         // Pre-assign point domains.
         for &v in &order {
@@ -502,9 +564,9 @@ impl Solver {
         // Per-variable constraint index, so DFS only re-evaluates
         // constraints affected by the latest assignment.
         let mut con_index: HashMap<VarId, Vec<usize>> = HashMap::new();
-        for (ci, c) in self.constraints.iter().enumerate() {
+        for (ci, &c) in self.constraints.iter().enumerate() {
             let mut vars = Vec::new();
-            c.collect_vars(&mut vars);
+            pool.collect_bool_vars(c, &mut vars);
             for v in vars {
                 con_index.entry(v).or_default().push(ci);
             }
@@ -521,7 +583,8 @@ impl Solver {
             let cons = con_index.get(v).map_or(0, Vec::len);
             (width, usize::MAX - cons)
         });
-        let found = self.dfs(
+        self.dfs(
+            pool,
             &unassigned,
             0,
             domains,
@@ -530,7 +593,6 @@ impl Solver {
             budget,
             complete,
         )?;
-        let _ = found;
         // Complete the model: unconstrained variables take their minimum
         // (mirroring Z3's minimal-model bias).
         let mut model = Model::default();
@@ -541,8 +603,9 @@ impl Solver {
         }
         // Final exact verification (propagation is approximate, the model is
         // checked for real).
-        for c in &self.constraints {
-            if model.eval_bool(c) != Some(true) {
+        let lookup = |v: VarId| model.get(v);
+        for &c in &self.constraints {
+            if pool.eval_bool(c, &lookup) != Some(true) {
                 return None;
             }
         }
@@ -552,6 +615,7 @@ impl Solver {
     #[allow(clippy::too_many_arguments)]
     fn dfs(
         &mut self,
+        pool: &PoolInner,
         order: &[VarId],
         depth: usize,
         domains: &mut Vec<Interval>,
@@ -576,8 +640,8 @@ impl Solver {
                     .copied()
                     .or_else(|| Some(self.vars[v.0 as usize].lo))
             };
-            for c in &self.constraints {
-                if c.eval(&lookup) != Some(true) {
+            for &c in &self.constraints {
+                if pool.eval_bool(c, &lookup) != Some(true) {
                     return None;
                 }
             }
@@ -590,7 +654,7 @@ impl Solver {
             return None;
         }
         let related = con_index.get(&var).map(Vec::as_slice).unwrap_or(&[]);
-        let suggestions = self.suggest_values(var, domains, related);
+        let suggestions = self.suggest_values(pool, var, domains, related);
         let candidates = self.candidates(var, dom, &suggestions);
         if (candidates.len() as u64) < dom.width() {
             *complete = false;
@@ -604,11 +668,12 @@ impl Solver {
                 let dom_fn = |v: VarId| domains[v.0 as usize];
                 !related
                     .iter()
-                    .any(|&ci| bool_truth(&self.constraints[ci], &dom_fn) == Truth::False)
+                    .any(|&ci| pool.bool_truth(self.constraints[ci], &dom_fn) == Truth::False)
             };
             if ok
                 && self
                     .dfs(
+                        pool,
                         order,
                         depth + 1,
                         domains,
@@ -635,7 +700,13 @@ impl Solver {
     /// variables are already pinned to points — e.g. after assigning three
     /// dims of a reshape target, the fourth is forced by the element-count
     /// equality. These are tried first during search.
-    fn suggest_values(&self, var: VarId, domains: &[Interval], related: &[usize]) -> Vec<i64> {
+    fn suggest_values(
+        &self,
+        pool: &PoolInner,
+        var: VarId,
+        domains: &[Interval],
+        related: &[usize],
+    ) -> Vec<i64> {
         let mut out = Vec::new();
         let eval_pt = |v: VarId| -> Option<i64> {
             let d = domains[v.0 as usize];
@@ -645,12 +716,12 @@ impl Solver {
                 None
             }
         };
-        let visit = |c: &BoolExpr, out: &mut Vec<i64>| {
-            if let BoolExpr::Cmp(CmpOp::Eq, a, b) = c {
-                for (expr, other) in [(a, b), (b, a)] {
-                    if count_var(expr, var) == 1 && count_var(other, var) == 0 {
-                        if let Some(target) = other.eval(&eval_pt) {
-                            if let Some(v) = invert_for(expr, var, target, &eval_pt) {
+        let visit = |c: BoolId, out: &mut Vec<i64>| {
+            if let BoolNode::Cmp(CmpOp::Eq, a, b) = pool.bool_node(c) {
+                for (expr, other) in [(*a, *b), (*b, *a)] {
+                    if count_var(pool, expr, var) == 1 && count_var(pool, other, var) == 0 {
+                        if let Some(target) = pool.eval_int(other, &eval_pt) {
+                            if let Some(v) = invert_for(pool, expr, var, target, &eval_pt) {
                                 if !out.contains(&v) {
                                     out.push(v);
                                 }
@@ -661,13 +732,13 @@ impl Solver {
             }
         };
         for &ci in related {
-            match &self.constraints[ci] {
-                BoolExpr::Or(parts) => {
-                    for p in parts {
+            match pool.bool_node(self.constraints[ci]) {
+                BoolNode::Or(parts) => {
+                    for &p in parts {
                         visit(p, &mut out);
                     }
                 }
-                other => visit(other, &mut out),
+                _ => visit(self.constraints[ci], &mut out),
             }
         }
         out
@@ -720,63 +791,60 @@ impl Solver {
     }
 }
 
-/// Number of occurrences of `var` in `expr`.
-fn count_var(expr: &IntExpr, var: VarId) -> usize {
-    match expr {
-        IntExpr::Const(_) => 0,
-        IntExpr::Var(v) => usize::from(*v == var),
-        IntExpr::Bin(_, a, b) => count_var(a, var) + count_var(b, var),
+/// Number of occurrences of `var` in the interned expression.
+fn count_var(pool: &PoolInner, expr: ExprId, var: VarId) -> usize {
+    match pool.int_node(expr) {
+        IntNode::Const(_) => 0,
+        IntNode::Var(v) => usize::from(*v == var),
+        IntNode::Bin(_, a, b) => count_var(pool, *a, var) + count_var(pool, *b, var),
     }
 }
 
 /// Solves `expr == target` for `var` by algebraic inversion, when `var`
 /// occurs exactly once and every other variable evaluates to a point.
 fn invert_for(
-    expr: &IntExpr,
+    pool: &PoolInner,
+    expr: ExprId,
     var: VarId,
     target: i64,
     eval_pt: &dyn Fn(VarId) -> Option<i64>,
 ) -> Option<i64> {
-    match expr {
-        IntExpr::Var(v) if *v == var => Some(target),
-        IntExpr::Bin(op, a, b) => {
-            let in_a = count_var(a, var) == 1;
+    match pool.int_node(expr) {
+        IntNode::Var(v) if *v == var => Some(target),
+        IntNode::Bin(op, a, b) => {
+            let in_a = count_var(pool, *a, var) == 1;
             let (with_var, other, var_on_left) = if in_a {
-                (a, b, true)
+                (*a, *b, true)
             } else {
-                (b, a, false)
+                (*b, *a, false)
             };
-            let other_val = other.eval(eval_pt)?;
+            let other_val = pool.eval_int(other, eval_pt)?;
             let new_target = match op {
-                crate::expr::BinOp::Add => target.checked_sub(other_val)?,
-                crate::expr::BinOp::Sub => {
+                BinOp::Add => target.checked_sub(other_val)?,
+                BinOp::Sub => {
                     if var_on_left {
                         target.checked_add(other_val)?
                     } else {
                         other_val.checked_sub(target)?
                     }
                 }
-                crate::expr::BinOp::Mul => {
+                BinOp::Mul => {
                     if other_val == 0 || target % other_val != 0 {
                         return None;
                     }
                     target / other_val
                 }
-                crate::expr::BinOp::Div => {
-                    if var_on_left {
-                        // floor(x / d) == t  ⇒  x ∈ [t·d, t·d + d − 1];
-                        // suggest the lower end.
-                        if other_val <= 0 {
-                            return None;
-                        }
-                        target.checked_mul(other_val)?
-                    } else {
+                BinOp::Div if var_on_left => {
+                    // floor(x / d) == t  ⇒  x ∈ [t·d, t·d + d − 1];
+                    // suggest the lower end.
+                    if other_val <= 0 {
                         return None;
                     }
+                    target.checked_mul(other_val)?
                 }
                 _ => return None,
             };
-            invert_for(with_var, var, new_target, eval_pt)
+            invert_for(pool, with_var, var, new_target, eval_pt)
         }
         _ => None,
     }
@@ -852,8 +920,7 @@ mod tests {
         let kh = s.new_var("kh", 1, 11);
         let pad = s.new_var("pad", 0, 5);
         let stride = s.new_var("stride", 1, 4);
-        let out =
-            (v(h) - v(kh) + IntExpr::from(2) * v(pad)) / v(stride) + IntExpr::from(1);
+        let out = (v(h) - v(kh) + IntExpr::from(2) * v(pad)) / v(stride) + IntExpr::from(1);
         s.assert(v(kh).le(v(h) + IntExpr::from(2) * v(pad)));
         s.assert(out.clone().ge(1.into()));
         s.assert(out.le(128.into()));
@@ -878,8 +945,7 @@ mod tests {
         let b = s.new_var("b", 1, 64);
         s.assert((v(n) * v(c) * v(h) * v(w)).eq_expr(v(a) * v(b)));
         let m = s.check().model().cloned().expect("sat");
-        let prod_in =
-            m.get(n).unwrap() * m.get(c).unwrap() * m.get(h).unwrap() * m.get(w).unwrap();
+        let prod_in = m.get(n).unwrap() * m.get(c).unwrap() * m.get(h).unwrap() * m.get(w).unwrap();
         let prod_out = m.get(a).unwrap() * m.get(b).unwrap();
         assert_eq!(prod_in, prod_out);
     }
@@ -929,7 +995,10 @@ mod tests {
     fn disjunction() {
         let mut s = Solver::default();
         let x = s.new_var("x", 1, 10);
-        s.assert(BoolExpr::or([v(x).eq_expr(7.into()), v(x).eq_expr(9.into())]));
+        s.assert(BoolExpr::or([
+            v(x).eq_expr(7.into()),
+            v(x).eq_expr(9.into()),
+        ]));
         let m = s.check().model().cloned().expect("sat");
         let val = m.get(x).unwrap();
         assert!(val == 7 || val == 9);
@@ -977,7 +1046,7 @@ mod tests {
         let a = s.new_var("a", 1, 1 << 20);
         let b = s.new_var("b", 1, 1 << 20);
         let c = s.new_var("c", 1, 1 << 20);
-        let target: i64 = 1 * 2 * 62 * 62; // 7688
+        let target: i64 = 2 * 62 * 62; // 7688
         s.assert((v(a) * v(b) * v(c)).eq_expr(target.into()));
         let m = s.check().model().cloned().expect("sat");
         assert_eq!(

@@ -51,12 +51,24 @@ fn check_conv_args(
     input: &Tensor,
     weight: &Tensor,
     params: &Conv2dParams,
-) -> Result<(usize, usize, usize, usize, usize, usize, usize, usize, usize)> {
+) -> Result<(
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+)> {
     if !input.dtype().is_float() || input.dtype() != weight.dtype() {
         return Err(TensorError::dtype("conv2d requires matching float dtypes"));
     }
     if input.rank() != 4 || weight.rank() != 4 {
-        return Err(TensorError::shape("conv2d requires NCHW input and OIHW weight"));
+        return Err(TensorError::shape(
+            "conv2d requires NCHW input and OIHW weight",
+        ));
     }
     let (n, c_in, h, w) = (
         input.shape()[0],
@@ -76,7 +88,10 @@ fn check_conv_args(
             "conv2d group mismatch: c_in={c_in} c_out={c_out} groups={g} weight_cin={c_in_g}"
         )));
     }
-    if params.stride.0 == 0 || params.stride.1 == 0 || params.dilation.0 == 0 || params.dilation.1 == 0
+    if params.stride.0 == 0
+        || params.stride.1 == 0
+        || params.dilation.0 == 0
+        || params.dilation.1 == 0
     {
         return Err(TensorError::shape("conv2d stride/dilation must be >= 1"));
     }
@@ -130,8 +145,7 @@ impl Tensor {
                                     continue;
                                 }
                                 for kx in 0..kw {
-                                    let ix = (ox * params.stride.1 + kx * params.dilation.1)
-                                        as i64
+                                    let ix = (ox * params.stride.1 + kx * params.dilation.1) as i64
                                         - params.padding.1 as i64;
                                     if ix < 0 || ix >= w as i64 {
                                         continue;
@@ -187,8 +201,7 @@ impl Tensor {
                 let grp = co / cout_g;
                 for oy in 0..oh {
                     for ox in 0..ow {
-                        let go =
-                            grad_out.lin_f64(ni * gstr[0] + co * gstr[1] + oy * gstr[2] + ox);
+                        let go = grad_out.lin_f64(ni * gstr[0] + co * gstr[1] + oy * gstr[2] + ox);
                         if go == 0.0 {
                             continue;
                         }
@@ -201,8 +214,7 @@ impl Tensor {
                                     continue;
                                 }
                                 for kx in 0..kw {
-                                    let ix = (ox * params.stride.1 + kx * params.dilation.1)
-                                        as i64
+                                    let ix = (ox * params.stride.1 + kx * params.dilation.1) as i64
                                         - params.padding.1 as i64;
                                     if ix < 0 || ix >= w as i64 {
                                         continue;
@@ -253,8 +265,7 @@ impl Tensor {
                 let grp = co / cout_g;
                 for oy in 0..oh {
                     for ox in 0..ow {
-                        let go =
-                            grad_out.lin_f64(ni * gstr[0] + co * gstr[1] + oy * gstr[2] + ox);
+                        let go = grad_out.lin_f64(ni * gstr[0] + co * gstr[1] + oy * gstr[2] + ox);
                         if go == 0.0 {
                             continue;
                         }
@@ -267,8 +278,7 @@ impl Tensor {
                                     continue;
                                 }
                                 for kx in 0..kw {
-                                    let ix = (ox * params.stride.1 + kx * params.dilation.1)
-                                        as i64
+                                    let ix = (ox * params.stride.1 + kx * params.dilation.1) as i64
                                         - params.padding.1 as i64;
                                     if ix < 0 || ix >= w as i64 {
                                         continue;
@@ -383,8 +393,7 @@ mod tests {
     #[test]
     fn grad_input_numeric_check() {
         // Finite-difference check on a tiny conv.
-        let x = Tensor::from_f64(&[1, 1, 3, 3], (0..9).map(|i| i as f64 * 0.1).collect())
-            .unwrap();
+        let x = Tensor::from_f64(&[1, 1, 3, 3], (0..9).map(|i| i as f64 * 0.1).collect()).unwrap();
         let w = Tensor::from_f64(&[1, 1, 2, 2], vec![0.5, -0.25, 0.75, 1.0]).unwrap();
         let p = Conv2dParams::default();
         let ones = Tensor::ones(&[1, 1, 2, 2], DType::F64);
@@ -413,8 +422,7 @@ mod tests {
 
     #[test]
     fn grad_weight_numeric_check() {
-        let x = Tensor::from_f64(&[1, 1, 3, 3], (0..9).map(|i| i as f64 * 0.2).collect())
-            .unwrap();
+        let x = Tensor::from_f64(&[1, 1, 3, 3], (0..9).map(|i| i as f64 * 0.2).collect()).unwrap();
         let w = Tensor::from_f64(&[1, 1, 2, 2], vec![0.5, -0.25, 0.75, 1.0]).unwrap();
         let p = Conv2dParams::default();
         let ones = Tensor::ones(&[1, 1, 2, 2], DType::F64);

@@ -273,7 +273,10 @@ macro_rules! dispatch_float {
         match $dt {
             DType::F32 => $go!(f32),
             DType::F64 => $go!(f64),
-            _ => Err(TensorError::dtype(format!("{} requires a float dtype", $op))),
+            _ => Err(TensorError::dtype(format!(
+                "{} requires a float dtype",
+                $op
+            ))),
         }
     };
 }
@@ -685,9 +688,7 @@ impl Tensor {
     pub fn leaky_relu(&self, alpha: f64) -> Result<Tensor> {
         macro_rules! go {
             ($t:ty) => {
-                map1::<$t, $t>(self, |a| {
-                    Ok(if a > 0.0 { a } else { a * (alpha as $t) })
-                })
+                map1::<$t, $t>(self, |a| Ok(if a > 0.0 { a } else { a * (alpha as $t) }))
             };
         }
         dispatch_float!(self.dtype(), "leaky_relu", go)
@@ -746,8 +747,7 @@ impl Tensor {
         let out_shape = broadcast_shapes(cond.shape(), &shape_ab)?;
         let n = numel(&out_shape);
         let cond_data = cond.as_bool().expect("checked bool");
-        let mut walker =
-            BroadcastWalker::new(&out_shape, &[cond.shape(), a.shape(), b.shape()])?;
+        let mut walker = BroadcastWalker::new(&out_shape, &[cond.shape(), a.shape(), b.shape()])?;
         let mut out = Tensor::zeros(&out_shape, a.dtype());
         for i in 0..n {
             let src = if cond_data[walker.offset(0)] { a } else { b };
@@ -868,8 +868,14 @@ mod tests {
     fn comparisons_produce_bool() {
         let a = t32(&[3], vec![1., 2., 3.]);
         let b = t32(&[3], vec![2., 2., 2.]);
-        assert_eq!(a.less(&b).unwrap().as_bool().unwrap(), &[true, false, false]);
-        assert_eq!(a.equal(&b).unwrap().as_bool().unwrap(), &[false, true, false]);
+        assert_eq!(
+            a.less(&b).unwrap().as_bool().unwrap(),
+            &[true, false, false]
+        );
+        assert_eq!(
+            a.equal(&b).unwrap().as_bool().unwrap(),
+            &[false, true, false]
+        );
         assert_eq!(
             a.greater_equal(&b).unwrap().as_bool().unwrap(),
             &[false, true, true]
@@ -880,9 +886,15 @@ mod tests {
     fn logic_ops() {
         let a = Tensor::from_bool(&[2], vec![true, false]).unwrap();
         let b = Tensor::from_bool(&[2], vec![true, true]).unwrap();
-        assert_eq!(a.logical_and(&b).unwrap().as_bool().unwrap(), &[true, false]);
+        assert_eq!(
+            a.logical_and(&b).unwrap().as_bool().unwrap(),
+            &[true, false]
+        );
         assert_eq!(a.logical_or(&b).unwrap().as_bool().unwrap(), &[true, true]);
-        assert_eq!(a.logical_xor(&b).unwrap().as_bool().unwrap(), &[false, true]);
+        assert_eq!(
+            a.logical_xor(&b).unwrap().as_bool().unwrap(),
+            &[false, true]
+        );
         assert_eq!(a.logical_not().unwrap().as_bool().unwrap(), &[false, true]);
     }
 

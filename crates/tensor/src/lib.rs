@@ -33,6 +33,8 @@
 //! ```
 
 #![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // index loops mirror the reference shape algebra
+#![allow(clippy::type_complexity)] // conv geometry helpers return wide tuples
 
 mod conv;
 mod dtype;

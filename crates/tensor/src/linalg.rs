@@ -56,8 +56,18 @@ fn matmul_t<T: NumElem>(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         let idx = unravel(lin, &batch);
         // Map the broadcast batch index into each operand's batch offset
         // (counted in matrices, then scaled by the matrix size).
-        let a_off: usize = idx.iter().zip(&a_bstrides).map(|(i, s)| i * s).sum::<usize>() * a_mat;
-        let b_off: usize = idx.iter().zip(&b_bstrides).map(|(i, s)| i * s).sum::<usize>() * b_mat;
+        let a_off: usize = idx
+            .iter()
+            .zip(&a_bstrides)
+            .map(|(i, s)| i * s)
+            .sum::<usize>()
+            * a_mat;
+        let b_off: usize = idx
+            .iter()
+            .zip(&b_bstrides)
+            .map(|(i, s)| i * s)
+            .sum::<usize>()
+            * b_mat;
         for i in 0..m {
             for j in 0..n {
                 let mut acc = zero;

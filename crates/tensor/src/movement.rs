@@ -439,7 +439,9 @@ mod tests {
     fn slice_with_stride_gt_one_on_channel() {
         // The TVM layout-bug trigger: stride > 1 on the channel dim.
         let t = iota(&[1, 4, 2, 2]);
-        let s = t.slice(&[0, 0, 0, 0], &[1, 4, 2, 2], &[1, 2, 1, 1]).unwrap();
+        let s = t
+            .slice(&[0, 0, 0, 0], &[1, 4, 2, 2], &[1, 2, 1, 1])
+            .unwrap();
         assert_eq!(s.shape(), &[1, 2, 2, 2]);
         assert_eq!(s.at(&[0, 1, 0, 0]), t.at(&[0, 2, 0, 0]));
     }

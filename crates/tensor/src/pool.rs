@@ -36,7 +36,10 @@ impl Pool2dParams {
     }
 }
 
-fn check_pool_args(input: &Tensor, params: &Pool2dParams) -> Result<(usize, usize, usize, usize, usize, usize)> {
+fn check_pool_args(
+    input: &Tensor,
+    params: &Pool2dParams,
+) -> Result<(usize, usize, usize, usize, usize, usize)> {
     if !input.dtype().is_float() {
         return Err(TensorError::dtype("pool2d requires float"));
     }
@@ -348,8 +351,7 @@ mod tests {
 
     #[test]
     fn avg_pool_grad_numeric_check() {
-        let x = Tensor::from_f64(&[1, 1, 3, 3], (0..9).map(|i| i as f64 * 0.3).collect())
-            .unwrap();
+        let x = Tensor::from_f64(&[1, 1, 3, 3], (0..9).map(|i| i as f64 * 0.3).collect()).unwrap();
         let p = params(2, 1, 0);
         let ones = Tensor::ones(&[1, 1, 2, 2], DType::F64);
         let gi = x.avg_pool2d_grad(&ones, &p).unwrap();
@@ -359,9 +361,8 @@ mod tests {
             xp.set_lin_f64(i, x.lin_f64(i) + eps);
             let mut xm = x.clone();
             xm.set_lin_f64(i, x.lin_f64(i) - eps);
-            let f = |t: &Tensor| -> f64 {
-                t.avg_pool2d(&p).unwrap().to_f64_vec().iter().sum::<f64>()
-            };
+            let f =
+                |t: &Tensor| -> f64 { t.avg_pool2d(&p).unwrap().to_f64_vec().iter().sum::<f64>() };
             let num = (f(&xp) - f(&xm)) / (2.0 * eps);
             assert!((num - gi.lin_f64(i)).abs() < 1e-4);
         }

@@ -157,7 +157,11 @@ impl Tensor {
             }
             let dst = dot_index(&out_idx, &out_strides);
             let v = self.lin_f64(lin);
-            let better = if largest { v > best[dst] } else { v < best[dst] };
+            let better = if largest {
+                v > best[dst]
+            } else {
+                v < best[dst]
+            };
             if better || !seen[dst] {
                 best[dst] = v;
                 arg[dst] = idx[axis] as i64;
@@ -209,7 +213,12 @@ impl Tensor {
             return Err(TensorError::shape("batch_norm requires rank >= 2"));
         }
         let c = self.shape()[1];
-        for (name, t) in [("scale", scale), ("bias", bias), ("mean", mean), ("var", var)] {
+        for (name, t) in [
+            ("scale", scale),
+            ("bias", bias),
+            ("mean", mean),
+            ("var", var),
+        ] {
             if t.rank() != 1 || t.shape()[0] != c {
                 return Err(TensorError::shape(format!(
                     "batch_norm {name} must be rank-1 of length {c}, got {:?}",
@@ -268,8 +277,14 @@ mod tests {
             t.reduce(ReduceKind::Mean, &[], false).unwrap().lin_f64(0),
             2.5
         );
-        assert_eq!(t.reduce(ReduceKind::Max, &[], false).unwrap().lin_f64(0), 4.0);
-        assert_eq!(t.reduce(ReduceKind::Min, &[], false).unwrap().lin_f64(0), 1.0);
+        assert_eq!(
+            t.reduce(ReduceKind::Max, &[], false).unwrap().lin_f64(0),
+            4.0
+        );
+        assert_eq!(
+            t.reduce(ReduceKind::Min, &[], false).unwrap().lin_f64(0),
+            1.0
+        );
         assert_eq!(
             t.reduce(ReduceKind::Prod, &[], false).unwrap().lin_f64(0),
             24.0

@@ -183,12 +183,16 @@ impl Tensor {
         let data = match dtype {
             DType::F32 => Data::F32((0..n).map(|_| rng.gen_range(lo..hi) as f32).collect()),
             DType::F64 => Data::F64((0..n).map(|_| rng.gen_range(lo..hi)).collect()),
-            DType::I32 => {
-                Data::I32((0..n).map(|_| rng.gen_range(lo as i32..=hi as i32)).collect())
-            }
-            DType::I64 => {
-                Data::I64((0..n).map(|_| rng.gen_range(lo as i64..=hi as i64)).collect())
-            }
+            DType::I32 => Data::I32(
+                (0..n)
+                    .map(|_| rng.gen_range(lo as i32..=hi as i32))
+                    .collect(),
+            ),
+            DType::I64 => Data::I64(
+                (0..n)
+                    .map(|_| rng.gen_range(lo as i64..=hi as i64))
+                    .collect(),
+            ),
             DType::Bool => Data::Bool((0..n).map(|_| rng.gen_bool(0.5)).collect()),
         };
         Tensor {

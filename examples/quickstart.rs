@@ -16,13 +16,16 @@ fn main() {
     });
 
     let case = fuzzer.next_case().expect("a numerically-valid test case");
-    println!("Generated model ({} operators):", case.graph.operators().len());
+    println!(
+        "Generated model ({} operators):",
+        case.graph.operators().len()
+    );
     println!("{}", case.graph.to_text());
     println!();
 
     // The reference execution is NaN/Inf-free by construction.
-    let exec = nnsmith::ops::execute(&case.graph, &case.all_bindings())
-        .expect("reference execution");
+    let exec =
+        nnsmith::ops::execute(&case.graph, &case.all_bindings()).expect("reference execution");
     assert!(!exec.has_exceptional());
     println!(
         "Reference outputs: {}",

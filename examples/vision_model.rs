@@ -81,11 +81,20 @@ fn main() {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
     let mut weights = nnsmith::ops::Bindings::new();
-    weights.insert(w0, Tensor::uniform(&[2, 3, 3, 3], DType::F32, -0.2, 0.2, &mut rng));
+    weights.insert(
+        w0,
+        Tensor::uniform(&[2, 3, 3, 3], DType::F32, -0.2, 0.2, &mut rng),
+    );
     weights.insert(b0, Tensor::uniform(&[2], DType::F32, -0.1, 0.1, &mut rng));
     let mut inputs = HashMap::new();
-    inputs.insert(x0, Tensor::uniform(&[1, 3, 64, 64], DType::F32, -1.0, 1.0, &mut rng));
-    inputs.insert(x1, Tensor::uniform(&[1, 2, 62, 62], DType::F32, -1.0, 1.0, &mut rng));
+    inputs.insert(
+        x0,
+        Tensor::uniform(&[1, 3, 64, 64], DType::F32, -1.0, 1.0, &mut rng),
+    );
+    inputs.insert(
+        x1,
+        Tensor::uniform(&[1, 2, 62, 62], DType::F32, -1.0, 1.0, &mut rng),
+    );
 
     // --- Reference execution -------------------------------------------------
     let mut all = weights.clone();

@@ -47,9 +47,9 @@ fn clean_compilers_never_disagree_with_reference() {
             let mut cov = CoverageSet::new();
             let outcome = run_case(compiler, &case, &options, Tolerance::default(), &mut cov);
             match outcome {
-                TestOutcome::Pass
-                | TestOutcome::NotImplemented
-                | TestOutcome::NumericInvalid => verdicts += 1,
+                TestOutcome::Pass | TestOutcome::NotImplemented | TestOutcome::NumericInvalid => {
+                    verdicts += 1
+                }
                 other => panic!(
                     "clean {} disagreed: {other:?}\nmodel:\n{}",
                     compiler.system().name(),

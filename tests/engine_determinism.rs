@@ -1,0 +1,143 @@
+//! The parallel engine's reproducibility contract, exercised end-to-end
+//! with the real NNSmith pipeline: for a fixed seed and shard count, the
+//! merged campaign result must not depend on the worker count.
+
+use std::time::Duration;
+
+use nnsmith::compilers::ortsim;
+use nnsmith::difftest::{run_engine, CampaignConfig, EngineConfig};
+use nnsmith::gen::GenConfig;
+use nnsmith::pipeline::NnSmithFactory;
+use nnsmith::search::SearchConfig;
+use nnsmith::{NnSmith, NnSmithConfig};
+
+fn quick_pipeline() -> NnSmithConfig {
+    NnSmithConfig {
+        gen: GenConfig {
+            target_ops: 5,
+            ..GenConfig::default()
+        },
+        search: SearchConfig {
+            budget: Duration::from_millis(150),
+            init_lo: -4.0,
+            init_hi: 4.0,
+            ..SearchConfig::default()
+        },
+        seed: 0, // overridden per shard by the factory
+        max_attempts_per_case: 8,
+    }
+}
+
+fn engine_config(workers: usize) -> EngineConfig {
+    EngineConfig {
+        workers,
+        shards: 4,
+        seed: 1234,
+        campaign: CampaignConfig {
+            // Case-budgeted: determinism holds when max_cases drives
+            // termination and the duration is generous.
+            duration: Duration::from_secs(600),
+            max_cases: Some(12),
+            ..CampaignConfig::default()
+        },
+    }
+}
+
+#[test]
+fn one_worker_and_four_workers_agree_bit_for_bit() {
+    let compiler = ortsim();
+    let factory = NnSmithFactory::new(quick_pipeline());
+    let one = run_engine(&compiler, &factory, &engine_config(1));
+    let four = run_engine(&compiler, &factory, &engine_config(4));
+
+    assert_eq!(one.result.cases, 12);
+    assert_eq!(one.result.cases, four.result.cases);
+    assert_eq!(one.result.bugs_found, four.result.bugs_found);
+    assert_eq!(one.result.unique_crashes, four.result.unique_crashes);
+    assert_eq!(one.result.coverage, four.result.coverage);
+    assert_eq!(one.result.op_instances, four.result.op_instances);
+    assert_eq!(one.result.mismatches, four.result.mismatches);
+    assert_eq!(one.result.numeric_invalid, four.result.numeric_invalid);
+    assert_eq!(one.result.timeline, four.result.timeline);
+
+    // Shard-level agreement too: the shard set, not the worker count,
+    // defines the work.
+    for (a, b) in one.shard_results.iter().zip(&four.shard_results) {
+        assert_eq!(a.cases, b.cases);
+        assert_eq!(a.coverage, b.coverage);
+        assert_eq!(a.bugs_found, b.bugs_found);
+    }
+
+    // And the serialized report is byte-identical (the BENCH_*.json
+    // promise).
+    assert_eq!(
+        serde::json::to_string(&one.result),
+        serde::json::to_string(&four.result)
+    );
+}
+
+#[test]
+fn shard_sources_match_direct_pipeline_runs() {
+    // A shard's case stream is exactly what a standalone NnSmith seeded
+    // with the shard seed would produce.
+    use nnsmith::difftest::{shard_seed, TestCaseSource};
+    let seed = shard_seed(1234, 2);
+    let mut direct = NnSmith::new(NnSmithConfig {
+        seed,
+        ..quick_pipeline()
+    });
+    let factory = NnSmithFactory::new(quick_pipeline());
+    let mut shard = factory_make(&factory, 2);
+    for _ in 0..2 {
+        let a = direct.next_case().expect("case");
+        let b = shard.next_case().expect("case");
+        assert_eq!(a.graph, b.graph);
+    }
+}
+
+fn factory_make(
+    factory: &NnSmithFactory,
+    index: usize,
+) -> Box<dyn nnsmith::difftest::TestCaseSource + Send> {
+    use nnsmith::difftest::{shard_seed, ShardCtx, SourceFactory};
+    factory.make_source(ShardCtx {
+        index,
+        count: 4,
+        seed: shard_seed(1234, index),
+    })
+}
+
+/// The throughput half of the engine's acceptance: >1.5x cases/sec with 4
+/// workers on the Figure-4 workload. Meaningless on fewer than 4 cores
+/// (this build container has 1), so it gates on available parallelism.
+#[test]
+fn four_workers_beat_one_on_throughput_when_cores_allow() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores < 4 {
+        eprintln!("skipping engine speedup smoke: only {cores} core(s) available");
+        return;
+    }
+    use nnsmith::baselines::GraphFuzzerFactory;
+    let compiler = ortsim();
+    let cfg = |workers| EngineConfig {
+        workers,
+        shards: 8,
+        seed: 7,
+        campaign: CampaignConfig {
+            duration: Duration::from_secs(3),
+            ..CampaignConfig::default()
+        },
+    };
+    let one = run_engine(&compiler, &GraphFuzzerFactory::default(), &cfg(1));
+    let four = run_engine(&compiler, &GraphFuzzerFactory::default(), &cfg(4));
+    let speedup = four.cases_per_sec() / one.cases_per_sec();
+    assert!(
+        speedup > 1.5,
+        "expected >1.5x cases/sec with 4 workers, got {speedup:.2}x \
+         ({:.0} vs {:.0} cases/s)",
+        four.cases_per_sec(),
+        one.cases_per_sec()
+    );
+}

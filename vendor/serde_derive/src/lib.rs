@@ -1,0 +1,394 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment cannot reach crates.io, so this proc-macro crate
+//! re-implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` by hand
+//! (no `syn`/`quote`). `Serialize` generates a JSON emitter compatible with
+//! the shim `serde` crate's `Serialize` trait; `Deserialize` generates a
+//! marker impl. The parser covers what this workspace actually derives:
+//! plain structs (named/tuple/unit) and enums (unit/tuple/struct variants),
+//! with simple type parameters and no `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of a type definition.
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(NamedStruct fields)` or
+    /// `Some(TupleStruct arity)` otherwise.
+    fields: Option<VariantFields>,
+}
+
+enum VariantFields {
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Parsed {
+    name: String,
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+/// Skips `#[...]` attribute pairs starting at `i`; returns the new index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, …) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Consumes a balanced `<...>` generics list starting at the `<`; returns
+/// (type-parameter names, index just past the closing `>`).
+fn parse_generics(tokens: &[TokenTree], mut i: usize) -> (Vec<String>, usize) {
+    let mut depth = 0i32;
+    let mut params = Vec::new();
+    let mut expect_param = false;
+    while let Some(tok) = tokens.get(i) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                if depth == 1 {
+                    expect_param = true;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                expect_param = true;
+            }
+            TokenTree::Punct(p)
+                if p.as_char() == '\''
+                // Lifetime parameter: the next ident is not a type param.
+                && depth == 1 =>
+            {
+                expect_param = false;
+            }
+            TokenTree::Ident(id) if depth == 1 && expect_param => {
+                let s = id.to_string();
+                if s != "const" {
+                    params.push(s);
+                }
+                expect_param = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (params, i)
+}
+
+/// Parses the comma-separated field names of a named-field body.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(name.to_string());
+        i += 1;
+        // Skip `: Type` until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple body (top-level comma count).
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1usize;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Some(VariantFields::Tuple(count_tuple_fields(g)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(VariantFields::Named(parse_named_fields(g)))
+            }
+            _ => None,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    assert!(
+        kind == "struct" || kind == "enum",
+        "derive: unsupported item `{kind}`"
+    );
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            let (params, next) = parse_generics(&tokens, i);
+            generics = params;
+            i = next;
+        }
+    }
+    // Skip a `where` clause if present (none expected in this workspace).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+            {
+                break
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => i += 1,
+        }
+    }
+    let shape = if kind == "enum" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g))
+            }
+            other => panic!("derive: enum without body: {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g))
+            }
+            _ => Shape::UnitStruct,
+        }
+    };
+    Parsed {
+        name,
+        generics,
+        shape,
+    }
+}
+
+/// `impl<K: ::serde::Trait> ::serde::Trait for Name<K>` header pieces.
+fn impl_header(p: &Parsed, trait_name: &str) -> (String, String) {
+    if p.generics.is_empty() {
+        (String::new(), p.name.clone())
+    } else {
+        let bounds: Vec<String> = p
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        let args = p.generics.join(", ");
+        (
+            format!("<{}>", bounds.join(", ")),
+            format!("{}<{}>", p.name, args),
+        )
+    }
+}
+
+fn gen_named_fields_body(fields: &[String], accessor: &dyn Fn(&str) -> String) -> String {
+    let mut body = String::from("out.push('{');\n");
+    for (idx, f) in fields.iter().enumerate() {
+        if idx > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        body.push_str(&format!("out.push_str(\"\\\"{f}\\\":\");\n"));
+        body.push_str(&format!(
+            "::serde::Serialize::serialize_value({}, out);\n",
+            accessor(f)
+        ));
+    }
+    body.push_str("out.push('}');\n");
+    body
+}
+
+/// Hand-rolled `#[derive(Serialize)]`: implements the shim `serde`
+/// crate's JSON-emitting `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let p = parse_input(input);
+    let (generics, ty) = impl_header(&p, "Serialize");
+    let body = match &p.shape {
+        Shape::UnitStruct => "out.push_str(\"null\");\n".to_string(),
+        Shape::TupleStruct(1) => "::serde::Serialize::serialize_value(&self.0, out);\n".to_string(),
+        Shape::TupleStruct(n) => {
+            let mut body = String::from("out.push('[');\n");
+            for i in 0..*n {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "::serde::Serialize::serialize_value(&self.{i}, out);\n"
+                ));
+            }
+            body.push_str("out.push(']');\n");
+            body
+        }
+        Shape::NamedStruct(fields) => gen_named_fields_body(fields, &|f| format!("&self.{f}")),
+        Shape::Enum(variants) => {
+            let name = &p.name;
+            let mut body = String::from("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    None => {
+                        body.push_str(&format!(
+                            "{name}::{vn} => out.push_str(\"\\\"{vn}\\\"\"),\n"
+                        ));
+                    }
+                    Some(VariantFields::Tuple(n)) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let pat = binders.join(", ");
+                        let mut arm = format!("{name}::{vn}({pat}) => {{\n");
+                        arm.push_str(&format!("out.push_str(\"{{\\\"{vn}\\\":\");\n"));
+                        if *n == 1 {
+                            arm.push_str("::serde::Serialize::serialize_value(__f0, out);\n");
+                        } else {
+                            arm.push_str("out.push('[');\n");
+                            for (i, b) in binders.iter().enumerate() {
+                                if i > 0 {
+                                    arm.push_str("out.push(',');\n");
+                                }
+                                arm.push_str(&format!(
+                                    "::serde::Serialize::serialize_value({b}, out);\n"
+                                ));
+                            }
+                            arm.push_str("out.push(']');\n");
+                        }
+                        arm.push_str("out.push('}');\n}\n");
+                        body.push_str(&arm);
+                    }
+                    Some(VariantFields::Named(fields)) => {
+                        let pat = fields.join(", ");
+                        let mut arm = format!("{name}::{vn} {{ {pat} }} => {{\n");
+                        arm.push_str(&format!("out.push_str(\"{{\\\"{vn}\\\":\");\n"));
+                        arm.push_str(&gen_named_fields_body(fields, &|f| f.to_string()));
+                        arm.push_str("out.push('}');\n}\n");
+                        body.push_str(&arm);
+                    }
+                }
+            }
+            body.push_str("}\n");
+            body
+        }
+    };
+    let out = format!(
+        "impl{generics} ::serde::Serialize for {ty} {{\n\
+         fn serialize_value(&self, out: &mut ::std::string::String) {{\n{body}}}\n}}\n"
+    );
+    out.parse()
+        .expect("derive(Serialize): generated code must parse")
+}
+
+/// Hand-rolled `#[derive(Deserialize)]`: nothing in this workspace
+/// deserializes, so this emits a marker impl only.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let p = parse_input(input);
+    let (generics, ty) = impl_header(&p, "Deserialize");
+    format!("impl{generics} ::serde::Deserialize for {ty} {{}}\n")
+        .parse()
+        .expect("derive(Deserialize): generated code must parse")
+}
