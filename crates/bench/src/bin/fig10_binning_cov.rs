@@ -10,11 +10,23 @@
 
 use std::time::Duration;
 
+use nnsmith_bench::write_json;
 use nnsmith_compilers::{ortsim, tvmsim};
 use nnsmith_core::{NnSmith, NnSmithConfig};
 use nnsmith_difftest::Venn2;
 use nnsmith_difftest::{run_campaign, CampaignConfig};
 use nnsmith_gen::GenConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig10Record {
+    compiler: String,
+    cases: usize,
+    /// A=no-binning, B=with-binning.
+    venn: Venn2,
+    unique_ratio: f64,
+    total_improvement_pct: f64,
+}
 
 fn source(binning: bool, seed: u64) -> NnSmith {
     NnSmith::new(NnSmithConfig {
@@ -32,6 +44,7 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(120);
+    let mut records = Vec::new();
     for compiler in [ortsim(), tvmsim()] {
         let name = compiler.system().name();
         println!("== Figure 10 ({name}) — binning coverage impact, {cases} cases each ==");
@@ -54,10 +67,19 @@ fn main() {
             "no-binning-only {} | shared {} | binning-only {}",
             v.only_a, v.both, v.only_b
         );
+        let unique_ratio = v.only_b as f64 / v.only_a.max(1) as f64;
+        let improvement =
+            100.0 * (v.total_b() as f64 - v.total_a() as f64) / v.total_a().max(1) as f64;
         println!(
-            "unique-coverage ratio (binning/base): {:.1}x; total improvement {:+.1}%\n",
-            v.only_b as f64 / v.only_a.max(1) as f64,
-            100.0 * (v.total_b() as f64 - v.total_a() as f64) / v.total_a().max(1) as f64
+            "unique-coverage ratio (binning/base): {unique_ratio:.1}x; total improvement {improvement:+.1}%\n"
         );
+        records.push(Fig10Record {
+            compiler: name.to_string(),
+            cases,
+            venn: v,
+            unique_ratio,
+            total_improvement_pct: improvement,
+        });
     }
+    write_json("fig10", &records);
 }

@@ -7,12 +7,35 @@
 
 use std::time::Duration;
 
+use nnsmith_bench::write_json;
 use nnsmith_gen::{GenConfig, Generator};
 use nnsmith_graph::Graph;
 use nnsmith_ops::Op;
 use nnsmith_search::{nan_rate, search_values, SearchConfig, SearchMethod};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig11Point {
+    budget_ms: u64,
+    avg_ms: f64,
+    success_rate: f64,
+}
+
+#[derive(Serialize)]
+struct Fig11Series {
+    size: usize,
+    method: String,
+    points: Vec<Fig11Point>,
+}
+
+#[derive(Serialize)]
+struct Fig11Record {
+    models_per_group: usize,
+    nan_rate_20_node_pct: Option<f64>,
+    series: Vec<Fig11Series>,
+}
 
 /// Generates `n` models of the given size containing >= 1 vulnerable op.
 fn vulnerable_models(size: usize, n: usize, seed: u64) -> Vec<Graph<Op>> {
@@ -51,6 +74,11 @@ fn main() {
         .unwrap_or(48); // paper: 512 per group
 
     println!("== Figure 11 — value-search success rate vs time ({per_group} models/group) ==");
+    let mut record = Fig11Record {
+        models_per_group: per_group,
+        nan_rate_20_node_pct: None,
+        series: Vec::new(),
+    };
     for &size in &[10usize, 20, 30] {
         let models = vulnerable_models(size, per_group, size as u64);
         // §3.3 statistic on the 20-node group.
@@ -64,10 +92,11 @@ fn main() {
                     0.0
                 };
             }
+            let pct = 100.0 * rates / models.len() as f64;
             println!(
-                "[§3.3] {:.1}% of {size}-node models hit NaN/Inf under random values (paper: 56.8%)",
-                100.0 * rates / models.len() as f64
+                "[§3.3] {pct:.1}% of {size}-node models hit NaN/Inf under random values (paper: 56.8%)"
             );
+            record.nan_rate_20_node_pct = Some(pct);
         }
         for (label, method) in [
             ("Sampling", SearchMethod::Sampling),
@@ -75,6 +104,7 @@ fn main() {
             ("Gradient+Proxy", SearchMethod::GradientProxy),
         ] {
             print!("size {size:>2} {label:>15}: ");
+            let mut points = Vec::new();
             for i in 1..=8u64 {
                 let budget = Duration::from_millis(i * 8);
                 let mut success = 0usize;
@@ -100,13 +130,21 @@ fn main() {
                     }
                 }
                 let avg_ms = total_time.as_secs_f64() * 1000.0 / models.len() as f64;
-                print!(
-                    "{:.1}ms:{:.2} ",
+                let rate = success as f64 / models.len() as f64;
+                print!("{avg_ms:.1}ms:{rate:.2} ");
+                points.push(Fig11Point {
+                    budget_ms: i * 8,
                     avg_ms,
-                    success as f64 / models.len() as f64
-                );
+                    success_rate: rate,
+                });
             }
             println!();
+            record.series.push(Fig11Series {
+                size,
+                method: label.to_string(),
+                points,
+            });
         }
     }
+    write_json("fig11", &record);
 }

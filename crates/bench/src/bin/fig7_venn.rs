@@ -3,13 +3,30 @@
 //! headline (32.7x / 10.8x vs 2nd best).
 //!
 //! `cargo run -p nnsmith-bench --release --bin fig7_venn [secs]`
+//!
+//! Emits `BENCH_fig7.json` with the seven regions per compiler.
 
-use nnsmith_bench::{arg_secs, three_way_campaigns};
+use serde::Serialize;
+
+use nnsmith_bench::{arg_secs, three_way_campaigns, write_json};
 use nnsmith_compilers::{ortsim, tvmsim};
 use nnsmith_difftest::Venn3;
 
+#[derive(Serialize)]
+struct Fig7Record {
+    compiler: String,
+    secs: u64,
+    /// Region sizes with A=LEMON, B=GraphFuzzer, C=NNSmith.
+    venn: Venn3,
+    lemon_total: usize,
+    graphfuzzer_total: usize,
+    nnsmith_total: usize,
+    nnsmith_unique_ratio: f64,
+}
+
 fn main() {
     let secs = arg_secs(20);
+    let mut records = Vec::new();
     for compiler in [ortsim(), tvmsim()] {
         let name = compiler.system().name();
         println!("== Figure 7 ({name}) — coverage Venn, {secs}s per fuzzer ==");
@@ -30,11 +47,20 @@ fn main() {
             v.ab, v.ac, v.bc, v.abc
         );
         let best_other_unique = v.a.max(v.b).max(1);
+        let ratio = v.c as f64 / best_other_unique as f64;
         println!(
-            "NNSmith unique vs best-other unique: {} / {} = {:.1}x\n",
-            v.c,
-            best_other_unique,
-            v.c as f64 / best_other_unique as f64
+            "NNSmith unique vs best-other unique: {} / {} = {ratio:.1}x\n",
+            v.c, best_other_unique
         );
+        records.push(Fig7Record {
+            compiler: name.to_string(),
+            secs,
+            venn: v,
+            lemon_total: v.total_a(),
+            graphfuzzer_total: v.total_b(),
+            nnsmith_total: v.total_c(),
+            nnsmith_unique_ratio: ratio,
+        });
     }
+    write_json("fig7", &records);
 }

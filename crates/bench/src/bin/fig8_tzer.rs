@@ -7,11 +7,23 @@
 use std::time::Duration;
 
 use nnsmith_baselines::{run_tzer_campaign, Tzer};
-use nnsmith_bench::{arg_secs, nnsmith_source, single_campaign};
+use nnsmith_bench::{arg_secs, nnsmith_source, single_campaign, write_json};
 use nnsmith_compilers::tvmsim;
 use nnsmith_difftest::Venn2;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig8Record {
+    secs: u64,
+    /// A=Tzer, B=NNSmith over all instrumented files.
+    all_files: Venn2,
+    /// A=Tzer, B=NNSmith over pass files only.
+    pass_only: Venn2,
+    tzer_iterations: usize,
+    nnsmith_cases: usize,
+}
 
 fn main() {
     let secs = arg_secs(20);
@@ -61,9 +73,19 @@ fn main() {
         "[pass-only]  Tzer-only {} | shared {} | NNSmith-only {}",
         vp.only_a, vp.both, vp.only_b
     );
+    let tzer_iterations = tzer_timeline.last().map(|p| p.iterations).unwrap_or(0);
     println!(
-        "Tzer executed {} IR mutants; NNSmith executed {} models",
-        tzer_timeline.last().map(|p| p.iterations).unwrap_or(0),
+        "Tzer executed {tzer_iterations} IR mutants; NNSmith executed {} models",
         nnsmith.cases
+    );
+    write_json(
+        "fig8",
+        &Fig8Record {
+            secs,
+            all_files: v,
+            pass_only: vp,
+            tzer_iterations,
+            nnsmith_cases: nnsmith.cases,
+        },
     );
 }

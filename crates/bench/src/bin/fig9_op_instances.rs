@@ -6,9 +6,28 @@
 
 use std::collections::{HashMap, HashSet};
 
+use nnsmith_bench::write_json;
 use nnsmith_core::{NnSmith, NnSmithConfig};
 use nnsmith_difftest::{op_instance_keys, TestCaseSource};
 use nnsmith_gen::GenConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig9Row {
+    operator: String,
+    with_binning: usize,
+    without_binning: usize,
+    ratio: f64,
+}
+
+#[derive(Serialize)]
+struct Fig9Record {
+    models: usize,
+    rows: Vec<Fig9Row>,
+    total_with_binning: usize,
+    total_without_binning: usize,
+    ratio: f64,
+}
 
 fn collect(binning: bool, models: usize, seed: u64) -> HashMap<String, HashSet<String>> {
     let mut fuzzer = NnSmith::new(NnSmithConfig {
@@ -66,5 +85,23 @@ fn main() {
     println!(
         "\nTOTAL: binning {total_w} vs base {total_b} = {:.2}x (paper: 2.07x)",
         total_w as f64 / total_b.max(1) as f64
+    );
+    write_json(
+        "fig9",
+        &Fig9Record {
+            models,
+            rows: rows
+                .iter()
+                .map(|(op, w, b, r)| Fig9Row {
+                    operator: op.clone(),
+                    with_binning: *w,
+                    without_binning: *b,
+                    ratio: *r,
+                })
+                .collect(),
+            total_with_binning: total_w,
+            total_without_binning: total_b,
+            ratio: total_w as f64 / total_b.max(1) as f64,
+        },
     );
 }

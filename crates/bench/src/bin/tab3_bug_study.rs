@@ -1,30 +1,89 @@
-//! Table 3: the seeded-bug study. Runs NNSmith campaigns against all
-//! three simulated compilers (with the exporter in the loop) and reports
-//! found bugs in the paper's system x phase and symptom breakdown.
+//! Table 3: the seeded-bug study, driven by the triage subsystem. Runs
+//! NNSmith campaigns against all three simulated compilers (exporter in
+//! the loop), streams every oracle finding through triage — reduction,
+//! signature binning, reproducer extraction — and reports *deduplicated*
+//! bugs in the paper's system x phase and symptom breakdown. Raw finding
+//! counts vs. bins shows how much duplicate volume triage absorbs.
 //!
-//! `cargo run -p nnsmith-bench --release --bin tab3_bug_study [secs-per-compiler]`
+//! `cargo run -p nnsmith-bench --release --bin tab3_bug_study -- [secs] [--workers N] [--shards N]`
+//!
+//! Emits `BENCH_tab3.json` (per-compiler bins + reproducers) and writes
+//! the minimized reproducer corpus to `tab3_corpus.json`.
 
 use std::collections::BTreeSet;
+use std::time::Duration;
 
-use nnsmith_bench::{arg_secs, nnsmith_source, single_campaign};
-use nnsmith_compilers::{ortsim, registry, trtsim, tvmsim, Phase, Symptom, System};
+use serde::Serialize;
+
+use nnsmith_bench::{bench_args, write_json};
+use nnsmith_compilers::{bug_by_id, ortsim, registry, trtsim, tvmsim, Phase, Symptom, System};
+use nnsmith_core::{NnSmithConfig, NnSmithFactory};
+use nnsmith_difftest::{CampaignConfig, EngineConfig};
+use nnsmith_triage::{run_triaged_engine, Corpus, TriageConfig, TriageReport};
+
+#[derive(Serialize)]
+struct Tab3Record {
+    compiler: String,
+    secs: u64,
+    workers: usize,
+    shards: usize,
+    cases: usize,
+    findings: usize,
+    triage: TriageReport,
+}
 
 fn main() {
-    let secs = arg_secs(25);
-    println!("== Table 3 — seeded-bug study ({secs}s per compiler) ==");
+    let args = bench_args(25);
+    println!(
+        "== Table 3 — seeded-bug study via triage ({}s per compiler, {} workers) ==",
+        args.secs, args.workers
+    );
     let mut found: BTreeSet<String> = BTreeSet::new();
+    let mut records = Vec::new();
+    let mut corpus = Corpus::new();
     for (compiler, seed) in [(tvmsim(), 101u64), (ortsim(), 202), (trtsim(), 303)] {
-        let mut src = nnsmith_source(seed);
-        let r = single_campaign(&compiler, &mut src, secs);
+        let factory = NnSmithFactory::new(NnSmithConfig::default());
+        let config = EngineConfig {
+            workers: args.workers,
+            shards: args.shards,
+            seed,
+            campaign: CampaignConfig {
+                duration: Duration::from_secs(args.secs),
+                ..CampaignConfig::default()
+            },
+        };
+        let (report, triage) =
+            run_triaged_engine(&compiler, &factory, &config, &TriageConfig::default());
         println!(
-            "{:>8}: {} cases, {} unique crashes, {} mismatches, {} seeded bugs",
-            r.compiler,
-            r.cases,
-            r.unique_crashes.len(),
-            r.mismatches,
-            r.bugs_found.len()
+            "{:>8}: {} cases, {} findings -> {} bins ({} reductions, {} oracle runs)",
+            report.result.compiler,
+            report.result.cases,
+            triage.failures_seen,
+            triage.bins.len(),
+            triage.reductions,
+            triage.oracle_runs,
         );
-        found.extend(r.bugs_found);
+        for (key, bin) in &triage.bins {
+            println!(
+                "          {key}: x{} -> {} ops",
+                bin.count,
+                bin.reproducer.graph.operators().len()
+            );
+        }
+        for (key, bin) in &triage.unreduced {
+            println!("          {key}: x{} (not reducible)", bin.count);
+        }
+        found.extend(triage.seeded_bug_ids());
+        corpus.merge(triage.to_corpus());
+        records.push(Tab3Record {
+            compiler: report.result.compiler.clone(),
+            secs: args.secs,
+            workers: args.workers,
+            shards: args.shards,
+            cases: report.result.cases,
+            findings: triage.failures_seen,
+            triage,
+        });
     }
 
     let bugs = registry();
@@ -69,6 +128,10 @@ fn main() {
         "\nTOTAL found: {} / 72 seeded (crash {crash}/55, semantic {sem}/17)",
         found.len()
     );
+    // Sanity: every identified id must exist in the registry.
+    for id in &found {
+        assert!(bug_by_id(id).is_some(), "unknown seeded id {id}");
+    }
     let missing: Vec<&str> = bugs
         .iter()
         .filter(|b| !found.contains(b.id))
@@ -77,4 +140,10 @@ fn main() {
     if !missing.is_empty() {
         println!("not yet triggered: {}", missing.join(", "));
     }
+
+    match corpus.save("tab3_corpus.json") {
+        Ok(()) => println!("wrote tab3_corpus.json ({} reproducers)", corpus.len()),
+        Err(e) => eprintln!("could not write tab3_corpus.json: {e}"),
+    }
+    write_json("tab3", &records);
 }

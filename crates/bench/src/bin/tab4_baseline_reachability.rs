@@ -7,9 +7,19 @@
 
 use std::collections::BTreeSet;
 
-use nnsmith_bench::{graphfuzzer_source, lemon_source, nnsmith_source};
+use nnsmith_bench::{graphfuzzer_source, lemon_source, nnsmith_source, write_json};
 use nnsmith_compilers::registry;
 use nnsmith_difftest::TestCaseSource;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Tab4Record {
+    models: usize,
+    nnsmith_reachable: Vec<String>,
+    graphfuzzer_reachable: Vec<String>,
+    lemon_reachable: Vec<String>,
+    nnsmith_only: Vec<String>,
+}
 
 fn reachable(source: &mut dyn TestCaseSource, models: usize) -> BTreeSet<&'static str> {
     let bugs = registry();
@@ -64,5 +74,16 @@ fn main() {
     println!(
         "LEMON-reachable: {}",
         lm_hit.iter().copied().collect::<Vec<_>>().join(", ")
+    );
+    let ids = |set: &BTreeSet<&'static str>| set.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    write_json(
+        "tab4",
+        &Tab4Record {
+            models,
+            nnsmith_reachable: ids(&nn_hit),
+            graphfuzzer_reachable: ids(&gf_hit),
+            lemon_reachable: ids(&lm_hit),
+            nnsmith_only: nn_only.iter().map(|s| s.to_string()).collect(),
+        },
     );
 }

@@ -248,8 +248,15 @@ impl EngineSummary {
 /// Writes `records` to `BENCH_<figure>.json` in the working directory so
 /// the perf trajectory is machine-readable run over run.
 pub fn write_bench_json(figure: &str, records: &[BenchRecord]) {
+    write_json(figure, &records)
+}
+
+/// Writes any serializable record to `BENCH_<figure>.json` — the generic
+/// form used by the figure/table binaries whose records are not engine
+/// summaries (Venn regions, bug bins, search series).
+pub fn write_json<T: Serialize + ?Sized>(figure: &str, value: &T) {
     let path = format!("BENCH_{figure}.json");
-    let json = serde::json::to_string(records);
+    let json = serde::json::to_string(value);
     match std::fs::write(&path, &json) {
         Ok(()) => println!("wrote {path} ({} bytes)", json.len()),
         Err(e) => eprintln!("could not write {path}: {e}"),

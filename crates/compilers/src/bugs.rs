@@ -961,6 +961,33 @@ pub fn bugs_for(system: System) -> Vec<SeededBug> {
         .collect()
 }
 
+/// Looks up one seeded bug by id — the join a triage bin uses to label
+/// its `seeded:` signatures with system/phase/symptom for Table 3.
+pub fn bug_by_id(id: &str) -> Option<SeededBug> {
+    registry().into_iter().find(|b| b.id == id)
+}
+
+impl Phase {
+    /// Table 3 column label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Transformation => "transformation",
+            Phase::Conversion => "conversion",
+            Phase::Unclassified => "unclassified",
+        }
+    }
+}
+
+impl Symptom {
+    /// Table 3 row label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Symptom::Crash => "crash",
+            Symptom::Semantic => "semantic",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -507,11 +507,35 @@ pub fn trtsim() -> Compiler {
     }
 }
 
+/// Builds a simulated compiler from its [`System::name`] — the lookup a
+/// serialized triage reproducer uses to replay against the system it was
+/// found on. The exporter is part of every differential run, not a
+/// standalone compiler, so it has no entry.
+pub fn compiler_by_name(name: &str) -> Option<Compiler> {
+    match name {
+        "tvmsim" => Some(tvmsim()),
+        "ortsim" => Some(ortsim()),
+        "trtsim" => Some(trtsim()),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use nnsmith_graph::{TensorType, ValueRef};
     use nnsmith_ops::{BinaryKind, UnaryKind};
+
+    #[test]
+    fn compiler_by_name_roundtrips() {
+        for c in [tvmsim(), ortsim(), trtsim()] {
+            let name = c.system().name();
+            let again = compiler_by_name(name).expect("known system");
+            assert_eq!(again.system().name(), name);
+        }
+        assert!(compiler_by_name("exporter").is_none());
+        assert!(compiler_by_name("gcc").is_none());
+    }
 
     fn toy() -> (Graph<Op>, Bindings, NodeId) {
         let mut g: Graph<Op> = Graph::new();

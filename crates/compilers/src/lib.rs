@@ -34,9 +34,11 @@ mod exporter;
 mod lowlevel;
 mod passes;
 
-pub use bugs::{bugs_for, registry, BugConfig, Phase, SeededBug, Symptom, System};
+pub use bugs::{bug_by_id, bugs_for, registry, BugConfig, Phase, SeededBug, Symptom, System};
 pub use cgraph::{CGraph, CNode, COp, CValue, CompileError, IndexWidth, Layout};
-pub use compiler::{ortsim, trtsim, tvmsim, CompileOptions, CompiledModel, Compiler, OptLevel};
+pub use compiler::{
+    compiler_by_name, ortsim, trtsim, tvmsim, CompileOptions, CompiledModel, Compiler, OptLevel,
+};
 pub use coverage::{
     log_bucket, Branch, Cov, CoverageSet, FileDecl, FileId, FileKind, SourceManifest,
 };

@@ -40,6 +40,12 @@ pub struct CampaignConfig {
     /// patched by maintainers, letting the fuzzer reach bugs that a
     /// still-crashing frontend would otherwise mask.
     pub fix_found_bugs: bool,
+    /// Attach the failing [`TestCase`] and its [`TestOutcome`] to the
+    /// observer's [`CaseRecord`] whenever a case is a finding, so a triage
+    /// pipeline downstream can reduce and deduplicate it. Off by default:
+    /// cloning every failing case costs memory that pure coverage
+    /// campaigns don't need.
+    pub capture_failures: bool,
 }
 
 impl Default for CampaignConfig {
@@ -51,6 +57,7 @@ impl Default for CampaignConfig {
             tolerance: Tolerance::default(),
             sample_every: Duration::from_millis(250),
             fix_found_bugs: true,
+            capture_failures: false,
         }
     }
 }
@@ -133,6 +140,15 @@ pub fn op_instance_keys(case: &TestCase) -> Vec<String> {
     keys
 }
 
+/// A failing execution captured for downstream triage.
+#[derive(Debug, Clone)]
+pub struct CapturedFailure {
+    /// The failing test case (graph, weights, inputs).
+    pub case: TestCase,
+    /// The finding outcome it produced.
+    pub outcome: TestOutcome,
+}
+
 /// Per-case progress record handed to a campaign observer (the engine's
 /// aggregation channel feeds on these).
 #[derive(Debug, Clone)]
@@ -141,6 +157,9 @@ pub struct CaseRecord {
     pub case_index: usize,
     /// Branches this case covered that the campaign had not seen before.
     pub new_coverage: CoverageSet,
+    /// The failing case, when this case was a finding and
+    /// [`CampaignConfig::capture_failures`] is on.
+    pub failure: Option<Box<CapturedFailure>>,
 }
 
 /// Runs one fuzzing campaign.
@@ -223,9 +242,16 @@ fn run_campaign_inner(
                 let outcome = run_case(compiler, &case, &options, config.tolerance, &mut case_cov);
                 let new_coverage = case_cov.difference(&result.coverage);
                 result.coverage.merge(&case_cov);
+                let failure = (config.capture_failures && outcome.is_finding()).then(|| {
+                    Box::new(CapturedFailure {
+                        case: case.clone(),
+                        outcome: outcome.clone(),
+                    })
+                });
                 observer(CaseRecord {
                     case_index: result.cases,
                     new_coverage,
+                    failure,
                 });
                 outcome
             }

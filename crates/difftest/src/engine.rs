@@ -16,8 +16,10 @@
 //! fixed slice of the campaign budget, so every shard produces the same
 //! cases whether the engine runs on 1 thread or 16. The merge folds
 //! shards in index order. Consequently, for a case-budgeted engine run
-//! (`max_cases` set, generous `duration`), the merged [`CampaignResult`]
-//! is **bit-reproducible across runs and across worker counts**. Under a
+//! (`max_cases` set, generous `duration`, and a source whose own budgets
+//! are deterministic — e.g. `SearchConfig::max_iters` instead of a
+//! wall-clock search budget), the merged [`CampaignResult`] is
+//! **bit-reproducible across runs and across worker counts**. Under a
 //! wall-clock budget the cutoff is inherently timing-dependent, and only
 //! same-configuration statistical behaviour is preserved.
 //!
@@ -181,6 +183,23 @@ pub fn run_engine(
     factory: &dyn SourceFactory,
     config: &EngineConfig,
 ) -> EngineReport {
+    run_engine_observed(compiler, factory, config, &|_, _| {})
+}
+
+/// [`run_engine`] with a per-case hook: `on_case` is invoked **on the
+/// worker thread** for every executed case, with the shard identity and
+/// the case record (including the captured failure when
+/// [`CampaignConfig::capture_failures`](crate::CampaignConfig) is set).
+/// This is the streaming feed of the triage pipeline: failing cases flow
+/// to a consumer while the campaign is still running. The hook must not
+/// influence the campaign — merged results are identical to an unobserved
+/// run.
+pub fn run_engine_observed(
+    compiler: &Compiler,
+    factory: &dyn SourceFactory,
+    config: &EngineConfig,
+    on_case: &(dyn Fn(ShardCtx, &CaseRecord) + Sync),
+) -> EngineReport {
     let shards = config.shards.max(1);
     let workers = config.workers.clamp(1, shards);
     let start = Instant::now();
@@ -210,10 +229,26 @@ pub fn run_engine(
                     .campaign
                     .max_cases
                     .map(|total| total / shards + usize::from(index < total % shards));
-                shard_cfg.duration = deadline.saturating_duration_since(Instant::now());
+                // Proportional time slice: this worker will run about
+                // ceil(pending / workers) of the still-queued shards
+                // (including this one) before the deadline, so each gets
+                // an equal share of the remaining budget. Handing every
+                // shard the *whole* remaining deadline would let early
+                // shards starve late ones whenever workers < shards; and
+                // dividing by `pending` alone would double-count the
+                // shards the other workers are starting concurrently.
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                let pending = shards - index;
+                let rounds = pending.div_ceil(workers);
+                shard_cfg.duration = if rounds > 1 {
+                    remaining / rounds as u32
+                } else {
+                    remaining
+                };
                 let case_tx = tx.clone();
                 let result =
                     run_campaign_observed(compiler, source.as_mut(), &shard_cfg, &mut |record| {
+                        on_case(ctx, &record);
                         // The aggregator may have hung up after a recv
                         // error; a lost progress event is harmless.
                         let _ = case_tx.send(Event::Case { record });
@@ -435,6 +470,39 @@ mod tests {
         for (a, b) in one.shard_results.iter().zip(&four.shard_results) {
             assert_eq!(a.cases, b.cases);
             assert_eq!(a.coverage, b.coverage);
+        }
+    }
+
+    #[test]
+    fn time_budget_slices_are_fair() {
+        // Under a pure wall-clock budget every shard must get a
+        // proportional slice — previously shard 0 ran to the global
+        // deadline and late shards started with nothing left. Cover both
+        // the sequential case and a first wave of concurrent claims
+        // (workers=2: shards 0 and 1 are taken simultaneously and must
+        // not each consume the whole deadline).
+        let compiler = ortsim();
+        for workers in [1usize, 2] {
+            let report = run_engine(
+                &compiler,
+                &factory(),
+                &EngineConfig {
+                    workers,
+                    shards: 4,
+                    seed: 3,
+                    campaign: CampaignConfig {
+                        duration: Duration::from_millis(800),
+                        max_cases: None,
+                        ..CampaignConfig::default()
+                    },
+                },
+            );
+            for (i, shard) in report.shard_results.iter().enumerate() {
+                assert!(
+                    shard.cases > 0,
+                    "shard {i} was starved of wall-clock at {workers} workers"
+                );
+            }
         }
     }
 

@@ -22,10 +22,11 @@ mod venn;
 
 pub use campaign::{
     op_instance_keys, run_campaign, run_campaign_observed, CampaignConfig, CampaignResult,
-    CaseRecord, TestCaseSource, TimelinePoint,
+    CapturedFailure, CaseRecord, TestCaseSource, TimelinePoint,
 };
 pub use engine::{
-    run_engine, shard_seed, EngineConfig, EngineReport, FnSourceFactory, ShardCtx, SourceFactory,
+    run_engine, run_engine_observed, shard_seed, EngineConfig, EngineReport, FnSourceFactory,
+    ShardCtx, SourceFactory,
 };
 pub use harness::{run_case, seeded_bug_id, FaultSite, TestCase, TestOutcome};
 pub use oracle::{compare_outputs, Tolerance, Verdict};

@@ -1,9 +1,10 @@
 //! Venn-diagram region computation over coverage sets (Figures 7, 8, 10).
 
 use nnsmith_compilers::CoverageSet;
+use serde::Serialize;
 
 /// Regions of a two-set Venn diagram.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct Venn2 {
     /// Branches only in A.
     pub only_a: usize,
@@ -36,7 +37,7 @@ impl Venn2 {
 }
 
 /// Regions of a three-set Venn diagram (A, B, C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct Venn3 {
     /// Only A.
     pub a: usize,

@@ -108,7 +108,7 @@ pub fn apply_binning<R: Rng + ?Sized>(
             // shape dimensions (Algorithm 2, "also considers placeholders").
             NodeKind::Placeholder | NodeKind::Input | NodeKind::Weight => {
                 for t in &node.outputs {
-                    for d in &t.shape {
+                    for d in &t.dims() {
                         if !d.is_const() {
                             cb.push(bin_constraint(d, k, rng));
                         }

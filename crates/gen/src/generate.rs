@@ -382,8 +382,8 @@ impl SymbolicState {
         {
             return false;
         }
-        for (a, b) in outputs[0].shape.iter().zip(&out_type.shape) {
-            constraints.push(a.clone().eq_expr(b.clone()));
+        for (a, b) in outputs[0].dims().into_iter().zip(out_type.dims()) {
+            constraints.push(a.eq_expr(b));
         }
         if self.solver.try_add_constraints(constraints).is_none() {
             return false;
@@ -433,10 +433,10 @@ impl SymbolicState {
     /// `[1, max_out_dim]` and the element count within budget.
     fn push_size_caps(cs: &mut Vec<BoolExpr>, t: &TensorType, max_out_dim: i64, max_numel: i64) {
         let mut numel = IntExpr::Const(1);
-        for d in &t.shape {
+        for d in t.dims() {
             cs.push(d.clone().ge(1.into()));
             cs.push(d.clone().le(max_out_dim.into()));
-            numel = numel * d.clone();
+            numel = numel * d;
         }
         cs.push(numel.le(max_numel.into()));
     }

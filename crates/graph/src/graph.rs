@@ -564,15 +564,22 @@ mod tests {
     }
 
     #[test]
-    fn serde_emits_stable_json() {
-        // The offline serde stand-in has no deserializer; pin the encoded
-        // form instead of round-tripping.
+    fn serde_roundtrip() {
         let (g, ..) = chain3();
         let js = serde::json::to_string(&g);
-        assert_eq!(js, serde::json::to_string(&g.clone()));
+        assert_eq!(js, serde::json::to_string(&g.clone()), "stable encoding");
         assert!(js.contains("\"Relu\""), "operator payload present: {js}");
         let nodes = js.matches("\"kind\"").count();
         assert_eq!(nodes, g.len(), "one kind field per node");
+        // Full round-trip: decode and compare structurally and byte-wise.
+        let back: Graph<String> = serde::json::from_str(&js).expect("decodes");
+        assert_eq!(back.len(), g.len());
+        assert_eq!(back.topo_order().unwrap(), g.topo_order().unwrap());
+        assert_eq!(
+            serde::json::to_string(&back),
+            js,
+            "byte-identical re-encode"
+        );
     }
 
     #[test]

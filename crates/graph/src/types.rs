@@ -2,9 +2,9 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use serde::{json, Deserialize, Serialize};
 
-use nnsmith_solver::{IntExpr, Model};
+use nnsmith_solver::{intern, ExprId, IntExpr, Model};
 use nnsmith_tensor::DType;
 
 /// The type of a tensor flowing along a graph edge: an element dtype and a
@@ -12,6 +12,13 @@ use nnsmith_tensor::DType;
 ///
 /// During generation shapes are symbolic; after the solver produces a model
 /// the graph is concretized and every dimension becomes a constant.
+///
+/// Dimensions are stored as interned [`ExprId`] handles into the
+/// process-wide hash-consing arena (`nnsmith_solver::intern`), so cloning a
+/// type — and therefore cloning a whole graph during concretization, shard
+/// setup or triage reduction — copies machine words instead of expression
+/// trees. The tree-form API ([`TensorType::dim`], [`TensorType::dims`])
+/// reconstructs owned [`IntExpr`]s for constraint building.
 ///
 /// # Examples
 ///
@@ -23,17 +30,25 @@ use nnsmith_tensor::DType;
 /// assert_eq!(t.rank(), 4);
 /// assert_eq!(t.concrete_shape(), Some(vec![1, 3, 64, 64]));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TensorType {
     /// Element type.
     pub dtype: DType,
-    /// Shape; each dimension is an integer expression.
-    pub shape: Vec<IntExpr>,
+    /// Shape; each dimension is a handle to an interned integer expression.
+    shape: Vec<ExprId>,
 }
 
 impl TensorType {
-    /// Builds a type with symbolic dimensions.
+    /// Builds a type with (possibly symbolic) dimensions, interning each.
     pub fn new(dtype: DType, shape: Vec<IntExpr>) -> Self {
+        TensorType {
+            dtype,
+            shape: intern::intern_int_many(&shape),
+        }
+    }
+
+    /// Builds a type directly from interned dimension handles.
+    pub fn from_dim_ids(dtype: DType, shape: Vec<ExprId>) -> Self {
         TensorType { dtype, shape }
     }
 
@@ -41,7 +56,16 @@ impl TensorType {
     pub fn concrete(dtype: DType, dims: &[i64]) -> Self {
         TensorType {
             dtype,
-            shape: dims.iter().map(|&d| IntExpr::Const(d)).collect(),
+            shape: intern::with_pool(|p| dims.iter().map(|&d| p.constant(d)).collect()),
+        }
+    }
+
+    /// The same shape with a different element type (cheap: handles are
+    /// copied, no trees are rebuilt).
+    pub fn with_dtype(&self, dtype: DType) -> Self {
+        TensorType {
+            dtype,
+            shape: self.shape.clone(),
         }
     }
 
@@ -50,9 +74,30 @@ impl TensorType {
         self.shape.len()
     }
 
+    /// The interned dimension handles.
+    pub fn dim_ids(&self) -> &[ExprId] {
+        &self.shape
+    }
+
+    /// Dimension `i` as an owned expression tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn dim(&self, i: usize) -> IntExpr {
+        intern::int_expr_of(self.shape[i])
+    }
+
+    /// Every dimension as an owned expression tree (one arena guard).
+    pub fn dims(&self) -> Vec<IntExpr> {
+        let pool = intern::read_pool();
+        self.shape.iter().map(|&id| pool.to_int_expr(id)).collect()
+    }
+
     /// The concrete shape if every dimension is a constant.
     pub fn concrete_shape(&self) -> Option<Vec<i64>> {
-        self.shape.iter().map(IntExpr::as_const).collect()
+        let pool = intern::read_pool();
+        self.shape.iter().map(|&id| pool.as_const(id)).collect()
     }
 
     /// The concrete shape as `usize` dims (for tensor allocation), if the
@@ -66,14 +111,15 @@ impl TensorType {
 
     /// True if every dimension is a constant.
     pub fn is_concrete(&self) -> bool {
-        self.concrete_shape().is_some()
+        let pool = intern::read_pool();
+        self.shape.iter().all(|&id| pool.as_const(id).is_some())
     }
 
     /// Symbolic element count (the product of all dimensions).
     pub fn numel_expr(&self) -> IntExpr {
-        self.shape
-            .iter()
-            .fold(IntExpr::Const(1), |acc, d| acc * d.clone())
+        self.dims()
+            .into_iter()
+            .fold(IntExpr::Const(1), |acc, d| acc * d)
     }
 
     /// Substitutes solver-model values into every dimension.
@@ -81,16 +127,18 @@ impl TensorType {
     /// Dimensions whose variables are missing from the model are left
     /// symbolic.
     pub fn concretize(&self, model: &Model) -> TensorType {
+        let shape = intern::with_pool(|p| {
+            self.shape
+                .iter()
+                .map(|&id| match p.eval_int(id, &|v| model.get(v)) {
+                    Some(v) => p.constant(v),
+                    None => id,
+                })
+                .collect()
+        });
         TensorType {
             dtype: self.dtype,
-            shape: self
-                .shape
-                .iter()
-                .map(|d| match model.eval_int(d) {
-                    Some(v) => IntExpr::Const(v),
-                    None => d.clone(),
-                })
-                .collect(),
+            shape,
         }
     }
 }
@@ -98,13 +146,34 @@ impl TensorType {
 impl fmt::Display for TensorType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}[", self.dtype)?;
-        for (i, d) in self.shape.iter().enumerate() {
+        for (i, d) in self.dims().iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
             write!(f, "{d}")?;
         }
         write!(f, "]")
+    }
+}
+
+// Interned handles are process-local, so the wire form is the expression
+// tree: serialization reconstructs `IntExpr`s and deserialization re-interns
+// them, keeping the JSON shape identical to the old owned-tree derive.
+impl Serialize for TensorType {
+    fn serialize_value(&self, out: &mut String) {
+        out.push_str("{\"dtype\":");
+        self.dtype.serialize_value(out);
+        out.push_str(",\"shape\":");
+        self.dims().serialize_value(out);
+        out.push('}');
+    }
+}
+
+impl Deserialize for TensorType {
+    fn deserialize(v: &json::Value) -> Result<Self, json::Error> {
+        let dtype = DType::deserialize(json::obj_get(v, "dtype")?)?;
+        let shape: Vec<IntExpr> = Vec::deserialize(json::obj_get(v, "shape")?)?;
+        Ok(TensorType::new(dtype, shape))
     }
 }
 
@@ -126,6 +195,8 @@ mod tests {
         let t = TensorType::new(DType::F32, vec![IntExpr::Var(VarId(0)), IntExpr::Const(3)]);
         assert!(!t.is_concrete());
         assert_eq!(t.concrete_shape(), None);
+        assert_eq!(t.dim(0), IntExpr::Var(VarId(0)));
+        assert_eq!(t.dim(1), IntExpr::Const(3));
     }
 
     #[test]
@@ -151,5 +222,38 @@ mod tests {
     fn display_format() {
         let t = TensorType::concrete(DType::F32, &[1, 2]);
         assert_eq!(format!("{t}"), "f32[1,2]");
+    }
+
+    #[test]
+    fn equal_types_share_handles() {
+        // Hash-consing: structurally equal shapes intern to the same ids,
+        // so equality is a handle comparison.
+        let a = TensorType::concrete(DType::F32, &[7, 9]);
+        let b = TensorType::concrete(DType::F32, &[7, 9]);
+        assert_eq!(a.dim_ids(), b.dim_ids());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn with_dtype_keeps_shape() {
+        let a = TensorType::concrete(DType::F32, &[4, 4]);
+        let b = a.with_dtype(DType::I64);
+        assert_eq!(b.dtype, DType::I64);
+        assert_eq!(b.dim_ids(), a.dim_ids());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = TensorType::new(
+            DType::F32,
+            vec![
+                IntExpr::Var(VarId(3)) + IntExpr::Const(1),
+                IntExpr::Const(8),
+            ],
+        );
+        let js = serde::json::to_string(&t);
+        let back: TensorType = serde::json::from_str(&js).expect("decodes");
+        assert_eq!(back, t);
+        assert_eq!(serde::json::to_string(&back), js);
     }
 }

@@ -106,12 +106,12 @@ impl Op {
                 }
             }
             Op::Binary(_) | Op::Compare(_) | Op::Logical(_) => {
-                let (bc, _) = broadcast_sym(&inputs[0].shape, &inputs[1].shape);
+                let (bc, _) = broadcast_sym(&inputs[0].dims(), &inputs[1].dims());
                 cs.extend(bc);
             }
             Op::Where => {
-                let (c1, mid) = broadcast_sym(&inputs[1].shape, &inputs[2].shape);
-                let (c2, _) = broadcast_sym(&inputs[0].shape, &mid);
+                let (c1, mid) = broadcast_sym(&inputs[1].dims(), &inputs[2].dims());
+                let (c2, _) = broadcast_sym(&inputs[0].dims(), &mid);
                 cs.extend(c1);
                 cs.extend(c2);
             }
@@ -122,15 +122,16 @@ impl Op {
                 if ra == 0 || rb == 0 {
                     return Err(SpecError::new("matmul does not accept scalars"));
                 }
-                let a_inner = a.shape[ra - 1].clone();
+                let (ad, bd) = (a.dims(), b.dims());
+                let a_inner = ad[ra - 1].clone();
                 let b_inner = if rb == 1 {
-                    b.shape[0].clone()
+                    bd[0].clone()
                 } else {
-                    b.shape[rb - 2].clone()
+                    bd[rb - 2].clone()
                 };
                 cs.push(a_inner.eq_expr(b_inner));
                 if ra >= 2 && rb >= 2 {
-                    let (bc, _) = broadcast_sym(&a.shape[..ra - 2], &b.shape[..rb - 2]);
+                    let (bc, _) = broadcast_sym(&ad[..ra - 2], &bd[..rb - 2]);
                     cs.extend(bc);
                 }
             }
@@ -139,7 +140,7 @@ impl Op {
                 if x.rank() < 1 {
                     return Err(SpecError::new("dense input must have rank >= 1"));
                 }
-                cs.push(x.shape[x.rank() - 1].clone().eq_expr(in_features.clone()));
+                cs.push(x.dim(x.rank() - 1).eq_expr(in_features.clone()));
                 expect_shape(&mut cs, &inputs[1], &[in_features.clone(), units.clone()])?;
                 expect_shape(&mut cs, &inputs[2], &[units.clone()])?;
             }
@@ -156,7 +157,8 @@ impl Op {
                 if x.rank() != 4 {
                     return Err(SpecError::new("conv2d input must be NCHW"));
                 }
-                cs.push(x.shape[1].clone().eq_expr(in_channels.clone()));
+                let xd = x.dims();
+                cs.push(xd[1].clone().eq_expr(in_channels.clone()));
                 expect_shape(
                     &mut cs,
                     &inputs[1],
@@ -172,8 +174,8 @@ impl Op {
                 let two_p = IntExpr::from(2) * padding.clone();
                 let eff_kh = dilation.clone() * (kh.clone() - 1.into()) + IntExpr::from(1);
                 let eff_kw = dilation.clone() * (kw.clone() - 1.into()) + IntExpr::from(1);
-                cs.push(eff_kh.le(x.shape[2].clone() + two_p.clone()));
-                cs.push(eff_kw.le(x.shape[3].clone() + two_p));
+                cs.push(eff_kh.le(xd[2].clone() + two_p.clone()));
+                cs.push(eff_kw.le(xd[3].clone() + two_p));
             }
             Op::MaxPool2d {
                 kh,
@@ -191,9 +193,10 @@ impl Op {
                 if x.rank() != 4 {
                     return Err(SpecError::new("pool2d input must be NCHW"));
                 }
+                let xd = x.dims();
                 let two_p = IntExpr::from(2) * padding.clone();
-                cs.push(kh.clone().le(x.shape[2].clone() + two_p.clone()));
-                cs.push(kw.clone().le(x.shape[3].clone() + two_p));
+                cs.push(kh.clone().le(xd[2].clone() + two_p.clone()));
+                cs.push(kw.clone().le(xd[3].clone() + two_p));
                 // Kernel windows must see at least one real element.
                 cs.push(padding.clone().le(kh.clone() - 1.into()));
                 cs.push(padding.clone().le(kw.clone() - 1.into()));
@@ -203,7 +206,7 @@ impl Op {
                 if x.rank() != 4 {
                     return Err(SpecError::new("batch_norm input must be NCHW"));
                 }
-                let c = x.shape[1].clone();
+                let c = x.dim(1);
                 for stat in &inputs[1..] {
                     expect_shape(&mut cs, stat, &[c.clone()])?;
                 }
@@ -229,10 +232,11 @@ impl Op {
                 if starts.len() != x.rank() || ends.len() != x.rank() || steps.len() != x.rank() {
                     return Err(SpecError::new("slice parameter rank mismatch"));
                 }
+                let xd = x.dims();
                 for d in 0..x.rank() {
                     cs.push(starts[d].clone().ge(0.into()));
                     cs.push(starts[d].clone().lt(ends[d].clone()));
-                    cs.push(ends[d].clone().le(x.shape[d].clone()));
+                    cs.push(ends[d].clone().le(xd[d].clone()));
                 }
             }
             Op::Pad { pads, kind } => {
@@ -240,18 +244,19 @@ impl Op {
                 if pads.len() != x.rank() {
                     return Err(SpecError::new("pad parameter rank mismatch"));
                 }
+                let xd = x.dims();
                 for (d, (b, a)) in pads.iter().enumerate() {
                     match kind {
                         PadKind::Constant => {
                             // Cropping allowed, but the result must stay
                             // non-empty.
-                            cs.push((x.shape[d].clone() + b.clone() + a.clone()).ge(1.into()));
+                            cs.push((xd[d].clone() + b.clone() + a.clone()).ge(1.into()));
                         }
                         PadKind::Reflect => {
                             cs.push(b.clone().ge(0.into()));
                             cs.push(a.clone().ge(0.into()));
-                            cs.push(b.clone().le(x.shape[d].clone() - 1.into()));
-                            cs.push(a.clone().le(x.shape[d].clone() - 1.into()));
+                            cs.push(b.clone().le(xd[d].clone() - 1.into()));
+                            cs.push(a.clone().le(xd[d].clone() - 1.into()));
                         }
                         PadKind::Replicate => {
                             cs.push(b.clone().ge(0.into()));
@@ -268,13 +273,15 @@ impl Op {
                 if *axis >= r {
                     return Err(SpecError::new("concat axis out of range"));
                 }
+                let d0 = inputs[0].dims();
                 for t in &inputs[1..] {
                     if t.rank() != r {
                         return Err(SpecError::new("concat rank mismatch"));
                     }
+                    let td = t.dims();
                     for d in 0..r {
                         if d != *axis {
-                            cs.push(t.shape[d].clone().eq_expr(inputs[0].shape[d].clone()));
+                            cs.push(td[d].clone().eq_expr(d0[d].clone()));
                         }
                     }
                 }
@@ -283,7 +290,7 @@ impl Op {
                 if *axis >= inputs[0].rank() {
                     return Err(SpecError::new("squeeze axis out of range"));
                 }
-                cs.push(inputs[0].shape[*axis].clone().eq_expr(1.into()));
+                cs.push(inputs[0].dim(*axis).eq_expr(1.into()));
             }
             Op::Unsqueeze { axis } => {
                 if *axis > inputs[0].rank() {
@@ -301,7 +308,7 @@ impl Op {
                     return Err(SpecError::new("broadcast_to target rank too small"));
                 }
                 let offset = dims.len() - x.rank();
-                for (d, in_dim) in x.shape.iter().enumerate() {
+                for (d, in_dim) in x.dims().iter().enumerate() {
                     let out_dim = &dims[offset + d];
                     cs.push(BoolExpr::or([
                         in_dim.clone().eq_expr(out_dim.clone()),
@@ -342,22 +349,22 @@ impl Op {
             Op::Unary(_) | Op::Clip { .. } | Op::Softmax { .. } | Op::Not => {
                 vec![inputs[0].clone()]
             }
-            Op::Cast { to } => vec![TensorType::new(*to, inputs[0].shape.clone())],
+            Op::Cast { to } => vec![inputs[0].with_dtype(*to)],
             Op::Binary(_) => {
-                let (_, dims) = broadcast_sym(&inputs[0].shape, &inputs[1].shape);
+                let (_, dims) = broadcast_sym(&inputs[0].dims(), &inputs[1].dims());
                 vec![TensorType::new(inputs[0].dtype, dims)]
             }
             Op::Compare(_) => {
-                let (_, dims) = broadcast_sym(&inputs[0].shape, &inputs[1].shape);
+                let (_, dims) = broadcast_sym(&inputs[0].dims(), &inputs[1].dims());
                 vec![TensorType::new(DType::Bool, dims)]
             }
             Op::Logical(_) => {
-                let (_, dims) = broadcast_sym(&inputs[0].shape, &inputs[1].shape);
+                let (_, dims) = broadcast_sym(&inputs[0].dims(), &inputs[1].dims());
                 vec![TensorType::new(DType::Bool, dims)]
             }
             Op::Where => {
-                let (_, mid) = broadcast_sym(&inputs[1].shape, &inputs[2].shape);
-                let (_, dims) = broadcast_sym(&inputs[0].shape, &mid);
+                let (_, mid) = broadcast_sym(&inputs[1].dims(), &inputs[2].dims());
+                let (_, dims) = broadcast_sym(&inputs[0].dims(), &mid);
                 vec![TensorType::new(inputs[1].dtype, dims)]
             }
             Op::MatMul => {
@@ -367,23 +374,25 @@ impl Op {
                 if ra == 0 || rb == 0 {
                     return Err(SpecError::new("matmul does not accept scalars"));
                 }
+                let (ad, bd) = (a.dims(), b.dims());
                 let mut dims: Vec<IntExpr> = if ra >= 2 && rb >= 2 {
-                    let (_, batch) = broadcast_sym(&a.shape[..ra - 2], &b.shape[..rb - 2]);
+                    let (_, batch) = broadcast_sym(&ad[..ra - 2], &bd[..rb - 2]);
                     batch
                 } else {
                     Vec::new()
                 };
                 if ra >= 2 {
-                    dims.push(a.shape[ra - 2].clone());
+                    dims.push(ad[ra - 2].clone());
                 }
                 if rb >= 2 {
-                    dims.push(b.shape[rb - 1].clone());
+                    dims.push(bd[rb - 1].clone());
                 }
                 vec![TensorType::new(a.dtype, dims)]
             }
             Op::Dense { units, .. } => {
                 let x = &inputs[0];
-                let mut dims = x.shape[..x.rank() - 1].to_vec();
+                let mut dims = x.dims();
+                dims.pop();
                 dims.push(units.clone());
                 vec![TensorType::new(x.dtype, dims)]
             }
@@ -400,12 +409,13 @@ impl Op {
                 let two_p = IntExpr::from(2) * padding.clone();
                 let eff_kh = dilation.clone() * (kh.clone() - 1.into()) + IntExpr::from(1);
                 let eff_kw = dilation.clone() * (kw.clone() - 1.into()) + IntExpr::from(1);
-                let oh = (x.shape[2].clone() + two_p.clone() - eff_kh) / stride.clone()
-                    + IntExpr::from(1);
-                let ow = (x.shape[3].clone() + two_p - eff_kw) / stride.clone() + IntExpr::from(1);
+                let xd = x.dims();
+                let oh =
+                    (xd[2].clone() + two_p.clone() - eff_kh) / stride.clone() + IntExpr::from(1);
+                let ow = (xd[3].clone() + two_p - eff_kw) / stride.clone() + IntExpr::from(1);
                 vec![TensorType::new(
                     x.dtype,
-                    vec![x.shape[0].clone(), out_channels.clone(), oh, ow],
+                    vec![xd[0].clone(), out_channels.clone(), oh, ow],
                 )]
             }
             Op::MaxPool2d {
@@ -422,14 +432,10 @@ impl Op {
             } => {
                 let x = &inputs[0];
                 let two_p = IntExpr::from(2) * padding.clone();
-                let oh = (x.shape[2].clone() + two_p.clone() - kh.clone()) / stride.clone()
-                    + IntExpr::from(1);
-                let ow =
-                    (x.shape[3].clone() + two_p - kw.clone()) / stride.clone() + IntExpr::from(1);
-                vec![TensorType::new(
-                    x.dtype,
-                    vec![x.shape[0].clone(), x.shape[1].clone(), oh, ow],
-                )]
+                let oh =
+                    (x.dim(2) + two_p.clone() - kh.clone()) / stride.clone() + IntExpr::from(1);
+                let ow = (x.dim(3) + two_p - kw.clone()) / stride.clone() + IntExpr::from(1);
+                vec![TensorType::new(x.dtype, vec![x.dim(0), x.dim(1), oh, ow])]
             }
             Op::BatchNorm => vec![inputs[0].clone()],
             Op::Reshape { dims } => {
@@ -439,7 +445,8 @@ impl Op {
                 if perm.len() != inputs[0].rank() {
                     return Err(SpecError::new("transpose perm rank mismatch"));
                 }
-                let dims = perm.iter().map(|&p| inputs[0].shape[p].clone()).collect();
+                let xd = inputs[0].dims();
+                let dims = perm.iter().map(|&p| xd[p].clone()).collect();
                 vec![TensorType::new(inputs[0].dtype, dims)]
             }
             Op::Slice {
@@ -458,35 +465,37 @@ impl Op {
             }
             Op::Pad { pads, .. } => {
                 let x = &inputs[0];
+                let xd = x.dims();
                 let dims = (0..x.rank())
-                    .map(|d| x.shape[d].clone() + pads[d].0.clone() + pads[d].1.clone())
+                    .map(|d| xd[d].clone() + pads[d].0.clone() + pads[d].1.clone())
                     .collect();
                 vec![TensorType::new(x.dtype, dims)]
             }
             Op::Concat { axis, .. } => {
-                let mut dims = inputs[0].shape.clone();
+                let mut dims = inputs[0].dims();
                 dims[*axis] = inputs
                     .iter()
-                    .map(|t| t.shape[*axis].clone())
+                    .map(|t| t.dim(*axis))
                     .reduce(|a, b| a + b)
                     .expect("concat arity >= 1");
                 vec![TensorType::new(inputs[0].dtype, dims)]
             }
             Op::Squeeze { axis } => {
-                let mut dims = inputs[0].shape.clone();
+                let mut dims = inputs[0].dims();
                 dims.remove(*axis);
                 vec![TensorType::new(inputs[0].dtype, dims)]
             }
             Op::Unsqueeze { axis } => {
-                let mut dims = inputs[0].shape.clone();
+                let mut dims = inputs[0].dims();
                 dims.insert(*axis, IntExpr::Const(1));
                 vec![TensorType::new(inputs[0].dtype, dims)]
             }
             Op::Flatten { axis } => {
-                let first = inputs[0].shape[..*axis]
+                let xd = inputs[0].dims();
+                let first = xd[..*axis]
                     .iter()
                     .fold(IntExpr::Const(1), |acc, d| acc * d.clone());
-                let second = inputs[0].shape[*axis..]
+                let second = xd[*axis..]
                     .iter()
                     .fold(IntExpr::Const(1), |acc, d| acc * d.clone());
                 vec![TensorType::new(inputs[0].dtype, vec![first, second])]
@@ -495,22 +504,23 @@ impl Op {
                 vec![TensorType::new(inputs[0].dtype, dims.clone())]
             }
             Op::Reduce { axes, keepdims, .. } => {
-                let dims = reduced_dims(&inputs[0].shape, axes, *keepdims);
+                let dims = reduced_dims(&inputs[0].dims(), axes, *keepdims);
                 vec![TensorType::new(inputs[0].dtype, dims)]
             }
             Op::ArgExtreme { axis, keepdims, .. } => {
-                let dims = reduced_dims(&inputs[0].shape, &[*axis], *keepdims);
+                let dims = reduced_dims(&inputs[0].dims(), &[*axis], *keepdims);
                 vec![TensorType::new(DType::I64, dims)]
             }
             Op::ResizeNearest { scale_h, scale_w } => {
                 let x = &inputs[0];
+                let xd = x.dims();
                 vec![TensorType::new(
                     x.dtype,
                     vec![
-                        x.shape[0].clone(),
-                        x.shape[1].clone(),
-                        x.shape[2].clone() * scale_h.clone(),
-                        x.shape[3].clone() * scale_w.clone(),
+                        xd[0].clone(),
+                        xd[1].clone(),
+                        xd[2].clone() * scale_h.clone(),
+                        xd[3].clone() * scale_w.clone(),
                     ],
                 )]
             }
@@ -543,8 +553,8 @@ fn expect_shape(cs: &mut Vec<BoolExpr>, t: &TensorType, dims: &[IntExpr]) -> Res
             t.rank()
         )));
     }
-    for (a, b) in t.shape.iter().zip(dims) {
-        cs.push(a.clone().eq_expr(b.clone()));
+    for (a, b) in t.dims().into_iter().zip(dims) {
+        cs.push(a.eq_expr(b.clone()));
     }
     Ok(())
 }

@@ -373,7 +373,7 @@ impl OpTemplate {
                 if x.rank() == 0 {
                     return None;
                 }
-                let in_features = x.shape[x.rank() - 1].clone();
+                let in_features = x.dim(x.rank() - 1);
                 let units = IntExpr::var(solver.new_var("dense_units", 1, 64));
                 param_types.push(TensorType::new(
                     x.dtype,
@@ -387,7 +387,7 @@ impl OpTemplate {
                 if x.rank() != 4 {
                     return None;
                 }
-                let in_channels = x.shape[1].clone();
+                let in_channels = x.dim(1);
                 let out_channels = IntExpr::var(solver.new_var("conv_oc", 1, 8));
                 let kh = IntExpr::var(solver.new_var("conv_kh", 1, 5));
                 let kw = IntExpr::var(solver.new_var("conv_kw", 1, 5));
@@ -440,7 +440,7 @@ impl OpTemplate {
                 if x.rank() != 4 {
                     return None;
                 }
-                let c = x.shape[1].clone();
+                let c = x.dim(1);
                 for _ in 0..4 {
                     param_types.push(TensorType::new(x.dtype, vec![c.clone()]));
                 }
@@ -910,8 +910,8 @@ mod tests {
             out_channels, kh, ..
         } = &built.op
         {
-            assert_eq!(built.param_types[0].shape[0], *out_channels);
-            assert_eq!(built.param_types[0].shape[2], *kh);
+            assert_eq!(built.param_types[0].dim(0), out_channels.clone());
+            assert_eq!(built.param_types[0].dim(2), kh.clone());
         } else {
             panic!("not a conv");
         }

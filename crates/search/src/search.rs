@@ -38,6 +38,13 @@ pub struct SearchConfig {
     pub method: SearchMethod,
     /// Wall-clock budget per model.
     pub budget: Duration,
+    /// Deterministic iteration budget. When set, the search runs exactly
+    /// up to this many iterations and **ignores the wall clock**, so the
+    /// outcome depends only on the graph and the RNG — required for the
+    /// engine's workers=1 ≡ workers=N bit-reproducibility (a wall-clock
+    /// budget exhausts at load-dependent points). `None` keeps the
+    /// paper's time-budgeted behaviour (Fig. 11 varies `budget`).
+    pub max_iters: Option<u32>,
     /// Adam learning rate.
     pub learning_rate: f64,
     /// Random-init range for float leaves (the Sampling baseline's
@@ -52,9 +59,19 @@ impl Default for SearchConfig {
         SearchConfig {
             method: SearchMethod::GradientProxy,
             budget: Duration::from_millis(64),
+            max_iters: None,
             learning_rate: 0.5,
             init_lo: 1.0,
             init_hi: 9.0,
+        }
+    }
+}
+
+impl SearchConfig {
+    fn budget_left(&self, start: Instant, iterations: u32) -> bool {
+        match self.max_iters {
+            Some(n) => iterations < n,
+            None => start.elapsed() < self.budget,
         }
     }
 }
@@ -107,7 +124,7 @@ fn sampling_search<R: Rng + ?Sized>(
 ) -> SearchOutcome {
     let start = Instant::now();
     let mut iterations = 0u32;
-    while start.elapsed() < config.budget {
+    while config.budget_left(start, iterations) {
         iterations += 1;
         let Ok(bindings) = random_bindings(graph, config.init_lo, config.init_hi, rng) else {
             break;
@@ -146,7 +163,7 @@ fn gradient_search<R: Rng + ?Sized>(
     let mut current_target: Option<NodeId> = None;
 
     // OUTER loop of Algorithm 3.
-    while start.elapsed() < config.budget {
+    while config.budget_left(start, iterations) {
         iterations += 1;
         let exec = match execute(graph, &bindings) {
             Ok(e) => e,
@@ -219,11 +236,14 @@ fn gradient_search<R: Rng + ?Sized>(
             continue;
         }
 
-        // Replace NaN/Inf that crept into ⟨X, W⟩ (line 12-13).
-        let mut any_bad = false;
-        for t in bindings.values_mut() {
+        // Replace NaN/Inf that crept into ⟨X, W⟩ (line 12-13). Iterate in
+        // sorted key order: HashMap order is per-map random, and consuming
+        // RNG draws in map order would make same-seed searches diverge.
+        let mut leaf_ids: Vec<NodeId> = bindings.keys().copied().collect();
+        leaf_ids.sort();
+        for id in leaf_ids {
+            let t = bindings.get_mut(&id).expect("key just listed");
             if t.has_non_finite() {
-                any_bad = true;
                 for i in 0..t.numel() {
                     if !t.lin_f64(i).is_finite() {
                         t.set_lin_f64(i, rng.gen_range(config.init_lo..config.init_hi));
@@ -231,7 +251,6 @@ fn gradient_search<R: Rng + ?Sized>(
                 }
             }
         }
-        let _ = any_bad;
     }
     SearchOutcome {
         bindings: None,

@@ -426,6 +426,17 @@ pub fn intern_int(e: &IntExpr) -> ExprId {
     with_pool(|p| p.intern_int(e))
 }
 
+/// Interns a batch of integer expression trees under one arena lock
+/// (a tensor shape's dimensions, typically).
+pub fn intern_int_many(es: &[IntExpr]) -> Vec<ExprId> {
+    with_pool(|p| es.iter().map(|e| p.intern_int(e)).collect())
+}
+
+/// Reconstructs the owned tree form of an interned integer expression.
+pub fn int_expr_of(id: ExprId) -> IntExpr {
+    read_pool().to_int_expr(id)
+}
+
 /// Interns a boolean expression tree into the process-wide arena.
 pub fn intern_bool(e: &BoolExpr) -> BoolId {
     with_pool(|p| p.intern_bool(e))

@@ -41,6 +41,8 @@ mod interval;
 mod solver;
 
 pub use expr::{BinOp, BoolExpr, CmpOp, IntExpr, VarId};
-pub use intern::{intern_bool, intern_int, pool_stats, BoolId, ExprId, PoolStats};
+pub use intern::{
+    int_expr_of, intern_bool, intern_int, intern_int_many, pool_stats, BoolId, ExprId, PoolStats,
+};
 pub use interval::{bool_truth, int_interval, Interval, Truth};
 pub use solver::{Model, SatResult, Solver, SolverConfig, SolverStats};

@@ -1,0 +1,225 @@
+//! The triage CLI: reduce a campaign's findings into a reproducer corpus
+//! and replay corpora byte-for-byte.
+//!
+//! ```text
+//! triage reduce [--compiler tvmsim|ortsim|trtsim] [--cases N] [--seed N] [--out FILE]
+//!     Run an NNSmith campaign through the triaged engine and write the
+//!     minimized reproducer corpus as JSON.
+//!
+//! triage replay FILE...
+//!     Load each corpus file and replay every reproducer; exit non-zero
+//!     if any fails to reproduce its stored signature.
+//!
+//! triage smoke
+//!     Seeded-bug smoke: reduce one known crasher, round-trip it through
+//!     JSON, replay it, and verify the verdict — the CI triage job.
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use nnsmith_compilers::{compiler_by_name, tvmsim, CompileOptions};
+use nnsmith_difftest::{CampaignConfig, EngineConfig, TestCase, Tolerance};
+use nnsmith_graph::{Graph, NodeKind, TensorType, ValueRef};
+use nnsmith_ops::{Bindings, Op};
+use nnsmith_tensor::{DType, Tensor};
+use nnsmith_triage::{
+    reduce_case, run_triaged_engine, Corpus, ReduceConfig, Reproducer, TriageConfig,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("reduce") => cmd_reduce(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("smoke") => cmd_smoke(),
+        _ => {
+            eprintln!("usage: triage <reduce|replay|smoke> [args]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_reduce(args: &[String]) -> ExitCode {
+    let compiler_name = flag_value(args, "--compiler").unwrap_or("tvmsim");
+    let Some(compiler) = compiler_by_name(compiler_name) else {
+        eprintln!("unknown compiler {compiler_name:?} (tvmsim|ortsim|trtsim)");
+        return ExitCode::from(2);
+    };
+    let cases: usize = flag_value(args, "--cases")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(101);
+    let out = flag_value(args, "--out").unwrap_or("triage_corpus.json");
+
+    let factory = nnsmith_core::NnSmithFactory::new(nnsmith_core::NnSmithConfig::default());
+    let config = EngineConfig {
+        workers: 1,
+        shards: 4,
+        seed,
+        campaign: CampaignConfig {
+            duration: Duration::from_secs(3600),
+            max_cases: Some(cases),
+            ..CampaignConfig::default()
+        },
+    };
+    let (report, triage) =
+        run_triaged_engine(&compiler, &factory, &config, &TriageConfig::default());
+    println!(
+        "{} cases, {} failing, {} bins ({} reductions, {} oracle runs)",
+        report.result.cases,
+        triage.failures_seen,
+        triage.bins.len(),
+        triage.reductions,
+        triage.oracle_runs
+    );
+    for (key, bin) in &triage.bins {
+        println!(
+            "  {key}: x{} -> {} ops (shard {}, case {})",
+            bin.count,
+            bin.reproducer.graph.operators().len(),
+            bin.shard,
+            bin.case_index
+        );
+    }
+    let corpus = triage.to_corpus();
+    match corpus.save(out) {
+        Ok(()) => {
+            println!("wrote {out} ({} reproducers)", corpus.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("could not write {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_replay(files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        eprintln!("usage: triage replay FILE...");
+        return ExitCode::from(2);
+    }
+    let mut failures = 0usize;
+    for file in files {
+        let corpus = match Corpus::load(file) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        for (key, rep) in &corpus.reproducers {
+            match rep.replay() {
+                Ok(report) if report.reproduced => println!("{file}: {key}: reproduced"),
+                Ok(report) => {
+                    eprintln!("{file}: {key}: DIVERGED (observed {:?})", report.observed);
+                    failures += 1;
+                }
+                Err(e) => {
+                    eprintln!("{file}: {key}: {e}");
+                    failures += 1;
+                }
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// A bloated tvm-conv-5 crasher (scalar ArgMax behind two irrelevant
+/// stages) — the seeded-bug smoke case.
+fn smoke_case() -> TestCase {
+    let mut g: Graph<Op> = Graph::new();
+    let x = g.add_node(
+        NodeKind::Input,
+        vec![],
+        vec![TensorType::concrete(DType::F32, &[6])],
+    );
+    let tanh = g.add_node(
+        NodeKind::Operator(Op::Unary(nnsmith_ops::UnaryKind::Tanh)),
+        vec![ValueRef::output0(x)],
+        vec![TensorType::concrete(DType::F32, &[6])],
+    );
+    let relu = g.add_node(
+        NodeKind::Operator(Op::Unary(nnsmith_ops::UnaryKind::Relu)),
+        vec![ValueRef::output0(tanh)],
+        vec![TensorType::concrete(DType::F32, &[6])],
+    );
+    g.add_node(
+        NodeKind::Operator(Op::ArgExtreme {
+            largest: true,
+            axis: 0,
+            keepdims: false,
+        }),
+        vec![ValueRef::output0(relu)],
+        vec![TensorType::concrete(DType::I64, &[])],
+    );
+    let mut b = Bindings::new();
+    b.insert(
+        nnsmith_graph::NodeId(0),
+        Tensor::from_f32(&[6], vec![0.1, 0.9, 0.3, 0.5, 0.2, 0.4]).unwrap(),
+    );
+    TestCase::from_bindings(g, b)
+}
+
+fn cmd_smoke() -> ExitCode {
+    let compiler = tvmsim();
+    let Some(red) = reduce_case(
+        &compiler,
+        &smoke_case(),
+        &CompileOptions::default(),
+        Tolerance::default(),
+        &ReduceConfig::default(),
+    ) else {
+        eprintln!("smoke: seeded case was not a finding");
+        return ExitCode::FAILURE;
+    };
+    println!(
+        "smoke: {} reduced {} -> {} ops",
+        red.signature, red.original_ops, red.reduced_ops
+    );
+    if red.signature.key != "seeded:tvm-conv-5" || red.reduced_ops > 2 {
+        eprintln!("smoke: unexpected reduction result");
+        return ExitCode::FAILURE;
+    }
+    let rep = Reproducer::from_reduction(&red, "tvmsim", Tolerance::default());
+    let mut corpus = Corpus::new();
+    corpus.insert(rep);
+    let js = corpus.to_json();
+    let back = match Corpus::from_json(&js) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("smoke: corpus decode failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if back.to_json() != js {
+        eprintln!("smoke: corpus JSON is not byte-stable");
+        return ExitCode::FAILURE;
+    }
+    for rep in back.reproducers.values() {
+        match rep.replay() {
+            Ok(r) if r.reproduced => println!("smoke: replayed {}", rep.signature),
+            other => {
+                eprintln!("smoke: replay diverged: {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("smoke: OK");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,287 @@
+//! The persistent reproducer corpus: minimized cases serialized to JSON
+//! and replayed byte-identically.
+//!
+//! A [`Reproducer`] is everything needed to re-run one minimized finding
+//! on a fresh process: the concrete graph, the exact weight/input tensors,
+//! the comparison tolerance and the compiler name. Serialization is
+//! deterministic (sorted maps, shortest-roundtrip floats), so
+//! serialize → deserialize → serialize is the identity on bytes — the
+//! property the regression-corpus test pins.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use nnsmith_compilers::{compiler_by_name, CompileOptions, CoverageSet};
+use nnsmith_difftest::{run_case, TestCase, Tolerance};
+use nnsmith_graph::Graph;
+use nnsmith_ops::{Bindings, Op};
+use nnsmith_tensor::Tensor;
+
+use crate::reduce::Reduction;
+use crate::signature::{signature_of, BugSignature};
+
+/// One minimized, replayable finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reproducer {
+    /// The bug signature this case reproduces.
+    pub signature: BugSignature,
+    /// Compiler system name (resolved via
+    /// [`nnsmith_compilers::compiler_by_name`] on replay).
+    pub compiler: String,
+    /// Seeded bugs replay must disable first: the maskers that were
+    /// "fixed" before this (otherwise-masked) bug became observable.
+    pub disabled_bugs: Vec<String>,
+    /// Relative comparison tolerance.
+    pub rtol: f64,
+    /// Absolute comparison tolerance.
+    pub atol: f64,
+    /// The minimized concrete graph.
+    pub graph: Graph<Op>,
+    /// Weight tensors by node id (sorted: deterministic encoding).
+    pub weights: BTreeMap<u32, Tensor>,
+    /// Input tensors by node id (sorted: deterministic encoding).
+    pub inputs: BTreeMap<u32, Tensor>,
+    /// Operator count of the original, unreduced case.
+    pub original_ops: usize,
+}
+
+/// Outcome of replaying a reproducer.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ReplayReport {
+    /// Signature observed on replay.
+    pub observed: Option<BugSignature>,
+    /// True when the observed signature equals the stored one.
+    pub reproduced: bool,
+}
+
+impl Reproducer {
+    /// Packages a finished reduction for the corpus.
+    pub fn from_reduction(red: &Reduction, compiler: &str, tol: Tolerance) -> Reproducer {
+        Reproducer {
+            signature: red.signature.clone(),
+            compiler: compiler.to_string(),
+            disabled_bugs: red.disabled_bugs.clone(),
+            rtol: tol.rtol,
+            atol: tol.atol,
+            graph: red.case.graph.clone(),
+            weights: red
+                .case
+                .weights
+                .iter()
+                .map(|(id, t)| (id.0, t.clone()))
+                .collect(),
+            inputs: red
+                .case
+                .inputs
+                .iter()
+                .map(|(id, t)| (id.0, t.clone()))
+                .collect(),
+            original_ops: red.original_ops,
+        }
+    }
+
+    /// Seeded-bug ids implicated, when identified (derived from the
+    /// signature — not stored, so it can never drift from it).
+    pub fn bug_ids(&self) -> Vec<String> {
+        self.signature.seeded_ids()
+    }
+
+    /// Reassembles the runnable test case.
+    pub fn to_case(&self) -> TestCase {
+        let mut weights = Bindings::new();
+        for (&id, t) in &self.weights {
+            weights.insert(nnsmith_graph::NodeId(id), t.clone());
+        }
+        let mut inputs = std::collections::HashMap::new();
+        for (&id, t) in &self.inputs {
+            inputs.insert(nnsmith_graph::NodeId(id), t.clone());
+        }
+        TestCase {
+            graph: self.graph.clone(),
+            weights,
+            inputs,
+        }
+    }
+
+    /// Re-runs the case on the named compiler (default opt level, every
+    /// seeded bug enabled except the recorded maskers) and compares the
+    /// observed signature to the stored one.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the compiler name is unknown.
+    pub fn replay(&self) -> Result<ReplayReport, String> {
+        let compiler = compiler_by_name(&self.compiler)
+            .ok_or_else(|| format!("unknown compiler {:?}", self.compiler))?;
+        let case = self.to_case();
+        let tol = Tolerance {
+            rtol: self.rtol,
+            atol: self.atol,
+        };
+        let mut options = CompileOptions::default();
+        for id in &self.disabled_bugs {
+            if let Some(bug) = nnsmith_compilers::bug_by_id(id) {
+                options.bugs.disable(bug.id);
+            }
+        }
+        let mut scratch = CoverageSet::new();
+        let outcome = run_case(&compiler, &case, &options, tol, &mut scratch);
+        let observed = signature_of(&case, &outcome);
+        let reproduced = observed.as_ref() == Some(&self.signature);
+        Ok(ReplayReport {
+            observed,
+            reproduced,
+        })
+    }
+}
+
+/// A corpus of reproducers, keyed by `compiler::signature`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Corpus {
+    /// Reproducers by `<compiler>::<`[`BugSignature::as_key`]`>`, sorted.
+    /// The compiler qualifies the key because signatures are
+    /// compiler-blind: the same anonymous neighborhood hash on two
+    /// systems is two distinct bugs, and merging per-compiler corpora
+    /// must not overwrite one with the other.
+    pub reproducers: BTreeMap<String, Reproducer>,
+}
+
+impl Corpus {
+    /// Creates an empty corpus.
+    pub fn new() -> Self {
+        Corpus::default()
+    }
+
+    /// Inserts (or replaces) the reproducer for its compiler + signature.
+    pub fn insert(&mut self, r: Reproducer) {
+        self.reproducers
+            .insert(format!("{}::{}", r.compiler, r.signature.as_key()), r);
+    }
+
+    /// Absorbs every reproducer of `other` (keys are compiler-qualified,
+    /// so merging per-compiler corpora cannot collide across systems).
+    pub fn merge(&mut self, other: Corpus) {
+        self.reproducers.extend(other.reproducers);
+    }
+
+    /// Number of distinct reproducers.
+    pub fn len(&self) -> usize {
+        self.reproducers.len()
+    }
+
+    /// True when the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.reproducers.is_empty()
+    }
+
+    /// Deterministic JSON encoding.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string(self)
+    }
+
+    /// Decodes a corpus from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON or a structural mismatch.
+    pub fn from_json(s: &str) -> Result<Corpus, serde::json::Error> {
+        serde::json::from_str(s)
+    }
+
+    /// Writes the corpus to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads a corpus from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; malformed JSON becomes `InvalidData`.
+    pub fn load(path: &str) -> std::io::Result<Corpus> {
+        let text = std::fs::read_to_string(path)?;
+        Corpus::from_json(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::{reduce_case, ReduceConfig};
+    use nnsmith_compilers::tvmsim;
+    use nnsmith_graph::{Graph, NodeKind, TensorType, ValueRef};
+    use nnsmith_ops::Op;
+    use nnsmith_tensor::DType;
+
+    fn argmax_case() -> TestCase {
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::ArgExtreme {
+                largest: true,
+                axis: 0,
+                keepdims: false,
+            }),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::I64, &[])],
+        );
+        let mut b = Bindings::new();
+        b.insert(
+            nnsmith_graph::NodeId(0),
+            Tensor::from_f32(&[4], vec![1., 5., 2., 4.]).unwrap(),
+        );
+        TestCase::from_bindings(g, b)
+    }
+
+    #[test]
+    fn reproducer_roundtrip_and_replay() {
+        let compiler = tvmsim();
+        let red = reduce_case(
+            &compiler,
+            &argmax_case(),
+            &CompileOptions::default(),
+            Tolerance::default(),
+            &ReduceConfig::default(),
+        )
+        .expect("finding");
+        let rep = Reproducer::from_reduction(&red, "tvmsim", Tolerance::default());
+        assert_eq!(rep.bug_ids(), vec!["tvm-conv-5".to_string()]);
+
+        let mut corpus = Corpus::new();
+        corpus.insert(rep);
+        let js = corpus.to_json();
+        let back = Corpus::from_json(&js).expect("decodes");
+        assert_eq!(back, corpus);
+        assert_eq!(back.to_json(), js, "byte-identical re-encode");
+
+        let (_, rep2) = back.reproducers.iter().next().expect("one entry");
+        let report = rep2.replay().expect("known compiler");
+        assert!(report.reproduced, "observed {:?}", report.observed);
+    }
+
+    #[test]
+    fn replay_unknown_compiler_errors() {
+        let compiler = tvmsim();
+        let red = reduce_case(
+            &compiler,
+            &argmax_case(),
+            &CompileOptions::default(),
+            Tolerance::default(),
+            &ReduceConfig::default(),
+        )
+        .expect("finding");
+        let mut rep = Reproducer::from_reduction(&red, "tvmsim", Tolerance::default());
+        rep.compiler = "nvcc".into();
+        assert!(rep.replay().is_err());
+    }
+}

@@ -1,0 +1,430 @@
+//! Engine integration: stream failing cases from campaign workers into a
+//! triage consumer, deduplicate them into signature bins, and keep one
+//! minimized reproducer per bin.
+//!
+//! Workers push captured failures into an mpsc channel as they happen, so
+//! reduction overlaps fuzzing. Determinism does not depend on arrival
+//! order: bins are keyed by the failure's [`BugSignature`] (captured
+//! during the deterministic campaign), counts are order-independent sums,
+//! and the bin representative is the failure with the smallest
+//! `(shard index, case index)` provenance — so for a case-budgeted engine
+//! run the merged [`TriageReport`] is identical for workers=1 and
+//! workers=N.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+use serde::Serialize;
+
+use nnsmith_compilers::Compiler;
+use nnsmith_difftest::{
+    run_engine_observed, CapturedFailure, EngineConfig, EngineReport, SourceFactory,
+};
+use nnsmith_difftest::{TestCase, Tolerance};
+
+use crate::corpus::{Corpus, Reproducer};
+use crate::reduce::{reduce_case_expecting, ReduceConfig};
+use crate::signature::{signature_of, BugSignature};
+
+/// Triage pipeline configuration.
+#[derive(Debug, Clone, Default)]
+pub struct TriageConfig {
+    /// Reduction knobs applied to every bin representative.
+    pub reduce: ReduceConfig,
+}
+
+/// One deduplicated bug: every captured failure with the same signature.
+#[derive(Debug, Clone, Serialize)]
+pub struct Bin {
+    /// The shared signature.
+    pub signature: BugSignature,
+    /// Seeded-bug ids implicated, when identified.
+    pub bug_ids: Vec<String>,
+    /// How many failing cases collapsed into this bin.
+    pub count: usize,
+    /// Shard index of the representative failure.
+    pub shard: usize,
+    /// Campaign-relative case index of the representative failure.
+    pub case_index: usize,
+    /// The minimized, replayable representative.
+    pub reproducer: Reproducer,
+}
+
+/// A bin whose representatives could not be reduced (the captured
+/// signature did not reproduce outside the campaign). Kept visible so a
+/// finding never silently vanishes from reports.
+#[derive(Debug, Clone, Serialize)]
+pub struct UnreducedBin {
+    /// The captured signature.
+    pub signature: BugSignature,
+    /// Seeded-bug ids implicated, when identified.
+    pub bug_ids: Vec<String>,
+    /// How many failing cases collapsed into this bin.
+    pub count: usize,
+}
+
+/// The deduplicated outcome of a triaged campaign.
+///
+/// The serialized form covers `bins`, `unreduced` and `failures_seen`:
+/// all deterministic for a case-budgeted engine run (workers=1 ≡
+/// workers=N). The effort counters depend on channel arrival order (a
+/// representative that arrives after a larger-provenance duplicate costs
+/// an extra reduction) and are diagnostics, not results.
+#[derive(Debug, Clone, Default)]
+pub struct TriageReport {
+    /// Bins keyed by [`BugSignature::as_key`], sorted.
+    pub bins: BTreeMap<String, Bin>,
+    /// Bins with no reducible representative, keyed like `bins`.
+    pub unreduced: BTreeMap<String, UnreducedBin>,
+    /// Total failing cases captured (pre-dedup).
+    pub failures_seen: usize,
+    /// Reductions executed (representative replacements included).
+    /// Scheduling-dependent; excluded from serialization.
+    pub reductions: usize,
+    /// Oracle executions spent inside reduction. Scheduling-dependent;
+    /// excluded from serialization.
+    pub oracle_runs: usize,
+}
+
+impl Serialize for TriageReport {
+    fn serialize_value(&self, out: &mut String) {
+        out.push_str("{\"bins\":");
+        self.bins.serialize_value(out);
+        out.push_str(",\"unreduced\":");
+        self.unreduced.serialize_value(out);
+        out.push_str(",\"failures_seen\":");
+        self.failures_seen.serialize_value(out);
+        out.push('}');
+    }
+}
+
+impl TriageReport {
+    /// All minimized reproducers as a persistent corpus.
+    pub fn to_corpus(&self) -> Corpus {
+        let mut corpus = Corpus::new();
+        for bin in self.bins.values() {
+            corpus.insert(bin.reproducer.clone());
+        }
+        corpus
+    }
+
+    /// All seeded-bug ids identified across bins, reduced or not.
+    pub fn seeded_bug_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self
+            .bins
+            .values()
+            .flat_map(|b| b.bug_ids.iter().cloned())
+            .chain(
+                self.unreduced
+                    .values()
+                    .flat_map(|b| b.bug_ids.iter().cloned()),
+            )
+            .collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+}
+
+struct PendingBin {
+    signature: BugSignature,
+    count: usize,
+    /// Provenance and reduction of the current representative — the
+    /// smallest-provenance failure whose reduction succeeded.
+    repr: Option<((usize, usize), crate::reduce::Reduction)>,
+}
+
+/// Order-independent accumulator behind the triage channel.
+struct TriageState<'a> {
+    compiler: &'a Compiler,
+    options: nnsmith_compilers::CompileOptions,
+    tolerance: Tolerance,
+    cfg: TriageConfig,
+    bins: BTreeMap<String, PendingBin>,
+    failures_seen: usize,
+    reductions: usize,
+    oracle_runs: usize,
+}
+
+impl<'a> TriageState<'a> {
+    fn ingest(&mut self, shard: usize, case_index: usize, failure: &CapturedFailure) {
+        self.failures_seen += 1;
+        // Bin key from the outcome captured during the campaign: no
+        // re-execution needed, and deterministic regardless of scheduling.
+        let Some(sig) = signature_of(&failure.case, &failure.outcome) else {
+            return;
+        };
+        let key = sig.as_key();
+        let provenance = (shard, case_index);
+        // Deterministic representative: the smallest-provenance failure
+        // whose reduction succeeds, whatever order the channel delivered.
+        // A failure is only worth reducing while it could become (or
+        // improve) the representative; a failed re-reduction never
+        // discards an existing one.
+        let attempt = match self.bins.get_mut(&key) {
+            Some(bin) => {
+                bin.count += 1;
+                match &bin.repr {
+                    Some((p, _)) => provenance < *p,
+                    None => true,
+                }
+            }
+            None => {
+                self.bins.insert(
+                    key.clone(),
+                    PendingBin {
+                        signature: sig.clone(),
+                        count: 1,
+                        repr: None,
+                    },
+                );
+                true
+            }
+        };
+        if attempt {
+            if let Some(reduction) = self.reduce(&failure.case, &sig) {
+                let bin = self.bins.get_mut(&key).expect("bin just touched");
+                let better = match &bin.repr {
+                    Some((p, _)) => provenance < *p,
+                    None => true,
+                };
+                if better {
+                    bin.repr = Some((provenance, reduction));
+                }
+            }
+        }
+    }
+
+    fn reduce(
+        &mut self,
+        case: &TestCase,
+        expected: &BugSignature,
+    ) -> Option<crate::reduce::Reduction> {
+        self.reductions += 1;
+        // Pin the reduction to the signature captured during the campaign:
+        // under the base options an earlier-firing seeded bug (which the
+        // campaign had already "fixed") can mask this one, and the
+        // reducer then disables the maskers rather than silently reducing
+        // a different bug into this bin.
+        let red = reduce_case_expecting(
+            self.compiler,
+            case,
+            &self.options,
+            self.tolerance,
+            &self.cfg.reduce,
+            Some(expected),
+        )?;
+        self.oracle_runs += red.oracle_runs;
+        Some(red)
+    }
+
+    fn finish(self) -> TriageReport {
+        let compiler_name = self.compiler.system().name();
+        let mut bins = BTreeMap::new();
+        let mut unreduced = BTreeMap::new();
+        for (key, pending) in self.bins {
+            match pending.repr {
+                Some((provenance, reduction)) => {
+                    bins.insert(
+                        key,
+                        Bin {
+                            bug_ids: pending.signature.seeded_ids(),
+                            signature: pending.signature,
+                            count: pending.count,
+                            shard: provenance.0,
+                            case_index: provenance.1,
+                            reproducer: Reproducer::from_reduction(
+                                &reduction,
+                                compiler_name,
+                                self.tolerance,
+                            ),
+                        },
+                    );
+                }
+                // No representative reproduced the captured signature:
+                // keep the bin visible rather than dropping the finding.
+                None => {
+                    unreduced.insert(
+                        key,
+                        UnreducedBin {
+                            bug_ids: pending.signature.seeded_ids(),
+                            signature: pending.signature,
+                            count: pending.count,
+                        },
+                    );
+                }
+            }
+        }
+        TriageReport {
+            bins,
+            unreduced,
+            failures_seen: self.failures_seen,
+            reductions: self.reductions,
+            oracle_runs: self.oracle_runs,
+        }
+    }
+}
+
+/// Runs a sharded campaign with the triage pipeline attached: workers
+/// stream failing cases into a consumer that reduces, deduplicates and
+/// collects reproducers while the campaign is still running.
+///
+/// Reduction re-runs cases under the engine's *base* compile options
+/// (`config.campaign.options`), not the campaign's progressively-"fixed"
+/// state, so a reproducer stands alone.
+pub fn run_triaged_engine(
+    compiler: &Compiler,
+    factory: &dyn SourceFactory,
+    config: &EngineConfig,
+    cfg: &TriageConfig,
+) -> (EngineReport, TriageReport) {
+    let mut engine_cfg = config.clone();
+    engine_cfg.campaign.capture_failures = true;
+
+    let (tx, rx) = mpsc::channel::<(usize, usize, Box<CapturedFailure>)>();
+    std::thread::scope(|scope| {
+        let consumer = scope.spawn(move || {
+            let mut state = TriageState {
+                compiler,
+                options: config.campaign.options.clone(),
+                tolerance: config.campaign.tolerance,
+                cfg: cfg.clone(),
+                bins: BTreeMap::new(),
+                failures_seen: 0,
+                reductions: 0,
+                oracle_runs: 0,
+            };
+            while let Ok((shard, case_index, failure)) = rx.recv() {
+                state.ingest(shard, case_index, &failure);
+            }
+            state.finish()
+        });
+        // Sender is !Sync; the observer hook is shared across workers.
+        let tx = Mutex::new(tx);
+        let report = run_engine_observed(compiler, factory, &engine_cfg, &|ctx, record| {
+            if let Some(failure) = &record.failure {
+                // Deep-clone before locking: the clone copies the full
+                // test case and would otherwise serialize every worker on
+                // the sender mutex during failure-heavy campaigns.
+                let payload = (ctx.index, record.case_index, failure.clone());
+                let _ = tx.lock().expect("triage sender").send(payload);
+            }
+        });
+        drop(tx);
+        let triage = consumer.join().expect("triage consumer");
+        (report, triage)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnsmith_compilers::tvmsim;
+    use nnsmith_difftest::{CampaignConfig, ShardCtx, TestCaseSource};
+    use nnsmith_graph::{Graph, NodeKind, TensorType, ValueRef};
+    use nnsmith_ops::{Bindings, Op, UnaryKind};
+    use nnsmith_tensor::{DType, Tensor};
+    use std::time::Duration;
+
+    /// Source alternating clean tanh cases with scalar-ArgMax crashers
+    /// (tvm-conv-5) whose padding varies — duplicates with different
+    /// graphs and values.
+    struct MixedSource {
+        n: usize,
+        emitted: usize,
+    }
+
+    impl TestCaseSource for MixedSource {
+        fn name(&self) -> &str {
+            "mixed"
+        }
+        fn next_case(&mut self) -> Option<TestCase> {
+            if self.emitted >= self.n {
+                return None;
+            }
+            self.emitted += 1;
+            let crasher = self.emitted.is_multiple_of(2);
+            let width = 2 + self.emitted % 3;
+            let mut g: Graph<Op> = Graph::new();
+            let x = g.add_node(
+                NodeKind::Input,
+                vec![],
+                vec![TensorType::concrete(DType::F32, &[width as i64])],
+            );
+            let tanh = g.add_node(
+                NodeKind::Operator(Op::Unary(UnaryKind::Tanh)),
+                vec![ValueRef::output0(x)],
+                vec![TensorType::concrete(DType::F32, &[width as i64])],
+            );
+            if crasher {
+                g.add_node(
+                    NodeKind::Operator(Op::ArgExtreme {
+                        largest: true,
+                        axis: 0,
+                        keepdims: false,
+                    }),
+                    vec![ValueRef::output0(tanh)],
+                    vec![TensorType::concrete(DType::I64, &[])],
+                );
+            }
+            let mut b = Bindings::new();
+            b.insert(
+                nnsmith_graph::NodeId(0),
+                Tensor::from_f32(&[width], (0..width).map(|i| i as f32 * 0.3).collect()).unwrap(),
+            );
+            Some(TestCase::from_bindings(g, b))
+        }
+    }
+
+    fn config(workers: usize) -> EngineConfig {
+        EngineConfig {
+            workers,
+            shards: 4,
+            seed: 9,
+            campaign: CampaignConfig {
+                duration: Duration::from_secs(60),
+                max_cases: Some(16),
+                // Keep every duplicate crashing (no "fix-on-find") so the
+                // dedup itself is what collapses them.
+                fix_found_bugs: false,
+                ..CampaignConfig::default()
+            },
+        }
+    }
+
+    fn factory() -> impl SourceFactory {
+        nnsmith_difftest::FnSourceFactory::new("mixed", |_: ShardCtx| {
+            Box::new(MixedSource { n: 8, emitted: 0 }) as Box<dyn TestCaseSource + Send>
+        })
+    }
+
+    #[test]
+    fn duplicates_collapse_into_one_bin() {
+        let compiler = tvmsim();
+        let (report, triage) =
+            run_triaged_engine(&compiler, &factory(), &config(2), &TriageConfig::default());
+        assert_eq!(report.result.cases, 16);
+        // 2 crashers per shard x 4 shards, all the same seeded bug.
+        assert_eq!(triage.failures_seen, 8);
+        assert_eq!(triage.bins.len(), 1, "bins: {:?}", triage.bins.keys());
+        let bin = triage.bins.values().next().unwrap();
+        assert_eq!(bin.count, 8);
+        assert_eq!(bin.bug_ids, vec!["tvm-conv-5".to_string()]);
+        assert!(bin.reproducer.graph.operators().len() <= 2);
+    }
+
+    #[test]
+    fn triage_bins_identical_across_worker_counts() {
+        let compiler = tvmsim();
+        let cfg = TriageConfig::default();
+        let (_, one) = run_triaged_engine(&compiler, &factory(), &config(1), &cfg);
+        let (_, four) = run_triaged_engine(&compiler, &factory(), &config(4), &cfg);
+        assert_eq!(one.failures_seen, four.failures_seen);
+        assert_eq!(
+            serde::json::to_string(&one),
+            serde::json::to_string(&four),
+            "merged triage reports must not depend on the worker count"
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! # nnsmith-triage
+//!
+//! The post-oracle triage subsystem: turns the raw stream of oracle
+//! findings (`Verdict::Mismatch`, crashes) produced by fuzzing campaigns
+//! into *deduplicated, minimized bug reports* — the data behind the
+//! paper's bug study (Table 3) rather than a pile of duplicate cases.
+//!
+//! Three stages, composable or driven end-to-end by
+//! [`run_triaged_engine`]:
+//!
+//! * **reduction** ([`reduce_case`]) — delta-debugs a failing case until
+//!   it is 1-minimal, using edge hoisting (consumers of a removed
+//!   operator get fresh inputs carrying the recorded edge tensors) and
+//!   constraint-aware shape shrinking through the solver, so every
+//!   candidate stays well-typed;
+//! * **signatures** ([`signature_of`]) — `symptom × phase × root-cause`
+//!   dedup keys that collapse every duplicate of one bug into one bin;
+//! * **corpus** ([`Corpus`], [`Reproducer`]) — minimized cases serialize
+//!   to deterministic JSON and replay byte-identically on a fresh
+//!   process (`triage replay`).
+
+#![warn(missing_docs)]
+
+mod corpus;
+mod engine;
+mod reduce;
+mod signature;
+
+pub use corpus::{Corpus, ReplayReport, Reproducer};
+pub use engine::{run_triaged_engine, Bin, TriageConfig, TriageReport, UnreducedBin};
+pub use reduce::{is_one_minimal, reduce_case, reduce_case_expecting, ReduceConfig, Reduction};
+pub use signature::{neighborhood_hash, signature_of, stable_hash, BugSignature};

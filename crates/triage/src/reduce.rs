@@ -1,0 +1,705 @@
+//! Delta-debugging reduction of failing test cases.
+//!
+//! Given a case whose oracle verdict is a finding, the reducer shrinks it
+//! until it is **1-minimal**: no single operator can be removed without
+//! losing the bug signature. Two passes alternate:
+//!
+//! * **node removal with edge hoisting** — an operator is deleted and every
+//!   consumer of its outputs is rewired to a fresh `Input` leaf of the same
+//!   concrete type, bound to the tensor that flowed on that edge in the
+//!   reference execution. The candidate is well-typed by construction and
+//!   (for semantic bugs) sees the same values, so the verdict usually
+//!   survives; leaves and operators left dangling are pruned in later
+//!   rounds;
+//! * **constraint-aware shape shrinking** — every leaf dimension becomes a
+//!   fresh solver variable bounded by its current value, the operator
+//!   `requires` constraints are re-asserted along the graph, and the
+//!   min-biased solver produces the smallest well-typed re-concretization.
+//!   Operating on the interned constraint representation keeps re-solving
+//!   cheap (`TensorType` dimensions are `ExprId` handles).
+//!
+//! Every candidate is re-run through the differential oracle and accepted
+//! only if its [`BugSignature`] matches the original, so reduction is
+//! verdict-preserving by construction.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use nnsmith_compilers::{CompileOptions, Compiler, CoverageSet};
+use nnsmith_difftest::{run_case, TestCase, TestOutcome, Tolerance};
+use nnsmith_graph::{Graph, NodeId, NodeKind, TensorType, ValueRef};
+use nnsmith_ops::{Bindings, Op};
+use nnsmith_solver::{IntExpr, SatResult, Solver, SolverConfig};
+use nnsmith_tensor::Tensor;
+
+use crate::signature::{signature_of, BugSignature};
+
+/// Reduction knobs.
+#[derive(Debug, Clone)]
+pub struct ReduceConfig {
+    /// Outer removal/shrink rounds before giving up on a fixpoint.
+    pub max_rounds: usize,
+    /// Run the solver-backed shape-shrinking pass after node removal.
+    pub shrink_shapes: bool,
+    /// Seed for regenerated leaf tensors after a shape shrink.
+    pub value_seed: u64,
+}
+
+impl Default for ReduceConfig {
+    fn default() -> Self {
+        ReduceConfig {
+            max_rounds: 32,
+            shrink_shapes: true,
+            value_seed: 0x7a1a_9e5e_ed00_0001,
+        }
+    }
+}
+
+/// A finished reduction.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// The 1-minimal case.
+    pub case: TestCase,
+    /// The minimal case's oracle outcome.
+    pub outcome: TestOutcome,
+    /// The preserved bug signature.
+    pub signature: BugSignature,
+    /// Seeded bugs that had to be disabled to expose this signature (a
+    /// masked bug found after the campaign "fixed" the maskers). Empty in
+    /// the common case; replay must disable the same set.
+    pub disabled_bugs: Vec<String>,
+    /// Operator count before reduction.
+    pub original_ops: usize,
+    /// Operator count after reduction.
+    pub reduced_ops: usize,
+    /// Oracle executions spent.
+    pub oracle_runs: usize,
+}
+
+/// Runs the oracle on a candidate and extracts its signature.
+fn check(
+    compiler: &Compiler,
+    case: &TestCase,
+    options: &CompileOptions,
+    tol: Tolerance,
+) -> (TestOutcome, Option<BugSignature>) {
+    let mut scratch = CoverageSet::new();
+    let outcome = run_case(compiler, case, options, tol, &mut scratch);
+    let sig = signature_of(case, &outcome);
+    (outcome, sig)
+}
+
+/// Signature comparison used while reducing: exact equality, except that
+/// *unattributed* mismatches match on symptom and phase alone — their key
+/// is a structural hash of the whole graph, which any reduction
+/// necessarily changes, so exact matching would forbid all progress.
+fn compatible(reference: &BugSignature, candidate: &BugSignature) -> bool {
+    if reference == candidate {
+        return true;
+    }
+    reference.symptom == candidate.symptom
+        && reference.phase == candidate.phase
+        && reference.key.starts_with("anon:")
+        && candidate.key.starts_with("anon:")
+}
+
+/// Reduces `case` to a 1-minimal, signature-preserving case.
+///
+/// Returns `None` when the case is not a finding in the first place (its
+/// outcome produces no signature).
+pub fn reduce_case(
+    compiler: &Compiler,
+    case: &TestCase,
+    options: &CompileOptions,
+    tol: Tolerance,
+    cfg: &ReduceConfig,
+) -> Option<Reduction> {
+    reduce_case_expecting(compiler, case, options, tol, cfg, None)
+}
+
+/// [`reduce_case`], pinned to a specific signature.
+///
+/// A campaign that "fixes" found bugs can capture a failure whose bug is
+/// *masked* under the base options (an earlier-firing seeded bug, already
+/// fixed during the campaign, fires first on re-run). When `expected` is
+/// set and the base run observes a different seeded signature, the
+/// interfering seeded bugs are disabled — reconstructing the campaign's
+/// state — until the expected signature reproduces; the disabled set is
+/// recorded in [`Reduction::disabled_bugs`] so replay can do the same.
+///
+/// Returns `None` when the expected signature cannot be reproduced.
+pub fn reduce_case_expecting(
+    compiler: &Compiler,
+    case: &TestCase,
+    options: &CompileOptions,
+    tol: Tolerance,
+    cfg: &ReduceConfig,
+    expected: Option<&BugSignature>,
+) -> Option<Reduction> {
+    let mut oracle_runs = 0;
+    let mut options = options.clone();
+    let mut disabled_bugs: Vec<String> = Vec::new();
+    let (outcome0, sig0) = loop {
+        oracle_runs += 1;
+        let (outcome, sig) = check(compiler, case, &options, tol);
+        let sig = sig?;
+        let Some(expected) = expected else {
+            break (outcome, sig);
+        };
+        if sig == *expected {
+            break (outcome, sig);
+        }
+        // Disable the interfering seeded bugs and retry; bail when the
+        // observed signature carries nothing to disable (the expected bug
+        // is not reproducible at all).
+        let expected_ids = expected.seeded_ids();
+        let mut progressed = false;
+        for id in sig.seeded_ids() {
+            if !expected_ids.contains(&id) && !disabled_bugs.contains(&id) {
+                if let Some(bug) = nnsmith_compilers::bug_by_id(&id) {
+                    options.bugs.disable(bug.id);
+                    disabled_bugs.push(id);
+                    progressed = true;
+                }
+            }
+        }
+        if !progressed || disabled_bugs.len() > 16 {
+            return None;
+        }
+    };
+    let options = &options;
+    let original_ops = case.graph.operators().len();
+
+    let mut current = case.clone();
+    let mut outcome = outcome0;
+    for _ in 0..cfg.max_rounds {
+        let mut changed = false;
+        // Reference execution of the current case supplies hoisted-edge
+        // tensors. Findings always pass the reference stage, so this
+        // succeeds; bail defensively otherwise.
+        let Ok(exec) = nnsmith_ops::execute(&current.graph, &current.all_bindings()) else {
+            break;
+        };
+        // Sinks first: removing consumers before producers frees whole
+        // chains fastest.
+        let mut victims = current.graph.operators();
+        victims.reverse();
+        for victim in victims {
+            let Some(candidate) = remove_op(&current, &exec.values, victim) else {
+                continue;
+            };
+            oracle_runs += 1;
+            let (cand_outcome, cand_sig) = check(compiler, &candidate, options, tol);
+            if cand_sig.is_some_and(|s| compatible(&sig0, &s)) {
+                current = candidate;
+                outcome = cand_outcome;
+                changed = true;
+                break;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    if cfg.shrink_shapes {
+        if let Some(candidate) = shrink_shapes(&current, &sig0, cfg) {
+            oracle_runs += 1;
+            let (cand_outcome, cand_sig) = check(compiler, &candidate, options, tol);
+            if cand_sig.is_some_and(|s| compatible(&sig0, &s)) {
+                current = candidate;
+                outcome = cand_outcome;
+            }
+        }
+    }
+
+    let reduced_ops = current.graph.operators().len();
+    // An anonymous mismatch's key hashes the graph, so recompute it on the
+    // reduced case — the stored signature must be what a replay of the
+    // minimal case observes. Seeded keys are unaffected.
+    let signature = signature_of(&current, &outcome).unwrap_or(sig0);
+    Some(Reduction {
+        case: current,
+        outcome,
+        signature,
+        disabled_bugs,
+        original_ops,
+        reduced_ops,
+        oracle_runs,
+    })
+}
+
+/// True if no single operator removal preserves the case's signature —
+/// the 1-minimality property the reducer guarantees at its fixpoint.
+pub fn is_one_minimal(
+    compiler: &Compiler,
+    case: &TestCase,
+    options: &CompileOptions,
+    tol: Tolerance,
+) -> bool {
+    let (_, Some(sig0)) = check(compiler, case, options, tol) else {
+        return false;
+    };
+    let Ok(exec) = nnsmith_ops::execute(&case.graph, &case.all_bindings()) else {
+        return false;
+    };
+    for victim in case.graph.operators() {
+        if let Some(candidate) = remove_op(case, &exec.values, victim) {
+            let (_, sig) = check(compiler, &candidate, options, tol);
+            if sig.is_some_and(|s| compatible(&sig0, &s)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Builds the candidate with `victim` removed: consumers of its outputs
+/// are rewired to fresh `Input` leaves carrying the recorded edge tensors,
+/// and leaves that fed only `victim` are pruned.
+fn remove_op(
+    case: &TestCase,
+    edge_values: &HashMap<ValueRef, Tensor>,
+    victim: NodeId,
+) -> Option<TestCase> {
+    let graph = &case.graph;
+
+    // Which original nodes survive: every operator but the victim, plus
+    // every leaf still referenced by a survivor.
+    let retained_ops: Vec<NodeId> = graph
+        .operators()
+        .into_iter()
+        .filter(|&id| id != victim)
+        .collect();
+    let mut needed_leaves: HashSet<NodeId> = HashSet::new();
+    let mut hoisted: Vec<ValueRef> = Vec::new();
+    for &id in &retained_ops {
+        for v in &graph.node(id).inputs {
+            if v.node == victim {
+                if !hoisted.contains(v) {
+                    hoisted.push(*v);
+                }
+            } else if !matches!(graph.node(v.node).kind, NodeKind::Operator(_)) {
+                needed_leaves.insert(v.node);
+            }
+        }
+    }
+    // A graph with no nodes at all cannot exist; keep one leaf if pruning
+    // removed everything (covers input-pattern bugs like rank-0 inputs).
+    if retained_ops.is_empty() && needed_leaves.is_empty() && hoisted.is_empty() {
+        return None;
+    }
+
+    let mut mapping: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut out: Graph<Op> = Graph::new();
+    let mut weights = Bindings::new();
+    let mut inputs: HashMap<NodeId, Tensor> = HashMap::new();
+
+    // First pass: surviving nodes in original order (keeps reduction
+    // deterministic and ids compact).
+    for (id, node) in graph.iter() {
+        let keep = match node.kind {
+            NodeKind::Operator(_) => id != victim,
+            _ => needed_leaves.contains(&id),
+        };
+        if !keep {
+            continue;
+        }
+        let new_id = out.add_node(node.kind.clone(), node.inputs.clone(), node.outputs.clone());
+        mapping.insert(id, new_id);
+        if let Some(t) = case.weights.get(&id) {
+            weights.insert(new_id, t.clone());
+        }
+        if let Some(t) = case.inputs.get(&id) {
+            inputs.insert(new_id, t.clone());
+        }
+    }
+    // Hoisted edges become fresh inputs bound to the recorded tensors.
+    let mut hoist_map: HashMap<ValueRef, NodeId> = HashMap::new();
+    for v in hoisted {
+        let tensor = edge_values.get(&v)?.clone();
+        let ttype = graph.value_type(v).clone();
+        let new_id = out.add_node(NodeKind::Input, vec![], vec![ttype]);
+        inputs.insert(new_id, tensor);
+        hoist_map.insert(v, new_id);
+    }
+    // Second pass: rewrite input references.
+    for i in 0..out.len() {
+        let id = NodeId(i as u32);
+        let refs = out.node(id).inputs.clone();
+        let rewritten: Vec<ValueRef> = refs
+            .into_iter()
+            .map(|v| match hoist_map.get(&v) {
+                Some(&input) => ValueRef::output0(input),
+                None => ValueRef {
+                    node: *mapping.get(&v.node).expect("retained producer"),
+                    index: v.index,
+                },
+            })
+            .collect();
+        out.node_mut(id).inputs = rewritten;
+    }
+    debug_assert!(out.validate().is_ok());
+    Some(TestCase {
+        graph: out,
+        weights,
+        inputs,
+    })
+}
+
+/// Constraint-aware re-concretization: every leaf dimension becomes a
+/// solver variable bounded by its current value, operator constraints are
+/// re-asserted through the graph, and the min-biased model yields the
+/// smallest well-typed shapes. Returns `None` when nothing shrinks.
+fn shrink_shapes(case: &TestCase, sig: &BugSignature, cfg: &ReduceConfig) -> Option<TestCase> {
+    let graph = &case.graph;
+    let order = graph.topo_order().ok()?;
+    let mut solver = Solver::with_config(SolverConfig {
+        seed: cfg.value_seed,
+        ..SolverConfig::default()
+    });
+
+    // Symbolic leaf types (one variable per dimension, upper-bounded by the
+    // concrete value so shrinking can only shrink) and symbolic op outputs
+    // via type_transfer.
+    let mut sym_types: HashMap<ValueRef, TensorType> = HashMap::new();
+    let mut leaf_vars: HashMap<NodeId, Vec<nnsmith_solver::VarId>> = HashMap::new();
+    for &id in &order {
+        let node = graph.node(id);
+        match &node.kind {
+            NodeKind::Placeholder => return None,
+            NodeKind::Input | NodeKind::Weight => {
+                let dims = node.outputs[0].concrete_shape()?;
+                let vars: Vec<_> = dims
+                    .iter()
+                    .enumerate()
+                    .map(|(d, &hi)| solver.new_var(format!("{id}_d{d}"), 1, hi.max(1)))
+                    .collect();
+                let ttype = TensorType::new(
+                    node.outputs[0].dtype,
+                    vars.iter().map(|&v| IntExpr::var(v)).collect(),
+                );
+                sym_types.insert(ValueRef::output0(id), ttype);
+                leaf_vars.insert(id, vars);
+            }
+            NodeKind::Operator(op) => {
+                let in_types: Vec<TensorType> = node
+                    .inputs
+                    .iter()
+                    .map(|v| sym_types.get(v).cloned())
+                    .collect::<Option<_>>()?;
+                solver.assert_all(op.requires(&in_types).ok()?);
+                let outs = op.type_transfer(&in_types).ok()?;
+                for (index, t) in outs.into_iter().enumerate() {
+                    sym_types.insert(ValueRef { node: id, index }, t);
+                }
+            }
+        }
+    }
+    let model = match solver.check() {
+        SatResult::Sat(m) => m,
+        _ => return None,
+    };
+
+    // Rebuild the graph with the shrunk model; keep tensors whose shape
+    // did not change, regenerate the rest deterministically.
+    let mut out = graph.clone();
+    let mut changed = false;
+    for (&leaf, vars) in &leaf_vars {
+        let old = out.node(leaf).outputs[0].concrete_shape()?;
+        let new: Vec<i64> = vars.iter().map(|&v| model.get(v).unwrap_or(1)).collect();
+        if new != old {
+            changed = true;
+        }
+    }
+    if !changed {
+        return None;
+    }
+    let mut weights = Bindings::new();
+    let mut inputs: HashMap<NodeId, Tensor> = HashMap::new();
+    for &id in &order {
+        let node_kind = out.node(id).kind.clone();
+        match node_kind {
+            NodeKind::Input | NodeKind::Weight => {
+                let dtype = out.node(id).outputs[0].dtype;
+                let vars = &leaf_vars[&id];
+                let new_dims: Vec<i64> = vars.iter().map(|&v| model.get(v).unwrap_or(1)).collect();
+                let old = out.node(id).outputs[0].clone();
+                let tensor = if old.concrete_shape().as_deref() == Some(&new_dims) {
+                    original_binding(case, id)?
+                } else {
+                    let dims: Vec<usize> = new_dims.iter().map(|&d| d as usize).collect();
+                    let mut rng = StdRng::seed_from_u64(
+                        cfg.value_seed ^ (u64::from(id.0) << 32) ^ sig_hash(sig),
+                    );
+                    if dtype.is_float() {
+                        Tensor::uniform(&dims, dtype, -1.0, 1.0, &mut rng)
+                    } else if dtype.is_int() {
+                        Tensor::uniform(&dims, dtype, 1.0, 4.0, &mut rng)
+                    } else {
+                        Tensor::uniform(&dims, dtype, 0.0, 1.0, &mut rng)
+                    }
+                };
+                out.node_mut(id).outputs[0] = TensorType::concrete(dtype, &new_dims);
+                match out.node(id).kind {
+                    NodeKind::Weight => {
+                        weights.insert(id, tensor);
+                    }
+                    _ => {
+                        inputs.insert(id, tensor);
+                    }
+                }
+            }
+            NodeKind::Operator(ref op) => {
+                let in_types: Vec<TensorType> = out
+                    .node(id)
+                    .inputs
+                    .iter()
+                    .map(|v| out.value_type(*v).clone())
+                    .collect();
+                let outs = op.type_transfer(&in_types).ok()?;
+                out.node_mut(id).outputs = outs;
+            }
+            NodeKind::Placeholder => return None,
+        }
+    }
+    Some(TestCase {
+        graph: out,
+        weights,
+        inputs,
+    })
+}
+
+fn original_binding(case: &TestCase, id: NodeId) -> Option<Tensor> {
+    case.weights
+        .get(&id)
+        .or_else(|| case.inputs.get(&id))
+        .cloned()
+}
+
+fn sig_hash(sig: &BugSignature) -> u64 {
+    crate::signature::stable_hash(&sig.as_key())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnsmith_compilers::{ortsim, tvmsim};
+    use nnsmith_ops::{BinaryKind, UnaryKind};
+    use nnsmith_tensor::DType;
+
+    /// A bloated case triggering tvm-conv-5 (ArgMax to scalar) with two
+    /// irrelevant tanh/add stages around it.
+    fn bloated_argmax_case() -> TestCase {
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[6])],
+        );
+        let w = g.add_node(
+            NodeKind::Weight,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[6])],
+        );
+        let add = g.add_node(
+            NodeKind::Operator(Op::Binary(BinaryKind::Add)),
+            vec![ValueRef::output0(x), ValueRef::output0(w)],
+            vec![TensorType::concrete(DType::F32, &[6])],
+        );
+        let tanh = g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Tanh)),
+            vec![ValueRef::output0(add)],
+            vec![TensorType::concrete(DType::F32, &[6])],
+        );
+        let arg = g.add_node(
+            NodeKind::Operator(Op::ArgExtreme {
+                largest: true,
+                axis: 0,
+                keepdims: false,
+            }),
+            vec![ValueRef::output0(tanh)],
+            vec![TensorType::concrete(DType::I64, &[])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Relu)),
+            vec![ValueRef::output0(tanh)],
+            vec![TensorType::concrete(DType::F32, &[6])],
+        );
+        let _ = arg;
+        let mut b = Bindings::new();
+        b.insert(
+            x,
+            Tensor::from_f32(&[6], vec![0.1, 0.9, 0.3, 0.5, 0.2, 0.4]).unwrap(),
+        );
+        b.insert(w, Tensor::from_f32(&[6], vec![0.2; 6]).unwrap());
+        TestCase::from_bindings(g, b)
+    }
+
+    #[test]
+    fn reduces_crash_case_to_minimum() {
+        let compiler = tvmsim();
+        let case = bloated_argmax_case();
+        let red = reduce_case(
+            &compiler,
+            &case,
+            &CompileOptions::default(),
+            Tolerance::default(),
+            &ReduceConfig::default(),
+        )
+        .expect("finding");
+        assert_eq!(red.signature.key, "seeded:tvm-conv-5");
+        assert!(
+            red.reduced_ops < red.original_ops,
+            "no shrink: {} ops",
+            red.reduced_ops
+        );
+        assert!(red.reduced_ops <= 2, "got {} ops", red.reduced_ops);
+        assert!(is_one_minimal(
+            &compiler,
+            &red.case,
+            &CompileOptions::default(),
+            Tolerance::default()
+        ));
+        // The minimal case still replays to the same signature.
+        let (_, sig) = check(
+            &compiler,
+            &red.case,
+            &CompileOptions::default(),
+            Tolerance::default(),
+        );
+        assert_eq!(sig.as_ref(), Some(&red.signature));
+    }
+
+    #[test]
+    fn shrink_respects_requires() {
+        // Input 6-wide shrinks to 1 for the argmax chain (no lower bound
+        // beyond positivity) while staying well-typed.
+        let compiler = tvmsim();
+        let case = bloated_argmax_case();
+        let red = reduce_case(
+            &compiler,
+            &case,
+            &CompileOptions::default(),
+            Tolerance::default(),
+            &ReduceConfig::default(),
+        )
+        .expect("finding");
+        for v in red.case.graph.all_values() {
+            let dims = red
+                .case
+                .graph
+                .value_type(v)
+                .concrete_dims()
+                .expect("concrete");
+            for d in dims {
+                assert!(d >= 1);
+            }
+        }
+        assert!(red.case.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn expected_signature_reduces_masked_bug() {
+        // A case triggering two tvmsim bugs at once: whichever fires first
+        // masks the other under the base options. A campaign that "fixed"
+        // the first captures the second's outcome, and triage must reduce
+        // toward the *captured* signature by disabling the masker.
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        let tanh = g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Tanh)),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        // Branch 1: ReflectPad (tvm-pass-4, transformation crash).
+        g.add_node(
+            NodeKind::Operator(Op::Pad {
+                pads: vec![(IntExpr::Const(1), IntExpr::Const(1))],
+                kind: nnsmith_ops::PadKind::Reflect,
+            }),
+            vec![ValueRef::output0(tanh)],
+            vec![TensorType::concrete(DType::F32, &[6])],
+        );
+        // Branch 2: scalar ArgMax (tvm-conv-5, conversion crash).
+        g.add_node(
+            NodeKind::Operator(Op::ArgExtreme {
+                largest: true,
+                axis: 0,
+                keepdims: false,
+            }),
+            vec![ValueRef::output0(tanh)],
+            vec![TensorType::concrete(DType::I64, &[])],
+        );
+        let mut b = Bindings::new();
+        b.insert(x, Tensor::from_f32(&[4], vec![0.1, 0.4, 0.2, 0.3]).unwrap());
+        let case = TestCase::from_bindings(g, b);
+
+        let compiler = tvmsim();
+        let base = CompileOptions::default();
+        let (_, first) = check(&compiler, &case, &base, Tolerance::default());
+        let first = first.expect("finding");
+        let first_id = first.seeded_ids()[0].clone();
+        // The campaign's view after fixing the first bug: the masked one.
+        let mut fixed = base.clone();
+        fixed
+            .bugs
+            .disable(nnsmith_compilers::bug_by_id(&first_id).unwrap().id);
+        let (_, masked) = check(&compiler, &case, &fixed, Tolerance::default());
+        let masked = masked.expect("second bug fires once the first is fixed");
+        assert_ne!(first, masked);
+
+        // Reducing toward the masked signature from base options must
+        // disable the masker, not silently reduce the first bug.
+        let red = reduce_case_expecting(
+            &compiler,
+            &case,
+            &base,
+            Tolerance::default(),
+            &ReduceConfig::default(),
+            Some(&masked),
+        )
+        .expect("masked bug reproducible");
+        assert_eq!(red.signature, masked);
+        assert_eq!(red.disabled_bugs, vec![first_id]);
+        assert!(red.reduced_ops <= 2);
+
+        // And the reproducer replays with the same masker set disabled.
+        let rep = crate::corpus::Reproducer::from_reduction(&red, "tvmsim", Tolerance::default());
+        let report = rep.replay().expect("known compiler");
+        assert!(report.reproduced, "observed {:?}", report.observed);
+    }
+
+    #[test]
+    fn non_finding_returns_none() {
+        let compiler = ortsim();
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[2])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Tanh)),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::F32, &[2])],
+        );
+        let mut b = Bindings::new();
+        b.insert(x, Tensor::from_f32(&[2], vec![0.5, -0.5]).unwrap());
+        let case = TestCase::from_bindings(g, b);
+        assert!(reduce_case(
+            &compiler,
+            &case,
+            &CompileOptions::default(),
+            Tolerance::default(),
+            &ReduceConfig::default()
+        )
+        .is_none());
+    }
+}

@@ -1,0 +1,222 @@
+//! Bug signatures: the dedup key that turns a stream of raw oracle
+//! findings into a handful of distinct bugs.
+//!
+//! A signature is `symptom × phase × root-cause key`. The symptom and
+//! phase come from the [`TestOutcome`] (which compilation stage crashed,
+//! or — for semantic mismatches — the O0-localization verdict of §4). The
+//! root-cause key prefers stable evidence over per-case detail:
+//!
+//! 1. a seeded-bug id embedded in a crash message, or the attributed
+//!    seeded bugs of a mismatch (`seeded:` keys) — every duplicate of one
+//!    seeded bug bins together regardless of the triggering graph;
+//! 2. otherwise the normalized first line of the crash message;
+//! 3. otherwise (an unattributed mismatch) a structural *neighborhood
+//!    hash* of the offending graph: operator names, dtypes and ranks with
+//!    their edge structure, ignoring concrete dimensions and values, so
+//!    same-shape-bug cases with different solver models still collide.
+
+use serde::{Deserialize, Serialize};
+
+use nnsmith_difftest::{seeded_bug_id, FaultSite, TestCase, TestOutcome};
+use nnsmith_graph::{Graph, NodeKind};
+use nnsmith_ops::Op;
+
+/// The dedup key of one distinct bug.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BugSignature {
+    /// Observable symptom: `"crash"` or `"semantic"`.
+    pub symptom: String,
+    /// Pipeline phase: `"export"`, `"compile"`, `"runtime"`,
+    /// `"optimization"` or `"conversion"`.
+    pub phase: String,
+    /// Root-cause key (see module docs for the preference order).
+    pub key: String,
+}
+
+impl BugSignature {
+    /// The flat `symptom/phase/key` form used as a bin key.
+    pub fn as_key(&self) -> String {
+        format!("{}/{}/{}", self.symptom, self.phase, self.key)
+    }
+
+    /// Seeded-bug ids carried by the key, if any.
+    pub fn seeded_ids(&self) -> Vec<String> {
+        match self.key.strip_prefix("seeded:") {
+            Some(ids) => ids.split('+').map(str::to_string).collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Display for BugSignature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.as_key())
+    }
+}
+
+/// Extracts the signature of a finding; `None` for non-finding outcomes.
+pub fn signature_of(case: &TestCase, outcome: &TestOutcome) -> Option<BugSignature> {
+    let (symptom, phase, key) = match outcome {
+        TestOutcome::ExportCrash { message } => ("crash", "export", crash_key(message)),
+        TestOutcome::CompileCrash { message } => ("crash", "compile", crash_key(message)),
+        TestOutcome::RuntimeError { message } => ("crash", "runtime", crash_key(message)),
+        TestOutcome::ResultMismatch {
+            site, attributed, ..
+        } => {
+            let phase = match site {
+                FaultSite::Optimization => "optimization",
+                FaultSite::Conversion => "conversion",
+            };
+            let key = if attributed.is_empty() {
+                format!("anon:{:016x}", neighborhood_hash(&case.graph))
+            } else {
+                let mut ids = attributed.clone();
+                ids.sort();
+                ids.dedup();
+                format!("seeded:{}", ids.join("+"))
+            };
+            ("semantic", phase, key)
+        }
+        _ => return None,
+    };
+    Some(BugSignature {
+        symptom: symptom.to_string(),
+        phase: phase.to_string(),
+        key,
+    })
+}
+
+/// Normalizes a crash message into a root-cause key: the seeded-bug id
+/// when present, the first line otherwise.
+fn crash_key(message: &str) -> String {
+    if let Some(id) = seeded_bug_id(message) {
+        return format!("seeded:{id}");
+    }
+    message.lines().next().unwrap_or(message).to_string()
+}
+
+/// Structural hash of a graph's operator neighborhood: op names, dtypes
+/// and ranks plus producer edges, in topological order. Concrete dimension
+/// values and tensor contents are deliberately excluded so duplicates with
+/// different solver models collide.
+pub fn neighborhood_hash(graph: &Graph<Op>) -> u64 {
+    let mut text = String::new();
+    let order = graph
+        .topo_order()
+        .unwrap_or_else(|_| graph.iter().map(|(id, _)| id).collect());
+    for id in order {
+        let node = graph.node(id);
+        match &node.kind {
+            NodeKind::Operator(op) => text.push_str(op.name()),
+            NodeKind::Input | NodeKind::Placeholder => text.push_str("in"),
+            NodeKind::Weight => text.push('w'),
+        }
+        for out in &node.outputs {
+            text.push_str(&format!(":{}r{}", out.dtype, out.rank()));
+        }
+        for v in &node.inputs {
+            text.push_str(&format!("<{}.{}", v.node.0, v.index));
+        }
+        text.push(';');
+    }
+    fnv1a(text.as_bytes())
+}
+
+/// Stable string hash (FNV-1a) for deriving deterministic seeds from
+/// signature keys.
+pub fn stable_hash(s: &str) -> u64 {
+    fnv1a(s.as_bytes())
+}
+
+/// FNV-1a: a fixed, process-independent hash (std's hashers are seeded).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnsmith_graph::{NodeKind, TensorType, ValueRef};
+    use nnsmith_ops::{Bindings, UnaryKind};
+    use nnsmith_tensor::DType;
+
+    fn tanh_case(dims: &[i64]) -> TestCase {
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, dims)],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Tanh)),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::F32, dims)],
+        );
+        TestCase::from_bindings(g, Bindings::new())
+    }
+
+    #[test]
+    fn seeded_crash_key_ignores_detail() {
+        let case = tanh_case(&[2]);
+        let a = signature_of(
+            &case,
+            &TestOutcome::CompileCrash {
+                message: "crash: seeded bug tvm-conv-5: scalar argmax".into(),
+            },
+        )
+        .unwrap();
+        let b = signature_of(
+            &case,
+            &TestOutcome::CompileCrash {
+                message: "crash: seeded bug tvm-conv-5: different per-case text".into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.symptom, "crash");
+        assert_eq!(a.phase, "compile");
+        assert_eq!(a.seeded_ids(), vec!["tvm-conv-5".to_string()]);
+    }
+
+    #[test]
+    fn mismatch_attribution_sorted() {
+        let case = tanh_case(&[2]);
+        let sig = |attributed: Vec<&str>| {
+            signature_of(
+                &case,
+                &TestOutcome::ResultMismatch {
+                    detail: "output 0 element 3".into(),
+                    site: FaultSite::Optimization,
+                    attributed: attributed.into_iter().map(str::to_string).collect(),
+                },
+            )
+            .unwrap()
+        };
+        assert_eq!(sig(vec!["b", "a"]), sig(vec!["a", "b"]));
+        assert_eq!(sig(vec!["a", "b"]).seeded_ids(), vec!["a", "b"]);
+        assert_eq!(sig(vec!["a"]).phase, "optimization");
+    }
+
+    #[test]
+    fn anon_mismatch_hashes_structure_not_dims() {
+        // Same op/dtype/rank skeleton, different concrete dims → same hash;
+        // different rank → different hash.
+        let a = tanh_case(&[2, 3]);
+        let b = tanh_case(&[5, 7]);
+        let c = tanh_case(&[2]);
+        assert_eq!(neighborhood_hash(&a.graph), neighborhood_hash(&b.graph));
+        assert_ne!(neighborhood_hash(&a.graph), neighborhood_hash(&c.graph));
+    }
+
+    #[test]
+    fn pass_is_not_a_finding() {
+        let case = tanh_case(&[2]);
+        assert!(signature_of(&case, &TestOutcome::Pass).is_none());
+        assert!(signature_of(&case, &TestOutcome::NumericInvalid).is_none());
+    }
+}

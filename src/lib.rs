@@ -22,6 +22,7 @@
 //! | [`compilers`] | simulated compilers (tvmsim/ortsim/trtsim), coverage, 72 seeded bugs |
 //! | [`difftest`] | oracle comparison, fault localization, campaign driver |
 //! | [`baselines`] | LEMON / GraphFuzzer / Tzer reimplementations |
+//! | [`triage`] | test-case reduction, bug dedup, reproducer corpus |
 //! | [`pipeline`] | the end-to-end fuzzer ([`NnSmith`]) |
 //!
 //! ## Quickstart
@@ -49,5 +50,6 @@ pub use nnsmith_ops as ops;
 pub use nnsmith_search as search;
 pub use nnsmith_solver as solver;
 pub use nnsmith_tensor as tensor;
+pub use nnsmith_triage as triage;
 
 pub use nnsmith_core::{NnSmith, NnSmithConfig, PipelineStats};

@@ -19,6 +19,9 @@ fn quick_pipeline() -> NnSmithConfig {
         },
         search: SearchConfig {
             budget: Duration::from_millis(150),
+            // Iteration-budgeted: a wall-clock search budget exhausts at
+            // load-dependent points, breaking workers=1 ≡ workers=N.
+            max_iters: Some(256),
             init_lo: -4.0,
             init_hi: 4.0,
             ..SearchConfig::default()

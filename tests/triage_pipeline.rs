@@ -1,0 +1,338 @@
+//! End-to-end contracts of the triage subsystem:
+//!
+//! 1. reduction preserves the oracle verdict and is 1-minimal on seeded
+//!    bugs across symptom/phase classes (crash, export crash, semantic
+//!    mismatch) and systems;
+//! 2. triage bins from a sharded engine run are identical for workers=1
+//!    and workers=4;
+//! 3. serialized reproducers replay to the same verdict byte-identically.
+
+use std::time::Duration;
+
+use nnsmith::compilers::{ortsim, trtsim, tvmsim, CompileOptions, Compiler};
+use nnsmith::difftest::{CampaignConfig, EngineConfig, TestCase, Tolerance};
+use nnsmith::gen::GenConfig;
+use nnsmith::graph::{Graph, NodeId, NodeKind, TensorType, ValueRef};
+use nnsmith::ops::{BinaryKind, Bindings, Op, UnaryKind};
+use nnsmith::pipeline::NnSmithFactory;
+use nnsmith::search::SearchConfig;
+use nnsmith::tensor::{DType, Tensor};
+use nnsmith::triage::{
+    is_one_minimal, reduce_case, run_triaged_engine, Corpus, ReduceConfig, Reproducer, TriageConfig,
+};
+use nnsmith::NnSmithConfig;
+
+/// Wraps a trigger graph in float noise (leading tanh on a side input and
+/// a trailing relu consumer where the dtype allows) so reduction has real
+/// work to do.
+struct Case {
+    compiler: Compiler,
+    expect_key: &'static str,
+    case: TestCase,
+}
+
+fn f32_t(dims: &[i64]) -> TensorType {
+    TensorType::concrete(DType::F32, dims)
+}
+
+/// ortsim ort-t09: reduction-to-scalar fusion crash, padded with float noise.
+fn ort_reduce_scalar() -> Case {
+    let mut g: Graph<Op> = Graph::new();
+    let x = g.add_node(NodeKind::Input, vec![], vec![f32_t(&[5])]);
+    let tanh = g.add_node(
+        NodeKind::Operator(Op::Unary(UnaryKind::Tanh)),
+        vec![ValueRef::output0(x)],
+        vec![f32_t(&[5])],
+    );
+    let red = g.add_node(
+        NodeKind::Operator(Op::Reduce {
+            kind: nnsmith::tensor::ReduceKind::Sum,
+            axes: vec![0],
+            keepdims: false,
+        }),
+        vec![ValueRef::output0(tanh)],
+        vec![f32_t(&[])],
+    );
+    g.add_node(
+        NodeKind::Operator(Op::Unary(UnaryKind::Relu)),
+        vec![ValueRef::output0(red)],
+        vec![f32_t(&[])],
+    );
+    let mut b = Bindings::new();
+    b.insert(
+        x,
+        Tensor::from_f32(&[5], vec![0.1, 0.2, 0.3, 0.4, 0.5]).unwrap(),
+    );
+    Case {
+        compiler: ortsim(),
+        expect_key: "seeded:ort-t09",
+        case: TestCase::from_bindings(g, b),
+    }
+}
+
+/// exporter exp-6: back-to-back Cast crash (fires during export on any
+/// compiler), padded with float noise.
+fn exporter_cast_cast() -> Case {
+    let mut g: Graph<Op> = Graph::new();
+    let x = g.add_node(NodeKind::Input, vec![], vec![f32_t(&[4])]);
+    let tanh = g.add_node(
+        NodeKind::Operator(Op::Unary(UnaryKind::Tanh)),
+        vec![ValueRef::output0(x)],
+        vec![f32_t(&[4])],
+    );
+    let c1 = g.add_node(
+        NodeKind::Operator(Op::Cast { to: DType::I32 }),
+        vec![ValueRef::output0(tanh)],
+        vec![TensorType::concrete(DType::I32, &[4])],
+    );
+    g.add_node(
+        NodeKind::Operator(Op::Cast { to: DType::F32 }),
+        vec![ValueRef::output0(c1)],
+        vec![f32_t(&[4])],
+    );
+    let mut b = Bindings::new();
+    b.insert(
+        x,
+        Tensor::from_f32(&[4], vec![1.5, -0.5, 2.5, 0.25]).unwrap(),
+    );
+    Case {
+        compiler: ortsim(),
+        expect_key: "seeded:exp-6",
+        case: TestCase::from_bindings(g, b),
+    }
+}
+
+/// trtsim trt-u3: Pad feeding Reshape crashes the builder.
+fn trt_pad_reshape() -> Case {
+    let mut g: Graph<Op> = Graph::new();
+    let x = g.add_node(NodeKind::Input, vec![], vec![f32_t(&[2])]);
+    let tanh = g.add_node(
+        NodeKind::Operator(Op::Unary(UnaryKind::Tanh)),
+        vec![ValueRef::output0(x)],
+        vec![f32_t(&[2])],
+    );
+    let pad = g.add_node(
+        NodeKind::Operator(Op::Pad {
+            pads: vec![(
+                nnsmith::solver::IntExpr::Const(1),
+                nnsmith::solver::IntExpr::Const(1),
+            )],
+            kind: nnsmith::ops::PadKind::Replicate,
+        }),
+        vec![ValueRef::output0(tanh)],
+        vec![f32_t(&[4])],
+    );
+    g.add_node(
+        NodeKind::Operator(Op::Reshape {
+            dims: vec![
+                nnsmith::solver::IntExpr::Const(2),
+                nnsmith::solver::IntExpr::Const(2),
+            ],
+        }),
+        vec![ValueRef::output0(pad)],
+        vec![f32_t(&[2, 2])],
+    );
+    let mut b = Bindings::new();
+    b.insert(x, Tensor::from_f32(&[2], vec![0.3, -0.7]).unwrap());
+    Case {
+        compiler: trtsim(),
+        expect_key: "seeded:trt-u3",
+        case: TestCase::from_bindings(g, b),
+    }
+}
+
+/// tvmsim tvm-simpl-1: the semantic (x/c)*c integer-simplification bug —
+/// a mismatch localized to the optimizer, not a crash.
+fn tvm_int_simplify() -> Case {
+    let mut g: Graph<Op> = Graph::new();
+    let x = g.add_node(
+        NodeKind::Input,
+        vec![],
+        vec![TensorType::concrete(DType::I32, &[2])],
+    );
+    let c = g.add_node(
+        NodeKind::Weight,
+        vec![],
+        vec![TensorType::concrete(DType::I32, &[])],
+    );
+    let div = g.add_node(
+        NodeKind::Operator(Op::Binary(BinaryKind::Div)),
+        vec![ValueRef::output0(x), ValueRef::output0(c)],
+        vec![TensorType::concrete(DType::I32, &[2])],
+    );
+    g.add_node(
+        NodeKind::Operator(Op::Binary(BinaryKind::Mul)),
+        vec![ValueRef::output0(div), ValueRef::output0(c)],
+        vec![TensorType::concrete(DType::I32, &[2])],
+    );
+    let mut b = Bindings::new();
+    b.insert(x, Tensor::from_i32(&[2], vec![7, 9]).unwrap());
+    b.insert(c, Tensor::scalar(DType::I32, 3.0));
+    Case {
+        compiler: tvmsim(),
+        expect_key: "seeded:tvm-simpl-1",
+        case: TestCase::from_bindings(g, b),
+    }
+}
+
+#[test]
+fn reduction_preserves_verdict_and_is_one_minimal_on_seeded_bugs() {
+    for case in [
+        ort_reduce_scalar(),
+        exporter_cast_cast(),
+        trt_pad_reshape(),
+        tvm_int_simplify(),
+    ] {
+        let red = reduce_case(
+            &case.compiler,
+            &case.case,
+            &CompileOptions::default(),
+            Tolerance::default(),
+            &ReduceConfig::default(),
+        )
+        .unwrap_or_else(|| panic!("{}: not a finding", case.expect_key));
+        assert_eq!(
+            red.signature.key, case.expect_key,
+            "verdict must be preserved"
+        );
+        assert!(
+            red.reduced_ops <= 5,
+            "{}: {} ops left",
+            case.expect_key,
+            red.reduced_ops
+        );
+        assert!(
+            red.reduced_ops <= red.original_ops,
+            "{}: reduction grew the case",
+            case.expect_key
+        );
+        assert!(
+            is_one_minimal(
+                &case.compiler,
+                &red.case,
+                &CompileOptions::default(),
+                Tolerance::default()
+            ),
+            "{}: a further single removal still triggers",
+            case.expect_key
+        );
+        // The reduced case is a valid, concrete graph.
+        assert!(red.case.graph.validate().is_ok());
+        assert!(red.case.graph.is_concrete());
+
+        // Reproducer: byte-identical JSON round-trip and verdict-identical
+        // replay.
+        let rep =
+            Reproducer::from_reduction(&red, case.compiler.system().name(), Tolerance::default());
+        let mut corpus = Corpus::new();
+        corpus.insert(rep);
+        let js = corpus.to_json();
+        let back = Corpus::from_json(&js).expect("corpus decodes");
+        assert_eq!(back.to_json(), js, "byte-identical corpus round-trip");
+        for rep in back.reproducers.values() {
+            let report = rep.replay().expect("known compiler");
+            assert!(
+                report.reproduced,
+                "{}: replay observed {:?}",
+                case.expect_key, report.observed
+            );
+        }
+    }
+}
+
+fn quick_pipeline() -> NnSmithConfig {
+    NnSmithConfig {
+        gen: GenConfig {
+            target_ops: 5,
+            ..GenConfig::default()
+        },
+        search: SearchConfig {
+            budget: Duration::from_secs(60),
+            // Deterministic search: required for workers=1 ≡ workers=N.
+            max_iters: Some(256),
+            init_lo: -4.0,
+            init_hi: 4.0,
+            ..SearchConfig::default()
+        },
+        seed: 0, // overridden per shard
+        max_attempts_per_case: 8,
+    }
+}
+
+fn engine_config(workers: usize) -> EngineConfig {
+    EngineConfig {
+        workers,
+        shards: 4,
+        seed: 77,
+        campaign: CampaignConfig {
+            duration: Duration::from_secs(600),
+            max_cases: Some(16),
+            ..CampaignConfig::default()
+        },
+    }
+}
+
+#[test]
+fn triage_bins_identical_for_one_and_four_workers() {
+    let compiler = tvmsim();
+    let factory = NnSmithFactory::new(quick_pipeline());
+    let cfg = TriageConfig::default();
+    let (_, one) = run_triaged_engine(&compiler, &factory, &engine_config(1), &cfg);
+    let (_, four) = run_triaged_engine(&compiler, &factory, &engine_config(4), &cfg);
+    assert!(
+        !one.bins.is_empty(),
+        "expected at least one finding from the seeded-bug campaign"
+    );
+    assert_eq!(one.failures_seen, four.failures_seen);
+    assert_eq!(
+        serde::json::to_string(&one),
+        serde::json::to_string(&four),
+        "triage bins must not depend on the worker count"
+    );
+
+    // Regression corpus: everything the campaign distilled replays on a
+    // fresh in-memory corpus, byte-identically.
+    let corpus = one.to_corpus();
+    let js = corpus.to_json();
+    let back = Corpus::from_json(&js).expect("decodes");
+    assert_eq!(back.to_json(), js);
+    for (key, rep) in &back.reproducers {
+        assert!(
+            rep.graph.operators().len() <= 5,
+            "{key}: reproducer not minimal ({} ops)",
+            rep.graph.operators().len()
+        );
+        let report = rep.replay().expect("known compiler");
+        assert!(report.reproduced, "{key}: observed {:?}", report.observed);
+        assert!(
+            is_one_minimal(
+                &compiler,
+                &rep.to_case(),
+                &CompileOptions::default(),
+                Tolerance::default()
+            ),
+            "{key}: reproducer is not 1-minimal"
+        );
+    }
+}
+
+/// NodeId sanity for the corpus maps: ids in weights/inputs must exist in
+/// the graph (guards the reducer's node remapping).
+#[test]
+fn reproducer_bindings_reference_graph_nodes() {
+    let case = ort_reduce_scalar();
+    let red = reduce_case(
+        &case.compiler,
+        &case.case,
+        &CompileOptions::default(),
+        Tolerance::default(),
+        &ReduceConfig::default(),
+    )
+    .expect("finding");
+    let rep = Reproducer::from_reduction(&red, "ortsim", Tolerance::default());
+    for &id in rep.weights.keys().chain(rep.inputs.keys()) {
+        assert!((id as usize) < rep.graph.len(), "dangling binding {id}");
+        let node = rep.graph.node(NodeId(id));
+        assert!(matches!(node.kind, NodeKind::Input | NodeKind::Weight));
+    }
+}

@@ -382,13 +382,112 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("derive(Serialize): generated code must parse")
 }
 
-/// Hand-rolled `#[derive(Deserialize)]`: nothing in this workspace
-/// deserializes, so this emits a marker impl only.
+fn de_named_fields_body(fields: &[String], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::deserialize(::serde::json::obj_get({source}, \"{f}\")?)?"
+            )
+        })
+        .collect();
+    format!("{{ {} }}", inits.join(", "))
+}
+
+fn de_tuple_fields_body(n: usize, source: &str) -> String {
+    let inits: Vec<String> = (0..n)
+        .map(|i| {
+            format!("::serde::Deserialize::deserialize(::serde::json::arr_get({source}, {i})?)?")
+        })
+        .collect();
+    format!("({})", inits.join(", "))
+}
+
+/// Hand-rolled `#[derive(Deserialize)]`: generates a parser for the exact
+/// JSON shape the [`Serialize`](macro@Serialize) derive emits (objects for
+/// named structs, transparent single-field tuple structs, externally-
+/// tagged enums), so deriving both gives a faithful round-trip.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let p = parse_input(input);
     let (generics, ty) = impl_header(&p, "Deserialize");
-    format!("impl{generics} ::serde::Deserialize for {ty} {{}}\n")
-        .parse()
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::UnitStruct => format!("let _ = v;\n::std::result::Result::Ok({name})\n"),
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(v)?))\n")
+        }
+        Shape::TupleStruct(n) => format!(
+            "::std::result::Result::Ok({name}{})\n",
+            de_tuple_fields_body(*n, "v")
+        ),
+        Shape::NamedStruct(fields) => format!(
+            "::std::result::Result::Ok({name}{})\n",
+            de_named_fields_body(fields, "v")
+        ),
+        Shape::Enum(variants) => {
+            let mut body = String::new();
+            // Unit variants serialize as bare strings.
+            body.push_str("if let ::std::option::Option::Some(tag) = v.as_str() {\n");
+            body.push_str("return match tag {\n");
+            for v in variants.iter().filter(|v| v.fields.is_none()) {
+                let vn = &v.name;
+                body.push_str(&format!(
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                ));
+            }
+            body.push_str(&format!(
+                "other => ::std::result::Result::Err(::serde::json::Error::new(\
+                 ::std::format!(\"unknown variant {{other:?}} of {name}\"))),\n"
+            ));
+            body.push_str("};\n}\n");
+            // Everything else is externally tagged: {"Variant": payload}.
+            body.push_str("let (tag, payload) = ::serde::json::enum_variant(v)?;\n");
+            body.push_str("match tag {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    None => {
+                        // Reached only for documents tagging a unit variant
+                        // as an object, which the encoder never emits.
+                        body.push_str(&format!(
+                            "\"{vn}\" => {{ let _ = payload; \
+                             ::std::result::Result::Ok({name}::{vn}) }}\n"
+                        ));
+                    }
+                    Some(VariantFields::Tuple(1)) => {
+                        body.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::deserialize(payload)?)),\n"
+                        ));
+                    }
+                    Some(VariantFields::Tuple(n)) => {
+                        body.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}{}),\n",
+                            de_tuple_fields_body(*n, "payload")
+                        ));
+                    }
+                    Some(VariantFields::Named(fields)) => {
+                        body.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}{}),\n",
+                            de_named_fields_body(fields, "payload")
+                        ));
+                    }
+                }
+            }
+            body.push_str(&format!(
+                "other => ::std::result::Result::Err(::serde::json::Error::new(\
+                 ::std::format!(\"unknown variant {{other:?}} of {name}\"))),\n"
+            ));
+            body.push_str("}\n");
+            body
+        }
+    };
+    let out = format!(
+        "impl{generics} ::serde::Deserialize for {ty} {{\n\
+         fn deserialize(v: &::serde::json::Value) \
+         -> ::std::result::Result<Self, ::serde::json::Error> {{\n{body}}}\n}}\n"
+    );
+    out.parse()
         .expect("derive(Deserialize): generated code must parse")
 }
