@@ -1,10 +1,10 @@
 //! Micro-benchmarks for the hash-consing expression arena: the intern +
 //! constant-fold hot path that every solver assertion goes through, against
-//! the owned-tree construction it replaced.
+//! the owned-tree construction it replaced — plus the sharded pool's
+//! campaign-lifecycle costs (pool setup, contended vs private interning).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use nnsmith_solver::intern::with_pool;
-use nnsmith_solver::{intern_bool, BoolExpr, IntExpr, VarId};
+use nnsmith_solver::{BoolExpr, IntExpr, InternPool, VarId};
 
 /// A conv-arithmetic constraint over `base`-offset variables — the shape
 /// every insertion asserts a handful of.
@@ -28,20 +28,29 @@ fn bench_interning(c: &mut Criterion) {
     let mut group = c.benchmark_group("interning");
     group.sample_size(20);
 
+    let pool = InternPool::default();
+
     // Interning fresh constraint systems: distinct variables cycle through
     // a small window, so after warmup most nodes hit the hash-cons table.
     let mut round = 0u32;
     group.bench_function("intern_conv_constraint", |b| {
         b.iter(|| {
             round = (round + 1) % 64;
-            intern_bool(black_box(&conv_constraint(round * 4)))
+            pool.intern_bool(black_box(&conv_constraint(round * 4)))
         })
     });
 
     // The steady-state hit path: identical structure, every node already
     // interned.
     group.bench_function("intern_conv_constraint_hot", |b| {
-        b.iter(|| intern_bool(black_box(&conv_constraint(0))))
+        b.iter(|| pool.intern_bool(black_box(&conv_constraint(0))))
+    });
+
+    // The lock-free read path: resolving and evaluating interned handles,
+    // what Solver::check spends its time on.
+    let hot = pool.intern_bool(&conv_constraint(0));
+    group.bench_function("eval_interned_hot", |b| {
+        b.iter(|| pool.eval_bool(black_box(hot), &|_| Some(3)))
     });
 
     // Constant folding at intern time vs tree build time.
@@ -50,17 +59,21 @@ fn bench_interning(c: &mut Criterion) {
     });
     group.bench_function("fold_concrete_interned", |b| {
         b.iter(|| {
-            with_pool(|p| {
-                let e = concrete_tree();
-                p.intern_int(black_box(&e))
-            })
+            let e = concrete_tree();
+            pool.intern_int(black_box(&e))
         })
+    });
+
+    // Campaign lifecycle: what creating (and dropping) a per-campaign pool
+    // costs — the price of reclaiming arena memory per campaign.
+    group.bench_function("pool_create_drop", |b| {
+        b.iter(|| black_box(InternPool::default()))
     });
 
     // Tree clone vs handle copy: what sharing a 100-constraint system
     // across shards costs in each representation.
     let system: Vec<BoolExpr> = (0..100).map(|i| conv_constraint(i * 4)).collect();
-    let ids: Vec<_> = system.iter().map(intern_bool).collect();
+    let ids: Vec<_> = system.iter().map(|e| pool.intern_bool(e)).collect();
     group.bench_function("clone_system_trees", |b| {
         b.iter(|| black_box(system.clone()))
     });

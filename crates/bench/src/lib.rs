@@ -225,6 +225,9 @@ pub struct EngineSummary {
     pub merged_timeline: Vec<TimelinePoint>,
     /// Real-time union-coverage timeline from the engine aggregator.
     pub wall_timeline: Vec<TimelinePoint>,
+    /// Final counters of the campaign's intern pool (node/byte growth one
+    /// campaign's worth of interning costs — and reclaims on drop).
+    pub arena: nnsmith_solver::PoolStats,
 }
 
 impl EngineSummary {
@@ -241,6 +244,7 @@ impl EngineSummary {
             cases_per_sec: report.cases_per_sec(),
             merged_timeline: report.result.timeline.clone(),
             wall_timeline: report.wall_timeline.clone(),
+            arena: report.arena,
         }
     }
 }

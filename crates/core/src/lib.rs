@@ -33,6 +33,7 @@ use rand::{Rng, SeedableRng};
 use nnsmith_difftest::{ShardCtx, SourceFactory, TestCase, TestCaseSource};
 use nnsmith_gen::{GenConfig, Generator};
 use nnsmith_search::{search_values, SearchConfig};
+use nnsmith_solver::InternPool;
 
 /// Configuration for the full pipeline.
 #[derive(Debug, Clone)]
@@ -76,17 +77,28 @@ pub struct PipelineStats {
 pub struct NnSmith {
     generator: Generator,
     search: SearchConfig,
+    /// Arena every generated model's constraints and tensor types intern
+    /// into. Private by default; a campaign hands every shard the same
+    /// pool (see [`NnSmithFactory`]) so the arena is shared during the
+    /// run and reclaimed when the campaign drops it.
+    pool: InternPool,
     rng: StdRng,
     max_attempts_per_case: usize,
     stats: PipelineStats,
 }
 
 impl NnSmith {
-    /// Creates the pipeline.
+    /// Creates the pipeline with its own private intern pool.
     pub fn new(config: NnSmithConfig) -> Self {
+        NnSmith::new_in(config, InternPool::default())
+    }
+
+    /// Creates the pipeline interning into `pool` (a campaign's pool).
+    pub fn new_in(config: NnSmithConfig, pool: InternPool) -> Self {
         NnSmith {
             generator: Generator::new(config.gen),
             search: config.search,
+            pool,
             rng: StdRng::seed_from_u64(config.seed),
             max_attempts_per_case: config.max_attempts_per_case,
             stats: PipelineStats::default(),
@@ -98,12 +110,17 @@ impl NnSmith {
         self.stats
     }
 
+    /// The intern pool this pipeline's models live in.
+    pub fn pool(&self) -> &InternPool {
+        &self.pool
+    }
+
     /// Generates one model and searches values for it; `None` when either
     /// stage fails.
     fn try_once(&mut self) -> Option<TestCase> {
         let seed: u64 = self.rng.gen();
         let mut gen_rng = StdRng::seed_from_u64(seed);
-        let model = match self.generator.generate(&mut gen_rng) {
+        let model = match self.generator.generate_in(&self.pool, &mut gen_rng) {
             Ok(m) => m,
             Err(_) => {
                 self.stats.gen_failures += 1;
@@ -164,6 +181,12 @@ impl SourceFactory for NnSmithFactory {
         let mut config = self.config.clone();
         config.seed = shard.seed;
         Box::new(NnSmith::new(config))
+    }
+
+    fn make_source_in(&self, pool: &InternPool, shard: ShardCtx) -> Box<dyn TestCaseSource + Send> {
+        let mut config = self.config.clone();
+        config.seed = shard.seed;
+        Box::new(NnSmith::new_in(config, pool.clone()))
     }
 }
 

@@ -34,6 +34,7 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use nnsmith_compilers::{Compiler, CoverageSet};
+use nnsmith_solver::{InternPool, PoolStats};
 
 use crate::campaign::{
     run_campaign_observed, CampaignConfig, CampaignResult, CaseRecord, TestCaseSource,
@@ -63,6 +64,21 @@ pub trait SourceFactory: Sync {
     /// randomness from `shard.seed` so that shard streams are independent
     /// of worker scheduling.
     fn make_source(&self, shard: ShardCtx) -> Box<dyn TestCaseSource + Send>;
+
+    /// Creates the source for one shard of a campaign whose interned
+    /// expressions should live in `pool` — the engine's per-campaign
+    /// arena, dropped (and its memory reclaimed) when the run ends.
+    ///
+    /// The default ignores the pool and delegates to
+    /// [`SourceFactory::make_source`]; sources that intern (the NNSmith
+    /// pipeline's solver and tensor types) override this so all shards
+    /// share the campaign arena. Sharing the pool must never change the
+    /// case stream — ids are order-insensitive, so workers=1 ≡ workers=N
+    /// still holds.
+    fn make_source_in(&self, pool: &InternPool, shard: ShardCtx) -> Box<dyn TestCaseSource + Send> {
+        let _ = pool;
+        self.make_source(shard)
+    }
 }
 
 /// A [`SourceFactory`] built from a name and a closure.
@@ -156,6 +172,10 @@ pub struct EngineReport {
     pub workers: usize,
     /// Shard count used.
     pub shards: usize,
+    /// Final node/byte counters of the campaign's intern pool, sampled
+    /// just before the pool is dropped. What a paper-scale campaign would
+    /// have leaked under the old process-global arena.
+    pub arena: PoolStats,
 }
 
 impl EngineReport {
@@ -202,6 +222,11 @@ pub fn run_engine_observed(
 ) -> EngineReport {
     let shards = config.shards.max(1);
     let workers = config.workers.clamp(1, shards);
+    // The campaign arena: shared by every shard worker, dropped when this
+    // run returns (anything captured from the run — a failing case's
+    // tensor types, say — holds its own handle and keeps exactly the
+    // nodes it needs alive).
+    let pool = InternPool::default();
     let start = Instant::now();
     let deadline = start + config.campaign.duration;
 
@@ -213,6 +238,7 @@ pub fn run_engine_observed(
         for _ in 0..workers {
             let tx = tx.clone();
             let next_shard = &next_shard;
+            let pool = &pool;
             scope.spawn(move || loop {
                 let index = next_shard.fetch_add(1, Ordering::Relaxed);
                 if index >= shards {
@@ -223,7 +249,7 @@ pub fn run_engine_observed(
                     count: shards,
                     seed: shard_seed(config.seed, index),
                 };
-                let mut source = factory.make_source(ctx);
+                let mut source = factory.make_source_in(pool, ctx);
                 let mut shard_cfg = config.campaign.clone();
                 shard_cfg.max_cases = config
                     .campaign
@@ -315,6 +341,7 @@ pub fn run_engine_observed(
         wall,
         workers,
         shards,
+        arena: pool.stats(),
     }
 }
 

@@ -15,7 +15,7 @@ use rand::Rng;
 
 use nnsmith_graph::{Graph, NodeId, NodeKind, TensorType, ValueRef};
 use nnsmith_ops::{all_templates, BuiltOp, Op, OpTemplate, Slot};
-use nnsmith_solver::{BoolExpr, IntExpr, Model, Solver};
+use nnsmith_solver::{BoolExpr, IntExpr, InternPool, Model, Solver};
 use nnsmith_tensor::DType;
 
 use crate::binning::apply_binning;
@@ -104,7 +104,7 @@ impl Generator {
         &self.config
     }
 
-    /// Generates one concrete model.
+    /// Generates one concrete model in a fresh private intern pool.
     ///
     /// # Errors
     ///
@@ -112,7 +112,23 @@ impl Generator {
     /// inserted within the attempt budget and [`GenError::NoModel`] if the
     /// final satisfiability check fails unexpectedly.
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<GeneratedModel, GenError> {
-        let mut state = SymbolicState::new(&self.config, rng);
+        self.generate_in(&InternPool::default(), rng)
+    }
+
+    /// Generates one concrete model whose constraints and tensor types are
+    /// interned into `pool` — the campaign pool, so structurally equal
+    /// subterms (the `d >= 1` caps every dimension contributes) are stored
+    /// once per campaign, and reclaimed when the campaign drops it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Generator::generate`].
+    pub fn generate_in<R: Rng + ?Sized>(
+        &self,
+        pool: &InternPool,
+        rng: &mut R,
+    ) -> Result<GeneratedModel, GenError> {
+        let mut state = SymbolicState::new(&self.config, pool, rng);
         let mut stats = GenStats::default();
 
         let mut attempts = 0u64;
@@ -168,8 +184,8 @@ struct SymbolicState {
 }
 
 impl SymbolicState {
-    fn new<R: Rng + ?Sized>(config: &GenConfig, rng: &mut R) -> Self {
-        let mut solver = Solver::default();
+    fn new<R: Rng + ?Sized>(config: &GenConfig, pool: &InternPool, rng: &mut R) -> Self {
+        let mut solver = Solver::new_in(pool.clone());
         let mut graph = Graph::new();
         // Seed: a single placeholder (§3.2), float-biased dtype, any rank.
         let dtype = *[
@@ -254,7 +270,11 @@ impl SymbolicState {
             match src {
                 Some(Source::Existing(v)) => input_types.push(self.graph.value_type(*v).clone()),
                 Some(Source::Fresh(t)) => input_types.push(t.clone()),
-                None => input_types.push(TensorType::new(slot.dtype, Vec::new())), // placeholder slot, replaced below
+                None => input_types.push(TensorType::new_in(
+                    self.solver.pool(),
+                    slot.dtype,
+                    Vec::new(),
+                )), // placeholder slot, replaced below
             }
         }
         let Some(built) = tmpl.build(&slots, &input_types, &mut self.solver, rng) else {
@@ -353,7 +373,11 @@ impl SymbolicState {
                     self.dim_hi,
                 ));
             } else {
-                input_types.push(TensorType::new(slot.dtype, Vec::new()));
+                input_types.push(TensorType::new_in(
+                    self.solver.pool(),
+                    slot.dtype,
+                    Vec::new(),
+                ));
             }
         }
         let Some(built) =
@@ -486,7 +510,7 @@ fn fresh_placeholder_type(
     let shape = (0..rank)
         .map(|i| IntExpr::var(solver.new_var(format!("ph_d{i}"), 1, dim_hi)))
         .collect();
-    TensorType::new(dtype, shape)
+    TensorType::new_in(solver.pool(), dtype, shape)
 }
 
 #[cfg(test)]

@@ -351,6 +351,27 @@ impl<Op> Graph<Op> {
         }
     }
 
+    /// The same graph with every tensor type re-interned into `pool`
+    /// (identity handles for types already there). Replay and decode paths
+    /// use this to reconstruct a case inside one fresh campaign pool
+    /// instead of the per-type private pools deserialization creates.
+    pub fn rehomed(&self, pool: &nnsmith_solver::InternPool) -> Graph<Op>
+    where
+        Op: Clone,
+    {
+        Graph {
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| Node {
+                    kind: n.kind.clone(),
+                    inputs: n.inputs.clone(),
+                    outputs: n.outputs.iter().map(|t| t.rehomed(pool)).collect(),
+                })
+                .collect(),
+        }
+    }
+
     /// Maps operator payloads, preserving structure.
     pub fn map_ops<Op2>(&self, mut f: impl FnMut(&Op) -> Op2) -> Graph<Op2>
     where

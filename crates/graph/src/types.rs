@@ -1,10 +1,11 @@
 //! Tensor types: dtype plus (possibly symbolic) shape.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use serde::{json, Deserialize, Serialize};
 
-use nnsmith_solver::{intern, ExprId, IntExpr, Model};
+use nnsmith_solver::{ExprId, IntExpr, InternPool, Model};
 use nnsmith_tensor::DType;
 
 /// The type of a tensor flowing along a graph edge: an element dtype and a
@@ -13,12 +14,19 @@ use nnsmith_tensor::DType;
 /// During generation shapes are symbolic; after the solver produces a model
 /// the graph is concretized and every dimension becomes a constant.
 ///
-/// Dimensions are stored as interned [`ExprId`] handles into the
-/// process-wide hash-consing arena (`nnsmith_solver::intern`), so cloning a
-/// type — and therefore cloning a whole graph during concretization, shard
-/// setup or triage reduction — copies machine words instead of expression
-/// trees. The tree-form API ([`TensorType::dim`], [`TensorType::dims`])
-/// reconstructs owned [`IntExpr`]s for constraint building.
+/// Dimensions are stored as interned [`ExprId`] handles, and the type
+/// carries a handle to the [`InternPool`] they live in — so cloning a type
+/// (and therefore cloning a whole graph during concretization, shard setup
+/// or triage reduction) copies machine words, and the arena a campaign
+/// interned into is reclaimed when the campaign (and everything that
+/// borrowed from it) drops its handles. The tree-form API
+/// ([`TensorType::dim`], [`TensorType::dims`]) reconstructs owned
+/// [`IntExpr`]s for constraint building.
+///
+/// Equality and hashing are **structural** and pool-independent: two types
+/// interned into different pools compare equal iff their dtypes match and
+/// their dimensions are the same normalized expressions. Within one pool
+/// the comparison degenerates to a handle comparison (hash-consing).
 ///
 /// # Examples
 ///
@@ -30,33 +38,79 @@ use nnsmith_tensor::DType;
 /// assert_eq!(t.rank(), 4);
 /// assert_eq!(t.concrete_shape(), Some(vec![1, 3, 64, 64]));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct TensorType {
     /// Element type.
     pub dtype: DType,
+    /// The arena `shape`'s handles resolve in.
+    pool: InternPool,
     /// Shape; each dimension is a handle to an interned integer expression.
     shape: Vec<ExprId>,
 }
 
 impl TensorType {
-    /// Builds a type with (possibly symbolic) dimensions, interning each.
-    pub fn new(dtype: DType, shape: Vec<IntExpr>) -> Self {
+    /// Builds a type with (possibly symbolic) dimensions, interning each
+    /// into `pool`.
+    pub fn new_in(pool: &InternPool, dtype: DType, shape: Vec<IntExpr>) -> Self {
         TensorType {
             dtype,
-            shape: intern::intern_int_many(&shape),
+            shape: pool.intern_int_many(&shape),
+            pool: pool.clone(),
         }
     }
 
-    /// Builds a type directly from interned dimension handles.
-    pub fn from_dim_ids(dtype: DType, shape: Vec<ExprId>) -> Self {
-        TensorType { dtype, shape }
+    /// Builds a type with (possibly symbolic) dimensions in a fresh
+    /// private pool. Convenience for small standalone call sites; inside a
+    /// campaign prefer [`TensorType::new_in`] with the campaign pool so
+    /// structurally equal shapes share storage.
+    pub fn new(dtype: DType, shape: Vec<IntExpr>) -> Self {
+        TensorType::new_in(&InternPool::small(), dtype, shape)
     }
 
-    /// Builds a fully-concrete type.
-    pub fn concrete(dtype: DType, dims: &[i64]) -> Self {
+    /// Builds a type directly from interned dimension handles of `pool`.
+    pub fn from_dim_ids(pool: &InternPool, dtype: DType, shape: Vec<ExprId>) -> Self {
         TensorType {
             dtype,
-            shape: intern::with_pool(|p| dims.iter().map(|&d| p.constant(d)).collect()),
+            pool: pool.clone(),
+            shape,
+        }
+    }
+
+    /// Builds a fully-concrete type interned into `pool`.
+    pub fn concrete_in(pool: &InternPool, dtype: DType, dims: &[i64]) -> Self {
+        TensorType {
+            dtype,
+            shape: dims.iter().map(|&d| pool.constant(d)).collect(),
+            pool: pool.clone(),
+        }
+    }
+
+    /// Builds a fully-concrete type in a fresh private pool (see
+    /// [`TensorType::new`] for when to prefer the `_in` form).
+    pub fn concrete(dtype: DType, dims: &[i64]) -> Self {
+        TensorType::concrete_in(&InternPool::small(), dtype, dims)
+    }
+
+    /// The pool this type's dimension handles live in.
+    pub fn pool(&self) -> &InternPool {
+        &self.pool
+    }
+
+    /// The same type re-interned into `pool` (cheap identity when the
+    /// type already lives there). Used to move decoded or foreign types
+    /// into a campaign's pool.
+    pub fn rehomed(&self, pool: &InternPool) -> TensorType {
+        if self.pool.same_pool(pool) {
+            return self.clone();
+        }
+        TensorType {
+            dtype: self.dtype,
+            shape: self
+                .shape
+                .iter()
+                .map(|&id| pool.rehome_int(&self.pool, id))
+                .collect(),
+            pool: pool.clone(),
         }
     }
 
@@ -65,6 +119,7 @@ impl TensorType {
     pub fn with_dtype(&self, dtype: DType) -> Self {
         TensorType {
             dtype,
+            pool: self.pool.clone(),
             shape: self.shape.clone(),
         }
     }
@@ -85,19 +140,23 @@ impl TensorType {
     ///
     /// Panics if `i` is out of range.
     pub fn dim(&self, i: usize) -> IntExpr {
-        intern::int_expr_of(self.shape[i])
+        self.pool.to_int_expr(self.shape[i])
     }
 
-    /// Every dimension as an owned expression tree (one arena guard).
+    /// Every dimension as an owned expression tree.
     pub fn dims(&self) -> Vec<IntExpr> {
-        let pool = intern::read_pool();
-        self.shape.iter().map(|&id| pool.to_int_expr(id)).collect()
+        self.shape
+            .iter()
+            .map(|&id| self.pool.to_int_expr(id))
+            .collect()
     }
 
     /// The concrete shape if every dimension is a constant.
     pub fn concrete_shape(&self) -> Option<Vec<i64>> {
-        let pool = intern::read_pool();
-        self.shape.iter().map(|&id| pool.as_const(id)).collect()
+        self.shape
+            .iter()
+            .map(|&id| self.pool.as_const(id))
+            .collect()
     }
 
     /// The concrete shape as `usize` dims (for tensor allocation), if the
@@ -111,8 +170,9 @@ impl TensorType {
 
     /// True if every dimension is a constant.
     pub fn is_concrete(&self) -> bool {
-        let pool = intern::read_pool();
-        self.shape.iter().all(|&id| pool.as_const(id).is_some())
+        self.shape
+            .iter()
+            .all(|&id| self.pool.as_const(id).is_some())
     }
 
     /// Symbolic element count (the product of all dimensions).
@@ -125,21 +185,58 @@ impl TensorType {
     /// Substitutes solver-model values into every dimension.
     ///
     /// Dimensions whose variables are missing from the model are left
-    /// symbolic.
+    /// symbolic. The result stays in this type's pool.
     pub fn concretize(&self, model: &Model) -> TensorType {
-        let shape = intern::with_pool(|p| {
-            self.shape
-                .iter()
-                .map(|&id| match p.eval_int(id, &|v| model.get(v)) {
-                    Some(v) => p.constant(v),
-                    None => id,
-                })
-                .collect()
-        });
+        let shape = self
+            .shape
+            .iter()
+            .map(|&id| match self.pool.eval_int(id, &|v| model.get(v)) {
+                Some(v) => self.pool.constant(v),
+                None => id,
+            })
+            .collect();
         TensorType {
             dtype: self.dtype,
+            pool: self.pool.clone(),
             shape,
         }
+    }
+}
+
+impl PartialEq for TensorType {
+    fn eq(&self, other: &Self) -> bool {
+        if self.dtype != other.dtype || self.shape.len() != other.shape.len() {
+            return false;
+        }
+        if self.pool.same_pool(&other.pool) {
+            // Hash-consing: same pool ⇒ equality is a handle comparison.
+            return self.shape == other.shape;
+        }
+        self.shape
+            .iter()
+            .zip(&other.shape)
+            .all(|(&a, &b)| self.pool.structural_eq_int(a, &other.pool, b))
+    }
+}
+
+impl Eq for TensorType {}
+
+impl Hash for TensorType {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.dtype.hash(state);
+        self.shape.len().hash(state);
+        for &id in &self.shape {
+            self.pool.structural_hash_int(id, state);
+        }
+    }
+}
+
+impl fmt::Debug for TensorType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TensorType")
+            .field("dtype", &self.dtype)
+            .field("shape", &self.dims())
+            .finish()
     }
 }
 
@@ -158,7 +255,9 @@ impl fmt::Display for TensorType {
 
 // Interned handles are process-local, so the wire form is the expression
 // tree: serialization reconstructs `IntExpr`s and deserialization re-interns
-// them, keeping the JSON shape identical to the old owned-tree derive.
+// them (into a private pool; `TensorType::rehomed` moves decoded types into
+// a campaign pool), keeping the JSON shape identical to the old owned-tree
+// derive.
 impl Serialize for TensorType {
     fn serialize_value(&self, out: &mut String) {
         out.push_str("{\"dtype\":");
@@ -212,9 +311,10 @@ mod tests {
         let v = s.new_var("d", 1, 10);
         s.assert(IntExpr::var(v).ge(4.into()));
         let model = s.check().model().cloned().unwrap();
-        let t = TensorType::new(DType::F32, vec![IntExpr::Var(v)]);
+        let t = TensorType::new_in(s.pool(), DType::F32, vec![IntExpr::Var(v)]);
         let c = t.concretize(&model);
         assert!(c.is_concrete());
+        assert!(c.pool().same_pool(s.pool()), "concretize stays in-pool");
         assert_eq!(c.concrete_shape().unwrap()[0], model.get(v).unwrap());
     }
 
@@ -225,13 +325,63 @@ mod tests {
     }
 
     #[test]
-    fn equal_types_share_handles() {
-        // Hash-consing: structurally equal shapes intern to the same ids,
-        // so equality is a handle comparison.
-        let a = TensorType::concrete(DType::F32, &[7, 9]);
-        let b = TensorType::concrete(DType::F32, &[7, 9]);
+    fn equal_types_share_handles_within_a_pool() {
+        // Hash-consing: structurally equal shapes interned into the same
+        // pool get the same ids, so equality is a handle comparison.
+        let pool = InternPool::default();
+        let a = TensorType::concrete_in(&pool, DType::F32, &[7, 9]);
+        let b = TensorType::concrete_in(&pool, DType::F32, &[7, 9]);
         assert_eq!(a.dim_ids(), b.dim_ids());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cross_pool_equality_is_structural() {
+        let a = TensorType::concrete(DType::F32, &[7, 9]);
+        let b = TensorType::concrete(DType::F32, &[7, 9]);
+        assert!(!a.pool().same_pool(b.pool()));
+        assert_eq!(a, b);
+        let c = TensorType::concrete(DType::F32, &[7, 10]);
+        assert_ne!(a, c);
+        let d = TensorType::concrete(DType::F64, &[7, 9]);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn hash_is_pool_independent() {
+        use std::collections::hash_map::DefaultHasher;
+        let hash = |t: &TensorType| {
+            let mut h = DefaultHasher::new();
+            t.hash(&mut h);
+            h.finish()
+        };
+        let a = TensorType::new(
+            DType::F32,
+            vec![IntExpr::Var(VarId(1)) * 2.into(), IntExpr::Const(3)],
+        );
+        let pool = InternPool::default();
+        let b = TensorType::new_in(
+            &pool,
+            DType::F32,
+            vec![IntExpr::Var(VarId(1)) * 2.into(), IntExpr::Const(3)],
+        );
+        assert_eq!(a, b);
+        assert_eq!(hash(&a), hash(&b));
+    }
+
+    #[test]
+    fn rehomed_moves_between_pools() {
+        let campaign = InternPool::default();
+        let t = TensorType::new(
+            DType::F32,
+            vec![IntExpr::Var(VarId(0)) + 1.into(), IntExpr::Const(8)],
+        );
+        let moved = t.rehomed(&campaign);
+        assert!(moved.pool().same_pool(&campaign));
+        assert_eq!(moved, t);
+        // Identity when already home.
+        let again = moved.rehomed(&campaign);
+        assert_eq!(again.dim_ids(), moved.dim_ids());
     }
 
     #[test]

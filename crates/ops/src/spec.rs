@@ -340,11 +340,17 @@ impl Op {
     /// Output tensor types as a function of input types — the paper's
     /// `type_transfer` (Listing 2 line 16).
     ///
+    /// Output types are interned into the first input's pool, so a
+    /// campaign's graph stays inside the campaign arena.
+    ///
     /// # Errors
     ///
     /// Fails on structurally-incompatible inputs.
     pub fn type_transfer(&self, inputs: &[TensorType]) -> Result<Vec<TensorType>, SpecError> {
         arity_check(self, inputs)?;
+        // Every operator has arity >= 1, so the output pool is always the
+        // first input's.
+        let pool = inputs[0].pool().clone();
         let out = match self {
             Op::Unary(_) | Op::Clip { .. } | Op::Softmax { .. } | Op::Not => {
                 vec![inputs[0].clone()]
@@ -352,20 +358,20 @@ impl Op {
             Op::Cast { to } => vec![inputs[0].with_dtype(*to)],
             Op::Binary(_) => {
                 let (_, dims) = broadcast_sym(&inputs[0].dims(), &inputs[1].dims());
-                vec![TensorType::new(inputs[0].dtype, dims)]
+                vec![TensorType::new_in(&pool, inputs[0].dtype, dims)]
             }
             Op::Compare(_) => {
                 let (_, dims) = broadcast_sym(&inputs[0].dims(), &inputs[1].dims());
-                vec![TensorType::new(DType::Bool, dims)]
+                vec![TensorType::new_in(&pool, DType::Bool, dims)]
             }
             Op::Logical(_) => {
                 let (_, dims) = broadcast_sym(&inputs[0].dims(), &inputs[1].dims());
-                vec![TensorType::new(DType::Bool, dims)]
+                vec![TensorType::new_in(&pool, DType::Bool, dims)]
             }
             Op::Where => {
                 let (_, mid) = broadcast_sym(&inputs[1].dims(), &inputs[2].dims());
                 let (_, dims) = broadcast_sym(&inputs[0].dims(), &mid);
-                vec![TensorType::new(inputs[1].dtype, dims)]
+                vec![TensorType::new_in(&pool, inputs[1].dtype, dims)]
             }
             Op::MatMul => {
                 let a = &inputs[0];
@@ -387,14 +393,14 @@ impl Op {
                 if rb >= 2 {
                     dims.push(bd[rb - 1].clone());
                 }
-                vec![TensorType::new(a.dtype, dims)]
+                vec![TensorType::new_in(&pool, a.dtype, dims)]
             }
             Op::Dense { units, .. } => {
                 let x = &inputs[0];
                 let mut dims = x.dims();
                 dims.pop();
                 dims.push(units.clone());
-                vec![TensorType::new(x.dtype, dims)]
+                vec![TensorType::new_in(&pool, x.dtype, dims)]
             }
             Op::Conv2d {
                 out_channels,
@@ -413,7 +419,8 @@ impl Op {
                 let oh =
                     (xd[2].clone() + two_p.clone() - eff_kh) / stride.clone() + IntExpr::from(1);
                 let ow = (xd[3].clone() + two_p - eff_kw) / stride.clone() + IntExpr::from(1);
-                vec![TensorType::new(
+                vec![TensorType::new_in(
+                    &pool,
                     x.dtype,
                     vec![xd[0].clone(), out_channels.clone(), oh, ow],
                 )]
@@ -435,11 +442,15 @@ impl Op {
                 let oh =
                     (x.dim(2) + two_p.clone() - kh.clone()) / stride.clone() + IntExpr::from(1);
                 let ow = (x.dim(3) + two_p - kw.clone()) / stride.clone() + IntExpr::from(1);
-                vec![TensorType::new(x.dtype, vec![x.dim(0), x.dim(1), oh, ow])]
+                vec![TensorType::new_in(
+                    &pool,
+                    x.dtype,
+                    vec![x.dim(0), x.dim(1), oh, ow],
+                )]
             }
             Op::BatchNorm => vec![inputs[0].clone()],
             Op::Reshape { dims } => {
-                vec![TensorType::new(inputs[0].dtype, dims.clone())]
+                vec![TensorType::new_in(&pool, inputs[0].dtype, dims.clone())]
             }
             Op::Transpose { perm } => {
                 if perm.len() != inputs[0].rank() {
@@ -447,7 +458,7 @@ impl Op {
                 }
                 let xd = inputs[0].dims();
                 let dims = perm.iter().map(|&p| xd[p].clone()).collect();
-                vec![TensorType::new(inputs[0].dtype, dims)]
+                vec![TensorType::new_in(&pool, inputs[0].dtype, dims)]
             }
             Op::Slice {
                 starts,
@@ -461,7 +472,7 @@ impl Op {
                         (span + IntExpr::from(steps[d] - 1)) / IntExpr::from(steps[d])
                     })
                     .collect();
-                vec![TensorType::new(x.dtype, dims)]
+                vec![TensorType::new_in(&pool, x.dtype, dims)]
             }
             Op::Pad { pads, .. } => {
                 let x = &inputs[0];
@@ -469,7 +480,7 @@ impl Op {
                 let dims = (0..x.rank())
                     .map(|d| xd[d].clone() + pads[d].0.clone() + pads[d].1.clone())
                     .collect();
-                vec![TensorType::new(x.dtype, dims)]
+                vec![TensorType::new_in(&pool, x.dtype, dims)]
             }
             Op::Concat { axis, .. } => {
                 let mut dims = inputs[0].dims();
@@ -478,17 +489,17 @@ impl Op {
                     .map(|t| t.dim(*axis))
                     .reduce(|a, b| a + b)
                     .expect("concat arity >= 1");
-                vec![TensorType::new(inputs[0].dtype, dims)]
+                vec![TensorType::new_in(&pool, inputs[0].dtype, dims)]
             }
             Op::Squeeze { axis } => {
                 let mut dims = inputs[0].dims();
                 dims.remove(*axis);
-                vec![TensorType::new(inputs[0].dtype, dims)]
+                vec![TensorType::new_in(&pool, inputs[0].dtype, dims)]
             }
             Op::Unsqueeze { axis } => {
                 let mut dims = inputs[0].dims();
                 dims.insert(*axis, IntExpr::Const(1));
-                vec![TensorType::new(inputs[0].dtype, dims)]
+                vec![TensorType::new_in(&pool, inputs[0].dtype, dims)]
             }
             Op::Flatten { axis } => {
                 let xd = inputs[0].dims();
@@ -498,23 +509,28 @@ impl Op {
                 let second = xd[*axis..]
                     .iter()
                     .fold(IntExpr::Const(1), |acc, d| acc * d.clone());
-                vec![TensorType::new(inputs[0].dtype, vec![first, second])]
+                vec![TensorType::new_in(
+                    &pool,
+                    inputs[0].dtype,
+                    vec![first, second],
+                )]
             }
             Op::BroadcastTo { dims } => {
-                vec![TensorType::new(inputs[0].dtype, dims.clone())]
+                vec![TensorType::new_in(&pool, inputs[0].dtype, dims.clone())]
             }
             Op::Reduce { axes, keepdims, .. } => {
                 let dims = reduced_dims(&inputs[0].dims(), axes, *keepdims);
-                vec![TensorType::new(inputs[0].dtype, dims)]
+                vec![TensorType::new_in(&pool, inputs[0].dtype, dims)]
             }
             Op::ArgExtreme { axis, keepdims, .. } => {
                 let dims = reduced_dims(&inputs[0].dims(), &[*axis], *keepdims);
-                vec![TensorType::new(DType::I64, dims)]
+                vec![TensorType::new_in(&pool, DType::I64, dims)]
             }
             Op::ResizeNearest { scale_h, scale_w } => {
                 let x = &inputs[0];
                 let xd = x.dims();
-                vec![TensorType::new(
+                vec![TensorType::new_in(
+                    &pool,
                     x.dtype,
                     vec![
                         xd[0].clone(),

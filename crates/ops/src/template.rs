@@ -375,11 +375,16 @@ impl OpTemplate {
                 }
                 let in_features = x.dim(x.rank() - 1);
                 let units = IntExpr::var(solver.new_var("dense_units", 1, 64));
-                param_types.push(TensorType::new(
+                param_types.push(TensorType::new_in(
+                    solver.pool(),
                     x.dtype,
                     vec![in_features.clone(), units.clone()],
                 ));
-                param_types.push(TensorType::new(x.dtype, vec![units.clone()]));
+                param_types.push(TensorType::new_in(
+                    solver.pool(),
+                    x.dtype,
+                    vec![units.clone()],
+                ));
                 Op::Dense { in_features, units }
             }
             OpTemplate::Conv2d => {
@@ -394,7 +399,8 @@ impl OpTemplate {
                 let stride = IntExpr::var(solver.new_var("conv_stride", 1, 4));
                 let padding = IntExpr::var(solver.new_var("conv_pad", 0, 3));
                 let dilation = IntExpr::var(solver.new_var("conv_dil", 1, 3));
-                param_types.push(TensorType::new(
+                param_types.push(TensorType::new_in(
+                    solver.pool(),
                     x.dtype,
                     vec![
                         out_channels.clone(),
@@ -403,7 +409,11 @@ impl OpTemplate {
                         kw.clone(),
                     ],
                 ));
-                param_types.push(TensorType::new(x.dtype, vec![out_channels.clone()]));
+                param_types.push(TensorType::new_in(
+                    solver.pool(),
+                    x.dtype,
+                    vec![out_channels.clone()],
+                ));
                 Op::Conv2d {
                     in_channels,
                     out_channels,
@@ -442,7 +452,7 @@ impl OpTemplate {
                 }
                 let c = x.dim(1);
                 for _ in 0..4 {
-                    param_types.push(TensorType::new(x.dtype, vec![c.clone()]));
+                    param_types.push(TensorType::new_in(solver.pool(), x.dtype, vec![c.clone()]));
                 }
                 Op::BatchNorm
             }

@@ -1,44 +1,69 @@
-//! Hash-consed expression arena — the shared, interned constraint layer.
+//! Hash-consed expression arenas — first-class, campaign-scoped intern
+//! pools.
 //!
 //! Historically every asserted constraint was stored as an owned
-//! [`IntExpr`]/[`BoolExpr`] tree, so cloning a solver (or spawning a fresh
-//! generation source per campaign shard) deep-cloned every node, and
-//! structurally identical subterms (the `d >= 1`, `d <= max_dim` caps
-//! every tensor dimension contributes) were stored once per occurrence.
+//! [`IntExpr`]/[`BoolExpr`] tree; PR 1 interned expressions into one
+//! **process-wide** `RwLock` arena. That design had two scaling problems
+//! the roadmap called out as blockers for paper-scale (4-hour+) campaigns:
 //!
-//! This module interns expressions in a process-wide arena instead:
+//! * **unbounded growth** — the arena was append-only and process-global,
+//!   so every distinct node a campaign ever interned stayed live for the
+//!   process lifetime;
+//! * **single-lock contention** — every `Solver::check` took a read guard
+//!   and every intern a write guard on the same `RwLock`, serializing all
+//!   shard workers through one cache line.
 //!
-//! * [`ExprId`] / [`BoolId`] are `Copy` handles into append-only tables,
-//!   so a constraint *system* is a `Vec<BoolId>` — cloning a solver or
-//!   sharing accumulated constraints across worker threads copies a few
-//!   machine words per constraint;
-//! * interning **hash-conses**: structurally equal terms get the same
-//!   handle, across every solver in the process (shard workers included);
-//! * the intern-time smart constructors ([`PoolInner::bin`],
-//!   [`PoolInner::cmp`], …) **constant-fold** and apply the same algebraic
-//!   identities as the tree-level builders in [`crate::expr`], so fully
-//!   concrete arithmetic never allocates nodes at all;
-//! * the arena is `Send + Sync` (a `RwLock` around append-only tables);
-//!   readers — the solver's propagation/search hot paths — take one read
-//!   guard per `check` call, not one per node.
+//! This module replaces the singleton with **[`InternPool`] handles**:
 //!
-//! Handles are only meaningful within the process; nothing may depend on
-//! the numeric *order* of ids (two runs can intern in different orders
-//! when worker threads race), only on their equality. All solver logic
-//! honours this: same-seed campaigns are bit-reproducible regardless of
-//! worker count.
+//! * an `InternPool` is a cheaply clonable handle (`Arc`) to a private
+//!   arena. A campaign creates one, passes clones to its shard workers and
+//!   drops it when done — node memory is reclaimed per campaign instead of
+//!   accumulating forever. Anything that outlives the campaign (a captured
+//!   failure's tensor types, say) keeps its own handle, so reclamation is
+//!   exactly reference-counted, never dangling;
+//! * internally the pool is **sharded N ways by node hash**. Each shard is
+//!   an append-only segment table whose slots are published individually
+//!   through `OnceLock` (an atomic state load on read) and counted by an
+//!   atomic length — so the read path ([`InternPool::int_node`],
+//!   [`InternPool::eval_bool`], interval reasoning, everything
+//!   `Solver::check` does) acquires **no lock at all**. Writers take a
+//!   short per-shard mutex only while interning;
+//! * interning **hash-conses** within a pool: structurally equal terms get
+//!   the same handle, across every solver and thread sharing that pool;
+//! * the intern-time smart constructors ([`InternPool::bin`],
+//!   [`InternPool::cmp`], …) **constant-fold** and apply the same
+//!   algebraic identities as the tree-level builders in [`crate::expr`],
+//!   so fully concrete arithmetic never allocates nodes at all.
+//!
+//! [`ExprId`]/[`BoolId`] handles are only meaningful within the pool that
+//! produced them; nothing may depend on the numeric *order* of ids (two
+//! runs intern in different orders when worker threads race), only on
+//! their equality. All solver logic honours this: same-seed campaigns are
+//! bit-reproducible regardless of worker count. Cross-pool comparison goes
+//! through [`InternPool::structural_eq_int`] (used by `TensorType`'s
+//! `Eq`/`Hash`), which compares the normalized node structure, not ids.
+//!
+//! Process-wide [`live_node_count`] counters (plain atomics — deliberately
+//! *not* a hidden global pool) exist so soak tests can prove that dropping
+//! a campaign's pool really returns interned-node memory to baseline.
 
 use std::collections::HashMap;
-use std::sync::{OnceLock, RwLock, RwLockReadGuard};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use serde::Serialize;
 
 use crate::expr::{BinOp, BoolExpr, CmpOp, IntExpr, VarId};
 use crate::interval::{Interval, Truth};
 
-/// Handle of an interned integer expression.
+/// Handle of an interned integer expression (valid only within the pool
+/// that produced it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ExprId(u32);
 
-/// Handle of an interned boolean expression.
+/// Handle of an interned boolean expression (valid only within the pool
+/// that produced it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BoolId(u32);
 
@@ -68,34 +93,336 @@ pub enum BoolNode {
     Not(BoolId),
 }
 
-/// Counters describing the arena (diagnostics, benchmarks).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Counters describing one pool (diagnostics, benchmarks, the `"arena"`
+/// block of `BENCH_*.json`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct PoolStats {
     /// Distinct interned integer nodes.
     pub int_nodes: usize,
     /// Distinct interned boolean nodes.
     pub bool_nodes: usize,
+    /// Approximate heap bytes held by the node tables (excluding the
+    /// hash-cons maps, which mirror the tables ~1:1).
+    pub bytes: usize,
 }
 
-/// The arena tables. Access through [`read_pool`] or the interning
-/// methods, which manage the process-wide lock.
-#[derive(Debug, Default)]
-pub struct PoolInner {
-    ints: Vec<IntNode>,
-    bools: Vec<BoolNode>,
-    int_ids: HashMap<IntNode, ExprId>,
-    bool_ids: HashMap<BoolNode, BoolId>,
+// ---------------------------------------------------------------------------
+// Process-wide live-node accounting (soak-test instrumentation, not a pool).
+
+static LIVE_INT_NODES: AtomicUsize = AtomicUsize::new(0);
+static LIVE_BOOL_NODES: AtomicUsize = AtomicUsize::new(0);
+
+/// Total interned nodes currently live across every [`InternPool`] in the
+/// process. Dropping the last handle of a pool subtracts its nodes — the
+/// invariant `tests/arena_soak.rs` pins.
+pub fn live_node_count() -> usize {
+    LIVE_INT_NODES.load(Ordering::Relaxed) + LIVE_BOOL_NODES.load(Ordering::Relaxed)
 }
 
-impl PoolInner {
-    /// Resolves an integer handle.
-    pub fn int_node(&self, id: ExprId) -> &IntNode {
-        &self.ints[id.0 as usize]
+// ---------------------------------------------------------------------------
+// Sharded storage.
+
+/// Shard index lives in the low bits of an id, slot index in the high bits.
+const SHARD_BITS: u32 = 4;
+const SHARD_MASK: u32 = (1 << SHARD_BITS) - 1;
+/// Hard cap on shards (everything the id encoding allows).
+pub const MAX_SHARDS: usize = 1 << SHARD_BITS;
+/// log2 of the first segment's slot count.
+const SEG_BASE_LOG2: u32 = 6;
+/// Segments double in size; 23 of them cover the full 2^28 per-shard
+/// index space.
+const NUM_SEGS: usize = (32 - SHARD_BITS - SEG_BASE_LOG2) as usize + 1;
+
+fn pack(shard: usize, idx: u32) -> u32 {
+    // 2^28 slots per shard. Shifting past that would silently alias new
+    // ids onto old slots — corrupt constraints instead of a crash — so
+    // overflow must be loud. (At ~28 bytes/node that is >7 GiB in one
+    // shard of one pool; per-campaign pools make reaching it pathological.)
+    assert!(
+        idx >> (32 - SHARD_BITS) == 0,
+        "intern pool shard overflow: {idx} nodes in one shard exceeds the id encoding"
+    );
+    (idx << SHARD_BITS) | shard as u32
+}
+
+fn unpack(id: u32) -> (usize, u32) {
+    ((id & SHARD_MASK) as usize, id >> SHARD_BITS)
+}
+
+/// Maps a flat slot index to its (segment, offset) coordinates.
+fn locate(idx: u32) -> (usize, usize) {
+    let n = idx + (1 << SEG_BASE_LOG2);
+    let top = 31 - n.leading_zeros();
+    ((top - SEG_BASE_LOG2) as usize, (n - (1 << top)) as usize)
+}
+
+fn seg_capacity(seg: usize) -> usize {
+    1usize << (SEG_BASE_LOG2 as usize + seg)
+}
+
+/// Append-only slot table: a fixed array of lazily-allocated,
+/// doubling-size segments. Slots are published individually via
+/// `OnceLock`, so `get` on a published slot is an atomic load plus a
+/// dereference — no lock, and `&T` borrows are stable for the table's
+/// lifetime (slots are never moved or mutated after publication).
+struct Table<T> {
+    segs: [OnceLock<Box<[OnceLock<T>]>>; NUM_SEGS],
+}
+
+impl<T> Table<T> {
+    fn new() -> Self {
+        Table {
+            segs: std::array::from_fn(|_| OnceLock::new()),
+        }
     }
 
-    /// Resolves a boolean handle.
+    /// Lock-free read of a published slot.
+    fn get(&self, idx: u32) -> Option<&T> {
+        let (seg, off) = locate(idx);
+        self.segs[seg].get()?.get(off)?.get()
+    }
+
+    /// Publishes a slot. Only ever called by the shard writer (under the
+    /// shard mutex) with a fresh index, so the `set` cannot race.
+    fn set(&self, idx: u32, value: T) {
+        let (seg, off) = locate(idx);
+        let slab = self.segs[seg].get_or_init(|| {
+            (0..seg_capacity(seg))
+                .map(|_| OnceLock::new())
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        });
+        let _ = slab[off].set(value);
+    }
+}
+
+/// Writer-side state of one shard: the hash-cons maps.
+#[derive(Default)]
+struct ShardWriter {
+    int_ids: HashMap<IntNode, u32>,
+    bool_ids: HashMap<BoolNode, u32>,
+}
+
+struct Shard {
+    ints: Table<IntNode>,
+    bools: Table<BoolNode>,
+    /// Published node counts (stats; publication itself is per-slot).
+    int_len: AtomicU32,
+    bool_len: AtomicU32,
+    /// Approximate table bytes.
+    bytes: AtomicUsize,
+    /// Taken only while interning; never on the read path.
+    writer: Mutex<ShardWriter>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            ints: Table::new(),
+            bools: Table::new(),
+            int_len: AtomicU32::new(0),
+            bool_len: AtomicU32::new(0),
+            bytes: AtomicUsize::new(0),
+            writer: Mutex::new(ShardWriter::default()),
+        }
+    }
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        LIVE_INT_NODES.fetch_sub(
+            self.int_len.load(Ordering::Relaxed) as usize,
+            Ordering::Relaxed,
+        );
+        LIVE_BOOL_NODES.fetch_sub(
+            self.bool_len.load(Ordering::Relaxed) as usize,
+            Ordering::Relaxed,
+        );
+    }
+}
+
+struct PoolShared {
+    shards: Box<[Shard]>,
+}
+
+/// A first-class, campaign-scoped hash-consing arena.
+///
+/// Cloning copies a handle (`Arc`); the arena itself lives until the last
+/// handle drops. See the module docs for the sharding and lock-freedom
+/// design.
+///
+/// # Examples
+///
+/// ```
+/// use nnsmith_solver::intern::InternPool;
+/// use nnsmith_solver::{IntExpr, VarId};
+///
+/// let pool = InternPool::default();
+/// let a = pool.intern_int(&(IntExpr::var(VarId(0)) + 1.into()));
+/// let b = pool.intern_int(&(IntExpr::var(VarId(0)) + 1.into()));
+/// assert_eq!(a, b); // hash-consing: one handle per structure
+/// ```
+#[derive(Clone)]
+pub struct InternPool {
+    inner: Arc<PoolShared>,
+}
+
+impl Default for InternPool {
+    /// A full-width pool for campaign/solver use.
+    fn default() -> Self {
+        InternPool::with_shards(8)
+    }
+}
+
+impl std::fmt::Debug for InternPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InternPool")
+            .field("shards", &self.num_shards())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl InternPool {
+    /// Creates a pool with `n` shards (rounded down to a power of two,
+    /// clamped to `1..=`[`MAX_SHARDS`]). More shards cut writer contention;
+    /// fewer cut per-pool footprint.
+    pub fn with_shards(n: usize) -> Self {
+        let n = n.clamp(1, MAX_SHARDS);
+        let n = if n.is_power_of_two() {
+            n
+        } else {
+            n.next_power_of_two() / 2
+        };
+        InternPool {
+            inner: Arc::new(PoolShared {
+                shards: (0..n).map(|_| Shard::new()).collect(),
+            }),
+        }
+    }
+
+    /// A single-shard pool: the lightest footprint, for small standalone
+    /// call sites (a hand-built concrete `TensorType`, a decoded
+    /// reproducer) that never see multi-threaded interning.
+    pub fn small() -> Self {
+        InternPool::with_shards(1)
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// True when `self` and `other` are handles to the same arena (id
+    /// spaces are interchangeable).
+    pub fn same_pool(&self, other: &InternPool) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Pool counters.
+    pub fn stats(&self) -> PoolStats {
+        let mut s = PoolStats::default();
+        for shard in self.inner.shards.iter() {
+            s.int_nodes += shard.int_len.load(Ordering::Relaxed) as usize;
+            s.bool_nodes += shard.bool_len.load(Ordering::Relaxed) as usize;
+            s.bytes += shard.bytes.load(Ordering::Relaxed);
+        }
+        s
+    }
+
+    /// Test/diagnostic hook: acquires every shard's writer mutex and holds
+    /// them until the guard drops, parking any thread that tries to intern.
+    /// The contention smoke test uses this to prove the read path is
+    /// lock-free (reads must keep succeeding while writers are stalled).
+    pub fn stall_writers(&self) -> WriterStall<'_> {
+        WriterStall {
+            _guards: self
+                .inner
+                .shards
+                .iter()
+                .map(|s| s.writer.lock().expect("shard writer poisoned"))
+                .collect(),
+        }
+    }
+
+    // --- sharding ------------------------------------------------------------
+
+    fn shard_of<T: Hash>(&self, tag: u8, node: &T) -> usize {
+        // DefaultHasher::new() is deterministic within a build (fixed keys),
+        // which keeps shard assignment — though never id *order* — stable.
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        tag.hash(&mut h);
+        node.hash(&mut h);
+        (h.finish() as usize) & (self.inner.shards.len() - 1)
+    }
+
+    fn intern_int_node(&self, node: IntNode) -> ExprId {
+        let si = self.shard_of(0, &node);
+        let shard = &self.inner.shards[si];
+        let mut w = shard.writer.lock().expect("shard writer poisoned");
+        if let Some(&idx) = w.int_ids.get(&node) {
+            return ExprId(pack(si, idx));
+        }
+        let idx = shard.int_len.load(Ordering::Relaxed);
+        shard.ints.set(idx, node.clone());
+        shard
+            .bytes
+            .fetch_add(std::mem::size_of::<IntNode>(), Ordering::Relaxed);
+        LIVE_INT_NODES.fetch_add(1, Ordering::Relaxed);
+        shard.int_len.store(idx + 1, Ordering::Release);
+        w.int_ids.insert(node, idx);
+        ExprId(pack(si, idx))
+    }
+
+    fn intern_bool_node(&self, node: BoolNode) -> BoolId {
+        let si = self.shard_of(1, &node);
+        let shard = &self.inner.shards[si];
+        let mut w = shard.writer.lock().expect("shard writer poisoned");
+        if let Some(&idx) = w.bool_ids.get(&node) {
+            return BoolId(pack(si, idx));
+        }
+        let idx = shard.bool_len.load(Ordering::Relaxed);
+        let child_bytes = match &node {
+            BoolNode::And(v) | BoolNode::Or(v) => v.len() * std::mem::size_of::<BoolId>(),
+            _ => 0,
+        };
+        shard.bools.set(idx, node.clone());
+        shard.bytes.fetch_add(
+            std::mem::size_of::<BoolNode>() + child_bytes,
+            Ordering::Relaxed,
+        );
+        LIVE_BOOL_NODES.fetch_add(1, Ordering::Relaxed);
+        shard.bool_len.store(idx + 1, Ordering::Release);
+        w.bool_ids.insert(node, idx);
+        BoolId(pack(si, idx))
+    }
+
+    // --- lock-free reads -----------------------------------------------------
+
+    /// Resolves an integer handle (lock-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle from a different pool that does not resolve here.
+    pub fn int_node(&self, id: ExprId) -> &IntNode {
+        let (si, idx) = unpack(id.0);
+        self.inner.shards[si]
+            .ints
+            .get(idx)
+            .expect("ExprId from a different pool")
+    }
+
+    /// Resolves a boolean handle (lock-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle from a different pool that does not resolve here.
     pub fn bool_node(&self, id: BoolId) -> &BoolNode {
-        &self.bools[id.0 as usize]
+        let (si, idx) = unpack(id.0);
+        self.inner.shards[si]
+            .bools
+            .get(idx)
+            .expect("BoolId from a different pool")
     }
 
     /// The constant value of an interned expression, if it is a literal.
@@ -106,47 +433,21 @@ impl PoolInner {
         }
     }
 
-    /// Arena counters.
-    pub fn stats(&self) -> PoolStats {
-        PoolStats {
-            int_nodes: self.ints.len(),
-            bool_nodes: self.bools.len(),
-        }
-    }
-
-    fn intern_int_node(&mut self, node: IntNode) -> ExprId {
-        if let Some(&id) = self.int_ids.get(&node) {
-            return id;
-        }
-        let id = ExprId(self.ints.len() as u32);
-        self.ints.push(node.clone());
-        self.int_ids.insert(node, id);
-        id
-    }
-
-    fn intern_bool_node(&mut self, node: BoolNode) -> BoolId {
-        if let Some(&id) = self.bool_ids.get(&node) {
-            return id;
-        }
-        let id = BoolId(self.bools.len() as u32);
-        self.bools.push(node.clone());
-        self.bool_ids.insert(node, id);
-        id
-    }
+    // --- smart constructors --------------------------------------------------
 
     /// Interns a constant.
-    pub fn constant(&mut self, v: i64) -> ExprId {
+    pub fn constant(&self, v: i64) -> ExprId {
         self.intern_int_node(IntNode::Const(v))
     }
 
     /// Interns a variable reference.
-    pub fn var(&mut self, v: VarId) -> ExprId {
+    pub fn var(&self, v: VarId) -> ExprId {
         self.intern_int_node(IntNode::Var(v))
     }
 
     /// Interns a binary operation, constant-folding and applying the same
     /// algebraic identities as [`IntExpr::bin`].
-    pub fn bin(&mut self, op: BinOp, lhs: ExprId, rhs: ExprId) -> ExprId {
+    pub fn bin(&self, op: BinOp, lhs: ExprId, rhs: ExprId) -> ExprId {
         let (lc, rc) = (self.as_const(lhs), self.as_const(rhs));
         if let (Some(a), Some(b)) = (lc, rc) {
             if let Some(v) = op.apply(a, b) {
@@ -167,13 +468,13 @@ impl PoolInner {
     }
 
     /// Interns a truth literal.
-    pub fn lit(&mut self, b: bool) -> BoolId {
+    pub fn lit(&self, b: bool) -> BoolId {
         self.intern_bool_node(BoolNode::Lit(b))
     }
 
     /// Interns a comparison, folding constants and syntactically-identical
     /// operands exactly like [`BoolExpr::cmp`].
-    pub fn cmp(&mut self, op: CmpOp, lhs: ExprId, rhs: ExprId) -> BoolId {
+    pub fn cmp(&self, op: CmpOp, lhs: ExprId, rhs: ExprId) -> BoolId {
         if let (Some(a), Some(b)) = (self.as_const(lhs), self.as_const(rhs)) {
             return self.lit(op.apply(a, b));
         }
@@ -185,7 +486,7 @@ impl PoolInner {
     }
 
     /// Interns a conjunction (flattening, short-circuiting on `false`).
-    pub fn and(&mut self, parts: impl IntoIterator<Item = BoolId>) -> BoolId {
+    pub fn and(&self, parts: impl IntoIterator<Item = BoolId>) -> BoolId {
         let mut flat = Vec::new();
         for p in parts {
             match self.bool_node(p) {
@@ -203,7 +504,7 @@ impl PoolInner {
     }
 
     /// Interns a disjunction (flattening, short-circuiting on `true`).
-    pub fn or(&mut self, parts: impl IntoIterator<Item = BoolId>) -> BoolId {
+    pub fn or(&self, parts: impl IntoIterator<Item = BoolId>) -> BoolId {
         let mut flat = Vec::new();
         for p in parts {
             match self.bool_node(p) {
@@ -221,7 +522,7 @@ impl PoolInner {
     }
 
     /// Interns a negation (collapsing double negation).
-    pub fn not(&mut self, inner: BoolId) -> BoolId {
+    pub fn not(&self, inner: BoolId) -> BoolId {
         match self.bool_node(inner) {
             BoolNode::Lit(b) => {
                 let b = !*b;
@@ -233,7 +534,7 @@ impl PoolInner {
     }
 
     /// Interns an owned integer expression tree.
-    pub fn intern_int(&mut self, e: &IntExpr) -> ExprId {
+    pub fn intern_int(&self, e: &IntExpr) -> ExprId {
         match e {
             IntExpr::Const(c) => self.constant(*c),
             IntExpr::Var(v) => self.var(*v),
@@ -245,8 +546,14 @@ impl PoolInner {
         }
     }
 
+    /// Interns a batch of integer expression trees (a tensor shape's
+    /// dimensions, typically).
+    pub fn intern_int_many(&self, es: &[IntExpr]) -> Vec<ExprId> {
+        es.iter().map(|e| self.intern_int(e)).collect()
+    }
+
     /// Interns an owned boolean expression tree.
-    pub fn intern_bool(&mut self, e: &BoolExpr) -> BoolId {
+    pub fn intern_bool(&self, e: &BoolExpr) -> BoolId {
         match e {
             BoolExpr::Lit(b) => self.lit(*b),
             BoolExpr::Cmp(op, a, b) => {
@@ -296,6 +603,65 @@ impl PoolInner {
                 BoolExpr::Or(parts.iter().map(|p| self.to_bool_expr(*p)).collect())
             }
             BoolNode::Not(inner) => BoolExpr::Not(Box::new(self.to_bool_expr(*inner))),
+        }
+    }
+
+    /// Re-interns an expression of `from` into this pool, returning the
+    /// equivalent local handle (identity when `from` *is* this pool).
+    pub fn rehome_int(&self, from: &InternPool, id: ExprId) -> ExprId {
+        if self.same_pool(from) {
+            return id;
+        }
+        match from.int_node(id) {
+            IntNode::Const(c) => self.constant(*c),
+            IntNode::Var(v) => self.var(*v),
+            IntNode::Bin(op, a, b) => {
+                let a = self.rehome_int(from, *a);
+                let b = self.rehome_int(from, *b);
+                self.bin(*op, a, b)
+            }
+        }
+    }
+
+    // --- cross-pool structure ------------------------------------------------
+
+    /// Structural equality of two interned integer expressions, possibly
+    /// from different pools. Within one pool this is a handle comparison
+    /// (hash-consing); across pools it walks the normalized nodes.
+    pub fn structural_eq_int(&self, id: ExprId, other: &InternPool, oid: ExprId) -> bool {
+        if self.same_pool(other) {
+            return id == oid;
+        }
+        match (self.int_node(id), other.int_node(oid)) {
+            (IntNode::Const(a), IntNode::Const(b)) => a == b,
+            (IntNode::Var(a), IntNode::Var(b)) => a == b,
+            (IntNode::Bin(op_a, a1, a2), IntNode::Bin(op_b, b1, b2)) => {
+                op_a == op_b
+                    && self.structural_eq_int(*a1, other, *b1)
+                    && self.structural_eq_int(*a2, other, *b2)
+            }
+            _ => false,
+        }
+    }
+
+    /// Pool-independent structural hash of an interned integer expression
+    /// (consistent with [`InternPool::structural_eq_int`]).
+    pub fn structural_hash_int<H: Hasher>(&self, id: ExprId, state: &mut H) {
+        match self.int_node(id) {
+            IntNode::Const(c) => {
+                0u8.hash(state);
+                c.hash(state);
+            }
+            IntNode::Var(v) => {
+                1u8.hash(state);
+                v.hash(state);
+            }
+            IntNode::Bin(op, a, b) => {
+                2u8.hash(state);
+                op.hash(state);
+                self.structural_hash_int(*a, state);
+                self.structural_hash_int(*b, state);
+            }
         }
     }
 
@@ -404,47 +770,10 @@ impl PoolInner {
     }
 }
 
-fn pool() -> &'static RwLock<PoolInner> {
-    static POOL: OnceLock<RwLock<PoolInner>> = OnceLock::new();
-    POOL.get_or_init(Default::default)
-}
-
-/// Takes a read guard on the process-wide arena. Hold it across a batch of
-/// evaluations (the solver holds one per `check`) rather than re-acquiring
-/// per node.
-pub fn read_pool() -> RwLockReadGuard<'static, PoolInner> {
-    pool().read().expect("expression pool poisoned")
-}
-
-/// Runs `f` with mutable access to the process-wide arena (interning).
-pub fn with_pool<R>(f: impl FnOnce(&mut PoolInner) -> R) -> R {
-    f(&mut pool().write().expect("expression pool poisoned"))
-}
-
-/// Interns an integer expression tree into the process-wide arena.
-pub fn intern_int(e: &IntExpr) -> ExprId {
-    with_pool(|p| p.intern_int(e))
-}
-
-/// Interns a batch of integer expression trees under one arena lock
-/// (a tensor shape's dimensions, typically).
-pub fn intern_int_many(es: &[IntExpr]) -> Vec<ExprId> {
-    with_pool(|p| es.iter().map(|e| p.intern_int(e)).collect())
-}
-
-/// Reconstructs the owned tree form of an interned integer expression.
-pub fn int_expr_of(id: ExprId) -> IntExpr {
-    read_pool().to_int_expr(id)
-}
-
-/// Interns a boolean expression tree into the process-wide arena.
-pub fn intern_bool(e: &BoolExpr) -> BoolId {
-    with_pool(|p| p.intern_bool(e))
-}
-
-/// Current process-wide arena counters.
-pub fn pool_stats() -> PoolStats {
-    read_pool().stats()
+/// Guard returned by [`InternPool::stall_writers`]; writers stay parked
+/// until it drops.
+pub struct WriterStall<'a> {
+    _guards: Vec<MutexGuard<'a, ShardWriter>>,
 }
 
 #[cfg(test)]
@@ -457,58 +786,69 @@ mod tests {
 
     #[test]
     fn hash_consing_dedups() {
-        let a = intern_int(&(v(0) + 1.into()));
-        let b = intern_int(&(v(0) + 1.into()));
+        let p = InternPool::default();
+        let a = p.intern_int(&(v(0) + 1.into()));
+        let b = p.intern_int(&(v(0) + 1.into()));
         assert_eq!(a, b);
-        let c = intern_int(&(v(0) + 2.into()));
+        let c = p.intern_int(&(v(0) + 2.into()));
         assert_ne!(a, c);
     }
 
     #[test]
+    fn pools_are_independent() {
+        let p = InternPool::default();
+        let q = InternPool::default();
+        assert!(!p.same_pool(&q));
+        let a = p.intern_int(&(v(0) * 3.into()));
+        let b = q.intern_int(&(v(0) * 3.into()));
+        // Distinct id spaces, but structurally equal content.
+        assert!(p.structural_eq_int(a, &q, b));
+        assert_eq!(q.stats().int_nodes, p.stats().int_nodes);
+    }
+
+    #[test]
     fn constant_folding_at_intern_time() {
-        with_pool(|p| {
-            let four = p.constant(4);
-            let three = p.constant(3);
-            let twelve = p.bin(BinOp::Mul, four, three);
-            assert_eq!(p.as_const(twelve), Some(12));
-            // Identities.
-            let x = p.var(VarId(7));
-            let zero = p.constant(0);
-            let one = p.constant(1);
-            assert_eq!(p.bin(BinOp::Add, x, zero), x);
-            assert_eq!(p.bin(BinOp::Mul, x, one), x);
-            let folded_zero = p.bin(BinOp::Mul, x, zero);
-            assert_eq!(p.as_const(folded_zero), Some(0));
-        });
+        let p = InternPool::default();
+        let four = p.constant(4);
+        let three = p.constant(3);
+        let twelve = p.bin(BinOp::Mul, four, three);
+        assert_eq!(p.as_const(twelve), Some(12));
+        // Identities.
+        let x = p.var(VarId(7));
+        let zero = p.constant(0);
+        let one = p.constant(1);
+        assert_eq!(p.bin(BinOp::Add, x, zero), x);
+        assert_eq!(p.bin(BinOp::Mul, x, one), x);
+        let folded_zero = p.bin(BinOp::Mul, x, zero);
+        assert_eq!(p.as_const(folded_zero), Some(0));
     }
 
     #[test]
     fn cmp_folds_syntactic_equality_via_handles() {
-        with_pool(|p| {
-            let e1 = {
-                let a = p.var(VarId(3));
-                let b = p.constant(5);
-                p.bin(BinOp::Add, a, b)
-            };
-            let e2 = {
-                let a = p.var(VarId(3));
-                let b = p.constant(5);
-                p.bin(BinOp::Add, a, b)
-            };
-            assert_eq!(e1, e2);
-            let t = p.cmp(CmpOp::Eq, e1, e2);
-            assert!(matches!(p.bool_node(t), BoolNode::Lit(true)));
-            let f = p.cmp(CmpOp::Lt, e1, e2);
-            assert!(matches!(p.bool_node(f), BoolNode::Lit(false)));
-        });
+        let p = InternPool::default();
+        let e1 = {
+            let a = p.var(VarId(3));
+            let b = p.constant(5);
+            p.bin(BinOp::Add, a, b)
+        };
+        let e2 = {
+            let a = p.var(VarId(3));
+            let b = p.constant(5);
+            p.bin(BinOp::Add, a, b)
+        };
+        assert_eq!(e1, e2);
+        let t = p.cmp(CmpOp::Eq, e1, e2);
+        assert!(matches!(p.bool_node(t), BoolNode::Lit(true)));
+        let f = p.cmp(CmpOp::Lt, e1, e2);
+        assert!(matches!(p.bool_node(f), BoolNode::Lit(false)));
     }
 
     #[test]
     fn roundtrip_preserves_semantics() {
+        let p = InternPool::default();
         let e = (v(0) - 3.into()) / 2.into() + v(1) * 4.into();
         let c = e.clone().le(v(2));
-        let id = intern_bool(&c);
-        let p = read_pool();
+        let id = p.intern_bool(&c);
         let back = p.to_bool_expr(id);
         let lookup = |var: VarId| Some([9i64, 2, 20][var.0 as usize]);
         assert_eq!(back.eval(&lookup), c.eval(&lookup));
@@ -518,9 +858,9 @@ mod tests {
     #[test]
     fn eval_partial_semantics_match() {
         // And with one definite false and one unknown must be Some(false).
+        let p = InternPool::default();
         let c = BoolExpr::and([v(0).le(1.into()), v(1).le(1.into())]);
-        let id = intern_bool(&c);
-        let p = read_pool();
+        let id = p.intern_bool(&c);
         let lookup = |var: VarId| if var == VarId(0) { Some(5) } else { None };
         assert_eq!(p.eval_bool(id, &lookup), Some(false));
         assert_eq!(c.eval(&lookup), Some(false));
@@ -528,31 +868,91 @@ mod tests {
 
     #[test]
     fn collect_vars_matches_tree() {
+        let p = InternPool::default();
         let c = (v(0) + v(1) * v(0)).le(v(2));
-        let id = intern_bool(&c);
+        let id = p.intern_bool(&c);
         let mut tree_vars = Vec::new();
         c.collect_vars(&mut tree_vars);
         let mut interned_vars = Vec::new();
-        read_pool().collect_bool_vars(id, &mut interned_vars);
+        p.collect_bool_vars(id, &mut interned_vars);
         assert_eq!(tree_vars, interned_vars);
     }
 
     #[test]
     fn handles_shared_across_threads() {
-        let id = intern_int(&(v(40) + v(41)));
+        let p = InternPool::default();
+        let id = p.intern_int(&(v(40) + v(41)));
         let handles: Vec<_> = (0..4)
             .map(|_| {
+                let p = p.clone();
                 std::thread::spawn(move || {
                     // Interning the same structure on another thread yields
                     // the same handle, and reads resolve it.
-                    let again = intern_int(&(v(40) + v(41)));
+                    let again = p.intern_int(&(v(40) + v(41)));
                     assert_eq!(again, id);
-                    read_pool().eval_int(id, &|_| Some(1))
+                    p.eval_int(id, &|_| Some(1))
                 })
             })
             .collect();
         for h in handles {
             assert_eq!(h.join().unwrap(), Some(2));
         }
+    }
+
+    #[test]
+    fn dropping_a_pool_reclaims_nodes() {
+        let before = live_node_count();
+        let p = InternPool::default();
+        for i in 0..100 {
+            p.intern_int(&(v(i) + i64::from(i).into()));
+        }
+        let grown = live_node_count();
+        assert!(grown > before, "interning must grow the live count");
+        let q = p.clone();
+        drop(p);
+        // A surviving handle keeps the arena alive.
+        assert_eq!(live_node_count(), grown);
+        drop(q);
+        assert_eq!(live_node_count(), before);
+    }
+
+    #[test]
+    fn segment_math_covers_the_index_space() {
+        // locate() must be a bijection onto (segment, offset) pairs with
+        // offsets within capacity.
+        let mut expected = 0u32;
+        for seg in 0..4usize {
+            for off in 0..seg_capacity(seg) {
+                let idx = expected;
+                assert_eq!(locate(idx), (seg, off), "idx {idx}");
+                expected += 1;
+            }
+        }
+        // And the last representable index still lands in bounds.
+        let max_idx = (u32::MAX >> SHARD_BITS) - 1;
+        let (seg, off) = locate(max_idx);
+        assert!(seg < NUM_SEGS);
+        assert!(off < seg_capacity(seg));
+    }
+
+    #[test]
+    fn shard_counts_are_powers_of_two() {
+        assert_eq!(InternPool::with_shards(0).num_shards(), 1);
+        assert_eq!(InternPool::with_shards(1).num_shards(), 1);
+        assert_eq!(InternPool::with_shards(5).num_shards(), 4);
+        assert_eq!(InternPool::with_shards(8).num_shards(), 8);
+        assert_eq!(InternPool::with_shards(64).num_shards(), MAX_SHARDS);
+        assert_eq!(InternPool::small().num_shards(), 1);
+    }
+
+    #[test]
+    fn stats_track_bytes() {
+        let p = InternPool::default();
+        assert_eq!(p.stats().bytes, 0);
+        p.intern_bool(&BoolExpr::and([v(0).le(1.into()), v(1).ge(2.into())]));
+        let s = p.stats();
+        assert!(s.int_nodes >= 4);
+        assert!(s.bool_nodes >= 3);
+        assert!(s.bytes > 0);
     }
 }

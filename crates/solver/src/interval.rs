@@ -287,13 +287,13 @@ pub fn bool_truth(expr: &BoolExpr, domain: &dyn Fn(VarId) -> Interval) -> Truth 
 // --- interned-handle variants -----------------------------------------------
 //
 // Same algorithms as `int_interval` / `bool_truth`, but walking arena
-// handles instead of owned trees; used by the solver's hot paths, which
-// hold one pool read guard per `check` call.
+// handles instead of owned trees; used by the solver's hot paths. Handle
+// resolution is lock-free (see `crate::intern`), so these never block.
 
-use crate::intern::{BoolId, BoolNode, ExprId, IntNode, PoolInner};
+use crate::intern::{BoolId, BoolNode, ExprId, IntNode, InternPool};
 
 pub(crate) fn int_interval_node(
-    p: &PoolInner,
+    p: &InternPool,
     id: ExprId,
     domain: &dyn Fn(VarId) -> Interval,
 ) -> Interval {
@@ -320,7 +320,7 @@ pub(crate) fn int_interval_node(
 }
 
 pub(crate) fn bool_truth_node(
-    p: &PoolInner,
+    p: &InternPool,
     id: BoolId,
     domain: &dyn Fn(VarId) -> Interval,
 ) -> Truth {

@@ -41,8 +41,6 @@ mod interval;
 mod solver;
 
 pub use expr::{BinOp, BoolExpr, CmpOp, IntExpr, VarId};
-pub use intern::{
-    int_expr_of, intern_bool, intern_int, intern_int_many, pool_stats, BoolId, ExprId, PoolStats,
-};
+pub use intern::{live_node_count, BoolId, ExprId, InternPool, PoolStats};
 pub use interval::{bool_truth, int_interval, Interval, Truth};
 pub use solver::{Model, SatResult, Solver, SolverConfig, SolverStats};

@@ -18,7 +18,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::expr::{BinOp, BoolExpr, CmpOp, IntExpr, VarId};
-use crate::intern::{self, BoolId, BoolNode, ExprId, IntNode, PoolInner};
+use crate::intern::{BoolId, BoolNode, ExprId, IntNode, InternPool};
 use crate::interval::{Interval, Truth};
 
 /// Tuning knobs for [`Solver`].
@@ -162,11 +162,13 @@ struct VarInfo {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Solver {
+    /// The hash-consing arena this solver interns into. Owned as a handle:
+    /// cloning a solver — or sharing an accumulated constraint system
+    /// across campaign shards — copies ids, not expression trees, and
+    /// every clone shares the same pool.
+    pool: InternPool,
     vars: Vec<VarInfo>,
-    /// Asserted constraints as handles into the process-wide hash-consing
-    /// arena ([`crate::intern`]): cloning a solver — or sharing an
-    /// accumulated constraint system across campaign shards — copies ids,
-    /// not expression trees.
+    /// Asserted constraints as handles into `pool`.
     constraints: Vec<BoolId>,
     frames: Vec<usize>,
     last_model: Option<Model>,
@@ -182,15 +184,30 @@ impl Default for Solver {
 }
 
 impl Solver {
-    /// Creates a solver with default configuration.
+    /// Creates a solver with default configuration and its own private
+    /// intern pool.
     pub fn new() -> Self {
         Solver::default()
     }
 
-    /// Creates a solver with the given configuration.
+    /// Creates a solver with default configuration interning into `pool`
+    /// (the campaign's pool, typically).
+    pub fn new_in(pool: InternPool) -> Self {
+        Solver::with_config_in(SolverConfig::default(), pool)
+    }
+
+    /// Creates a solver with the given configuration and its own private
+    /// intern pool.
     pub fn with_config(config: SolverConfig) -> Self {
+        Solver::with_config_in(config, InternPool::default())
+    }
+
+    /// Creates a solver with the given configuration interning into
+    /// `pool`.
+    pub fn with_config_in(config: SolverConfig, pool: InternPool) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
         Solver {
+            pool,
             vars: Vec::new(),
             constraints: Vec::new(),
             frames: Vec::new(),
@@ -199,6 +216,11 @@ impl Solver {
             rng,
             stats: SolverStats::default(),
         }
+    }
+
+    /// The intern pool this solver's constraint handles live in.
+    pub fn pool(&self) -> &InternPool {
+        &self.pool
     }
 
     /// Cumulative statistics for this solver instance.
@@ -245,31 +267,21 @@ impl Solver {
     }
 
     /// Asserts a constraint in the current frame. The expression tree is
-    /// interned into the shared arena; structurally identical constraints
-    /// (across all solvers in the process) share storage.
+    /// interned into this solver's pool; structurally identical
+    /// constraints (across every solver sharing the pool) share storage.
     pub fn assert(&mut self, c: BoolExpr) {
-        // Intern and classify under one arena guard: this is the
-        // generation hot path, and the lock is process-wide.
-        let (single, many) = intern::with_pool(|p| {
-            let id = p.intern_bool(&c);
-            match p.bool_node(id) {
-                BoolNode::Lit(true) => (None, None),
-                BoolNode::And(parts) => (None, Some(parts.clone())),
-                _ => (Some(id), None),
-            }
-        });
-        if let Some(id) = single {
-            self.constraints.push(id);
-        }
-        if let Some(parts) = many {
-            self.constraints.extend(parts);
+        let id = self.pool.intern_bool(&c);
+        match self.pool.bool_node(id) {
+            BoolNode::Lit(true) => {}
+            BoolNode::And(parts) => self.constraints.extend(parts.iter().copied()),
+            _ => self.constraints.push(id),
         }
     }
 
-    /// Asserts an already-interned constraint in the current frame.
+    /// Asserts an already-interned constraint (a handle of this solver's
+    /// pool) in the current frame.
     pub fn assert_id(&mut self, id: BoolId) {
-        let pool = intern::read_pool();
-        match pool.bool_node(id) {
+        match self.pool.bool_node(id) {
             BoolNode::Lit(true) => {}
             BoolNode::And(parts) => self.constraints.extend(parts.iter().copied()),
             _ => self.constraints.push(id),
@@ -338,13 +350,18 @@ impl Solver {
     }
 
     /// Checks satisfiability of the asserted constraints.
+    ///
+    /// The entire check reads the arena **without any lock**: handle
+    /// resolution is per-slot atomic publication (see [`crate::intern`]),
+    /// so concurrent interning on other shard workers never stalls this
+    /// path.
     pub fn check(&mut self) -> SatResult {
         self.stats.checks += 1;
 
-        // One arena read guard for the whole check: every hot-path node
-        // resolution below goes through `pool` without re-locking.
-        let pool = intern::read_pool();
-        let pool = &*pool;
+        // A pool handle clone (one atomic increment), so `self` stays
+        // mutably borrowable below.
+        let pool = self.pool.clone();
+        let pool = &pool;
 
         // Fast path: the previous model may still satisfy everything (common
         // when the newly-added constraints only mention already-solved
@@ -415,7 +432,7 @@ impl Solver {
     /// Clamps the warm model into the current propagated domains and
     /// verifies it. Returns the repaired model when it satisfies every
     /// constraint.
-    fn warm_repair(&self, pool: &PoolInner, domains: &[Interval]) -> Option<Model> {
+    fn warm_repair(&self, pool: &InternPool, domains: &[Interval]) -> Option<Model> {
         let prev = self.last_model.as_ref()?;
         let mut m = Model::default();
         for (idx, v) in self.vars.iter().enumerate() {
@@ -459,7 +476,7 @@ impl Solver {
 
     /// Fixed-point interval propagation. Narrows variable domains using
     /// single-variable-side comparisons and detects definite conflicts.
-    fn propagate(&self, pool: &PoolInner, domains: &mut [Interval]) -> Truth {
+    fn propagate(&self, pool: &InternPool, domains: &mut [Interval]) -> Truth {
         for _round in 0..20 {
             let mut changed = false;
             for &c in &self.constraints {
@@ -489,7 +506,7 @@ impl Solver {
     /// Narrows domains for comparisons with a bare variable on one side.
     /// Returns true if any domain shrank. Conservative (never removes a value
     /// that could participate in a solution).
-    fn narrow(pool: &PoolInner, c: BoolId, domains: &mut [Interval]) -> bool {
+    fn narrow(pool: &InternPool, c: BoolId, domains: &mut [Interval]) -> bool {
         let (op, var, other) = match pool.bool_node(c) {
             BoolNode::Cmp(op, lhs, rhs) => match (pool.int_node(*lhs), pool.int_node(*rhs)) {
                 (IntNode::Var(v), _) => (*op, *v, *rhs),
@@ -534,7 +551,7 @@ impl Solver {
         }
     }
 
-    fn constrained_vars(&self, pool: &PoolInner) -> Vec<VarId> {
+    fn constrained_vars(&self, pool: &InternPool) -> Vec<VarId> {
         let mut vars = Vec::new();
         for &c in &self.constraints {
             pool.collect_bool_vars(c, &mut vars);
@@ -547,7 +564,7 @@ impl Solver {
     /// Randomized backtracking search over the constrained variables.
     fn search(
         &mut self,
-        pool: &PoolInner,
+        pool: &InternPool,
         domains: &mut Vec<Interval>,
         budget: &mut u64,
         complete: &mut bool,
@@ -615,7 +632,7 @@ impl Solver {
     #[allow(clippy::too_many_arguments)]
     fn dfs(
         &mut self,
-        pool: &PoolInner,
+        pool: &InternPool,
         order: &[VarId],
         depth: usize,
         domains: &mut Vec<Interval>,
@@ -702,7 +719,7 @@ impl Solver {
     /// equality. These are tried first during search.
     fn suggest_values(
         &self,
-        pool: &PoolInner,
+        pool: &InternPool,
         var: VarId,
         domains: &[Interval],
         related: &[usize],
@@ -792,7 +809,7 @@ impl Solver {
 }
 
 /// Number of occurrences of `var` in the interned expression.
-fn count_var(pool: &PoolInner, expr: ExprId, var: VarId) -> usize {
+fn count_var(pool: &InternPool, expr: ExprId, var: VarId) -> usize {
     match pool.int_node(expr) {
         IntNode::Const(_) => 0,
         IntNode::Var(v) => usize::from(*v == var),
@@ -803,7 +820,7 @@ fn count_var(pool: &PoolInner, expr: ExprId, var: VarId) -> usize {
 /// Solves `expr == target` for `var` by algebraic inversion, when `var`
 /// occurs exactly once and every other variable evaluates to a point.
 fn invert_for(
-    pool: &PoolInner,
+    pool: &InternPool,
     expr: ExprId,
     var: VarId,
     target: i64,

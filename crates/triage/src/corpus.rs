@@ -87,8 +87,13 @@ impl Reproducer {
         self.signature.seeded_ids()
     }
 
-    /// Reassembles the runnable test case.
+    /// Reassembles the runnable test case inside one fresh intern pool.
+    ///
+    /// Deserialization interns each tensor type into a private per-type
+    /// pool; rehoming the graph here gives the replayed case a single
+    /// arena with the usual hash-consing sharing, dropped with the case.
     pub fn to_case(&self) -> TestCase {
+        let pool = nnsmith_solver::InternPool::small();
         let mut weights = Bindings::new();
         for (&id, t) in &self.weights {
             weights.insert(nnsmith_graph::NodeId(id), t.clone());
@@ -98,7 +103,7 @@ impl Reproducer {
             inputs.insert(nnsmith_graph::NodeId(id), t.clone());
         }
         TestCase {
-            graph: self.graph.clone(),
+            graph: self.graph.rehomed(&pool),
             weights,
             inputs,
         }

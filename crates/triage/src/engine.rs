@@ -4,12 +4,22 @@
 //!
 //! Workers push captured failures into an mpsc channel as they happen, so
 //! reduction overlaps fuzzing. Determinism does not depend on arrival
-//! order: bins are keyed by the failure's [`BugSignature`] (captured
-//! during the deterministic campaign), counts are order-independent sums,
-//! and the bin representative is the failure with the smallest
-//! `(shard index, case index)` provenance — so for a case-budgeted engine
-//! run the merged [`TriageReport`] is identical for workers=1 and
-//! workers=N.
+//! order: bins are keyed by the failure's [`BugSignature`], counts are
+//! order-independent sums, and the bin representative is the failure with
+//! the smallest `(shard index, case index)` provenance — so for a
+//! case-budgeted engine run the merged [`TriageReport`] is identical for
+//! workers=1 and workers=N.
+//!
+//! ## Anonymous-mismatch binning
+//!
+//! Seeded failures bin on the signature captured during the campaign. An
+//! *unattributed* mismatch's key is a structural hash of the raw random
+//! graph, so two different graphs hitting the same unseeded root cause
+//! would land in different bins. Those failures are therefore **reduced
+//! first and binned on the post-reduction signature**: 1-minimal
+//! reproducers of one root cause collapse to the same neighborhood hash.
+//! (This is why every anonymous failure is reduced, not just bin
+//! representatives — the cost the ROADMAP accepted for closing the gap.)
 
 use std::collections::BTreeMap;
 use std::sync::mpsc;
@@ -17,14 +27,14 @@ use std::sync::Mutex;
 
 use serde::Serialize;
 
-use nnsmith_compilers::Compiler;
+use nnsmith_compilers::{CompileOptions, Compiler};
 use nnsmith_difftest::{
     run_engine_observed, CapturedFailure, EngineConfig, EngineReport, SourceFactory,
 };
 use nnsmith_difftest::{TestCase, Tolerance};
 
 use crate::corpus::{Corpus, Reproducer};
-use crate::reduce::{reduce_case_expecting, ReduceConfig};
+use crate::reduce::{reduce_case_expecting_with, CaseOracle, ReduceConfig};
 use crate::signature::{signature_of, BugSignature};
 
 /// Triage pipeline configuration.
@@ -135,10 +145,17 @@ struct PendingBin {
     repr: Option<((usize, usize), crate::reduce::Reduction)>,
 }
 
-/// Order-independent accumulator behind the triage channel.
-struct TriageState<'a> {
-    compiler: &'a Compiler,
-    options: nnsmith_compilers::CompileOptions,
+/// Order-independent triage accumulator: feed it captured failures (in any
+/// order), then [`TriageSink::finish`] it into a [`TriageReport`].
+///
+/// This is the consumer behind [`run_triaged_engine`], public so tests and
+/// other drivers can triage failure streams against any [`CaseOracle`].
+pub struct TriageSink<'a> {
+    oracle: &'a dyn CaseOracle,
+    /// Name recorded in reproducers (resolvable by
+    /// [`nnsmith_compilers::compiler_by_name`] for real compilers).
+    compiler_name: String,
+    options: CompileOptions,
     tolerance: Tolerance,
     cfg: TriageConfig,
     bins: BTreeMap<String, PendingBin>,
@@ -147,52 +164,108 @@ struct TriageState<'a> {
     oracle_runs: usize,
 }
 
-impl<'a> TriageState<'a> {
-    fn ingest(&mut self, shard: usize, case_index: usize, failure: &CapturedFailure) {
+impl<'a> TriageSink<'a> {
+    /// Creates a sink that replays candidates through `oracle` under
+    /// `options`/`tolerance` and labels reproducers with `compiler_name`.
+    pub fn new(
+        oracle: &'a dyn CaseOracle,
+        compiler_name: impl Into<String>,
+        options: CompileOptions,
+        tolerance: Tolerance,
+        cfg: TriageConfig,
+    ) -> Self {
+        TriageSink {
+            oracle,
+            compiler_name: compiler_name.into(),
+            options,
+            tolerance,
+            cfg,
+            bins: BTreeMap::new(),
+            failures_seen: 0,
+            reductions: 0,
+            oracle_runs: 0,
+        }
+    }
+
+    /// Ingests one captured failure with its `(shard, case_index)`
+    /// provenance. Order-independent: the final report only depends on
+    /// the set of failures, never on arrival order.
+    pub fn ingest(&mut self, shard: usize, case_index: usize, failure: &CapturedFailure) {
         self.failures_seen += 1;
-        // Bin key from the outcome captured during the campaign: no
-        // re-execution needed, and deterministic regardless of scheduling.
-        let Some(sig) = signature_of(&failure.case, &failure.outcome) else {
+        let Some(captured) = signature_of(&failure.case, &failure.outcome) else {
             return;
         };
-        let key = sig.as_key();
         let provenance = (shard, case_index);
-        // Deterministic representative: the smallest-provenance failure
-        // whose reduction succeeds, whatever order the channel delivered.
+        if captured.key.starts_with("anon:") {
+            // Unattributed root cause: the captured key hashes the raw
+            // random graph, so distinct graphs with one root cause would
+            // split into distinct bins. Reduce first and bin on the
+            // post-reduction signature (recomputed on the minimal case by
+            // the reducer) so they dedupe.
+            match self.reduce(&failure.case, &captured) {
+                Some(reduction) => {
+                    let sig = reduction.signature.clone();
+                    let key = self.touch_bin(&sig);
+                    self.offer_repr(&key, provenance, reduction);
+                }
+                // Irreproducible: keep the finding visible under its
+                // captured key (becomes an unreduced bin).
+                None => {
+                    self.touch_bin(&captured);
+                }
+            }
+            return;
+        }
+        // Seeded/crash keys are graph-independent: bin on the captured
+        // signature directly — no re-execution needed, deterministic
+        // regardless of scheduling.
+        //
         // A failure is only worth reducing while it could become (or
         // improve) the representative; a failed re-reduction never
         // discards an existing one.
-        let attempt = match self.bins.get_mut(&key) {
-            Some(bin) => {
-                bin.count += 1;
-                match &bin.repr {
-                    Some((p, _)) => provenance < *p,
-                    None => true,
-                }
-            }
-            None => {
-                self.bins.insert(
-                    key.clone(),
-                    PendingBin {
-                        signature: sig.clone(),
-                        count: 1,
-                        repr: None,
-                    },
-                );
-                true
-            }
+        let key = self.touch_bin(&captured);
+        let attempt = match &self.bins[&key].repr {
+            Some((p, _)) => provenance < *p,
+            None => true,
         };
         if attempt {
-            if let Some(reduction) = self.reduce(&failure.case, &sig) {
-                let bin = self.bins.get_mut(&key).expect("bin just touched");
-                let better = match &bin.repr {
-                    Some((p, _)) => provenance < *p,
-                    None => true,
-                };
-                if better {
-                    bin.repr = Some((provenance, reduction));
-                }
+            if let Some(reduction) = self.reduce(&failure.case, &captured) {
+                self.offer_repr(&key, provenance, reduction);
             }
+        }
+    }
+
+    /// Bumps (creating on first sight) the bin for `sig`, returning its
+    /// key.
+    fn touch_bin(&mut self, sig: &BugSignature) -> String {
+        let key = sig.as_key();
+        self.bins
+            .entry(key.clone())
+            .or_insert_with(|| PendingBin {
+                signature: sig.clone(),
+                count: 0,
+                repr: None,
+            })
+            .count += 1;
+        key
+    }
+
+    /// Installs `reduction` as bin `key`'s representative iff its
+    /// provenance is smaller than the current one — the order-independent
+    /// selection rule shared by the seeded and anonymous paths.
+    fn offer_repr(
+        &mut self,
+        key: &str,
+        provenance: (usize, usize),
+        reduction: crate::reduce::Reduction,
+    ) {
+        let bin = self.bins.get_mut(key).expect("bin just touched");
+        let better = match &bin.repr {
+            Some((p, _)) => provenance < *p,
+            None => true,
+        };
+        if better {
+            bin.repr = Some((provenance, reduction));
         }
     }
 
@@ -207,8 +280,8 @@ impl<'a> TriageState<'a> {
         // campaign had already "fixed") can mask this one, and the
         // reducer then disables the maskers rather than silently reducing
         // a different bug into this bin.
-        let red = reduce_case_expecting(
-            self.compiler,
+        let red = reduce_case_expecting_with(
+            self.oracle,
             case,
             &self.options,
             self.tolerance,
@@ -219,8 +292,9 @@ impl<'a> TriageState<'a> {
         Some(red)
     }
 
-    fn finish(self) -> TriageReport {
-        let compiler_name = self.compiler.system().name();
+    /// Finalizes the accumulated bins into a report.
+    pub fn finish(self) -> TriageReport {
+        let compiler_name = &self.compiler_name;
         let mut bins = BTreeMap::new();
         let mut unreduced = BTreeMap::new();
         for (key, pending) in self.bins {
@@ -285,20 +359,17 @@ pub fn run_triaged_engine(
     let (tx, rx) = mpsc::channel::<(usize, usize, Box<CapturedFailure>)>();
     std::thread::scope(|scope| {
         let consumer = scope.spawn(move || {
-            let mut state = TriageState {
+            let mut sink = TriageSink::new(
                 compiler,
-                options: config.campaign.options.clone(),
-                tolerance: config.campaign.tolerance,
-                cfg: cfg.clone(),
-                bins: BTreeMap::new(),
-                failures_seen: 0,
-                reductions: 0,
-                oracle_runs: 0,
-            };
+                compiler.system().name(),
+                config.campaign.options.clone(),
+                config.campaign.tolerance,
+                cfg.clone(),
+            );
             while let Ok((shard, case_index, failure)) = rx.recv() {
-                state.ingest(shard, case_index, &failure);
+                sink.ingest(shard, case_index, &failure);
             }
-            state.finish()
+            sink.finish()
         });
         // Sender is !Sync; the observer hook is shared across workers.
         let tx = Mutex::new(tx);

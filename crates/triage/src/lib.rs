@@ -27,6 +27,9 @@ mod reduce;
 mod signature;
 
 pub use corpus::{Corpus, ReplayReport, Reproducer};
-pub use engine::{run_triaged_engine, Bin, TriageConfig, TriageReport, UnreducedBin};
-pub use reduce::{is_one_minimal, reduce_case, reduce_case_expecting, ReduceConfig, Reduction};
+pub use engine::{run_triaged_engine, Bin, TriageConfig, TriageReport, TriageSink, UnreducedBin};
+pub use reduce::{
+    is_one_minimal, is_one_minimal_with, reduce_case, reduce_case_expecting,
+    reduce_case_expecting_with, CaseOracle, ReduceConfig, Reduction,
+};
 pub use signature::{neighborhood_hash, signature_of, stable_hash, BugSignature};

@@ -36,6 +36,25 @@ use nnsmith_tensor::Tensor;
 
 use crate::signature::{signature_of, BugSignature};
 
+/// The differential oracle the reducer replays candidates through.
+///
+/// Production code uses a [`Compiler`] (each candidate goes through the
+/// full export → compile → run → compare pipeline of
+/// [`nnsmith_difftest::run_case`]); tests substitute synthetic oracles to
+/// exercise triage behaviours — unattributed semantic mismatches, say —
+/// that the simulated compilers cannot produce organically.
+pub trait CaseOracle: Sync {
+    /// Runs one differential test of `case` and returns its outcome.
+    fn run_oracle(&self, case: &TestCase, options: &CompileOptions, tol: Tolerance) -> TestOutcome;
+}
+
+impl CaseOracle for Compiler {
+    fn run_oracle(&self, case: &TestCase, options: &CompileOptions, tol: Tolerance) -> TestOutcome {
+        let mut scratch = CoverageSet::new();
+        run_case(self, case, options, tol, &mut scratch)
+    }
+}
+
 /// Reduction knobs.
 #[derive(Debug, Clone)]
 pub struct ReduceConfig {
@@ -80,13 +99,12 @@ pub struct Reduction {
 
 /// Runs the oracle on a candidate and extracts its signature.
 fn check(
-    compiler: &Compiler,
+    oracle: &dyn CaseOracle,
     case: &TestCase,
     options: &CompileOptions,
     tol: Tolerance,
 ) -> (TestOutcome, Option<BugSignature>) {
-    let mut scratch = CoverageSet::new();
-    let outcome = run_case(compiler, case, options, tol, &mut scratch);
+    let outcome = oracle.run_oracle(case, options, tol);
     let sig = signature_of(case, &outcome);
     (outcome, sig)
 }
@@ -138,12 +156,25 @@ pub fn reduce_case_expecting(
     cfg: &ReduceConfig,
     expected: Option<&BugSignature>,
 ) -> Option<Reduction> {
+    reduce_case_expecting_with(compiler, case, options, tol, cfg, expected)
+}
+
+/// [`reduce_case_expecting`] over any [`CaseOracle`] — the seam triage and
+/// tests use to drive reduction without a full simulated compiler.
+pub fn reduce_case_expecting_with(
+    oracle: &dyn CaseOracle,
+    case: &TestCase,
+    options: &CompileOptions,
+    tol: Tolerance,
+    cfg: &ReduceConfig,
+    expected: Option<&BugSignature>,
+) -> Option<Reduction> {
     let mut oracle_runs = 0;
     let mut options = options.clone();
     let mut disabled_bugs: Vec<String> = Vec::new();
     let (outcome0, sig0) = loop {
         oracle_runs += 1;
-        let (outcome, sig) = check(compiler, case, &options, tol);
+        let (outcome, sig) = check(oracle, case, &options, tol);
         let sig = sig?;
         let Some(expected) = expected else {
             break (outcome, sig);
@@ -191,7 +222,7 @@ pub fn reduce_case_expecting(
                 continue;
             };
             oracle_runs += 1;
-            let (cand_outcome, cand_sig) = check(compiler, &candidate, options, tol);
+            let (cand_outcome, cand_sig) = check(oracle, &candidate, options, tol);
             if cand_sig.is_some_and(|s| compatible(&sig0, &s)) {
                 current = candidate;
                 outcome = cand_outcome;
@@ -207,7 +238,7 @@ pub fn reduce_case_expecting(
     if cfg.shrink_shapes {
         if let Some(candidate) = shrink_shapes(&current, &sig0, cfg) {
             oracle_runs += 1;
-            let (cand_outcome, cand_sig) = check(compiler, &candidate, options, tol);
+            let (cand_outcome, cand_sig) = check(oracle, &candidate, options, tol);
             if cand_sig.is_some_and(|s| compatible(&sig0, &s)) {
                 current = candidate;
                 outcome = cand_outcome;
@@ -239,7 +270,17 @@ pub fn is_one_minimal(
     options: &CompileOptions,
     tol: Tolerance,
 ) -> bool {
-    let (_, Some(sig0)) = check(compiler, case, options, tol) else {
+    is_one_minimal_with(compiler, case, options, tol)
+}
+
+/// [`is_one_minimal`] over any [`CaseOracle`].
+pub fn is_one_minimal_with(
+    oracle: &dyn CaseOracle,
+    case: &TestCase,
+    options: &CompileOptions,
+    tol: Tolerance,
+) -> bool {
+    let (_, Some(sig0)) = check(oracle, case, options, tol) else {
         return false;
     };
     let Ok(exec) = nnsmith_ops::execute(&case.graph, &case.all_bindings()) else {
@@ -247,7 +288,7 @@ pub fn is_one_minimal(
     };
     for victim in case.graph.operators() {
         if let Some(candidate) = remove_op(case, &exec.values, victim) {
-            let (_, sig) = check(compiler, &candidate, options, tol);
+            let (_, sig) = check(oracle, &candidate, options, tol);
             if sig.is_some_and(|s| compatible(&sig0, &s)) {
                 return false;
             }
@@ -377,7 +418,8 @@ fn shrink_shapes(case: &TestCase, sig: &BugSignature, cfg: &ReduceConfig) -> Opt
                     .enumerate()
                     .map(|(d, &hi)| solver.new_var(format!("{id}_d{d}"), 1, hi.max(1)))
                     .collect();
-                let ttype = TensorType::new(
+                let ttype = TensorType::new_in(
+                    solver.pool(),
                     node.outputs[0].dtype,
                     vars.iter().map(|&v| IntExpr::var(v)).collect(),
                 );
@@ -442,7 +484,8 @@ fn shrink_shapes(case: &TestCase, sig: &BugSignature, cfg: &ReduceConfig) -> Opt
                         Tensor::uniform(&dims, dtype, 0.0, 1.0, &mut rng)
                     }
                 };
-                out.node_mut(id).outputs[0] = TensorType::concrete(dtype, &new_dims);
+                let pool = out.node(id).outputs[0].pool().clone();
+                out.node_mut(id).outputs[0] = TensorType::concrete_in(&pool, dtype, &new_dims);
                 match out.node(id).kind {
                     NodeKind::Weight => {
                         weights.insert(id, tensor);

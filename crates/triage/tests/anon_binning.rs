@@ -1,0 +1,203 @@
+//! Regression test for the anonymous-mismatch binning gap (ROADMAP open
+//! item): unattributed semantic mismatches used to bin on the *unreduced*
+//! graph's neighborhood hash, so two distinct random graphs hitting the
+//! same unseeded root cause landed in separate bins. Triage now reduces
+//! every anonymous failure first and bins on the **post-reduction**
+//! signature, collapsing them into one bin.
+//!
+//! The simulated compilers attribute every seeded mismatch, so an
+//! organically-unattributed mismatch cannot be produced through them; the
+//! test drives the public [`TriageSink`] with a synthetic [`CaseOracle`]
+//! that mismatches (unattributed) whenever the graph contains an
+//! `ArgExtreme` operator — the real-compiler shape of an unseeded
+//! optimizer bug tied to one operator.
+
+use nnsmith_compilers::CompileOptions;
+use nnsmith_difftest::{CapturedFailure, FaultSite, TestCase, TestOutcome, Tolerance};
+use nnsmith_graph::{Graph, NodeKind, TensorType, ValueRef};
+use nnsmith_ops::{BinaryKind, Bindings, Op, UnaryKind};
+use nnsmith_tensor::{DType, Tensor};
+use nnsmith_triage::{signature_of, CaseOracle, TriageConfig, TriageSink};
+
+/// Synthetic differential oracle: any graph containing `ArgExtreme`
+/// produces an *unattributed* optimization mismatch; everything else
+/// passes. Deterministic and structure-only, like a real unseeded bug
+/// whose trigger is one operator.
+struct ArgmaxMismatchOracle;
+
+impl CaseOracle for ArgmaxMismatchOracle {
+    fn run_oracle(
+        &self,
+        case: &TestCase,
+        _options: &CompileOptions,
+        _tol: Tolerance,
+    ) -> TestOutcome {
+        let triggers = case
+            .graph
+            .iter()
+            .any(|(_, n)| matches!(&n.kind, NodeKind::Operator(Op::ArgExtreme { .. })));
+        if triggers {
+            TestOutcome::ResultMismatch {
+                detail: "argmax output disagrees".into(),
+                site: FaultSite::Optimization,
+                attributed: Vec::new(),
+            }
+        } else {
+            TestOutcome::Pass
+        }
+    }
+}
+
+/// A bloated case around the ArgExtreme root cause: `width`-sized input,
+/// optionally an extra tanh stage and an add-with-weight stage, so two
+/// calls produce structurally different graphs (different neighborhood
+/// hashes) with the same root cause.
+fn bloated_case(width: usize, extra_tanh: bool, with_add: bool) -> TestCase {
+    let mut g: Graph<Op> = Graph::new();
+    let dims = [width as i64];
+    let x = g.add_node(
+        NodeKind::Input,
+        vec![],
+        vec![TensorType::concrete(DType::F32, &dims)],
+    );
+    let mut cur = ValueRef::output0(x);
+    let mut b = Bindings::new();
+    b.insert(
+        x,
+        Tensor::from_f32(&[width], (0..width).map(|i| i as f32 * 0.17).collect()).unwrap(),
+    );
+    if with_add {
+        let w = g.add_node(
+            NodeKind::Weight,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &dims)],
+        );
+        b.insert(w, Tensor::from_f32(&[width], vec![0.25; width]).unwrap());
+        let add = g.add_node(
+            NodeKind::Operator(Op::Binary(BinaryKind::Add)),
+            vec![cur, ValueRef::output0(w)],
+            vec![TensorType::concrete(DType::F32, &dims)],
+        );
+        cur = ValueRef::output0(add);
+    }
+    if extra_tanh {
+        let tanh = g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Tanh)),
+            vec![cur],
+            vec![TensorType::concrete(DType::F32, &dims)],
+        );
+        cur = ValueRef::output0(tanh);
+    }
+    g.add_node(
+        NodeKind::Operator(Op::ArgExtreme {
+            largest: true,
+            axis: 0,
+            keepdims: false,
+        }),
+        vec![cur],
+        vec![TensorType::concrete(DType::I64, &[])],
+    );
+    TestCase::from_bindings(g, b)
+}
+
+fn capture(case: TestCase) -> CapturedFailure {
+    let outcome =
+        ArgmaxMismatchOracle.run_oracle(&case, &CompileOptions::default(), Tolerance::default());
+    assert!(outcome.is_finding(), "fixture must be a finding");
+    CapturedFailure { case, outcome }
+}
+
+#[test]
+fn distinct_graphs_with_one_unseeded_root_cause_share_a_bin() {
+    let oracle = ArgmaxMismatchOracle;
+    // Three structurally different graphs (different wrappers, different
+    // widths) around the same root cause: their *captured* anonymous
+    // signatures all differ.
+    let failures = [
+        capture(bloated_case(4, true, true)),
+        capture(bloated_case(6, false, true)),
+        capture(bloated_case(5, true, false)),
+    ];
+    let captured_keys: Vec<String> = failures
+        .iter()
+        .map(|f| signature_of(&f.case, &f.outcome).expect("finding").as_key())
+        .collect();
+    assert_ne!(captured_keys[0], captured_keys[1]);
+    assert_ne!(captured_keys[0], captured_keys[2]);
+    assert!(captured_keys.iter().all(|k| k.contains("anon:")));
+
+    let mut sink = TriageSink::new(
+        &oracle,
+        "synthetic",
+        CompileOptions::default(),
+        Tolerance::default(),
+        TriageConfig::default(),
+    );
+    for (i, f) in failures.iter().enumerate() {
+        sink.ingest(i % 2, i, f);
+    }
+    let report = sink.finish();
+
+    assert_eq!(report.failures_seen, 3);
+    assert!(
+        report.unreduced.is_empty(),
+        "all anon failures reproduce under the oracle: {:?}",
+        report.unreduced.keys()
+    );
+    // The fix: post-reduction binning collapses them into ONE bin.
+    assert_eq!(
+        report.bins.len(),
+        1,
+        "distinct graphs with one unseeded root cause must dedupe: {:?}",
+        report.bins.keys()
+    );
+    let bin = report.bins.values().next().unwrap();
+    assert_eq!(bin.count, 3);
+    assert!(bin.bug_ids.is_empty(), "unseeded bug has no seeded ids");
+    // The representative is the smallest provenance and is 1-minimal:
+    // just the ArgExtreme over an input.
+    assert_eq!((bin.shard, bin.case_index), (0, 0));
+    assert!(
+        bin.reproducer.graph.operators().len() <= 1,
+        "expected a 1-minimal reproducer, got {} ops",
+        bin.reproducer.graph.operators().len()
+    );
+    // And its stored signature is what the minimal case itself hashes to,
+    // so a replay of the reproducer observes the stored signature.
+    let replay_sig = signature_of(
+        &bin.reproducer.to_case(),
+        &ArgmaxMismatchOracle.run_oracle(
+            &bin.reproducer.to_case(),
+            &CompileOptions::default(),
+            Tolerance::default(),
+        ),
+    )
+    .expect("minimal case still a finding");
+    assert_eq!(replay_sig, bin.signature);
+}
+
+#[test]
+fn order_independence_of_anon_binning() {
+    // Reversed ingestion order must produce the identical serialized
+    // report (the workers=1 ≡ workers=N contract for the anon path).
+    let oracle = ArgmaxMismatchOracle;
+    let failures = [
+        capture(bloated_case(4, true, true)),
+        capture(bloated_case(6, false, true)),
+        capture(bloated_case(5, true, false)),
+    ];
+    let run = |order: &[usize]| {
+        let mut sink = TriageSink::new(
+            &oracle,
+            "synthetic",
+            CompileOptions::default(),
+            Tolerance::default(),
+            TriageConfig::default(),
+        );
+        for &i in order {
+            sink.ingest(i % 2, i, &failures[i]);
+        }
+        serde::json::to_string(&sink.finish())
+    };
+    assert_eq!(run(&[0, 1, 2]), run(&[2, 1, 0]));
+}

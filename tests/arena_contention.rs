@@ -1,0 +1,164 @@
+//! Multi-thread contention smoke for the sharded intern pool: many
+//! threads hammering mixed intern/read traffic on one pool must neither
+//! deadlock nor panic, hash-cons identity must hold across threads, and —
+//! the can't-regress invariant — the read path must stay **lock-free**:
+//! reads succeed while a writer thread is parked mid-insert.
+//!
+//! Like `tests/engine_determinism.rs`, the throughput assertion self-skips
+//! below 4 cores (the build container has 1); the correctness assertions
+//! always run.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nnsmith::solver::{IntExpr, InternPool, VarId};
+
+fn chain(base: u32, len: u32) -> IntExpr {
+    let mut e = IntExpr::Var(VarId(base));
+    for i in 1..len {
+        e = e * IntExpr::Var(VarId(base + i)) + IntExpr::from(i64::from(i));
+    }
+    e
+}
+
+#[test]
+fn mixed_intern_read_hammer_has_no_deadlock_or_divergence() {
+    let pool = InternPool::default();
+    // Every thread interns the same 64 structures (plus a private set) and
+    // records the handles it got for the shared ones.
+    let threads = 8;
+    let shared_handles: Vec<_> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let pool = pool.clone();
+                scope.spawn(move || {
+                    let mut shared = Vec::new();
+                    for round in 0..64u32 {
+                        // Shared structure: all threads must agree.
+                        let id = pool.intern_int(&chain(round, 6));
+                        shared.push(id);
+                        // Private structure: exercises fresh inserts.
+                        let mine = pool.intern_int(&chain(1000 + t * 100 + round, 4));
+                        // Read-heavy mix: resolve + evaluate immediately.
+                        assert!(pool.eval_int(mine, &|_| Some(2)).is_some());
+                        assert!(pool.eval_int(id, &|_| Some(3)).is_some());
+                    }
+                    shared
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("worker must not panic"))
+            .collect()
+    });
+    // Hash-cons identity across threads: every thread saw the same handle
+    // for the same structure.
+    for other in &shared_handles[1..] {
+        assert_eq!(other, &shared_handles[0]);
+    }
+}
+
+#[test]
+fn reads_succeed_while_a_writer_is_parked_mid_insert() {
+    let pool = InternPool::default();
+    // Pre-intern a working set to read.
+    let ids: Vec<_> = (0..256u32).map(|i| pool.intern_int(&chain(i, 5))).collect();
+
+    // Park the writers: every shard's insert mutex is held, so the writer
+    // thread below blocks inside its intern call...
+    let stall = pool.stall_writers();
+    let writer_done = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let pool = pool.clone();
+        let done = Arc::clone(&writer_done);
+        std::thread::spawn(move || {
+            // A fresh structure: must take the insert path and park.
+            pool.intern_int(&chain(90_000, 8));
+            done.store(true, Ordering::SeqCst);
+        })
+    };
+    // Give the writer time to reach the mutex.
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(
+        !writer_done.load(Ordering::SeqCst),
+        "writer should be parked while the stall guard is held"
+    );
+
+    // ...while reads keep succeeding: the read path takes no lock at all.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut reads = 0usize;
+    for round in 0..1_000 {
+        for &id in &ids {
+            assert!(
+                pool.eval_int(id, &|_| Some(1)).is_some(),
+                "read blocked or failed while a writer was parked (round {round})"
+            );
+            reads += 1;
+        }
+        if Instant::now() > deadline {
+            panic!("reads slowed to a crawl while a writer was parked");
+        }
+    }
+    assert!(reads >= 256_000);
+    assert!(
+        !writer_done.load(Ordering::SeqCst),
+        "writer must still be parked after the read storm"
+    );
+
+    // Release the writers; the parked intern completes normally.
+    drop(stall);
+    writer.join().expect("writer completes after the stall");
+    assert!(writer_done.load(Ordering::SeqCst));
+}
+
+/// The scalability half: with ≥4 cores, four reader threads over one pool
+/// must clearly out-read one (lock-free reads share nothing but cache
+/// lines). Self-skips on smaller machines like the engine speedup smoke.
+#[test]
+fn concurrent_read_throughput_scales_when_cores_allow() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores < 4 {
+        eprintln!("skipping read-throughput smoke: only {cores} core(s) available");
+        return;
+    }
+    let pool = InternPool::default();
+    let ids: Vec<_> = (0..512u32).map(|i| pool.intern_int(&chain(i, 5))).collect();
+
+    let measure = |threads: usize| -> f64 {
+        let total = Arc::new(AtomicUsize::new(0));
+        let run_for = Duration::from_millis(300);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let pool = pool.clone();
+                let ids = ids.clone();
+                let total = Arc::clone(&total);
+                scope.spawn(move || {
+                    let start = Instant::now();
+                    let mut n = 0usize;
+                    while start.elapsed() < run_for {
+                        for &id in &ids {
+                            if pool.eval_int(id, &|_| Some(1)).is_some() {
+                                n += 1;
+                            }
+                        }
+                    }
+                    total.fetch_add(n, Ordering::Relaxed);
+                });
+            }
+        });
+        total.load(Ordering::Relaxed) as f64 / run_for.as_secs_f64()
+    };
+
+    let one = measure(1);
+    let four = measure(4);
+    let speedup = four / one;
+    assert!(
+        speedup > 1.5,
+        "expected >1.5x aggregate reads with 4 threads, got {speedup:.2}x \
+         ({four:.0} vs {one:.0} reads/s)"
+    );
+}

@@ -1,0 +1,123 @@
+//! Arena soak test: the executable form of the ROADMAP's paper-scale
+//! memory warning.
+//!
+//! The paper's headline experiments are 4-hour campaigns. Under the old
+//! process-wide arena every distinct constraint node a campaign interned
+//! stayed live for the process lifetime, so days-long runs grew without
+//! bound. With per-campaign [`InternPool`]s, dropping the campaign's pool
+//! must return the process's live interned-node count to its baseline.
+//! This test runs many sequential compressed-scale campaigns and pins
+//! exactly that invariant after each one.
+//!
+//! Single `#[test]` on purpose: the live-node counter is process-global,
+//! and a concurrently-running test interning into its own pool would make
+//! the baseline assertion racy. (CI also pins `RUST_TEST_THREADS=1` for
+//! this binary.)
+
+use std::time::Duration;
+
+use nnsmith::compilers::ortsim;
+use nnsmith::difftest::{run_engine, CampaignConfig, EngineConfig};
+use nnsmith::gen::GenConfig;
+use nnsmith::pipeline::NnSmithFactory;
+use nnsmith::search::SearchConfig;
+use nnsmith::solver::{live_node_count, InternPool};
+use nnsmith::NnSmithConfig;
+
+fn mini_campaign_config(seed: u64) -> EngineConfig {
+    EngineConfig {
+        workers: 2,
+        shards: 2,
+        seed,
+        campaign: CampaignConfig {
+            duration: Duration::from_secs(120),
+            max_cases: Some(4),
+            ..CampaignConfig::default()
+        },
+    }
+}
+
+fn quick_pipeline() -> NnSmithConfig {
+    NnSmithConfig {
+        gen: GenConfig {
+            target_ops: 4,
+            ..GenConfig::default()
+        },
+        search: SearchConfig {
+            budget: Duration::from_millis(100),
+            max_iters: Some(128),
+            init_lo: -4.0,
+            init_hi: 4.0,
+            ..SearchConfig::default()
+        },
+        seed: 0,
+        max_attempts_per_case: 6,
+    }
+}
+
+#[test]
+fn sequential_mini_campaigns_reclaim_interned_memory() {
+    // Warm up anything lazily allocated outside pools, then take the
+    // baseline.
+    {
+        let warm = InternPool::default();
+        warm.constant(1);
+    }
+    let baseline = live_node_count();
+
+    let compiler = ortsim();
+    let mut per_campaign_nodes = Vec::new();
+    for round in 0..4u64 {
+        let factory = NnSmithFactory::new(quick_pipeline());
+        let report = run_engine(&compiler, &factory, &mini_campaign_config(round + 1));
+        assert!(report.result.cases > 0, "round {round} produced no cases");
+        assert!(
+            report.arena.int_nodes > 0,
+            "round {round}: the campaign pool must have interned (shards share it)"
+        );
+        per_campaign_nodes.push(report.arena.int_nodes);
+        // The engine dropped its pool when the run returned, and the
+        // report holds no tensor types (capture_failures is off): every
+        // node the campaign interned must be reclaimed.
+        drop(report);
+        assert_eq!(
+            live_node_count(),
+            baseline,
+            "round {round}: campaign pool drop leaked interned nodes"
+        );
+    }
+
+    // Sanity: campaigns really exercised the arena, not a few stray nodes
+    // (hash-consing keeps the absolute counts small — structurally equal
+    // caps across all cases of a campaign are stored once).
+    assert!(
+        per_campaign_nodes.iter().all(|&n| n > 50),
+        "campaigns interned suspiciously little: {per_campaign_nodes:?}"
+    );
+
+    // A handle that outlives the campaign keeps exactly its pool alive —
+    // reclamation is reference-counted, not scope-bound.
+    let escaped = {
+        let pool = InternPool::default();
+        for i in 0..50 {
+            pool.constant(i);
+        }
+        pool.clone()
+    };
+    assert_eq!(live_node_count(), baseline + 50);
+    drop(escaped);
+    assert_eq!(live_node_count(), baseline);
+
+    // Optional CI artifact: machine-readable soak stats next to the
+    // BENCH_*.json records.
+    if let Ok(path) = std::env::var("ARENA_SOAK_JSON") {
+        let rounds: Vec<String> = per_campaign_nodes.iter().map(|n| n.to_string()).collect();
+        let json = format!(
+            "{{\"baseline_live_nodes\":{baseline},\"campaign_int_nodes\":[{}],\"leak_free\":true}}",
+            rounds.join(",")
+        );
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("could not write {path}: {e}");
+        }
+    }
+}

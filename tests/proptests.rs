@@ -4,8 +4,41 @@
 use proptest::prelude::*;
 
 use nnsmith::graph::NodeKind;
-use nnsmith::solver::{IntExpr, Solver};
+use nnsmith::solver::{IntExpr, InternPool, Solver, VarId};
 use nnsmith::tensor::{broadcast_shapes, DType, Tensor};
+
+/// A small random integer-expression tree over variables `v0..v4` —
+/// enough depth to exercise every smart-constructor rewrite.
+fn arb_int_expr() -> impl Strategy<Value = IntExpr> {
+    // proptest's vendored stand-in has no recursive combinator, so build
+    // trees from a random instruction tape: each step either pushes a
+    // leaf or combines the top two entries with a random operator.
+    proptest::collection::vec((0u8..8, -4i64..5, 0u32..4), 1..24).prop_map(|tape| {
+        let mut stack: Vec<IntExpr> = Vec::new();
+        for (op, c, v) in tape {
+            if stack.len() >= 2 && op < 5 {
+                let b = stack.pop().expect("len checked");
+                let a = stack.pop().expect("len checked");
+                stack.push(match op {
+                    0 => a + b,
+                    1 => a - b,
+                    2 => a * b,
+                    3 => a / b,
+                    _ => a % b,
+                });
+            } else if op.is_multiple_of(2) {
+                stack.push(IntExpr::Const(c));
+            } else {
+                stack.push(IntExpr::Var(VarId(v)));
+            }
+        }
+        let mut out = stack.pop().expect("tape non-empty");
+        while let Some(next) = stack.pop() {
+            out = out + next;
+        }
+        out
+    })
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -126,6 +159,68 @@ proptest! {
                 prop_assert!(msg.contains("division by zero"), "{msg}");
             }
             Err(other) => prop_assert!(false, "unexpected exec error: {other}"),
+        }
+    }
+
+    /// Interning the same expression tree into two different pools yields
+    /// structurally equal reads: tree roundtrips agree node-for-node even
+    /// though the id spaces are unrelated.
+    #[test]
+    fn two_pools_agree_structurally(e in arb_int_expr()) {
+        let p = InternPool::default();
+        let q = InternPool::small();
+        let a = p.intern_int(&e);
+        let b = q.intern_int(&e);
+        prop_assert!(p.structural_eq_int(a, &q, b));
+        // Normalization is pool-independent, so the reconstructed trees
+        // are identical (both fully folded the same way).
+        prop_assert_eq!(p.to_int_expr(a), q.to_int_expr(b));
+        // And rehoming a handle across pools lands on the hash-consed id.
+        prop_assert_eq!(q.rehome_int(&p, a), b);
+    }
+
+    /// Hash-cons identity within a pool: interning the same tree twice is
+    /// the same handle, and structurally distinct reads imply distinct
+    /// handles.
+    #[test]
+    fn hash_cons_identity_within_a_pool(e in arb_int_expr(), f in arb_int_expr()) {
+        let p = InternPool::default();
+        let a1 = p.intern_int(&e);
+        let a2 = p.intern_int(&e);
+        prop_assert_eq!(a1, a2);
+        let b = p.intern_int(&f);
+        // Equal handles ⇔ equal normalized trees.
+        prop_assert_eq!(a1 == b, p.to_int_expr(a1) == p.to_int_expr(b));
+    }
+
+    /// The pool's constant-folding smart constructors agree with the
+    /// tree-level builders in `solver::expr`: interning a tree built by
+    /// the operator overloads evaluates identically under any assignment.
+    #[test]
+    fn smart_constructors_agree_with_tree_builders(
+        e in arb_int_expr(),
+        vals in proptest::collection::vec(-3i64..9, 4),
+    ) {
+        let p = InternPool::default();
+        let id = p.intern_int(&e);
+        let lookup = |v: VarId| vals.get(v.0 as usize).copied();
+        prop_assert_eq!(p.eval_int(id, &lookup), e.eval(&lookup));
+        // Fully-concrete trees must fold to literals at intern time —
+        // no arena nodes beyond the folded constant.
+        let concrete = e.eval(&|v: VarId| vals.get(v.0 as usize).copied().map(|x| x.abs() + 1));
+        if let Some(expected) = concrete {
+            // Substitute the variables with constants and re-intern.
+            fn subst(e: &IntExpr, vals: &[i64]) -> IntExpr {
+                match e {
+                    IntExpr::Const(c) => IntExpr::Const(*c),
+                    IntExpr::Var(v) => IntExpr::Const(vals[v.0 as usize].abs() + 1),
+                    IntExpr::Bin(op, a, b) => {
+                        IntExpr::Bin(*op, Box::new(subst(a, vals)), Box::new(subst(b, vals)))
+                    }
+                }
+            }
+            let folded = p.intern_int(&subst(&e, &vals));
+            prop_assert_eq!(p.as_const(folded), Some(expected));
         }
     }
 
