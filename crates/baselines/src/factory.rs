@@ -1,14 +1,22 @@
 //! [`SourceFactory`] implementations for the baseline fuzzers, so the
-//! parallel engine ([`nnsmith_difftest::run_engine`]) can shard LEMON and
-//! GraphFuzzer campaigns exactly like NNSmith ones.
+//! parallel engine ([`nnsmith_difftest::run_engine`]) can shard LEMON,
+//! GraphFuzzer and Tzer campaigns exactly like NNSmith ones.
+//!
+//! The graph-level factories override
+//! [`SourceFactory::make_source_in`] (mirroring `NnSmithFactory`) so every
+//! shard interns its tensor types into the campaign pool instead of a
+//! per-graph private mini-pool; Tzer mutates low-level IR and interns
+//! nothing.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use nnsmith_difftest::{ShardCtx, SourceFactory, TestCaseSource};
+use nnsmith_solver::InternPool;
 
 use crate::graphfuzzer::{GraphFuzzer, GraphFuzzerConfig};
 use crate::lemon::Lemon;
+use crate::tzer::Tzer;
 
 /// Shards LEMON campaigns: each shard mutates the seed-model zoo with its
 /// own RNG stream.
@@ -22,6 +30,10 @@ impl SourceFactory for LemonFactory {
 
     fn make_source(&self, shard: ShardCtx) -> Box<dyn TestCaseSource + Send> {
         Box::new(Lemon::new(StdRng::seed_from_u64(shard.seed)))
+    }
+
+    fn make_source_in(&self, pool: &InternPool, shard: ShardCtx) -> Box<dyn TestCaseSource + Send> {
+        Box::new(Lemon::new_in(StdRng::seed_from_u64(shard.seed), pool))
     }
 }
 
@@ -43,6 +55,31 @@ impl SourceFactory for GraphFuzzerFactory {
             self.config.clone(),
         ))
     }
+
+    fn make_source_in(&self, pool: &InternPool, shard: ShardCtx) -> Box<dyn TestCaseSource + Send> {
+        Box::new(GraphFuzzer::new_in(
+            StdRng::seed_from_u64(shard.seed),
+            self.config.clone(),
+            pool,
+        ))
+    }
+}
+
+/// Shards Tzer campaigns: each shard runs an independent IR mutator from
+/// its own RNG stream, emitting IR-payload cases the engine drives through
+/// the TIR pipeline. Nothing is interned, so the default `make_source_in`
+/// (which ignores the pool) is already correct.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TzerFactory;
+
+impl SourceFactory for TzerFactory {
+    fn name(&self) -> &str {
+        "Tzer"
+    }
+
+    fn make_source(&self, shard: ShardCtx) -> Box<dyn TestCaseSource + Send> {
+        Box::new(Tzer::new(StdRng::seed_from_u64(shard.seed)))
+    }
 }
 
 #[cfg(test)]
@@ -61,6 +98,7 @@ mod tests {
             GraphFuzzerFactory::default().make_source(ctx).name(),
             "GraphFuzzer"
         );
+        assert_eq!(TzerFactory.make_source(ctx).name(), "Tzer");
     }
 
     #[test]
@@ -79,5 +117,42 @@ mod tests {
         let ca = a.next_case().expect("case");
         let cb = b.next_case().expect("case");
         assert_ne!(ca.graph, cb.graph, "shard streams must be independent");
+    }
+
+    #[test]
+    fn pooled_sources_home_types_in_the_campaign_pool() {
+        let pool = InternPool::default();
+        let ctx = |index| ShardCtx {
+            index,
+            count: 2,
+            seed: nnsmith_difftest::shard_seed(5, index),
+        };
+        for factory in [
+            &LemonFactory as &dyn SourceFactory,
+            &GraphFuzzerFactory::default(),
+        ] {
+            let mut src = factory.make_source_in(&pool, ctx(0));
+            let case = src.next_case().expect("case");
+            for v in case.graph.all_values() {
+                assert!(
+                    case.graph.value_type(v).pool().same_pool(&pool),
+                    "{}: type homed in a private mini-pool",
+                    factory.name()
+                );
+            }
+        }
+        assert!(pool.stats().int_nodes > 0, "campaign pool must grow");
+    }
+
+    #[test]
+    fn tzer_sources_emit_ir_cases() {
+        let mut src = TzerFactory.make_source(ShardCtx {
+            index: 0,
+            count: 1,
+            seed: 3,
+        });
+        let case = src.next_case().expect("case");
+        assert!(case.is_ir());
+        assert_eq!(case.graph.len(), 0);
     }
 }

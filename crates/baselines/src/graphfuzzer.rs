@@ -16,7 +16,7 @@ use rand::Rng;
 use nnsmith_difftest::{TestCase, TestCaseSource};
 use nnsmith_graph::{Graph, NodeKind, TensorType, ValueRef};
 use nnsmith_ops::{random_bindings, BinaryKind, Op, UnaryKind};
-use nnsmith_solver::IntExpr;
+use nnsmith_solver::{IntExpr, InternPool};
 use nnsmith_tensor::DType;
 
 /// Configuration for the GraphFuzzer generator.
@@ -42,12 +42,27 @@ impl Default for GraphFuzzerConfig {
 pub struct GraphFuzzer<R: Rng> {
     rng: R,
     config: GraphFuzzerConfig,
+    /// Arena the generated tensor types intern into (the campaign pool
+    /// during engine runs).
+    pool: InternPool,
 }
 
 impl<R: Rng> GraphFuzzer<R> {
-    /// Creates the generator.
+    /// Creates the generator with a private mini-pool (standalone use;
+    /// campaigns use [`GraphFuzzer::new_in`]).
     pub fn new(rng: R, config: GraphFuzzerConfig) -> Self {
-        GraphFuzzer { rng, config }
+        GraphFuzzer::new_in(rng, config, &InternPool::small())
+    }
+
+    /// Creates the generator interning into `pool` — the campaign arena
+    /// when sharded by [`crate::GraphFuzzerFactory::make_source_in`], so
+    /// engine campaigns never allocate per-graph mini-pools.
+    pub fn new_in(rng: R, config: GraphFuzzerConfig, pool: &InternPool) -> Self {
+        GraphFuzzer {
+            rng,
+            config,
+            pool: pool.clone(),
+        }
     }
 
     fn dims_of(g: &Graph<Op>, v: ValueRef) -> Vec<usize> {
@@ -56,7 +71,7 @@ impl<R: Rng> GraphFuzzer<R> {
 
     /// Aligns `v` (shape `from`) to shape `to` by slicing larger dims
     /// (stride 1) and zero-padding smaller ones — the M1-style glue.
-    fn align(g: &mut Graph<Op>, mut v: ValueRef, to: &[usize]) -> ValueRef {
+    fn align(arena: &InternPool, g: &mut Graph<Op>, mut v: ValueRef, to: &[usize]) -> ValueRef {
         let from = Self::dims_of(g, v);
         debug_assert_eq!(from.len(), to.len());
         let dtype = g.value_type(v).dtype;
@@ -81,7 +96,7 @@ impl<R: Rng> GraphFuzzer<R> {
                     steps,
                 }),
                 vec![v],
-                vec![TensorType::concrete(dtype, &mid)],
+                vec![TensorType::concrete_in(arena, dtype, &mid)],
             );
             v = ValueRef::output0(node);
         }
@@ -100,7 +115,7 @@ impl<R: Rng> GraphFuzzer<R> {
                     kind: nnsmith_ops::PadKind::Constant,
                 }),
                 vec![v],
-                vec![TensorType::concrete(dtype, &target)],
+                vec![TensorType::concrete_in(arena, dtype, &target)],
             );
             v = ValueRef::output0(node);
         }
@@ -108,6 +123,8 @@ impl<R: Rng> GraphFuzzer<R> {
     }
 
     fn generate(&mut self) -> Graph<Op> {
+        let arena = self.pool.clone();
+        let t = |dtype: DType, dims: &[i64]| TensorType::concrete_in(&arena, dtype, dims);
         let mut g: Graph<Op> = Graph::new();
         let dtype = *self.config.dtypes.choose(&mut self.rng).expect("nonempty");
         // GraphFuzzer uses fixed-rank featuremap-style tensors.
@@ -118,11 +135,7 @@ impl<R: Rng> GraphFuzzer<R> {
             *[8usize, 12, 16].choose(&mut self.rng).expect("nonempty"),
         ];
         let dims_i: Vec<i64> = base_shape.iter().map(|&d| d as i64).collect();
-        let input = g.add_node(
-            NodeKind::Input,
-            vec![],
-            vec![TensorType::concrete(dtype, &dims_i)],
-        );
+        let input = g.add_node(NodeKind::Input, vec![], vec![t(dtype, &dims_i)]);
         let mut pool: Vec<ValueRef> = vec![ValueRef::output0(input)];
         // A second input with different spatial dims, so cross-input binary
         // operators need the slice/pad alignment glue.
@@ -132,11 +145,7 @@ impl<R: Rng> GraphFuzzer<R> {
             *[6i64, 10, 14].choose(&mut self.rng).expect("nonempty"),
             *[6i64, 10, 14].choose(&mut self.rng).expect("nonempty"),
         ];
-        let input2 = g.add_node(
-            NodeKind::Input,
-            vec![],
-            vec![TensorType::concrete(dtype, &alt_shape)],
-        );
+        let input2 = g.add_node(NodeKind::Input, vec![], vec![t(dtype, &alt_shape)]);
         pool.push(ValueRef::output0(input2));
 
         for _ in 0..self.config.target_ops {
@@ -177,7 +186,7 @@ impl<R: Rng> GraphFuzzer<R> {
                         continue;
                     }
                     let to = Self::dims_of(&g, a);
-                    let b = Self::align(&mut g, b, &to);
+                    let b = Self::align(&arena, &mut g, b, &to);
                     let kind = *[BinaryKind::Add, BinaryKind::Mul, BinaryKind::Sub]
                         .choose(&mut self.rng)
                         .expect("nonempty");
@@ -196,15 +205,12 @@ impl<R: Rng> GraphFuzzer<R> {
                     let w = g.add_node(
                         NodeKind::Weight,
                         vec![],
-                        vec![TensorType::concrete(
-                            g.value_type(a).dtype,
-                            &[c as i64, c as i64, 1, 1],
-                        )],
+                        vec![t(g.value_type(a).dtype, &[c as i64, c as i64, 1, 1])],
                     );
                     let bias = g.add_node(
                         NodeKind::Weight,
                         vec![],
-                        vec![TensorType::concrete(g.value_type(a).dtype, &[c as i64])],
+                        vec![t(g.value_type(a).dtype, &[c as i64])],
                     );
                     let t = g.value_type(a).clone();
                     let n = g.add_node(

@@ -15,7 +15,7 @@ use rand::Rng;
 use nnsmith_difftest::{TestCase, TestCaseSource};
 use nnsmith_graph::{Graph, NodeId, NodeKind, TensorType, ValueRef};
 use nnsmith_ops::{random_bindings, Op, UnaryKind};
-use nnsmith_solver::IntExpr;
+use nnsmith_solver::{IntExpr, InternPool};
 use nnsmith_tensor::DType;
 
 /// Shape-preserving unary operators LEMON may insert.
@@ -31,24 +31,14 @@ const SAFE_UNARY: [UnaryKind; 8] = [
 ];
 
 /// A small fixed "pre-trained" CNN: Input → Conv(3x3) → Relu →
-/// MaxPool(2) → Conv(1x1) → Relu.
-fn seed_cnn() -> Graph<Op> {
+/// MaxPool(2) → Conv(1x1) → Relu. Tensor types intern into `pool` (the
+/// campaign arena during engine runs).
+fn seed_cnn(pool: &InternPool) -> Graph<Op> {
+    let t = |dims: &[i64]| TensorType::concrete_in(pool, DType::F32, dims);
     let mut g: Graph<Op> = Graph::new();
-    let x = g.add_node(
-        NodeKind::Input,
-        vec![],
-        vec![TensorType::concrete(DType::F32, &[1, 3, 16, 16])],
-    );
-    let w1 = g.add_node(
-        NodeKind::Weight,
-        vec![],
-        vec![TensorType::concrete(DType::F32, &[8, 3, 3, 3])],
-    );
-    let b1 = g.add_node(
-        NodeKind::Weight,
-        vec![],
-        vec![TensorType::concrete(DType::F32, &[8])],
-    );
+    let x = g.add_node(NodeKind::Input, vec![], vec![t(&[1, 3, 16, 16])]);
+    let w1 = g.add_node(NodeKind::Weight, vec![], vec![t(&[8, 3, 3, 3])]);
+    let b1 = g.add_node(NodeKind::Weight, vec![], vec![t(&[8])]);
     let conv1 = g.add_node(
         NodeKind::Operator(Op::Conv2d {
             in_channels: IntExpr::Const(3),
@@ -64,14 +54,14 @@ fn seed_cnn() -> Graph<Op> {
             ValueRef::output0(w1),
             ValueRef::output0(b1),
         ],
-        vec![TensorType::concrete(DType::F32, &[1, 8, 16, 16])],
+        vec![t(&[1, 8, 16, 16])],
     );
     let relu1 = g.add_node(
         NodeKind::Operator(Op::Unary(UnaryKind::Relu)),
         vec![ValueRef::output0(conv1)],
-        vec![TensorType::concrete(DType::F32, &[1, 8, 16, 16])],
+        vec![t(&[1, 8, 16, 16])],
     );
-    let pool = g.add_node(
+    let mp = g.add_node(
         NodeKind::Operator(Op::MaxPool2d {
             kh: IntExpr::Const(2),
             kw: IntExpr::Const(2),
@@ -79,18 +69,10 @@ fn seed_cnn() -> Graph<Op> {
             padding: IntExpr::Const(0),
         }),
         vec![ValueRef::output0(relu1)],
-        vec![TensorType::concrete(DType::F32, &[1, 8, 8, 8])],
+        vec![t(&[1, 8, 8, 8])],
     );
-    let w2 = g.add_node(
-        NodeKind::Weight,
-        vec![],
-        vec![TensorType::concrete(DType::F32, &[8, 8, 1, 1])],
-    );
-    let b2 = g.add_node(
-        NodeKind::Weight,
-        vec![],
-        vec![TensorType::concrete(DType::F32, &[8])],
-    );
+    let w2 = g.add_node(NodeKind::Weight, vec![], vec![t(&[8, 8, 1, 1])]);
+    let b2 = g.add_node(NodeKind::Weight, vec![], vec![t(&[8])]);
     let conv2 = g.add_node(
         NodeKind::Operator(Op::Conv2d {
             in_channels: IntExpr::Const(8),
@@ -102,38 +84,27 @@ fn seed_cnn() -> Graph<Op> {
             dilation: IntExpr::Const(1),
         }),
         vec![
-            ValueRef::output0(pool),
+            ValueRef::output0(mp),
             ValueRef::output0(w2),
             ValueRef::output0(b2),
         ],
-        vec![TensorType::concrete(DType::F32, &[1, 8, 8, 8])],
+        vec![t(&[1, 8, 8, 8])],
     );
     g.add_node(
         NodeKind::Operator(Op::Unary(UnaryKind::Relu)),
         vec![ValueRef::output0(conv2)],
-        vec![TensorType::concrete(DType::F32, &[1, 8, 8, 8])],
+        vec![t(&[1, 8, 8, 8])],
     );
     g
 }
 
 /// A small fixed MLP: Input → Dense → Tanh → Dense.
-fn seed_mlp() -> Graph<Op> {
+fn seed_mlp(pool: &InternPool) -> Graph<Op> {
+    let t = |dims: &[i64]| TensorType::concrete_in(pool, DType::F32, dims);
     let mut g: Graph<Op> = Graph::new();
-    let x = g.add_node(
-        NodeKind::Input,
-        vec![],
-        vec![TensorType::concrete(DType::F32, &[2, 16])],
-    );
-    let w1 = g.add_node(
-        NodeKind::Weight,
-        vec![],
-        vec![TensorType::concrete(DType::F32, &[16, 8])],
-    );
-    let b1 = g.add_node(
-        NodeKind::Weight,
-        vec![],
-        vec![TensorType::concrete(DType::F32, &[8])],
-    );
+    let x = g.add_node(NodeKind::Input, vec![], vec![t(&[2, 16])]);
+    let w1 = g.add_node(NodeKind::Weight, vec![], vec![t(&[16, 8])]);
+    let b1 = g.add_node(NodeKind::Weight, vec![], vec![t(&[8])]);
     let d1 = g.add_node(
         NodeKind::Operator(Op::Dense {
             in_features: IntExpr::Const(16),
@@ -144,34 +115,26 @@ fn seed_mlp() -> Graph<Op> {
             ValueRef::output0(w1),
             ValueRef::output0(b1),
         ],
-        vec![TensorType::concrete(DType::F32, &[2, 8])],
+        vec![t(&[2, 8])],
     );
-    let t = g.add_node(
+    let tanh = g.add_node(
         NodeKind::Operator(Op::Unary(UnaryKind::Tanh)),
         vec![ValueRef::output0(d1)],
-        vec![TensorType::concrete(DType::F32, &[2, 8])],
+        vec![t(&[2, 8])],
     );
-    let w2 = g.add_node(
-        NodeKind::Weight,
-        vec![],
-        vec![TensorType::concrete(DType::F32, &[8, 4])],
-    );
-    let b2 = g.add_node(
-        NodeKind::Weight,
-        vec![],
-        vec![TensorType::concrete(DType::F32, &[4])],
-    );
+    let w2 = g.add_node(NodeKind::Weight, vec![], vec![t(&[8, 4])]);
+    let b2 = g.add_node(NodeKind::Weight, vec![], vec![t(&[4])]);
     g.add_node(
         NodeKind::Operator(Op::Dense {
             in_features: IntExpr::Const(8),
             units: IntExpr::Const(4),
         }),
         vec![
-            ValueRef::output0(t),
+            ValueRef::output0(tanh),
             ValueRef::output0(w2),
             ValueRef::output0(b2),
         ],
-        vec![TensorType::concrete(DType::F32, &[2, 4])],
+        vec![t(&[2, 4])],
     );
     g
 }
@@ -186,11 +149,22 @@ pub struct Lemon<R: Rng> {
 }
 
 impl<R: Rng> Lemon<R> {
-    /// Creates the fuzzer with the built-in seed-model zoo.
+    /// Creates the fuzzer with the built-in seed-model zoo, interning into
+    /// a private mini-pool (standalone use; campaigns use
+    /// [`Lemon::new_in`]).
     pub fn new(rng: R) -> Self {
+        Lemon::new_in(rng, &InternPool::small())
+    }
+
+    /// Creates the fuzzer with its seed zoo interned into `pool` — the
+    /// campaign arena when sharded by
+    /// [`crate::LemonFactory::make_source_in`], so engine campaigns never
+    /// allocate per-graph mini-pools. Mutations only clone existing types,
+    /// so every emitted model stays homed in `pool`.
+    pub fn new_in(rng: R, pool: &InternPool) -> Self {
         Lemon {
             rng,
-            corpus: vec![seed_cnn(), seed_mlp()],
+            corpus: vec![seed_cnn(pool), seed_mlp(pool)],
             mutations_per_model: 3,
         }
     }
@@ -315,7 +289,8 @@ mod tests {
 
     #[test]
     fn seeds_are_valid_and_runnable() {
-        for g in [seed_cnn(), seed_mlp()] {
+        let pool = InternPool::small();
+        for g in [seed_cnn(&pool), seed_mlp(&pool)] {
             assert!(g.validate().is_ok());
             let mut rng = StdRng::seed_from_u64(0);
             let b = random_bindings(&g, -1.0, 1.0, &mut rng).unwrap();
@@ -339,13 +314,6 @@ mod tests {
     #[test]
     fn mutants_only_add_shape_preserving_unary_ops() {
         let mut lemon = Lemon::new(StdRng::seed_from_u64(2));
-        let baseline: std::collections::HashSet<&'static str> = seed_cnn()
-            .operators()
-            .iter()
-            .chain(seed_mlp().operators().iter())
-            .map(|_| "")
-            .collect();
-        let _ = baseline;
         for _ in 0..20 {
             let case = lemon.next_case().unwrap();
             for id in case.graph.operators() {

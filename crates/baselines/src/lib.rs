@@ -14,9 +14,11 @@
 //!   low-level branches graph fuzzing cannot while covering no graph-level
 //!   pass.
 //!
-//! LEMON's and GraphFuzzer's generators implement
-//! [`nnsmith_difftest::TestCaseSource`] so the same campaign driver
-//! compares all fuzzers (Figures 4–8).
+//! All three implement [`nnsmith_difftest::TestCaseSource`] (Tzer emits
+//! IR-payload cases), and their factories ([`LemonFactory`],
+//! [`GraphFuzzerFactory`], [`TzerFactory`]) implement
+//! [`nnsmith_difftest::SourceFactory`], so the same sharded engine and
+//! triage pipeline drive every comparison (Figures 4–8).
 
 #![warn(missing_docs)]
 
@@ -25,7 +27,7 @@ mod graphfuzzer;
 mod lemon;
 mod tzer;
 
-pub use factory::{GraphFuzzerFactory, LemonFactory};
+pub use factory::{GraphFuzzerFactory, LemonFactory, TzerFactory};
 pub use graphfuzzer::{GraphFuzzer, GraphFuzzerConfig};
 pub use lemon::Lemon;
 pub use tzer::{run_tzer_campaign, Tzer, TzerPoint};

@@ -13,6 +13,7 @@ use rand::Rng;
 use nnsmith_compilers::{
     codegen_coverage, tir_schedule, tir_simplify, tvmsim, CoverageSet, LExpr, LStmt, LoweredFunc,
 };
+use nnsmith_difftest::{TestCase, TestCaseSource};
 
 /// The Tzer-style low-level IR fuzzer.
 #[derive(Debug)]
@@ -156,6 +157,21 @@ impl<R: Rng> Tzer<R> {
     }
 }
 
+/// The engine seam: each emitted case wraps one mutated kernel as an
+/// IR-payload [`TestCase`], so Tzer campaigns run through the same sharded
+/// engine (and triage pipeline) as every graph-level fuzzer. The
+/// differential harness drives the TIR pipeline on the payload
+/// ([`nnsmith_difftest::run_ir_case`]) and fires the seeded TIR bugs.
+impl<R: Rng> TestCaseSource for Tzer<R> {
+    fn name(&self) -> &str {
+        "Tzer"
+    }
+
+    fn next_case(&mut self) -> Option<TestCase> {
+        Some(TestCase::from_ir(vec![self.next_func()]))
+    }
+}
+
 /// A coverage timeline point for the Tzer campaign.
 #[derive(Debug, Clone, Copy)]
 pub struct TzerPoint {
@@ -171,6 +187,12 @@ pub struct TzerPoint {
 
 /// Runs a Tzer campaign against tvmsim's low-level pipeline for the given
 /// budget, returning the cumulative coverage and a timeline.
+///
+/// This is the *single-threaded reference loop* (kept for unit tests and
+/// coverage-behaviour comparisons). Production campaigns shard Tzer
+/// through the engine instead — [`crate::TzerFactory`] +
+/// [`nnsmith_difftest::run_engine`] — which also routes findings through
+/// triage; this loop reports coverage only.
 pub fn run_tzer_campaign<R: Rng>(
     mut tzer: Tzer<R>,
     duration: std::time::Duration,
@@ -182,13 +204,8 @@ pub fn run_tzer_campaign<R: Rng>(
     let mut timeline = Vec::new();
     let start = std::time::Instant::now();
     // Loading the framework covers the same baseline branches as any other
-    // TVM-based fuzzer.
-    {
-        let mut c = nnsmith_compilers::Cov::new(&mut cov, &manifest, "core_init.cc");
-        for s in 0..400 {
-            c.hit(s);
-        }
-    }
+    // TVM-based fuzzer (shared with the engine path's `run_ir_case`).
+    compiler.record_base_coverage(&mut cov);
     let mut iterations = 0usize;
     while start.elapsed() < duration {
         if max_iterations.is_some_and(|m| iterations >= m) {

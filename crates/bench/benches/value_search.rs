@@ -38,6 +38,9 @@ fn bench_search(c: &mut Criterion) {
                     &SearchConfig {
                         method,
                         budget: Duration::from_millis(32),
+                        // Benchmark the wall-clock-budgeted search, not
+                        // the deterministic iteration default.
+                        max_iters: None,
                         init_lo: -5.0,
                         init_hi: 5.0,
                         ..SearchConfig::default()

@@ -116,6 +116,10 @@ fn main() {
                         &SearchConfig {
                             method,
                             budget,
+                            // Fig. 11 measures success *per wall-clock
+                            // budget*: opt out of the deterministic
+                            // iteration default and pin the time budget.
+                            max_iters: None,
                             // The paper's empirically-best init range [1, 9]
                             // shared by all methods (§5.3).
                             init_lo: 1.0,

@@ -2,41 +2,86 @@
 //! Tzer mutates low-level IR, so it keeps exclusive low-level branches
 //! while missing the graph-level passes.
 //!
-//! `cargo run -p nnsmith-bench --release --bin fig8_tzer [secs]`
+//! Both fuzzers run through the sharded engine, and Tzer's findings are
+//! routed through the triage pipeline (reduced, binned, persisted to the
+//! reproducer corpus) like every graph-level fuzzer's. Campaigns are
+//! **case-budgeted**, so for a fixed `--seed`/`--shards` the emitted
+//! `BENCH_fig8.json` and `fig8_tzer_corpus.json` are byte-identical
+//! across worker counts (wall-clock-dependent fields are stripped).
+//!
+//! `cargo run -p nnsmith-bench --release --bin fig8_tzer -- \
+//!     [--workers N] [--shards N] [--cases N] [--seed N]`
 
 use std::time::Duration;
 
-use nnsmith_baselines::{run_tzer_campaign, Tzer};
-use nnsmith_bench::{arg_secs, nnsmith_source, single_campaign, write_json};
+use nnsmith_baselines::TzerFactory;
+use nnsmith_bench::{bench_args, write_json, EngineSummary};
 use nnsmith_compilers::tvmsim;
-use nnsmith_difftest::Venn2;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use nnsmith_core::{NnSmithConfig, NnSmithFactory};
+use nnsmith_difftest::{run_engine, CampaignConfig, EngineConfig, Venn2};
+use nnsmith_triage::{run_triaged_engine, TriageConfig, TriageReport};
 use serde::Serialize;
 
 #[derive(Serialize)]
 struct Fig8Record {
-    secs: u64,
+    figure: String,
+    compiler: String,
+    /// The reproducibility key (with `seed`); the worker count is
+    /// deliberately absent — it must not change this record.
+    shards: usize,
+    seed: u64,
+    tzer_cases: usize,
+    nnsmith_cases: usize,
     /// A=Tzer, B=NNSmith over all instrumented files.
     all_files: Venn2,
     /// A=Tzer, B=NNSmith over pass files only.
     pass_only: Venn2,
-    tzer_iterations: usize,
-    nnsmith_cases: usize,
+    /// Deterministic engine summaries (timeline + arena), NNSmith first.
+    results: Vec<EngineSummary>,
+    /// Tzer's findings, deduplicated into triage bins.
+    triage: TriageReport,
 }
 
 fn main() {
-    let secs = arg_secs(20);
+    let args = bench_args(0);
     let compiler = tvmsim();
-    println!("== Figure 8 — NNSmith vs Tzer on tvmsim, {secs}s each ==");
+    let seed = args.seed.unwrap_or(8);
+    let tzer_cases = args.cases.unwrap_or(512);
+    // NNSmith models are ~an order of magnitude more expensive per case
+    // than IR mutants; scale its budget down to keep runtimes comparable.
+    let nnsmith_cases = (tzer_cases / 8).max(8);
+    println!(
+        "== Figure 8 — NNSmith vs Tzer on tvmsim, engine: {} worker(s) x {} shards, seed {seed} ==",
+        args.workers, args.shards
+    );
 
-    let mut src = nnsmith_source(44);
-    let nnsmith = single_campaign(&compiler, &mut src, secs);
-    let tzer = Tzer::new(StdRng::seed_from_u64(55));
-    let (tzer_cov, tzer_timeline) = run_tzer_campaign(tzer, Duration::from_secs(secs), None);
+    let engine = |seed: u64, cases: usize| EngineConfig {
+        workers: args.workers,
+        shards: args.shards,
+        seed,
+        campaign: CampaignConfig {
+            // Generous deadline: the case budget drives termination, which
+            // is what makes the run reproducible across worker counts.
+            duration: Duration::from_secs(86_400),
+            max_cases: Some(cases),
+            ..CampaignConfig::default()
+        },
+    };
+
+    let nnsmith = run_engine(
+        &compiler,
+        &NnSmithFactory::new(NnSmithConfig::default()),
+        &engine(seed.wrapping_add(1), nnsmith_cases),
+    );
+    let (tzer, triage) = run_triaged_engine(
+        &compiler,
+        &TzerFactory,
+        &engine(seed, tzer_cases),
+        &TriageConfig::default(),
+    );
 
     // (a) All files.
-    let v = Venn2::of(&tzer_cov, &nnsmith.coverage);
+    let v = Venn2::of(&tzer.result.coverage, &nnsmith.result.coverage);
     println!(
         "[all files]  Tzer total {} | NNSmith total {}",
         v.total_a(),
@@ -63,7 +108,10 @@ fn main() {
         }
         out
     };
-    let vp = Venn2::of(&filt(&tzer_cov), &filt(&nnsmith.coverage));
+    let vp = Venn2::of(
+        &filt(&tzer.result.coverage),
+        &filt(&nnsmith.result.coverage),
+    );
     println!(
         "[pass-only]  Tzer total {} | NNSmith total {}",
         vp.total_a(),
@@ -73,19 +121,43 @@ fn main() {
         "[pass-only]  Tzer-only {} | shared {} | NNSmith-only {}",
         vp.only_a, vp.both, vp.only_b
     );
-    let tzer_iterations = tzer_timeline.last().map(|p| p.iterations).unwrap_or(0);
     println!(
-        "Tzer executed {tzer_iterations} IR mutants; NNSmith executed {} models",
-        nnsmith.cases
+        "Tzer executed {} IR mutants; NNSmith executed {} models",
+        tzer.result.cases, nnsmith.result.cases
     );
+    println!(
+        "Tzer triage: {} failures captured -> {} bins ({} unreduced)",
+        triage.failures_seen,
+        triage.bins.len(),
+        triage.unreduced.len()
+    );
+    for (key, bin) in &triage.bins {
+        println!("  [bin] {key} x{}", bin.count);
+    }
+
+    // Persist Tzer's minimized findings like every other fuzzer's.
+    let corpus = triage.to_corpus();
+    match corpus.save("fig8_tzer_corpus.json") {
+        Ok(()) => println!("wrote fig8_tzer_corpus.json ({} reproducers)", corpus.len()),
+        Err(e) => eprintln!("could not write fig8_tzer_corpus.json: {e}"),
+    }
+
     write_json(
         "fig8",
         &Fig8Record {
-            secs,
+            figure: "fig8".into(),
+            compiler: compiler.system().name().to_string(),
+            shards: tzer.shards,
+            seed,
+            tzer_cases,
+            nnsmith_cases,
             all_files: v,
             pass_only: vp,
-            tzer_iterations,
-            nnsmith_cases: nnsmith.cases,
+            results: vec![
+                EngineSummary::from_report(&compiler, &nnsmith).deterministic(),
+                EngineSummary::from_report(&compiler, &tzer).deterministic(),
+            ],
+            triage,
         },
     );
 }

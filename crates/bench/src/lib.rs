@@ -43,7 +43,7 @@ pub fn arg_secs(default: u64) -> u64 {
 }
 
 /// CLI arguments shared by the engine-driven figure binaries:
-/// `[secs] [--workers N] [--shards N]`.
+/// `[secs] [--workers N] [--shards N] [--cases N] [--seed N]`.
 #[derive(Debug, Clone, Copy)]
 pub struct BenchArgs {
     /// Wall-clock budget per campaign, seconds.
@@ -52,28 +52,37 @@ pub struct BenchArgs {
     pub workers: usize,
     /// Engine shard count (the reproducibility key; defaults to 8).
     pub shards: usize,
+    /// Case budget for deterministic (case-budgeted) figures; `None`
+    /// keeps each binary's default.
+    pub cases: Option<usize>,
+    /// Campaign seed override.
+    pub seed: Option<u64>,
 }
 
-/// Parses `[secs] [--workers N] [--shards N]` with defaults.
+/// Parses `[secs] [--workers N] [--shards N] [--cases N] [--seed N]` with
+/// defaults.
 pub fn bench_args(default_secs: u64) -> BenchArgs {
     let mut out = BenchArgs {
         secs: default_secs,
         workers: 1,
         shards: 8,
+        cases: None,
+        seed: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            flag @ ("--workers" | "--shards") => {
+            flag @ ("--workers" | "--shards" | "--cases" | "--seed") => {
                 // Consume the value only if it parses, so a missing value
                 // doesn't swallow the next flag.
-                match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
                     Some(v) => {
-                        if flag == "--workers" {
-                            out.workers = v;
-                        } else {
-                            out.shards = v;
+                        match flag {
+                            "--workers" => out.workers = v as usize,
+                            "--shards" => out.shards = v as usize,
+                            "--cases" => out.cases = Some(v as usize),
+                            _ => out.seed = Some(v),
                         }
                         i += 2;
                     }
@@ -231,6 +240,17 @@ pub struct EngineSummary {
 }
 
 impl EngineSummary {
+    /// Strips the wall-clock-dependent fields (`wall_ms`, `cases_per_sec`,
+    /// `wall_timeline`), leaving only the engine's deterministic merge.
+    /// Case-budgeted figures whose `BENCH_*.json` must be byte-identical
+    /// across worker counts (fig8) serialize this form.
+    pub fn deterministic(mut self) -> Self {
+        self.wall_ms = 0;
+        self.cases_per_sec = 0.0;
+        self.wall_timeline = Vec::new();
+        self
+    }
+
     /// Summarizes one engine report.
     pub fn from_report(compiler: &Compiler, report: &EngineReport) -> Self {
         EngineSummary {

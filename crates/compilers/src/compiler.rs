@@ -115,6 +115,23 @@ impl Compiler {
         !(self.reject_f64 && dtype == DType::F64)
     }
 
+    /// True when this compiler lowers to the loop-level IR pipeline — the
+    /// prerequisite for running IR-payload test cases (the Tzer baseline).
+    pub fn has_lowlevel(&self) -> bool {
+        self.lowlevel
+    }
+
+    /// Records the framework-load baseline coverage (what importing the
+    /// framework alone hits). [`Compiler::compile`] does this per
+    /// compilation; IR-level harnesses call it directly since they bypass
+    /// the graph frontend.
+    pub fn record_base_coverage(&self, cov: &mut CoverageSet) {
+        let mut c = Cov::new(cov, &self.manifest, self.base_hits.0);
+        for s in 0..self.base_hits.1 {
+            c.hit(s);
+        }
+    }
+
     /// Compiles a model, accumulating branch coverage into `cov`.
     ///
     /// # Errors
@@ -130,12 +147,7 @@ impl Compiler {
         cov: &mut CoverageSet,
     ) -> Result<CompiledModel, CompileError> {
         // Framework-load baseline coverage.
-        {
-            let mut c = Cov::new(cov, &self.manifest, self.base_hits.0);
-            for s in 0..self.base_hits.1 {
-                c.hit(s);
-            }
-        }
+        self.record_base_coverage(cov);
         // Support matrix.
         if self.reject_f64 {
             let uses_f64 = graph

@@ -1,0 +1,255 @@
+//! Seeded low-level-IR bugs: the defects the Tzer baseline (§5.2, Fig. 8)
+//! can reach and graph-level fuzzing cannot.
+//!
+//! Mirrors the graph-level registry in [`crate::bugs`], but the triggering
+//! patterns are structural properties of [`LoweredFunc`] IR that
+//! [`crate::lowlevel::lower_graph`] **never produces** — variable
+//! divisors, negative index constants, very deep nests, wild trip counts.
+//! Graph-lowered kernels therefore cannot fire them (tvmsim's `O2`
+//! pipeline stays clean for every graph campaign), while an IR mutator
+//! hits them readily: exactly the reachability split Figure 8 measures.
+//!
+//! Detection is pattern-based like the graph bugs' `detect` closures; the
+//! differential harness maps matches to outcomes (crash bugs abort the
+//! low-level pipeline with a `seeded bug <id>` message, semantic bugs
+//! surface as attributed result mismatches).
+
+use crate::bugs::{BugConfig, Symptom};
+use crate::lowlevel::{LExpr, LStmt, LoweredFunc};
+
+/// One seeded low-level-IR bug.
+#[derive(Debug, Clone, Copy)]
+pub struct IrBug {
+    /// Stable identifier, e.g. `"tir-simpl-div"`.
+    pub id: &'static str,
+    /// Observable symptom (crash aborts the pipeline; semantic bugs
+    /// corrupt results and are attributed on mismatch).
+    pub symptom: Symptom,
+    /// One-line description of the pattern.
+    pub description: &'static str,
+    detect: fn(&LoweredFunc) -> bool,
+}
+
+impl IrBug {
+    /// True if `func` contains this bug's triggering pattern.
+    pub fn triggers(&self, func: &LoweredFunc) -> bool {
+        (self.detect)(func)
+    }
+}
+
+fn any_expr(func: &LoweredFunc, pred: &dyn Fn(&LExpr) -> bool) -> bool {
+    fn expr_any(e: &LExpr, pred: &dyn Fn(&LExpr) -> bool) -> bool {
+        if pred(e) {
+            return true;
+        }
+        match e {
+            LExpr::Const(_) | LExpr::Var(_) => false,
+            LExpr::Add(a, b) | LExpr::Mul(a, b) | LExpr::Div(a, b) | LExpr::Mod(a, b) => {
+                expr_any(a, pred) || expr_any(b, pred)
+            }
+        }
+    }
+    fn stmt_any(stmts: &[LStmt], pred: &dyn Fn(&LExpr) -> bool) -> bool {
+        stmts.iter().any(|s| match s {
+            LStmt::Store { index } => expr_any(index, pred),
+            LStmt::For { body, .. } => stmt_any(body, pred),
+        })
+    }
+    stmt_any(&func.body, pred)
+}
+
+fn max_depth(stmts: &[LStmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            LStmt::For { body, .. } => 1 + max_depth(body),
+            LStmt::Store { .. } => 0,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+fn any_extent(stmts: &[LStmt], pred: &dyn Fn(i64) -> bool) -> bool {
+    stmts.iter().any(|s| match s {
+        LStmt::For { extent, body, .. } => pred(*extent) || any_extent(body, pred),
+        LStmt::Store { .. } => false,
+    })
+}
+
+/// The registry of seeded TIR bugs (all live in tvmsim's low-level
+/// pipeline — the system Tzer targets).
+pub fn ir_registry() -> &'static [IrBug] {
+    const REGISTRY: &[IrBug] = &[
+        IrBug {
+            id: "tir-simpl-div",
+            symptom: Symptom::Crash,
+            description: "simplifier divides by a loop variable without a zero guard",
+            detect: |f| {
+                any_expr(
+                    f,
+                    &|e| matches!(e, LExpr::Div(_, rhs) if !matches!(**rhs, LExpr::Const(_))),
+                )
+            },
+        },
+        IrBug {
+            id: "tir-simpl-mod",
+            symptom: Symptom::Crash,
+            description: "canonicalizer recurses forever on Mod by a non-constant divisor",
+            detect: |f| {
+                any_expr(
+                    f,
+                    &|e| matches!(e, LExpr::Mod(_, rhs) if !matches!(**rhs, LExpr::Const(_))),
+                )
+            },
+        },
+        IrBug {
+            id: "tir-sched-nest",
+            symptom: Symptom::Crash,
+            description: "scheduler blows its recursion budget on loop nests deeper than six",
+            detect: |f| max_depth(&f.body) >= 7,
+        },
+        IrBug {
+            id: "tir-vec-extent",
+            symptom: Symptom::Crash,
+            description: "vectorizer asserts sizing the unroll buffer for trip counts >= 1000",
+            detect: |f| any_extent(&f.body, &|e| e >= 1000),
+        },
+        IrBug {
+            id: "tir-simpl-neg",
+            symptom: Symptom::Semantic,
+            description: "simplifier folds negative index offsets with round-toward-zero division",
+            detect: |f| any_expr(f, &|e| matches!(e, LExpr::Const(c) if *c < 0)),
+        },
+    ];
+    REGISTRY
+}
+
+/// Every enabled IR bug whose pattern appears in any of `funcs`.
+pub fn matched_ir_bugs(funcs: &[LoweredFunc], bugs: &BugConfig) -> Vec<&'static IrBug> {
+    ir_registry()
+        .iter()
+        .filter(|b| bugs.enabled(b.id) && funcs.iter().any(|f| b.triggers(f)))
+        .collect()
+}
+
+/// Looks up one seeded IR bug by id.
+pub fn ir_bug_by_id(id: &str) -> Option<&'static IrBug> {
+    ir_registry().iter().find(|b| b.id == id)
+}
+
+/// Resolves any seeded-bug id — graph-level or IR-level — to its canonical
+/// `&'static str` form (what [`BugConfig::disable`] needs). `None` for
+/// unknown ids. Called per found-bug event on campaign hot paths, so the
+/// graph registry's id list is cached (building the registry allocates
+/// its detector closures each call).
+pub fn canonical_bug_id(id: &str) -> Option<&'static str> {
+    static GRAPH_IDS: std::sync::OnceLock<Vec<&'static str>> = std::sync::OnceLock::new();
+    let graph_ids =
+        GRAPH_IDS.get_or_init(|| crate::bugs::registry().iter().map(|b| b.id).collect());
+    graph_ids
+        .iter()
+        .copied()
+        .find(|&b| b == id)
+        .or_else(|| ir_bug_by_id(id).map(|b| b.id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(index: LExpr) -> LoweredFunc {
+        LoweredFunc {
+            name: "t".into(),
+            body: vec![LStmt::Store { index }],
+        }
+    }
+
+    #[test]
+    fn div_by_variable_triggers() {
+        let bug = ir_bug_by_id("tir-simpl-div").unwrap();
+        let f = store(LExpr::Div(Box::new(LExpr::Var(0)), Box::new(LExpr::Var(1))));
+        assert!(bug.triggers(&f));
+        // Division by a constant — what graph lowering emits — is clean.
+        let g = store(LExpr::Div(
+            Box::new(LExpr::Var(0)),
+            Box::new(LExpr::Const(4)),
+        ));
+        assert!(!bug.triggers(&g));
+    }
+
+    #[test]
+    fn graph_lowered_ir_never_triggers() {
+        use crate::cgraph::CGraph;
+        use nnsmith_graph::{Graph, NodeKind, TensorType, ValueRef};
+        use nnsmith_ops::{Bindings, UnaryKind};
+        use nnsmith_tensor::DType;
+
+        let mut g: Graph<nnsmith_ops::Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[1, 4, 8, 8])],
+        );
+        g.add_node(
+            NodeKind::Operator(nnsmith_ops::Op::Unary(UnaryKind::Relu)),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::F32, &[1, 4, 8, 8])],
+        );
+        let cg = CGraph::import(&g, &Bindings::new()).unwrap();
+        let funcs = crate::lowlevel::lower_graph(&cg);
+        assert!(matched_ir_bugs(&funcs, &BugConfig::all_on()).is_empty());
+    }
+
+    #[test]
+    fn deep_nest_and_huge_extent_trigger() {
+        let mut body = vec![LStmt::Store {
+            index: LExpr::Var(0),
+        }];
+        for v in 0..7 {
+            body = vec![LStmt::For {
+                var: v,
+                extent: 2,
+                body,
+                vectorized: false,
+                unrolled: false,
+            }];
+        }
+        let deep = LoweredFunc {
+            name: "deep".into(),
+            body,
+        };
+        assert!(ir_bug_by_id("tir-sched-nest").unwrap().triggers(&deep));
+        let huge = LoweredFunc {
+            name: "huge".into(),
+            body: vec![LStmt::For {
+                var: 0,
+                extent: 1000,
+                body: vec![LStmt::Store {
+                    index: LExpr::Var(0),
+                }],
+                vectorized: false,
+                unrolled: false,
+            }],
+        };
+        assert!(ir_bug_by_id("tir-vec-extent").unwrap().triggers(&huge));
+    }
+
+    #[test]
+    fn canonical_lookup_spans_both_registries() {
+        assert_eq!(canonical_bug_id("tvm-conv-5"), Some("tvm-conv-5"));
+        assert_eq!(canonical_bug_id("tir-simpl-div"), Some("tir-simpl-div"));
+        assert_eq!(canonical_bug_id("no-such-bug"), None);
+    }
+
+    #[test]
+    fn ir_bug_ids_unique_and_disjoint_from_graph_bugs() {
+        let mut ids: Vec<&str> = ir_registry().iter().map(|b| b.id).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+        for bug in crate::bugs::registry() {
+            assert!(!ids.contains(&bug.id));
+        }
+    }
+}

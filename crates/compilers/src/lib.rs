@@ -31,6 +31,7 @@ mod cgraph;
 mod compiler;
 mod coverage;
 mod exporter;
+mod irbugs;
 mod lowlevel;
 mod passes;
 
@@ -43,6 +44,7 @@ pub use coverage::{
     log_bucket, Branch, Cov, CoverageSet, FileDecl, FileId, FileKind, SourceManifest,
 };
 pub use exporter::{export, ExportResult};
+pub use irbugs::{canonical_bug_id, ir_bug_by_id, ir_registry, matched_ir_bugs, IrBug};
 pub use lowlevel::{
     codegen_coverage, loop_count, lower_graph, run_lowlevel, tir_schedule, tir_simplify, LExpr,
     LStmt, LoweredFunc,

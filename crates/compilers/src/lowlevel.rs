@@ -8,13 +8,14 @@
 //! while missing the graph-level passes entirely.
 
 use nnsmith_ops::Op;
+use serde::{Deserialize, Serialize};
 
 use crate::cgraph::{CGraph, COp};
 use crate::coverage::{log_bucket, Cov, CoverageSet, SourceManifest};
 use crate::passes::op_code;
 
 /// Low-level integer index expression.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum LExpr {
     /// Integer literal.
     Const(i64),
@@ -43,7 +44,7 @@ impl LExpr {
 }
 
 /// Low-level statement.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum LStmt {
     /// A counted loop.
     For {
@@ -67,7 +68,7 @@ pub enum LStmt {
 }
 
 /// A lowered kernel.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LoweredFunc {
     /// Kernel name (derived from the graph node).
     pub name: String,

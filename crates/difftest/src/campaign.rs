@@ -205,10 +205,11 @@ fn run_campaign_inner(
     };
     let mut last_sample = Duration::ZERO;
     let mut options = config.options.clone();
-    let registry = nnsmith_compilers::registry();
     let fix = |options: &mut CompileOptions, id: &str| {
-        if let Some(bug) = registry.iter().find(|b| b.id == id) {
-            options.bugs.disable(bug.id);
+        // Canonical lookup spans the graph-level and TIR-level registries,
+        // so fix-on-find works for IR campaigns too.
+        if let Some(id) = nnsmith_compilers::canonical_bug_id(id) {
+            options.bugs.disable(id);
         }
     };
     let sample = |result: &mut CampaignResult, elapsed: Duration| {

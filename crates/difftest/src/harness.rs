@@ -3,7 +3,10 @@
 
 use std::collections::HashMap;
 
-use nnsmith_compilers::{export, CompileError, CompileOptions, Compiler, OptLevel};
+use nnsmith_compilers::{
+    codegen_coverage, export, matched_ir_bugs, tir_schedule, tir_simplify, CompileError,
+    CompileOptions, Compiler, LoweredFunc, OptLevel, Symptom,
+};
 use nnsmith_graph::{Graph, NodeId, NodeKind};
 use nnsmith_ops::{Bindings, Op};
 use nnsmith_tensor::Tensor;
@@ -11,15 +14,21 @@ use nnsmith_tensor::Tensor;
 use crate::oracle::{compare_outputs, Tolerance, Verdict};
 
 /// One ready-to-run test case: a concrete model plus numerically-valid
-/// weights and inputs.
+/// weights and inputs — or, for IR-mutation sources (the Tzer baseline), a
+/// low-level IR payload driven through the loop pipeline instead of the
+/// graph frontend.
 #[derive(Debug, Clone)]
 pub struct TestCase {
-    /// The model.
+    /// The model (empty for IR-payload cases).
     pub graph: Graph<Op>,
     /// Weight bindings (baked into the compiled model).
     pub weights: Bindings,
     /// Input bindings (fed at run time).
     pub inputs: HashMap<NodeId, Tensor>,
+    /// Low-level IR payload. When set, [`run_case`] bypasses the
+    /// export/compile/compare pipeline and drives the compiler's TIR
+    /// passes on these kernels instead (see [`run_ir_case`]).
+    pub ir: Option<Vec<LoweredFunc>>,
 }
 
 impl TestCase {
@@ -47,7 +56,25 @@ impl TestCase {
             graph,
             weights,
             inputs,
+            ir: None,
         }
+    }
+
+    /// Wraps low-level IR kernels as a test case (the Tzer seam): no
+    /// graph, no bindings — the differential harness drives the TIR
+    /// pipeline directly.
+    pub fn from_ir(funcs: Vec<LoweredFunc>) -> TestCase {
+        TestCase {
+            graph: Graph::new(),
+            weights: Bindings::new(),
+            inputs: HashMap::new(),
+            ir: Some(funcs),
+        }
+    }
+
+    /// True for IR-payload cases.
+    pub fn is_ir(&self) -> bool {
+        self.ir.is_some()
     }
 
     /// All bindings merged (for the reference executor).
@@ -132,6 +159,9 @@ pub fn run_case(
     tol: Tolerance,
     cov: &mut nnsmith_compilers::CoverageSet,
 ) -> TestOutcome {
+    if let Some(funcs) = &case.ir {
+        return run_ir_case(compiler, funcs, options, cov);
+    }
     // Reference execution (the PyTorch-oracle role).
     let reference = match nnsmith_ops::execute(&case.graph, &case.all_bindings()) {
         Ok(r) => r,
@@ -209,6 +239,66 @@ pub fn run_case(
             }
         }
     }
+}
+
+/// Runs one IR-payload test (the Tzer seam): the kernels go through the
+/// compiler's low-level pipeline (simplify → schedule → codegen) with
+/// coverage, and seeded TIR bugs fire on their IR patterns — crash bugs
+/// abort the pipeline, semantic bugs surface as attributed optimization
+/// mismatches. Purely a function of the IR, so IR campaigns keep the
+/// engine's bit-reproducibility contract.
+pub fn run_ir_case(
+    compiler: &Compiler,
+    funcs: &[LoweredFunc],
+    options: &CompileOptions,
+    cov: &mut nnsmith_compilers::CoverageSet,
+) -> TestOutcome {
+    if !compiler.has_lowlevel() {
+        return TestOutcome::NotImplemented;
+    }
+    // Loading the framework covers the same baseline branches as any other
+    // fuzzer driving this compiler.
+    compiler.record_base_coverage(cov);
+    let optimize = options.opt_level == OptLevel::O2;
+    // Every seeded TIR bug lives in the optimizing pipeline, so — like the
+    // graph registry's transformation bugs — none can fire at O0, keeping
+    // the O0-recompile localization differential meaningful for IR cases.
+    let matched = if optimize {
+        matched_ir_bugs(funcs, &options.bugs)
+    } else {
+        Vec::new()
+    };
+    // Crash bugs abort before the pipeline runs, like a graph-level
+    // conversion crash aborts before the passes.
+    if let Some(bug) = matched.iter().find(|b| b.symptom == Symptom::Crash) {
+        return TestOutcome::CompileCrash {
+            message: format!(
+                "crash in tir pipeline: seeded bug {}: {}",
+                bug.id, bug.description
+            ),
+        };
+    }
+    let manifest = compiler.manifest();
+    let mut funcs = funcs.to_vec();
+    if optimize {
+        tir_simplify(&mut funcs, cov, manifest);
+        tir_schedule(&mut funcs, cov, manifest);
+    }
+    codegen_coverage(&funcs, cov, manifest);
+    let semantic: Vec<String> = matched
+        .iter()
+        .filter(|b| b.symptom == Symptom::Semantic)
+        .map(|b| b.id.to_string())
+        .collect();
+    if !semantic.is_empty() {
+        return TestOutcome::ResultMismatch {
+            detail: "tir pipeline output disagrees with the interpreter".into(),
+            // TIR bugs live in the optimizing pipeline by construction.
+            site: FaultSite::Optimization,
+            attributed: semantic,
+        };
+    }
+    TestOutcome::Pass
 }
 
 fn localize(
@@ -443,6 +533,111 @@ mod tests {
             &mut cov,
         );
         assert!(matches!(outcome, TestOutcome::NumericInvalid));
+    }
+
+    #[test]
+    fn ir_case_drives_tir_pipeline_and_fires_seeded_tir_bugs() {
+        use nnsmith_compilers::{LExpr, LStmt};
+        let clean = LoweredFunc {
+            name: "clean".into(),
+            body: vec![LStmt::For {
+                var: 0,
+                extent: 8,
+                body: vec![LStmt::Store {
+                    index: LExpr::Var(0),
+                }],
+                vectorized: false,
+                unrolled: false,
+            }],
+        };
+        let mut cov = CoverageSet::new();
+        let case = TestCase::from_ir(vec![clean.clone()]);
+        assert!(case.is_ir());
+        let outcome = run_case(
+            &tvmsim(),
+            &case,
+            &CompileOptions::default(),
+            Tolerance::default(),
+            &mut cov,
+        );
+        assert!(matches!(outcome, TestOutcome::Pass), "{outcome:?}");
+        assert!(cov.len() > 400, "base + tir coverage, got {}", cov.len());
+
+        // A variable divisor — IR graph lowering never emits — crashes.
+        let crasher = LoweredFunc {
+            name: "divvar".into(),
+            body: vec![LStmt::Store {
+                index: LExpr::Div(Box::new(LExpr::Var(0)), Box::new(LExpr::Var(1))),
+            }],
+        };
+        let outcome = run_case(
+            &tvmsim(),
+            &TestCase::from_ir(vec![crasher]),
+            &CompileOptions::default(),
+            Tolerance::default(),
+            &mut cov,
+        );
+        match outcome {
+            TestOutcome::CompileCrash { message } => {
+                assert_eq!(seeded_bug_id(&message).as_deref(), Some("tir-simpl-div"));
+            }
+            other => panic!("expected crash, got {other:?}"),
+        }
+
+        // A negative index constant is the seeded semantic TIR bug.
+        let neg = LoweredFunc {
+            name: "neg".into(),
+            body: vec![LStmt::Store {
+                index: LExpr::Add(Box::new(LExpr::Var(0)), Box::new(LExpr::Const(-3))),
+            }],
+        };
+        let outcome = run_case(
+            &tvmsim(),
+            &TestCase::from_ir(vec![neg]),
+            &CompileOptions::default(),
+            Tolerance::default(),
+            &mut cov,
+        );
+        match outcome {
+            TestOutcome::ResultMismatch {
+                site, attributed, ..
+            } => {
+                assert_eq!(site, FaultSite::Optimization);
+                assert_eq!(attributed, vec!["tir-simpl-neg".to_string()]);
+            }
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+
+        // Seeded TIR bugs live in the optimizing pipeline: at O0 the same
+        // crasher runs clean, so O0-recompile localization stays
+        // meaningful for IR findings too.
+        let crasher_again = TestCase::from_ir(vec![LoweredFunc {
+            name: "divvar".into(),
+            body: vec![LStmt::Store {
+                index: LExpr::Div(Box::new(LExpr::Var(0)), Box::new(LExpr::Var(1))),
+            }],
+        }]);
+        let outcome = run_case(
+            &tvmsim(),
+            &crasher_again,
+            &CompileOptions {
+                opt_level: OptLevel::O0,
+                ..CompileOptions::default()
+            },
+            Tolerance::default(),
+            &mut cov,
+        );
+        assert!(matches!(outcome, TestOutcome::Pass), "{outcome:?}");
+
+        // Compilers without a low-level pipeline skip IR cases.
+        let outcome = run_case(
+            &ortsim(),
+            &TestCase::from_ir(vec![clean]),
+            &CompileOptions::default(),
+            Tolerance::default(),
+            &mut cov,
+        );
+        assert!(matches!(outcome, TestOutcome::NotImplemented));
     }
 
     #[test]

@@ -28,6 +28,6 @@ pub use engine::{
     run_engine, run_engine_observed, shard_seed, EngineConfig, EngineReport, FnSourceFactory,
     ShardCtx, SourceFactory,
 };
-pub use harness::{run_case, seeded_bug_id, FaultSite, TestCase, TestOutcome};
+pub use harness::{run_case, run_ir_case, seeded_bug_id, FaultSite, TestCase, TestOutcome};
 pub use oracle::{compare_outputs, Tolerance, Verdict};
 pub use venn::{Venn2, Venn3};

@@ -42,8 +42,10 @@ pub struct SearchConfig {
     /// up to this many iterations and **ignores the wall clock**, so the
     /// outcome depends only on the graph and the RNG — required for the
     /// engine's workers=1 ≡ workers=N bit-reproducibility (a wall-clock
-    /// budget exhausts at load-dependent points). `None` keeps the
-    /// paper's time-budgeted behaviour (Fig. 11 varies `budget`).
+    /// budget exhausts at load-dependent points). **The default is
+    /// `Some(256)`**: every pipeline is engine-deterministic out of the
+    /// box; set `None` for the paper's time-budgeted behaviour (Fig. 11
+    /// pins its wall-clock budget explicitly in its own bench config).
     pub max_iters: Option<u32>,
     /// Adam learning rate.
     pub learning_rate: f64,
@@ -59,7 +61,7 @@ impl Default for SearchConfig {
         SearchConfig {
             method: SearchMethod::GradientProxy,
             budget: Duration::from_millis(64),
-            max_iters: None,
+            max_iters: Some(256),
             learning_rate: 0.5,
             init_lo: 1.0,
             init_hi: 9.0,
@@ -416,11 +418,47 @@ mod tests {
         SearchConfig {
             method,
             budget: Duration::from_millis(ms),
+            // These tests exercise the wall-clock budget path.
+            max_iters: None,
             // Init straddling zero so sqrt sees negatives.
             init_lo: -5.0,
             init_hi: 5.0,
             ..SearchConfig::default()
         }
+    }
+
+    #[test]
+    fn default_budget_is_deterministic_iterations() {
+        // The engine's workers=1 ≡ workers=N contract requires sources to
+        // be deterministic by default; a wall-clock search budget exhausts
+        // at load-dependent points. Pinned here so a regression to
+        // time-budgeted defaults fails loudly (fig11 opts back into
+        // wall-clock explicitly).
+        assert_eq!(SearchConfig::default().max_iters, Some(256));
+        // And the iteration budget really does ignore the wall clock.
+        let g = sqrt_graph();
+        let out_a = search_values(
+            &g,
+            &SearchConfig {
+                budget: Duration::ZERO,
+                init_lo: -5.0,
+                init_hi: 5.0,
+                ..SearchConfig::default()
+            },
+            &mut StdRng::seed_from_u64(11),
+        );
+        let out_b = search_values(
+            &g,
+            &SearchConfig {
+                budget: Duration::from_secs(3600),
+                init_lo: -5.0,
+                init_hi: 5.0,
+                ..SearchConfig::default()
+            },
+            &mut StdRng::seed_from_u64(11),
+        );
+        assert_eq!(out_a.succeeded(), out_b.succeeded());
+        assert_eq!(out_a.iterations, out_b.iterations);
     }
 
     #[test]

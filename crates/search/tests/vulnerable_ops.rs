@@ -1,8 +1,6 @@
 //! Integration tests: Algorithm 3 repairs each Table-1 vulnerable
 //! operator class.
 
-use std::time::Duration;
-
 use nnsmith_graph::{Graph, NodeKind, TensorType, ValueRef};
 use nnsmith_ops::{execute, BinaryKind, Op, UnaryKind};
 use nnsmith_search::{search_values, SearchConfig, SearchMethod};
@@ -51,7 +49,10 @@ fn assert_search_fixes(graph: &Graph<Op>, seed: u64, what: &str) {
         graph,
         &SearchConfig {
             method: SearchMethod::GradientProxy,
-            budget: Duration::from_millis(3000),
+            // Deterministic and generous: these tests assert the search
+            // *succeeds*, so give it far more than the 256-iteration
+            // default instead of a timing-dependent wall-clock budget.
+            max_iters: Some(4096),
             init_lo: -6.0,
             init_hi: 6.0,
             ..SearchConfig::default()
@@ -163,7 +164,9 @@ fn proxy_derivatives_help_through_dead_zones() {
                 &g,
                 &SearchConfig {
                     method,
-                    budget: Duration::from_millis(80),
+                    // A *tight* deterministic budget: the proxy-vs-exact
+                    // comparison needs a bound both can exhaust.
+                    max_iters: Some(64),
                     init_lo: -6.0,
                     init_hi: 6.0,
                     ..SearchConfig::default()
@@ -217,7 +220,7 @@ fn gradient_beats_sampling_in_iterations() {
         &g,
         &SearchConfig {
             method: SearchMethod::GradientProxy,
-            budget: Duration::from_millis(2000),
+            max_iters: Some(4096),
             init_lo: -6.0,
             init_hi: 6.0,
             ..SearchConfig::default()

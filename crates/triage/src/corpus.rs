@@ -36,12 +36,16 @@ pub struct Reproducer {
     pub rtol: f64,
     /// Absolute comparison tolerance.
     pub atol: f64,
-    /// The minimized concrete graph.
+    /// The minimized concrete graph (empty for IR findings).
     pub graph: Graph<Op>,
     /// Weight tensors by node id (sorted: deterministic encoding).
     pub weights: BTreeMap<u32, Tensor>,
     /// Input tensors by node id (sorted: deterministic encoding).
     pub inputs: BTreeMap<u32, Tensor>,
+    /// Minimized low-level IR payload, for findings from IR-mutation
+    /// sources (the Tzer baseline). Replay drives the TIR pipeline on it
+    /// instead of the graph frontend.
+    pub ir: Option<Vec<nnsmith_compilers::LoweredFunc>>,
     /// Operator count of the original, unreduced case.
     pub original_ops: usize,
 }
@@ -77,6 +81,7 @@ impl Reproducer {
                 .iter()
                 .map(|(id, t)| (id.0, t.clone()))
                 .collect(),
+            ir: red.case.ir.clone(),
             original_ops: red.original_ops,
         }
     }
@@ -93,6 +98,9 @@ impl Reproducer {
     /// pool; rehoming the graph here gives the replayed case a single
     /// arena with the usual hash-consing sharing, dropped with the case.
     pub fn to_case(&self) -> TestCase {
+        if let Some(funcs) = &self.ir {
+            return TestCase::from_ir(funcs.clone());
+        }
         let pool = nnsmith_solver::InternPool::small();
         let mut weights = Bindings::new();
         for (&id, t) in &self.weights {
@@ -106,6 +114,7 @@ impl Reproducer {
             graph: self.graph.rehomed(&pool),
             weights,
             inputs,
+            ir: None,
         }
     }
 
@@ -126,8 +135,10 @@ impl Reproducer {
         };
         let mut options = CompileOptions::default();
         for id in &self.disabled_bugs {
-            if let Some(bug) = nnsmith_compilers::bug_by_id(id) {
-                options.bugs.disable(bug.id);
+            // Canonical lookup spans the graph-level and TIR-level
+            // registries, so IR-campaign maskers disable on replay too.
+            if let Some(canon) = nnsmith_compilers::canonical_bug_id(id) {
+                options.bugs.disable(canon);
             }
         }
         let mut scratch = CoverageSet::new();
@@ -272,6 +283,68 @@ mod tests {
         let (_, rep2) = back.reproducers.iter().next().expect("one entry");
         let report = rep2.replay().expect("known compiler");
         assert!(report.reproduced, "observed {:?}", report.observed);
+    }
+
+    #[test]
+    fn ir_reproducer_roundtrip_and_replay() {
+        use nnsmith_compilers::{LExpr, LStmt, LoweredFunc};
+        let compiler = tvmsim();
+        let case = TestCase::from_ir(vec![LoweredFunc {
+            name: "mutant".into(),
+            body: vec![LStmt::Store {
+                index: LExpr::Mod(Box::new(LExpr::Var(0)), Box::new(LExpr::Var(1))),
+            }],
+        }]);
+        let red = reduce_case(
+            &compiler,
+            &case,
+            &CompileOptions::default(),
+            Tolerance::default(),
+            &ReduceConfig::default(),
+        )
+        .expect("finding");
+        let rep = Reproducer::from_reduction(&red, "tvmsim", Tolerance::default());
+        assert_eq!(rep.bug_ids(), vec!["tir-simpl-mod".to_string()]);
+        assert!(rep.ir.is_some());
+
+        let mut corpus = Corpus::new();
+        corpus.insert(rep);
+        let js = corpus.to_json();
+        let back = Corpus::from_json(&js).expect("decodes");
+        assert_eq!(back, corpus);
+        assert_eq!(back.to_json(), js, "byte-identical re-encode");
+
+        let (_, rep2) = back.reproducers.iter().next().expect("one entry");
+        let report = rep2.replay().expect("known compiler");
+        assert!(report.reproduced, "observed {:?}", report.observed);
+    }
+
+    #[test]
+    fn decodes_corpora_written_before_the_ir_field_existed() {
+        // Corpora persisted by older binaries have no "ir" key; loading
+        // them must keep working (the field decodes as None).
+        let compiler = tvmsim();
+        let red = reduce_case(
+            &compiler,
+            &argmax_case(),
+            &CompileOptions::default(),
+            Tolerance::default(),
+            &ReduceConfig::default(),
+        )
+        .expect("finding");
+        let mut corpus = Corpus::new();
+        corpus.insert(Reproducer::from_reduction(
+            &red,
+            "tvmsim",
+            Tolerance::default(),
+        ));
+        let old_format = corpus.to_json().replace("\"ir\":null,", "");
+        assert!(!old_format.contains("\"ir\""), "fixture must drop the key");
+        let back = Corpus::from_json(&old_format).expect("old corpora still decode");
+        assert_eq!(back, corpus);
+        let (_, rep) = back.reproducers.iter().next().expect("one entry");
+        assert!(rep.ir.is_none());
+        assert!(rep.replay().expect("known compiler").reproduced);
     }
 
     #[test]

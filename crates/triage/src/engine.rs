@@ -196,12 +196,13 @@ impl<'a> TriageSink<'a> {
             return;
         };
         let provenance = (shard, case_index);
-        if captured.key.starts_with("anon:") {
+        if crate::signature::is_anonymous_key(&captured.key) {
             // Unattributed root cause: the captured key hashes the raw
-            // random graph, so distinct graphs with one root cause would
-            // split into distinct bins. Reduce first and bin on the
-            // post-reduction signature (recomputed on the minimal case by
-            // the reducer) so they dedupe.
+            // random case (graph neighborhood or Tzer IR loop nest), so
+            // distinct cases with one root cause would split into distinct
+            // bins. Reduce first and bin on the post-reduction signature
+            // (recomputed on the minimal case by the reducer) so they
+            // dedupe.
             match self.reduce(&failure.case, &captured) {
                 Some(reduction) => {
                     let sig = reduction.signature.clone();

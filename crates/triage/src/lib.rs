@@ -32,4 +32,6 @@ pub use reduce::{
     is_one_minimal, is_one_minimal_with, reduce_case, reduce_case_expecting,
     reduce_case_expecting_with, CaseOracle, ReduceConfig, Reduction,
 };
-pub use signature::{neighborhood_hash, signature_of, stable_hash, BugSignature};
+pub use signature::{
+    ir_hash, is_anonymous_key, neighborhood_hash, signature_of, stable_hash, BugSignature,
+};

@@ -27,7 +27,7 @@ use std::collections::{HashMap, HashSet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use nnsmith_compilers::{CompileOptions, Compiler, CoverageSet};
+use nnsmith_compilers::{CompileOptions, Compiler, CoverageSet, LExpr, LStmt, LoweredFunc};
 use nnsmith_difftest::{run_case, TestCase, TestOutcome, Tolerance};
 use nnsmith_graph::{Graph, NodeId, NodeKind, TensorType, ValueRef};
 use nnsmith_ops::{Bindings, Op};
@@ -111,16 +111,27 @@ fn check(
 
 /// Signature comparison used while reducing: exact equality, except that
 /// *unattributed* mismatches match on symptom and phase alone — their key
-/// is a structural hash of the whole graph, which any reduction
-/// necessarily changes, so exact matching would forbid all progress.
+/// is a structural hash of the whole case (graph neighborhood or IR loop
+/// nest), which any reduction necessarily changes, so exact matching would
+/// forbid all progress. The two anonymous families never match each other:
+/// a graph-hashed finding cannot reduce into an IR-hashed one.
 fn compatible(reference: &BugSignature, candidate: &BugSignature) -> bool {
     if reference == candidate {
         return true;
     }
+    let anon_family = |key: &str| {
+        if key.starts_with("anon-ir:") {
+            Some("ir")
+        } else if key.starts_with("anon:") {
+            Some("graph")
+        } else {
+            None
+        }
+    };
     reference.symptom == candidate.symptom
         && reference.phase == candidate.phase
-        && reference.key.starts_with("anon:")
-        && candidate.key.starts_with("anon:")
+        && anon_family(&reference.key).is_some()
+        && anon_family(&reference.key) == anon_family(&candidate.key)
 }
 
 /// Reduces `case` to a 1-minimal, signature-preserving case.
@@ -189,8 +200,10 @@ pub fn reduce_case_expecting_with(
         let mut progressed = false;
         for id in sig.seeded_ids() {
             if !expected_ids.contains(&id) && !disabled_bugs.contains(&id) {
-                if let Some(bug) = nnsmith_compilers::bug_by_id(&id) {
-                    options.bugs.disable(bug.id);
+                // Canonical lookup spans the graph-level and TIR-level
+                // registries, so IR-campaign maskers disable too.
+                if let Some(canon) = nnsmith_compilers::canonical_bug_id(&id) {
+                    options.bugs.disable(canon);
                     disabled_bugs.push(id);
                     progressed = true;
                 }
@@ -201,6 +214,21 @@ pub fn reduce_case_expecting_with(
         }
     };
     let options = &options;
+    if let Some(funcs) = &case.ir {
+        // IR payload (Tzer finding): delta-debug the loop nest instead of
+        // the graph.
+        return Some(reduce_ir(
+            oracle,
+            funcs,
+            options,
+            tol,
+            cfg,
+            sig0,
+            outcome0,
+            disabled_bugs,
+            oracle_runs,
+        ));
+    }
     let original_ops = case.graph.operators().len();
 
     let mut current = case.clone();
@@ -260,6 +288,204 @@ pub fn reduce_case_expecting_with(
         reduced_ops,
         oracle_runs,
     })
+}
+
+/// Delta-debugs an IR-payload case to a signature-preserving local
+/// minimum: whole kernels, then statements (removal, loop unwrapping,
+/// extent shrinking), then index-expression subtrees (zeroing and child
+/// hoisting) are greedily removed while the oracle keeps reporting a
+/// [`compatible`] signature. The candidate order is fixed, so reduction is
+/// deterministic and duplicates of one root cause converge to the same
+/// canonical minimal IR — which is what lets `anon-ir:` findings dedupe on
+/// the post-reduction hash.
+#[allow(clippy::too_many_arguments)] // internal tail of reduce_case_expecting_with
+fn reduce_ir(
+    oracle: &dyn CaseOracle,
+    funcs: &[LoweredFunc],
+    options: &CompileOptions,
+    tol: Tolerance,
+    cfg: &ReduceConfig,
+    sig0: BugSignature,
+    outcome0: TestOutcome,
+    disabled_bugs: Vec<String>,
+    mut oracle_runs: usize,
+) -> Reduction {
+    let mut current = funcs.to_vec();
+    let mut outcome = outcome0;
+    // Every accepted candidate strictly decreases the reduction potential
+    // (node count, wide-loop count, or nonzero-leaf count — no step can
+    // increase any of them), so the initial potential bounds the rounds to
+    // fixpoint for ANY oracle. `max_rounds` stays the caller's cost cap,
+    // exactly like the graph path: oversized mutants may stop above the
+    // canonical minimum.
+    for _ in 0..cfg.max_rounds.min(ir_potential(funcs) + 1) {
+        let mut changed = false;
+        for candidate in ir_candidates(&current) {
+            oracle_runs += 1;
+            let cand_case = TestCase::from_ir(candidate.clone());
+            let (cand_outcome, cand_sig) = check(oracle, &cand_case, options, tol);
+            if cand_sig.is_some_and(|s| compatible(&sig0, &s)) {
+                current = candidate;
+                outcome = cand_outcome;
+                changed = true;
+                break;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let reduced_weight = ir_weight(&current);
+    let case = TestCase::from_ir(current);
+    // Anonymous IR keys hash the loop nest: recompute on the minimal case
+    // so the stored signature is what a replay observes.
+    let signature = signature_of(&case, &outcome).unwrap_or(sig0);
+    Reduction {
+        case,
+        outcome,
+        signature,
+        disabled_bugs,
+        original_ops: ir_weight(funcs),
+        reduced_ops: reduced_weight,
+        oracle_runs,
+    }
+}
+
+/// Reduction size metric for IR cases: statements plus index-expression
+/// nodes (the "operator count" analogue graph reductions report).
+fn ir_weight(funcs: &[LoweredFunc]) -> usize {
+    fn stmts(list: &[LStmt]) -> usize {
+        list.iter()
+            .map(|s| match s {
+                LStmt::Store { index } => 1 + index.size(),
+                LStmt::For { body, .. } => 1 + stmts(body),
+            })
+            .sum()
+    }
+    funcs.iter().map(|f| stmts(&f.body)).sum()
+}
+
+/// Termination potential of the IR reducer: node weight plus the
+/// weight-*neutral* step targets — loops with extent > 1 (extent-shrink)
+/// and leaves other than `Const(0)` (leaf zeroing). Every candidate in
+/// [`ir_candidates`] strictly decreases at least one component and
+/// increases none, so this bounds the accepted steps to fixpoint.
+fn ir_potential(funcs: &[LoweredFunc]) -> usize {
+    fn expr(e: &LExpr) -> usize {
+        match e {
+            LExpr::Const(0) => 0,
+            LExpr::Const(_) | LExpr::Var(_) => 1,
+            LExpr::Add(a, b) | LExpr::Mul(a, b) | LExpr::Div(a, b) | LExpr::Mod(a, b) => {
+                expr(a) + expr(b)
+            }
+        }
+    }
+    fn stmts(list: &[LStmt]) -> usize {
+        list.iter()
+            .map(|s| match s {
+                LStmt::Store { index } => expr(index),
+                LStmt::For { extent, body, .. } => usize::from(*extent > 1) + stmts(body),
+            })
+            .sum()
+    }
+    ir_weight(funcs) + funcs.iter().map(|f| stmts(&f.body)).sum::<usize>()
+}
+
+/// All one-step IR reductions of `funcs`, in the fixed order the reducer
+/// scans them: kernel removal, then per-kernel statement/expression steps
+/// (later statements first, mirroring the graph pass's sinks-first order).
+fn ir_candidates(funcs: &[LoweredFunc]) -> Vec<Vec<LoweredFunc>> {
+    let mut out = Vec::new();
+    if funcs.len() > 1 {
+        for i in (0..funcs.len()).rev() {
+            let mut v = funcs.to_vec();
+            v.remove(i);
+            out.push(v);
+        }
+    }
+    for (i, f) in funcs.iter().enumerate() {
+        for body in ir_stmt_steps(&f.body) {
+            let mut v = funcs.to_vec();
+            v[i].body = body;
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// One-step reductions of a statement list: drop a statement, unwrap a
+/// loop into its body, shrink an extent to 1, or take one expression step
+/// inside a store — each applied at every position, outermost level first,
+/// later statements first.
+fn ir_stmt_steps(stmts: &[LStmt]) -> Vec<Vec<LStmt>> {
+    let mut out = Vec::new();
+    for i in (0..stmts.len()).rev() {
+        let mut v = stmts.to_vec();
+        v.remove(i);
+        out.push(v);
+    }
+    for i in (0..stmts.len()).rev() {
+        match &stmts[i] {
+            LStmt::For { extent, body, .. } => {
+                // Unwrap: splice the body in place of the loop.
+                let mut v = stmts.to_vec();
+                v.splice(i..=i, body.iter().cloned());
+                out.push(v);
+                if *extent > 1 {
+                    let mut v = stmts.to_vec();
+                    if let LStmt::For { extent, .. } = &mut v[i] {
+                        *extent = 1;
+                    }
+                    out.push(v);
+                }
+                for sub in ir_stmt_steps(body) {
+                    let mut v = stmts.to_vec();
+                    if let LStmt::For { body, .. } = &mut v[i] {
+                        *body = sub;
+                    }
+                    out.push(v);
+                }
+            }
+            LStmt::Store { index } => {
+                for e in ir_expr_steps(index) {
+                    let mut v = stmts.to_vec();
+                    if let LStmt::Store { index } = &mut v[i] {
+                        *index = e;
+                    }
+                    out.push(v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One-step reductions of an index expression: zero the whole subtree,
+/// hoist a child over its parent, or recurse — strongest shrink first, so
+/// minimal forms are canonical (`Mod(0, v)`, not an arbitrary survivor).
+fn ir_expr_steps(e: &LExpr) -> Vec<LExpr> {
+    let mut out = Vec::new();
+    if !matches!(e, LExpr::Const(0)) {
+        out.push(LExpr::Const(0));
+    }
+    let rebuild = |a: LExpr, b: LExpr| match e {
+        LExpr::Add(..) => LExpr::Add(Box::new(a), Box::new(b)),
+        LExpr::Mul(..) => LExpr::Mul(Box::new(a), Box::new(b)),
+        LExpr::Div(..) => LExpr::Div(Box::new(a), Box::new(b)),
+        LExpr::Mod(..) => LExpr::Mod(Box::new(a), Box::new(b)),
+        _ => unreachable!("rebuild only called for binary nodes"),
+    };
+    if let LExpr::Add(a, b) | LExpr::Mul(a, b) | LExpr::Div(a, b) | LExpr::Mod(a, b) = e {
+        out.push((**a).clone());
+        out.push((**b).clone());
+        for ea in ir_expr_steps(a) {
+            out.push(rebuild(ea, (**b).clone()));
+        }
+        for eb in ir_expr_steps(b) {
+            out.push(rebuild((**a).clone(), eb));
+        }
+    }
+    out
 }
 
 /// True if no single operator removal preserves the case's signature —
@@ -387,6 +613,7 @@ fn remove_op(
         graph: out,
         weights,
         inputs,
+        ir: None,
     })
 }
 
@@ -512,6 +739,7 @@ fn shrink_shapes(case: &TestCase, sig: &BugSignature, cfg: &ReduceConfig) -> Opt
         graph: out,
         weights,
         inputs,
+        ir: None,
     })
 }
 
@@ -717,6 +945,84 @@ mod tests {
         let rep = crate::corpus::Reproducer::from_reduction(&red, "tvmsim", Tolerance::default());
         let report = rep.replay().expect("known compiler");
         assert!(report.reproduced, "observed {:?}", report.observed);
+    }
+
+    #[test]
+    fn reduces_ir_crash_case_to_minimal_kernel() {
+        // A bloated Tzer-style mutant: deep-ish nest, two irrelevant
+        // stores, and one store whose index divides by a loop variable
+        // (the seeded tir-simpl-div crash).
+        let compiler = tvmsim();
+        let func = LoweredFunc {
+            name: "mutant".into(),
+            body: vec![LStmt::For {
+                var: 0,
+                extent: 16,
+                body: vec![
+                    LStmt::Store {
+                        index: LExpr::Var(0),
+                    },
+                    LStmt::For {
+                        var: 1,
+                        extent: 8,
+                        body: vec![
+                            LStmt::Store {
+                                index: LExpr::Add(
+                                    Box::new(LExpr::Mul(
+                                        Box::new(LExpr::Var(0)),
+                                        Box::new(LExpr::Const(8)),
+                                    )),
+                                    Box::new(LExpr::Div(
+                                        Box::new(LExpr::Var(1)),
+                                        Box::new(LExpr::Var(0)),
+                                    )),
+                                ),
+                            },
+                            LStmt::Store {
+                                index: LExpr::Const(3),
+                            },
+                        ],
+                        vectorized: false,
+                        unrolled: false,
+                    },
+                ],
+                vectorized: false,
+                unrolled: false,
+            }],
+        };
+        let case = TestCase::from_ir(vec![func]);
+        let red = reduce_case(
+            &compiler,
+            &case,
+            &CompileOptions::default(),
+            Tolerance::default(),
+            &ReduceConfig::default(),
+        )
+        .expect("finding");
+        assert_eq!(red.signature.key, "seeded:tir-simpl-div");
+        assert!(
+            red.reduced_ops < red.original_ops,
+            "no shrink: {} vs {}",
+            red.reduced_ops,
+            red.original_ops
+        );
+        let funcs = red.case.ir.as_ref().expect("ir case stays ir");
+        // Canonical minimum: one store, Div(0, v).
+        assert_eq!(funcs.len(), 1);
+        assert_eq!(
+            funcs[0].body,
+            vec![LStmt::Store {
+                index: LExpr::Div(Box::new(LExpr::Const(0)), Box::new(LExpr::Var(0)))
+            }]
+        );
+        // The minimal case still replays to the same signature.
+        let (_, sig) = check(
+            &compiler,
+            &red.case,
+            &CompileOptions::default(),
+            Tolerance::default(),
+        );
+        assert_eq!(sig.as_ref(), Some(&red.signature));
     }
 
     #[test]

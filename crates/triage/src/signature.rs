@@ -14,9 +14,15 @@
 //!    hash* of the offending graph: operator names, dtypes and ranks with
 //!    their edge structure, ignoring concrete dimensions and values, so
 //!    same-shape-bug cases with different solver models still collide.
+//!    IR-payload cases (the Tzer baseline) have no graph — their
+//!    unattributed findings key on an [`ir_hash`] of the loop-nest
+//!    structure instead (`anon-ir:` prefix), with constants bucketed and
+//!    variable identities erased for the same collide-on-root-cause
+//!    property.
 
 use serde::{Deserialize, Serialize};
 
+use nnsmith_compilers::{LExpr, LStmt, LoweredFunc};
 use nnsmith_difftest::{seeded_bug_id, FaultSite, TestCase, TestOutcome};
 use nnsmith_graph::{Graph, NodeKind};
 use nnsmith_ops::Op;
@@ -68,7 +74,12 @@ pub fn signature_of(case: &TestCase, outcome: &TestOutcome) -> Option<BugSignatu
                 FaultSite::Conversion => "conversion",
             };
             let key = if attributed.is_empty() {
-                format!("anon:{:016x}", neighborhood_hash(&case.graph))
+                match &case.ir {
+                    // Tzer findings carry IR locations, not graph
+                    // neighborhoods: key on the loop-nest structure.
+                    Some(funcs) => format!("anon-ir:{:016x}", ir_hash(funcs)),
+                    None => format!("anon:{:016x}", neighborhood_hash(&case.graph)),
+                }
             } else {
                 let mut ids = attributed.clone();
                 ids.sort();
@@ -117,6 +128,62 @@ pub fn neighborhood_hash(graph: &Graph<Op>) -> u64 {
         for v in &node.inputs {
             text.push_str(&format!("<{}.{}", v.node.0, v.index));
         }
+        text.push(';');
+    }
+    fnv1a(text.as_bytes())
+}
+
+/// True when `key` is an unattributed root-cause key — graph-hashed
+/// (`anon:`) or IR-hashed (`anon-ir:`). Such findings must be reduced
+/// before binning: their captured key hashes the raw random case, so
+/// duplicates of one root cause only collide post-reduction.
+pub fn is_anonymous_key(key: &str) -> bool {
+    key.starts_with("anon:") || key.starts_with("anon-ir:")
+}
+
+/// Structural hash of low-level IR (the [`neighborhood_hash`] analogue for
+/// Tzer findings): loop-nest shape with log-bucketed extents, and index
+/// expression shape with variable identities erased and constants
+/// log-bucketed — so 1-minimal reproducers of one IR root cause collide
+/// while structurally different causes stay apart.
+pub fn ir_hash(funcs: &[LoweredFunc]) -> u64 {
+    fn expr_text(e: &LExpr, out: &mut String) {
+        match e {
+            LExpr::Const(c) => out.push_str(&format!("c{}", nnsmith_compilers::log_bucket(*c))),
+            LExpr::Var(_) => out.push('v'),
+            LExpr::Add(a, b) | LExpr::Mul(a, b) | LExpr::Div(a, b) | LExpr::Mod(a, b) => {
+                out.push(match e {
+                    LExpr::Add(..) => '+',
+                    LExpr::Mul(..) => '*',
+                    LExpr::Div(..) => '/',
+                    _ => '%',
+                });
+                out.push('(');
+                expr_text(a, out);
+                out.push(',');
+                expr_text(b, out);
+                out.push(')');
+            }
+        }
+    }
+    fn stmt_text(stmts: &[LStmt], out: &mut String) {
+        for s in stmts {
+            match s {
+                LStmt::Store { index } => {
+                    out.push('S');
+                    expr_text(index, out);
+                }
+                LStmt::For { extent, body, .. } => {
+                    out.push_str(&format!("F{}[", nnsmith_compilers::log_bucket(*extent)));
+                    stmt_text(body, out);
+                    out.push(']');
+                }
+            }
+        }
+    }
+    let mut text = String::new();
+    for f in funcs {
+        stmt_text(&f.body, &mut text);
         text.push(';');
     }
     fnv1a(text.as_bytes())
@@ -211,6 +278,45 @@ mod tests {
         let c = tanh_case(&[2]);
         assert_eq!(neighborhood_hash(&a.graph), neighborhood_hash(&b.graph));
         assert_ne!(neighborhood_hash(&a.graph), neighborhood_hash(&c.graph));
+    }
+
+    #[test]
+    fn ir_mismatch_keys_on_ir_structure_not_graph() {
+        use nnsmith_compilers::{LExpr, LStmt, LoweredFunc};
+        let func = |extent: i64, var: u32| LoweredFunc {
+            name: "k".into(),
+            body: vec![LStmt::For {
+                var,
+                extent,
+                body: vec![LStmt::Store {
+                    index: LExpr::Mod(Box::new(LExpr::Var(var)), Box::new(LExpr::Var(var + 1))),
+                }],
+                vectorized: false,
+                unrolled: false,
+            }],
+        };
+        let mismatch = TestOutcome::ResultMismatch {
+            detail: "ir".into(),
+            site: FaultSite::Optimization,
+            attributed: Vec::new(),
+        };
+        // Same structure, different variable ids and same-bucket extents →
+        // same key; different expression shape → different key.
+        let a = signature_of(&TestCase::from_ir(vec![func(8, 0)]), &mismatch).unwrap();
+        let b = signature_of(&TestCase::from_ir(vec![func(9, 7)]), &mismatch).unwrap();
+        assert_eq!(a, b);
+        assert!(a.key.starts_with("anon-ir:"), "key: {}", a.key);
+        assert!(is_anonymous_key(&a.key));
+        let deeper = TestCase::from_ir(vec![LoweredFunc {
+            name: "k".into(),
+            body: vec![LStmt::Store {
+                index: LExpr::Var(0),
+            }],
+        }]);
+        let c = signature_of(&deeper, &mismatch).unwrap();
+        assert_ne!(a.key, c.key);
+        // IR anon keys never collide with graph anon keys.
+        assert!(!c.key.starts_with("anon:"));
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Regression test for IR-keyed triage signatures: Tzer findings carry IR
+//! locations, not graph neighborhoods, so unattributed IR mismatches key
+//! on a structural hash of the loop nest (`anon-ir:`) and — like the
+//! graph-level anonymous path (`tests/anon_binning.rs`, which this file is
+//! modeled on) — are reduced *first* and binned on the post-reduction
+//! signature. Two shards hitting the same Tzer root cause must collapse
+//! into one bin; structurally distinct causes must stay separate.
+//!
+//! The simulated TIR pipeline attributes every seeded IR mismatch, so an
+//! organically-unattributed IR mismatch cannot be produced through it; the
+//! test drives the public [`TriageSink`] with a synthetic [`CaseOracle`]
+//! that mismatches (unattributed) whenever a store index contains a `Mod`
+//! — or, as the second root cause, a `Div` — node.
+
+use nnsmith_compilers::{CompileOptions, LExpr, LStmt, LoweredFunc};
+use nnsmith_difftest::{CapturedFailure, FaultSite, TestCase, TestOutcome, Tolerance};
+use nnsmith_triage::{signature_of, CaseOracle, TriageConfig, TriageSink};
+
+/// Synthetic differential oracle: any IR case whose store indexes contain
+/// `Mod` or `Div` produces an *unattributed* optimization mismatch;
+/// everything else passes. Deterministic and structure-only, like a real
+/// unseeded TIR bug whose trigger is one index form.
+struct IrMismatchOracle;
+
+fn contains(e: &LExpr, pred: &dyn Fn(&LExpr) -> bool) -> bool {
+    if pred(e) {
+        return true;
+    }
+    match e {
+        LExpr::Const(_) | LExpr::Var(_) => false,
+        LExpr::Add(a, b) | LExpr::Mul(a, b) | LExpr::Div(a, b) | LExpr::Mod(a, b) => {
+            contains(a, pred) || contains(b, pred)
+        }
+    }
+}
+
+fn any_index(stmts: &[LStmt], pred: &dyn Fn(&LExpr) -> bool) -> bool {
+    stmts.iter().any(|s| match s {
+        LStmt::Store { index } => contains(index, pred),
+        LStmt::For { body, .. } => any_index(body, pred),
+    })
+}
+
+impl CaseOracle for IrMismatchOracle {
+    fn run_oracle(
+        &self,
+        case: &TestCase,
+        _options: &CompileOptions,
+        _tol: Tolerance,
+    ) -> TestOutcome {
+        let Some(funcs) = &case.ir else {
+            return TestOutcome::Pass;
+        };
+        let triggers = funcs
+            .iter()
+            .any(|f| any_index(&f.body, &|e| matches!(e, LExpr::Mod(..) | LExpr::Div(..))));
+        if triggers {
+            TestOutcome::ResultMismatch {
+                detail: "tir store index disagrees".into(),
+                site: FaultSite::Optimization,
+                attributed: Vec::new(),
+            }
+        } else {
+            TestOutcome::Pass
+        }
+    }
+}
+
+/// A bloated Tzer-style mutant around one root-cause index node: wrapper
+/// loops, irrelevant stores, and arithmetic around the trigger differ per
+/// call so the *captured* anonymous signatures differ.
+fn bloated_ir_case(root: LExpr, wrapper_loops: u32, extra_stores: usize, pad: i64) -> TestCase {
+    let mut body = vec![LStmt::Store {
+        index: LExpr::Add(
+            Box::new(LExpr::Mul(
+                Box::new(LExpr::Var(0)),
+                Box::new(LExpr::Const(pad)),
+            )),
+            Box::new(root),
+        ),
+    }];
+    for _ in 0..extra_stores {
+        body.push(LStmt::Store {
+            index: LExpr::Var(1),
+        });
+    }
+    for v in 0..wrapper_loops {
+        body = vec![LStmt::For {
+            var: v + 10,
+            extent: 4 + v as i64,
+            body,
+            vectorized: false,
+            unrolled: false,
+        }];
+    }
+    TestCase::from_ir(vec![LoweredFunc {
+        name: "mutant".into(),
+        body,
+    }])
+}
+
+fn modulo() -> LExpr {
+    LExpr::Mod(Box::new(LExpr::Var(2)), Box::new(LExpr::Const(7)))
+}
+
+fn division() -> LExpr {
+    LExpr::Div(Box::new(LExpr::Var(3)), Box::new(LExpr::Const(5)))
+}
+
+fn capture(case: TestCase) -> CapturedFailure {
+    let outcome =
+        IrMismatchOracle.run_oracle(&case, &CompileOptions::default(), Tolerance::default());
+    assert!(outcome.is_finding(), "fixture must be a finding");
+    CapturedFailure { case, outcome }
+}
+
+#[test]
+fn same_ir_root_cause_across_shards_shares_a_bin_distinct_causes_do_not() {
+    let oracle = IrMismatchOracle;
+    // Shards 0 and 1 hit the Mod root cause through structurally different
+    // mutants; shard 0 also hits the Div cause. Captured anon-ir keys all
+    // differ (the raw mutants hash differently).
+    let failures = [
+        capture(bloated_ir_case(modulo(), 2, 1, 8)),
+        capture(bloated_ir_case(modulo(), 3, 2, 16)),
+        capture(bloated_ir_case(division(), 1, 2, 4)),
+    ];
+    let captured_keys: Vec<String> = failures
+        .iter()
+        .map(|f| signature_of(&f.case, &f.outcome).expect("finding").as_key())
+        .collect();
+    assert_ne!(captured_keys[0], captured_keys[1]);
+    assert_ne!(captured_keys[0], captured_keys[2]);
+    assert!(
+        captured_keys.iter().all(|k| k.contains("anon-ir:")),
+        "{captured_keys:?}"
+    );
+
+    let mut sink = TriageSink::new(
+        &oracle,
+        "synthetic",
+        CompileOptions::default(),
+        Tolerance::default(),
+        TriageConfig::default(),
+    );
+    sink.ingest(0, 4, &failures[0]);
+    sink.ingest(1, 2, &failures[1]);
+    sink.ingest(0, 9, &failures[2]);
+    let report = sink.finish();
+
+    assert_eq!(report.failures_seen, 3);
+    assert!(
+        report.unreduced.is_empty(),
+        "all anon-ir failures reproduce under the oracle: {:?}",
+        report.unreduced.keys()
+    );
+    // Post-reduction binning: the two Mod mutants collapse into ONE bin,
+    // the Div mutant stays its own.
+    assert_eq!(
+        report.bins.len(),
+        2,
+        "expected mod-bin + div-bin: {:?}",
+        report.bins.keys()
+    );
+    let counts: Vec<usize> = report.bins.values().map(|b| b.count).collect();
+    assert!(
+        counts.contains(&2),
+        "mod duplicates must dedupe: {counts:?}"
+    );
+    assert!(counts.contains(&1), "div cause stays separate: {counts:?}");
+    for bin in report.bins.values() {
+        assert!(bin.bug_ids.is_empty(), "unseeded IR bug has no seeded ids");
+        let funcs = bin.reproducer.ir.as_ref().expect("IR reproducer");
+        // Minimal: a single store holding just the root-cause node.
+        assert_eq!(funcs.len(), 1);
+        assert_eq!(funcs[0].body.len(), 1, "body: {:?}", funcs[0].body);
+        // The stored signature is what the minimal case itself hashes to,
+        // so replaying the reproducer observes the stored signature.
+        let replay = bin.reproducer.to_case();
+        let replay_sig = signature_of(
+            &replay,
+            &IrMismatchOracle.run_oracle(&replay, &CompileOptions::default(), Tolerance::default()),
+        )
+        .expect("minimal case still a finding");
+        assert_eq!(replay_sig, bin.signature);
+    }
+    // The dedup key carried the IR family prefix end-to-end.
+    assert!(report.bins.keys().all(|k| k.contains("anon-ir:")));
+}
+
+#[test]
+fn ir_binning_is_order_independent() {
+    // Reversed ingestion order must produce the identical serialized
+    // report (the workers=1 ≡ workers=N contract for the anon-ir path).
+    let oracle = IrMismatchOracle;
+    let failures = [
+        capture(bloated_ir_case(modulo(), 2, 1, 8)),
+        capture(bloated_ir_case(modulo(), 3, 2, 16)),
+        capture(bloated_ir_case(division(), 1, 2, 4)),
+    ];
+    let run = |order: &[usize]| {
+        let mut sink = TriageSink::new(
+            &oracle,
+            "synthetic",
+            CompileOptions::default(),
+            Tolerance::default(),
+            TriageConfig::default(),
+        );
+        for &i in order {
+            sink.ingest(i % 2, i, &failures[i]);
+        }
+        serde::json::to_string(&sink.finish())
+    };
+    assert_eq!(run(&[0, 1, 2]), run(&[2, 1, 0]));
+}

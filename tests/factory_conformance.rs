@@ -1,0 +1,189 @@
+//! Cross-baseline conformance suite: every [`SourceFactory`] — NNSmith,
+//! LEMON, GraphFuzzer and Tzer — must satisfy the same engine contract:
+//!
+//! 1. **Worker-count determinism** — for a fixed seed and shard count the
+//!    merged, serialized campaign result is byte-identical at workers=1
+//!    and workers=4 (the bit-reproducible merge behind every scaling
+//!    claim);
+//! 2. **Distinct per-shard RNG streams** — shard sources derive all
+//!    randomness from their shard seed, and different shards produce
+//!    different first cases;
+//! 3. **Pool threading** — engine campaigns intern every tensor type into
+//!    the campaign pool (no baseline path allocates a private mini-pool),
+//!    the pool's node count grows during generation, and the process-wide
+//!    live-node count returns to its baseline once the campaign state is
+//!    dropped. (Tzer mutates low-level IR and interns nothing, which is
+//!    its own conformance expectation.)
+//!
+//! The suite is macro-driven: one module per factory, same assertions.
+//! Tests serialize on a file-global mutex because the live-node counter is
+//! process-wide.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use nnsmith::baselines::{GraphFuzzerFactory, LemonFactory, TzerFactory};
+use nnsmith::compilers::{ortsim, tvmsim, Compiler};
+use nnsmith::difftest::{
+    run_engine, shard_seed, CampaignConfig, EngineConfig, ShardCtx, SourceFactory,
+};
+use nnsmith::gen::GenConfig;
+use nnsmith::pipeline::NnSmithFactory;
+use nnsmith::solver::{live_node_count, InternPool};
+use nnsmith::NnSmithConfig;
+
+/// Serializes every test in this binary: the live-node assertions read a
+/// process-wide counter that concurrently-running pool users would
+/// perturb.
+static GATE: Mutex<()> = Mutex::new(());
+
+fn quick_nnsmith() -> NnSmithFactory {
+    NnSmithFactory::new(NnSmithConfig {
+        gen: GenConfig {
+            target_ops: 5,
+            ..GenConfig::default()
+        },
+        ..NnSmithConfig::default()
+    })
+}
+
+fn engine_config(workers: usize, max_cases: usize) -> EngineConfig {
+    EngineConfig {
+        workers,
+        shards: 4,
+        seed: 1234,
+        campaign: CampaignConfig {
+            duration: Duration::from_secs(600),
+            max_cases: Some(max_cases),
+            ..CampaignConfig::default()
+        },
+    }
+}
+
+fn assert_workers_agree(compiler: &Compiler, factory: &dyn SourceFactory, max_cases: usize) {
+    let one = run_engine(compiler, factory, &engine_config(1, max_cases));
+    let four = run_engine(compiler, factory, &engine_config(4, max_cases));
+    assert_eq!(one.result.cases, max_cases);
+    assert_eq!(
+        serde::json::to_string(&one.result),
+        serde::json::to_string(&four.result),
+        "{}: merged result depends on the worker count",
+        factory.name()
+    );
+    for (a, b) in one.shard_results.iter().zip(&four.shard_results) {
+        assert_eq!(a.cases, b.cases);
+        assert_eq!(a.coverage, b.coverage);
+        assert_eq!(a.bugs_found, b.bugs_found);
+    }
+    // The campaign arena is content-addressed, so even its counters must
+    // not depend on worker interleaving.
+    assert_eq!(one.arena, four.arena);
+}
+
+fn assert_distinct_shard_streams(factory: &dyn SourceFactory) {
+    let pool = InternPool::default();
+    let ctx = |index| ShardCtx {
+        index,
+        count: 2,
+        seed: shard_seed(77, index),
+    };
+    let mut a = factory.make_source_in(&pool, ctx(0));
+    let mut b = factory.make_source_in(&pool, ctx(1));
+    let ca = a.next_case().expect("case");
+    let cb = b.next_case().expect("case");
+    assert!(
+        ca.graph != cb.graph || ca.ir != cb.ir,
+        "{}: shard streams must be independent",
+        factory.name()
+    );
+    // And re-creating shard 0 replays the identical stream.
+    let mut a2 = factory.make_source_in(&pool, ctx(0));
+    let ra = a2.next_case().expect("case");
+    assert_eq!(ca.graph, ra.graph);
+    assert_eq!(ca.ir, ra.ir);
+}
+
+fn assert_pool_threading(factory: &dyn SourceFactory, interns: bool) {
+    let baseline = live_node_count();
+    {
+        let pool = InternPool::default();
+        let before = pool.stats().int_nodes;
+        let mut source = factory.make_source_in(
+            &pool,
+            ShardCtx {
+                index: 0,
+                count: 1,
+                seed: shard_seed(5, 0),
+            },
+        );
+        let mut cases = Vec::new();
+        for _ in 0..3 {
+            cases.push(source.next_case().expect("case"));
+        }
+        if interns {
+            assert!(
+                pool.stats().int_nodes > before,
+                "{}: campaign pool did not grow",
+                factory.name()
+            );
+            // The strong form of "no private mini-pools": every tensor
+            // type of every emitted case is homed in the campaign pool.
+            for case in &cases {
+                for v in case.graph.all_values() {
+                    assert!(
+                        case.graph.value_type(v).pool().same_pool(&pool),
+                        "{}: type homed outside the campaign pool",
+                        factory.name()
+                    );
+                }
+            }
+        } else {
+            // IR sources have nothing to intern — and must not sneak a
+            // mini-pool in through an empty graph.
+            assert_eq!(pool.stats().int_nodes, before, "{}", factory.name());
+            for case in &cases {
+                assert!(case.is_ir());
+                assert_eq!(case.graph.len(), 0);
+            }
+        }
+    }
+    // Campaign state dropped: every node the campaign interned (in the
+    // shared pool or anywhere else) has been reclaimed.
+    assert_eq!(
+        live_node_count(),
+        baseline,
+        "{}: campaign leaked interned nodes",
+        factory.name()
+    );
+}
+
+macro_rules! conformance_suite {
+    ($modname:ident, $factory:expr, $compiler:expr, cases: $cases:expr, interns: $interns:expr) => {
+        mod $modname {
+            use super::*;
+
+            #[test]
+            fn workers_1_and_4_agree_bit_for_bit() {
+                let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+                assert_workers_agree(&$compiler, &$factory, $cases);
+            }
+
+            #[test]
+            fn shard_rng_streams_are_distinct_and_replayable() {
+                let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+                assert_distinct_shard_streams(&$factory);
+            }
+
+            #[test]
+            fn campaign_pool_is_threaded_and_reclaimed() {
+                let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+                assert_pool_threading(&$factory, $interns);
+            }
+        }
+    };
+}
+
+conformance_suite!(nnsmith_suite, quick_nnsmith(), ortsim(), cases: 12, interns: true);
+conformance_suite!(lemon_suite, LemonFactory, ortsim(), cases: 16, interns: true);
+conformance_suite!(graphfuzzer_suite, GraphFuzzerFactory::default(), ortsim(), cases: 16, interns: true);
+conformance_suite!(tzer_suite, TzerFactory, tvmsim(), cases: 64, interns: false);

@@ -1,0 +1,104 @@
+//! Tzer as a first-class engine citizen, end-to-end: the IR mutator is
+//! sharded across workers with the bit-reproducible merge contract, and
+//! its coverage-pipeline findings flow through the `CaseOracle`/
+//! `TriageSink` seam — reduced, binned on IR-keyed signatures, and
+//! persisted in the reproducer corpus like every graph-level finding.
+//! This is the fig8 acceptance in test form.
+
+use std::time::Duration;
+
+use nnsmith::baselines::TzerFactory;
+use nnsmith::compilers::tvmsim;
+use nnsmith::difftest::{CampaignConfig, EngineConfig};
+use nnsmith::triage::{run_triaged_engine, Corpus, TriageConfig};
+
+fn config(workers: usize) -> EngineConfig {
+    EngineConfig {
+        workers,
+        shards: 4,
+        seed: 90,
+        campaign: CampaignConfig {
+            duration: Duration::from_secs(600),
+            // Enough mutants that every shard trips at least one seeded
+            // TIR bug (variable divisors appear within a few mutants).
+            max_cases: Some(160),
+            ..CampaignConfig::default()
+        },
+    }
+}
+
+#[test]
+fn tzer_findings_flow_through_triage_and_replay_from_the_corpus() {
+    let compiler = tvmsim();
+    let (report, triage) = run_triaged_engine(
+        &compiler,
+        &TzerFactory,
+        &config(2),
+        &TriageConfig::default(),
+    );
+    assert_eq!(report.result.cases, 160);
+    assert!(
+        report.result.total_coverage() > 400,
+        "IR campaigns still accumulate coverage: {}",
+        report.result.total_coverage()
+    );
+    // Tzer reaches the seeded TIR bugs graph fuzzing cannot.
+    assert!(
+        report
+            .result
+            .bugs_found
+            .iter()
+            .any(|id| id.starts_with("tir-")),
+        "bugs: {:?}",
+        report.result.bugs_found
+    );
+
+    assert!(triage.failures_seen > 0);
+    assert!(!triage.bins.is_empty(), "findings must be binned");
+    let mut replayed = 0;
+    for bin in triage.bins.values() {
+        assert!(
+            bin.reproducer.ir.is_some(),
+            "Tzer reproducers carry IR payloads: {}",
+            bin.signature
+        );
+        assert!(
+            bin.bug_ids.iter().all(|id| id.starts_with("tir-")),
+            "IR campaigns only implicate TIR bugs: {:?}",
+            bin.bug_ids
+        );
+        let replay = bin.reproducer.replay().expect("known compiler");
+        assert!(
+            replay.reproduced,
+            "bin {} replay observed {:?}",
+            bin.signature, replay.observed
+        );
+        replayed += 1;
+    }
+    assert!(replayed > 0);
+
+    // And the corpus round-trips the IR reproducers byte-identically.
+    let corpus = triage.to_corpus();
+    assert_eq!(corpus.len(), triage.bins.len());
+    let js = corpus.to_json();
+    let back = Corpus::from_json(&js).expect("decodes");
+    assert_eq!(back.to_json(), js);
+}
+
+#[test]
+fn tzer_triage_identical_across_worker_counts() {
+    let compiler = tvmsim();
+    let cfg = TriageConfig::default();
+    let (one_report, one) = run_triaged_engine(&compiler, &TzerFactory, &config(1), &cfg);
+    let (four_report, four) = run_triaged_engine(&compiler, &TzerFactory, &config(4), &cfg);
+    assert_eq!(
+        serde::json::to_string(&one_report.result),
+        serde::json::to_string(&four_report.result),
+        "merged campaign result must not depend on the worker count"
+    );
+    assert_eq!(
+        serde::json::to_string(&one),
+        serde::json::to_string(&four),
+        "merged triage report must not depend on the worker count"
+    );
+}

@@ -385,11 +385,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 fn de_named_fields_body(fields: &[String], source: &str) -> String {
     let inits: Vec<String> = fields
         .iter()
-        .map(|f| {
-            format!(
-                "{f}: ::serde::Deserialize::deserialize(::serde::json::obj_get({source}, \"{f}\")?)?"
-            )
-        })
+        .map(|f| format!("{f}: ::serde::json::field({source}, \"{f}\")?"))
         .collect();
     format!("{{ {} }}", inits.join(", "))
 }
