@@ -11,6 +11,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use nnsmith_compilers::BackendSet;
 use nnsmith_difftest::{ShardCtx, SourceFactory, TestCaseSource};
 use nnsmith_solver::InternPool;
 
@@ -20,6 +21,10 @@ use crate::tzer::Tzer;
 
 /// Shards LEMON campaigns: each shard mutates the seed-model zoo with its
 /// own RNG stream.
+///
+/// LEMON's seed zoo is f32-only, which every simulated backend supports,
+/// so a cross-backend set needs no restriction: [`LemonFactory`] is
+/// already legal on any [`BackendSet`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LemonFactory;
 
@@ -42,6 +47,22 @@ impl SourceFactory for LemonFactory {
 pub struct GraphFuzzerFactory {
     /// Configuration applied to every shard's fuzzer.
     pub config: GraphFuzzerConfig,
+}
+
+impl GraphFuzzerFactory {
+    /// A factory whose shards draw only dtypes every backend of the set
+    /// supports (GraphFuzzer's palette intersected with the set's
+    /// support matrix), so a cross-backend campaign never generates a
+    /// case some backend must reject.
+    pub fn for_backends(mut config: GraphFuzzerConfig, backends: &BackendSet) -> Self {
+        let supported = backends.supported_dtypes();
+        config.dtypes.retain(|d| supported.contains(d));
+        assert!(
+            !config.dtypes.is_empty(),
+            "backend set supports none of GraphFuzzer's dtypes"
+        );
+        GraphFuzzerFactory { config }
+    }
 }
 
 impl SourceFactory for GraphFuzzerFactory {
@@ -68,7 +89,9 @@ impl SourceFactory for GraphFuzzerFactory {
 /// Shards Tzer campaigns: each shard runs an independent IR mutator from
 /// its own RNG stream, emitting IR-payload cases the engine drives through
 /// the TIR pipeline. Nothing is interned, so the default `make_source_in`
-/// (which ignores the pool) is already correct.
+/// (which ignores the pool) is already correct. IR cases carry no tensor
+/// dtypes, so backend sets need no restriction either — backends without
+/// a low-level pipeline simply answer `NotImplemented` per case.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TzerFactory;
 

@@ -43,7 +43,7 @@ fn main() {
         }
         print_ratio_summary(&results, |r| r.total_coverage());
         println!();
-        records.push(bench_record("fig4", &compiler, args, &reports));
+        records.push(bench_record("fig4", &compiler, &args, &reports));
     }
     write_bench_json("fig4", &records);
 }

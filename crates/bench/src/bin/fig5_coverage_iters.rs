@@ -34,7 +34,7 @@ fn main() {
             );
         }
         println!();
-        records.push(bench_record("fig5", &compiler, args, &reports));
+        records.push(bench_record("fig5", &compiler, &args, &reports));
     }
     write_bench_json("fig5", &records);
 }

@@ -38,7 +38,7 @@ fn main() {
         }
         print_ratio_summary(&results, |r| r.pass_coverage(&compiler));
         println!();
-        records.push(bench_record("fig6", &compiler, args, &reports));
+        records.push(bench_record("fig6", &compiler, &args, &reports));
     }
     write_bench_json("fig6", &records);
 }

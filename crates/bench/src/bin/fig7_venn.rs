@@ -1,15 +1,24 @@
 //! Figure 7: Venn diagram of branch-coverage sets (LEMON, GraphFuzzer,
-//! NNSmith) on ortsim and tvmsim — unique coverage is the paper's
-//! headline (32.7x / 10.8x vs 2nd best).
+//! NNSmith) — unique coverage is the paper's headline (32.7x / 10.8x vs
+//! 2nd best).
 //!
-//! `cargo run -p nnsmith-bench --release --bin fig7_venn [secs]`
+//! Rewritten on the real cross-backend matrix: each fuzzer runs **one**
+//! campaign fanned out over the whole backend set (tvmsim + ortsim +
+//! trtsim by default; generation restricted to the set's dtype
+//! intersection so every backend runs every case), and the three-fuzzer
+//! venn is computed per backend from its own coverage set — coverage ids
+//! only mean something within one compiler's manifest, so there is one
+//! venn per backend, not one union venn.
 //!
-//! Emits `BENCH_fig7.json` with the seven regions per compiler.
+//! `cargo run -p nnsmith-bench --release --bin fig7_venn -- \
+//!     [secs] [--workers N] [--shards N] [--backends tvm,ort,trt]`
+//!
+//! Emits `BENCH_fig7.json` with the seven regions per backend.
 
 use serde::Serialize;
 
-use nnsmith_bench::{arg_secs, three_way_campaigns, write_json};
-use nnsmith_compilers::{ortsim, tvmsim};
+use nnsmith_bench::{bench_args, three_way_matrix_engine, write_json};
+use nnsmith_compilers::BackendSet;
 use nnsmith_difftest::Venn3;
 
 #[derive(Serialize)]
@@ -25,16 +34,31 @@ struct Fig7Record {
 }
 
 fn main() {
-    let secs = arg_secs(20);
+    let args = bench_args(20);
+    let backends = args.backend_set(BackendSet::all());
+    let secs = args.secs;
+    println!(
+        "== Figure 7 — coverage Venn over the {} matrix, {secs}s per fuzzer ==",
+        backends.names().join("+")
+    );
+    // One matrix campaign per fuzzer (NNSmith, GraphFuzzer, LEMON): the
+    // reference phase runs once per case and every backend accumulates
+    // its own coverage.
+    let reports = three_way_matrix_engine(&backends, secs, args.workers, args.shards, None);
+
     let mut records = Vec::new();
-    for compiler in [ortsim(), tvmsim()] {
+    for compiler in backends.iter() {
         let name = compiler.system().name();
-        println!("== Figure 7 ({name}) — coverage Venn, {secs}s per fuzzer ==");
-        let results = three_way_campaigns(&compiler, secs);
-        let nnsmith = &results[0].coverage;
-        let graphfuzzer = &results[1].coverage;
-        let lemon = &results[2].coverage;
+        let cov = |i: usize| {
+            &reports[i]
+                .result
+                .backend(name)
+                .expect("backend in result")
+                .coverage
+        };
+        let (nnsmith, graphfuzzer, lemon) = (cov(0), cov(1), cov(2));
         let v = Venn3::of(lemon, graphfuzzer, nnsmith);
+        println!("-- {name} --");
         println!("LEMON        total {}", v.total_a());
         println!("GraphFuzzer  total {}", v.total_b());
         println!("NNSmith      total {}", v.total_c());

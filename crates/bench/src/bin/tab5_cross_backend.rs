@@ -1,0 +1,138 @@
+//! Table 5 (this reproduction's extension of the paper's deployment
+//! story, §5.4): one NNSmith campaign fanned out across **every**
+//! backend at once — the per-backend bug matrix and the 3-set venn over
+//! per-backend bug ids. The reference phase (interpreter + export) runs
+//! once per case and is amortized over all backends; each backend gets
+//! its own coverage set and bug attribution, and triage bins findings
+//! per backend (`tvmsim::…` vs `trtsim::…`).
+//!
+//! Case-budgeted, so for a fixed `--seed`/`--shards` the emitted
+//! `BENCH_tab5.json` is **byte-identical across worker counts**
+//! (wall-clock-dependent fields are stripped) — the acceptance gate CI
+//! enforces with `cmp`.
+//!
+//! `cargo run -p nnsmith-bench --release --bin tab5_cross_backend -- \
+//!     [--workers N] [--shards N] [--cases N] [--seed N] \
+//!     [--backends tvm,ort,trt]`
+
+use std::time::Duration;
+
+use nnsmith_bench::{bench_args, write_json, EngineSummary};
+use nnsmith_compilers::BackendSet;
+use nnsmith_core::{NnSmithConfig, NnSmithFactory};
+use nnsmith_difftest::{CampaignConfig, EngineConfig, Venn3};
+use nnsmith_triage::{run_matrix_triaged_engine, TriageConfig, TriageReport};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Tab5Record {
+    figure: String,
+    /// Backend names, set order.
+    backends: Vec<String>,
+    /// The reproducibility key (with `seed`); the worker count is
+    /// deliberately absent — it must not change this record.
+    shards: usize,
+    seed: u64,
+    cases: usize,
+    /// 3-set venn over per-backend bug-id sets (A/B/C in set order).
+    /// The `abc` core is the shared exporter surface; the exclusive
+    /// regions are each backend's own seeded bugs.
+    bug_venn: Option<Venn3>,
+    /// Deterministic engine summary of the matrix campaign; the
+    /// per-backend bug matrix is its `per_backend` block.
+    result: EngineSummary,
+    /// Findings binned per backend (`<backend>::<signature>` keys).
+    triage: TriageReport,
+}
+
+fn main() {
+    let args = bench_args(0);
+    let backends = args.backend_set(BackendSet::all());
+    let seed = args.seed.unwrap_or(5);
+    let cases = args.cases.unwrap_or(96);
+    println!(
+        "== Table 5 — cross-backend matrix [{}], engine: {} worker(s) x {} shards, seed {seed}, {cases} cases ==",
+        backends.names().join("+"),
+        args.workers,
+        args.shards
+    );
+
+    let config = EngineConfig {
+        workers: args.workers,
+        shards: args.shards,
+        seed,
+        campaign: CampaignConfig {
+            // Generous deadline: the case budget drives termination,
+            // which is what makes the run reproducible across worker
+            // counts.
+            duration: Duration::from_secs(86_400),
+            max_cases: Some(cases),
+            backends: backends.iter().cloned().collect(),
+            ..CampaignConfig::default()
+        },
+    };
+    let factory = NnSmithFactory::for_backends(NnSmithConfig::default(), &backends);
+    let (report, triage) = run_matrix_triaged_engine(&factory, &config, &TriageConfig::default());
+
+    let summary = EngineSummary::from_matrix_report(&backends, &report).deterministic();
+    println!(
+        "{} cases; one reference execution each, {} backend verdicts total",
+        report.result.cases,
+        report.result.cases * backends.len()
+    );
+    for name in backends.names() {
+        let b = &summary.per_backend[&name];
+        println!(
+            "  [{name:>7}] coverage {:>5} (pass {:>4}) | bugs {:>2} | crashes {:>2} | mismatches {:>3} | not-impl {:>3}",
+            b.total_coverage,
+            b.pass_coverage,
+            b.bugs_found.len(),
+            b.unique_crashes,
+            b.mismatches,
+            b.not_implemented,
+        );
+    }
+
+    // 3-set venn over per-backend bug ids (only meaningful with three
+    // backends; smaller sets still get the matrix + triage).
+    let names = backends.names();
+    let bug_venn = (names.len() == 3).then(|| {
+        let set = |n: &str| {
+            report
+                .result
+                .backend(n)
+                .expect("backend")
+                .bugs_found
+                .clone()
+        };
+        let v = Venn3::of_ids(&set(&names[0]), &set(&names[1]), &set(&names[2]));
+        println!(
+            "bug venn ({}|{}|{}): exclusive {}/{}/{}, shared-by-all {} (exporter surface)",
+            names[0], names[1], names[2], v.a, v.b, v.c, v.abc
+        );
+        v
+    });
+    println!(
+        "triage: {} failures -> {} bins ({} unreduced), backend-keyed",
+        triage.failures_seen,
+        triage.bins.len(),
+        triage.unreduced.len()
+    );
+    for (key, bin) in &triage.bins {
+        println!("  [bin] {key} x{}", bin.count);
+    }
+
+    write_json(
+        "tab5",
+        &Tab5Record {
+            figure: "tab5".into(),
+            backends: names,
+            shards: report.shards,
+            seed,
+            cases,
+            bug_venn,
+            result: summary,
+            triage,
+        },
+    );
+}

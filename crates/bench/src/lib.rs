@@ -27,11 +27,11 @@ use rand::SeedableRng;
 use serde::Serialize;
 
 use nnsmith_baselines::{GraphFuzzer, GraphFuzzerConfig, GraphFuzzerFactory, Lemon, LemonFactory};
-use nnsmith_compilers::Compiler;
+use nnsmith_compilers::{BackendSet, Compiler};
 use nnsmith_core::{NnSmith, NnSmithConfig, NnSmithFactory};
 use nnsmith_difftest::{
-    run_campaign, run_engine, CampaignConfig, CampaignResult, EngineConfig, EngineReport,
-    TestCaseSource, TimelinePoint,
+    run_campaign, run_engine, run_matrix_engine, CampaignConfig, CampaignResult, EngineConfig,
+    EngineReport, TestCaseSource, TimelinePoint,
 };
 
 /// Parses the first CLI argument as seconds, with a default.
@@ -43,8 +43,9 @@ pub fn arg_secs(default: u64) -> u64 {
 }
 
 /// CLI arguments shared by the engine-driven figure binaries:
-/// `[secs] [--workers N] [--shards N] [--cases N] [--seed N]`.
-#[derive(Debug, Clone, Copy)]
+/// `[secs] [--workers N] [--shards N] [--cases N] [--seed N]
+/// [--backends tvm,ort,trt]`.
+#[derive(Debug, Clone)]
 pub struct BenchArgs {
     /// Wall-clock budget per campaign, seconds.
     pub secs: u64,
@@ -57,10 +58,21 @@ pub struct BenchArgs {
     pub cases: Option<usize>,
     /// Campaign seed override.
     pub seed: Option<u64>,
+    /// Backend set override (`--backends tvm,ort,trt`); `None` keeps
+    /// each binary's default.
+    pub backends: Option<BackendSet>,
 }
 
-/// Parses `[secs] [--workers N] [--shards N] [--cases N] [--seed N]` with
-/// defaults.
+impl BenchArgs {
+    /// The backend set to run against: the `--backends` flag when given,
+    /// `default` otherwise.
+    pub fn backend_set(&self, default: BackendSet) -> BackendSet {
+        self.backends.clone().unwrap_or(default)
+    }
+}
+
+/// Parses `[secs] [--workers N] [--shards N] [--cases N] [--seed N]
+/// [--backends tvm,ort,trt]` with defaults.
 pub fn bench_args(default_secs: u64) -> BenchArgs {
     let mut out = BenchArgs {
         secs: default_secs,
@@ -68,6 +80,7 @@ pub fn bench_args(default_secs: u64) -> BenchArgs {
         shards: 8,
         cases: None,
         seed: None,
+        backends: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -92,6 +105,26 @@ pub fn bench_args(default_secs: u64) -> BenchArgs {
                     }
                 }
             }
+            "--backends" => {
+                let names: Vec<String> = args
+                    .get(i + 1)
+                    .map(|s| s.split(',').map(str::to_string).collect())
+                    .unwrap_or_default();
+                match BackendSet::from_names(&names) {
+                    Some(set) => {
+                        out.backends = Some(set);
+                        i += 2;
+                    }
+                    None => {
+                        eprintln!(
+                            "warning: --backends needs a comma list of tvm/ort/trt, using default"
+                        );
+                        // Consume the bad value too, so it is not
+                        // re-parsed as the positional secs argument.
+                        i += if args.len() > i + 1 { 2 } else { 1 };
+                    }
+                }
+            }
             other => {
                 if let Ok(v) = other.parse() {
                     out.secs = v;
@@ -107,7 +140,7 @@ pub fn bench_args(default_secs: u64) -> BenchArgs {
 pub fn bench_record(
     figure: &str,
     compiler: &Compiler,
-    args: BenchArgs,
+    args: &BenchArgs,
     reports: &[EngineReport],
 ) -> BenchRecord {
     BenchRecord {
@@ -194,6 +227,42 @@ pub fn three_way_engine(
     ]
 }
 
+/// Runs the standard three-fuzzer comparison through the cross-backend
+/// matrix engine: each fuzzer's campaign fans every case out over the
+/// whole backend set (generation restricted to the set's dtype
+/// intersection), with the same seeds as [`three_way_campaigns`]
+/// (11/22/33).
+pub fn three_way_matrix_engine(
+    backends: &BackendSet,
+    secs: u64,
+    workers: usize,
+    shards: usize,
+    cases: Option<usize>,
+) -> Vec<EngineReport> {
+    let engine = |seed: u64| EngineConfig {
+        workers,
+        shards,
+        seed,
+        campaign: CampaignConfig {
+            duration: Duration::from_secs(secs),
+            max_cases: cases,
+            backends: backends.iter().cloned().collect(),
+            ..CampaignConfig::default()
+        },
+    };
+    vec![
+        run_matrix_engine(
+            &NnSmithFactory::for_backends(NnSmithConfig::default(), backends),
+            &engine(11),
+        ),
+        run_matrix_engine(
+            &GraphFuzzerFactory::for_backends(GraphFuzzerConfig::default(), backends),
+            &engine(22),
+        ),
+        run_matrix_engine(&LemonFactory, &engine(33)),
+    ]
+}
+
 /// One machine-readable figure record written to `BENCH_<figure>.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchRecord {
@@ -211,6 +280,24 @@ pub struct BenchRecord {
     pub results: Vec<EngineSummary>,
 }
 
+/// One backend's slice of an [`EngineSummary`]: its own coverage counts
+/// and the bugs it exhibited (Table 5's per-backend bug matrix rows).
+#[derive(Debug, Clone, Serialize)]
+pub struct BackendSummary {
+    /// Distinct branches covered on this backend.
+    pub total_coverage: usize,
+    /// Distinct pass-file branches covered on this backend.
+    pub pass_coverage: usize,
+    /// Seeded bugs this backend exhibited, by id.
+    pub bugs_found: Vec<String>,
+    /// Distinct crash messages on this backend.
+    pub unique_crashes: usize,
+    /// Result mismatches on this backend.
+    pub mismatches: usize,
+    /// Cases this backend answered `NotImplemented` to.
+    pub not_implemented: usize,
+}
+
 /// Per-fuzzer summary inside a [`BenchRecord`].
 #[derive(Debug, Clone, Serialize)]
 pub struct EngineSummary {
@@ -218,12 +305,15 @@ pub struct EngineSummary {
     pub source: String,
     /// Cases executed (merged across shards).
     pub cases: usize,
-    /// Distinct branches covered.
+    /// Distinct branches covered (primary backend).
     pub total_coverage: usize,
-    /// Distinct pass-file branches covered.
+    /// Distinct pass-file branches covered (primary backend).
     pub pass_coverage: usize,
-    /// Seeded bugs found, by id.
+    /// Seeded bugs found, by id (all backends).
     pub bugs_found: Vec<String>,
+    /// Per-backend coverage and findings, keyed by backend name (one
+    /// entry for single-backend runs).
+    pub per_backend: std::collections::BTreeMap<String, BackendSummary>,
     /// Distinct operator instances tested.
     pub op_instances: usize,
     /// Wall-clock milliseconds of the engine run.
@@ -251,14 +341,40 @@ impl EngineSummary {
         self
     }
 
-    /// Summarizes one engine report.
+    /// Summarizes one single-backend engine report.
     pub fn from_report(compiler: &Compiler, report: &EngineReport) -> Self {
+        Self::from_matrix_report(&BackendSet::single(compiler.clone()), report)
+    }
+
+    /// Summarizes one engine report across its backend set (per-backend
+    /// pass coverage needs each backend's own manifest).
+    pub fn from_matrix_report(backends: &BackendSet, report: &EngineReport) -> Self {
+        let per_backend = backends
+            .iter()
+            .map(|compiler| {
+                let name = compiler.system().name().to_string();
+                let b = report
+                    .result
+                    .backend(&name)
+                    .expect("backend present in result");
+                let summary = BackendSummary {
+                    total_coverage: b.coverage.len(),
+                    pass_coverage: b.coverage.pass_len(compiler.manifest()),
+                    bugs_found: b.bugs_found.iter().cloned().collect(),
+                    unique_crashes: b.unique_crashes.len(),
+                    mismatches: b.mismatches,
+                    not_implemented: b.not_implemented,
+                };
+                (name, summary)
+            })
+            .collect();
         EngineSummary {
             source: report.result.source.clone(),
             cases: report.result.cases,
             total_coverage: report.result.total_coverage(),
-            pass_coverage: report.result.pass_coverage(compiler),
+            pass_coverage: report.result.pass_coverage(backends.primary()),
             bugs_found: report.result.bugs_found.iter().cloned().collect(),
+            per_backend,
             op_instances: report.result.op_instances.len(),
             wall_ms: report.wall.as_millis() as u64,
             cases_per_sec: report.cases_per_sec(),

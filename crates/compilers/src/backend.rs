@@ -1,0 +1,194 @@
+//! Backend sets: the collection of compilers one differential campaign
+//! fans each test case out to.
+//!
+//! The paper's deployment fuzzes several compilers at once and attributes
+//! every bug to the backend that exhibits it. A [`BackendSet`] is the
+//! campaign-side representation of that: an ordered, deduplicated list of
+//! [`Compiler`]s with helpers for name-based construction (CLI flags,
+//! serialized configs) and for intersecting the dtype support matrix —
+//! the restriction the generator applies so every backend can legally run
+//! every generated case (§4's "avoid Not-Implemented errors", extended
+//! across the whole set).
+
+use nnsmith_tensor::DType;
+
+use crate::bugs::System;
+use crate::compiler::{compiler_by_name, tvmsim, Compiler};
+
+/// An ordered, deduplicated set of compilers a campaign tests against.
+///
+/// The first member is the **primary** backend: single-backend summary
+/// fields (a campaign result's top-level coverage, say) refer to it, and
+/// backend-independent findings (exporter crashes, which fire before any
+/// compiler runs) are attributed to it.
+#[derive(Debug, Clone)]
+pub struct BackendSet {
+    backends: Vec<Compiler>,
+}
+
+impl Default for BackendSet {
+    /// The single-backend default: `[tvmsim]` — existing single-compiler
+    /// callers keep their exact campaign behaviour.
+    fn default() -> Self {
+        BackendSet::single(tvmsim())
+    }
+}
+
+impl BackendSet {
+    /// Builds a set from compilers, keeping the first occurrence of each
+    /// [`System`] (order defines the primary backend and all per-backend
+    /// iteration order).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty list: a campaign with nothing to test against
+    /// is a configuration error, not a state to propagate.
+    pub fn new(backends: Vec<Compiler>) -> Self {
+        assert!(!backends.is_empty(), "a backend set cannot be empty");
+        let mut out: Vec<Compiler> = Vec::with_capacity(backends.len());
+        for b in backends {
+            if !out.iter().any(|e| e.system() == b.system()) {
+                out.push(b);
+            }
+        }
+        BackendSet { backends: out }
+    }
+
+    /// A one-compiler set.
+    pub fn single(compiler: Compiler) -> Self {
+        BackendSet {
+            backends: vec![compiler],
+        }
+    }
+
+    /// All three simulated compilers, in the paper's order
+    /// (tvmsim, ortsim, trtsim).
+    pub fn all() -> Self {
+        BackendSet::new(vec![
+            tvmsim(),
+            crate::compiler::ortsim(),
+            crate::compiler::trtsim(),
+        ])
+    }
+
+    /// Builds a set from [`System::name`]s (the CLI / serialized form).
+    /// Accepts the full names (`tvmsim`) and the short forms the bench
+    /// flags use (`tvm`, `ort`, `trt`). Returns `None` when any name is
+    /// unknown or the list is empty.
+    pub fn from_names<S: AsRef<str>>(names: &[S]) -> Option<Self> {
+        if names.is_empty() {
+            return None;
+        }
+        let mut backends = Vec::with_capacity(names.len());
+        for name in names {
+            let name = name.as_ref().trim();
+            let full = match name {
+                "tvm" => "tvmsim",
+                "ort" => "ortsim",
+                "trt" => "trtsim",
+                other => other,
+            };
+            backends.push(compiler_by_name(full)?);
+        }
+        Some(BackendSet::new(backends))
+    }
+
+    /// The primary backend (first member).
+    pub fn primary(&self) -> &Compiler {
+        &self.backends[0]
+    }
+
+    /// Number of backends.
+    pub fn len(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// Always false (the constructor rejects empty sets), provided for
+    /// clippy-idiomatic pairing with [`BackendSet::len`].
+    pub fn is_empty(&self) -> bool {
+        self.backends.is_empty()
+    }
+
+    /// Iterates the backends in set order.
+    pub fn iter(&self) -> impl Iterator<Item = &Compiler> {
+        self.backends.iter()
+    }
+
+    /// The member testing `system`, if present.
+    pub fn get(&self, system: System) -> Option<&Compiler> {
+        self.backends.iter().find(|b| b.system() == system)
+    }
+
+    /// The member named `name` (full [`System::name`] form), if present.
+    pub fn get_by_name(&self, name: &str) -> Option<&Compiler> {
+        self.backends.iter().find(|b| b.system().name() == name)
+    }
+
+    /// Backend names in set order.
+    pub fn names(&self) -> Vec<String> {
+        self.backends
+            .iter()
+            .map(|b| b.system().name().to_string())
+            .collect()
+    }
+
+    /// Element types every member supports — the intersection of
+    /// [`Compiler::supports_dtype`] across the set, in [`DType::ALL`]
+    /// order. The generator restricts itself to this set so no backend
+    /// ever answers `NotImplemented` to a generated case.
+    pub fn supported_dtypes(&self) -> Vec<DType> {
+        DType::ALL
+            .into_iter()
+            .filter(|&d| self.backends.iter().all(|b| b.supports_dtype(d)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{ortsim, trtsim};
+
+    #[test]
+    fn default_is_single_tvmsim() {
+        let set = BackendSet::default();
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.primary().system(), System::TvmSim);
+    }
+
+    #[test]
+    fn dedup_keeps_first_occurrence_order() {
+        let set = BackendSet::new(vec![ortsim(), tvmsim(), ortsim(), trtsim()]);
+        assert_eq!(set.names(), vec!["ortsim", "tvmsim", "trtsim"]);
+        assert_eq!(set.primary().system(), System::OrtSim);
+        assert!(set.get(System::TrtSim).is_some());
+        assert!(set.get_by_name("tvmsim").is_some());
+        assert!(set.get_by_name("exporter").is_none());
+    }
+
+    #[test]
+    fn from_names_accepts_short_and_full_forms() {
+        let set = BackendSet::from_names(&["tvm", "ortsim", "trt"]).expect("known");
+        assert_eq!(set.names(), vec!["tvmsim", "ortsim", "trtsim"]);
+        assert!(BackendSet::from_names(&["gcc"]).is_none());
+        assert!(BackendSet::from_names::<&str>(&[]).is_none());
+    }
+
+    #[test]
+    fn supported_dtypes_intersect_across_members() {
+        // tvm+ort support everything; adding trt removes f64.
+        let no_trt = BackendSet::new(vec![tvmsim(), ortsim()]);
+        assert_eq!(no_trt.supported_dtypes().len(), DType::ALL.len());
+        let all = BackendSet::all();
+        let dtypes = all.supported_dtypes();
+        assert!(!dtypes.contains(&DType::F64));
+        assert!(dtypes.contains(&DType::F32));
+        assert!(dtypes.contains(&DType::Bool));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_set_panics() {
+        BackendSet::new(Vec::new());
+    }
+}

@@ -105,6 +105,12 @@ pub enum CompileError {
     },
     /// The model uses something this compiler does not support.
     NotImplemented(String),
+    /// The model uses an element type outside the compiler's support
+    /// matrix ([`crate::Compiler::supports_dtype`]). A structured
+    /// `NotImplemented`: callers that only care about "supported or not"
+    /// can treat both alike, while support-matrix probing can match the
+    /// dtype precisely instead of parsing a message.
+    UnsupportedDtype(DType),
 }
 
 impl std::fmt::Display for CompileError {
@@ -115,6 +121,9 @@ impl std::fmt::Display for CompileError {
                 write!(f, "crash in {component}: {message}")
             }
             CompileError::NotImplemented(m) => write!(f, "not implemented: {m}"),
+            CompileError::UnsupportedDtype(d) => {
+                write!(f, "not implemented: {d} tensors are not supported")
+            }
         }
     }
 }

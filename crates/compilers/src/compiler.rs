@@ -136,9 +136,10 @@ impl Compiler {
     ///
     /// # Errors
     ///
-    /// Returns [`CompileError::NotImplemented`] for unsupported dtypes,
-    /// [`CompileError::Crash`] when a seeded (or structural) crash fires,
-    /// and [`CompileError::Import`] for malformed models.
+    /// Returns [`CompileError::UnsupportedDtype`] for element types
+    /// outside the support matrix, [`CompileError::Crash`] when a seeded
+    /// (or structural) crash fires, and [`CompileError::Import`] for
+    /// malformed models.
     pub fn compile(
         &self,
         graph: &Graph<Op>,
@@ -148,16 +149,15 @@ impl Compiler {
     ) -> Result<CompiledModel, CompileError> {
         // Framework-load baseline coverage.
         self.record_base_coverage(cov);
-        // Support matrix.
-        if self.reject_f64 {
-            let uses_f64 = graph
-                .iter()
-                .any(|(_, n)| n.outputs.iter().any(|t| t.dtype == DType::F64));
-            if uses_f64 {
-                return Err(CompileError::NotImplemented(
-                    "f64 tensors are not supported by this backend".into(),
-                ));
-            }
+        // Support matrix: one gate, shared with the probe the generator
+        // uses ([`Compiler::supports_dtype`]), so the two can never drift.
+        if let Some(unsupported) = graph
+            .iter()
+            .flat_map(|(_, n)| n.outputs.iter())
+            .map(|t| t.dtype)
+            .find(|&d| !self.supports_dtype(d))
+        {
+            return Err(CompileError::UnsupportedDtype(unsupported));
         }
 
         // Frontend conversion with per-pattern coverage.
@@ -641,7 +641,10 @@ mod tests {
         );
         let mut cov = CoverageSet::new();
         let err = trtsim().compile(&g, &Bindings::new(), &CompileOptions::default(), &mut cov);
-        assert!(matches!(err, Err(CompileError::NotImplemented(_))));
+        assert!(matches!(
+            err,
+            Err(CompileError::UnsupportedDtype(DType::F64))
+        ));
         assert!(tvmsim()
             .compile(&g, &Bindings::new(), &CompileOptions::default(), &mut cov)
             .is_ok());

@@ -26,6 +26,7 @@
 #![allow(clippy::ptr_arg)] // pass pipeline favours explicit index loops and concrete signatures
 #![allow(clippy::type_complexity)] // pass pipeline favours explicit index loops and concrete signatures
 
+mod backend;
 mod bugs;
 mod cgraph;
 mod compiler;
@@ -35,6 +36,7 @@ mod irbugs;
 mod lowlevel;
 mod passes;
 
+pub use backend::BackendSet;
 pub use bugs::{bug_by_id, bugs_for, registry, BugConfig, Phase, SeededBug, Symptom, System};
 pub use cgraph::{CGraph, CNode, COp, CValue, CompileError, IndexWidth, Layout};
 pub use compiler::{

@@ -59,6 +59,21 @@ impl Default for NnSmithConfig {
     }
 }
 
+impl NnSmithConfig {
+    /// Restricts generation to the dtype intersection of `backends`
+    /// (§4's support-matrix probing, across the whole set), so every
+    /// generated case is legal on every backend of a cross-backend
+    /// campaign. A single-backend set with full support leaves the
+    /// configuration — and the RNG stream — untouched.
+    pub fn restricted_to(mut self, backends: &nnsmith_compilers::BackendSet) -> Self {
+        let dtypes = backends.supported_dtypes();
+        if dtypes.len() != nnsmith_tensor::DType::ALL.len() {
+            self.gen.allowed_dtypes = Some(dtypes);
+        }
+        self
+    }
+}
+
 /// Cumulative pipeline statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PipelineStats {
@@ -169,6 +184,15 @@ impl NnSmithFactory {
     /// Creates a factory from a pipeline configuration.
     pub fn new(config: NnSmithConfig) -> Self {
         NnSmithFactory { config }
+    }
+
+    /// A factory whose shards generate only cases every backend of the
+    /// set supports (see [`NnSmithConfig::restricted_to`]) — the factory
+    /// to hand a cross-backend engine run.
+    pub fn for_backends(config: NnSmithConfig, backends: &nnsmith_compilers::BackendSet) -> Self {
+        NnSmithFactory {
+            config: config.restricted_to(backends),
+        }
     }
 }
 

@@ -62,7 +62,7 @@ pub fn infer_supported_dtypes(compiler: &Compiler) -> Vec<DType> {
                     out.push(dtype);
                 }
             }
-            Err(CompileError::NotImplemented(_)) => {}
+            Err(CompileError::NotImplemented(_) | CompileError::UnsupportedDtype(_)) => {}
             Err(_) => {}
         }
     }

@@ -1,15 +1,22 @@
-//! Fuzzing campaigns: run a test-case source against a compiler for a
+//! Fuzzing campaigns: run a test-case source against a backend set for a
 //! budget, accumulating coverage timelines, found bugs and operator
-//! instances — the data behind Figures 4–10 and Table 3.
+//! instances — the data behind Figures 4–10 and Tables 3–5.
+//!
+//! A campaign fans every case out across its [`CampaignConfig::backends`]
+//! (default: `[tvmsim]`, the single-backend behaviour every older caller
+//! had): the reference phase runs once per case, each backend gets its
+//! own verdict, and results are kept **per backend** (coverage sets are
+//! never unioned across systems — branch ids only mean something within
+//! one compiler's manifest) alongside the case-level rollups.
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::time::{Duration, Instant};
 
-use nnsmith_compilers::{CompileOptions, Compiler, CoverageSet};
+use nnsmith_compilers::{tvmsim, BackendSet, CompileOptions, Compiler, CoverageSet};
 use nnsmith_graph::NodeKind;
 use serde::Serialize;
 
-use crate::harness::{run_case, seeded_bug_id, TestCase, TestOutcome};
+use crate::harness::{run_case_matrix, seeded_bug_id, TestCase, TestOutcome};
 use crate::oracle::Tolerance;
 
 /// Produces test cases for a campaign (implemented by the NNSmith pipeline
@@ -46,6 +53,23 @@ pub struct CampaignConfig {
     /// cloning every failing case costs memory that pure coverage
     /// campaigns don't need.
     pub capture_failures: bool,
+    /// The backends every case is fanned out to, in set order (the first
+    /// is the *primary* backend the top-level summary fields refer to).
+    /// Defaults to `[tvmsim]`, so existing single-backend callers keep
+    /// their exact campaign behaviour — same case stream, coverage, bug
+    /// sets and determinism contract. (Serialized *schemas* did grow the
+    /// backend dimension: results carry a `per_backend` block and triage
+    /// bin/corpus keys are backend-qualified.) The explicit-compiler
+    /// entry points ([`run_campaign`], [`crate::run_engine`]) override
+    /// this field with their argument.
+    pub backends: Vec<Compiler>,
+}
+
+impl CampaignConfig {
+    /// The configured backends as a deduplicated [`BackendSet`].
+    pub fn backend_set(&self) -> BackendSet {
+        BackendSet::new(self.backends.clone())
+    }
 }
 
 impl Default for CampaignConfig {
@@ -58,6 +82,7 @@ impl Default for CampaignConfig {
             sample_every: Duration::from_millis(250),
             fix_found_bugs: true,
             capture_failures: false,
+            backends: vec![tvmsim()],
         }
     }
 }
@@ -69,10 +94,30 @@ pub struct TimelinePoint {
     pub elapsed_ms: u64,
     /// Test cases executed so far.
     pub cases: usize,
-    /// Total branches covered so far.
+    /// Total branches covered so far (summed across backends — identical
+    /// to the single set's size for single-backend campaigns).
     pub total_branches: usize,
-    /// Pass-file branches covered so far.
+    /// Pass-file branches covered so far (summed across backends).
     pub pass_branches: usize,
+}
+
+/// One backend's accumulated share of a campaign: its own coverage set
+/// and the findings it exhibited. The backend dimension of every
+/// campaign/engine result.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct BackendResult {
+    /// Cumulative branch coverage on this backend (ids are meaningful
+    /// only within this backend's manifest).
+    pub coverage: CoverageSet,
+    /// Seeded bugs this backend exhibited (exporter bugs land on the
+    /// backend whose differential run observed them).
+    pub bugs_found: BTreeSet<String>,
+    /// Distinct crash messages observed on this backend.
+    pub unique_crashes: BTreeSet<String>,
+    /// Result mismatches observed on this backend.
+    pub mismatches: usize,
+    /// Cases this backend answered `NotImplemented` to.
+    pub not_implemented: usize,
 }
 
 /// Result of a campaign.
@@ -80,17 +125,25 @@ pub struct TimelinePoint {
 pub struct CampaignResult {
     /// Source name.
     pub source: String,
-    /// Compiler name.
+    /// Primary-backend name (the first of `backends`; the compiler for
+    /// single-backend campaigns).
     pub compiler: String,
-    /// Coverage growth over time.
+    /// All backend names, in set order.
+    pub backends: Vec<String>,
+    /// Per-backend coverage and findings, keyed by backend name.
+    pub per_backend: BTreeMap<String, BackendResult>,
+    /// Coverage growth over time (totals summed across backends).
     pub timeline: Vec<TimelinePoint>,
-    /// Final cumulative coverage.
+    /// Final cumulative coverage of the **primary** backend (kept at top
+    /// level for single-backend consumers; cross-backend consumers read
+    /// `per_backend` — coverage sets are never unioned across systems).
     pub coverage: CoverageSet,
-    /// Seeded bugs detected (by id).
+    /// Seeded bugs detected (by id), across all backends.
     pub bugs_found: BTreeSet<String>,
-    /// Distinct crash messages observed (unique-crash counting, §5.4).
+    /// Distinct crash messages observed across all backends
+    /// (unique-crash counting, §5.4).
     pub unique_crashes: BTreeSet<String>,
-    /// Result mismatches observed.
+    /// Result mismatches observed, summed across backends.
     pub mismatches: usize,
     /// Total cases executed.
     pub cases: usize,
@@ -102,14 +155,55 @@ pub struct CampaignResult {
 }
 
 impl CampaignResult {
-    /// Number of distinct branches covered.
+    /// Number of distinct branches covered on the primary backend.
     pub fn total_coverage(&self) -> usize {
         self.coverage.len()
     }
 
-    /// Number of distinct pass-file branches covered.
+    /// Number of distinct pass-file branches covered on the primary
+    /// backend.
     pub fn pass_coverage(&self, compiler: &Compiler) -> usize {
         self.coverage.pass_len(compiler.manifest())
+    }
+
+    /// One backend's share of the campaign, by name.
+    pub fn backend(&self, name: &str) -> Option<&BackendResult> {
+        self.per_backend.get(name)
+    }
+
+    fn empty(source: &str, backends: &BackendSet) -> CampaignResult {
+        CampaignResult {
+            source: source.to_string(),
+            compiler: backends.primary().system().name().to_string(),
+            backends: backends.names(),
+            per_backend: backends
+                .names()
+                .into_iter()
+                .map(|n| (n, BackendResult::default()))
+                .collect(),
+            timeline: Vec::new(),
+            coverage: CoverageSet::new(),
+            bugs_found: BTreeSet::new(),
+            unique_crashes: BTreeSet::new(),
+            mismatches: 0,
+            cases: 0,
+            numeric_invalid: 0,
+            op_instances: HashSet::new(),
+        }
+    }
+
+    /// Sums of per-backend (total, pass) coverage sizes — the timeline
+    /// totals (shared with the engine's shard merge).
+    pub(crate) fn coverage_totals(&self, backends: &BackendSet) -> (usize, usize) {
+        let mut total = 0;
+        let mut pass = 0;
+        for compiler in backends.iter() {
+            if let Some(b) = self.per_backend.get(compiler.system().name()) {
+                total += b.coverage.len();
+                pass += b.coverage.pass_len(compiler.manifest());
+            }
+        }
+        (total, pass)
     }
 }
 
@@ -143,6 +237,12 @@ pub fn op_instance_keys(case: &TestCase) -> Vec<String> {
 /// A failing execution captured for downstream triage.
 #[derive(Debug, Clone)]
 pub struct CapturedFailure {
+    /// The backend that exhibited the outcome (backend-independent
+    /// findings — exporter crashes — are attributed to the primary
+    /// backend, which reproduces them on replay since the exporter runs
+    /// before any compiler). Triage reduces and replays the case against
+    /// this backend, and bins carry it as their backend dimension.
+    pub backend: String,
     /// The failing test case (graph, weights, inputs).
     pub case: TestCase,
     /// The finding outcome it produced.
@@ -155,20 +255,32 @@ pub struct CapturedFailure {
 pub struct CaseRecord {
     /// 1-based index of the case within this campaign.
     pub case_index: usize,
-    /// Branches this case covered that the campaign had not seen before.
-    pub new_coverage: CoverageSet,
-    /// The failing case, when this case was a finding and
-    /// [`CampaignConfig::capture_failures`] is on.
-    pub failure: Option<Box<CapturedFailure>>,
+    /// Branches this case covered that the campaign had not seen before,
+    /// per backend (keyed by backend name).
+    pub new_coverage: BTreeMap<String, CoverageSet>,
+    /// The failures this case produced — one per backend that found
+    /// something — when [`CampaignConfig::capture_failures`] is on.
+    pub failures: Vec<CapturedFailure>,
 }
 
-/// Runs one fuzzing campaign.
+/// Runs one fuzzing campaign against a single compiler (overriding
+/// [`CampaignConfig::backends`] with `compiler`).
 pub fn run_campaign(
     compiler: &Compiler,
     source: &mut dyn TestCaseSource,
     config: &CampaignConfig,
 ) -> CampaignResult {
-    run_campaign_inner(compiler, source, config, None)
+    let backends = BackendSet::single(compiler.clone());
+    run_campaign_inner(&backends, source, config, None)
+}
+
+/// Runs one fuzzing campaign against the configured backend set: every
+/// case's reference phase executes once and is compared on each backend.
+pub fn run_matrix_campaign(
+    source: &mut dyn TestCaseSource,
+    config: &CampaignConfig,
+) -> CampaignResult {
+    run_campaign_inner(&config.backend_set(), source, config, None)
 }
 
 /// [`run_campaign`] with a per-case observer: `observer` is called after
@@ -181,28 +293,19 @@ pub fn run_campaign_observed(
     config: &CampaignConfig,
     observer: &mut dyn FnMut(CaseRecord),
 ) -> CampaignResult {
-    run_campaign_inner(compiler, source, config, Some(observer))
+    let backends = BackendSet::single(compiler.clone());
+    run_campaign_inner(&backends, source, config, Some(observer))
 }
 
-fn run_campaign_inner(
-    compiler: &Compiler,
+pub(crate) fn run_campaign_inner(
+    backends: &BackendSet,
     source: &mut dyn TestCaseSource,
     config: &CampaignConfig,
     mut observer: Option<&mut dyn FnMut(CaseRecord)>,
 ) -> CampaignResult {
     let start = Instant::now();
-    let mut result = CampaignResult {
-        source: source.name().to_string(),
-        compiler: compiler.system().name().to_string(),
-        timeline: Vec::new(),
-        coverage: CoverageSet::new(),
-        bugs_found: BTreeSet::new(),
-        unique_crashes: BTreeSet::new(),
-        mismatches: 0,
-        cases: 0,
-        numeric_invalid: 0,
-        op_instances: HashSet::new(),
-    };
+    let primary = backends.primary().system().name();
+    let mut result = CampaignResult::empty(source.name(), backends);
     let mut last_sample = Duration::ZERO;
     let mut options = config.options.clone();
     let fix = |options: &mut CompileOptions, id: &str| {
@@ -212,15 +315,16 @@ fn run_campaign_inner(
             options.bugs.disable(id);
         }
     };
-    let sample = |result: &mut CampaignResult, elapsed: Duration| {
+    let sample = |result: &mut CampaignResult, backends: &BackendSet, elapsed: Duration| {
+        let (total_branches, pass_branches) = result.coverage_totals(backends);
         result.timeline.push(TimelinePoint {
             elapsed_ms: elapsed.as_millis() as u64,
             cases: result.cases,
-            total_branches: result.coverage.len(),
-            pass_branches: result.coverage.pass_len(compiler.manifest()),
+            total_branches,
+            pass_branches,
         });
     };
-    sample(&mut result, Duration::ZERO);
+    sample(&mut result, backends, Duration::ZERO);
 
     while start.elapsed() < config.duration {
         if config.max_cases.is_some_and(|m| result.cases >= m) {
@@ -233,70 +337,131 @@ fn run_campaign_inner(
         for key in op_instance_keys(&case) {
             result.op_instances.insert(key);
         }
-        // With an observer, collect this case's hits separately so it can
-        // see the campaign-relative delta (the union is identical to
-        // inserting into the cumulative set directly); without one, skip
-        // the per-case set and the difference entirely.
-        let outcome = match observer.as_deref_mut() {
-            Some(observer) => {
-                let mut case_cov = CoverageSet::new();
-                let outcome = run_case(compiler, &case, &options, config.tolerance, &mut case_cov);
-                let new_coverage = case_cov.difference(&result.coverage);
-                result.coverage.merge(&case_cov);
-                let failure = (config.capture_failures && outcome.is_finding()).then(|| {
-                    Box::new(CapturedFailure {
-                        case: case.clone(),
-                        outcome: outcome.clone(),
-                    })
-                });
-                observer(CaseRecord {
-                    case_index: result.cases,
-                    new_coverage,
-                    failure,
-                });
-                outcome
+        let matrix = run_case_matrix(backends, &case, &options, config.tolerance);
+
+        // Fold each backend's coverage into its cumulative set; with an
+        // observer, also compute the campaign-relative delta it sees (the
+        // union is identical either way).
+        let mut new_coverage: BTreeMap<String, CoverageSet> = BTreeMap::new();
+        let mut failures: Vec<CapturedFailure> = Vec::new();
+        for verdict in &matrix.verdicts {
+            let name = verdict.system.name();
+            let entry = result
+                .per_backend
+                .get_mut(name)
+                .expect("verdict from a backend outside the set");
+            if observer.is_some() {
+                new_coverage.insert(
+                    name.to_string(),
+                    verdict.coverage.difference(&entry.coverage),
+                );
             }
-            None => run_case(
-                compiler,
-                &case,
-                &options,
-                config.tolerance,
-                &mut result.coverage,
-            ),
-        };
-        match outcome {
-            TestOutcome::Pass | TestOutcome::NotImplemented => {}
-            TestOutcome::NumericInvalid | TestOutcome::InvalidCase { .. } => {
+            entry.coverage.merge(&verdict.coverage);
+        }
+
+        // Case-level and per-backend outcome accounting.
+        if let Some(pre) = &matrix.pre {
+            match pre {
+                TestOutcome::NumericInvalid | TestOutcome::InvalidCase { .. } => {
+                    result.numeric_invalid += 1;
+                }
+                TestOutcome::ExportCrash { message } => {
+                    // The exporter runs before any compiler, so its
+                    // crashes are part of every backend's differential
+                    // surface: attribute them to every entry (which is
+                    // what makes the shared core of a cross-backend bug
+                    // venn the exporter surface, independent of set
+                    // order). Triage still keeps one bin — the captured
+                    // failure below goes to the primary backend only.
+                    let id = seeded_bug_id(message);
+                    if let Some(id) = &id {
+                        if config.fix_found_bugs {
+                            fix(&mut options, id);
+                        }
+                        result.bugs_found.insert(id.clone());
+                    }
+                    let key = normalize_crash(message);
+                    result.unique_crashes.insert(key.clone());
+                    for entry in result.per_backend.values_mut() {
+                        if let Some(id) = &id {
+                            entry.bugs_found.insert(id.clone());
+                        }
+                        entry.unique_crashes.insert(key.clone());
+                    }
+                }
+                other => unreachable!("pre-phase outcome {other:?}"),
+            }
+            if config.capture_failures && pre.is_finding() {
+                failures.push(CapturedFailure {
+                    backend: primary.to_string(),
+                    case: case.clone(),
+                    outcome: pre.clone(),
+                });
+            }
+        } else {
+            let mut case_invalid = false;
+            for verdict in &matrix.verdicts {
+                let name = verdict.system.name();
+                let entry = result.per_backend.get_mut(name).expect("backend entry");
+                match &verdict.outcome {
+                    TestOutcome::Pass | TestOutcome::ExportCrash { .. } => {}
+                    TestOutcome::NotImplemented => entry.not_implemented += 1,
+                    TestOutcome::NumericInvalid | TestOutcome::InvalidCase { .. } => {
+                        case_invalid = true;
+                    }
+                    TestOutcome::CompileCrash { message }
+                    | TestOutcome::RuntimeError { message } => {
+                        if let Some(id) = seeded_bug_id(message) {
+                            if config.fix_found_bugs {
+                                fix(&mut options, &id);
+                            }
+                            result.bugs_found.insert(id.clone());
+                            entry.bugs_found.insert(id);
+                        }
+                        let key = normalize_crash(message);
+                        result.unique_crashes.insert(key.clone());
+                        entry.unique_crashes.insert(key);
+                    }
+                    TestOutcome::ResultMismatch { attributed, .. } => {
+                        result.mismatches += 1;
+                        entry.mismatches += 1;
+                        for id in attributed {
+                            if config.fix_found_bugs {
+                                fix(&mut options, id);
+                            }
+                            result.bugs_found.insert(id.clone());
+                            entry.bugs_found.insert(id.clone());
+                        }
+                    }
+                }
+                if config.capture_failures && verdict.outcome.is_finding() {
+                    failures.push(CapturedFailure {
+                        backend: name.to_string(),
+                        case: case.clone(),
+                        outcome: verdict.outcome.clone(),
+                    });
+                }
+            }
+            if case_invalid {
                 result.numeric_invalid += 1;
             }
-            TestOutcome::ExportCrash { message }
-            | TestOutcome::CompileCrash { message }
-            | TestOutcome::RuntimeError { message } => {
-                if let Some(id) = seeded_bug_id(&message) {
-                    if config.fix_found_bugs {
-                        fix(&mut options, &id);
-                    }
-                    result.bugs_found.insert(id);
-                }
-                result.unique_crashes.insert(normalize_crash(&message));
-            }
-            TestOutcome::ResultMismatch { attributed, .. } => {
-                result.mismatches += 1;
-                for id in attributed {
-                    if config.fix_found_bugs {
-                        fix(&mut options, &id);
-                    }
-                    result.bugs_found.insert(id);
-                }
-            }
+        }
+
+        if let Some(observer) = observer.as_deref_mut() {
+            observer(CaseRecord {
+                case_index: result.cases,
+                new_coverage,
+                failures,
+            });
         }
         let elapsed = start.elapsed();
         if elapsed - last_sample >= config.sample_every {
             last_sample = elapsed;
-            sample(&mut result, elapsed);
+            sample(&mut result, backends, elapsed);
         }
     }
-    sample(&mut result, start.elapsed());
+    sample(&mut result, backends, start.elapsed());
+    result.coverage = result.per_backend[primary].coverage.clone();
     result
 }
 

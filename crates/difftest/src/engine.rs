@@ -29,15 +29,16 @@
 //! [`EngineReport::wall_timeline`], built by the aggregator from event
 //! arrival order, which is *not* deterministic.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
-use nnsmith_compilers::{Compiler, CoverageSet};
+use nnsmith_compilers::{BackendSet, Compiler, CoverageSet};
 use nnsmith_solver::{InternPool, PoolStats};
 
 use crate::campaign::{
-    run_campaign_observed, CampaignConfig, CampaignResult, CaseRecord, TestCaseSource,
+    run_campaign_inner, BackendResult, CampaignConfig, CampaignResult, CaseRecord, TestCaseSource,
     TimelinePoint,
 };
 
@@ -192,12 +193,13 @@ enum Event {
     },
     ShardDone {
         index: usize,
-        result: CampaignResult,
+        result: Box<CampaignResult>,
     },
 }
 
 /// Runs a sharded campaign on `config.workers` threads and merges the
 /// shard results. See the module docs for the determinism contract.
+/// The explicit `compiler` overrides [`CampaignConfig::backends`].
 pub fn run_engine(
     compiler: &Compiler,
     factory: &dyn SourceFactory,
@@ -206,9 +208,28 @@ pub fn run_engine(
     run_engine_observed(compiler, factory, config, &|_, _| {})
 }
 
+/// Runs a sharded campaign against the configured backend set
+/// ([`CampaignConfig::backends`]): every shard fans each case out across
+/// all backends, and the merged result carries per-backend coverage and
+/// bug sets. Same determinism contract as [`run_engine`].
+pub fn run_matrix_engine(factory: &dyn SourceFactory, config: &EngineConfig) -> EngineReport {
+    run_matrix_engine_observed(factory, config, &|_, _| {})
+}
+
+/// [`run_matrix_engine`] with the per-case hook of
+/// [`run_engine_observed`].
+pub fn run_matrix_engine_observed(
+    factory: &dyn SourceFactory,
+    config: &EngineConfig,
+    on_case: &(dyn Fn(ShardCtx, &CaseRecord) + Sync),
+) -> EngineReport {
+    let backends = config.campaign.backend_set();
+    run_engine_inner(&backends, factory, config, on_case)
+}
+
 /// [`run_engine`] with a per-case hook: `on_case` is invoked **on the
 /// worker thread** for every executed case, with the shard identity and
-/// the case record (including the captured failure when
+/// the case record (including the captured failures when
 /// [`CampaignConfig::capture_failures`](crate::CampaignConfig) is set).
 /// This is the streaming feed of the triage pipeline: failing cases flow
 /// to a consumer while the campaign is still running. The hook must not
@@ -216,6 +237,16 @@ pub fn run_engine(
 /// run.
 pub fn run_engine_observed(
     compiler: &Compiler,
+    factory: &dyn SourceFactory,
+    config: &EngineConfig,
+    on_case: &(dyn Fn(ShardCtx, &CaseRecord) + Sync),
+) -> EngineReport {
+    let backends = BackendSet::single(compiler.clone());
+    run_engine_inner(&backends, factory, config, on_case)
+}
+
+fn run_engine_inner(
+    backends: &BackendSet,
     factory: &dyn SourceFactory,
     config: &EngineConfig,
     on_case: &(dyn Fn(ShardCtx, &CaseRecord) + Sync),
@@ -272,21 +303,43 @@ pub fn run_engine_observed(
                     remaining
                 };
                 let case_tx = tx.clone();
-                let result =
-                    run_campaign_observed(compiler, source.as_mut(), &shard_cfg, &mut |record| {
+                let result = run_campaign_inner(
+                    backends,
+                    source.as_mut(),
+                    &shard_cfg,
+                    Some(&mut |record| {
                         on_case(ctx, &record);
                         // The aggregator may have hung up after a recv
                         // error; a lost progress event is harmless.
                         let _ = case_tx.send(Event::Case { record });
-                    });
-                let _ = tx.send(Event::ShardDone { index, result });
+                    }),
+                );
+                let _ = tx.send(Event::ShardDone {
+                    index,
+                    result: Box::new(result),
+                });
             });
         }
         drop(tx);
 
-        // Aggregator: owns the real-time union-coverage timeline and
+        // Aggregator: owns the real-time union-coverage timeline (one
+        // union set per backend; totals are summed across backends) and
         // collects shard results as they finish.
-        let mut union_cov = CoverageSet::new();
+        let mut union_cov: BTreeMap<String, CoverageSet> = backends
+            .names()
+            .into_iter()
+            .map(|n| (n, CoverageSet::new()))
+            .collect();
+        let totals = |union_cov: &BTreeMap<String, CoverageSet>| {
+            let mut total = 0;
+            let mut pass = 0;
+            for compiler in backends.iter() {
+                let cov = &union_cov[compiler.system().name()];
+                total += cov.len();
+                pass += cov.pass_len(compiler.manifest());
+            }
+            (total, pass)
+        };
         let mut cases = 0usize;
         let mut wall_timeline = vec![TimelinePoint {
             elapsed_ms: 0,
@@ -299,29 +352,35 @@ pub fn run_engine_observed(
             match event {
                 Event::Case { record } => {
                     cases += 1;
-                    union_cov.merge(&record.new_coverage);
+                    for (name, delta) in &record.new_coverage {
+                        if let Some(cov) = union_cov.get_mut(name) {
+                            cov.merge(delta);
+                        }
+                    }
                     let elapsed = start.elapsed();
                     if elapsed - last_sample >= config.campaign.sample_every {
                         last_sample = elapsed;
+                        let (total_branches, pass_branches) = totals(&union_cov);
                         wall_timeline.push(TimelinePoint {
                             elapsed_ms: elapsed.as_millis() as u64,
                             cases,
-                            total_branches: union_cov.len(),
-                            pass_branches: union_cov.pass_len(compiler.manifest()),
+                            total_branches,
+                            pass_branches,
                         });
                     }
                 }
                 Event::ShardDone { index, result } => {
-                    shard_slots[index] = Some(result);
+                    shard_slots[index] = Some(*result);
                 }
             }
         }
         let elapsed = start.elapsed();
+        let (total_branches, pass_branches) = totals(&union_cov);
         wall_timeline.push(TimelinePoint {
             elapsed_ms: elapsed.as_millis() as u64,
             cases,
-            total_branches: union_cov.len(),
-            pass_branches: union_cov.pass_len(compiler.manifest()),
+            total_branches,
+            pass_branches,
         });
         wall_timeline
     });
@@ -332,7 +391,7 @@ pub fn run_engine_observed(
         .enumerate()
         .map(|(i, slot)| slot.unwrap_or_else(|| panic!("shard {i} produced no result")))
         .collect();
-    let result = merge_shard_results(compiler, factory.name(), &shard_results);
+    let result = merge_shard_results(backends, factory.name(), &shard_results);
 
     EngineReport {
         result,
@@ -348,13 +407,19 @@ pub fn run_engine_observed(
 /// Folds shard results (in shard-index order) into one campaign result.
 /// Pure data merge — deterministic for deterministic inputs.
 fn merge_shard_results(
-    compiler: &Compiler,
+    backends: &BackendSet,
     source_name: &str,
     shards: &[CampaignResult],
 ) -> CampaignResult {
     let mut merged = CampaignResult {
         source: source_name.to_string(),
-        compiler: compiler.system().name().to_string(),
+        compiler: backends.primary().system().name().to_string(),
+        backends: backends.names(),
+        per_backend: backends
+            .names()
+            .into_iter()
+            .map(|n| (n, BackendResult::default()))
+            .collect(),
         timeline: vec![TimelinePoint {
             elapsed_ms: 0,
             cases: 0,
@@ -381,14 +446,29 @@ fn merge_shard_results(
         merged.mismatches += shard.mismatches;
         merged.cases += shard.cases;
         merged.numeric_invalid += shard.numeric_invalid;
+        for (name, backend) in &shard.per_backend {
+            let entry = merged
+                .per_backend
+                .get_mut(name)
+                .expect("shard backend outside the engine set");
+            entry.coverage.merge(&backend.coverage);
+            entry.bugs_found.extend(backend.bugs_found.iter().cloned());
+            entry
+                .unique_crashes
+                .extend(backend.unique_crashes.iter().cloned());
+            entry.mismatches += backend.mismatches;
+            entry.not_implemented += backend.not_implemented;
+        }
         // Logical timeline: one point per folded shard, `elapsed_ms`
         // carrying the cumulative case count as a logical clock (the
-        // wall-clock curve is EngineReport::wall_timeline).
+        // wall-clock curve is EngineReport::wall_timeline). Totals sum
+        // the per-backend cumulative sets, like the campaign timeline.
+        let (total_branches, pass_branches) = merged.coverage_totals(backends);
         merged.timeline.push(TimelinePoint {
             elapsed_ms: merged.cases as u64,
             cases: merged.cases,
-            total_branches: merged.coverage.len(),
-            pass_branches: merged.coverage.pass_len(compiler.manifest()),
+            total_branches,
+            pass_branches,
         });
     }
     merged

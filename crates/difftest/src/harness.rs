@@ -1,12 +1,23 @@
 //! Single-test-case differential testing: export, compile, run, compare,
 //! and (on disagreement) recompile at O0 for fault localization (§4).
+//!
+//! The harness is split into a **reference phase** and a **per-backend
+//! phase** so one generated case can be fanned out across a whole
+//! [`BackendSet`]: the interpreter (the PyTorch-oracle role) and the
+//! exporter run once per case ([`prepare_case`]), and each backend then
+//! compiles, runs and compares against the shared reference outputs,
+//! yielding one [`BackendVerdict`] per compiler ([`run_case_matrix`]).
+//! Generation + reference execution — the expensive half of a
+//! differential test — is thereby paid once and amortized over N
+//! backends. [`run_case`] is the single-backend form of the same split.
 
 use std::collections::HashMap;
 
 use nnsmith_compilers::{
-    codegen_coverage, export, matched_ir_bugs, tir_schedule, tir_simplify, CompileError,
-    CompileOptions, Compiler, LoweredFunc, OptLevel, Symptom,
+    codegen_coverage, export, matched_ir_bugs, BackendSet, CompileError, CompileOptions, Compiler,
+    CoverageSet, ExportResult, LoweredFunc, OptLevel, Symptom, System,
 };
+use nnsmith_compilers::{tir_schedule, tir_simplify};
 use nnsmith_graph::{Graph, NodeId, NodeKind};
 use nnsmith_ops::{Bindings, Op};
 use nnsmith_tensor::Tensor;
@@ -150,47 +161,77 @@ impl TestOutcome {
     }
 }
 
-/// Runs one differential test of `case` against `compiler`, accumulating
-/// coverage into `cov`.
-pub fn run_case(
-    compiler: &Compiler,
+/// The backend-independent phase of one differential test: the reference
+/// execution (the PyTorch-oracle role) and the export (the PyTorch→ONNX
+/// role, with its own seeded bugs), computed once per case and shared by
+/// every backend of the set.
+#[derive(Debug, Clone)]
+pub struct PreparedCase {
+    /// Reference outputs every backend is compared against.
+    pub ref_outputs: Vec<Tensor>,
+    /// The exported graph plus the exporter's matched semantic bugs.
+    pub exported: ExportResult,
+}
+
+/// Runs the reference phase of `case`: interpreter execution and export.
+///
+/// # Errors
+///
+/// Returns the case-level [`TestOutcome`] when the case never reaches a
+/// backend: the reference failed ([`TestOutcome::InvalidCase`]), produced
+/// NaN/Inf ([`TestOutcome::NumericInvalid`]), or the exporter crashed
+/// ([`TestOutcome::ExportCrash`]).
+pub fn prepare_case(
     case: &TestCase,
     options: &CompileOptions,
-    tol: Tolerance,
-    cov: &mut nnsmith_compilers::CoverageSet,
-) -> TestOutcome {
-    if let Some(funcs) = &case.ir {
-        return run_ir_case(compiler, funcs, options, cov);
-    }
-    // Reference execution (the PyTorch-oracle role).
+) -> Result<PreparedCase, TestOutcome> {
     let reference = match nnsmith_ops::execute(&case.graph, &case.all_bindings()) {
         Ok(r) => r,
         Err(e) => {
-            return TestOutcome::InvalidCase {
+            return Err(TestOutcome::InvalidCase {
                 message: format!("{e}"),
-            }
+            })
         }
     };
     if reference.has_exceptional() {
-        return TestOutcome::NumericInvalid;
+        return Err(TestOutcome::NumericInvalid);
     }
     let ref_outputs: Vec<Tensor> = reference.outputs.iter().map(|(_, t)| t.clone()).collect();
 
-    // Export (the PyTorch→ONNX role, with its own seeded bugs).
     let exported = match export(&case.graph, &options.bugs) {
         Ok(e) => e,
-        Err(CompileError::Crash { message, .. }) => return TestOutcome::ExportCrash { message },
+        Err(CompileError::Crash { message, .. }) => {
+            return Err(TestOutcome::ExportCrash { message })
+        }
         Err(e) => {
-            return TestOutcome::InvalidCase {
+            return Err(TestOutcome::InvalidCase {
                 message: format!("{e}"),
-            }
+            })
         }
     };
+    Ok(PreparedCase {
+        ref_outputs,
+        exported,
+    })
+}
 
-    // Compile and run.
+/// The per-backend phase: compiles the prepared case on one backend, runs
+/// it and compares against the shared reference outputs, accumulating the
+/// backend's branch coverage into `cov`.
+pub fn run_prepared_case(
+    compiler: &Compiler,
+    case: &TestCase,
+    prepared: &PreparedCase,
+    options: &CompileOptions,
+    tol: Tolerance,
+    cov: &mut CoverageSet,
+) -> TestOutcome {
+    let exported = &prepared.exported;
     let compiled = match compiler.compile(&exported.graph, &case.weights, options, cov) {
         Ok(c) => c,
-        Err(CompileError::NotImplemented(_)) => return TestOutcome::NotImplemented,
+        Err(CompileError::NotImplemented(_) | CompileError::UnsupportedDtype(_)) => {
+            return TestOutcome::NotImplemented
+        }
         Err(CompileError::Crash { message, .. }) => return TestOutcome::CompileCrash { message },
         Err(e) => {
             return TestOutcome::InvalidCase {
@@ -207,13 +248,13 @@ pub fn run_case(
         }
     };
 
-    match compare_outputs(&ref_outputs, &outputs, tol) {
+    match compare_outputs(&prepared.ref_outputs, &outputs, tol) {
         Verdict::Match => TestOutcome::Pass,
         Verdict::NumericInvalid => TestOutcome::NumericInvalid,
         Verdict::Structure(detail) | Verdict::Mismatch(detail) => {
             // Fault localization: recompile at O0 (§4). If O0 agrees with
             // the reference, the optimizer must be wrong.
-            let site = match localize(compiler, case, &exported.graph, options, tol, cov) {
+            let site = match localize(compiler, case, prepared, options, tol, cov) {
                 Some(s) => s,
                 None => FaultSite::Conversion,
             };
@@ -238,6 +279,127 @@ pub fn run_case(
                 attributed,
             }
         }
+    }
+}
+
+/// Runs one differential test of `case` against `compiler`, accumulating
+/// coverage into `cov`. The single-backend composition of
+/// [`prepare_case`] + [`run_prepared_case`].
+pub fn run_case(
+    compiler: &Compiler,
+    case: &TestCase,
+    options: &CompileOptions,
+    tol: Tolerance,
+    cov: &mut CoverageSet,
+) -> TestOutcome {
+    if let Some(funcs) = &case.ir {
+        return run_ir_case(compiler, funcs, options, cov);
+    }
+    let prepared = match prepare_case(case, options) {
+        Ok(p) => p,
+        Err(outcome) => return outcome,
+    };
+    run_prepared_case(compiler, case, &prepared, options, tol, cov)
+}
+
+/// One backend's view of a fanned-out test case.
+#[derive(Debug, Clone)]
+pub struct BackendVerdict {
+    /// Which backend produced this verdict.
+    pub system: System,
+    /// The backend's differential outcome.
+    pub outcome: TestOutcome,
+    /// Branch coverage this backend accumulated on this case (each
+    /// backend's branch ids live in its own manifest, so coverage is kept
+    /// per backend, never unioned across systems).
+    pub coverage: CoverageSet,
+}
+
+/// The outcome of fanning one case out across a [`BackendSet`]: either a
+/// backend-independent early exit (`pre`), or one [`BackendVerdict`] per
+/// backend in set order — the case-level record of *which* backends
+/// diverged.
+#[derive(Debug, Clone)]
+pub struct MatrixOutcome {
+    /// The reference/export-phase outcome, when the case never reached the
+    /// backends (invalid case, NaN reference, exporter crash). `verdicts`
+    /// is empty in that case.
+    pub pre: Option<TestOutcome>,
+    /// Per-backend verdicts, in backend-set order.
+    pub verdicts: Vec<BackendVerdict>,
+}
+
+impl MatrixOutcome {
+    /// The backends whose verdict evidences a bug.
+    pub fn diverged(&self) -> Vec<System> {
+        self.verdicts
+            .iter()
+            .filter(|v| v.outcome.is_finding())
+            .map(|v| v.system)
+            .collect()
+    }
+
+    /// True when any phase of the matrix evidences a bug (an exporter
+    /// crash, or any backend's finding).
+    pub fn is_finding(&self) -> bool {
+        self.pre.as_ref().is_some_and(TestOutcome::is_finding)
+            || self.verdicts.iter().any(|v| v.outcome.is_finding())
+    }
+}
+
+/// Fans one case out across every backend of the set: the reference phase
+/// runs once ([`prepare_case`]), then each backend compiles, runs and
+/// compares against the shared reference outputs. IR-payload cases skip
+/// the reference phase and drive each backend's TIR pipeline directly
+/// (backends without one answer [`TestOutcome::NotImplemented`]).
+pub fn run_case_matrix(
+    backends: &BackendSet,
+    case: &TestCase,
+    options: &CompileOptions,
+    tol: Tolerance,
+) -> MatrixOutcome {
+    if let Some(funcs) = &case.ir {
+        let verdicts = backends
+            .iter()
+            .map(|compiler| {
+                let mut coverage = CoverageSet::new();
+                let outcome = run_ir_case(compiler, funcs, options, &mut coverage);
+                BackendVerdict {
+                    system: compiler.system(),
+                    outcome,
+                    coverage,
+                }
+            })
+            .collect();
+        return MatrixOutcome {
+            pre: None,
+            verdicts,
+        };
+    }
+    let prepared = match prepare_case(case, options) {
+        Ok(p) => p,
+        Err(outcome) => {
+            return MatrixOutcome {
+                pre: Some(outcome),
+                verdicts: Vec::new(),
+            }
+        }
+    };
+    let verdicts = backends
+        .iter()
+        .map(|compiler| {
+            let mut coverage = CoverageSet::new();
+            let outcome = run_prepared_case(compiler, case, &prepared, options, tol, &mut coverage);
+            BackendVerdict {
+                system: compiler.system(),
+                outcome,
+                coverage,
+            }
+        })
+        .collect();
+    MatrixOutcome {
+        pre: None,
+        verdicts,
     }
 }
 
@@ -304,20 +466,20 @@ pub fn run_ir_case(
 fn localize(
     compiler: &Compiler,
     case: &TestCase,
-    exported: &Graph<Op>,
+    prepared: &PreparedCase,
     options: &CompileOptions,
     tol: Tolerance,
-    cov: &mut nnsmith_compilers::CoverageSet,
+    cov: &mut CoverageSet,
 ) -> Option<FaultSite> {
     let o0 = CompileOptions {
         opt_level: OptLevel::O0,
         bugs: options.bugs.clone(),
     };
-    let compiled = compiler.compile(exported, &case.weights, &o0, cov).ok()?;
+    let compiled = compiler
+        .compile(&prepared.exported.graph, &case.weights, &o0, cov)
+        .ok()?;
     let outputs = compiled.run(&case.inputs).ok()?;
-    let reference = nnsmith_ops::execute(&case.graph, &case.all_bindings()).ok()?;
-    let ref_outputs: Vec<Tensor> = reference.outputs.iter().map(|(_, t)| t.clone()).collect();
-    match compare_outputs(&ref_outputs, &outputs, tol) {
+    match compare_outputs(&prepared.ref_outputs, &outputs, tol) {
         Verdict::Match => Some(FaultSite::Optimization),
         _ => Some(FaultSite::Conversion),
     }
@@ -638,6 +800,123 @@ mod tests {
             &mut cov,
         );
         assert!(matches!(outcome, TestOutcome::NotImplemented));
+    }
+
+    #[test]
+    fn matrix_fans_one_case_across_the_set() {
+        use nnsmith_compilers::BackendSet;
+        // A clean case passes on every backend, with per-backend coverage.
+        let case = clean_case();
+        let backends = BackendSet::all();
+        let matrix = run_case_matrix(
+            &backends,
+            &case,
+            &CompileOptions::default(),
+            Tolerance::default(),
+        );
+        assert!(matrix.pre.is_none());
+        assert_eq!(matrix.verdicts.len(), 3);
+        assert!(matrix.diverged().is_empty());
+        assert!(!matrix.is_finding());
+        for v in &matrix.verdicts {
+            assert!(matches!(v.outcome, TestOutcome::Pass), "{:?}", v.outcome);
+            assert!(
+                !v.coverage.is_empty(),
+                "{:?} recorded no coverage",
+                v.system
+            );
+        }
+
+        // A case triggering a tvm-only conversion crash diverges on
+        // tvmsim alone; the other backends still run (and pass).
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::ArgExtreme {
+                largest: true,
+                axis: 0,
+                keepdims: false,
+            }),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::I64, &[])],
+        );
+        let mut bindings = Bindings::new();
+        bindings.insert(x, Tensor::from_f32(&[4], vec![1., 5., 2., 4.]).unwrap());
+        let case = TestCase::from_bindings(g, bindings);
+        let matrix = run_case_matrix(
+            &backends,
+            &case,
+            &CompileOptions::default(),
+            Tolerance::default(),
+        );
+        assert!(matrix.is_finding());
+        assert_eq!(matrix.diverged(), vec![nnsmith_compilers::System::TvmSim]);
+
+        // An f64 case runs on tvm/ort and is NotImplemented on trt — not
+        // a divergence.
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F64, &[2])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Unary(UnaryKind::Tanh)),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::F64, &[2])],
+        );
+        let mut bindings = Bindings::new();
+        bindings.insert(x, Tensor::from_f64(&[2], vec![0.5, -0.5]).unwrap());
+        let case = TestCase::from_bindings(g, bindings);
+        let matrix = run_case_matrix(
+            &backends,
+            &case,
+            &CompileOptions::default(),
+            Tolerance::default(),
+        );
+        assert!(!matrix.is_finding());
+        let by_system: Vec<_> = matrix
+            .verdicts
+            .iter()
+            .map(|v| (v.system, matches!(v.outcome, TestOutcome::NotImplemented)))
+            .collect();
+        assert_eq!(
+            by_system,
+            vec![
+                (nnsmith_compilers::System::TvmSim, false),
+                (nnsmith_compilers::System::OrtSim, false),
+                (nnsmith_compilers::System::TrtSim, true),
+            ]
+        );
+
+        // An exporter crash is a pre-phase outcome: no backend verdicts.
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[1])],
+        );
+        g.add_node(
+            NodeKind::Operator(Op::Squeeze { axis: 0 }),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::F32, &[])],
+        );
+        let mut bindings = Bindings::new();
+        bindings.insert(x, Tensor::from_f32(&[1], vec![0.5]).unwrap());
+        let case = TestCase::from_bindings(g, bindings);
+        let matrix = run_case_matrix(
+            &backends,
+            &case,
+            &CompileOptions::default(),
+            Tolerance::default(),
+        );
+        assert!(matches!(matrix.pre, Some(TestOutcome::ExportCrash { .. })));
+        assert!(matrix.verdicts.is_empty());
+        assert!(matrix.is_finding());
     }
 
     #[test]

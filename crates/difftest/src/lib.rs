@@ -21,13 +21,16 @@ mod oracle;
 mod venn;
 
 pub use campaign::{
-    op_instance_keys, run_campaign, run_campaign_observed, CampaignConfig, CampaignResult,
-    CapturedFailure, CaseRecord, TestCaseSource, TimelinePoint,
+    op_instance_keys, run_campaign, run_campaign_observed, run_matrix_campaign, BackendResult,
+    CampaignConfig, CampaignResult, CapturedFailure, CaseRecord, TestCaseSource, TimelinePoint,
 };
 pub use engine::{
-    run_engine, run_engine_observed, shard_seed, EngineConfig, EngineReport, FnSourceFactory,
-    ShardCtx, SourceFactory,
+    run_engine, run_engine_observed, run_matrix_engine, run_matrix_engine_observed, shard_seed,
+    EngineConfig, EngineReport, FnSourceFactory, ShardCtx, SourceFactory,
 };
-pub use harness::{run_case, run_ir_case, seeded_bug_id, FaultSite, TestCase, TestOutcome};
+pub use harness::{
+    prepare_case, run_case, run_case_matrix, run_ir_case, run_prepared_case, seeded_bug_id,
+    BackendVerdict, FaultSite, MatrixOutcome, PreparedCase, TestCase, TestOutcome,
+};
 pub use oracle::{compare_outputs, Tolerance, Verdict};
 pub use venn::{Venn2, Venn3};

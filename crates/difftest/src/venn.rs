@@ -1,4 +1,9 @@
-//! Venn-diagram region computation over coverage sets (Figures 7, 8, 10).
+//! Venn-diagram region computation over coverage sets (Figures 7, 8, 10)
+//! and over bug-id sets (Table 5's cross-backend matrix: which bugs are
+//! shared across backends — the exporter's — and which are unique to
+//! one).
+
+use std::collections::BTreeSet;
 
 use nnsmith_compilers::CoverageSet;
 use serde::Serialize;
@@ -18,6 +23,16 @@ impl Venn2 {
     /// Computes the regions.
     pub fn of(a: &CoverageSet, b: &CoverageSet) -> Venn2 {
         let both = a.intersection(b).len();
+        Venn2 {
+            only_a: a.len() - both,
+            only_b: b.len() - both,
+            both,
+        }
+    }
+
+    /// Computes the regions over id sets (bug ids, crash keys).
+    pub fn of_ids(a: &BTreeSet<String>, b: &BTreeSet<String>) -> Venn2 {
+        let both = a.intersection(b).count();
         Venn2 {
             only_a: a.len() - both,
             only_b: b.len() - both,
@@ -69,6 +84,25 @@ impl Venn3 {
             ab: ab.len() - abc,
             ac: ac.len() - abc,
             bc: bc.len() - abc,
+            abc,
+        }
+    }
+
+    /// Computes the seven regions over id sets (per-backend bug sets in
+    /// Table 5: the `abc` core is the shared-frontend exporter bugs,
+    /// the exclusive regions each backend's own seeded surface).
+    pub fn of_ids(a: &BTreeSet<String>, b: &BTreeSet<String>, c: &BTreeSet<String>) -> Venn3 {
+        let ab = a.intersection(b).count();
+        let ac = a.intersection(c).count();
+        let bc = b.intersection(c).count();
+        let abc = a.intersection(b).filter(|id| c.contains(*id)).count();
+        Venn3 {
+            a: (a.len() + abc) - ab - ac,
+            b: (b.len() + abc) - ab - bc,
+            c: (c.len() + abc) - ac - bc,
+            ab: ab - abc,
+            ac: ac - abc,
+            bc: bc - abc,
             abc,
         }
     }

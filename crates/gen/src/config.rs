@@ -1,5 +1,7 @@
 //! Generator configuration.
 
+use nnsmith_tensor::DType;
+
 /// Tuning knobs for the model generator (defaults follow §5.1 of the
 /// paper: 10-node graphs, equal forward/backward probability, `k = 7`
 /// attribute bins).
@@ -28,6 +30,13 @@ pub struct GenConfig {
     pub max_out_dim: i64,
     /// Upper bound on the element count of any generated tensor.
     pub max_numel: i64,
+    /// Element types generation may use; `None` means all. Cross-backend
+    /// campaigns set this to the intersection of every backend's support
+    /// matrix (§4: probe supported dtypes "so as to avoid
+    /// 'Not-Implemented' errors" — extended across the whole backend set,
+    /// so every generated case is legal on every backend). `None` leaves
+    /// the RNG stream byte-identical to older versions.
+    pub allowed_dtypes: Option<Vec<DType>>,
 }
 
 impl Default for GenConfig {
@@ -43,6 +52,7 @@ impl Default for GenConfig {
             dim_hi: 48,
             max_out_dim: 2048,
             max_numel: 16_384,
+            allowed_dtypes: None,
         }
     }
 }

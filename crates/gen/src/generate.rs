@@ -181,6 +181,8 @@ struct SymbolicState {
     max_numel: i64,
     type_filter: bool,
     fresh_input_prob: f64,
+    /// Cross-backend dtype restriction (`None` = all allowed).
+    allowed_dtypes: Option<Vec<DType>>,
 }
 
 impl SymbolicState {
@@ -188,16 +190,33 @@ impl SymbolicState {
         let mut solver = Solver::new_in(pool.clone());
         let mut graph = Graph::new();
         // Seed: a single placeholder (§3.2), float-biased dtype, any rank.
-        let dtype = *[
+        // A cross-backend dtype restriction filters the palette (keeping
+        // the float bias); with no restriction the draw is identical to
+        // the unrestricted stream.
+        let biased = [
             DType::F32,
             DType::F32,
             DType::F32,
             DType::F64,
             DType::I32,
             DType::I64,
-        ]
-        .choose(rng)
-        .expect("nonempty");
+        ];
+        let palette: Vec<DType> = match &config.allowed_dtypes {
+            None => biased.to_vec(),
+            Some(allowed) => {
+                let filtered: Vec<DType> = biased
+                    .iter()
+                    .copied()
+                    .filter(|d| allowed.contains(d))
+                    .collect();
+                if filtered.is_empty() {
+                    biased.to_vec()
+                } else {
+                    filtered
+                }
+            }
+        };
+        let dtype = *palette.choose(rng).expect("nonempty");
         let rank = rng.gen_range(1..=nnsmith_ops::MAX_RANK);
         let ttype = fresh_placeholder_type(dtype, rank, &mut solver, config.dim_hi);
         // The seed placeholder is only otherwise capped transitively through
@@ -217,7 +236,15 @@ impl SymbolicState {
             max_numel: config.max_numel,
             type_filter: config.type_filter,
             fresh_input_prob: config.fresh_input_prob,
+            allowed_dtypes: config.allowed_dtypes.clone(),
         }
+    }
+
+    /// True when the cross-backend restriction (if any) allows `dtype`.
+    fn dtype_ok(&self, dtype: DType) -> bool {
+        self.allowed_dtypes
+            .as_ref()
+            .is_none_or(|set| set.contains(&dtype))
     }
 
     /// Forward insertion: wire the operator's data inputs to existing
@@ -229,6 +256,12 @@ impl SymbolicState {
         stats: &mut GenStats,
     ) -> bool {
         let slots = tmpl.sample_slots(rng);
+        // Cross-backend restriction: every input slot dtype must be legal
+        // on every backend of the set (RNG already consumed, so the
+        // unrestricted stream is unchanged).
+        if slots.iter().any(|s| !self.dtype_ok(s.dtype)) {
+            return false;
+        }
         // Pick a source for every data slot.
         enum Source {
             Existing(ValueRef),
@@ -285,6 +318,19 @@ impl SymbolicState {
         let Some(mut constraints) = self.insertion_constraints(&built.op, &full_types) else {
             return false;
         };
+        // Output dtypes can differ from every input's (Cast): enforce the
+        // cross-backend restriction on them too, before any constraint is
+        // committed to the solver.
+        if self.allowed_dtypes.is_some() {
+            match built.op.type_transfer(&full_types) {
+                Ok(outs) => {
+                    if outs.iter().any(|t| !self.dtype_ok(t.dtype)) {
+                        return false;
+                    }
+                }
+                Err(_) => return false,
+            }
+        }
         // Freshly-created placeholders (data or parameters) must respect
         // the tensor-size budget too.
         for (i, slot) in slots.iter().enumerate() {
@@ -354,7 +400,12 @@ impl SymbolicState {
             }
             let out_type = self.graph.node(ph).outputs[0].clone();
             if let Some(slots) = tmpl.infer_input_slots(&out_type, rng) {
-                candidates.push((ph, slots));
+                // Cross-backend restriction: the operator's fresh inputs
+                // must be legal on every backend (the output dtype is the
+                // placeholder's, allowed by induction).
+                if slots.iter().all(|s| self.dtype_ok(s.dtype)) {
+                    candidates.push((ph, slots));
+                }
             }
         }
         let Some((ph, slots)) = candidates.choose(rng).cloned() else {

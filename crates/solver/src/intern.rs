@@ -27,7 +27,11 @@
 //!   atomic length — so the read path ([`InternPool::int_node`],
 //!   [`InternPool::eval_bool`], interval reasoning, everything
 //!   `Solver::check` does) acquires **no lock at all**. Writers take a
-//!   short per-shard mutex only while interning;
+//!   short per-shard mutex only while interning a *new* node: interning
+//!   re-checks a lock-free, direct-mapped probe cache over the published
+//!   slots first, so re-interning a known structure — the overwhelmingly
+//!   common case in intern-heavy generation, where the same shape
+//!   subterms recur constantly — never touches the mutex at all;
 //! * interning **hash-conses** within a pool: structurally equal terms get
 //!   the same handle, across every solver and thread sharing that pool;
 //! * the intern-time smart constructors ([`InternPool::bin`],
@@ -203,6 +207,49 @@ struct ShardWriter {
     bool_ids: HashMap<BoolNode, u32>,
 }
 
+/// Entries in the lock-free probe cache: `(hash tag << 32) | (slot + 1)`,
+/// `0` = empty. The cache is a direct-mapped, last-writer-wins index over
+/// the shard's *published* slots: a matching tag nominates a candidate
+/// slot whose node is then compared for real (publication makes the read
+/// safe), so a hit is always correct and a collision just falls through
+/// to the mutex. Writers refresh entries under the shard mutex.
+const PROBE_SLOTS: usize = 512;
+
+fn probe_entry(hash: u64, idx: u32) -> u64 {
+    ((hash >> 32) << 32) | u64::from(idx + 1)
+}
+
+struct ProbeCache {
+    entries: Box<[std::sync::atomic::AtomicU64]>,
+}
+
+impl ProbeCache {
+    fn new() -> Self {
+        ProbeCache {
+            entries: (0..PROBE_SLOTS)
+                .map(|_| std::sync::atomic::AtomicU64::new(0))
+                .collect(),
+        }
+    }
+
+    fn slot(hash: u64) -> usize {
+        // High bits: the low bits already picked the shard.
+        (hash >> 32) as usize & (PROBE_SLOTS - 1)
+    }
+
+    /// The candidate slot index published for `hash`, if any. The caller
+    /// must verify the node behind it — equal tags do not imply equal
+    /// nodes.
+    fn lookup(&self, hash: u64) -> Option<u32> {
+        let v = self.entries[Self::slot(hash)].load(Ordering::Acquire);
+        (v != 0 && (v >> 32) == (hash >> 32)).then(|| (v as u32) - 1)
+    }
+
+    fn publish(&self, hash: u64, idx: u32) {
+        self.entries[Self::slot(hash)].store(probe_entry(hash, idx), Ordering::Release);
+    }
+}
+
 struct Shard {
     ints: Table<IntNode>,
     bools: Table<BoolNode>,
@@ -211,7 +258,14 @@ struct Shard {
     bool_len: AtomicU32,
     /// Approximate table bytes.
     bytes: AtomicUsize,
-    /// Taken only while interning; never on the read path.
+    /// Lock-free pre-check indexes: interning an already-known node hits
+    /// here and never touches the writer mutex (the ROADMAP contention
+    /// item — intern-heavy generation re-interns the same subterms
+    /// constantly, so the steady state is all hits).
+    int_probe: ProbeCache,
+    bool_probe: ProbeCache,
+    /// Taken only while interning a genuinely new node; never on the read
+    /// path, never on a probe hit.
     writer: Mutex<ShardWriter>,
 }
 
@@ -223,6 +277,8 @@ impl Shard {
             int_len: AtomicU32::new(0),
             bool_len: AtomicU32::new(0),
             bytes: AtomicUsize::new(0),
+            int_probe: ProbeCache::new(),
+            bool_probe: ProbeCache::new(),
             writer: Mutex::new(ShardWriter::default()),
         }
     }
@@ -331,9 +387,10 @@ impl InternPool {
     }
 
     /// Test/diagnostic hook: acquires every shard's writer mutex and holds
-    /// them until the guard drops, parking any thread that tries to intern.
-    /// The contention smoke test uses this to prove the read path is
-    /// lock-free (reads must keep succeeding while writers are stalled).
+    /// them until the guard drops, parking any thread that tries to intern
+    /// a *new* node (re-interning known nodes hits the lock-free probe
+    /// cache and proceeds). The contention smoke test uses this to prove
+    /// the read path — and the known-node intern path — is lock-free.
     pub fn stall_writers(&self) -> WriterStall<'_> {
         WriterStall {
             _guards: self
@@ -347,20 +404,30 @@ impl InternPool {
 
     // --- sharding ------------------------------------------------------------
 
-    fn shard_of<T: Hash>(&self, tag: u8, node: &T) -> usize {
+    fn hash_of<T: Hash>(tag: u8, node: &T) -> u64 {
         // DefaultHasher::new() is deterministic within a build (fixed keys),
         // which keeps shard assignment — though never id *order* — stable.
         let mut h = std::collections::hash_map::DefaultHasher::new();
         tag.hash(&mut h);
         node.hash(&mut h);
-        (h.finish() as usize) & (self.inner.shards.len() - 1)
+        h.finish()
     }
 
     fn intern_int_node(&self, node: IntNode) -> ExprId {
-        let si = self.shard_of(0, &node);
+        let hash = Self::hash_of(0, &node);
+        let si = (hash as usize) & (self.inner.shards.len() - 1);
         let shard = &self.inner.shards[si];
+        // Lock-free pre-check: a probe hit nominates a published slot; if
+        // its node really is `node`, the id is final (hash-consing means
+        // one slot per structure) and the writer mutex is never touched.
+        if let Some(idx) = shard.int_probe.lookup(hash) {
+            if shard.ints.get(idx).is_some_and(|n| *n == node) {
+                return ExprId(pack(si, idx));
+            }
+        }
         let mut w = shard.writer.lock().expect("shard writer poisoned");
         if let Some(&idx) = w.int_ids.get(&node) {
+            shard.int_probe.publish(hash, idx);
             return ExprId(pack(si, idx));
         }
         let idx = shard.int_len.load(Ordering::Relaxed);
@@ -371,14 +438,22 @@ impl InternPool {
         LIVE_INT_NODES.fetch_add(1, Ordering::Relaxed);
         shard.int_len.store(idx + 1, Ordering::Release);
         w.int_ids.insert(node, idx);
+        shard.int_probe.publish(hash, idx);
         ExprId(pack(si, idx))
     }
 
     fn intern_bool_node(&self, node: BoolNode) -> BoolId {
-        let si = self.shard_of(1, &node);
+        let hash = Self::hash_of(1, &node);
+        let si = (hash as usize) & (self.inner.shards.len() - 1);
         let shard = &self.inner.shards[si];
+        if let Some(idx) = shard.bool_probe.lookup(hash) {
+            if shard.bools.get(idx).is_some_and(|n| *n == node) {
+                return BoolId(pack(si, idx));
+            }
+        }
         let mut w = shard.writer.lock().expect("shard writer poisoned");
         if let Some(&idx) = w.bool_ids.get(&node) {
+            shard.bool_probe.publish(hash, idx);
             return BoolId(pack(si, idx));
         }
         let idx = shard.bool_len.load(Ordering::Relaxed);
@@ -394,6 +469,7 @@ impl InternPool {
         LIVE_BOOL_NODES.fetch_add(1, Ordering::Relaxed);
         shard.bool_len.store(idx + 1, Ordering::Release);
         w.bool_ids.insert(node, idx);
+        shard.bool_probe.publish(hash, idx);
         BoolId(pack(si, idx))
     }
 
@@ -897,6 +973,57 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().unwrap(), Some(2));
         }
+    }
+
+    #[test]
+    fn known_nodes_intern_without_the_writer_mutex() {
+        // The lock-free pre-check (ROADMAP contention item): re-interning
+        // an already-known structure must succeed even while every writer
+        // mutex is held, and must return the hash-consed id. A probe-miss
+        // (new node) would park on the mutex, so completion within the
+        // timeout proves the known-node path never touches it.
+        let p = InternPool::default();
+        let known_int = p.intern_int(&(v(0) + 1.into()));
+        let known_bool = p.intern_bool(&v(3).le(v(4)));
+        let _stall = p.stall_writers();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let worker = {
+            let p = p.clone();
+            std::thread::spawn(move || {
+                let i = p.intern_int(&(v(0) + 1.into()));
+                let b = p.intern_bool(&v(3).le(v(4)));
+                tx.send((i, b)).unwrap();
+            })
+        };
+        let (i, b) = rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("known-node interning must not block on stalled writers");
+        assert_eq!(i, known_int);
+        assert_eq!(b, known_bool);
+        drop(_stall);
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn probe_collisions_still_hash_cons() {
+        // Hammer one pool with far more distinct nodes than probe slots so
+        // entries are repeatedly evicted; every structure must still map
+        // to exactly one id (collisions fall through to the mutex).
+        let p = InternPool::with_shards(1);
+        let first: Vec<_> = (0..4096u32)
+            .map(|i| p.intern_int(&(v(i % 64) + i64::from(i).into())))
+            .collect();
+        let second: Vec<_> = (0..4096u32)
+            .map(|i| p.intern_int(&(v(i % 64) + i64::from(i).into())))
+            .collect();
+        assert_eq!(first, second);
+        // Node count matches a pool that saw each structure exactly once
+        // (no duplicate slots from evicted probe entries).
+        let q = InternPool::with_shards(1);
+        for i in 0..4096u32 {
+            q.intern_int(&(v(i % 64) + i64::from(i).into()));
+        }
+        assert_eq!(p.stats().int_nodes, q.stats().int_nodes);
     }
 
     #[test]

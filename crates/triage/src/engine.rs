@@ -4,11 +4,16 @@
 //!
 //! Workers push captured failures into an mpsc channel as they happen, so
 //! reduction overlaps fuzzing. Determinism does not depend on arrival
-//! order: bins are keyed by the failure's [`BugSignature`], counts are
-//! order-independent sums, and the bin representative is the failure with
-//! the smallest `(shard index, case index)` provenance — so for a
-//! case-budgeted engine run the merged [`TriageReport`] is identical for
-//! workers=1 and workers=N.
+//! order: bins are keyed by **backend × [`BugSignature`]** (the same
+//! symptom on two backends is two bugs — `tvmsim::crash/...` and
+//! `trtsim::crash/...` bin separately), counts are order-independent
+//! sums, and the bin representative is the failure with the smallest
+//! `(shard index, case index)` provenance — so for a case-budgeted engine
+//! run the merged [`TriageReport`] is identical for workers=1 and
+//! workers=N. Cross-backend campaigns route each failure to a per-backend
+//! sink whose oracle is the originating compiler, so reduction and replay
+//! always run against the backend that exhibited the bug
+//! ([`run_matrix_triaged_engine`]).
 //!
 //! ## Anonymous-mismatch binning
 //!
@@ -27,9 +32,10 @@ use std::sync::Mutex;
 
 use serde::Serialize;
 
-use nnsmith_compilers::{CompileOptions, Compiler};
+use nnsmith_compilers::{BackendSet, CompileOptions, Compiler};
 use nnsmith_difftest::{
-    run_engine_observed, CapturedFailure, EngineConfig, EngineReport, SourceFactory,
+    run_engine_observed, run_matrix_engine_observed, CapturedFailure, CaseRecord, EngineConfig,
+    EngineReport, ShardCtx, SourceFactory,
 };
 use nnsmith_difftest::{TestCase, Tolerance};
 
@@ -44,9 +50,13 @@ pub struct TriageConfig {
     pub reduce: ReduceConfig,
 }
 
-/// One deduplicated bug: every captured failure with the same signature.
+/// One deduplicated bug: every captured failure with the same signature
+/// on the same backend.
 #[derive(Debug, Clone, Serialize)]
 pub struct Bin {
+    /// The backend that exhibited this bug (the bin key's first
+    /// dimension; the reproducer replays against it).
+    pub backend: String,
     /// The shared signature.
     pub signature: BugSignature,
     /// Seeded-bug ids implicated, when identified.
@@ -66,6 +76,8 @@ pub struct Bin {
 /// finding never silently vanishes from reports.
 #[derive(Debug, Clone, Serialize)]
 pub struct UnreducedBin {
+    /// The backend that exhibited this bug.
+    pub backend: String,
     /// The captured signature.
     pub signature: BugSignature,
     /// Seeded-bug ids implicated, when identified.
@@ -83,7 +95,9 @@ pub struct UnreducedBin {
 /// an extra reduction) and are diagnostics, not results.
 #[derive(Debug, Clone, Default)]
 pub struct TriageReport {
-    /// Bins keyed by [`BugSignature::as_key`], sorted.
+    /// Bins keyed by `<backend>::<`[`BugSignature::as_key`]`>`, sorted
+    /// (the same key shape as [`Corpus`] entries) — the backend dimension
+    /// keeps one symptom on two backends in two bins.
     pub bins: BTreeMap<String, Bin>,
     /// Bins with no reducible representative, keyed like `bins`.
     pub unreduced: BTreeMap<String, UnreducedBin>,
@@ -117,6 +131,16 @@ impl TriageReport {
             corpus.insert(bin.reproducer.clone());
         }
         corpus
+    }
+
+    /// Absorbs another report (disjoint bin keys — per-backend reports
+    /// merge cleanly because every key is backend-qualified).
+    pub fn merge(&mut self, other: TriageReport) {
+        self.bins.extend(other.bins);
+        self.unreduced.extend(other.unreduced);
+        self.failures_seen += other.failures_seen;
+        self.reductions += other.reductions;
+        self.oracle_runs += other.oracle_runs;
     }
 
     /// All seeded-bug ids identified across bins, reduced or not.
@@ -237,9 +261,11 @@ impl<'a> TriageSink<'a> {
     }
 
     /// Bumps (creating on first sight) the bin for `sig`, returning its
-    /// key.
+    /// key. Keys are backend-qualified (`<backend>::<signature>`) so
+    /// merged cross-backend reports keep one symptom per backend in its
+    /// own bin.
     fn touch_bin(&mut self, sig: &BugSignature) -> String {
-        let key = sig.as_key();
+        let key = format!("{}::{}", self.compiler_name, sig.as_key());
         self.bins
             .entry(key.clone())
             .or_insert_with(|| PendingBin {
@@ -304,6 +330,7 @@ impl<'a> TriageSink<'a> {
                     bins.insert(
                         key,
                         Bin {
+                            backend: compiler_name.clone(),
                             bug_ids: pending.signature.seeded_ids(),
                             signature: pending.signature,
                             count: pending.count,
@@ -323,6 +350,7 @@ impl<'a> TriageSink<'a> {
                     unreduced.insert(
                         key,
                         UnreducedBin {
+                            backend: compiler_name.clone(),
                             bug_ids: pending.signature.seeded_ids(),
                             signature: pending.signature,
                             count: pending.count,
@@ -354,28 +382,74 @@ pub fn run_triaged_engine(
     config: &EngineConfig,
     cfg: &TriageConfig,
 ) -> (EngineReport, TriageReport) {
+    let backends = BackendSet::single(compiler.clone());
+    run_triaged_engine_inner(&backends, config, cfg, |engine_cfg, on_case| {
+        run_engine_observed(compiler, factory, engine_cfg, on_case)
+    })
+}
+
+/// [`run_triaged_engine`] across the configured backend set
+/// ([`nnsmith_difftest::CampaignConfig::backends`]): failures stream to a
+/// per-backend triage consumer whose oracle is the compiler that
+/// exhibited them, so every reproducer is reduced against — and replays
+/// on — its originating backend. Bin keys are backend-qualified, keeping
+/// `tvmsim::crash/...` and `trtsim::crash/...` separate even for
+/// identical symptoms.
+pub fn run_matrix_triaged_engine(
+    factory: &dyn SourceFactory,
+    config: &EngineConfig,
+    cfg: &TriageConfig,
+) -> (EngineReport, TriageReport) {
+    let backends = config.campaign.backend_set();
+    run_triaged_engine_inner(&backends, config, cfg, |engine_cfg, on_case| {
+        run_matrix_engine_observed(factory, engine_cfg, on_case)
+    })
+}
+
+fn run_triaged_engine_inner(
+    backends: &BackendSet,
+    config: &EngineConfig,
+    cfg: &TriageConfig,
+    run: impl FnOnce(&EngineConfig, &(dyn Fn(ShardCtx, &CaseRecord) + Sync)) -> EngineReport,
+) -> (EngineReport, TriageReport) {
     let mut engine_cfg = config.clone();
     engine_cfg.campaign.capture_failures = true;
 
-    let (tx, rx) = mpsc::channel::<(usize, usize, Box<CapturedFailure>)>();
+    let (tx, rx) = mpsc::channel::<(usize, usize, CapturedFailure)>();
     std::thread::scope(|scope| {
         let consumer = scope.spawn(move || {
-            let mut sink = TriageSink::new(
-                compiler,
-                compiler.system().name(),
-                config.campaign.options.clone(),
-                config.campaign.tolerance,
-                cfg.clone(),
-            );
+            // One sink per backend: reduction replays each failure
+            // through the compiler that exhibited it.
+            let mut sinks: BTreeMap<String, TriageSink<'_>> = backends
+                .iter()
+                .map(|compiler| {
+                    let name = compiler.system().name().to_string();
+                    let sink = TriageSink::new(
+                        compiler,
+                        name.clone(),
+                        config.campaign.options.clone(),
+                        config.campaign.tolerance,
+                        cfg.clone(),
+                    );
+                    (name, sink)
+                })
+                .collect();
             while let Ok((shard, case_index, failure)) = rx.recv() {
+                let sink = sinks
+                    .get_mut(&failure.backend)
+                    .expect("failure from a backend outside the set");
                 sink.ingest(shard, case_index, &failure);
             }
-            sink.finish()
+            let mut report = TriageReport::default();
+            for (_, sink) in sinks {
+                report.merge(sink.finish());
+            }
+            report
         });
         // Sender is !Sync; the observer hook is shared across workers.
         let tx = Mutex::new(tx);
-        let report = run_engine_observed(compiler, factory, &engine_cfg, &|ctx, record| {
-            if let Some(failure) = &record.failure {
+        let report = run(&engine_cfg, &|ctx, record| {
+            for failure in &record.failures {
                 // Deep-clone before locking: the clone copies the full
                 // test case and would otherwise serialize every worker on
                 // the sender mutex during failure-heavy campaigns.

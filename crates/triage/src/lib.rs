@@ -27,7 +27,10 @@ mod reduce;
 mod signature;
 
 pub use corpus::{Corpus, ReplayReport, Reproducer};
-pub use engine::{run_triaged_engine, Bin, TriageConfig, TriageReport, TriageSink, UnreducedBin};
+pub use engine::{
+    run_matrix_triaged_engine, run_triaged_engine, Bin, TriageConfig, TriageReport, TriageSink,
+    UnreducedBin,
+};
 pub use reduce::{
     is_one_minimal, is_one_minimal_with, reduce_case, reduce_case_expecting,
     reduce_case_expecting_with, CaseOracle, ReduceConfig, Reduction,

@@ -291,13 +291,19 @@ pub fn reduce_case_expecting_with(
 }
 
 /// Delta-debugs an IR-payload case to a signature-preserving local
-/// minimum: whole kernels, then statements (removal, loop unwrapping,
-/// extent shrinking), then index-expression subtrees (zeroing and child
-/// hoisting) are greedily removed while the oracle keeps reporting a
-/// [`compatible`] signature. The candidate order is fixed, so reduction is
-/// deterministic and duplicates of one root cause converge to the same
-/// canonical minimal IR — which is what lets `anon-ir:` findings dedupe on
-/// the post-reduction hash.
+/// minimum. A **ddmin-style chunked pre-pass** first deletes whole
+/// kernels and statement chunks (halving granularity, Zeller's
+/// complement phase) — for deep Tzer mutants this removes most of the
+/// bloat in O(log n) accepted steps instead of one statement per
+/// full-scan round. The fine-grained scan then polishes the survivor:
+/// statements (removal, loop unwrapping, extent shrinking) and
+/// index-expression subtrees (zeroing and child hoisting) are greedily
+/// removed while the oracle keeps reporting a [`compatible`] signature.
+/// Both phases scan candidates in a fixed order, and the fine scan runs
+/// to the same fixpoint from any ddmin survivor, so reduction stays
+/// deterministic and duplicates of one root cause still converge to the
+/// same canonical minimal IR — which is what lets `anon-ir:` findings
+/// dedupe on the post-reduction hash.
 #[allow(clippy::too_many_arguments)] // internal tail of reduce_case_expecting_with
 fn reduce_ir(
     oracle: &dyn CaseOracle,
@@ -312,6 +318,15 @@ fn reduce_ir(
 ) -> Reduction {
     let mut current = funcs.to_vec();
     let mut outcome = outcome0;
+    ddmin_prepass(
+        oracle,
+        options,
+        tol,
+        &sig0,
+        &mut current,
+        &mut outcome,
+        &mut oracle_runs,
+    );
     // Every accepted candidate strictly decreases the reduction potential
     // (node count, wide-loop count, or nonzero-leaf count — no step can
     // increase any of them), so the initial potential bounds the rounds to
@@ -348,6 +363,129 @@ fn reduce_ir(
         original_ops: ir_weight(funcs),
         reduced_ops: reduced_weight,
         oracle_runs,
+    }
+}
+
+/// The ddmin complement phase over one list: repeatedly tries deleting
+/// whole chunks, starting at two chunks and halving chunk size only when
+/// no deletion at the current granularity survives. `test` returns `true`
+/// when the candidate still exhibits the signature. Deterministic: chunks
+/// are scanned front to back at every granularity.
+fn ddmin_list<T: Clone>(items: &[T], mut test: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut current = items.to_vec();
+    let mut n = 2usize;
+    while current.len() >= 2 && n <= current.len() {
+        let chunk = current.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let mut complement = Vec::with_capacity(current.len() - (end - start));
+            complement.extend_from_slice(&current[..start]);
+            complement.extend_from_slice(&current[end..]);
+            if test(&complement) {
+                current = complement;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if n == current.len() {
+                break;
+            }
+            n = (n * 2).min(current.len());
+        }
+    }
+    current
+}
+
+/// The statement list at `path` (a chain of `For`-statement indices) of a
+/// kernel body.
+fn stmt_list_at<'a>(body: &'a [LStmt], path: &[usize]) -> &'a [LStmt] {
+    match path.split_first() {
+        None => body,
+        Some((&i, rest)) => match &body[i] {
+            LStmt::For { body: inner, .. } => stmt_list_at(inner, rest),
+            _ => unreachable!("ddmin path points at a For statement"),
+        },
+    }
+}
+
+/// Replaces the statement list at `path`.
+fn set_stmt_list_at(body: &mut Vec<LStmt>, path: &[usize], new: Vec<LStmt>) {
+    match path.split_first() {
+        None => *body = new,
+        Some((&i, rest)) => match &mut body[i] {
+            LStmt::For { body: inner, .. } => set_stmt_list_at(inner, rest, new),
+            _ => unreachable!("ddmin path points at a For statement"),
+        },
+    }
+}
+
+/// The chunked-removal pre-pass of the IR reducer: ddmin over the kernel
+/// list, then over every statement list (outermost first, descending into
+/// surviving loops). Only deletes — loop unwrapping, extent shrinking and
+/// expression steps stay with the fine scan, which therefore still
+/// reaches the same canonical minimal forms from the ddmin survivor.
+fn ddmin_prepass(
+    oracle: &dyn CaseOracle,
+    options: &CompileOptions,
+    tol: Tolerance,
+    sig0: &BugSignature,
+    current: &mut Vec<LoweredFunc>,
+    outcome: &mut TestOutcome,
+    oracle_runs: &mut usize,
+) {
+    // Every accepted candidate refreshes `latest`; after the pre-pass the
+    // last acceptance is exactly the final `current`, so the outcome
+    // stays in sync without a confirming re-run.
+    let mut latest: Option<TestOutcome> = None;
+    {
+        let mut accepts = |cand: &[LoweredFunc], latest: &mut Option<TestOutcome>| -> bool {
+            *oracle_runs += 1;
+            let case = TestCase::from_ir(cand.to_vec());
+            let (o, sig) = check(oracle, &case, options, tol);
+            if sig.is_some_and(|s| compatible(sig0, &s)) {
+                *latest = Some(o);
+                true
+            } else {
+                false
+            }
+        };
+        if current.len() > 1 {
+            *current = ddmin_list(current, |cand| accepts(cand, &mut latest));
+        }
+        for k in 0..current.len() {
+            // Depth-first over statement lists; a path is re-read after
+            // its ddmin so recursion descends into the reduced list.
+            let mut paths: Vec<Vec<usize>> = vec![Vec::new()];
+            while let Some(path) = paths.pop() {
+                let list = stmt_list_at(&current[k].body, &path).to_vec();
+                if list.len() >= 2 {
+                    let reduced = ddmin_list(&list, |cand| {
+                        let mut trial = current.clone();
+                        set_stmt_list_at(&mut trial[k].body, &path, cand.to_vec());
+                        accepts(&trial, &mut latest)
+                    });
+                    if reduced.len() != list.len() {
+                        set_stmt_list_at(&mut current[k].body, &path, reduced);
+                    }
+                }
+                let list = stmt_list_at(&current[k].body, &path);
+                for (i, s) in list.iter().enumerate() {
+                    if matches!(s, LStmt::For { .. }) {
+                        let mut p = path.clone();
+                        p.push(i);
+                        paths.push(p);
+                    }
+                }
+            }
+        }
+    }
+    if let Some(o) = latest {
+        *outcome = o;
     }
 }
 
@@ -1023,6 +1161,71 @@ mod tests {
             Tolerance::default(),
         );
         assert_eq!(sig.as_ref(), Some(&red.signature));
+    }
+
+    #[test]
+    fn ddmin_list_removes_chunks_deterministically() {
+        // Keep exactly the element 42: ddmin must find the singleton and
+        // scan deterministically.
+        let items: Vec<i32> = (0..32).collect();
+        let mut runs = 0usize;
+        let reduced = ddmin_list(&items, |cand| {
+            runs += 1;
+            cand.contains(&17)
+        });
+        assert_eq!(reduced, vec![17]);
+        // Chunked removal: far fewer tests than the ~O(n²) a greedy
+        // single-deletion scan would need to strip 31 elements.
+        assert!(runs < 64, "ddmin used {runs} tests");
+        // Test predicates that always fail leave the input untouched.
+        let unreduced = ddmin_list(&items, |_| false);
+        assert_eq!(unreduced, items);
+    }
+
+    #[test]
+    fn ddmin_prepass_strips_wide_mutants_to_the_canonical_minimum() {
+        // 24 irrelevant stores around one Div(Var, Var) crasher
+        // (tir-simpl-div). The chunked pre-pass deletes the bloat in
+        // chunks; the fine scan still polishes to the same canonical
+        // minimal form the greedy-only reducer produced.
+        let compiler = tvmsim();
+        let mut body: Vec<LStmt> = (0..24)
+            .map(|i| LStmt::Store {
+                index: LExpr::Const(i),
+            })
+            .collect();
+        body.insert(
+            12,
+            LStmt::Store {
+                index: LExpr::Div(Box::new(LExpr::Var(0)), Box::new(LExpr::Var(1))),
+            },
+        );
+        let case = TestCase::from_ir(vec![LoweredFunc {
+            name: "wide".into(),
+            body,
+        }]);
+        let red = reduce_case(
+            &compiler,
+            &case,
+            &CompileOptions::default(),
+            Tolerance::default(),
+            &ReduceConfig::default(),
+        )
+        .expect("finding");
+        assert_eq!(red.signature.key, "seeded:tir-simpl-div");
+        let funcs = red.case.ir.as_ref().expect("ir case stays ir");
+        assert_eq!(
+            funcs[0].body,
+            vec![LStmt::Store {
+                index: LExpr::Div(Box::new(LExpr::Const(0)), Box::new(LExpr::Var(1)))
+            }]
+        );
+        // Chunk deletion keeps the oracle budget linear-ish in the bloat.
+        assert!(
+            red.oracle_runs < 150,
+            "spent {} oracle runs",
+            red.oracle_runs
+        );
     }
 
     #[test]

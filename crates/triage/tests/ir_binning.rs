@@ -111,7 +111,11 @@ fn capture(case: TestCase) -> CapturedFailure {
     let outcome =
         IrMismatchOracle.run_oracle(&case, &CompileOptions::default(), Tolerance::default());
     assert!(outcome.is_finding(), "fixture must be a finding");
-    CapturedFailure { case, outcome }
+    CapturedFailure {
+        backend: "synthetic".into(),
+        case,
+        outcome,
+    }
 }
 
 #[test]

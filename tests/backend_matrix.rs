@@ -1,0 +1,258 @@
+//! Cross-backend differential matrix: one generated case, every
+//! compiler.
+//!
+//! Pins the three contracts of the backend-set refactor:
+//!
+//! * **determinism** — a multi-backend, case-budgeted engine run is
+//!   byte-identical across worker counts, including per-backend coverage
+//!   sets, per-backend bug sets and backend-keyed triage bins;
+//! * **attribution** — each backend's bug set contains only bugs seeded
+//!   in that backend (or in the shared exporter frontend, whose bugs
+//!   legitimately surface through any backend's differential run), and a
+//!   3-backend campaign reaches seeded bugs from all three registries in
+//!   one run;
+//! * **backend-keyed binning** — the same symptom observed on two
+//!   backends lands in two triage bins, each reduced and replayable
+//!   against its originating backend.
+
+use std::time::Duration;
+
+use nnsmith_compilers::{bug_by_id, BackendSet, System};
+use nnsmith_core::{NnSmithConfig, NnSmithFactory};
+use nnsmith_difftest::{
+    run_matrix_engine, CampaignConfig, EngineConfig, EngineReport, FnSourceFactory, ShardCtx,
+    TestCase, TestCaseSource,
+};
+use nnsmith_graph::{Graph, NodeId, NodeKind, TensorType, ValueRef};
+use nnsmith_ops::{Bindings, Op, UnaryKind};
+use nnsmith_tensor::{DType, Tensor};
+use nnsmith_triage::{run_matrix_triaged_engine, TriageConfig};
+
+/// The backend set under test; the CI matrix overrides it per axis
+/// (`BACKEND_MATRIX_SET=tvm` / `tvm,ort` / `tvm,ort,trt`).
+fn backend_set() -> BackendSet {
+    let spec = std::env::var("BACKEND_MATRIX_SET").unwrap_or_else(|_| "tvm,ort,trt".into());
+    let names: Vec<&str> = spec.split(',').collect();
+    BackendSet::from_names(&names).expect("BACKEND_MATRIX_SET names a known backend set")
+}
+
+fn engine_config(backends: &BackendSet, workers: usize, cases: usize, seed: u64) -> EngineConfig {
+    EngineConfig {
+        workers,
+        shards: 4,
+        seed,
+        campaign: CampaignConfig {
+            // Case-budgeted: the deadline never fires, which is what
+            // makes the run reproducible across worker counts.
+            duration: Duration::from_secs(86_400),
+            max_cases: Some(cases),
+            backends: backends.iter().cloned().collect(),
+            ..CampaignConfig::default()
+        },
+    }
+}
+
+fn nnsmith_matrix_run(backends: &BackendSet, workers: usize, cases: usize) -> EngineReport {
+    let factory = NnSmithFactory::for_backends(NnSmithConfig::default(), backends);
+    run_matrix_engine(&factory, &engine_config(backends, workers, cases, 20))
+}
+
+/// NNSmith cases are expensive in unoptimized builds; keep tier-1 (debug)
+/// budgets small and run the full budgets in release (CI's backend-matrix
+/// job and the release workspace tests).
+fn scaled(cases: usize) -> usize {
+    if cfg!(debug_assertions) {
+        (cases / 3).max(8)
+    } else {
+        cases
+    }
+}
+
+#[test]
+fn matrix_engine_deterministic_across_worker_counts() {
+    let backends = backend_set();
+    let cases = scaled(24);
+    let one = nnsmith_matrix_run(&backends, 1, cases);
+    let four = nnsmith_matrix_run(&backends, 4, cases);
+    assert_eq!(one.result.cases, cases);
+    // Byte-equality of the full merged result: per-backend coverage,
+    // bug sets, crash keys, the logical timeline — everything serialized
+    // (the merged timeline is the logical case clock, not wall time).
+    assert_eq!(
+        serde::json::to_string(&one.result),
+        serde::json::to_string(&four.result),
+        "merged matrix results must not depend on the worker count"
+    );
+    // Per-shard results are deterministic too, except their wall-clock
+    // timelines (`elapsed_ms` is real time inside one shard).
+    for (a, b) in one.shard_results.iter().zip(&four.shard_results) {
+        assert_eq!(a.cases, b.cases);
+        assert_eq!(a.numeric_invalid, b.numeric_invalid);
+        assert_eq!(a.mismatches, b.mismatches);
+        assert_eq!(
+            serde::json::to_string(&a.per_backend),
+            serde::json::to_string(&b.per_backend),
+            "per-shard per-backend results must not depend on the worker count"
+        );
+    }
+}
+
+#[test]
+fn per_backend_bug_sets_stay_in_their_registry() {
+    let backends = backend_set();
+    let report = nnsmith_matrix_run(&backends, 2, scaled(48));
+    assert_eq!(report.result.backends, backends.names());
+    for compiler in backends.iter() {
+        let name = compiler.system().name();
+        let result = report.result.backend(name).expect("backend entry");
+        for id in &result.bugs_found {
+            let bug = bug_by_id(id).unwrap_or_else(|| panic!("{name} found unknown bug id {id:?}"));
+            assert!(
+                bug.system == compiler.system() || bug.system == System::Exporter,
+                "{name} must only exhibit its own (or the exporter's) seeded bugs, got {id} \
+                 seeded in {:?}",
+                bug.system
+            );
+        }
+        // Every backend's case count matches the campaign: no backend
+        // was silently skipped.
+        assert!(
+            !result.coverage.is_empty(),
+            "{name} accumulated no coverage — was it ever run?"
+        );
+    }
+}
+
+/// The acceptance gate: one 3-backend campaign reaches seeded bugs from
+/// all three registries (`tvmsim`, `ortsim`, `trtsim`) — two-thirds of
+/// the seeded bug surface was unreachable from a single-backend run.
+#[test]
+fn three_backend_campaign_reaches_all_three_registries() {
+    if cfg!(debug_assertions) {
+        // 160 NNSmith cases x 3 backends is a release-scale budget; the
+        // CI backend-matrix job and the release workspace tests run it.
+        eprintln!("skipping 3-registry reachability in debug (release-only budget)");
+        return;
+    }
+    let backends = BackendSet::all();
+    let report = nnsmith_matrix_run(&backends, 2, 160);
+    let per_system = |sys: System| {
+        report
+            .result
+            .bugs_found
+            .iter()
+            .filter(|id| bug_by_id(id).is_some_and(|b| b.system == sys))
+            .count()
+    };
+    for sys in [System::TvmSim, System::OrtSim, System::TrtSim] {
+        assert!(
+            per_system(sys) > 0,
+            "no seeded {sys:?} bug reached in a 3-backend campaign; found {:?}",
+            report.result.bugs_found
+        );
+    }
+    // And the per-backend attribution agrees: each backend's own set
+    // carries its system's ids.
+    for compiler in backends.iter() {
+        let own = &report
+            .result
+            .backend(compiler.system().name())
+            .expect("backend entry")
+            .bugs_found;
+        assert!(
+            own.iter()
+                .any(|id| bug_by_id(id).is_some_and(|b| b.system == compiler.system())),
+            "{} exhibited no bug of its own registry: {own:?}",
+            compiler.system().name()
+        );
+    }
+}
+
+/// Source emitting cases that trigger the exporter's Log2-of-scalar
+/// mis-export (exp-1) — a semantic mismatch every backend observes —
+/// interleaved with clean cases.
+struct Log2Source {
+    emitted: usize,
+    n: usize,
+}
+
+impl TestCaseSource for Log2Source {
+    fn name(&self) -> &str {
+        "log2"
+    }
+    fn next_case(&mut self) -> Option<TestCase> {
+        if self.emitted >= self.n {
+            return None;
+        }
+        self.emitted += 1;
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[])],
+        );
+        let kind = if self.emitted.is_multiple_of(2) {
+            UnaryKind::Log2
+        } else {
+            UnaryKind::Tanh
+        };
+        g.add_node(
+            NodeKind::Operator(Op::Unary(kind)),
+            vec![ValueRef::output0(x)],
+            vec![TensorType::concrete(DType::F32, &[])],
+        );
+        let mut b = Bindings::new();
+        b.insert(
+            NodeId(0),
+            Tensor::scalar(DType::F32, 2.0 + self.emitted as f64 * 0.5),
+        );
+        Some(TestCase::from_bindings(g, b))
+    }
+}
+
+/// The backend-keyed binning regression: one root cause (exp-1) observed
+/// on two backends must produce **two** bins — `tvmsim::…` and
+/// `ortsim::…` — each with a reproducer that replays against its own
+/// backend.
+#[test]
+fn same_symptom_on_two_backends_bins_separately() {
+    let backends = BackendSet::from_names(&["tvm", "ort"]).expect("known");
+    let factory = FnSourceFactory::new("log2", |_: ShardCtx| {
+        Box::new(Log2Source { emitted: 0, n: 4 }) as Box<dyn TestCaseSource + Send>
+    });
+    let mut config = engine_config(&backends, 2, 8, 3);
+    // Keep every duplicate firing so the backend dimension — not
+    // fix-on-find — is what separates the bins.
+    config.campaign.fix_found_bugs = false;
+    let (report, triage) = run_matrix_triaged_engine(&factory, &config, &TriageConfig::default());
+
+    // Both backends observed the same mismatches.
+    assert_eq!(report.result.mismatches % 2, 0);
+    assert!(report.result.mismatches > 0);
+    let keys: Vec<&String> = triage.bins.keys().collect();
+    assert_eq!(
+        triage.bins.len(),
+        2,
+        "one symptom on two backends must make exactly two bins, got {keys:?}"
+    );
+    for (prefix, signature_backend) in [("tvmsim::", "tvmsim"), ("ortsim::", "ortsim")] {
+        let (_, bin) = triage
+            .bins
+            .iter()
+            .find(|(k, _)| k.starts_with(prefix))
+            .unwrap_or_else(|| panic!("missing {prefix} bin in {keys:?}"));
+        assert_eq!(bin.backend, signature_backend);
+        assert_eq!(bin.bug_ids, vec!["exp-1".to_string()]);
+        assert_eq!(bin.reproducer.compiler, signature_backend);
+        let replay = bin.reproducer.replay().expect("known compiler");
+        assert!(
+            replay.reproduced,
+            "{signature_backend} reproducer must replay on its own backend, observed {:?}",
+            replay.observed
+        );
+    }
+    // And the two bins carry the *same* signature — only the backend
+    // dimension separates them.
+    let sigs: Vec<_> = triage.bins.values().map(|b| &b.signature).collect();
+    assert_eq!(sigs[0], sigs[1]);
+}
