@@ -164,7 +164,15 @@ mod tests {
                 );
             }
         }
-        assert!(pool.stats().int_nodes > 0, "campaign pool must grow");
+        // Zoo dims are canonical small constants, so they may resolve
+        // entirely in the shared base segment without growing the private
+        // node count — the per-pool base counters still prove the sources
+        // interned through the campaign pool and not a mini-pool.
+        let stats = pool.stats();
+        assert!(
+            stats.int_nodes + stats.base_hits + stats.base_misses > 0,
+            "campaign pool saw no intern traffic"
+        );
     }
 
     #[test]

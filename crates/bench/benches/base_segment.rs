@@ -1,0 +1,89 @@
+//! Raw-speed benches for the shared read-only base segment and the
+//! op-memo table: cold (private, sharded) vs warm (base-resident)
+//! campaign interning, and memoized vs re-derived `type_transfer` /
+//! `requires` over interned ids.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nnsmith_graph::TensorType;
+use nnsmith_ops::{BinaryKind, Op, OpMemo};
+use nnsmith_solver::{IntExpr, InternPool, VarId};
+use nnsmith_tensor::DType;
+
+fn bench_base_segment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("base_segment");
+    group.sample_size(20);
+
+    // A fresh campaign pool interning the canonical node set (small
+    // constants, dimension variables): every one is base-resident, so the
+    // whole warmup resolves in the shared read-only segment without
+    // taking a shard lock or allocating.
+    group.bench_function("warm_campaign_intern_base_resident", |b| {
+        b.iter(|| {
+            let pool = InternPool::small();
+            for c in -8..=256 {
+                black_box(pool.constant(c));
+            }
+            for v in 0..64 {
+                black_box(pool.intern_int(&IntExpr::var(VarId(v))));
+            }
+            pool
+        })
+    });
+
+    // The same node count through the private path: constants offset past
+    // the base range, so every intern is a real sharded hash-cons insert
+    // — what a cold campaign paid for *every* node before the segment.
+    group.bench_function("cold_campaign_intern_private", |b| {
+        b.iter(|| {
+            let pool = InternPool::small();
+            for c in -8..=256 {
+                black_box(pool.constant(3000 + c));
+            }
+            for v in 64..128 {
+                black_box(pool.intern_int(&IntExpr::var(VarId(v))));
+            }
+            pool
+        })
+    });
+
+    // Memoized type transfer over interned ids vs re-deriving the
+    // symbolic outputs: rank-4 broadcast is the expensive derivation the
+    // LUT replaces.
+    let pool = InternPool::default();
+    let memo = OpMemo::new(pool.clone());
+    let a = TensorType::new_in(
+        &pool,
+        DType::F32,
+        (0..4).map(|v| IntExpr::var(VarId(v))).collect(),
+    );
+    let b_t = TensorType::new_in(
+        &pool,
+        DType::F32,
+        (4..8).map(|v| IntExpr::var(VarId(v))).collect(),
+    );
+    let inputs = vec![a, b_t];
+    let op = Op::Binary(BinaryKind::Add);
+    memo.type_transfer(&op, &inputs).expect("spec ok");
+    memo.requires_ids(&op, &inputs).expect("spec ok");
+
+    group.bench_function("type_transfer_memoized", |b| {
+        b.iter(|| memo.type_transfer(black_box(&op), black_box(&inputs)))
+    });
+    group.bench_function("type_transfer_uncached", |b| {
+        b.iter(|| op.type_transfer(black_box(&inputs)))
+    });
+    group.bench_function("requires_memoized", |b| {
+        b.iter(|| memo.requires_ids(black_box(&op), black_box(&inputs)))
+    });
+    group.bench_function("requires_uncached_interned", |b| {
+        b.iter(|| {
+            op.requires(black_box(&inputs))
+                .map(|cs| cs.iter().map(|c| pool.intern_bool(c)).collect::<Vec<_>>())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_base_segment);
+criterion_main!(benches);

@@ -3,8 +3,54 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nnsmith_bench::nnsmith_source;
-use nnsmith_compilers::{ortsim, trtsim, tvmsim, CompileOptions, CoverageSet};
-use nnsmith_difftest::{run_case, TestCaseSource, Tolerance};
+use nnsmith_compilers::{
+    ortsim, trtsim, tvmsim, BackendSet, BugConfig, CompileOptions, CoverageSet,
+};
+use nnsmith_difftest::{run_case, run_case_matrix, TestCase, TestCaseSource, Tolerance};
+use nnsmith_graph::{Graph, NodeKind, TensorType, ValueRef};
+use nnsmith_ops::{Bindings, Op, UnaryKind};
+use nnsmith_tensor::{DType, ReduceKind, Tensor};
+
+/// A case that diverges on every backend: exp-1 mis-exports Log2-of-scalar
+/// with a spurious Unsqueeze, so all three compilers faithfully compile a
+/// wrong graph and mismatch the reference — the worst case for the O0
+/// localization path, which the shared verdict cache pays exactly once.
+fn diverging_case() -> (TestCase, CompileOptions) {
+    let mut g: Graph<Op> = Graph::new();
+    let x = g.add_node(
+        NodeKind::Input,
+        vec![],
+        vec![TensorType::concrete(DType::F32, &[4])],
+    );
+    let sum = g.add_node(
+        NodeKind::Operator(Op::Reduce {
+            kind: ReduceKind::Sum,
+            axes: vec![0],
+            keepdims: false,
+        }),
+        vec![ValueRef::output0(x)],
+        vec![TensorType::concrete(DType::F32, &[])],
+    );
+    g.add_node(
+        NodeKind::Operator(Op::Unary(UnaryKind::Log2)),
+        vec![ValueRef::output0(sum)],
+        vec![TensorType::concrete(DType::F32, &[])],
+    );
+    let mut bindings = Bindings::new();
+    bindings.insert(x, Tensor::from_f32(&[4], vec![1.0, 2.0, 4.0, 8.0]).unwrap());
+    // Reduce-to-scalar also trips seeded crash bugs; disable those so the
+    // matrix reaches the compare (and the localization) on every backend.
+    let mut bugs = BugConfig::all_on();
+    bugs.disable("tvm-conv-1");
+    bugs.disable("ort-t09");
+    (
+        TestCase::from_bindings(g, bindings),
+        CompileOptions {
+            bugs,
+            ..CompileOptions::default()
+        },
+    )
+}
 
 fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline");
@@ -33,6 +79,28 @@ fn bench_pipeline(c: &mut Criterion) {
             });
         });
     }
+
+    // Fanning a clean case and an everywhere-diverging case across the
+    // whole backend set: the diverging variant exercises the shared
+    // import slot and the once-only O0 localization cache (one O0 run for
+    // three diverging backends).
+    let backends = BackendSet::all();
+    group.bench_function("matrix_clean_case", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k += 1;
+            run_case_matrix(
+                &backends,
+                &cases[k % cases.len()],
+                &CompileOptions::default(),
+                Tolerance::default(),
+            )
+        });
+    });
+    let (div_case, div_options) = diverging_case();
+    group.bench_function("matrix_with_divergence", |b| {
+        b.iter(|| run_case_matrix(&backends, &div_case, &div_options, Tolerance::default()));
+    });
 
     group.bench_function("full_iteration_generate_to_verdict", |b| {
         let compiler = tvmsim();

@@ -40,7 +40,8 @@ pub use backend::BackendSet;
 pub use bugs::{bug_by_id, bugs_for, registry, BugConfig, Phase, SeededBug, Symptom, System};
 pub use cgraph::{CGraph, CNode, COp, CValue, CompileError, IndexWidth, Layout};
 pub use compiler::{
-    compiler_by_name, ortsim, trtsim, tvmsim, CompileOptions, CompiledModel, Compiler, OptLevel,
+    compiler_by_name, ortsim, perturb_outputs, trtsim, tvmsim, CompileOptions, CompiledModel,
+    Compiler, OptLevel, SharedImport,
 };
 pub use coverage::{
     log_bucket, Branch, Cov, CoverageSet, FileDecl, FileId, FileKind, SourceManifest,

@@ -32,6 +32,7 @@ use rand::{Rng, SeedableRng};
 
 use nnsmith_difftest::{ShardCtx, SourceFactory, TestCase, TestCaseSource};
 use nnsmith_gen::{GenConfig, Generator};
+use nnsmith_ops::OpMemo;
 use nnsmith_search::{search_values, SearchConfig};
 use nnsmith_solver::InternPool;
 
@@ -97,6 +98,12 @@ pub struct NnSmith {
     /// pool (see [`NnSmithFactory`]) so the arena is shared during the
     /// run and reclaimed when the campaign drops it.
     pool: InternPool,
+    /// Per-source type-transfer memo, kept warm across every case this
+    /// source generates. Deliberately *not* shared across shards: each
+    /// shard's hit sequence must depend only on its own deterministic
+    /// case stream so `workers=1 ≡ workers=N` byte-equality holds for the
+    /// exported arena counters.
+    memo: OpMemo,
     rng: StdRng,
     max_attempts_per_case: usize,
     stats: PipelineStats,
@@ -113,6 +120,7 @@ impl NnSmith {
         NnSmith {
             generator: Generator::new(config.gen),
             search: config.search,
+            memo: OpMemo::new(pool.clone()),
             pool,
             rng: StdRng::seed_from_u64(config.seed),
             max_attempts_per_case: config.max_attempts_per_case,
@@ -135,7 +143,10 @@ impl NnSmith {
     fn try_once(&mut self) -> Option<TestCase> {
         let seed: u64 = self.rng.gen();
         let mut gen_rng = StdRng::seed_from_u64(seed);
-        let model = match self.generator.generate_in(&self.pool, &mut gen_rng) {
+        let model = match self
+            .generator
+            .generate_with(&self.pool, &self.memo, &mut gen_rng)
+        {
             Ok(m) => m,
             Err(_) => {
                 self.stats.gen_failures += 1;

@@ -14,8 +14,8 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 use nnsmith_graph::{Graph, NodeId, NodeKind, TensorType, ValueRef};
-use nnsmith_ops::{all_templates, BuiltOp, Op, OpTemplate, Slot};
-use nnsmith_solver::{BoolExpr, IntExpr, InternPool, Model, Solver};
+use nnsmith_ops::{all_templates, BuiltOp, Op, OpMemo, OpTemplate, Slot};
+use nnsmith_solver::{BinOp, BoolExpr, BoolId, CmpOp, IntExpr, InternPool, Model, Solver};
 use nnsmith_tensor::DType;
 
 use crate::binning::apply_binning;
@@ -128,7 +128,30 @@ impl Generator {
         pool: &InternPool,
         rng: &mut R,
     ) -> Result<GeneratedModel, GenError> {
-        let mut state = SymbolicState::new(&self.config, pool, rng);
+        self.generate_with(pool, &OpMemo::new(pool.clone()), rng)
+    }
+
+    /// [`Generator::generate_in`] with a caller-provided type-transfer
+    /// memo. A source that generates many cases into one pool (a campaign
+    /// shard) keeps the memo across cases, so recurring `(op, input
+    /// signature)` instantiations skip the symbolic shape derivation
+    /// entirely. Memoization is semantically invisible — the case stream
+    /// is byte-identical with or without a warm memo.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Generator::generate`].
+    pub fn generate_with<R: Rng + ?Sized>(
+        &self,
+        pool: &InternPool,
+        memo: &OpMemo,
+        rng: &mut R,
+    ) -> Result<GeneratedModel, GenError> {
+        debug_assert!(
+            memo.pool().same_pool(pool),
+            "memo must be scoped to the generation pool"
+        );
+        let mut state = SymbolicState::new(&self.config, pool, memo, rng);
         let mut stats = GenStats::default();
 
         let mut attempts = 0u64;
@@ -170,9 +193,12 @@ impl Generator {
 }
 
 /// Growing symbolic graph plus its constraint state.
-struct SymbolicState {
+struct SymbolicState<'m> {
     graph: Graph<Op>,
     solver: Solver,
+    /// Memoized `requires`/`type_transfer` over interned input signatures
+    /// (shared across the cases of one source when the caller keeps it).
+    memo: &'m OpMemo,
     /// Placeholders created as operator parameters (become weights).
     param_placeholders: HashSet<NodeId>,
     op_count: usize,
@@ -185,8 +211,13 @@ struct SymbolicState {
     allowed_dtypes: Option<Vec<DType>>,
 }
 
-impl SymbolicState {
-    fn new<R: Rng + ?Sized>(config: &GenConfig, pool: &InternPool, rng: &mut R) -> Self {
+impl<'m> SymbolicState<'m> {
+    fn new<R: Rng + ?Sized>(
+        config: &GenConfig,
+        pool: &InternPool,
+        memo: &'m OpMemo,
+        rng: &mut R,
+    ) -> Self {
         let mut solver = Solver::new_in(pool.clone());
         let mut graph = Graph::new();
         // Seed: a single placeholder (§3.2), float-biased dtype, any rank.
@@ -229,6 +260,7 @@ impl SymbolicState {
         SymbolicState {
             graph,
             solver,
+            memo,
             param_placeholders: HashSet::new(),
             op_count: 0,
             dim_hi: config.dim_hi,
@@ -315,36 +347,26 @@ impl SymbolicState {
         };
         let full_types = self.merge_param_types(&built, input_types);
 
-        let Some(mut constraints) = self.insertion_constraints(&built.op, &full_types) else {
+        let Some((mut constraints, outputs)) = self.insertion_constraints(&built.op, &full_types)
+        else {
             return false;
         };
         // Output dtypes can differ from every input's (Cast): enforce the
         // cross-backend restriction on them too, before any constraint is
-        // committed to the solver.
-        if self.allowed_dtypes.is_some() {
-            match built.op.type_transfer(&full_types) {
-                Ok(outs) => {
-                    if outs.iter().any(|t| !self.dtype_ok(t.dtype)) {
-                        return false;
-                    }
-                }
-                Err(_) => return false,
-            }
+        // committed to the solver. The memoized outputs are exactly what
+        // `type_transfer` would re-derive.
+        if self.allowed_dtypes.is_some() && outputs.iter().any(|t| !self.dtype_ok(t.dtype)) {
+            return false;
         }
         // Freshly-created placeholders (data or parameters) must respect
         // the tensor-size budget too.
         for (i, slot) in slots.iter().enumerate() {
             let is_fresh = !slot.from_graph || matches!(sources[i], Some(Source::Fresh(_)));
             if is_fresh {
-                Self::push_size_caps(
-                    &mut constraints,
-                    &full_types[i],
-                    self.max_out_dim,
-                    self.max_numel,
-                );
+                self.push_size_cap_ids(&mut constraints, &full_types[i]);
             }
         }
-        if self.solver.try_add_constraints(constraints).is_none() {
+        if self.solver.try_add_constraint_ids(constraints).is_none() {
             return false;
         }
 
@@ -370,10 +392,6 @@ impl SymbolicState {
                 }
             }
         }
-        let outputs = built
-            .op
-            .type_transfer(&full_types)
-            .expect("constraints checked");
         self.graph
             .add_node(NodeKind::Operator(built.op), input_refs, outputs);
         self.op_count += 1;
@@ -438,29 +456,29 @@ impl SymbolicState {
         };
         let full_types = self.merge_param_types(&built, input_types);
 
-        let Some(mut constraints) = self.insertion_constraints(&built.op, &full_types) else {
+        let Some((mut constraints, outputs)) = self.insertion_constraints(&built.op, &full_types)
+        else {
             return false;
         };
         // Every input is a fresh placeholder here: cap their sizes.
         for t in &full_types {
-            Self::push_size_caps(&mut constraints, t, self.max_out_dim, self.max_numel);
+            self.push_size_cap_ids(&mut constraints, t);
         }
         // The operator's output must equal the placeholder it replaces
         // (Algorithm 1 line 17).
-        let outputs = match built.op.type_transfer(&full_types) {
-            Ok(o) => o,
-            Err(_) => return false,
-        };
         if outputs.len() != 1
             || outputs[0].rank() != out_type.rank()
             || outputs[0].dtype != out_type.dtype
         {
             return false;
         }
-        for (a, b) in outputs[0].dims().into_iter().zip(out_type.dims()) {
-            constraints.push(a.eq_expr(b));
+        {
+            let pool = self.solver.pool().clone();
+            for (&a, &b) in outputs[0].dim_ids().iter().zip(out_type.dim_ids()) {
+                constraints.push(pool.cmp(CmpOp::Eq, a, b));
+            }
         }
-        if self.solver.try_add_constraints(constraints).is_none() {
+        if self.solver.try_add_constraint_ids(constraints).is_none() {
             return false;
         }
 
@@ -494,14 +512,20 @@ impl SymbolicState {
     }
 
     /// `requires` plus output-positivity and size-bound constraints — the
-    /// `Solve` helper of Algorithm 1.
-    fn insertion_constraints(&self, op: &Op, input_types: &[TensorType]) -> Option<Vec<BoolExpr>> {
-        let mut cs = op.requires(input_types).ok()?;
-        let outputs = op.type_transfer(input_types).ok()?;
+    /// `Solve` helper of Algorithm 1 — served from the type-transfer memo
+    /// as interned constraint handles. Also returns the (memoized) output
+    /// types so callers never re-derive them.
+    fn insertion_constraints(
+        &self,
+        op: &Op,
+        input_types: &[TensorType],
+    ) -> Option<(Vec<BoolId>, Vec<TensorType>)> {
+        let mut cs = self.memo.requires_ids(op, input_types).ok()?;
+        let outputs = self.memo.type_transfer(op, input_types).ok()?;
         for out in &outputs {
-            Self::push_size_caps(&mut cs, out, self.max_out_dim, self.max_numel);
+            self.push_size_cap_ids(&mut cs, out);
         }
-        Some(cs)
+        Some((cs, outputs))
     }
 
     /// Size-bound constraints for a tensor type: every dim in
@@ -514,6 +538,23 @@ impl SymbolicState {
             numel = numel * d;
         }
         cs.push(numel.le(max_numel.into()));
+    }
+
+    /// [`SymbolicState::push_size_caps`] over interned handles — no tree
+    /// reconstruction: the `d >= 1` caps land directly on the shared
+    /// base-segment forms, and the smart constructors fold exactly like
+    /// the tree builders, so the asserted constraints are identical.
+    fn push_size_cap_ids(&self, cs: &mut Vec<BoolId>, t: &TensorType) {
+        let pool = self.solver.pool().clone();
+        let one = pool.constant(1);
+        let max_dim = pool.constant(self.max_out_dim);
+        let mut numel = one;
+        for &d in t.dim_ids() {
+            cs.push(pool.cmp(CmpOp::Ge, d, one));
+            cs.push(pool.cmp(CmpOp::Le, d, max_dim));
+            numel = pool.bin(BinOp::Mul, numel, d);
+        }
+        cs.push(pool.cmp(CmpOp::Le, numel, pool.constant(self.max_numel)));
     }
 
     /// Substitutes the model into every type and attribute, finalizes

@@ -44,6 +44,7 @@
 mod eval;
 mod exec;
 mod grad;
+mod memo;
 mod op;
 mod spec;
 mod template;
@@ -51,6 +52,7 @@ mod vuln;
 
 pub use exec::{execute, random_bindings, Bindings, ExecError, Execution};
 pub use grad::PROXY_ALPHA;
+pub use memo::OpMemo;
 pub use op::{BinaryKind, CompareKind, LogicalKind, Op, PadKind, UnaryKind};
 pub use spec::{broadcast_sym, SpecError};
 pub use template::{all_templates, BuiltOp, OpTemplate, Slot, MAX_DIM, MAX_RANK};

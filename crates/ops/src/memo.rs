@@ -1,0 +1,279 @@
+//! LUT-style memoization of operator shape inference over interned ids.
+//!
+//! `Op::requires` and `Op::type_transfer` are pure functions of the
+//! operator (including its symbolic attributes) and the input types'
+//! structure. Generation instantiates the same op templates against
+//! recurring shape subterms constantly, and triage's delta-debugging
+//! re-type-checks near-identical graphs hundreds of times per reduction —
+//! so re-deriving the symbolic outputs each time is wasted work. With
+//! per-campaign [`InternPool`]s (PR 3) the inputs' dimension handles are
+//! already hash-consed ids, which makes `(op, input dtype+dim-id vectors)`
+//! a cheap, exact memo key: a table lookup replaces the whole symbolic
+//! derivation, the pLUTo-style "lookup beats recompute" trade for small
+//! dense domains.
+//!
+//! An [`OpMemo`] is scoped to one pool and caches:
+//!
+//! * `type_transfer` results as `(dtype, dim-id)` signatures, rebuilt
+//!   into [`TensorType`]s via `TensorType::from_dim_ids` (no tree
+//!   reconstruction);
+//! * `requires` results as interned [`BoolId`] constraint handles, ready
+//!   for `Solver::try_add_constraint_ids` — so a memo hit skips both the
+//!   derivation *and* the re-interning of the constraint trees;
+//! * spec failures ([`SpecError`]), which recur just as often during
+//!   rejection sampling.
+//!
+//! Scope deliberately follows the *user*, not the pool: each generator
+//! source and each reduction owns its memo. A table shared across shard
+//! workers would make hit counts depend on thread interleaving and break
+//! the `workers=1 ≡ workers=N` byte-equality of the exported `"arena"`
+//! stats; per-worker tables make every worker's hit sequence — and thus
+//! the summed [`InternPool::note_memo_hit`] counter — deterministic.
+//!
+//! Results are only semantically valid for ids of the memo's pool, so
+//! every lookup first checks that all inputs live there and falls through
+//! to the uncached call otherwise (foreign-pool types appear in triage's
+//! rebuild phase, for example).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use nnsmith_graph::TensorType;
+use nnsmith_solver::{BoolId, ExprId, InternPool};
+use nnsmith_tensor::DType;
+
+use crate::{Op, SpecError};
+
+/// A type signature over interned handles: the memo key's input half and
+/// the cached output form of `type_transfer`.
+type TypeSig = Vec<(DType, Vec<ExprId>)>;
+
+/// Lazily-filled per-key entry: one instantiation site usually wants both
+/// facets, but `requires` failures short-circuit before `type_transfer`
+/// is ever asked for.
+#[derive(Default)]
+struct MemoEntry {
+    transfer: Option<Result<TypeSig, SpecError>>,
+    requires: Option<Result<Vec<BoolId>, SpecError>>,
+}
+
+/// A pool-scoped memo table for [`Op::requires`] / [`Op::type_transfer`].
+///
+/// Create one per generator source or per reduction with the pool the
+/// types live in; see the module docs for scoping rationale.
+pub struct OpMemo {
+    pool: InternPool,
+    map: Mutex<HashMap<(Op, TypeSig), MemoEntry>>,
+}
+
+impl std::fmt::Debug for OpMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpMemo")
+            .field("entries", &self.map.lock().expect("op memo poisoned").len())
+            .finish()
+    }
+}
+
+impl OpMemo {
+    /// Creates an empty memo over `pool`.
+    pub fn new(pool: InternPool) -> Self {
+        OpMemo {
+            pool,
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The pool this memo's cached handles belong to.
+    pub fn pool(&self) -> &InternPool {
+        &self.pool
+    }
+
+    /// Distinct `(op, input signature)` keys cached so far.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("op memo poisoned").len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The memo key for `op` over `inputs`, or `None` when any input's
+    /// handles live in a different pool (cached ids would be meaningless
+    /// there).
+    fn key(&self, op: &Op, inputs: &[TensorType]) -> Option<(Op, TypeSig)> {
+        let mut sig = Vec::with_capacity(inputs.len());
+        for t in inputs {
+            if !t.pool().same_pool(&self.pool) {
+                return None;
+            }
+            sig.push((t.dtype, t.dim_ids().to_vec()));
+        }
+        Some((op.clone(), sig))
+    }
+
+    /// Memoized [`Op::type_transfer`]: symbolic output types for `inputs`,
+    /// rebuilt from cached dim-id signatures on a hit.
+    pub fn type_transfer(
+        &self,
+        op: &Op,
+        inputs: &[TensorType],
+    ) -> Result<Vec<TensorType>, SpecError> {
+        let Some(key) = self.key(op, inputs) else {
+            return op.type_transfer(inputs);
+        };
+        let mut map = self.map.lock().expect("op memo poisoned");
+        let entry = map.entry(key).or_default();
+        if let Some(cached) = &entry.transfer {
+            self.pool.note_memo_hit();
+            return self.rebuild(cached);
+        }
+        let result = op.type_transfer(inputs).map(|outs| {
+            outs.iter()
+                .map(|t| (t.dtype, t.dim_ids().to_vec()))
+                .collect::<TypeSig>()
+        });
+        let rebuilt = self.rebuild(&result);
+        entry.transfer = Some(result);
+        rebuilt
+    }
+
+    /// Memoized [`Op::requires`], returned as interned constraint handles
+    /// of the memo's pool (ready for `Solver::try_add_constraint_ids`). A
+    /// hit skips both the symbolic derivation and the constraint-tree
+    /// interning.
+    pub fn requires_ids(&self, op: &Op, inputs: &[TensorType]) -> Result<Vec<BoolId>, SpecError> {
+        let intern_all = |cs: Vec<nnsmith_solver::BoolExpr>| {
+            cs.iter().map(|c| self.pool.intern_bool(c)).collect()
+        };
+        let Some(key) = self.key(op, inputs) else {
+            return op.requires(inputs).map(intern_all);
+        };
+        let mut map = self.map.lock().expect("op memo poisoned");
+        let entry = map.entry(key).or_default();
+        if let Some(cached) = &entry.requires {
+            self.pool.note_memo_hit();
+            return cached.clone();
+        }
+        let result = op.requires(inputs).map(intern_all);
+        entry.requires = Some(result.clone());
+        result
+    }
+
+    fn rebuild(&self, sig: &Result<TypeSig, SpecError>) -> Result<Vec<TensorType>, SpecError> {
+        match sig {
+            Ok(outs) => Ok(outs
+                .iter()
+                .map(|(dt, ids)| TensorType::from_dim_ids(&self.pool, *dt, ids.clone()))
+                .collect()),
+            Err(e) => Err(e.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnsmith_solver::{IntExpr, Solver, VarId};
+
+    fn pool_types(pool: &InternPool) -> Vec<TensorType> {
+        let t = TensorType::new_in(
+            pool,
+            DType::F32,
+            vec![IntExpr::var(VarId(0)), IntExpr::var(VarId(1))],
+        );
+        vec![t.clone(), t]
+    }
+
+    #[test]
+    fn transfer_hits_return_identical_types() {
+        let pool = InternPool::default();
+        let memo = OpMemo::new(pool.clone());
+        let op = Op::Binary(crate::BinaryKind::Add);
+        let inputs = pool_types(&pool);
+        let cold = memo.type_transfer(&op, &inputs).expect("spec ok");
+        let hits_before = pool.stats().memo_hits;
+        let warm = memo.type_transfer(&op, &inputs).expect("spec ok");
+        assert_eq!(cold, warm);
+        assert_eq!(
+            cold[0].dim_ids(),
+            warm[0].dim_ids(),
+            "hit must reuse the exact interned handles"
+        );
+        assert_eq!(pool.stats().memo_hits, hits_before + 1);
+        // And both agree with the uncached derivation.
+        let direct = op.type_transfer(&inputs).expect("spec ok");
+        assert_eq!(cold, direct);
+    }
+
+    #[test]
+    fn requires_hits_match_uncached_interning() {
+        let pool = InternPool::default();
+        let memo = OpMemo::new(pool.clone());
+        let op = Op::MatMul;
+        let a = TensorType::new_in(
+            &pool,
+            DType::F32,
+            vec![IntExpr::var(VarId(0)), IntExpr::var(VarId(1))],
+        );
+        let b = TensorType::new_in(
+            &pool,
+            DType::F32,
+            vec![IntExpr::var(VarId(1)), IntExpr::var(VarId(2))],
+        );
+        let inputs = [a, b];
+        let cold = memo.requires_ids(&op, &inputs).expect("spec ok");
+        let warm = memo.requires_ids(&op, &inputs).expect("spec ok");
+        assert_eq!(cold, warm);
+        let direct: Vec<_> = op
+            .requires(&inputs)
+            .expect("spec ok")
+            .iter()
+            .map(|c| pool.intern_bool(c))
+            .collect();
+        assert_eq!(cold, direct);
+        // The handles drive the solver exactly like the tree path.
+        let mut solver =
+            Solver::with_config_in(nnsmith_solver::SolverConfig::default(), pool.clone());
+        let x = solver.new_var("m", 1, 8);
+        let y = solver.new_var("k", 1, 8);
+        let z = solver.new_var("n", 1, 8);
+        let _ = (x, y, z);
+        for id in &cold {
+            solver.assert_id(*id);
+        }
+        assert!(matches!(solver.check(), nnsmith_solver::SatResult::Sat(_)));
+    }
+
+    #[test]
+    fn foreign_pool_inputs_fall_through_uncached() {
+        let pool = InternPool::default();
+        let other = InternPool::default();
+        let memo = OpMemo::new(pool.clone());
+        let op = Op::Binary(crate::BinaryKind::Mul);
+        let inputs = pool_types(&other);
+        let out = memo.type_transfer(&op, &inputs).expect("spec ok");
+        // Outputs stay in the inputs' pool, nothing is cached, no hit is
+        // recorded.
+        assert!(out[0].pool().same_pool(&other));
+        assert!(memo.is_empty());
+        assert_eq!(pool.stats().memo_hits, 0);
+    }
+
+    #[test]
+    fn spec_errors_are_cached_too() {
+        let pool = InternPool::default();
+        let memo = OpMemo::new(pool.clone());
+        let op = Op::MatMul;
+        // Scalar inputs are invalid for MatMul.
+        let bad = vec![
+            TensorType::new_in(&pool, DType::F32, vec![]),
+            TensorType::new_in(&pool, DType::F32, vec![]),
+        ];
+        let cold = memo.type_transfer(&op, &bad);
+        let warm = memo.type_transfer(&op, &bad);
+        assert!(cold.is_err());
+        assert_eq!(cold.err(), warm.err());
+        assert!(pool.stats().memo_hits >= 1);
+    }
+}

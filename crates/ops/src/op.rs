@@ -240,7 +240,7 @@ impl PadKind {
 /// after [`Op::concretize`]. Structural attributes (axes, permutations,
 /// dtypes, arities) are fixed at instantiation time, mirroring the original
 /// NNSmith where they are picked when the symbolic operator is sampled.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Op {
     /// Elementwise unary (float → float).
     Unary(UnaryKind),

@@ -50,6 +50,40 @@
 //! Process-wide [`live_node_count`] counters (plain atomics — deliberately
 //! *not* a hidden global pool) exist so soak tests can prove that dropping
 //! a campaign's pool really returns interned-node memory to baseline.
+//!
+//! # Id-space partition and the shared base segment
+//!
+//! Handles are 32 bits, split in two by bit 31:
+//!
+//! ```text
+//!   bit 31 set   BASE_FLAG | index            → process-wide base segment
+//!   bit 31 clear (slot << SHARD_BITS) | shard → private sharded tables
+//! ```
+//!
+//! The **base segment** is a lazily-built, process-wide, read-only table
+//! of the nodes every campaign interns over and over: small integer
+//! constants, low-numbered dimension variables, the boolean literals and
+//! the canonical `d >= 1` size caps. It is frozen after construction, so
+//! every pool maps it "below" its private shards the way an OS maps a
+//! shared read-only text segment below private writable pages:
+//!
+//! * interning a base-resident structure is a pure hash-map lookup — no
+//!   shard probe, no writer mutex, no allocation, in *any* pool;
+//! * a base id resolves without touching a shard and is valid in (and
+//!   identical across) every pool — [`InternPool::rehome_int`] returns it
+//!   unchanged;
+//! * base nodes are deliberately **excluded** from [`live_node_count`],
+//!   [`PoolStats::int_nodes`]/[`PoolStats::bool_nodes`] and the byte
+//!   counters: they are process memory, not campaign memory, so
+//!   per-campaign reclamation accounting stays exact (the soak-test
+//!   invariant).
+//!
+//! Because interning always consults the base map first, no private shard
+//! slot can ever hold a base-resident structure — which is what makes the
+//! mixed-pool fast path in [`InternPool::structural_eq_int`] sound.
+//! Reserving bit 31 halves the private per-shard index space to 2^27
+//! slots, still >3 GiB of nodes in a single shard of a single
+//! per-campaign pool.
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -108,6 +142,15 @@ pub struct PoolStats {
     /// Approximate heap bytes held by the node tables (excluding the
     /// hash-cons maps, which mirror the tables ~1:1).
     pub bytes: usize,
+    /// Interns answered by the shared read-only base segment (pure
+    /// lookups: no shard probe, no writer mutex, no allocation).
+    pub base_hits: usize,
+    /// Interns that fell through the base segment to the private shards.
+    pub base_misses: usize,
+    /// Lookups answered by memo tables attached to this pool (the
+    /// ops-layer type-transfer LUTs report here via
+    /// [`InternPool::note_memo_hit`]).
+    pub memo_hits: usize,
 }
 
 // ---------------------------------------------------------------------------
@@ -124,26 +167,108 @@ pub fn live_node_count() -> usize {
 }
 
 // ---------------------------------------------------------------------------
+// The shared read-only base segment.
+
+/// The process-wide frozen table of pre-interned common nodes. Built once
+/// (lazily, deterministically), never mutated afterwards, shared by every
+/// pool; see the module docs' id-space partition. Child handles inside
+/// base nodes are themselves base ids, so tree interning produces
+/// exactly the keys stored in the lookup maps.
+struct BaseSegment {
+    ints: Vec<IntNode>,
+    bools: Vec<BoolNode>,
+    int_ids: HashMap<IntNode, u32>,
+    bool_ids: HashMap<BoolNode, u32>,
+}
+
+impl BaseSegment {
+    fn add_int(&mut self, node: IntNode) -> ExprId {
+        if let Some(&i) = self.int_ids.get(&node) {
+            return ExprId(BASE_FLAG | i);
+        }
+        let i = self.ints.len() as u32;
+        self.ints.push(node.clone());
+        self.int_ids.insert(node, i);
+        ExprId(BASE_FLAG | i)
+    }
+
+    fn add_bool(&mut self, node: BoolNode) -> BoolId {
+        if let Some(&i) = self.bool_ids.get(&node) {
+            return BoolId(BASE_FLAG | i);
+        }
+        let i = self.bools.len() as u32;
+        self.bools.push(node.clone());
+        self.bool_ids.insert(node, i);
+        BoolId(BASE_FLAG | i)
+    }
+}
+
+/// The base segment, built on first use. Contents are chosen from what
+/// generation and triage intern constantly: every small constant a shape
+/// dimension or op attribute plausibly takes (plus the powers of two up
+/// to the solver's default dimension ceiling), the low-numbered solver
+/// variables, the boolean literals, and the canonical `d >= 1` size cap
+/// for each of those variables. Nodes added here are **not** counted in
+/// `LIVE_*` or any pool's stats — the segment is process memory by
+/// design.
+fn base() -> &'static BaseSegment {
+    static BASE: OnceLock<BaseSegment> = OnceLock::new();
+    BASE.get_or_init(|| {
+        let mut b = BaseSegment {
+            ints: Vec::new(),
+            bools: Vec::new(),
+            int_ids: HashMap::new(),
+            bool_ids: HashMap::new(),
+        };
+        for c in -8..=256i64 {
+            b.add_int(IntNode::Const(c));
+        }
+        let mut p = 512i64;
+        while p <= 1 << 20 {
+            b.add_int(IntNode::Const(p));
+            p *= 2;
+        }
+        for i in 0..64u32 {
+            b.add_int(IntNode::Var(VarId(i)));
+        }
+        b.add_bool(BoolNode::Lit(false));
+        b.add_bool(BoolNode::Lit(true));
+        let one = b.add_int(IntNode::Const(1));
+        for i in 0..64u32 {
+            let var = b.add_int(IntNode::Var(VarId(i)));
+            b.add_bool(BoolNode::Cmp(CmpOp::Ge, var, one));
+        }
+        b
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Sharded storage.
 
-/// Shard index lives in the low bits of an id, slot index in the high bits.
+/// Bit 31 marks a handle into the process-wide read-only base segment;
+/// private shard ids keep it clear (see the module docs' id-space
+/// partition).
+const BASE_FLAG: u32 = 1 << 31;
+/// Shard index lives in the low bits of a private id, slot index in the
+/// bits between it and the base flag.
 const SHARD_BITS: u32 = 4;
 const SHARD_MASK: u32 = (1 << SHARD_BITS) - 1;
 /// Hard cap on shards (everything the id encoding allows).
 pub const MAX_SHARDS: usize = 1 << SHARD_BITS;
 /// log2 of the first segment's slot count.
 const SEG_BASE_LOG2: u32 = 6;
-/// Segments double in size; 23 of them cover the full 2^28 per-shard
-/// index space.
-const NUM_SEGS: usize = (32 - SHARD_BITS - SEG_BASE_LOG2) as usize + 1;
+/// Segments double in size; 22 of them cover the full 2^27 per-shard
+/// index space left once bit 31 is reserved for the base segment.
+const NUM_SEGS: usize = (31 - SHARD_BITS - SEG_BASE_LOG2) as usize + 1;
 
 fn pack(shard: usize, idx: u32) -> u32 {
-    // 2^28 slots per shard. Shifting past that would silently alias new
-    // ids onto old slots — corrupt constraints instead of a crash — so
-    // overflow must be loud. (At ~28 bytes/node that is >7 GiB in one
-    // shard of one pool; per-campaign pools make reaching it pathological.)
+    // 2^27 slots per shard (bit 31 is the base-segment flag). Shifting
+    // past that would silently alias new ids onto old slots — corrupt
+    // constraints instead of a crash — so overflow must be loud. (At ~28
+    // bytes/node that is >3 GiB in one shard of one pool; per-campaign
+    // pools make reaching it pathological.)
     assert!(
-        idx >> (32 - SHARD_BITS) == 0,
+        idx >> (31 - SHARD_BITS) == 0,
         "intern pool shard overflow: {idx} nodes in one shard exceeds the id encoding"
     );
     (idx << SHARD_BITS) | shard as u32
@@ -299,6 +424,13 @@ impl Drop for Shard {
 
 struct PoolShared {
     shards: Box<[Shard]>,
+    /// Interns answered by the read-only base segment.
+    base_hits: AtomicUsize,
+    /// Interns that fell through to the private shards.
+    base_misses: AtomicUsize,
+    /// Hits reported by memo tables attached to this pool (the ops-layer
+    /// type-transfer LUTs), so the win shows up in campaign artifacts.
+    memo_hits: AtomicUsize,
 }
 
 /// A first-class, campaign-scoped hash-consing arena.
@@ -343,6 +475,14 @@ impl InternPool {
     /// Creates a pool with `n` shards (rounded down to a power of two,
     /// clamped to `1..=`[`MAX_SHARDS`]). More shards cut writer contention;
     /// fewer cut per-pool footprint.
+    ///
+    /// The shard count only partitions the pool's *private* id space:
+    /// [`MAX_SHARDS`] is bounded by the `SHARD_BITS` low bits of a
+    /// private id, and reserving bit 31 for the shared base segment
+    /// leaves 2^27 slots per shard regardless of `n` (see the module
+    /// docs' id-space partition). Every pool — whatever its shard count —
+    /// maps the same base segment below its shards, so base-resident
+    /// interning cost is independent of `n`.
     pub fn with_shards(n: usize) -> Self {
         let n = n.clamp(1, MAX_SHARDS);
         let n = if n.is_power_of_two() {
@@ -353,6 +493,9 @@ impl InternPool {
         InternPool {
             inner: Arc::new(PoolShared {
                 shards: (0..n).map(|_| Shard::new()).collect(),
+                base_hits: AtomicUsize::new(0),
+                base_misses: AtomicUsize::new(0),
+                memo_hits: AtomicUsize::new(0),
             }),
         }
     }
@@ -375,7 +518,8 @@ impl InternPool {
         Arc::ptr_eq(&self.inner, &other.inner)
     }
 
-    /// Pool counters.
+    /// Pool counters. Node and byte counts cover the private shards only;
+    /// the shared base segment is process memory and never appears here.
     pub fn stats(&self) -> PoolStats {
         let mut s = PoolStats::default();
         for shard in self.inner.shards.iter() {
@@ -383,7 +527,18 @@ impl InternPool {
             s.bool_nodes += shard.bool_len.load(Ordering::Relaxed) as usize;
             s.bytes += shard.bytes.load(Ordering::Relaxed);
         }
+        s.base_hits = self.inner.base_hits.load(Ordering::Relaxed);
+        s.base_misses = self.inner.base_misses.load(Ordering::Relaxed);
+        s.memo_hits = self.inner.memo_hits.load(Ordering::Relaxed);
         s
+    }
+
+    /// Records one hit in a memo table attached to this pool (the
+    /// ops-layer type-transfer LUT). Counted per pool so the memoization
+    /// win lands in the same `"arena"` stats block campaigns already
+    /// export.
+    pub fn note_memo_hit(&self) {
+        self.inner.memo_hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Test/diagnostic hook: acquires every shard's writer mutex and holds
@@ -414,6 +569,13 @@ impl InternPool {
     }
 
     fn intern_int_node(&self, node: IntNode) -> ExprId {
+        // Base-segment fast path: a pure lookup in a frozen map, shared by
+        // every pool — no shard probe, no mutex, no allocation.
+        if let Some(&i) = base().int_ids.get(&node) {
+            self.inner.base_hits.fetch_add(1, Ordering::Relaxed);
+            return ExprId(BASE_FLAG | i);
+        }
+        self.inner.base_misses.fetch_add(1, Ordering::Relaxed);
         let hash = Self::hash_of(0, &node);
         let si = (hash as usize) & (self.inner.shards.len() - 1);
         let shard = &self.inner.shards[si];
@@ -443,6 +605,11 @@ impl InternPool {
     }
 
     fn intern_bool_node(&self, node: BoolNode) -> BoolId {
+        if let Some(&i) = base().bool_ids.get(&node) {
+            self.inner.base_hits.fetch_add(1, Ordering::Relaxed);
+            return BoolId(BASE_FLAG | i);
+        }
+        self.inner.base_misses.fetch_add(1, Ordering::Relaxed);
         let hash = Self::hash_of(1, &node);
         let si = (hash as usize) & (self.inner.shards.len() - 1);
         let shard = &self.inner.shards[si];
@@ -481,6 +648,9 @@ impl InternPool {
     ///
     /// Panics on a handle from a different pool that does not resolve here.
     pub fn int_node(&self, id: ExprId) -> &IntNode {
+        if id.0 & BASE_FLAG != 0 {
+            return &base().ints[(id.0 & !BASE_FLAG) as usize];
+        }
         let (si, idx) = unpack(id.0);
         self.inner.shards[si]
             .ints
@@ -494,6 +664,9 @@ impl InternPool {
     ///
     /// Panics on a handle from a different pool that does not resolve here.
     pub fn bool_node(&self, id: BoolId) -> &BoolNode {
+        if id.0 & BASE_FLAG != 0 {
+            return &base().bools[(id.0 & !BASE_FLAG) as usize];
+        }
         let (si, idx) = unpack(id.0);
         self.inner.shards[si]
             .bools
@@ -683,9 +856,10 @@ impl InternPool {
     }
 
     /// Re-interns an expression of `from` into this pool, returning the
-    /// equivalent local handle (identity when `from` *is* this pool).
+    /// equivalent local handle (identity when `from` *is* this pool, and
+    /// for base-segment ids, which are valid in every pool).
     pub fn rehome_int(&self, from: &InternPool, id: ExprId) -> ExprId {
-        if self.same_pool(from) {
+        if id.0 & BASE_FLAG != 0 || self.same_pool(from) {
             return id;
         }
         match from.int_node(id) {
@@ -706,6 +880,13 @@ impl InternPool {
     /// (hash-consing); across pools it walks the normalized nodes.
     pub fn structural_eq_int(&self, id: ExprId, other: &InternPool, oid: ExprId) -> bool {
         if self.same_pool(other) {
+            return id == oid;
+        }
+        // A base id denotes the same node in every pool, and no private
+        // slot can hold a base-resident structure (interning consults the
+        // base map first), so once either side is base the comparison is
+        // a handle comparison even across pools.
+        if (id.0 | oid.0) & BASE_FLAG != 0 {
             return id == oid;
         }
         match (self.int_node(id), other.int_node(oid)) {
@@ -1055,8 +1236,9 @@ mod tests {
                 expected += 1;
             }
         }
-        // And the last representable index still lands in bounds.
-        let max_idx = (u32::MAX >> SHARD_BITS) - 1;
+        // And the last representable private index (27 bits once the
+        // base flag and shard bits are carved out) still lands in bounds.
+        let max_idx = u32::MAX >> (SHARD_BITS + 1);
         let (seg, off) = locate(max_idx);
         assert!(seg < NUM_SEGS);
         assert!(off < seg_capacity(seg));
@@ -1074,12 +1256,85 @@ mod tests {
 
     #[test]
     fn stats_track_bytes() {
+        // Operands chosen outside the base segment (high var ids,
+        // non-power constants above its range) so every node lands in the
+        // private shards and shows up in this pool's accounting.
         let p = InternPool::default();
         assert_eq!(p.stats().bytes, 0);
-        p.intern_bool(&BoolExpr::and([v(0).le(1.into()), v(1).ge(2.into())]));
+        p.intern_bool(&BoolExpr::and([
+            v(100).le(2_000_003.into()),
+            v(101).ge(2_000_033.into()),
+        ]));
         let s = p.stats();
         assert!(s.int_nodes >= 4);
         assert!(s.bool_nodes >= 3);
         assert!(s.bytes > 0);
+        assert!(s.base_misses > 0);
+    }
+
+    #[test]
+    fn base_segment_interning_is_shared_and_unaccounted() {
+        let p = InternPool::default();
+        let q = InternPool::small();
+        // Base-resident structures get the same process-global handle in
+        // every pool, without touching any shard.
+        let a = p.constant(7);
+        let b = q.constant(7);
+        assert_eq!(a, b);
+        assert_eq!(p.var(VarId(3)), q.var(VarId(3)));
+        assert_eq!(p.lit(true), q.lit(true));
+        // Both pools resolve the shared node.
+        assert_eq!(p.as_const(a), Some(7));
+        assert_eq!(q.as_const(b), Some(7));
+        // Rehoming a base id is the identity.
+        assert_eq!(q.rehome_int(&p, a), a);
+        // And none of it counts toward per-pool reclamation accounting.
+        assert_eq!(p.stats().int_nodes, 0);
+        assert_eq!(p.stats().bool_nodes, 0);
+        assert_eq!(p.stats().bytes, 0);
+        assert!(p.stats().base_hits >= 3);
+    }
+
+    #[test]
+    fn canonical_size_caps_are_base_resident() {
+        // The `d >= 1` cap every generated dimension gets: built through
+        // the ordinary smart constructors, it must land on the shared
+        // pre-interned form in any pool.
+        let p = InternPool::default();
+        let q = InternPool::default();
+        let cap_p = p.cmp(CmpOp::Ge, p.var(VarId(5)), p.constant(1));
+        let cap_q = q.cmp(CmpOp::Ge, q.var(VarId(5)), q.constant(1));
+        assert_eq!(cap_p, cap_q);
+        assert_eq!(p.stats().bool_nodes, 0);
+        // Cross-pool structural equality short-circuits on base handles.
+        let d_p = p.var(VarId(9));
+        let d_q = q.var(VarId(9));
+        assert!(p.structural_eq_int(d_p, &q, d_q));
+        assert!(!p.structural_eq_int(d_p, &q, q.var(VarId(10))));
+    }
+
+    #[test]
+    fn base_and_private_nodes_mix_in_one_expression() {
+        // A tree whose leaves are base-resident but whose interior nodes
+        // are not: resolution, evaluation and round-tripping must cross
+        // the base/private boundary transparently.
+        let p = InternPool::default();
+        let e = (v(0) + 3.into()) * v(70) + 2_000_003.into();
+        let id = p.intern_int(&e);
+        assert_eq!(p.to_int_expr(id), e);
+        let lookup = |var: VarId| Some(if var == VarId(0) { 2 } else { 4 });
+        assert_eq!(p.eval_int(id, &lookup), e.eval(&lookup));
+        let s = p.stats();
+        assert!(s.base_hits > 0, "leaves should hit the base segment");
+        assert!(s.int_nodes > 0, "interior nodes stay private");
+    }
+
+    #[test]
+    fn memo_hits_flow_into_stats() {
+        let p = InternPool::default();
+        assert_eq!(p.stats().memo_hits, 0);
+        p.note_memo_hit();
+        p.note_memo_hit();
+        assert_eq!(p.stats().memo_hits, 2);
     }
 }

@@ -30,7 +30,7 @@ use rand::SeedableRng;
 use nnsmith_compilers::{CompileOptions, Compiler, CoverageSet, LExpr, LStmt, LoweredFunc};
 use nnsmith_difftest::{run_case, TestCase, TestOutcome, Tolerance};
 use nnsmith_graph::{Graph, NodeId, NodeKind, TensorType, ValueRef};
-use nnsmith_ops::{Bindings, Op};
+use nnsmith_ops::{Bindings, Op, OpMemo};
 use nnsmith_solver::{IntExpr, SatResult, Solver, SolverConfig};
 use nnsmith_tensor::Tensor;
 
@@ -766,6 +766,10 @@ fn shrink_shapes(case: &TestCase, sig: &BugSignature, cfg: &ReduceConfig) -> Opt
         seed: cfg.value_seed,
         ..SolverConfig::default()
     });
+    // Per-reduction type-transfer memo: delta-debugging re-type-checks the
+    // same operators over recurring shape signatures on every probe, so
+    // the symbolic derivations below hit the table after the first pass.
+    let memo = OpMemo::new(solver.pool().clone());
 
     // Symbolic leaf types (one variable per dimension, upper-bounded by the
     // concrete value so shrinking can only shrink) and symbolic op outputs
@@ -797,8 +801,10 @@ fn shrink_shapes(case: &TestCase, sig: &BugSignature, cfg: &ReduceConfig) -> Opt
                     .iter()
                     .map(|v| sym_types.get(v).cloned())
                     .collect::<Option<_>>()?;
-                solver.assert_all(op.requires(&in_types).ok()?);
-                let outs = op.type_transfer(&in_types).ok()?;
+                for id in memo.requires_ids(op, &in_types).ok()? {
+                    solver.assert_id(id);
+                }
+                let outs = memo.type_transfer(op, &in_types).ok()?;
                 for (index, t) in outs.into_iter().enumerate() {
                     sym_types.insert(ValueRef { node: id, index }, t);
                 }
@@ -849,8 +855,14 @@ fn shrink_shapes(case: &TestCase, sig: &BugSignature, cfg: &ReduceConfig) -> Opt
                         Tensor::uniform(&dims, dtype, 0.0, 1.0, &mut rng)
                     }
                 };
-                let pool = out.node(id).outputs[0].pool().clone();
-                out.node_mut(id).outputs[0] = TensorType::concrete_in(&pool, dtype, &new_dims);
+                // Rebuild into the reducer's own pool, never the case's:
+                // triage runs concurrently with the engine, and interning
+                // into a live campaign pool would race its arena-stats
+                // snapshot (and pin the campaign arena from the corpus).
+                // Topo order makes this total — every downstream operator
+                // re-derives its outputs from these rehomed leaves.
+                out.node_mut(id).outputs[0] =
+                    TensorType::concrete_in(solver.pool(), dtype, &new_dims);
                 match out.node(id).kind {
                     NodeKind::Weight => {
                         weights.insert(id, tensor);
@@ -867,7 +879,10 @@ fn shrink_shapes(case: &TestCase, sig: &BugSignature, cfg: &ReduceConfig) -> Opt
                     .iter()
                     .map(|v| out.value_type(*v).clone())
                     .collect();
-                let outs = op.type_transfer(&in_types).ok()?;
+                // Case tensor types live in their own pools, so this
+                // usually falls through uncached; campaign-pooled cases
+                // hit the same table as the symbolic pass above.
+                let outs = memo.type_transfer(op, &in_types).ok()?;
                 out.node_mut(id).outputs = outs;
             }
             NodeKind::Placeholder => return None,

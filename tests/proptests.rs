@@ -179,6 +179,38 @@ proptest! {
         prop_assert_eq!(q.rehome_int(&p, a), b);
     }
 
+    /// Base-resident and private interning agree structurally: canonical
+    /// constants and variables resolve to the same pool-independent base
+    /// id in every pool, mixed base/private trees hash-cons privately per
+    /// pool, and `rehome` is exact in both regimes (identity on base ids,
+    /// hash-consed landing on private ones).
+    #[test]
+    fn base_and_private_interning_agree(
+        c in -8i64..=256,
+        big in 2_000_000i64..2_100_000,
+        v in 0u32..64,
+    ) {
+        let p = InternPool::default();
+        let q = InternPool::small();
+        // Canonical leaves are base-resident: the id is pool-independent
+        // and rehoming it is the identity.
+        let pc = p.intern_int(&IntExpr::Const(c));
+        let qc = q.intern_int(&IntExpr::Const(c));
+        prop_assert_eq!(pc, qc);
+        prop_assert_eq!(q.rehome_int(&p, pc), pc);
+        let pv = p.intern_int(&IntExpr::var(VarId(v)));
+        prop_assert_eq!(pv, q.intern_int(&IntExpr::var(VarId(v))));
+        // A mixed base/private tree interns privately per pool but still
+        // agrees structurally, reads back identically, and rehomes onto
+        // the other pool's hash-consed id.
+        let e = IntExpr::var(VarId(v)) * IntExpr::Const(c) + IntExpr::Const(big);
+        let a = p.intern_int(&e);
+        let b = q.intern_int(&e);
+        prop_assert!(p.structural_eq_int(a, &q, b));
+        prop_assert_eq!(p.to_int_expr(a), q.to_int_expr(b));
+        prop_assert_eq!(q.rehome_int(&p, a), b);
+    }
+
     /// Hash-cons identity within a pool: interning the same tree twice is
     /// the same handle, and structurally distinct reads imply distinct
     /// handles.
