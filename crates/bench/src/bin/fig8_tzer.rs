@@ -64,6 +64,7 @@ fn main() {
             // is what makes the run reproducible across worker counts.
             duration: Duration::from_secs(86_400),
             max_cases: Some(cases),
+            log_events: true,
             ..CampaignConfig::default()
         },
     };
@@ -135,6 +136,18 @@ fn main() {
         println!("  [bin] {key} x{}", bin.count);
     }
 
+    // Structured event logs (one JSONL per campaign; `t_ms` is the only
+    // nondeterministic field).
+    for (path, events) in [
+        ("fig8_nnsmith_events.jsonl", &nnsmith.events),
+        ("fig8_tzer_events.jsonl", &tzer.events),
+    ] {
+        match nnsmith_obs::write_jsonl(path, events) {
+            Ok(()) => println!("wrote {path} ({} events)", events.len()),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+
     // Persist Tzer's minimized findings like every other fuzzer's.
     let corpus = triage.to_corpus();
     match corpus.save("fig8_tzer_corpus.json") {
@@ -154,8 +167,8 @@ fn main() {
             all_files: v,
             pass_only: vp,
             results: vec![
-                EngineSummary::from_report(&compiler, &nnsmith).deterministic(),
-                EngineSummary::from_report(&compiler, &tzer).deterministic(),
+                EngineSummary::from_report(&compiler, &nnsmith).deterministic_view(),
+                EngineSummary::from_report(&compiler, &tzer).deterministic_view(),
             ],
             triage,
         },

@@ -1,0 +1,60 @@
+//! `bench report` — fold every `BENCH_*.json` artifact into the
+//! trajectory dashboard (see [`nnsmith_bench::report`]).
+//!
+//! `cargo run -p nnsmith-bench --release --bin report -- \
+//!     [artifact-dir] [-o reports/trajectory.md]`
+//!
+//! Defaults: artifacts from the working directory, output to
+//! `reports/trajectory.md` under it. The block between the deterministic
+//! markers is what the CI `report-gate` diffs against the committed
+//! baseline.
+
+use std::path::PathBuf;
+
+use nnsmith_bench::report::build_trajectory;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir = PathBuf::from(".");
+    let mut out = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" | "--out" => {
+                if let Some(path) = args.get(i + 1) {
+                    out = Some(PathBuf::from(path));
+                    i += 2;
+                } else {
+                    eprintln!("warning: {} needs a path, using default", args[i]);
+                    i += 1;
+                }
+            }
+            other => {
+                dir = PathBuf::from(other);
+                i += 1;
+            }
+        }
+    }
+    let out = out.unwrap_or_else(|| dir.join("reports/trajectory.md"));
+
+    let report = match build_trajectory(&dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("could not read artifacts from {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    };
+    if let Some(parent) = out.parent() {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("could not create {}: {e}", parent.display());
+            std::process::exit(1);
+        }
+    }
+    match std::fs::write(&out, &report) {
+        Ok(()) => println!("wrote {} ({} bytes)", out.display(), report.len()),
+        Err(e) => {
+            eprintln!("could not write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+}

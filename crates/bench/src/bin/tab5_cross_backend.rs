@@ -68,13 +68,18 @@ fn main() {
             duration: Duration::from_secs(86_400),
             max_cases: Some(cases),
             backends: backends.iter().cloned().collect(),
+            log_events: true,
             ..CampaignConfig::default()
         },
     };
     let factory = NnSmithFactory::for_backends(NnSmithConfig::default(), &backends);
     let (report, triage) = run_matrix_triaged_engine(&factory, &config, &TriageConfig::default());
 
-    let summary = EngineSummary::from_matrix_report(&backends, &report).deterministic();
+    let summary = EngineSummary::from_matrix_report(&backends, &report).deterministic_view();
+    match nnsmith_obs::write_jsonl("tab5_events.jsonl", &report.events) {
+        Ok(()) => println!("wrote tab5_events.jsonl ({} events)", report.events.len()),
+        Err(e) => eprintln!("could not write tab5_events.jsonl: {e}"),
+    }
     println!(
         "{} cases; one reference execution each, {} backend verdicts total",
         report.result.cases,

@@ -20,6 +20,8 @@
 //! | `tab3_bug_study` | Table 3 — seeded-bug study |
 //! | `tab4_baseline_reachability` | §5.4 — bugs reachable per fuzzer |
 
+pub mod report;
+
 use std::time::Duration;
 
 use rand::rngs::StdRng;
@@ -327,17 +329,25 @@ pub struct EngineSummary {
     /// Final counters of the campaign's intern pool (node/byte growth one
     /// campaign's worth of interning costs — and reclaims on drop).
     pub arena: nnsmith_solver::PoolStats,
+    /// The engine's merged phase profile (per-phase counts + wall time,
+    /// named counters). Counts and counters are deterministic for
+    /// case-budgeted runs; `wall_ns` fields are zeroed by
+    /// [`EngineSummary::deterministic_view`].
+    pub phases: nnsmith_obs::Profile,
 }
 
 impl EngineSummary {
-    /// Strips the wall-clock-dependent fields (`wall_ms`, `cases_per_sec`,
-    /// `wall_timeline`), leaving only the engine's deterministic merge.
+    /// The single place wall-clock-dependent fields are stripped
+    /// (`wall_ms`, `cases_per_sec`, `wall_timeline`, and every phase
+    /// `wall_ns`), leaving only the engine's deterministic merge.
     /// Case-budgeted figures whose `BENCH_*.json` must be byte-identical
-    /// across worker counts (fig8) serialize this form.
-    pub fn deterministic(mut self) -> Self {
+    /// across worker counts (fig8, tab5) serialize this form, and the
+    /// trajectory report's CI gate diffs it.
+    pub fn deterministic_view(mut self) -> Self {
         self.wall_ms = 0;
         self.cases_per_sec = 0.0;
         self.wall_timeline = Vec::new();
+        self.phases = self.phases.strip_wall();
         self
     }
 
@@ -381,7 +391,21 @@ impl EngineSummary {
             merged_timeline: report.result.timeline.clone(),
             wall_timeline: report.wall_timeline.clone(),
             arena: report.arena,
+            phases: report.phases.merged.clone(),
         }
+    }
+}
+
+impl BenchRecord {
+    /// [`EngineSummary::deterministic_view`] applied to every result —
+    /// the byte-reproducible form of a whole record.
+    pub fn deterministic_view(mut self) -> Self {
+        self.results = self
+            .results
+            .into_iter()
+            .map(EngineSummary::deterministic_view)
+            .collect();
+        self
     }
 }
 

@@ -1,0 +1,313 @@
+//! The trajectory dashboard behind `cargo run -p nnsmith-bench --bin
+//! report`: fold every `BENCH_*.json` artifact in a directory into one
+//! markdown report (`reports/trajectory.md`).
+//!
+//! The block between the `<!-- deterministic:begin -->` /
+//! `<!-- deterministic:end -->` markers is a pure function of the
+//! artifacts' deterministic fields — for case-budgeted runs (fig8,
+//! tab5) it is byte-identical across worker counts and repeated runs,
+//! which is what the CI `report-gate` job diffs against the committed
+//! baseline. Wall-clock fields (`wall_ms`, `wall_timeline`, phase
+//! `wall_ns`) are rendered *outside* the markers, in the throughput
+//! section, so real timing stays visible without poisoning the gate.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use serde::json::Value;
+
+/// The marker opening the CI-diffed block.
+pub const DET_BEGIN: &str = "<!-- deterministic:begin -->";
+/// The marker closing the CI-diffed block.
+pub const DET_END: &str = "<!-- deterministic:end -->";
+
+/// Extracts the deterministic block of a rendered trajectory report
+/// (markers included), or `None` when the markers are missing/misordered
+/// — the slice the CI gate byte-compares.
+pub fn deterministic_block(report: &str) -> Option<&str> {
+    let begin = report.find(DET_BEGIN)?;
+    let end = report[begin..].find(DET_END)? + begin + DET_END.len();
+    Some(&report[begin..end])
+}
+
+/// One parsed `BENCH_*.json` artifact.
+struct Artifact {
+    file: String,
+    value: Value,
+}
+
+/// Reads every `BENCH_*.json` in `dir`, sorted by file name so the
+/// report layout never depends on directory iteration order.
+///
+/// # Errors
+///
+/// Propagates directory-reading failures; unparseable artifacts are
+/// reported inside the document instead (a broken file should show up in
+/// the dashboard, not kill it).
+fn read_artifacts(dir: &Path) -> std::io::Result<Vec<Artifact>> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    let mut out = Vec::new();
+    for file in names {
+        let text = std::fs::read_to_string(dir.join(&file))?;
+        let value = match serde::json::parse(&text) {
+            Ok(v) => v,
+            Err(e) => Value::Str(format!("unparseable: {e}")),
+        };
+        out.push(Artifact { file, value });
+    }
+    Ok(out)
+}
+
+/// Renders one scalar for a markdown cell.
+fn scalar(v: &Value) -> Option<String> {
+    match v {
+        Value::Bool(b) => Some(b.to_string()),
+        Value::Int(i) => Some(i.to_string()),
+        Value::UInt(u) => Some(u.to_string()),
+        Value::Str(s) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+fn as_usize(v: Option<&Value>) -> Option<u64> {
+    v.and_then(Value::as_u64)
+}
+
+/// Renders one engine summary's deterministic row. `label` is the
+/// summary's source name when present.
+fn summary_row(out: &mut String, s: &Value) {
+    let source = s
+        .get("source")
+        .and_then(Value::as_str)
+        .unwrap_or("?")
+        .to_string();
+    let cell = |key: &str| {
+        as_usize(s.get(key))
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "-".into())
+    };
+    let bugs = s
+        .get("bugs_found")
+        .and_then(Value::as_array)
+        .map(|a| a.len().to_string())
+        .unwrap_or_else(|| "-".into());
+    let _ = writeln!(
+        out,
+        "| {source} | {} | {} | {} | {bugs} | {} |",
+        cell("cases"),
+        cell("total_coverage"),
+        cell("pass_coverage"),
+        cell("op_instances"),
+    );
+}
+
+/// Renders the `phases` block of an engine summary: deterministic phase
+/// counts and named counters (wall times live in the throughput section).
+fn phases_section(out: &mut String, source: &str, phases: &Value) {
+    let counts: Vec<(String, u64)> = phases
+        .get("phases")
+        .and_then(Value::as_object)
+        .map(|entries| {
+            entries
+                .iter()
+                .filter_map(|(k, v)| Some((k.clone(), as_usize(v.get("count"))?)))
+                .collect()
+        })
+        .unwrap_or_default();
+    let counters: Vec<(String, u64)> = phases
+        .get("counters")
+        .and_then(Value::as_object)
+        .map(|entries| {
+            entries
+                .iter()
+                .filter_map(|(k, v)| Some((k.clone(), v.as_u64()?)))
+                .collect()
+        })
+        .unwrap_or_default();
+    if counts.is_empty() && counters.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\nPhase counts ({source}):\n");
+    let _ = writeln!(out, "| phase | count |");
+    let _ = writeln!(out, "|---|---|");
+    for (k, n) in counts {
+        let _ = writeln!(out, "| {k} | {n} |");
+    }
+    if !counters.is_empty() {
+        let _ = writeln!(out, "\nCounters ({source}):\n");
+        let _ = writeln!(out, "| counter | value |");
+        let _ = writeln!(out, "|---|---|");
+        for (k, n) in counters {
+            let _ = writeln!(out, "| {k} | {n} |");
+        }
+    }
+}
+
+/// All engine summaries in an artifact: a `results` array (BenchRecord,
+/// fig8) and/or a single `result` object (tab5).
+fn summaries(value: &Value) -> Vec<&Value> {
+    let mut out = Vec::new();
+    if let Some(results) = value.get("results").and_then(Value::as_array) {
+        out.extend(results.iter());
+    }
+    if let Some(result) = value.get("result") {
+        if result.get("source").is_some() {
+            out.push(result);
+        }
+    }
+    out
+}
+
+/// Renders the triage section of an artifact, when present.
+fn triage_section(out: &mut String, value: &Value) {
+    let Some(triage) = value.get("triage") else {
+        return;
+    };
+    let bins = triage.get("bins").and_then(Value::as_object);
+    let unreduced = triage.get("unreduced").and_then(Value::as_object);
+    let failures = as_usize(triage.get("failures_seen")).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "\nTriage: {failures} failures -> {} bins ({} unreduced)\n",
+        bins.map_or(0, <[_]>::len),
+        unreduced.map_or(0, <[_]>::len),
+    );
+    if let Some(bins) = bins {
+        for (key, bin) in bins {
+            let count = as_usize(bin.get("count")).unwrap_or(0);
+            let _ = writeln!(out, "- `{key}` x{count}");
+        }
+    }
+    if let Some(unreduced) = unreduced {
+        for (key, bin) in unreduced {
+            let count = as_usize(bin.get("count")).unwrap_or(0);
+            let _ = writeln!(out, "- `{key}` x{count} (unreduced)");
+        }
+    }
+}
+
+/// Builds the full trajectory report from every `BENCH_*.json` in `dir`.
+///
+/// # Errors
+///
+/// Propagates directory-reading failures.
+pub fn build_trajectory(dir: &Path) -> std::io::Result<String> {
+    let artifacts = read_artifacts(dir)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "# Campaign trajectory\n");
+    let _ = writeln!(
+        out,
+        "Generated by `bench report` from {} `BENCH_*.json` artifact(s).",
+        artifacts.len()
+    );
+    let _ = writeln!(
+        out,
+        "The block between the deterministic markers is a pure function of"
+    );
+    let _ = writeln!(
+        out,
+        "the artifacts' deterministic fields; for case-budgeted runs CI"
+    );
+    let _ = writeln!(out, "diffs it against the committed baseline.\n");
+    let _ = writeln!(out, "{DET_BEGIN}");
+
+    for artifact in &artifacts {
+        let _ = writeln!(out, "\n## {}\n", artifact.file);
+        if let Some(s) = artifact.value.as_str() {
+            let _ = writeln!(out, "{s}");
+            continue;
+        }
+        // Top-level scalar fields, in document order (the producers are
+        // deterministic, so so is this).
+        if let Some(entries) = artifact.value.as_object() {
+            let scalars: Vec<String> = entries
+                .iter()
+                .filter(|(k, _)| k != "secs" && k != "workers")
+                .filter_map(|(k, v)| Some(format!("{k}={}", scalar(v)?)))
+                .collect();
+            if !scalars.is_empty() {
+                let _ = writeln!(out, "{}\n", scalars.join(" | "));
+            }
+        }
+        let sums = summaries(&artifact.value);
+        if !sums.is_empty() {
+            let _ = writeln!(out, "| source | cases | coverage | pass | bugs | op inst |");
+            let _ = writeln!(out, "|---|---|---|---|---|---|");
+            for s in &sums {
+                summary_row(&mut out, s);
+            }
+            for s in &sums {
+                let source = s.get("source").and_then(Value::as_str).unwrap_or("?");
+                if let Some(phases) = s.get("phases") {
+                    phases_section(&mut out, source, phases);
+                }
+            }
+        }
+        triage_section(&mut out, &artifact.value);
+    }
+    let _ = writeln!(out, "\n{DET_END}");
+
+    // Wall-clock truth lives outside the gated block.
+    let _ = writeln!(out, "\n## Throughput (nondeterministic)\n");
+    let _ = writeln!(out, "| file | source | wall_ms |");
+    let _ = writeln!(out, "|---|---|---|");
+    for artifact in &artifacts {
+        for s in summaries(&artifact.value) {
+            let source = s.get("source").and_then(Value::as_str).unwrap_or("?");
+            let wall = as_usize(s.get("wall_ms")).unwrap_or(0);
+            let _ = writeln!(out, "| {} | {source} | {wall} |", artifact.file);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_block_extraction() {
+        let report = format!("head\n{DET_BEGIN}\nbody\n{DET_END}\ntail\n");
+        let block = deterministic_block(&report).unwrap();
+        assert!(block.starts_with(DET_BEGIN));
+        assert!(block.ends_with(DET_END));
+        assert!(block.contains("body"));
+        assert!(!block.contains("tail"));
+        assert_eq!(deterministic_block("no markers"), None);
+    }
+
+    #[test]
+    fn trajectory_is_stable_and_strips_wall_fields_from_gate_block() {
+        let dir = std::env::temp_dir().join(format!(
+            "nnsmith_report_test_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let record = r#"{"figure":"figx","compiler":"tvmsim","secs":0,"workers":3,"shards":8,
+            "results":[{"source":"NNSmith","cases":12,"total_coverage":100,"pass_coverage":40,
+            "bugs_found":["a-1"],"per_backend":{},"op_instances":9,"wall_ms":777,
+            "cases_per_sec":1.5,"merged_timeline":[],"wall_timeline":[],
+            "arena":{"int_nodes":1,"bool_nodes":2,"bytes":3,"base_hits":4,"base_misses":5,"memo_hits":6},
+            "phases":{"phases":{"gen":{"count":12,"wall_ns":999}},"counters":{"pool/base_hits":4}}}]}"#;
+        std::fs::write(dir.join("BENCH_figx.json"), record).unwrap();
+        let one = build_trajectory(&dir).unwrap();
+        let two = build_trajectory(&dir).unwrap();
+        assert_eq!(one, two, "identical artifacts must render identically");
+        let block = deterministic_block(&one).unwrap();
+        assert!(block.contains("| NNSmith | 12 | 100 | 40 | 1 | 9 |"));
+        assert!(block.contains("| gen | 12 |"));
+        assert!(block.contains("| pool/base_hits | 4 |"));
+        // Wall fields appear only outside the gated block.
+        assert!(!block.contains("777"));
+        assert!(!block.contains("999"));
+        assert!(!block.contains("workers=3"));
+        assert!(one.contains("| BENCH_figx.json | NNSmith | 777 |"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 
 use nnsmith_compilers::{tvmsim, BackendSet, CompileOptions, Compiler, CoverageSet};
 use nnsmith_graph::NodeKind;
+use nnsmith_obs::LoggedEvent;
 use serde::Serialize;
 
 use crate::harness::{run_case_matrix, seeded_bug_id, TestCase, TestOutcome};
@@ -63,6 +64,13 @@ pub struct CampaignConfig {
     /// entry points ([`run_campaign`], [`crate::run_engine`]) override
     /// this field with their argument.
     pub backends: Vec<Compiler>,
+    /// Emit the structured campaign event log: one [`LoggedEvent`] per
+    /// case start/finish, per-backend verdict and bug sighting, attached
+    /// to each [`CaseRecord`] (and folded into the engine report's
+    /// canonical stream). Off by default — observability costs a few
+    /// allocations per case that unobserved campaigns don't need; it has
+    /// no effect without an observer.
+    pub log_events: bool,
 }
 
 impl CampaignConfig {
@@ -83,6 +91,7 @@ impl Default for CampaignConfig {
             fix_found_bugs: true,
             capture_failures: false,
             backends: vec![tvmsim()],
+            log_events: false,
         }
     }
 }
@@ -261,6 +270,9 @@ pub struct CaseRecord {
     /// The failures this case produced — one per backend that found
     /// something — when [`CampaignConfig::capture_failures`] is on.
     pub failures: Vec<CapturedFailure>,
+    /// The case's structured events (shard 0 until the engine stamps the
+    /// real shard), when [`CampaignConfig::log_events`] is on.
+    pub events: Vec<LoggedEvent>,
 }
 
 /// Runs one fuzzing campaign against a single compiler (overriding
@@ -330,7 +342,11 @@ pub(crate) fn run_campaign_inner(
         if config.max_cases.is_some_and(|m| result.cases >= m) {
             break;
         }
-        let Some(case) = source.next_case() else {
+        let next = {
+            let _span = nnsmith_obs::span(nnsmith_obs::phase::GEN);
+            source.next_case()
+        };
+        let Some(case) = next else {
             break;
         };
         result.cases += 1;
@@ -447,11 +463,59 @@ pub(crate) fn run_campaign_inner(
             }
         }
 
+        // Structured event log: derived purely from the matrix outcome
+        // (verdicts are in backend-set order), so the per-case stream is
+        // deterministic; the engine stamps the real shard index.
+        let mut events: Vec<LoggedEvent> = Vec::new();
+        if config.log_events && observer.is_some() {
+            let ci = result.cases as u64;
+            let mut seq = 0u64;
+            let mut push = |kind: &str, backend: &str, detail: String| {
+                events.push(LoggedEvent::new(0, ci, seq, kind, backend, detail));
+                seq += 1;
+            };
+            push("case_started", "", String::new());
+            if let Some(pre) = &matrix.pre {
+                push("verdict", "", pre.kind().to_string());
+                if let TestOutcome::ExportCrash { message } = pre {
+                    if let Some(id) = seeded_bug_id(message) {
+                        push("bug", "", id);
+                    }
+                }
+            }
+            for verdict in &matrix.verdicts {
+                let name = verdict.system.name();
+                push("verdict", name, verdict.outcome.kind().to_string());
+                match &verdict.outcome {
+                    TestOutcome::CompileCrash { message }
+                    | TestOutcome::RuntimeError { message } => {
+                        if let Some(id) = seeded_bug_id(message) {
+                            push("bug", name, id);
+                        }
+                    }
+                    TestOutcome::ResultMismatch { attributed, .. } => {
+                        for id in attributed {
+                            push("bug", name, id.clone());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let findings = usize::from(matrix.pre.as_ref().is_some_and(TestOutcome::is_finding))
+                + matrix
+                    .verdicts
+                    .iter()
+                    .filter(|v| v.outcome.is_finding())
+                    .count();
+            push("case_finished", "", format!("findings={findings}"));
+        }
+
         if let Some(observer) = observer.as_deref_mut() {
             observer(CaseRecord {
                 case_index: result.cases,
                 new_coverage,
                 failures,
+                events,
             });
         }
         let elapsed = start.elapsed();

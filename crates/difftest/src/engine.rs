@@ -35,6 +35,7 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use nnsmith_compilers::{BackendSet, Compiler, CoverageSet};
+use nnsmith_obs::{DeterministicView, LoggedEvent, Profile, ShardedProfile};
 use nnsmith_solver::{InternPool, PoolStats};
 
 use crate::campaign::{
@@ -177,6 +178,19 @@ pub struct EngineReport {
     /// just before the pool is dropped. What a paper-scale campaign would
     /// have leaked under the old process-global arena.
     pub arena: PoolStats,
+    /// Per-shard and merged phase profiles (every span/counter the shard
+    /// workers recorded). Phase *counts* and counters are deterministic
+    /// for a case-budgeted run; `wall_ns` fields are wall-clock truth —
+    /// serialize [`EngineReport::deterministic_view`] (or
+    /// [`ShardedProfile::strip_wall`]) for reproducible artifacts. The
+    /// merged profile additionally carries the campaign pool's `pool/*`
+    /// counters, which have no per-shard attribution.
+    pub phases: ShardedProfile,
+    /// The structured campaign event log in canonical order, when
+    /// [`CampaignConfig::log_events`] is on (empty otherwise). Every
+    /// field but each event's `t_ms` is deterministic for a
+    /// case-budgeted run.
+    pub events: Vec<LoggedEvent>,
 }
 
 impl EngineReport {
@@ -184,6 +198,13 @@ impl EngineReport {
     /// worker count buys.
     pub fn cases_per_sec(&self) -> f64 {
         self.result.cases as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// The deterministic slice of the merged phase profile (phase counts
+    /// plus counters, no wall-clock): byte-identical across worker
+    /// counts and repeated runs for a case-budgeted engine run.
+    pub fn deterministic_view(&self) -> DeterministicView {
+        self.phases.deterministic_view()
     }
 }
 
@@ -194,6 +215,7 @@ enum Event {
     ShardDone {
         index: usize,
         result: Box<CampaignResult>,
+        profile: Box<Profile>,
     },
 }
 
@@ -264,8 +286,9 @@ fn run_engine_inner(
     let (tx, rx) = mpsc::channel::<Event>();
     let next_shard = AtomicUsize::new(0);
     let mut shard_slots: Vec<Option<CampaignResult>> = vec![None; shards];
+    let mut profile_slots: Vec<Option<Profile>> = vec![None; shards];
 
-    let wall_timeline = std::thread::scope(|scope| {
+    let (wall_timeline, mut events) = std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let next_shard = &next_shard;
@@ -303,20 +326,29 @@ fn run_engine_inner(
                     remaining
                 };
                 let case_tx = tx.clone();
+                // Each shard records into a fresh thread-local profile
+                // (one worker runs shards sequentially, so enable/take
+                // pairs cleanly delimit them).
+                nnsmith_obs::enable();
                 let result = run_campaign_inner(
                     backends,
                     source.as_mut(),
                     &shard_cfg,
-                    Some(&mut |record| {
+                    Some(&mut |mut record: CaseRecord| {
+                        for e in &mut record.events {
+                            e.shard = index as u64;
+                        }
                         on_case(ctx, &record);
                         // The aggregator may have hung up after a recv
                         // error; a lost progress event is harmless.
                         let _ = case_tx.send(Event::Case { record });
                     }),
                 );
+                let profile = nnsmith_obs::take();
                 let _ = tx.send(Event::ShardDone {
                     index,
                     result: Box::new(result),
+                    profile: Box::new(profile),
                 });
             });
         }
@@ -348,6 +380,7 @@ fn run_engine_inner(
             pass_branches: 0,
         }];
         let mut last_sample = Duration::ZERO;
+        let mut events: Vec<LoggedEvent> = Vec::new();
         while let Ok(event) = rx.recv() {
             match event {
                 Event::Case { record } => {
@@ -358,6 +391,13 @@ fn run_engine_inner(
                         }
                     }
                     let elapsed = start.elapsed();
+                    if !record.events.is_empty() {
+                        let t_ms = elapsed.as_millis() as u64;
+                        events.extend(record.events.into_iter().map(|mut e| {
+                            e.t_ms = t_ms;
+                            e
+                        }));
+                    }
                     if elapsed - last_sample >= config.campaign.sample_every {
                         last_sample = elapsed;
                         let (total_branches, pass_branches) = totals(&union_cov);
@@ -369,8 +409,13 @@ fn run_engine_inner(
                         });
                     }
                 }
-                Event::ShardDone { index, result } => {
+                Event::ShardDone {
+                    index,
+                    result,
+                    profile,
+                } => {
                     shard_slots[index] = Some(*result);
+                    profile_slots[index] = Some(*profile);
                 }
             }
         }
@@ -382,7 +427,7 @@ fn run_engine_inner(
             total_branches,
             pass_branches,
         });
-        wall_timeline
+        (wall_timeline, events)
     });
     let wall = start.elapsed();
 
@@ -393,6 +438,25 @@ fn run_engine_inner(
         .collect();
     let result = merge_shard_results(backends, factory.name(), &shard_results);
 
+    // Arrival order at the aggregator is scheduling-dependent; canonical
+    // order is not.
+    nnsmith_obs::sort_events(&mut events);
+
+    let arena = pool.stats();
+    let shard_profiles: Vec<Profile> = profile_slots
+        .into_iter()
+        .map(Option::unwrap_or_default)
+        .collect();
+    let mut phases = ShardedProfile::from_shards(shard_profiles);
+    // The campaign pool is shared by all shards, so its counters land on
+    // the merged profile only (deterministic: interning work is fixed by
+    // the shard layout, not by scheduling).
+    phases.merged.add("pool/base_hits", arena.base_hits as u64);
+    phases
+        .merged
+        .add("pool/base_misses", arena.base_misses as u64);
+    phases.merged.add("pool/memo_hits", arena.memo_hits as u64);
+
     EngineReport {
         result,
         shard_results,
@@ -400,7 +464,9 @@ fn run_engine_inner(
         wall,
         workers,
         shards,
-        arena: pool.stats(),
+        arena,
+        phases,
+        events,
     }
 }
 

@@ -154,6 +154,21 @@ pub enum TestOutcome {
 }
 
 impl TestOutcome {
+    /// The outcome's kind as a stable lowercase token — the `detail`
+    /// field of `verdict` events in the structured campaign log.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TestOutcome::Pass => "pass",
+            TestOutcome::ExportCrash { .. } => "export_crash",
+            TestOutcome::CompileCrash { .. } => "compile_crash",
+            TestOutcome::NotImplemented => "not_implemented",
+            TestOutcome::RuntimeError { .. } => "runtime_error",
+            TestOutcome::ResultMismatch { .. } => "result_mismatch",
+            TestOutcome::NumericInvalid => "numeric_invalid",
+            TestOutcome::InvalidCase { .. } => "invalid_case",
+        }
+    }
+
     /// True if this outcome evidences a bug (crash or mismatch).
     pub fn is_finding(&self) -> bool {
         matches!(
@@ -255,12 +270,15 @@ pub fn prepare_case(
     case: &TestCase,
     options: &CompileOptions,
 ) -> Result<PreparedCase, TestOutcome> {
-    let reference = match nnsmith_ops::execute(&case.graph, &case.all_bindings()) {
-        Ok(r) => r,
-        Err(e) => {
-            return Err(TestOutcome::InvalidCase {
-                message: format!("{e}"),
-            })
+    let reference = {
+        let _span = nnsmith_obs::span(nnsmith_obs::phase::REF_EXEC);
+        match nnsmith_ops::execute(&case.graph, &case.all_bindings()) {
+            Ok(r) => r,
+            Err(e) => {
+                return Err(TestOutcome::InvalidCase {
+                    message: format!("{e}"),
+                })
+            }
         }
     };
     if reference.has_exceptional() {
@@ -268,15 +286,18 @@ pub fn prepare_case(
     }
     let ref_outputs: Vec<Tensor> = reference.outputs.iter().map(|(_, t)| t.clone()).collect();
 
-    let exported = match export(&case.graph, &options.bugs) {
-        Ok(e) => e,
-        Err(CompileError::Crash { message, .. }) => {
-            return Err(TestOutcome::ExportCrash { message })
-        }
-        Err(e) => {
-            return Err(TestOutcome::InvalidCase {
-                message: format!("{e}"),
-            })
+    let exported = {
+        let _span = nnsmith_obs::span(nnsmith_obs::phase::EXPORT);
+        match export(&case.graph, &options.bugs) {
+            Ok(e) => e,
+            Err(CompileError::Crash { message, .. }) => {
+                return Err(TestOutcome::ExportCrash { message })
+            }
+            Err(e) => {
+                return Err(TestOutcome::InvalidCase {
+                    message: format!("{e}"),
+                })
+            }
         }
     };
     Ok(PreparedCase {
@@ -299,13 +320,29 @@ pub fn run_prepared_case(
     cov: &mut CoverageSet,
 ) -> TestOutcome {
     let exported = &prepared.exported;
-    let compiled = match compiler.compile_shared(
-        &exported.graph,
-        &case.weights,
-        options,
-        cov,
-        &prepared.import,
-    ) {
+    let name = compiler.system().name();
+    let import_was_filled = prepared.import.get().is_some();
+    let compiled = {
+        let _span = nnsmith_obs::span_owned(|| nnsmith_obs::phase::compile(name));
+        compiler.compile_shared(
+            &exported.graph,
+            &case.weights,
+            options,
+            cov,
+            &prepared.import,
+        )
+    };
+    // Shared-frontend accounting: `init` means this compile filled the
+    // case's import slot (paid the conversion); `reuse` means a
+    // *successful* compile found it already filled and cloned it.
+    // Early-exit outcomes (dtype gate, conversion-crash checks) never
+    // reach the slot, so a pre-filled slot only counts as reuse on Ok.
+    if !import_was_filled && prepared.import.get().is_some() {
+        nnsmith_obs::count_owned(|| format!("import/init/{name}"), 1);
+    } else if import_was_filled && compiled.is_ok() {
+        nnsmith_obs::count_owned(|| format!("import/reuse/{name}"), 1);
+    }
+    let compiled = match compiled {
         Ok(c) => c,
         Err(CompileError::NotImplemented(_) | CompileError::UnsupportedDtype(_)) => {
             return TestOutcome::NotImplemented
@@ -317,7 +354,11 @@ pub fn run_prepared_case(
             }
         }
     };
-    let outputs = match compiled.run(&case.inputs) {
+    let outputs = {
+        let _span = nnsmith_obs::span_owned(|| nnsmith_obs::phase::exec(name));
+        compiled.run(&case.inputs)
+    };
+    let outputs = match outputs {
         Ok(o) => o,
         Err(e) => {
             return TestOutcome::RuntimeError {
@@ -332,9 +373,12 @@ pub fn run_prepared_case(
         Verdict::Structure(detail) | Verdict::Mismatch(detail) => {
             // Fault localization: recompile at O0 (§4). If O0 agrees with
             // the reference, the optimizer must be wrong.
-            let site = match localize(compiler, case, prepared, options, tol) {
-                Some(s) => s,
-                None => FaultSite::Conversion,
+            let site = {
+                let _span = nnsmith_obs::span_owned(|| nnsmith_obs::phase::localize(name));
+                match localize(compiler, case, prepared, options, tol) {
+                    Some(s) => s,
+                    None => FaultSite::Conversion,
+                }
             };
             let mut attributed: Vec<String> = compiled
                 .perturbations
@@ -576,10 +620,15 @@ fn localize(
             .slots
             .lock()
             .expect("localize cache poisoned");
+        let name = compiler.system().name();
         match slots.get(&key) {
-            Some(cached) => cached.clone(),
+            Some(cached) => {
+                nnsmith_obs::count_owned(|| format!("localize/cache_hit/{name}"), 1);
+                cached.clone()
+            }
             None => {
                 prepared.localize.runs.fetch_add(1, Ordering::Relaxed);
+                nnsmith_obs::count_owned(|| format!("localize/o0_run/{name}"), 1);
                 let outputs = run_o0_shared(prepared, case);
                 slots.insert(key, outputs.clone());
                 outputs

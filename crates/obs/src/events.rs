@@ -1,0 +1,154 @@
+//! The structured campaign event log.
+//!
+//! Engine workers emit one [`LoggedEvent`] per noteworthy moment of a
+//! campaign (case started/finished, one verdict per backend, each seeded
+//! bug sighting, each triage bin update); the engine's aggregator
+//! collects them and sorts the stream into its **canonical order** —
+//! `(shard, case_index, seq, kind, backend, detail)` — which depends
+//! only on the work done, never on worker scheduling. The canonical
+//! stream is therefore replayable and diffable: two runs of the same
+//! case-budgeted campaign produce identical logs minus the `t_ms` wall
+//! field ([`deterministic_event_lines`] strips it for comparisons; the
+//! `tests/obs_determinism.rs` contract).
+
+use std::io::Write;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// The `seq` assigned to events whose emission point is outside the
+/// case's own worker (the triage consumer's bin updates): sorts after
+/// every in-case event of the same `(shard, case_index)`.
+pub const SEQ_TRIAGE: u64 = u64::MAX;
+
+/// One structured campaign event.
+///
+/// `shard`/`case_index`/`seq` locate the event deterministically;
+/// `t_ms` is the wall-clock arrival time at the aggregator
+/// (**nondeterministic** — the one field excluded from log diffing).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct LoggedEvent {
+    /// Shard that produced the event.
+    pub shard: u64,
+    /// 1-based case index within the shard's campaign slice.
+    pub case_index: u64,
+    /// Emission order within the case (0 = `case_started`).
+    pub seq: u64,
+    /// Event kind: `case_started`, `verdict`, `bug`, `case_finished`,
+    /// or `bin_update`.
+    pub kind: String,
+    /// Backend the event concerns (empty for case-level events).
+    pub backend: String,
+    /// Kind-specific payload: the verdict's outcome kind, the seeded
+    /// bug id, the triage bin key, or the finding count.
+    pub detail: String,
+    /// Milliseconds since engine start at aggregator arrival.
+    /// **Nondeterministic.**
+    pub t_ms: u64,
+}
+
+impl LoggedEvent {
+    /// Builds an event with `t_ms = 0`; the aggregator stamps arrival
+    /// time.
+    pub fn new(
+        shard: u64,
+        case_index: u64,
+        seq: u64,
+        kind: &str,
+        backend: &str,
+        detail: impl Into<String>,
+    ) -> LoggedEvent {
+        LoggedEvent {
+            shard,
+            case_index,
+            seq,
+            kind: kind.to_string(),
+            backend: backend.to_string(),
+            detail: detail.into(),
+            t_ms: 0,
+        }
+    }
+
+    /// The canonical (scheduling-independent) sort key.
+    fn canonical_key(&self) -> (u64, u64, u64, &str, &str, &str) {
+        (
+            self.shard,
+            self.case_index,
+            self.seq,
+            &self.kind,
+            &self.backend,
+            &self.detail,
+        )
+    }
+}
+
+/// Sorts an event stream into canonical order. Stable for identical
+/// keys, so two runs producing the same multiset of events produce the
+/// same sequence regardless of arrival order.
+pub fn sort_events(events: &mut [LoggedEvent]) {
+    events.sort_by(|a, b| a.canonical_key().cmp(&b.canonical_key()));
+}
+
+/// Serializes each event minus its wall field: the deterministic lines
+/// two runs of the same campaign must agree on byte-for-byte.
+pub fn deterministic_event_lines(events: &[LoggedEvent]) -> Vec<String> {
+    events
+        .iter()
+        .map(|e| {
+            let mut stripped = e.clone();
+            stripped.t_ms = 0;
+            serde::json::to_string(&stripped)
+        })
+        .collect()
+}
+
+/// Writes the event stream as JSONL (one event object per line).
+///
+/// # Errors
+///
+/// Propagates the underlying file-system errors.
+pub fn write_jsonl(path: impl AsRef<Path>, events: &[LoggedEvent]) -> std::io::Result<()> {
+    let mut out = std::fs::File::create(path)?;
+    for e in events {
+        writeln!(out, "{}", serde::json::to_string(e))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_order_ignores_arrival_order() {
+        let a = LoggedEvent::new(0, 1, 0, "case_started", "", "");
+        let b = LoggedEvent::new(0, 1, 1, "verdict", "tvmsim", "pass");
+        let c = LoggedEvent::new(1, 1, 0, "case_started", "", "");
+        let mut one = vec![c.clone(), b.clone(), a.clone()];
+        let mut two = vec![b.clone(), a.clone(), c.clone()];
+        sort_events(&mut one);
+        sort_events(&mut two);
+        assert_eq!(one, two);
+        assert_eq!(one, vec![a, b, c]);
+    }
+
+    #[test]
+    fn deterministic_lines_strip_wall_only() {
+        let mut a = LoggedEvent::new(0, 1, 1, "verdict", "tvmsim", "pass");
+        let mut b = a.clone();
+        a.t_ms = 11;
+        b.t_ms = 99;
+        assert_eq!(
+            deterministic_event_lines(&[a]),
+            deterministic_event_lines(&[b])
+        );
+    }
+
+    #[test]
+    fn jsonl_round_trips_shape() {
+        let e = LoggedEvent::new(2, 7, 3, "bug", "ortsim", "ort-t02");
+        let line = serde::json::to_string(&e);
+        assert!(line.contains("\"kind\":\"bug\""));
+        assert!(line.contains("\"detail\":\"ort-t02\""));
+    }
+}

@@ -1,0 +1,46 @@
+//! # nnsmith-obs
+//!
+//! First-class observability for the fuzzing pipeline: a lightweight
+//! phase profiler (spans + named counters, accumulated in a thread-local
+//! [`Profile`] so the hot path never takes a lock), and a structured
+//! campaign event log ([`LoggedEvent`], serialized as JSONL).
+//!
+//! ## The determinism contract
+//!
+//! The engine's reproducibility guarantee (`workers=1 ≡ workers=N` for
+//! case-budgeted runs) extends to observability, but only to *part* of
+//! it — wall-clock time is inherently scheduling-dependent. The split is
+//! made explicit in the types:
+//!
+//! * **Deterministic:** phase *counts*, named counters, and the event
+//!   log minus its wall fields. [`Profile::deterministic_view`] projects
+//!   a profile onto exactly this slice, and
+//!   [`deterministic_event_lines`] does the same for an event stream.
+//!   These are byte-identical across worker counts and across repeated
+//!   runs, and are what the `bench report` trajectory gate diffs.
+//! * **Nondeterministic:** every `wall_ns`/`t_ms` field. They are real
+//!   measurements (where a campaign's time goes), kept clearly
+//!   segregated so no consumer accidentally gates on them.
+//!   [`Profile::strip_wall`] zeroes them in place for artifacts that
+//!   must serialize byte-identically (the generalization of the
+//!   wall-field stripping `fig8` used to do by hand).
+//!
+//! ## Usage shape
+//!
+//! Profiling is **opt-in per thread**: a shard worker calls
+//! [`enable`] before running its campaign slice and [`take`] after;
+//! instrumented code calls [`span`]/[`count`], which are no-ops (one
+//! thread-local read, no allocation, no clock read) on threads that
+//! never enabled profiling — so library users who don't care about
+//! observability pay nothing.
+
+#![warn(missing_docs)]
+
+mod events;
+mod profile;
+
+pub use events::{deterministic_event_lines, sort_events, write_jsonl, LoggedEvent, SEQ_TRIAGE};
+pub use profile::{
+    count, count_owned, enable, is_enabled, phase, span, span_owned, take, DeterministicView,
+    PhaseStat, Profile, ShardedProfile, Span,
+};

@@ -1,0 +1,349 @@
+//! The phase profiler: spans, counters, per-shard profiles and their
+//! deterministic projection.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use serde::Serialize;
+
+/// Canonical phase keys. Free-form strings are allowed everywhere, but
+/// the pipeline sticks to these so dashboards can rely on the names.
+pub mod phase {
+    /// Test-case generation (one span per `next_case` call; includes the
+    /// solver time spent inside generation — `solve` spans nest within).
+    pub const GEN: &str = "gen";
+    /// One satisfiability check ([`Solver::check`]-level granularity).
+    pub const SOLVE: &str = "solve";
+    /// Reference (interpreter) execution of a case.
+    pub const REF_EXEC: &str = "ref_exec";
+    /// Graph export (the PyTorch→ONNX role).
+    pub const EXPORT: &str = "export";
+    /// Triage ingest (signature binning + reduction of one failure).
+    pub const TRIAGE: &str = "triage";
+
+    /// Per-backend compile phase key (`compile/<backend>`).
+    pub fn compile(backend: &str) -> String {
+        format!("compile/{backend}")
+    }
+
+    /// Per-backend execution phase key (`exec/<backend>`).
+    pub fn exec(backend: &str) -> String {
+        format!("exec/{backend}")
+    }
+
+    /// Per-backend O0 fault-localization phase key
+    /// (`localize/<backend>`).
+    pub fn localize(backend: &str) -> String {
+        format!("localize/{backend}")
+    }
+}
+
+/// One phase's accumulated statistics.
+///
+/// `count` is deterministic for a case-budgeted engine run (it counts
+/// *work*, which the shard layout fixes); `wall_ns` is wall-clock truth
+/// and scheduling-dependent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct PhaseStat {
+    /// Times the phase ran.
+    pub count: u64,
+    /// Total nanoseconds spent in the phase. **Nondeterministic.**
+    pub wall_ns: u64,
+}
+
+/// Accumulated phase timings and named counters for one unit of work
+/// (typically: one shard of an engine run).
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct Profile {
+    /// Per-phase statistics, keyed by phase name (see [`phase`]).
+    pub phases: BTreeMap<String, PhaseStat>,
+    /// Named event counters (cache hits/misses, pool statistics).
+    /// Deterministic for case-budgeted runs.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl Profile {
+    /// Records one completed span of `key` lasting `wall_ns`.
+    pub fn record_span(&mut self, key: &str, wall_ns: u64) {
+        let stat = self.phases.entry(key.to_string()).or_default();
+        stat.count += 1;
+        stat.wall_ns += wall_ns;
+    }
+
+    /// Adds `n` to counter `key` (creating it at zero first).
+    pub fn add(&mut self, key: &str, n: u64) {
+        *self.counters.entry(key.to_string()).or_insert(0) += n;
+    }
+
+    /// Folds `other` into `self` (summing matching phases and counters).
+    /// Order-insensitive, so merging shard profiles in index order is
+    /// deterministic.
+    pub fn merge(&mut self, other: &Profile) {
+        for (key, stat) in &other.phases {
+            let mine = self.phases.entry(key.clone()).or_default();
+            mine.count += stat.count;
+            mine.wall_ns += stat.wall_ns;
+        }
+        for (key, n) in &other.counters {
+            *self.counters.entry(key.clone()).or_insert(0) += n;
+        }
+    }
+
+    /// Zeroes every `wall_ns` in place, keeping the schema: the form a
+    /// byte-reproducible artifact serializes (counts survive, wall-clock
+    /// does not).
+    #[must_use]
+    pub fn strip_wall(mut self) -> Profile {
+        for stat in self.phases.values_mut() {
+            stat.wall_ns = 0;
+        }
+        self
+    }
+
+    /// The deterministic projection: phase counts and counters only.
+    pub fn deterministic_view(&self) -> DeterministicView {
+        DeterministicView {
+            phase_counts: self
+                .phases
+                .iter()
+                .map(|(k, s)| (k.clone(), s.count))
+                .collect(),
+            counters: self.counters.clone(),
+        }
+    }
+
+    /// Total wall nanoseconds across all phases (diagnostics).
+    pub fn total_wall_ns(&self) -> u64 {
+        self.phases.values().map(|s| s.wall_ns).sum()
+    }
+}
+
+/// The deterministic slice of a [`Profile`]: for a case-budgeted engine
+/// run this serializes byte-identically for `workers=1` and `workers=N`
+/// — the contract `tests/obs_determinism.rs` pins and the CI trajectory
+/// gate diffs.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct DeterministicView {
+    /// How often each phase ran.
+    pub phase_counts: BTreeMap<String, u64>,
+    /// Named counters.
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// An engine run's profiles: one per shard (in shard-index order) plus
+/// the merged fold. The merged profile additionally carries run-level
+/// counters that have no per-shard attribution (the campaign pool's
+/// `pool/*` counters, the triage consumer's phase).
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct ShardedProfile {
+    /// Per-shard profiles, indexed by shard.
+    pub per_shard: Vec<Profile>,
+    /// The shard profiles folded in index order, plus run-level
+    /// counters.
+    pub merged: Profile,
+}
+
+impl ShardedProfile {
+    /// Builds the sharded view from per-shard profiles (folding them in
+    /// index order).
+    pub fn from_shards(per_shard: Vec<Profile>) -> ShardedProfile {
+        let mut merged = Profile::default();
+        for p in &per_shard {
+            merged.merge(p);
+        }
+        ShardedProfile { per_shard, merged }
+    }
+
+    /// Zeroes every wall field in every view (see
+    /// [`Profile::strip_wall`]).
+    #[must_use]
+    pub fn strip_wall(self) -> ShardedProfile {
+        ShardedProfile {
+            per_shard: self
+                .per_shard
+                .into_iter()
+                .map(Profile::strip_wall)
+                .collect(),
+            merged: self.merged.strip_wall(),
+        }
+    }
+
+    /// The merged profile's deterministic projection.
+    pub fn deterministic_view(&self) -> DeterministicView {
+        self.merged.deterministic_view()
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Profile>> = const { RefCell::new(None) };
+}
+
+/// Starts profiling on this thread (resetting any profile in progress).
+/// Until [`take`] is called, [`span`]/[`count`] on this thread record
+/// into the fresh profile.
+pub fn enable() {
+    CURRENT.with(|c| *c.borrow_mut() = Some(Profile::default()));
+}
+
+/// Stops profiling on this thread and returns what was recorded (empty
+/// if profiling was never enabled). Subsequent spans are no-ops again.
+pub fn take() -> Profile {
+    CURRENT.with(|c| c.borrow_mut().take()).unwrap_or_default()
+}
+
+/// True when this thread is currently recording.
+pub fn is_enabled() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Adds `n` to counter `key` on this thread's profile; no-op when
+/// profiling is disabled.
+pub fn count(key: &str, n: u64) {
+    CURRENT.with(|c| {
+        if let Some(p) = c.borrow_mut().as_mut() {
+            p.add(key, n);
+        }
+    });
+}
+
+/// [`count`] with a lazily-built key: `key()` (typically a `format!`)
+/// is only evaluated when profiling is enabled, keeping disabled hot
+/// paths allocation-free.
+pub fn count_owned(key: impl FnOnce() -> String, n: u64) {
+    CURRENT.with(|c| {
+        if let Some(p) = c.borrow_mut().as_mut() {
+            p.add(&key(), n);
+        }
+    });
+}
+
+/// An in-flight phase span; records its duration into the thread's
+/// profile when dropped. Cheap when profiling is disabled: no clock
+/// read, no allocation.
+#[must_use = "a span records on drop; binding it to _ discards the measurement immediately"]
+pub struct Span {
+    // `None` when profiling was off at construction time.
+    armed: Option<(String, Instant)>,
+}
+
+/// Opens a span for phase `key` (no-op if this thread is not
+/// profiling). The measurement is recorded when the returned [`Span`]
+/// drops.
+pub fn span(key: &str) -> Span {
+    if is_enabled() {
+        Span {
+            armed: Some((key.to_string(), Instant::now())),
+        }
+    } else {
+        Span { armed: None }
+    }
+}
+
+/// [`span`] with a lazily-built key: `key()` (typically a `format!`) is
+/// only evaluated when profiling is enabled, keeping disabled hot paths
+/// allocation-free.
+pub fn span_owned(key: impl FnOnce() -> String) -> Span {
+    if is_enabled() {
+        Span {
+            armed: Some((key(), Instant::now())),
+        }
+    } else {
+        Span { armed: None }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((key, start)) = self.armed.take() {
+            let ns = start.elapsed().as_nanos() as u64;
+            CURRENT.with(|c| {
+                if let Some(p) = c.borrow_mut().as_mut() {
+                    p.record_span(&key, ns);
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_thread_records_nothing() {
+        assert!(!is_enabled());
+        {
+            let _s = span("gen");
+            count("x", 3);
+        }
+        assert_eq!(take(), Profile::default());
+    }
+
+    #[test]
+    fn spans_and_counters_accumulate() {
+        enable();
+        {
+            let _s = span(phase::GEN);
+        }
+        {
+            let _s = span(phase::GEN);
+        }
+        {
+            let _s = span_owned(|| phase::compile("tvmsim"));
+        }
+        count("localize/cache_hit/tvmsim", 2);
+        let p = take();
+        assert_eq!(p.phases[phase::GEN].count, 2);
+        assert_eq!(p.phases["compile/tvmsim"].count, 1);
+        assert_eq!(p.counters["localize/cache_hit/tvmsim"], 2);
+        // Taking again yields nothing: profiling is off.
+        assert_eq!(take(), Profile::default());
+    }
+
+    #[test]
+    fn deterministic_view_drops_wall_only() {
+        let mut a = Profile::default();
+        a.record_span("gen", 100);
+        a.record_span("gen", 50);
+        a.add("hits", 4);
+        let mut b = Profile::default();
+        b.record_span("gen", 999_999);
+        b.record_span("gen", 1);
+        b.add("hits", 4);
+        assert_ne!(a, b);
+        assert_eq!(a.deterministic_view(), b.deterministic_view());
+        assert_eq!(a.strip_wall(), b.strip_wall());
+    }
+
+    #[test]
+    fn merge_is_order_insensitive() {
+        let mut a = Profile::default();
+        a.record_span("gen", 10);
+        a.add("hits", 1);
+        let mut b = Profile::default();
+        b.record_span("solve", 20);
+        b.add("hits", 2);
+        let mut ab = Profile::default();
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = Profile::default();
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.phases["gen"].count, 1);
+        assert_eq!(ab.counters["hits"], 3);
+    }
+
+    #[test]
+    fn sharded_profile_folds_in_order() {
+        let mut s0 = Profile::default();
+        s0.record_span("gen", 5);
+        let mut s1 = Profile::default();
+        s1.record_span("gen", 7);
+        let sharded = ShardedProfile::from_shards(vec![s0, s1]);
+        assert_eq!(sharded.merged.phases["gen"].count, 2);
+        assert_eq!(sharded.merged.phases["gen"].wall_ns, 12);
+        assert_eq!(sharded.per_shard.len(), 2);
+    }
+}

@@ -356,6 +356,10 @@ impl Solver {
     /// so concurrent interning on other shard workers never stalls this
     /// path.
     pub fn check(&mut self) -> SatResult {
+        // One profiler span per satisfiability check (no-op unless the
+        // calling thread enabled profiling — a shard worker of an
+        // observed engine run).
+        let _span = nnsmith_obs::span(nnsmith_obs::phase::SOLVE);
         self.stats.checks += 1;
 
         // A pool handle clone (one atomic increment), so `self` stays

@@ -38,6 +38,7 @@ use nnsmith_difftest::{
     EngineReport, ShardCtx, SourceFactory,
 };
 use nnsmith_difftest::{TestCase, Tolerance};
+use nnsmith_obs::{LoggedEvent, Profile, SEQ_TRIAGE};
 
 use crate::corpus::{Corpus, Reproducer};
 use crate::reduce::{reduce_case_expecting_with, CaseOracle, ReduceConfig};
@@ -109,6 +110,17 @@ pub struct TriageReport {
     /// Oracle executions spent inside reduction. Scheduling-dependent;
     /// excluded from serialization.
     pub oracle_runs: usize,
+    /// One `bin_update` event per ingested failure, in canonical order
+    /// (the bin key is a pure function of the failure, so the sorted
+    /// stream is deterministic even though the created/updated
+    /// distinction is not). Excluded from serialization; the triaged
+    /// engine folds these into [`EngineReport::events`] when
+    /// [`nnsmith_difftest::CampaignConfig::log_events`] is on.
+    pub events: Vec<LoggedEvent>,
+    /// The triage consumer thread's phase profile. Span *wall* times are
+    /// diagnostics; reduction-effort counts are scheduling-dependent like
+    /// `reductions`. Excluded from serialization.
+    pub profile: Profile,
 }
 
 impl Serialize for TriageReport {
@@ -141,6 +153,9 @@ impl TriageReport {
         self.failures_seen += other.failures_seen;
         self.reductions += other.reductions;
         self.oracle_runs += other.oracle_runs;
+        self.events.extend(other.events);
+        nnsmith_obs::sort_events(&mut self.events);
+        self.profile.merge(&other.profile);
     }
 
     /// All seeded-bug ids identified across bins, reduced or not.
@@ -186,6 +201,7 @@ pub struct TriageSink<'a> {
     failures_seen: usize,
     reductions: usize,
     oracle_runs: usize,
+    events: Vec<LoggedEvent>,
 }
 
 impl<'a> TriageSink<'a> {
@@ -208,6 +224,7 @@ impl<'a> TriageSink<'a> {
             failures_seen: 0,
             reductions: 0,
             oracle_runs: 0,
+            events: Vec::new(),
         }
     }
 
@@ -215,6 +232,7 @@ impl<'a> TriageSink<'a> {
     /// provenance. Order-independent: the final report only depends on
     /// the set of failures, never on arrival order.
     pub fn ingest(&mut self, shard: usize, case_index: usize, failure: &CapturedFailure) {
+        let _span = nnsmith_obs::span(nnsmith_obs::phase::TRIAGE);
         self.failures_seen += 1;
         let Some(captured) = signature_of(&failure.case, &failure.outcome) else {
             return;
@@ -231,12 +249,14 @@ impl<'a> TriageSink<'a> {
                 Some(reduction) => {
                     let sig = reduction.signature.clone();
                     let key = self.touch_bin(&sig);
+                    self.note_bin(shard, case_index, &key);
                     self.offer_repr(&key, provenance, reduction);
                 }
                 // Irreproducible: keep the finding visible under its
                 // captured key (becomes an unreduced bin).
                 None => {
-                    self.touch_bin(&captured);
+                    let key = self.touch_bin(&captured);
+                    self.note_bin(shard, case_index, &key);
                 }
             }
             return;
@@ -249,6 +269,7 @@ impl<'a> TriageSink<'a> {
         // improve) the representative; a failed re-reduction never
         // discards an existing one.
         let key = self.touch_bin(&captured);
+        self.note_bin(shard, case_index, &key);
         let attempt = match &self.bins[&key].repr {
             Some((p, _)) => provenance < *p,
             None => true,
@@ -275,6 +296,21 @@ impl<'a> TriageSink<'a> {
             })
             .count += 1;
         key
+    }
+
+    /// Records the canonical `bin_update` event for one ingested failure.
+    /// A single uniform kind — whether the touch *created* the bin
+    /// depends on arrival order, so the log does not claim it; in the
+    /// sorted stream the first `bin_update` per key is the creation.
+    fn note_bin(&mut self, shard: usize, case_index: usize, key: &str) {
+        self.events.push(LoggedEvent::new(
+            shard as u64,
+            case_index as u64,
+            SEQ_TRIAGE,
+            "bin_update",
+            &self.compiler_name,
+            key,
+        ));
     }
 
     /// Installs `reduction` as bin `key`'s representative iff its
@@ -359,12 +395,16 @@ impl<'a> TriageSink<'a> {
                 }
             }
         }
+        let mut events = self.events;
+        nnsmith_obs::sort_events(&mut events);
         TriageReport {
             bins,
             unreduced,
             failures_seen: self.failures_seen,
             reductions: self.reductions,
             oracle_runs: self.oracle_runs,
+            events,
+            profile: Profile::default(),
         }
     }
 }
@@ -418,6 +458,9 @@ fn run_triaged_engine_inner(
     let (tx, rx) = mpsc::channel::<(usize, usize, CapturedFailure)>();
     std::thread::scope(|scope| {
         let consumer = scope.spawn(move || {
+            // The consumer thread records its own profile: ingest spans
+            // (signature binning + reduction) accumulate under `triage`.
+            nnsmith_obs::enable();
             // One sink per backend: reduction replays each failure
             // through the compiler that exhibited it.
             let mut sinks: BTreeMap<String, TriageSink<'_>> = backends
@@ -444,6 +487,7 @@ fn run_triaged_engine_inner(
             for (_, sink) in sinks {
                 report.merge(sink.finish());
             }
+            report.profile = nnsmith_obs::take();
             report
         });
         // Sender is !Sync; the observer hook is shared across workers.
@@ -459,6 +503,28 @@ fn run_triaged_engine_inner(
         });
         drop(tx);
         let triage = consumer.join().expect("triage consumer");
+        let mut report = report;
+        // Fold the triage phase into the engine profile. The span *count*
+        // is forced to `failures_seen`: ingest wall time (which includes
+        // reduction effort) is arrival-order-dependent diagnostics, but
+        // how many failures were triaged is fixed by the shard layout —
+        // the deterministic view stays worker-count-independent.
+        let mut stat = triage
+            .profile
+            .phases
+            .get(nnsmith_obs::phase::TRIAGE)
+            .copied()
+            .unwrap_or_default();
+        stat.count = triage.failures_seen as u64;
+        report
+            .phases
+            .merged
+            .phases
+            .insert(nnsmith_obs::phase::TRIAGE.to_string(), stat);
+        if config.campaign.log_events {
+            report.events.extend(triage.events.iter().cloned());
+            nnsmith_obs::sort_events(&mut report.events);
+        }
         (report, triage)
     })
 }

@@ -23,6 +23,7 @@
 //! | [`difftest`] | oracle comparison, fault localization, campaign driver |
 //! | [`baselines`] | LEMON / GraphFuzzer / Tzer reimplementations |
 //! | [`triage`] | test-case reduction, bug dedup, reproducer corpus |
+//! | [`obs`] | phase profiler, deterministic views, structured event log |
 //! | [`pipeline`] | the end-to-end fuzzer ([`NnSmith`]) |
 //!
 //! ## Quickstart
@@ -46,6 +47,7 @@ pub use nnsmith_core as pipeline;
 pub use nnsmith_difftest as difftest;
 pub use nnsmith_gen as gen;
 pub use nnsmith_graph as graph;
+pub use nnsmith_obs as obs;
 pub use nnsmith_ops as ops;
 pub use nnsmith_search as search;
 pub use nnsmith_solver as solver;

@@ -1,0 +1,203 @@
+//! The observability layer's determinism contract, end-to-end: for a
+//! case-budgeted triaged engine run, the phase profile's deterministic
+//! view and the structured event log (minus each event's `t_ms` wall
+//! stamp) must be byte-identical for workers=1 and workers=4.
+//!
+//! (The `bench report` half of the contract — identical artifacts render
+//! an identical dashboard — is pinned by `nnsmith-bench`'s report module
+//! tests.)
+
+use std::time::Duration;
+
+use nnsmith::compilers::BackendSet;
+use nnsmith::difftest::{CampaignConfig, EngineConfig, ShardCtx, TestCase, TestCaseSource};
+use nnsmith::graph::{Graph, NodeId, NodeKind, TensorType, ValueRef};
+use nnsmith::obs::deterministic_event_lines;
+use nnsmith::ops::{Bindings, Op, UnaryKind};
+use nnsmith::tensor::{DType, ReduceKind, Tensor};
+use nnsmith::triage::{run_matrix_triaged_engine, TriageConfig};
+
+/// A deterministic source cycling through three behaviours: a clean tanh
+/// case, a tvm-importer crasher (tvm-conv-5), and a mis-exporting
+/// Log2-of-scalar case (exp-1) whose surviving backend mismatches and
+/// pays an O0 localization.
+struct MixedSource {
+    emitted: usize,
+    budget: usize,
+}
+
+impl TestCaseSource for MixedSource {
+    fn name(&self) -> &str {
+        "mixed"
+    }
+
+    fn next_case(&mut self) -> Option<TestCase> {
+        if self.emitted >= self.budget {
+            return None;
+        }
+        self.emitted += 1;
+        let mut g: Graph<Op> = Graph::new();
+        let x = g.add_node(
+            NodeKind::Input,
+            vec![],
+            vec![TensorType::concrete(DType::F32, &[4])],
+        );
+        match self.emitted % 3 {
+            0 => {
+                // Clean: passes everywhere (exercises import init+reuse).
+                g.add_node(
+                    NodeKind::Operator(Op::Unary(UnaryKind::Tanh)),
+                    vec![ValueRef::output0(x)],
+                    vec![TensorType::concrete(DType::F32, &[4])],
+                );
+            }
+            1 => {
+                // tvmsim importer crash (tvm-conv-5); ort/trt pass.
+                g.add_node(
+                    NodeKind::Operator(Op::ArgExtreme {
+                        largest: true,
+                        axis: 0,
+                        keepdims: false,
+                    }),
+                    vec![ValueRef::output0(x)],
+                    vec![TensorType::concrete(DType::I64, &[])],
+                );
+            }
+            _ => {
+                // exp-1: Log2 of a scalar mis-exports, producing result
+                // mismatches that drive the shared O0 localization.
+                let sum = g.add_node(
+                    NodeKind::Operator(Op::Reduce {
+                        kind: ReduceKind::Sum,
+                        axes: vec![0],
+                        keepdims: false,
+                    }),
+                    vec![ValueRef::output0(x)],
+                    vec![TensorType::concrete(DType::F32, &[])],
+                );
+                g.add_node(
+                    NodeKind::Operator(Op::Unary(UnaryKind::Log2)),
+                    vec![ValueRef::output0(sum)],
+                    vec![TensorType::concrete(DType::F32, &[])],
+                );
+            }
+        }
+        let mut b = Bindings::new();
+        b.insert(
+            NodeId(0),
+            Tensor::from_f32(&[4], vec![1.0, 2.0, 4.0, 8.0]).unwrap(),
+        );
+        Some(TestCase::from_bindings(g, b))
+    }
+}
+
+fn factory() -> impl nnsmith::difftest::SourceFactory {
+    nnsmith::difftest::FnSourceFactory::new("mixed", |_: ShardCtx| {
+        Box::new(MixedSource {
+            emitted: 0,
+            budget: usize::MAX,
+        }) as Box<dyn TestCaseSource + Send>
+    })
+}
+
+fn config(workers: usize) -> EngineConfig {
+    EngineConfig {
+        workers,
+        shards: 4,
+        seed: 21,
+        campaign: CampaignConfig {
+            duration: Duration::from_secs(600),
+            max_cases: Some(24),
+            backends: BackendSet::all().iter().cloned().collect(),
+            // Keep the campaign stationary so every exp-1 duplicate pays
+            // the same phases (no "fix-on-find" drift).
+            fix_found_bugs: false,
+            log_events: true,
+            ..CampaignConfig::default()
+        },
+    }
+}
+
+#[test]
+fn phase_profile_and_event_log_are_worker_count_independent() {
+    let cfg = TriageConfig::default();
+    let (one, one_triage) = run_matrix_triaged_engine(&factory(), &config(1), &cfg);
+    let (four, four_triage) = run_matrix_triaged_engine(&factory(), &config(4), &cfg);
+    assert_eq!(one.result.cases, 24);
+
+    // The deterministic projection (phase counts + counters) must agree
+    // byte-for-byte, merged and per shard.
+    assert_eq!(
+        serde::json::to_string(&one.deterministic_view()),
+        serde::json::to_string(&four.deterministic_view()),
+        "merged phase counts/counters must not depend on the worker count"
+    );
+    assert_eq!(
+        serde::json::to_string(&one.phases.clone().strip_wall()),
+        serde::json::to_string(&four.phases.clone().strip_wall()),
+        "per-shard phase counts must not depend on the worker count"
+    );
+
+    // The canonical event stream, minus the `t_ms` wall stamp, is the
+    // same log.
+    let lines_one = deterministic_event_lines(&one.events);
+    let lines_four = deterministic_event_lines(&four.events);
+    assert!(!lines_one.is_empty());
+    assert_eq!(lines_one, lines_four);
+
+    // The stream covers the whole campaign lifecycle.
+    for kind in [
+        "\"kind\":\"case_started\"",
+        "\"kind\":\"verdict\"",
+        "\"kind\":\"bug\"",
+        "\"kind\":\"case_finished\"",
+        "\"kind\":\"bin_update\"",
+    ] {
+        assert!(
+            lines_one.iter().any(|l| l.contains(kind)),
+            "no {kind} event in the log"
+        );
+    }
+
+    // Spot-check the merged profile's shape: generation ran once per
+    // case, the reference once per case, and the fanned-out backends
+    // each compiled.
+    let view = one.deterministic_view();
+    assert_eq!(view.phase_counts["gen"], 24);
+    assert_eq!(view.phase_counts["ref_exec"], 24);
+    for backend in ["tvmsim", "ortsim", "trtsim"] {
+        assert!(view.phase_counts[&format!("compile/{backend}")] > 0);
+    }
+    // The triage phase count is the deterministic ingest total.
+    assert_eq!(view.phase_counts["triage"], one_triage.failures_seen as u64);
+    assert_eq!(one_triage.failures_seen, four_triage.failures_seen);
+
+    // PR-6 cache observability: the exp-1 mismatches paid a (shared) O0
+    // localization run, and the clean cases reused the shared import.
+    assert!(
+        view.counters
+            .keys()
+            .any(|k| k.starts_with("localize/o0_run/")),
+        "no O0 localization counter in {:?}",
+        view.counters.keys().collect::<Vec<_>>()
+    );
+    assert!(
+        view.counters.keys().any(|k| k.starts_with("import/init/")),
+        "no import-init counter"
+    );
+    assert!(
+        view.counters.keys().any(|k| k.starts_with("import/reuse/")),
+        "no import-reuse counter"
+    );
+    // Campaign-pool counters are present even when the fixed source
+    // never interns (schema stability for the trajectory gate).
+    assert!(view.counters.contains_key("pool/base_hits"));
+    assert!(view.counters.contains_key("pool/memo_hits"));
+
+    // Triage's own canonical event stream agrees across worker counts
+    // too (its bin keys are pure functions of each failure).
+    assert_eq!(
+        deterministic_event_lines(&one_triage.events),
+        deterministic_event_lines(&four_triage.events)
+    );
+}
