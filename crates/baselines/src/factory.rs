@@ -17,7 +17,7 @@ use nnsmith_solver::InternPool;
 
 use crate::graphfuzzer::{GraphFuzzer, GraphFuzzerConfig};
 use crate::lemon::Lemon;
-use crate::tzer::Tzer;
+use crate::tzer::{Tzer, TzerRetention};
 
 /// Shards LEMON campaigns: each shard mutates the seed-model zoo with its
 /// own RNG stream.
@@ -25,6 +25,11 @@ use crate::tzer::Tzer;
 /// LEMON's seed zoo is f32-only, which every simulated backend supports,
 /// so a cross-backend set needs no restriction: [`LemonFactory`] is
 /// already legal on any [`BackendSet`].
+///
+/// LEMON is *deliberately blind*: it never overrides the no-op
+/// [`TestCaseSource::observe`] default, because the published baseline has
+/// no coverage feedback — keeping it blind preserves the comparison the
+/// figures make against the guided loop.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LemonFactory;
 
@@ -43,6 +48,10 @@ impl SourceFactory for LemonFactory {
 }
 
 /// Shards GraphFuzzer campaigns with a shared configuration.
+///
+/// Like LEMON, GraphFuzzer stays *deliberately blind* to coverage — the
+/// baseline it reimplements has no feedback loop, so it keeps the default
+/// no-op [`TestCaseSource::observe`].
 #[derive(Debug, Clone, Default)]
 pub struct GraphFuzzerFactory {
     /// Configuration applied to every shard's fuzzer.
@@ -92,8 +101,24 @@ impl SourceFactory for GraphFuzzerFactory {
 /// (which ignores the pool) is already correct. IR cases carry no tensor
 /// dtypes, so backend sets need no restriction either — backends without
 /// a low-level pipeline simply answer `NotImplemented` per case.
+///
+/// Unlike LEMON and GraphFuzzer, Tzer *is* a coverage-guided fuzzer, so
+/// its shards default to [`TzerRetention::CoverageGuided`]; `retention`
+/// selects [`TzerRetention::Blind`] for historical comparisons.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct TzerFactory;
+pub struct TzerFactory {
+    /// Retention policy applied to every shard's fuzzer.
+    pub retention: TzerRetention,
+}
+
+impl TzerFactory {
+    /// A factory whose shards keep the pre-fix blind retention stream.
+    pub fn blind() -> Self {
+        TzerFactory {
+            retention: TzerRetention::Blind,
+        }
+    }
+}
 
 impl SourceFactory for TzerFactory {
     fn name(&self) -> &str {
@@ -101,7 +126,10 @@ impl SourceFactory for TzerFactory {
     }
 
     fn make_source(&self, shard: ShardCtx) -> Box<dyn TestCaseSource + Send> {
-        Box::new(Tzer::new(StdRng::seed_from_u64(shard.seed)))
+        Box::new(Tzer::with_retention(
+            StdRng::seed_from_u64(shard.seed),
+            self.retention,
+        ))
     }
 }
 
@@ -121,7 +149,7 @@ mod tests {
             GraphFuzzerFactory::default().make_source(ctx).name(),
             "GraphFuzzer"
         );
-        assert_eq!(TzerFactory.make_source(ctx).name(), "Tzer");
+        assert_eq!(TzerFactory::default().make_source(ctx).name(), "Tzer");
     }
 
     #[test]
@@ -177,7 +205,7 @@ mod tests {
 
     #[test]
     fn tzer_sources_emit_ir_cases() {
-        let mut src = TzerFactory.make_source(ShardCtx {
+        let mut src = TzerFactory::default().make_source(ShardCtx {
             index: 0,
             count: 1,
             seed: 3,

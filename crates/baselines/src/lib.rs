@@ -30,4 +30,4 @@ mod tzer;
 pub use factory::{GraphFuzzerFactory, LemonFactory, TzerFactory};
 pub use graphfuzzer::{GraphFuzzer, GraphFuzzerConfig};
 pub use lemon::Lemon;
-pub use tzer::{run_tzer_campaign, Tzer, TzerPoint};
+pub use tzer::{run_tzer_campaign, Tzer, TzerPoint, TzerRetention};

@@ -7,19 +7,45 @@
 //! covering none of the graph-level passes. This module mutates tvmsim's
 //! [`LoweredFunc`] IR and drives the low-level pipeline with coverage.
 
+use std::collections::BTreeMap;
+
 use rand::seq::SliceRandom;
 use rand::Rng;
 
 use nnsmith_compilers::{
     codegen_coverage, tir_schedule, tir_simplify, tvmsim, CoverageSet, LExpr, LStmt, LoweredFunc,
 };
-use nnsmith_difftest::{TestCase, TestCaseSource};
+use nnsmith_difftest::{CaseFeedback, FeedbackCorpus, FeedbackSummary, TestCase, TestCaseSource};
+
+/// How Tzer decides which mutants join the live corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TzerRetention {
+    /// AFL-style: a mutant is kept iff executing it covered at least one
+    /// branch the campaign had not seen before (fed back through
+    /// [`TestCaseSource::observe`]). This is what "coverage-guided"
+    /// actually means and is the default.
+    #[default]
+    CoverageGuided,
+    /// The historical behavior, preserved as an escape hatch for baseline
+    /// comparisons (`--blind-retention` on the fig8 bin): keep a mutant
+    /// with probability 0.3 while the corpus holds fewer than 64 entries,
+    /// never consulting coverage. The RNG stream is bit-identical to the
+    /// pre-fix fuzzer.
+    Blind,
+}
 
 /// The Tzer-style low-level IR fuzzer.
 #[derive(Debug)]
 pub struct Tzer<R: Rng> {
     rng: R,
+    retention: TzerRetention,
+    /// Blind-mode corpus (historical semantics, probability-grown).
     corpus: Vec<LoweredFunc>,
+    /// Guided-mode corpus: seeds frozen, tail grown only on novelty.
+    feedback: FeedbackCorpus<LoweredFunc>,
+    summary: FeedbackSummary,
+    /// The most recent mutant, awaiting its coverage verdict.
+    last: Option<LoweredFunc>,
     next_var: u32,
 }
 
@@ -63,11 +89,28 @@ fn seed_funcs() -> Vec<LoweredFunc> {
 }
 
 impl<R: Rng> Tzer<R> {
-    /// Creates the fuzzer with built-in seed kernels.
+    /// Creates the fuzzer with built-in seed kernels and coverage-guided
+    /// retention.
     pub fn new(rng: R) -> Self {
+        Tzer::with_retention(rng, TzerRetention::default())
+    }
+
+    /// Creates the fuzzer with an explicit retention policy.
+    pub fn with_retention(rng: R, retention: TzerRetention) -> Self {
+        let mut feedback = FeedbackCorpus::new(64);
+        let mut summary = FeedbackSummary::default();
+        for f in seed_funcs() {
+            let encoding = serde::json::to_string(&f);
+            feedback.seed(f, &encoding);
+            summary.seeded += 1;
+        }
         Tzer {
             rng,
+            retention,
             corpus: seed_funcs(),
+            feedback,
+            summary,
+            last: None,
             next_var: 100,
         }
     }
@@ -143,17 +186,44 @@ impl<R: Rng> Tzer<R> {
 
     /// Produces the next mutated kernel.
     pub fn next_func(&mut self) -> LoweredFunc {
-        let idx = self.rng.gen_range(0..self.corpus.len());
-        let mut f = self.corpus[idx].clone();
+        let mut f = match self.retention {
+            TzerRetention::Blind => {
+                let idx = self.rng.gen_range(0..self.corpus.len());
+                self.corpus[idx].clone()
+            }
+            TzerRetention::CoverageGuided => {
+                let idx = self.rng.gen_range(0..self.feedback.len());
+                self.feedback.get(idx).clone()
+            }
+        };
         let rounds = self.rng.gen_range(1..=4);
         for _ in 0..rounds {
             self.mutate_stmts(&mut f.body, 0);
         }
-        // Coverage-guided corpus growth: keep some mutants as new seeds.
-        if self.corpus.len() < 64 && self.rng.gen_bool(0.3) {
-            self.corpus.push(f.clone());
+        match self.retention {
+            // Historical stream, bit-for-bit: the probability draw happens
+            // only while below the cap, and coverage is never consulted.
+            TzerRetention::Blind => {
+                if self.corpus.len() < 64 && self.rng.gen_bool(0.3) {
+                    self.corpus.push(f.clone());
+                }
+            }
+            // Guided: park the mutant until `observe` delivers its
+            // coverage verdict.
+            TzerRetention::CoverageGuided => {
+                self.summary.mutated += 1;
+                self.last = Some(f.clone());
+            }
         }
         f
+    }
+
+    /// Live corpus size under the active retention policy.
+    pub fn corpus_len(&self) -> usize {
+        match self.retention {
+            TzerRetention::Blind => self.corpus.len(),
+            TzerRetention::CoverageGuided => self.feedback.len(),
+        }
     }
 }
 
@@ -169,6 +239,30 @@ impl<R: Rng> TestCaseSource for Tzer<R> {
 
     fn next_case(&mut self) -> Option<TestCase> {
         Some(TestCase::from_ir(vec![self.next_func()]))
+    }
+
+    fn observe(&mut self, feedback: &CaseFeedback) {
+        if self.retention == TzerRetention::Blind {
+            return;
+        }
+        let Some(f) = self.last.take() else {
+            return;
+        };
+        let novel = feedback.total_new() > 0;
+        let encoding = serde::json::to_string(&f);
+        if self.feedback.offer(f, &encoding, novel) {
+            self.summary.retained += 1;
+        }
+    }
+
+    fn feedback_summary(&self) -> Option<FeedbackSummary> {
+        if self.retention == TzerRetention::Blind {
+            return None;
+        }
+        let mut s = self.summary.clone();
+        s.corpus = self.feedback.len() as u64;
+        s.corpus_digest = self.feedback.digest();
+        Some(s)
     }
 }
 
@@ -193,6 +287,15 @@ pub struct TzerPoint {
 /// through the engine instead — [`crate::TzerFactory`] +
 /// [`nnsmith_difftest::run_engine`] — which also routes findings through
 /// triage; this loop reports coverage only.
+///
+/// Wall-clock discipline audit: the only wall-clock reads are the overall
+/// budget check (`start.elapsed() < duration`, disabled by case-budgeted
+/// callers passing a huge duration plus `max_iterations`) and the
+/// `elapsed_ms` *data* field on timeline points, which deterministic
+/// consumers strip. Timeline cadence is iteration-count based
+/// (`iterations.is_multiple_of(64)`) and retention consults only the
+/// per-case coverage delta — no decision in this loop derives from
+/// elapsed time.
 pub fn run_tzer_campaign<R: Rng>(
     mut tzer: Tzer<R>,
     duration: std::time::Duration,
@@ -213,9 +316,20 @@ pub fn run_tzer_campaign<R: Rng>(
         }
         iterations += 1;
         let mut funcs = vec![tzer.next_func()];
-        tir_simplify(&mut funcs, &mut cov, &manifest);
-        tir_schedule(&mut funcs, &mut cov, &manifest);
-        codegen_coverage(&funcs, &mut cov, &manifest);
+        // A per-case scratch set keeps the folded union identical while
+        // exposing the marginal delta retention needs.
+        let mut case_cov = CoverageSet::new();
+        tir_simplify(&mut funcs, &mut case_cov, &manifest);
+        tir_schedule(&mut funcs, &mut case_cov, &manifest);
+        codegen_coverage(&funcs, &mut case_cov, &manifest);
+        let new_branches = cov.merge_counting(&case_cov);
+        let mut delta = BTreeMap::new();
+        delta.insert("tvmsim".to_string(), new_branches);
+        tzer.observe(&CaseFeedback {
+            case_index: iterations,
+            new_branches: delta,
+            finding: false,
+        });
         if iterations.is_multiple_of(64) {
             timeline.push(TzerPoint {
                 elapsed_ms: start.elapsed().as_millis() as u64,
@@ -267,6 +381,72 @@ mod tests {
         let pass = cov.pass_len(compiler.manifest());
         assert!(pass > 0);
         assert!(pass < 200, "tzer pass coverage {pass} too broad");
+    }
+
+    #[test]
+    fn blind_retention_pins_the_historical_corpus_behavior() {
+        // Pre-fix behavior, pinned: the corpus grows with probability 0.3
+        // per mutant (cap 64) even when *nothing* is coverage-novel — the
+        // "coverage-guided" comment was a lie. --blind-retention keeps
+        // this stream available for fig8 comparisons.
+        let mut tzer = Tzer::with_retention(StdRng::seed_from_u64(7), TzerRetention::Blind);
+        for i in 0..200 {
+            let _ = tzer.next_func();
+            // Report zero novelty every time; blind mode must not care.
+            tzer.observe(&CaseFeedback {
+                case_index: i,
+                new_branches: BTreeMap::new(),
+                finding: false,
+            });
+        }
+        assert!(
+            tzer.corpus_len() > 2,
+            "blind retention grows the corpus without any coverage signal \
+             (got {})",
+            tzer.corpus_len()
+        );
+        assert!(
+            tzer.feedback_summary().is_none(),
+            "blind mode opts out of feedback reporting"
+        );
+    }
+
+    #[test]
+    fn guided_retention_keeps_only_coverage_novel_mutants() {
+        let mut tzer = Tzer::new(StdRng::seed_from_u64(7));
+        for i in 0..200 {
+            let _ = tzer.next_func();
+            tzer.observe(&CaseFeedback {
+                case_index: i,
+                new_branches: BTreeMap::new(),
+                finding: false,
+            });
+        }
+        let s = tzer.feedback_summary().expect("guided summary");
+        assert_eq!(s.retained, 0, "no novelty, no retention");
+        assert_eq!(s.corpus, 2, "corpus stays at the frozen seeds");
+        assert_eq!(s.seeded, 2);
+        assert_eq!(s.mutated, 200);
+
+        let _ = tzer.next_func();
+        let mut novel = BTreeMap::new();
+        novel.insert("tvmsim".to_string(), 3usize);
+        tzer.observe(&CaseFeedback {
+            case_index: 201,
+            new_branches: novel,
+            finding: false,
+        });
+        let s = tzer.feedback_summary().expect("guided summary");
+        assert_eq!(s.retained, 1, "a novel mutant is kept");
+        assert_eq!(s.corpus, 3);
+        assert_ne!(s.corpus_digest, 0);
+    }
+
+    #[test]
+    fn guided_reference_campaign_retains_through_coverage() {
+        let tzer = Tzer::new(StdRng::seed_from_u64(3));
+        let (cov, _) = run_tzer_campaign(tzer, Duration::from_millis(500), Some(256));
+        assert!(cov.len() > 400, "covered {}", cov.len());
     }
 
     #[test]

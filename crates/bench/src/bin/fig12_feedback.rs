@@ -1,0 +1,84 @@
+//! Figure 12 (extension): coverage-feedback-guided NNSmith vs the blind
+//! generator, same seed and same case budget, scored on distinct seeded
+//! bugs. See [`nnsmith_bench::fig12`] for the experimental design.
+//!
+//! Campaigns are **case-budgeted**, so for fixed `--seed`/`--shards` the
+//! emitted `BENCH_fig12.json` is byte-identical across worker counts.
+//!
+//! `cargo run -p nnsmith-bench --release --bin fig12_feedback -- \
+//!     [--workers N] [--shards N] [--cases N] [--seed N] \
+//!     [--backends tvm,ort,trt] [--seed-corpus PATH] [--gate]`
+//!
+//! `--seed-corpus PATH` preloads the guided arm's corpus with the graph
+//! reproducers of a triage corpus (e.g. `fig8_tzer_corpus.json`).
+//! `--gate` exits nonzero unless the guided arm found strictly more
+//! distinct seeded bugs — the CI acceptance check.
+
+use nnsmith_bench::fig12::{run_fig12, Fig12Options};
+use nnsmith_bench::{bench_args, write_json};
+use nnsmith_compilers::BackendSet;
+use nnsmith_triage::Corpus;
+
+fn main() {
+    let args = bench_args(0);
+    let mut opts = Fig12Options {
+        workers: args.workers,
+        shards: args.shards,
+        backends: args.backend_set(BackendSet::all()),
+        ..Fig12Options::default()
+    };
+    if let Some(cases) = args.cases {
+        opts.cases = cases;
+    }
+    if let Some(seed) = args.seed {
+        opts.seed = seed;
+    }
+    // `--seed-corpus` takes a value, so it reaches us via the shared
+    // parser's flag bucket followed by a positional; re-scan argv for it.
+    let argv: Vec<String> = std::env::args().collect();
+    if let Some(i) = argv.iter().position(|a| a == "--seed-corpus") {
+        match argv.get(i + 1).map(|p| Corpus::load(p)) {
+            Some(Ok(corpus)) => {
+                opts.seeds = corpus.seed_cases();
+                println!(
+                    "seed corpus: {} graph reproducer(s) preloaded",
+                    opts.seeds.len()
+                );
+            }
+            Some(Err(e)) => eprintln!("warning: could not load seed corpus: {e}"),
+            None => eprintln!("warning: --seed-corpus needs a path"),
+        }
+    }
+
+    println!(
+        "== Figure 12 — guided vs blind NNSmith, engine: {} worker(s) x {} shards, seed {}, {} cases/arm ==",
+        opts.workers, opts.shards, opts.seed, opts.cases
+    );
+    let record = run_fig12(&opts);
+    for summary in &record.results {
+        println!(
+            "[{}] cases {} | coverage {} | distinct seeded bugs {}",
+            summary.source,
+            summary.cases,
+            summary.total_coverage,
+            summary.bugs_found.len()
+        );
+    }
+    if let Some(fb) = record.results[0].feedback.as_ref() {
+        println!(
+            "[feedback] corpus {} (digest {:016x}) | retained {} | seeded {} | mutated {} | probes {} | fresh {} | checkpoints {}",
+            fb.corpus, fb.corpus_digest, fb.retained, fb.seeded, fb.mutated, fb.probes, fb.fresh, fb.checkpoints
+        );
+    }
+    println!(
+        "guided {} vs blind {} distinct seeded bugs -> gate {}",
+        record.guided_bugs,
+        record.blind_bugs,
+        if record.gate_passed { "PASS" } else { "FAIL" }
+    );
+    write_json("fig12", &record);
+    if args.flag("--gate") && !record.gate_passed {
+        eprintln!("gate: guided arm must find strictly more distinct seeded bugs");
+        std::process::exit(1);
+    }
+}

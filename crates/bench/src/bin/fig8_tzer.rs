@@ -9,8 +9,14 @@
 //! `BENCH_fig8.json` and `fig8_tzer_corpus.json` are byte-identical
 //! across worker counts (wall-clock-dependent fields are stripped).
 //!
+//! Tzer runs with its (fixed) coverage-guided retention by default:
+//! mutants join the corpus iff they covered a new branch.
+//! `--blind-retention` restores the historical probability-0.3 retention
+//! stream for before/after comparisons.
+//!
 //! `cargo run -p nnsmith-bench --release --bin fig8_tzer -- \
-//!     [--workers N] [--shards N] [--cases N] [--seed N]`
+//!     [--workers N] [--shards N] [--cases N] [--seed N] \
+//!     [--blind-retention]`
 
 use std::time::Duration;
 
@@ -50,9 +56,14 @@ fn main() {
     // NNSmith models are ~an order of magnitude more expensive per case
     // than IR mutants; scale its budget down to keep runtimes comparable.
     let nnsmith_cases = (tzer_cases / 8).max(8);
+    let tzer_factory = if args.flag("--blind-retention") {
+        TzerFactory::blind()
+    } else {
+        TzerFactory::default()
+    };
     println!(
-        "== Figure 8 — NNSmith vs Tzer on tvmsim, engine: {} worker(s) x {} shards, seed {seed} ==",
-        args.workers, args.shards
+        "== Figure 8 — NNSmith vs Tzer ({:?} retention) on tvmsim, engine: {} worker(s) x {} shards, seed {seed} ==",
+        tzer_factory.retention, args.workers, args.shards
     );
 
     let engine = |seed: u64, cases: usize| EngineConfig {
@@ -76,7 +87,7 @@ fn main() {
     );
     let (tzer, triage) = run_triaged_engine(
         &compiler,
-        &TzerFactory,
+        &tzer_factory,
         &engine(seed, tzer_cases),
         &TriageConfig::default(),
     );

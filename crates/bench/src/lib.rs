@@ -19,7 +19,9 @@
 //! | `fig11_value_search` | Fig. 11 + §3.3 NaN-rate stat |
 //! | `tab3_bug_study` | Table 3 — seeded-bug study |
 //! | `tab4_baseline_reachability` | §5.4 — bugs reachable per fuzzer |
+//! | `fig12_feedback` | extension — guided vs blind NNSmith at equal case budget |
 
+pub mod fig12;
 pub mod report;
 
 use std::time::Duration;
@@ -63,6 +65,9 @@ pub struct BenchArgs {
     /// Backend set override (`--backends tvm,ort,trt`); `None` keeps
     /// each binary's default.
     pub backends: Option<BackendSet>,
+    /// Valueless `--flag` switches the shared parser didn't recognize,
+    /// for binary-specific toggles (`--blind-retention`, `--gate`).
+    pub flags: Vec<String>,
 }
 
 impl BenchArgs {
@@ -70,6 +75,12 @@ impl BenchArgs {
     /// `default` otherwise.
     pub fn backend_set(&self, default: BackendSet) -> BackendSet {
         self.backends.clone().unwrap_or(default)
+    }
+
+    /// True when the valueless switch `name` (including the `--`) was
+    /// passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
     }
 }
 
@@ -83,6 +94,7 @@ pub fn bench_args(default_secs: u64) -> BenchArgs {
         cases: None,
         seed: None,
         backends: None,
+        flags: Vec::new(),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -128,7 +140,9 @@ pub fn bench_args(default_secs: u64) -> BenchArgs {
                 }
             }
             other => {
-                if let Ok(v) = other.parse() {
+                if other.starts_with("--") {
+                    out.flags.push(other.to_string());
+                } else if let Ok(v) = other.parse() {
                     out.secs = v;
                 }
                 i += 1;
@@ -334,6 +348,11 @@ pub struct EngineSummary {
     /// case-budgeted runs; `wall_ns` fields are zeroed by
     /// [`EngineSummary::deterministic_view`].
     pub phases: nnsmith_obs::Profile,
+    /// Coverage-feedback counters (corpus size/digest, retention and
+    /// mutation tallies, schedule weights), folded across shards; `None`
+    /// for blind sources. Fully deterministic — survives
+    /// [`EngineSummary::deterministic_view`] untouched.
+    pub feedback: Option<nnsmith_difftest::FeedbackSummary>,
 }
 
 impl EngineSummary {
@@ -392,6 +411,7 @@ impl EngineSummary {
             wall_timeline: report.wall_timeline.clone(),
             arena: report.arena,
             phases: report.phases.merged.clone(),
+            feedback: report.result.feedback.clone(),
         }
     }
 }

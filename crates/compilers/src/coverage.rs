@@ -150,6 +150,15 @@ impl CoverageSet {
         self.hits.extend(other.hits.iter().copied());
     }
 
+    /// Merges another coverage set into this one, returning how many of
+    /// its branches were *new* — the per-case novelty signal the feedback
+    /// loop consumes, without allocating a difference set on the hot path.
+    pub fn merge_counting(&mut self, other: &CoverageSet) -> usize {
+        let before = self.hits.len();
+        self.hits.extend(other.hits.iter().copied());
+        self.hits.len() - before
+    }
+
     /// Branches covered here but not in `other`.
     pub fn difference(&self, other: &CoverageSet) -> CoverageSet {
         CoverageSet {
@@ -293,6 +302,19 @@ mod tests {
         let mut merged = a.clone();
         merged.merge(&b);
         assert_eq!(merged.len(), 3);
+    }
+
+    #[test]
+    fn merge_counting_reports_novelty() {
+        let m = manifest();
+        let mut a = CoverageSet::new();
+        let mut b = CoverageSet::new();
+        Cov::new(&mut a, &m, "fold.cc").hit(1);
+        Cov::new(&mut b, &m, "fold.cc").hit(1);
+        Cov::new(&mut b, &m, "fold.cc").hit(2);
+        assert_eq!(a.merge_counting(&b), 1);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.merge_counting(&b), 0, "second merge finds nothing new");
     }
 
     #[test]

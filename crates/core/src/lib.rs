@@ -27,11 +27,18 @@ mod support;
 
 pub use support::infer_supported_dtypes;
 
+use std::collections::{BTreeSet, VecDeque};
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use nnsmith_difftest::{ShardCtx, SourceFactory, TestCase, TestCaseSource};
-use nnsmith_gen::{GenConfig, Generator};
+use nnsmith_difftest::{
+    fnv_step, CaseFeedback, FeedbackConfig, FeedbackCorpus, FeedbackPlan, FeedbackSummary,
+    ShardCtx, SourceFactory, TestCase, TestCaseSource, YieldStats, BASE_WEIGHT,
+};
+use nnsmith_gen::{dtype_siblings, mutate_graph_with, GenConfig, GenSchedule, Generator};
+use nnsmith_graph::{Graph, NodeKind};
+use nnsmith_ops::Op;
 use nnsmith_ops::OpMemo;
 use nnsmith_search::{search_values, SearchConfig};
 use nnsmith_solver::InternPool;
@@ -47,6 +54,10 @@ pub struct NnSmithConfig {
     pub seed: u64,
     /// Attempts to produce one numerically-valid case before giving up.
     pub max_attempts_per_case: usize,
+    /// Coverage-feedback loop (corpus retention, yield-weighted
+    /// scheduling, mutation of retained graphs). Disabled by default,
+    /// which keeps the blind pipeline's RNG stream byte-identical.
+    pub feedback: FeedbackConfig,
 }
 
 impl Default for NnSmithConfig {
@@ -56,6 +67,7 @@ impl Default for NnSmithConfig {
             search: SearchConfig::default(),
             seed: 0,
             max_attempts_per_case: 8,
+            feedback: FeedbackConfig::default(),
         }
     }
 }
@@ -88,6 +100,111 @@ pub struct PipelineStats {
     pub cases: u64,
 }
 
+/// Per-pipeline feedback-loop state: the retained-case corpus, the
+/// marginal-yield ledger, and the description of the last emitted case
+/// (so [`NnSmith::observe`] can credit its coverage yield).
+#[derive(Debug)]
+struct FeedbackState {
+    cfg: FeedbackConfig,
+    corpus: FeedbackCorpus<TestCase>,
+    yields: YieldStats,
+    summary: FeedbackSummary,
+    last: Option<EmittedCase>,
+    cases_seen: u64,
+    /// Focus queue of cases that produced a finding — mutation draws
+    /// from here preferentially (AFL's crash-adjacent exploration):
+    /// perturbing a bug-triggering graph (sibling op swap, nudged shape,
+    /// fresh inputs) is the cheapest route to the *neighboring* seeded
+    /// bugs. Ring-replaced at [`FINDING_POOL_CAP`].
+    findings: Vec<TestCase>,
+    findings_seen: u64,
+    /// Dtype palette for the mutation loop's dtype-rotate arm: the
+    /// generator's allowed dtypes (the backend-set intersection on
+    /// cross-backend campaigns), so rotated mutants stay legal on every
+    /// backend under test.
+    palette: Vec<nnsmith_tensor::DType>,
+    /// FIFO of pending dtype-sibling probes: when a *coverage-novel
+    /// finding* lands, every valid dtype rotation of its graph is
+    /// enqueued (deduplicated), and probes drain ahead of fresh
+    /// generation under a budget gate. This is the systematic
+    /// counterpart to random mutation — the structure that just
+    /// triggered a bug is held fixed while its dtypes sweep the
+    /// palette, harvesting the dtype-specialized bug variants.
+    queue: VecDeque<Graph<Op>>,
+    /// FNV digests of graphs already probed or enqueued.
+    probed: BTreeSet<u64>,
+}
+
+/// Capacity of the finding-focused mutation pool.
+const FINDING_POOL_CAP: usize = 16;
+
+/// Cap on pending dtype-sibling probes (drops beyond it are counted in
+/// the `feedback/probe_dropped` observability counter).
+const SIBLING_QUEUE_CAP: usize = 64;
+
+
+/// Probability that a mutation draws its base from the finding pool
+/// (when non-empty) instead of the coverage-novel corpus.
+const FINDING_FOCUS_PROB: f64 = 0.75;
+
+/// What the last emitted case looked like, for yield accounting.
+#[derive(Debug)]
+struct EmittedCase {
+    case: TestCase,
+    ops: Vec<String>,
+    dtypes: Vec<String>,
+    ranks: Vec<usize>,
+}
+
+/// Maps an operator's display name onto its template name (the schedule
+/// key): the five `Reduce*` ops share the `Reduce` template.
+fn template_key(op_name: &str) -> String {
+    match op_name {
+        "ReduceSum" | "ReduceMean" | "ReduceProd" | "ReduceMax" | "ReduceMin" => {
+            "Reduce".to_string()
+        }
+        other => other.to_string(),
+    }
+}
+
+/// Distinct features of a case, for yield accounting (sorted so the
+/// ledger is iteration-order deterministic).
+fn describe_case(case: &TestCase) -> EmittedCase {
+    let mut ops: BTreeSet<String> = BTreeSet::new();
+    let mut dtypes: BTreeSet<String> = BTreeSet::new();
+    let mut ranks: BTreeSet<usize> = BTreeSet::new();
+    for (_, node) in case.graph.iter() {
+        if let NodeKind::Operator(op) = &node.kind {
+            ops.insert(template_key(op.name()));
+        }
+        for t in &node.outputs {
+            dtypes.insert(t.dtype.name().to_string());
+            ranks.insert(t.rank());
+        }
+    }
+    EmittedCase {
+        case: case.clone(),
+        ops: ops.into_iter().collect(),
+        dtypes: dtypes.into_iter().collect(),
+        ranks: ranks.into_iter().collect(),
+    }
+}
+
+/// Converts a checkpoint's [`FeedbackPlan`] into generator schedule
+/// weights (options not in the plan draw at the base weight).
+fn plan_to_schedule(plan: &FeedbackPlan) -> GenSchedule {
+    GenSchedule {
+        op_weights: plan.op_weights.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        dtype_weights: plan
+            .dtype_weights
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect(),
+        rank_weights: plan.rank_weights.iter().map(|(k, v)| (*k, *v)).collect(),
+        default_weight: BASE_WEIGHT,
+    }
+}
+
 /// The NNSmith fuzzer: generate → search → emit test cases.
 #[derive(Debug)]
 pub struct NnSmith {
@@ -107,6 +224,7 @@ pub struct NnSmith {
     rng: StdRng,
     max_attempts_per_case: usize,
     stats: PipelineStats,
+    feedback: FeedbackState,
 }
 
 impl NnSmith {
@@ -117,6 +235,45 @@ impl NnSmith {
 
     /// Creates the pipeline interning into `pool` (a campaign's pool).
     pub fn new_in(config: NnSmithConfig, pool: InternPool) -> Self {
+        let palette: Vec<nnsmith_tensor::DType> = config
+            .gen
+            .allowed_dtypes
+            .clone()
+            .unwrap_or_else(|| nnsmith_tensor::DType::NUMERIC.to_vec())
+            .into_iter()
+            .filter(|d| *d != nnsmith_tensor::DType::Bool)
+            .collect();
+        let mut feedback = FeedbackState {
+            corpus: FeedbackCorpus::new(config.feedback.corpus_cap),
+            cfg: config.feedback,
+            yields: YieldStats::default(),
+            summary: FeedbackSummary::default(),
+            last: None,
+            cases_seen: 0,
+            findings: Vec::new(),
+            findings_seen: 0,
+            palette,
+            queue: VecDeque::new(),
+            probed: BTreeSet::new(),
+        };
+        if feedback.cfg.enabled {
+            // The reproducer→seed bridge: graph reproducers (rehomed into
+            // this pipeline's pool) become the corpus's frozen prefix.
+            for seed_case in &feedback.cfg.seeds {
+                if seed_case.is_ir() {
+                    continue;
+                }
+                let case = TestCase {
+                    graph: seed_case.graph.rehomed(&pool),
+                    weights: seed_case.weights.clone(),
+                    inputs: seed_case.inputs.clone(),
+                    ir: None,
+                };
+                let encoding = serde::json::to_string(&case.graph);
+                feedback.corpus.seed(case, &encoding);
+                feedback.summary.seeded += 1;
+            }
+        }
         NnSmith {
             generator: Generator::new(config.gen),
             search: config.search,
@@ -125,6 +282,7 @@ impl NnSmith {
             rng: StdRng::seed_from_u64(config.seed),
             max_attempts_per_case: config.max_attempts_per_case,
             stats: PipelineStats::default(),
+            feedback,
         }
     }
 
@@ -164,6 +322,36 @@ impl NnSmith {
             }
         }
     }
+
+    /// Mutation arm of the feedback loop: perturb a retained graph (op
+    /// swap / dtype rotate / dim perturb / plain re-search) and search
+    /// fresh inputs for it. All randomness derives from `self.rng`, so the case stream
+    /// stays a pure function of the shard seed.
+    fn try_mutate(&mut self) -> Option<TestCase> {
+        // Prefer the finding pool: mutating a bug-triggering graph is the
+        // cheapest route to its neighboring seeded bugs.
+        let focus = !self.feedback.findings.is_empty()
+            && (self.feedback.corpus.is_empty() || self.rng.gen_bool(FINDING_FOCUS_PROB));
+        let graph = if focus {
+            let index = self.rng.gen_range(0..self.feedback.findings.len());
+            self.feedback.findings[index].graph.clone()
+        } else {
+            let index = self.rng.gen_range(0..self.feedback.corpus.len());
+            self.feedback.corpus.get(index).graph.clone()
+        };
+        let seed: u64 = self.rng.gen();
+        let mut mutate_rng = StdRng::seed_from_u64(seed);
+        let outcome = mutate_graph_with(&graph, &self.feedback.palette, &mut mutate_rng)?;
+        let mut search_rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+        let searched = search_values(&outcome.graph, &self.search, &mut search_rng);
+        match searched.bindings {
+            Some(bindings) => Some(TestCase::from_bindings(outcome.graph, bindings)),
+            None => {
+                self.stats.search_failures += 1;
+                None
+            }
+        }
+    }
 }
 
 impl TestCaseSource for NnSmith {
@@ -172,13 +360,131 @@ impl TestCaseSource for NnSmith {
     }
 
     fn next_case(&mut self) -> Option<TestCase> {
+        // Targeted probes first: dtype siblings of novel findings, gated
+        // to ~an eighth of the emitted stream (fresh structural
+        // diversity stays the campaign's backbone).
+        if self.feedback.cfg.enabled
+            && self.feedback.summary.probes * 8 < self.feedback.cases_seen
+        {
+            while let Some(graph) = self.feedback.queue.pop_front() {
+                let seed: u64 = self.rng.gen();
+                let mut search_rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+                let searched = search_values(&graph, &self.search, &mut search_rng);
+                let Some(bindings) = searched.bindings else {
+                    self.stats.search_failures += 1;
+                    continue;
+                };
+                let case = TestCase::from_bindings(graph, bindings);
+                self.stats.cases += 1;
+                self.feedback.summary.probes += 1;
+                self.feedback.last = Some(describe_case(&case));
+                nnsmith_obs::count("feedback/probed", 1);
+                return Some(case);
+            }
+        }
+        if self.feedback.cfg.enabled
+            && !(self.feedback.corpus.is_empty() && self.feedback.findings.is_empty())
+            && self.rng.gen_bool(self.feedback.cfg.mutation_prob)
+        {
+            for _ in 0..self.max_attempts_per_case {
+                if let Some(case) = self.try_mutate() {
+                    self.stats.cases += 1;
+                    self.feedback.summary.mutated += 1;
+                    self.feedback.last = Some(describe_case(&case));
+                    nnsmith_obs::count("feedback/mutated", 1);
+                    return Some(case);
+                }
+            }
+            // Every mutation attempt failed: fall through to fresh
+            // generation rather than starving the campaign.
+        }
         for _ in 0..self.max_attempts_per_case {
             if let Some(case) = self.try_once() {
                 self.stats.cases += 1;
+                if self.feedback.cfg.enabled {
+                    self.feedback.summary.fresh += 1;
+                    self.feedback.last = Some(describe_case(&case));
+                }
                 return Some(case);
             }
         }
         None
+    }
+
+    fn observe(&mut self, feedback: &CaseFeedback) {
+        if !self.feedback.cfg.enabled {
+            return;
+        }
+        let new_branches = feedback.total_new() as u64;
+        if let Some(emitted) = self.feedback.last.take() {
+            // The ledger credits branch yield only. (Crediting findings
+            // too was tried and measurably hurt: findings are frequent
+            // enough that a bonus swamps the late-run branch signal and
+            // locks the schedule onto already-found bug features.)
+            self.feedback
+                .yields
+                .record(&emitted.ops, &emitted.dtypes, &emitted.ranks, new_branches);
+            if feedback.finding {
+                // Focus queue for bug-adjacent mutation (ring-replaced).
+                if self.feedback.findings.len() < FINDING_POOL_CAP {
+                    self.feedback.findings.push(emitted.case.clone());
+                } else {
+                    let slot = (self.feedback.findings_seen as usize) % FINDING_POOL_CAP;
+                    self.feedback.findings[slot] = emitted.case.clone();
+                }
+                self.feedback.findings_seen += 1;
+                nnsmith_obs::count("feedback/finding_pool", 1);
+                // A *coverage-novel* finding marks an unexplored bug
+                // neighborhood: enqueue its dtype siblings as targeted
+                // probes (novelty gates out repeat triggers of
+                // already-explored bugs; digests dedup the rest).
+                if new_branches > 0 && self.feedback.cfg.probe_siblings {
+                    let base = fnv_step(0, &serde::json::to_string(&emitted.case.graph));
+                    self.feedback.probed.insert(base);
+                    for sibling in dtype_siblings(&emitted.case.graph, &self.feedback.palette) {
+                        let digest = fnv_step(0, &serde::json::to_string(&sibling));
+                        if !self.feedback.probed.insert(digest) {
+                            continue;
+                        }
+                        if self.feedback.queue.len() >= SIBLING_QUEUE_CAP {
+                            nnsmith_obs::count("feedback/probe_dropped", 1);
+                            break;
+                        }
+                        self.feedback.queue.push_back(sibling);
+                    }
+                }
+            }
+            let encoding = serde::json::to_string(&emitted.case.graph);
+            // Finding cases are retained like coverage-novel ones — both
+            // are signals the neighborhood is worth revisiting.
+            let novel = new_branches > 0 || feedback.finding;
+            if self.feedback.corpus.offer(emitted.case, &encoding, novel) {
+                self.feedback.summary.retained += 1;
+                nnsmith_obs::count("feedback/retained", 1);
+            }
+        }
+        self.feedback.cases_seen += 1;
+        // Checkpoints fire on case counts only — never wall-clock — so
+        // the schedule evolves identically across machines and worker
+        // counts (the determinism contract).
+        let every = self.feedback.cfg.checkpoint_every.max(1) as u64;
+        if self.feedback.cases_seen % every == 0 {
+            let plan = self.feedback.yields.plan();
+            self.feedback.summary.checkpoints += 1;
+            self.feedback.summary.op_weights = plan.op_weights.clone();
+            self.generator.set_schedule(plan_to_schedule(&plan));
+            nnsmith_obs::count("feedback/checkpoints", 1);
+        }
+    }
+
+    fn feedback_summary(&self) -> Option<FeedbackSummary> {
+        if !self.feedback.cfg.enabled {
+            return None;
+        }
+        let mut summary = self.feedback.summary.clone();
+        summary.corpus = self.feedback.corpus.len() as u64;
+        summary.corpus_digest = self.feedback.corpus.digest();
+        Some(summary)
     }
 }
 
@@ -204,6 +510,13 @@ impl NnSmithFactory {
         NnSmithFactory {
             config: config.restricted_to(backends),
         }
+    }
+
+    /// Installs a feedback configuration on every shard's pipeline (the
+    /// guided-mode entry point — see [`FeedbackConfig::guided`]).
+    pub fn with_feedback(mut self, feedback: FeedbackConfig) -> Self {
+        self.config.feedback = feedback;
+        self
     }
 }
 
@@ -244,6 +557,7 @@ mod tests {
             },
             seed,
             max_attempts_per_case: 8,
+            feedback: FeedbackConfig::default(),
         }
     }
 
@@ -275,6 +589,105 @@ mod tests {
             a.next_case().expect("case").graph,
             b.next_case().expect("case").graph
         );
+    }
+
+    #[test]
+    fn feedback_disabled_leaves_stream_untouched() {
+        // The guided knobs must not perturb the blind pipeline: default
+        // config (feedback off) still produces the exact same cases.
+        let mut blind = NnSmith::new(quick_config(42));
+        let mut cfg = quick_config(42);
+        cfg.feedback.corpus_cap = 7; // non-default knobs, still disabled
+        cfg.feedback.mutation_prob = 0.9;
+        let mut tweaked = NnSmith::new(cfg);
+        assert_eq!(
+            blind.next_case().expect("case").graph,
+            tweaked.next_case().expect("case").graph
+        );
+        assert!(blind.feedback_summary().is_none());
+    }
+
+    #[test]
+    fn feedback_loop_retains_mutates_and_checkpoints() {
+        let mut cfg = quick_config(5);
+        cfg.feedback = nnsmith_difftest::FeedbackConfig {
+            enabled: true,
+            checkpoint_every: 2,
+            // High mutation bias: this test pins the mechanism (retention,
+            // mutation, checkpoints), not the default exploration balance.
+            mutation_prob: 0.9,
+            ..nnsmith_difftest::FeedbackConfig::guided()
+        };
+        let mut fuzzer = NnSmith::new(cfg);
+        for i in 0..6usize {
+            let _case = fuzzer.next_case().expect("case");
+            let mut new_branches = std::collections::BTreeMap::new();
+            // Alternate novel / not-novel cases.
+            new_branches.insert("tvmsim".to_string(), if i % 2 == 0 { 3 } else { 0 });
+            fuzzer.observe(&nnsmith_difftest::CaseFeedback {
+                case_index: i + 1,
+                new_branches,
+                finding: false,
+            });
+        }
+        let s = fuzzer.feedback_summary().expect("guided summary");
+        assert_eq!(s.retained, 3, "exactly the novel cases are retained");
+        assert_eq!(s.corpus, 3);
+        assert_ne!(s.corpus_digest, 0);
+        assert_eq!(s.checkpoints, 3, "case-count checkpoints, every 2 cases");
+        assert_eq!(s.mutated + s.fresh, 6);
+        assert!(s.mutated > 0, "retained cases get mutated");
+        assert!(
+            !s.op_weights.is_empty(),
+            "yielding ops carry boosted weights"
+        );
+    }
+
+    #[test]
+    fn reproducer_seeds_prefill_the_corpus() {
+        let seed_case = NnSmith::new(quick_config(9)).next_case().expect("case");
+        let mut cfg = quick_config(10);
+        cfg.feedback = nnsmith_difftest::FeedbackConfig {
+            seeds: vec![seed_case],
+            ..nnsmith_difftest::FeedbackConfig::guided()
+        };
+        let fuzzer = NnSmith::new(cfg);
+        let s = fuzzer.feedback_summary().expect("summary");
+        assert_eq!(s.seeded, 1);
+        assert_eq!(s.corpus, 1);
+        assert_ne!(s.corpus_digest, 0);
+    }
+
+    #[test]
+    fn novel_findings_enqueue_dtype_sibling_probes() {
+        let mut cfg = quick_config(11);
+        cfg.feedback = nnsmith_difftest::FeedbackConfig {
+            // Mutation off so every non-fresh case is a probe; a long
+            // checkpoint cadence keeps the schedule out of the way.
+            checkpoint_every: 64,
+            mutation_prob: 0.0,
+            ..nnsmith_difftest::FeedbackConfig::guided()
+        };
+        let mut fuzzer = NnSmith::new(cfg);
+        for i in 0..12usize {
+            let _case = fuzzer.next_case().expect("case");
+            let mut new_branches = std::collections::BTreeMap::new();
+            // The first case is a coverage-novel finding; the rest are
+            // plain cases.
+            new_branches.insert("tvmsim".to_string(), if i == 0 { 5 } else { 0 });
+            fuzzer.observe(&nnsmith_difftest::CaseFeedback {
+                case_index: i + 1,
+                new_branches,
+                finding: i == 0,
+            });
+        }
+        let s = fuzzer.feedback_summary().expect("guided summary");
+        assert!(
+            s.probes > 0,
+            "the novel finding's dtype siblings must be probed (got {:?})",
+            s
+        );
+        assert_eq!(s.mutated, 0, "mutation was disabled");
     }
 
     #[test]

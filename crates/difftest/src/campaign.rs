@@ -9,7 +9,7 @@
 //! never unioned across systems — branch ids only mean something within
 //! one compiler's manifest) alongside the case-level rollups.
 
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 
 use nnsmith_compilers::{tvmsim, BackendSet, CompileOptions, Compiler, CoverageSet};
@@ -17,6 +17,7 @@ use nnsmith_graph::NodeKind;
 use nnsmith_obs::LoggedEvent;
 use serde::Serialize;
 
+use crate::feedback::{CaseFeedback, FeedbackSummary};
 use crate::harness::{run_case_matrix, seeded_bug_id, TestCase, TestOutcome};
 use crate::oracle::Tolerance;
 
@@ -28,6 +29,21 @@ pub trait TestCaseSource {
     /// Produces the next test case, or `None` when the source is
     /// exhausted.
     fn next_case(&mut self) -> Option<TestCase>;
+    /// Receives per-case coverage feedback after the case has executed
+    /// on every backend: the shard-local new-branch count per backend
+    /// plus whether the case was a finding. The campaign always calls
+    /// this (the novelty counts fall out of the cumulative merge for
+    /// free); the default is a no-op so blind sources pay nothing and
+    /// keep their exact RNG stream.
+    fn observe(&mut self, feedback: &CaseFeedback) {
+        let _ = feedback;
+    }
+    /// The source's accumulated feedback state, collected into
+    /// [`CampaignResult::feedback`] at campaign end. `None` (the
+    /// default) for sources that generate blind.
+    fn feedback_summary(&self) -> Option<FeedbackSummary> {
+        None
+    }
 }
 
 /// Campaign budget and comparison settings.
@@ -159,8 +175,14 @@ pub struct CampaignResult {
     /// Cases skipped as numeric-invalid.
     pub numeric_invalid: usize,
     /// Distinct operator instances tested (Fig. 9's metric: operator kind
-    /// plus input types plus attributes).
-    pub op_instances: HashSet<String>,
+    /// plus input types plus attributes). A `BTreeSet` so iteration and
+    /// serialization are deterministic — the feedback scheduler iterates
+    /// it, and hash order would leak nondeterminism into anything downstream.
+    pub op_instances: BTreeSet<String>,
+    /// The source's feedback-loop state (corpus/schedule counters) when
+    /// it runs coverage-guided; `None` for blind sources. Shard
+    /// summaries fold in shard-index order at the engine merge.
+    pub feedback: Option<FeedbackSummary>,
 }
 
 impl CampaignResult {
@@ -197,7 +219,8 @@ impl CampaignResult {
             mismatches: 0,
             cases: 0,
             numeric_invalid: 0,
-            op_instances: HashSet::new(),
+            op_instances: BTreeSet::new(),
+            feedback: None,
         }
     }
 
@@ -355,10 +378,12 @@ pub(crate) fn run_campaign_inner(
         }
         let matrix = run_case_matrix(backends, &case, &options, config.tolerance);
 
-        // Fold each backend's coverage into its cumulative set; with an
-        // observer, also compute the campaign-relative delta it sees (the
-        // union is identical either way).
+        // Fold each backend's coverage into its cumulative set, counting
+        // the new branches as we go — the shard-local novelty signal the
+        // feedback loop consumes. With an observer, the delta *sets* are
+        // materialized too (the union is identical either way).
         let mut new_coverage: BTreeMap<String, CoverageSet> = BTreeMap::new();
+        let mut new_counts: BTreeMap<String, usize> = BTreeMap::new();
         let mut failures: Vec<CapturedFailure> = Vec::new();
         for verdict in &matrix.verdicts {
             let name = verdict.system.name();
@@ -367,12 +392,14 @@ pub(crate) fn run_campaign_inner(
                 .get_mut(name)
                 .expect("verdict from a backend outside the set");
             if observer.is_some() {
-                new_coverage.insert(
-                    name.to_string(),
-                    verdict.coverage.difference(&entry.coverage),
-                );
+                let delta = verdict.coverage.difference(&entry.coverage);
+                new_counts.insert(name.to_string(), delta.len());
+                new_coverage.insert(name.to_string(), delta);
+                entry.coverage.merge(&verdict.coverage);
+            } else {
+                let novel = entry.coverage.merge_counting(&verdict.coverage);
+                new_counts.insert(name.to_string(), novel);
             }
-            entry.coverage.merge(&verdict.coverage);
         }
 
         // Case-level and per-backend outcome accounting.
@@ -510,6 +537,18 @@ pub(crate) fn run_campaign_inner(
             push("case_finished", "", format!("findings={findings}"));
         }
 
+        // Close the loop: hand the source its shard-local feedback. The
+        // default impl is a no-op; guided sources retain/account/schedule
+        // off it. Deterministic by construction — counts derive from the
+        // shard's own case stream, never from other shards or the clock.
+        let finding = matrix.pre.as_ref().is_some_and(TestOutcome::is_finding)
+            || matrix.verdicts.iter().any(|v| v.outcome.is_finding());
+        source.observe(&CaseFeedback {
+            case_index: result.cases,
+            new_branches: new_counts,
+            finding,
+        });
+
         if let Some(observer) = observer.as_deref_mut() {
             observer(CaseRecord {
                 case_index: result.cases,
@@ -526,6 +565,7 @@ pub(crate) fn run_campaign_inner(
     }
     sample(&mut result, backends, start.elapsed());
     result.coverage = result.per_backend[primary].coverage.clone();
+    result.feedback = source.feedback_summary();
     result
 }
 

@@ -499,9 +499,16 @@ fn merge_shard_results(
         cases: 0,
         numeric_invalid: 0,
         op_instances: Default::default(),
+        feedback: None,
     };
     for shard in shards {
         merged.coverage.merge(&shard.coverage);
+        if let Some(fb) = &shard.feedback {
+            merged
+                .feedback
+                .get_or_insert_with(Default::default)
+                .absorb(fb);
+        }
         merged.bugs_found.extend(shard.bugs_found.iter().cloned());
         merged
             .unique_crashes

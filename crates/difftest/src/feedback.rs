@@ -1,0 +1,461 @@
+//! The coverage-feedback loop: corpus retention, yield accounting and
+//! schedule planning shared by every [`TestCaseSource`] that closes the
+//! loop (the NNSmith pipeline retains exported graphs, Tzer retains
+//! `LoweredFunc`s — both through the same seam).
+//!
+//! ## How the loop closes
+//!
+//! The campaign loop already folds every case's per-backend coverage
+//! into cumulative sets; with feedback it additionally hands the source
+//! a [`CaseFeedback`] carrying the *new-branch count* per backend (the
+//! marginal yield). A feedback-aware source then:
+//!
+//! 1. **retains** the case in its [`FeedbackCorpus`] iff it covered at
+//!    least one new branch (AFL's retention rule),
+//! 2. **accounts** the yield to the case's operator kinds, dtypes and
+//!    ranks in a [`YieldStats`], and
+//! 3. at deterministic case-count checkpoints recomputes a
+//!    [`FeedbackPlan`] of integer schedule weights that bias future
+//!    operator/dtype/rank draws toward what has been paying off.
+//!
+//! ## Determinism contract
+//!
+//! Everything here is designed to survive the engine's
+//! `workers=1 ≡ workers=N` byte-equality guarantee:
+//!
+//! * Novelty is judged against the **shard-local** cumulative coverage
+//!   (each shard's source sees only its own campaign slice), so no
+//!   cross-shard races can change what is retained.
+//! * Checkpoints fire on **case counts**, never wall-clock — a slow
+//!   machine retains and schedules exactly like a fast one.
+//! * Weights are **integers** (no float accumulation-order hazards) and
+//!   live in `BTreeMap`s, so plans serialize byte-identically.
+//! * Per-shard [`FeedbackSummary`]s fold at the engine's deterministic
+//!   barrier in shard-index order ([`FeedbackSummary::absorb`]),
+//!   including an order-sensitive FNV digest of corpus contents that
+//!   lets tests assert corpus byte-equality across worker counts.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::harness::TestCase;
+
+/// Base schedule weight every option keeps regardless of yield — the
+/// floor that stops the scheduler from starving never-yet-productive
+/// operators (AFL keeps exploring, it only *biases*).
+pub const BASE_WEIGHT: u64 = 8;
+
+/// Maximum yield-proportional bonus on top of [`BASE_WEIGHT`]: the
+/// highest-yield option draws at `BASE_WEIGHT + BOOST_WEIGHT`, i.e. 4×
+/// the floor.
+pub const BOOST_WEIGHT: u64 = 24;
+
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds one string into an FNV-1a digest (`0` means "empty" and is
+/// promoted to the FNV offset basis on first use).
+pub fn fnv_step(mut hash: u64, s: &str) -> u64 {
+    if hash == 0 {
+        hash = FNV_BASIS;
+    }
+    for b in s.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Configuration of a source's feedback loop. Default is **disabled**,
+/// which preserves the exact RNG stream (and therefore the exact case
+/// stream) of feedback-unaware versions of every source.
+#[derive(Debug, Clone)]
+pub struct FeedbackConfig {
+    /// Master switch: when false the source generates blind.
+    pub enabled: bool,
+    /// Corpus capacity. Seeds occupy a frozen prefix shared by all
+    /// shards; retained cases fill the private mutable tail
+    /// (ring-replaced once full).
+    pub corpus_cap: usize,
+    /// Recompute the [`FeedbackPlan`] every this many observed cases —
+    /// a case *count*, never wall-clock, per the determinism contract.
+    pub checkpoint_every: usize,
+    /// Probability of mutating a retained case instead of generating
+    /// fresh, once the corpus is non-empty.
+    pub mutation_prob: f64,
+    /// Systematic exploitation arm: enqueue every dtype sibling of a
+    /// coverage-novel finding as a targeted probe (budget-gated).
+    pub probe_siblings: bool,
+    /// Seed cases (typically bridged from the triage reproducer corpus
+    /// via `nnsmith_triage::Corpus::seed_cases`) loaded into the corpus
+    /// before the campaign starts.
+    pub seeds: Vec<TestCase>,
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> Self {
+        FeedbackConfig {
+            enabled: false,
+            corpus_cap: 64,
+            checkpoint_every: 16,
+            mutation_prob: 0.25,
+            probe_siblings: true,
+            seeds: Vec::new(),
+        }
+    }
+}
+
+impl FeedbackConfig {
+    /// An enabled loop with the default knobs.
+    pub fn guided() -> Self {
+        FeedbackConfig {
+            enabled: true,
+            ..FeedbackConfig::default()
+        }
+    }
+}
+
+/// Per-case feedback handed to [`TestCaseSource::observe`] after the
+/// case has executed on every backend.
+///
+/// [`TestCaseSource::observe`]: crate::TestCaseSource::observe
+#[derive(Debug, Clone)]
+pub struct CaseFeedback {
+    /// 1-based index of the case within this campaign slice.
+    pub case_index: usize,
+    /// How many branches this case covered that its campaign slice had
+    /// not seen before, per backend (keyed by backend name; counts are
+    /// never unioned across systems).
+    pub new_branches: BTreeMap<String, usize>,
+    /// Whether the case produced any finding on any backend.
+    pub finding: bool,
+}
+
+impl CaseFeedback {
+    /// Total new branches across backends — the scalar novelty signal
+    /// (per-backend ids stay incomparable, but *counts* add).
+    pub fn total_new(&self) -> usize {
+        self.new_branches.values().sum()
+    }
+}
+
+/// A bounded corpus of retained cases: a frozen seed prefix plus a
+/// private mutable tail, ring-replaced once the capacity is reached.
+///
+/// Generic over the retained payload so graph campaigns retain
+/// [`TestCase`]s and Tzer retains `LoweredFunc`s through the same type.
+#[derive(Debug, Clone)]
+pub struct FeedbackCorpus<T> {
+    items: Vec<T>,
+    cap: usize,
+    frozen: usize,
+    retained: u64,
+    digest: u64,
+}
+
+impl<T> FeedbackCorpus<T> {
+    /// Creates an empty corpus with the given capacity.
+    pub fn new(cap: usize) -> Self {
+        FeedbackCorpus {
+            items: Vec::new(),
+            cap,
+            frozen: 0,
+            retained: 0,
+            digest: 0,
+        }
+    }
+
+    /// Adds a seed unconditionally (no novelty judgement) into the
+    /// frozen prefix. Seeds beyond the capacity are dropped.
+    /// `encoding` is the item's canonical serialization, folded into
+    /// the corpus digest.
+    pub fn seed(&mut self, item: T, encoding: &str) {
+        if self.items.len() >= self.cap {
+            return;
+        }
+        self.digest = fnv_step(self.digest, encoding);
+        self.items.push(item);
+        self.frozen = self.items.len();
+    }
+
+    /// Offers a case for retention: kept iff `novel` (it covered at
+    /// least one new branch). Returns whether it was retained.
+    pub fn offer(&mut self, item: T, encoding: &str, novel: bool) -> bool {
+        if !novel || self.cap == 0 {
+            return false;
+        }
+        self.retained += 1;
+        self.digest = fnv_step(self.digest, encoding);
+        if self.items.len() < self.cap {
+            self.items.push(item);
+        } else {
+            // Ring-replace within the mutable tail; the frozen seed
+            // prefix survives (when seeds fill the whole corpus, the
+            // last slot becomes the tail).
+            let first = self.frozen.min(self.cap - 1);
+            let tail = (self.cap - first).max(1);
+            let slot = first + ((self.retained - 1) as usize % tail);
+            self.items[slot] = item;
+        }
+        true
+    }
+
+    /// Number of items currently held.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The item at `index`.
+    pub fn get(&self, index: usize) -> &T {
+        &self.items[index]
+    }
+
+    /// All held items, seed prefix first.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Total retention events (≥ `len() - seeds` once ring replacement
+    /// starts evicting).
+    pub fn retained(&self) -> u64 {
+        self.retained
+    }
+
+    /// Order-sensitive FNV-1a digest over every seeded/retained item's
+    /// canonical encoding — the corpus-content fingerprint the
+    /// determinism tests byte-compare across worker counts.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+}
+
+/// Integer schedule weights produced at a checkpoint: options absent
+/// from a map draw at [`BASE_WEIGHT`]; present options draw at their
+/// recorded weight (between `BASE_WEIGHT + 1` and
+/// `BASE_WEIGHT + BOOST_WEIGHT`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FeedbackPlan {
+    /// Weight per operator-template name.
+    pub op_weights: BTreeMap<String, u64>,
+    /// Weight per dtype name.
+    pub dtype_weights: BTreeMap<String, u64>,
+    /// Weight per placeholder rank.
+    pub rank_weights: BTreeMap<usize, u64>,
+}
+
+impl FeedbackPlan {
+    /// True when no option has yielded yet (scheduling stays uniform).
+    pub fn is_empty(&self) -> bool {
+        self.op_weights.is_empty() && self.dtype_weights.is_empty() && self.rank_weights.is_empty()
+    }
+}
+
+/// Marginal-yield accounting: per operator kind / dtype / rank, how many
+/// new branches the cases featuring it have uncovered, and how many
+/// cases featured it. The schedule scales by the **rate** (yield per
+/// featuring case), not the cumulative total — an option that stopped
+/// producing new branches decays back toward the floor instead of
+/// compounding a rich-get-richer boost, keeping exploration alive.
+#[derive(Debug, Clone, Default)]
+pub struct YieldStats {
+    op: BTreeMap<String, (u64, u64)>,
+    dtype: BTreeMap<String, (u64, u64)>,
+    rank: BTreeMap<usize, (u64, u64)>,
+}
+
+impl YieldStats {
+    /// Credits `new_branches` (and one featuring case) to every feature
+    /// the case exhibited (callers pass each distinct feature once per
+    /// case).
+    pub fn record(&mut self, ops: &[String], dtypes: &[String], ranks: &[usize], new_branches: u64) {
+        for op in ops {
+            let e = self.op.entry(op.clone()).or_insert((0, 0));
+            e.0 += new_branches;
+            e.1 += 1;
+        }
+        for dt in dtypes {
+            let e = self.dtype.entry(dt.clone()).or_insert((0, 0));
+            e.0 += new_branches;
+            e.1 += 1;
+        }
+        for r in ranks {
+            let e = self.rank.entry(*r).or_insert((0, 0));
+            e.0 += new_branches;
+            e.1 += 1;
+        }
+    }
+
+    /// Computes the current schedule: every option with a positive
+    /// marginal rate gets `BASE_WEIGHT + BOOST_WEIGHT * rate / max_rate`,
+    /// where `rate = 1024 * yield / cases` (integer arithmetic —
+    /// byte-deterministic); everything else stays at the implicit
+    /// [`BASE_WEIGHT`] floor.
+    pub fn plan(&self) -> FeedbackPlan {
+        fn scale<K: Clone + Ord>(m: &BTreeMap<K, (u64, u64)>) -> BTreeMap<K, u64> {
+            let rate = |&(y, n): &(u64, u64)| if n == 0 { 0 } else { 1024 * y / n };
+            let max = m.values().map(rate).max().unwrap_or(0);
+            if max == 0 {
+                return BTreeMap::new();
+            }
+            m.iter()
+                .filter(|(_, e)| rate(e) > 0)
+                .map(|(k, e)| (k.clone(), BASE_WEIGHT + (BOOST_WEIGHT * rate(e)) / max))
+                .collect()
+        }
+        FeedbackPlan {
+            op_weights: scale(&self.op),
+            dtype_weights: scale(&self.dtype),
+            rank_weights: scale(&self.rank),
+        }
+    }
+}
+
+/// A source's accumulated feedback state at campaign end — merged
+/// across shards at the engine's deterministic barrier and serialized
+/// into BENCH artifacts (integer counters only: every field survives
+/// `deterministic_view`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeedbackSummary {
+    /// Coverage-novel cases retained (sum across shards).
+    pub retained: u64,
+    /// Final corpus size (sum across shards).
+    pub corpus: u64,
+    /// Order-sensitive digest of corpus contents (shard digests folded
+    /// in shard-index order).
+    pub corpus_digest: u64,
+    /// Seeds loaded from a reproducer corpus.
+    pub seeded: u64,
+    /// Cases produced by mutating a retained case.
+    pub mutated: u64,
+    /// Targeted dtype-sibling probes of novel findings.
+    pub probes: u64,
+    /// Cases generated fresh.
+    pub fresh: u64,
+    /// Schedule checkpoints reached.
+    pub checkpoints: u64,
+    /// Final operator schedule weights (summed across shards; an
+    /// operator absent here drew at the base weight everywhere).
+    pub op_weights: BTreeMap<String, u64>,
+}
+
+impl FeedbackSummary {
+    /// Folds another shard's summary into this one. Called in
+    /// shard-index order by the engine merge, so the result is
+    /// byte-identical across worker counts.
+    pub fn absorb(&mut self, other: &FeedbackSummary) {
+        self.retained += other.retained;
+        self.corpus += other.corpus;
+        if other.corpus_digest != 0 {
+            self.corpus_digest = fnv_step(self.corpus_digest, &format!("{:016x}", other.corpus_digest));
+        }
+        self.seeded += other.seeded;
+        self.mutated += other.mutated;
+        self.probes += other.probes;
+        self.fresh += other.fresh;
+        self.checkpoints += other.checkpoints;
+        for (k, v) in &other.op_weights {
+            *self.op_weights.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_retains_only_novel() {
+        let mut c: FeedbackCorpus<u32> = FeedbackCorpus::new(4);
+        assert!(!c.offer(1, "1", false));
+        assert!(c.is_empty());
+        assert!(c.offer(2, "2", true));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.retained(), 1);
+        assert_ne!(c.digest(), 0);
+    }
+
+    #[test]
+    fn corpus_ring_replaces_tail_but_keeps_seeds() {
+        let mut c: FeedbackCorpus<u32> = FeedbackCorpus::new(3);
+        c.seed(100, "s");
+        for i in 0..5 {
+            c.offer(i, &i.to_string(), true);
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(*c.get(0), 100, "seed prefix is frozen");
+        assert_eq!(c.retained(), 5);
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let mut a: FeedbackCorpus<u32> = FeedbackCorpus::new(8);
+        let mut b: FeedbackCorpus<u32> = FeedbackCorpus::new(8);
+        a.offer(1, "x", true);
+        a.offer(2, "y", true);
+        b.offer(2, "y", true);
+        b.offer(1, "x", true);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn plan_scales_to_base_plus_boost() {
+        let mut y = YieldStats::default();
+        y.record(&["Conv2d".into()], &["f32".into()], &[4], 10);
+        y.record(&["Relu".into()], &["f32".into()], &[4], 5);
+        let plan = y.plan();
+        assert_eq!(plan.op_weights["Conv2d"], BASE_WEIGHT + BOOST_WEIGHT);
+        assert_eq!(plan.op_weights["Relu"], BASE_WEIGHT + BOOST_WEIGHT / 2);
+        assert_eq!(plan.rank_weights[&4], BASE_WEIGHT + BOOST_WEIGHT);
+    }
+
+    #[test]
+    fn empty_yield_gives_empty_plan() {
+        let y = YieldStats::default();
+        assert!(y.plan().is_empty());
+        let mut y = YieldStats::default();
+        y.record(&["Relu".into()], &[], &[], 0);
+        assert!(y.plan().is_empty(), "zero-yield options stay implicit");
+    }
+
+    #[test]
+    fn summary_absorb_sums_and_folds_digest() {
+        let mut a = FeedbackSummary {
+            retained: 2,
+            corpus: 3,
+            corpus_digest: 7,
+            ..FeedbackSummary::default()
+        };
+        let b = FeedbackSummary {
+            retained: 1,
+            corpus: 1,
+            corpus_digest: 9,
+            checkpoints: 2,
+            ..FeedbackSummary::default()
+        };
+        let mut a2 = a.clone();
+        a.absorb(&b);
+        assert_eq!(a.retained, 3);
+        assert_eq!(a.corpus, 4);
+        assert_eq!(a.checkpoints, 2);
+        assert_ne!(a.corpus_digest, 7);
+        // Deterministic fold: same inputs, same order, same digest.
+        a2.absorb(&b);
+        assert_eq!(a.corpus_digest, a2.corpus_digest);
+    }
+
+    #[test]
+    fn summary_serializes_deterministically() {
+        let mut s = FeedbackSummary::default();
+        s.op_weights.insert("Relu".into(), 9);
+        let js = serde::json::to_string(&s);
+        assert_eq!(js, serde::json::to_string(&s.clone()));
+        let back: FeedbackSummary = serde::json::from_str(&js).expect("roundtrip");
+        assert_eq!(back, s);
+    }
+}

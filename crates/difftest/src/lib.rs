@@ -16,6 +16,7 @@
 
 mod campaign;
 mod engine;
+mod feedback;
 mod harness;
 mod oracle;
 mod venn;
@@ -23,6 +24,10 @@ mod venn;
 pub use campaign::{
     op_instance_keys, run_campaign, run_campaign_observed, run_matrix_campaign, BackendResult,
     CampaignConfig, CampaignResult, CapturedFailure, CaseRecord, TestCaseSource, TimelinePoint,
+};
+pub use feedback::{
+    fnv_step, CaseFeedback, FeedbackConfig, FeedbackCorpus, FeedbackPlan, FeedbackSummary,
+    YieldStats, BASE_WEIGHT, BOOST_WEIGHT,
 };
 pub use engine::{
     run_engine, run_engine_observed, run_matrix_engine, run_matrix_engine_observed, shard_seed,

@@ -2,6 +2,63 @@
 
 use nnsmith_tensor::DType;
 
+/// Integer schedule weights biasing the generator's random draws —
+/// plain data so `gen` stays free of campaign-layer dependencies (the
+/// feedback loop computes these from marginal per-backend branch yield
+/// and feeds them in at deterministic case-count checkpoints).
+///
+/// An option absent from a list draws at `default_weight`; weights are
+/// integers so weighted draws are byte-deterministic. An empty schedule
+/// is exactly uniform — and the generator then keeps the *unweighted*
+/// code path, preserving the RNG stream of feedback-unaware versions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GenSchedule {
+    /// Weight per operator-template name (see `OpTemplate::name`).
+    pub op_weights: Vec<(String, u64)>,
+    /// Weight per dtype name (see `DType::name`).
+    pub dtype_weights: Vec<(String, u64)>,
+    /// Weight per placeholder rank.
+    pub rank_weights: Vec<(usize, u64)>,
+    /// Weight for options not listed above.
+    pub default_weight: u64,
+}
+
+impl GenSchedule {
+    /// True when every draw would be uniform anyway.
+    pub fn is_empty(&self) -> bool {
+        self.op_weights.is_empty() && self.dtype_weights.is_empty() && self.rank_weights.is_empty()
+    }
+
+    /// The floor weight (at least 1, so no option is ever starved).
+    fn floor(&self) -> u64 {
+        self.default_weight.max(1)
+    }
+
+    /// Weight for an operator template by name.
+    pub fn op_weight(&self, name: &str) -> u64 {
+        self.op_weights
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(self.floor(), |(_, w)| (*w).max(1))
+    }
+
+    /// Weight for a dtype by name.
+    pub fn dtype_weight(&self, name: &str) -> u64 {
+        self.dtype_weights
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(self.floor(), |(_, w)| (*w).max(1))
+    }
+
+    /// Weight for a placeholder rank.
+    pub fn rank_weight(&self, rank: usize) -> u64 {
+        self.rank_weights
+            .iter()
+            .find(|(r, _)| *r == rank)
+            .map_or(self.floor(), |(_, w)| (*w).max(1))
+    }
+}
+
 /// Tuning knobs for the model generator (defaults follow §5.1 of the
 /// paper: 10-node graphs, equal forward/backward probability, `k = 7`
 /// attribute bins).
@@ -37,6 +94,11 @@ pub struct GenConfig {
     /// so every generated case is legal on every backend). `None` leaves
     /// the RNG stream byte-identical to older versions.
     pub allowed_dtypes: Option<Vec<DType>>,
+    /// Feedback-schedule weights for operator/dtype/rank draws. The
+    /// default (empty) keeps every draw on the exact historical uniform
+    /// RNG stream; a non-empty schedule switches the affected draws to
+    /// weighted selection.
+    pub schedule: GenSchedule,
 }
 
 impl Default for GenConfig {
@@ -53,6 +115,7 @@ impl Default for GenConfig {
             max_out_dim: 2048,
             max_numel: 16_384,
             allowed_dtypes: None,
+            schedule: GenSchedule::default(),
         }
     }
 }

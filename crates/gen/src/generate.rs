@@ -73,6 +73,10 @@ pub struct Generator {
     /// Shared, immutable template registry: cloning a generator (one per
     /// campaign shard) bumps a refcount instead of copying the registry.
     templates: std::sync::Arc<[OpTemplate]>,
+    /// Per-template weights aligned with `templates`, cached from
+    /// `config.schedule` — `None` while the schedule is empty, keeping
+    /// template selection on the historical uniform `choose` path.
+    tmpl_weights: Option<Vec<u64>>,
 }
 
 impl Default for Generator {
@@ -84,24 +88,48 @@ impl Default for Generator {
 impl Generator {
     /// Creates a generator with the full operator registry.
     pub fn new(config: GenConfig) -> Self {
-        Generator {
-            config,
-            templates: all_templates().into(),
-        }
+        Generator::with_templates_arc(config, all_templates().into())
     }
 
     /// Creates a generator restricted to the given templates (used by the
     /// baseline reimplementations and focused experiments).
     pub fn with_templates(config: GenConfig, templates: Vec<OpTemplate>) -> Self {
-        Generator {
+        Generator::with_templates_arc(config, templates.into())
+    }
+
+    fn with_templates_arc(config: GenConfig, templates: std::sync::Arc<[OpTemplate]>) -> Self {
+        let mut g = Generator {
             config,
-            templates: templates.into(),
-        }
+            templates,
+            tmpl_weights: None,
+        };
+        g.rebuild_schedule_cache();
+        g
     }
 
     /// The active configuration.
     pub fn config(&self) -> &GenConfig {
         &self.config
+    }
+
+    /// Installs a new feedback schedule (the checkpoint hook). An empty
+    /// schedule restores the exact uniform RNG stream.
+    pub fn set_schedule(&mut self, schedule: crate::GenSchedule) {
+        self.config.schedule = schedule;
+        self.rebuild_schedule_cache();
+    }
+
+    fn rebuild_schedule_cache(&mut self) {
+        self.tmpl_weights = if self.config.schedule.op_weights.is_empty() {
+            None
+        } else {
+            Some(
+                self.templates
+                    .iter()
+                    .map(|t| self.config.schedule.op_weight(t.name()))
+                    .collect(),
+            )
+        };
     }
 
     /// Generates one concrete model in a fresh private intern pool.
@@ -158,7 +186,10 @@ impl Generator {
         while state.op_count < self.config.target_ops && attempts < self.config.max_attempts as u64
         {
             attempts += 1;
-            let tmpl = *self.templates.choose(rng).expect("registry non-empty");
+            let tmpl = match &self.tmpl_weights {
+                None => *self.templates.choose(rng).expect("registry non-empty"),
+                Some(weights) => self.templates[weighted_pick(weights, rng)],
+            };
             let ok = if rng.gen_bool(self.config.forward_prob) {
                 state.forward_insert(tmpl, rng, &mut stats)
             } else {
@@ -247,8 +278,26 @@ impl<'m> SymbolicState<'m> {
                 }
             }
         };
-        let dtype = *palette.choose(rng).expect("nonempty");
-        let rank = rng.gen_range(1..=nnsmith_ops::MAX_RANK);
+        // Feedback schedule: dtype/rank draws go weighted only when the
+        // schedule carries weights for them — otherwise the draw (and the
+        // RNG stream) is byte-identical to the unscheduled generator.
+        let dtype = if config.schedule.dtype_weights.is_empty() {
+            *palette.choose(rng).expect("nonempty")
+        } else {
+            let weights: Vec<u64> = palette
+                .iter()
+                .map(|d| config.schedule.dtype_weight(d.name()))
+                .collect();
+            palette[weighted_pick(&weights, rng)]
+        };
+        let rank = if config.schedule.rank_weights.is_empty() {
+            rng.gen_range(1..=nnsmith_ops::MAX_RANK)
+        } else {
+            let weights: Vec<u64> = (1..=nnsmith_ops::MAX_RANK)
+                .map(|r| config.schedule.rank_weight(r))
+                .collect();
+            1 + weighted_pick(&weights, rng)
+        };
         let ttype = fresh_placeholder_type(dtype, rank, &mut solver, config.dim_hi);
         // The seed placeholder is only otherwise capped transitively through
         // operator outputs; a shape-shrinking consumer (slice, reduce) would
@@ -591,6 +640,22 @@ impl<'m> SymbolicState<'m> {
         });
         graph
     }
+}
+
+/// One weighted draw over integer weights: a single `gen_range` over the
+/// cumulative sum, so the choice is byte-deterministic for a given RNG
+/// state (no float accumulation).
+fn weighted_pick<R: Rng + ?Sized>(weights: &[u64], rng: &mut R) -> usize {
+    let total: u64 = weights.iter().sum();
+    debug_assert!(total > 0, "weighted_pick needs a positive total");
+    let mut x = rng.gen_range(0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return i;
+        }
+        x -= *w;
+    }
+    weights.len() - 1
 }
 
 fn fresh_placeholder_type(

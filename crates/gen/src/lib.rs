@@ -29,7 +29,9 @@
 mod binning;
 mod config;
 mod generate;
+mod mutate;
 
 pub use binning::{apply_binning, sample_from_bin};
-pub use config::{GenConfig, GenStats};
+pub use config::{GenConfig, GenSchedule, GenStats};
 pub use generate::{GenError, GeneratedModel, Generator};
+pub use mutate::{dtype_siblings, mutate_graph, mutate_graph_with, MutationOutcome};

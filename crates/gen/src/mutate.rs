@@ -1,0 +1,496 @@
+//! Graph mutation — the feedback loop's alternative to generating fresh.
+//!
+//! A retained coverage-novel graph is perturbed instead of regrown:
+//!
+//! * **op swap** — replace one operator with a type-compatible sibling
+//!   (same structural family: another unary/binary/compare/logical kind,
+//!   the other pooling, the other arg-extreme, another reduce or pad
+//!   kind), accepted only when the candidate's `requires` constraints
+//!   all fold to `true` on the concrete input types and `type_transfer`
+//!   reproduces the stored output types exactly — so downstream types
+//!   never change and the graph stays valid by construction;
+//! * **dtype rotate** — retype every leaf of one dtype to a different
+//!   palette dtype and re-solve forward, producing the graph's dtype
+//!   sibling (an f32 graph's f64 twin) — the cheapest route to
+//!   dtype-specialized variants of a bug the base graph triggered;
+//! * **dim perturb** — nudge one dimension of one leaf (input/weight)
+//!   tensor by ±1 and re-solve shapes forward through the graph via
+//!   `requires`/`type_transfer` in topological order, rejecting the
+//!   mutation if any operator's constraints stop holding;
+//! * **re-search** — keep the graph and only re-draw the input search
+//!   (the caller re-runs `search_values` with a fresh seed either way,
+//!   so this arm returns the graph unchanged).
+//!
+//! Mutations never touch the RNG beyond their own draws and are pure
+//! functions of `(graph, rng)` — byte-deterministic per the campaign
+//! determinism contract.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use nnsmith_graph::{Graph, NodeKind, TensorType};
+use nnsmith_ops::{
+    BinaryKind, CompareKind, LogicalKind, Op, PadKind, UnaryKind,
+};
+use nnsmith_solver::BoolExpr;
+use nnsmith_tensor::{DType, ReduceKind};
+
+/// A successful mutation: the perturbed graph plus which arm produced it
+/// (for counters).
+#[derive(Debug, Clone)]
+pub struct MutationOutcome {
+    /// The mutated (still concrete and valid) graph.
+    pub graph: Graph<Op>,
+    /// Which mutation arm ran: `"op_swap"`, `"dtype_rotate"`,
+    /// `"dim_perturb"` or `"re_search"`.
+    pub kind: &'static str,
+}
+
+/// Attempts one mutation of a concrete graph with the full numeric dtype
+/// palette. Returns `None` when the drawn arm found no valid
+/// perturbation — the caller falls back to fresh generation (consuming
+/// its own RNG stream, not this one).
+pub fn mutate_graph<R: Rng + ?Sized>(graph: &Graph<Op>, rng: &mut R) -> Option<MutationOutcome> {
+    mutate_graph_with(graph, &DType::NUMERIC, rng)
+}
+
+/// [`mutate_graph`] restricted to a dtype palette (cross-backend
+/// campaigns pass the backend set's support intersection, so a rotated
+/// mutant stays legal on every backend).
+pub fn mutate_graph_with<R: Rng + ?Sized>(
+    graph: &Graph<Op>,
+    palette: &[DType],
+    rng: &mut R,
+) -> Option<MutationOutcome> {
+    match rng.gen_range(0..6u32) {
+        0 | 1 => op_swap(graph, rng),
+        2 | 3 => dtype_rotate(graph, palette, rng),
+        4 => dim_perturb(graph, rng),
+        _ => Some(MutationOutcome {
+            graph: graph.clone(),
+            kind: "re_search",
+        }),
+    }
+}
+
+/// Type-compatible sibling operators within the same structural family.
+fn alternates(op: &Op) -> Vec<Op> {
+    match op {
+        Op::Unary(k) => UnaryKind::ALL
+            .iter()
+            .filter(|a| *a != k)
+            .map(|a| Op::Unary(*a))
+            .collect(),
+        Op::Binary(k) => BinaryKind::ALL
+            .iter()
+            .filter(|a| *a != k)
+            .map(|a| Op::Binary(*a))
+            .collect(),
+        Op::Compare(k) => CompareKind::ALL
+            .iter()
+            .filter(|a| *a != k)
+            .map(|a| Op::Compare(*a))
+            .collect(),
+        Op::Logical(k) => LogicalKind::ALL
+            .iter()
+            .filter(|a| *a != k)
+            .map(|a| Op::Logical(*a))
+            .collect(),
+        Op::Reduce {
+            kind,
+            axes,
+            keepdims,
+        } => [
+            ReduceKind::Sum,
+            ReduceKind::Mean,
+            ReduceKind::Prod,
+            ReduceKind::Max,
+            ReduceKind::Min,
+        ]
+        .iter()
+        .filter(|a| *a != kind)
+        .map(|a| Op::Reduce {
+            kind: *a,
+            axes: axes.clone(),
+            keepdims: *keepdims,
+        })
+        .collect(),
+        Op::ArgExtreme {
+            largest,
+            axis,
+            keepdims,
+        } => vec![Op::ArgExtreme {
+            largest: !largest,
+            axis: *axis,
+            keepdims: *keepdims,
+        }],
+        Op::MaxPool2d {
+            kh,
+            kw,
+            stride,
+            padding,
+        } => vec![Op::AvgPool2d {
+            kh: kh.clone(),
+            kw: kw.clone(),
+            stride: stride.clone(),
+            padding: padding.clone(),
+        }],
+        Op::AvgPool2d {
+            kh,
+            kw,
+            stride,
+            padding,
+        } => vec![Op::MaxPool2d {
+            kh: kh.clone(),
+            kw: kw.clone(),
+            stride: stride.clone(),
+            padding: padding.clone(),
+        }],
+        Op::Pad { pads, kind } => [PadKind::Constant, PadKind::Reflect, PadKind::Replicate]
+            .iter()
+            .filter(|a| *a != kind)
+            .map(|a| Op::Pad {
+                pads: pads.clone(),
+                kind: *a,
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// True when `candidate` is a drop-in replacement at this site: its
+/// concrete `requires` all hold and its `type_transfer` reproduces the
+/// stored outputs bit-for-bit (dtype and shape).
+fn valid_swap(candidate: &Op, in_types: &[TensorType], outputs: &[TensorType]) -> bool {
+    let Ok(cs) = candidate.requires(in_types) else {
+        return false;
+    };
+    if cs.iter().any(|c| *c != BoolExpr::Lit(true)) {
+        return false;
+    }
+    let Ok(derived) = candidate.type_transfer(in_types) else {
+        return false;
+    };
+    derived.len() == outputs.len()
+        && derived.iter().zip(outputs).all(|(d, s)| {
+            d.dtype == s.dtype && d.concrete_shape() == s.concrete_shape()
+        })
+}
+
+fn op_swap<R: Rng + ?Sized>(graph: &Graph<Op>, rng: &mut R) -> Option<MutationOutcome> {
+    // Candidate collection follows graph iteration order (a Vec), so the
+    // candidate list — and therefore the draw — is deterministic.
+    let mut candidates = Vec::new();
+    for (id, node) in graph.iter() {
+        let NodeKind::Operator(op) = &node.kind else {
+            continue;
+        };
+        let in_types: Vec<TensorType> = node
+            .inputs
+            .iter()
+            .map(|v| graph.value_type(*v).clone())
+            .collect();
+        for alt in alternates(op) {
+            if valid_swap(&alt, &in_types, &node.outputs) {
+                candidates.push((id, alt));
+            }
+        }
+    }
+    let (id, alt) = candidates.choose(rng)?.clone();
+    let mut mutated = graph.clone();
+    mutated.node_mut(id).kind = NodeKind::Operator(alt);
+    debug_assert!(mutated.validate().is_ok());
+    Some(MutationOutcome {
+        graph: mutated,
+        kind: "op_swap",
+    })
+}
+
+/// Re-solves every operator's output types in topological order after a
+/// leaf perturbation, bailing out the moment any `requires` constraint
+/// stops folding to `true`. `allow_dtype_change` distinguishes the
+/// shape-only arm (dim perturb: dtypes must stay fixed) from the dtype
+/// arm (rotate: dtypes flow forward through `type_transfer`).
+fn repropagate(mutated: &mut Graph<Op>, allow_dtype_change: bool) -> Option<()> {
+    for id in mutated.topo_order().ok()? {
+        let node = mutated.node(id);
+        let NodeKind::Operator(op) = &node.kind else {
+            continue;
+        };
+        let op = op.clone();
+        let in_types: Vec<TensorType> = node
+            .inputs
+            .iter()
+            .map(|v| mutated.value_type(*v).clone())
+            .collect();
+        let cs = op.requires(&in_types).ok()?;
+        if cs.iter().any(|c| *c != BoolExpr::Lit(true)) {
+            return None;
+        }
+        let outs = op.type_transfer(&in_types).ok()?;
+        let node = mutated.node_mut(id);
+        if outs.len() != node.outputs.len() {
+            return None;
+        }
+        if !allow_dtype_change
+            && outs.iter().zip(&node.outputs).any(|(d, s)| d.dtype != s.dtype)
+        {
+            return None;
+        }
+        node.outputs = outs;
+    }
+    Some(())
+}
+
+/// Concrete input/weight leaves, in graph iteration order.
+fn concrete_leaves(graph: &Graph<Op>) -> Vec<nnsmith_graph::NodeId> {
+    graph
+        .iter()
+        .filter(|(_, n)| {
+            matches!(n.kind, NodeKind::Input | NodeKind::Weight) && n.outputs[0].is_concrete()
+        })
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Distinct dtypes of the concrete leaves, in iteration order (so draws
+/// over them are deterministic).
+fn leaf_dtype_classes(graph: &Graph<Op>) -> Vec<DType> {
+    let mut classes: Vec<DType> = Vec::new();
+    for id in concrete_leaves(graph) {
+        let d = graph.node(id).outputs[0].dtype;
+        if !classes.contains(&d) {
+            classes.push(d);
+        }
+    }
+    classes
+}
+
+/// Retypes every leaf of dtype `from` to `to` and re-solves forward.
+/// Whole-class rotation (rather than one leaf) keeps dtype-matching
+/// constraints between siblings satisfied, so e.g. an entire f32 graph
+/// becomes its f64 twin. `None` when any operator's constraints break.
+fn rotate_class(graph: &Graph<Op>, from: DType, to: DType) -> Option<Graph<Op>> {
+    let mut mutated = graph.clone();
+    for id in concrete_leaves(graph) {
+        let old = mutated.node(id).outputs[0].clone();
+        if old.dtype != from {
+            continue;
+        }
+        let dims = old.concrete_shape()?;
+        let pool = old.pool().clone();
+        mutated.node_mut(id).outputs[0] = TensorType::concrete_in(&pool, to, &dims);
+    }
+    repropagate(&mut mutated, true)?;
+    mutated.validate().ok()?;
+    Some(mutated)
+}
+
+/// Rotates one (randomly drawn) leaf-dtype class to a different palette
+/// dtype — the cheapest route to the dtype-specialized sibling of a bug
+/// the base graph triggered.
+fn dtype_rotate<R: Rng + ?Sized>(
+    graph: &Graph<Op>,
+    palette: &[DType],
+    rng: &mut R,
+) -> Option<MutationOutcome> {
+    let classes = leaf_dtype_classes(graph);
+    let &from = classes.choose(rng)?;
+    let choices: Vec<DType> = palette
+        .iter()
+        .copied()
+        .filter(|d| *d != from && *d != DType::Bool)
+        .collect();
+    let &to = choices.choose(rng)?;
+    Some(MutationOutcome {
+        graph: rotate_class(graph, from, to)?,
+        kind: "dtype_rotate",
+    })
+}
+
+/// Every valid dtype sibling of `graph`: each leaf-dtype class rotated
+/// to each other palette dtype, in deterministic enumeration order. This
+/// is the feedback loop's *systematic* finding-exploitation arm — a
+/// bug-triggering graph's structure is held fixed while its dtypes sweep
+/// the palette, directly probing the dtype-specialized variants that
+/// dominate real compiler bug trackers (and the seeded registry). Pure
+/// function of `(graph, palette)`: no RNG.
+pub fn dtype_siblings(graph: &Graph<Op>, palette: &[DType]) -> Vec<Graph<Op>> {
+    let mut out = Vec::new();
+    for from in leaf_dtype_classes(graph) {
+        for &to in palette {
+            if to == from || to == DType::Bool {
+                continue;
+            }
+            if let Some(sibling) = rotate_class(graph, from, to) {
+                out.push(sibling);
+            }
+        }
+    }
+    out
+}
+
+fn dim_perturb<R: Rng + ?Sized>(graph: &Graph<Op>, rng: &mut R) -> Option<MutationOutcome> {
+    let leaves: Vec<_> = graph
+        .iter()
+        .filter(|(_, n)| {
+            matches!(n.kind, NodeKind::Input | NodeKind::Weight)
+                && n.outputs[0].rank() > 0
+                && n.outputs[0].is_concrete()
+        })
+        .map(|(id, _)| id)
+        .collect();
+    let &leaf = leaves.choose(rng)?;
+    let old = graph.node(leaf).outputs[0].clone();
+    let mut dims = old.concrete_shape()?;
+    let di = rng.gen_range(0..dims.len());
+    let delta: i64 = if rng.gen_bool(0.5) { 1 } else { -1 };
+    let nudged = (dims[di] + delta).max(1);
+    if nudged == dims[di] {
+        return None;
+    }
+    dims[di] = nudged;
+
+    let mut mutated = graph.clone();
+    let pool = old.pool().clone();
+    mutated.node_mut(leaf).outputs[0] = TensorType::concrete_in(&pool, old.dtype, &dims);
+
+    repropagate(&mut mutated, false)?;
+    mutated.validate().ok()?;
+    Some(MutationOutcome {
+        graph: mutated,
+        kind: "dim_perturb",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GenConfig, Generator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(seed: u64) -> Graph<Op> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Generator::new(GenConfig::default())
+            .generate(&mut rng)
+            .expect("generation")
+            .graph
+    }
+
+    #[test]
+    fn mutations_preserve_validity() {
+        let mut hits = 0;
+        for seed in 0..12u64 {
+            let g = model(seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+            for _ in 0..8 {
+                if let Some(m) = mutate_graph(&g, &mut rng) {
+                    m.graph.validate().expect("mutated graph stays valid");
+                    hits += 1;
+                    // Re-typecheck every operator like shapes_satisfy_specs.
+                    for id in m.graph.operators() {
+                        let node = m.graph.node(id);
+                        let op = node.kind.as_operator().expect("operator");
+                        let in_types: Vec<TensorType> = node
+                            .inputs
+                            .iter()
+                            .map(|v| m.graph.value_type(*v).clone())
+                            .collect();
+                        for c in op.requires(&in_types).expect("spec applies") {
+                            assert_eq!(c, BoolExpr::Lit(true), "{} violated", op.name());
+                        }
+                    }
+                }
+            }
+        }
+        assert!(hits > 0, "at least some mutations must succeed");
+    }
+
+    #[test]
+    fn op_swap_changes_an_operator() {
+        let mut changed = 0;
+        for seed in 0..20u64 {
+            let g = model(seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            if let Some(m) = op_swap(&g, &mut rng) {
+                assert_ne!(m.graph, g, "swap must change the graph");
+                assert_eq!(m.kind, "op_swap");
+                changed += 1;
+            }
+        }
+        assert!(changed > 0, "op swap should find candidates somewhere");
+    }
+
+    #[test]
+    fn dim_perturb_changes_a_shape_or_fails_cleanly() {
+        let mut changed = 0;
+        for seed in 0..20u64 {
+            let g = model(seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            if let Some(m) = dim_perturb(&g, &mut rng) {
+                assert_ne!(m.graph, g);
+                m.graph.validate().expect("valid after perturb");
+                changed += 1;
+            }
+        }
+        assert!(changed > 0, "dim perturb should succeed somewhere");
+    }
+
+    #[test]
+    fn dtype_rotate_produces_a_valid_dtype_sibling() {
+        let mut rotated = 0;
+        for seed in 0..20u64 {
+            let g = model(seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            if let Some(m) = dtype_rotate(&g, &DType::NUMERIC, &mut rng) {
+                assert_ne!(m.graph, g, "rotation must change the graph");
+                assert_eq!(m.kind, "dtype_rotate");
+                m.graph.validate().expect("valid after rotate");
+                rotated += 1;
+            }
+        }
+        assert!(rotated > 0, "dtype rotate should succeed somewhere");
+    }
+
+    #[test]
+    fn dtype_rotate_respects_the_palette() {
+        use std::collections::BTreeSet;
+        let palette = [DType::F32, DType::I32];
+        for seed in 0..20u64 {
+            let g = model(seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let Some(m) = dtype_rotate(&g, &palette, &mut rng) else {
+                continue;
+            };
+            let before: BTreeSet<DType> = g
+                .iter()
+                .filter(|(_, n)| matches!(n.kind, NodeKind::Input | NodeKind::Weight))
+                .map(|(_, n)| n.outputs[0].dtype)
+                .collect();
+            for (_, n) in m.graph.iter() {
+                if matches!(n.kind, NodeKind::Input | NodeKind::Weight) {
+                    let d = n.outputs[0].dtype;
+                    assert!(
+                        before.contains(&d) || palette.contains(&d),
+                        "leaf dtype {d:?} came from outside the palette"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic() {
+        let g = model(3);
+        let a = {
+            let mut rng = StdRng::seed_from_u64(9);
+            mutate_graph(&g, &mut rng).map(|m| m.graph)
+        };
+        let b = {
+            let mut rng = StdRng::seed_from_u64(9);
+            mutate_graph(&g, &mut rng).map(|m| m.graph)
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -181,6 +181,18 @@ impl Corpus {
         self.reproducers.extend(other.reproducers);
     }
 
+    /// Bridges the reproducer corpus into the coverage-feedback loop:
+    /// every graph-level reproducer, reassembled as a runnable
+    /// [`TestCase`], in key order (deterministic). IR reproducers are
+    /// skipped — they seed the Tzer corpus, not the graph generator.
+    pub fn seed_cases(&self) -> Vec<TestCase> {
+        self.reproducers
+            .values()
+            .filter(|r| r.ir.is_none())
+            .map(Reproducer::to_case)
+            .collect()
+    }
+
     /// Number of distinct reproducers.
     pub fn len(&self) -> usize {
         self.reproducers.len()
@@ -345,6 +357,41 @@ mod tests {
         let (_, rep) = back.reproducers.iter().next().expect("one entry");
         assert!(rep.ir.is_none());
         assert!(rep.replay().expect("known compiler").reproduced);
+    }
+
+    #[test]
+    fn seed_cases_bridge_graph_reproducers_only() {
+        use nnsmith_compilers::{LExpr, LStmt, LoweredFunc};
+        let compiler = tvmsim();
+        let mut corpus = Corpus::new();
+        for case in [
+            argmax_case(),
+            TestCase::from_ir(vec![LoweredFunc {
+                name: "mutant".into(),
+                body: vec![LStmt::Store {
+                    index: LExpr::Mod(Box::new(LExpr::Var(0)), Box::new(LExpr::Var(1))),
+                }],
+            }]),
+        ] {
+            let red = reduce_case(
+                &compiler,
+                &case,
+                &CompileOptions::default(),
+                Tolerance::default(),
+                &ReduceConfig::default(),
+            )
+            .expect("finding");
+            corpus.insert(Reproducer::from_reduction(
+                &red,
+                "tvmsim",
+                Tolerance::default(),
+            ));
+        }
+        assert_eq!(corpus.len(), 2);
+        let seeds = corpus.seed_cases();
+        assert_eq!(seeds.len(), 1, "IR reproducers don't seed the graph loop");
+        assert!(!seeds[0].is_ir());
+        assert!(!seeds[0].graph.operators().is_empty());
     }
 
     #[test]

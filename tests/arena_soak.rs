@@ -52,6 +52,7 @@ fn quick_pipeline() -> NnSmithConfig {
         },
         seed: 0,
         max_attempts_per_case: 6,
+        ..NnSmithConfig::default()
     }
 }
 

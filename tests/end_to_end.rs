@@ -25,6 +25,7 @@ fn quick(seed: u64) -> NnSmith {
         },
         seed,
         max_attempts_per_case: 10,
+        ..NnSmithConfig::default()
     })
 }
 

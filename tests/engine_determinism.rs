@@ -28,6 +28,7 @@ fn quick_pipeline() -> NnSmithConfig {
         },
         seed: 0, // overridden per shard by the factory
         max_attempts_per_case: 8,
+        ..NnSmithConfig::default()
     }
 }
 

@@ -199,4 +199,4 @@ macro_rules! conformance_suite {
 conformance_suite!(nnsmith_suite, quick_nnsmith(), ortsim(), cases: 12, interns: true);
 conformance_suite!(lemon_suite, LemonFactory, ortsim(), cases: 16, interns: true);
 conformance_suite!(graphfuzzer_suite, GraphFuzzerFactory::default(), ortsim(), cases: 16, interns: true);
-conformance_suite!(tzer_suite, TzerFactory, tvmsim(), cases: 64, interns: false);
+conformance_suite!(tzer_suite, TzerFactory::default(), tvmsim(), cases: 64, interns: false);

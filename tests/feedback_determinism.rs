@@ -1,0 +1,82 @@
+//! The feedback loop's two acceptance contracts, end-to-end through the
+//! fig12 harness:
+//!
+//! 1. **Worker-count invariance** — the serialized `BENCH_fig12.json`
+//!    record must be byte-identical for `workers=1` and `workers=4` at a
+//!    fixed seed/shard count. Retention, yield checkpoints, mutation and
+//!    sibling probes all run per shard on case counts (never
+//!    wall-clock), so the guided arm inherits the engine's determinism
+//!    contract unchanged.
+//! 2. **The loop pays for itself** — at the pinned configuration the
+//!    guided arm reaches at least as many distinct seeded bugs as the
+//!    blind arm at the same case budget. (The *strictly more* gate runs
+//!    in CI at the full fig12 budget via `fig12_feedback --gate`; this
+//!    in-tree budget is sized for `cargo test`.)
+
+use std::time::Duration;
+
+use nnsmith::gen::GenConfig;
+use nnsmith::search::SearchConfig;
+use nnsmith::NnSmithConfig;
+use nnsmith_bench::fig12::{run_fig12, Fig12Options};
+
+fn opts(workers: usize) -> Fig12Options {
+    Fig12Options {
+        workers,
+        // Small pinned budget: big enough for checkpoints and retention
+        // to engage (per-shard budget 16 > checkpoint_every 4), small
+        // enough for debug-mode `cargo test`.
+        shards: 4,
+        cases: 64,
+        seed: 12,
+        checkpoint_every: 4,
+        pipeline: NnSmithConfig {
+            gen: GenConfig {
+                target_ops: 5,
+                ..GenConfig::default()
+            },
+            search: SearchConfig {
+                budget: Duration::from_millis(150),
+                // Iteration-budgeted search: a wall-clock budget exhausts
+                // at load-dependent points, breaking workers=1 ≡ workers=N.
+                max_iters: Some(128),
+                ..SearchConfig::default()
+            },
+            ..NnSmithConfig::default()
+        },
+        ..Fig12Options::default()
+    }
+}
+
+#[test]
+fn fig12_is_worker_invariant_and_the_loop_pays_for_itself() {
+    let one = run_fig12(&opts(1));
+    let four = run_fig12(&opts(4));
+
+    // (1) Byte-equality of the whole record, exactly what the CI
+    // feedback-smoke `cmp` asserts on the emitted artifacts.
+    assert_eq!(
+        serde::json::to_string(&one),
+        serde::json::to_string(&four),
+        "BENCH_fig12.json must not depend on the worker count"
+    );
+
+    // (2) Feedback machinery actually engaged.
+    let fb = one.results[0]
+        .feedback
+        .as_ref()
+        .expect("guided arm carries a feedback summary");
+    assert!(fb.retained > 0, "coverage-novel cases must be retained");
+    assert!(fb.checkpoints > 0, "case-count checkpoints must fire");
+    assert_ne!(fb.corpus_digest, 0);
+    assert!(one.results[1].feedback.is_none(), "blind arm has no loop");
+
+    // (3) The acceptance floor: guidance never loses at the same case
+    // budget.
+    assert!(
+        one.guided_bugs >= one.blind_bugs,
+        "guided arm found {} distinct seeded bugs, blind found {}",
+        one.guided_bugs,
+        one.blind_bugs
+    );
+}

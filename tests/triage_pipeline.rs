@@ -256,6 +256,7 @@ fn quick_pipeline() -> NnSmithConfig {
         },
         seed: 0, // overridden per shard
         max_attempts_per_case: 8,
+        ..NnSmithConfig::default()
     }
 }
 
