@@ -1,0 +1,107 @@
+//! Figure 13 (extension): the distributed campaign service — one guided
+//! NNSmith campaign through the multi-process orchestrator, emitted as
+//! `BENCH_fig13.json`. See [`nnsmith_bench::fig13`] for the design.
+//!
+//! The record is byte-identical across `--processes` counts and across
+//! kill/resume cycles — the CI `service-smoke` job `cmp`s all three.
+//!
+//! `cargo run -p nnsmith-bench --release --bin fig13_service -- \
+//!     [--processes N] [--shards N] [--cases N] [--seed N] \
+//!     [--backends tvm,ort,trt] [--snapshot PATH] \
+//!     [--stop-after-units K] [--resume PATH]`
+//!
+//! `--snapshot PATH` checkpoints after every completed work-unit;
+//! `--stop-after-units K` pauses there (the deterministic `kill -9`
+//! stand-in); `--resume PATH` continues a paused/killed campaign.
+//!
+//! This binary is its own worker: the orchestrator re-execs it with the
+//! `work-unit` subcommand, which `maybe_work_unit_child` intercepts
+//! below. (The shared `bench_args` parser is positional-based and would
+//! misread `--flag value` pairs, so flags are parsed manually here.)
+
+use std::path::PathBuf;
+
+use nnsmith_bench::fig13::{resume_fig13, run_fig13, Fig13Options};
+use nnsmith_bench::write_json;
+use nnsmith_compilers::BackendSet;
+
+fn flag_value(argv: &[String], flag: &str) -> Option<String> {
+    argv.iter()
+        .position(|a| a == flag)
+        .and_then(|i| argv.get(i + 1).cloned())
+}
+
+fn parse<T: std::str::FromStr>(argv: &[String], flag: &str) -> Option<T> {
+    flag_value(argv, flag).and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    // Worker re-entry must run before anything else.
+    nnsmith_service::maybe_work_unit_child();
+
+    let argv: Vec<String> = std::env::args().collect();
+    let mut opts = Fig13Options::default();
+    if let Some(n) = parse::<usize>(&argv, "--processes") {
+        opts.processes = n.max(1);
+    }
+    if let Some(n) = parse::<usize>(&argv, "--shards") {
+        opts.shards = n.max(1);
+    }
+    if let Some(n) = parse::<usize>(&argv, "--cases") {
+        opts.cases = n;
+    }
+    if let Some(n) = parse::<u64>(&argv, "--seed") {
+        opts.seed = n;
+    }
+    if let Some(names) = flag_value(&argv, "--backends") {
+        let names: Vec<&str> = names.split(',').filter(|s| !s.is_empty()).collect();
+        match BackendSet::from_names(&names) {
+            Some(set) => opts.backends = set,
+            None => {
+                eprintln!("unknown backend in --backends {names:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts.snapshot = flag_value(&argv, "--snapshot").map(PathBuf::from);
+    opts.stop_after_units = parse::<usize>(&argv, "--stop-after-units");
+    let resume = flag_value(&argv, "--resume").map(PathBuf::from);
+
+    let outcome = if let Some(snapshot) = &resume {
+        println!(
+            "== Figure 13 — resuming service campaign from {} with {} process(es) ==",
+            snapshot.display(),
+            opts.processes
+        );
+        match resume_fig13(snapshot, opts.processes, None) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                eprintln!("cannot resume from {}: {e}", snapshot.display());
+                std::process::exit(2);
+            }
+        }
+    } else {
+        println!(
+            "== Figure 13 — service campaign: {} process(es) x {} shards, seed {}, {} cases ==",
+            opts.processes, opts.shards, opts.seed, opts.cases
+        );
+        run_fig13(&opts)
+    };
+
+    match outcome {
+        nnsmith_bench::fig13::Fig13Outcome::Paused(units) => {
+            println!("paused after {units} completed work-unit(s); snapshot holds the campaign");
+        }
+        nnsmith_bench::fig13::Fig13Outcome::Complete(record) => {
+            let summary = &record.results[0];
+            println!(
+                "[{}] cases {} | coverage {} | distinct seeded bugs {}",
+                summary.source,
+                summary.cases,
+                summary.total_coverage,
+                summary.bugs_found.len()
+            );
+            write_json("fig13", &record);
+        }
+    }
+}

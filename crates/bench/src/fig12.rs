@@ -43,9 +43,7 @@ use serde::Serialize;
 
 use nnsmith_compilers::BackendSet;
 use nnsmith_core::{NnSmithConfig, NnSmithFactory};
-use nnsmith_difftest::{
-    run_matrix_engine, CampaignConfig, EngineConfig, FeedbackConfig, TestCase,
-};
+use nnsmith_difftest::{run_matrix_engine, CampaignConfig, EngineConfig, FeedbackConfig, TestCase};
 
 use crate::EngineSummary;
 

@@ -1,0 +1,194 @@
+//! Figure 13 (extension): the distributed campaign service is
+//! byte-deterministic across process counts and kill/resume cycles.
+//!
+//! One guided NNSmith campaign through `nnsmith-service`'s multi-process
+//! orchestrator. The record holds only the deterministic engine summary
+//! — deliberately **no process count and no resumed-from marker** — so
+//! the acceptance check is a plain `cmp`: `--processes 1` and
+//! `--processes M` must emit byte-identical `BENCH_fig13.json`, and a
+//! run killed after K work-units then resumed from its snapshot must
+//! emit the same bytes again. The CI `service-smoke` job runs exactly
+//! those comparisons.
+
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+use nnsmith_compilers::BackendSet;
+use nnsmith_service::{resume_service, run_service, FeedbackSpec, ServiceConfig, ServiceRun};
+
+use crate::EngineSummary;
+
+/// Knobs for one service campaign run.
+#[derive(Debug, Clone)]
+pub struct Fig13Options {
+    /// Worker processes (must not affect the record's bytes).
+    pub processes: usize,
+    /// Shard count (part of the reproducibility key).
+    pub shards: usize,
+    /// Total case budget.
+    pub cases: usize,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Backend set the campaign runs against.
+    pub backends: BackendSet,
+    /// Worker executable override (`None`: re-exec `current_exe()`,
+    /// which is correct for the `fig13_service` binary itself).
+    pub worker: Option<PathBuf>,
+    /// Snapshot path (enables checkpointing after every work-unit).
+    pub snapshot: Option<PathBuf>,
+    /// Pause after this many completed work-units — the deterministic
+    /// `kill -9` stand-in for resume smoke-tests. Requires `snapshot`.
+    pub stop_after_units: Option<usize>,
+}
+
+impl Default for Fig13Options {
+    fn default() -> Self {
+        Fig13Options {
+            processes: 1,
+            shards: 8,
+            cases: 96,
+            seed: 13,
+            backends: BackendSet::all(),
+            worker: None,
+            snapshot: None,
+            stop_after_units: None,
+        }
+    }
+}
+
+impl Fig13Options {
+    /// The service configuration this run drives (guided feedback with
+    /// the fig12-tuned light-touch knobs, so the campaign exercises the
+    /// full checkpointed loop across the process boundary).
+    pub fn service_config(&self) -> ServiceConfig {
+        ServiceConfig {
+            processes: self.processes,
+            shards: self.shards,
+            seed: self.seed,
+            cases: self.cases,
+            backends: self.backends.names(),
+            feedback: FeedbackSpec {
+                enabled: true,
+                checkpoint_every: 16,
+                mutation_prob: 0.1,
+                ..FeedbackSpec::default()
+            },
+            worker: self.worker.clone(),
+            snapshot: self.snapshot.clone(),
+            stop_after_units: self.stop_after_units,
+            ..ServiceConfig::default()
+        }
+    }
+}
+
+/// The `BENCH_fig13.json` record. Every field is deterministic — the
+/// execution-shape knobs (process count, whether the run was resumed)
+/// are exactly what the record must *not* depend on, so they are not in
+/// it.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig13Record {
+    /// Figure id (`"fig13"`).
+    pub figure: String,
+    /// Shard count.
+    pub shards: usize,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Total case budget.
+    pub cases: usize,
+    /// The campaign's deterministic engine summary.
+    pub results: Vec<EngineSummary>,
+}
+
+/// What one `fig13` invocation produced: a record, or a pause (the
+/// snapshot now holds the campaign for a later `--resume`).
+#[derive(Debug)]
+pub enum Fig13Outcome {
+    /// The campaign completed.
+    Complete(Fig13Record),
+    /// `stop_after_units` tripped after this many completed units.
+    Paused(usize),
+}
+
+fn record_from(
+    opts_shards: usize,
+    seed: u64,
+    cases: usize,
+    run: ServiceRun,
+    backends: &BackendSet,
+) -> Fig13Outcome {
+    match run {
+        ServiceRun::Paused { completed_units } => Fig13Outcome::Paused(completed_units),
+        ServiceRun::Complete(report) => {
+            let summary =
+                EngineSummary::from_matrix_report(backends, &report.report).deterministic_view();
+            Fig13Outcome::Complete(Fig13Record {
+                figure: "fig13".to_string(),
+                shards: opts_shards,
+                seed,
+                cases,
+                results: vec![summary],
+            })
+        }
+    }
+}
+
+/// Runs the service campaign.
+pub fn run_fig13(opts: &Fig13Options) -> Fig13Outcome {
+    let run = run_service(&opts.service_config());
+    record_from(opts.shards, opts.seed, opts.cases, run, &opts.backends)
+}
+
+/// Resumes a paused/killed campaign from its snapshot and (when it
+/// completes) assembles the identical record an uninterrupted run
+/// emits.
+pub fn resume_fig13(
+    snapshot: &std::path::Path,
+    processes: usize,
+    worker: Option<PathBuf>,
+) -> std::io::Result<Fig13Outcome> {
+    let snap = nnsmith_service::CampaignSnapshot::load(snapshot)?;
+    let backends = BackendSet::from_names(&snap.backends)
+        .unwrap_or_else(|| panic!("snapshot names unknown backends: {:?}", snap.backends));
+    let (shards, seed, cases) = (snap.shards, snap.seed, snap.cases);
+    let run = resume_service(snapshot, processes, worker)?;
+    Ok(record_from(shards, seed, cases, run, &backends))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Fig13Options {
+        Fig13Options {
+            shards: 3,
+            cases: 9,
+            seed: 5,
+            ..Fig13Options::default()
+        }
+    }
+
+    #[test]
+    fn record_is_deterministic_and_shape_free() {
+        let a = match run_fig13(&quick()) {
+            Fig13Outcome::Complete(r) => r,
+            Fig13Outcome::Paused(_) => panic!("no stop configured"),
+        };
+        assert_eq!(a.figure, "fig13");
+        assert_eq!(a.results.len(), 1);
+        assert_eq!(a.results[0].cases, 9);
+        let js = serde::json::to_string(&a);
+        // The record must not encode the execution shape.
+        for banned in ["processes", "resumed", "wall_timeline\":[{", "worker"] {
+            assert!(!js.contains(banned), "execution-shape leak {banned:?}");
+        }
+        // Same options, fresh run: identical bytes (single-process here;
+        // the cross-process comparison is tests/service_determinism.rs
+        // and the CI smoke's cmp).
+        let b = match run_fig13(&quick()) {
+            Fig13Outcome::Complete(r) => r,
+            Fig13Outcome::Paused(_) => unreachable!(),
+        };
+        assert_eq!(js, serde::json::to_string(&b));
+    }
+}

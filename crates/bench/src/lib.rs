@@ -22,6 +22,7 @@
 //! | `fig12_feedback` | extension — guided vs blind NNSmith at equal case budget |
 
 pub mod fig12;
+pub mod fig13;
 pub mod report;
 
 use std::time::Duration;

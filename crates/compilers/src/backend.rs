@@ -133,14 +133,30 @@ impl BackendSet {
     }
 
     /// Element types every member supports — the intersection of
-    /// [`Compiler::supports_dtype`] across the set, in [`DType::ALL`]
-    /// order. The generator restricts itself to this set so no backend
-    /// ever answers `NotImplemented` to a generated case.
+    /// [`Compiler::supports_dtype`] across the set, **canonically
+    /// ordered** (sorted and deduplicated by the fixed [`DType`] order,
+    /// which is [`DType::ALL`]'s order). The generator restricts itself
+    /// to this set so no backend ever answers `NotImplemented` to a
+    /// generated case.
+    ///
+    /// Canonical ordering is a determinism requirement, not cosmetics:
+    /// this vector becomes the generator's `allowed_dtypes` palette, and
+    /// dtype *draws index into it* — so two processes reconstructing the
+    /// same backend set from a serialized work-unit (possibly naming
+    /// members in a different order) must get byte-identical palettes or
+    /// their RNG-driven case streams diverge.
     pub fn supported_dtypes(&self) -> Vec<DType> {
-        DType::ALL
+        let mut dtypes: Vec<DType> = DType::ALL
             .into_iter()
             .filter(|&d| self.backends.iter().all(|b| b.supports_dtype(d)))
-            .collect()
+            .collect();
+        // `DType`'s derived `Ord` follows the declaration order, which is
+        // `DType::ALL`'s order — the explicit sort+dedupe makes the
+        // canonical form independent of how the intersection above is
+        // ever rewritten (set-member order, iteration source, duplicates).
+        dtypes.sort();
+        dtypes.dedup();
+        dtypes
     }
 }
 
@@ -184,6 +200,38 @@ mod tests {
         assert!(!dtypes.contains(&DType::F64));
         assert!(dtypes.contains(&DType::F32));
         assert!(dtypes.contains(&DType::Bool));
+    }
+
+    #[test]
+    fn supported_dtypes_are_canonical_under_member_permutation() {
+        // The palette contract: every permutation of the same members —
+        // the ways a resumed process might reconstruct a backend set from
+        // a serialized work-unit — yields the identical dtype vector, in
+        // DType::ALL order. (Dtype draws index into this vector, so any
+        // ordering difference would fork the generator's RNG stream.)
+        let perms: [[fn() -> Compiler; 3]; 6] = [
+            [tvmsim, ortsim, trtsim],
+            [tvmsim, trtsim, ortsim],
+            [ortsim, tvmsim, trtsim],
+            [ortsim, trtsim, tvmsim],
+            [trtsim, tvmsim, ortsim],
+            [trtsim, ortsim, tvmsim],
+        ];
+        let canonical = BackendSet::all().supported_dtypes();
+        assert!(!canonical.is_empty());
+        assert!(
+            canonical.windows(2).all(|w| w[0] < w[1]),
+            "sorted + deduped"
+        );
+        for perm in perms {
+            let set = BackendSet::new(perm.iter().map(|f| f()).collect());
+            assert_eq!(set.supported_dtypes(), canonical);
+            // The serialized-name path (what a work-unit actually stores)
+            // agrees too.
+            let names: Vec<String> = set.names();
+            let rebuilt = BackendSet::from_names(&names).expect("known names");
+            assert_eq!(rebuilt.supported_dtypes(), canonical);
+        }
     }
 
     #[test]

@@ -142,7 +142,6 @@ const FINDING_POOL_CAP: usize = 16;
 /// the `feedback/probe_dropped` observability counter).
 const SIBLING_QUEUE_CAP: usize = 64;
 
-
 /// Probability that a mutation draws its base from the finding pool
 /// (when non-empty) instead of the coverage-novel corpus.
 const FINDING_FOCUS_PROB: f64 = 0.75;
@@ -194,7 +193,11 @@ fn describe_case(case: &TestCase) -> EmittedCase {
 /// weights (options not in the plan draw at the base weight).
 fn plan_to_schedule(plan: &FeedbackPlan) -> GenSchedule {
     GenSchedule {
-        op_weights: plan.op_weights.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        op_weights: plan
+            .op_weights
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect(),
         dtype_weights: plan
             .dtype_weights
             .iter()
@@ -363,8 +366,7 @@ impl TestCaseSource for NnSmith {
         // Targeted probes first: dtype siblings of novel findings, gated
         // to ~an eighth of the emitted stream (fresh structural
         // diversity stays the campaign's backbone).
-        if self.feedback.cfg.enabled
-            && self.feedback.summary.probes * 8 < self.feedback.cases_seen
+        if self.feedback.cfg.enabled && self.feedback.summary.probes * 8 < self.feedback.cases_seen
         {
             while let Some(graph) = self.feedback.queue.pop_front() {
                 let seed: u64 = self.rng.gen();
@@ -421,9 +423,12 @@ impl TestCaseSource for NnSmith {
             // too was tried and measurably hurt: findings are frequent
             // enough that a bonus swamps the late-run branch signal and
             // locks the schedule onto already-found bug features.)
-            self.feedback
-                .yields
-                .record(&emitted.ops, &emitted.dtypes, &emitted.ranks, new_branches);
+            self.feedback.yields.record(
+                &emitted.ops,
+                &emitted.dtypes,
+                &emitted.ranks,
+                new_branches,
+            );
             if feedback.finding {
                 // Focus queue for bug-adjacent mutation (ring-replaced).
                 if self.feedback.findings.len() < FINDING_POOL_CAP {
@@ -468,7 +473,7 @@ impl TestCaseSource for NnSmith {
         // the schedule evolves identically across machines and worker
         // counts (the determinism contract).
         let every = self.feedback.cfg.checkpoint_every.max(1) as u64;
-        if self.feedback.cases_seen % every == 0 {
+        if self.feedback.cases_seen.is_multiple_of(every) {
             let plan = self.feedback.yields.plan();
             self.feedback.summary.checkpoints += 1;
             self.feedback.summary.op_weights = plan.op_weights.clone();

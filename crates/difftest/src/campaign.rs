@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 use nnsmith_compilers::{tvmsim, BackendSet, CompileOptions, Compiler, CoverageSet};
 use nnsmith_graph::NodeKind;
 use nnsmith_obs::LoggedEvent;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::feedback::{CaseFeedback, FeedbackSummary};
 use crate::harness::{run_case_matrix, seeded_bug_id, TestCase, TestOutcome};
@@ -113,7 +113,7 @@ impl Default for CampaignConfig {
 }
 
 /// One coverage-timeline sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TimelinePoint {
     /// Milliseconds since campaign start.
     pub elapsed_ms: u64,
@@ -129,7 +129,7 @@ pub struct TimelinePoint {
 /// One backend's accumulated share of a campaign: its own coverage set
 /// and the findings it exhibited. The backend dimension of every
 /// campaign/engine result.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct BackendResult {
     /// Cumulative branch coverage on this backend (ids are meaningful
     /// only within this backend's manifest).
@@ -146,7 +146,7 @@ pub struct BackendResult {
 }
 
 /// Result of a campaign.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignResult {
     /// Source name.
     pub source: String,

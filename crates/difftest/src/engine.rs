@@ -125,6 +125,16 @@ pub fn shard_seed(campaign_seed: u64, index: usize) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The case budget of shard `index` out of `shards`: an even split of
+/// the total, remainder to the lowest-indexed shards. The same slice the
+/// in-process engine hands each shard worker — exported so external
+/// orchestrators (the `nnsmith-service` work-unit planner) carve
+/// byte-identical slices.
+pub fn shard_case_budget(total: Option<usize>, shards: usize, index: usize) -> Option<usize> {
+    let shards = shards.max(1);
+    total.map(|total| total / shards + usize::from(index < total % shards))
+}
+
 /// Engine configuration: a campaign budget plus the sharding layout.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -305,10 +315,7 @@ fn run_engine_inner(
                 };
                 let mut source = factory.make_source_in(pool, ctx);
                 let mut shard_cfg = config.campaign.clone();
-                shard_cfg.max_cases = config
-                    .campaign
-                    .max_cases
-                    .map(|total| total / shards + usize::from(index < total % shards));
+                shard_cfg.max_cases = shard_case_budget(config.campaign.max_cases, shards, index);
                 // Proportional time slice: this worker will run about
                 // ceil(pending / workers) of the still-queued shards
                 // (including this one) before the deadline, so each gets
@@ -470,9 +477,69 @@ fn run_engine_inner(
     }
 }
 
+/// What one shard of an engine run produced: exactly the data the
+/// in-process worker loop hands the aggregator, in one ownable (and,
+/// field by field, serializable) bundle. The extraction seam for
+/// process-level work-units: `nnsmith-service` runs each shard via
+/// [`run_engine_shard`] in a child process and folds the bundles with
+/// [`merge_shard_results`] / [`ShardedProfile::from_shards`] in
+/// shard-index order, exactly like [`run_engine`]'s own merge.
+#[derive(Debug, Clone)]
+pub struct ShardRun {
+    /// The shard's campaign result (its slice of the case budget).
+    pub result: CampaignResult,
+    /// The shard's phase profile (spans + counters recorded while it
+    /// ran).
+    pub profile: Profile,
+    /// The shard's structured events in canonical order, stamped with
+    /// `shard_index`; `t_ms` stays 0 (there is no aggregator wall clock
+    /// here, which is exactly what makes the stream deterministic).
+    pub events: Vec<LoggedEvent>,
+}
+
+/// Runs one shard of an engine run to completion on the calling thread:
+/// the per-shard work of [`run_engine`]'s worker loop (profile
+/// enable/take bracketing, shard stamping of events) without the
+/// cross-shard plumbing (case channel, wall timeline, proportional
+/// deadline slicing — callers budget by **cases**, so `config.duration`
+/// should be the generous anti-hang deadline, not a real budget).
+///
+/// `config.max_cases` must already be this shard's slice (see
+/// [`shard_case_budget`]); `config.backends` supplies the backend set.
+pub fn run_engine_shard(
+    backends: &BackendSet,
+    source: &mut dyn TestCaseSource,
+    config: &CampaignConfig,
+    shard_index: usize,
+) -> ShardRun {
+    let mut events: Vec<LoggedEvent> = Vec::new();
+    nnsmith_obs::enable();
+    let result = run_campaign_inner(
+        backends,
+        source,
+        config,
+        Some(&mut |mut record: CaseRecord| {
+            for e in &mut record.events {
+                e.shard = shard_index as u64;
+            }
+            events.append(&mut record.events);
+        }),
+    );
+    let profile = nnsmith_obs::take();
+    nnsmith_obs::sort_events(&mut events);
+    ShardRun {
+        result,
+        profile,
+        events,
+    }
+}
+
 /// Folds shard results (in shard-index order) into one campaign result.
-/// Pure data merge — deterministic for deterministic inputs.
-fn merge_shard_results(
+/// Pure data merge — deterministic for deterministic inputs. Public as
+/// the shared fold of the in-process engine and the multi-process
+/// orchestrator: both must produce byte-identical merges from identical
+/// shard results.
+pub fn merge_shard_results(
     backends: &BackendSet,
     source_name: &str,
     shards: &[CampaignResult],

@@ -145,7 +145,12 @@ impl CaseFeedback {
 ///
 /// Generic over the retained payload so graph campaigns retain
 /// [`TestCase`]s and Tzer retains `LoweredFunc`s through the same type.
-#[derive(Debug, Clone)]
+///
+/// Serializable (for payloads that are) so a campaign snapshot can
+/// persist a shard's retention state mid-run and a resumed process
+/// reconstructs the identical corpus — ring-replacement slot arithmetic
+/// depends on `retained`/`frozen`, so every private field round-trips.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FeedbackCorpus<T> {
     items: Vec<T>,
     cap: usize,
@@ -262,7 +267,7 @@ impl FeedbackPlan {
 /// featuring case), not the cumulative total — an option that stopped
 /// producing new branches decays back toward the floor instead of
 /// compounding a rich-get-richer boost, keeping exploration alive.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct YieldStats {
     op: BTreeMap<String, (u64, u64)>,
     dtype: BTreeMap<String, (u64, u64)>,
@@ -273,7 +278,13 @@ impl YieldStats {
     /// Credits `new_branches` (and one featuring case) to every feature
     /// the case exhibited (callers pass each distinct feature once per
     /// case).
-    pub fn record(&mut self, ops: &[String], dtypes: &[String], ranks: &[usize], new_branches: u64) {
+    pub fn record(
+        &mut self,
+        ops: &[String],
+        dtypes: &[String],
+        ranks: &[usize],
+        new_branches: u64,
+    ) {
         for op in ops {
             let e = self.op.entry(op.clone()).or_insert((0, 0));
             e.0 += new_branches;
@@ -298,7 +309,7 @@ impl YieldStats {
     /// [`BASE_WEIGHT`] floor.
     pub fn plan(&self) -> FeedbackPlan {
         fn scale<K: Clone + Ord>(m: &BTreeMap<K, (u64, u64)>) -> BTreeMap<K, u64> {
-            let rate = |&(y, n): &(u64, u64)| if n == 0 { 0 } else { 1024 * y / n };
+            let rate = |&(y, n): &(u64, u64)| (1024 * y).checked_div(n).unwrap_or(0);
             let max = m.values().map(rate).max().unwrap_or(0);
             if max == 0 {
                 return BTreeMap::new();
@@ -352,7 +363,8 @@ impl FeedbackSummary {
         self.retained += other.retained;
         self.corpus += other.corpus;
         if other.corpus_digest != 0 {
-            self.corpus_digest = fnv_step(self.corpus_digest, &format!("{:016x}", other.corpus_digest));
+            self.corpus_digest =
+                fnv_step(self.corpus_digest, &format!("{:016x}", other.corpus_digest));
         }
         self.seeded += other.seeded;
         self.mutated += other.mutated;
@@ -447,6 +459,40 @@ mod tests {
         // Deterministic fold: same inputs, same order, same digest.
         a2.absorb(&b);
         assert_eq!(a.corpus_digest, a2.corpus_digest);
+    }
+
+    #[test]
+    fn corpus_snapshot_roundtrip_preserves_ring_state() {
+        // A resumed process must rebuild the exact corpus: same items,
+        // same digest, and — because ring replacement derives its slot
+        // from `retained` and `frozen` — the same *future* eviction
+        // sequence.
+        let mut c: FeedbackCorpus<u32> = FeedbackCorpus::new(3);
+        c.seed(100, "s");
+        for i in 0..5u32 {
+            c.offer(i, &i.to_string(), true);
+        }
+        let js = serde::json::to_string(&c);
+        let mut back: FeedbackCorpus<u32> = serde::json::from_str(&js).expect("roundtrip");
+        assert_eq!(back.items(), c.items());
+        assert_eq!(back.digest(), c.digest());
+        assert_eq!(back.retained(), c.retained());
+        // Continued retention evolves both identically.
+        c.offer(9, "9", true);
+        back.offer(9, "9", true);
+        assert_eq!(back.items(), c.items());
+        assert_eq!(back.digest(), c.digest());
+    }
+
+    #[test]
+    fn yield_ledger_roundtrips_and_replans_identically() {
+        let mut y = YieldStats::default();
+        y.record(&["Conv2d".into()], &["f32".into()], &[4], 10);
+        y.record(&["Relu".into()], &["i64".into()], &[2], 5);
+        let js = serde::json::to_string(&y);
+        let back: YieldStats = serde::json::from_str(&js).expect("roundtrip");
+        assert_eq!(back, y);
+        assert_eq!(back.plan(), y.plan());
     }
 
     #[test]

@@ -25,13 +25,14 @@ pub use campaign::{
     op_instance_keys, run_campaign, run_campaign_observed, run_matrix_campaign, BackendResult,
     CampaignConfig, CampaignResult, CapturedFailure, CaseRecord, TestCaseSource, TimelinePoint,
 };
+pub use engine::{
+    merge_shard_results, run_engine, run_engine_observed, run_engine_shard, run_matrix_engine,
+    run_matrix_engine_observed, shard_case_budget, shard_seed, EngineConfig, EngineReport,
+    FnSourceFactory, ShardCtx, ShardRun, SourceFactory,
+};
 pub use feedback::{
     fnv_step, CaseFeedback, FeedbackConfig, FeedbackCorpus, FeedbackPlan, FeedbackSummary,
     YieldStats, BASE_WEIGHT, BOOST_WEIGHT,
-};
-pub use engine::{
-    run_engine, run_engine_observed, run_matrix_engine, run_matrix_engine_observed, shard_seed,
-    EngineConfig, EngineReport, FnSourceFactory, ShardCtx, SourceFactory,
 };
 pub use harness::{
     prepare_case, run_case, run_case_matrix, run_ir_case, run_prepared_case, seeded_bug_id,

@@ -29,9 +29,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 use nnsmith_graph::{Graph, NodeKind, TensorType};
-use nnsmith_ops::{
-    BinaryKind, CompareKind, LogicalKind, Op, PadKind, UnaryKind,
-};
+use nnsmith_ops::{BinaryKind, CompareKind, LogicalKind, Op, PadKind, UnaryKind};
 use nnsmith_solver::BoolExpr;
 use nnsmith_tensor::{DType, ReduceKind};
 
@@ -172,9 +170,10 @@ fn valid_swap(candidate: &Op, in_types: &[TensorType], outputs: &[TensorType]) -
         return false;
     };
     derived.len() == outputs.len()
-        && derived.iter().zip(outputs).all(|(d, s)| {
-            d.dtype == s.dtype && d.concrete_shape() == s.concrete_shape()
-        })
+        && derived
+            .iter()
+            .zip(outputs)
+            .all(|(d, s)| d.dtype == s.dtype && d.concrete_shape() == s.concrete_shape())
 }
 
 fn op_swap<R: Rng + ?Sized>(graph: &Graph<Op>, rng: &mut R) -> Option<MutationOutcome> {
@@ -233,7 +232,10 @@ fn repropagate(mutated: &mut Graph<Op>, allow_dtype_change: bool) -> Option<()> 
             return None;
         }
         if !allow_dtype_change
-            && outs.iter().zip(&node.outputs).any(|(d, s)| d.dtype != s.dtype)
+            && outs
+                .iter()
+                .zip(&node.outputs)
+                .any(|(d, s)| d.dtype != s.dtype)
         {
             return None;
         }

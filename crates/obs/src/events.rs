@@ -14,7 +14,7 @@
 use std::io::Write;
 use std::path::Path;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// The `seq` assigned to events whose emission point is outside the
 /// case's own worker (the triage consumer's bin updates): sorts after
@@ -26,7 +26,7 @@ pub const SEQ_TRIAGE: u64 = u64::MAX;
 /// `shard`/`case_index`/`seq` locate the event deterministically;
 /// `t_ms` is the wall-clock arrival time at the aggregator
 /// (**nondeterministic** — the one field excluded from log diffing).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LoggedEvent {
     /// Shard that produced the event.
     pub shard: u64,

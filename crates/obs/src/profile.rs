@@ -5,7 +5,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Canonical phase keys. Free-form strings are allowed everywhere, but
 /// the pipeline sticks to these so dashboards can rely on the names.
@@ -44,7 +44,7 @@ pub mod phase {
 /// `count` is deterministic for a case-budgeted engine run (it counts
 /// *work*, which the shard layout fixes); `wall_ns` is wall-clock truth
 /// and scheduling-dependent.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PhaseStat {
     /// Times the phase ran.
     pub count: u64,
@@ -54,7 +54,7 @@ pub struct PhaseStat {
 
 /// Accumulated phase timings and named counters for one unit of work
 /// (typically: one shard of an engine run).
-#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Profile {
     /// Per-phase statistics, keyed by phase name (see [`phase`]).
     pub phases: BTreeMap<String, PhaseStat>,
@@ -135,7 +135,7 @@ pub struct DeterministicView {
 /// the merged fold. The merged profile additionally carries run-level
 /// counters that have no per-shard attribution (the campaign pool's
 /// `pool/*` counters, the triage consumer's phase).
-#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ShardedProfile {
     /// Per-shard profiles, indexed by shard.
     pub per_shard: Vec<Profile>,

@@ -1,0 +1,88 @@
+//! # nnsmith-service
+//!
+//! Distributed, resumable campaigns: the process-level scale axis on top
+//! of the in-process engine's thread-level one.
+//!
+//! The engine ([`nnsmith_difftest::run_matrix_engine`]) shards a campaign
+//! across worker *threads* inside one process. This crate lifts the same
+//! shard decomposition across worker *processes*:
+//!
+//! * A [`WorkUnit`] is one shard of a campaign made serializable — the
+//!   campaign seed, the shard's index/count, its **case-budget slice**
+//!   (cut by [`nnsmith_difftest::shard_case_budget`], exactly the slice
+//!   the in-process engine would hand a shard worker), the backend set
+//!   by name, and the deterministic pipeline/feedback knobs
+//!   ([`PipelineSpec`] / [`FeedbackSpec`]).
+//! * [`run_service`] is the multi-process orchestrator: the parent
+//!   re-execs `--processes M` child workers (the current binary with a
+//!   `work-unit` subcommand, speaking JSONL over stdin/stdout), hands
+//!   out work-units from a queue with work-stealing (the next queued
+//!   unit goes to whichever child finishes first), and folds the child
+//!   outcomes **in shard-index order** — through the very same
+//!   [`nnsmith_difftest::merge_shard_results`] /
+//!   [`nnsmith_obs::ShardedProfile::from_shards`] folds the in-process
+//!   aggregator uses — so `processes=1 ≡ processes=M` byte-equality
+//!   holds for every deterministic view.
+//! * A [`CampaignSnapshot`] persists completed shard outcomes plus the
+//!   remaining work-units after every completed unit, so a killed run
+//!   resumes ([`resume_service`]) to a byte-identical final artifact.
+//!
+//! ## Determinism contract
+//!
+//! [`run_work_unit`] is a pure function of its [`WorkUnit`]: each unit
+//! runs from its own [`InternPool`](nnsmith_solver::InternPool) (so no
+//! cross-process state exists to diverge), its source derives all
+//! randomness from `shard_seed(campaign_seed, shard_index)`, and its
+//! budget is a case count. It therefore does not matter which child
+//! executes a unit, in what order units complete, or whether a unit ran
+//! before or after a kill/resume cycle — the merge folds identical
+//! bundles in shard-index order either way. `tests/service_determinism.rs`
+//! pins `processes=1 ≡ processes=3` and kill→resume byte-equality; the
+//! CI `service-smoke` job `cmp`s the emitted `BENCH_fig13.json`.
+//!
+//! Per-unit cache counters (the arena's `pool/base_hits`,
+//! `pool/base_misses`, `pool/memo_hits`, and the campaign-layer
+//! `import/*` / `localize/*` counters) are recorded into **each shard's
+//! own profile** by the child and folded at the parent in shard-index
+//! order — never child-arrival order, which is scheduling truth and
+//! would reintroduce exactly the arrival-order nondeterminism class the
+//! in-process engine's slot-indexed aggregation fixed.
+//!
+//! ## Wall-clock discipline audit (service layer)
+//!
+//! Extending the `run_tzer_campaign`-style audit to serialized state:
+//! **nothing that crosses a process or snapshot boundary carries a
+//! wall-clock field.**
+//!
+//! * [`WorkUnit`] and [`CampaignSnapshot`] contain no `Duration`:
+//!   budgets serialize as *case counts* only (`WorkUnit::case_budget`,
+//!   the remaining units of a snapshot). `CampaignConfig::duration` and
+//!   `sample_every` are reconstructed by the *executing* process as
+//!   fixed local constants (the generous anti-hang deadline
+//!   [`WORK_UNIT_DEADLINE_SECS`]; the default sampling cadence) and are
+//!   never shipped — a slow machine resumes exactly like a fast one.
+//! * [`PipelineSpec`] serializes `SearchConfig`'s deterministic
+//!   `max_iters` budget only; the wall-clock `budget` opt-in is
+//!   deliberately unrepresentable in a work-unit.
+//! * Snapshots are cut at **work-unit completion** — a case-count
+//!   boundary, since unit budgets are case slices — never on a timer.
+//! * Wall-clock *data* that rides along inside results (a shard
+//!   timeline's `elapsed_ms`, an event's `t_ms`) is measurement, not
+//!   decision: no control flow reads it, and deterministic consumers
+//!   strip it (`deterministic_view`, `deterministic_event_lines`)
+//!   exactly as they do for the in-process engine.
+
+#![warn(missing_docs)]
+
+mod orchestrator;
+mod snapshot;
+mod work_unit;
+
+pub use orchestrator::{
+    child_loop, maybe_work_unit_child, plan_work_units, resume_service, run_service, ServiceConfig,
+    ServiceReport, ServiceRun,
+};
+pub use snapshot::CampaignSnapshot;
+pub use work_unit::{
+    run_work_unit, FeedbackSpec, PipelineSpec, WorkUnit, WorkUnitOutcome, WORK_UNIT_DEADLINE_SECS,
+};

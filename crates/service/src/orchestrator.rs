@@ -1,0 +1,667 @@
+//! The multi-process orchestrator: plan work-units, farm them out to
+//! child worker processes over JSONL, fold the outcomes like the
+//! in-process engine would.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc;
+use std::time::Instant;
+
+use nnsmith_compilers::BackendSet;
+use nnsmith_difftest::{
+    merge_shard_results, shard_case_budget, CampaignResult, EngineReport, TimelinePoint,
+};
+use nnsmith_obs::{sort_events, LoggedEvent, ShardedProfile};
+use nnsmith_solver::PoolStats;
+
+use crate::snapshot::CampaignSnapshot;
+use crate::work_unit::{run_work_unit, FeedbackSpec, PipelineSpec, WorkUnit, WorkUnitOutcome};
+
+/// Configuration of a service campaign: the campaign identity (what the
+/// work-units are planned from) plus the process-level execution knobs
+/// (which never influence the deterministic artifact — that is the
+/// contract the service exists to keep).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker processes. Affects wall-clock time only, never the merged
+    /// result: `processes=1 ≡ processes=M` byte-equality is pinned by
+    /// `tests/service_determinism.rs`.
+    pub processes: usize,
+    /// Shard count — the reproducibility key, exactly as for the
+    /// in-process engine.
+    pub shards: usize,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Total case budget, split across shards by
+    /// [`shard_case_budget`].
+    pub cases: usize,
+    /// Backend names (full or short forms).
+    pub backends: Vec<String>,
+    /// Deterministic pipeline knobs.
+    pub pipeline: PipelineSpec,
+    /// Feedback-loop knobs.
+    pub feedback: FeedbackSpec,
+    /// Treat found seeded bugs as fixed.
+    pub fix_found_bugs: bool,
+    /// Emit the structured event log.
+    pub log_events: bool,
+    /// The worker executable to re-exec. `None` re-execs
+    /// `std::env::current_exe()` — correct for real binaries whose `main`
+    /// calls [`crate::maybe_work_unit_child`]; integration tests (whose
+    /// `current_exe` is the libtest harness) point this at a dedicated
+    /// worker binary instead.
+    pub worker: Option<PathBuf>,
+    /// Where to persist a [`CampaignSnapshot`] after every completed
+    /// work-unit. `None` disables snapshotting.
+    pub snapshot: Option<PathBuf>,
+    /// Stop (returning [`ServiceRun::Paused`]) once this many work-units
+    /// have completed *in this invocation* — the deterministic stand-in
+    /// for `kill -9` in resume tests and CI smoke. Requires `snapshot`.
+    pub stop_after_units: Option<usize>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            processes: 1,
+            shards: 8,
+            seed: 13,
+            cases: 96,
+            backends: BackendSet::all().names(),
+            pipeline: PipelineSpec::default(),
+            feedback: FeedbackSpec::default(),
+            fix_found_bugs: true,
+            log_events: true,
+            worker: None,
+            snapshot: None,
+            stop_after_units: None,
+        }
+    }
+}
+
+impl ServiceConfig {
+    fn backend_set(&self) -> BackendSet {
+        BackendSet::from_names(&self.backends)
+            .unwrap_or_else(|| panic!("unknown backends: {:?}", self.backends))
+    }
+}
+
+/// What [`run_service`] / [`resume_service`] produced.
+#[derive(Debug)]
+pub enum ServiceRun {
+    /// All work-units completed; the merged report.
+    Complete(Box<ServiceReport>),
+    /// `stop_after_units` tripped: the snapshot holds the state.
+    Paused {
+        /// Work-units completed across the campaign so far (including
+        /// units preloaded from a resumed snapshot).
+        completed_units: usize,
+    },
+}
+
+impl ServiceRun {
+    /// Unwraps the completed report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run paused instead of completing.
+    pub fn expect_complete(self) -> ServiceReport {
+        match self {
+            ServiceRun::Complete(report) => *report,
+            ServiceRun::Paused { completed_units } => {
+                panic!("service run paused after {completed_units} units")
+            }
+        }
+    }
+}
+
+/// A completed service campaign: an [`EngineReport`] whose deterministic
+/// views are byte-identical to the same campaign run at any other
+/// process count (`EngineReport::workers` carries the process count
+/// here).
+#[derive(Debug)]
+pub struct ServiceReport {
+    /// The merged report, shaped exactly like the in-process engine's.
+    pub report: EngineReport,
+    /// Worker processes used.
+    pub processes: usize,
+}
+
+/// Plans the campaign's work-units: one per shard, in shard-index
+/// order, with case budgets cut by [`shard_case_budget`] — byte-for-byte
+/// the slices the in-process engine would hand its shard workers.
+pub fn plan_work_units(config: &ServiceConfig) -> Vec<WorkUnit> {
+    let shards = config.shards.max(1);
+    // Canonical names: a unit must reconstruct the identical set however
+    // the config spelled them (short forms, duplicates).
+    let backends = config.backend_set().names();
+    (0..shards)
+        .map(|index| WorkUnit {
+            shard_index: index,
+            shard_count: shards,
+            campaign_seed: config.seed,
+            case_budget: shard_case_budget(Some(config.cases), shards, index)
+                .expect("total case budget is always Some"),
+            backends: backends.clone(),
+            pipeline: config.pipeline.clone(),
+            feedback: config.feedback.clone(),
+            fix_found_bugs: config.fix_found_bugs,
+            log_events: config.log_events,
+        })
+        .collect()
+}
+
+/// Runs a campaign across `config.processes` worker processes and merges
+/// the outcomes. See the crate docs for the determinism contract.
+pub fn run_service(config: &ServiceConfig) -> ServiceRun {
+    drive(config, Vec::new(), plan_work_units(config))
+}
+
+/// Resumes a campaign from a snapshot written by an earlier (killed or
+/// paused) run: completed outcomes are preloaded, remaining work-units
+/// are executed, and the merge is byte-identical to an uninterrupted
+/// run — [`run_work_unit`] is a pure function of the unit, so it cannot
+/// matter which invocation ran it.
+///
+/// `processes` and `worker` are execution knobs of *this* invocation
+/// (deliberately not persisted: they never influence the artifact);
+/// further snapshots are written back to `snapshot`.
+pub fn resume_service(
+    snapshot: &std::path::Path,
+    processes: usize,
+    worker: Option<PathBuf>,
+) -> std::io::Result<ServiceRun> {
+    let snap = CampaignSnapshot::load(snapshot)?;
+    let config = ServiceConfig {
+        processes,
+        shards: snap.shards,
+        seed: snap.seed,
+        cases: snap.cases,
+        backends: snap.backends,
+        pipeline: snap.pipeline,
+        feedback: snap.feedback,
+        fix_found_bugs: snap.fix_found_bugs,
+        log_events: snap.log_events,
+        worker,
+        snapshot: Some(snapshot.to_path_buf()),
+        stop_after_units: None,
+    };
+    Ok(drive(&config, snap.completed, snap.remaining))
+}
+
+/// One spawned worker process plus its protocol state.
+struct Worker {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    in_flight: Option<WorkUnit>,
+    alive: bool,
+}
+
+enum FromChild {
+    Line(usize, String),
+    Eof(usize),
+}
+
+/// The shared execution loop of [`run_service`] and [`resume_service`]:
+/// run `queue` (preloading `completed` into the merge slots), snapshot
+/// after every completed unit, merge when the slots are full.
+fn drive(
+    config: &ServiceConfig,
+    completed: Vec<WorkUnitOutcome>,
+    queue: Vec<WorkUnit>,
+) -> ServiceRun {
+    let start = Instant::now();
+    let shards = config.shards.max(1);
+    let mut slots: Vec<Option<WorkUnitOutcome>> = (0..shards).map(|_| None).collect();
+    for outcome in completed {
+        let index = outcome.shard_index;
+        assert!(
+            index < shards,
+            "snapshot outcome for shard {index} of {shards}"
+        );
+        slots[index] = Some(outcome);
+    }
+    let mut queue: VecDeque<WorkUnit> = queue.into();
+    let mut done_this_run = 0usize;
+
+    let processes = config.processes.max(1).min(queue.len().max(1));
+    if processes <= 1 {
+        // Single-process mode runs units inline — the reference stream
+        // the multi-process path must reproduce byte-for-byte.
+        while let Some(unit) = queue.pop_front() {
+            let index = unit.shard_index;
+            slots[index] = Some(run_work_unit(&unit));
+            done_this_run += 1;
+            save_snapshot(config, &slots, &queue, &[]);
+            if let Some(stop) = config.stop_after_units {
+                if done_this_run >= stop && !queue.is_empty() {
+                    return pause(&slots);
+                }
+            }
+        }
+        return ServiceRun::Complete(Box::new(build_report(config, slots, start, processes)));
+    }
+
+    // Multi-process: spawn workers, deal units out, steal-as-you-finish.
+    let worker_path = config
+        .worker
+        .clone()
+        .or_else(|| std::env::current_exe().ok());
+    let (tx, rx) = mpsc::channel::<FromChild>();
+    let mut workers: Vec<Worker> = Vec::new();
+    for id in 0..processes {
+        let spawned = worker_path.as_ref().and_then(|path| {
+            Command::new(path)
+                .arg("work-unit")
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .ok()
+        });
+        let Some(mut child) = spawned else { continue };
+        let stdin = child.stdin.take();
+        let stdout = child.stdout.take().expect("piped stdout");
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let reader = BufReader::new(stdout);
+            for line in reader.lines() {
+                match line {
+                    Ok(line) => {
+                        if tx.send(FromChild::Line(id, line)).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            let _ = tx.send(FromChild::Eof(id));
+        });
+        workers.push(Worker {
+            child,
+            stdin,
+            in_flight: None,
+            alive: true,
+        });
+    }
+    drop(tx);
+
+    if workers.is_empty() {
+        // Could not spawn any worker (no executable path, exec failure):
+        // degrade to inline execution rather than losing the campaign.
+        let mut inline = config.clone();
+        inline.processes = 1;
+        let completed: Vec<WorkUnitOutcome> = slots.into_iter().flatten().collect();
+        return drive(&inline, completed, queue.into_iter().collect());
+    }
+
+    // Initial deal: one unit per worker; the rest are stolen from the
+    // queue by whichever worker finishes first.
+    for worker in workers.iter_mut() {
+        if let Some(unit) = queue.pop_front() {
+            dispatch(worker, unit);
+        }
+    }
+
+    let mut paused = false;
+    while workers.iter().any(|w| w.in_flight.is_some()) {
+        let Ok(msg) = rx.recv() else { break };
+        match msg {
+            FromChild::Line(id, line) => {
+                let Ok(outcome) = serde::json::from_str::<WorkUnitOutcome>(&line) else {
+                    // Stray child chatter; the protocol is one outcome
+                    // JSON object per line.
+                    continue;
+                };
+                let worker = &mut workers[id];
+                let Some(unit) = worker.in_flight.take() else {
+                    continue;
+                };
+                assert_eq!(
+                    outcome.shard_index, unit.shard_index,
+                    "worker answered for the wrong shard"
+                );
+                slots[unit.shard_index] = Some(outcome);
+                done_this_run += 1;
+                snapshot_in_flight(config, &slots, &queue, &workers);
+                if let Some(stop) = config.stop_after_units {
+                    let units_left =
+                        !queue.is_empty() || workers.iter().any(|w| w.in_flight.is_some());
+                    if done_this_run >= stop && units_left {
+                        paused = true;
+                        break;
+                    }
+                }
+                if let Some(next) = queue.pop_front() {
+                    dispatch(&mut workers[id], next);
+                }
+            }
+            FromChild::Eof(id) => {
+                let worker = &mut workers[id];
+                worker.alive = false;
+                worker.stdin = None;
+                // A dead child's in-flight unit is not lost:
+                // run_work_unit is pure, so re-running it inline yields
+                // the identical outcome.
+                if let Some(unit) = worker.in_flight.take() {
+                    slots[unit.shard_index] = Some(run_work_unit(&unit));
+                    done_this_run += 1;
+                    snapshot_in_flight(config, &slots, &queue, &workers);
+                }
+                if !workers.iter().any(|w| w.alive) {
+                    // Every child died: finish the queue inline (the
+                    // kill-switch still applies while draining).
+                    while let Some(unit) = queue.pop_front() {
+                        slots[unit.shard_index] = Some(run_work_unit(&unit));
+                        done_this_run += 1;
+                        snapshot_in_flight(config, &slots, &queue, &workers);
+                        if let Some(stop) = config.stop_after_units {
+                            if done_this_run >= stop && !queue.is_empty() {
+                                paused = true;
+                                break;
+                            }
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    // Closing stdin tells each child to exit its loop; then reap.
+    for worker in workers.iter_mut() {
+        worker.stdin = None;
+        if paused {
+            let _ = worker.child.kill();
+        }
+        let _ = worker.child.wait();
+    }
+    drop(rx);
+
+    if paused {
+        return pause(&slots);
+    }
+    ServiceRun::Complete(Box::new(build_report(config, slots, start, processes)))
+}
+
+fn dispatch(worker: &mut Worker, unit: WorkUnit) {
+    let line = serde::json::to_string(&unit);
+    let sent = worker
+        .stdin
+        .as_mut()
+        .and_then(|stdin| {
+            stdin
+                .write_all(line.as_bytes())
+                .and_then(|()| stdin.write_all(b"\n"))
+                .and_then(|()| stdin.flush())
+                .ok()
+        })
+        .is_some();
+    if sent {
+        worker.in_flight = Some(unit);
+    } else {
+        // A broken pipe surfaces as Eof from the reader thread; keeping
+        // the unit in_flight lets that handler re-run it inline.
+        worker.in_flight = Some(unit);
+        worker.alive = false;
+    }
+}
+
+fn save_snapshot(
+    config: &ServiceConfig,
+    slots: &[Option<WorkUnitOutcome>],
+    queue: &VecDeque<WorkUnit>,
+    in_flight: &[WorkUnit],
+) {
+    let Some(path) = &config.snapshot else { return };
+    // Remaining = in-flight units (not yet answered) plus the queue, in
+    // shard-index order so the snapshot is independent of scheduling.
+    let mut remaining: Vec<WorkUnit> = in_flight.to_vec();
+    remaining.extend(queue.iter().cloned());
+    remaining.sort_by_key(|u| u.shard_index);
+    let snap = CampaignSnapshot {
+        seed: config.seed,
+        shards: config.shards.max(1),
+        cases: config.cases,
+        backends: config.backend_set().names(),
+        pipeline: config.pipeline.clone(),
+        feedback: config.feedback.clone(),
+        fix_found_bugs: config.fix_found_bugs,
+        log_events: config.log_events,
+        completed: slots.iter().flatten().cloned().collect(),
+        remaining,
+    };
+    if let Err(e) = snap.save(path) {
+        eprintln!("warning: failed to write campaign snapshot: {e}");
+    }
+}
+
+fn snapshot_in_flight(
+    config: &ServiceConfig,
+    slots: &[Option<WorkUnitOutcome>],
+    queue: &VecDeque<WorkUnit>,
+    workers: &[Worker],
+) {
+    let in_flight: Vec<WorkUnit> = workers.iter().filter_map(|w| w.in_flight.clone()).collect();
+    save_snapshot(config, slots, queue, &in_flight);
+}
+
+fn pause(slots: &[Option<WorkUnitOutcome>]) -> ServiceRun {
+    ServiceRun::Paused {
+        completed_units: slots.iter().flatten().count(),
+    }
+}
+
+/// Folds completed work-unit outcomes into an [`EngineReport`] shaped
+/// exactly like the in-process engine's: same
+/// [`merge_shard_results`] fold for the campaign result, same
+/// [`ShardedProfile::from_shards`] fold for the profiles, same canonical
+/// event ordering — all in **shard-index order**, never child-arrival
+/// order (the slots are indexed by shard, so arrival order is erased
+/// before any fold runs).
+fn build_report(
+    config: &ServiceConfig,
+    slots: Vec<Option<WorkUnitOutcome>>,
+    start: Instant,
+    processes: usize,
+) -> ServiceReport {
+    let backends = config.backend_set();
+    let outcomes: Vec<WorkUnitOutcome> = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.unwrap_or_else(|| panic!("shard {i} produced no outcome")))
+        .collect();
+
+    let shard_results: Vec<CampaignResult> = outcomes.iter().map(|o| o.result.clone()).collect();
+    let result = merge_shard_results(&backends, "NNSmith", &shard_results);
+
+    // Cache counters (pool/*, import/*, localize/*) ride inside each
+    // shard's own profile — see run_work_unit — so this index-order fold
+    // is the one place they are ever summed.
+    let phases = ShardedProfile::from_shards(outcomes.iter().map(|o| o.profile.clone()).collect());
+
+    let mut arena = PoolStats::default();
+    for outcome in &outcomes {
+        arena.int_nodes += outcome.arena.int_nodes;
+        arena.bool_nodes += outcome.arena.bool_nodes;
+        arena.bytes += outcome.arena.bytes;
+        arena.base_hits += outcome.arena.base_hits;
+        arena.base_misses += outcome.arena.base_misses;
+        arena.memo_hits += outcome.arena.memo_hits;
+    }
+
+    let mut events: Vec<LoggedEvent> = outcomes.into_iter().flat_map(|o| o.events).collect();
+    sort_events(&mut events);
+
+    let wall = start.elapsed();
+    // No aggregator observed case arrivals here (they happened in other
+    // processes), so the wall timeline is just the run's endpoints; the
+    // logical timeline in `result.timeline` is the deterministic curve.
+    let (total_branches, pass_branches) = result
+        .timeline
+        .last()
+        .map(|p| (p.total_branches, p.pass_branches))
+        .unwrap_or((0, 0));
+    let wall_timeline = vec![
+        TimelinePoint {
+            elapsed_ms: 0,
+            cases: 0,
+            total_branches: 0,
+            pass_branches: 0,
+        },
+        TimelinePoint {
+            elapsed_ms: wall.as_millis() as u64,
+            cases: result.cases,
+            total_branches,
+            pass_branches,
+        },
+    ];
+
+    ServiceReport {
+        report: EngineReport {
+            result,
+            shard_results,
+            wall_timeline,
+            wall,
+            workers: processes,
+            shards: config.shards.max(1),
+            arena,
+            phases,
+            events,
+        },
+        processes,
+    }
+}
+
+/// The body of a worker process: read one [`WorkUnit`] JSON object per
+/// stdin line, execute it, answer with one [`WorkUnitOutcome`] JSON
+/// object on stdout. Exits 0 on stdin EOF (the parent hung up), 2 on a
+/// malformed unit (a protocol bug, not a campaign outcome).
+pub fn child_loop() -> ! {
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let unit: WorkUnit = match serde::json::from_str(line) {
+            Ok(unit) => unit,
+            Err(e) => {
+                eprintln!("work-unit child: malformed unit: {e:?}");
+                std::process::exit(2);
+            }
+        };
+        let outcome = run_work_unit(&unit);
+        let mut payload = serde::json::to_string(&outcome);
+        payload.push('\n');
+        if stdout.write_all(payload.as_bytes()).is_err() || stdout.flush().is_err() {
+            // Parent hung up mid-answer; nothing useful left to do.
+            std::process::exit(0);
+        }
+    }
+    std::process::exit(0);
+}
+
+/// Call first thing in `main`: when the process was re-exec'd with the
+/// `work-unit` subcommand, becomes the worker loop and never returns.
+/// A no-op for every other invocation.
+pub fn maybe_work_unit_child() {
+    if std::env::args().nth(1).as_deref() == Some("work-unit") {
+        child_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ServiceConfig {
+        ServiceConfig {
+            processes: 1,
+            shards: 3,
+            seed: 5,
+            cases: 7,
+            backends: vec!["tvm".into(), "ort".into()],
+            pipeline: PipelineSpec {
+                target_ops: 4,
+                search_max_iters: 64,
+                ..PipelineSpec::default()
+            },
+            feedback: FeedbackSpec::default(),
+            fix_found_bugs: true,
+            log_events: true,
+            worker: None,
+            snapshot: None,
+            stop_after_units: None,
+        }
+    }
+
+    #[test]
+    fn plans_cut_engine_identical_slices() {
+        let units = plan_work_units(&tiny_config());
+        assert_eq!(units.len(), 3);
+        // 7 cases over 3 shards: 3, 2, 2 — remainder to the lowest
+        // indices, exactly shard_case_budget's split.
+        assert_eq!(
+            units.iter().map(|u| u.case_budget).collect::<Vec<_>>(),
+            vec![3, 2, 2]
+        );
+        for (i, unit) in units.iter().enumerate() {
+            assert_eq!(unit.shard_index, i);
+            assert_eq!(unit.shard_count, 3);
+            assert_eq!(unit.campaign_seed, 5);
+            // Short names are canonicalized at planning time.
+            assert_eq!(unit.backends, vec!["tvmsim", "ortsim"]);
+        }
+    }
+
+    #[test]
+    fn single_process_run_merges_like_the_engine() {
+        let report = run_service(&tiny_config()).expect_complete();
+        assert_eq!(report.processes, 1);
+        assert_eq!(report.report.result.cases, 7);
+        assert_eq!(report.report.shard_results.len(), 3);
+        // Logical timeline: start point + one per shard.
+        assert_eq!(report.report.result.timeline.len(), 4);
+        assert!(!report.report.events.is_empty());
+        // Pool counters arrived via the per-shard profiles.
+        assert!(report
+            .report
+            .phases
+            .merged
+            .counters
+            .contains_key("pool/base_misses"));
+    }
+
+    #[test]
+    fn pause_and_resume_single_process() {
+        let dir = std::env::temp_dir().join(format!("nnsmith-svc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("pause.snap.json");
+        let mut config = tiny_config();
+        config.snapshot = Some(snap.clone());
+        config.stop_after_units = Some(1);
+        match run_service(&config) {
+            ServiceRun::Paused { completed_units } => assert_eq!(completed_units, 1),
+            ServiceRun::Complete(_) => panic!("expected pause"),
+        }
+        let resumed = resume_service(&snap, 1, None)
+            .expect("snapshot loads")
+            .expect_complete();
+        let full = run_service(&tiny_config()).expect_complete();
+        assert_eq!(
+            serde::json::to_string(&resumed.report.result),
+            serde::json::to_string(&full.report.result)
+        );
+        assert_eq!(resumed.report.events, full.report.events);
+        assert_eq!(
+            resumed.report.phases.merged.deterministic_view(),
+            full.report.phases.merged.deterministic_view()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,136 @@
+//! Campaign snapshots: kill a run, resume it, get the identical
+//! artifact.
+
+use std::io::Write;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::work_unit::{FeedbackSpec, PipelineSpec, WorkUnit, WorkUnitOutcome};
+
+/// The persistent state of an interrupted campaign: the campaign's
+/// identity (everything [`crate::plan_work_units`] planned from), the
+/// outcomes of every completed work-unit, and the units still owed.
+///
+/// Snapshots are cut at **work-unit completion** — a case-count
+/// boundary, since unit budgets are case slices — so no shard is ever
+/// split mid-stream. That granularity is also what keeps feedback state
+/// trivially resumable: a shard's `FeedbackCorpus` / `YieldLedger`
+/// evolution is interior to its work-unit, its end-of-shard
+/// [`FeedbackSummary`](nnsmith_difftest::FeedbackSummary) travels inside
+/// the completed outcome, and a resumed shard replays from its seed
+/// identically. (Finer-than-shard checkpoints would serialize the corpus
+/// and ledger themselves; their serde roundtrips are pinned in
+/// `nnsmith-difftest` for exactly that extension.)
+///
+/// Contains **no wall-clock field**: a snapshot taken on a fast machine
+/// resumes byte-identically on a slow one (see the crate-level audit).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignSnapshot {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Total shard count (the reproducibility key's other half).
+    pub shards: usize,
+    /// Total case budget across all shards.
+    pub cases: usize,
+    /// Backend names in canonical campaign order.
+    pub backends: Vec<String>,
+    /// Deterministic pipeline knobs every unit ran / will run with.
+    pub pipeline: PipelineSpec,
+    /// Feedback-loop knobs every unit ran / will run with.
+    pub feedback: FeedbackSpec,
+    /// Treat found seeded bugs as fixed.
+    pub fix_found_bugs: bool,
+    /// Emit the structured event log.
+    pub log_events: bool,
+    /// Outcomes of completed work-units (any order; the merge slots them
+    /// by `shard_index`).
+    pub completed: Vec<WorkUnitOutcome>,
+    /// Work-units not yet completed, in shard-index order.
+    pub remaining: Vec<WorkUnit>,
+}
+
+impl CampaignSnapshot {
+    /// Serializes and writes the snapshot to `path`, atomically: the
+    /// bytes land in a sibling temp file first and are renamed into
+    /// place, so a kill mid-write leaves the previous snapshot intact
+    /// (resume never sees a torn file).
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let bytes = serde::json::to_string(self);
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(bytes.as_bytes())?;
+            f.write_all(b"\n")?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads a snapshot previously written by [`CampaignSnapshot::save`].
+    pub fn load(path: &Path) -> std::io::Result<CampaignSnapshot> {
+        let bytes = std::fs::read_to_string(path)?;
+        serde::json::from_str(bytes.trim()).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("corrupt campaign snapshot {}: {e:?}", path.display()),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_roundtrips_through_disk() {
+        let unit = WorkUnit {
+            shard_index: 1,
+            shard_count: 2,
+            campaign_seed: 9,
+            case_budget: 4,
+            backends: vec!["tvmsim".into(), "ortsim".into()],
+            pipeline: PipelineSpec::default(),
+            feedback: FeedbackSpec::default(),
+            fix_found_bugs: true,
+            log_events: true,
+        };
+        let mut done = unit.clone();
+        done.shard_index = 0;
+        done.case_budget = 2;
+        let outcome = crate::run_work_unit(&done);
+        let snap = CampaignSnapshot {
+            seed: 9,
+            shards: 2,
+            cases: 6,
+            backends: unit.backends.clone(),
+            pipeline: unit.pipeline.clone(),
+            feedback: unit.feedback.clone(),
+            fix_found_bugs: true,
+            log_events: true,
+            completed: vec![outcome],
+            remaining: vec![unit],
+        };
+        let dir = std::env::temp_dir().join(format!("nnsmith-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.snap.json");
+        snap.save(&path).unwrap();
+        let back = CampaignSnapshot::load(&path).unwrap();
+        assert_eq!(back.seed, snap.seed);
+        assert_eq!(back.remaining, snap.remaining);
+        assert_eq!(back.completed.len(), 1);
+        assert_eq!(back.completed[0].result.cases, 2);
+        assert_eq!(back.completed[0].events, snap.completed[0].events);
+        // Saving the loaded snapshot re-emits identical bytes (the format
+        // is self-canonical, so resumed runs can keep checkpointing into
+        // the same file).
+        assert_eq!(serde::json::to_string(&back), serde::json::to_string(&snap));
+        // No wall-clock field may leak into the persisted form.
+        let js = serde::json::to_string(&snap);
+        for banned in ["duration", "sample_every", "deadline", "wall_ms", "secs"] {
+            assert!(!js.contains(banned), "wall-clock leak {banned:?}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

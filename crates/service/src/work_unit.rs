@@ -1,0 +1,358 @@
+//! Serializable work-units: one campaign shard, ready to cross a
+//! process boundary.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use nnsmith_compilers::BackendSet;
+use nnsmith_core::{NnSmithConfig, NnSmithFactory};
+use nnsmith_difftest::{
+    run_engine_shard, shard_seed, CampaignConfig, FeedbackConfig, ShardCtx, SourceFactory,
+};
+use nnsmith_gen::GenConfig;
+use nnsmith_obs::{LoggedEvent, Profile};
+use nnsmith_search::SearchConfig;
+use nnsmith_solver::{InternPool, PoolStats};
+
+/// The generous anti-hang deadline (seconds) every executing process
+/// reconstructs locally for its case-budgeted campaign slice — the same
+/// convention the case-budgeted bench figures use. Never serialized:
+/// work-units budget by cases only (see the crate-level wall-clock
+/// audit).
+pub const WORK_UNIT_DEADLINE_SECS: u64 = 86_400;
+
+/// The deterministic slice of the NNSmith pipeline configuration — the
+/// knobs that shape the case stream and therefore must survive a
+/// process boundary byte-exactly. Wall-clock knobs (`SearchConfig`'s
+/// `budget`) are deliberately unrepresentable: only the deterministic
+/// iteration budget serializes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineSpec {
+    /// Operator nodes per generated model.
+    pub target_ops: usize,
+    /// Insertion attempts before generation gives up growing.
+    pub max_attempts: usize,
+    /// Exponential attribute bins (`k` of Algorithm 2).
+    pub bins: u32,
+    /// Attribute binning on/off.
+    pub binning: bool,
+    /// `SearchConfig::max_iters`: the deterministic value-search budget
+    /// (iterations, never wall-clock).
+    pub search_max_iters: u32,
+    /// Attempts to produce one numerically-valid case before giving up.
+    pub max_attempts_per_case: usize,
+}
+
+impl Default for PipelineSpec {
+    fn default() -> Self {
+        // Mirror NnSmithConfig::default()'s deterministic fields.
+        let cfg = NnSmithConfig::default();
+        PipelineSpec {
+            target_ops: cfg.gen.target_ops,
+            max_attempts: cfg.gen.max_attempts,
+            bins: cfg.gen.bins,
+            binning: cfg.gen.binning,
+            search_max_iters: cfg.search.max_iters.unwrap_or(256),
+            max_attempts_per_case: cfg.max_attempts_per_case,
+        }
+    }
+}
+
+impl PipelineSpec {
+    /// Reconstructs the pipeline configuration (seed 0 — the factory
+    /// installs each shard's derived seed; dtype restriction is applied
+    /// by [`NnSmithFactory::for_backends`] from the canonical backend
+    /// set).
+    pub fn to_config(&self) -> NnSmithConfig {
+        NnSmithConfig {
+            gen: GenConfig {
+                target_ops: self.target_ops,
+                max_attempts: self.max_attempts,
+                bins: self.bins,
+                binning: self.binning,
+                ..GenConfig::default()
+            },
+            search: SearchConfig {
+                max_iters: Some(self.search_max_iters),
+                ..SearchConfig::default()
+            },
+            seed: 0,
+            max_attempts_per_case: self.max_attempts_per_case,
+            feedback: FeedbackConfig::default(),
+        }
+    }
+}
+
+/// The serializable feedback-loop knobs of a work-unit. All decisions
+/// the loop makes from these are case-count based (checkpoints fire on
+/// observed-case counts), so shipping them across processes preserves
+/// the byte-reproducibility contract. Reproducer seed cases are a
+/// campaign-launch concern and do not travel in work-units.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackSpec {
+    /// Master switch (false: the shard generates blind).
+    pub enabled: bool,
+    /// Corpus capacity.
+    pub corpus_cap: usize,
+    /// Schedule checkpoint cadence, in observed cases.
+    pub checkpoint_every: usize,
+    /// Probability of mutating a retained case instead of generating
+    /// fresh.
+    pub mutation_prob: f64,
+    /// Enqueue dtype siblings of coverage-novel findings as probes.
+    pub probe_siblings: bool,
+}
+
+impl Default for FeedbackSpec {
+    fn default() -> Self {
+        let cfg = FeedbackConfig::default();
+        FeedbackSpec {
+            enabled: cfg.enabled,
+            corpus_cap: cfg.corpus_cap,
+            checkpoint_every: cfg.checkpoint_every,
+            mutation_prob: cfg.mutation_prob,
+            probe_siblings: cfg.probe_siblings,
+        }
+    }
+}
+
+impl FeedbackSpec {
+    /// Reconstructs the feedback configuration (no seed cases).
+    pub fn to_config(&self) -> FeedbackConfig {
+        FeedbackConfig {
+            enabled: self.enabled,
+            corpus_cap: self.corpus_cap,
+            checkpoint_every: self.checkpoint_every,
+            mutation_prob: self.mutation_prob,
+            probe_siblings: self.probe_siblings,
+            seeds: Vec::new(),
+        }
+    }
+}
+
+/// One shard of a campaign, serialized: everything a worker process
+/// needs to run its slice and nothing more. Carries **no wall-clock
+/// field** — the executing process reconstructs deadlines locally (see
+/// the crate-level audit).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkUnit {
+    /// Shard index, `0..shard_count`.
+    pub shard_index: usize,
+    /// Total shard count of the campaign (part of the reproducibility
+    /// key, like the in-process engine's `shards`).
+    pub shard_count: usize,
+    /// The *campaign* seed; the worker derives the shard's RNG stream
+    /// via [`shard_seed`]`(campaign_seed, shard_index)`.
+    pub campaign_seed: u64,
+    /// This shard's case-budget slice (cut by
+    /// [`nnsmith_difftest::shard_case_budget`]).
+    pub case_budget: usize,
+    /// Backend names in canonical campaign order (the serialized form of
+    /// the [`BackendSet`]; `supported_dtypes` canonicalization makes the
+    /// reconstructed generation palette identical however this list was
+    /// produced).
+    pub backends: Vec<String>,
+    /// Deterministic pipeline knobs.
+    pub pipeline: PipelineSpec,
+    /// Feedback-loop knobs.
+    pub feedback: FeedbackSpec,
+    /// Treat found seeded bugs as fixed for the rest of the shard.
+    pub fix_found_bugs: bool,
+    /// Emit the structured event log.
+    pub log_events: bool,
+}
+
+impl WorkUnit {
+    /// The backend set this unit runs against.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a serialized backend name is unknown — a work-unit
+    /// naming a backend this build cannot construct is a configuration
+    /// error, not a state to limp through.
+    pub fn backend_set(&self) -> BackendSet {
+        BackendSet::from_names(&self.backends)
+            .unwrap_or_else(|| panic!("work-unit names unknown backends: {:?}", self.backends))
+    }
+}
+
+/// What one executed work-unit produced: the shard's campaign result,
+/// its phase profile (cache counters included), its canonical event
+/// stream, and its private pool's final counters. The unit of both the
+/// orchestrator's JSONL protocol and a snapshot's `completed` list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkUnitOutcome {
+    /// Which shard this outcome belongs to (merge slot, **not** arrival
+    /// order).
+    pub shard_index: usize,
+    /// The shard's campaign result. Its own `timeline` carries
+    /// wall-clock `elapsed_ms` *data* (stripped by every deterministic
+    /// consumer); all decision-bearing fields are deterministic.
+    pub result: nnsmith_difftest::CampaignResult,
+    /// The shard's phase profile, including this unit's `pool/*`
+    /// counters (each unit interns into its own pool, so the counters
+    /// have exact per-shard attribution — unlike the in-process engine's
+    /// shared campaign pool).
+    pub profile: Profile,
+    /// Canonical event stream (`t_ms` = 0: no aggregator clock exists in
+    /// a worker process).
+    pub events: Vec<LoggedEvent>,
+    /// Final counters of the unit's private intern pool.
+    pub arena: PoolStats,
+}
+
+/// Executes one work-unit on the calling thread: the process-level
+/// analogue of the in-process engine's shard-worker body, and a **pure
+/// function of the unit** — same unit, same bytes out, whichever
+/// process runs it.
+pub fn run_work_unit(unit: &WorkUnit) -> WorkUnitOutcome {
+    let backends = unit.backend_set();
+    // One private pool per unit: no shared arena exists across
+    // processes, and per-unit pools are what keep `pool/*` counters a
+    // pure function of the shard's own case stream.
+    let pool = InternPool::default();
+    let factory = NnSmithFactory::for_backends(unit.pipeline.to_config(), &backends)
+        .with_feedback(unit.feedback.to_config());
+    let ctx = ShardCtx {
+        index: unit.shard_index,
+        count: unit.shard_count.max(1),
+        seed: shard_seed(unit.campaign_seed, unit.shard_index),
+    };
+    let mut source = factory.make_source_in(&pool, ctx);
+    let config = CampaignConfig {
+        // Case budget drives termination; the generous deadline only
+        // guards against hangs (reconstructed locally, never serialized).
+        duration: Duration::from_secs(WORK_UNIT_DEADLINE_SECS),
+        max_cases: Some(unit.case_budget),
+        backends: backends.iter().cloned().collect(),
+        fix_found_bugs: unit.fix_found_bugs,
+        log_events: unit.log_events,
+        ..CampaignConfig::default()
+    };
+    let shard = run_engine_shard(&backends, source.as_mut(), &config, unit.shard_index);
+    drop(source);
+    let arena = pool.stats();
+    let mut profile = shard.profile;
+    // The unit's pool counters ride in its own profile, so the parent's
+    // shard-index-order profile fold (ShardedProfile::from_shards) is
+    // the single place every cache counter is merged.
+    profile.add("pool/base_hits", arena.base_hits as u64);
+    profile.add("pool/base_misses", arena.base_misses as u64);
+    profile.add("pool/memo_hits", arena.memo_hits as u64);
+    WorkUnitOutcome {
+        shard_index: unit.shard_index,
+        result: shard.result,
+        profile,
+        events: shard.events,
+        arena,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> WorkUnit {
+        WorkUnit {
+            shard_index: 2,
+            shard_count: 4,
+            campaign_seed: 21,
+            case_budget: 6,
+            backends: vec!["tvmsim".into(), "ortsim".into(), "trtsim".into()],
+            pipeline: PipelineSpec {
+                target_ops: 5,
+                search_max_iters: 128,
+                ..PipelineSpec::default()
+            },
+            feedback: FeedbackSpec {
+                enabled: true,
+                checkpoint_every: 4,
+                mutation_prob: 0.1,
+                ..FeedbackSpec::default()
+            },
+            fix_found_bugs: false,
+            log_events: true,
+        }
+    }
+
+    #[test]
+    fn work_unit_serde_roundtrip_is_pinned() {
+        let u = unit();
+        let js = serde::json::to_string(&u);
+        // Schema pin: the serialized form is the cross-process protocol.
+        for field in [
+            "\"shard_index\":2",
+            "\"shard_count\":4",
+            "\"campaign_seed\":21",
+            "\"case_budget\":6",
+            "\"backends\":[\"tvmsim\",\"ortsim\",\"trtsim\"]",
+            "\"search_max_iters\":128",
+            "\"mutation_prob\":0.1",
+            "\"fix_found_bugs\":false",
+            "\"log_events\":true",
+        ] {
+            assert!(js.contains(field), "missing {field} in {js}");
+        }
+        // No wall-clock field may ever leak into the serialized unit
+        // (the only "budget" is the case budget).
+        for banned in [
+            "duration",
+            "sample_every",
+            "deadline",
+            "secs",
+            "wall",
+            "elapsed",
+        ] {
+            assert!(!js.contains(banned), "wall-clock leak {banned:?} in {js}");
+        }
+        let back: WorkUnit = serde::json::from_str(&js).expect("roundtrip");
+        assert_eq!(back, u);
+        // And the roundtrip re-serializes byte-identically (the protocol
+        // is self-canonical).
+        assert_eq!(serde::json::to_string(&back), js);
+    }
+
+    #[test]
+    fn outcome_roundtrips_through_the_jsonl_protocol() {
+        let mut u = unit();
+        u.case_budget = 3;
+        let outcome = run_work_unit(&u);
+        assert_eq!(outcome.shard_index, 2);
+        assert_eq!(outcome.result.cases, 3);
+        assert!(!outcome.events.is_empty());
+        let js = serde::json::to_string(&outcome);
+        let back: WorkUnitOutcome = serde::json::from_str(&js).expect("roundtrip");
+        assert_eq!(back.result.cases, outcome.result.cases);
+        assert_eq!(back.result.bugs_found, outcome.result.bugs_found);
+        assert_eq!(back.profile, outcome.profile);
+        assert_eq!(back.events, outcome.events);
+        assert_eq!(back.arena, outcome.arena);
+    }
+
+    #[test]
+    fn run_work_unit_is_a_pure_function_of_the_unit() {
+        let mut u = unit();
+        u.case_budget = 4;
+        let a = run_work_unit(&u);
+        let b = run_work_unit(&u);
+        // The shard timeline's elapsed_ms is wall-clock *data* (stripped
+        // by every deterministic consumer; the merge rebuilds a logical
+        // timeline) — everything else must serialize byte-identically.
+        let strip = |r: &nnsmith_difftest::CampaignResult| {
+            let mut r = r.clone();
+            r.timeline.clear();
+            serde::json::to_string(&r)
+        };
+        assert_eq!(strip(&a.result), strip(&b.result));
+        // Profiles carry nondeterministic wall_ns; the deterministic
+        // projection (phase counts + counters, pool/* included) must
+        // match exactly.
+        assert_eq!(
+            a.profile.deterministic_view(),
+            b.profile.deterministic_view()
+        );
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.arena, b.arena);
+    }
+}

@@ -90,7 +90,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::expr::{BinOp, BoolExpr, CmpOp, IntExpr, VarId};
 use crate::interval::{Interval, Truth};
@@ -133,7 +133,7 @@ pub enum BoolNode {
 
 /// Counters describing one pool (diagnostics, benchmarks, the `"arena"`
 /// block of `BENCH_*.json`).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PoolStats {
     /// Distinct interned integer nodes.
     pub int_nodes: usize,

@@ -1,0 +1,14 @@
+//! The service worker executable: one campaign work-unit per stdin
+//! line, one outcome per stdout line (see `nnsmith_service::child_loop`).
+//!
+//! `nnsmith-service` re-execs `current_exe()` by default, which works
+//! for real binaries whose `main` starts with
+//! `nnsmith_service::maybe_work_unit_child()`. Integration tests can't
+//! use that path (their `current_exe` is the libtest harness, which
+//! would swallow `work-unit` as a test filter), so they point
+//! `ServiceConfig::worker` at this dedicated binary instead — and it
+//! doubles as the worker for any external orchestration.
+
+fn main() {
+    nnsmith::service::child_loop();
+}

@@ -24,6 +24,7 @@
 //! | [`baselines`] | LEMON / GraphFuzzer / Tzer reimplementations |
 //! | [`triage`] | test-case reduction, bug dedup, reproducer corpus |
 //! | [`obs`] | phase profiler, deterministic views, structured event log |
+//! | [`service`] | distributed resumable campaigns: work-units, orchestrator, snapshots |
 //! | [`pipeline`] | the end-to-end fuzzer ([`NnSmith`]) |
 //!
 //! ## Quickstart
@@ -50,6 +51,7 @@ pub use nnsmith_graph as graph;
 pub use nnsmith_obs as obs;
 pub use nnsmith_ops as ops;
 pub use nnsmith_search as search;
+pub use nnsmith_service as service;
 pub use nnsmith_solver as solver;
 pub use nnsmith_tensor as tensor;
 pub use nnsmith_triage as triage;

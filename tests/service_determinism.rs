@@ -1,0 +1,184 @@
+//! The distributed campaign service's determinism contract:
+//!
+//! * `processes=1 ≡ processes=3` — the deterministic views of the merged
+//!   report (engine summary, canonical event lines, merged campaign
+//!   result) are byte-identical whether the work-units run inline or in
+//!   child worker processes;
+//! * the service's merged campaign result equals the in-process matrix
+//!   engine's for the same campaign identity;
+//! * a campaign killed mid-run (pause-after-K-units, the deterministic
+//!   `kill -9` stand-in) and resumed from its snapshot emits the same
+//!   bytes as an uninterrupted run.
+//!
+//! Child processes re-exec the dedicated `nnsmith_worker` binary
+//! (`current_exe()` here is the libtest harness, which would swallow the
+//! `work-unit` subcommand as a test filter).
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use nnsmith::difftest::{run_matrix_engine, CampaignConfig, EngineConfig};
+use nnsmith::obs::deterministic_event_lines;
+use nnsmith::pipeline::NnSmithFactory;
+use nnsmith::service::{
+    plan_work_units, resume_service, run_service, FeedbackSpec, PipelineSpec, ServiceConfig,
+    ServiceReport, ServiceRun, WorkUnit,
+};
+use nnsmith_bench::EngineSummary;
+
+fn worker_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_nnsmith_worker"))
+}
+
+/// A quick guided campaign: small graphs, deterministic search budget,
+/// the feedback loop checkpointing mid-shard.
+fn service_config(processes: usize) -> ServiceConfig {
+    ServiceConfig {
+        processes,
+        shards: 4,
+        seed: 17,
+        cases: 24,
+        backends: vec!["tvm".into(), "ort".into(), "trt".into()],
+        pipeline: PipelineSpec {
+            target_ops: 5,
+            search_max_iters: 96,
+            ..PipelineSpec::default()
+        },
+        feedback: FeedbackSpec {
+            enabled: true,
+            checkpoint_every: 4,
+            mutation_prob: 0.1,
+            ..FeedbackSpec::default()
+        },
+        fix_found_bugs: true,
+        log_events: true,
+        worker: Some(worker_bin()),
+        snapshot: None,
+        stop_after_units: None,
+    }
+}
+
+fn deterministic_bytes(report: &ServiceReport) -> (String, Vec<String>, String) {
+    let config = service_config(1);
+    let backends = nnsmith::compilers::BackendSet::from_names(&config.backends).unwrap();
+    let summary = EngineSummary::from_matrix_report(&backends, &report.report).deterministic_view();
+    (
+        serde::json::to_string(&summary),
+        deterministic_event_lines(&report.report.events),
+        serde::json::to_string(&report.report.result),
+    )
+}
+
+#[test]
+fn work_unit_roundtrips_and_plans_match_engine_slices() {
+    let config = service_config(1);
+    let units = plan_work_units(&config);
+    assert_eq!(units.len(), 4);
+    assert_eq!(
+        units.iter().map(|u| u.case_budget).collect::<Vec<_>>(),
+        vec![6, 6, 6, 6]
+    );
+    for unit in &units {
+        // Names are canonicalized at planning time (short forms in the
+        // config, full names on the wire).
+        assert_eq!(unit.backends, vec!["tvmsim", "ortsim", "trtsim"]);
+        let js = serde::json::to_string(unit);
+        let back: WorkUnit = serde::json::from_str(&js).expect("roundtrip");
+        assert_eq!(&back, unit);
+        assert_eq!(serde::json::to_string(&back), js);
+    }
+}
+
+#[test]
+fn processes_do_not_change_the_bytes() {
+    let single = run_service(&service_config(1)).expect_complete();
+    let multi = run_service(&service_config(3)).expect_complete();
+    assert_eq!(single.processes, 1);
+    assert_eq!(multi.processes, 3);
+    assert_eq!(single.report.result.cases, 24);
+
+    let (summary_1, events_1, result_1) = deterministic_bytes(&single);
+    let (summary_3, events_3, result_3) = deterministic_bytes(&multi);
+    assert_eq!(summary_1, summary_3, "engine summaries must be byte-equal");
+    assert!(!events_1.is_empty());
+    assert_eq!(
+        events_1, events_3,
+        "canonical event logs must be byte-equal"
+    );
+    assert_eq!(
+        result_1, result_3,
+        "merged campaign results must be byte-equal"
+    );
+}
+
+#[test]
+fn service_merge_equals_the_in_process_engine() {
+    let config = service_config(1);
+    let service = run_service(&config).expect_complete();
+
+    let backends = nnsmith::compilers::BackendSet::from_names(&config.backends).unwrap();
+    let factory = NnSmithFactory::for_backends(config.pipeline.to_config(), &backends)
+        .with_feedback(config.feedback.to_config());
+    let engine = run_matrix_engine(
+        &factory,
+        &EngineConfig {
+            workers: 2,
+            shards: config.shards,
+            seed: config.seed,
+            campaign: CampaignConfig {
+                duration: Duration::from_secs(86_400),
+                max_cases: Some(config.cases),
+                backends: backends.iter().cloned().collect(),
+                fix_found_bugs: config.fix_found_bugs,
+                log_events: config.log_events,
+                ..CampaignConfig::default()
+            },
+        },
+    );
+
+    // The merged campaign result — coverage, bugs, per-backend blocks,
+    // feedback fold, logical timeline — is identical whether the shards
+    // ran as threads of one process or as work-units of the service.
+    assert_eq!(
+        serde::json::to_string(&service.report.result),
+        serde::json::to_string(&engine.result)
+    );
+    // So is the canonical event stream.
+    assert_eq!(
+        deterministic_event_lines(&service.report.events),
+        deterministic_event_lines(&engine.events)
+    );
+}
+
+#[test]
+fn killed_campaign_resumes_to_identical_bytes() {
+    let dir = std::env::temp_dir().join(format!("nnsmith-svc-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snapshot = dir.join("campaign.snap.json");
+
+    // Phase 1: run with 2 processes, "kill" after 2 completed units.
+    let mut config = service_config(2);
+    config.snapshot = Some(snapshot.clone());
+    config.stop_after_units = Some(2);
+    match run_service(&config) {
+        ServiceRun::Paused { completed_units } => assert!(completed_units >= 2),
+        ServiceRun::Complete(_) => panic!("expected the run to pause"),
+    }
+    assert!(snapshot.exists(), "pause must leave a snapshot behind");
+
+    // Phase 2: resume from the snapshot (different process count on
+    // purpose — execution shape must not matter).
+    let resumed = resume_service(&snapshot, 3, Some(worker_bin()))
+        .expect("snapshot loads")
+        .expect_complete();
+
+    // Reference: the same campaign, never interrupted.
+    let full = run_service(&service_config(1)).expect_complete();
+    let (summary_r, events_r, result_r) = deterministic_bytes(&resumed);
+    let (summary_f, events_f, result_f) = deterministic_bytes(&full);
+    assert_eq!(summary_r, summary_f);
+    assert_eq!(events_r, events_f);
+    assert_eq!(result_r, result_f);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

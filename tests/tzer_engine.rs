@@ -89,8 +89,10 @@ fn tzer_findings_flow_through_triage_and_replay_from_the_corpus() {
 fn tzer_triage_identical_across_worker_counts() {
     let compiler = tvmsim();
     let cfg = TriageConfig::default();
-    let (one_report, one) = run_triaged_engine(&compiler, &TzerFactory::default(), &config(1), &cfg);
-    let (four_report, four) = run_triaged_engine(&compiler, &TzerFactory::default(), &config(4), &cfg);
+    let (one_report, one) =
+        run_triaged_engine(&compiler, &TzerFactory::default(), &config(1), &cfg);
+    let (four_report, four) =
+        run_triaged_engine(&compiler, &TzerFactory::default(), &config(4), &cfg);
     assert_eq!(
         serde::json::to_string(&one_report.result),
         serde::json::to_string(&four_report.result),
