@@ -1,0 +1,84 @@
+//! Compiled-tape vs recursive-walk solver hot path.
+//!
+//! The workload mirrors what a generated graph actually asserts: a chain
+//! of conv-style layers (`h_{i+1} = (h_i - k_i + 2*p_i)/st_i + 1` with
+//! kernel-fits and output-range side constraints), a reshape
+//! element-count equality, and per-attribute binning probes through the
+//! generator's `push`/`assert`/`check`/`pop` pattern. Both configurations
+//! run the *identical* constraint sequence; the only difference is
+//! `SolverConfig::compiled_tape` — flat bytecode + watch-indexed
+//! propagation vs recursive DAG walks with full-sweep fixpoint rounds.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nnsmith_solver::{IntExpr, Solver, SolverConfig};
+
+const LAYERS: usize = 64;
+const BIN_PROBES: i64 = 4;
+
+/// Runs one campaign-shaped solving session; returns the number of Sat
+/// verdicts (kept observable so the work cannot be optimized away).
+fn campaign(compiled_tape: bool) -> u64 {
+    let mut s = Solver::with_config(SolverConfig {
+        compiled_tape,
+        ..SolverConfig::default()
+    });
+    let mut sat = 0u64;
+    let mut h = IntExpr::var(s.new_var("h0", 8, 224));
+    for i in 0..LAYERS {
+        let k = IntExpr::var(s.new_var(format!("k{i}"), 1, 7));
+        let p = IntExpr::var(s.new_var(format!("p{i}"), 0, 3));
+        let st = IntExpr::var(s.new_var(format!("st{i}"), 1, 3));
+        let out = IntExpr::var(s.new_var(format!("h{}", i + 1), 1, 1 << 20));
+        let out_expr =
+            (h.clone() - k.clone() + IntExpr::from(2) * p.clone()) / st.clone() + IntExpr::from(1);
+        // A rejected candidate first: the generator probes operator
+        // variants that don't fit and rolls them back.
+        s.push();
+        s.assert(out_expr.clone().ge(512.into()));
+        s.assert(out_expr.clone().le(4.into()));
+        black_box(s.check());
+        s.pop();
+        // The accepted insertion.
+        s.assert(k.clone().le(h.clone() + IntExpr::from(2) * p.clone()));
+        s.assert(out.clone().eq_expr(out_expr));
+        s.assert(out.clone().ge(1.into()));
+        s.assert(out.clone().le(256.into()));
+        sat += u64::from(s.check().is_sat());
+        // Attribute binning: range probes over the kernel size.
+        for bin in 0..BIN_PROBES {
+            let lo = 1 + bin * 2;
+            s.push();
+            s.assert(k.clone().ge(lo.into()));
+            s.assert(k.clone().le((lo + 1).into()));
+            sat += u64::from(s.check().is_sat());
+            s.pop();
+        }
+        h = out;
+    }
+    // Reshape at the end of the chain: element count preserved across a
+    // rank change, solved via equality-implied values.
+    let a = IntExpr::var(s.new_var("ra", 1, 1 << 16));
+    let b = IntExpr::var(s.new_var("rb", 1, 1 << 16));
+    s.assert((a.clone() * b.clone()).eq_expr(h * IntExpr::from(4)));
+    sat += u64::from(s.check().is_sat());
+    sat
+}
+
+fn bench_solver_tape(c: &mut Criterion) {
+    // Same constraint sequence, same verdicts: the tape changes how fast
+    // the answer arrives, never what it is.
+    assert_eq!(campaign(true), campaign(false), "modes must agree");
+
+    let mut group = c.benchmark_group("solver_tape");
+    group.sample_size(20);
+    group.bench_function("campaign_checks/tape", |b| {
+        b.iter(|| black_box(campaign(true)))
+    });
+    group.bench_function("campaign_checks/recursive", |b| {
+        b.iter(|| black_box(campaign(false)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver_tape);
+criterion_main!(benches);

@@ -1,11 +1,20 @@
 //! Figure 4: total branch coverage over time (all files) on ortsim and
 //! tvmsim, for NNSmith vs GraphFuzzer vs LEMON.
 //!
-//! `cargo run -p nnsmith-bench --release --bin fig4_coverage_time -- [secs] [--workers N] [--shards N]`
+//! `cargo run -p nnsmith-bench --release --bin fig4_coverage_time -- \
+//!     [secs] [--workers N] [--shards N] [--cases N]`
 //!
 //! With `--workers N` each fuzzer's campaign is sharded across N threads
 //! by the parallel engine; the time axis comes from the engine's
 //! real-time aggregated coverage timeline.
+//!
+//! With `--cases N` the run is **case-budgeted**: termination is driven
+//! by the case count (the wall-clock deadline becomes a generous
+//! anti-hang bound) and `BENCH_fig4.json` is emitted in deterministic
+//! form — byte-identical across worker counts for a fixed shard count,
+//! which the CI perf-smoke job enforces with `cmp` (and which pins the
+//! solver's compiled-tape path: `workers=1 ≡ workers=N` including the
+//! `"solver"` stats block).
 
 use nnsmith_bench::{
     bench_args, bench_record, print_ratio_summary, three_way_engine, write_bench_json,
@@ -14,14 +23,27 @@ use nnsmith_compilers::{ortsim, tvmsim};
 
 fn main() {
     let args = bench_args(20);
+    // Case-budgeted runs terminate on the case count; the deadline is
+    // only an anti-hang bound (the tab5 pattern).
+    let secs = if args.cases.is_some() {
+        86_400
+    } else {
+        args.secs
+    };
     let mut records = Vec::new();
     for compiler in [ortsim(), tvmsim()] {
         let name = compiler.system().name();
-        println!(
-            "== Figure 4 ({name}) — total branch coverage over time, {}s, {} workers ==",
-            args.secs, args.workers
-        );
-        let reports = three_way_engine(&compiler, args.secs, args.workers, args.shards);
+        match args.cases {
+            Some(cases) => println!(
+                "== Figure 4 ({name}) — total branch coverage, {cases} cases, {} workers x {} shards ==",
+                args.workers, args.shards
+            ),
+            None => println!(
+                "== Figure 4 ({name}) — total branch coverage over time, {}s, {} workers ==",
+                args.secs, args.workers
+            ),
+        }
+        let reports = three_way_engine(&compiler, secs, args.workers, args.shards, args.cases);
         for report in &reports {
             print!("{:>12}: ", report.result.source);
             for p in &report.wall_timeline {
@@ -41,9 +63,24 @@ fn main() {
                 report.cases_per_sec(),
             );
         }
+        for report in &reports {
+            let s = &report.solver;
+            if s.checks > 0 {
+                println!(
+                    "{:>12}: solver {} checks, {} tape compiles, {} tape evals, {} constraints skipped",
+                    report.result.source, s.checks, s.tape_compiles, s.tape_evals,
+                    s.constraints_skipped,
+                );
+            }
+        }
         print_ratio_summary(&results, |r| r.total_coverage());
         println!();
-        records.push(bench_record("fig4", &compiler, &args, &reports));
+        let record = bench_record("fig4", &compiler, &args, &reports);
+        records.push(if args.cases.is_some() {
+            record.deterministic_view()
+        } else {
+            record
+        });
     }
     write_bench_json("fig4", &records);
 }

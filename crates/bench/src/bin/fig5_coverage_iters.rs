@@ -1,7 +1,8 @@
 //! Figure 5: total branch coverage over the number of generated test
 //! cases — NNSmith produces fewer but higher-quality cases.
 //!
-//! `cargo run -p nnsmith-bench --release --bin fig5_coverage_iters -- [secs] [--workers N] [--shards N]`
+//! `cargo run -p nnsmith-bench --release --bin fig5_coverage_iters -- \
+//!     [secs] [--workers N] [--shards N] [--cases N]`
 
 use nnsmith_bench::{bench_args, bench_record, three_way_engine, write_bench_json};
 use nnsmith_compilers::{ortsim, tvmsim};
@@ -15,7 +16,7 @@ fn main() {
             "== Figure 5 ({name}) — coverage over #test cases, {}s, {} workers ==",
             args.secs, args.workers
         );
-        let reports = three_way_engine(&compiler, args.secs, args.workers, args.shards);
+        let reports = three_way_engine(&compiler, args.secs, args.workers, args.shards, args.cases);
         for report in &reports {
             print!("{:>12}: ", report.result.source);
             for p in &report.wall_timeline {

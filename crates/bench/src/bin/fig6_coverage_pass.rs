@@ -1,7 +1,8 @@
 //! Figure 6: pass-only branch coverage over time (the optimizer /
 //! transforms directories only).
 //!
-//! `cargo run -p nnsmith-bench --release --bin fig6_coverage_pass -- [secs] [--workers N] [--shards N]`
+//! `cargo run -p nnsmith-bench --release --bin fig6_coverage_pass -- \
+//!     [secs] [--workers N] [--shards N] [--cases N]`
 
 use nnsmith_bench::{
     bench_args, bench_record, print_ratio_summary, three_way_engine, write_bench_json,
@@ -17,7 +18,7 @@ fn main() {
             "== Figure 6 ({name}) — pass-only coverage over time, {}s, {} workers ==",
             args.secs, args.workers
         );
-        let reports = three_way_engine(&compiler, args.secs, args.workers, args.shards);
+        let reports = three_way_engine(&compiler, args.secs, args.workers, args.shards, args.cases);
         for report in &reports {
             print!("{:>12}: ", report.result.source);
             for p in &report.wall_timeline {

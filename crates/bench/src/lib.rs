@@ -223,6 +223,7 @@ pub fn three_way_engine(
     secs: u64,
     workers: usize,
     shards: usize,
+    cases: Option<usize>,
 ) -> Vec<EngineReport> {
     let engine = |seed: u64| EngineConfig {
         workers,
@@ -230,6 +231,7 @@ pub fn three_way_engine(
         seed,
         campaign: CampaignConfig {
             duration: Duration::from_secs(secs),
+            max_cases: cases,
             ..CampaignConfig::default()
         },
     };
@@ -349,6 +351,11 @@ pub struct EngineSummary {
     /// case-budgeted runs; `wall_ns` fields are zeroed by
     /// [`EngineSummary::deterministic_view`].
     pub phases: nnsmith_obs::Profile,
+    /// Solver hot-path counters (checks, tape compiles/evals,
+    /// constraints skipped by watch-indexed propagation), folded across
+    /// shards. Counter-derived hence fully deterministic — survives
+    /// [`EngineSummary::deterministic_view`] untouched.
+    pub solver: nnsmith_difftest::SolveStats,
     /// Coverage-feedback counters (corpus size/digest, retention and
     /// mutation tallies, schedule weights), folded across shards; `None`
     /// for blind sources. Fully deterministic — survives
@@ -412,15 +419,20 @@ impl EngineSummary {
             wall_timeline: report.wall_timeline.clone(),
             arena: report.arena,
             phases: report.phases.merged.clone(),
+            solver: report.solver,
             feedback: report.result.feedback.clone(),
         }
     }
 }
 
 impl BenchRecord {
-    /// [`EngineSummary::deterministic_view`] applied to every result —
-    /// the byte-reproducible form of a whole record.
+    /// [`EngineSummary::deterministic_view`] applied to every result,
+    /// plus the record-level `workers` field zeroed — the
+    /// byte-reproducible form of a whole record. Case-budgeted figures
+    /// serialize this so `workers=1` and `workers=N` emit identical
+    /// `BENCH_*.json` bytes (the CI gate `cmp`s them).
     pub fn deterministic_view(mut self) -> Self {
+        self.workers = 0;
         self.results = self
             .results
             .into_iter()

@@ -148,6 +148,20 @@ fn phases_section(out: &mut String, source: &str, phases: &Value) {
     }
 }
 
+/// Renders the `solver` block of an engine summary: the compiled-tape
+/// hot-path counters (all counter-derived, hence deterministic).
+fn solver_line(out: &mut String, source: &str, solver: &Value) {
+    let field = |key: &str| as_usize(solver.get(key)).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "\nSolver ({source}): {} checks, {} tape compiles, {} tape evals, {} constraints skipped",
+        field("checks"),
+        field("tape_compiles"),
+        field("tape_evals"),
+        field("constraints_skipped"),
+    );
+}
+
 /// All engine summaries in an artifact: a `results` array (BenchRecord,
 /// fig8) and/or a single `result` object (tab5).
 fn summaries(value: &Value) -> Vec<&Value> {
@@ -243,6 +257,9 @@ pub fn build_trajectory(dir: &Path) -> std::io::Result<String> {
             }
             for s in &sums {
                 let source = s.get("source").and_then(Value::as_str).unwrap_or("?");
+                if let Some(solver) = s.get("solver") {
+                    solver_line(&mut out, source, solver);
+                }
                 if let Some(phases) = s.get("phases") {
                     phases_section(&mut out, source, phases);
                 }

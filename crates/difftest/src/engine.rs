@@ -37,6 +37,7 @@ use std::time::{Duration, Instant};
 use nnsmith_compilers::{BackendSet, Compiler, CoverageSet};
 use nnsmith_obs::{DeterministicView, LoggedEvent, Profile, ShardedProfile};
 use nnsmith_solver::{InternPool, PoolStats};
+use serde::Serialize;
 
 use crate::campaign::{
     run_campaign_inner, BackendResult, CampaignConfig, CampaignResult, CaseRecord, TestCaseSource,
@@ -166,6 +167,45 @@ impl Default for EngineConfig {
     }
 }
 
+/// Solver hot-path counters for one engine run, folded across shards —
+/// the `"solver"` stats block of `BENCH_*.json` artifacts.
+///
+/// Every field is derived from the merged phase profile's deterministic
+/// slice (`solve` span count plus `solve/*` counters), so for a
+/// case-budgeted run the block serializes byte-identically across worker
+/// counts. `constraints_skipped` is the direct measure of the watch
+/// index: constraints the dirty-queue propagator never had to re-check
+/// because the narrowed variable was not among their watched slots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct SolveStats {
+    /// `Solver::check` calls (the `solve` phase span count).
+    pub checks: u64,
+    /// Constraints compiled onto the tape (`solve/tape_compiles`).
+    pub tape_compiles: u64,
+    /// Bytecode evaluation passes (`solve/tape_evals`).
+    pub tape_evals: u64,
+    /// Constraints skipped by watch-indexed propagation
+    /// (`solve/constraints_skipped`).
+    pub constraints_skipped: u64,
+}
+
+impl SolveStats {
+    /// Extracts the solver block from a (merged) phase profile.
+    pub fn from_profile(profile: &Profile) -> Self {
+        let counter = |key: &str| profile.counters.get(key).copied().unwrap_or(0);
+        SolveStats {
+            checks: profile
+                .phases
+                .get(nnsmith_obs::phase::SOLVE)
+                .map(|s| s.count)
+                .unwrap_or(0),
+            tape_compiles: counter("solve/tape_compiles"),
+            tape_evals: counter("solve/tape_evals"),
+            constraints_skipped: counter("solve/constraints_skipped"),
+        }
+    }
+}
+
 /// Everything an engine run produced.
 #[derive(Debug, Clone)]
 pub struct EngineReport {
@@ -196,6 +236,11 @@ pub struct EngineReport {
     /// merged profile additionally carries the campaign pool's `pool/*`
     /// counters, which have no per-shard attribution.
     pub phases: ShardedProfile,
+    /// Solver hot-path counters folded across shards (check count, tape
+    /// compiles/evals, constraints skipped by the watch index). Fully
+    /// deterministic for a case-budgeted run — serialized as the
+    /// `"solver"` block of `BENCH_*.json` artifacts.
+    pub solver: SolveStats,
     /// The structured campaign event log in canonical order, when
     /// [`CampaignConfig::log_events`] is on (empty otherwise). Every
     /// field but each event's `t_ms` is deterministic for a
@@ -463,6 +508,7 @@ fn run_engine_inner(
         .merged
         .add("pool/base_misses", arena.base_misses as u64);
     phases.merged.add("pool/memo_hits", arena.memo_hits as u64);
+    let solver = SolveStats::from_profile(&phases.merged);
 
     EngineReport {
         result,
@@ -473,6 +519,7 @@ fn run_engine_inner(
         shards,
         arena,
         phases,
+        solver,
         events,
     }
 }

@@ -28,7 +28,7 @@ pub use campaign::{
 pub use engine::{
     merge_shard_results, run_engine, run_engine_observed, run_engine_shard, run_matrix_engine,
     run_matrix_engine_observed, shard_case_budget, shard_seed, EngineConfig, EngineReport,
-    FnSourceFactory, ShardCtx, ShardRun, SourceFactory,
+    FnSourceFactory, ShardCtx, ShardRun, SolveStats, SourceFactory,
 };
 pub use feedback::{
     fnv_step, CaseFeedback, FeedbackConfig, FeedbackCorpus, FeedbackPlan, FeedbackSummary,

@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use nnsmith_compilers::BackendSet;
 use nnsmith_difftest::{
-    merge_shard_results, shard_case_budget, CampaignResult, EngineReport, TimelinePoint,
+    merge_shard_results, shard_case_budget, CampaignResult, EngineReport, SolveStats, TimelinePoint,
 };
 use nnsmith_obs::{sort_events, LoggedEvent, ShardedProfile};
 use nnsmith_solver::PoolStats;
@@ -481,6 +481,7 @@ fn build_report(
     // shard's own profile — see run_work_unit — so this index-order fold
     // is the one place they are ever summed.
     let phases = ShardedProfile::from_shards(outcomes.iter().map(|o| o.profile.clone()).collect());
+    let solver = SolveStats::from_profile(&phases.merged);
 
     let mut arena = PoolStats::default();
     for outcome in &outcomes {
@@ -529,6 +530,7 @@ fn build_report(
             shards: config.shards.max(1),
             arena,
             phases,
+            solver,
             events,
         },
         processes,

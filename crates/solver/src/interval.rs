@@ -180,31 +180,34 @@ impl Truth {
     }
 }
 
+/// Applies a binary operator over intervals; empty operands yield the
+/// empty interval (no consistent value exists for a subexpression, e.g.
+/// division by an always-zero divisor).
+pub(crate) fn apply_bin(op: BinOp, ia: Interval, ib: Interval) -> Interval {
+    if ia.is_empty() || ib.is_empty() {
+        return Interval::empty();
+    }
+    match op {
+        BinOp::Add => ia.add(&ib),
+        BinOp::Sub => ia.sub(&ib),
+        BinOp::Mul => ia.mul(&ib),
+        BinOp::Div => ia.div(&ib),
+        BinOp::Mod => ia.modulo(&ib),
+        BinOp::Min => ia.min_i(&ib),
+        BinOp::Max => ia.max_i(&ib),
+    }
+}
+
 /// Evaluates the interval of `expr` given per-variable domains.
 pub fn int_interval(expr: &IntExpr, domain: &dyn Fn(VarId) -> Interval) -> Interval {
     match expr {
         IntExpr::Const(c) => Interval::point(*c),
         IntExpr::Var(v) => domain(*v),
-        IntExpr::Bin(op, a, b) => {
-            let ia = int_interval(a, domain);
-            let ib = int_interval(b, domain);
-            if ia.is_empty() || ib.is_empty() {
-                return Interval::empty();
-            }
-            match op {
-                BinOp::Add => ia.add(&ib),
-                BinOp::Sub => ia.sub(&ib),
-                BinOp::Mul => ia.mul(&ib),
-                BinOp::Div => ia.div(&ib),
-                BinOp::Mod => ia.modulo(&ib),
-                BinOp::Min => ia.min_i(&ib),
-                BinOp::Max => ia.max_i(&ib),
-            }
-        }
+        IntExpr::Bin(op, a, b) => apply_bin(*op, int_interval(a, domain), int_interval(b, domain)),
     }
 }
 
-fn cmp_truth(op: CmpOp, a: Interval, b: Interval) -> Truth {
+pub(crate) fn cmp_truth(op: CmpOp, a: Interval, b: Interval) -> Truth {
     if a.is_empty() || b.is_empty() {
         // An empty interval means "no consistent value exists" (e.g. division
         // by an always-zero divisor): the comparison can never be satisfied.
@@ -300,22 +303,11 @@ pub(crate) fn int_interval_node(
     match p.int_node(id) {
         IntNode::Const(c) => Interval::point(*c),
         IntNode::Var(v) => domain(*v),
-        IntNode::Bin(op, a, b) => {
-            let ia = int_interval_node(p, *a, domain);
-            let ib = int_interval_node(p, *b, domain);
-            if ia.is_empty() || ib.is_empty() {
-                return Interval::empty();
-            }
-            match op {
-                BinOp::Add => ia.add(&ib),
-                BinOp::Sub => ia.sub(&ib),
-                BinOp::Mul => ia.mul(&ib),
-                BinOp::Div => ia.div(&ib),
-                BinOp::Mod => ia.modulo(&ib),
-                BinOp::Min => ia.min_i(&ib),
-                BinOp::Max => ia.max_i(&ib),
-            }
-        }
+        IntNode::Bin(op, a, b) => apply_bin(
+            *op,
+            int_interval_node(p, *a, domain),
+            int_interval_node(p, *b, domain),
+        ),
     }
 }
 

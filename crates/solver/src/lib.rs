@@ -39,8 +39,10 @@ mod expr;
 pub mod intern;
 mod interval;
 mod solver;
+pub mod tape;
 
 pub use expr::{BinOp, BoolExpr, CmpOp, IntExpr, VarId};
 pub use intern::{live_node_count, BoolId, ExprId, InternPool, PoolStats};
 pub use interval::{bool_truth, int_interval, Interval, Truth};
 pub use solver::{Model, SatResult, Solver, SolverConfig, SolverStats};
+pub use tape::{Tape, TapeScratch};

@@ -12,7 +12,7 @@
 //! boundary models (the behaviour that motivates NNSmith's attribute binning,
 //! §3.2 of the paper).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -20,6 +20,7 @@ use rand::{Rng, SeedableRng};
 use crate::expr::{BinOp, BoolExpr, CmpOp, IntExpr, VarId};
 use crate::intern::{BoolId, BoolNode, ExprId, IntNode, InternPool};
 use crate::interval::{Interval, Truth};
+use crate::tape::{Tape, TapeScratch};
 
 /// Tuning knobs for [`Solver`].
 #[derive(Debug, Clone)]
@@ -36,6 +37,13 @@ pub struct SolverConfig {
     /// solving, §3.2 step 2). Disabling this is the `ablation_incremental`
     /// configuration.
     pub incremental: bool,
+    /// Evaluate through the compiled constraint tape ([`crate::tape`]):
+    /// flat bytecode evaluation plus watch-indexed dirty-queue
+    /// propagation. Disabling this falls back to recursive DAG walks with
+    /// full-sweep fixpoint propagation — the benchmark baseline and an
+    /// ablation escape hatch. Evaluation semantics are bit-identical
+    /// either way (proptest-pinned).
+    pub compiled_tape: bool,
     /// RNG seed for candidate sampling.
     pub seed: u64,
 }
@@ -48,6 +56,7 @@ impl Default for SolverConfig {
             default_lo: 1,
             default_hi: 1 << 20,
             incremental: true,
+            compiled_tape: true,
             seed: 0x5eed_cafe,
         }
     }
@@ -136,6 +145,16 @@ pub struct SolverStats {
     pub nodes: u64,
     /// Checks answered purely by the warm-start model.
     pub warm_hits: u64,
+    /// Constraints compiled onto the tape (one per asserted constraint
+    /// while [`SolverConfig::compiled_tape`] is on).
+    pub tape_compiles: u64,
+    /// Full-assignment tape evaluations (warm probes, warm repairs, DFS
+    /// leaves, final model verifications).
+    pub tape_evals: u64,
+    /// Constraint re-checks avoided by the watch index: every time
+    /// propagation narrows a variable, only its watchers are re-enqueued
+    /// and the rest of the constraint set is skipped.
+    pub constraints_skipped: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -175,6 +194,25 @@ pub struct Solver {
     config: SolverConfig,
     rng: StdRng,
     stats: SolverStats,
+    /// Compiled bytecode for `constraints`, kept in lockstep by
+    /// [`Solver::push_constraint`] / [`Solver::truncate_constraints`]
+    /// (empty while `config.compiled_tape` is off).
+    tape: Tape,
+    /// Reusable tape evaluation buffers.
+    scratch: TapeScratch,
+    /// Reusable dense assignment buffer (slot == `VarId.0`).
+    vals_buf: Vec<i64>,
+    /// Monotone version counter of `last_model`: bumped on every
+    /// replacement, so a verified-prefix claim can be tied to the exact
+    /// model that produced it.
+    model_gen: u64,
+    /// `(model_gen, roots)` — the tape prefix `[0, roots)` is known to
+    /// hold under the warm assignment derived from model generation
+    /// `model_gen`. The warm probe resumes after this prefix: under an
+    /// unchanged model (and append-only vars), re-running pure bytecode
+    /// over the same inputs cannot change its verdict, so a repeated
+    /// `check` with no new constraints costs O(1). Clamped on truncation.
+    warm_verified: (u64, usize),
 }
 
 impl Default for Solver {
@@ -215,7 +253,27 @@ impl Solver {
             config,
             rng,
             stats: SolverStats::default(),
+            tape: Tape::new(),
+            scratch: TapeScratch::default(),
+            vals_buf: Vec::new(),
+            model_gen: 0,
+            warm_verified: (0, 0),
         }
+    }
+
+    /// The single point replacing `last_model`: bumps the model
+    /// generation so stale verified-prefix claims can never apply to the
+    /// new model.
+    fn set_model(&mut self, model: Model) {
+        self.model_gen += 1;
+        self.last_model = Some(model);
+    }
+
+    /// Records that the whole current tape holds under the current
+    /// model's warm assignment (every caller has just proved exactly
+    /// that with a full-assignment evaluation).
+    fn mark_tape_verified(&mut self) {
+        self.warm_verified = (self.model_gen, self.tape.len());
     }
 
     /// The intern pool this solver's constraint handles live in.
@@ -271,21 +329,47 @@ impl Solver {
     /// constraints (across every solver sharing the pool) share storage.
     pub fn assert(&mut self, c: BoolExpr) {
         let id = self.pool.intern_bool(&c);
-        match self.pool.bool_node(id) {
-            BoolNode::Lit(true) => {}
-            BoolNode::And(parts) => self.constraints.extend(parts.iter().copied()),
-            _ => self.constraints.push(id),
-        }
+        self.assert_id(id);
     }
 
     /// Asserts an already-interned constraint (a handle of this solver's
     /// pool) in the current frame.
     pub fn assert_id(&mut self, id: BoolId) {
         match self.pool.bool_node(id) {
-            BoolNode::Lit(true) => {}
-            BoolNode::And(parts) => self.constraints.extend(parts.iter().copied()),
-            _ => self.constraints.push(id),
+            BoolNode::Lit(true) => return,
+            BoolNode::And(parts) => {
+                let parts: Vec<BoolId> = parts.clone();
+                for p in parts {
+                    self.push_constraint(p);
+                }
+                return;
+            }
+            _ => {}
         }
+        self.push_constraint(id);
+    }
+
+    /// The single entry point appending to the constraint set: keeps the
+    /// compiled tape in lockstep with `self.constraints`.
+    fn push_constraint(&mut self, id: BoolId) {
+        if self.config.compiled_tape {
+            self.tape.push_constraint(&self.pool, id);
+            self.stats.tape_compiles += 1;
+            nnsmith_obs::count("solve/tape_compiles", 1);
+        }
+        self.constraints.push(id);
+    }
+
+    /// The single exit point shrinking the constraint set (`pop`,
+    /// `try_add_*` rollback): truncates the tape to the same mark.
+    fn truncate_constraints(&mut self, mark: usize) {
+        self.constraints.truncate(mark);
+        if self.config.compiled_tape {
+            self.tape.truncate(mark);
+        }
+        // Roots past the new mark no longer exist; the verified-prefix
+        // claim must shrink with them.
+        self.warm_verified.1 = self.warm_verified.1.min(mark);
     }
 
     /// Asserts several constraints at once.
@@ -312,7 +396,7 @@ impl Solver {
     /// Panics if there is no open frame.
     pub fn pop(&mut self) {
         let mark = self.frames.pop().expect("pop without matching push");
-        self.constraints.truncate(mark);
+        self.truncate_constraints(mark);
     }
 
     /// Asserts `cs` and checks satisfiability; on failure the constraints are
@@ -325,7 +409,7 @@ impl Solver {
         match self.check() {
             SatResult::Sat(m) => Some(m),
             _ => {
-                self.constraints.truncate(mark);
+                self.truncate_constraints(mark);
                 None
             }
         }
@@ -343,7 +427,7 @@ impl Solver {
         match self.check() {
             SatResult::Sat(m) => Some(m),
             _ => {
-                self.constraints.truncate(mark);
+                self.truncate_constraints(mark);
                 None
             }
         }
@@ -361,27 +445,146 @@ impl Solver {
         // observed engine run).
         let _span = nnsmith_obs::span(nnsmith_obs::phase::SOLVE);
         self.stats.checks += 1;
+        if self.config.compiled_tape {
+            self.check_tape()
+        } else {
+            self.check_recursive()
+        }
+    }
 
+    /// Tape-path satisfiability check: flat bytecode evaluation for every
+    /// full-assignment probe, watch-indexed dirty-queue propagation, and
+    /// dense-slot backtracking search.
+    fn check_tape(&mut self) -> SatResult {
+        debug_assert_eq!(self.tape.len(), self.constraints.len());
+        let evals_before = self.stats.tape_evals;
+        let skipped_before = self.stats.constraints_skipped;
+        let result = self.check_tape_inner();
+        let evals = self.stats.tape_evals - evals_before;
+        if evals > 0 {
+            nnsmith_obs::count("solve/tape_evals", evals);
+        }
+        let skipped = self.stats.constraints_skipped - skipped_before;
+        if skipped > 0 {
+            nnsmith_obs::count("solve/constraints_skipped", skipped);
+        }
+        result
+    }
+
+    fn check_tape_inner(&mut self) -> SatResult {
+        // Fast path: the previous model may still satisfy everything
+        // (common when the newly-added constraints only mention
+        // already-solved variables). Verified in place on the tape — no
+        // Model clone unless it hits.
+        if self.config.incremental && self.last_model.is_some() {
+            self.fill_warm_vals();
+            // Incremental: the tape prefix verified under this same model
+            // by an earlier probe is skipped — only constraints appended
+            // since then are evaluated (a repeated `check` with nothing
+            // new asserted does no evaluation work at all).
+            let start = if self.warm_verified.0 == self.model_gen {
+                self.warm_verified.1.min(self.tape.len())
+            } else {
+                0
+            };
+            self.stats.tape_evals += 1;
+            if self
+                .tape
+                .eval_roots_from(&mut self.scratch, start, &self.vals_buf)
+            {
+                let model = self.model_from_vals();
+                self.stats.sat += 1;
+                self.stats.warm_hits += 1;
+                self.set_model(model.clone());
+                self.mark_tape_verified();
+                return SatResult::Sat(model);
+            }
+        }
+
+        let mut domains: Vec<Interval> = self
+            .vars
+            .iter()
+            .map(|v| Interval::new(v.lo, v.hi))
+            .collect();
+
+        if self.propagate_tape(&mut domains) == Truth::False {
+            self.stats.unsat += 1;
+            return SatResult::Unsat;
+        }
+
+        // Warm repair: clamp the previous model into the propagated
+        // domains and re-verify on the tape — after small constraint
+        // additions (one binning range, one insertion) this usually
+        // already satisfies everything.
+        if self.config.incremental && self.last_model.is_some() && self.fill_repair_vals(&domains) {
+            self.stats.tape_evals += 1;
+            if self.tape.eval_full(&mut self.scratch, &self.vals_buf) {
+                let model = self.model_from_vals();
+                self.stats.sat += 1;
+                self.stats.warm_hits += 1;
+                self.set_model(model.clone());
+                self.mark_tape_verified();
+                return SatResult::Sat(model);
+            }
+        }
+
+        let mut budget = self.config.max_nodes;
+        let mut complete = true;
+        let result = self.search_tape(&mut domains, &mut budget, &mut complete);
+        match result {
+            Some(model) => {
+                self.stats.sat += 1;
+                self.set_model(model.clone());
+                self.mark_tape_verified();
+                SatResult::Sat(model)
+            }
+            None => {
+                if complete && budget > 0 {
+                    self.stats.unsat += 1;
+                    SatResult::Unsat
+                } else {
+                    self.stats.unknown += 1;
+                    SatResult::Unknown
+                }
+            }
+        }
+    }
+
+    /// Recursive-walk satisfiability check (`compiled_tape: false`): the
+    /// pre-tape algorithm, kept as the benchmark baseline and ablation.
+    fn check_recursive(&mut self) -> SatResult {
         // A pool handle clone (one atomic increment), so `self` stays
         // mutably borrowable below.
         let pool = self.pool.clone();
         let pool = &pool;
 
-        // Fast path: the previous model may still satisfy everything (common
-        // when the newly-added constraints only mention already-solved
-        // variables).
+        // Fast path, verified in place: previous-model values (clamped to
+        // a variable's bounds, defaulting to its minimum) may still
+        // satisfy everything. The Model is only materialized on a hit.
         if self.config.incremental {
-            if let Some(prev) = self.full_warm_model() {
-                let lookup = |v: VarId| prev.get(v);
+            if let Some(prev) = self.last_model.as_ref() {
+                let vars = &self.vars;
+                let lookup = |v: VarId| -> Option<i64> {
+                    let info = &vars[v.0 as usize];
+                    match prev.get(v) {
+                        Some(val) if val >= info.lo && val <= info.hi => Some(val),
+                        _ => Some(info.lo),
+                    }
+                };
                 let ok = self
                     .constraints
                     .iter()
                     .all(|&c| pool.eval_bool(c, &lookup) == Some(true));
                 if ok {
+                    let mut model = Model::default();
+                    for idx in 0..self.vars.len() {
+                        let id = VarId(idx as u32);
+                        model.insert(id, lookup(id).expect("total lookup"));
+                    }
                     self.stats.sat += 1;
                     self.stats.warm_hits += 1;
-                    self.last_model = Some(prev.clone());
-                    return SatResult::Sat(prev);
+                    self.set_model(model.clone());
+                    return SatResult::Sat(model);
                 }
             }
         }
@@ -407,7 +610,7 @@ impl Solver {
             if let Some(model) = self.warm_repair(pool, &domains) {
                 self.stats.sat += 1;
                 self.stats.warm_hits += 1;
-                self.last_model = Some(model.clone());
+                self.set_model(model.clone());
                 return SatResult::Sat(model);
             }
         }
@@ -418,7 +621,7 @@ impl Solver {
         match result {
             Some(model) => {
                 self.stats.sat += 1;
-                self.last_model = Some(model.clone());
+                self.set_model(model.clone());
                 SatResult::Sat(model)
             }
             None => {
@@ -462,20 +665,243 @@ impl Solver {
         self.last_model.as_ref()
     }
 
-    // --- internals -----------------------------------------------------------
+    // --- tape-path internals -------------------------------------------------
 
-    /// Extends the last model with default (minimal) values for new variables.
-    fn full_warm_model(&self) -> Option<Model> {
-        let prev = self.last_model.as_ref()?;
-        let mut m = prev.clone();
+    /// Fills `vals_buf` with the warm probe assignment: the previous
+    /// model's value when it is within the variable's bounds, the
+    /// variable's minimum otherwise (including fresh variables).
+    fn fill_warm_vals(&mut self) {
+        let prev = self.last_model.as_ref().expect("caller checked");
+        self.vals_buf.clear();
+        self.vals_buf
+            .extend(self.vars.iter().enumerate().map(
+                |(idx, v)| match prev.get(VarId(idx as u32)) {
+                    Some(val) if val >= v.lo && val <= v.hi => val,
+                    _ => v.lo,
+                },
+            ));
+    }
+
+    /// Fills `vals_buf` with the previous model clamped into the
+    /// propagated domains. Returns false when any domain is empty (no
+    /// repair possible).
+    fn fill_repair_vals(&mut self, domains: &[Interval]) -> bool {
+        let prev = self.last_model.as_ref().expect("caller checked");
+        self.vals_buf.clear();
         for (idx, v) in self.vars.iter().enumerate() {
-            let id = VarId(idx as u32);
-            match m.get(id) {
-                Some(val) if val >= v.lo && val <= v.hi => {}
-                _ => m.insert(id, v.lo),
+            let dom = domains[idx];
+            if dom.is_empty() {
+                return false;
+            }
+            let val = prev
+                .get(VarId(idx as u32))
+                .unwrap_or(v.lo)
+                .clamp(dom.lo, dom.hi);
+            self.vals_buf.push(val);
+        }
+        true
+    }
+
+    /// Materializes a [`Model`] from the dense assignment in `vals_buf`.
+    fn model_from_vals(&self) -> Model {
+        let mut m = Model::default();
+        for (idx, &val) in self.vals_buf.iter().enumerate() {
+            m.insert(VarId(idx as u32), val);
+        }
+        m
+    }
+
+    /// Dirty-queue interval propagation over the tape: starts with every
+    /// constraint enqueued, then only re-enqueues the watchers of a
+    /// narrowed variable. Work-capped at the same total the legacy
+    /// 20-round full sweep allowed.
+    fn propagate_tape(&mut self, domains: &mut [Interval]) -> Truth {
+        let n = self.tape.len();
+        if n == 0 {
+            return Truth::Unknown;
+        }
+        let mut queued = vec![true; n];
+        let mut queue: VecDeque<u32> = (0..n as u32).collect();
+        let mut work = n.saturating_mul(20);
+        while let Some(ci) = queue.pop_front() {
+            queued[ci as usize] = false;
+            if work == 0 {
+                return Truth::Unknown;
+            }
+            work -= 1;
+            match self.tape.truth_of(&mut self.scratch, ci as usize, domains) {
+                Truth::False => return Truth::False,
+                Truth::True => continue,
+                Truth::Unknown => {}
+            }
+            if let Some(slot) = self.tape.narrow(&self.scratch, ci as usize, domains) {
+                if domains[slot as usize].is_empty() {
+                    return Truth::False;
+                }
+                let watchers = self.tape.watchers(slot);
+                self.stats.constraints_skipped += (n - watchers.len()) as u64;
+                for &w in watchers {
+                    if !queued[w as usize] {
+                        queued[w as usize] = true;
+                        queue.push_back(w);
+                    }
+                }
             }
         }
-        Some(m)
+        Truth::Unknown
+    }
+
+    /// Backtracking search over dense variable slots, using the watch
+    /// index instead of a per-check constraint-index rebuild.
+    fn search_tape(
+        &mut self,
+        domains: &mut Vec<Interval>,
+        budget: &mut u64,
+        complete: &mut bool,
+    ) -> Option<Model> {
+        let pool = self.pool.clone();
+        let order = self.tape.constrained_slots();
+        let nvars = self.vars.len();
+        let mut vals = vec![0i64; nvars];
+        let mut assigned = vec![false; nvars];
+        // Pre-assign point domains.
+        for &slot in &order {
+            let d = domains[slot as usize];
+            if d.is_point() {
+                vals[slot as usize] = d.lo;
+                assigned[slot as usize] = true;
+            }
+        }
+        // Fail-first ordering: narrow domains first, ties broken by how
+        // many constraints watch the variable (more-constrained first).
+        let mut unassigned: Vec<u32> = order
+            .iter()
+            .copied()
+            .filter(|&s| !assigned[s as usize])
+            .collect();
+        unassigned.sort_by_key(|&s| {
+            let width = domains[s as usize].width();
+            let cons = self.tape.watchers(s).len();
+            (width, usize::MAX - cons)
+        });
+        self.dfs_tape(
+            &pool,
+            &unassigned,
+            0,
+            domains,
+            &mut vals,
+            &mut assigned,
+            budget,
+            complete,
+        )?;
+        // Complete the model: unconstrained variables take their minimum
+        // (mirroring Z3's minimal-model bias).
+        for (idx, v) in self.vars.iter().enumerate() {
+            if !assigned[idx] {
+                vals[idx] = v.lo;
+            }
+        }
+        // Final exact verification (propagation is approximate, the model
+        // is checked for real).
+        self.stats.tape_evals += 1;
+        if !self.tape.eval_full(&mut self.scratch, &vals) {
+            return None;
+        }
+        let mut model = Model::default();
+        for (idx, &val) in vals.iter().enumerate() {
+            model.insert(VarId(idx as u32), val);
+        }
+        Some(model)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs_tape(
+        &mut self,
+        pool: &InternPool,
+        order: &[u32],
+        depth: usize,
+        domains: &mut Vec<Interval>,
+        vals: &mut Vec<i64>,
+        assigned: &mut Vec<bool>,
+        budget: &mut u64,
+        complete: &mut bool,
+    ) -> Option<()> {
+        if *budget == 0 {
+            *complete = false;
+            return None;
+        }
+        *budget -= 1;
+        self.stats.nodes += 1;
+
+        if depth == order.len() {
+            // Leaf: check all constraints exactly under the assignment
+            // (variables outside `order` take their minimum).
+            self.vals_buf.clear();
+            let vars = &self.vars;
+            self.vals_buf.extend((0..vars.len()).map(|idx| {
+                if assigned[idx] {
+                    vals[idx]
+                } else {
+                    vars[idx].lo
+                }
+            }));
+            self.stats.tape_evals += 1;
+            let ok = self.tape.eval_full(&mut self.scratch, &self.vals_buf);
+            return ok.then_some(());
+        }
+
+        let slot = order[depth];
+        let dom = domains[slot as usize];
+        if dom.is_empty() {
+            return None;
+        }
+        let related: Vec<usize> = self
+            .tape
+            .watchers(slot)
+            .iter()
+            .map(|&c| c as usize)
+            .collect();
+        let suggestions = self.suggest_values(pool, VarId(slot), domains, &related);
+        let candidates = self.candidates(VarId(slot), dom, &suggestions);
+        if (candidates.len() as u64) < dom.width() {
+            *complete = false;
+        }
+        for cand in candidates {
+            vals[slot as usize] = cand;
+            assigned[slot as usize] = true;
+            domains[slot as usize] = Interval::point(cand);
+            // Only constraints watching `slot` can newly fail.
+            let mut ok = true;
+            for &ci in &related {
+                if self.tape.truth_of(&mut self.scratch, ci, domains) == Truth::False {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok
+                && self
+                    .dfs_tape(
+                        pool,
+                        order,
+                        depth + 1,
+                        domains,
+                        vals,
+                        assigned,
+                        budget,
+                        complete,
+                    )
+                    .is_some()
+            {
+                return Some(());
+            }
+            domains[slot as usize] = dom;
+            assigned[slot as usize] = false;
+            if *budget == 0 {
+                *complete = false;
+                return None;
+            }
+        }
+        None
     }
 
     /// Fixed-point interval propagation. Narrows variable domains using
@@ -527,26 +953,10 @@ impl Solver {
             return false;
         }
         let cur = domains[var.0 as usize];
-        let new = match op {
-            CmpOp::Le => cur.intersect(&Interval::new(i64::MIN, other_iv.hi)),
-            CmpOp::Lt => cur.intersect(&Interval::new(i64::MIN, other_iv.hi - 1)),
-            CmpOp::Ge => cur.intersect(&Interval::new(other_iv.lo, i64::MAX)),
-            CmpOp::Gt => cur.intersect(&Interval::new(other_iv.lo + 1, i64::MAX)),
-            CmpOp::Eq => cur.intersect(&other_iv),
-            CmpOp::Ne => {
-                if other_iv.is_point() {
-                    if cur.lo == other_iv.lo && cur.hi > cur.lo {
-                        Interval::new(cur.lo + 1, cur.hi)
-                    } else if cur.hi == other_iv.lo && cur.hi > cur.lo {
-                        Interval::new(cur.lo, cur.hi - 1)
-                    } else {
-                        cur
-                    }
-                } else {
-                    cur
-                }
-            }
-        };
+        // Shared with the tape path; saturates at the i64 edges so that
+        // `x < [MIN, MIN]`-style bounds never underflow (debug-build
+        // panic before the fix).
+        let new = crate::tape::narrowed(op, cur, other_iv);
         if new != cur {
             domains[var.0 as usize] = new;
             true

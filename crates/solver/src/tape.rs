@@ -1,0 +1,747 @@
+//! Compiled constraint tapes: the solver's hot-path evaluator.
+//!
+//! [`Solver::check`](crate::Solver::check) used to answer every query by
+//! recursive walks over interned expression DAGs — one virtual `dyn Fn`
+//! variable lookup per leaf, one `Option` chain per operator, and a full
+//! re-walk of every constraint per warm-model probe, per propagation round
+//! and per backtracking candidate. This module compiles the asserted
+//! constraint set once into a flat register bytecode and re-evaluates
+//! assignments by streaming that tape.
+//!
+//! # Instruction layout
+//!
+//! A [`Tape`] holds two instruction vectors: [`IntInstr`] for integer
+//! subexpressions and [`BoolInstr`] for boolean ones. An instruction's
+//! index is its *register*. Registers are append-only and
+//! **topologically ordered**: an instruction only references registers
+//! with strictly smaller indices, so a single forward pass evaluates the
+//! whole tape with every operand already computed. Because compilation is
+//! keyed on interned ids (`int_reg` / `bool_reg`), each distinct
+//! subexpression gets **exactly one** instruction — hash-consing already
+//! dedups the DAG, so a shape atom shared by twelve constraints is
+//! evaluated once per assignment instead of twelve times.
+//!
+//! "Unknown" (unassigned variable, division by zero, overflow) is not an
+//! in-band sentinel value: `i64::MIN + 0 == i64::MIN` is a perfectly legal
+//! result, so no integer can soundly mean "no value". Instead each integer
+//! register carries a parallel known-flag and boolean registers use a
+//! three-valued byte ([`B_FALSE`]/[`B_TRUE`]/[`B_UNKNOWN`]), giving the
+//! exact partial-evaluation semantics of
+//! [`BoolExpr::eval`](crate::BoolExpr::eval) (Kleene strong three-valued
+//! logic) without `Option` chains or recursion.
+//!
+//! # Frame marks
+//!
+//! The tape is incremental. [`Tape::push_constraint`] appends the
+//! instructions a new constraint needs (only the ones not already
+//! present) and records a [`Root`] carrying the instruction-vector
+//! lengths *before* the append — the constraint's frame marks.
+//! [`Tape::truncate`] rolls the tape back to the marks of the first
+//! dropped constraint, exactly mirroring the solver's
+//! `push`/`pop`/`try_add_constraints` frame discipline. Instructions
+//! created by surviving constraints are never touched: a register
+//! compiled for constraint 3 and reused by constraint 7 lives at an index
+//! below constraint 7's marks, so truncating to 5 keeps it.
+//!
+//! # Watch-index invariants
+//!
+//! `watch[slot]` lists the indices of constraints whose expression cone
+//! mentions variable `slot` (variables are dense: slot == `VarId.0`).
+//! Invariants, checked by [`Tape::check_invariants`]:
+//!
+//! * each list is strictly ascending (constraints are appended in index
+//!   order and each constraint appears at most once per variable), so
+//!   truncation pops entries off list tails;
+//! * a constraint index appears in `watch[slot]` iff `slot` is in that
+//!   root's deduped `vars` list;
+//! * every root's dependency cone (`icone`/`bcone`) is ascending and
+//!   downward-closed — evaluating the cone in order visits operands
+//!   before users.
+//!
+//! The watch index is what turns interval propagation and backtracking
+//! search into dirty-queue workers: narrowing one variable's domain only
+//! re-enqueues `watch[slot]`, not the whole constraint set.
+
+use std::collections::HashMap;
+
+use crate::expr::{BinOp, CmpOp};
+use crate::intern::{BoolId, BoolNode, ExprId, IntNode, InternPool};
+use crate::interval::{apply_bin, cmp_truth, Interval, Truth};
+
+/// Three-valued boolean register: definitely false.
+pub const B_FALSE: u8 = 0;
+/// Three-valued boolean register: definitely true.
+pub const B_TRUE: u8 = 1;
+/// Three-valued boolean register: unknown (unassigned input, division by
+/// zero, or overflow somewhere in the cone).
+pub const B_UNKNOWN: u8 = 2;
+
+/// One integer instruction; the instruction's index is its register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IntInstr {
+    /// A literal constant.
+    Const(i64),
+    /// Read input slot `n` (dense: slot == `VarId.0`).
+    Var(u32),
+    /// Apply a binary operator to two integer registers.
+    Bin(BinOp, u32, u32),
+}
+
+/// One boolean instruction; the instruction's index is its register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoolInstr {
+    /// A literal truth value.
+    Lit(bool),
+    /// Compare two integer registers.
+    Cmp(CmpOp, u32, u32),
+    /// Conjunction of boolean registers (Kleene fold).
+    All(Box<[u32]>),
+    /// Disjunction of boolean registers (Kleene fold).
+    Any(Box<[u32]>),
+    /// Negation of a boolean register.
+    Not(u32),
+}
+
+/// One compiled constraint: its result register, its frame marks, and its
+/// dependency cone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Root {
+    /// Boolean register holding the constraint's truth value.
+    reg: u32,
+    /// `int_instrs.len()` before this constraint was compiled.
+    int_mark: u32,
+    /// `bool_instrs.len()` before this constraint was compiled.
+    bool_mark: u32,
+    /// Integer registers this constraint depends on, ascending
+    /// (downward-closed: a forward pass over the cone is a valid
+    /// evaluation order).
+    icone: Vec<u32>,
+    /// Boolean registers this constraint depends on, ascending; the last
+    /// entry is `reg`.
+    bcone: Vec<u32>,
+    /// Input slots mentioned by the cone, ascending, deduped.
+    vars: Vec<u32>,
+}
+
+/// Reusable evaluation buffers. Owned by the solver separately from the
+/// [`Tape`] so field-level split borrows work (`tape.eval_full(&mut
+/// scratch, ..)` while both are solver fields).
+#[derive(Debug, Clone, Default)]
+pub struct TapeScratch {
+    /// Concrete value per integer register.
+    ivals: Vec<i64>,
+    /// Known-flag per integer register (the "unknown sentinel").
+    iknown: Vec<bool>,
+    /// Three-valued result per boolean register.
+    bvals: Vec<u8>,
+    /// Interval per integer register (propagation passes).
+    ivs: Vec<Interval>,
+    /// Truth per boolean register (propagation passes).
+    tvs: Vec<Truth>,
+}
+
+/// A flat, topologically-ordered register bytecode compiled from the
+/// asserted constraint set. See the module docs for layout and
+/// invariants.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Tape {
+    int_instrs: Vec<IntInstr>,
+    bool_instrs: Vec<BoolInstr>,
+    /// Reverse map: register -> interned id (for hash-map cleanup on
+    /// truncation). Always parallel to the instruction vectors.
+    int_ids: Vec<ExprId>,
+    bool_ids: Vec<BoolId>,
+    /// Interned id -> register; the hash-consing of the tape itself.
+    int_reg: HashMap<ExprId, u32>,
+    bool_reg: HashMap<BoolId, u32>,
+    roots: Vec<Root>,
+    /// Input slot -> ascending constraint indices mentioning it.
+    watch: Vec<Vec<u32>>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of compiled constraints.
+    pub fn len(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// True when no constraint is compiled.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Number of integer instructions.
+    pub fn int_len(&self) -> usize {
+        self.int_instrs.len()
+    }
+
+    /// Number of boolean instructions.
+    pub fn bool_len(&self) -> usize {
+        self.bool_instrs.len()
+    }
+
+    /// Constraint indices watching input slot `slot` (ascending).
+    pub fn watchers(&self, slot: u32) -> &[u32] {
+        self.watch
+            .get(slot as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Input slots mentioned by constraint `ci` (ascending, deduped).
+    pub fn constraint_vars(&self, ci: usize) -> &[u32] {
+        &self.roots[ci].vars
+    }
+
+    /// Every input slot some constraint mentions, ascending — the dense
+    /// replacement for the solver's per-check `constrained_vars`
+    /// recollection.
+    pub fn constrained_slots(&self) -> Vec<u32> {
+        (0..self.watch.len() as u32)
+            .filter(|&s| !self.watch[s as usize].is_empty())
+            .collect()
+    }
+
+    /// Compiles `id` (an interned constraint of `pool`) onto the tape and
+    /// returns its constraint index. Subexpressions already on the tape
+    /// are reused, not recompiled.
+    pub fn push_constraint(&mut self, pool: &InternPool, id: BoolId) -> usize {
+        let int_mark = self.int_instrs.len() as u32;
+        let bool_mark = self.bool_instrs.len() as u32;
+        let reg = self.compile_bool(pool, id);
+        let (icone, bcone) = self.collect_cone(reg);
+        let mut vars: Vec<u32> = icone
+            .iter()
+            .filter_map(|&r| match self.int_instrs[r as usize] {
+                IntInstr::Var(slot) => Some(slot),
+                _ => None,
+            })
+            .collect();
+        vars.sort_unstable();
+        vars.dedup();
+        let ci = self.roots.len() as u32;
+        for &slot in &vars {
+            if self.watch.len() <= slot as usize {
+                self.watch.resize(slot as usize + 1, Vec::new());
+            }
+            self.watch[slot as usize].push(ci);
+        }
+        self.roots.push(Root {
+            reg,
+            int_mark,
+            bool_mark,
+            icone,
+            bcone,
+            vars,
+        });
+        ci as usize
+    }
+
+    /// Rolls the tape back to its first `n` constraints, dropping the
+    /// instructions only the dropped constraints needed (their frame
+    /// marks) and their watch-list entries.
+    pub fn truncate(&mut self, n: usize) {
+        if n >= self.roots.len() {
+            return;
+        }
+        let int_mark = self.roots[n].int_mark as usize;
+        let bool_mark = self.roots[n].bool_mark as usize;
+        while self.roots.len() > n {
+            let root = self.roots.pop().expect("len checked");
+            let ci = self.roots.len() as u32;
+            for &slot in &root.vars {
+                let list = &mut self.watch[slot as usize];
+                debug_assert_eq!(list.last().copied(), Some(ci));
+                list.pop();
+            }
+        }
+        for reg in int_mark..self.int_instrs.len() {
+            self.int_reg.remove(&self.int_ids[reg]);
+        }
+        self.int_instrs.truncate(int_mark);
+        self.int_ids.truncate(int_mark);
+        for reg in bool_mark..self.bool_instrs.len() {
+            self.bool_reg.remove(&self.bool_ids[reg]);
+        }
+        self.bool_instrs.truncate(bool_mark);
+        self.bool_ids.truncate(bool_mark);
+    }
+
+    fn compile_int(&mut self, pool: &InternPool, id: ExprId) -> u32 {
+        if let Some(&r) = self.int_reg.get(&id) {
+            return r;
+        }
+        let instr = match pool.int_node(id) {
+            IntNode::Const(c) => IntInstr::Const(*c),
+            IntNode::Var(v) => IntInstr::Var(v.0),
+            IntNode::Bin(op, a, b) => {
+                let (op, a, b) = (*op, *a, *b);
+                let ra = self.compile_int(pool, a);
+                let rb = self.compile_int(pool, b);
+                IntInstr::Bin(op, ra, rb)
+            }
+        };
+        let r = self.int_instrs.len() as u32;
+        self.int_instrs.push(instr);
+        self.int_ids.push(id);
+        self.int_reg.insert(id, r);
+        r
+    }
+
+    fn compile_bool(&mut self, pool: &InternPool, id: BoolId) -> u32 {
+        if let Some(&r) = self.bool_reg.get(&id) {
+            return r;
+        }
+        let instr = match pool.bool_node(id) {
+            BoolNode::Lit(b) => BoolInstr::Lit(*b),
+            BoolNode::Cmp(op, a, b) => {
+                let (op, a, b) = (*op, *a, *b);
+                let ra = self.compile_int(pool, a);
+                let rb = self.compile_int(pool, b);
+                BoolInstr::Cmp(op, ra, rb)
+            }
+            BoolNode::And(parts) => {
+                let parts = parts.clone();
+                let regs: Vec<u32> = parts.iter().map(|&p| self.compile_bool(pool, p)).collect();
+                BoolInstr::All(regs.into_boxed_slice())
+            }
+            BoolNode::Or(parts) => {
+                let parts = parts.clone();
+                let regs: Vec<u32> = parts.iter().map(|&p| self.compile_bool(pool, p)).collect();
+                BoolInstr::Any(regs.into_boxed_slice())
+            }
+            BoolNode::Not(inner) => {
+                let inner = *inner;
+                BoolInstr::Not(self.compile_bool(pool, inner))
+            }
+        };
+        let r = self.bool_instrs.len() as u32;
+        self.bool_instrs.push(instr);
+        self.bool_ids.push(id);
+        self.bool_reg.insert(id, r);
+        r
+    }
+
+    /// The ascending, downward-closed dependency cone of boolean register
+    /// `root`.
+    fn collect_cone(&self, root: u32) -> (Vec<u32>, Vec<u32>) {
+        let mut bseen = vec![false; self.bool_instrs.len()];
+        let mut iseen = vec![false; self.int_instrs.len()];
+        let mut bstack = vec![root];
+        let mut istack: Vec<u32> = Vec::new();
+        while let Some(r) = bstack.pop() {
+            if std::mem::replace(&mut bseen[r as usize], true) {
+                continue;
+            }
+            match &self.bool_instrs[r as usize] {
+                BoolInstr::Lit(_) => {}
+                BoolInstr::Cmp(_, a, b) => {
+                    istack.push(*a);
+                    istack.push(*b);
+                }
+                BoolInstr::All(parts) | BoolInstr::Any(parts) => bstack.extend_from_slice(parts),
+                BoolInstr::Not(x) => bstack.push(*x),
+            }
+        }
+        while let Some(r) = istack.pop() {
+            if std::mem::replace(&mut iseen[r as usize], true) {
+                continue;
+            }
+            if let IntInstr::Bin(_, a, b) = &self.int_instrs[r as usize] {
+                istack.push(*a);
+                istack.push(*b);
+            }
+        }
+        let icone = (0..iseen.len() as u32)
+            .filter(|&r| iseen[r as usize])
+            .collect();
+        let bcone = (0..bseen.len() as u32)
+            .filter(|&r| bseen[r as usize])
+            .collect();
+        (icone, bcone)
+    }
+
+    // --- concrete evaluation -------------------------------------------------
+
+    /// Evaluates every constraint under a full assignment (`vals[slot]` is
+    /// the value of variable `slot`; slots past the end read as unknown)
+    /// and returns whether **all** roots are definitely true. One linear
+    /// pass over the tape — the warm-model probe, warm repair, DFS leaves
+    /// and the final model verification all go through here.
+    pub fn eval_full(&self, s: &mut TapeScratch, vals: &[i64]) -> bool {
+        let ni = self.int_instrs.len();
+        let nb = self.bool_instrs.len();
+        s.ivals.resize(ni, 0);
+        s.iknown.resize(ni, false);
+        s.bvals.resize(nb, B_UNKNOWN);
+        for (i, instr) in self.int_instrs.iter().enumerate() {
+            // Topological order: operand registers are already written.
+            let (val, known) = match *instr {
+                IntInstr::Const(c) => (c, true),
+                IntInstr::Var(slot) => match vals.get(slot as usize) {
+                    Some(&v) => (v, true),
+                    None => (0, false),
+                },
+                IntInstr::Bin(op, a, b) => {
+                    if s.iknown[a as usize] && s.iknown[b as usize] {
+                        match op.apply(s.ivals[a as usize], s.ivals[b as usize]) {
+                            Some(v) => (v, true),
+                            None => (0, false),
+                        }
+                    } else {
+                        (0, false)
+                    }
+                }
+            };
+            s.ivals[i] = val;
+            s.iknown[i] = known;
+        }
+        for (i, instr) in self.bool_instrs.iter().enumerate() {
+            s.bvals[i] = eval_bool_instr(instr, s);
+        }
+        self.roots.iter().all(|r| s.bvals[r.reg as usize] == B_TRUE)
+    }
+
+    /// Evaluates only the constraints at roots `[first_root..]` under a
+    /// full assignment, visiting each one's dependency cone, and returns
+    /// whether they are all definitely true.
+    ///
+    /// This is the incremental warm probe: when roots `[0, first_root)`
+    /// were already verified under the *same* assignment by an earlier
+    /// pass, re-evaluating them cannot change the outcome (bytecode
+    /// evaluation is pure), so only the suffix appended since then needs
+    /// work — `eval_roots_from(s, 0, vals)` is equivalent to
+    /// [`Tape::eval_full`], and `first_root == len()` is free.
+    pub fn eval_roots_from(&self, s: &mut TapeScratch, first_root: usize, vals: &[i64]) -> bool {
+        if first_root == 0 {
+            return self.eval_full(s, vals);
+        }
+        s.ivals.resize(self.int_instrs.len(), 0);
+        s.iknown.resize(self.int_instrs.len(), false);
+        s.bvals.resize(self.bool_instrs.len(), B_UNKNOWN);
+        for root in &self.roots[first_root.min(self.roots.len())..] {
+            // Cones are downward-closed and ascending, so every register
+            // read below was written earlier in this same loop.
+            for &r in &root.icone {
+                let i = r as usize;
+                let (val, known) = match self.int_instrs[i] {
+                    IntInstr::Const(c) => (c, true),
+                    IntInstr::Var(slot) => match vals.get(slot as usize) {
+                        Some(&v) => (v, true),
+                        None => (0, false),
+                    },
+                    IntInstr::Bin(op, a, b) => {
+                        if s.iknown[a as usize] && s.iknown[b as usize] {
+                            match op.apply(s.ivals[a as usize], s.ivals[b as usize]) {
+                                Some(v) => (v, true),
+                                None => (0, false),
+                            }
+                        } else {
+                            (0, false)
+                        }
+                    }
+                };
+                s.ivals[i] = val;
+                s.iknown[i] = known;
+            }
+            for &r in &root.bcone {
+                s.bvals[r as usize] = eval_bool_instr(&self.bool_instrs[r as usize], s);
+            }
+            if s.bvals[root.reg as usize] != B_TRUE {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Evaluates one constraint under a (possibly partial) assignment:
+    /// `known[slot]` gates whether `vals[slot]` is assigned. Only the
+    /// constraint's dependency cone is visited. Returns `None` when the
+    /// result is unknown — identical semantics to
+    /// [`InternPool::eval_bool`].
+    pub fn eval_constraint(
+        &self,
+        s: &mut TapeScratch,
+        ci: usize,
+        vals: &[i64],
+        known: &[bool],
+    ) -> Option<bool> {
+        let root = &self.roots[ci];
+        s.ivals.resize(self.int_instrs.len(), 0);
+        s.iknown.resize(self.int_instrs.len(), false);
+        s.bvals.resize(self.bool_instrs.len(), B_UNKNOWN);
+        for &r in &root.icone {
+            let i = r as usize;
+            let (val, k) = match self.int_instrs[i] {
+                IntInstr::Const(c) => (c, true),
+                IntInstr::Var(slot) => {
+                    if known.get(slot as usize).copied().unwrap_or(false) {
+                        (vals[slot as usize], true)
+                    } else {
+                        (0, false)
+                    }
+                }
+                IntInstr::Bin(op, a, b) => {
+                    if s.iknown[a as usize] && s.iknown[b as usize] {
+                        match op.apply(s.ivals[a as usize], s.ivals[b as usize]) {
+                            Some(v) => (v, true),
+                            None => (0, false),
+                        }
+                    } else {
+                        (0, false)
+                    }
+                }
+            };
+            s.ivals[i] = val;
+            s.iknown[i] = k;
+        }
+        for &r in &root.bcone {
+            s.bvals[r as usize] = eval_bool_instr(&self.bool_instrs[r as usize], s);
+        }
+        match s.bvals[root.reg as usize] {
+            B_FALSE => Some(false),
+            B_TRUE => Some(true),
+            _ => None,
+        }
+    }
+
+    // --- interval reasoning --------------------------------------------------
+
+    /// Three-valued truth of constraint `ci` over per-slot domains,
+    /// evaluating only the constraint's cone. Leaves the cone's intervals
+    /// in the scratch for a following [`Tape::narrow`] call.
+    pub fn truth_of(&self, s: &mut TapeScratch, ci: usize, domains: &[Interval]) -> Truth {
+        let root = &self.roots[ci];
+        s.ivs.resize(self.int_instrs.len(), Interval::empty());
+        s.tvs.resize(self.bool_instrs.len(), Truth::Unknown);
+        for &r in &root.icone {
+            let i = r as usize;
+            s.ivs[i] = match self.int_instrs[i] {
+                IntInstr::Const(c) => Interval::point(c),
+                IntInstr::Var(slot) => domains[slot as usize],
+                IntInstr::Bin(op, a, b) => apply_bin(op, s.ivs[a as usize], s.ivs[b as usize]),
+            };
+        }
+        for &r in &root.bcone {
+            let i = r as usize;
+            s.tvs[i] = match &self.bool_instrs[i] {
+                BoolInstr::Lit(true) => Truth::True,
+                BoolInstr::Lit(false) => Truth::False,
+                BoolInstr::Cmp(op, a, b) => cmp_truth(*op, s.ivs[*a as usize], s.ivs[*b as usize]),
+                BoolInstr::All(parts) => {
+                    let mut all_true = true;
+                    let mut any_false = false;
+                    for &p in parts.iter() {
+                        match s.tvs[p as usize] {
+                            Truth::False => any_false = true,
+                            Truth::Unknown => all_true = false,
+                            Truth::True => {}
+                        }
+                    }
+                    if any_false {
+                        Truth::False
+                    } else if all_true {
+                        Truth::True
+                    } else {
+                        Truth::Unknown
+                    }
+                }
+                BoolInstr::Any(parts) => {
+                    let mut all_false = true;
+                    let mut any_true = false;
+                    for &p in parts.iter() {
+                        match s.tvs[p as usize] {
+                            Truth::True => any_true = true,
+                            Truth::Unknown => all_false = false,
+                            Truth::False => {}
+                        }
+                    }
+                    if any_true {
+                        Truth::True
+                    } else if all_false {
+                        Truth::False
+                    } else {
+                        Truth::Unknown
+                    }
+                }
+                BoolInstr::Not(x) => s.tvs[*x as usize].not(),
+            };
+        }
+        s.tvs[root.reg as usize]
+    }
+
+    /// Narrows domains using constraint `ci` when it is a comparison with
+    /// a bare variable on one side. Returns the narrowed slot, if any.
+    ///
+    /// **Invariant:** must be called right after [`Tape::truth_of`] for
+    /// the same `ci` and `domains` — the other side's interval is read
+    /// from the scratch instead of being recomputed.
+    pub fn narrow(&self, s: &TapeScratch, ci: usize, domains: &mut [Interval]) -> Option<u32> {
+        let root = &self.roots[ci];
+        let BoolInstr::Cmp(op, ra, rb) = self.bool_instrs[root.reg as usize] else {
+            return None;
+        };
+        let (op, slot, other) = match (&self.int_instrs[ra as usize], &self.int_instrs[rb as usize])
+        {
+            (IntInstr::Var(v), _) => (op, *v, rb),
+            (_, IntInstr::Var(v)) => (op.swap(), *v, ra),
+            _ => return None,
+        };
+        let other_iv = s.ivs[other as usize];
+        if other_iv.is_empty() {
+            return None;
+        }
+        let cur = domains[slot as usize];
+        let new = narrowed(op, cur, other_iv);
+        if new != cur {
+            domains[slot as usize] = new;
+            Some(slot)
+        } else {
+            None
+        }
+    }
+
+    // --- diagnostics ---------------------------------------------------------
+
+    /// Verifies the structural invariants documented in the module docs.
+    /// Test/diagnostic helper; `Err` carries a description of the first
+    /// violation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.int_ids.len() != self.int_instrs.len()
+            || self.bool_ids.len() != self.bool_instrs.len()
+        {
+            return Err("reverse id maps not parallel to instruction vectors".into());
+        }
+        if self.int_reg.len() != self.int_instrs.len()
+            || self.bool_reg.len() != self.bool_instrs.len()
+        {
+            return Err("register maps out of sync with instruction vectors".into());
+        }
+        for (reg, id) in self.int_ids.iter().enumerate() {
+            if self.int_reg.get(id) != Some(&(reg as u32)) {
+                return Err(format!("int id at register {reg} not mapped back"));
+            }
+        }
+        for (reg, id) in self.bool_ids.iter().enumerate() {
+            if self.bool_reg.get(id) != Some(&(reg as u32)) {
+                return Err(format!("bool id at register {reg} not mapped back"));
+            }
+        }
+        let mut prev = (0u32, 0u32);
+        for (ci, root) in self.roots.iter().enumerate() {
+            if (root.int_mark, root.bool_mark) < prev {
+                return Err(format!("constraint {ci}: frame marks not monotone"));
+            }
+            prev = (root.int_mark, root.bool_mark);
+            if root.bcone.last() != Some(&root.reg) {
+                return Err(format!("constraint {ci}: root register not last in cone"));
+            }
+            if !root.icone.windows(2).all(|w| w[0] < w[1])
+                || !root.bcone.windows(2).all(|w| w[0] < w[1])
+            {
+                return Err(format!("constraint {ci}: cone not strictly ascending"));
+            }
+            for &slot in &root.vars {
+                if !self.watchers(slot).contains(&(ci as u32)) {
+                    return Err(format!("constraint {ci}: missing watch entry for {slot}"));
+                }
+            }
+        }
+        for (slot, list) in self.watch.iter().enumerate() {
+            if !list.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("watch[{slot}] not strictly ascending"));
+            }
+            for &ci in list {
+                let Some(root) = self.roots.get(ci as usize) else {
+                    return Err(format!("watch[{slot}] references dropped constraint {ci}"));
+                };
+                if !root.vars.contains(&(slot as u32)) {
+                    return Err(format!("watch[{slot}] entry {ci} not in root vars"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Narrows `cur` (the bare variable's domain) against `other` for
+/// `var op other`. Saturating at the `i64` edges: `x < [MIN, MIN]` must
+/// not wrap to an underflowed upper bound.
+pub(crate) fn narrowed(op: CmpOp, cur: Interval, other: Interval) -> Interval {
+    match op {
+        CmpOp::Le => cur.intersect(&Interval::new(i64::MIN, other.hi)),
+        CmpOp::Lt => cur.intersect(&Interval::new(i64::MIN, other.hi.saturating_sub(1))),
+        CmpOp::Ge => cur.intersect(&Interval::new(other.lo, i64::MAX)),
+        CmpOp::Gt => cur.intersect(&Interval::new(other.lo.saturating_add(1), i64::MAX)),
+        CmpOp::Eq => cur.intersect(&other),
+        CmpOp::Ne => {
+            if other.is_point() {
+                if cur.lo == other.lo && cur.hi > cur.lo {
+                    Interval::new(cur.lo + 1, cur.hi)
+                } else if cur.hi == other.lo && cur.hi > cur.lo {
+                    Interval::new(cur.lo, cur.hi - 1)
+                } else {
+                    cur
+                }
+            } else {
+                cur
+            }
+        }
+    }
+}
+
+/// Kleene fold of one boolean instruction over already-evaluated
+/// registers. Order-independent, so it matches the recursive
+/// short-circuit evaluators bit for bit.
+fn eval_bool_instr(instr: &BoolInstr, s: &TapeScratch) -> u8 {
+    match instr {
+        BoolInstr::Lit(b) => u8::from(*b),
+        BoolInstr::Cmp(op, a, b) => {
+            if s.iknown[*a as usize] && s.iknown[*b as usize] {
+                u8::from(op.apply(s.ivals[*a as usize], s.ivals[*b as usize]))
+            } else {
+                B_UNKNOWN
+            }
+        }
+        BoolInstr::All(parts) => {
+            let mut any_unknown = false;
+            for &p in parts.iter() {
+                match s.bvals[p as usize] {
+                    B_FALSE => return B_FALSE,
+                    B_UNKNOWN => any_unknown = true,
+                    _ => {}
+                }
+            }
+            if any_unknown {
+                B_UNKNOWN
+            } else {
+                B_TRUE
+            }
+        }
+        BoolInstr::Any(parts) => {
+            let mut any_unknown = false;
+            for &p in parts.iter() {
+                match s.bvals[p as usize] {
+                    B_TRUE => return B_TRUE,
+                    B_UNKNOWN => any_unknown = true,
+                    _ => {}
+                }
+            }
+            if any_unknown {
+                B_UNKNOWN
+            } else {
+                B_FALSE
+            }
+        }
+        BoolInstr::Not(x) => match s.bvals[*x as usize] {
+            B_FALSE => B_TRUE,
+            B_TRUE => B_FALSE,
+            _ => B_UNKNOWN,
+        },
+    }
+}

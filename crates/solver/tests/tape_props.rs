@@ -1,0 +1,283 @@
+//! Property-based tests pinning the compiled constraint tape
+//! (`nnsmith_solver::tape`) to the recursive evaluators it replaces.
+//!
+//! The determinism contract of the tape is *bit-identical results*: for
+//! any constraint and any (partial) assignment, streaming the bytecode
+//! must agree with `InternPool::eval_bool` over handles and with
+//! `BoolExpr::eval` over trees, including unknown-propagation semantics
+//! (unassigned variables, division by zero, overflow).
+
+use proptest::prelude::*;
+
+use nnsmith_solver::tape::{Tape, TapeScratch};
+use nnsmith_solver::{BoolExpr, IntExpr, InternPool, SatResult, Solver, SolverConfig, VarId};
+
+const N_VARS: usize = 4;
+
+/// Random expression trees built from a stack-machine instruction list
+/// (the vendored proptest stand-in has no recursive combinator). Division
+/// and modulo are kept in the operator mix on purpose: they are the
+/// unknown-producing cases.
+fn arb_int_expr() -> impl Strategy<Value = IntExpr> {
+    proptest::collection::vec((0u8..8, -4i64..5, 0u32..N_VARS as u32), 1..24).prop_map(|steps| {
+        let mut stack: Vec<IntExpr> = Vec::new();
+        for (op, c, v) in steps {
+            if stack.len() >= 2 && op < 5 {
+                let b = stack.pop().expect("len checked");
+                let a = stack.pop().expect("len checked");
+                stack.push(match op {
+                    0 => a + b,
+                    1 => a - b,
+                    2 => a * b,
+                    3 => a / b,
+                    _ => a % b,
+                });
+            } else if op.is_multiple_of(2) {
+                stack.push(IntExpr::Const(c));
+            } else {
+                stack.push(IntExpr::Var(VarId(v)));
+            }
+        }
+        let mut out = stack.pop().expect("steps non-empty");
+        while let Some(next) = stack.pop() {
+            out = out + next;
+        }
+        out
+    })
+}
+
+/// A random constraint: comparison, conjunction, disjunction or negation
+/// over random integer expressions.
+fn arb_bool_expr() -> impl Strategy<Value = BoolExpr> {
+    (
+        proptest::collection::vec((arb_int_expr(), arb_int_expr(), 0u8..6), 1..4),
+        0u8..4,
+    )
+        .prop_map(|(cmps, shape)| {
+            let parts: Vec<BoolExpr> = cmps
+                .into_iter()
+                .map(|(a, b, op)| match op {
+                    0 => a.eq_expr(b),
+                    1 => a.ne_expr(b),
+                    2 => a.le(b),
+                    3 => a.lt(b),
+                    4 => a.ge(b),
+                    _ => a.gt(b),
+                })
+                .collect();
+            match shape {
+                0 => BoolExpr::and(parts),
+                1 => BoolExpr::or(parts),
+                2 => parts[0].clone().not(),
+                _ => parts[0].clone(),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Tape eval ≡ `InternPool::eval_bool` ≡ tree `BoolExpr::eval`, for
+    /// partial assignments: each variable is independently assigned or
+    /// unknown, and the three evaluators must agree on the exact
+    /// three-valued outcome.
+    #[test]
+    fn tape_matches_recursive_eval(
+        e in arb_bool_expr(),
+        vals in proptest::collection::vec((-30i64..30, 0u8..2), N_VARS..=N_VARS),
+    ) {
+        let pool = InternPool::default();
+        let id = pool.intern_bool(&e);
+        let mut tape = Tape::new();
+        let ci = tape.push_constraint(&pool, id);
+        tape.check_invariants().expect("invariants after push");
+
+        let dense: Vec<i64> = vals.iter().map(|&(v, _)| v).collect();
+        let known: Vec<bool> = vals.iter().map(|&(_, k)| k == 1).collect();
+        let lookup = |v: VarId| {
+            if known[v.0 as usize] { Some(dense[v.0 as usize]) } else { None }
+        };
+        let mut scratch = TapeScratch::default();
+        let got = tape.eval_constraint(&mut scratch, ci, &dense, &known);
+        prop_assert_eq!(got, pool.eval_bool(id, &lookup), "tape vs pool on {}", e);
+        prop_assert_eq!(got, e.eval(&lookup), "tape vs tree on {}", e);
+
+        // Full assignments additionally pin the all-roots fast path.
+        let all_known = vec![true; N_VARS];
+        let full = tape.eval_constraint(&mut scratch, ci, &dense, &all_known);
+        prop_assert_eq!(
+            tape.eval_full(&mut scratch, &dense),
+            full == Some(true),
+            "eval_full vs per-constraint on {}", e
+        );
+    }
+
+    /// Interval truth through the tape is bit-identical to the recursive
+    /// handle-walking evaluator on arbitrary domains, and a definite
+    /// `False` is sound: no concrete assignment in the domains satisfies
+    /// the constraint (pruning never loses a model).
+    #[test]
+    fn tape_truth_matches_recursive_truth(
+        e in arb_bool_expr(),
+        ranges in proptest::collection::vec((-30i64..30, 0i64..12), N_VARS..=N_VARS),
+    ) {
+        use nnsmith_solver::{Interval, Truth};
+        let pool = InternPool::default();
+        let id = pool.intern_bool(&e);
+        let mut tape = Tape::new();
+        let ci = tape.push_constraint(&pool, id);
+        let domains: Vec<Interval> = ranges
+            .iter()
+            .map(|&(lo, w)| Interval::new(lo, lo + w))
+            .collect();
+        let mut scratch = TapeScratch::default();
+        let truth = tape.truth_of(&mut scratch, ci, &domains);
+        let dom = |v: VarId| domains[v.0 as usize];
+        prop_assert_eq!(truth, pool.bool_truth(id, &dom), "tape vs pool truth on {}", e);
+        if truth == Truth::False {
+            // Spot-check soundness at the domain corners.
+            for pick_hi in [false, true] {
+                let vals: Vec<i64> = domains
+                    .iter()
+                    .map(|d| if pick_hi { d.hi } else { d.lo })
+                    .collect();
+                let concrete = e.eval(&|v: VarId| Some(vals[v.0 as usize]));
+                prop_assert!(concrete != Some(true), "False pruned a model of {}", e);
+            }
+        }
+    }
+
+    /// Push/pop/truncate consistency: rolling the tape back and replaying
+    /// a different suffix yields exactly the tape a fresh compile of the
+    /// final constraint sequence produces — instructions, roots, watch
+    /// lists and register maps all included.
+    #[test]
+    fn truncate_replay_matches_fresh_compile(
+        base in proptest::collection::vec(arb_bool_expr(), 1..5),
+        dropped in proptest::collection::vec(arb_bool_expr(), 1..4),
+        replay in proptest::collection::vec(arb_bool_expr(), 0..4),
+    ) {
+        let pool = InternPool::default();
+        let mut tape = Tape::new();
+        let mut kept: Vec<_> = Vec::new();
+        for e in &base {
+            let id = pool.intern_bool(e);
+            tape.push_constraint(&pool, id);
+            kept.push(id);
+        }
+        let mark = tape.len();
+        for e in &dropped {
+            tape.push_constraint(&pool, pool.intern_bool(e));
+        }
+        tape.check_invariants().expect("invariants before truncate");
+        tape.truncate(mark);
+        tape.check_invariants().expect("invariants after truncate");
+        for e in &replay {
+            let id = pool.intern_bool(e);
+            tape.push_constraint(&pool, id);
+            kept.push(id);
+        }
+        tape.check_invariants().expect("invariants after replay");
+
+        let mut fresh = Tape::new();
+        for &id in &kept {
+            fresh.push_constraint(&pool, id);
+        }
+        prop_assert_eq!(&tape, &fresh, "replayed tape differs from fresh compile");
+    }
+
+    /// The solver's tape stays in lockstep with its constraint vector
+    /// across push/pop/try_add rollbacks, and both solver modes agree on
+    /// satisfiability.
+    #[test]
+    fn solver_modes_agree(
+        seed in 0u64..10_000,
+        n_cons in 1usize..8,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let run = |compiled_tape: bool| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut s = Solver::with_config(SolverConfig {
+                compiled_tape,
+                ..SolverConfig::default()
+            });
+            let vars: Vec<_> = (0..N_VARS)
+                .map(|i| {
+                    let lo = rng.gen_range(0i64..8);
+                    let hi = lo + rng.gen_range(1i64..64);
+                    s.new_var(format!("v{i}"), lo, hi)
+                })
+                .collect();
+            let mut verdicts = Vec::new();
+            for _ in 0..n_cons {
+                let a = IntExpr::var(vars[rng.gen_range(0..N_VARS)]);
+                let b = IntExpr::var(vars[rng.gen_range(0..N_VARS)]);
+                let c: IntExpr = rng.gen_range(0i64..32).into();
+                let cons = match rng.gen_range(0..4) {
+                    0 => a.le(c),
+                    1 => a.ge(c),
+                    2 => a.lt(b + c),
+                    _ => (a + b).eq_expr(c),
+                };
+                verdicts.push(s.try_add_constraints([cons]).is_some());
+            }
+            verdicts
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+}
+
+/// Satellite regression: `narrow` on `Lt`/`Gt` against an interval edge
+/// at `i64::MIN`/`i64::MAX` used to compute `hi - 1` / `lo + 1` without
+/// saturation and panic in debug builds. Both solver modes must survive
+/// extreme domains.
+#[test]
+fn narrow_saturates_at_i64_edges() {
+    for compiled_tape in [true, false] {
+        let mut s = Solver::with_config(SolverConfig {
+            compiled_tape,
+            ..SolverConfig::default()
+        });
+        let x = s.new_var("x", i64::MIN, i64::MAX);
+        let y = s.new_var("y", i64::MIN, i64::MAX);
+        // x < y with y's interval edge at MIN: narrowing x's upper bound
+        // computes MIN - 1 unsaturated.
+        s.push();
+        s.assert(IntExpr::var(x).lt(IntExpr::var(y)));
+        s.assert(IntExpr::var(y).le(i64::MIN.into()));
+        assert_eq!(s.check(), SatResult::Unsat, "tape={compiled_tape}");
+        s.pop();
+        // x > y with y's interval edge at MAX: narrowing x's lower bound
+        // computes MAX + 1 unsaturated.
+        s.push();
+        s.assert(IntExpr::var(x).gt(IntExpr::var(y)));
+        s.assert(IntExpr::var(y).ge(i64::MAX.into()));
+        assert_eq!(s.check(), SatResult::Unsat, "tape={compiled_tape}");
+        s.pop();
+        assert!(s.check().is_sat(), "tape={compiled_tape}");
+    }
+}
+
+/// The watch index actually skips work: narrowing a variable only
+/// re-enqueues its watchers, so `constraints_skipped` counts the
+/// constraints that did *not* have to be re-checked.
+#[test]
+fn watch_index_skips_constraints() {
+    let mut s = Solver::default();
+    let x = s.new_var("x", 1, 100);
+    let y = s.new_var("y", 1, 100);
+    let z = s.new_var("z", 1, 100);
+    // Narrowing x (via c0) re-enqueues only {c0, c1}; c2 (z-only) is
+    // skipped. Symmetrically for z.
+    s.assert(IntExpr::var(x).ge(10.into())); // c0: watches x
+    s.assert(IntExpr::var(x).le(IntExpr::var(y))); // c1: watches x, y
+    s.assert(IntExpr::var(z).ge(3.into())); // c2: watches z
+    assert!(s.check().is_sat());
+    let stats = s.stats();
+    assert_eq!(stats.tape_compiles, 3);
+    assert!(stats.tape_evals > 0, "tape evals recorded");
+    assert!(
+        stats.constraints_skipped > 0,
+        "narrowing x must skip the z-only constraint"
+    );
+}

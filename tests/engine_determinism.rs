@@ -78,6 +78,24 @@ fn one_worker_and_four_workers_agree_bit_for_bit() {
         serde::json::to_string(&one.result),
         serde::json::to_string(&four.result)
     );
+
+    // The solver stats block is counter-derived and must carry over the
+    // same determinism: compiled-tape work is fixed by the shard layout,
+    // not by scheduling. A real generation campaign narrows domains, so
+    // the watch index must demonstrably skip re-checks.
+    assert_eq!(one.solver, four.solver);
+    assert_eq!(
+        serde::json::to_string(&one.solver),
+        serde::json::to_string(&four.solver)
+    );
+    assert!(one.solver.checks > 0, "campaign ran solver checks");
+    assert!(one.solver.tape_compiles > 0, "constraints hit the tape");
+    assert!(one.solver.tape_evals > 0, "bytecode eval passes recorded");
+    assert!(
+        one.solver.constraints_skipped > 0,
+        "watch-indexed propagation skipped re-checks: {:?}",
+        one.solver
+    );
 }
 
 #[test]
